@@ -1,0 +1,63 @@
+//! Fig. 9 — V100 GPU throughput: xDSL's CUDA lowering vs Devito's tiled
+//! OpenACC, heat and wave kernels, 2D (8192²) and 3D (512³).
+//!
+//! Paper ratios (xDSL / OpenACC-Devito): heat 1.0/1.1/1.1 (2D),
+//! 1.7/1.7/1.5 (3D); wave 1.1/1.1/1.2 (2D), 1.5/1.5/1.4 (3D).
+
+use sten_bench::{gpts, heat_profile, print_table, wave_profile, SPACE_ORDERS};
+use stencil_core::perf::gpu::GpuPipeline;
+use stencil_core::perf::{gpu_throughput, v100};
+
+fn main() {
+    let gpu = v100();
+    let paper: std::collections::HashMap<&str, f64> = [
+        ("heat2d-5pt", 1.0),
+        ("heat2d-9pt", 1.1),
+        ("heat2d-13pt", 1.1),
+        ("heat3d-7pt", 1.7),
+        ("heat3d-13pt", 1.7),
+        ("heat3d-19pt", 1.5),
+        ("wave2d-5pt", 1.1),
+        ("wave2d-9pt", 1.1),
+        ("wave2d-13pt", 1.2),
+        ("wave3d-7pt", 1.5),
+        ("wave3d-13pt", 1.5),
+        ("wave3d-19pt", 1.4),
+    ]
+    .into_iter()
+    .collect();
+
+    for (eq, title) in [("heat", "Fig. 9a heat diffusion"), ("wave", "Fig. 9b acoustic wave")] {
+        let mut rows = Vec::new();
+        for dims in [2usize, 3] {
+            let points: f64 = if dims == 2 { 8192.0 * 8192.0 } else { 512.0f64.powi(3) };
+            for (so, label2d, label3d) in SPACE_ORDERS {
+                let label = if dims == 2 { label2d } else { label3d };
+                let name = format!("{eq}{dims}d-{label}");
+                let p = if eq == "heat" {
+                    heat_profile(dims, so, false, points)
+                } else {
+                    wave_profile(dims, so, false, points)
+                };
+                let cuda = gpu_throughput(&p, &gpu, GpuPipeline::XdslCuda);
+                let acc = gpu_throughput(&p, &gpu, GpuPipeline::OpenAcc);
+                rows.push(vec![
+                    name.clone(),
+                    gpts(acc),
+                    gpts(cuda),
+                    format!("{:.2}x", cuda / acc),
+                    paper.get(name.as_str()).map(|r| format!("{r:.1}x")).unwrap_or_default(),
+                ]);
+            }
+        }
+        print_table(
+            &format!("{title} on the V100 model"),
+            &["kernel", "OpenACC-Devito GPts/s", "xDSL GPts/s", "model ratio", "paper ratio"],
+            &rows,
+        );
+    }
+    println!(
+        "\nShape check: near parity in 2D, xDSL ~1.4-1.7x ahead in 3D where OpenACC's\n\
+         collapse/tile schedules lose bandwidth — the paper's nsys finding."
+    );
+}

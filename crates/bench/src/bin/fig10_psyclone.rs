@@ -1,0 +1,112 @@
+//! Fig. 10 — PSyclone benchmarks.
+//!
+//! (a) single ARCHER2 node: PW advection and tracer advection at several
+//! problem sizes, Cray-PSyclone vs xDSL-PSyclone vs GNU-PSyclone. The
+//! paper's finding: xDSL ≈/≥ Cray for PW advection, GNU far behind, and
+//! tracer advection hurt at small sizes by one OpenMP parallel region (and
+//! barrier) per stencil region — 18 of them ("kmp_wait_template was the
+//! most runtime-intensive function").
+//!
+//! (b) V100: PW advection ×24.14/×14.60/×11.01 over managed-memory
+//! OpenACC-PSyclone; tracer advection ×0.62/×0.83/×0.95 (synchronous
+//! launches × 18 regions).
+
+use sten_bench::{gpts, print_table, pw_profile, traadv_profile};
+use stencil_core::perf::gpu::GpuPipeline;
+use stencil_core::perf::{archer2_node, gpu_throughput, node_throughput, v100, CpuPipeline};
+
+fn fig10a() {
+    let node = archer2_node();
+    let mut rows = Vec::new();
+    // PW advection sizes (points): 134m, 1072m, 4288m.
+    for (label, points) in
+        [("pw-134m", 134e6), ("pw-1072m", 1072e6), ("pw-4288m", 4288e6)]
+    {
+        let p = pw_profile(points);
+        rows.push(vec![
+            label.to_string(),
+            gpts(node_throughput(&p, &node, CpuPipeline::PsycloneCray)),
+            gpts(node_throughput(&p, &node, CpuPipeline::Xdsl)),
+            gpts(node_throughput(&p, &node, CpuPipeline::PsycloneGnu)),
+            p.regions.to_string(),
+        ]);
+    }
+    for (label, points) in [("traadv-4m", 4e6), ("traadv-16m", 16e6), ("traadv-128m", 128e6)] {
+        let p = traadv_profile(points);
+        rows.push(vec![
+            label.to_string(),
+            gpts(node_throughput(&p, &node, CpuPipeline::PsycloneCray)),
+            gpts(node_throughput(&p, &node, CpuPipeline::Xdsl)),
+            gpts(node_throughput(&p, &node, CpuPipeline::PsycloneGnu)),
+            p.regions.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 10a single ARCHER2 node, GPts/s (model; regions from real fused IR)",
+        &["benchmark", "Cray", "xDSL", "GNU", "regions/step"],
+        &rows,
+    );
+    println!(
+        "Shape check: xDSL ≈ Cray on PW (memory-bound, 1 fused region); GNU far\n\
+         behind everywhere; xDSL trails on small tracer advection (18 barriers/step)\n\
+         and narrows as the size amortizes them."
+    );
+}
+
+fn fig10b() {
+    let gpu = v100();
+    let paper = [
+        ("pw-8m", 8e6, 24.14),
+        ("pw-33m", 33e6, 14.60),
+        ("pw-134m", 134e6, 11.01),
+    ];
+    let mut rows = Vec::new();
+    for (label, points, paper_x) in paper {
+        let p = pw_profile(points);
+        let xdsl = gpu_throughput(&p, &gpu, GpuPipeline::XdslCuda);
+        let psy = gpu_throughput(&p, &gpu, GpuPipeline::OpenAccManaged);
+        rows.push(vec![
+            label.to_string(),
+            gpts(psy),
+            gpts(xdsl),
+            format!("x{:.2}", xdsl / psy),
+            format!("x{paper_x:.2}"),
+        ]);
+    }
+    let paper_ta = [
+        ("traadv-4m", 4e6, 0.62),
+        ("traadv-32m", 32e6, 0.83),
+        ("traadv-128m", 128e6, 0.95),
+    ];
+    for (label, points, paper_x) in paper_ta {
+        let p = traadv_profile(points);
+        let xdsl = gpu_throughput(&p, &gpu, GpuPipeline::XdslCuda);
+        // The paper's PSyclone GPU baseline for tracer advection does not
+        // hit the managed-memory pathology (data stays resident across
+        // the 100-iteration outer loop) and nvc schedules the simple
+        // tracer loops well.
+        let psy = gpu_throughput(&p, &gpu, GpuPipeline::OpenAccPsyclone);
+        rows.push(vec![
+            label.to_string(),
+            gpts(psy),
+            gpts(xdsl),
+            format!("x{:.2}", xdsl / psy),
+            format!("x{paper_x:.2}"),
+        ]);
+    }
+    print_table(
+        "Fig. 10b V100, GPts/s (model)",
+        &["benchmark", "PSyclone", "xDSL", "model speedup", "paper speedup"],
+        &rows,
+    );
+    println!(
+        "Shape check: order-of-magnitude PW win (managed-memory page faults),\n\
+         shrinking with size; tracer advection below 1x at small sizes (18\n\
+         synchronous launches), approaching parity at 128m."
+    );
+}
+
+fn main() {
+    fig10a();
+    fig10b();
+}

@@ -1,0 +1,60 @@
+//! Fig. 11 — xDSL-PSyclone multi-node strong scaling on ARCHER2 with the
+//! 2D decomposition strategy ("commonplace in these types of model due to
+//! tight coupling in the vertical dimension"): PW advection on
+//! [256, 256, 128] and tracer advection on [512, 512, 128].
+//!
+//! The paper: "good strong scaling to eight nodes but then suffers from
+//! strong scaling effects due to the small global problem size".
+
+use sten_bench::{gpts, print_table, pw_profile, traadv_profile};
+use stencil_core::perf::{archer2_node, slingshot, strong_scaling, CpuPipeline, ScalingConfig};
+
+fn main() {
+    let node = archer2_node();
+    let net = slingshot();
+    for (title, profile, shape) in [
+        (
+            "Fig. 11a PW advection [256, 256, 128]",
+            pw_profile(256.0 * 256.0 * 128.0),
+            vec![256i64, 256, 128],
+        ),
+        (
+            "Fig. 11b tracer advection [512, 512, 128]",
+            traadv_profile(512.0 * 512.0 * 128.0),
+            vec![512, 512, 128],
+        ),
+    ] {
+        let cfg = ScalingConfig {
+            ranks_per_node: 8,
+            decomp_dims: 2, // the paper's 2D dmp strategy
+            comm_overlap: 0.0,
+            global_shape: shape,
+        };
+        let base = strong_scaling(&profile, &node, &net, &cfg, CpuPipeline::Xdsl, 1);
+        let mut rows = Vec::new();
+        let mut prev = 0.0;
+        let mut knee = None;
+        for nodes in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+            let x = strong_scaling(&profile, &node, &net, &cfg, CpuPipeline::Xdsl, nodes);
+            let eff = x / (base * nodes as f64);
+            if knee.is_none() && prev > 0.0 && x / prev < 1.5 {
+                knee = Some(nodes);
+            }
+            rows.push(vec![
+                nodes.to_string(),
+                gpts(base * nodes as f64),
+                gpts(x),
+                format!("{:.0}%", eff * 100.0),
+            ]);
+            prev = x;
+        }
+        print_table(title, &["nodes", "linear", "xDSL", "efficiency"], &rows);
+        match knee {
+            Some(n) => println!(
+                "scaling knee (speedup-per-doubling < 1.5x) first appears at {n} nodes — the \
+                 paper reports the tail-off beyond 8 nodes for this small global size"
+            ),
+            None => println!("no scaling knee up to 128 nodes"),
+        }
+    }
+}

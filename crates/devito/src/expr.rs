@@ -1,0 +1,267 @@
+//! The symbolic expression layer: linear combinations of field accesses.
+//!
+//! Devito's symbolic input (SymPy expressions) ultimately lowers to the
+//! access/coefficient form the paper shows in Fig. 5:
+//!
+//! ```text
+//! (Eq(u[t1, x+2], u[t0, x+1] - 2.0*u[t0, x+2] + u[t0, x+3]),)
+//! u => W : (t1, x+2)   R : (t0, x+3) (t0, x+2) (t0, x+1)
+//! ```
+//!
+//! [`Expr`] is exactly that normal form: a map from [`Access`]es
+//! (function, relative time, spatial offsets) to `f64` coefficients plus a
+//! constant. Discretization (via Fornberg weights) and [`solve`] operate
+//! on it directly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// One read/write access: `func[t + time, x + offsets...]`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Access {
+    /// The accessed time function.
+    pub func: String,
+    /// Relative time index (`0` = current, `1` = forward, `-1` =
+    /// backward).
+    pub time: i64,
+    /// Relative spatial offsets.
+    pub offsets: Vec<i64>,
+}
+
+impl Access {
+    /// Creates an access.
+    pub fn new(func: impl Into<String>, time: i64, offsets: Vec<i64>) -> Self {
+        Access { func: func.into(), time, offsets }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[t{:+}", self.func, self.time)?;
+        for o in &self.offsets {
+            write!(f, ", {o:+}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A linear combination of accesses plus a constant.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Expr {
+    /// Coefficient per access (zero coefficients are pruned).
+    pub terms: BTreeMap<Access, f64>,
+    /// The constant term.
+    pub constant: f64,
+}
+
+impl Expr {
+    /// The zero expression.
+    pub fn zero() -> Expr {
+        Expr::default()
+    }
+
+    /// A constant expression.
+    pub fn num(v: f64) -> Expr {
+        Expr { terms: BTreeMap::new(), constant: v }
+    }
+
+    /// A single access with coefficient 1.
+    pub fn access(a: Access) -> Expr {
+        let mut terms = BTreeMap::new();
+        terms.insert(a, 1.0);
+        Expr { terms, constant: 0.0 }
+    }
+
+    /// Adds `coeff * access` in place.
+    pub fn add_term(&mut self, a: Access, coeff: f64) {
+        let c = self.terms.entry(a).or_insert(0.0);
+        *c += coeff;
+        if *c == 0.0 {
+            let key: Vec<Access> = self
+                .terms
+                .iter()
+                .filter(|(_, v)| **v == 0.0)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// The coefficient of `a` (0 if absent).
+    pub fn coeff(&self, a: &Access) -> f64 {
+        self.terms.get(a).copied().unwrap_or(0.0)
+    }
+
+    /// Number of access terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The largest spatial radius over all accesses.
+    pub fn radius(&self) -> i64 {
+        self.terms
+            .keys()
+            .flat_map(|a| a.offsets.iter().map(|o| o.abs()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Relative time indices read by this expression.
+    pub fn times(&self) -> Vec<i64> {
+        let mut ts: Vec<i64> = self.terms.keys().map(|a| a.time).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(mut self, rhs: Expr) -> Expr {
+        for (a, c) in rhs.terms {
+            self.add_term(a, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(mut self) -> Expr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for Expr {
+    type Output = Expr;
+    fn mul(mut self, k: f64) -> Expr {
+        if k == 0.0 {
+            return Expr::zero();
+        }
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+/// An equation `lhs = rhs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Eq {
+    /// Left-hand side.
+    pub lhs: Expr,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+impl Eq {
+    /// Creates an equation.
+    pub fn new(lhs: Expr, rhs: Expr) -> Eq {
+        Eq { lhs, rhs }
+    }
+}
+
+/// Solves `eq` for `target` (which must be a single unit-coefficient
+/// access expression, e.g. `u.forward()`), returning the isolated
+/// expression — the equivalent of Devito's `solve(eqn, u.forward)`.
+///
+/// # Errors
+/// Reports a target that is not a single access, or an equation in which
+/// the target does not appear.
+pub fn solve(eq: &Eq, target: &Expr) -> Result<Expr, String> {
+    if target.num_terms() != 1 || target.constant != 0.0 {
+        return Err("solve target must be a single access".into());
+    }
+    let (access, &tc) = target.terms.iter().next().expect("one term");
+    if tc != 1.0 {
+        return Err("solve target must have coefficient 1".into());
+    }
+    let mut diff = eq.lhs.clone() - eq.rhs.clone();
+    let a = diff.coeff(access);
+    if a == 0.0 {
+        return Err(format!("equation does not involve {access}"));
+    }
+    diff.terms.remove(access);
+    // a*target + rest = 0  =>  target = -rest / a.
+    Ok(-diff * (1.0 / a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(t: i64, x: i64) -> Access {
+        Access::new("u", t, vec![x])
+    }
+
+    #[test]
+    fn linear_algebra_on_expressions() {
+        let e = Expr::access(u(0, -1)) + Expr::access(u(0, 1)) - Expr::access(u(0, 0)) * 2.0;
+        assert_eq!(e.num_terms(), 3);
+        assert_eq!(e.coeff(&u(0, 0)), -2.0);
+        assert_eq!(e.radius(), 1);
+        assert_eq!(e.times(), vec![0]);
+        let doubled = e.clone() * 2.0;
+        assert_eq!(doubled.coeff(&u(0, 1)), 2.0);
+        let cancelled = e.clone() - e;
+        assert_eq!(cancelled.num_terms(), 0, "zero coefficients pruned");
+    }
+
+    #[test]
+    fn solve_isolates_forward_access() {
+        // (u[t+1] - u[t]) / dt = L  with dt = 0.5 and L = u[t,x+1].
+        let dt = 0.5;
+        let lhs = (Expr::access(u(1, 0)) - Expr::access(u(0, 0))) * (1.0 / dt);
+        let rhs = Expr::access(u(0, 1));
+        let solved = solve(&Eq::new(lhs, rhs), &Expr::access(u(1, 0))).unwrap();
+        // u[t+1] = u[t] + dt * u[t, x+1].
+        assert_eq!(solved.coeff(&u(0, 0)), 1.0);
+        assert_eq!(solved.coeff(&u(0, 1)), dt);
+        assert_eq!(solved.num_terms(), 2);
+    }
+
+    #[test]
+    fn solve_second_order_time() {
+        // (u[t+1] - 2u[t] + u[t-1]) / dt² = R.
+        let dt = 0.1;
+        let lhs = (Expr::access(u(1, 0)) - Expr::access(u(0, 0)) * 2.0 + Expr::access(u(-1, 0)))
+            * (1.0 / (dt * dt));
+        let rhs = Expr::access(u(0, 1)) * 3.0;
+        let solved = solve(&Eq::new(lhs, rhs), &Expr::access(u(1, 0))).unwrap();
+        assert!((solved.coeff(&u(0, 0)) - 2.0).abs() < 1e-12);
+        assert!((solved.coeff(&u(-1, 0)) + 1.0).abs() < 1e-12);
+        assert!((solved.coeff(&u(0, 1)) - 3.0 * dt * dt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_bad_targets() {
+        let e = Expr::access(u(1, 0)) + Expr::access(u(0, 0));
+        assert!(solve(&Eq::new(e.clone(), Expr::zero()), &e).is_err());
+        let missing = Expr::access(Access::new("v", 1, vec![0]));
+        assert!(solve(&Eq::new(e, Expr::zero()), &missing).is_err());
+        let scaled = Expr::access(u(1, 0)) * 2.0;
+        assert!(solve(&Eq::new(scaled.clone(), Expr::zero()), &scaled).is_err());
+    }
+
+    #[test]
+    fn display_matches_figure5_style() {
+        assert_eq!(u(0, 2).to_string(), "u[t+0, +2]");
+        assert_eq!(u(1, -1).to_string(), "u[t+1, -1]");
+    }
+}

@@ -1,0 +1,133 @@
+//! Fornberg's algorithm for finite-difference weights.
+//!
+//! Computes the weights of an arbitrary-order derivative on an arbitrary
+//! point set (B. Fornberg, *Generation of finite difference formulas on
+//! arbitrarily spaced grids*, Math. Comp. 51 (1988)). Devito derives its
+//! stencil coefficients the same way (via SymPy); using the real algorithm
+//! means our space-order sweep (2/4/8 in the paper's Fig. 7) produces the
+//! true 5/9/13-point (2D) and 7/13/19-point (3D) stencils.
+
+/// Weights for the `m`-th derivative at `x0` given sample locations `xs`.
+///
+/// Returns one weight per sample point.
+///
+/// # Panics
+/// Panics if `m >= xs.len()` (not enough points for the derivative) or if
+/// sample points repeat.
+pub fn fd_weights(x0: f64, xs: &[f64], m: usize) -> Vec<f64> {
+    let n = xs.len();
+    assert!(m < n, "need at least {} points for derivative order {m}", m + 1);
+    // Fornberg's triangular recurrence; delta[k][j] is the weight of
+    // sample j for derivative order k using the first (j..=i) points.
+    let mut delta = vec![vec![0.0f64; n]; m + 1];
+    delta[0][0] = 1.0;
+    let mut c1 = 1.0f64;
+    for i in 1..n {
+        let mut c2 = 1.0f64;
+        let xi = xs[i];
+        for j in 0..i {
+            let c3 = xi - xs[j];
+            assert!(c3 != 0.0, "repeated sample points");
+            c2 *= c3;
+            for k in (0..=m.min(i)).rev() {
+                let prev = if k > 0 { delta[k - 1][i - 1] } else { 0.0 };
+                if j == i - 1 {
+                    delta[k][i] = c1 * (k as f64 * prev - (xs[i - 1] - x0) * delta[k][i - 1]) / c2;
+                }
+                let prev_j = if k > 0 { delta[k - 1][j] } else { 0.0 };
+                delta[k][j] = ((xi - x0) * delta[k][j] - k as f64 * prev_j) / c3;
+            }
+        }
+        c1 = c2;
+    }
+    delta[m].clone()
+}
+
+/// Centred weights for the `m`-th derivative with `radius` points on each
+/// side, spacing `h` (the classic symmetric formulas).
+pub fn centered_weights(m: usize, radius: usize, h: f64) -> Vec<f64> {
+    let xs: Vec<f64> = (-(radius as i64)..=radius as i64).map(|i| i as f64 * h).collect();
+    fd_weights(0.0, &xs, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1e-9, "{got:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn first_derivative_central() {
+        assert_close(&centered_weights(1, 1, 1.0), &[-0.5, 0.0, 0.5]);
+        assert_close(
+            &centered_weights(1, 2, 1.0),
+            &[1.0 / 12.0, -8.0 / 12.0, 0.0, 8.0 / 12.0, -1.0 / 12.0],
+        );
+    }
+
+    #[test]
+    fn second_derivative_so2() {
+        assert_close(&centered_weights(2, 1, 1.0), &[1.0, -2.0, 1.0]);
+    }
+
+    #[test]
+    fn second_derivative_so4() {
+        assert_close(
+            &centered_weights(2, 2, 1.0),
+            &[-1.0 / 12.0, 4.0 / 3.0, -5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0],
+        );
+    }
+
+    #[test]
+    fn second_derivative_so8() {
+        assert_close(
+            &centered_weights(2, 4, 1.0),
+            &[
+                -1.0 / 560.0,
+                8.0 / 315.0,
+                -1.0 / 5.0,
+                8.0 / 5.0,
+                -205.0 / 72.0,
+                8.0 / 5.0,
+                -1.0 / 5.0,
+                8.0 / 315.0,
+                -1.0 / 560.0,
+            ],
+        );
+    }
+
+    #[test]
+    fn spacing_scales_weights() {
+        let h = 0.25;
+        let w = centered_weights(2, 1, h);
+        assert_close(&w, &[1.0 / (h * h), -2.0 / (h * h), 1.0 / (h * h)]);
+    }
+
+    #[test]
+    fn one_sided_first_derivative() {
+        // Forward difference: f'(0) ≈ f(1) - f(0).
+        assert_close(&fd_weights(0.0, &[0.0, 1.0], 1), &[-1.0, 1.0]);
+        // Three-point forward: -3/2, 2, -1/2.
+        assert_close(&fd_weights(0.0, &[0.0, 1.0, 2.0], 1), &[-1.5, 2.0, -0.5]);
+    }
+
+    #[test]
+    fn weights_differentiate_polynomials_exactly() {
+        // d²/dx² of x³ at x0=2 is 12; a so4 stencil must be exact.
+        let xs: Vec<f64> = (-2..=2).map(|i| 2.0 + i as f64 * 0.5).collect();
+        let w = fd_weights(2.0, &xs, 2);
+        let d2: f64 = xs.iter().zip(&w).map(|(x, w)| w * x * x * x).sum();
+        assert!((d2 - 12.0).abs() < 1e-8, "{d2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_points_panics() {
+        fd_weights(0.0, &[0.0, 1.0], 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! `Grid` and `TimeFunction`: the user-facing modelling objects
+//! (Listing 5 of the paper).
+
+use crate::expr::{Access, Expr};
+use crate::fornberg::centered_weights;
+use std::rc::Rc;
+
+/// A structured cartesian grid over the unit hyper-cube.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid {
+    /// Interior points per dimension.
+    pub shape: Vec<i64>,
+    /// Grid spacing per dimension.
+    pub spacing: Vec<f64>,
+    /// Timestep (Devito's `dt`; defaults to a conservative diffusion CFL
+    /// value and can be overridden).
+    pub dt: f64,
+}
+
+impl Grid {
+    /// Creates a grid with unit-cube spacing `1 / (n + 1)` per dimension
+    /// and a diffusion-stable default timestep.
+    ///
+    /// # Panics
+    /// Panics on empty shapes or non-positive extents.
+    pub fn new(shape: Vec<i64>) -> Grid {
+        assert!(!shape.is_empty(), "grid needs at least one dimension");
+        assert!(shape.iter().all(|&s| s > 0), "grid extents must be positive");
+        let spacing: Vec<f64> = shape.iter().map(|&s| 1.0 / (s as f64 + 1.0)).collect();
+        let min_h = spacing.iter().cloned().fold(f64::INFINITY, f64::min);
+        let dt = 0.2 * min_h * min_h;
+        Grid { shape, spacing, dt }
+    }
+
+    /// Overrides the timestep.
+    pub fn with_dt(mut self, dt: f64) -> Grid {
+        self.dt = dt;
+        self
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+}
+
+/// A field discretized in time and space (Devito's `TimeFunction`).
+///
+/// `space_order` controls the FD accuracy (stencil radius =
+/// `space_order / 2`); `time_order` controls how many past time levels
+/// the update may read (1 for diffusion, 2 for wave equations).
+#[derive(Clone, Debug)]
+pub struct TimeFunction {
+    /// Field name.
+    pub name: String,
+    /// The grid it lives on.
+    pub grid: Rc<Grid>,
+    /// Spatial discretization order (even).
+    pub space_order: usize,
+    /// Temporal order (1 or 2).
+    pub time_order: usize,
+}
+
+impl TimeFunction {
+    /// Creates a `TimeFunction` of the given space order (time order 1).
+    ///
+    /// # Panics
+    /// Panics on odd or zero space orders.
+    pub fn new(name: &str, grid: &Grid, space_order: usize) -> TimeFunction {
+        assert!(space_order >= 2 && space_order % 2 == 0, "space order must be even");
+        TimeFunction {
+            name: name.to_string(),
+            grid: Rc::new(grid.clone()),
+            space_order,
+            time_order: 1,
+        }
+    }
+
+    /// Sets the time order (2 for second-derivative-in-time equations).
+    pub fn with_time_order(mut self, time_order: usize) -> TimeFunction {
+        assert!(matches!(time_order, 1 | 2), "time order must be 1 or 2");
+        self.time_order = time_order;
+        self
+    }
+
+    /// Stencil radius implied by the space order.
+    pub fn radius(&self) -> i64 {
+        (self.space_order / 2) as i64
+    }
+
+    fn at(&self, time: i64, offsets: Vec<i64>) -> Expr {
+        Expr::access(Access::new(self.name.clone(), time, offsets))
+    }
+
+    /// `u` at the current timestep and centre point.
+    pub fn center(&self) -> Expr {
+        self.at(0, vec![0; self.grid.rank()])
+    }
+
+    /// `u.forward` — the to-be-computed value at `t + 1`.
+    pub fn forward(&self) -> Expr {
+        self.at(1, vec![0; self.grid.rank()])
+    }
+
+    /// `u.backward` — the value at `t - 1`.
+    pub fn backward(&self) -> Expr {
+        self.at(-1, vec![0; self.grid.rank()])
+    }
+
+    /// `u.dt` — first derivative in time (forward difference, as Devito
+    /// uses for first-order-in-time updates).
+    pub fn dt(&self) -> Expr {
+        let dt = self.grid.dt;
+        (self.forward() - self.center()) * (1.0 / dt)
+    }
+
+    /// `u.dt2` — second derivative in time (centred).
+    pub fn dt2(&self) -> Expr {
+        let dt = self.grid.dt;
+        (self.forward() - self.center() * 2.0 + self.backward()) * (1.0 / (dt * dt))
+    }
+
+    /// Second spatial derivative along `dim` at the configured space
+    /// order.
+    pub fn d2(&self, dim: usize) -> Expr {
+        let r = self.radius();
+        let w = centered_weights(2, r as usize, self.grid.spacing[dim]);
+        let mut e = Expr::zero();
+        for (i, &wi) in w.iter().enumerate() {
+            if wi == 0.0 {
+                continue;
+            }
+            let mut offsets = vec![0i64; self.grid.rank()];
+            offsets[dim] = i as i64 - r;
+            e.add_term(Access::new(self.name.clone(), 0, offsets), wi);
+        }
+        e
+    }
+
+    /// First spatial derivative along `dim` (centred).
+    pub fn dx(&self, dim: usize) -> Expr {
+        let r = self.radius();
+        let w = centered_weights(1, r as usize, self.grid.spacing[dim]);
+        let mut e = Expr::zero();
+        for (i, &wi) in w.iter().enumerate() {
+            if wi == 0.0 {
+                continue;
+            }
+            let mut offsets = vec![0i64; self.grid.rank()];
+            offsets[dim] = i as i64 - r;
+            e.add_term(Access::new(self.name.clone(), 0, offsets), wi);
+        }
+        e
+    }
+
+    /// `u.laplace` — the sum of second derivatives over all dimensions.
+    pub fn laplace(&self) -> Expr {
+        (0..self.grid.rank()).fold(Expr::zero(), |acc, d| acc + self.d2(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_defaults() {
+        let g = Grid::new(vec![126]);
+        assert_eq!(g.rank(), 1);
+        assert!((g.spacing[0] - 1.0 / 127.0).abs() < 1e-15);
+        assert!(g.dt > 0.0);
+        let g2 = g.clone().with_dt(1e-3);
+        assert_eq!(g2.dt, 1e-3);
+    }
+
+    #[test]
+    fn laplace_point_counts_match_paper() {
+        // Paper §6.1 labels its kernels 5/9/13-pt (2D) and 7/13/19-pt
+        // (3D); those point counts correspond to stencil radii 1/2/3,
+        // i.e. space orders 2/4/6 with the standard star (the text's
+        // "SDO 8" would be a 17/25-pt star — see EXPERIMENTS.md).
+        for (so, want_2d, want_3d) in [(2, 5, 7), (4, 9, 13), (6, 13, 19)] {
+            let g2 = Grid::new(vec![64, 64]);
+            let u2 = TimeFunction::new("u", &g2, so);
+            assert_eq!(u2.laplace().num_terms(), want_2d, "2D so{so}");
+            let g3 = Grid::new(vec![16, 16, 16]);
+            let u3 = TimeFunction::new("u", &g3, so);
+            assert_eq!(u3.laplace().num_terms(), want_3d, "3D so{so}");
+        }
+    }
+
+    #[test]
+    fn dt_discretization() {
+        let g = Grid::new(vec![10]).with_dt(0.25);
+        let u = TimeFunction::new("u", &g, 2);
+        let e = u.dt();
+        assert_eq!(e.coeff(&Access::new("u", 1, vec![0])), 4.0);
+        assert_eq!(e.coeff(&Access::new("u", 0, vec![0])), -4.0);
+    }
+
+    #[test]
+    fn dt2_reads_three_time_levels() {
+        let g = Grid::new(vec![10]).with_dt(0.5);
+        let u = TimeFunction::new("u", &g, 2).with_time_order(2);
+        let e = u.dt2();
+        assert_eq!(e.times(), vec![-1, 0, 1]);
+        assert_eq!(e.coeff(&Access::new("u", 0, vec![0])), -8.0);
+    }
+
+    #[test]
+    fn d2_uses_spacing() {
+        let g = Grid::new(vec![9]); // h = 0.1
+        let u = TimeFunction::new("u", &g, 2);
+        let e = u.d2(0);
+        let h = g.spacing[0];
+        assert!((e.coeff(&Access::new("u", 0, vec![1])) - 1.0 / (h * h)).abs() < 1e-9);
+        assert!((e.coeff(&Access::new("u", 0, vec![0])) + 2.0 / (h * h)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radius_follows_space_order() {
+        let g = Grid::new(vec![32, 32]);
+        assert_eq!(TimeFunction::new("u", &g, 2).radius(), 1);
+        assert_eq!(TimeFunction::new("u", &g, 8).radius(), 4);
+        let u = TimeFunction::new("u", &g, 8);
+        assert_eq!(u.laplace().radius(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_space_order_rejected() {
+        let g = Grid::new(vec![8]);
+        TimeFunction::new("u", &g, 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! # sten-devito — a Devito-like symbolic frontend
+//!
+//! The paper's §5.1 integrates Devito — "an open-source Python DSL and
+//! compiler framework [...] aiming to ease the development of HPC
+//! finite-difference PDE solvers" — with the shared stack by lowering its
+//! symbolic PDEs to the `stencil` dialect. This crate is the Rust
+//! equivalent of that frontend, mirroring the paper's Listing 5:
+//!
+//! ```
+//! use sten_devito::{Grid, TimeFunction, Eq, solve, Operator};
+//!
+//! // Model the problem and automatically generate code.
+//! let grid = Grid::new(vec![126]);
+//! let u = TimeFunction::new("u", &grid, 2);
+//! let eqn = Eq::new(u.dt(), u.laplace() * 0.5);
+//! let op = Operator::new(vec![Eq::new(u.forward(), solve(&eqn, &u.forward()).unwrap())])
+//!     .unwrap();
+//! // JIT-compile through the shared stack and run.
+//! let module = op.compile().unwrap();
+//! assert!(sten_ir::print_module(&module).contains("stencil.apply"));
+//! ```
+//!
+//! Pipeline: symbolic equation → finite-difference discretization with
+//! [Fornberg weights](fornberg) of arbitrary space order → linear
+//! normal form ([`expr::Expr`]) → `solve` for the forward access →
+//! `stencil.apply` IR with time-buffered fields, exactly the
+//! read/write-access extraction shown in the paper's Fig. 5.
+//!
+//! Devito's *flop-reduction* optimizations (the competitive baseline of
+//! §6.1) are modelled by [`operator::OptLevel::Advanced`], which factors
+//! symmetric stencil coefficients so each distinct coefficient costs one
+//! multiply.
+//!
+//! Scope note: the normal form is linear in the field accesses, which
+//! covers the paper's benchmarks (heat diffusion and the isotropic
+//! acoustic wave equation); nonlinear terms are rejected at `Eq`
+//! construction.
+
+pub mod expr;
+pub mod fornberg;
+pub mod grid;
+pub mod operator;
+pub mod problems;
+
+pub use expr::{solve, Access, Eq, Expr};
+pub use fornberg::fd_weights;
+pub use grid::{Grid, TimeFunction};
+pub use operator::{Operator, OptLevel};

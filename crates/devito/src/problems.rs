@@ -1,0 +1,116 @@
+//! The paper's benchmark problems, ready-built (§6.1):
+//! *"(i) heat diffusion, a Jacobi-like stencil, and (ii) the isotropic
+//! acoustic wave equation. We benchmark both problems in 2D and 3D for
+//! varying space discretization orders (SDO) of 2, 4, and 8."*
+
+use crate::expr::{solve, Eq};
+use crate::grid::{Grid, TimeFunction};
+use crate::operator::{Operator, OptLevel};
+
+/// Heat diffusion `u_t = α ∇²u` at the given shape and space order.
+///
+/// # Errors
+/// Reports malformed geometry.
+pub fn heat(shape: &[i64], space_order: usize, alpha: f64) -> Result<Operator, String> {
+    heat_with_opt(shape, space_order, alpha, OptLevel::Advanced)
+}
+
+/// [`heat`] at an explicit optimization level.
+///
+/// # Errors
+/// Reports malformed geometry.
+pub fn heat_with_opt(
+    shape: &[i64],
+    space_order: usize,
+    alpha: f64,
+    opt: OptLevel,
+) -> Result<Operator, String> {
+    let grid = Grid::new(shape.to_vec());
+    // Diffusion CFL: dt <= h² / (2 d α); stay comfortably below.
+    let min_h = grid.spacing.iter().cloned().fold(f64::INFINITY, f64::min);
+    let dt = 0.2 * min_h * min_h / (alpha * shape.len() as f64);
+    let grid = grid.with_dt(dt);
+    let u = TimeFunction::new("u", &grid, space_order);
+    let eqn = Eq::new(u.dt(), u.laplace() * alpha);
+    let update = solve(&eqn, &u.forward())?;
+    Ok(Operator::with_opt(vec![Eq::new(u.forward(), update)], opt)?.on_grid(grid))
+}
+
+/// The isotropic acoustic wave equation `u_tt = c² ∇²u` (2nd order in
+/// time, as in the paper: "more points being read at the time dimension").
+///
+/// # Errors
+/// Reports malformed geometry.
+pub fn acoustic_wave(shape: &[i64], space_order: usize, velocity: f64) -> Result<Operator, String> {
+    acoustic_wave_with_opt(shape, space_order, velocity, OptLevel::Advanced)
+}
+
+/// [`acoustic_wave`] at an explicit optimization level.
+///
+/// # Errors
+/// Reports malformed geometry.
+pub fn acoustic_wave_with_opt(
+    shape: &[i64],
+    space_order: usize,
+    velocity: f64,
+    opt: OptLevel,
+) -> Result<Operator, String> {
+    let grid = Grid::new(shape.to_vec());
+    // Acoustic CFL: c dt / h <= 1/sqrt(d); use half of that.
+    let min_h = grid.spacing.iter().cloned().fold(f64::INFINITY, f64::min);
+    let dt = 0.5 * min_h / (velocity * (shape.len() as f64).sqrt());
+    let grid = grid.with_dt(dt);
+    let u = TimeFunction::new("u", &grid, space_order).with_time_order(2);
+    let eqn = Eq::new(u.dt2(), u.laplace() * (velocity * velocity));
+    let update = solve(&eqn, &u.forward())?;
+    Ok(Operator::with_opt(vec![Eq::new(u.forward(), update)], opt)?.on_grid(grid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_stencil_sizes() {
+        // Figure labels: 5/9/13-pt in 2D, 7/13/19-pt in 3D (radii 1/2/3).
+        for (so, p2, p3) in [(2usize, 5usize, 7usize), (4, 9, 13), (6, 13, 19)] {
+            assert_eq!(heat(&[32, 32], so, 0.5).unwrap().stencil_points(), p2);
+            assert_eq!(heat(&[8, 8, 8], so, 0.5).unwrap().stencil_points(), p3);
+        }
+    }
+
+    #[test]
+    fn wave_reads_backward_level() {
+        let op = acoustic_wave(&[16, 16], 4, 1.5).unwrap();
+        assert_eq!(op.time_order, 2);
+        // Wave update includes the u[t-1] term beyond the laplacian
+        // points: 9 spatial + 1 backward (the centre u[t] merges).
+        assert_eq!(op.stencil_points(), 10);
+    }
+
+    #[test]
+    fn wave_is_stable_under_cfl() {
+        let op = acoustic_wave(&[64], 2, 1.0).unwrap();
+        let shape = op.field_shape();
+        let len: i64 = shape.iter().product();
+        // A smooth initial pulse, identical at t-1 and t (zero velocity).
+        let init: Vec<f64> = (0..len)
+            .map(|i| {
+                let x = i as f64 / len as f64 - 0.5;
+                (-x * x * 200.0).exp()
+            })
+            .collect();
+        let mut bufs = vec![init.clone(), init.clone(), init];
+        let last = op.run(&mut bufs, 50, 1).unwrap();
+        let max = bufs[last].iter().cloned().fold(0.0f64, f64::max);
+        assert!(max <= 1.5, "solution bounded: {max}");
+        assert!(max > 0.01, "wave did not vanish: {max}");
+    }
+
+    #[test]
+    fn flops_grow_with_space_order() {
+        let f2 = heat(&[32, 32], 2, 0.5).unwrap().flops_per_point();
+        let f8 = heat(&[32, 32], 8, 0.5).unwrap().flops_per_point();
+        assert!(f8 > f2, "{f8} > {f2}");
+    }
+}

@@ -1,0 +1,396 @@
+//! The `arith` dialect: constants, arithmetic and comparisons.
+//!
+//! All ops are pure; the canonicalizer (see [`crate::canonicalize`]) folds
+//! them aggressively — the paper notes that compile-time known bounds
+//! "enable constant-folding of most of the memory access address
+//! computations" (§4.1), which is exactly the `addi`/`muli` folding below.
+
+use sten_ir::{Attribute, DialectRegistry, FloatAttr, Op, OpSpec, Type, Value, ValueTable};
+
+/// Integer comparison predicates (a subset of MLIR's `arith.cmpi`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CmpIPredicate {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+}
+
+impl CmpIPredicate {
+    /// The textual attribute form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpIPredicate::Eq => "eq",
+            CmpIPredicate::Ne => "ne",
+            CmpIPredicate::Slt => "slt",
+            CmpIPredicate::Sle => "sle",
+            CmpIPredicate::Sgt => "sgt",
+            CmpIPredicate::Sge => "sge",
+        }
+    }
+
+    /// Parses the textual form.
+    pub fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "eq" => CmpIPredicate::Eq,
+            "ne" => CmpIPredicate::Ne,
+            "slt" => CmpIPredicate::Slt,
+            "sle" => CmpIPredicate::Sle,
+            "sgt" => CmpIPredicate::Sgt,
+            "sge" => CmpIPredicate::Sge,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the predicate.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpIPredicate::Eq => a == b,
+            CmpIPredicate::Ne => a != b,
+            CmpIPredicate::Slt => a < b,
+            CmpIPredicate::Sle => a <= b,
+            CmpIPredicate::Sgt => a > b,
+            CmpIPredicate::Sge => a >= b,
+        }
+    }
+}
+
+/// Builds an `arith.constant` from an attribute (integer or float).
+pub fn constant(vt: &mut ValueTable, value: Attribute) -> Op {
+    let ty = match &value {
+        Attribute::Int(_, ty) => ty.clone(),
+        Attribute::Float(f) => f.ty.clone(),
+        other => panic!("arith.constant requires an int or float attribute, got {other:?}"),
+    };
+    let mut op = Op::new("arith.constant");
+    op.set_attr("value", value);
+    op.results.push(vt.alloc(ty));
+    op
+}
+
+/// `arith.constant` of `index` type.
+pub fn const_index(vt: &mut ValueTable, v: i64) -> Op {
+    constant(vt, Attribute::Int(v, Type::Index))
+}
+
+/// `arith.constant` of `i32` type.
+pub fn const_i32(vt: &mut ValueTable, v: i64) -> Op {
+    constant(vt, Attribute::Int(v, Type::I32))
+}
+
+/// `arith.constant` of `i64` type.
+pub fn const_i64(vt: &mut ValueTable, v: i64) -> Op {
+    constant(vt, Attribute::Int(v, Type::I64))
+}
+
+/// `arith.constant` of `f64` type.
+pub fn const_f64(vt: &mut ValueTable, v: f64) -> Op {
+    constant(vt, Attribute::Float(FloatAttr::new(v, Type::F64)))
+}
+
+/// `arith.constant` of `f32` type.
+pub fn const_f32(vt: &mut ValueTable, v: f64) -> Op {
+    constant(vt, Attribute::Float(FloatAttr::new(v, Type::F32)))
+}
+
+fn binary(vt: &mut ValueTable, name: &str, lhs: Value, rhs: Value) -> Op {
+    let ty = vt.ty(lhs).clone();
+    let mut op = Op::new(name);
+    op.operands.extend([lhs, rhs]);
+    op.results.push(vt.alloc(ty));
+    op
+}
+
+/// Integer addition.
+pub fn addi(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.addi", lhs, rhs)
+}
+
+/// Integer subtraction.
+pub fn subi(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.subi", lhs, rhs)
+}
+
+/// Integer multiplication.
+pub fn muli(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.muli", lhs, rhs)
+}
+
+/// Signed integer division (rounds toward zero).
+pub fn divsi(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.divsi", lhs, rhs)
+}
+
+/// Signed remainder.
+pub fn remsi(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.remsi", lhs, rhs)
+}
+
+/// Signed minimum.
+pub fn minsi(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.minsi", lhs, rhs)
+}
+
+/// Signed maximum.
+pub fn maxsi(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.maxsi", lhs, rhs)
+}
+
+/// Bitwise/logical AND (used on `i1` guards).
+pub fn andi(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.andi", lhs, rhs)
+}
+
+/// Float addition.
+pub fn addf(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.addf", lhs, rhs)
+}
+
+/// Float subtraction.
+pub fn subf(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.subf", lhs, rhs)
+}
+
+/// Float multiplication.
+pub fn mulf(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.mulf", lhs, rhs)
+}
+
+/// Float division.
+pub fn divf(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.divf", lhs, rhs)
+}
+
+/// Float negation.
+pub fn negf(vt: &mut ValueTable, operand: Value) -> Op {
+    let ty = vt.ty(operand).clone();
+    let mut op = Op::new("arith.negf");
+    op.operands.push(operand);
+    op.results.push(vt.alloc(ty));
+    op
+}
+
+/// Integer comparison producing `i1`.
+pub fn cmpi(vt: &mut ValueTable, pred: CmpIPredicate, lhs: Value, rhs: Value) -> Op {
+    let mut op = Op::new("arith.cmpi");
+    op.set_attr("predicate", Attribute::Str(pred.as_str().to_string()));
+    op.operands.extend([lhs, rhs]);
+    op.results.push(vt.alloc(Type::I1));
+    op
+}
+
+/// Ternary select: `cond ? a : b`.
+pub fn select(vt: &mut ValueTable, cond: Value, a: Value, b: Value) -> Op {
+    let ty = vt.ty(a).clone();
+    let mut op = Op::new("arith.select");
+    op.operands.extend([cond, a, b]);
+    op.results.push(vt.alloc(ty));
+    op
+}
+
+/// Casts between `index` and integer types.
+pub fn index_cast(vt: &mut ValueTable, operand: Value, to: Type) -> Op {
+    let mut op = Op::new("arith.index_cast");
+    op.operands.push(operand);
+    op.results.push(vt.alloc(to));
+    op
+}
+
+/// Signed integer to float conversion.
+pub fn sitofp(vt: &mut ValueTable, operand: Value, to: Type) -> Op {
+    let mut op = Op::new("arith.sitofp");
+    op.operands.push(operand);
+    op.results.push(vt.alloc(to));
+    op
+}
+
+fn verify_binary_same_type(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 2 || op.results.len() != 1 {
+        return Err(format!("{} must have 2 operands and 1 result", op.name));
+    }
+    let (a, b) = (vt.ty(op.operand(0)), vt.ty(op.operand(1)));
+    if a != b {
+        return Err(format!("operand types differ: {a:?} vs {b:?}"));
+    }
+    Ok(())
+}
+
+fn verify_int_binary(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    verify_binary_same_type(op, vt)?;
+    if !vt.ty(op.operand(0)).is_integer_like() {
+        return Err(format!("{} requires integer-like operands", op.name));
+    }
+    Ok(())
+}
+
+fn verify_float_binary(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    verify_binary_same_type(op, vt)?;
+    if !vt.ty(op.operand(0)).is_float() {
+        return Err(format!("{} requires float operands", op.name));
+    }
+    Ok(())
+}
+
+fn verify_constant(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    let Some(attr) = op.attr("value") else {
+        return Err("arith.constant requires a 'value' attribute".into());
+    };
+    let attr_ty = match attr {
+        Attribute::Int(_, ty) => ty,
+        Attribute::Float(f) => &f.ty,
+        _ => return Err("arith.constant value must be int or float".into()),
+    };
+    if op.results.len() != 1 {
+        return Err("arith.constant has exactly one result".into());
+    }
+    if vt.ty(op.result(0)) != attr_ty {
+        return Err("arith.constant result type must match its value attribute".into());
+    }
+    Ok(())
+}
+
+fn verify_cmpi(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 2 || op.results.len() != 1 {
+        return Err("arith.cmpi must have 2 operands and 1 result".into());
+    }
+    let Some(p) = op.attr("predicate").and_then(Attribute::as_str) else {
+        return Err("arith.cmpi requires a predicate".into());
+    };
+    if CmpIPredicate::from_str(p).is_none() {
+        return Err(format!("unknown cmpi predicate '{p}'"));
+    }
+    if vt.ty(op.result(0)) != &Type::I1 {
+        return Err("arith.cmpi produces i1".into());
+    }
+    Ok(())
+}
+
+fn verify_select(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 3 || op.results.len() != 1 {
+        return Err("arith.select needs (cond, a, b) -> r".into());
+    }
+    if vt.ty(op.operand(0)) != &Type::I1 {
+        return Err("arith.select condition must be i1".into());
+    }
+    if vt.ty(op.operand(1)) != vt.ty(op.operand(2)) {
+        return Err("arith.select branches must have equal types".into());
+    }
+    Ok(())
+}
+
+/// Registers the arith dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry
+        .register(OpSpec::new("arith.constant", "literal value").pure().with_verify(verify_constant));
+    for name in ["arith.addi", "arith.subi", "arith.muli", "arith.divsi", "arith.remsi", "arith.minsi", "arith.maxsi", "arith.andi"]
+    {
+        registry.register(OpSpec::new(name, "integer arithmetic").pure().with_verify(verify_int_binary));
+    }
+    for name in ["arith.addf", "arith.subf", "arith.mulf", "arith.divf"] {
+        registry.register(OpSpec::new(name, "float arithmetic").pure().with_verify(verify_float_binary));
+    }
+    registry.register(OpSpec::new("arith.negf", "float negation").pure());
+    registry.register(OpSpec::new("arith.cmpi", "integer comparison").pure().with_verify(verify_cmpi));
+    registry.register(OpSpec::new("arith.select", "ternary select").pure().with_verify(verify_select));
+    registry.register(OpSpec::new("arith.index_cast", "index <-> integer cast").pure());
+    registry.register(OpSpec::new("arith.sitofp", "signed int to float").pure());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_ir::{verify_module, Module};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        register(&mut reg);
+        crate::builtin::register(&mut reg);
+        reg
+    }
+
+    #[test]
+    fn builders_produce_verified_ir() {
+        let reg = registry();
+        let mut m = Module::new();
+        let c1 = const_f64(&mut m.values, 2.0);
+        let c2 = const_f64(&mut m.values, 3.0);
+        let sum = addf(&mut m.values, c1.result(0), c2.result(0));
+        let prod = mulf(&mut m.values, sum.result(0), c1.result(0));
+        let idx = const_index(&mut m.values, 5);
+        let cmp = cmpi(&mut m.values, CmpIPredicate::Sge, idx.result(0), idx.result(0));
+        let sel = select(&mut m.values, cmp.result(0), c1.result(0), c2.result(0));
+        for op in [c1, c2, sum, prod, idx, cmp, sel] {
+            m.body_mut().ops.push(op);
+        }
+        verify_module(&m, Some(&reg)).unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let reg = registry();
+        let mut m = Module::new();
+        let a = const_f64(&mut m.values, 1.0);
+        let b = const_f32(&mut m.values, 1.0);
+        let (av, bv) = (a.result(0), b.result(0));
+        m.body_mut().ops.push(a);
+        m.body_mut().ops.push(b);
+        let mut bad = Op::new("arith.addf");
+        bad.operands.extend([av, bv]);
+        bad.results.push(m.values.alloc(Type::F64));
+        m.body_mut().ops.push(bad);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("operand types differ"), "{err}");
+    }
+
+    #[test]
+    fn float_op_on_ints_is_rejected() {
+        let reg = registry();
+        let mut m = Module::new();
+        let a = const_i32(&mut m.values, 1);
+        let av = a.result(0);
+        m.body_mut().ops.push(a);
+        let mut bad = Op::new("arith.addf");
+        bad.operands.extend([av, av]);
+        bad.results.push(m.values.alloc(Type::I32));
+        m.body_mut().ops.push(bad);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("float operands"), "{err}");
+    }
+
+    #[test]
+    fn predicate_round_trip() {
+        for p in [
+            CmpIPredicate::Eq,
+            CmpIPredicate::Ne,
+            CmpIPredicate::Slt,
+            CmpIPredicate::Sle,
+            CmpIPredicate::Sgt,
+            CmpIPredicate::Sge,
+        ] {
+            assert_eq!(CmpIPredicate::from_str(p.as_str()), Some(p));
+        }
+        assert!(CmpIPredicate::Slt.eval(1, 2));
+        assert!(!CmpIPredicate::Sgt.eval(1, 2));
+        assert!(CmpIPredicate::Sge.eval(2, 2));
+    }
+
+    #[test]
+    fn constant_type_must_match_result() {
+        let reg = registry();
+        let mut m = Module::new();
+        let mut c = Op::new("arith.constant");
+        c.set_attr("value", Attribute::Int(1, Type::I32));
+        c.results.push(m.values.alloc(Type::I64));
+        m.body_mut().ops.push(c);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("match its value"), "{err}");
+    }
+}

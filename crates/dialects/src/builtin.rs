@@ -1,0 +1,84 @@
+//! The `builtin` dialect: the module container and conversion casts.
+
+use sten_ir::{DialectRegistry, Op, OpSpec, Type, Value, ValueTable};
+
+/// Builds a `builtin.unrealized_conversion_cast` bridging two otherwise
+/// incompatible types during progressive lowering — the paper uses this in
+//  Fig. 4 to view a `!stencil.field` as a `memref` for `dmp.swap`.
+pub fn unrealized_conversion_cast(vt: &mut ValueTable, input: Value, to: Type) -> Op {
+    let mut op = Op::new("builtin.unrealized_conversion_cast");
+    op.operands.push(input);
+    op.results.push(vt.alloc(to));
+    op
+}
+
+fn verify_module_op(op: &Op, _: &ValueTable) -> Result<(), String> {
+    if op.regions.len() != 1 {
+        return Err("builtin.module must have exactly one region".into());
+    }
+    if !op.operands.is_empty() || !op.results.is_empty() {
+        return Err("builtin.module takes no operands and produces no results".into());
+    }
+    Ok(())
+}
+
+fn verify_cast(op: &Op, _: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || op.results.len() != 1 {
+        return Err("unrealized_conversion_cast is unary".into());
+    }
+    Ok(())
+}
+
+/// Registers the builtin dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(
+        OpSpec::new("builtin.module", "top-level container").with_verify(verify_module_op),
+    );
+    registry.register(
+        OpSpec::new(
+            "builtin.unrealized_conversion_cast",
+            "materializes a type change between lowering levels",
+        )
+        .pure()
+        .with_verify(verify_cast),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_ir::{verify_module, MemRefType, Module};
+
+    #[test]
+    fn cast_builder_produces_target_type() {
+        let mut m = Module::new();
+        let src = m.values.alloc(Type::Field(sten_ir::FieldType::new(
+            sten_ir::Bounds::new(vec![(0, 64)]),
+            Type::F64,
+        )));
+        let mut def = Op::new("memref.alloc_field_placeholder");
+        def.results.push(src);
+        m.body_mut().ops.push(def);
+        let cast = unrealized_conversion_cast(
+            &mut m.values,
+            src,
+            Type::MemRef(MemRefType::new(vec![64], Type::F64)),
+        );
+        assert_eq!(
+            m.values.ty(cast.result(0)),
+            &Type::MemRef(MemRefType::new(vec![64], Type::F64))
+        );
+    }
+
+    #[test]
+    fn module_verifier_enforces_shape() {
+        let mut reg = DialectRegistry::new();
+        register(&mut reg);
+        let m = Module::new();
+        assert!(verify_module(&m, Some(&reg)).is_ok());
+
+        let mut bad = Module::new();
+        bad.op.regions.clear();
+        assert!(verify_module(&bad, Some(&reg)).is_err());
+    }
+}

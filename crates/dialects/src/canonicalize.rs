@@ -1,0 +1,417 @@
+//! Canonicalization: constant folding and algebraic simplification.
+//!
+//! §4.1 of the paper motivates this pass directly: compile-time known
+//! bounds "enable constant-folding of most of the memory access address
+//! computations and thus reduce register pressure". This pass folds `arith`
+//! ops whose operands are constants and removes arithmetic identities
+//! (`x+0`, `x*1`, `x-0`, `x/1`, `select` on a constant condition).
+//!
+//! Folding rewrites ops *in place* into `arith.constant` (keeping their
+//! result values), so no use rewriting is needed; identity eliminations
+//! redirect uses through a substitution map. Run [`super::licm`], `cse` and
+//! `dce` afterwards for full cleanup.
+
+use sten_ir::{Attribute, Block, FloatAttr, Module, Op, Pass, PassError, Type, Value};
+use std::collections::HashMap;
+
+/// A known-constant value during folding.
+#[derive(Clone, Debug, PartialEq)]
+enum CVal {
+    Int(i64, Type),
+    Float(f64, Type),
+}
+
+impl CVal {
+    fn from_attr(attr: &Attribute) -> Option<CVal> {
+        match attr {
+            Attribute::Int(v, ty) => Some(CVal::Int(*v, ty.clone())),
+            Attribute::Float(f) => Some(CVal::Float(f.value(), f.ty.clone())),
+            _ => None,
+        }
+    }
+
+    fn to_attr(&self) -> Attribute {
+        match self {
+            CVal::Int(v, ty) => Attribute::Int(*v, ty.clone()),
+            CVal::Float(v, ty) => Attribute::Float(FloatAttr::new(*v, ty.clone())),
+        }
+    }
+}
+
+/// The canonicalization pass. See the module docs.
+#[derive(Default)]
+pub struct Canonicalize;
+
+impl Canonicalize {
+    /// Creates the pass.
+    pub fn new() -> Self {
+        Canonicalize
+    }
+}
+
+/// Turns `op` into an `arith.constant` producing `value`, keeping its
+/// result id so no uses need rewriting.
+fn rewrite_to_constant(op: &mut Op, value: &CVal) {
+    op.name = "arith.constant".to_string();
+    op.operands.clear();
+    op.regions.clear();
+    op.attrs.clear();
+    op.set_attr("value", value.to_attr());
+}
+
+fn fold_int_binop(name: &str, a: i64, b: i64) -> Option<i64> {
+    Some(match name {
+        "arith.addi" => a.wrapping_add(b),
+        "arith.subi" => a.wrapping_sub(b),
+        "arith.muli" => a.wrapping_mul(b),
+        "arith.divsi" => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        "arith.remsi" => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        "arith.minsi" => a.min(b),
+        "arith.maxsi" => a.max(b),
+        _ => return None,
+    })
+}
+
+fn fold_float_binop(name: &str, a: f64, b: f64) -> Option<f64> {
+    Some(match name {
+        "arith.addf" => a + b,
+        "arith.subf" => a - b,
+        "arith.mulf" => a * b,
+        "arith.divf" => a / b,
+        _ => return None,
+    })
+}
+
+struct Folder {
+    consts: HashMap<Value, CVal>,
+    subst: HashMap<Value, Value>,
+    changed: bool,
+}
+
+impl Folder {
+    fn const_of(&self, v: Value) -> Option<&CVal> {
+        self.consts.get(&v)
+    }
+
+    /// Attempts to fold `op`. Returns `false` if the op should be dropped
+    /// (its result was aliased into `subst`).
+    fn fold_op(&mut self, op: &mut Op) -> bool {
+        // Resolve operands through the pending substitution first.
+        for operand in &mut op.operands {
+            if let Some(&to) = self.subst.get(operand) {
+                *operand = to;
+                self.changed = true;
+            }
+        }
+        for region in &mut op.regions {
+            for block in &mut region.blocks {
+                self.fold_block(block);
+            }
+        }
+        match op.name.as_str() {
+            "arith.constant" => {
+                if let Some(cv) = op.attr("value").and_then(CVal::from_attr) {
+                    self.consts.insert(op.result(0), cv);
+                }
+                true
+            }
+            "arith.addi" | "arith.subi" | "arith.muli" | "arith.divsi" | "arith.remsi"
+            | "arith.minsi" | "arith.maxsi" => self.fold_int_arith(op),
+            "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" => self.fold_float_arith(op),
+            "arith.negf" => {
+                if let Some(CVal::Float(v, ty)) = self.const_of(op.operand(0)).cloned() {
+                    let cv = CVal::Float(-v, ty);
+                    rewrite_to_constant(op, &cv);
+                    self.consts.insert(op.result(0), cv);
+                    self.changed = true;
+                }
+                true
+            }
+            "arith.cmpi" => {
+                let (a, b) = (self.const_of(op.operand(0)), self.const_of(op.operand(1)));
+                if let (Some(CVal::Int(a, _)), Some(CVal::Int(b, _))) = (a, b) {
+                    let pred = op
+                        .attr("predicate")
+                        .and_then(Attribute::as_str)
+                        .and_then(crate::arith::CmpIPredicate::from_str);
+                    if let Some(pred) = pred {
+                        let cv = CVal::Int(pred.eval(*a, *b) as i64, Type::I1);
+                        rewrite_to_constant(op, &cv);
+                        self.consts.insert(op.result(0), cv);
+                        self.changed = true;
+                    }
+                }
+                true
+            }
+            "arith.select" => {
+                if let Some(CVal::Int(c, _)) = self.const_of(op.operand(0)).cloned() {
+                    let chosen = if c != 0 { op.operand(1) } else { op.operand(2) };
+                    self.subst.insert(op.result(0), chosen);
+                    self.changed = true;
+                    return false;
+                }
+                true
+            }
+            // index_cast folding needs the result type from the value
+            // table, which the folder does not carry; left to the
+            // interpreter (the cast is value-preserving anyway).
+            _ => true,
+        }
+    }
+
+    fn fold_int_arith(&mut self, op: &mut Op) -> bool {
+        let (av, bv) = (op.operand(0), op.operand(1));
+        let (a, b) = (self.const_of(av).cloned(), self.const_of(bv).cloned());
+        if let (Some(CVal::Int(a, ty)), Some(CVal::Int(b, _))) = (&a, &b) {
+            if let Some(folded) = fold_int_binop(&op.name, *a, *b) {
+                let cv = CVal::Int(folded, ty.clone());
+                rewrite_to_constant(op, &cv);
+                self.consts.insert(op.result(0), cv);
+                self.changed = true;
+                return true;
+            }
+        }
+        // Identities.
+        let is_zero = |c: &Option<CVal>| matches!(c, Some(CVal::Int(0, _)));
+        let is_one = |c: &Option<CVal>| matches!(c, Some(CVal::Int(1, _)));
+        let alias = match op.name.as_str() {
+            "arith.addi" if is_zero(&b) => Some(av),
+            "arith.addi" if is_zero(&a) => Some(bv),
+            "arith.subi" if is_zero(&b) => Some(av),
+            "arith.muli" if is_one(&b) => Some(av),
+            "arith.muli" if is_one(&a) => Some(bv),
+            "arith.divsi" if is_one(&b) => Some(av),
+            _ => None,
+        };
+        if let Some(target) = alias {
+            self.subst.insert(op.result(0), target);
+            self.changed = true;
+            return false;
+        }
+        if op.name == "arith.muli" && (is_zero(&a) || is_zero(&b)) {
+            let ty = match (a, b) {
+                (Some(CVal::Int(_, ty)), _) | (_, Some(CVal::Int(_, ty))) => ty,
+                _ => unreachable!("guarded by is_zero"),
+            };
+            let cv = CVal::Int(0, ty);
+            rewrite_to_constant(op, &cv);
+            self.consts.insert(op.result(0), cv);
+            self.changed = true;
+        }
+        true
+    }
+
+    fn fold_float_arith(&mut self, op: &mut Op) -> bool {
+        let (av, bv) = (op.operand(0), op.operand(1));
+        let (a, b) = (self.const_of(av).cloned(), self.const_of(bv).cloned());
+        if let (Some(CVal::Float(a, ty)), Some(CVal::Float(b, _))) = (&a, &b) {
+            if let Some(folded) = fold_float_binop(&op.name, *a, *b) {
+                let cv = CVal::Float(folded, ty.clone());
+                rewrite_to_constant(op, &cv);
+                self.consts.insert(op.result(0), cv);
+                self.changed = true;
+                return true;
+            }
+        }
+        // Identities safe under IEEE-754 for the values stencil codes use
+        // (additive identity with +0.0 changes -0.0 inputs only).
+        let is_pos_zero = |c: &Option<CVal>| matches!(c, Some(CVal::Float(v, _)) if *v == 0.0 && v.is_sign_positive());
+        let is_one = |c: &Option<CVal>| matches!(c, Some(CVal::Float(v, _)) if *v == 1.0);
+        let alias = match op.name.as_str() {
+            "arith.addf" if is_pos_zero(&b) => Some(av),
+            "arith.addf" if is_pos_zero(&a) => Some(bv),
+            "arith.subf" if is_pos_zero(&b) => Some(av),
+            "arith.mulf" if is_one(&b) => Some(av),
+            "arith.mulf" if is_one(&a) => Some(bv),
+            "arith.divf" if is_one(&b) => Some(av),
+            _ => None,
+        };
+        if let Some(target) = alias {
+            self.subst.insert(op.result(0), target);
+            self.changed = true;
+            return false;
+        }
+        true
+    }
+
+    fn fold_block(&mut self, block: &mut Block) {
+        let ops = std::mem::take(&mut block.ops);
+        for mut op in ops {
+            if self.fold_op(&mut op) {
+                block.ops.push(op);
+            }
+        }
+    }
+}
+
+impl Pass for Canonicalize {
+    fn name(&self) -> &'static str {
+        "canonicalize"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        // Iterate to a fixpoint; each sweep folds one more layer of the
+        // expression DAG at worst, and in-order processing usually
+        // converges in one sweep.
+        loop {
+            let mut folder =
+                Folder { consts: HashMap::new(), subst: HashMap::new(), changed: false };
+            let mut regions = std::mem::take(&mut module.op.regions);
+            for region in &mut regions {
+                for block in &mut region.blocks {
+                    folder.fold_block(block);
+                }
+            }
+            module.op.regions = regions;
+            if !folder.changed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+    use sten_ir::Module;
+
+    fn count_ops(m: &Module, name: &str) -> usize {
+        let mut n = 0;
+        m.walk(|op| {
+            if op.name == name {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn folds_integer_chains() {
+        let mut m = Module::new();
+        let a = arith::const_index(&mut m.values, 6);
+        let b = arith::const_index(&mut m.values, 7);
+        let (av, bv) = (a.result(0), b.result(0));
+        m.body_mut().ops.push(a);
+        m.body_mut().ops.push(b);
+        let mul = arith::muli(&mut m.values, av, bv);
+        let mv = mul.result(0);
+        m.body_mut().ops.push(mul);
+        let add = arith::addi(&mut m.values, mv, av);
+        m.body_mut().ops.push(add);
+        Canonicalize.run(&mut m).unwrap();
+        assert_eq!(count_ops(&m, "arith.muli"), 0);
+        assert_eq!(count_ops(&m, "arith.addi"), 0);
+        // The final op is now a constant 48.
+        let last = m.body().ops.last().unwrap();
+        assert_eq!(last.name, "arith.constant");
+        assert_eq!(last.attr("value").unwrap().as_int(), Some(48));
+    }
+
+    #[test]
+    fn folds_float_arith() {
+        let mut m = Module::new();
+        let a = arith::const_f64(&mut m.values, 2.0);
+        let b = arith::const_f64(&mut m.values, 0.5);
+        let (av, bv) = (a.result(0), b.result(0));
+        m.body_mut().ops.push(a);
+        m.body_mut().ops.push(b);
+        let div = arith::divf(&mut m.values, av, bv);
+        m.body_mut().ops.push(div);
+        Canonicalize.run(&mut m).unwrap();
+        let last = m.body().ops.last().unwrap();
+        assert_eq!(last.attr("value").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn removes_additive_identity() {
+        let mut m = Module::new();
+        let zero = arith::const_f64(&mut m.values, 0.0);
+        let zv = zero.result(0);
+        m.body_mut().ops.push(zero);
+        // %x is opaque (not a constant).
+        let mut opaque = Op::new("test.opaque");
+        let x = m.values.alloc(Type::F64);
+        opaque.results.push(x);
+        m.body_mut().ops.push(opaque);
+        let add = arith::addf(&mut m.values, x, zv);
+        let sum = add.result(0);
+        m.body_mut().ops.push(add);
+        let mut user = Op::new("test.use");
+        user.operands.push(sum);
+        m.body_mut().ops.push(user);
+        Canonicalize.run(&mut m).unwrap();
+        assert_eq!(count_ops(&m, "arith.addf"), 0);
+        let user = m.body().ops.last().unwrap();
+        assert_eq!(user.operands, vec![x], "use redirected to x");
+    }
+
+    #[test]
+    fn folds_cmpi_and_select() {
+        let mut m = Module::new();
+        let one = arith::const_index(&mut m.values, 1);
+        let two = arith::const_index(&mut m.values, 2);
+        let (ov, tv) = (one.result(0), two.result(0));
+        m.body_mut().ops.push(one);
+        m.body_mut().ops.push(two);
+        let cmp = arith::cmpi(&mut m.values, arith::CmpIPredicate::Slt, ov, tv);
+        let cv = cmp.result(0);
+        m.body_mut().ops.push(cmp);
+        let sel = arith::select(&mut m.values, cv, ov, tv);
+        let sv = sel.result(0);
+        m.body_mut().ops.push(sel);
+        let mut user = Op::new("test.use");
+        user.operands.push(sv);
+        m.body_mut().ops.push(user);
+        Canonicalize.run(&mut m).unwrap();
+        assert_eq!(count_ops(&m, "arith.select"), 0);
+        let user = m.body().ops.last().unwrap();
+        assert_eq!(user.operands, vec![ov], "select folded to the true branch");
+    }
+
+    #[test]
+    fn does_not_fold_division_by_zero() {
+        let mut m = Module::new();
+        let a = arith::const_index(&mut m.values, 5);
+        let z = arith::const_index(&mut m.values, 0);
+        let (av, zv) = (a.result(0), z.result(0));
+        m.body_mut().ops.push(a);
+        m.body_mut().ops.push(z);
+        let div = arith::divsi(&mut m.values, av, zv);
+        m.body_mut().ops.push(div);
+        Canonicalize.run(&mut m).unwrap();
+        assert_eq!(count_ops(&m, "arith.divsi"), 1, "div by zero left for runtime");
+    }
+
+    #[test]
+    fn folds_inside_nested_regions() {
+        let mut m = Module::new();
+        let lo = arith::const_index(&mut m.values, 0);
+        let hi = arith::const_index(&mut m.values, 4);
+        let one = arith::const_index(&mut m.values, 1);
+        let (lov, hiv, onev) = (lo.result(0), hi.result(0), one.result(0));
+        for op in [lo, hi, one] {
+            m.body_mut().ops.push(op);
+        }
+        let loop_op =
+            crate::scf::for_loop(&mut m.values, lov, hiv, onev, vec![], |vt, _iv, _args| {
+                let a = arith::const_f64(vt, 1.5);
+                let av = a.result(0);
+                let dbl = arith::addf(vt, av, av);
+                vec![a, dbl, crate::scf::yield_op(vec![])]
+            });
+        m.body_mut().ops.push(loop_op);
+        Canonicalize.run(&mut m).unwrap();
+        assert_eq!(count_ops(&m, "arith.addf"), 0, "folds across region boundary");
+    }
+}

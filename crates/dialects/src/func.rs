@@ -1,0 +1,187 @@
+//! The `func` dialect: functions, calls, returns.
+//!
+//! §4.3 of the paper: "As LLVM has no concept of MPI, we lower these
+//! operations to regular function calls using the func dialect" — external
+//! declarations ([`declaration`]) model the `MPI_*` symbols appended to the
+//! module.
+
+use sten_ir::{
+    Attribute, Block, DialectRegistry, FunctionType, Op, OpSpec, Region, Type, Value, ValueTable,
+};
+
+/// Builds a `func.func` definition with entry-block arguments for each
+/// input; returns the op and the argument values.
+pub fn definition(
+    vt: &mut ValueTable,
+    name: &str,
+    inputs: Vec<Type>,
+    results: Vec<Type>,
+) -> (Op, Vec<Value>) {
+    let mut op = Op::new("func.func");
+    op.set_attr("sym_name", Attribute::Str(name.to_string()));
+    op.set_attr(
+        "function_type",
+        Attribute::Type(Type::Function(Box::new(FunctionType::new(inputs.clone(), results)))),
+    );
+    let args: Vec<Value> = inputs.into_iter().map(|ty| vt.alloc(ty)).collect();
+    op.regions.push(Region::single(Block::with_args(args.clone())));
+    (op, args)
+}
+
+/// Builds an external `func.func` declaration (empty body), as used for the
+/// `MPI_*` library symbols.
+pub fn declaration(name: &str, ty: FunctionType) -> Op {
+    let mut op = Op::new("func.func");
+    op.set_attr("sym_name", Attribute::Str(name.to_string()));
+    op.set_attr("function_type", Attribute::Type(Type::Function(Box::new(ty))));
+    op.set_attr("sym_visibility", Attribute::Str("private".to_string()));
+    op
+}
+
+/// Builds a `func.return`.
+pub fn ret(operands: Vec<Value>) -> Op {
+    let mut op = Op::new("func.return");
+    op.operands = operands;
+    op
+}
+
+/// Builds a `func.call` to `callee`.
+pub fn call(vt: &mut ValueTable, callee: &str, args: Vec<Value>, result_tys: Vec<Type>) -> Op {
+    let mut op = Op::new("func.call");
+    op.set_attr("callee", Attribute::SymbolRef(callee.to_string()));
+    op.operands = args;
+    op.results = result_tys.into_iter().map(|ty| vt.alloc(ty)).collect();
+    op
+}
+
+/// Typed view over a `func.func` op.
+pub struct FuncOp<'a>(pub &'a Op);
+
+impl<'a> FuncOp<'a> {
+    /// Matches a `func.func`.
+    pub fn matches(op: &'a Op) -> Option<Self> {
+        (op.name == "func.func").then_some(FuncOp(op))
+    }
+
+    /// The symbol name.
+    pub fn sym_name(&self) -> &str {
+        self.0.attr("sym_name").and_then(Attribute::as_str).unwrap_or("")
+    }
+
+    /// The declared function type.
+    pub fn function_type(&self) -> &FunctionType {
+        match self.0.attr("function_type").and_then(Attribute::as_type) {
+            Some(Type::Function(f)) => f,
+            _ => panic!("func.func without function_type attribute"),
+        }
+    }
+
+    /// Whether this is an external declaration (no body).
+    pub fn is_declaration(&self) -> bool {
+        self.0.regions.is_empty() || self.0.regions[0].blocks.is_empty()
+    }
+
+    /// The entry block of the body.
+    ///
+    /// # Panics
+    /// Panics for declarations.
+    pub fn body(&self) -> &Block {
+        self.0.region_block(0)
+    }
+}
+
+fn verify_func(op: &Op, _: &ValueTable) -> Result<(), String> {
+    let Some(Attribute::Str(_)) = op.attr("sym_name") else {
+        return Err("func.func requires a sym_name string attribute".into());
+    };
+    let Some(Attribute::Type(Type::Function(fty))) = op.attr("function_type") else {
+        return Err("func.func requires a function_type attribute".into());
+    };
+    if let Some(region) = op.regions.first() {
+        if let Some(block) = region.blocks.first() {
+            if block.args.len() != fty.inputs.len() {
+                return Err(format!(
+                    "entry block has {} arguments but function type lists {} inputs",
+                    block.args.len(),
+                    fty.inputs.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify_call(op: &Op, _: &ValueTable) -> Result<(), String> {
+    match op.attr("callee") {
+        Some(Attribute::SymbolRef(_)) => Ok(()),
+        _ => Err("func.call requires a callee symbol".into()),
+    }
+}
+
+/// Registers the func dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpSpec::new("func.func", "function definition").with_verify(verify_func));
+    registry.register(OpSpec::new("func.return", "function terminator").terminator());
+    registry.register(OpSpec::new("func.call", "direct call").with_verify(verify_call));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_ir::{print_module, verify_module, Module};
+
+    #[test]
+    fn definition_creates_matching_block_args() {
+        let mut m = Module::new();
+        let (f, args) = definition(&mut m.values, "main", vec![Type::I32, Type::F64], vec![]);
+        assert_eq!(args.len(), 2);
+        assert_eq!(m.values.ty(args[0]), &Type::I32);
+        let view = FuncOp::matches(&f).unwrap();
+        assert_eq!(view.sym_name(), "main");
+        assert_eq!(view.function_type().inputs.len(), 2);
+        assert!(!view.is_declaration());
+    }
+
+    #[test]
+    fn declaration_has_no_body() {
+        let f = declaration("MPI_Init", FunctionType::new(vec![], vec![Type::I32]));
+        let view = FuncOp::matches(&f).unwrap();
+        assert!(view.is_declaration());
+    }
+
+    #[test]
+    fn call_allocates_results() {
+        let mut m = Module::new();
+        let op = call(&mut m.values, "MPI_Comm_rank", vec![], vec![Type::I32]);
+        assert_eq!(m.values.ty(op.result(0)), &Type::I32);
+        assert_eq!(op.attr("callee").unwrap().as_symbol(), Some("MPI_Comm_rank"));
+    }
+
+    #[test]
+    fn whole_function_round_trips_and_verifies() {
+        let mut reg = DialectRegistry::new();
+        register(&mut reg);
+        crate::builtin::register(&mut reg);
+        let mut m = Module::new();
+        let (mut f, args) = definition(&mut m.values, "id", vec![Type::F64], vec![Type::F64]);
+        f.region_block_mut(0).ops.push(ret(vec![args[0]]));
+        m.body_mut().ops.push(f);
+        verify_module(&m, Some(&reg)).unwrap();
+        let text = print_module(&m);
+        let reparsed = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(print_module(&reparsed), text);
+    }
+
+    #[test]
+    fn verifier_rejects_arg_mismatch() {
+        let mut reg = DialectRegistry::new();
+        register(&mut reg);
+        let mut m = Module::new();
+        let (mut f, _) = definition(&mut m.values, "bad", vec![Type::I32], vec![]);
+        f.region_block_mut(0).args.clear(); // break the invariant
+        f.region_block_mut(0).ops.push(ret(vec![]));
+        m.body_mut().ops.push(f);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("entry block"), "{err}");
+    }
+}

@@ -1,0 +1,61 @@
+//! # sten-dialects — the standard dialect library
+//!
+//! Rust equivalents of the upstream MLIR dialects the paper's stack lowers
+//! into (§2: "leverages established SSA-based compiler IRs for loops,
+//! arithmetic, and memory operations"):
+//!
+//! * [`builtin`] — `builtin.module`, `builtin.unrealized_conversion_cast`;
+//! * [`func`] — functions, calls and returns;
+//! * [`arith`] — integer/float arithmetic and comparisons;
+//! * [`scf`] — structured control flow (`for` with iter-args, `parallel`,
+//!   `if`);
+//! * [`memref`] — buffers: alloc/load/store/copy/subview;
+//! * [`llvm`] — the pointer glue used by the MPI lowering.
+//!
+//! Each module offers *builder* functions (returning fully formed
+//! [`sten_ir::Op`]s with freshly allocated results) and *view* structs that
+//! pattern-match existing ops into typed accessors. [`register_all`] wires
+//! every op's verifier and purity metadata into a
+//! [`sten_ir::DialectRegistry`].
+//!
+//! The crate also ships the shared optimization passes the paper lists as
+//! coming "out of the box" from the common ecosystem: constant folding and
+//! algebraic simplification ([`canonicalize::Canonicalize`]) and
+//! loop-invariant code motion ([`licm::LoopInvariantCodeMotion`]).
+
+pub mod arith;
+pub mod builtin;
+pub mod canonicalize;
+pub mod func;
+pub mod licm;
+pub mod llvm;
+pub mod memref;
+pub mod scf;
+
+use sten_ir::DialectRegistry;
+
+/// Registers all standard dialects into `registry`.
+pub fn register_all(registry: &mut DialectRegistry) {
+    builtin::register(registry);
+    func::register(registry);
+    arith::register(registry);
+    scf::register(registry);
+    memref::register(registry);
+    llvm::register(registry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_without_collisions() {
+        let mut reg = DialectRegistry::new();
+        register_all(&mut reg);
+        assert!(reg.len() > 30);
+        let dialects = reg.dialects();
+        for d in ["arith", "builtin", "func", "llvm", "memref", "scf"] {
+            assert!(dialects.contains(&d), "missing dialect {d}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Loop-invariant code motion.
+//!
+//! §4.3 of the paper: "Since MPI communication often happens inside loops,
+//! any loop invariant calls are hoisted as part of this transformation".
+//! This pass hoists *pure* region-free ops out of `scf.for` / `scf.parallel`
+//! bodies when all their operands are defined outside the loop; the MPI
+//! lowering marks its loop-invariant setup (datatype constants, rank
+//! arithmetic) as ordinary pure `arith` ops so they hoist here.
+
+use sten_ir::{Block, DialectRegistry, Module, Op, Pass, PassError, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The LICM pass; see the module docs.
+pub struct LoopInvariantCodeMotion {
+    registry: Arc<DialectRegistry>,
+}
+
+impl LoopInvariantCodeMotion {
+    /// Creates the pass with purity information from `registry`.
+    pub fn new(registry: Arc<DialectRegistry>) -> Self {
+        LoopInvariantCodeMotion { registry }
+    }
+
+    fn is_loop(op: &Op) -> bool {
+        op.name == "scf.for" || op.name == "scf.parallel"
+    }
+
+    fn process_block(&self, block: &mut Block) {
+        let ops = std::mem::take(&mut block.ops);
+        for mut op in ops {
+            // Bottom-up: fully process nested blocks first so inner
+            // invariants bubble outward through multiple loop levels.
+            for region in &mut op.regions {
+                for inner in &mut region.blocks {
+                    self.process_block(inner);
+                }
+            }
+            if Self::is_loop(&op) && !op.regions.is_empty() && !op.regions[0].blocks.is_empty() {
+                let body = op.region_block_mut(0);
+                let mut inside: HashSet<Value> = body.args.iter().copied().collect();
+                for o in &body.ops {
+                    inside.extend(o.results.iter().copied());
+                }
+                let mut remaining = Vec::with_capacity(body.ops.len());
+                let mut hoisted = Vec::new();
+                for o in body.ops.drain(..) {
+                    let hoistable = self.registry.is_pure(&o.name)
+                        && !self.registry.is_terminator(&o.name)
+                        && o.regions.is_empty()
+                        && o.operands.iter().all(|v| !inside.contains(v));
+                    if hoistable {
+                        for &r in &o.results {
+                            inside.remove(&r);
+                        }
+                        hoisted.push(o);
+                    } else {
+                        remaining.push(o);
+                    }
+                }
+                op.region_block_mut(0).ops = remaining;
+                block.ops.extend(hoisted);
+            }
+            block.ops.push(op);
+        }
+    }
+}
+
+impl Pass for LoopInvariantCodeMotion {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let mut regions = std::mem::take(&mut module.op.regions);
+        for region in &mut regions {
+            for block in &mut region.blocks {
+                self.process_block(block);
+            }
+        }
+        module.op.regions = regions;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, scf};
+    use sten_ir::Module;
+
+    fn registry() -> Arc<DialectRegistry> {
+        let mut reg = DialectRegistry::new();
+        crate::register_all(&mut reg);
+        Arc::new(reg)
+    }
+
+    #[test]
+    fn hoists_invariant_chain_out_of_loop() {
+        let mut m = Module::new();
+        let lo = arith::const_index(&mut m.values, 0);
+        let hi = arith::const_index(&mut m.values, 4);
+        let one = arith::const_index(&mut m.values, 1);
+        let (lov, hiv, onev) = (lo.result(0), hi.result(0), one.result(0));
+        for op in [lo, hi, one] {
+            m.body_mut().ops.push(op);
+        }
+        let x = arith::const_f64(&mut m.values, 3.0);
+        let xv = x.result(0);
+        m.body_mut().ops.push(x);
+        let loop_op = scf::for_loop(&mut m.values, lov, hiv, onev, vec![], |vt, iv, _| {
+            // invariant: xv * xv; then a chain user of it (also invariant);
+            // and a variant op using the induction variable.
+            let sq = arith::mulf(vt, xv, xv);
+            let sqv = sq.result(0);
+            let cube = arith::mulf(vt, sqv, xv);
+            let variant = arith::addi(vt, iv, iv);
+            vec![sq, cube, variant, scf::yield_op(vec![])]
+        });
+        m.body_mut().ops.push(loop_op);
+        LoopInvariantCodeMotion::new(registry()).run(&mut m).unwrap();
+
+        let body_ops: Vec<&str> = m
+            .body()
+            .ops
+            .last()
+            .unwrap()
+            .region_block(0)
+            .ops
+            .iter()
+            .map(|o| o.name.as_str())
+            .collect();
+        assert_eq!(body_ops, vec!["arith.addi", "scf.yield"], "both mulf hoisted");
+        let top: Vec<&str> = m.body().ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(top.iter().filter(|n| **n == "arith.mulf").count(), 2);
+        // Hoisted ops appear before the loop.
+        let loop_pos = top.iter().position(|n| *n == "scf.for").unwrap();
+        let first_mul = top.iter().position(|n| *n == "arith.mulf").unwrap();
+        assert!(first_mul < loop_pos);
+    }
+
+    #[test]
+    fn does_not_hoist_variant_or_impure_ops() {
+        let mut m = Module::new();
+        let lo = arith::const_index(&mut m.values, 0);
+        let (lov,) = (lo.result(0),);
+        m.body_mut().ops.push(lo);
+        let loop_op = scf::for_loop(&mut m.values, lov, lov, lov, vec![], |vt, iv, _| {
+            let variant = arith::addi(vt, iv, iv);
+            let mut impure = Op::new("test.sideeffect");
+            impure.operands.push(lov);
+            vec![variant, impure, scf::yield_op(vec![])]
+        });
+        m.body_mut().ops.push(loop_op);
+        LoopInvariantCodeMotion::new(registry()).run(&mut m).unwrap();
+        let body = m.body().ops.last().unwrap().region_block(0);
+        assert_eq!(body.ops.len(), 3, "nothing hoisted");
+    }
+
+    #[test]
+    fn hoists_through_two_loop_levels() {
+        let mut m = Module::new();
+        let lo = arith::const_index(&mut m.values, 0);
+        let lov = lo.result(0);
+        m.body_mut().ops.push(lo);
+        let x = arith::const_f64(&mut m.values, 2.0);
+        let xv = x.result(0);
+        m.body_mut().ops.push(x);
+        let outer = scf::for_loop(&mut m.values, lov, lov, lov, vec![], |vt, _oiv, _| {
+            let inner = scf::for_loop(vt, lov, lov, lov, vec![], |vt2, _iiv, _| {
+                let sq = arith::mulf(vt2, xv, xv);
+                vec![sq, scf::yield_op(vec![])]
+            });
+            vec![inner, scf::yield_op(vec![])]
+        });
+        m.body_mut().ops.push(outer);
+        LoopInvariantCodeMotion::new(registry()).run(&mut m).unwrap();
+        // The mulf must now sit at module level, before the outer loop.
+        let top: Vec<&str> = m.body().ops.iter().map(|o| o.name.as_str()).collect();
+        assert!(top.contains(&"arith.mulf"), "hoisted to top level: {top:?}");
+        let outer_body = m.body().ops.last().unwrap().region_block(0);
+        let inner_loop = &outer_body.ops[0];
+        assert_eq!(inner_loop.region_block(0).ops.len(), 1, "only the yield remains");
+    }
+}

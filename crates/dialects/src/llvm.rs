@@ -1,0 +1,68 @@
+//! A minimal `llvm` dialect: the pointer conversions the MPI lowering needs
+//! (Listing 4: `llvm.inttoptr %buff1 : i64 to !llvm.ptr`).
+
+use sten_ir::{DialectRegistry, Op, OpSpec, Type, Value, ValueTable};
+
+/// Builds an `llvm.inttoptr`.
+pub fn inttoptr(vt: &mut ValueTable, operand: Value) -> Op {
+    let mut op = Op::new("llvm.inttoptr");
+    op.operands.push(operand);
+    op.results.push(vt.alloc(Type::LlvmPtr));
+    op
+}
+
+/// Builds an `llvm.ptrtoint` producing `i64`.
+pub fn ptrtoint(vt: &mut ValueTable, operand: Value) -> Op {
+    let mut op = Op::new("llvm.ptrtoint");
+    op.operands.push(operand);
+    op.results.push(vt.alloc(Type::I64));
+    op
+}
+
+fn verify_inttoptr(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || op.results.len() != 1 {
+        return Err("llvm.inttoptr is unary".into());
+    }
+    if !vt.ty(op.operand(0)).is_integer_like() {
+        return Err("llvm.inttoptr operand must be integer-like".into());
+    }
+    if vt.ty(op.result(0)) != &Type::LlvmPtr {
+        return Err("llvm.inttoptr must produce !llvm.ptr".into());
+    }
+    Ok(())
+}
+
+/// Registers the llvm dialect subset.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(
+        OpSpec::new("llvm.inttoptr", "integer to pointer").pure().with_verify(verify_inttoptr),
+    );
+    registry.register(OpSpec::new("llvm.ptrtoint", "pointer to integer").pure());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+    use sten_ir::{verify_module, Module};
+
+    #[test]
+    fn inttoptr_builds_and_verifies() {
+        let mut reg = DialectRegistry::new();
+        register(&mut reg);
+        arith::register(&mut reg);
+        crate::builtin::register(&mut reg);
+        let mut m = Module::new();
+        let c = arith::const_i64(&mut m.values, 0xdead);
+        let cv = c.result(0);
+        m.body_mut().ops.push(c);
+        let p = inttoptr(&mut m.values, cv);
+        assert_eq!(m.values.ty(p.result(0)), &Type::LlvmPtr);
+        let pv = p.result(0);
+        m.body_mut().ops.push(p);
+        let back = ptrtoint(&mut m.values, pv);
+        assert_eq!(m.values.ty(back.result(0)), &Type::I64);
+        m.body_mut().ops.push(back);
+        verify_module(&m, Some(&reg)).unwrap();
+    }
+}

@@ -1,0 +1,288 @@
+//! The `memref` dialect: shaped buffers and memory access.
+//!
+//! The MPI lowering of §4.3 relies on `memref.subview`, `memref.copy` and
+//! `memref.extract_aligned_pointer_as_index` (Listing 4) — all provided
+//! here, together with alloc/load/store used by the stencil-to-loops
+//! lowering.
+
+use sten_ir::{Attribute, DialectRegistry, MemRefType, Op, OpSpec, Type, Value, ValueTable};
+
+/// Builds a `memref.alloc` of a statically shaped buffer.
+pub fn alloc(vt: &mut ValueTable, ty: MemRefType) -> Op {
+    let mut op = Op::new("memref.alloc");
+    op.results.push(vt.alloc(Type::MemRef(ty)));
+    op
+}
+
+/// Builds a `memref.dealloc`.
+pub fn dealloc(mem: Value) -> Op {
+    let mut op = Op::new("memref.dealloc");
+    op.operands.push(mem);
+    op
+}
+
+/// Builds a `memref.load` from `mem` at `indices`.
+pub fn load(vt: &mut ValueTable, mem: Value, indices: Vec<Value>) -> Op {
+    let elem = match vt.ty(mem) {
+        Type::MemRef(m) => (*m.elem).clone(),
+        other => panic!("memref.load from non-memref {other:?}"),
+    };
+    let mut op = Op::new("memref.load");
+    op.operands.push(mem);
+    op.operands.extend(indices);
+    op.results.push(vt.alloc(elem));
+    op
+}
+
+/// Builds a `memref.store` of `value` into `mem` at `indices`.
+pub fn store(value: Value, mem: Value, indices: Vec<Value>) -> Op {
+    let mut op = Op::new("memref.store");
+    op.operands.push(value);
+    op.operands.push(mem);
+    op.operands.extend(indices);
+    op
+}
+
+/// Builds a `memref.copy` from `src` to `dst` (equal shapes).
+pub fn copy(src: Value, dst: Value) -> Op {
+    let mut op = Op::new("memref.copy");
+    op.operands.extend([src, dst]);
+    op
+}
+
+/// Builds a `memref.subview` with static `offsets`/`sizes` (unit strides).
+/// The result is a `memref` of shape `sizes` viewing the parent buffer.
+pub fn subview(vt: &mut ValueTable, mem: Value, offsets: Vec<i64>, sizes: Vec<i64>) -> Op {
+    let elem = match vt.ty(mem) {
+        Type::MemRef(m) => (*m.elem).clone(),
+        other => panic!("memref.subview of non-memref {other:?}"),
+    };
+    let mut op = Op::new("memref.subview");
+    op.operands.push(mem);
+    op.set_attr("offsets", Attribute::DenseI64(offsets));
+    op.set_attr("sizes", Attribute::DenseI64(sizes.clone()));
+    op.results.push(vt.alloc(Type::MemRef(MemRefType::new(sizes, elem))));
+    op
+}
+
+/// Builds a `memref.extract_aligned_pointer_as_index` (Listing 4, line 1).
+pub fn extract_aligned_pointer_as_index(vt: &mut ValueTable, mem: Value) -> Op {
+    let mut op = Op::new("memref.extract_aligned_pointer_as_index");
+    op.operands.push(mem);
+    op.results.push(vt.alloc(Type::Index));
+    op
+}
+
+fn verify_alloc(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.results.len() != 1 {
+        return Err("memref.alloc has one result".into());
+    }
+    match vt.ty(op.result(0)) {
+        Type::MemRef(m) if m.num_elements().is_some() => Ok(()),
+        Type::MemRef(_) => Err("memref.alloc requires a static shape".into()),
+        _ => Err("memref.alloc must produce a memref".into()),
+    }
+}
+
+fn verify_load(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.is_empty() || op.results.len() != 1 {
+        return Err("memref.load needs (memref, indices...) -> elem".into());
+    }
+    let Type::MemRef(m) = vt.ty(op.operand(0)) else {
+        return Err("memref.load first operand must be a memref".into());
+    };
+    if op.operands.len() - 1 != m.rank() {
+        return Err(format!(
+            "memref.load rank mismatch: {} indices for rank-{} memref",
+            op.operands.len() - 1,
+            m.rank()
+        ));
+    }
+    for &idx in &op.operands[1..] {
+        if vt.ty(idx) != &Type::Index {
+            return Err("memref.load indices must be index-typed".into());
+        }
+    }
+    if vt.ty(op.result(0)) != &*m.elem {
+        return Err("memref.load result must match element type".into());
+    }
+    Ok(())
+}
+
+fn verify_store(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() < 2 {
+        return Err("memref.store needs (value, memref, indices...)".into());
+    }
+    let Type::MemRef(m) = vt.ty(op.operand(1)) else {
+        return Err("memref.store second operand must be a memref".into());
+    };
+    if op.operands.len() - 2 != m.rank() {
+        return Err(format!(
+            "memref.store rank mismatch: {} indices for rank-{} memref",
+            op.operands.len() - 2,
+            m.rank()
+        ));
+    }
+    if vt.ty(op.operand(0)) != &*m.elem {
+        return Err("memref.store value must match element type".into());
+    }
+    Ok(())
+}
+
+fn verify_copy(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 2 {
+        return Err("memref.copy needs (src, dst)".into());
+    }
+    let (Type::MemRef(a), Type::MemRef(b)) = (vt.ty(op.operand(0)), vt.ty(op.operand(1))) else {
+        return Err("memref.copy operands must be memrefs".into());
+    };
+    if a.shape != b.shape || a.elem != b.elem {
+        return Err("memref.copy operands must have identical types".into());
+    }
+    Ok(())
+}
+
+fn verify_subview(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || op.results.len() != 1 {
+        return Err("memref.subview is unary".into());
+    }
+    let Type::MemRef(parent) = vt.ty(op.operand(0)) else {
+        return Err("memref.subview operand must be a memref".into());
+    };
+    let offsets = op.attr("offsets").and_then(Attribute::as_dense).ok_or("missing offsets")?;
+    let sizes = op.attr("sizes").and_then(Attribute::as_dense).ok_or("missing sizes")?;
+    if offsets.len() != parent.rank() || sizes.len() != parent.rank() {
+        return Err("subview offsets/sizes must match parent rank".into());
+    }
+    for d in 0..parent.rank() {
+        if parent.shape[d] >= 0 && offsets[d] + sizes[d] > parent.shape[d] {
+            return Err(format!(
+                "subview dimension {d} out of bounds: offset {} + size {} > {}",
+                offsets[d], sizes[d], parent.shape[d]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Registers the memref dialect.
+///
+/// `load` is deliberately *not* pure: CSE must not merge loads across
+/// stores. `subview` and pointer extraction are pure address computations.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpSpec::new("memref.alloc", "allocate a buffer").with_verify(verify_alloc));
+    registry.register(OpSpec::new("memref.dealloc", "free a buffer"));
+    registry.register(OpSpec::new("memref.load", "read one element").with_verify(verify_load));
+    registry.register(OpSpec::new("memref.store", "write one element").with_verify(verify_store));
+    registry.register(OpSpec::new("memref.copy", "bulk copy").with_verify(verify_copy));
+    registry.register(
+        OpSpec::new("memref.subview", "static rectangular view").pure().with_verify(verify_subview),
+    );
+    registry.register(
+        OpSpec::new("memref.extract_aligned_pointer_as_index", "buffer address as index").pure(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+    use sten_ir::{verify_module, Module};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        register(&mut reg);
+        arith::register(&mut reg);
+        crate::builtin::register(&mut reg);
+        reg
+    }
+
+    #[test]
+    fn alloc_load_store_verify() {
+        let reg = registry();
+        let mut m = Module::new();
+        let buf = alloc(&mut m.values, MemRefType::new(vec![8, 8], Type::F64));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        let i = arith::const_index(&mut m.values, 3);
+        let iv = i.result(0);
+        m.body_mut().ops.push(i);
+        let ld = load(&mut m.values, bufv, vec![iv, iv]);
+        let ldv = ld.result(0);
+        m.body_mut().ops.push(ld);
+        m.body_mut().ops.push(store(ldv, bufv, vec![iv, iv]));
+        m.body_mut().ops.push(dealloc(bufv));
+        verify_module(&m, Some(&reg)).unwrap();
+    }
+
+    #[test]
+    fn load_rank_mismatch_rejected() {
+        let reg = registry();
+        let mut m = Module::new();
+        let buf = alloc(&mut m.values, MemRefType::new(vec![8, 8], Type::F64));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        let i = arith::const_index(&mut m.values, 0);
+        let ivx = i.result(0);
+        m.body_mut().ops.push(i);
+        let mut bad = Op::new("memref.load");
+        bad.operands.extend([bufv, ivx]);
+        bad.results.push(m.values.alloc(Type::F64));
+        m.body_mut().ops.push(bad);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("rank mismatch"), "{err}");
+    }
+
+    #[test]
+    fn subview_shape_is_sizes() {
+        let reg = registry();
+        let mut m = Module::new();
+        let buf = alloc(&mut m.values, MemRefType::new(vec![108, 108], Type::F32));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        let sv = subview(&mut m.values, bufv, vec![4, 0], vec![100, 4]);
+        assert_eq!(
+            m.values.ty(sv.result(0)),
+            &Type::MemRef(MemRefType::new(vec![100, 4], Type::F32))
+        );
+        m.body_mut().ops.push(sv);
+        verify_module(&m, Some(&reg)).unwrap();
+    }
+
+    #[test]
+    fn subview_out_of_bounds_rejected() {
+        let reg = registry();
+        let mut m = Module::new();
+        let buf = alloc(&mut m.values, MemRefType::new(vec![10], Type::F32));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        let sv = subview(&mut m.values, bufv, vec![8], vec![4]);
+        m.body_mut().ops.push(sv);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn copy_type_mismatch_rejected() {
+        let reg = registry();
+        let mut m = Module::new();
+        let a = alloc(&mut m.values, MemRefType::new(vec![4], Type::F32));
+        let b = alloc(&mut m.values, MemRefType::new(vec![5], Type::F32));
+        let (av, bv) = (a.result(0), b.result(0));
+        m.body_mut().ops.push(a);
+        m.body_mut().ops.push(b);
+        m.body_mut().ops.push(copy(av, bv));
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("identical types"), "{err}");
+    }
+
+    #[test]
+    fn pointer_extraction_is_index_typed() {
+        let mut m = Module::new();
+        let buf = alloc(&mut m.values, MemRefType::new(vec![64, 2], Type::F64));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        let ptr = extract_aligned_pointer_as_index(&mut m.values, bufv);
+        assert_eq!(m.values.ty(ptr.result(0)), &Type::Index);
+    }
+}

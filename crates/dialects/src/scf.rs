@@ -1,0 +1,406 @@
+//! The `scf` dialect: structured control flow.
+//!
+//! The paper's stencil lowering produces `scf.for` time loops (with
+//! iter-args carrying the rotating time buffers), `scf.parallel` spatial
+//! loops (later mapped to OpenMP or GPU), and `scf.if` rank-boundary guards
+//! in the MPI lowering (Fig. 4: `scf.if %is_in_bounds { ... }`).
+
+use sten_ir::{Attribute, Block, DialectRegistry, Op, OpSpec, Region, Type, Value, ValueTable};
+
+/// Builds an `scf.for` loop.
+///
+/// Operands are `[lo, hi, step, iter_inits...]`; the body block receives
+/// `[iv, iter_args...]` and must terminate with an [`yield_op`] of the next
+/// iteration's carried values. Results are the final carried values.
+///
+/// `body` is called with the value table, the induction variable and the
+/// iteration arguments, and returns the body ops (including the terminator).
+pub fn for_loop(
+    vt: &mut ValueTable,
+    lo: Value,
+    hi: Value,
+    step: Value,
+    iter_inits: Vec<Value>,
+    body: impl FnOnce(&mut ValueTable, Value, &[Value]) -> Vec<Op>,
+) -> Op {
+    let iv = vt.alloc(Type::Index);
+    let iter_args: Vec<Value> =
+        iter_inits.iter().map(|&v| vt.alloc(vt.ty(v).clone())).collect();
+    let ops = body(vt, iv, &iter_args);
+
+    let mut op = Op::new("scf.for");
+    op.operands.extend([lo, hi, step]);
+    op.operands.extend(iter_inits.iter().copied());
+    op.results = iter_inits.iter().map(|&v| vt.alloc(vt.ty(v).clone())).collect();
+    let mut block = Block::with_args(std::iter::once(iv).chain(iter_args).collect());
+    block.ops = ops;
+    op.regions.push(Region::single(block));
+    op
+}
+
+/// Builds an `scf.parallel` loop nest over `rank` dimensions.
+///
+/// Operands are `[lo..., hi..., step...]`; the body block receives one
+/// induction variable per dimension. No reductions are supported: the body
+/// must end with a bare [`yield_op`].
+pub fn parallel(
+    vt: &mut ValueTable,
+    los: Vec<Value>,
+    his: Vec<Value>,
+    steps: Vec<Value>,
+    body: impl FnOnce(&mut ValueTable, &[Value]) -> Vec<Op>,
+) -> Op {
+    assert!(
+        los.len() == his.len() && his.len() == steps.len(),
+        "scf.parallel bounds must have equal rank"
+    );
+    let rank = los.len();
+    let ivs: Vec<Value> = (0..rank).map(|_| vt.alloc(Type::Index)).collect();
+    let ops = body(vt, &ivs);
+    let mut op = Op::new("scf.parallel");
+    op.set_attr("rank", Attribute::int64(rank as i64));
+    op.operands.extend(los);
+    op.operands.extend(his);
+    op.operands.extend(steps);
+    let mut block = Block::with_args(ivs);
+    block.ops = ops;
+    op.regions.push(Region::single(block));
+    op
+}
+
+/// Builds an `scf.if`.
+///
+/// `then_ops`/`else_ops` must each end with an [`yield_op`] carrying
+/// `result_tys`-typed values (bare yields when `result_tys` is empty).
+pub fn if_op(
+    vt: &mut ValueTable,
+    cond: Value,
+    result_tys: Vec<Type>,
+    then_ops: Vec<Op>,
+    else_ops: Vec<Op>,
+) -> Op {
+    let mut op = Op::new("scf.if");
+    op.operands.push(cond);
+    op.results = result_tys.into_iter().map(|ty| vt.alloc(ty)).collect();
+    let mut then_block = Block::new();
+    then_block.ops = then_ops;
+    let mut else_block = Block::new();
+    else_block.ops = else_ops;
+    op.regions.push(Region::single(then_block));
+    op.regions.push(Region::single(else_block));
+    op
+}
+
+/// Builds an `scf.yield` terminator.
+pub fn yield_op(operands: Vec<Value>) -> Op {
+    let mut op = Op::new("scf.yield");
+    op.operands = operands;
+    op
+}
+
+/// Typed view over `scf.for`.
+pub struct ForOp<'a>(pub &'a Op);
+
+impl<'a> ForOp<'a> {
+    /// Matches an `scf.for`.
+    pub fn matches(op: &'a Op) -> Option<Self> {
+        (op.name == "scf.for").then_some(ForOp(op))
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> Value {
+        self.0.operand(0)
+    }
+
+    /// Upper bound (exclusive).
+    pub fn hi(&self) -> Value {
+        self.0.operand(1)
+    }
+
+    /// Step.
+    pub fn step(&self) -> Value {
+        self.0.operand(2)
+    }
+
+    /// Initial values of the loop-carried variables.
+    pub fn iter_inits(&self) -> &[Value] {
+        &self.0.operands[3..]
+    }
+
+    /// The induction variable (first body argument).
+    pub fn iv(&self) -> Value {
+        self.0.region_block(0).args[0]
+    }
+
+    /// Loop-carried body arguments.
+    pub fn iter_args(&self) -> &[Value] {
+        &self.0.region_block(0).args[1..]
+    }
+
+    /// The loop body.
+    pub fn body(&self) -> &Block {
+        self.0.region_block(0)
+    }
+}
+
+/// Typed view over `scf.parallel`.
+pub struct ParallelOp<'a>(pub &'a Op);
+
+impl<'a> ParallelOp<'a> {
+    /// Matches an `scf.parallel`.
+    pub fn matches(op: &'a Op) -> Option<Self> {
+        (op.name == "scf.parallel").then_some(ParallelOp(op))
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.attr("rank").and_then(Attribute::as_int).unwrap_or(0) as usize
+    }
+
+    /// Lower bounds per dimension.
+    pub fn los(&self) -> &[Value] {
+        &self.0.operands[0..self.rank()]
+    }
+
+    /// Upper bounds per dimension.
+    pub fn his(&self) -> &[Value] {
+        &self.0.operands[self.rank()..2 * self.rank()]
+    }
+
+    /// Steps per dimension.
+    pub fn steps(&self) -> &[Value] {
+        &self.0.operands[2 * self.rank()..3 * self.rank()]
+    }
+
+    /// Induction variables.
+    pub fn ivs(&self) -> &[Value] {
+        &self.0.region_block(0).args
+    }
+
+    /// The loop body.
+    pub fn body(&self) -> &Block {
+        self.0.region_block(0)
+    }
+}
+
+fn verify_for(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() < 3 {
+        return Err("scf.for needs (lo, hi, step, inits...)".into());
+    }
+    for i in 0..3 {
+        if vt.ty(op.operand(i)) != &Type::Index {
+            return Err("scf.for bounds must be index-typed".into());
+        }
+    }
+    let n_iter = op.operands.len() - 3;
+    if op.results.len() != n_iter {
+        return Err(format!("scf.for with {n_iter} iter_args must have {n_iter} results"));
+    }
+    let Some(region) = op.regions.first() else {
+        return Err("scf.for requires a body region".into());
+    };
+    let Some(block) = region.blocks.first() else {
+        return Err("scf.for body must have a block".into());
+    };
+    if block.args.len() != 1 + n_iter {
+        return Err(format!(
+            "scf.for body must take (iv, {n_iter} iter args), got {}",
+            block.args.len()
+        ));
+    }
+    match block.ops.last() {
+        Some(term) if term.name == "scf.yield" => {
+            if term.operands.len() != n_iter {
+                return Err(format!(
+                    "scf.for yield must carry {n_iter} values, got {}",
+                    term.operands.len()
+                ));
+            }
+        }
+        _ => return Err("scf.for body must end with scf.yield".into()),
+    }
+    Ok(())
+}
+
+fn verify_parallel(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    let Some(rank) = op.attr("rank").and_then(Attribute::as_int) else {
+        return Err("scf.parallel requires a rank attribute".into());
+    };
+    let rank = rank as usize;
+    if op.operands.len() != 3 * rank {
+        return Err(format!(
+            "scf.parallel of rank {rank} needs {} bounds operands, got {}",
+            3 * rank,
+            op.operands.len()
+        ));
+    }
+    for &o in &op.operands {
+        if vt.ty(o) != &Type::Index {
+            return Err("scf.parallel bounds must be index-typed".into());
+        }
+    }
+    let Some(block) = op.regions.first().and_then(|r| r.blocks.first()) else {
+        return Err("scf.parallel requires a body block".into());
+    };
+    if block.args.len() != rank {
+        return Err(format!("scf.parallel body must take {rank} ivs"));
+    }
+    Ok(())
+}
+
+fn verify_if(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || vt.ty(op.operand(0)) != &Type::I1 {
+        return Err("scf.if takes a single i1 condition".into());
+    }
+    if op.regions.len() != 2 {
+        return Err("scf.if requires then and else regions".into());
+    }
+    for region in &op.regions {
+        let Some(block) = region.blocks.first() else {
+            return Err("scf.if regions must have a block".into());
+        };
+        match block.ops.last() {
+            Some(t) if t.name == "scf.yield" => {
+                if t.operands.len() != op.results.len() {
+                    return Err("scf.if yields must match result count".into());
+                }
+            }
+            _ => return Err("scf.if regions must end with scf.yield".into()),
+        }
+    }
+    Ok(())
+}
+
+/// Registers the scf dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpSpec::new("scf.for", "sequential counted loop").with_verify(verify_for));
+    registry
+        .register(OpSpec::new("scf.parallel", "parallel loop nest").with_verify(verify_parallel));
+    registry.register(OpSpec::new("scf.if", "conditional").with_verify(verify_if));
+    registry.register(OpSpec::new("scf.yield", "region terminator").terminator());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+    use sten_ir::{parse_module, print_module, verify_module, Module};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        register(&mut reg);
+        arith::register(&mut reg);
+        crate::builtin::register(&mut reg);
+        reg
+    }
+
+    #[test]
+    fn for_with_iter_args_builds_and_verifies() {
+        let reg = registry();
+        let mut m = Module::new();
+        let lo = arith::const_index(&mut m.values, 0);
+        let hi = arith::const_index(&mut m.values, 10);
+        let step = arith::const_index(&mut m.values, 1);
+        let init = arith::const_f64(&mut m.values, 0.0);
+        let (lov, hiv, stepv, initv) =
+            (lo.result(0), hi.result(0), step.result(0), init.result(0));
+        for op in [lo, hi, step, init] {
+            m.body_mut().ops.push(op);
+        }
+        let loop_op = for_loop(&mut m.values, lov, hiv, stepv, vec![initv], |vt, _iv, iters| {
+            let doubled = arith::addf(vt, iters[0], iters[0]);
+            let y = yield_op(vec![doubled.result(0)]);
+            vec![doubled, y]
+        });
+        assert_eq!(loop_op.results.len(), 1);
+        let view = ForOp::matches(&loop_op).unwrap();
+        assert_eq!(view.iter_inits(), &[initv]);
+        assert_eq!(view.iter_args().len(), 1);
+        m.body_mut().ops.push(loop_op);
+        verify_module(&m, Some(&reg)).unwrap();
+        let text = print_module(&m);
+        assert_eq!(print_module(&parse_module(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn parallel_builds_and_verifies() {
+        let reg = registry();
+        let mut m = Module::new();
+        let z = arith::const_index(&mut m.values, 0);
+        let n = arith::const_index(&mut m.values, 8);
+        let one = arith::const_index(&mut m.values, 1);
+        let (zv, nv, ov) = (z.result(0), n.result(0), one.result(0));
+        for op in [z, n, one] {
+            m.body_mut().ops.push(op);
+        }
+        let par = parallel(
+            &mut m.values,
+            vec![zv, zv],
+            vec![nv, nv],
+            vec![ov, ov],
+            |_vt, ivs| {
+                assert_eq!(ivs.len(), 2);
+                vec![yield_op(vec![])]
+            },
+        );
+        let view = ParallelOp::matches(&par).unwrap();
+        assert_eq!(view.rank(), 2);
+        assert_eq!(view.los(), &[zv, zv]);
+        assert_eq!(view.his(), &[nv, nv]);
+        assert_eq!(view.steps(), &[ov, ov]);
+        m.body_mut().ops.push(par);
+        verify_module(&m, Some(&reg)).unwrap();
+    }
+
+    #[test]
+    fn if_builds_and_verifies() {
+        let reg = registry();
+        let mut m = Module::new();
+        let a = arith::const_index(&mut m.values, 1);
+        let b = arith::const_index(&mut m.values, 2);
+        let (av, bv) = (a.result(0), b.result(0));
+        m.body_mut().ops.push(a);
+        m.body_mut().ops.push(b);
+        let cmp = arith::cmpi(&mut m.values, arith::CmpIPredicate::Slt, av, bv);
+        let cv = cmp.result(0);
+        m.body_mut().ops.push(cmp);
+        let branch = if_op(
+            &mut m.values,
+            cv,
+            vec![Type::Index],
+            vec![yield_op(vec![av])],
+            vec![yield_op(vec![bv])],
+        );
+        assert_eq!(branch.results.len(), 1);
+        m.body_mut().ops.push(branch);
+        verify_module(&m, Some(&reg)).unwrap();
+    }
+
+    #[test]
+    fn verifier_rejects_wrong_yield_arity() {
+        let reg = registry();
+        let mut m = Module::new();
+        let lo = arith::const_index(&mut m.values, 0);
+        let (lov,) = (lo.result(0),);
+        m.body_mut().ops.push(lo);
+        let init = arith::const_f64(&mut m.values, 0.0);
+        let initv = init.result(0);
+        m.body_mut().ops.push(init);
+        let bad = for_loop(&mut m.values, lov, lov, lov, vec![initv], |_vt, _iv, _iters| {
+            vec![yield_op(vec![])] // should yield 1 value
+        });
+        m.body_mut().ops.push(bad);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("yield must carry"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal rank")]
+    fn parallel_rejects_mismatched_bounds() {
+        let mut m = Module::new();
+        let z = arith::const_index(&mut m.values, 0);
+        let zv = z.result(0);
+        m.body_mut().ops.push(z);
+        parallel(&mut m.values, vec![zv], vec![zv, zv], vec![zv], |_vt, _ivs| vec![]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Decomposition strategies: global domain → rank-local domain.
+//!
+//! §4.2: "Internally, a decomposition strategy is represented by a class
+//! that exposes an interface that allows a rewrite pass to calculate the
+//! local domain from the global domain. It also provides the rank layout
+//! (the dmp.grid attribute) and generates the halo exchange declarations
+//! (the dmp.exchange attributes) from the stencil access patterns."
+//!
+//! [`StandardSlicing`] is the paper's "standard slicing strategy that
+//! supports 1D, 2D, and 3D decomposition": the leading `grid.len()`
+//! dimensions of the domain are cut into equal slabs; trailing dimensions
+//! stay whole (e.g. the 2D decomposition of 3D ocean models "due to tight
+//! coupling in the vertical dimension", §6.2).
+
+use sten_ir::{Bounds, ExchangeAttr};
+
+/// Computes rank-local domains and halo exchange declarations.
+///
+/// Implementations may assume `grid.len() <= global_core.rank()` — the
+/// distribute pass validates this before calling.
+pub trait DecompositionStrategy {
+    /// Human-readable strategy name (for diagnostics and reports).
+    fn name(&self) -> &'static str;
+
+    /// Splits the global core (stored) domain into the per-rank core
+    /// domain. All ranks receive congruent domains (SPMD).
+    ///
+    /// # Errors
+    /// Returns a message if the domain cannot be decomposed onto `grid`.
+    fn local_core(&self, global_core: &Bounds, grid: &[i64]) -> Result<Bounds, String>;
+
+    /// Generates the halo exchanges for a rank-local buffer.
+    ///
+    /// * `local_field` — the halo-extended rank-local buffer bounds;
+    /// * `local_core` — the owned (stored) region inside it;
+    /// * `lo_halo`/`hi_halo` — halo widths actually read by the stencil.
+    ///
+    /// Exchange coordinates are 0-based buffer coordinates.
+    fn exchanges(
+        &self,
+        local_field: &Bounds,
+        local_core: &Bounds,
+        grid: &[i64],
+        lo_halo: &[i64],
+        hi_halo: &[i64],
+    ) -> Vec<ExchangeAttr>;
+}
+
+/// Equal slabs along the leading `grid.len()` dimensions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardSlicing;
+
+impl StandardSlicing {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        StandardSlicing
+    }
+}
+
+impl DecompositionStrategy for StandardSlicing {
+    fn name(&self) -> &'static str {
+        "standard-slicing"
+    }
+
+    fn local_core(&self, global_core: &Bounds, grid: &[i64]) -> Result<Bounds, String> {
+        if grid.len() > global_core.rank() {
+            return Err(format!(
+                "grid rank {} exceeds domain rank {}",
+                grid.len(),
+                global_core.rank()
+            ));
+        }
+        let mut dims = Vec::with_capacity(global_core.rank());
+        for d in 0..global_core.rank() {
+            let (lb, ub) = global_core.0[d];
+            let p = grid.get(d).copied().unwrap_or(1);
+            let size = ub - lb;
+            if p < 1 {
+                return Err(format!("grid extent {p} in dim {d} must be >= 1"));
+            }
+            if size % p != 0 {
+                return Err(format!(
+                    "domain extent {size} in dim {d} is not divisible by grid extent {p}"
+                ));
+            }
+            dims.push((lb, lb + size / p));
+        }
+        Ok(Bounds::new(dims))
+    }
+
+    fn exchanges(
+        &self,
+        local_field: &Bounds,
+        local_core: &Bounds,
+        grid: &[i64],
+        lo_halo: &[i64],
+        hi_halo: &[i64],
+    ) -> Vec<ExchangeAttr> {
+        let rank = local_field.rank();
+        let mut out = Vec::new();
+        // Buffer-local coordinate of a logical coordinate.
+        let to_buf = |logical: i64, d: usize| logical - local_field.0[d].0;
+        for d in 0..grid.len().min(rank) {
+            if grid[d] < 2 {
+                continue; // no neighbours along this dimension
+            }
+            // The exchanged region spans the core extent in the other
+            // dimensions (no diagonal/corner exchanges — the paper lists
+            // diagonal exchanges as future work, §8).
+            let base_at: Vec<i64> = (0..rank).map(|e| to_buf(local_core.0[e].0, e)).collect();
+            let base_size: Vec<i64> = (0..rank).map(|e| local_core.size(e)).collect();
+            if lo_halo[d] > 0 {
+                // Receive the low halo from the lower neighbour; send the
+                // first owned rows in exchange.
+                let mut at = base_at.clone();
+                let mut size = base_size.clone();
+                at[d] = to_buf(local_core.0[d].0 - lo_halo[d], d);
+                size[d] = lo_halo[d];
+                let mut source_offset = vec![0; rank];
+                source_offset[d] = lo_halo[d];
+                let mut to = vec![0; rank];
+                to[d] = -1;
+                out.push(ExchangeAttr::new(at, size, source_offset, to));
+            }
+            if hi_halo[d] > 0 {
+                // Receive the high halo from the upper neighbour; send the
+                // last owned rows in exchange.
+                let mut at = base_at.clone();
+                let mut size = base_size.clone();
+                at[d] = to_buf(local_core.0[d].1, d);
+                size[d] = hi_halo[d];
+                let mut source_offset = vec![0; rank];
+                source_offset[d] = -hi_halo[d];
+                let mut to = vec![0; rank];
+                to[d] = 1;
+                out.push(ExchangeAttr::new(at, size, source_offset, to));
+            }
+        }
+        out
+    }
+}
+
+/// Maps a linear rank id to cartesian grid coordinates (row-major: the
+/// last dimension varies fastest), mirroring `MPI_Cart_coords`.
+pub fn rank_to_coords(rank: i64, grid: &[i64]) -> Vec<i64> {
+    let mut coords = vec![0; grid.len()];
+    let mut rest = rank;
+    for d in (0..grid.len()).rev() {
+        coords[d] = rest % grid[d];
+        rest /= grid[d];
+    }
+    coords
+}
+
+/// Maps cartesian grid coordinates to the linear rank id (inverse of
+/// [`rank_to_coords`]); returns `None` if any coordinate is outside the
+/// grid (non-periodic topology).
+pub fn coords_to_rank(coords: &[i64], grid: &[i64]) -> Option<i64> {
+    let mut rank = 0;
+    for d in 0..grid.len() {
+        if coords[d] < 0 || coords[d] >= grid[d] {
+            return None;
+        }
+        rank = rank * grid[d] + coords[d];
+    }
+    Some(rank)
+}
+
+/// The neighbour rank at relative position `to`, or `None` at the domain
+/// boundary.
+pub fn neighbor_rank(rank: i64, grid: &[i64], to: &[i64]) -> Option<i64> {
+    let coords = rank_to_coords(rank, grid);
+    let moved: Vec<i64> =
+        coords.iter().zip(to.iter().chain(std::iter::repeat(&0))).map(|(c, t)| c + t).collect();
+    coords_to_rank(&moved, grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_decomposition_divides_evenly() {
+        let s = StandardSlicing::new();
+        let core = Bounds::new(vec![(1, 127), (0, 64)]);
+        let local = s.local_core(&core, &[2]).unwrap();
+        assert_eq!(local, Bounds::new(vec![(1, 64), (0, 64)]));
+        let local2d = s.local_core(&core, &[2, 2]).unwrap();
+        assert_eq!(local2d, Bounds::new(vec![(1, 64), (0, 32)]));
+    }
+
+    #[test]
+    fn indivisible_domains_are_rejected() {
+        let s = StandardSlicing::new();
+        let core = Bounds::new(vec![(0, 10)]);
+        let err = s.local_core(&core, &[3]).unwrap_err();
+        assert!(err.contains("not divisible"), "{err}");
+    }
+
+    #[test]
+    fn grid_rank_must_fit_domain() {
+        let s = StandardSlicing::new();
+        let core = Bounds::new(vec![(0, 8)]);
+        assert!(s.local_core(&core, &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn exchanges_match_paper_figure3_shape() {
+        // A 2D local core of 100x100 with 4-cell halos on a 2x2 grid,
+        // buffer 108x108 — the paper's Fig. 3 numbers.
+        let s = StandardSlicing::new();
+        let field = Bounds::new(vec![(-4, 104), (-4, 104)]);
+        let core = Bounds::new(vec![(0, 100), (0, 100)]);
+        let ex = s.exchanges(&field, &core, &[2, 2], &[4, 4], &[4, 4]);
+        assert_eq!(ex.len(), 4);
+        // The dim-1 low-halo exchange is the paper's example:
+        // at [4, 0] size [100, 4] source offset [0, 4] to [0, -1].
+        let e = ex.iter().find(|e| e.to == vec![0, -1]).unwrap();
+        assert_eq!(e.at, vec![4, 0]);
+        assert_eq!(e.size, vec![100, 4]);
+        assert_eq!(e.source_offset, vec![0, 4]);
+        // And its mirror:
+        let e2 = ex.iter().find(|e| e.to == vec![0, 1]).unwrap();
+        assert_eq!(e2.at, vec![4, 104]);
+        assert_eq!(e2.source_offset, vec![0, -4]);
+    }
+
+    #[test]
+    fn no_exchanges_along_undivided_dims() {
+        let s = StandardSlicing::new();
+        let field = Bounds::new(vec![(-1, 65), (-1, 65)]);
+        let core = Bounds::new(vec![(0, 64), (0, 64)]);
+        let ex = s.exchanges(&field, &core, &[2, 1], &[1, 1], &[1, 1]);
+        assert_eq!(ex.len(), 2, "only dim 0 has neighbours");
+        assert!(ex.iter().all(|e| e.to[1] == 0));
+    }
+
+    #[test]
+    fn zero_width_halos_generate_no_exchange() {
+        let s = StandardSlicing::new();
+        let field = Bounds::new(vec![(0, 64)]);
+        let core = Bounds::new(vec![(0, 64)]);
+        let ex = s.exchanges(&field, &core, &[4], &[0], &[0]);
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn rank_coordinate_mapping_round_trips() {
+        let grid = [2, 3, 4];
+        for rank in 0..24 {
+            let coords = rank_to_coords(rank, &grid);
+            assert_eq!(coords_to_rank(&coords, &grid), Some(rank));
+        }
+        assert_eq!(rank_to_coords(0, &grid), vec![0, 0, 0]);
+        assert_eq!(rank_to_coords(23, &grid), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn neighbor_lookup_respects_boundaries() {
+        let grid = [2, 2];
+        // Rank 0 is at (0,0): no lower neighbours.
+        assert_eq!(neighbor_rank(0, &grid, &[-1, 0]), None);
+        assert_eq!(neighbor_rank(0, &grid, &[0, -1]), None);
+        assert_eq!(neighbor_rank(0, &grid, &[1, 0]), Some(2));
+        assert_eq!(neighbor_rank(0, &grid, &[0, 1]), Some(1));
+        // Rank 3 is at (1,1): no upper neighbours.
+        assert_eq!(neighbor_rank(3, &grid, &[1, 0]), None);
+        assert_eq!(neighbor_rank(3, &grid, &[-1, 0]), Some(1));
+    }
+}

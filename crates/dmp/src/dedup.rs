@@ -1,0 +1,237 @@
+//! Redundant halo-exchange elimination.
+//!
+//! §4.2: inserting a swap before *every* load "may generate redundant data
+//! exchanges, \[but\] a subsequent pass eliminates them via a further pass
+//! analyzing the SSA data flow". A swap is redundant if the same buffer was
+//! already exchanged and no operation wrote to it in between: the halo is
+//! still up to date.
+//!
+//! The analysis is per-block and conservative: any op with side effects on
+//! the buffer (stencil.store, memref.store/copy, calls) invalidates the
+//! "freshly swapped" state, and nested regions clear it entirely.
+
+use sten_ir::{Block, Module, Op, Pass, PassError, Value};
+use std::collections::HashSet;
+
+/// The redundant-swap elimination pass. See the module docs.
+#[derive(Default)]
+pub struct EliminateRedundantSwaps;
+
+impl EliminateRedundantSwaps {
+    /// Creates the pass.
+    pub fn new() -> Self {
+        EliminateRedundantSwaps
+    }
+}
+
+/// Values a given op may write to (conservatively).
+fn written_buffers(op: &Op) -> Vec<Value> {
+    match op.name.as_str() {
+        // stencil.store writes the field (operand 1).
+        "stencil.store" => vec![op.operand(1)],
+        // memref.store writes the memref (operand 1).
+        "memref.store" => vec![op.operand(1)],
+        // memref.copy writes the destination (operand 1).
+        "memref.copy" => vec![op.operand(1)],
+        // external_store writes the memref (operand 1).
+        "stencil.external_store" => vec![op.operand(1)],
+        // Calls may write anything they can reach.
+        "func.call" => op.operands.clone(),
+        _ => vec![],
+    }
+}
+
+fn same_swap_config(a: &Op, b: &Op) -> bool {
+    a.attr("grid") == b.attr("grid") && a.attr("swaps") == b.attr("swaps")
+}
+
+fn process_block(block: &mut Block, removed: &mut usize) {
+    // Maps each buffer to the swap op (by index in `kept`) that last
+    // refreshed it, if still valid.
+    let mut fresh: Vec<(Value, Op)> = Vec::new();
+    let mut invalidated: HashSet<Value> = HashSet::new();
+    let ops = std::mem::take(&mut block.ops);
+    for mut op in ops {
+        // Recurse into nested regions first. Control-flow regions (loops,
+        // branches) invalidate everything — their bodies may write
+        // buffers on each iteration — but `stencil.apply` is pure value
+        // semantics (its region only reads temps), so swap freshness
+        // survives across it.
+        if !op.regions.is_empty() {
+            for region in &mut op.regions {
+                for inner in &mut region.blocks {
+                    process_block(inner, removed);
+                }
+            }
+            if op.name != "stencil.apply" {
+                fresh.clear();
+                invalidated.clear();
+            }
+            block.ops.push(op);
+            continue;
+        }
+        if op.name == "dmp.swap" {
+            let data = op.operand(0);
+            let duplicate = fresh
+                .iter()
+                .any(|(v, prev)| *v == data && same_swap_config(prev, &op));
+            if duplicate && !invalidated.contains(&data) {
+                *removed += 1;
+                continue; // drop the redundant swap
+            }
+            invalidated.remove(&data);
+            fresh.retain(|(v, _)| *v != data);
+            fresh.push((data, op.clone()));
+            block.ops.push(op);
+            continue;
+        }
+        for w in written_buffers(&op) {
+            invalidated.insert(w);
+            fresh.retain(|(v, _)| *v != w);
+        }
+        block.ops.push(op);
+    }
+}
+
+impl Pass for EliminateRedundantSwaps {
+    fn name(&self) -> &'static str {
+        "dmp-eliminate-redundant-swaps"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let mut removed = 0;
+        let mut regions = std::mem::take(&mut module.op.regions);
+        for region in &mut regions {
+            for block in &mut region.blocks {
+                process_block(block, &mut removed);
+            }
+        }
+        module.op.regions = regions;
+        Ok(())
+    }
+}
+
+/// Counts `dmp.swap` ops in a module (used by tests and the ablation
+/// bench).
+pub fn count_swaps(module: &Module) -> usize {
+    let mut n = 0;
+    module.walk(|op| {
+        if op.name == "dmp.swap" {
+            n += 1;
+        }
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::swap;
+    use sten_ir::{Bounds, ExchangeAttr, FieldType, Module, Type};
+
+    fn field_value(m: &mut Module) -> Value {
+        let ty = Type::Field(FieldType::new(Bounds::new(vec![(0, 65)]), Type::F64));
+        let mut def = Op::new("stencil.external_load");
+        let v = m.values.alloc(ty);
+        def.results.push(v);
+        m.body_mut().ops.push(def);
+        v
+    }
+
+    fn mk_swap(data: Value) -> Op {
+        swap(
+            data,
+            vec![2],
+            vec![ExchangeAttr::new(vec![0], vec![1], vec![1], vec![-1])],
+        )
+    }
+
+    #[test]
+    fn back_to_back_swaps_are_deduplicated() {
+        let mut m = Module::new();
+        let f = field_value(&mut m);
+        m.body_mut().ops.push(mk_swap(f));
+        m.body_mut().ops.push(mk_swap(f));
+        EliminateRedundantSwaps.run(&mut m).unwrap();
+        assert_eq!(count_swaps(&m), 1);
+    }
+
+    #[test]
+    fn intervening_write_keeps_the_second_swap() {
+        let mut m = Module::new();
+        let f = field_value(&mut m);
+        m.body_mut().ops.push(mk_swap(f));
+        // A store to the same field invalidates the halo.
+        let temp = m.values.alloc(Type::Temp(sten_ir::TempType::unknown(1, Type::F64)));
+        let mut def = Op::new("stencil.load");
+        def.operands.push(f);
+        def.results.push(temp);
+        m.body_mut().ops.push(def);
+        m.body_mut().ops.push(sten_stencil::ops::store(temp, f, vec![1], vec![64]));
+        m.body_mut().ops.push(mk_swap(f));
+        EliminateRedundantSwaps.run(&mut m).unwrap();
+        assert_eq!(count_swaps(&m), 2);
+    }
+
+    #[test]
+    fn different_buffers_are_independent() {
+        let mut m = Module::new();
+        let f1 = field_value(&mut m);
+        let f2 = field_value(&mut m);
+        m.body_mut().ops.push(mk_swap(f1));
+        m.body_mut().ops.push(mk_swap(f2));
+        EliminateRedundantSwaps.run(&mut m).unwrap();
+        assert_eq!(count_swaps(&m), 2);
+    }
+
+    #[test]
+    fn different_exchange_configs_are_kept() {
+        let mut m = Module::new();
+        let f = field_value(&mut m);
+        m.body_mut().ops.push(mk_swap(f));
+        let other = swap(
+            f,
+            vec![2],
+            vec![ExchangeAttr::new(vec![64], vec![1], vec![-1], vec![1])],
+        );
+        m.body_mut().ops.push(other);
+        EliminateRedundantSwaps.run(&mut m).unwrap();
+        assert_eq!(count_swaps(&m), 2, "configs differ: both kept");
+    }
+
+    #[test]
+    fn dedup_works_inside_time_loops() {
+        // Inside a loop body: two consecutive swaps of the same field (as
+        // generated when two applies read the same field) — one survives.
+        let mut m = Module::new();
+        let f = field_value(&mut m);
+        let lo = sten_dialects::arith::const_index(&mut m.values, 0);
+        let lov = lo.result(0);
+        m.body_mut().ops.push(lo);
+        let loop_op =
+            sten_dialects::scf::for_loop(&mut m.values, lov, lov, lov, vec![], |_vt, _iv, _| {
+                vec![mk_swap(f), mk_swap(f), sten_dialects::scf::yield_op(vec![])]
+            });
+        m.body_mut().ops.push(loop_op);
+        EliminateRedundantSwaps.run(&mut m).unwrap();
+        assert_eq!(count_swaps(&m), 1);
+    }
+
+    #[test]
+    fn swaps_in_loops_not_merged_across_iterations() {
+        // A single swap inside a loop stays (each iteration needs it).
+        let mut m = Module::new();
+        let f = field_value(&mut m);
+        m.body_mut().ops.push(mk_swap(f));
+        let lo = sten_dialects::arith::const_index(&mut m.values, 0);
+        let lov = lo.result(0);
+        m.body_mut().ops.push(lo);
+        let loop_op =
+            sten_dialects::scf::for_loop(&mut m.values, lov, lov, lov, vec![], |_vt, _iv, _| {
+                vec![mk_swap(f), sten_dialects::scf::yield_op(vec![])]
+            });
+        m.body_mut().ops.push(loop_op);
+        EliminateRedundantSwaps.run(&mut m).unwrap();
+        assert_eq!(count_swaps(&m), 2, "outer and inner swaps both kept");
+    }
+}

@@ -1,0 +1,33 @@
+//! # sten-dmp — the `dmp` dialect: an IR for domain decomposition
+//!
+//! The paper's §4.2 contribution: "dmp is used to express parallel
+//! communication patterns as modular building blocks [...] offering a
+//! mechanism for describing the exchange of rectangular subsections of data
+//! among nodes."
+//!
+//! * [`ops`] — the declarative [`dmp.swap`](ops::swap) operation carrying
+//!   `#dmp.grid` and `#dmp.exchange` attributes (Listing 2);
+//! * [`decomposition`] — the [`DecompositionStrategy`] interface and the
+//!   standard 1D/2D/3D slicing strategy: "a class that exposes an interface
+//!   that allows a rewrite pass to calculate the local domain from the
+//!   global domain [...] this extensible design allows adopters to
+//!   supplement our default slicing strategy with their own";
+//! * [`distribute`] — the shared pass that "automatically prepares stencil
+//!   programs for distributed execution": global domain → rank-local domain
+//!   with `dmp.swap` inserted before each `stencil.load`;
+//! * [`dedup`] — the pass that removes redundant exchanges "via a further
+//!   pass analyzing the SSA data flow".
+//!
+//! Nothing here is MPI-specific; the `sten-mpi` crate lowers `dmp.swap`
+//! into message-passing calls, and other communication substrates could be
+//! targeted instead (as the paper notes).
+
+pub mod decomposition;
+pub mod dedup;
+pub mod distribute;
+pub mod ops;
+
+pub use decomposition::{DecompositionStrategy, StandardSlicing};
+pub use dedup::EliminateRedundantSwaps;
+pub use distribute::DistributeStencil;
+pub use ops::register;

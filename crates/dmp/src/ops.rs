@@ -1,0 +1,240 @@
+//! The `dmp.swap` operation (Listing 2 of the paper).
+//!
+//! ```text
+//! dmp.swap(%data) {
+//!   "grid" = #dmp.grid<2x2>,
+//!   "swaps" = [
+//!     #dmp.exchange<at [4, 0] size [100, 4] source offset [0, 4] to [0, -1]>,
+//!     #dmp.exchange<at [4, 104] size [100, 4] source offset [0, -4] to [0, 1]>
+//!   ]
+//! } : (memref<108x108xf32>) -> ()
+//! ```
+//!
+//! The operand may be a `memref` (as in the paper's listing, after
+//! bufferization) or still a `!stencil.field` when the swap is inserted at
+//! the stencil level; exchange coordinates are always **0-based buffer
+//! coordinates**.
+
+use sten_ir::{Attribute, DialectRegistry, ExchangeAttr, Op, OpSpec, Type, Value, ValueTable};
+
+/// Builds a `dmp.swap` over `data` for the given cartesian `grid` topology
+/// and exchange declarations.
+pub fn swap(data: Value, grid: Vec<i64>, exchanges: Vec<ExchangeAttr>) -> Op {
+    let mut op = Op::new("dmp.swap");
+    op.operands.push(data);
+    op.set_attr("grid", Attribute::Grid(grid));
+    op.set_attr(
+        "swaps",
+        Attribute::Array(exchanges.into_iter().map(Attribute::Exchange).collect()),
+    );
+    op
+}
+
+/// Typed view over `dmp.swap`.
+pub struct SwapOp<'a>(pub &'a Op);
+
+impl<'a> SwapOp<'a> {
+    /// Matches a `dmp.swap`.
+    pub fn matches(op: &'a Op) -> Option<Self> {
+        (op.name == "dmp.swap").then_some(SwapOp(op))
+    }
+
+    /// The buffer being exchanged.
+    pub fn data(&self) -> Value {
+        self.0.operand(0)
+    }
+
+    /// The cartesian rank topology.
+    pub fn grid(&self) -> &[i64] {
+        self.0.attr("grid").and_then(Attribute::as_grid).expect("dmp.swap grid")
+    }
+
+    /// The exchange declarations.
+    pub fn exchanges(&self) -> Vec<&ExchangeAttr> {
+        self.0
+            .attr("swaps")
+            .and_then(Attribute::as_array)
+            .map(|a| a.iter().filter_map(Attribute::as_exchange).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of elements exchanged (sent) by one rank with all
+    /// neighbours present — the communication-volume metric used by the
+    /// performance model.
+    pub fn total_exchange_elements(&self) -> i64 {
+        self.exchanges().iter().map(|e| e.num_elements()).sum()
+    }
+}
+
+/// The shape of the buffer a swap operates on, in elements per dimension.
+fn buffer_shape(vt: &ValueTable, v: Value) -> Option<Vec<i64>> {
+    match vt.ty(v) {
+        Type::MemRef(m) => Some(m.shape.clone()),
+        Type::Field(f) => Some(f.bounds.shape()),
+        _ => None,
+    }
+}
+
+fn verify_swap(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || !op.results.is_empty() {
+        return Err("dmp.swap takes one buffer and returns nothing".into());
+    }
+    let Some(shape) = buffer_shape(vt, op.operand(0)) else {
+        return Err("dmp.swap operand must be a memref or !stencil.field".into());
+    };
+    let Some(grid) = op.attr("grid").and_then(Attribute::as_grid) else {
+        return Err("dmp.swap requires a #dmp.grid attribute".into());
+    };
+    if grid.iter().any(|&g| g < 1) {
+        return Err("grid extents must be >= 1".into());
+    }
+    if grid.len() > shape.len() {
+        return Err(format!(
+            "grid rank {} exceeds buffer rank {}",
+            grid.len(),
+            shape.len()
+        ));
+    }
+    let Some(swaps) = op.attr("swaps").and_then(Attribute::as_array) else {
+        return Err("dmp.swap requires a swaps array".into());
+    };
+    for (i, attr) in swaps.iter().enumerate() {
+        let Some(e) = attr.as_exchange() else {
+            return Err(format!("swaps[{i}] is not a #dmp.exchange"));
+        };
+        if e.rank() != shape.len() {
+            return Err(format!(
+                "swaps[{i}] rank {} does not match buffer rank {}",
+                e.rank(),
+                shape.len()
+            ));
+        }
+        for d in 0..e.rank() {
+            let recv_end = e.at[d] + e.size[d];
+            if e.at[d] < 0 || recv_end > shape[d] {
+                return Err(format!(
+                    "swaps[{i}] receive region out of bounds in dim {d}: \
+                     [{}, {recv_end}) vs extent {}",
+                    e.at[d], shape[d]
+                ));
+            }
+            let send_at = e.at[d] + e.source_offset[d];
+            let send_end = send_at + e.size[d];
+            if send_at < 0 || send_end > shape[d] {
+                return Err(format!(
+                    "swaps[{i}] send region out of bounds in dim {d}: \
+                     [{send_at}, {send_end}) vs extent {}",
+                    shape[d]
+                ));
+            }
+        }
+        if e.to.iter().all(|&t| t == 0) {
+            return Err(format!("swaps[{i}] exchanges with itself (to = 0)"));
+        }
+    }
+    Ok(())
+}
+
+/// Registers the dmp dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(
+        OpSpec::new("dmp.swap", "declarative halo exchange").with_verify(verify_swap),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_ir::{verify_module, MemRefType, Module};
+
+    fn listing2_swap(m: &mut Module) -> (Op, Op) {
+        let alloc =
+            sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![108, 108], Type::F32));
+        let data = alloc.result(0);
+        let s = swap(
+            data,
+            vec![2, 2],
+            vec![
+                ExchangeAttr::new(vec![4, 0], vec![100, 4], vec![0, 4], vec![0, -1]),
+                ExchangeAttr::new(vec![4, 104], vec![100, 4], vec![0, -4], vec![0, 1]),
+            ],
+        );
+        (alloc, s)
+    }
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        register(&mut reg);
+        sten_dialects::register_all(&mut reg);
+        reg
+    }
+
+    #[test]
+    fn listing2_builds_verifies_and_round_trips() {
+        let mut m = Module::new();
+        let (alloc, s) = listing2_swap(&mut m);
+        m.body_mut().ops.push(alloc);
+        m.body_mut().ops.push(s);
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = sten_ir::print_module(&m);
+        assert!(text.contains("#dmp.grid<2x2>"));
+        assert!(text.contains("source offset [0, 4] to [0, -1]"));
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
+    }
+
+    #[test]
+    fn swap_view_reports_volume() {
+        let mut m = Module::new();
+        let (alloc, s) = listing2_swap(&mut m);
+        m.body_mut().ops.push(alloc);
+        m.body_mut().ops.push(s);
+        let view = SwapOp::matches(&m.body().ops[1]).unwrap();
+        assert_eq!(view.grid(), &[2, 2]);
+        assert_eq!(view.exchanges().len(), 2);
+        assert_eq!(view.total_exchange_elements(), 800);
+    }
+
+    #[test]
+    fn verifier_rejects_out_of_bounds_regions() {
+        let mut m = Module::new();
+        let alloc =
+            sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![10], Type::F32));
+        let data = alloc.result(0);
+        m.body_mut().ops.push(alloc);
+        let bad = swap(
+            data,
+            vec![2],
+            vec![ExchangeAttr::new(vec![8], vec![4], vec![-4], vec![1])],
+        );
+        m.body_mut().ops.push(bad);
+        let err = verify_module(&m, Some(&registry())).unwrap_err();
+        assert!(err.message.contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn verifier_rejects_self_exchange() {
+        let mut m = Module::new();
+        let alloc =
+            sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![10], Type::F32));
+        let data = alloc.result(0);
+        m.body_mut().ops.push(alloc);
+        let bad = swap(data, vec![2], vec![ExchangeAttr::new(vec![0], vec![1], vec![1], vec![0])]);
+        m.body_mut().ops.push(bad);
+        let err = verify_module(&m, Some(&registry())).unwrap_err();
+        assert!(err.message.contains("itself"), "{err}");
+    }
+
+    #[test]
+    fn verifier_rejects_grid_rank_overflow() {
+        let mut m = Module::new();
+        let alloc =
+            sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![10], Type::F32));
+        let data = alloc.result(0);
+        m.body_mut().ops.push(alloc);
+        let bad = swap(data, vec![2, 2], vec![]);
+        m.body_mut().ops.push(bad);
+        let err = verify_module(&m, Some(&registry())).unwrap_err();
+        assert!(err.message.contains("grid rank"), "{err}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # sten-exec — compiled kernel execution
+//!
+//! The paper's stack hands its lowered IR to LLVM and runs vendor-compiled
+//! binaries on ARCHER2/Cirrus. This crate is the reproduction's native
+//! execution engine standing in for that JIT path:
+//!
+//! * [`program`] — compiles `stencil.apply` regions into register-based
+//!   bytecode ([`program::KernelProgram`]), with exact flop/load counts
+//!   per grid point (consumed by `sten-perf` to compute arithmetic
+//!   intensities from *real* IR rather than hand-waved estimates);
+//! * [`pipeline`] — compiles a whole stencil-level function
+//!   (`load`/`apply`/`store`/`dmp.swap` sequences) into an executable
+//!   [`pipeline::Pipeline`]; [`pipeline::Runner`] executes timesteps
+//!   serially, with shared-memory parallelism (the OpenMP substitute:
+//!   scoped threads over outer-dimension chunks), or SPMD-distributed over
+//!   a [`sten_interp::SimWorld`] (ranks-as-threads, the mpirun
+//!   substitute).
+//!
+//! Numerical results are bit-identical to the `sten-interp` tree-walker on
+//! the same module — the workspace tests enforce this.
+
+pub mod pipeline;
+pub mod program;
+
+pub use pipeline::{compile_module, BufId, Pipeline, Runner, Step};
+pub use program::{CompiledKernel, Instr, KernelProgram};

@@ -1,0 +1,621 @@
+//! Compiling whole stencil functions into executable pipelines.
+//!
+//! A stencil-level function (after shape inference, optionally after
+//! distribution) has the shape `loads* (applies | swaps)* stores*`; this
+//! module compiles it into a [`Pipeline`] of [`Step`]s and executes
+//! timesteps through a [`Runner`] — serially, with thread parallelism, or
+//! SPMD-distributed over SimMPI.
+
+use crate::program::{compile_apply, CompiledKernel, InputDesc};
+use sten_ir::{Attribute, Bounds, ExchangeAttr, Module, Type, Value};
+use sten_interp::SimWorld;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies a buffer in a pipeline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BufId {
+    /// The n-th function argument.
+    Arg(usize),
+    /// The n-th intermediate (pipeline-allocated) buffer.
+    Tmp(usize),
+}
+
+/// One executable step.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Run a compiled kernel.
+    Apply {
+        /// The kernel.
+        kernel: CompiledKernel,
+        /// Input buffers (parallel to the kernel's inputs).
+        inputs: Vec<BufId>,
+        /// Output buffers (parallel to the kernel's outputs).
+        outputs: Vec<BufId>,
+    },
+    /// Halo exchange (distributed runs only).
+    Swap {
+        /// The buffer to exchange.
+        buf: BufId,
+        /// Rank topology.
+        grid: Vec<i64>,
+        /// Exchange declarations (buffer coordinates).
+        exchanges: Vec<ExchangeAttr>,
+    },
+    /// Range copy between buffers (non-forwarded stores).
+    Copy {
+        /// Source buffer.
+        src: BufId,
+        /// Source layout.
+        src_desc: InputDesc,
+        /// Destination buffer.
+        dst: BufId,
+        /// Destination layout.
+        dst_desc: InputDesc,
+        /// Logical range to copy.
+        range: Bounds,
+    },
+}
+
+/// A compiled stencil function.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    /// Number of buffer arguments the caller must provide.
+    pub num_args: usize,
+    /// Shapes of caller-provided buffers.
+    pub arg_shapes: Vec<Vec<i64>>,
+    /// Shapes of pipeline-allocated intermediates.
+    pub tmp_shapes: Vec<Vec<i64>>,
+    /// Steps in program order.
+    pub steps: Vec<Step>,
+}
+
+impl Pipeline {
+    /// Total floating-point ops per executed timestep.
+    pub fn flops_per_step(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Apply { kernel, .. } => {
+                    kernel.program.flops as u64 * kernel.points() as u64
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Grid points written per timestep (over all applies; a fused apply
+    /// with several results writes several points per iteration point).
+    pub fn points_per_step(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Apply { kernel, outputs, .. } => {
+                    kernel.points() as u64 * outputs.len().max(1) as u64
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of apply steps (the "stencil regions" count of §6.2).
+    pub fn num_apply_steps(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, Step::Apply { .. })).count()
+    }
+
+    /// Elements exchanged per timestep when every neighbour is present.
+    pub fn exchanged_elements_per_step(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Swap { exchanges, .. } => {
+                    exchanges.iter().map(|e| e.num_elements() as u64).sum()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Executes a [`Pipeline`].
+pub struct Runner {
+    /// The compiled pipeline.
+    pub pipeline: Pipeline,
+    /// Worker threads for apply steps (1 = serial).
+    pub threads: usize,
+    tmps: Vec<Vec<f64>>,
+}
+
+impl Runner {
+    /// Creates a runner, allocating the intermediates.
+    pub fn new(pipeline: Pipeline, threads: usize) -> Runner {
+        let tmps = pipeline
+            .tmp_shapes
+            .iter()
+            .map(|s| vec![0.0; s.iter().product::<i64>().max(0) as usize])
+            .collect();
+        Runner { pipeline, threads, tmps }
+    }
+
+    /// Runs one timestep on single-process data.
+    ///
+    /// # Errors
+    /// Reports swap steps (they need a world) and shape mismatches.
+    ///
+    /// # Panics
+    /// Panics if `args` count differs from the pipeline's `num_args`.
+    pub fn step(&mut self, args: &mut [Vec<f64>]) -> Result<(), String> {
+        self.step_inner(args, None, 0)
+    }
+
+    /// Runs one timestep as `rank` of a SimMPI world.
+    ///
+    /// # Errors
+    /// Reports shape mismatches and communication failures.
+    pub fn step_distributed(
+        &mut self,
+        args: &mut [Vec<f64>],
+        world: &Arc<SimWorld>,
+        rank: i64,
+    ) -> Result<(), String> {
+        self.step_inner(args, Some(world), rank)
+    }
+
+    fn step_inner(
+        &mut self,
+        args: &mut [Vec<f64>],
+        world: Option<&Arc<SimWorld>>,
+        rank: i64,
+    ) -> Result<(), String> {
+        assert_eq!(args.len(), self.pipeline.num_args, "argument count mismatch");
+        let pipeline = &self.pipeline;
+        let tmps = &mut self.tmps;
+        let threads = self.threads;
+        // Steps are executed in order; buffers are disjoint Vec<f64>s.
+        for step in &pipeline.steps {
+            match step {
+                Step::Apply { kernel, inputs, outputs } => {
+                    // Collect raw pointers to sidestep simultaneous
+                    // &/&mut borrows of the args/tmps arrays; inputs and
+                    // outputs never alias (value semantics: applies read
+                    // source buffers and write freshly produced ones).
+                    let input_slices: Vec<&[f64]> = inputs
+                        .iter()
+                        .map(|&b| match b {
+                            BufId::Arg(i) => unsafe {
+                                std::slice::from_raw_parts(args[i].as_ptr(), args[i].len())
+                            },
+                            BufId::Tmp(i) => unsafe {
+                                std::slice::from_raw_parts(tmps[i].as_ptr(), tmps[i].len())
+                            },
+                        })
+                        .collect();
+                    let mut out_slices: Vec<&mut [f64]> = outputs
+                        .iter()
+                        .map(|&b| match b {
+                            BufId::Arg(i) => unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    args[i].as_ptr() as *mut f64,
+                                    args[i].len(),
+                                )
+                            },
+                            BufId::Tmp(i) => unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    tmps[i].as_ptr() as *mut f64,
+                                    tmps[i].len(),
+                                )
+                            },
+                        })
+                        .collect();
+                    kernel.execute_parallel(&input_slices, &mut out_slices, threads);
+                }
+                Step::Swap { buf, grid, exchanges } => {
+                    let Some(world) = world else {
+                        return Err(
+                            "pipeline contains dmp.swap steps — use step_distributed".into()
+                        );
+                    };
+                    let shape = match *buf {
+                        BufId::Arg(i) => pipeline.arg_shapes[i].clone(),
+                        BufId::Tmp(i) => pipeline.tmp_shapes[i].clone(),
+                    };
+                    let data: &mut [f64] = match *buf {
+                        BufId::Arg(i) => &mut args[i],
+                        BufId::Tmp(i) => &mut tmps[i],
+                    };
+                    swap_exchange(world, rank, grid, exchanges, &shape, data)?;
+                }
+                Step::Copy { src, src_desc, dst, dst_desc, range } => {
+                    let src_data: Vec<f64> = match *src {
+                        BufId::Arg(i) => args[i].clone(),
+                        BufId::Tmp(i) => tmps[i].clone(),
+                    };
+                    let dst_data: &mut [f64] = match *dst {
+                        BufId::Arg(i) => &mut args[i],
+                        BufId::Tmp(i) => &mut tmps[i],
+                    };
+                    let mut p = range.lower();
+                    if range.num_points() > 0 {
+                        loop {
+                            let s = src_desc.flat(&p) as usize;
+                            let d = dst_desc.flat(&p) as usize;
+                            dst_data[d] = src_data[s];
+                            let mut dim = range.rank();
+                            let mut done = false;
+                            loop {
+                                if dim == 0 {
+                                    done = true;
+                                    break;
+                                }
+                                dim -= 1;
+                                p[dim] += 1;
+                                if p[dim] < range.0[dim].1 {
+                                    break;
+                                }
+                                p[dim] = range.0[dim].0;
+                            }
+                            if done {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+}
+
+/// Performs one `dmp.swap` on plain data through a SimMPI world
+/// (buffered sends first, then blocking receives — deadlock-free).
+fn swap_exchange(
+    world: &Arc<SimWorld>,
+    rank: i64,
+    grid: &[i64],
+    exchanges: &[ExchangeAttr],
+    shape: &[i64],
+    data: &mut [f64],
+) -> Result<(), String> {
+    use sten_dmp::decomposition::neighbor_rank;
+    use sten_mpi::dmp_to_mpi::tag_for_direction;
+    let desc = InputDesc { shape: shape.to_vec(), lb: vec![0; shape.len()] };
+    let gather = |data: &[f64], at: &[i64], size: &[i64]| -> Vec<f64> {
+        let range = Bounds::new(at.iter().zip(size).map(|(&a, &s)| (a, a + s)).collect());
+        let mut out = Vec::with_capacity(range.num_points() as usize);
+        let mut p = range.lower();
+        if range.num_points() > 0 {
+            loop {
+                out.push(data[desc.flat(&p) as usize]);
+                let mut d = range.rank();
+                let mut done = false;
+                loop {
+                    if d == 0 {
+                        done = true;
+                        break;
+                    }
+                    d -= 1;
+                    p[d] += 1;
+                    if p[d] < range.0[d].1 {
+                        break;
+                    }
+                    p[d] = range.0[d].0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        out
+    };
+    for e in exchanges {
+        if let Some(n) = neighbor_rank(rank, grid, &e.to) {
+            let msg = gather(data, &e.send_at(), &e.size);
+            world.send(rank as i32, n as i32, tag_for_direction(&e.to) as i32, msg);
+        }
+    }
+    for e in exchanges {
+        if let Some(n) = neighbor_rank(rank, grid, &e.to) {
+            let neg: Vec<i64> = e.to.iter().map(|t| -t).collect();
+            let msg = world.recv(rank as i32, n as i32, tag_for_direction(&neg) as i32);
+            let range =
+                Bounds::new(e.at.iter().zip(&e.size).map(|(&a, &s)| (a, a + s)).collect());
+            let mut p = range.lower();
+            let mut i = 0;
+            if range.num_points() > 0 {
+                loop {
+                    data[desc.flat(&p) as usize] = msg[i];
+                    i += 1;
+                    let mut d = range.rank();
+                    let mut done = false;
+                    loop {
+                        if d == 0 {
+                            done = true;
+                            break;
+                        }
+                        d -= 1;
+                        p[d] += 1;
+                        if p[d] < range.0[d].1 {
+                            break;
+                        }
+                        p[d] = range.0[d].0;
+                    }
+                    if done {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compiles the function `func` of a shape-inferred stencil-level module
+/// into a [`Pipeline`].
+///
+/// # Errors
+/// Reports unsupported structure (time loops must be driven by the
+/// caller; apply bodies must be compilable — see
+/// [`crate::program::compile_apply`]).
+pub fn compile_module(module: &Module, func: &str) -> Result<Pipeline, String> {
+    let f = module.lookup_symbol(func).ok_or_else(|| format!("no function '{func}'"))?;
+    let block = f.region_block(0);
+
+    // Buffer table: value -> (BufId, layout).
+    let mut bufs: HashMap<Value, (BufId, InputDesc)> = HashMap::new();
+    let mut arg_shapes = Vec::new();
+    for (i, &arg) in block.args.iter().enumerate() {
+        match module.values.ty(arg) {
+            Type::Field(fld) => {
+                let desc = InputDesc { shape: fld.bounds.shape(), lb: fld.bounds.lower() };
+                arg_shapes.push(desc.shape.clone());
+                bufs.insert(arg, (BufId::Arg(i), desc));
+            }
+            other => return Err(format!("unsupported argument type {other:?}")),
+        }
+    }
+    let num_args = arg_shapes.len();
+
+    // Which apply results are store-forwarded.
+    let counts = module.op.use_counts();
+    let mut forwarded: HashMap<Value, Value> = HashMap::new();
+    for op in &block.ops {
+        if op.name == "stencil.store" {
+            let temp = op.operand(0);
+            if counts.get(&temp).copied().unwrap_or(0) == 1 {
+                if let Type::Temp(t) = module.values.ty(temp) {
+                    if let Some(b) = &t.bounds {
+                        if *b == sten_stencil::ops::StoreOp(op).range() {
+                            forwarded.insert(temp, op.operand(1));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut tmp_shapes: Vec<Vec<i64>> = Vec::new();
+    let mut steps = Vec::new();
+    let mut scalar_consts: HashMap<Value, f64> = HashMap::new();
+
+    for op in &block.ops {
+        match op.name.as_str() {
+            "arith.constant" => {
+                if let Some(v) = op.attr("value").and_then(Attribute::as_f64) {
+                    scalar_consts.insert(op.result(0), v);
+                }
+            }
+            "stencil.load" | "stencil.buffer" => {
+                let parent = bufs
+                    .get(&op.operand(0))
+                    .cloned()
+                    .ok_or("load from unknown buffer")?;
+                bufs.insert(op.result(0), parent);
+            }
+            "stencil.cast" => {
+                let (id, _) = bufs.get(&op.operand(0)).cloned().ok_or("cast of unknown")?;
+                let Type::Field(fld) = module.values.ty(op.result(0)) else {
+                    return Err("cast to non-field".into());
+                };
+                bufs.insert(
+                    op.result(0),
+                    (id, InputDesc { shape: fld.bounds.shape(), lb: fld.bounds.lower() }),
+                );
+            }
+            "dmp.swap" => {
+                let (id, _desc) = bufs.get(&op.operand(0)).cloned().ok_or("swap of unknown")?;
+                let grid = op
+                    .attr("grid")
+                    .and_then(Attribute::as_grid)
+                    .ok_or("swap without grid")?
+                    .to_vec();
+                let exchanges: Vec<ExchangeAttr> = op
+                    .attr("swaps")
+                    .and_then(Attribute::as_array)
+                    .map(|a| a.iter().filter_map(Attribute::as_exchange).cloned().collect())
+                    .unwrap_or_default();
+                steps.push(Step::Swap { buf: id, grid, exchanges });
+            }
+            "stencil.apply" => {
+                let input_descs: Vec<Option<InputDesc>> = op
+                    .operands
+                    .iter()
+                    .map(|o| bufs.get(o).map(|(_, d)| d.clone()))
+                    .collect();
+                let input_ids: Vec<BufId> = op
+                    .operands
+                    .iter()
+                    .filter_map(|o| bufs.get(o).map(|(id, _)| *id))
+                    .collect();
+                let mut output_ids = Vec::new();
+                let mut output_descs = Vec::new();
+                for &r in &op.results {
+                    let Type::Temp(t) = module.values.ty(r) else {
+                        return Err("apply result is not a temp".into());
+                    };
+                    let b = t.bounds.clone().ok_or("apply result bounds unknown")?;
+                    if let Some(&field) = forwarded.get(&r) {
+                        let (id, desc) =
+                            bufs.get(&field).cloned().ok_or("forward to unknown field")?;
+                        output_ids.push(id);
+                        output_descs.push(desc.clone());
+                        bufs.insert(r, (id, desc));
+                    } else {
+                        let desc = InputDesc { shape: b.shape(), lb: b.lower() };
+                        let id = BufId::Tmp(tmp_shapes.len());
+                        tmp_shapes.push(desc.shape.clone());
+                        output_ids.push(id);
+                        output_descs.push(desc.clone());
+                        bufs.insert(r, (id, desc));
+                    }
+                }
+                let kernel =
+                    compile_apply(op, &module.values, input_descs, output_descs, &scalar_consts)?;
+                steps.push(Step::Apply { kernel, inputs: input_ids, outputs: output_ids });
+            }
+            "stencil.store" => {
+                if forwarded.contains_key(&op.operand(0)) {
+                    continue;
+                }
+                let (src, src_desc) =
+                    bufs.get(&op.operand(0)).cloned().ok_or("store of unknown temp")?;
+                let (dst, dst_desc) =
+                    bufs.get(&op.operand(1)).cloned().ok_or("store to unknown field")?;
+                let range = sten_stencil::ops::StoreOp(op).range();
+                steps.push(Step::Copy { src, src_desc, dst, dst_desc, range });
+            }
+            "func.return" => break,
+            other => return Err(format!("unsupported op at function level: {other}")),
+        }
+    }
+    Ok(Pipeline { num_args, arg_shapes, tmp_shapes, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_ir::Pass as _;
+    use sten_stencil::{samples, ShapeInference};
+
+    fn prepare(mut m: Module) -> Module {
+        ShapeInference.run(&mut m).unwrap();
+        m
+    }
+
+    #[test]
+    fn pipeline_matches_interpreter_on_heat2d() {
+        let n = 24i64;
+        let m = prepare(samples::heat_2d(n, 0.1));
+        let pipeline = compile_module(&m, "heat").unwrap();
+        assert_eq!(pipeline.num_args, 2);
+        assert_eq!(pipeline.num_apply_steps(), 1);
+        assert!(pipeline.flops_per_step() > 0);
+
+        let size = ((n + 2) * (n + 2)) as usize;
+        let input: Vec<f64> = (0..size).map(|i| (i as f64 * 0.07).sin()).collect();
+        let mut args = vec![input.clone(), input.clone()];
+        Runner::new(pipeline, 1).step(&mut args).unwrap();
+
+        // Interpreter reference.
+        let src = sten_interp::BufView::from_data(vec![n + 2, n + 2], input.clone());
+        let dst = sten_interp::BufView::from_data(vec![n + 2, n + 2], input);
+        sten_interp::Interpreter::new(&m)
+            .call_function(
+                "heat",
+                vec![
+                    sten_interp::RtValue::Buffer(src),
+                    sten_interp::RtValue::Buffer(dst.clone()),
+                ],
+            )
+            .unwrap();
+        assert_eq!(args[1], dst.to_vec(), "compiled == interpreted, bit for bit");
+    }
+
+    #[test]
+    fn multithreaded_step_matches_serial() {
+        let n = 48i64;
+        let m = prepare(samples::heat_2d(n, 0.1));
+        let size = ((n + 2) * (n + 2)) as usize;
+        let input: Vec<f64> = (0..size).map(|i| (i as f64 * 0.03).cos()).collect();
+
+        let mut serial_args = vec![input.clone(), input.clone()];
+        Runner::new(compile_module(&m, "heat").unwrap(), 1).step(&mut serial_args).unwrap();
+        let mut par_args = vec![input.clone(), input];
+        Runner::new(compile_module(&m, "heat").unwrap(), 8).step(&mut par_args).unwrap();
+        assert_eq!(serial_args[1], par_args[1]);
+    }
+
+    #[test]
+    fn two_stage_pipeline_has_intermediate() {
+        let m = prepare(samples::two_stage_1d(32));
+        let p = compile_module(&m, "two_stage").unwrap();
+        assert_eq!(p.num_apply_steps(), 2);
+        assert_eq!(p.tmp_shapes.len(), 1, "intermediate temp materialised");
+    }
+
+    #[test]
+    fn distributed_pipeline_matches_serial() {
+        let n = 128i64;
+        let global: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+
+        // Serial.
+        let serial = prepare(samples::jacobi_1d(n));
+        let mut serial_args = vec![global.clone(), global.clone()];
+        Runner::new(compile_module(&serial, "jacobi").unwrap(), 1)
+            .step(&mut serial_args)
+            .unwrap();
+
+        // Distributed on 2 ranks at the dmp level.
+        let mut m = samples::jacobi_1d(n);
+        ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![2]).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        let pipeline = compile_module(&m, "jacobi").unwrap();
+        assert!(pipeline.exchanged_elements_per_step() > 0);
+        let local = pipeline.arg_shapes[0][0];
+        let core = (n - 2) / 2;
+
+        let world = SimWorld::new(2);
+        let mut outs: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+        crossbeam::thread::scope(|scope| {
+            for (rank, out) in outs.iter_mut().enumerate() {
+                let world = Arc::clone(&world);
+                let pipeline = pipeline.clone();
+                let global = global.clone();
+                scope.spawn(move |_| {
+                    let start = rank as i64 * core;
+                    let data: Vec<f64> =
+                        (0..local).map(|i| global[(start + i) as usize]).collect();
+                    let mut args = vec![data.clone(), data];
+                    let mut runner = Runner::new(pipeline, 1);
+                    runner.step_distributed(&mut args, &world, rank as i64).unwrap();
+                    *out = args[1].clone();
+                });
+            }
+        })
+        .unwrap();
+
+        let mut got = global.clone();
+        for (rank, out) in outs.iter().enumerate() {
+            let start = rank as i64 * core;
+            for l in 1..=core {
+                got[(start + l) as usize] = out[l as usize];
+            }
+        }
+        assert_eq!(got, serial_args[1]);
+    }
+
+    #[test]
+    fn swap_without_world_is_reported() {
+        let mut m = samples::jacobi_1d(128);
+        ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![2]).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        let pipeline = compile_module(&m, "jacobi").unwrap();
+        let shape = pipeline.arg_shapes[0].clone();
+        let len = shape.iter().product::<i64>() as usize;
+        let mut args = vec![vec![0.0; len], vec![0.0; len]];
+        let err = Runner::new(pipeline, 1).step(&mut args).unwrap_err();
+        assert!(err.contains("step_distributed"), "{err}");
+    }
+}

@@ -1,0 +1,601 @@
+//! Bytecode compilation of `stencil.apply` regions.
+//!
+//! The apply body (straight-line `arith` + `stencil.access`/`index` ops)
+//! compiles to register bytecode; relative access offsets become constant
+//! flat-index displacements, the compiled analogue of the paper's
+//! observation that type-carried bounds "enable constant-folding of most
+//! of the memory access address computations".
+
+use sten_ir::{Attribute, Bounds, Op, Type, Value};
+use std::collections::HashMap;
+
+/// One bytecode instruction; `dst`/`a`/`b` are register indices.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// `regs[dst] = input[i].data[center_flat[i] + rel]`.
+    LoadInput {
+        /// Which apply input.
+        input: u32,
+        /// Constant flat displacement from the centre point.
+        rel: i64,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `regs[dst] = v`.
+    Const {
+        /// Literal value.
+        v: f64,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `regs[dst] = a ⊕ b`.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `regs[dst] = -a`.
+    Neg {
+        /// Operand register.
+        a: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `regs[dst] = current logical coordinate along dim (+offset)`.
+    Index {
+        /// Dimension.
+        dim: u8,
+        /// Constant offset.
+        offset: i64,
+        /// Destination register.
+        dst: u32,
+    },
+}
+
+/// Binary float operators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl BinOp {
+    #[inline]
+    fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+}
+
+/// Memory layout of one apply input: the buffer it aliases.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InputDesc {
+    /// Allocation shape (row-major).
+    pub shape: Vec<i64>,
+    /// Logical coordinate of element `[0, ...]`.
+    pub lb: Vec<i64>,
+}
+
+impl InputDesc {
+    /// Row-major strides.
+    pub fn strides(&self) -> Vec<i64> {
+        let rank = self.shape.len();
+        let mut s = vec![1i64; rank];
+        for d in (0..rank.saturating_sub(1)).rev() {
+            s[d] = s[d + 1] * self.shape[d + 1];
+        }
+        s
+    }
+
+    /// Flat index of logical point `p`.
+    pub fn flat(&self, p: &[i64]) -> i64 {
+        let strides = self.strides();
+        (0..p.len()).map(|d| (p[d] - self.lb[d]) * strides[d]).sum()
+    }
+}
+
+/// A compiled apply body with its cost model.
+#[derive(Clone, Debug)]
+pub struct KernelProgram {
+    /// The instructions, in dependency order.
+    pub instrs: Vec<Instr>,
+    /// Registers needed.
+    pub num_regs: u32,
+    /// Registers holding the per-point results.
+    pub outputs: Vec<u32>,
+    /// Dimensionality.
+    pub rank: usize,
+    /// Floating-point operations per grid point.
+    pub flops: usize,
+    /// Input loads per grid point.
+    pub loads: usize,
+    /// Number of *distinct* (input, offset) pairs — the stencil's point
+    /// count (e.g. 5 for a 2D 5-point star).
+    pub stencil_points: usize,
+}
+
+impl KernelProgram {
+    /// Evaluates the program at one point. `flats[i]` is the centre flat
+    /// index into input `i`; `point` is the logical coordinate (for
+    /// `Index` instructions).
+    #[inline]
+    pub fn eval(&self, inputs: &[&[f64]], flats: &[i64], point: &[i64], regs: &mut [f64]) {
+        for instr in &self.instrs {
+            match *instr {
+                Instr::LoadInput { input, rel, dst } => {
+                    regs[dst as usize] =
+                        inputs[input as usize][(flats[input as usize] + rel) as usize];
+                }
+                Instr::Const { v, dst } => regs[dst as usize] = v,
+                Instr::Bin { op, a, b, dst } => {
+                    regs[dst as usize] = op.eval(regs[a as usize], regs[b as usize]);
+                }
+                Instr::Neg { a, dst } => regs[dst as usize] = -regs[a as usize],
+                Instr::Index { dim, offset, dst } => {
+                    regs[dst as usize] = (point[dim as usize] + offset) as f64;
+                }
+            }
+        }
+    }
+}
+
+/// A fully described kernel: program + geometry.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    /// The bytecode.
+    pub program: KernelProgram,
+    /// Iteration range in logical coordinates.
+    pub range: Bounds,
+    /// Input buffer layouts (parallel to the apply operands that are
+    /// temps).
+    pub inputs: Vec<InputDesc>,
+    /// Output buffer layout (one per result).
+    pub outputs: Vec<InputDesc>,
+}
+
+impl CompiledKernel {
+    /// Grid points per execution.
+    pub fn points(&self) -> i64 {
+        self.range.num_points()
+    }
+
+    /// Executes over `inputs` into `outs`, serially.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths don't match the descriptors.
+    pub fn execute(&self, inputs: &[&[f64]], outs: &mut [&mut [f64]]) {
+        self.execute_rows(inputs, outs, self.range.clone());
+    }
+
+    /// Executes rows of `range` (which must be a sub-range of
+    /// `self.range`).
+    fn execute_rows(&self, inputs: &[&[f64]], outs: &mut [&mut [f64]], range: Bounds) {
+        let rank = range.rank();
+        debug_assert!(rank >= 1);
+        let mut regs = vec![0.0f64; self.program.num_regs as usize];
+        let last = rank - 1;
+        let (last_lb, last_ub) = range.0[last];
+        if last_ub <= last_lb {
+            return;
+        }
+        // Odometer over the outer dims; inner loop over the last dim.
+        let mut p: Vec<i64> = range.lower();
+        let mut flats = vec![0i64; self.inputs.len()];
+        let mut out_flats = vec![0i64; self.outputs.len()];
+        loop {
+            p[last] = last_lb;
+            for (i, d) in self.inputs.iter().enumerate() {
+                flats[i] = d.flat(&p);
+            }
+            for (i, d) in self.outputs.iter().enumerate() {
+                out_flats[i] = d.flat(&p);
+            }
+            for x in 0..(last_ub - last_lb) {
+                p[last] = last_lb + x;
+                self.program.eval(inputs, &flats, &p, &mut regs);
+                for (o, &reg) in self.program.outputs.iter().enumerate() {
+                    outs[o][out_flats[o] as usize] = regs[reg as usize];
+                }
+                // Advance one element along the (stride-1) last dimension.
+                for f in &mut flats {
+                    *f += 1;
+                }
+                for f in &mut out_flats {
+                    *f += 1;
+                }
+            }
+            let mut d = last;
+            let mut done = false;
+            loop {
+                if d == 0 {
+                    done = true;
+                    break;
+                }
+                d -= 1;
+                p[d] += 1;
+                if p[d] < range.0[d].1 {
+                    break;
+                }
+                p[d] = range.0[d].0;
+            }
+            if done {
+                return;
+            }
+        }
+    }
+
+    /// Executes with `threads` workers, chunking the outermost dimension.
+    ///
+    /// # Safety invariants
+    /// Each worker writes a disjoint set of output cells (distinct
+    /// outermost-index slabs), so the shared mutable output pointers never
+    /// alias at the cell level.
+    pub fn execute_parallel(&self, inputs: &[&[f64]], outs: &mut [&mut [f64]], threads: usize) {
+        let (lb0, ub0) = self.range.0[0];
+        let n0 = ub0 - lb0;
+        if threads <= 1 || n0 < threads as i64 * 2 {
+            self.execute(inputs, outs);
+            return;
+        }
+        struct SendPtr(*mut f64, usize);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let out_ptrs: Vec<SendPtr> =
+            outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr(), o.len())).collect();
+        let chunk = (n0 + threads as i64 - 1) / threads as i64;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..threads {
+                let start = lb0 + t as i64 * chunk;
+                let end = (start + chunk).min(ub0);
+                if start >= end {
+                    continue;
+                }
+                let out_ptrs = &out_ptrs;
+                scope.spawn(move |_| {
+                    let mut sub = self.range.clone();
+                    sub.0[0] = (start, end);
+                    // SAFETY: slabs [start, end) are disjoint across
+                    // threads and the kernel writes only cells whose
+                    // outermost coordinate lies in its slab.
+                    let mut outs: Vec<&mut [f64]> = out_ptrs
+                        .iter()
+                        .map(|p| unsafe { std::slice::from_raw_parts_mut(p.0, p.1) })
+                        .collect();
+                    let mut refs: Vec<&mut [f64]> =
+                        outs.iter_mut().map(|o| &mut **o).collect();
+                    self.execute_rows(inputs, &mut refs, sub);
+                });
+            }
+        })
+        .expect("executor scope");
+    }
+}
+
+/// Compiles a `stencil.apply` op into a [`CompiledKernel`].
+///
+/// `input_descs` gives the buffer layout for each temp operand (scalars
+/// must be `arith.constant`-defined and are looked up in `scalar_consts`);
+/// `output_descs` gives the layout each result is written to.
+///
+/// # Errors
+/// Reports unsupported body ops (e.g. `dyn_access`, `select`) and unknown
+/// scalar operands.
+pub fn compile_apply(
+    apply: &Op,
+    vt: &sten_ir::ValueTable,
+    input_descs: Vec<Option<InputDesc>>,
+    output_descs: Vec<InputDesc>,
+    scalar_consts: &HashMap<Value, f64>,
+) -> Result<CompiledKernel, String> {
+    let range = {
+        let lb = apply.attr("lb").and_then(Attribute::as_dense).ok_or("apply missing lb")?;
+        let ub = apply.attr("ub").and_then(Attribute::as_dense).ok_or("apply missing ub")?;
+        Bounds::new(lb.iter().copied().zip(ub.iter().copied()).collect())
+    };
+    let block = apply.region_block(0);
+    // Map temp args to compact input indices; scalars to constants.
+    let mut temp_inputs: Vec<InputDesc> = Vec::new();
+    let mut arg_input: HashMap<Value, u32> = HashMap::new();
+    let mut arg_const: HashMap<Value, f64> = HashMap::new();
+    for ((&operand, &arg), desc) in
+        apply.operands.iter().zip(&block.args).zip(input_descs.into_iter())
+    {
+        match vt.ty(operand) {
+            Type::Temp(_) => {
+                let desc = desc.ok_or("missing input descriptor for temp operand")?;
+                arg_input.insert(arg, temp_inputs.len() as u32);
+                temp_inputs.push(desc);
+            }
+            _ => {
+                let v = scalar_consts
+                    .get(&operand)
+                    .copied()
+                    .ok_or("scalar apply operand is not a known constant")?;
+                arg_const.insert(arg, v);
+            }
+        }
+    }
+
+    let mut regs: HashMap<Value, u32> = HashMap::new();
+    let mut next_reg: u32 = 0;
+    let alloc = |v: Value, regs: &mut HashMap<Value, u32>, next: &mut u32| {
+        let r = *next;
+        regs.insert(v, r);
+        *next += 1;
+        r
+    };
+    let mut instrs = Vec::new();
+    let mut flops = 0usize;
+    let mut loads = 0usize;
+    let mut seen_offsets: std::collections::HashSet<(u32, Vec<i64>)> =
+        std::collections::HashSet::new();
+    let mut outputs = Vec::new();
+
+    let reg_of = |v: Value,
+                  regs: &HashMap<Value, u32>,
+                  arg_const: &HashMap<Value, f64>|
+     -> Result<Result<u32, f64>, String> {
+        if let Some(&r) = regs.get(&v) {
+            Ok(Ok(r))
+        } else if let Some(&c) = arg_const.get(&v) {
+            Ok(Err(c))
+        } else {
+            Err(format!("value {v:?} not materialised in kernel"))
+        }
+    };
+
+    for op in &block.ops {
+        match op.name.as_str() {
+            "arith.constant" => {
+                let v = op
+                    .attr("value")
+                    .and_then(Attribute::as_f64)
+                    .ok_or("non-float constant in apply body")?;
+                let dst = alloc(op.result(0), &mut regs, &mut next_reg);
+                instrs.push(Instr::Const { v, dst });
+            }
+            "stencil.access" => {
+                let input = *arg_input
+                    .get(&op.operand(0))
+                    .ok_or("access to a non-argument temp")?;
+                let offset: Vec<i64> = op
+                    .attr("offset")
+                    .and_then(Attribute::as_dense)
+                    .ok_or("access without offset")?
+                    .to_vec();
+                let strides = temp_inputs[input as usize].strides();
+                let rel: i64 = offset.iter().zip(&strides).map(|(o, s)| o * s).sum();
+                let dst = alloc(op.result(0), &mut regs, &mut next_reg);
+                instrs.push(Instr::LoadInput { input, rel, dst });
+                loads += 1;
+                seen_offsets.insert((input, offset));
+            }
+            "stencil.index" => {
+                let dim = op.attr("dim").and_then(Attribute::as_int).unwrap_or(0) as u8;
+                let offset = op.attr("offset").and_then(Attribute::as_int).unwrap_or(0);
+                let dst = alloc(op.result(0), &mut regs, &mut next_reg);
+                instrs.push(Instr::Index { dim, offset, dst });
+            }
+            "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" => {
+                let bin = match op.name.as_str() {
+                    "arith.addf" => BinOp::Add,
+                    "arith.subf" => BinOp::Sub,
+                    "arith.mulf" => BinOp::Mul,
+                    _ => BinOp::Div,
+                };
+                let fetch = |v: Value, instrs: &mut Vec<Instr>, next: &mut u32| {
+                    match reg_of(v, &regs, &arg_const)? {
+                        Ok(r) => Ok::<u32, String>(r),
+                        Err(c) => {
+                            let dst = *next;
+                            *next += 1;
+                            instrs.push(Instr::Const { v: c, dst });
+                            Ok(dst)
+                        }
+                    }
+                };
+                let a = fetch(op.operand(0), &mut instrs, &mut next_reg)?;
+                let b = fetch(op.operand(1), &mut instrs, &mut next_reg)?;
+                let dst = alloc(op.result(0), &mut regs, &mut next_reg);
+                instrs.push(Instr::Bin { op: bin, a, b, dst });
+                flops += 1;
+            }
+            "arith.negf" => {
+                let a = match reg_of(op.operand(0), &regs, &arg_const)? {
+                    Ok(r) => r,
+                    Err(c) => {
+                        let dst = next_reg;
+                        next_reg += 1;
+                        instrs.push(Instr::Const { v: c, dst });
+                        dst
+                    }
+                };
+                let dst = alloc(op.result(0), &mut regs, &mut next_reg);
+                instrs.push(Instr::Neg { a, dst });
+                flops += 1;
+            }
+            "stencil.return" => {
+                for &v in &op.operands {
+                    match reg_of(v, &regs, &arg_const)? {
+                        Ok(r) => outputs.push(r),
+                        Err(c) => {
+                            let dst = next_reg;
+                            next_reg += 1;
+                            instrs.push(Instr::Const { v: c, dst });
+                            outputs.push(dst);
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("unsupported op in apply body: {other}")),
+        }
+    }
+    let rank = range.rank();
+    Ok(CompiledKernel {
+        program: KernelProgram {
+            instrs,
+            num_regs: next_reg,
+            outputs,
+            rank,
+            flops,
+            loads,
+            stencil_points: seen_offsets.len(),
+        },
+        range,
+        inputs: temp_inputs,
+        outputs: output_descs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(shape: Vec<i64>, lb: Vec<i64>) -> InputDesc {
+        InputDesc { shape, lb }
+    }
+
+    #[test]
+    fn strides_and_flat_are_row_major() {
+        let d = desc(vec![4, 5, 6], vec![0, 0, 0]);
+        assert_eq!(d.strides(), vec![30, 6, 1]);
+        assert_eq!(d.flat(&[1, 2, 3]), 45);
+        let with_halo = desc(vec![6], vec![-1]);
+        assert_eq!(with_halo.flat(&[0]), 1);
+    }
+
+    #[test]
+    fn hand_built_program_evaluates() {
+        // out = in[x-1] + in[x+1] - 2*in[x]
+        let prog = KernelProgram {
+            instrs: vec![
+                Instr::LoadInput { input: 0, rel: -1, dst: 0 },
+                Instr::LoadInput { input: 0, rel: 1, dst: 1 },
+                Instr::LoadInput { input: 0, rel: 0, dst: 2 },
+                Instr::Const { v: 2.0, dst: 3 },
+                Instr::Bin { op: BinOp::Add, a: 0, b: 1, dst: 4 },
+                Instr::Bin { op: BinOp::Mul, a: 3, b: 2, dst: 5 },
+                Instr::Bin { op: BinOp::Sub, a: 4, b: 5, dst: 6 },
+            ],
+            num_regs: 7,
+            outputs: vec![6],
+            rank: 1,
+            flops: 3,
+            loads: 3,
+            stencil_points: 3,
+        };
+        let input = [1.0, 2.0, 4.0, 8.0];
+        let mut regs = vec![0.0; 7];
+        prog.eval(&[&input], &[1], &[1], &mut regs);
+        assert_eq!(regs[6], 1.0 + 4.0 - 2.0 * 2.0);
+    }
+
+    #[test]
+    fn compiled_jacobi_matches_interp() {
+        use sten_ir::Pass as _;
+        let mut m = sten_stencil::samples::jacobi_1d(64);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        let func = m.lookup_symbol("jacobi").unwrap();
+        let apply = func
+            .region_block(0)
+            .ops
+            .iter()
+            .find(|o| o.name == "stencil.apply")
+            .unwrap();
+        let kernel = compile_apply(
+            apply,
+            &m.values,
+            vec![Some(desc(vec![64], vec![0]))],
+            vec![desc(vec![64], vec![0])],
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(kernel.program.flops, 3);
+        assert_eq!(kernel.program.loads, 3);
+        assert_eq!(kernel.program.stencil_points, 3);
+        assert_eq!(kernel.points(), 62);
+
+        let input: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+        let mut out = input.clone();
+        kernel.execute(&[&input], &mut [&mut out]);
+
+        // Reference.
+        let mut want = input.clone();
+        for i in 1..63 {
+            want[i] = input[i - 1] + input[i + 1] - 2.0 * input[i];
+        }
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        use sten_ir::Pass as _;
+        let n = 64i64;
+        let mut m = sten_stencil::samples::heat_2d(n, 0.1);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        let func = m.lookup_symbol("heat").unwrap();
+        let apply = func
+            .region_block(0)
+            .ops
+            .iter()
+            .find(|o| o.name == "stencil.apply")
+            .unwrap();
+        let d = desc(vec![n + 2, n + 2], vec![-1, -1]);
+        let kernel = compile_apply(
+            apply,
+            &m.values,
+            vec![Some(d.clone())],
+            vec![d],
+            &HashMap::new(),
+        )
+        .unwrap();
+        let size = ((n + 2) * (n + 2)) as usize;
+        let input: Vec<f64> = (0..size).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut serial = vec![0.0; size];
+        let mut parallel = vec![0.0; size];
+        kernel.execute(&[&input], &mut [&mut serial]);
+        kernel.execute_parallel(&[&input], &mut [&mut parallel], 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn rejects_unsupported_bodies() {
+        use sten_ir::Pass as _;
+        let mut m = sten_stencil::samples::jacobi_1d(64);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        // Inject a dyn_access into the body.
+        let func = m.lookup_symbol_mut("jacobi").unwrap();
+        let apply = func
+            .region_block_mut(0)
+            .ops
+            .iter_mut()
+            .find(|o| o.name == "stencil.apply")
+            .unwrap();
+        apply.region_block_mut(0).ops[0].name = "stencil.dyn_access".into();
+        let apply = apply.clone();
+        let err = compile_apply(
+            &apply,
+            &m.values,
+            vec![Some(desc(vec![64], vec![0]))],
+            vec![desc(vec![64], vec![0])],
+            &HashMap::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
+    }
+}

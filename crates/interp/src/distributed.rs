@@ -1,0 +1,271 @@
+//! SPMD execution driver: one interpreter thread per rank over a shared
+//! [`SimWorld`].
+//!
+//! This is the reproduction's equivalent of `mpirun -n N ./kernel` on
+//! ARCHER2: every rank executes the same (rank-local) module; SimMPI
+//! carries the halo exchanges.
+
+use crate::interp::{InterpError, Interpreter};
+use crate::sim_mpi::{MpiEnv, SimWorld};
+use crate::value::{BufView, RtValue};
+use sten_ir::Module;
+#[cfg(test)]
+use sten_ir::Pass as _;
+use std::sync::Arc;
+
+/// A plain-data argument specification (constructed per rank, inside the
+/// rank's thread — runtime values are not `Send`).
+#[derive(Clone, Debug)]
+pub enum ArgSpec {
+    /// A float scalar.
+    F64(f64),
+    /// An integer/index scalar.
+    Int(i64),
+    /// A buffer with initial contents.
+    Buffer {
+        /// Buffer shape.
+        shape: Vec<i64>,
+        /// Row-major initial data.
+        data: Vec<f64>,
+    },
+}
+
+/// The observable outcome of one rank: the final contents of every buffer
+/// argument (in argument order).
+#[derive(Clone, Debug)]
+pub struct RankResult {
+    /// Final buffer contents, one entry per `ArgSpec::Buffer`.
+    pub buffers: Vec<Vec<f64>>,
+    /// Ops executed by this rank.
+    pub steps: u64,
+}
+
+/// Runs `func` on `world_size` ranks; `args_for_rank` builds each rank's
+/// argument list. Returns per-rank results in rank order, along with
+/// communication statistics from the shared world.
+///
+/// # Errors
+/// Returns the first rank's error if any rank fails (all threads are
+/// joined regardless).
+///
+/// # Panics
+/// Panics if a rank thread panics.
+pub fn run_spmd(
+    module: &Module,
+    func: &str,
+    world_size: usize,
+    args_for_rank: &(dyn Fn(usize) -> Vec<ArgSpec> + Sync),
+) -> Result<(Vec<RankResult>, Arc<SimWorld>), InterpError> {
+    let world = SimWorld::new(world_size);
+    let mut results: Vec<Option<Result<RankResult, InterpError>>> =
+        (0..world_size).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, slot) in results.iter_mut().enumerate() {
+            let world = Arc::clone(&world);
+            handles.push(scope.spawn(move |_| {
+                let specs = args_for_rank(rank);
+                let mut buffers: Vec<BufView> = Vec::new();
+                let args: Vec<RtValue> = specs
+                    .into_iter()
+                    .map(|spec| match spec {
+                        ArgSpec::F64(v) => RtValue::Float(v),
+                        ArgSpec::Int(v) => RtValue::Int(v),
+                        ArgSpec::Buffer { shape, data } => {
+                            let view = BufView::from_data(shape, data);
+                            buffers.push(view.clone());
+                            RtValue::Buffer(view)
+                        }
+                    })
+                    .collect();
+                let env = MpiEnv::new(world, rank as i32);
+                let mut interp = Interpreter::with_externals(module, Box::new(env));
+                let out = interp.call_function(func, args).map(|_| RankResult {
+                    buffers: buffers.iter().map(BufView::to_vec).collect(),
+                    steps: interp.steps(),
+                });
+                *slot = Some(out);
+            }));
+        }
+        for h in handles {
+            h.join().expect("rank thread panicked");
+        }
+    })
+    .expect("scope");
+    let mut out = Vec::with_capacity(world_size);
+    for slot in results {
+        out.push(slot.expect("rank completed")?);
+    }
+    Ok((out, world))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_ir::Bounds;
+    use sten_stencil::{samples, ShapeInference, StencilToLoops};
+
+    /// Distributes jacobi over `ranks` ranks, scatters a global input,
+    /// runs one step at the chosen lowering level, gathers, and compares
+    /// against the single-process stencil-level result.
+    fn distributed_jacobi_matches_serial(ranks: i64, lower_to_func: bool) {
+        let n = 128i64;
+        let global_input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+
+        // Serial reference at stencil level.
+        let mut serial = samples::jacobi_1d(n);
+        ShapeInference.run(&mut serial).unwrap();
+        let src = BufView::from_data(vec![n], global_input.clone());
+        let dst = BufView::from_data(vec![n], global_input.clone());
+        let mut interp = Interpreter::new(&serial);
+        interp
+            .call_function("jacobi", vec![RtValue::Buffer(src), RtValue::Buffer(dst.clone())])
+            .unwrap();
+        let want = dst.to_vec();
+
+        // Distributed pipeline.
+        let mut m = samples::jacobi_1d(n);
+        ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![ranks]).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        StencilToLoops.run(&mut m).unwrap();
+        if lower_to_func {
+            sten_mpi::DmpToMpi.run(&mut m).unwrap();
+            sten_mpi::MpiToFunc.run(&mut m).unwrap();
+        }
+
+        // Local field bounds after distribution: derive scatter mapping.
+        let func = m.lookup_symbol("jacobi").unwrap();
+        let fty = sten_dialects::func::FuncOp(func).function_type().clone();
+        let local_extent = match &fty.inputs[0] {
+            sten_ir::Type::MemRef(mt) => mt.shape[0],
+            sten_ir::Type::Field(f) => f.bounds.size(0),
+            other => panic!("unexpected arg type {other:?}"),
+        };
+        let core = (n - 2) / ranks; // global core is [1, n-1)
+
+        let input = &global_input;
+        let (results, world) = run_spmd(&m, "jacobi", ranks as usize, &move |rank| {
+            // Rank r's local buffer covers global [r*core, r*core + local).
+            let start = rank as i64 * core;
+            let data: Vec<f64> = (0..local_extent)
+                .map(|i| {
+                    let g = start + i;
+                    if g < n {
+                        input[g as usize]
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            vec![
+                ArgSpec::Buffer { shape: vec![local_extent], data: data.clone() },
+                ArgSpec::Buffer { shape: vec![local_extent], data },
+            ]
+        })
+        .unwrap();
+
+        // Gather: rank r owns global [1 + r*core, 1 + (r+1)*core).
+        let mut got = global_input.clone();
+        for (rank, res) in results.iter().enumerate() {
+            let out = &res.buffers[1];
+            let start = rank as i64 * core;
+            for l in 1..=core {
+                got[(start + l) as usize] = out[l as usize];
+            }
+        }
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!((g - w).abs() < 1e-12, "mismatch at {i}: {g} vs {w}");
+        }
+        if ranks > 1 {
+            assert!(world.total_sent_messages() > 0, "halo exchange happened");
+        }
+    }
+
+    #[test]
+    fn two_ranks_at_dmp_level() {
+        distributed_jacobi_matches_serial(2, false);
+    }
+
+    #[test]
+    fn two_ranks_at_func_level() {
+        distributed_jacobi_matches_serial(2, true);
+    }
+
+    #[test]
+    fn seven_ranks_at_func_level() {
+        // 126 divides by 7.
+        distributed_jacobi_matches_serial(7, true);
+    }
+
+    #[test]
+    fn heat2d_distributed_matches_serial() {
+        let n = 16i64;
+        let shape = vec![n + 2, n + 2];
+        let size = ((n + 2) * (n + 2)) as usize;
+        let global: Vec<f64> = (0..size).map(|i| (i as f64 * 0.05).cos()).collect();
+
+        // Serial reference.
+        let mut serial = samples::heat_2d(n, 0.1);
+        ShapeInference.run(&mut serial).unwrap();
+        let src = BufView::from_data(shape.clone(), global.clone());
+        let dst = BufView::from_data(shape.clone(), global.clone());
+        Interpreter::new(&serial)
+            .call_function("heat", vec![RtValue::Buffer(src), RtValue::Buffer(dst.clone())])
+            .unwrap();
+        let want = dst.to_vec();
+
+        // 2x2 distributed, fully lowered.
+        let mut m = samples::heat_2d(n, 0.1);
+        ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![2, 2]).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        StencilToLoops.run(&mut m).unwrap();
+        sten_mpi::DmpToMpi.run(&mut m).unwrap();
+        sten_mpi::MpiToFunc.run(&mut m).unwrap();
+
+        let core = n / 2;
+        let local = core + 2;
+        let g = &global;
+        let full = (n + 2) as usize;
+        let (results, _) = run_spmd(&m, "heat", 4, &move |rank| {
+            let (ry, rx) = ((rank as i64) / 2, (rank as i64) % 2);
+            let data: Vec<f64> = Bounds::from_shape(&[local, local])
+                .shape()
+                .iter()
+                .copied()
+                .fold(Vec::new(), |mut acc, _| {
+                    acc.clear();
+                    for y in 0..local {
+                        for x in 0..local {
+                            let gy = (ry * core + y) as usize;
+                            let gx = (rx * core + x) as usize;
+                            acc.push(g[gy * full + gx]);
+                        }
+                    }
+                    acc
+                });
+            vec![
+                ArgSpec::Buffer { shape: vec![local, local], data: data.clone() },
+                ArgSpec::Buffer { shape: vec![local, local], data },
+            ]
+        })
+        .unwrap();
+
+        let mut got = global.clone();
+        for (rank, res) in results.iter().enumerate() {
+            let (ry, rx) = ((rank as i64) / 2, (rank as i64) % 2);
+            let out = &res.buffers[1];
+            for y in 1..=core {
+                for x in 1..=core {
+                    let gy = (ry * core + y) as usize;
+                    let gx = (rx * core + x) as usize;
+                    got[gy * full + gx] = out[(y * local + x) as usize];
+                }
+            }
+        }
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-12, "mismatch at {i}: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! SimMPI — the simulated message-passing runtime.
+//!
+//! Plays the role mpich plays on ARCHER2: the lowered program calls
+//! `MPI_*` symbols with the mpich ABI constants, and this runtime executes
+//! them. Ranks are OS threads sharing one [`SimWorld`]; messages travel
+//! through per-`(src, dst, tag)` FIFO mailboxes, preserving MPI's
+//! non-overtaking guarantee, on which the halo-exchange tag scheme relies.
+//!
+//! Collectives use a generation-counted rendezvous (every rank deposits
+//! its contribution and receives everyone's), which is sufficient for the
+//! SPMD programs the stack generates.
+
+use crate::value::{RequestList, RequestState, RtValue, SharedData};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Validated mpich magic constants (mirrors `sten_mpi::abi`).
+mod abi {
+    pub const MPI_COMM_WORLD: i64 = 0x4400_0000;
+    pub const MPI_FLOAT: i64 = 0x4c00_040a;
+    pub const MPI_DOUBLE: i64 = 0x4c00_080b;
+    pub const MPI_INT: i64 = 0x4c00_0405;
+    pub const MPI_INT64: i64 = 0x4c00_0843;
+    pub const MPI_OP_SUM: i64 = 0x5800_0003;
+    pub const MPI_OP_MIN: i64 = 0x5800_0002;
+    pub const MPI_OP_MAX: i64 = 0x5800_0001;
+
+    pub fn valid_datatype(handle: i64) -> bool {
+        matches!(handle, MPI_FLOAT | MPI_DOUBLE | MPI_INT | MPI_INT64)
+    }
+}
+
+#[derive(Default)]
+struct Mailboxes {
+    /// (src, dst, tag) → FIFO queue of messages.
+    queues: HashMap<(i32, i32, i32), Vec<Vec<f64>>>,
+}
+
+struct CollectiveState {
+    generation: u64,
+    deposits: Vec<Option<Vec<f64>>>,
+    /// generation → (all contributions, readers remaining).
+    results: HashMap<u64, (Vec<Vec<f64>>, usize)>,
+}
+
+/// The shared state of one simulated MPI world.
+pub struct SimWorld {
+    size: usize,
+    mail: Mutex<Mailboxes>,
+    mail_cv: Condvar,
+    coll: Mutex<CollectiveState>,
+    coll_cv: Condvar,
+    /// Total elements sent (communication-volume accounting for the
+    /// benchmarks).
+    sent_elements: Mutex<u64>,
+    /// Total messages sent.
+    sent_messages: Mutex<u64>,
+}
+
+impl SimWorld {
+    /// Creates a world of `size` ranks.
+    pub fn new(size: usize) -> Arc<SimWorld> {
+        Arc::new(SimWorld {
+            size,
+            mail: Mutex::new(Mailboxes::default()),
+            mail_cv: Condvar::new(),
+            coll: Mutex::new(CollectiveState {
+                generation: 0,
+                deposits: vec![None; size],
+                results: HashMap::new(),
+            }),
+            coll_cv: Condvar::new(),
+            sent_elements: Mutex::new(0),
+            sent_messages: Mutex::new(0),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Total elements sent so far (all ranks).
+    pub fn total_sent_elements(&self) -> u64 {
+        *self.sent_elements.lock()
+    }
+
+    /// Total messages sent so far (all ranks).
+    pub fn total_sent_messages(&self) -> u64 {
+        *self.sent_messages.lock()
+    }
+
+    /// Buffered send: deposits the message and returns immediately.
+    pub fn send(&self, src: i32, dst: i32, tag: i32, data: Vec<f64>) {
+        *self.sent_elements.lock() += data.len() as u64;
+        *self.sent_messages.lock() += 1;
+        let mut mail = self.mail.lock();
+        mail.queues.entry((src, dst, tag)).or_default().push(data);
+        self.mail_cv.notify_all();
+    }
+
+    /// Blocking receive of the oldest matching message.
+    pub fn recv(&self, dst: i32, src: i32, tag: i32) -> Vec<f64> {
+        let mut mail = self.mail.lock();
+        loop {
+            if let Some(q) = mail.queues.get_mut(&(src, dst, tag)) {
+                if !q.is_empty() {
+                    return q.remove(0);
+                }
+            }
+            self.mail_cv.wait(&mut mail);
+        }
+    }
+
+    /// All-to-all rendezvous: every rank deposits `data` and receives the
+    /// contributions of all ranks, indexed by rank.
+    pub fn exchange_all(&self, rank: usize, data: Vec<f64>) -> Vec<Vec<f64>> {
+        let mut st = self.coll.lock();
+        let my_gen = st.generation;
+        assert!(st.deposits[rank].is_none(), "rank {rank} double-deposited");
+        st.deposits[rank] = Some(data);
+        let arrived = st.deposits.iter().filter(|d| d.is_some()).count();
+        if arrived == self.size {
+            let all: Vec<Vec<f64>> =
+                st.deposits.iter_mut().map(|d| d.take().expect("deposited")).collect();
+            st.results.insert(my_gen, (all, self.size));
+            st.generation += 1;
+            self.coll_cv.notify_all();
+        } else {
+            while !st.results.contains_key(&my_gen) {
+                self.coll_cv.wait(&mut st);
+            }
+        }
+        let (all, readers) = st.results.get_mut(&my_gen).expect("result present");
+        let copy = all.clone();
+        *readers -= 1;
+        if *readers == 0 {
+            st.results.remove(&my_gen);
+        }
+        copy
+    }
+}
+
+fn reduce(op: i64, contributions: &[Vec<f64>]) -> Vec<f64> {
+    let n = contributions[0].len();
+    let mut out = contributions[0].clone();
+    for c in &contributions[1..] {
+        for i in 0..n {
+            out[i] = match op {
+                abi::MPI_OP_SUM => out[i] + c[i],
+                abi::MPI_OP_MIN => out[i].min(c[i]),
+                abi::MPI_OP_MAX => out[i].max(c[i]),
+                _ => out[i],
+            };
+        }
+    }
+    out
+}
+
+/// Implementations of external functions callable from interpreted code.
+pub trait Externals {
+    /// Invokes external function `name` with `args`.
+    ///
+    /// # Errors
+    /// Reports unknown symbols or invalid arguments.
+    fn call(&mut self, name: &str, args: &[RtValue]) -> Result<Vec<RtValue>, String>;
+
+    /// Executes a `dmp.swap` directly (for interpretation at the dmp
+    /// level). Default: unsupported.
+    ///
+    /// # Errors
+    /// Reports lack of a communication substrate.
+    fn dmp_swap(
+        &mut self,
+        _data: &crate::value::BufView,
+        _grid: &[i64],
+        _exchanges: &[sten_ir::ExchangeAttr],
+    ) -> Result<(), String> {
+        Err("dmp.swap requires an MPI environment (rank context)".into())
+    }
+
+    /// The rank of this interpreter instance, if it runs inside a world.
+    fn rank(&self) -> Option<i32> {
+        None
+    }
+}
+
+/// No external functions available (single-process interpretation).
+#[derive(Default)]
+pub struct NoExternals;
+
+impl Externals for NoExternals {
+    fn call(&mut self, name: &str, _args: &[RtValue]) -> Result<Vec<RtValue>, String> {
+        Err(format!("call to unknown external function '{name}'"))
+    }
+}
+
+/// The per-rank MPI environment: implements the `MPI_*` ABI against a
+/// shared [`SimWorld`].
+pub struct MpiEnv {
+    world: Arc<SimWorld>,
+    rank: i32,
+}
+
+impl MpiEnv {
+    /// Creates the environment for `rank` in `world`.
+    pub fn new(world: Arc<SimWorld>, rank: i32) -> Self {
+        assert!((rank as usize) < world.size(), "rank out of range");
+        MpiEnv { world, rank }
+    }
+
+    fn check_comm(comm: i64) -> Result<(), String> {
+        if comm != abi::MPI_COMM_WORLD {
+            return Err(format!("invalid communicator handle {comm:#x}"));
+        }
+        Ok(())
+    }
+
+    fn check_dtype(dtype: i64) -> Result<(), String> {
+        if !abi::valid_datatype(dtype) {
+            return Err(format!("invalid MPI datatype handle {dtype:#x}"));
+        }
+        Ok(())
+    }
+
+    fn ptr_of(v: &RtValue) -> Result<(SharedData, usize), String> {
+        match v {
+            RtValue::Ptr { data, offset } => Ok((Rc::clone(data), *offset)),
+            other => Err(format!("expected pointer argument, got {other:?}")),
+        }
+    }
+
+    fn read_elems(ptr: &SharedData, offset: usize, count: usize) -> Result<Vec<f64>, String> {
+        let data = ptr.borrow();
+        if offset + count > data.len() {
+            return Err(format!(
+                "pointer read out of bounds: {offset}+{count} > {}",
+                data.len()
+            ));
+        }
+        Ok(data[offset..offset + count].to_vec())
+    }
+
+    fn write_elems(ptr: &SharedData, offset: usize, elems: &[f64]) -> Result<(), String> {
+        let mut data = ptr.borrow_mut();
+        if offset + elems.len() > data.len() {
+            return Err(format!(
+                "pointer write out of bounds: {offset}+{} > {}",
+                elems.len(),
+                data.len()
+            ));
+        }
+        data[offset..offset + elems.len()].copy_from_slice(elems);
+        Ok(())
+    }
+
+    fn request_list(v: &RtValue) -> Result<RequestList, String> {
+        match v {
+            RtValue::Requests(l) => Ok(Rc::clone(l)),
+            other => Err(format!("expected request list, got {other:?}")),
+        }
+    }
+
+    fn request_slot(v: &RtValue) -> Result<(RequestList, usize), String> {
+        match v {
+            RtValue::Request { list, index } => Ok((Rc::clone(list), *index)),
+            other => Err(format!("expected request handle, got {other:?}")),
+        }
+    }
+
+    fn complete(&self, state: &mut RequestState) -> Result<(), String> {
+        match std::mem::replace(state, RequestState::Null) {
+            RequestState::Null | RequestState::SendDone => Ok(()),
+            RequestState::PendingRecv { src, tag, dst, offset, count } => {
+                let msg = self.world.recv(self.rank, src, tag);
+                if msg.len() != count {
+                    return Err(format!(
+                        "message length {} does not match posted receive {count}",
+                        msg.len()
+                    ));
+                }
+                Self::write_elems(&dst, offset, &msg)
+            }
+        }
+    }
+}
+
+impl Externals for MpiEnv {
+    fn rank(&self) -> Option<i32> {
+        Some(self.rank)
+    }
+
+    fn call(&mut self, name: &str, args: &[RtValue]) -> Result<Vec<RtValue>, String> {
+        let int = |i: usize| args[i].as_int();
+        match name {
+            "MPI_Init" | "MPI_Finalize" => Ok(vec![RtValue::Int(0)]),
+            "MPI_Comm_rank" => {
+                Self::check_comm(int(0)?)?;
+                Ok(vec![RtValue::Int(self.rank as i64)])
+            }
+            "MPI_Comm_size" => {
+                Self::check_comm(int(0)?)?;
+                Ok(vec![RtValue::Int(self.world.size() as i64)])
+            }
+            "MPI_Send" => {
+                let (ptr, off) = Self::ptr_of(&args[0])?;
+                let count = int(1)? as usize;
+                Self::check_dtype(int(2)?)?;
+                let (dest, tag) = (int(3)? as i32, int(4)? as i32);
+                Self::check_comm(int(5)?)?;
+                let data = Self::read_elems(&ptr, off, count)?;
+                self.world.send(self.rank, dest, tag, data);
+                Ok(vec![RtValue::Int(0)])
+            }
+            "MPI_Recv" => {
+                let (ptr, off) = Self::ptr_of(&args[0])?;
+                let count = int(1)? as usize;
+                Self::check_dtype(int(2)?)?;
+                let (src, tag) = (int(3)? as i32, int(4)? as i32);
+                Self::check_comm(int(5)?)?;
+                let msg = self.world.recv(self.rank, src, tag);
+                if msg.len() != count {
+                    return Err(format!("received {} elements, expected {count}", msg.len()));
+                }
+                Self::write_elems(&ptr, off, &msg)?;
+                Ok(vec![RtValue::Int(0)])
+            }
+            "MPI_Isend" => {
+                let (ptr, off) = Self::ptr_of(&args[0])?;
+                let count = int(1)? as usize;
+                Self::check_dtype(int(2)?)?;
+                let (dest, tag) = (int(3)? as i32, int(4)? as i32);
+                Self::check_comm(int(5)?)?;
+                let (list, idx) = Self::request_slot(&args[6])?;
+                let data = Self::read_elems(&ptr, off, count)?;
+                self.world.send(self.rank, dest, tag, data);
+                list.borrow_mut()[idx] = RequestState::SendDone;
+                Ok(vec![RtValue::Int(0)])
+            }
+            "MPI_Irecv" => {
+                let (ptr, off) = Self::ptr_of(&args[0])?;
+                let count = int(1)? as usize;
+                Self::check_dtype(int(2)?)?;
+                let (src, tag) = (int(3)? as i32, int(4)? as i32);
+                Self::check_comm(int(5)?)?;
+                let (list, idx) = Self::request_slot(&args[6])?;
+                list.borrow_mut()[idx] =
+                    RequestState::PendingRecv { src, tag, dst: ptr, offset: off, count };
+                Ok(vec![RtValue::Int(0)])
+            }
+            "MPI_Wait" => {
+                let (list, idx) = Self::request_slot(&args[0])?;
+                let mut slot = list.borrow()[idx].clone();
+                self.complete(&mut slot)?;
+                list.borrow_mut()[idx] = slot;
+                Ok(vec![RtValue::Int(0)])
+            }
+            "MPI_Test" => {
+                let (list, idx) = Self::request_slot(&args[0])?;
+                let done = !matches!(list.borrow()[idx], RequestState::PendingRecv { .. });
+                if done {
+                    Ok(vec![RtValue::Int(1)])
+                } else {
+                    Ok(vec![RtValue::Int(0)])
+                }
+            }
+            "MPI_Waitall" => {
+                let count = int(0)? as usize;
+                let list = Self::request_list(&args[1])?;
+                if list.borrow().len() < count {
+                    return Err(format!(
+                        "waitall count {count} exceeds request list length {}",
+                        list.borrow().len()
+                    ));
+                }
+                for i in 0..count {
+                    let mut slot = list.borrow()[i].clone();
+                    self.complete(&mut slot)?;
+                    list.borrow_mut()[i] = slot;
+                }
+                Ok(vec![RtValue::Int(0)])
+            }
+            "MPI_Request_alloc" => {
+                let n = int(0)? as usize;
+                Ok(vec![RtValue::Requests(Rc::new(std::cell::RefCell::new(vec![
+                    RequestState::Null;
+                    n
+                ])))])
+            }
+            "MPI_Request_get" => {
+                let list = Self::request_list(&args[0])?;
+                let idx = int(1)? as usize;
+                Ok(vec![RtValue::Request { list, index: idx }])
+            }
+            "MPI_Request_set_null" => {
+                let list = Self::request_list(&args[0])?;
+                let idx = int(1)? as usize;
+                list.borrow_mut()[idx] = RequestState::Null;
+                Ok(vec![])
+            }
+            "MPI_Allreduce" => {
+                let (sptr, soff) = Self::ptr_of(&args[0])?;
+                let (rptr, roff) = Self::ptr_of(&args[1])?;
+                let count = int(2)? as usize;
+                Self::check_dtype(int(3)?)?;
+                let op = int(4)?;
+                Self::check_comm(int(5)?)?;
+                let mine = Self::read_elems(&sptr, soff, count)?;
+                let all = self.world.exchange_all(self.rank as usize, mine);
+                Self::write_elems(&rptr, roff, &reduce(op, &all))?;
+                Ok(vec![RtValue::Int(0)])
+            }
+            "MPI_Reduce" => {
+                let (sptr, soff) = Self::ptr_of(&args[0])?;
+                let (rptr, roff) = Self::ptr_of(&args[1])?;
+                let count = int(2)? as usize;
+                Self::check_dtype(int(3)?)?;
+                let op = int(4)?;
+                let root = int(5)? as i32;
+                Self::check_comm(int(6)?)?;
+                let mine = Self::read_elems(&sptr, soff, count)?;
+                let all = self.world.exchange_all(self.rank as usize, mine);
+                if self.rank == root {
+                    Self::write_elems(&rptr, roff, &reduce(op, &all))?;
+                }
+                Ok(vec![RtValue::Int(0)])
+            }
+            "MPI_Bcast" => {
+                let (ptr, off) = Self::ptr_of(&args[0])?;
+                let count = int(1)? as usize;
+                Self::check_dtype(int(2)?)?;
+                let root = int(3)? as i32;
+                Self::check_comm(int(4)?)?;
+                let mine = if self.rank == root {
+                    Self::read_elems(&ptr, off, count)?
+                } else {
+                    Vec::new()
+                };
+                let all = self.world.exchange_all(self.rank as usize, mine);
+                Self::write_elems(&ptr, off, &all[root as usize])?;
+                Ok(vec![RtValue::Int(0)])
+            }
+            "MPI_Gather" => {
+                let (sptr, soff) = Self::ptr_of(&args[0])?;
+                let count = int(1)? as usize;
+                Self::check_dtype(int(2)?)?;
+                let (rptr, roff) = Self::ptr_of(&args[3])?;
+                let root = int(6)? as i32;
+                Self::check_comm(int(7)?)?;
+                let mine = Self::read_elems(&sptr, soff, count)?;
+                let all = self.world.exchange_all(self.rank as usize, mine);
+                if self.rank == root {
+                    let flat: Vec<f64> = all.into_iter().flatten().collect();
+                    Self::write_elems(&rptr, roff, &flat)?;
+                }
+                Ok(vec![RtValue::Int(0)])
+            }
+            other => Err(format!("call to unknown external function '{other}'")),
+        }
+    }
+
+    fn dmp_swap(
+        &mut self,
+        data: &crate::value::BufView,
+        grid: &[i64],
+        exchanges: &[sten_ir::ExchangeAttr],
+    ) -> Result<(), String> {
+        use sten_dmp::decomposition::neighbor_rank;
+        // Buffered sends first (deadlock-free), then blocking receives.
+        for e in exchanges {
+            if let Some(n) = neighbor_rank(self.rank as i64, grid, &e.to) {
+                let send_view = data.subview(&e.send_at(), &e.size).map_err(|m| m.to_string())?;
+                let tag = sten_mpi::dmp_to_mpi::tag_for_direction(&e.to) as i32;
+                self.world.send(self.rank, n as i32, tag, send_view.to_vec());
+            }
+        }
+        for e in exchanges {
+            if let Some(n) = neighbor_rank(self.rank as i64, grid, &e.to) {
+                let neg: Vec<i64> = e.to.iter().map(|t| -t).collect();
+                let tag = sten_mpi::dmp_to_mpi::tag_for_direction(&neg) as i32;
+                let msg = self.world.recv(self.rank, n as i32, tag);
+                let recv_view = data.subview(&e.at, &e.size).map_err(|m| m.to_string())?;
+                let mut idx = vec![0i64; e.size.len()];
+                for v in msg {
+                    recv_view.store(&idx, v)?;
+                    let mut d = e.size.len();
+                    loop {
+                        if d == 0 {
+                            break;
+                        }
+                        d -= 1;
+                        idx[d] += 1;
+                        if idx[d] < e.size[d] {
+                            break;
+                        }
+                        idx[d] = 0;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_fifo_ordering() {
+        let world = SimWorld::new(2);
+        let w = Arc::clone(&world);
+        let sender = thread::spawn(move || {
+            w.send(0, 1, 7, vec![1.0]);
+            w.send(0, 1, 7, vec![2.0]);
+        });
+        let first = world.recv(1, 0, 7);
+        let second = world.recv(1, 0, 7);
+        sender.join().unwrap();
+        assert_eq!(first, vec![1.0]);
+        assert_eq!(second, vec![2.0], "non-overtaking order preserved");
+    }
+
+    #[test]
+    fn tags_isolate_channels() {
+        let world = SimWorld::new(2);
+        world.send(0, 1, 1, vec![1.0]);
+        world.send(0, 1, 2, vec![2.0]);
+        assert_eq!(world.recv(1, 0, 2), vec![2.0]);
+        assert_eq!(world.recv(1, 0, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn exchange_all_rendezvous() {
+        let world = SimWorld::new(4);
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let w = Arc::clone(&world);
+                thread::spawn(move || w.exchange_all(r, vec![r as f64]))
+            })
+            .collect();
+        for h in handles {
+            let all = h.join().unwrap();
+            assert_eq!(all, vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_mix() {
+        let world = SimWorld::new(2);
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let w = Arc::clone(&world);
+                thread::spawn(move || {
+                    let first = w.exchange_all(r, vec![r as f64]);
+                    let second = w.exchange_all(r, vec![10.0 + r as f64]);
+                    (first, second)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (first, second) = h.join().unwrap();
+            assert_eq!(first, vec![vec![0.0], vec![1.0]]);
+            assert_eq!(second, vec![vec![10.0], vec![11.0]]);
+        }
+    }
+
+    #[test]
+    fn mpi_env_validates_handles() {
+        let world = SimWorld::new(1);
+        let mut env = MpiEnv::new(world, 0);
+        let err = env.call("MPI_Comm_rank", &[RtValue::Int(0)]).unwrap_err();
+        assert!(err.contains("invalid communicator"), "{err}");
+        let ok = env.call("MPI_Comm_rank", &[RtValue::Int(abi::MPI_COMM_WORLD)]).unwrap();
+        assert!(matches!(ok[0], RtValue::Int(0)));
+    }
+
+    #[test]
+    fn volume_accounting() {
+        let world = SimWorld::new(2);
+        world.send(0, 1, 0, vec![0.0; 100]);
+        world.send(1, 0, 0, vec![0.0; 50]);
+        assert_eq!(world.total_sent_elements(), 150);
+        assert_eq!(world.total_sent_messages(), 2);
+    }
+}

@@ -1,0 +1,293 @@
+//! Runtime values for the interpreter.
+//!
+//! The interpreter is dynamically typed: each SSA [`sten_ir::Value`] maps
+//! to one [`RtValue`]. Buffers store `f64` internally regardless of the
+//! static element type (the element type is kept for MPI datatype checks
+//! and byte accounting); `f32` programs therefore interpret with slightly
+//! higher precision than compiled execution — tests compare with
+//! tolerances.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared storage underlying buffers and views.
+pub type SharedData = Rc<RefCell<Vec<f64>>>;
+
+/// A (possibly strided) rectangular view onto shared storage — the runtime
+/// representation of `memref` values, including `memref.subview` results.
+#[derive(Clone, Debug)]
+pub struct BufView {
+    /// The underlying storage, shared between views.
+    pub data: SharedData,
+    /// Shape of the *allocation* (row-major strides derive from this).
+    pub full_shape: Vec<i64>,
+    /// Offset of this view inside the allocation, per dimension.
+    pub offsets: Vec<i64>,
+    /// Shape of the view.
+    pub shape: Vec<i64>,
+}
+
+impl BufView {
+    /// Allocates a zero-initialised buffer of `shape`.
+    pub fn alloc(shape: Vec<i64>) -> BufView {
+        let n: i64 = shape.iter().product();
+        BufView {
+            data: Rc::new(RefCell::new(vec![0.0; n.max(0) as usize])),
+            full_shape: shape.clone(),
+            offsets: vec![0; shape.len()],
+            shape,
+        }
+    }
+
+    /// Wraps existing data (length must equal the product of `shape`).
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn from_data(shape: Vec<i64>, data: Vec<f64>) -> BufView {
+        let n: i64 = shape.iter().product();
+        assert_eq!(n as usize, data.len(), "data length must match shape");
+        BufView {
+            data: Rc::new(RefCell::new(data)),
+            full_shape: shape.clone(),
+            offsets: vec![0; shape.len()],
+            shape,
+        }
+    }
+
+    /// Number of elements in the view.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product::<i64>().max(0) as usize
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index into the allocation for view-relative `idx`.
+    ///
+    /// # Errors
+    /// Reports out-of-bounds accesses.
+    pub fn flat(&self, idx: &[i64]) -> Result<usize, String> {
+        if idx.len() != self.shape.len() {
+            return Err(format!(
+                "rank mismatch: {} indices into rank-{} view",
+                idx.len(),
+                self.shape.len()
+            ));
+        }
+        let mut flat: i64 = 0;
+        for d in 0..idx.len() {
+            if idx[d] < 0 || idx[d] >= self.shape[d] {
+                return Err(format!(
+                    "index {} out of bounds [0, {}) in dim {d}",
+                    idx[d], self.shape[d]
+                ));
+            }
+            flat = flat * self.full_shape[d] + self.offsets[d] + idx[d];
+        }
+        Ok(flat as usize)
+    }
+
+    /// Reads one element.
+    ///
+    /// # Errors
+    /// Reports out-of-bounds accesses.
+    pub fn load(&self, idx: &[i64]) -> Result<f64, String> {
+        let flat = self.flat(idx)?;
+        Ok(self.data.borrow()[flat])
+    }
+
+    /// Writes one element.
+    ///
+    /// # Errors
+    /// Reports out-of-bounds accesses.
+    pub fn store(&self, idx: &[i64], v: f64) -> Result<(), String> {
+        let flat = self.flat(idx)?;
+        self.data.borrow_mut()[flat] = v;
+        Ok(())
+    }
+
+    /// Creates a subview at `offsets` of `shape` (unit strides).
+    ///
+    /// # Errors
+    /// Reports out-of-bounds regions.
+    pub fn subview(&self, offsets: &[i64], shape: &[i64]) -> Result<BufView, String> {
+        for d in 0..self.shape.len() {
+            if offsets[d] < 0 || offsets[d] + shape[d] > self.shape[d] {
+                return Err(format!("subview out of bounds in dim {d}"));
+            }
+        }
+        Ok(BufView {
+            data: Rc::clone(&self.data),
+            full_shape: self.full_shape.clone(),
+            offsets: self.offsets.iter().zip(offsets).map(|(a, b)| a + b).collect(),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Copies the whole view out as a dense row-major vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut idx = vec![0i64; self.shape.len()];
+        if self.shape.is_empty() {
+            return out;
+        }
+        loop {
+            out.push(self.load(&idx).expect("in-bounds iteration"));
+            // Row-major increment.
+            let mut d = self.shape.len();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+}
+
+/// The state of one slot in a request list (see [`crate::sim_mpi`]).
+#[derive(Clone, Debug)]
+pub enum RequestState {
+    /// `MPI_REQUEST_NULL` — completes immediately.
+    Null,
+    /// A buffered send whose data has already been deposited.
+    SendDone,
+    /// A receive still waiting for its message.
+    PendingRecv {
+        /// Source rank.
+        src: i32,
+        /// Message tag.
+        tag: i32,
+        /// Destination storage.
+        dst: SharedData,
+        /// Flat element offset into `dst`.
+        offset: usize,
+        /// Number of elements expected.
+        count: usize,
+    },
+}
+
+/// A shared request list (the runtime form of `!mpi.requests`).
+pub type RequestList = Rc<RefCell<Vec<RequestState>>>;
+
+/// One dynamically typed runtime value.
+#[derive(Clone, Debug)]
+pub enum RtValue {
+    /// Integers of any width, plus `index` and `i1`.
+    Int(i64),
+    /// Floats of any width.
+    Float(f64),
+    /// A buffer or buffer view (`memref`, `!stencil.field`).
+    Buffer(BufView),
+    /// A raw pointer into a buffer (element-granular).
+    Ptr {
+        /// The pointed-to storage.
+        data: SharedData,
+        /// Flat element offset.
+        offset: usize,
+    },
+    /// A request list (`!mpi.requests`).
+    Requests(RequestList),
+    /// One slot of a request list (`!mpi.request`).
+    Request {
+        /// The owning list.
+        list: RequestList,
+        /// Slot index.
+        index: usize,
+    },
+    /// Placeholder for ops with no meaningful value.
+    Unit,
+}
+
+impl RtValue {
+    /// The integer payload.
+    ///
+    /// # Errors
+    /// Reports non-integer values.
+    pub fn as_int(&self) -> Result<i64, String> {
+        match self {
+            RtValue::Int(v) => Ok(*v),
+            other => Err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    /// The float payload.
+    ///
+    /// # Errors
+    /// Reports non-float values.
+    pub fn as_float(&self) -> Result<f64, String> {
+        match self {
+            RtValue::Float(v) => Ok(*v),
+            other => Err(format!("expected float, got {other:?}")),
+        }
+    }
+
+    /// The buffer payload.
+    ///
+    /// # Errors
+    /// Reports non-buffer values.
+    pub fn as_buffer(&self) -> Result<&BufView, String> {
+        match self {
+            RtValue::Buffer(b) => Ok(b),
+            other => Err(format!("expected buffer, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw() {
+        let b = BufView::alloc(vec![4, 4]);
+        assert_eq!(b.len(), 16);
+        b.store(&[2, 3], 7.5).unwrap();
+        assert_eq!(b.load(&[2, 3]).unwrap(), 7.5);
+        assert_eq!(b.load(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let b = BufView::alloc(vec![4]);
+        assert!(b.load(&[4]).is_err());
+        assert!(b.load(&[-1]).is_err());
+        assert!(b.load(&[0, 0]).is_err());
+        assert!(b.store(&[99], 0.0).is_err());
+    }
+
+    #[test]
+    fn subview_shares_storage() {
+        let b = BufView::from_data(vec![4, 4], (0..16).map(f64::from).collect());
+        let sv = b.subview(&[1, 1], &[2, 2]).unwrap();
+        assert_eq!(sv.load(&[0, 0]).unwrap(), 5.0);
+        sv.store(&[1, 1], -1.0).unwrap();
+        assert_eq!(b.load(&[2, 2]).unwrap(), -1.0);
+        assert!(b.subview(&[3, 3], &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn to_vec_is_row_major() {
+        let b = BufView::from_data(vec![2, 3], vec![0., 1., 2., 3., 4., 5.]);
+        assert_eq!(b.to_vec(), vec![0., 1., 2., 3., 4., 5.]);
+        let sv = b.subview(&[0, 1], &[2, 2]).unwrap();
+        assert_eq!(sv.to_vec(), vec![1., 2., 4., 5.]);
+    }
+
+    #[test]
+    fn rt_value_accessors() {
+        assert_eq!(RtValue::Int(3).as_int().unwrap(), 3);
+        assert_eq!(RtValue::Float(2.5).as_float().unwrap(), 2.5);
+        assert!(RtValue::Unit.as_int().is_err());
+        assert!(RtValue::Int(1).as_float().is_err());
+        let b = RtValue::Buffer(BufView::alloc(vec![1]));
+        assert!(b.as_buffer().is_ok());
+    }
+}

@@ -1,0 +1,254 @@
+//! Attributes: static information carried on operations.
+//!
+//! As in the paper's §3, "operations may also carry attributes that encode
+//! static information on the operation directly" — e.g. `arith.constant`
+//! carries a `value` attribute. The `dmp` dialect contributes two structured
+//! attributes, [`Attribute::Grid`] (`#dmp.grid<2x2>`) and
+//! [`Attribute::Exchange`] (`#dmp.exchange<...>`), mirroring Listing 2.
+
+use crate::types::Type;
+use std::fmt;
+
+/// A float attribute storing the exact bit pattern so that `Eq`/`Hash` are
+/// well-defined and printing round-trips.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FloatAttr {
+    bits: u64,
+    /// The float type (`f32` or `f64`).
+    pub ty: Type,
+}
+
+impl FloatAttr {
+    /// Creates a float attribute of the given type.
+    pub fn new(value: f64, ty: Type) -> Self {
+        FloatAttr { bits: value.to_bits(), ty }
+    }
+
+    /// The stored value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits)
+    }
+}
+
+/// One halo exchange declaration — the `#dmp.exchange` attribute of §4.2.
+///
+/// "Each exchange marks two rectangular subsections of the memory region to
+/// exchange (one to send from, one to receive into) and the relative offset
+/// of the rank with which these regions are to be exchanged."
+///
+/// * `at`/`size` describe the rectangular *receive* region inside the
+///   rank-local buffer (the halo to be updated);
+/// * `source_offset` translates that region to the *send* region (the owned
+///   cells mirrored on the neighbour);
+/// * `to` is the relative position of the neighbour in the cartesian grid.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ExchangeAttr {
+    /// Start of the receive region (buffer-local coordinates).
+    pub at: Vec<i64>,
+    /// Extent of both regions.
+    pub size: Vec<i64>,
+    /// Translation from the receive region to the send region.
+    pub source_offset: Vec<i64>,
+    /// Relative neighbour position, e.g. `[0, -1]`.
+    pub to: Vec<i64>,
+}
+
+impl ExchangeAttr {
+    /// Creates an exchange declaration.
+    ///
+    /// # Panics
+    /// Panics if the four vectors do not have equal length.
+    pub fn new(at: Vec<i64>, size: Vec<i64>, source_offset: Vec<i64>, to: Vec<i64>) -> Self {
+        assert!(
+            at.len() == size.len() && size.len() == source_offset.len() && source_offset.len() == to.len(),
+            "exchange components must have equal rank"
+        );
+        ExchangeAttr { at, size, source_offset, to }
+    }
+
+    /// Rank (dimensionality) of the exchange.
+    pub fn rank(&self) -> usize {
+        self.at.len()
+    }
+
+    /// Number of elements moved by this exchange.
+    pub fn num_elements(&self) -> i64 {
+        self.size.iter().product()
+    }
+
+    /// Start of the send region: `at + source_offset`.
+    pub fn send_at(&self) -> Vec<i64> {
+        self.at.iter().zip(&self.source_offset).map(|(a, o)| a + o).collect()
+    }
+}
+
+/// The closed universe of attributes used by the in-tree dialects.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Attribute {
+    /// The unit attribute (presence-only flags).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A typed integer (e.g. `42 : i32`).
+    Int(i64, Type),
+    /// A typed float (e.g. `5.0e-1 : f64`).
+    Float(FloatAttr),
+    /// A string literal.
+    Str(String),
+    /// A type used as an attribute (e.g. `function_type` on `func.func`).
+    Type(Type),
+    /// An array of attributes.
+    Array(Vec<Attribute>),
+    /// A dense list of 64-bit integers (`dense<[1, 2]>`), used for offsets,
+    /// shapes and bounds on operations.
+    DenseI64(Vec<i64>),
+    /// A reference to a symbol (`@main`).
+    SymbolRef(String),
+    /// The cartesian node topology `#dmp.grid<2x2>` of §4.2.
+    Grid(Vec<i64>),
+    /// A halo exchange declaration `#dmp.exchange<...>` of §4.2.
+    Exchange(ExchangeAttr),
+}
+
+impl Attribute {
+    /// Shorthand for an `i64` integer attribute.
+    pub fn int64(v: i64) -> Attribute {
+        Attribute::Int(v, Type::I64)
+    }
+
+    /// Shorthand for an `index`-typed integer attribute.
+    pub fn index(v: i64) -> Attribute {
+        Attribute::Int(v, Type::Index)
+    }
+
+    /// Shorthand for an `f64` float attribute.
+    pub fn f64(v: f64) -> Attribute {
+        Attribute::Float(FloatAttr::new(v, Type::F64))
+    }
+
+    /// The integer payload, if this is an integer attribute.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attribute::Int(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a float attribute.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Attribute::Float(f) => Some(f.value()),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string attribute.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attribute::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The symbol name, if this is a symbol reference.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            Attribute::SymbolRef(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The type payload, if this is a type attribute.
+    pub fn as_type(&self) -> Option<&Type> {
+        match self {
+            Attribute::Type(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The dense integer payload, if this is a dense attribute.
+    pub fn as_dense(&self) -> Option<&[i64]> {
+        match self {
+            Attribute::DenseI64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array attribute.
+    pub fn as_array(&self) -> Option<&[Attribute]> {
+        match self {
+            Attribute::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The grid topology, if this is a `#dmp.grid` attribute.
+    pub fn as_grid(&self) -> Option<&[i64]> {
+        match self {
+            Attribute::Grid(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The exchange declaration, if this is a `#dmp.exchange` attribute.
+    pub fn as_exchange(&self) -> Option<&ExchangeAttr> {
+        match self {
+            Attribute::Exchange(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FloatAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `{:?}` on f64 produces the shortest representation that
+        // round-trips, which the parser relies on.
+        write!(f, "{:?}", self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_attr_round_trips_bits() {
+        let a = FloatAttr::new(0.1, Type::F64);
+        assert_eq!(a.value(), 0.1);
+        let b = FloatAttr::new(0.1, Type::F64);
+        assert_eq!(a, b);
+        let c = FloatAttr::new(-0.0, Type::F64);
+        let d = FloatAttr::new(0.0, Type::F64);
+        assert_ne!(c, d, "distinct bit patterns are distinct attributes");
+    }
+
+    #[test]
+    fn exchange_regions_from_paper_listing2() {
+        // #dmp.exchange<at [4, 0] size [100, 4] source offset [0, 4] to [0, -1]>
+        let e = ExchangeAttr::new(vec![4, 0], vec![100, 4], vec![0, 4], vec![0, -1]);
+        assert_eq!(e.rank(), 2);
+        assert_eq!(e.num_elements(), 400);
+        assert_eq!(e.send_at(), vec![4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal rank")]
+    fn exchange_rejects_rank_mismatch() {
+        ExchangeAttr::new(vec![0], vec![1, 2], vec![0], vec![0]);
+    }
+
+    #[test]
+    fn attribute_accessors() {
+        assert_eq!(Attribute::int64(7).as_int(), Some(7));
+        assert_eq!(Attribute::f64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Attribute::Str("hi".into()).as_str(), Some("hi"));
+        assert_eq!(Attribute::SymbolRef("main".into()).as_symbol(), Some("main"));
+        assert_eq!(Attribute::DenseI64(vec![1, 2]).as_dense(), Some(&[1i64, 2][..]));
+        assert_eq!(Attribute::Grid(vec![2, 2]).as_grid(), Some(&[2i64, 2][..]));
+        assert!(Attribute::Unit.as_int().is_none());
+        let arr = Attribute::Array(vec![Attribute::Unit]);
+        assert_eq!(arr.as_array().unwrap().len(), 1);
+        let ty = Attribute::Type(Type::F64);
+        assert_eq!(ty.as_type(), Some(&Type::F64));
+    }
+}

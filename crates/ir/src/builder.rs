@@ -1,0 +1,112 @@
+//! A small convenience layer for constructing operations.
+//!
+//! Dialect crates expose typed helper functions; this builder backs them
+//! with fresh-value allocation and keeps call sites terse.
+
+use crate::attributes::Attribute;
+use crate::op::{Block, Op, Region};
+use crate::types::Type;
+use crate::value::{Value, ValueTable};
+
+/// Builds operations, allocating result values from a [`ValueTable`].
+///
+/// ```
+/// use sten_ir::{Module, OpBuilder, Type, Attribute};
+///
+/// let mut module = Module::new();
+/// let mut b = OpBuilder::new(&mut module.values);
+/// let c = b.op_with_attrs(
+///     "arith.constant",
+///     vec![],
+///     vec![Type::F64],
+///     vec![("value", Attribute::f64(2.0))],
+/// );
+/// let two = c.result(0);
+/// let add = b.op("arith.addf", vec![two, two], vec![Type::F64]);
+/// module.body_mut().ops.push(c);
+/// module.body_mut().ops.push(add);
+/// ```
+pub struct OpBuilder<'a> {
+    /// The value table new results are allocated from.
+    pub values: &'a mut ValueTable,
+}
+
+impl<'a> OpBuilder<'a> {
+    /// Wraps a value table.
+    pub fn new(values: &'a mut ValueTable) -> Self {
+        OpBuilder { values }
+    }
+
+    /// Creates an op with the given operands, allocating one result per
+    /// entry of `result_tys`.
+    pub fn op(&mut self, name: &str, operands: Vec<Value>, result_tys: Vec<Type>) -> Op {
+        let mut op = Op::new(name);
+        op.operands = operands;
+        op.results = result_tys.into_iter().map(|ty| self.values.alloc(ty)).collect();
+        op
+    }
+
+    /// Like [`OpBuilder::op`], additionally setting attributes.
+    pub fn op_with_attrs(
+        &mut self,
+        name: &str,
+        operands: Vec<Value>,
+        result_tys: Vec<Type>,
+        attrs: Vec<(&str, Attribute)>,
+    ) -> Op {
+        let mut op = self.op(name, operands, result_tys);
+        for (k, v) in attrs {
+            op.set_attr(k, v);
+        }
+        op
+    }
+
+    /// Allocates a block argument of the given type and returns the block
+    /// extended with it.
+    pub fn block_with_args(&mut self, arg_tys: Vec<Type>) -> Block {
+        let args = arg_tys.into_iter().map(|ty| self.values.alloc(ty)).collect();
+        Block::with_args(args)
+    }
+
+    /// Wraps `ops` into a single-block region with arguments of `arg_tys`;
+    /// returns the region and the argument values.
+    pub fn region(&mut self, arg_tys: Vec<Type>, ops: Vec<Op>) -> (Region, Vec<Value>) {
+        let mut block = self.block_with_args(arg_tys);
+        let args = block.args.clone();
+        block.ops = ops;
+        (Region::single(block), args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_results() {
+        let mut vt = ValueTable::new();
+        let mut b = OpBuilder::new(&mut vt);
+        let op = b.op("test.op", vec![], vec![Type::F64, Type::Index]);
+        assert_eq!(op.results.len(), 2);
+        assert_eq!(vt.ty(op.result(0)), &Type::F64);
+        assert_eq!(vt.ty(op.result(1)), &Type::Index);
+    }
+
+    #[test]
+    fn builder_sets_attrs() {
+        let mut vt = ValueTable::new();
+        let mut b = OpBuilder::new(&mut vt);
+        let op = b.op_with_attrs("test.op", vec![], vec![], vec![("flag", Attribute::Unit)]);
+        assert_eq!(op.attr("flag"), Some(&Attribute::Unit));
+    }
+
+    #[test]
+    fn region_builder_exposes_args() {
+        let mut vt = ValueTable::new();
+        let mut b = OpBuilder::new(&mut vt);
+        let (region, args) = b.region(vec![Type::Index], vec![Op::new("scf.yield")]);
+        assert_eq!(args.len(), 1);
+        assert_eq!(region.block().args, args);
+        assert_eq!(region.block().ops.len(), 1);
+    }
+}

@@ -1,0 +1,391 @@
+//! Operations, blocks, regions and modules — the structural core of the IR.
+//!
+//! "The primary constructs are operations, chained by the values they define
+//! and use. [...] To represent control flow and to model higher-level
+//! abstractions, operations can be nested in regions, which are themselves
+//! attached to operations" (§3). Ownership is tree-shaped: a [`Module`] owns
+//! a root `builtin.module` [`Op`], each op owns its [`Region`]s, each region
+//! its [`Block`]s, each block its ops.
+
+use crate::attributes::Attribute;
+use crate::value::{Value, ValueTable};
+use std::collections::{BTreeMap, HashMap};
+
+/// One SSA operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Op {
+    /// The dotted `dialect.op` name.
+    pub name: String,
+    /// Values used by this operation.
+    pub operands: Vec<Value>,
+    /// Values defined by this operation.
+    pub results: Vec<Value>,
+    /// Static information attached to the operation. A `BTreeMap` keeps the
+    /// printed form deterministic.
+    pub attrs: BTreeMap<String, Attribute>,
+    /// Nested regions.
+    pub regions: Vec<Region>,
+}
+
+impl Op {
+    /// Creates an op with no operands, results, attributes or regions.
+    pub fn new(name: impl Into<String>) -> Op {
+        Op {
+            name: name.into(),
+            operands: Vec::new(),
+            results: Vec::new(),
+            attrs: BTreeMap::new(),
+            regions: Vec::new(),
+        }
+    }
+
+    /// The dialect prefix of the op name (`"arith"` for `arith.addf`).
+    pub fn dialect(&self) -> &str {
+        self.name.split('.').next().unwrap_or("")
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, key: &str) -> Option<&Attribute> {
+        self.attrs.get(key)
+    }
+
+    /// Sets an attribute, replacing any previous value.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: Attribute) {
+        self.attrs.insert(key.into(), value);
+    }
+
+    /// The `i`-th result.
+    ///
+    /// # Panics
+    /// Panics if the op has fewer than `i + 1` results.
+    pub fn result(&self, i: usize) -> Value {
+        self.results[i]
+    }
+
+    /// The `i`-th operand.
+    ///
+    /// # Panics
+    /// Panics if the op has fewer than `i + 1` operands.
+    pub fn operand(&self, i: usize) -> Value {
+        self.operands[i]
+    }
+
+    /// The single block of the `i`-th region.
+    ///
+    /// # Panics
+    /// Panics if the region does not exist or has no blocks.
+    pub fn region_block(&self, i: usize) -> &Block {
+        self.regions[i].block()
+    }
+
+    /// Mutable access to the single block of the `i`-th region.
+    ///
+    /// # Panics
+    /// Panics if the region does not exist or has no blocks.
+    pub fn region_block_mut(&mut self, i: usize) -> &mut Block {
+        self.regions[i].block_mut()
+    }
+
+    /// Pre-order walk over this op and all ops nested in its regions.
+    pub fn walk<F: FnMut(&Op)>(&self, f: &mut F) {
+        f(self);
+        for region in &self.regions {
+            for block in &region.blocks {
+                for op in &block.ops {
+                    op.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Pre-order mutable walk. The callback sees each op *before* its nested
+    /// ops; structural edits to nested regions made by the callback are
+    /// themselves walked.
+    pub fn walk_mut<F: FnMut(&mut Op)>(&mut self, f: &mut F) {
+        f(self);
+        for region in &mut self.regions {
+            for block in &mut region.blocks {
+                for op in &mut block.ops {
+                    op.walk_mut(f);
+                }
+            }
+        }
+    }
+
+    /// Post-order walk (nested ops first).
+    pub fn walk_post<F: FnMut(&Op)>(&self, f: &mut F) {
+        for region in &self.regions {
+            for block in &region.blocks {
+                for op in &block.ops {
+                    op.walk_post(f);
+                }
+            }
+        }
+        f(self);
+    }
+
+    /// Replaces every use of `from` with `to` in this op and all nested ops.
+    /// Definitions (results, block arguments) are not touched.
+    pub fn replace_uses(&mut self, from: Value, to: Value) {
+        self.walk_mut(&mut |op| {
+            for operand in &mut op.operands {
+                if *operand == from {
+                    *operand = to;
+                }
+            }
+        });
+    }
+
+    /// Applies a value substitution map to every operand in the subtree.
+    pub fn substitute_uses(&mut self, map: &HashMap<Value, Value>) {
+        if map.is_empty() {
+            return;
+        }
+        self.walk_mut(&mut |op| {
+            for operand in &mut op.operands {
+                if let Some(&to) = map.get(operand) {
+                    *operand = to;
+                }
+            }
+        });
+    }
+
+    /// Counts how many times each value is used as an operand in the
+    /// subtree rooted at this op.
+    pub fn use_counts(&self) -> HashMap<Value, usize> {
+        let mut counts = HashMap::new();
+        self.walk(&mut |op| {
+            for &operand in &op.operands {
+                *counts.entry(operand).or_insert(0) += 1;
+            }
+        });
+        counts
+    }
+}
+
+/// A region: a list of blocks nested under an operation. All abstractions in
+/// this stack use single-block regions (as the paper notes), but multi-block
+/// regions are representable.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Region {
+    /// The blocks of the region.
+    pub blocks: Vec<Block>,
+}
+
+impl Region {
+    /// An empty region (no blocks).
+    pub fn new() -> Region {
+        Region::default()
+    }
+
+    /// A region holding exactly one block.
+    pub fn single(block: Block) -> Region {
+        Region { blocks: vec![block] }
+    }
+
+    /// The first (entry) block.
+    ///
+    /// # Panics
+    /// Panics if the region has no blocks.
+    pub fn block(&self) -> &Block {
+        &self.blocks[0]
+    }
+
+    /// Mutable access to the entry block.
+    ///
+    /// # Panics
+    /// Panics if the region has no blocks.
+    pub fn block_mut(&mut self) -> &mut Block {
+        &mut self.blocks[0]
+    }
+}
+
+/// A basic block: region arguments plus a straight-line list of operations.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Block {
+    /// Block arguments ("region arguments" in the paper's terminology).
+    pub args: Vec<Value>,
+    /// Operations in program order.
+    pub ops: Vec<Op>,
+}
+
+impl Block {
+    /// An empty block with no arguments.
+    pub fn new() -> Block {
+        Block::default()
+    }
+
+    /// A block with the given arguments.
+    pub fn with_args(args: Vec<Value>) -> Block {
+        Block { args, ops: Vec::new() }
+    }
+
+    /// Appends `op` and returns a reference to it.
+    pub fn push(&mut self, op: Op) -> &Op {
+        self.ops.push(op);
+        self.ops.last().expect("just pushed")
+    }
+
+    /// The last operation, conventionally the block terminator.
+    pub fn terminator(&self) -> Option<&Op> {
+        self.ops.last()
+    }
+}
+
+/// A whole compilation unit: the value table plus the root `builtin.module`
+/// operation.
+#[derive(Clone, Debug)]
+pub struct Module {
+    /// Owns the types of all values appearing in `op`.
+    pub values: ValueTable,
+    /// The root operation; its single region's single block holds the
+    /// module-level ops (functions, globals).
+    pub op: Op,
+}
+
+impl Module {
+    /// Creates an empty `builtin.module`.
+    pub fn new() -> Module {
+        let mut op = Op::new("builtin.module");
+        op.regions.push(Region::single(Block::new()));
+        Module { values: ValueTable::new(), op }
+    }
+
+    /// The module-level block.
+    pub fn body(&self) -> &Block {
+        self.op.region_block(0)
+    }
+
+    /// Mutable access to the module-level block.
+    pub fn body_mut(&mut self) -> &mut Block {
+        self.op.region_block_mut(0)
+    }
+
+    /// Finds a module-level op with symbol name `sym` (e.g. a `func.func`
+    /// whose `sym_name` attribute matches).
+    pub fn lookup_symbol(&self, sym: &str) -> Option<&Op> {
+        self.body().ops.iter().find(|op| {
+            op.attr("sym_name").and_then(Attribute::as_str) == Some(sym)
+        })
+    }
+
+    /// Mutable variant of [`Module::lookup_symbol`].
+    pub fn lookup_symbol_mut(&mut self, sym: &str) -> Option<&mut Op> {
+        self.body_mut().ops.iter_mut().find(|op| {
+            op.attr("sym_name").and_then(Attribute::as_str) == Some(sym)
+        })
+    }
+
+    /// Pre-order walk over all ops in the module (excluding the root).
+    pub fn walk<F: FnMut(&Op)>(&self, mut f: F) {
+        for op in &self.body().ops {
+            op.walk(&mut f);
+        }
+    }
+}
+
+impl Default for Module {
+    fn default() -> Self {
+        Module::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    fn simple_module() -> Module {
+        let mut m = Module::new();
+        let a = m.values.alloc(Type::I32);
+        let b = m.values.alloc(Type::I32);
+        let mut c0 = Op::new("arith.constant");
+        c0.results.push(a);
+        c0.set_attr("value", Attribute::Int(42, Type::I32));
+        let mut add = Op::new("arith.addi");
+        add.operands.extend([a, a]);
+        add.results.push(b);
+        m.body_mut().ops.push(c0);
+        m.body_mut().ops.push(add);
+        m
+    }
+
+    #[test]
+    fn op_basics() {
+        let m = simple_module();
+        let add = &m.body().ops[1];
+        assert_eq!(add.dialect(), "arith");
+        assert_eq!(add.operand(0), add.operand(1));
+        assert_eq!(add.result(0).index(), 1);
+        assert!(m.body().ops[0].attr("value").is_some());
+    }
+
+    #[test]
+    fn walk_visits_nested_ops_preorder() {
+        let mut m = Module::new();
+        let mut outer = Op::new("scf.for");
+        let mut inner_block = Block::new();
+        inner_block.ops.push(Op::new("arith.addi"));
+        inner_block.ops.push(Op::new("scf.yield"));
+        outer.regions.push(Region::single(inner_block));
+        m.body_mut().ops.push(outer);
+
+        let mut names = Vec::new();
+        m.walk(|op| names.push(op.name.clone()));
+        assert_eq!(names, vec!["scf.for", "arith.addi", "scf.yield"]);
+
+        let mut post = Vec::new();
+        m.op.walk_post(&mut |op| post.push(op.name.clone()));
+        assert_eq!(post, vec!["arith.addi", "scf.yield", "scf.for", "builtin.module"]);
+    }
+
+    #[test]
+    fn replace_uses_rewrites_operands_only() {
+        let mut m = simple_module();
+        let a = m.body().ops[0].result(0);
+        let fresh = m.values.alloc(Type::I32);
+        m.op.replace_uses(a, fresh);
+        let add = &m.body().ops[1];
+        assert_eq!(add.operands, vec![fresh, fresh]);
+        // The definition of `a` is untouched.
+        assert_eq!(m.body().ops[0].result(0), a);
+    }
+
+    #[test]
+    fn substitute_uses_applies_map() {
+        let mut m = simple_module();
+        let a = m.body().ops[0].result(0);
+        let fresh = m.values.alloc(Type::I32);
+        let map = HashMap::from([(a, fresh)]);
+        m.op.substitute_uses(&map);
+        assert_eq!(m.body().ops[1].operands, vec![fresh, fresh]);
+    }
+
+    #[test]
+    fn use_counts_counts_operands() {
+        let m = simple_module();
+        let a = m.body().ops[0].result(0);
+        let counts = m.op.use_counts();
+        assert_eq!(counts.get(&a), Some(&2));
+    }
+
+    #[test]
+    fn lookup_symbol_finds_functions() {
+        let mut m = Module::new();
+        let mut f = Op::new("func.func");
+        f.set_attr("sym_name", Attribute::Str("main".into()));
+        m.body_mut().ops.push(f);
+        assert!(m.lookup_symbol("main").is_some());
+        assert!(m.lookup_symbol("other").is_none());
+        assert!(m.lookup_symbol_mut("main").is_some());
+    }
+
+    #[test]
+    fn block_terminator_is_last_op() {
+        let mut b = Block::new();
+        assert!(b.terminator().is_none());
+        b.push(Op::new("arith.addi"));
+        b.push(Op::new("scf.yield"));
+        assert_eq!(b.terminator().unwrap().name, "scf.yield");
+    }
+}

@@ -1,0 +1,207 @@
+//! The pass manager: named IR-to-IR transformations run in sequence.
+//!
+//! Mirrors `mlir-opt`-style pipelines: §5 of the paper describes lowering
+//! flows as a series of passes across SSA-based IRs (e.g. *shape-inference*,
+//! *convert-stencil-to-ll-mlir*, *dmp-to-mpi*). [`PassManager::run`]
+//! optionally re-verifies the module after every pass, which catches
+//! lowering bugs close to their source.
+
+use crate::op::Module;
+use crate::registry::DialectRegistry;
+use crate::verifier::verify_module;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A pass failure, attributed to the pass that raised it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    /// The pass that failed.
+    pub pass: String,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl PassError {
+    /// Creates a pass error.
+    pub fn new(pass: impl Into<String>, message: impl Into<String>) -> Self {
+        PassError { pass: pass.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass '{}' failed: {}", self.pass, self.message)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// An IR-to-IR transformation.
+pub trait Pass {
+    /// Stable pass name (used in diagnostics and timing reports).
+    fn name(&self) -> &'static str;
+    /// Transforms the module in place.
+    ///
+    /// # Errors
+    /// Returns a [`PassError`] if the input IR violates the pass's
+    /// preconditions.
+    fn run(&self, module: &mut Module) -> Result<(), PassError>;
+}
+
+/// Timing record for one executed pass.
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// Pass name.
+    pub name: &'static str,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+/// Runs a sequence of passes over a module.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    /// Verify the module after each pass (strongly recommended in tests).
+    pub verify_each: bool,
+    registry: Option<Arc<DialectRegistry>>,
+    timings: std::cell::RefCell<Vec<PassTiming>>,
+}
+
+impl PassManager {
+    /// An empty pipeline with verification disabled.
+    pub fn new() -> Self {
+        PassManager::default()
+    }
+
+    /// Enables per-pass verification against `registry`.
+    pub fn with_verifier(mut self, registry: Arc<DialectRegistry>) -> Self {
+        self.verify_each = true;
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends a boxed pass to the pipeline.
+    pub fn add_boxed(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The names of the scheduled passes, in order.
+    pub fn pipeline(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass in order.
+    ///
+    /// # Errors
+    /// Stops at the first failing pass or failed post-pass verification.
+    pub fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        self.timings.borrow_mut().clear();
+        for pass in &self.passes {
+            let start = Instant::now();
+            pass.run(module)?;
+            self.timings
+                .borrow_mut()
+                .push(PassTiming { name: pass.name(), duration: start.elapsed() });
+            if self.verify_each {
+                verify_module(module, self.registry.as_deref())
+                    .map_err(|e| PassError::new(pass.name(), format!("post-pass verification: {e}")))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Timings of the most recent [`PassManager::run`].
+    pub fn timings(&self) -> Vec<PassTiming> {
+        self.timings.borrow().clone()
+    }
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("pipeline", &self.pipeline())
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    struct AppendOp(&'static str);
+    impl Pass for AppendOp {
+        fn name(&self) -> &'static str {
+            "append-op"
+        }
+        fn run(&self, module: &mut Module) -> Result<(), PassError> {
+            module.body_mut().ops.push(Op::new(self.0));
+            Ok(())
+        }
+    }
+
+    struct Failing;
+    impl Pass for Failing {
+        fn name(&self) -> &'static str {
+            "failing"
+        }
+        fn run(&self, _: &mut Module) -> Result<(), PassError> {
+            Err(PassError::new("failing", "intentional"))
+        }
+    }
+
+    #[test]
+    fn runs_passes_in_order() {
+        let mut pm = PassManager::new();
+        pm.add(AppendOp("test.a")).add(AppendOp("test.b"));
+        let mut m = Module::new();
+        pm.run(&mut m).unwrap();
+        let names: Vec<&str> = m.body().ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["test.a", "test.b"]);
+        assert_eq!(pm.timings().len(), 2);
+        assert_eq!(pm.pipeline(), vec!["append-op", "append-op"]);
+    }
+
+    #[test]
+    fn stops_on_failure() {
+        let mut pm = PassManager::new();
+        pm.add(Failing).add(AppendOp("test.never"));
+        let mut m = Module::new();
+        let err = pm.run(&mut m).unwrap_err();
+        assert_eq!(err.pass, "failing");
+        assert!(m.body().ops.is_empty());
+    }
+
+    #[test]
+    fn verify_each_catches_broken_passes() {
+        struct Breaks;
+        impl Pass for Breaks {
+            fn name(&self) -> &'static str {
+                "breaks-ir"
+            }
+            fn run(&self, module: &mut Module) -> Result<(), PassError> {
+                // Introduce a use of a never-defined value.
+                let ghost = crate::value::Value::from_index(9999);
+                let mut op = Op::new("test.bad");
+                op.operands.push(ghost);
+                module.body_mut().ops.push(op);
+                Ok(())
+            }
+        }
+        let registry = Arc::new(DialectRegistry::new());
+        let mut pm = PassManager::new().with_verifier(registry);
+        pm.add(Breaks);
+        let mut m = Module::new();
+        let err = pm.run(&mut m).unwrap_err();
+        assert!(err.message.contains("verification"), "{err}");
+    }
+}

@@ -1,0 +1,311 @@
+//! The textual form of the IR (printing side).
+//!
+//! The format is a deterministic clone of MLIR's *generic* operation syntax,
+//! extended with the stack's type and attribute literals:
+//!
+//! ```text
+//! %0 = "arith.constant"() {value = 42 : i32} : () -> (i32)
+//! %1 = "arith.addi"(%0, %0) : (i32, i32) -> (i32)
+//! "scf.for"(%lo, %hi, %step) ({
+//! ^bb0(%i: index):
+//!   "scf.yield"() : () -> ()
+//! }) : (index, index, index) -> ()
+//! ```
+//!
+//! [`print_module`] and [`crate::parse_module`] are exact inverses; the test
+//! suites round-trip IR at every lowering level.
+
+use crate::attributes::Attribute;
+use crate::op::{Module, Op, Region};
+use crate::types::Type;
+use crate::value::{Value, ValueTable};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Renders a type in the textual syntax.
+pub fn type_to_string(ty: &Type) -> String {
+    match ty {
+        Type::I1 => "i1".into(),
+        Type::I32 => "i32".into(),
+        Type::I64 => "i64".into(),
+        Type::Index => "index".into(),
+        Type::F32 => "f32".into(),
+        Type::F64 => "f64".into(),
+        Type::None => "none".into(),
+        Type::LlvmPtr => "!llvm.ptr".into(),
+        Type::MpiRequest => "!mpi.request".into(),
+        Type::MpiRequests => "!mpi.requests".into(),
+        Type::MpiDatatype => "!mpi.datatype".into(),
+        Type::MpiComm => "!mpi.comm".into(),
+        Type::MpiStatus => "!mpi.status".into(),
+        Type::MemRef(m) => {
+            let mut s = String::from("memref<");
+            for d in &m.shape {
+                if *d < 0 {
+                    s.push('?');
+                } else {
+                    write!(s, "{d}").unwrap();
+                }
+                s.push('x');
+            }
+            write!(s, "{}>", type_to_string(&m.elem)).unwrap();
+            s
+        }
+        Type::Function(f) => {
+            let ins: Vec<String> = f.inputs.iter().map(type_to_string).collect();
+            let outs: Vec<String> = f.results.iter().map(type_to_string).collect();
+            format!("({}) -> ({})", ins.join(", "), outs.join(", "))
+        }
+        Type::Field(f) => {
+            format!("!stencil.field<{}x{}>", f.bounds, type_to_string(&f.elem))
+        }
+        Type::Temp(t) => match &t.bounds {
+            Some(b) => format!("!stencil.temp<{}x{}>", b, type_to_string(&t.elem)),
+            None => {
+                let qs = vec!["?"; t.rank].join("x");
+                format!("!stencil.temp<{}x{}>", qs, type_to_string(&t.elem))
+            }
+        },
+        Type::StencilResult(e) => format!("!stencil.result<{}>", type_to_string(e)),
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn ints(v: &[i64]) -> String {
+    v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// Renders an attribute in the textual syntax.
+pub fn attr_to_string(attr: &Attribute) -> String {
+    match attr {
+        Attribute::Unit => "unit".into(),
+        Attribute::Bool(b) => b.to_string(),
+        Attribute::Int(v, ty) => format!("{v} : {}", type_to_string(ty)),
+        Attribute::Float(f) => format!("{f} : {}", type_to_string(&f.ty)),
+        Attribute::Str(s) => format!("\"{}\"", escape(s)),
+        Attribute::Type(t) => type_to_string(t),
+        Attribute::Array(items) => {
+            let inner: Vec<String> = items.iter().map(attr_to_string).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Attribute::DenseI64(v) => format!("dense<[{}]>", ints(v)),
+        Attribute::SymbolRef(s) => format!("@{s}"),
+        Attribute::Grid(dims) => {
+            let body: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+            format!("#dmp.grid<{}>", body.join("x"))
+        }
+        Attribute::Exchange(e) => format!(
+            "#dmp.exchange<at [{}] size [{}] source offset [{}] to [{}]>",
+            ints(&e.at),
+            ints(&e.size),
+            ints(&e.source_offset),
+            ints(&e.to)
+        ),
+    }
+}
+
+struct Printer<'a> {
+    values: &'a ValueTable,
+    names: HashMap<Value, usize>,
+    out: String,
+}
+
+impl<'a> Printer<'a> {
+    fn name(&mut self, v: Value) -> String {
+        let next = self.names.len();
+        let id = *self.names.entry(v).or_insert(next);
+        format!("%{id}")
+    }
+
+    fn indent(&mut self, depth: usize) {
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn print_region(&mut self, region: &Region, depth: usize) {
+        self.out.push_str("{\n");
+        let single = region.blocks.len() == 1;
+        for (i, block) in region.blocks.iter().enumerate() {
+            if !(single && block.args.is_empty()) {
+                self.indent(depth);
+                write!(self.out, "^bb{i}(").unwrap();
+                let mut first = true;
+                for &arg in &block.args {
+                    if !first {
+                        self.out.push_str(", ");
+                    }
+                    first = false;
+                    let n = self.name(arg);
+                    let ty = type_to_string(self.values.ty(arg));
+                    write!(self.out, "{n}: {ty}").unwrap();
+                }
+                self.out.push_str("):\n");
+            }
+            for op in &block.ops {
+                self.print_op(op, depth + 1);
+            }
+        }
+        self.indent(depth);
+        self.out.push('}');
+    }
+
+    fn print_op(&mut self, op: &Op, depth: usize) {
+        self.indent(depth);
+        if !op.results.is_empty() {
+            let names: Vec<String> = op.results.iter().map(|&r| self.name(r)).collect();
+            write!(self.out, "{} = ", names.join(", ")).unwrap();
+        }
+        write!(self.out, "\"{}\"(", op.name).unwrap();
+        let operand_names: Vec<String> = op.operands.iter().map(|&o| self.name(o)).collect();
+        self.out.push_str(&operand_names.join(", "));
+        self.out.push(')');
+        if !op.attrs.is_empty() {
+            self.out.push_str(" {");
+            let mut first = true;
+            for (k, v) in &op.attrs {
+                if !first {
+                    self.out.push_str(", ");
+                }
+                first = false;
+                write!(self.out, "{k} = {}", attr_to_string(v)).unwrap();
+            }
+            self.out.push('}');
+        }
+        if !op.regions.is_empty() {
+            self.out.push_str(" (");
+            for (i, region) in op.regions.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.print_region(region, depth + 1);
+            }
+            self.out.push(')');
+        }
+        let in_tys: Vec<String> = op
+            .operands
+            .iter()
+            .map(|&o| type_to_string(self.values.ty(o)))
+            .collect();
+        let out_tys: Vec<String> = op
+            .results
+            .iter()
+            .map(|&r| type_to_string(self.values.ty(r)))
+            .collect();
+        write!(self.out, " : ({}) -> ({})", in_tys.join(", "), out_tys.join(", ")).unwrap();
+        self.out.push('\n');
+    }
+}
+
+/// Prints a single op subtree (with trailing newline).
+pub fn print_op(op: &Op, values: &ValueTable) -> String {
+    let mut p = Printer { values, names: HashMap::new(), out: String::new() };
+    p.print_op(op, 0);
+    p.out
+}
+
+/// Prints a whole module in generic syntax.
+pub fn print_module(module: &Module) -> String {
+    print_op(&module.op, &module.values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{ExchangeAttr, FloatAttr};
+    use crate::op::Block;
+    use crate::types::{Bounds, FieldType, FunctionType, MemRefType, TempType};
+
+    #[test]
+    fn scalar_types_print() {
+        assert_eq!(type_to_string(&Type::I32), "i32");
+        assert_eq!(type_to_string(&Type::Index), "index");
+        assert_eq!(type_to_string(&Type::LlvmPtr), "!llvm.ptr");
+        assert_eq!(type_to_string(&Type::MpiRequest), "!mpi.request");
+    }
+
+    #[test]
+    fn shaped_types_print_like_the_paper() {
+        let m = Type::MemRef(MemRefType::new(vec![108, 108], Type::F32));
+        assert_eq!(type_to_string(&m), "memref<108x108xf32>");
+        let dynamic = Type::MemRef(MemRefType::new(vec![-1, 4], Type::F64));
+        assert_eq!(type_to_string(&dynamic), "memref<?x4xf64>");
+        let f = Type::Field(FieldType::new(Bounds::new(vec![(0, 128)]), Type::F64));
+        assert_eq!(type_to_string(&f), "!stencil.field<[0,128]xf64>");
+        let t = Type::Temp(TempType::unknown(1, Type::F64));
+        assert_eq!(type_to_string(&t), "!stencil.temp<?xf64>");
+        let tk = Type::Temp(TempType::known(Bounds::new(vec![(1, 127)]), Type::F64));
+        assert_eq!(type_to_string(&tk), "!stencil.temp<[1,127]xf64>");
+    }
+
+    #[test]
+    fn function_type_prints() {
+        let f = Type::Function(Box::new(FunctionType::new(
+            vec![Type::I32, Type::F64],
+            vec![Type::F64],
+        )));
+        assert_eq!(type_to_string(&f), "(i32, f64) -> (f64)");
+    }
+
+    #[test]
+    fn attrs_print() {
+        assert_eq!(attr_to_string(&Attribute::Int(42, Type::I32)), "42 : i32");
+        assert_eq!(
+            attr_to_string(&Attribute::Float(FloatAttr::new(0.5, Type::F64))),
+            "0.5 : f64"
+        );
+        assert_eq!(attr_to_string(&Attribute::Str("a\"b".into())), "\"a\\\"b\"");
+        assert_eq!(attr_to_string(&Attribute::DenseI64(vec![1, -2])), "dense<[1, -2]>");
+        assert_eq!(attr_to_string(&Attribute::SymbolRef("main".into())), "@main");
+        assert_eq!(attr_to_string(&Attribute::Grid(vec![2, 2])), "#dmp.grid<2x2>");
+        let e = Attribute::Exchange(ExchangeAttr::new(
+            vec![4, 0],
+            vec![100, 4],
+            vec![0, 4],
+            vec![0, -1],
+        ));
+        assert_eq!(
+            attr_to_string(&e),
+            "#dmp.exchange<at [4, 0] size [100, 4] source offset [0, 4] to [0, -1]>"
+        );
+    }
+
+    #[test]
+    fn module_prints_nested_ops() {
+        let mut m = Module::new();
+        let c = m.values.alloc(Type::I32);
+        let mut op = Op::new("arith.constant");
+        op.results.push(c);
+        op.set_attr("value", Attribute::Int(7, Type::I32));
+        m.body_mut().ops.push(op);
+        let text = print_module(&m);
+        assert!(text.contains("\"builtin.module\"() ({"));
+        assert!(text.contains("%0 = \"arith.constant\"() {value = 7 : i32} : () -> (i32)"));
+    }
+
+    #[test]
+    fn block_args_get_headers() {
+        let mut m = Module::new();
+        let arg = m.values.alloc(Type::Index);
+        let mut for_op = Op::new("scf.for");
+        let mut body = Block::with_args(vec![arg]);
+        body.ops.push(Op::new("scf.yield"));
+        for_op.regions.push(Region::single(body));
+        m.body_mut().ops.push(for_op);
+        let text = print_module(&m);
+        assert!(text.contains("^bb0(%0: index):"), "got: {text}");
+    }
+}

@@ -1,0 +1,172 @@
+//! The dialect registry: op metadata driving verification and transforms.
+//!
+//! "Sets of operations, types, and attributes related to a common
+//! abstraction are organized into distinct units called dialects" (§3).
+//! Each dialect crate contributes [`OpSpec`]s via a `register` function;
+//! `stencil_core::standard_registry()` composes the full stack.
+
+use crate::op::Op;
+use crate::value::ValueTable;
+use std::collections::HashMap;
+
+/// Verification callback for one operation kind.
+pub type VerifyFn = fn(&Op, &ValueTable) -> Result<(), String>;
+
+fn verify_nothing(_: &Op, _: &ValueTable) -> Result<(), String> {
+    Ok(())
+}
+
+/// Static description of one operation kind.
+#[derive(Clone)]
+pub struct OpSpec {
+    /// Fully qualified `dialect.op` name.
+    pub name: &'static str,
+    /// One-line documentation.
+    pub summary: &'static str,
+    /// Whether the op is side-effect free (eligible for CSE/DCE).
+    pub pure: bool,
+    /// Whether the op terminates a block (`scf.yield`, `func.return`, ...).
+    pub terminator: bool,
+    /// Structural/type verification.
+    pub verify: VerifyFn,
+}
+
+impl OpSpec {
+    /// A spec with no verification, not pure, not a terminator.
+    pub fn new(name: &'static str, summary: &'static str) -> OpSpec {
+        OpSpec { name, summary, pure: false, terminator: false, verify: verify_nothing }
+    }
+
+    /// Marks the op as pure.
+    pub fn pure(mut self) -> OpSpec {
+        self.pure = true;
+        self
+    }
+
+    /// Marks the op as a block terminator.
+    pub fn terminator(mut self) -> OpSpec {
+        self.terminator = true;
+        self
+    }
+
+    /// Attaches a verification function.
+    pub fn with_verify(mut self, f: VerifyFn) -> OpSpec {
+        self.verify = f;
+        self
+    }
+}
+
+impl std::fmt::Debug for OpSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpSpec")
+            .field("name", &self.name)
+            .field("pure", &self.pure)
+            .field("terminator", &self.terminator)
+            .finish()
+    }
+}
+
+/// A collection of op specs from one or more dialects.
+#[derive(Clone, Debug, Default)]
+pub struct DialectRegistry {
+    specs: HashMap<&'static str, OpSpec>,
+}
+
+impl DialectRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DialectRegistry::default()
+    }
+
+    /// Registers a spec.
+    ///
+    /// # Panics
+    /// Panics if an op with the same name was already registered — dialects
+    /// must not collide.
+    pub fn register(&mut self, spec: OpSpec) {
+        let prev = self.specs.insert(spec.name, spec);
+        assert!(prev.is_none(), "duplicate op registration: {}", prev.unwrap().name);
+    }
+
+    /// Looks up the spec for `name`.
+    pub fn get(&self, name: &str) -> Option<&OpSpec> {
+        self.specs.get(name)
+    }
+
+    /// Whether `name` is registered and pure. Unregistered ops are
+    /// conservatively treated as impure.
+    pub fn is_pure(&self, name: &str) -> bool {
+        self.get(name).map(|s| s.pure).unwrap_or(false)
+    }
+
+    /// Whether `name` is registered as a terminator.
+    pub fn is_terminator(&self, name: &str) -> bool {
+        self.get(name).map(|s| s.terminator).unwrap_or(false)
+    }
+
+    /// Number of registered ops.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Iterates over all registered specs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &OpSpec> {
+        self.specs.values()
+    }
+
+    /// The distinct dialect prefixes present, sorted.
+    pub fn dialects(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self
+            .specs
+            .keys()
+            .filter_map(|n| n.split('.').next())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_query() {
+        let mut reg = DialectRegistry::new();
+        reg.register(OpSpec::new("test.pure", "a pure op").pure());
+        reg.register(OpSpec::new("test.term", "a terminator").terminator());
+        assert!(reg.is_pure("test.pure"));
+        assert!(!reg.is_pure("test.term"));
+        assert!(!reg.is_pure("test.unknown"));
+        assert!(reg.is_terminator("test.term"));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.dialects(), vec!["test"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate op registration")]
+    fn duplicate_registration_panics() {
+        let mut reg = DialectRegistry::new();
+        reg.register(OpSpec::new("test.op", ""));
+        reg.register(OpSpec::new("test.op", ""));
+    }
+
+    #[test]
+    fn verify_hook_runs() {
+        fn reject(_: &Op, _: &ValueTable) -> Result<(), String> {
+            Err("nope".into())
+        }
+        let mut reg = DialectRegistry::new();
+        reg.register(OpSpec::new("test.bad", "").with_verify(reject));
+        let spec = reg.get("test.bad").unwrap();
+        let vt = ValueTable::new();
+        assert!((spec.verify)(&Op::new("test.bad"), &vt).is_err());
+    }
+}

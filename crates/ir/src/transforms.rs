@@ -1,0 +1,286 @@
+//! Generic, dialect-independent transformations.
+//!
+//! The paper's shared stack "benefit\[s\] from applying transformation and
+//! optimization passes from the shared infrastructure [...] such as cse,
+//! loop-invariant-code-motion" (§5.1). This module provides the two passes
+//! that need only SSA structure plus purity information: dead code
+//! elimination and common subexpression elimination. Loop-aware transforms
+//! (LICM, folding) live in `sten-dialects`, which knows the loop ops.
+
+use crate::attributes::Attribute;
+use crate::op::{Block, Module, Op};
+use crate::pass::{Pass, PassError};
+use crate::registry::DialectRegistry;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Removes pure operations none of whose results are used.
+///
+/// Runs to a fixpoint so chains of dead ops disappear in one invocation.
+/// Ops are never removed if they are impure (unknown ops are conservatively
+/// impure) or registered as terminators.
+pub struct DeadCodeElimination {
+    registry: Arc<DialectRegistry>,
+}
+
+impl DeadCodeElimination {
+    /// Creates the pass with purity information from `registry`.
+    pub fn new(registry: Arc<DialectRegistry>) -> Self {
+        DeadCodeElimination { registry }
+    }
+
+    fn sweep(op: &mut Op, counts: &HashMap<Value, usize>, registry: &DialectRegistry) -> bool {
+        let mut changed = false;
+        for region in &mut op.regions {
+            for block in &mut region.blocks {
+                let before = block.ops.len();
+                block.ops.retain(|o| {
+                    let removable = registry.is_pure(&o.name)
+                        && !registry.is_terminator(&o.name)
+                        && o.results.iter().all(|r| counts.get(r).copied().unwrap_or(0) == 0);
+                    !removable
+                });
+                changed |= block.ops.len() != before;
+                for o in &mut block.ops {
+                    changed |= Self::sweep(o, counts, registry);
+                }
+            }
+        }
+        changed
+    }
+}
+
+impl Pass for DeadCodeElimination {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        loop {
+            let counts = module.op.use_counts();
+            if !Self::sweep(&mut module.op, &counts, &self.registry) {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Key identifying structurally equal pure ops.
+#[derive(PartialEq, Eq, Hash)]
+struct CseKey {
+    name: String,
+    operands: Vec<Value>,
+    attrs: Vec<(String, Attribute)>,
+}
+
+/// Common subexpression elimination for pure, region-free ops.
+///
+/// Scoped like MLIR's CSE: an op inside a nested region may be replaced by
+/// an equivalent op from an enclosing block (the enclosing value is visible
+/// there), but never the other way around.
+pub struct CommonSubexprElimination {
+    registry: Arc<DialectRegistry>,
+}
+
+impl CommonSubexprElimination {
+    /// Creates the pass with purity information from `registry`.
+    pub fn new(registry: Arc<DialectRegistry>) -> Self {
+        CommonSubexprElimination { registry }
+    }
+
+    fn process_block(
+        &self,
+        block: &mut Block,
+        scopes: &mut Vec<HashMap<CseKey, Vec<Value>>>,
+        subst: &mut HashMap<Value, Value>,
+    ) {
+        let ops = std::mem::take(&mut block.ops);
+        scopes.push(HashMap::new());
+        for mut op in ops {
+            for operand in &mut op.operands {
+                if let Some(&to) = subst.get(operand) {
+                    *operand = to;
+                }
+            }
+            for region in &mut op.regions {
+                for inner in &mut region.blocks {
+                    self.process_block(inner, scopes, subst);
+                }
+            }
+            let eligible = self.registry.is_pure(&op.name)
+                && op.regions.is_empty()
+                && !op.results.is_empty();
+            if eligible {
+                let key = CseKey {
+                    name: op.name.clone(),
+                    operands: op.operands.clone(),
+                    attrs: op.attrs.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+                };
+                if let Some(prior) = scopes.iter().rev().find_map(|s| s.get(&key)) {
+                    for (&dup, &orig) in op.results.iter().zip(prior) {
+                        subst.insert(dup, orig);
+                    }
+                    continue; // drop the duplicate
+                }
+                scopes.last_mut().expect("pushed above").insert(key, op.results.clone());
+            }
+            block.ops.push(op);
+        }
+        scopes.pop();
+    }
+}
+
+impl Pass for CommonSubexprElimination {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let mut root_regions = std::mem::take(&mut module.op.regions);
+        let mut scopes = Vec::new();
+        let mut subst = HashMap::new();
+        for region in &mut root_regions {
+            for block in &mut region.blocks {
+                self.process_block(block, &mut scopes, &mut subst);
+            }
+        }
+        module.op.regions = root_regions;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Region;
+    use crate::registry::OpSpec;
+    use crate::types::Type;
+
+    fn registry() -> Arc<DialectRegistry> {
+        let mut reg = DialectRegistry::new();
+        reg.register(OpSpec::new("test.pure", "").pure());
+        reg.register(OpSpec::new("test.effectful", ""));
+        reg.register(OpSpec::new("test.yield", "").terminator());
+        Arc::new(reg)
+    }
+
+    fn pure_op(m: &mut Module, operands: Vec<Value>) -> Op {
+        let r = m.values.alloc(Type::I32);
+        let mut op = Op::new("test.pure");
+        op.operands = operands;
+        op.results.push(r);
+        op
+    }
+
+    #[test]
+    fn dce_removes_dead_chains() {
+        let mut m = Module::new();
+        let a = pure_op(&mut m, vec![]);
+        let av = a.result(0);
+        let b = pure_op(&mut m, vec![av]); // uses a, itself unused
+        m.body_mut().ops.push(a);
+        m.body_mut().ops.push(b);
+        DeadCodeElimination::new(registry()).run(&mut m).unwrap();
+        assert!(m.body().ops.is_empty(), "whole dead chain removed in one run");
+    }
+
+    #[test]
+    fn dce_keeps_effectful_and_used_ops() {
+        let mut m = Module::new();
+        let a = pure_op(&mut m, vec![]);
+        let av = a.result(0);
+        m.body_mut().ops.push(a);
+        let mut store = Op::new("test.effectful");
+        store.operands.push(av);
+        m.body_mut().ops.push(store);
+        DeadCodeElimination::new(registry()).run(&mut m).unwrap();
+        assert_eq!(m.body().ops.len(), 2);
+    }
+
+    #[test]
+    fn cse_merges_identical_pure_ops() {
+        let mut m = Module::new();
+        let a = pure_op(&mut m, vec![]);
+        let b = pure_op(&mut m, vec![]);
+        let (av, bv) = (a.result(0), b.result(0));
+        m.body_mut().ops.push(a);
+        m.body_mut().ops.push(b);
+        let mut user = Op::new("test.effectful");
+        user.operands.extend([av, bv]);
+        m.body_mut().ops.push(user);
+        CommonSubexprElimination::new(registry()).run(&mut m).unwrap();
+        assert_eq!(m.body().ops.len(), 2, "duplicate removed");
+        assert_eq!(m.body().ops[1].operands, vec![av, av], "uses redirected");
+    }
+
+    #[test]
+    fn cse_respects_attrs() {
+        let mut m = Module::new();
+        let mut a = pure_op(&mut m, vec![]);
+        a.set_attr("value", Attribute::int64(1));
+        let mut b = pure_op(&mut m, vec![]);
+        b.set_attr("value", Attribute::int64(2));
+        let (av, bv) = (a.result(0), b.result(0));
+        m.body_mut().ops.push(a);
+        m.body_mut().ops.push(b);
+        let mut user = Op::new("test.effectful");
+        user.operands.extend([av, bv]);
+        m.body_mut().ops.push(user);
+        CommonSubexprElimination::new(registry()).run(&mut m).unwrap();
+        assert_eq!(m.body().ops.len(), 3, "different attrs are not CSE'd");
+    }
+
+    #[test]
+    fn cse_reaches_into_regions_but_not_out() {
+        let mut m = Module::new();
+        let outer = pure_op(&mut m, vec![]);
+        let outer_v = outer.result(0);
+        m.body_mut().ops.push(outer);
+
+        // Region containing a duplicate of the outer op and a user.
+        let dup = pure_op(&mut m, vec![]);
+        let dup_v = dup.result(0);
+        let mut user = Op::new("test.effectful");
+        user.operands.push(dup_v);
+        let mut container = Op::new("test.effectful");
+        let mut blk = Block::new();
+        blk.ops.push(dup);
+        blk.ops.push(user);
+        container.regions.push(Region::single(blk));
+        m.body_mut().ops.push(container);
+
+        CommonSubexprElimination::new(registry()).run(&mut m).unwrap();
+        let container = &m.body().ops[1];
+        let blk = container.region_block(0);
+        assert_eq!(blk.ops.len(), 1, "inner duplicate folded to outer def");
+        assert_eq!(blk.ops[0].operands, vec![outer_v]);
+    }
+
+    #[test]
+    fn cse_scopes_popped_after_region() {
+        // Two sibling regions each containing the same op: they must NOT be
+        // CSE'd across regions (the first region's value is out of scope).
+        let mut m = Module::new();
+        let mk_region = |m: &mut Module| {
+            let inner = pure_op(m, vec![]);
+            let v = inner.result(0);
+            let mut user = Op::new("test.effectful");
+            user.operands.push(v);
+            let mut blk = Block::new();
+            blk.ops.push(inner);
+            blk.ops.push(user);
+            Region::single(blk)
+        };
+        let mut container = Op::new("test.effectful");
+        let r1 = mk_region(&mut m);
+        let r2 = mk_region(&mut m);
+        container.regions.push(r1);
+        container.regions.push(r2);
+        m.body_mut().ops.push(container);
+        CommonSubexprElimination::new(registry()).run(&mut m).unwrap();
+        let container = &m.body().ops[0];
+        assert_eq!(container.region_block(0).ops.len(), 2);
+        assert_eq!(container.regions[1].block().ops.len(), 2);
+    }
+}

@@ -1,0 +1,452 @@
+//! The type system of the IR.
+//!
+//! Following the paper, "each value has an associated type". The stack's
+//! enhanced `stencil` dialect carries **domain bounds in the types** (rather
+//! than as operation attributes, as the original Open Earth Compiler dialect
+//! did), so bounds information is available to "any operation using
+//! stencil-related types directly through their operands" — see §4.1 of the
+//! paper. [`Bounds`] is that type-carried shape information.
+
+use std::fmt;
+
+/// Inclusive-lower, exclusive-upper bounds per dimension, in the *logical*
+/// coordinates of the stencil program (which may be negative: halo regions
+/// extend the domain below zero).
+///
+/// A field declared `!stencil.field<[-4,68]xf64>` covers indices
+/// `-4..68` (72 points), matching the paper's `[lb,ub]` syntax.
+///
+/// ```
+/// use sten_ir::Bounds;
+/// let b = Bounds::new(vec![(-4, 68), (0, 64)]);
+/// assert_eq!(b.rank(), 2);
+/// assert_eq!(b.size(0), 72);
+/// assert_eq!(b.num_points(), 72 * 64);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Bounds(pub Vec<(i64, i64)>);
+
+impl Bounds {
+    /// Creates bounds from per-dimension `(lower, upper)` pairs.
+    ///
+    /// # Panics
+    /// Panics if any `upper < lower`.
+    pub fn new(dims: Vec<(i64, i64)>) -> Self {
+        for &(lb, ub) in &dims {
+            assert!(ub >= lb, "invalid bounds: [{lb},{ub}]");
+        }
+        Bounds(dims)
+    }
+
+    /// Bounds `[0, s)` for every entry of `shape`.
+    pub fn from_shape(shape: &[i64]) -> Self {
+        Bounds(shape.iter().map(|&s| (0, s)).collect())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of dimension `d`.
+    pub fn size(&self, d: usize) -> i64 {
+        self.0[d].1 - self.0[d].0
+    }
+
+    /// Extents of all dimensions.
+    pub fn shape(&self) -> Vec<i64> {
+        (0..self.rank()).map(|d| self.size(d)).collect()
+    }
+
+    /// Lower bounds of all dimensions.
+    pub fn lower(&self) -> Vec<i64> {
+        self.0.iter().map(|&(lb, _)| lb).collect()
+    }
+
+    /// Upper bounds of all dimensions.
+    pub fn upper(&self) -> Vec<i64> {
+        self.0.iter().map(|&(_, ub)| ub).collect()
+    }
+
+    /// Total number of grid points covered.
+    pub fn num_points(&self) -> i64 {
+        self.0.iter().map(|&(lb, ub)| ub - lb).product()
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    pub fn contains(&self, other: &Bounds) -> bool {
+        self.rank() == other.rank()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(&(alb, aub), &(blb, bub))| alb <= blb && bub <= aub)
+    }
+
+    /// Whether the point `pt` lies within the bounds.
+    pub fn contains_point(&self, pt: &[i64]) -> bool {
+        pt.len() == self.rank()
+            && self
+                .0
+                .iter()
+                .zip(pt)
+                .all(|(&(lb, ub), &p)| lb <= p && p < ub)
+    }
+
+    /// Grows the bounds by `radius` in every direction of every dimension
+    /// (the halo extension used when allocating fields).
+    pub fn grown(&self, radius: i64) -> Bounds {
+        Bounds(self.0.iter().map(|&(lb, ub)| (lb - radius, ub + radius)).collect())
+    }
+
+    /// Grows each dimension `d` by `lo[d]` below and `hi[d]` above.
+    pub fn grown_asymmetric(&self, lo: &[i64], hi: &[i64]) -> Bounds {
+        Bounds(
+            self.0
+                .iter()
+                .enumerate()
+                .map(|(d, &(lb, ub))| (lb - lo[d], ub + hi[d]))
+                .collect(),
+        )
+    }
+
+    /// The intersection of two equal-rank bounds, or `None` if empty in any
+    /// dimension.
+    pub fn intersect(&self, other: &Bounds) -> Option<Bounds> {
+        if self.rank() != other.rank() {
+            return None;
+        }
+        let mut dims = Vec::with_capacity(self.rank());
+        for (&(alb, aub), &(blb, bub)) in self.0.iter().zip(&other.0) {
+            let lb = alb.max(blb);
+            let ub = aub.min(bub);
+            if ub <= lb {
+                return None;
+            }
+            dims.push((lb, ub));
+        }
+        Some(Bounds(dims))
+    }
+
+    /// Translates the bounds by `offset` (element-wise addition).
+    pub fn translated(&self, offset: &[i64]) -> Bounds {
+        Bounds(
+            self.0
+                .iter()
+                .enumerate()
+                .map(|(d, &(lb, ub))| (lb + offset[d], ub + offset[d]))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Bounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (lb, ub)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "[{lb},{ub}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A `memref`-style buffer type: a shaped view onto linear memory.
+/// Dynamic extents are encoded as `-1` and printed as `?`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MemRefType {
+    /// Per-dimension extents; `-1` means dynamic.
+    pub shape: Vec<i64>,
+    /// Element type.
+    pub elem: Box<Type>,
+}
+
+impl MemRefType {
+    /// A statically shaped memref.
+    pub fn new(shape: Vec<i64>, elem: Type) -> Self {
+        MemRefType { shape, elem: Box::new(elem) }
+    }
+
+    /// Number of elements; `None` if any dimension is dynamic.
+    pub fn num_elements(&self) -> Option<i64> {
+        if self.shape.iter().any(|&s| s < 0) {
+            None
+        } else {
+            Some(self.shape.iter().product())
+        }
+    }
+
+    /// Rank of the buffer.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+}
+
+/// The type of a function: inputs and results.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct FunctionType {
+    /// Parameter types.
+    pub inputs: Vec<Type>,
+    /// Result types.
+    pub results: Vec<Type>,
+}
+
+impl FunctionType {
+    /// Creates a function type.
+    pub fn new(inputs: Vec<Type>, results: Vec<Type>) -> Self {
+        FunctionType { inputs, results }
+    }
+}
+
+/// `!stencil.field` — "the memory buffer from which stencil input values
+/// will be loaded, or to which stencil output values will be stored" (§4.1).
+/// Bounds include the halo region.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FieldType {
+    /// The full (halo-extended) domain covered by the buffer.
+    pub bounds: Bounds,
+    /// Element type.
+    pub elem: Box<Type>,
+}
+
+impl FieldType {
+    /// Creates a field type over `bounds` with element type `elem`.
+    pub fn new(bounds: Bounds, elem: Type) -> Self {
+        FieldType { bounds, elem: Box::new(elem) }
+    }
+}
+
+/// `!stencil.temp` — stencil values operated on by `stencil.apply`
+/// (value semantics). Bounds may be unknown (`?`) before shape inference;
+/// the rank is always known.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TempType {
+    /// Inferred bounds, or `None` before shape inference has run.
+    pub bounds: Option<Bounds>,
+    /// Number of dimensions.
+    pub rank: usize,
+    /// Element type.
+    pub elem: Box<Type>,
+}
+
+impl TempType {
+    /// A temp with known bounds.
+    pub fn known(bounds: Bounds, elem: Type) -> Self {
+        let rank = bounds.rank();
+        TempType { bounds: Some(bounds), rank, elem: Box::new(elem) }
+    }
+
+    /// A temp of known rank but unknown bounds (`!stencil.temp<?x?xf64>`).
+    pub fn unknown(rank: usize, elem: Type) -> Self {
+        TempType { bounds: None, rank, elem: Box::new(elem) }
+    }
+}
+
+/// The closed universe of value types used by the in-tree dialects.
+///
+/// See the crate-level documentation for the rationale of the closed-world
+/// design. The variants group as: builtin scalars, `memref`, `llvm`,
+/// function types, `stencil` types (paper §4.1), and `mpi` handle types
+/// (paper §4.3: "the types represent MPI types such as request handles,
+/// communicators, and data types").
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 1-bit integer (boolean).
+    I1,
+    /// 32-bit signless integer.
+    I32,
+    /// 64-bit signless integer.
+    I64,
+    /// Platform-width index type used for loop bounds and subscripts.
+    Index,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// The unit type for ops that produce a placeholder result.
+    None,
+    /// A shaped buffer.
+    MemRef(MemRefType),
+    /// An opaque pointer (`!llvm.ptr`).
+    LlvmPtr,
+    /// A function type.
+    Function(Box<FunctionType>),
+    /// A stencil input/output buffer (`!stencil.field`).
+    Field(FieldType),
+    /// A stencil value (`!stencil.temp`).
+    Temp(TempType),
+    /// `!stencil.result` — the value yielded for one grid point.
+    StencilResult(Box<Type>),
+    /// An MPI request handle (`!mpi.request`).
+    MpiRequest,
+    /// An array of MPI request handles (`!mpi.requests`), used by
+    /// `mpi.waitall`.
+    MpiRequests,
+    /// An MPI datatype handle (`!mpi.datatype`).
+    MpiDatatype,
+    /// An MPI communicator handle (`!mpi.comm`).
+    MpiComm,
+    /// An MPI status object (`!mpi.status`).
+    MpiStatus,
+}
+
+impl Type {
+    /// Whether this is one of the float types.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// Whether this is an integer-like (integer or index) type.
+    pub fn is_integer_like(&self) -> bool {
+        matches!(self, Type::I1 | Type::I32 | Type::I64 | Type::Index)
+    }
+
+    /// Size in bytes of a scalar of this type, if it is a scalar.
+    pub fn byte_width(&self) -> Option<usize> {
+        match self {
+            Type::I1 => Some(1),
+            Type::I32 | Type::F32 => Some(4),
+            Type::I64 | Type::F64 | Type::Index | Type::LlvmPtr => Some(8),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for [`MemRefType`].
+    pub fn as_memref(&self) -> Option<&MemRefType> {
+        match self {
+            Type::MemRef(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for [`FieldType`].
+    pub fn as_field(&self) -> Option<&FieldType> {
+        match self {
+            Type::Field(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for [`TempType`].
+    pub fn as_temp(&self) -> Option<&TempType> {
+        match self {
+            Type::Temp(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for [`FunctionType`].
+    pub fn as_function(&self) -> Option<&FunctionType> {
+        match self {
+            Type::Function(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_basic_queries() {
+        let b = Bounds::new(vec![(0, 128), (-4, 4)]);
+        assert_eq!(b.rank(), 2);
+        assert_eq!(b.size(0), 128);
+        assert_eq!(b.size(1), 8);
+        assert_eq!(b.num_points(), 1024);
+        assert_eq!(b.shape(), vec![128, 8]);
+        assert_eq!(b.lower(), vec![0, -4]);
+        assert_eq!(b.upper(), vec![128, 4]);
+    }
+
+    #[test]
+    fn bounds_from_shape_starts_at_zero() {
+        let b = Bounds::from_shape(&[10, 20]);
+        assert_eq!(b, Bounds::new(vec![(0, 10), (0, 20)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn bounds_rejects_inverted() {
+        Bounds::new(vec![(3, 2)]);
+    }
+
+    #[test]
+    fn bounds_containment() {
+        let outer = Bounds::new(vec![(-4, 68)]);
+        let inner = Bounds::new(vec![(0, 64)]);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains_point(&[-4]));
+        assert!(outer.contains_point(&[67]));
+        assert!(!outer.contains_point(&[68]));
+    }
+
+    #[test]
+    fn bounds_grow_and_translate() {
+        let b = Bounds::new(vec![(0, 64), (0, 32)]);
+        assert_eq!(b.grown(4), Bounds::new(vec![(-4, 68), (-4, 36)]));
+        assert_eq!(
+            b.grown_asymmetric(&[1, 0], &[0, 2]),
+            Bounds::new(vec![(-1, 64), (0, 34)])
+        );
+        assert_eq!(b.translated(&[10, -10]), Bounds::new(vec![(10, 74), (-10, 22)]));
+    }
+
+    #[test]
+    fn bounds_intersection() {
+        let a = Bounds::new(vec![(0, 10)]);
+        let b = Bounds::new(vec![(5, 20)]);
+        assert_eq!(a.intersect(&b), Some(Bounds::new(vec![(5, 10)])));
+        let c = Bounds::new(vec![(10, 20)]);
+        assert_eq!(a.intersect(&c), None);
+        let mismatched = Bounds::new(vec![(0, 1), (0, 1)]);
+        assert_eq!(a.intersect(&mismatched), None);
+    }
+
+    #[test]
+    fn bounds_display_matches_paper_syntax() {
+        let b = Bounds::new(vec![(0, 128)]);
+        assert_eq!(b.to_string(), "[0,128]");
+        let b2 = Bounds::new(vec![(0, 64), (-4, 68)]);
+        assert_eq!(b2.to_string(), "[0,64]x[-4,68]");
+    }
+
+    #[test]
+    fn memref_type_queries() {
+        let m = MemRefType::new(vec![108, 108], Type::F32);
+        assert_eq!(m.num_elements(), Some(108 * 108));
+        assert_eq!(m.rank(), 2);
+        let dynamic = MemRefType::new(vec![-1, 4], Type::F64);
+        assert_eq!(dynamic.num_elements(), None);
+    }
+
+    #[test]
+    fn scalar_byte_widths() {
+        assert_eq!(Type::F32.byte_width(), Some(4));
+        assert_eq!(Type::F64.byte_width(), Some(8));
+        assert_eq!(Type::Index.byte_width(), Some(8));
+        assert_eq!(Type::MemRef(MemRefType::new(vec![1], Type::F32)).byte_width(), None);
+    }
+
+    #[test]
+    fn temp_type_rank_tracks_bounds() {
+        let t = TempType::known(Bounds::from_shape(&[4, 4, 4]), Type::F64);
+        assert_eq!(t.rank, 3);
+        let u = TempType::unknown(2, Type::F32);
+        assert_eq!(u.rank, 2);
+        assert!(u.bounds.is_none());
+    }
+
+    #[test]
+    fn type_accessors() {
+        let f = Type::Field(FieldType::new(Bounds::from_shape(&[8]), Type::F64));
+        assert!(f.as_field().is_some());
+        assert!(f.as_memref().is_none());
+        assert!(f.as_temp().is_none());
+        let func = Type::Function(Box::new(FunctionType::new(vec![Type::I32], vec![])));
+        assert_eq!(func.as_function().unwrap().inputs.len(), 1);
+    }
+}

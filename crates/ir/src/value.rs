@@ -1,0 +1,110 @@
+//! SSA values and the table that owns their types.
+//!
+//! "All values have a name, and following the SSA property, each name can be
+//! assigned at most once at any program location" (§3). A [`Value`] is a
+//! lightweight id; its type lives in the [`ValueTable`] owned by the
+//! enclosing [`Module`](crate::Module).
+
+use crate::types::Type;
+use std::fmt;
+
+/// A handle to one SSA value.
+///
+/// Values are allocated from a [`ValueTable`] and are meaningless outside
+/// the module whose table created them.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value(u32);
+
+impl Value {
+    /// The raw index of the value in its table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a value from a raw index (used by the parser).
+    pub fn from_index(i: usize) -> Value {
+        Value(u32::try_from(i).expect("value index overflow"))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Allocates values and records their types.
+#[derive(Clone, Debug, Default)]
+pub struct ValueTable {
+    types: Vec<Type>,
+}
+
+impl ValueTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ValueTable::default()
+    }
+
+    /// Allocates a fresh value of type `ty`.
+    pub fn alloc(&mut self, ty: Type) -> Value {
+        let v = Value(u32::try_from(self.types.len()).expect("too many values"));
+        self.types.push(ty);
+        v
+    }
+
+    /// The type of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` was not allocated from this table.
+    pub fn ty(&self, v: Value) -> &Type {
+        &self.types[v.index()]
+    }
+
+    /// Replaces the type of `v` (used by shape inference to refine
+    /// `!stencil.temp<?>` into bounded temps).
+    pub fn set_ty(&mut self, v: Value, ty: Type) {
+        self.types[v.index()] = ty;
+    }
+
+    /// Number of values allocated so far.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether no values have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_sequential_ids_and_types() {
+        let mut vt = ValueTable::new();
+        let a = vt.alloc(Type::F64);
+        let b = vt.alloc(Type::Index);
+        assert_ne!(a, b);
+        assert_eq!(vt.ty(a), &Type::F64);
+        assert_eq!(vt.ty(b), &Type::Index);
+        assert_eq!(vt.len(), 2);
+        assert!(!vt.is_empty());
+    }
+
+    #[test]
+    fn set_ty_refines_in_place() {
+        let mut vt = ValueTable::new();
+        let v = vt.alloc(Type::I32);
+        vt.set_ty(v, Type::I64);
+        assert_eq!(vt.ty(v), &Type::I64);
+    }
+
+    #[test]
+    fn value_index_round_trip() {
+        let v = Value::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(format!("{v:?}"), "%42");
+    }
+}

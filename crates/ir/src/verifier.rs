@@ -1,0 +1,250 @@
+//! IR verification: SSA scoping plus registry-driven per-op checks.
+//!
+//! Verification enforces the SSA+Regions structural rules of §3 — "each name
+//! can be assigned at most once at any program location" and values are only
+//! visible in their defining region's subtree — and then delegates per-op
+//! invariants to the [`DialectRegistry`].
+
+use crate::op::{Module, Op};
+use crate::registry::DialectRegistry;
+use crate::value::{Value, ValueTable};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Name of the op that failed.
+    pub op: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification of '{}' failed: {}", self.op, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Verifier<'a> {
+    values: &'a ValueTable,
+    registry: Option<&'a DialectRegistry>,
+    /// Values defined anywhere (for at-most-once definitions).
+    defined: HashSet<Value>,
+    /// Lexically visible values, one scope per region nesting level.
+    scopes: Vec<HashSet<Value>>,
+}
+
+impl<'a> Verifier<'a> {
+    fn fail(op: &Op, message: impl Into<String>) -> VerifyError {
+        VerifyError { op: op.name.clone(), message: message.into() }
+    }
+
+    fn is_visible(&self, v: Value) -> bool {
+        self.scopes.iter().any(|s| s.contains(&v))
+    }
+
+    fn define(&mut self, op: &Op, v: Value) -> Result<(), VerifyError> {
+        if !self.defined.insert(v) {
+            return Err(Self::fail(op, format!("value {v:?} defined more than once")));
+        }
+        if v.index() >= self.values.len() {
+            return Err(Self::fail(op, format!("value {v:?} not allocated in the value table")));
+        }
+        self.scopes.last_mut().expect("scope stack non-empty").insert(v);
+        Ok(())
+    }
+
+    fn verify_op(&mut self, op: &Op) -> Result<(), VerifyError> {
+        if !op.name.contains('.') {
+            return Err(Self::fail(op, "op names must be 'dialect.op'"));
+        }
+        for &operand in &op.operands {
+            if !self.is_visible(operand) {
+                return Err(Self::fail(
+                    op,
+                    format!("operand {operand:?} used before definition or out of scope"),
+                ));
+            }
+        }
+        for &result in &op.results {
+            self.define(op, result)?;
+        }
+        if let Some(reg) = self.registry {
+            if let Some(spec) = reg.get(&op.name) {
+                (spec.verify)(op, self.values).map_err(|m| Self::fail(op, m))?;
+            }
+        }
+        for region in &op.regions {
+            for block in &region.blocks {
+                self.scopes.push(HashSet::new());
+                for &arg in &block.args {
+                    self.define(op, arg)?;
+                }
+                for (i, nested) in block.ops.iter().enumerate() {
+                    self.verify_op(nested)?;
+                    if let Some(reg) = self.registry {
+                        let is_last = i + 1 == block.ops.len();
+                        if !is_last && reg.is_terminator(&nested.name) {
+                            return Err(Self::fail(
+                                nested,
+                                "terminator op in the middle of a block",
+                            ));
+                        }
+                    }
+                }
+                self.scopes.pop();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Verifies a module: SSA dominance/scoping, single definitions, op-name
+/// shape, terminator placement, and registered per-op invariants.
+///
+/// Pass `None` as registry to run only the structural checks.
+///
+/// # Errors
+/// Returns the first [`VerifyError`] encountered in a pre-order walk.
+pub fn verify_module(
+    module: &Module,
+    registry: Option<&DialectRegistry>,
+) -> Result<(), VerifyError> {
+    let mut v = Verifier {
+        values: &module.values,
+        registry,
+        defined: HashSet::new(),
+        scopes: vec![HashSet::new()],
+    };
+    v.verify_op(&module.op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Block, Region};
+    use crate::registry::OpSpec;
+    use crate::types::Type;
+
+    #[test]
+    fn accepts_well_formed_module() {
+        let mut m = Module::new();
+        let a = m.values.alloc(Type::I32);
+        let b = m.values.alloc(Type::I32);
+        let mut c = Op::new("arith.constant");
+        c.results.push(a);
+        let mut add = Op::new("arith.addi");
+        add.operands.extend([a, a]);
+        add.results.push(b);
+        m.body_mut().ops.push(c);
+        m.body_mut().ops.push(add);
+        assert!(verify_module(&m, None).is_ok());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut m = Module::new();
+        let a = m.values.alloc(Type::I32);
+        let mut add = Op::new("arith.addi");
+        add.operands.extend([a, a]);
+        m.body_mut().ops.push(add);
+        let err = verify_module(&m, None).unwrap_err();
+        assert!(err.message.contains("before definition"), "{err}");
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let mut m = Module::new();
+        let a = m.values.alloc(Type::I32);
+        let mut c1 = Op::new("arith.constant");
+        c1.results.push(a);
+        let mut c2 = Op::new("arith.constant");
+        c2.results.push(a);
+        m.body_mut().ops.push(c1);
+        m.body_mut().ops.push(c2);
+        let err = verify_module(&m, None).unwrap_err();
+        assert!(err.message.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn rejects_escaping_region_values() {
+        // A value defined inside a region must not be usable outside it.
+        let mut m = Module::new();
+        let inner = m.values.alloc(Type::I32);
+        let mut region_op = Op::new("scf.execute_region");
+        let mut block = Block::new();
+        let mut c = Op::new("arith.constant");
+        c.results.push(inner);
+        block.ops.push(c);
+        region_op.regions.push(Region::single(block));
+        m.body_mut().ops.push(region_op);
+        let mut user = Op::new("arith.addi");
+        user.operands.extend([inner, inner]);
+        m.body_mut().ops.push(user);
+        let err = verify_module(&m, None).unwrap_err();
+        assert!(err.message.contains("out of scope") || err.message.contains("before definition"));
+    }
+
+    #[test]
+    fn outer_values_visible_in_nested_regions() {
+        let mut m = Module::new();
+        let outer = m.values.alloc(Type::I32);
+        let mut c = Op::new("arith.constant");
+        c.results.push(outer);
+        m.body_mut().ops.push(c);
+        let mut region_op = Op::new("scf.execute_region");
+        let mut block = Block::new();
+        let mut user = Op::new("arith.addi");
+        user.operands.extend([outer, outer]);
+        let r = m.values.alloc(Type::I32);
+        user.results.push(r);
+        block.ops.push(user);
+        region_op.regions.push(Region::single(block));
+        m.body_mut().ops.push(region_op);
+        assert!(verify_module(&m, None).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_op_names() {
+        let mut m = Module::new();
+        m.body_mut().ops.push(Op::new("noprefix"));
+        let err = verify_module(&m, None).unwrap_err();
+        assert!(err.message.contains("dialect.op"));
+    }
+
+    #[test]
+    fn registry_verify_hook_is_invoked() {
+        fn needs_one_operand(op: &Op, _: &ValueTable) -> Result<(), String> {
+            if op.operands.len() == 1 {
+                Ok(())
+            } else {
+                Err(format!("expected 1 operand, got {}", op.operands.len()))
+            }
+        }
+        let mut reg = DialectRegistry::new();
+        reg.register(OpSpec::new("test.unary", "").with_verify(needs_one_operand));
+        let mut m = Module::new();
+        m.body_mut().ops.push(Op::new("test.unary"));
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("expected 1 operand"));
+    }
+
+    #[test]
+    fn rejects_mid_block_terminator() {
+        let mut reg = DialectRegistry::new();
+        reg.register(OpSpec::new("test.ret", "").terminator());
+        reg.register(OpSpec::new("test.nop", ""));
+        let mut m = Module::new();
+        let mut f = Op::new("test.container");
+        let mut b = Block::new();
+        b.ops.push(Op::new("test.ret"));
+        b.ops.push(Op::new("test.nop"));
+        f.regions.push(Region::single(b));
+        m.body_mut().ops.push(f);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("middle of a block"));
+    }
+}

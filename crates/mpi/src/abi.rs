@@ -1,0 +1,92 @@
+//! mpich ABI magic constants.
+//!
+//! §4.3: "To make use of MPI, it is usually required to include the
+//! implementation's C header file, a notion not supported by MLIR. Instead,
+//! we extract magic values from our library's header file and substitute
+//! them for e.g. datatype constants during the lowering process. This makes
+//! our provided MPI lowering specific to the mpich library."
+//!
+//! The values below are the actual mpich handle encodings (`mpi.h`); the
+//! paper's Listing 4 shows `1275070475` (= `MPI_DOUBLE`) and `1140850688`
+//! (= `MPI_COMM_WORLD`). The simulated MPI runtime in `sten-interp`
+//! validates calls against these same constants, playing the role the real
+//! mpich library plays on ARCHER2.
+
+use sten_ir::Type;
+
+/// `MPI_COMM_WORLD` (mpich: `0x44000000`).
+pub const MPI_COMM_WORLD: i64 = 0x4400_0000;
+
+/// `MPI_FLOAT` (mpich: `0x4c00040a`).
+pub const MPI_FLOAT: i64 = 0x4c00_040a;
+
+/// `MPI_DOUBLE` (mpich: `0x4c00080b`) — the paper's `1275070475`.
+pub const MPI_DOUBLE: i64 = 0x4c00_080b;
+
+/// `MPI_INT` (mpich: `0x4c000405`).
+pub const MPI_INT: i64 = 0x4c00_0405;
+
+/// `MPI_INT64_T` (mpich: `0x4c000843`).
+pub const MPI_INT64: i64 = 0x4c00_0843;
+
+/// `MPI_REQUEST_NULL` (mpich: `0x2c000000`).
+pub const MPI_REQUEST_NULL: i64 = 0x2c00_0000;
+
+/// `MPI_SUM` (mpich: `0x58000003`).
+pub const MPI_OP_SUM: i64 = 0x5800_0003;
+
+/// `MPI_MIN` (mpich: `0x58000002`).
+pub const MPI_OP_MIN: i64 = 0x5800_0002;
+
+/// `MPI_MAX` (mpich: `0x58000001`).
+pub const MPI_OP_MAX: i64 = 0x5800_0001;
+
+/// `MPI_STATUSES_IGNORE` (mpich: `(MPI_Status*)1`).
+pub const MPI_STATUSES_IGNORE: i64 = 1;
+
+/// The mpich datatype handle for a scalar element type.
+///
+/// # Errors
+/// Returns a message for non-scalar or unsupported types.
+pub fn datatype_for(ty: &Type) -> Result<i64, String> {
+    match ty {
+        Type::F32 => Ok(MPI_FLOAT),
+        Type::F64 => Ok(MPI_DOUBLE),
+        Type::I32 => Ok(MPI_INT),
+        Type::I64 | Type::Index => Ok(MPI_INT64),
+        other => Err(format!("no MPI datatype for {other:?}")),
+    }
+}
+
+/// The element byte width of an mpich datatype handle (used by the
+/// simulated runtime).
+pub fn datatype_size(handle: i64) -> Option<usize> {
+    match handle {
+        MPI_FLOAT | MPI_INT => Some(4),
+        MPI_DOUBLE | MPI_INT64 => Some(8),
+        _ => None,
+    }
+}
+
+/// Verifies the paper's quoted constants stay in sync with this table.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_listing4_constants() {
+        assert_eq!(MPI_DOUBLE, 1275070475, "Listing 4 line 6");
+        assert_eq!(MPI_COMM_WORLD, 1140850688, "Listing 4 line 7");
+    }
+
+    #[test]
+    fn datatype_mapping() {
+        assert_eq!(datatype_for(&Type::F64).unwrap(), MPI_DOUBLE);
+        assert_eq!(datatype_for(&Type::F32).unwrap(), MPI_FLOAT);
+        assert_eq!(datatype_for(&Type::I32).unwrap(), MPI_INT);
+        assert!(datatype_for(&Type::LlvmPtr).is_err());
+        assert_eq!(datatype_size(MPI_DOUBLE), Some(8));
+        assert_eq!(datatype_size(MPI_FLOAT), Some(4));
+        assert_eq!(datatype_size(0), None);
+    }
+}

@@ -1,0 +1,485 @@
+//! Lowering `dmp.swap` to `mpi` operations (Fig. 4, right column).
+//!
+//! §4.3: "Lowering to mpi involves several steps, including allocating
+//! temporary buffers, building the MPI exchange mapping, packing/unpacking
+//! data to/from buffers, and issuing non-blocking send/receive calls."
+//!
+//! For every exchange declaration this pass emits:
+//!
+//! 1. rank → cartesian-coordinate arithmetic (`remsi`/`divsi` chains over
+//!    the `#dmp.grid` topology);
+//! 2. neighbour-rank computation and an `scf.if` *boundary guard*
+//!    (`%is_in_bounds` in Fig. 4) — edge ranks set their request slots to
+//!    the null request instead of communicating;
+//! 3. send/receive staging buffers, a pack loop nest, and
+//!    `mpi.isend`/`mpi.irecv` into a shared request list;
+//! 4. one `mpi.waitall` barrier, then guarded unpack loops and deallocs.
+//!
+//! Message tags encode the direction of travel so that the sender's tag
+//! matches the mirror exchange's receive tag on the neighbour.
+//!
+//! `mpi.comm_rank`, the coordinate arithmetic and all constants are pure,
+//! so a later LICM pass hoists them out of the time loop — the paper's
+//! "any loop invariant calls are hoisted as part of this transformation".
+
+use sten_dialects::{arith, memref, scf};
+use sten_ir::{
+    Attribute, Block, ExchangeAttr, MemRefType, Module, Op, Pass, PassError, Type, Value,
+    ValueTable,
+};
+
+/// The dmp→mpi lowering. See the module docs.
+#[derive(Default)]
+pub struct DmpToMpi;
+
+impl DmpToMpi {
+    /// Creates the pass.
+    pub fn new() -> Self {
+        DmpToMpi
+    }
+}
+
+/// Encodes a direction vector as an MPI tag: base-16 digits of
+/// `component + 8`, most-significant dimension first. Sender and receiver
+/// agree on the tag of a message travelling in direction `dir`.
+pub fn tag_for_direction(dir: &[i64]) -> i64 {
+    dir.iter().fold(0, |acc, &t| {
+        debug_assert!((-8..8).contains(&t), "direction component out of range");
+        acc * 16 + (t + 8)
+    })
+}
+
+/// Emits a sequential loop nest over `sizes` (from 0 to size per dim);
+/// `body` receives the induction variables and returns the innermost ops
+/// (without terminator).
+fn for_nest(
+    vt: &mut ValueTable,
+    out: &mut Vec<Op>,
+    sizes: &[i64],
+    body: impl FnOnce(&mut ValueTable, &[Value]) -> Vec<Op>,
+) {
+    let zero = arith::const_index(vt, 0);
+    let one = arith::const_index(vt, 1);
+    let (zerov, onev) = (zero.result(0), one.result(0));
+    out.push(zero);
+    out.push(one);
+    let mut his = Vec::with_capacity(sizes.len());
+    for &s in sizes {
+        let hi = arith::const_index(vt, s);
+        his.push(hi.result(0));
+        out.push(hi);
+    }
+
+    fn rec(
+        vt: &mut ValueTable,
+        d: usize,
+        rank: usize,
+        zerov: Value,
+        onev: Value,
+        his: &[Value],
+        ivs: &mut Vec<Value>,
+        body: Box<dyn FnOnce(&mut ValueTable, &[Value]) -> Vec<Op> + '_>,
+    ) -> Op {
+        scf::for_loop(vt, zerov, his[d], onev, vec![], |vt, iv, _| {
+            ivs.push(iv);
+            let mut ops = if d + 1 == rank {
+                body(vt, ivs)
+            } else {
+                vec![rec(vt, d + 1, rank, zerov, onev, his, ivs, body)]
+            };
+            ops.push(scf::yield_op(vec![]));
+            ops
+        })
+    }
+
+    let mut ivs = Vec::new();
+    let nest = rec(vt, 0, sizes.len(), zerov, onev, &his, &mut ivs, Box::new(body));
+    out.push(nest);
+}
+
+/// Emits the flattened index `((iv0*s1+iv1)*s2+iv2)...` for a staging
+/// buffer of shape `sizes`.
+fn flat_index(vt: &mut ValueTable, ops: &mut Vec<Op>, ivs: &[Value], sizes: &[i64]) -> Value {
+    let mut flat = ivs[0];
+    for d in 1..ivs.len() {
+        let c = arith::const_index(vt, sizes[d]);
+        let cv = c.result(0);
+        ops.push(c);
+        let mul = arith::muli(vt, flat, cv);
+        let mv = mul.result(0);
+        ops.push(mul);
+        let add = arith::addi(vt, mv, ivs[d]);
+        flat = add.result(0);
+        ops.push(add);
+    }
+    flat
+}
+
+/// Emits `base[d] + ivs[d]` buffer indices.
+fn based_indices(
+    vt: &mut ValueTable,
+    ops: &mut Vec<Op>,
+    ivs: &[Value],
+    base: &[i64],
+) -> Vec<Value> {
+    let mut out = Vec::with_capacity(ivs.len());
+    for (d, &iv) in ivs.iter().enumerate() {
+        if base[d] == 0 {
+            out.push(iv);
+            continue;
+        }
+        let c = arith::const_index(vt, base[d]);
+        let cv = c.result(0);
+        ops.push(c);
+        let add = arith::addi(vt, iv, cv);
+        out.push(add.result(0));
+        ops.push(add);
+    }
+    out
+}
+
+struct SwapLowerer<'a> {
+    vt: &'a mut ValueTable,
+}
+
+impl<'a> SwapLowerer<'a> {
+    /// Lowers one `dmp.swap` into `out`.
+    fn lower_swap(&mut self, swap: &Op, out: &mut Vec<Op>) -> Result<(), String> {
+        let data = swap.operand(0);
+        let Type::MemRef(data_ty) = self.vt.ty(data).clone() else {
+            return Err(
+                "dmp.swap operand is not a memref — run convert-stencil-to-loops before \
+                 dmp-to-mpi"
+                    .to_string(),
+            );
+        };
+        let elem = (*data_ty.elem).clone();
+        let grid = swap.attr("grid").and_then(Attribute::as_grid).ok_or("swap without grid")?.to_vec();
+        let exchanges: Vec<ExchangeAttr> = swap
+            .attr("swaps")
+            .and_then(Attribute::as_array)
+            .map(|a| a.iter().filter_map(Attribute::as_exchange).cloned().collect())
+            .unwrap_or_default();
+        if exchanges.is_empty() {
+            return Ok(()); // nothing to do
+        }
+
+        let vt = &mut *self.vt;
+        // Rank and cartesian coordinates.
+        let rank32 = crate::ops::comm_rank(vt);
+        let rank32v = rank32.result(0);
+        out.push(rank32);
+        let rank_idx = arith::index_cast(vt, rank32v, Type::Index);
+        let rankv = rank_idx.result(0);
+        out.push(rank_idx);
+        let mut coords = vec![rankv; grid.len()];
+        let mut rest = rankv;
+        for d in (0..grid.len()).rev() {
+            let g = arith::const_index(vt, grid[d]);
+            let gv = g.result(0);
+            out.push(g);
+            let rem = arith::remsi(vt, rest, gv);
+            coords[d] = rem.result(0);
+            out.push(rem);
+            let div = arith::divsi(vt, rest, gv);
+            rest = div.result(0);
+            out.push(div);
+        }
+
+        // Request list: two slots (send, recv) per exchange.
+        let nreq = 2 * exchanges.len() as i64;
+        let reqs = crate::ops::request_alloc(vt, nreq);
+        let reqsv = reqs.result(0);
+        out.push(reqs);
+
+        // Per-exchange staging buffers and guards.
+        let mut guards: Vec<Value> = Vec::new();
+        let mut staging: Vec<(Value, Value)> = Vec::new();
+        for (i, e) in exchanges.iter().enumerate() {
+            // Neighbour coordinates and validity.
+            let mut valid: Option<Value> = None;
+            let mut ncoords = coords.clone();
+            for d in 0..grid.len() {
+                let t = e.to.get(d).copied().unwrap_or(0);
+                if t == 0 {
+                    continue;
+                }
+                let c = arith::const_index(vt, t);
+                let cv = c.result(0);
+                out.push(c);
+                let add = arith::addi(vt, coords[d], cv);
+                let nc = add.result(0);
+                out.push(add);
+                ncoords[d] = nc;
+                let zero = arith::const_index(vt, 0);
+                let zv = zero.result(0);
+                out.push(zero);
+                let ge = arith::cmpi(vt, arith::CmpIPredicate::Sge, nc, zv);
+                let gev = ge.result(0);
+                out.push(ge);
+                let gmax = arith::const_index(vt, grid[d]);
+                let gmaxv = gmax.result(0);
+                out.push(gmax);
+                let lt = arith::cmpi(vt, arith::CmpIPredicate::Slt, nc, gmaxv);
+                let ltv = lt.result(0);
+                out.push(lt);
+                let both = arith::andi(vt, gev, ltv);
+                let bothv = both.result(0);
+                out.push(both);
+                valid = Some(match valid {
+                    None => bothv,
+                    Some(prev) => {
+                        let and = arith::andi(vt, prev, bothv);
+                        let v = and.result(0);
+                        out.push(and);
+                        v
+                    }
+                });
+            }
+            let valid = valid.ok_or("exchange with zero direction")?;
+            guards.push(valid);
+
+            // Linearized neighbour rank.
+            let zero = arith::const_index(vt, 0);
+            let mut nrank = zero.result(0);
+            out.push(zero);
+            for d in 0..grid.len() {
+                let g = arith::const_index(vt, grid[d]);
+                let gv = g.result(0);
+                out.push(g);
+                let mul = arith::muli(vt, nrank, gv);
+                let mv = mul.result(0);
+                out.push(mul);
+                let add = arith::addi(vt, mv, ncoords[d]);
+                nrank = add.result(0);
+                out.push(add);
+            }
+            let nrank32 = arith::index_cast(vt, nrank, Type::I32);
+            let nrank32v = nrank32.result(0);
+            out.push(nrank32);
+
+            // Staging buffers (flat 1-D).
+            let n = e.num_elements();
+            let send_alloc = memref::alloc(vt, MemRefType::new(vec![n], elem.clone()));
+            let sendv = send_alloc.result(0);
+            out.push(send_alloc);
+            let recv_alloc = memref::alloc(vt, MemRefType::new(vec![n], elem.clone()));
+            let recvv = recv_alloc.result(0);
+            out.push(recv_alloc);
+            staging.push((sendv, recvv));
+
+            // Tags: direction of travel.
+            let stag = arith::const_i32(vt, tag_for_direction(&e.to));
+            let stagv = stag.result(0);
+            out.push(stag);
+            let neg_to: Vec<i64> = e.to.iter().map(|t| -t).collect();
+            let rtag = arith::const_i32(vt, tag_for_direction(&neg_to));
+            let rtagv = rtag.result(0);
+            out.push(rtag);
+
+            // Request handles.
+            let sreq = crate::ops::request_get(vt, reqsv, 2 * i as i64);
+            let sreqv = sreq.result(0);
+            out.push(sreq);
+            let rreq = crate::ops::request_get(vt, reqsv, 2 * i as i64 + 1);
+            let rreqv = rreq.result(0);
+            out.push(rreq);
+
+            // then: pack + isend + irecv; else: null the request slots.
+            let mut then_ops: Vec<Op> = Vec::new();
+            let send_at = e.send_at();
+            let sizes = e.size.clone();
+            for_nest(vt, &mut then_ops, &sizes, |vt, ivs| {
+                let mut ops = Vec::new();
+                let src_idx = based_indices(vt, &mut ops, ivs, &send_at);
+                let load = memref::load(vt, data, src_idx);
+                let lv = load.result(0);
+                ops.push(load);
+                let flat = flat_index(vt, &mut ops, ivs, &sizes);
+                ops.push(memref::store(lv, sendv, vec![flat]));
+                ops
+            });
+            let sunwrap = crate::ops::unwrap_memref(vt, sendv);
+            let (sptr, scount, sdtype) =
+                (sunwrap.result(0), sunwrap.result(1), sunwrap.result(2));
+            then_ops.push(sunwrap);
+            let runwrap = crate::ops::unwrap_memref(vt, recvv);
+            let (rptr, rcount, rdtype) =
+                (runwrap.result(0), runwrap.result(1), runwrap.result(2));
+            then_ops.push(runwrap);
+            then_ops.push(crate::ops::isend(sptr, scount, sdtype, nrank32v, stagv, sreqv));
+            then_ops.push(crate::ops::irecv(rptr, rcount, rdtype, nrank32v, rtagv, rreqv));
+            then_ops.push(scf::yield_op(vec![]));
+            let else_ops = vec![
+                crate::ops::request_set_null(reqsv, 2 * i as i64),
+                crate::ops::request_set_null(reqsv, 2 * i as i64 + 1),
+                scf::yield_op(vec![]),
+            ];
+            out.push(scf::if_op(vt, valid, vec![], then_ops, else_ops));
+        }
+
+        // Synchronization barrier (Fig. 4: `mpi.waitall %requests, %four`).
+        let cnt = arith::const_i32(vt, nreq);
+        let cntv = cnt.result(0);
+        out.push(cnt);
+        out.push(crate::ops::waitall(reqsv, cntv));
+
+        // Guarded unpack ("copy back") loops + deallocation.
+        for (i, e) in exchanges.iter().enumerate() {
+            let (sendv, recvv) = staging[i];
+            let mut then_ops: Vec<Op> = Vec::new();
+            let at = e.at.clone();
+            let sizes = e.size.clone();
+            for_nest(vt, &mut then_ops, &sizes, |vt, ivs| {
+                let mut ops = Vec::new();
+                let flat = flat_index(vt, &mut ops, ivs, &sizes);
+                let load = memref::load(vt, recvv, vec![flat]);
+                let lv = load.result(0);
+                ops.push(load);
+                let dst_idx = based_indices(vt, &mut ops, ivs, &at);
+                ops.push(memref::store(lv, data, dst_idx));
+                ops
+            });
+            then_ops.push(scf::yield_op(vec![]));
+            out.push(scf::if_op(vt, guards[i], vec![], then_ops, vec![scf::yield_op(vec![])]));
+            out.push(memref::dealloc(sendv));
+            out.push(memref::dealloc(recvv));
+        }
+        Ok(())
+    }
+
+    fn process_block(&mut self, block: &mut Block) -> Result<(), String> {
+        let ops = std::mem::take(&mut block.ops);
+        for mut op in ops {
+            if op.name == "dmp.swap" {
+                self.lower_swap(&op, &mut block.ops)?;
+                continue;
+            }
+            for region in &mut op.regions {
+                for inner in &mut region.blocks {
+                    self.process_block(inner)?;
+                }
+            }
+            block.ops.push(op);
+        }
+        Ok(())
+    }
+}
+
+impl Pass for DmpToMpi {
+    fn name(&self) -> &'static str {
+        "dmp-to-mpi"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let mut regions = std::mem::take(&mut module.op.regions);
+        let mut lowerer = SwapLowerer { vt: &mut module.values };
+        let mut result = Ok(());
+        'outer: for region in &mut regions {
+            for block in &mut region.blocks {
+                if let Err(m) = lowerer.process_block(block) {
+                    result = Err(PassError::new("dmp-to-mpi", m));
+                    break 'outer;
+                }
+            }
+        }
+        module.op.regions = regions;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_ir::{verify_module, DialectRegistry};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        sten_dialects::register_all(&mut reg);
+        sten_stencil::register(&mut reg);
+        sten_dmp::register(&mut reg);
+        crate::ops::register(&mut reg);
+        reg
+    }
+
+    fn lowered_jacobi(grid: Vec<i64>) -> Module {
+        let mut m = sten_stencil::samples::jacobi_1d(128);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(grid).run(&mut m).unwrap();
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_stencil::StencilToLoops.run(&mut m).unwrap();
+        DmpToMpi.run(&mut m).unwrap();
+        m
+    }
+
+    fn count(m: &Module, name: &str) -> usize {
+        let mut n = 0;
+        m.walk(|op| {
+            if op.name == name {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn swap_becomes_guarded_isend_irecv_waitall() {
+        let m = lowered_jacobi(vec![2]);
+        verify_module(&m, Some(&registry())).unwrap();
+        assert_eq!(count(&m, "dmp.swap"), 0);
+        assert_eq!(count(&m, "mpi.isend"), 2);
+        assert_eq!(count(&m, "mpi.irecv"), 2);
+        assert_eq!(count(&m, "mpi.waitall"), 1);
+        assert_eq!(count(&m, "mpi.comm_rank"), 1);
+        // 2 exchanges × (pack + unpack guard) = 4 scf.if.
+        assert_eq!(count(&m, "scf.if"), 4);
+        // Staging buffers: send + recv per exchange.
+        assert!(count(&m, "memref.alloc") >= 4);
+        assert_eq!(count(&m, "memref.dealloc"), 4);
+    }
+
+    #[test]
+    fn lowered_module_round_trips() {
+        let m = lowered_jacobi(vec![2]);
+        let text = sten_ir::print_module(&m);
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
+    }
+
+    #[test]
+    fn tags_match_between_mirrored_exchanges() {
+        // The tag a sender uses for direction d must equal the tag the
+        // receiver's mirror exchange (direction -d) uses for receiving.
+        for dir in [vec![1], vec![-1], vec![0, 1], vec![1, 0], vec![0, -1], vec![1, -1]] {
+            let neg: Vec<i64> = dir.iter().map(|t| -t).collect();
+            let send_tag = tag_for_direction(&dir);
+            // Receiver's exchange has to = -dir and receives with
+            // tag_for_direction(-(to)) = tag_for_direction(dir).
+            let recv_tag_on_mirror = tag_for_direction(&neg.iter().map(|t| -t).collect::<Vec<_>>());
+            assert_eq!(send_tag, recv_tag_on_mirror);
+            assert_ne!(tag_for_direction(&dir), tag_for_direction(&neg), "directions distinct");
+        }
+    }
+
+    #[test]
+    fn heat2d_on_2x2_lowering() {
+        let mut m = sten_stencil::samples::heat_2d(64, 0.1);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![2, 2]).run(&mut m).unwrap();
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_stencil::StencilToLoops.run(&mut m).unwrap();
+        DmpToMpi.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        assert_eq!(count(&m, "mpi.isend"), 4, "four neighbours in a 2x2 grid");
+        assert_eq!(count(&m, "mpi.waitall"), 1);
+    }
+
+    #[test]
+    fn no_swaps_means_no_mpi() {
+        let mut m = sten_stencil::samples::jacobi_1d(128);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_stencil::StencilToLoops.run(&mut m).unwrap();
+        DmpToMpi.run(&mut m).unwrap();
+        assert_eq!(count(&m, "mpi.isend"), 0);
+    }
+}

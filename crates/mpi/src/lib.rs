@@ -1,0 +1,29 @@
+//! # sten-mpi — the `mpi` dialect: an IR for message passing
+//!
+//! The paper's §4.3 contribution (since upstreamed to MLIR proper): SSA
+//! operations mirroring MPI's point-to-point and collective communications,
+//! plus "operations to reduce the friction between the MPI and the MLIR
+//! ecosystems", such as request-object lists and memref interactions
+//! (`mpi.unwrap_memref`, Listing 3).
+//!
+//! * [`ops`] — the dialect: `init/finalize/comm_rank/comm_size`,
+//!   blocking and non-blocking point-to-point (`send/recv/isend/irecv`),
+//!   request ops (`test/wait/waitall` + request-list glue), reductions
+//!   (`reduce/allreduce`), `bcast`/`gather`, and `unwrap_memref`;
+//! * [`abi`] — the **mpich** ABI magic constants substituted during
+//!   lowering ("we extract magic values from our library's header file and
+//!   substitute them for e.g. datatype constants", §4.3);
+//! * [`dmp_to_mpi`] — lowers `dmp.swap` into buffer allocation, pack
+//!   loops, neighbour-rank arithmetic with `scf.if` boundary guards,
+//!   `mpi.isend`/`mpi.irecv`, `mpi.waitall`, and unpack loops (Fig. 4);
+//! * [`to_func`] — lowers `mpi.*` into `func.call @MPI_*` with external
+//!   declarations appended to the module (Listing 4).
+
+pub mod abi;
+pub mod dmp_to_mpi;
+pub mod ops;
+pub mod to_func;
+
+pub use dmp_to_mpi::DmpToMpi;
+pub use ops::register;
+pub use to_func::MpiToFunc;

@@ -1,0 +1,378 @@
+//! The operations and types of the `mpi` dialect.
+//!
+//! §4.3: "The operations correspond to the MPI calls, while the types
+//! represent MPI types such as request handles, communicators, and data
+//! types." The supported subset of MPI 1.0 matches the paper's list:
+//! blocking and non-blocking point-to-point, request operations, blocking
+//! reductions, broadcast/gather, and process management.
+
+use sten_ir::{Attribute, DialectRegistry, Op, OpSpec, Type, Value, ValueTable};
+
+/// Builds `mpi.init`.
+pub fn init() -> Op {
+    Op::new("mpi.init")
+}
+
+/// Builds `mpi.finalize`.
+pub fn finalize() -> Op {
+    Op::new("mpi.finalize")
+}
+
+/// Builds `mpi.comm_rank` (rank of the calling process as `i32`).
+pub fn comm_rank(vt: &mut ValueTable) -> Op {
+    let mut op = Op::new("mpi.comm_rank");
+    op.results.push(vt.alloc(Type::I32));
+    op
+}
+
+/// Builds `mpi.comm_size` (number of ranks as `i32`).
+pub fn comm_size(vt: &mut ValueTable) -> Op {
+    let mut op = Op::new("mpi.comm_size");
+    op.results.push(vt.alloc(Type::I32));
+    op
+}
+
+/// Builds `mpi.unwrap_memref` (Listing 3): unwraps a memref into an
+/// `!llvm.ptr` to the underlying buffer, the element count as `i32`, and
+/// the corresponding `!mpi.datatype`.
+pub fn unwrap_memref(vt: &mut ValueTable, mem: Value) -> Op {
+    let mut op = Op::new("mpi.unwrap_memref");
+    op.operands.push(mem);
+    op.results.push(vt.alloc(Type::LlvmPtr));
+    op.results.push(vt.alloc(Type::I32));
+    op.results.push(vt.alloc(Type::MpiDatatype));
+    op
+}
+
+/// Builds a blocking `mpi.send(buff, count, dtype, dest, tag)`.
+pub fn send(buff: Value, count: Value, dtype: Value, dest: Value, tag: Value) -> Op {
+    let mut op = Op::new("mpi.send");
+    op.operands.extend([buff, count, dtype, dest, tag]);
+    op
+}
+
+/// Builds a blocking `mpi.recv(buff, count, dtype, source, tag)`.
+pub fn recv(buff: Value, count: Value, dtype: Value, source: Value, tag: Value) -> Op {
+    let mut op = Op::new("mpi.recv");
+    op.operands.extend([buff, count, dtype, source, tag]);
+    op
+}
+
+/// Builds a non-blocking `mpi.isend(buff, count, dtype, dest, tag, req)`.
+pub fn isend(buff: Value, count: Value, dtype: Value, dest: Value, tag: Value, req: Value) -> Op {
+    let mut op = Op::new("mpi.isend");
+    op.operands.extend([buff, count, dtype, dest, tag, req]);
+    op
+}
+
+/// Builds a non-blocking `mpi.irecv(buff, count, dtype, source, tag, req)`.
+pub fn irecv(buff: Value, count: Value, dtype: Value, source: Value, tag: Value, req: Value) -> Op {
+    let mut op = Op::new("mpi.irecv");
+    op.operands.extend([buff, count, dtype, source, tag, req]);
+    op
+}
+
+/// Builds `mpi.request_alloc {count}` — a list of `count` request objects,
+/// initialized to `MPI_REQUEST_NULL` (one of the friction-reducing glue
+/// ops of §4.3).
+pub fn request_alloc(vt: &mut ValueTable, count: i64) -> Op {
+    let mut op = Op::new("mpi.request_alloc");
+    op.set_attr("count", Attribute::int64(count));
+    op.results.push(vt.alloc(Type::MpiRequests));
+    op
+}
+
+/// Builds `mpi.request_get {index}` — a handle to one slot of a request
+/// list.
+pub fn request_get(vt: &mut ValueTable, reqs: Value, index: i64) -> Op {
+    let mut op = Op::new("mpi.request_get");
+    op.set_attr("index", Attribute::int64(index));
+    op.operands.push(reqs);
+    op.results.push(vt.alloc(Type::MpiRequest));
+    op
+}
+
+/// Builds `mpi.request_set_null {index}` — resets a slot to
+/// `MPI_REQUEST_NULL` (the paper: "setting skipped request objects to the
+/// null request").
+pub fn request_set_null(reqs: Value, index: i64) -> Op {
+    let mut op = Op::new("mpi.request_set_null");
+    op.set_attr("index", Attribute::int64(index));
+    op.operands.push(reqs);
+    op
+}
+
+/// Builds `mpi.wait(req)`.
+pub fn wait(req: Value) -> Op {
+    let mut op = Op::new("mpi.wait");
+    op.operands.push(req);
+    op
+}
+
+/// Builds `mpi.test(req) -> i1`.
+pub fn test(vt: &mut ValueTable, req: Value) -> Op {
+    let mut op = Op::new("mpi.test");
+    op.operands.push(req);
+    op.results.push(vt.alloc(Type::I1));
+    op
+}
+
+/// Builds `mpi.waitall(reqs, count)` — the synchronization barrier of
+/// Fig. 4.
+pub fn waitall(reqs: Value, count: Value) -> Op {
+    let mut op = Op::new("mpi.waitall");
+    op.operands.extend([reqs, count]);
+    op
+}
+
+/// Builds `mpi.reduce(sendbuf, recvbuf, count, dtype, root) {op}`.
+pub fn reduce(
+    sendbuf: Value,
+    recvbuf: Value,
+    count: Value,
+    dtype: Value,
+    root: Value,
+    op_name: &str,
+) -> Op {
+    let mut op = Op::new("mpi.reduce");
+    op.set_attr("op", Attribute::Str(op_name.to_string()));
+    op.operands.extend([sendbuf, recvbuf, count, dtype, root]);
+    op
+}
+
+/// Builds `mpi.allreduce(sendbuf, recvbuf, count, dtype) {op}`.
+pub fn allreduce(sendbuf: Value, recvbuf: Value, count: Value, dtype: Value, op_name: &str) -> Op {
+    let mut op = Op::new("mpi.allreduce");
+    op.set_attr("op", Attribute::Str(op_name.to_string()));
+    op.operands.extend([sendbuf, recvbuf, count, dtype]);
+    op
+}
+
+/// Builds `mpi.bcast(buff, count, dtype, root)`.
+pub fn bcast(buff: Value, count: Value, dtype: Value, root: Value) -> Op {
+    let mut op = Op::new("mpi.bcast");
+    op.operands.extend([buff, count, dtype, root]);
+    op
+}
+
+/// Builds `mpi.gather(sendbuf, sendcount, dtype, recvbuf, root)` — the
+/// receive buffer must hold `sendcount × comm_size` elements on the root.
+pub fn gather(sendbuf: Value, sendcount: Value, dtype: Value, recvbuf: Value, root: Value) -> Op {
+    let mut op = Op::new("mpi.gather");
+    op.operands.extend([sendbuf, sendcount, dtype, recvbuf, root]);
+    op
+}
+
+fn expect_types(op: &Op, vt: &ValueTable, tys: &[Type]) -> Result<(), String> {
+    if op.operands.len() != tys.len() {
+        return Err(format!("{} expects {} operands, got {}", op.name, tys.len(), op.operands.len()));
+    }
+    for (i, (&operand, ty)) in op.operands.iter().zip(tys).enumerate() {
+        if vt.ty(operand) != ty {
+            return Err(format!(
+                "{} operand {i} must be {ty:?}, got {:?}",
+                op.name,
+                vt.ty(operand)
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn verify_p2p_blocking(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    expect_types(
+        op,
+        vt,
+        &[Type::LlvmPtr, Type::I32, Type::MpiDatatype, Type::I32, Type::I32],
+    )
+}
+
+fn verify_p2p_nonblocking(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    expect_types(
+        op,
+        vt,
+        &[Type::LlvmPtr, Type::I32, Type::MpiDatatype, Type::I32, Type::I32, Type::MpiRequest],
+    )
+}
+
+fn verify_unwrap(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || op.results.len() != 3 {
+        return Err("mpi.unwrap_memref is memref -> (ptr, count, dtype)".into());
+    }
+    let Type::MemRef(m) = vt.ty(op.operand(0)) else {
+        return Err("mpi.unwrap_memref operand must be a memref".into());
+    };
+    crate::abi::datatype_for(&m.elem)?;
+    if m.num_elements().is_none() {
+        return Err("mpi.unwrap_memref requires a static shape".into());
+    }
+    Ok(())
+}
+
+fn verify_waitall(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    expect_types(op, vt, &[Type::MpiRequests, Type::I32])
+}
+
+fn verify_request_alloc(op: &Op, _: &ValueTable) -> Result<(), String> {
+    match op.attr("count").and_then(Attribute::as_int) {
+        Some(n) if n > 0 => Ok(()),
+        _ => Err("mpi.request_alloc requires a positive count".into()),
+    }
+}
+
+fn verify_request_slot(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || vt.ty(op.operand(0)) != &Type::MpiRequests {
+        return Err(format!("{} operates on an !mpi.requests list", op.name));
+    }
+    match op.attr("index").and_then(Attribute::as_int) {
+        Some(i) if i >= 0 => Ok(()),
+        _ => Err("request slot index must be non-negative".into()),
+    }
+}
+
+/// Registers the mpi dialect.
+///
+/// `comm_rank`/`comm_size` are pure: they are constant for the lifetime of
+/// the process, which lets LICM hoist them out of time loops (§4.3: "any
+/// loop invariant calls are hoisted").
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpSpec::new("mpi.init", "initialize the MPI runtime"));
+    registry.register(OpSpec::new("mpi.finalize", "tear down the MPI runtime"));
+    registry.register(OpSpec::new("mpi.comm_rank", "rank of this process").pure());
+    registry.register(OpSpec::new("mpi.comm_size", "number of ranks").pure());
+    registry.register(
+        OpSpec::new("mpi.unwrap_memref", "memref -> (ptr, count, dtype)")
+            .pure()
+            .with_verify(verify_unwrap),
+    );
+    registry.register(OpSpec::new("mpi.send", "blocking send").with_verify(verify_p2p_blocking));
+    registry.register(OpSpec::new("mpi.recv", "blocking receive").with_verify(verify_p2p_blocking));
+    registry
+        .register(OpSpec::new("mpi.isend", "non-blocking send").with_verify(verify_p2p_nonblocking));
+    registry.register(
+        OpSpec::new("mpi.irecv", "non-blocking receive").with_verify(verify_p2p_nonblocking),
+    );
+    registry.register(
+        OpSpec::new("mpi.request_alloc", "allocate a request list")
+            .with_verify(verify_request_alloc),
+    );
+    registry.register(
+        OpSpec::new("mpi.request_get", "handle to a request slot")
+            .pure()
+            .with_verify(verify_request_slot),
+    );
+    registry.register(
+        OpSpec::new("mpi.request_set_null", "reset a request slot")
+            .with_verify(verify_request_slot),
+    );
+    registry.register(OpSpec::new("mpi.wait", "wait for one request"));
+    registry.register(OpSpec::new("mpi.test", "poll one request"));
+    registry.register(OpSpec::new("mpi.waitall", "wait for all requests").with_verify(verify_waitall));
+    registry.register(OpSpec::new("mpi.reduce", "rooted reduction"));
+    registry.register(OpSpec::new("mpi.allreduce", "all-ranks reduction"));
+    registry.register(OpSpec::new("mpi.bcast", "broadcast from root"));
+    registry.register(OpSpec::new("mpi.gather", "gather to root"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_dialects::arith;
+    use sten_ir::{verify_module, MemRefType, Module};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        register(&mut reg);
+        sten_dialects::register_all(&mut reg);
+        reg
+    }
+
+    #[test]
+    fn listing3_send_builds_and_verifies() {
+        let reg = registry();
+        let mut m = Module::new();
+        let buf =
+            sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![64, 2], Type::F64));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        let unwrap = unwrap_memref(&mut m.values, bufv);
+        let (ptr, count, dtype) = (unwrap.result(0), unwrap.result(1), unwrap.result(2));
+        m.body_mut().ops.push(unwrap);
+        let dest = arith::const_i32(&mut m.values, 1);
+        let tag = arith::const_i32(&mut m.values, 0);
+        let (destv, tagv) = (dest.result(0), tag.result(0));
+        m.body_mut().ops.push(dest);
+        m.body_mut().ops.push(tag);
+        m.body_mut().ops.push(send(ptr, count, dtype, destv, tagv));
+        verify_module(&m, Some(&reg)).unwrap();
+        let text = sten_ir::print_module(&m);
+        assert!(text.contains("mpi.unwrap_memref"));
+        assert!(text.contains("!mpi.datatype"));
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
+    }
+
+    #[test]
+    fn nonblocking_pair_with_requests() {
+        let reg = registry();
+        let mut m = Module::new();
+        let buf = sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![4], Type::F32));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        let unwrap = unwrap_memref(&mut m.values, bufv);
+        let (ptr, count, dtype) = (unwrap.result(0), unwrap.result(1), unwrap.result(2));
+        m.body_mut().ops.push(unwrap);
+        let reqs = request_alloc(&mut m.values, 2);
+        let reqsv = reqs.result(0);
+        m.body_mut().ops.push(reqs);
+        let r0 = request_get(&mut m.values, reqsv, 0);
+        let r0v = r0.result(0);
+        m.body_mut().ops.push(r0);
+        let dest = arith::const_i32(&mut m.values, 1);
+        let tag = arith::const_i32(&mut m.values, 7);
+        let two = arith::const_i32(&mut m.values, 2);
+        let (destv, tagv, twov) = (dest.result(0), tag.result(0), two.result(0));
+        for op in [dest, tag, two] {
+            m.body_mut().ops.push(op);
+        }
+        m.body_mut().ops.push(isend(ptr, count, dtype, destv, tagv, r0v));
+        m.body_mut().ops.push(request_set_null(reqsv, 1));
+        m.body_mut().ops.push(waitall(reqsv, twov));
+        verify_module(&m, Some(&reg)).unwrap();
+    }
+
+    #[test]
+    fn verifier_rejects_bad_operand_types() {
+        let reg = registry();
+        let mut m = Module::new();
+        let c = arith::const_i32(&mut m.values, 0);
+        let cv = c.result(0);
+        m.body_mut().ops.push(c);
+        let mut bad = Op::new("mpi.send");
+        bad.operands.extend([cv, cv, cv, cv, cv]);
+        m.body_mut().ops.push(bad);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("must be"), "{err}");
+    }
+
+    #[test]
+    fn unwrap_requires_supported_element() {
+        let reg = registry();
+        let mut m = Module::new();
+        let buf = sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![4], Type::I1));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        let u = unwrap_memref(&mut m.values, bufv);
+        m.body_mut().ops.push(u);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("no MPI datatype"), "{err}");
+    }
+
+    #[test]
+    fn comm_rank_is_pure_for_licm() {
+        let reg = registry();
+        assert!(reg.is_pure("mpi.comm_rank"));
+        assert!(reg.is_pure("mpi.comm_size"));
+        assert!(!reg.is_pure("mpi.isend"));
+    }
+}

@@ -1,0 +1,440 @@
+//! Lowering `mpi` operations to library function calls (Listing 4).
+//!
+//! §4.3: "As LLVM has no concept of MPI, we lower these operations to
+//! regular function calls using the func dialect", substituting the mpich
+//! magic constants from [`crate::abi`], and appending external function
+//! declarations to the module.
+//!
+//! Deviations from the C MPI API, documented here and honoured by the
+//! simulated runtime in `sten-interp`:
+//!
+//! * out-parameters become return values (`MPI_Comm_rank(comm) -> i32`
+//!   instead of `MPI_Comm_rank(comm, int*)`) — MLIR/LLVM-level code has no
+//!   ergonomic `alloca` story in this reproduction;
+//! * request lists are runtime-managed handles
+//!   (`MPI_Request_alloc(n) -> ptr`, `MPI_Request_get(reqs, i) -> ptr`,
+//!   `MPI_Request_set_null(reqs, i)`) standing in for C stack arrays of
+//!   `MPI_Request`.
+
+use crate::abi;
+use sten_dialects::{arith, func, llvm, memref};
+use sten_ir::{
+    Attribute, Block, FunctionType, Module, Op, Pass, PassError, Type, Value, ValueTable,
+};
+use std::collections::BTreeMap;
+
+/// The mpi→func lowering. See the module docs.
+#[derive(Default)]
+pub struct MpiToFunc;
+
+impl MpiToFunc {
+    /// Creates the pass.
+    pub fn new() -> Self {
+        MpiToFunc
+    }
+}
+
+/// The C-level signature of each runtime symbol.
+fn signature(name: &str) -> FunctionType {
+    use Type::{LlvmPtr as P, I32};
+    let f = |ins: Vec<Type>, outs: Vec<Type>| FunctionType::new(ins, outs);
+    match name {
+        "MPI_Init" | "MPI_Finalize" => f(vec![], vec![I32]),
+        "MPI_Comm_rank" | "MPI_Comm_size" => f(vec![I32], vec![I32]),
+        "MPI_Send" => f(vec![P, I32, I32, I32, I32, I32], vec![I32]),
+        "MPI_Recv" => f(vec![P, I32, I32, I32, I32, I32, P], vec![I32]),
+        "MPI_Isend" | "MPI_Irecv" => f(vec![P, I32, I32, I32, I32, I32, P], vec![I32]),
+        "MPI_Wait" => f(vec![P, P], vec![I32]),
+        "MPI_Test" => f(vec![P, P], vec![I32]),
+        "MPI_Waitall" => f(vec![I32, P, P], vec![I32]),
+        "MPI_Reduce" => f(vec![P, P, I32, I32, I32, I32, I32], vec![I32]),
+        "MPI_Allreduce" => f(vec![P, P, I32, I32, I32, I32], vec![I32]),
+        "MPI_Bcast" => f(vec![P, I32, I32, I32, I32], vec![I32]),
+        "MPI_Gather" => f(vec![P, I32, I32, P, I32, I32, I32, I32], vec![I32]),
+        "MPI_Request_alloc" => f(vec![I32], vec![P]),
+        "MPI_Request_get" => f(vec![P, I32], vec![P]),
+        "MPI_Request_set_null" => f(vec![P, I32], vec![]),
+        other => panic!("unknown MPI runtime symbol {other}"),
+    }
+}
+
+fn mpi_op_constant(name: &str) -> i64 {
+    match name {
+        "sum" => abi::MPI_OP_SUM,
+        "min" => abi::MPI_OP_MIN,
+        "max" => abi::MPI_OP_MAX,
+        other => panic!("unknown reduction op '{other}'"),
+    }
+}
+
+struct Rewriter<'a> {
+    vt: &'a mut ValueTable,
+    used: BTreeMap<&'static str, FunctionType>,
+}
+
+impl<'a> Rewriter<'a> {
+    fn use_symbol(&mut self, name: &'static str) {
+        self.used.entry(name).or_insert_with(|| signature(name));
+    }
+
+    fn comm_const(&mut self, out: &mut Vec<Op>) -> Value {
+        let c = arith::const_i32(self.vt, abi::MPI_COMM_WORLD);
+        let v = c.result(0);
+        out.push(c);
+        v
+    }
+
+    fn statuses_ignore(&mut self, out: &mut Vec<Op>) -> Value {
+        let c = arith::const_i64(self.vt, abi::MPI_STATUSES_IGNORE);
+        let v = c.result(0);
+        out.push(c);
+        let p = llvm::inttoptr(self.vt, v);
+        let pv = p.result(0);
+        out.push(p);
+        pv
+    }
+
+    /// Emits a call whose `i32` status result is fresh (and unused).
+    fn call(&mut self, out: &mut Vec<Op>, name: &'static str, args: Vec<Value>) {
+        self.use_symbol(name);
+        let results = signature(name).results;
+        let call = func::call(self.vt, name, args, results);
+        out.push(call);
+    }
+
+    /// Emits a call and reuses `result` as its (single) result value.
+    fn call_into(&mut self, out: &mut Vec<Op>, name: &'static str, args: Vec<Value>, result: Value) {
+        self.use_symbol(name);
+        let mut call = func::call(self.vt, name, args, vec![]);
+        let tys = signature(name).results;
+        debug_assert_eq!(tys.len(), 1);
+        self.vt.set_ty(result, tys[0].clone());
+        call.results.push(result);
+        out.push(call);
+    }
+
+    fn rewrite_op(&mut self, op: Op, out: &mut Vec<Op>) -> Result<(), String> {
+        match op.name.as_str() {
+            "mpi.init" => self.call(out, "MPI_Init", vec![]),
+            "mpi.finalize" => self.call(out, "MPI_Finalize", vec![]),
+            "mpi.comm_rank" => {
+                let comm = self.comm_const(out);
+                self.call_into(out, "MPI_Comm_rank", vec![comm], op.result(0));
+            }
+            "mpi.comm_size" => {
+                let comm = self.comm_const(out);
+                self.call_into(out, "MPI_Comm_size", vec![comm], op.result(0));
+            }
+            "mpi.unwrap_memref" => {
+                // Listing 4, lines 1–6.
+                let mem = op.operand(0);
+                let Type::MemRef(mt) = self.vt.ty(mem).clone() else {
+                    return Err("unwrap_memref of non-memref".into());
+                };
+                let count = mt.num_elements().ok_or("dynamic memref in unwrap")?;
+                let dtype = abi::datatype_for(&mt.elem)?;
+                let addr = memref::extract_aligned_pointer_as_index(self.vt, mem);
+                let addrv = addr.result(0);
+                out.push(addr);
+                let as_i64 = arith::index_cast(self.vt, addrv, Type::I64);
+                let iv = as_i64.result(0);
+                out.push(as_i64);
+                let mut ptr = llvm::inttoptr(self.vt, iv);
+                ptr.results[0] = op.result(0); // reuse the ptr value id
+                out.push(ptr);
+                let mut cnt = arith::const_i32(self.vt, count);
+                cnt.results[0] = op.result(1);
+                self.vt.set_ty(op.result(1), Type::I32);
+                out.push(cnt);
+                let mut dt = arith::const_i32(self.vt, dtype);
+                dt.results[0] = op.result(2);
+                self.vt.set_ty(op.result(2), Type::I32);
+                out.push(dt);
+            }
+            "mpi.send" => {
+                let comm = self.comm_const(out);
+                let mut args = op.operands.clone();
+                args.push(comm);
+                self.call(out, "MPI_Send", args);
+            }
+            "mpi.recv" => {
+                let comm = self.comm_const(out);
+                let status = self.statuses_ignore(out);
+                let mut args = op.operands.clone();
+                args.push(comm);
+                args.push(status);
+                self.call(out, "MPI_Recv", args);
+            }
+            "mpi.isend" | "mpi.irecv" => {
+                let name: &'static str =
+                    if op.name == "mpi.isend" { "MPI_Isend" } else { "MPI_Irecv" };
+                let comm = self.comm_const(out);
+                // (buff, count, dtype, peer, tag, comm, req)
+                let mut args = op.operands[..5].to_vec();
+                args.push(comm);
+                args.push(op.operand(5));
+                self.call(out, name, args);
+            }
+            "mpi.request_alloc" => {
+                let n = op.attr("count").and_then(Attribute::as_int).unwrap_or(0);
+                let c = arith::const_i32(self.vt, n);
+                let cv = c.result(0);
+                out.push(c);
+                self.vt.set_ty(op.result(0), Type::LlvmPtr);
+                self.call_into(out, "MPI_Request_alloc", vec![cv], op.result(0));
+            }
+            "mpi.request_get" => {
+                let i = op.attr("index").and_then(Attribute::as_int).unwrap_or(0);
+                let c = arith::const_i32(self.vt, i);
+                let cv = c.result(0);
+                out.push(c);
+                self.vt.set_ty(op.result(0), Type::LlvmPtr);
+                self.call_into(out, "MPI_Request_get", vec![op.operand(0), cv], op.result(0));
+            }
+            "mpi.request_set_null" => {
+                let i = op.attr("index").and_then(Attribute::as_int).unwrap_or(0);
+                let c = arith::const_i32(self.vt, i);
+                let cv = c.result(0);
+                out.push(c);
+                self.call(out, "MPI_Request_set_null", vec![op.operand(0), cv]);
+            }
+            "mpi.wait" => {
+                let status = self.statuses_ignore(out);
+                self.call(out, "MPI_Wait", vec![op.operand(0), status]);
+            }
+            "mpi.test" => {
+                let status = self.statuses_ignore(out);
+                let flag = func::call(
+                    self.vt,
+                    "MPI_Test",
+                    vec![op.operand(0), status],
+                    vec![Type::I32],
+                );
+                self.use_symbol("MPI_Test");
+                let flagv = flag.result(0);
+                out.push(flag);
+                let zero = arith::const_i32(self.vt, 0);
+                let zv = zero.result(0);
+                out.push(zero);
+                let mut cmp = arith::cmpi(self.vt, arith::CmpIPredicate::Ne, flagv, zv);
+                cmp.results[0] = op.result(0);
+                out.push(cmp);
+            }
+            "mpi.waitall" => {
+                let status = self.statuses_ignore(out);
+                // C order: (count, requests, statuses).
+                self.call(out, "MPI_Waitall", vec![op.operand(1), op.operand(0), status]);
+            }
+            "mpi.reduce" => {
+                let o = mpi_op_constant(op.attr("op").and_then(Attribute::as_str).unwrap_or("sum"));
+                let oc = arith::const_i32(self.vt, o);
+                let ov = oc.result(0);
+                out.push(oc);
+                let comm = self.comm_const(out);
+                // (sendbuf, recvbuf, count, dtype, op, root, comm)
+                let mut args = op.operands[..4].to_vec();
+                args.push(ov);
+                args.push(op.operand(4));
+                args.push(comm);
+                self.call(out, "MPI_Reduce", args);
+            }
+            "mpi.allreduce" => {
+                let o = mpi_op_constant(op.attr("op").and_then(Attribute::as_str).unwrap_or("sum"));
+                let oc = arith::const_i32(self.vt, o);
+                let ov = oc.result(0);
+                out.push(oc);
+                let comm = self.comm_const(out);
+                let mut args = op.operands.clone();
+                args.push(ov);
+                args.push(comm);
+                self.call(out, "MPI_Allreduce", args);
+            }
+            "mpi.bcast" => {
+                let comm = self.comm_const(out);
+                let mut args = op.operands.clone();
+                args.push(comm);
+                self.call(out, "MPI_Bcast", args);
+            }
+            "mpi.gather" => {
+                let comm = self.comm_const(out);
+                // (sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                //  recvtype, root, comm): recv count/type mirror send.
+                let args = vec![
+                    op.operand(0),
+                    op.operand(1),
+                    op.operand(2),
+                    op.operand(3),
+                    op.operand(1),
+                    op.operand(2),
+                    op.operand(4),
+                    comm,
+                ];
+                self.call(out, "MPI_Gather", args);
+            }
+            _ => {
+                out.push(op);
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    fn process_block(&mut self, block: &mut Block) -> Result<(), String> {
+        let ops = std::mem::take(&mut block.ops);
+        for mut op in ops {
+            for region in &mut op.regions {
+                for inner in &mut region.blocks {
+                    self.process_block(inner)?;
+                }
+            }
+            self.rewrite_op(op, &mut block.ops)?;
+        }
+        Ok(())
+    }
+}
+
+impl Pass for MpiToFunc {
+    fn name(&self) -> &'static str {
+        "mpi-to-func"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let mut regions = std::mem::take(&mut module.op.regions);
+        let mut rewriter = Rewriter { vt: &mut module.values, used: BTreeMap::new() };
+        let mut result = Ok(());
+        'outer: for region in &mut regions {
+            for block in &mut region.blocks {
+                if let Err(m) = rewriter.process_block(block) {
+                    result = Err(PassError::new("mpi-to-func", m));
+                    break 'outer;
+                }
+            }
+        }
+        // Append external declarations (Listing 4, line 11).
+        let decls: Vec<Op> = rewriter
+            .used
+            .iter()
+            .map(|(name, ty)| func::declaration(name, ty.clone()))
+            .collect();
+        if let Some(region) = regions.first_mut() {
+            if let Some(block) = region.blocks.first_mut() {
+                block.ops.extend(decls);
+            }
+        }
+        module.op.regions = regions;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_ir::{verify_module, DialectRegistry, MemRefType};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        sten_dialects::register_all(&mut reg);
+        sten_stencil::register(&mut reg);
+        sten_dmp::register(&mut reg);
+        crate::ops::register(&mut reg);
+        reg
+    }
+
+    fn count(m: &Module, name: &str) -> usize {
+        let mut n = 0;
+        m.walk(|op| {
+            if op.name == name {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    fn callee_names(m: &Module) -> Vec<String> {
+        let mut names = Vec::new();
+        m.walk(|op| {
+            if op.name == "func.call" {
+                if let Some(s) = op.attr("callee").and_then(Attribute::as_symbol) {
+                    names.push(s.to_string());
+                }
+            }
+        });
+        names
+    }
+
+    #[test]
+    fn listing4_shape_for_unwrap_and_send() {
+        let mut m = Module::new();
+        let buf =
+            sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![64, 2], Type::F64));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        let unwrap = crate::ops::unwrap_memref(&mut m.values, bufv);
+        let (ptr, count_v, dtype) = (unwrap.result(0), unwrap.result(1), unwrap.result(2));
+        m.body_mut().ops.push(unwrap);
+        let dest = arith::const_i32(&mut m.values, 1);
+        let tag = arith::const_i32(&mut m.values, 0);
+        let (destv, tagv) = (dest.result(0), tag.result(0));
+        m.body_mut().ops.push(dest);
+        m.body_mut().ops.push(tag);
+        m.body_mut().ops.push(crate::ops::send(ptr, count_v, dtype, destv, tagv));
+        MpiToFunc.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = sten_ir::print_module(&m);
+        // The magic constants from Listing 4.
+        assert!(text.contains("1275070475"), "MPI_DOUBLE constant:\n{text}");
+        assert!(text.contains("1140850688"), "MPI_COMM_WORLD constant");
+        assert!(text.contains("128 : i32"), "static element count folded");
+        assert!(count(&m, "llvm.inttoptr") >= 1);
+        assert!(count(&m, "memref.extract_aligned_pointer_as_index") >= 1);
+        assert_eq!(callee_names(&m), vec!["MPI_Send"]);
+        // External declaration appended.
+        let decl = m.lookup_symbol("MPI_Send").unwrap();
+        assert!(sten_dialects::func::FuncOp(decl).is_declaration());
+    }
+
+    #[test]
+    fn full_pipeline_to_func_level() {
+        let mut m = sten_stencil::samples::jacobi_1d(128);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![2]).run(&mut m).unwrap();
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_stencil::StencilToLoops.run(&mut m).unwrap();
+        crate::DmpToMpi.run(&mut m).unwrap();
+        MpiToFunc.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = sten_ir::print_module(&m);
+        assert!(!text.contains("\"mpi."), "all mpi ops lowered:\n{text}");
+        let names = callee_names(&m);
+        assert!(names.iter().any(|n| n == "MPI_Isend"));
+        assert!(names.iter().any(|n| n == "MPI_Irecv"));
+        assert!(names.iter().any(|n| n == "MPI_Waitall"));
+        assert!(names.iter().any(|n| n == "MPI_Comm_rank"));
+        // Round-trip of the final form.
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
+    }
+
+    #[test]
+    fn collectives_lower_with_op_constants() {
+        let mut m = Module::new();
+        let buf = sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![4], Type::F64));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        let u = crate::ops::unwrap_memref(&mut m.values, bufv);
+        let (ptr, cnt, dt) = (u.result(0), u.result(1), u.result(2));
+        m.body_mut().ops.push(u);
+        m.body_mut().ops.push(crate::ops::allreduce(ptr, ptr, cnt, dt, "sum"));
+        let root = arith::const_i32(&mut m.values, 0);
+        let rootv = root.result(0);
+        m.body_mut().ops.push(root);
+        m.body_mut().ops.push(crate::ops::bcast(ptr, cnt, dt, rootv));
+        MpiToFunc.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = sten_ir::print_module(&m);
+        assert!(text.contains(&crate::abi::MPI_OP_SUM.to_string()));
+        let names = callee_names(&m);
+        assert!(names.contains(&"MPI_Allreduce".to_string()));
+        assert!(names.contains(&"MPI_Bcast".to_string()));
+    }
+}

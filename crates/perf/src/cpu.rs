@@ -1,0 +1,304 @@
+//! CPU single-node roofline and multi-node strong-scaling models.
+//!
+//! ## Single node (Figs. 7, 10a)
+//!
+//! `time/point = max(bytes / (bw_eff · BW), flops / (flop_eff · peak))`
+//! plus a per-parallel-region barrier term (the `kmp_wait_template`
+//! effect of §6.2). The pipeline-dependent efficiencies are the model's
+//! calibrated constants:
+//!
+//! | pipeline | flop_eff (2D/3D) | bw_eff (2D/3D) | barrier | rationale |
+//! |---|---|---|---|---|
+//! | xDSL            | 0.20 / 0.05 | 0.85 / 0.65 | 25 µs/region | "limited vectorization performance of our current lowered LLVM IR" (§6.1): simple 2D inner loops still auto-vectorize, deep 3D nests mostly do not, and their address arithmetic also costs effective bandwidth; the scf→omp lowering opens one parallel region (and barrier) per stencil region |
+//! | Devito (native) | 0.35 | 0.60 / 0.80 | 5 µs | vendor-compiler AVX2 vectorization (≈1/3 of FMA peak is typical for real stencils); Devito's cache blocking is tuned for the 3D production workloads, while its 2D configuration leaves bandwidth on the table at the 8-rank NUMA layout — this is where the paper's 2D xDSL wins come from |
+//! | Cray-PSyclone   | 0.30 | 0.80 | 5 µs | "the Cray compiler is undertaking numerous HPC optimizations" |
+//! | GNU-PSyclone    | 0.05 | 0.35 | 5 µs | "PSyclone with the GNU compiler is performing considerably worse": neither vectorized nor streaming-friendly |
+//!
+//! ## Strong scaling (Figs. 8, 11)
+//!
+//! `T(R ranks) = T_comp/R + α·messages + volume/(β·overlap)`; Devito's
+//! "more advanced communication techniques" (diagonal exchanges,
+//! §6.1/Bisbas et al. 2023) are modelled as partial overlap of
+//! communication with computation.
+
+use crate::machine::{CpuNode, Interconnect};
+use crate::profile::KernelProfile;
+
+/// Which compilation pipeline produced the executable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CpuPipeline {
+    /// The shared stack (this paper).
+    Xdsl,
+    /// Native Devito (flop-reduced, vendor-vectorized).
+    DevitoNative,
+    /// PSyclone compiled with the Cray compiler.
+    PsycloneCray,
+    /// PSyclone compiled with the GNU compiler.
+    PsycloneGnu,
+}
+
+impl CpuPipeline {
+    /// Fraction of peak flops the pipeline's code achieves.
+    pub fn flop_efficiency(self, dims: usize) -> f64 {
+        match self {
+            CpuPipeline::Xdsl => {
+                if dims >= 3 {
+                    0.05
+                } else {
+                    0.20
+                }
+            }
+            CpuPipeline::DevitoNative => 0.35,
+            CpuPipeline::PsycloneCray => 0.30,
+            CpuPipeline::PsycloneGnu => 0.05,
+        }
+    }
+
+    /// Fraction of STREAM bandwidth the pipeline's loops achieve.
+    pub fn bandwidth_efficiency(self, dims: usize) -> f64 {
+        match self {
+            CpuPipeline::Xdsl => {
+                if dims >= 3 {
+                    0.65
+                } else {
+                    0.85
+                }
+            }
+            CpuPipeline::DevitoNative => {
+                if dims >= 3 {
+                    0.80
+                } else {
+                    0.60
+                }
+            }
+            CpuPipeline::PsycloneCray => 0.80,
+            CpuPipeline::PsycloneGnu => 0.35,
+        }
+    }
+
+    /// Whether the generated loops are cache-tiled (affects the 3D
+    /// plane-spill term of [`KernelProfile::bytes_per_point`]).
+    pub fn tiled(self) -> bool {
+        !matches!(self, CpuPipeline::PsycloneGnu)
+    }
+
+    /// Thread-barrier cost per parallel region per timestep, µs.
+    pub fn barrier_us(self) -> f64 {
+        match self {
+            CpuPipeline::Xdsl => 25.0,
+            _ => 5.0,
+        }
+    }
+}
+
+/// Seconds for one timestep on one node.
+pub fn node_step_time(profile: &KernelProfile, node: &CpuNode, pipeline: CpuPipeline) -> f64 {
+    let bytes = profile.bytes_per_point(pipeline.tiled()) * profile.points;
+    let flops = profile.flops_per_point * profile.points;
+    let t_mem = bytes / (pipeline.bandwidth_efficiency(profile.dims) * node.mem_bw_gbs * 1e9);
+    let t_flop = flops / (pipeline.flop_efficiency(profile.dims) * node.peak_gflops_f32() * 1e9);
+    let t_barrier = profile.regions as f64 * pipeline.barrier_us() * 1e-6;
+    t_mem.max(t_flop) + t_barrier
+}
+
+/// Single-node throughput in GPts/s (the paper's unit).
+pub fn node_throughput(profile: &KernelProfile, node: &CpuNode, pipeline: CpuPipeline) -> f64 {
+    profile.points / node_step_time(profile, node, pipeline) / 1e9
+}
+
+/// Strong-scaling configuration.
+#[derive(Clone, Debug)]
+pub struct ScalingConfig {
+    /// MPI ranks per node (8 on ARCHER2, one per NUMA region).
+    pub ranks_per_node: u32,
+    /// Cartesian decomposition rank (3 for the Devito benchmarks, 2 for
+    /// the PSyclone ocean-model runs).
+    pub decomp_dims: usize,
+    /// Fraction of communication hidden behind computation (Devito's
+    /// diagonal/overlapped exchanges: 0.55; plain xDSL swaps: 0.0).
+    pub comm_overlap: f64,
+    /// Global grid extents.
+    pub global_shape: Vec<i64>,
+}
+
+/// Distributes `total` ranks over `dims` dimensions as evenly as possible
+/// (mirrors `MPI_Dims_create` for powers of two).
+pub fn rank_grid(total: u64, dims: usize) -> Vec<i64> {
+    let mut grid = vec![1i64; dims];
+    let mut remaining = total;
+    let mut d = 0;
+    while remaining > 1 {
+        // Peel factors of two round-robin; odd remainders go to dim 0.
+        let f = if remaining % 2 == 0 { 2 } else { remaining };
+        grid[d % dims] *= f as i64;
+        remaining /= f;
+        d += 1;
+    }
+    grid.sort_unstable_by(|a, b| b.cmp(a));
+    grid
+}
+
+/// Throughput in GPts/s on `nodes` nodes.
+pub fn strong_scaling(
+    profile: &KernelProfile,
+    node: &CpuNode,
+    net: &Interconnect,
+    config: &ScalingConfig,
+    pipeline: CpuPipeline,
+    nodes: u64,
+) -> f64 {
+    let ranks = nodes * config.ranks_per_node as u64;
+    let grid = rank_grid(ranks, config.decomp_dims);
+    // Rank-local extents.
+    let mut local: Vec<f64> = config.global_shape.iter().map(|&s| s as f64).collect();
+    for (d, &g) in grid.iter().enumerate() {
+        local[d] /= g as f64;
+    }
+    // Compute: the node model at 1/nodes of the points (ranks within a
+    // node share its roofline).
+    let local_profile = profile.clone().scaled_points(profile.points / nodes as f64);
+    let t_comp = node_step_time(&local_profile, node, pipeline);
+    // Communication per rank per step: two faces per decomposed dim.
+    let r = profile.radius.max(1) as f64;
+    let mut volume_bytes = 0.0;
+    let mut messages = 0.0;
+    for d in 0..config.decomp_dims.min(local.len()) {
+        if grid[d] < 2 {
+            continue;
+        }
+        let face: f64 =
+            local.iter().enumerate().filter(|&(e, _)| e != d).map(|(_, &s)| s).product();
+        volume_bytes += 2.0 * face * r * profile.dtype_bytes * profile.input_buffers;
+        messages += 2.0 * profile.regions as f64;
+    }
+    let t_comm_raw =
+        messages * net.latency_us * 1e-6 + volume_bytes / (net.bandwidth_gbs * 1e9);
+    let t_comm = t_comm_raw * (1.0 - config.comm_overlap);
+    profile.points / (t_comp + t_comm) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{archer2_node, slingshot};
+
+    fn heat_profile(dims: usize, flops: f64, radius: i64, points: f64) -> KernelProfile {
+        KernelProfile {
+            name: "heat".into(),
+            dims,
+            points,
+            flops_per_point: flops,
+            loads_per_point: flops / 2.0,
+            input_buffers: 1.0,
+            output_buffers: 1.0,
+            radius,
+            regions: 1,
+            dtype_bytes: 4.0,
+        }
+    }
+
+    #[test]
+    fn xdsl_wins_low_intensity_2d() {
+        // Fig. 7a left: 2D heat, low AI → memory bound → xDSL's better
+        // streaming wins by ~1.2-1.5x.
+        let p = heat_profile(2, 8.0, 1, 16384.0 * 16384.0);
+        let node = archer2_node();
+        let xdsl = node_throughput(&p, &node, CpuPipeline::Xdsl);
+        let devito = node_throughput(&p, &node, CpuPipeline::DevitoNative);
+        let ratio = xdsl / devito;
+        assert!(ratio > 1.1 && ratio < 1.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn devito_wins_high_intensity_3d() {
+        // Fig. 7a right: 3D high-SDO → xDSL compute bound → Devito's
+        // vectorization + factorization wins (paper: xDSL at 0.6-0.8x).
+        let p = heat_profile(3, 50.0, 3, 1024.0 * 1024.0 * 1024.0);
+        let node = archer2_node();
+        let xdsl = node_throughput(&p, &node, CpuPipeline::Xdsl);
+        // Devito's factorized kernel does fewer flops for the same stencil.
+        let mut p_devito = p.clone();
+        p_devito.flops_per_point = 36.0;
+        let devito = node_throughput(&p_devito, &node, CpuPipeline::DevitoNative);
+        let ratio = xdsl / devito;
+        assert!(ratio > 0.3 && ratio < 0.9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gnu_trails_cray_and_xdsl() {
+        // Fig. 10a: Cray ≈ xDSL (slight xDSL edge), GNU considerably
+        // worse.
+        // PW-advection-like: moderate flops keep xDSL memory-bound.
+        let p = heat_profile(3, 14.0, 1, 512.0 * 512.0 * 512.0);
+        let node = archer2_node();
+        let xdsl = node_throughput(&p, &node, CpuPipeline::Xdsl);
+        let cray = node_throughput(&p, &node, CpuPipeline::PsycloneCray);
+        let gnu = node_throughput(&p, &node, CpuPipeline::PsycloneGnu);
+        // xDSL and Cray land close to each other (Fig. 10a: slight edges
+        // either way across sizes), both well ahead of GNU.
+        let parity = xdsl / cray;
+        assert!((0.7..1.3).contains(&parity), "near parity: {parity}");
+        assert!(cray / gnu > 1.5, "GNU clearly behind: {}", cray / gnu);
+    }
+
+    #[test]
+    fn barrier_overhead_hurts_many_region_kernels_at_small_sizes() {
+        // Fig. 10a tracer advection: 18 regions × 25 µs dominates small
+        // problems for xDSL, amortizes at larger ones.
+        let mk = |points: f64| KernelProfile {
+            regions: 18,
+            ..heat_profile(3, 20.0, 1, points)
+        };
+        let node = archer2_node();
+        let small_ratio = node_throughput(&mk(4e6), &node, CpuPipeline::Xdsl)
+            / node_throughput(&mk(4e6), &node, CpuPipeline::PsycloneCray);
+        let large_ratio = node_throughput(&mk(128e6), &node, CpuPipeline::Xdsl)
+            / node_throughput(&mk(128e6), &node, CpuPipeline::PsycloneCray);
+        assert!(small_ratio < 1.0, "xDSL behind at small sizes: {small_ratio}");
+        assert!(large_ratio > small_ratio, "gap narrows with size");
+    }
+
+    #[test]
+    fn rank_grid_is_balanced() {
+        assert_eq!(rank_grid(8, 3), vec![2, 2, 2]);
+        assert_eq!(rank_grid(1024, 3), vec![16, 8, 8]);
+        assert_eq!(rank_grid(16, 2), vec![4, 4]);
+        assert_eq!(rank_grid(1, 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn scaling_curves_match_figure8_shape() {
+        let p = heat_profile(3, 30.0, 2, 1024.0f64.powi(3));
+        let node = archer2_node();
+        let net = slingshot();
+        let xdsl_cfg = ScalingConfig {
+            ranks_per_node: 8,
+            decomp_dims: 3,
+            comm_overlap: 0.0,
+            global_shape: vec![1024, 1024, 1024],
+        };
+        let devito_cfg = ScalingConfig { comm_overlap: 0.55, ..xdsl_cfg.clone() };
+        let mut prev_x = 0.0;
+        for nodes in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+            let x = strong_scaling(&p, &node, &net, &xdsl_cfg, CpuPipeline::Xdsl, nodes);
+            let d = strong_scaling(
+                &p,
+                &node,
+                &net,
+                &devito_cfg,
+                CpuPipeline::DevitoNative,
+                nodes,
+            );
+            assert!(x > prev_x, "xDSL keeps scaling at {nodes} nodes");
+            // Fig. 8: Devito sits above xDSL across the whole sweep (its
+            // per-node 3D code is faster and its communication overlaps).
+            assert!(d > x, "Devito above xDSL at {nodes} nodes: {d} vs {x}");
+            prev_x = x;
+        }
+        // Efficiency at 128 nodes is clearly sub-linear but useful.
+        let t1 = strong_scaling(&p, &node, &net, &xdsl_cfg, CpuPipeline::Xdsl, 1);
+        let t128 = strong_scaling(&p, &node, &net, &xdsl_cfg, CpuPipeline::Xdsl, 128);
+        let eff = t128 / (t1 * 128.0);
+        assert!(eff > 0.3 && eff < 1.0, "parallel efficiency {eff}");
+    }
+}

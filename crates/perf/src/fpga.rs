@@ -1,0 +1,120 @@
+//! Alveo U280 dataflow model (Table 1).
+//!
+//! §6.2: "The Initial version represents the algorithm running on the FPGA
+//! unchanged from its Von Neumann based CPU design, whereas the optimized
+//! version has been transformed by the compiler into a form tuned for
+//! dataflow architectures [...] the use of a 3D shift buffer [...] enables
+//! all the current grid cell's stencil values to be provided to the
+//! calculation each cycle but one value needs to be read from DDR external
+//! memory per cycle."
+//!
+//! * **Initial**: every stencil read is an individual DDR access at full
+//!   latency — the pipeline cannot be initiated more than once per
+//!   serialized read chain.
+//! * **Optimized**: the shift buffer turns the access stream into one DDR
+//!   read per cell; the pipeline retires one cell per cycle, degraded by
+//!   the handshake/stall efficiency, and bounded by streaming DDR
+//!   bandwidth.
+
+use crate::machine::Fpga;
+use crate::profile::KernelProfile;
+
+/// Which FPGA design is modelled.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FpgaDesign {
+    /// Von-Neumann port: per-read DDR latency.
+    Initial,
+    /// Dataflow + shift-buffer (the stack's automatic transformation).
+    Optimized,
+}
+
+/// Throughput in GPts/s.
+pub fn fpga_throughput(profile: &KernelProfile, fpga: &Fpga, design: FpgaDesign) -> f64 {
+    // Stencil reads per written cell come from the really-compiled
+    // bytecode (loads_per_point is normalised to written points, so fused
+    // multi-output kernels are already accounted for).
+    let reads_per_cell = profile.loads_per_point.max(1.0);
+    match design {
+        FpgaDesign::Initial => {
+            // Each read pays the DDR latency, with limited pipelining of
+            // outstanding requests.
+            let ns_per_cell =
+                reads_per_cell * fpga.ddr_latency_ns / fpga.memory_parallelism;
+            1.0 / ns_per_cell
+        }
+        FpgaDesign::Optimized => {
+            // One cell per cycle, degraded by stalls; deeper multi-region
+            // dataflow graphs (tracer advection: 18 regions) pay extra
+            // handshake stalls; bounded by streaming DDR traffic.
+            let region_stall = (profile.regions.max(1) as f64).powf(1.0 / 3.0);
+            let cycle_rate =
+                fpga.freq_mhz * 1e6 * fpga.pipeline_efficiency / region_stall / 1e9;
+            let stream_rate = fpga.ddr_bw_gbs / (2.0 * profile.dtype_bytes); // GPts/s
+            cycle_rate.min(stream_rate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::alveo_u280;
+
+    fn profile(loads: f64, inputs: f64) -> KernelProfile {
+        KernelProfile {
+            name: "k".into(),
+            dims: 3,
+            points: 8e6,
+            flops_per_point: loads * 2.0,
+            loads_per_point: loads,
+            input_buffers: inputs,
+            output_buffers: 1.0,
+            radius: 1,
+            regions: 1,
+            dtype_bytes: 4.0,
+        }
+    }
+
+    #[test]
+    fn table1_magnitudes() {
+        // Paper Table 1: initial ~1e-3 GPts/s, optimized ~0.1-0.15,
+        // improvements of 100-214x.
+        let fpga = alveo_u280();
+        let p = profile(19.0, 1.0); // PW-advection-like (19 loads/cell)
+        let initial = fpga_throughput(&p, &fpga, FpgaDesign::Initial);
+        let optimized = fpga_throughput(&p, &fpga, FpgaDesign::Optimized);
+        assert!(initial > 1e-4 && initial < 1e-2, "initial {initial}");
+        assert!(optimized > 0.05 && optimized < 0.3, "optimized {optimized}");
+        let improvement = optimized / initial;
+        assert!(improvement > 80.0 && improvement < 400.0, "improvement {improvement}x");
+    }
+
+    #[test]
+    fn optimized_design_is_clock_or_bandwidth_bound() {
+        let fpga = alveo_u280();
+        let p = profile(10.0, 1.0);
+        let t = fpga_throughput(&p, &fpga, FpgaDesign::Optimized);
+        let clock_bound = fpga.freq_mhz * 1e6 * fpga.pipeline_efficiency / 1e9;
+        assert!(t <= clock_bound + 1e-12);
+    }
+
+    #[test]
+    fn heavier_stencils_are_slower_initially() {
+        let fpga = alveo_u280();
+        let light = fpga_throughput(&profile(5.0, 1.0), &fpga, FpgaDesign::Initial);
+        let heavy = fpga_throughput(&profile(20.0, 2.0), &fpga, FpgaDesign::Initial);
+        assert!(heavy < light);
+    }
+
+    #[test]
+    fn falls_short_of_v100_as_in_paper() {
+        // "the FPGA numbers reported in table 1 fall short of the NVIDIA
+        // V100 GPU performance".
+        let fpga = alveo_u280();
+        let gpu = crate::machine::v100();
+        let p = profile(19.0, 1.0);
+        let f = fpga_throughput(&p, &fpga, FpgaDesign::Optimized);
+        let g = crate::gpu::gpu_throughput(&p, &gpu, crate::gpu::GpuPipeline::XdslCuda);
+        assert!(g > f, "V100 {g} > U280 {f}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # sten-perf — machine models and analytic performance prediction
+//!
+//! The paper evaluates on ARCHER2 (dual AMD EPYC 7742 nodes, Slingshot
+//! interconnect), Cirrus (NVIDIA V100) and an Alveo U280 FPGA — hardware
+//! this reproduction does not have. Following the substitution rule in
+//! DESIGN.md, this crate models those machines mechanistically:
+//!
+//! * [`machine`] — published hardware parameters (peak flops, STREAM-class
+//!   bandwidth, network α/β, launch overheads, DDR latency);
+//! * [`profile`] — kernel characteristics **measured from the real
+//!   compiled IR** (flops/point, stencil points, regions per step come
+//!   from `sten-exec` pipelines, not hand estimates);
+//! * [`cpu`] — single-node roofline + strong-scaling α-β communication
+//!   model (Figs. 7, 8, 10a, 11);
+//! * [`gpu`] — V100 model with per-kernel launch/sync overhead and
+//!   managed-memory penalties (Figs. 9, 10b);
+//! * [`fpga`] — dataflow pipeline model: Von-Neumann initial design vs
+//!   shift-buffer optimized design (Table 1).
+//!
+//! Every efficiency constant is documented at its definition; the intent
+//! (per DESIGN.md) is to reproduce the *shape* of each figure — who wins,
+//! by roughly what factor, where crossovers fall — not absolute numbers
+//! from a machine we cannot measure.
+
+pub mod cpu;
+pub mod fpga;
+pub mod gpu;
+pub mod machine;
+pub mod profile;
+
+pub use cpu::{node_throughput, strong_scaling, CpuPipeline, ScalingConfig};
+pub use fpga::{fpga_throughput, FpgaDesign};
+pub use gpu::{gpu_throughput, GpuPipeline};
+pub use machine::{alveo_u280, archer2_node, slingshot, v100, CpuNode, Fpga, Gpu, Interconnect};
+pub use profile::KernelProfile;

@@ -1,0 +1,157 @@
+//! Hardware parameters of the paper's evaluation machines, from their
+//! public specifications (§6: "ARCHER2 HPE Cray EX Supercomputer nodes
+//! comprising a dual AMD EPYC 7742 64-core 2.25GHz processor with 128
+//! cores [...] HPE Slingshot interconnect with 200 Gb/s bandwidth";
+//! "Cirrus GPU compute nodes consisting of four NVIDIA Tesla
+//! V100-SXM2-16GB"; "an Alveo U280 FPGA").
+
+/// A CPU node.
+#[derive(Clone, Debug)]
+pub struct CpuNode {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Cores per node.
+    pub cores: u32,
+    /// Base clock in GHz.
+    pub freq_ghz: f64,
+    /// fp32 lanes per SIMD unit (AVX2: 8).
+    pub simd_f32: u32,
+    /// Fused multiply-add units per core (EPYC 7742: 2 FMA pipes).
+    pub fma_pipes: u32,
+    /// Aggregate STREAM-class memory bandwidth, GB/s (8 memory channels ×
+    /// 2 sockets of DDR4-3200 deliver ~380 GB/s measured on ARCHER2).
+    pub mem_bw_gbs: f64,
+    /// NUMA regions (drives the 8-ranks × 16-threads layout of §6.1).
+    pub numa_regions: u32,
+}
+
+impl CpuNode {
+    /// Peak fp32 Gflop/s: `cores × freq × simd × 2 (FMA) × pipes`.
+    pub fn peak_gflops_f32(&self) -> f64 {
+        self.cores as f64 * self.freq_ghz * self.simd_f32 as f64 * 2.0 * self.fma_pipes as f64
+    }
+}
+
+/// The ARCHER2 compute node.
+pub fn archer2_node() -> CpuNode {
+    CpuNode {
+        name: "ARCHER2 (2x AMD EPYC 7742)",
+        cores: 128,
+        freq_ghz: 2.25,
+        simd_f32: 8,
+        fma_pipes: 2,
+        mem_bw_gbs: 380.0,
+        numa_regions: 8,
+    }
+}
+
+/// A cluster interconnect in α-β form.
+#[derive(Clone, Debug)]
+pub struct Interconnect {
+    /// Name.
+    pub name: &'static str,
+    /// Per-message latency (α), microseconds.
+    pub latency_us: f64,
+    /// Per-link bandwidth (1/β), GB/s (200 Gb/s Slingshot ≈ 25 GB/s).
+    pub bandwidth_gbs: f64,
+}
+
+/// The Slingshot dragonfly interconnect.
+pub fn slingshot() -> Interconnect {
+    Interconnect { name: "HPE Slingshot", latency_us: 2.0, bandwidth_gbs: 25.0 }
+}
+
+/// A GPU accelerator.
+#[derive(Clone, Debug)]
+pub struct Gpu {
+    /// Name.
+    pub name: &'static str,
+    /// HBM bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Peak fp32 Gflop/s.
+    pub peak_gflops_f32: f64,
+    /// Cost of one *synchronous* kernel launch (the paper's nsys finding:
+    /// "superfluous synchronization overhead on each kernel launch"), µs.
+    pub sync_launch_us: f64,
+    /// Cost of an asynchronously pipelined launch, µs.
+    pub async_launch_us: f64,
+    /// Cost of servicing one managed-memory page fault, µs (unified
+    /// memory; drives the Fig. 10b PW-advection gap).
+    pub page_fault_us: f64,
+    /// Page size for managed-memory accounting, bytes.
+    pub page_bytes: f64,
+}
+
+/// The Cirrus V100-SXM2-16GB.
+pub fn v100() -> Gpu {
+    Gpu {
+        name: "NVIDIA V100-SXM2-16GB",
+        mem_bw_gbs: 900.0,
+        peak_gflops_f32: 15_700.0,
+        sync_launch_us: 10.0,
+        async_launch_us: 4.0,
+        page_fault_us: 25.0,
+        page_bytes: 65_536.0, // driver migrates in 64KiB chunks
+    }
+}
+
+/// An FPGA card.
+#[derive(Clone, Debug)]
+pub struct Fpga {
+    /// Name.
+    pub name: &'static str,
+    /// Kernel clock, MHz (typical achieved HLS clock on the U280).
+    pub freq_mhz: f64,
+    /// DDR4 bandwidth per bank, GB/s.
+    pub ddr_bw_gbs: f64,
+    /// DDR access latency, nanoseconds (random access — what the naive
+    /// Von-Neumann design pays per stencil read).
+    pub ddr_latency_ns: f64,
+    /// Fraction of cycles the optimized dataflow pipeline retires a cell
+    /// (stalls from region handshakes and boundary refills).
+    pub pipeline_efficiency: f64,
+    /// Outstanding DDR requests the naive design keeps in flight
+    /// (limited HLS load pipelining).
+    pub memory_parallelism: f64,
+}
+
+/// The Alveo U280.
+pub fn alveo_u280() -> Fpga {
+    Fpga {
+        name: "AMD Xilinx Alveo U280",
+        freq_mhz: 300.0,
+        ddr_bw_gbs: 38.0,
+        ddr_latency_ns: 180.0,
+        pipeline_efficiency: 0.45,
+        memory_parallelism: 3.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archer2_peak_matches_spec_math() {
+        let node = archer2_node();
+        // 128 × 2.25 × 8 × 2 × 2 = 9216 Gflop/s fp32.
+        assert_eq!(node.peak_gflops_f32(), 9216.0);
+        assert_eq!(node.numa_regions, 8);
+    }
+
+    #[test]
+    fn interconnect_and_gpu_are_plausible() {
+        let net = slingshot();
+        assert!(net.bandwidth_gbs > 10.0 && net.latency_us < 10.0);
+        let gpu = v100();
+        assert!(gpu.mem_bw_gbs > 800.0);
+        assert!(gpu.sync_launch_us > gpu.async_launch_us);
+    }
+
+    #[test]
+    fn fpga_clock_bounds_ideal_throughput() {
+        let f = alveo_u280();
+        // One cell per cycle at 300 MHz = 0.3 GPts/s upper bound.
+        assert!((f.freq_mhz * 1e6 / 1e9 - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,673 @@
+//! A lexer and recursive-descent parser for the Fortran kernel subset.
+//!
+//! PSyclone's input is Fortran "augmented with specific coding
+//! conventions" (§2). The subset here covers the benchmark kernels:
+//! `subroutine`/`end subroutine`, nested `do var = lo, hi` loops, and
+//! assignments to array elements whose indices are `loopvar ± const`,
+//! with arithmetic (`+ - * /`, parentheses, unary minus), real literals
+//! and scalar symbols on the right-hand side. Everything else is a parse
+//! error — the "escape hatch" of real PSyclone (pass-through of
+//! untransformed Fortran) is out of scope and documented as such.
+
+use std::fmt;
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FortranError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for FortranError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fortran parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FortranError {}
+
+/// An index expression: `var ± offset` or a bare integer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Index {
+    /// `i + 1`, `j - 2`, `k`.
+    Var {
+        /// The loop variable.
+        var: String,
+        /// The constant offset.
+        offset: i64,
+    },
+    /// A literal index.
+    Const(i64),
+}
+
+/// A scalar right-hand-side expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FExpr {
+    /// A real literal.
+    Num(f64),
+    /// A scalar variable (bound to a value at lowering time).
+    Scalar(String),
+    /// An array element access.
+    ArrayRef {
+        /// Array name.
+        name: String,
+        /// Index per dimension.
+        indices: Vec<Index>,
+    },
+    /// Binary arithmetic.
+    Bin {
+        /// `+`, `-`, `*` or `/`.
+        op: char,
+        /// Left operand.
+        lhs: Box<FExpr>,
+        /// Right operand.
+        rhs: Box<FExpr>,
+    },
+    /// Unary minus.
+    Neg(Box<FExpr>),
+}
+
+/// A loop bound: literal or symbolic (resolved via the kernel config).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Bound {
+    /// Integer literal.
+    Lit(i64),
+    /// Symbol like `nx`, or `nx + 1` (symbol plus constant).
+    Sym {
+        /// The symbol.
+        name: String,
+        /// Added constant.
+        offset: i64,
+    },
+}
+
+/// One statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `do var = lo, hi ... end do`.
+    Do {
+        /// Loop variable.
+        var: String,
+        /// Inclusive lower bound.
+        lo: Bound,
+        /// Inclusive upper bound.
+        hi: Bound,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `array(indices...) = expr`.
+    Assign {
+        /// Target array.
+        array: String,
+        /// Target indices.
+        indices: Vec<Index>,
+        /// Right-hand side.
+        rhs: FExpr,
+    },
+}
+
+/// A parsed subroutine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Subroutine {
+    /// Subroutine name.
+    pub name: String,
+    /// Declared dummy arguments (names only; declarations are skipped).
+    pub args: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Real(f64),
+    LParen,
+    RParen,
+    Comma,
+    Equal,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Newline,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, message: impl Into<String>) -> FortranError {
+        FortranError { line: self.line, message: message.into() }
+    }
+
+    fn lex(mut self) -> Result<Vec<(Tok, usize)>, FortranError> {
+        let mut toks = Vec::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            match c {
+                '\n' => {
+                    toks.push((Tok::Newline, self.line));
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                ' ' | '\t' | '\r' => self.pos += 1,
+                '&' => {
+                    // Continuation: swallow the '&', trailing blanks and
+                    // the newline so the expression continues.
+                    self.pos += 1;
+                    while self.pos < self.src.len()
+                        && matches!(self.src[self.pos], b' ' | b'\t' | b'\r')
+                    {
+                        self.pos += 1;
+                    }
+                    if self.pos < self.src.len() && self.src[self.pos] == b'\n' {
+                        self.line += 1;
+                        self.pos += 1;
+                    }
+                }
+                '!' => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                '(' => {
+                    toks.push((Tok::LParen, self.line));
+                    self.pos += 1;
+                }
+                ')' => {
+                    toks.push((Tok::RParen, self.line));
+                    self.pos += 1;
+                }
+                ',' => {
+                    toks.push((Tok::Comma, self.line));
+                    self.pos += 1;
+                }
+                '=' => {
+                    toks.push((Tok::Equal, self.line));
+                    self.pos += 1;
+                }
+                '+' => {
+                    toks.push((Tok::Plus, self.line));
+                    self.pos += 1;
+                }
+                '-' => {
+                    toks.push((Tok::Minus, self.line));
+                    self.pos += 1;
+                }
+                '*' => {
+                    toks.push((Tok::Star, self.line));
+                    self.pos += 1;
+                }
+                '/' => {
+                    toks.push((Tok::Slash, self.line));
+                    self.pos += 1;
+                }
+                c if c.is_ascii_digit() || c == '.' => {
+                    let start = self.pos;
+                    let mut is_real = false;
+                    while self.pos < self.src.len() {
+                        let d = self.src[self.pos] as char;
+                        if d.is_ascii_digit() {
+                            self.pos += 1;
+                        } else if d == '.' && !is_real {
+                            // Lookahead: `1.` followed by non-digit could be
+                            // an operator context; accept as real anyway.
+                            is_real = true;
+                            self.pos += 1;
+                        } else if (d == 'e' || d == 'E' || d == 'd' || d == 'D')
+                            && self.pos + 1 < self.src.len()
+                        {
+                            let next = self.src[self.pos + 1] as char;
+                            if next.is_ascii_digit() || next == '-' || next == '+' {
+                                is_real = true;
+                                self.pos += 2;
+                            } else {
+                                break;
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    let text: String = std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.err("bad number"))?
+                        .replace(['d', 'D'], "e");
+                    if is_real {
+                        toks.push((
+                            Tok::Real(text.parse().map_err(|e| self.err(format!("bad real: {e}")))?),
+                            self.line,
+                        ));
+                    } else {
+                        toks.push((
+                            Tok::Int(text.parse().map_err(|e| self.err(format!("bad int: {e}")))?),
+                            self.line,
+                        ));
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = self.pos;
+                    while self.pos < self.src.len() {
+                        let d = self.src[self.pos] as char;
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.err("bad identifier"))?
+                        .to_ascii_lowercase();
+                    toks.push((Tok::Ident(text), self.line));
+                }
+                other => return Err(self.err(format!("unexpected character '{other}'"))),
+            }
+        }
+        toks.push((Tok::Eof, self.line));
+        Ok(toks)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos.min(self.toks.len() - 1)].1
+    }
+
+    fn err(&self, message: impl Into<String>) -> FortranError {
+        FortranError { line: self.line(), message: message.into() }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_newlines(&mut self) {
+        while *self.peek() == Tok::Newline {
+            self.bump();
+        }
+    }
+
+    fn expect_ident(&mut self, want: &str) -> Result<(), FortranError> {
+        match self.bump() {
+            Tok::Ident(s) if s == want => Ok(()),
+            other => Err(self.err(format!("expected '{want}', found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, FortranError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_subroutine(&mut self) -> Result<Subroutine, FortranError> {
+        self.skip_newlines();
+        self.expect_ident("subroutine")?;
+        let name = self.ident()?;
+        let mut args = Vec::new();
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            if *self.peek() == Tok::RParen {
+                self.bump();
+            } else {
+                loop {
+                    args.push(self.ident()?);
+                    match self.bump() {
+                        Tok::Comma => continue,
+                        Tok::RParen => break,
+                        other => return Err(self.err(format!("expected ',' or ')': {other:?}"))),
+                    }
+                }
+            }
+        }
+        let body = self.parse_stmts()?;
+        self.expect_ident("end")?;
+        self.expect_ident("subroutine")?;
+        // Optional repeated name.
+        if let Tok::Ident(_) = self.peek() {
+            self.bump();
+        }
+        Ok(Subroutine { name, args, body })
+    }
+
+    /// Parses statements until `end` (not consumed).
+    fn parse_stmts(&mut self) -> Result<Vec<Stmt>, FortranError> {
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Tok::Ident(s) if s == "end" => return Ok(stmts),
+                Tok::Ident(s) if s == "do" => {
+                    stmts.push(self.parse_do()?);
+                }
+                Tok::Ident(s) if s == "real" || s == "integer" || s == "implicit" || s == "intent" => {
+                    // Skip declarations to end of line.
+                    while !matches!(self.peek(), Tok::Newline | Tok::Eof) {
+                        self.bump();
+                    }
+                }
+                Tok::Ident(_) => stmts.push(self.parse_assign()?),
+                Tok::Eof => return Err(self.err("unexpected end of input")),
+                other => return Err(self.err(format!("unexpected token {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_bound(&mut self) -> Result<Bound, FortranError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Bound::Lit(v)),
+            Tok::Ident(name) => {
+                let mut offset = 0;
+                loop {
+                    match self.peek() {
+                        Tok::Plus => {
+                            self.bump();
+                            let Tok::Int(v) = self.bump() else {
+                                return Err(self.err("expected integer after '+'"));
+                            };
+                            offset += v;
+                        }
+                        Tok::Minus => {
+                            self.bump();
+                            let Tok::Int(v) = self.bump() else {
+                                return Err(self.err("expected integer after '-'"));
+                            };
+                            offset -= v;
+                        }
+                        _ => break,
+                    }
+                }
+                Ok(Bound::Sym { name, offset })
+            }
+            other => Err(self.err(format!("expected loop bound, found {other:?}"))),
+        }
+    }
+
+    fn parse_do(&mut self) -> Result<Stmt, FortranError> {
+        self.expect_ident("do")?;
+        let var = self.ident()?;
+        match self.bump() {
+            Tok::Equal => {}
+            other => return Err(self.err(format!("expected '=' in do, found {other:?}"))),
+        }
+        let lo = self.parse_bound()?;
+        match self.bump() {
+            Tok::Comma => {}
+            other => return Err(self.err(format!("expected ',' in do, found {other:?}"))),
+        }
+        let hi = self.parse_bound()?;
+        let body = self.parse_stmts()?;
+        self.expect_ident("end")?;
+        self.expect_ident("do")?;
+        Ok(Stmt::Do { var, lo, hi, body })
+    }
+
+    fn parse_index(&mut self) -> Result<Index, FortranError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Index::Const(v)),
+            Tok::Ident(var) => {
+                let mut offset = 0;
+                loop {
+                    match self.peek() {
+                        Tok::Plus => {
+                            self.bump();
+                            let Tok::Int(v) = self.bump() else {
+                                return Err(self.err("expected integer offset"));
+                            };
+                            offset += v;
+                        }
+                        Tok::Minus => {
+                            self.bump();
+                            let Tok::Int(v) = self.bump() else {
+                                return Err(self.err("expected integer offset"));
+                            };
+                            offset -= v;
+                        }
+                        _ => break,
+                    }
+                }
+                Ok(Index::Var { var, offset })
+            }
+            other => Err(self.err(format!("expected index, found {other:?}"))),
+        }
+    }
+
+    fn parse_index_list(&mut self) -> Result<Vec<Index>, FortranError> {
+        // '(' already consumed by caller? No: caller consumes it here.
+        let mut indices = Vec::new();
+        loop {
+            indices.push(self.parse_index()?);
+            match self.bump() {
+                Tok::Comma => continue,
+                Tok::RParen => return Ok(indices),
+                other => return Err(self.err(format!("expected ',' or ')': {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_assign(&mut self) -> Result<Stmt, FortranError> {
+        let array = self.ident()?;
+        match self.bump() {
+            Tok::LParen => {}
+            other => return Err(self.err(format!("expected '(' after array name: {other:?}"))),
+        }
+        let indices = self.parse_index_list()?;
+        match self.bump() {
+            Tok::Equal => {}
+            other => return Err(self.err(format!("expected '=': {other:?}"))),
+        }
+        let rhs = self.parse_expr()?;
+        Ok(Stmt::Assign { array, indices, rhs })
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn parse_expr(&mut self) -> Result<FExpr, FortranError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => '+',
+                Tok::Minus => '-',
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_term()?;
+            lhs = FExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    // term := factor (('*'|'/') factor)*
+    fn parse_term(&mut self) -> Result<FExpr, FortranError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => '*',
+                Tok::Slash => '/',
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_factor()?;
+            lhs = FExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<FExpr, FortranError> {
+        match self.bump() {
+            Tok::Minus => Ok(FExpr::Neg(Box::new(self.parse_factor()?))),
+            Tok::Real(v) => Ok(FExpr::Num(v)),
+            Tok::Int(v) => Ok(FExpr::Num(v as f64)),
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                match self.bump() {
+                    Tok::RParen => Ok(e),
+                    other => Err(self.err(format!("expected ')': {other:?}"))),
+                }
+            }
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let indices = self.parse_index_list()?;
+                    Ok(FExpr::ArrayRef { name, indices })
+                } else {
+                    Ok(FExpr::Scalar(name))
+                }
+            }
+            other => Err(self.err(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+}
+
+/// Parses one subroutine from Fortran source.
+///
+/// # Errors
+/// Returns a [`FortranError`] with line information on unsupported or
+/// malformed input.
+pub fn parse_fortran(src: &str) -> Result<Subroutine, FortranError> {
+    let toks = Lexer { src: src.as_bytes(), pos: 0, line: 1 }.lex()?;
+    let mut p = Parser { toks, pos: 0 };
+    let sub = p.parse_subroutine()?;
+    p.skip_newlines();
+    if *p.peek() != Tok::Eof {
+        return Err(p.err("trailing input after subroutine"));
+    }
+    Ok(sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = r#"
+subroutine smooth(out, u, nx)
+  do i = 2, nx - 1
+    out(i) = 0.25 * (u(i-1) + 2.0 * u(i) + u(i+1))
+  end do
+end subroutine smooth
+"#;
+
+    #[test]
+    fn parses_simple_kernel() {
+        let sub = parse_fortran(SIMPLE).unwrap();
+        assert_eq!(sub.name, "smooth");
+        assert_eq!(sub.args, vec!["out", "u", "nx"]);
+        let Stmt::Do { var, lo, hi, body } = &sub.body[0] else {
+            panic!("expected do loop");
+        };
+        assert_eq!(var, "i");
+        assert_eq!(*lo, Bound::Lit(2));
+        assert_eq!(*hi, Bound::Sym { name: "nx".into(), offset: -1 });
+        let Stmt::Assign { array, indices, rhs } = &body[0] else {
+            panic!("expected assignment");
+        };
+        assert_eq!(array, "out");
+        assert_eq!(indices[0], Index::Var { var: "i".into(), offset: 0 });
+        // RHS contains accesses at -1, 0, +1.
+        let mut offsets = Vec::new();
+        fn walk(e: &FExpr, out: &mut Vec<i64>) {
+            match e {
+                FExpr::ArrayRef { indices, .. } => {
+                    if let Index::Var { offset, .. } = &indices[0] {
+                        out.push(*offset);
+                    }
+                }
+                FExpr::Bin { lhs, rhs, .. } => {
+                    walk(lhs, out);
+                    walk(rhs, out);
+                }
+                FExpr::Neg(e) => walk(e, out),
+                _ => {}
+            }
+        }
+        walk(rhs, &mut offsets);
+        offsets.sort_unstable();
+        assert_eq!(offsets, vec![-1, 0, 1]);
+    }
+
+    #[test]
+    fn parses_nested_3d_loops() {
+        let src = r#"
+subroutine k3(a, b)
+  do k = 1, nz
+    do j = 1, ny
+      do i = 1, nx
+        a(i, j, k) = b(i, j, k) + b(i-1, j+2, k)
+      end do
+    end do
+  end do
+end subroutine
+"#;
+        let sub = parse_fortran(src).unwrap();
+        let Stmt::Do { body, .. } = &sub.body[0] else { panic!() };
+        let Stmt::Do { body, .. } = &body[0] else { panic!() };
+        let Stmt::Do { body, .. } = &body[0] else { panic!() };
+        assert!(matches!(&body[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn comments_and_declarations_are_skipped() {
+        let src = r#"
+subroutine s(u)
+  ! a comment
+  real u(100)
+  do i = 1, 10
+    u(i) = 1.0  ! trailing comment
+  end do
+end subroutine
+"#;
+        let sub = parse_fortran(src).unwrap();
+        assert_eq!(sub.body.len(), 1);
+    }
+
+    #[test]
+    fn fortran_reals_with_d_exponent() {
+        let src = r#"
+subroutine s(u)
+  do i = 1, 4
+    u(i) = 1.5d-3 * u(i)
+  end do
+end subroutine
+"#;
+        let sub = parse_fortran(src).unwrap();
+        let Stmt::Do { body, .. } = &sub.body[0] else { panic!() };
+        let Stmt::Assign { rhs, .. } = &body[0] else { panic!() };
+        let FExpr::Bin { op: '*', lhs, .. } = rhs else { panic!("{rhs:?}") };
+        assert_eq!(**lhs, FExpr::Num(1.5e-3));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_fortran("subroutine s(u)\n  do i = , 4\n  end do\nend subroutine\n")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn precedence_is_standard() {
+        let src = "subroutine s(u)\n  do i = 1, 2\n    u(i) = 1.0 + 2.0 * 3.0\n  end do\nend subroutine\n";
+        let sub = parse_fortran(src).unwrap();
+        let Stmt::Do { body, .. } = &sub.body[0] else { panic!() };
+        let Stmt::Assign { rhs, .. } = &body[0] else { panic!() };
+        let FExpr::Bin { op: '+', rhs: mul, .. } = rhs else { panic!("{rhs:?}") };
+        assert!(matches!(**mul, FExpr::Bin { op: '*', .. }));
+    }
+}

@@ -1,0 +1,207 @@
+//! The §6.2 PSyclone benchmarks: PW advection and tracer advection.
+//!
+//! *"The first is the Piacsek and Williams advection scheme, commonly used
+//! by Met Office codes such as the MONC high-resolution atmospheric model
+//! [...] The second benchmark is the tracer advection kernel from the NEMO
+//! ocean model [...] PW advection contains three separate stencil
+//! computations across three fields, whereas tracer advection comprises 24
+//! stencil computations across six fields."*
+//!
+//! The PW kernel below follows the Piacsek–Williams centred advective
+//! form; the tracer kernel is a synthetic MUSCL-style representative of
+//! NEMO's `tra_adv` with the same structure: 6 tracer fields, 4 stages per
+//! tracer through shared slope/flux work arrays, 24 stencils total, and
+//! dependencies that limit fusion to 18 regions (the paper's number).
+
+use crate::fortran::parse_fortran;
+use crate::lower::lower_subroutine;
+use crate::psy_ir::{recognize_stencils, PsyKernel};
+use sten_ir::{Module, Pass as _};
+use std::collections::HashMap;
+
+/// A lowered benchmark kernel with its region statistics.
+#[derive(Debug)]
+pub struct BenchKernel {
+    /// The shape-inferred, fused stencil-level module.
+    pub module: Module,
+    /// Recognition result (stencil count, arrays).
+    pub kernel: PsyKernel,
+    /// `stencil.apply` regions before fusion.
+    pub regions_before: usize,
+    /// Regions after vertical + horizontal fusion.
+    pub regions_after: usize,
+}
+
+/// The PW advection Fortran source (3 stencils over the three momentum
+/// source fields).
+pub const PW_ADVECTION_SRC: &str = r#"
+subroutine pw_advection(su, sv, sw, u, v, w)
+  do k = 2, nz - 1
+    do j = 2, ny - 1
+      do i = 2, nx - 1
+        su(i,j,k) = tcx * (u(i-1,j,k) * (u(i,j,k) + u(i-1,j,k)) - u(i+1,j,k) * (u(i,j,k) + u(i+1,j,k))) &
+                  + tcy * (v(i,j-1,k) * (u(i,j,k) + u(i,j-1,k)) - v(i,j+1,k) * (u(i,j,k) + u(i,j+1,k))) &
+                  + tcz * (w(i,j,k-1) * (u(i,j,k) + u(i,j,k-1)) - w(i,j,k+1) * (u(i,j,k) + u(i,j,k+1)))
+        sv(i,j,k) = tcx * (u(i-1,j,k) * (v(i,j,k) + v(i-1,j,k)) - u(i+1,j,k) * (v(i,j,k) + v(i+1,j,k))) &
+                  + tcy * (v(i,j-1,k) * (v(i,j,k) + v(i,j-1,k)) - v(i,j+1,k) * (v(i,j,k) + v(i,j+1,k))) &
+                  + tcz * (w(i,j,k-1) * (v(i,j,k) + v(i,j,k-1)) - w(i,j,k+1) * (v(i,j,k) + v(i,j,k+1)))
+        sw(i,j,k) = tcx * (u(i-1,j,k) * (w(i,j,k) + w(i-1,j,k)) - u(i+1,j,k) * (w(i,j,k) + w(i+1,j,k))) &
+                  + tcy * (v(i,j-1,k) * (w(i,j,k) + w(i,j-1,k)) - v(i,j+1,k) * (w(i,j,k) + w(i,j+1,k))) &
+                  + tcz * (w(i,j,k-1) * (w(i,j,k) + w(i,j,k-1)) - w(i,j,k+1) * (w(i,j,k) + w(i,j,k+1)))
+      end do
+    end do
+  end do
+end subroutine pw_advection
+"#;
+
+fn tracer_chain(t: &str, tn: &str) -> String {
+    format!(
+        r#"
+    do i = 1, nx + 1
+      zw(i,j,k) = {t}(i,j,k) - {t}(i-1,j,k)
+    end do
+    do i = 1, nx
+      za(i,j,k) = 0.5 * (zw(i,j,k) + zw(i+1,j,k))
+      zb(i,j,k) = 0.5 * (zw(i,j,k) - zw(i+1,j,k))
+    end do
+    do i = 2, nx
+      {tn}(i,j,k) = {t}(i,j,k) - cfl * (za(i,j,k) - za(i-1,j,k)) + dlim * (zb(i,j,k) - zb(i-1,j,k))
+    end do
+"#
+    )
+}
+
+/// The tracer advection source: 6 tracers × 4 stages through shared work
+/// arrays (24 stencils).
+pub fn tracer_advection_src() -> String {
+    let mut body = String::new();
+    for c in 1..=6 {
+        body.push_str(&tracer_chain(&format!("t{c}"), &format!("tn{c}")));
+    }
+    format!(
+        r#"
+subroutine tra_adv(t1, t2, t3, t4, t5, t6, tn1, tn2, tn3, tn4, tn5, tn6, zw, za, zb)
+  do k = 1, nz
+   do j = 1, ny
+{body}
+   end do
+  end do
+end subroutine tra_adv
+"#
+    )
+}
+
+fn fuse(module: &mut Module) -> Result<(), String> {
+    sten_stencil::StencilFusion.run(module).map_err(|e| e.to_string())?;
+    sten_stencil::HorizontalFusion.run(module).map_err(|e| e.to_string())?;
+    sten_stencil::ShapeInference.run(module).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn build(
+    src: &str,
+    config: &HashMap<String, i64>,
+    scalars: &HashMap<String, f64>,
+) -> Result<BenchKernel, String> {
+    let sub = parse_fortran(src).map_err(|e| e.to_string())?;
+    let kernel = recognize_stencils(&sub, config)?;
+    let mut module = lower_subroutine(&kernel, scalars)?;
+    let regions_before = sten_stencil::fusion::count_apply_regions(&module);
+    fuse(&mut module)?;
+    let regions_after = sten_stencil::fusion::count_apply_regions(&module);
+    Ok(BenchKernel { module, kernel, regions_before, regions_after })
+}
+
+/// Builds the PW advection kernel on an `nx × ny × nz` grid.
+///
+/// # Errors
+/// Reports parse/recognition/lowering failures.
+pub fn pw_advection(nx: i64, ny: i64, nz: i64) -> Result<BenchKernel, String> {
+    let config =
+        HashMap::from([("nx".into(), nx), ("ny".into(), ny), ("nz".into(), nz)]);
+    let scalars = HashMap::from([
+        ("tcx".into(), 0.1),
+        ("tcy".into(), 0.1),
+        ("tcz".into(), 0.05),
+    ]);
+    build(PW_ADVECTION_SRC, &config, &scalars)
+}
+
+/// Builds the tracer advection kernel on an `nx × ny × nz` grid.
+///
+/// # Errors
+/// Reports parse/recognition/lowering failures.
+pub fn tracer_advection(nx: i64, ny: i64, nz: i64) -> Result<BenchKernel, String> {
+    let config =
+        HashMap::from([("nx".into(), nx), ("ny".into(), ny), ("nz".into(), nz)]);
+    let scalars = HashMap::from([("cfl".into(), 0.2), ("dlim".into(), 0.05)]);
+    build(&tracer_advection_src(), &config, &scalars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pw_advection_fuses_three_stencils_into_one_region() {
+        let k = pw_advection(16, 16, 8).unwrap();
+        assert_eq!(k.regions_before, 3, "three stencil computations (§6.2)");
+        assert_eq!(k.regions_after, 1, "fused into one single stencil region (§6.2)");
+        assert_eq!(k.kernel.arrays.len(), 6, "su, sv, sw + u, v, w");
+    }
+
+    #[test]
+    fn tracer_advection_has_24_stencils_and_18_regions() {
+        let k = tracer_advection(16, 8, 4).unwrap();
+        assert_eq!(k.kernel.stencils.len(), 24, "24 stencil computations (§6.2)");
+        assert_eq!(k.regions_before, 24);
+        assert_eq!(k.regions_after, 18, "18 individual stencil regions (§6.2)");
+    }
+
+    #[test]
+    fn kernels_verify() {
+        let mut reg = sten_ir::DialectRegistry::new();
+        sten_dialects::register_all(&mut reg);
+        sten_stencil::register(&mut reg);
+        for k in [pw_advection(8, 8, 4).unwrap(), tracer_advection(8, 4, 2).unwrap()] {
+            sten_ir::verify_module(&k.module, Some(&reg)).unwrap();
+        }
+    }
+
+    #[test]
+    fn pw_advection_executes_through_the_stack() {
+        let k = pw_advection(8, 8, 4).unwrap();
+        // Lower to loops and interpret.
+        let mut m = k.module.clone();
+        sten_stencil::StencilToLoops.run(&mut m).unwrap();
+        let f = k.module.lookup_symbol("pw_advection").unwrap();
+        let fty = sten_dialects::func::FuncOp(f).function_type().clone();
+        let mut args = Vec::new();
+        let mut bufs = Vec::new();
+        for (i, ty) in fty.inputs.iter().enumerate() {
+            let sten_ir::Type::Field(fld) = ty else { panic!() };
+            let shape = fld.bounds.shape();
+            let len: i64 = shape.iter().product();
+            let data: Vec<f64> =
+                (0..len).map(|x| ((x + i as i64) as f64 * 0.01).sin()).collect();
+            let b = sten_interp::BufView::from_data(shape, data);
+            bufs.push(b.clone());
+            args.push(sten_interp::RtValue::Buffer(b));
+        }
+        sten_interp::Interpreter::new(&m)
+            .call_function("pw_advection", args)
+            .unwrap();
+        // The su output must have been written (non-initial values in the
+        // store range).
+        let su = bufs[3].to_vec();
+        assert!(su.iter().any(|v| v.abs() > 1e-9));
+    }
+
+    #[test]
+    fn tracer_advection_region_structure_is_dependency_limited() {
+        // Per chain: slope (blocked by memory dep), za+zb (merged), update
+        // (blocked) → 3 regions per tracer.
+        let k = tracer_advection(16, 8, 4).unwrap();
+        assert_eq!(k.regions_after, 6 * 3);
+    }
+}

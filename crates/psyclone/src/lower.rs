@@ -1,0 +1,275 @@
+//! Lowering PSy-IR stencils into the shared `stencil` dialect.
+//!
+//! After this step "the flow is within the common xDSL ecosystem" (§5.2.1):
+//! the generated module is indistinguishable from a Devito-produced one
+//! and flows through the same shape inference, fusion, distribution and
+//! MPI lowering. Every array becomes a `!stencil.field` argument whose
+//! bounds are the hull of all its reads and writes; every assignment
+//! becomes `load*; apply; store`.
+
+use crate::fortran::{FExpr, Index};
+use crate::psy_ir::PsyKernel;
+use sten_dialects::{arith, func};
+use sten_ir::{
+    Bounds, FieldType, Module, Op, Pass as _, TempType, Type, Value, ValueTable,
+};
+use std::collections::HashMap;
+
+fn hull(a: &mut Option<Bounds>, b: Bounds) {
+    *a = Some(match a.take() {
+        None => b,
+        Some(prev) => Bounds::new(
+            prev.0
+                .iter()
+                .zip(&b.0)
+                .map(|(&(alb, aub), &(blb, bub))| (alb.min(blb), aub.max(bub)))
+                .collect(),
+        ),
+    });
+}
+
+/// Per-array field bounds: hull of writes and translated reads.
+fn array_bounds(kernel: &PsyKernel) -> HashMap<String, Bounds> {
+    let mut out: HashMap<String, Option<Bounds>> = HashMap::new();
+    for s in &kernel.stencils {
+        let range = Bounds::new(s.range.clone());
+        hull(out.entry(s.output.clone()).or_default(), range.clone());
+        for (array, accesses) in &s.reads {
+            for offsets in accesses {
+                hull(out.entry(array.clone()).or_default(), range.translated(offsets));
+            }
+        }
+    }
+    out.into_iter().map(|(k, v)| (k, v.expect("hulled at least once"))).collect()
+}
+
+struct BodyBuilder<'a> {
+    scalars: &'a HashMap<String, f64>,
+    /// array name → apply region argument.
+    args: HashMap<String, Value>,
+}
+
+impl<'a> BodyBuilder<'a> {
+    fn emit(
+        &self,
+        vt: &mut ValueTable,
+        ops: &mut Vec<Op>,
+        e: &FExpr,
+    ) -> Result<Value, String> {
+        match e {
+            FExpr::Num(v) => {
+                let c = arith::const_f64(vt, *v);
+                let cv = c.result(0);
+                ops.push(c);
+                Ok(cv)
+            }
+            FExpr::Scalar(name) => {
+                let v = self
+                    .scalars
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| format!("unbound scalar '{name}'"))?;
+                let c = arith::const_f64(vt, v);
+                let cv = c.result(0);
+                ops.push(c);
+                Ok(cv)
+            }
+            FExpr::ArrayRef { name, indices } => {
+                let arg = *self
+                    .args
+                    .get(name)
+                    .ok_or_else(|| format!("array '{name}' not loaded for this apply"))?;
+                let offsets: Vec<i64> = indices
+                    .iter()
+                    .map(|i| match i {
+                        Index::Var { offset, .. } => *offset,
+                        Index::Const(_) => 0,
+                    })
+                    .collect();
+                let a = sten_stencil::ops::access(vt, arg, offsets);
+                let av = a.result(0);
+                ops.push(a);
+                Ok(av)
+            }
+            FExpr::Bin { op, lhs, rhs } => {
+                let l = self.emit(vt, ops, lhs)?;
+                let r = self.emit(vt, ops, rhs)?;
+                let o = match op {
+                    '+' => arith::addf(vt, l, r),
+                    '-' => arith::subf(vt, l, r),
+                    '*' => arith::mulf(vt, l, r),
+                    '/' => arith::divf(vt, l, r),
+                    other => return Err(format!("unknown operator '{other}'")),
+                };
+                let ov = o.result(0);
+                ops.push(o);
+                Ok(ov)
+            }
+            FExpr::Neg(inner) => {
+                let v = self.emit(vt, ops, inner)?;
+                let n = arith::negf(vt, v);
+                let nv = n.result(0);
+                ops.push(n);
+                Ok(nv)
+            }
+        }
+    }
+}
+
+/// Lowers a recognized kernel into a shape-inferred stencil-level module.
+/// The function is named after the subroutine; its arguments are the
+/// kernel's arrays in first-appearance order.
+///
+/// # Errors
+/// Reports unbound scalars and malformed expressions.
+pub fn lower_subroutine(
+    kernel: &PsyKernel,
+    scalars: &HashMap<String, f64>,
+) -> Result<Module, String> {
+    let bounds = array_bounds(kernel);
+    let mut m = Module::new();
+    let arg_tys: Vec<Type> = kernel
+        .arrays
+        .iter()
+        .map(|a| Type::Field(FieldType::new(bounds[a].clone(), Type::F64)))
+        .collect();
+    let (mut f, args) = func::definition(&mut m.values, &kernel.name, arg_tys, vec![]);
+    let field_of: HashMap<String, Value> =
+        kernel.arrays.iter().cloned().zip(args.iter().copied()).collect();
+
+    for s in &kernel.stencils {
+        // Fresh loads per stencil (memory dependences stay explicit; the
+        // fusion passes and swap dedup clean up redundancy later).
+        let input_names: Vec<String> = s.reads.keys().cloned().collect();
+        let mut operands = Vec::new();
+        for name in &input_names {
+            let ld = sten_stencil::ops::load(&mut m.values, field_of[name]);
+            operands.push(ld.result(0));
+            f.region_block_mut(0).ops.push(ld);
+        }
+        let rank = kernel.rank;
+        let mut error = None;
+        let apply = sten_stencil::ops::apply(
+            &mut m.values,
+            operands,
+            vec![Type::Temp(TempType::unknown(rank, Type::F64))],
+            |vt, region_args| {
+                let builder = BodyBuilder {
+                    scalars,
+                    args: input_names
+                        .iter()
+                        .cloned()
+                        .zip(region_args.iter().copied())
+                        .collect(),
+                };
+                let mut ops = Vec::new();
+                match builder.emit(vt, &mut ops, &s.rhs) {
+                    Ok(v) => ops.push(sten_stencil::ops::ret(vec![v])),
+                    Err(e) => {
+                        error = Some(e);
+                        // Keep the region structurally valid.
+                        let c = arith::const_f64(vt, 0.0);
+                        let cv = c.result(0);
+                        ops.push(c);
+                        ops.push(sten_stencil::ops::ret(vec![cv]));
+                    }
+                }
+                ops
+            },
+        );
+        if let Some(e) = error {
+            return Err(e);
+        }
+        let out = apply.result(0);
+        f.region_block_mut(0).ops.push(apply);
+        let range = Bounds::new(s.range.clone());
+        f.region_block_mut(0).ops.push(sten_stencil::ops::store(
+            out,
+            field_of[&s.output],
+            range.lower(),
+            range.upper(),
+        ));
+    }
+    f.region_block_mut(0).ops.push(func::ret(vec![]));
+    m.body_mut().ops.push(f);
+    sten_stencil::ShapeInference.run(&mut m).map_err(|e| e.to_string())?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fortran::parse_fortran;
+    use crate::psy_ir::recognize_stencils;
+
+    fn config() -> HashMap<String, i64> {
+        HashMap::from([("nx".into(), 16), ("ny".into(), 8), ("nz".into(), 4)])
+    }
+
+    #[test]
+    fn smoother_lowers_verifies_and_runs() {
+        let sub = parse_fortran(
+            "subroutine smooth(out, u)\n do i = 2, nx - 1\n  out(i) = c0 * (u(i-1) + 2.0 * u(i) + u(i+1))\n end do\nend subroutine\n",
+        )
+        .unwrap();
+        let k = recognize_stencils(&sub, &config()).unwrap();
+        let scalars = HashMap::from([("c0".into(), 0.25)]);
+        let m = lower_subroutine(&k, &scalars).unwrap();
+
+        let mut reg = sten_ir::DialectRegistry::new();
+        sten_dialects::register_all(&mut reg);
+        sten_stencil::register(&mut reg);
+        sten_ir::verify_module(&m, Some(&reg)).unwrap();
+
+        // Execute and compare against a direct evaluation.
+        let n = 16usize;
+        let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let u = sten_interp::BufView::from_data(vec![n as i64], input.clone());
+        let out = sten_interp::BufView::from_data(vec![14], vec![0.0; 14]);
+        // Arrays in first-appearance order: u (read first), out.
+        sten_interp::Interpreter::new(&m)
+            .call_function(
+                "smooth",
+                vec![
+                    sten_interp::RtValue::Buffer(u),
+                    sten_interp::RtValue::Buffer(out.clone()),
+                ],
+            )
+            .unwrap();
+        // out covers logical [1, 15); its buffer index b = logical - 1.
+        let got = out.to_vec();
+        for i in 1..15usize {
+            let want = 0.25 * (input[i - 1] + 2.0 * input[i] + input[i + 1]);
+            assert!((got[i - 1] - want).abs() < 1e-12, "i={i}: {} vs {want}", got[i - 1]);
+        }
+    }
+
+    #[test]
+    fn field_bounds_cover_reads() {
+        let sub = parse_fortran(
+            "subroutine s(a, b)\n do i = 1, nx\n  a(i) = b(i-2) + b(i+3)\n end do\nend subroutine\n",
+        )
+        .unwrap();
+        let k = recognize_stencils(&sub, &config()).unwrap();
+        let m = lower_subroutine(&k, &HashMap::new()).unwrap();
+        let f = m.lookup_symbol("s").unwrap();
+        let fty = sten_dialects::func::FuncOp(f).function_type().clone();
+        // b is arg 0 (first appearance as a read): bounds [-2, 19).
+        let Type::Field(bf) = &fty.inputs[0] else { panic!() };
+        assert_eq!(bf.bounds, Bounds::new(vec![(-2, 19)]));
+        // a is arg 1: bounds = its write range [0, 16).
+        let Type::Field(af) = &fty.inputs[1] else { panic!() };
+        assert_eq!(af.bounds, Bounds::new(vec![(0, 16)]));
+    }
+
+    #[test]
+    fn unbound_scalars_are_reported() {
+        let sub = parse_fortran(
+            "subroutine s(a, b)\n do i = 1, nx\n  a(i) = mystery * b(i)\n end do\nend subroutine\n",
+        )
+        .unwrap();
+        let k = recognize_stencils(&sub, &config()).unwrap();
+        let err = lower_subroutine(&k, &HashMap::new()).unwrap_err();
+        assert!(err.contains("unbound scalar"), "{err}");
+    }
+}

@@ -1,0 +1,282 @@
+//! The PSy-IR and stencil recognition.
+//!
+//! §5.2.1: PSyclone's parse tree "is then passed directly to our PSyclone
+//! xDSL backend to generate our own PSy IR [...] An example of such a
+//! transformation that can be applied at this stage by the PSyclone xDSL
+//! backend is the identification of stencils from Fortran loops."
+//!
+//! [`PsyKernel`] is the structured form of one subroutine: perfect loop
+//! nests flattened into per-statement iteration spaces.
+//! [`recognize_stencils`] validates that every array access is affine in
+//! the loop variables (`var ± const`) with a consistent variable-to-
+//! dimension mapping and produces [`StencilSpec`]s ready for lowering.
+
+use crate::fortran::{Bound, FExpr, Index, Stmt, Subroutine};
+use std::collections::{BTreeMap, HashMap};
+
+/// One recognized stencil: a single array assignment over an iteration
+/// space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StencilSpec {
+    /// The written array.
+    pub output: String,
+    /// Iteration range per dimension, 0-based half-open (converted from
+    /// Fortran's 1-based inclusive bounds).
+    pub range: Vec<(i64, i64)>,
+    /// The right-hand side with loop variables resolved to dimensions.
+    pub rhs: FExpr,
+    /// Offsets used per input array (for halo sizing).
+    pub reads: BTreeMap<String, Vec<Vec<i64>>>,
+}
+
+/// A subroutine digested into stencil specifications.
+#[derive(Clone, Debug)]
+pub struct PsyKernel {
+    /// Source subroutine name.
+    pub name: String,
+    /// Stencils in program order.
+    pub stencils: Vec<StencilSpec>,
+    /// All arrays, in first-appearance order.
+    pub arrays: Vec<String>,
+    /// Dimensionality of each array (all equal to the loop rank).
+    pub rank: usize,
+}
+
+fn resolve_bound(b: &Bound, config: &HashMap<String, i64>) -> Result<i64, String> {
+    match b {
+        Bound::Lit(v) => Ok(*v),
+        Bound::Sym { name, offset } => config
+            .get(name)
+            .map(|v| v + offset)
+            .ok_or_else(|| format!("unbound loop symbol '{name}'")),
+    }
+}
+
+/// Maps loop variables (outermost first) to array dimensions via the
+/// *first* array reference encountered: index position `d` of an array
+/// must always hold loop variable `dim_vars[d]`.
+fn check_indices(
+    indices: &[Index],
+    dim_vars: &[String],
+) -> Result<Vec<i64>, String> {
+    if indices.len() != dim_vars.len() {
+        return Err(format!(
+            "array access rank {} does not match loop nest rank {}",
+            indices.len(),
+            dim_vars.len()
+        ));
+    }
+    let mut offsets = Vec::with_capacity(indices.len());
+    for (d, idx) in indices.iter().enumerate() {
+        match idx {
+            Index::Var { var, offset } if *var == dim_vars[d] => offsets.push(*offset),
+            Index::Var { var, .. } => {
+                return Err(format!(
+                    "index {d} uses loop variable '{var}' but dimension {d} is indexed by \
+                     '{}' elsewhere — non-affine or permuted accesses are not recognized",
+                    dim_vars[d]
+                ))
+            }
+            Index::Const(_) => {
+                return Err("constant subscripts are not recognized as stencil accesses".into())
+            }
+        }
+    }
+    Ok(offsets)
+}
+
+fn collect_reads(
+    e: &FExpr,
+    dim_vars: &[String],
+    reads: &mut BTreeMap<String, Vec<Vec<i64>>>,
+) -> Result<(), String> {
+    match e {
+        FExpr::ArrayRef { name, indices } => {
+            let offsets = check_indices(indices, dim_vars)?;
+            reads.entry(name.clone()).or_default().push(offsets);
+            Ok(())
+        }
+        FExpr::Bin { lhs, rhs, .. } => {
+            collect_reads(lhs, dim_vars, reads)?;
+            collect_reads(rhs, dim_vars, reads)
+        }
+        FExpr::Neg(inner) => collect_reads(inner, dim_vars, reads),
+        FExpr::Num(_) | FExpr::Scalar(_) => Ok(()),
+    }
+}
+
+fn walk_stmts(
+    stmts: &[Stmt],
+    loop_stack: &mut Vec<(String, i64, i64)>,
+    config: &HashMap<String, i64>,
+    out: &mut Vec<StencilSpec>,
+) -> Result<(), String> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Do { var, lo, hi, body } => {
+                let lo = resolve_bound(lo, config)?;
+                let hi = resolve_bound(hi, config)?;
+                loop_stack.push((var.clone(), lo, hi));
+                walk_stmts(body, loop_stack, config, out)?;
+                loop_stack.pop();
+            }
+            Stmt::Assign { array, indices, rhs } => {
+                if loop_stack.is_empty() {
+                    return Err("assignment outside any loop".into());
+                }
+                // Dimension order: array index position order. The write
+                // access defines which loop var maps to which dimension.
+                let mut dim_vars = Vec::with_capacity(indices.len());
+                for idx in indices {
+                    match idx {
+                        Index::Var { var, offset: 0 } => dim_vars.push(var.clone()),
+                        Index::Var { .. } => {
+                            return Err(format!(
+                                "writes must be at the loop point (array '{array}')"
+                            ))
+                        }
+                        Index::Const(_) => {
+                            return Err("constant write subscripts not supported".into())
+                        }
+                    }
+                }
+                // Every dimension's variable must be an enclosing loop.
+                let mut range = Vec::with_capacity(dim_vars.len());
+                for v in &dim_vars {
+                    let Some(&(_, lo, hi)) =
+                        loop_stack.iter().find(|(lv, _, _)| lv == v)
+                    else {
+                        return Err(format!("index variable '{v}' is not a loop variable"));
+                    };
+                    // Fortran inclusive 1-based -> 0-based half-open.
+                    range.push((lo - 1, hi));
+                }
+                let mut reads = BTreeMap::new();
+                collect_reads(rhs, &dim_vars, &mut reads)?;
+                out.push(StencilSpec {
+                    output: array.clone(),
+                    range,
+                    rhs: rhs.clone(),
+                    reads,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Recognizes the stencils of a subroutine.
+///
+/// `config` binds symbolic loop bounds (e.g. `nx = 128`).
+///
+/// # Errors
+/// Reports non-affine accesses, permuted index orders, writes away from
+/// the loop point, and unbound symbols — the inputs real PSyclone would
+/// leave to its Fortran pass-through path.
+pub fn recognize_stencils(
+    sub: &Subroutine,
+    config: &HashMap<String, i64>,
+) -> Result<PsyKernel, String> {
+    let mut stencils = Vec::new();
+    walk_stmts(&sub.body, &mut Vec::new(), config, &mut stencils)?;
+    if stencils.is_empty() {
+        return Err("no stencils recognized".into());
+    }
+    let rank = stencils[0].range.len();
+    for s in &stencils {
+        if s.range.len() != rank {
+            return Err("mixed-rank stencils in one kernel are not supported".into());
+        }
+    }
+    let mut arrays = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for s in &stencils {
+        for name in s.reads.keys() {
+            if seen.insert(name.clone()) {
+                arrays.push(name.clone());
+            }
+        }
+        if seen.insert(s.output.clone()) {
+            arrays.push(s.output.clone());
+        }
+    }
+    Ok(PsyKernel { name: sub.name.clone(), stencils, arrays, rank })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fortran::parse_fortran;
+
+    fn config() -> HashMap<String, i64> {
+        HashMap::from([("nx".into(), 16), ("ny".into(), 8), ("nz".into(), 4)])
+    }
+
+    #[test]
+    fn recognizes_1d_smoother() {
+        let sub = parse_fortran(
+            "subroutine s(out, u)\n do i = 2, nx - 1\n  out(i) = u(i-1) + u(i+1)\n end do\nend subroutine\n",
+        )
+        .unwrap();
+        let k = recognize_stencils(&sub, &config()).unwrap();
+        assert_eq!(k.stencils.len(), 1);
+        let s = &k.stencils[0];
+        assert_eq!(s.output, "out");
+        assert_eq!(s.range, vec![(1, 15)]); // 0-based half-open
+        assert_eq!(s.reads["u"], vec![vec![-1], vec![1]]);
+        assert_eq!(k.arrays, vec!["u".to_string(), "out".to_string()]);
+    }
+
+    #[test]
+    fn recognizes_3d_kernel_with_consistent_dims() {
+        let sub = parse_fortran(
+            "subroutine s(a, b)\n do k = 1, nz\n do j = 1, ny\n do i = 1, nx\n  a(i,j,k) = b(i-1,j,k+1)\n end do\n end do\n end do\nend subroutine\n",
+        )
+        .unwrap();
+        let k = recognize_stencils(&sub, &config()).unwrap();
+        let s = &k.stencils[0];
+        // dims in array-index order (i, j, k).
+        assert_eq!(s.range, vec![(0, 16), (0, 8), (0, 4)]);
+        assert_eq!(s.reads["b"], vec![vec![-1, 0, 1]]);
+    }
+
+    #[test]
+    fn rejects_permuted_indices() {
+        let sub = parse_fortran(
+            "subroutine s(a, b)\n do j = 1, ny\n do i = 1, nx\n  a(i,j) = b(j,i)\n end do\n end do\nend subroutine\n",
+        )
+        .unwrap();
+        let err = recognize_stencils(&sub, &config()).unwrap_err();
+        assert!(err.contains("non-affine or permuted"), "{err}");
+    }
+
+    #[test]
+    fn rejects_offset_writes() {
+        let sub = parse_fortran(
+            "subroutine s(a, b)\n do i = 1, nx\n  a(i+1) = b(i)\n end do\nend subroutine\n",
+        )
+        .unwrap();
+        let err = recognize_stencils(&sub, &config()).unwrap_err();
+        assert!(err.contains("loop point"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unbound_symbols() {
+        let sub = parse_fortran(
+            "subroutine s(a, b)\n do i = 1, mystery\n  a(i) = b(i)\n end do\nend subroutine\n",
+        )
+        .unwrap();
+        let err = recognize_stencils(&sub, &config()).unwrap_err();
+        assert!(err.contains("unbound"), "{err}");
+    }
+
+    #[test]
+    fn multiple_statements_become_multiple_stencils() {
+        let sub = parse_fortran(
+            "subroutine s(a, b, c)\n do i = 1, nx\n  a(i) = b(i)\n  c(i) = a(i) + b(i)\n end do\nend subroutine\n",
+        )
+        .unwrap();
+        let k = recognize_stencils(&sub, &config()).unwrap();
+        assert_eq!(k.stencils.len(), 2);
+    }
+}

@@ -1,0 +1,328 @@
+//! Horizontal fusion: merging independent applies over the same range.
+//!
+//! §6.2: "for the PW advection benchmark the three stencil computations
+//! are fused into one single stencil region". Those three stencils are
+//! *independent* (each writes its own field), so the merge is horizontal:
+//! one `stencil.apply` with the union of the operands and results. Fewer
+//! regions means fewer parallel regions after lowering — the paper's
+//! `kmp_wait_template` barrier-overhead observation.
+//!
+//! A candidate apply `B` merges into the nearest preceding apply `A` in
+//! the same block when:
+//!
+//! * both have identical inferred bounds (`lb`/`ub` attributes from shape
+//!   inference);
+//! * `B` does not use any SSA result of `A` (that is vertical fusion's
+//!   job, see [`crate::fusion`]);
+//! * no field stored between `A` and `B` is loaded by the ops feeding `B`
+//!   (the tracer-advection dependency case, which must *not* fuse);
+//! * the ops between `A` and `B` that produce `B`'s operands are loads of
+//!   fields defined before `A` (they are hoisted above `A`).
+
+use sten_ir::{Attribute, Block, Module, Op, Pass, PassError, Value};
+use std::collections::HashSet;
+
+/// The horizontal fusion pass. See the module docs.
+#[derive(Default)]
+pub struct HorizontalFusion;
+
+impl HorizontalFusion {
+    /// Creates the pass.
+    pub fn new() -> Self {
+        HorizontalFusion
+    }
+}
+
+fn bounds_of(op: &Op) -> Option<(&[i64], &[i64])> {
+    Some((
+        op.attr("lb").and_then(Attribute::as_dense)?,
+        op.attr("ub").and_then(Attribute::as_dense)?,
+    ))
+}
+
+/// Values defined before position `i` in the block (incl. block args).
+fn defined_before(block: &Block, i: usize) -> HashSet<Value> {
+    let mut set: HashSet<Value> = block.args.iter().copied().collect();
+    for op in &block.ops[..i] {
+        set.extend(op.results.iter().copied());
+    }
+    set
+}
+
+fn try_fuse_once(block: &mut Block) -> bool {
+    // Find the nearest (A, B) apply pair with no apply in between.
+    let applies: Vec<usize> = block
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.name == "stencil.apply")
+        .map(|(i, _)| i)
+        .collect();
+    for w in applies.windows(2) {
+        let (ai, bi) = (w[0], w[1]);
+        let (a, b) = (&block.ops[ai], &block.ops[bi]);
+        let (Some((alb, aub)), Some((blb, bub))) = (bounds_of(a), bounds_of(b)) else {
+            continue;
+        };
+        if alb != blb || aub != bub {
+            continue;
+        }
+        // SSA dependence A -> B?
+        let a_results: HashSet<Value> = a.results.iter().copied().collect();
+        if b.operands.iter().any(|o| a_results.contains(o)) {
+            continue;
+        }
+        // Memory dependence: fields stored in (ai..bi) read by B's feeders.
+        let stored_fields: HashSet<Value> = block.ops[ai..bi]
+            .iter()
+            .filter(|o| o.name == "stencil.store")
+            .map(|o| o.operand(1))
+            .collect();
+        let before_a = defined_before(block, ai);
+        // Ops between A and B that define B's operands must be hoistable.
+        let b_operands: HashSet<Value> = b.operands.iter().copied().collect();
+        let mut hoist: Vec<usize> = Vec::new();
+        let mut blocked = false;
+        for (off, op) in block.ops[ai + 1..bi].iter().enumerate() {
+            if op.results.iter().any(|r| b_operands.contains(r)) {
+                let is_load = op.name == "stencil.load";
+                let field_ok = is_load
+                    && !stored_fields.contains(&op.operand(0))
+                    && before_a.contains(&op.operand(0));
+                let const_ok = op.name == "arith.constant";
+                if field_ok || const_ok {
+                    hoist.push(ai + 1 + off);
+                } else {
+                    blocked = true;
+                    break;
+                }
+            }
+        }
+        if blocked {
+            continue;
+        }
+
+        // Perform the merge: B's operands/args/body/results move into A.
+        let b_op = block.ops[bi].clone();
+        // Hoist B's feeder ops above A (preserving their order).
+        let mut hoisted: Vec<Op> = Vec::new();
+        for &idx in hoist.iter().rev() {
+            hoisted.push(block.ops.remove(idx));
+        }
+        hoisted.reverse();
+        // Remove B (its index shifted by the removals before it).
+        let b_removed = bi - hoist.len();
+        block.ops.remove(b_removed);
+        // Splice the hoisted feeders before A.
+        for (k, op) in hoisted.into_iter().enumerate() {
+            block.ops.insert(ai + k, op);
+        }
+        let a_index = ai + hoist.len();
+        let a = &mut block.ops[a_index];
+        debug_assert_eq!(a.name, "stencil.apply");
+        a.operands.extend(b_op.operands.iter().copied());
+        a.results.extend(b_op.results.iter().copied());
+        let b_block = b_op.region_block(0);
+        a.region_block_mut(0).args.extend(b_block.args.iter().copied());
+        // Merge bodies: drop both terminators, emit a combined return.
+        let mut a_body = std::mem::take(&mut a.region_block_mut(0).ops);
+        let a_ret = a_body.pop().expect("apply has terminator");
+        debug_assert_eq!(a_ret.name, "stencil.return");
+        let mut b_body = b_block.ops.clone();
+        let b_ret = b_body.pop().expect("apply has terminator");
+        a_body.extend(b_body);
+        let mut ret = Op::new("stencil.return");
+        ret.operands.extend(a_ret.operands.iter().copied());
+        ret.operands.extend(b_ret.operands.iter().copied());
+        a_body.push(ret);
+        a.region_block_mut(0).ops = a_body;
+        return true;
+    }
+    false
+}
+
+impl Pass for HorizontalFusion {
+    fn name(&self) -> &'static str {
+        "stencil-horizontal-fusion"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let mut regions = std::mem::take(&mut module.op.regions);
+        let mut stack: Vec<&mut Block> = Vec::new();
+        for region in &mut regions {
+            for block in &mut region.blocks {
+                stack.push(block);
+            }
+        }
+        while let Some(block) = stack.pop() {
+            while try_fuse_once(block) {}
+            for op in &mut block.ops {
+                for region in &mut op.regions {
+                    for inner in &mut region.blocks {
+                        stack.push(inner);
+                    }
+                }
+            }
+        }
+        module.op.regions = regions;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::count_apply_regions;
+    use crate::{ops, ShapeInference};
+    use sten_dialects::{arith, func};
+    use sten_ir::{verify_module, Bounds, DialectRegistry, FieldType, Module, TempType, Type};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        crate::ops::register(&mut reg);
+        sten_dialects::register_all(&mut reg);
+        reg
+    }
+
+    /// Three independent 1D stencils over the same range (the PW advection
+    /// shape): su = f(u), sv = f(v), sw = f(w).
+    fn pw_like() -> Module {
+        let mut m = Module::new();
+        let fld = Type::Field(FieldType::new(Bounds::new(vec![(-1, 33)]), Type::F64));
+        let tys = vec![fld; 6];
+        let (mut f, args) = func::definition(&mut m.values, "pw", tys, vec![]);
+        for s in 0..3 {
+            let input = args[s];
+            let output = args[3 + s];
+            let ld = ops::load(&mut m.values, input);
+            let t = ld.result(0);
+            f.region_block_mut(0).ops.push(ld);
+            let ap = ops::apply(
+                &mut m.values,
+                vec![t],
+                vec![Type::Temp(TempType::unknown(1, Type::F64))],
+                |vt, a| {
+                    let l = ops::access(vt, a[0], vec![-1]);
+                    let r = ops::access(vt, a[0], vec![1]);
+                    let v = arith::mulf(vt, l.result(0), r.result(0));
+                    let out = v.result(0);
+                    vec![l, r, v, ops::ret(vec![out])]
+                },
+            );
+            let out = ap.result(0);
+            f.region_block_mut(0).ops.push(ap);
+            f.region_block_mut(0).ops.push(ops::store(out, output, vec![0], vec![32]));
+        }
+        f.region_block_mut(0).ops.push(func::ret(vec![]));
+        m.body_mut().ops.push(f);
+        m
+    }
+
+    #[test]
+    fn independent_stencils_fuse_to_one_region() {
+        let mut m = pw_like();
+        ShapeInference.run(&mut m).unwrap();
+        assert_eq!(count_apply_regions(&m), 3);
+        HorizontalFusion.run(&mut m).unwrap();
+        assert_eq!(count_apply_regions(&m), 1, "PW advection: 3 -> 1 region");
+        verify_module(&m, Some(&registry())).unwrap();
+        // The fused apply has 3 results.
+        let mut results = 0;
+        m.walk(|op| {
+            if op.name == "stencil.apply" {
+                results = op.results.len();
+            }
+        });
+        assert_eq!(results, 3);
+    }
+
+    #[test]
+    fn fused_module_executes_identically() {
+        let mut m = pw_like();
+        ShapeInference.run(&mut m).unwrap();
+        let run = |m: &Module| {
+            let mk = |seed: f64| -> Vec<f64> {
+                (0..34).map(|i| (i as f64 * seed).sin()).collect()
+            };
+            let bufs: Vec<sten_interp::BufView> = (0..6)
+                .map(|i| sten_interp::BufView::from_data(vec![34], mk(0.1 + i as f64 * 0.07)))
+                .collect();
+            let args: Vec<sten_interp::RtValue> =
+                bufs.iter().map(|b| sten_interp::RtValue::Buffer(b.clone())).collect();
+            sten_interp::Interpreter::new(m).call_function("pw", args).unwrap();
+            bufs[3..].iter().map(|b| b.to_vec()).collect::<Vec<_>>()
+        };
+        let before = run(&m);
+        HorizontalFusion.run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        let after = run(&m);
+        assert_eq!(before, after, "fusion preserves semantics");
+    }
+
+    #[test]
+    fn memory_dependent_stencils_do_not_fuse() {
+        // s1 writes field F; s2 loads F: must stay two regions.
+        let mut m = Module::new();
+        let fld = Type::Field(FieldType::new(Bounds::new(vec![(-1, 33)]), Type::F64));
+        let (mut f, args) =
+            func::definition(&mut m.values, "dep", vec![fld.clone(), fld.clone(), fld], vec![]);
+        let (input, mid, output) = (args[0], args[1], args[2]);
+        let simple_apply = |m: &mut Module, t: sten_ir::Value| {
+            ops::apply(
+                &mut m.values,
+                vec![t],
+                vec![Type::Temp(TempType::unknown(1, Type::F64))],
+                |vt, a| {
+                    let l = ops::access(vt, a[0], vec![-1]);
+                    let r = ops::access(vt, a[0], vec![1]);
+                    let v = arith::addf(vt, l.result(0), r.result(0));
+                    let out = v.result(0);
+                    vec![l, r, v, ops::ret(vec![out])]
+                },
+            )
+        };
+        let ld1 = ops::load(&mut m.values, input);
+        let t1 = ld1.result(0);
+        f.region_block_mut(0).ops.push(ld1);
+        let ap1 = simple_apply(&mut m, t1);
+        let o1 = ap1.result(0);
+        f.region_block_mut(0).ops.push(ap1);
+        f.region_block_mut(0).ops.push(ops::store(o1, mid, vec![0], vec![32]));
+        let ld2 = ops::load(&mut m.values, mid); // reads what s1 stored
+        let t2 = ld2.result(0);
+        f.region_block_mut(0).ops.push(ld2);
+        let ap2 = simple_apply(&mut m, t2);
+        let o2 = ap2.result(0);
+        f.region_block_mut(0).ops.push(ap2);
+        f.region_block_mut(0).ops.push(ops::store(o2, output, vec![1], vec![31]));
+        f.region_block_mut(0).ops.push(func::ret(vec![]));
+        m.body_mut().ops.push(f);
+
+        ShapeInference.run(&mut m).unwrap();
+        HorizontalFusion.run(&mut m).unwrap();
+        assert_eq!(count_apply_regions(&m), 2, "dependency keeps regions apart");
+    }
+
+    #[test]
+    fn different_bounds_do_not_fuse() {
+        let mut m = pw_like();
+        // Narrow the second store range so bounds differ.
+        let f = m.lookup_symbol_mut("pw").unwrap();
+        let mut seen = 0;
+        for op in &mut f.region_block_mut(0).ops {
+            if op.name == "stencil.store" {
+                seen += 1;
+                if seen == 2 {
+                    op.set_attr("lb", Attribute::DenseI64(vec![4]));
+                    op.set_attr("ub", Attribute::DenseI64(vec![28]));
+                }
+            }
+        }
+        ShapeInference.run(&mut m).unwrap();
+        HorizontalFusion.run(&mut m).unwrap();
+        // The middle stencil's range differs, so neither neighbour fuses
+        // with it — and fusion deliberately never reorders across a
+        // non-fusable region, so stencils 1 and 3 stay apart too.
+        assert_eq!(count_apply_regions(&m), 3, "different bounds prevent fusion");
+    }
+}

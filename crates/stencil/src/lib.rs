@@ -1,0 +1,45 @@
+//! # sten-stencil — the `stencil` dialect and its transformations
+//!
+//! The paper's §4.1: a problem-, domain- and hardware-independent IR for
+//! finite-difference stencil computations, extended (relative to the Open
+//! Earth Compiler original) with:
+//!
+//! * **bounds carried in the types** ([`sten_ir::FieldType`],
+//!   [`sten_ir::TempType`]) instead of operation attributes, so "any
+//!   operation using stencil-related types \[can\] access this information
+//!   directly through their operands";
+//! * **arbitrary dimensionality** (1D/2D/3D and beyond, not just 3D);
+//! * an additional **CPU lowering pipeline** using loop tiling for data
+//!   locality ([`tiling`]), alongside the parallel-loop lowering
+//!   ([`to_loops`]).
+//!
+//! The dialect has the ops listed in the paper (`access`, `apply`,
+//! `buffer`, `cast`, `combine`, `dyn_access`, `external_load`,
+//! `external_store`, `index`, `load`, `return`, `store`) — see [`ops`].
+//!
+//! Passes:
+//!
+//! * [`shape_inference::ShapeInference`] — infers `!stencil.temp` bounds
+//!   from `stencil.store` ranges and access offsets (backward dataflow);
+//! * [`fusion::StencilFusion`] — inlines producer applies into consumers
+//!   (with recompute for offset accesses), the rewrite behind the PW
+//!   advection "3 stencils → 1 region" result of §6.2;
+//! * [`to_loops::StencilToLoops`] — lowers to `scf.parallel` +
+//!   `memref` + `arith`;
+//! * [`tiling::TileParallelLoops`] — tiles the generated parallel loops for
+//!   cache locality (the paper's shared-memory pipeline).
+
+pub mod fusion;
+pub mod horizontal;
+pub mod ops;
+pub mod samples;
+pub mod shape_inference;
+pub mod tiling;
+pub mod to_loops;
+
+pub use fusion::StencilFusion;
+pub use horizontal::HorizontalFusion;
+pub use ops::register;
+pub use shape_inference::ShapeInference;
+pub use tiling::TileParallelLoops;
+pub use to_loops::StencilToLoops;

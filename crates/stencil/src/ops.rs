@@ -1,0 +1,633 @@
+//! The operations of the `stencil` dialect (§4.1 of the paper).
+//!
+//! Listing 1 of the paper, reproduced by the builders here:
+//!
+//! ```text
+//! %source = stencil.load(%114) : (!field<[0,128]xf64>) -> !temp<?xf64>
+//! %out = stencil.apply(%arg = %source : !temp<?xf64>) -> !temp<?xf64> {
+//!   %l = stencil.access %arg[-1] : f64
+//!   %c = stencil.access %arg[0]  : f64
+//!   %r = stencil.access %arg[1]  : f64
+//!   // %v = %l + %r - 2.0 * %c
+//!   stencil.return %v : f64
+//! }
+//! stencil.store %out to %target([1]:[127])
+//! ```
+
+use sten_ir::{
+    Attribute, Block, Bounds, DialectRegistry, FieldType, Op, OpSpec, Region, TempType, Type,
+    Value, ValueTable,
+};
+
+/// Builds a `stencil.external_load`: views a `memref` as a
+/// `!stencil.field` whose logical domain is `bounds` (the memref shape must
+/// match the bounds extents).
+pub fn external_load(vt: &mut ValueTable, memref: Value, bounds: Bounds) -> Op {
+    let elem = match vt.ty(memref) {
+        Type::MemRef(m) => (*m.elem).clone(),
+        other => panic!("stencil.external_load of non-memref {other:?}"),
+    };
+    let mut op = Op::new("stencil.external_load");
+    op.operands.push(memref);
+    op.results.push(vt.alloc(Type::Field(FieldType::new(bounds, elem))));
+    op
+}
+
+/// Builds a `stencil.external_store`: declares that a field's contents are
+/// observable through the given `memref` after the program runs.
+pub fn external_store(field: Value, memref: Value) -> Op {
+    let mut op = Op::new("stencil.external_store");
+    op.operands.extend([field, memref]);
+    op
+}
+
+/// Builds a `stencil.cast`: re-bounds a field (same per-dimension extents,
+/// translated logical coordinates).
+pub fn cast(vt: &mut ValueTable, field: Value, new_bounds: Bounds) -> Op {
+    let elem = match vt.ty(field) {
+        Type::Field(f) => (*f.elem).clone(),
+        other => panic!("stencil.cast of non-field {other:?}"),
+    };
+    let mut op = Op::new("stencil.cast");
+    op.operands.push(field);
+    op.results.push(vt.alloc(Type::Field(FieldType::new(new_bounds, elem))));
+    op
+}
+
+/// Builds a `stencil.load`: "takes a field and returns its values" as a
+/// `!stencil.temp` (bounds unknown until shape inference).
+pub fn load(vt: &mut ValueTable, field: Value) -> Op {
+    let (rank, elem) = match vt.ty(field) {
+        Type::Field(f) => (f.bounds.rank(), (*f.elem).clone()),
+        other => panic!("stencil.load of non-field {other:?}"),
+    };
+    let mut op = Op::new("stencil.load");
+    op.operands.push(field);
+    op.results.push(vt.alloc(Type::Temp(TempType::unknown(rank, elem))));
+    op
+}
+
+/// Builds a `stencil.store`: "writes values to a field on a user-defined
+/// range" `[lb, ub)`.
+pub fn store(temp: Value, field: Value, lb: Vec<i64>, ub: Vec<i64>) -> Op {
+    let mut op = Op::new("stencil.store");
+    op.operands.extend([temp, field]);
+    op.set_attr("lb", Attribute::DenseI64(lb));
+    op.set_attr("ub", Attribute::DenseI64(ub));
+    op
+}
+
+/// Builds a `stencil.apply`: applies the stencil function in `body` to
+/// `operands`, producing temps of `result_tys`. The body receives one
+/// region argument per operand (same types) and must terminate with
+/// [`ret`].
+pub fn apply(
+    vt: &mut ValueTable,
+    operands: Vec<Value>,
+    result_tys: Vec<Type>,
+    body: impl FnOnce(&mut ValueTable, &[Value]) -> Vec<Op>,
+) -> Op {
+    let args: Vec<Value> = operands.iter().map(|&v| vt.alloc(vt.ty(v).clone())).collect();
+    let ops = body(vt, &args);
+    let mut op = Op::new("stencil.apply");
+    op.operands = operands;
+    op.results = result_tys.into_iter().map(|ty| vt.alloc(ty)).collect();
+    let mut block = Block::with_args(args);
+    block.ops = ops;
+    op.regions.push(Region::single(block));
+    op
+}
+
+/// Builds a `stencil.access`: reads the operand temp at a constant offset
+/// relative to the current grid position.
+pub fn access(vt: &mut ValueTable, temp: Value, offset: Vec<i64>) -> Op {
+    let elem = match vt.ty(temp) {
+        Type::Temp(t) => (*t.elem).clone(),
+        other => panic!("stencil.access of non-temp {other:?}"),
+    };
+    let mut op = Op::new("stencil.access");
+    op.operands.push(temp);
+    op.set_attr("offset", Attribute::DenseI64(offset));
+    op.results.push(vt.alloc(elem));
+    op
+}
+
+/// Builds a `stencil.dyn_access`: reads the operand temp at a runtime
+/// (absolute, logical) position given by `indices`.
+pub fn dyn_access(vt: &mut ValueTable, temp: Value, indices: Vec<Value>) -> Op {
+    let elem = match vt.ty(temp) {
+        Type::Temp(t) => (*t.elem).clone(),
+        other => panic!("stencil.dyn_access of non-temp {other:?}"),
+    };
+    let mut op = Op::new("stencil.dyn_access");
+    op.operands.push(temp);
+    op.operands.extend(indices);
+    op.results.push(vt.alloc(elem));
+    op
+}
+
+/// Builds a `stencil.index`: the current grid position along `dim`, plus a
+/// constant `offset`, as an `index` value.
+pub fn index(vt: &mut ValueTable, dim: usize, offset: i64) -> Op {
+    let mut op = Op::new("stencil.index");
+    op.set_attr("dim", Attribute::int64(dim as i64));
+    op.set_attr("offset", Attribute::int64(offset));
+    op.results.push(vt.alloc(Type::Index));
+    op
+}
+
+/// Builds a `stencil.return`, terminating a `stencil.apply` body with the
+/// per-grid-point results.
+pub fn ret(values: Vec<Value>) -> Op {
+    let mut op = Op::new("stencil.return");
+    op.operands = values;
+    op
+}
+
+/// Builds a `stencil.combine`: selects `lower` for points whose coordinate
+/// along `dim` is `< index` and `upper` otherwise.
+pub fn combine(vt: &mut ValueTable, dim: usize, idx: i64, lower: Value, upper: Value) -> Op {
+    let ty = vt.ty(lower).clone();
+    let mut op = Op::new("stencil.combine");
+    op.set_attr("dim", Attribute::int64(dim as i64));
+    op.set_attr("index", Attribute::int64(idx));
+    op.operands.extend([lower, upper]);
+    op.results.push(vt.alloc(ty));
+    op
+}
+
+/// Builds a `stencil.buffer`: forces materialization of a temp to memory.
+pub fn buffer(vt: &mut ValueTable, temp: Value) -> Op {
+    let ty = vt.ty(temp).clone();
+    let mut op = Op::new("stencil.buffer");
+    op.operands.push(temp);
+    op.results.push(vt.alloc(ty));
+    op
+}
+
+/// Typed view over `stencil.apply`.
+pub struct ApplyOp<'a>(pub &'a Op);
+
+impl<'a> ApplyOp<'a> {
+    /// Matches a `stencil.apply`.
+    pub fn matches(op: &'a Op) -> Option<Self> {
+        (op.name == "stencil.apply").then_some(ApplyOp(op))
+    }
+
+    /// The stencil function body.
+    pub fn body(&self) -> &Block {
+        self.0.region_block(0)
+    }
+
+    /// Region arguments (mirroring the operands).
+    pub fn args(&self) -> &[Value] {
+        &self.0.region_block(0).args
+    }
+
+    /// The terminating `stencil.return`.
+    pub fn return_op(&self) -> &Op {
+        self.body().ops.last().expect("apply body has a terminator")
+    }
+
+    /// All `(operand_index, offset)` pairs of `stencil.access` ops in the
+    /// body — the information the distribution pass scans to "determine the
+    /// minimal halo shape and size" (§4.1).
+    pub fn access_offsets(&self) -> Vec<(usize, Vec<i64>)> {
+        let mut out = Vec::new();
+        let args = self.args();
+        for op in &self.body().ops {
+            if op.name == "stencil.access" {
+                if let Some(idx) = args.iter().position(|&a| a == op.operand(0)) {
+                    let off = op
+                        .attr("offset")
+                        .and_then(Attribute::as_dense)
+                        .map(|d| d.to_vec())
+                        .unwrap_or_default();
+                    out.push((idx, off));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Typed view over `stencil.store`.
+pub struct StoreOp<'a>(pub &'a Op);
+
+impl<'a> StoreOp<'a> {
+    /// Matches a `stencil.store`.
+    pub fn matches(op: &'a Op) -> Option<Self> {
+        (op.name == "stencil.store").then_some(StoreOp(op))
+    }
+
+    /// The stored temp.
+    pub fn temp(&self) -> Value {
+        self.0.operand(0)
+    }
+
+    /// The target field.
+    pub fn field(&self) -> Value {
+        self.0.operand(1)
+    }
+
+    /// The store range as [`Bounds`].
+    pub fn range(&self) -> Bounds {
+        let lb = self.0.attr("lb").and_then(Attribute::as_dense).expect("store lb");
+        let ub = self.0.attr("ub").and_then(Attribute::as_dense).expect("store ub");
+        Bounds::new(lb.iter().copied().zip(ub.iter().copied()).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Verifiers
+// ---------------------------------------------------------------------------
+
+fn temp_of(vt: &ValueTable, v: Value) -> Result<&TempType, String> {
+    vt.ty(v).as_temp().ok_or_else(|| format!("expected !stencil.temp, got {:?}", vt.ty(v)))
+}
+
+fn field_of(vt: &ValueTable, v: Value) -> Result<&FieldType, String> {
+    vt.ty(v).as_field().ok_or_else(|| format!("expected !stencil.field, got {:?}", vt.ty(v)))
+}
+
+fn verify_external_load(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || op.results.len() != 1 {
+        return Err("stencil.external_load is memref -> field".into());
+    }
+    let Type::MemRef(m) = vt.ty(op.operand(0)) else {
+        return Err("stencil.external_load operand must be a memref".into());
+    };
+    let f = field_of(vt, op.result(0))?;
+    if m.shape != f.bounds.shape() {
+        return Err(format!(
+            "memref shape {:?} does not match field extents {:?}",
+            m.shape,
+            f.bounds.shape()
+        ));
+    }
+    Ok(())
+}
+
+fn verify_cast(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || op.results.len() != 1 {
+        return Err("stencil.cast is field -> field".into());
+    }
+    let a = field_of(vt, op.operand(0))?;
+    let b = field_of(vt, op.result(0))?;
+    if a.bounds.shape() != b.bounds.shape() {
+        return Err("stencil.cast must preserve per-dimension extents".into());
+    }
+    Ok(())
+}
+
+fn verify_load(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || op.results.len() != 1 {
+        return Err("stencil.load is field -> temp".into());
+    }
+    let f = field_of(vt, op.operand(0))?;
+    let t = temp_of(vt, op.result(0))?;
+    if t.rank != f.bounds.rank() {
+        return Err("stencil.load must preserve rank".into());
+    }
+    if let Some(b) = &t.bounds {
+        if !f.bounds.contains(b) {
+            return Err(format!(
+                "loaded range {b} exceeds field bounds {}",
+                f.bounds
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn verify_store(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 2 {
+        return Err("stencil.store is (temp, field)".into());
+    }
+    let t = temp_of(vt, op.operand(0))?;
+    let f = field_of(vt, op.operand(1))?;
+    let lb = op.attr("lb").and_then(Attribute::as_dense).ok_or("store requires lb")?;
+    let ub = op.attr("ub").and_then(Attribute::as_dense).ok_or("store requires ub")?;
+    if lb.len() != f.bounds.rank() || ub.len() != f.bounds.rank() {
+        return Err("store range rank mismatch".into());
+    }
+    let range = Bounds::new(lb.iter().copied().zip(ub.iter().copied()).collect());
+    if !f.bounds.contains(&range) {
+        return Err(format!("store range {range} exceeds field bounds {}", f.bounds));
+    }
+    if t.rank != f.bounds.rank() {
+        return Err("stored temp rank must match field".into());
+    }
+    Ok(())
+}
+
+fn verify_apply(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.regions.len() != 1 {
+        return Err("stencil.apply has exactly one region".into());
+    }
+    let Some(block) = op.regions[0].blocks.first() else {
+        return Err("stencil.apply region must have a block".into());
+    };
+    if block.args.len() != op.operands.len() {
+        return Err(format!(
+            "apply has {} operands but {} region arguments",
+            op.operands.len(),
+            block.args.len()
+        ));
+    }
+    for (i, (&operand, &arg)) in op.operands.iter().zip(&block.args).enumerate() {
+        if vt.ty(operand) != vt.ty(arg) {
+            return Err(format!("apply region argument {i} type differs from operand"));
+        }
+    }
+    for r in &op.results {
+        temp_of(vt, *r)?;
+    }
+    match block.ops.last() {
+        Some(t) if t.name == "stencil.return" => {
+            if t.operands.len() != op.results.len() {
+                return Err(format!(
+                    "stencil.return carries {} values but apply has {} results",
+                    t.operands.len(),
+                    op.results.len()
+                ));
+            }
+        }
+        _ => return Err("stencil.apply body must end with stencil.return".into()),
+    }
+    Ok(())
+}
+
+fn verify_access(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || op.results.len() != 1 {
+        return Err("stencil.access is temp -> elem".into());
+    }
+    let t = temp_of(vt, op.operand(0))?;
+    let off = op.attr("offset").and_then(Attribute::as_dense).ok_or("access requires offset")?;
+    if off.len() != t.rank {
+        return Err(format!("access offset rank {} != temp rank {}", off.len(), t.rank));
+    }
+    if vt.ty(op.result(0)) != &*t.elem {
+        return Err("access result must be the temp element type".into());
+    }
+    Ok(())
+}
+
+fn verify_index(op: &Op, _: &ValueTable) -> Result<(), String> {
+    let Some(dim) = op.attr("dim").and_then(Attribute::as_int) else {
+        return Err("stencil.index requires a dim attribute".into());
+    };
+    if dim < 0 {
+        return Err("stencil.index dim must be non-negative".into());
+    }
+    Ok(())
+}
+
+fn verify_combine(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 2 || op.results.len() != 1 {
+        return Err("stencil.combine is (lower, upper) -> temp".into());
+    }
+    let a = temp_of(vt, op.operand(0))?;
+    let b = temp_of(vt, op.operand(1))?;
+    if a.rank != b.rank || a.elem != b.elem {
+        return Err("stencil.combine operands must agree in rank and element".into());
+    }
+    if op.attr("dim").and_then(Attribute::as_int).is_none()
+        || op.attr("index").and_then(Attribute::as_int).is_none()
+    {
+        return Err("stencil.combine requires dim and index attributes".into());
+    }
+    Ok(())
+}
+
+/// Registers the stencil dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(
+        OpSpec::new("stencil.external_load", "view a memref as a field")
+            .pure()
+            .with_verify(verify_external_load),
+    );
+    registry.register(OpSpec::new("stencil.external_store", "write a field back to a memref"));
+    registry.register(
+        OpSpec::new("stencil.cast", "re-bound a field").pure().with_verify(verify_cast),
+    );
+    registry.register(
+        OpSpec::new("stencil.load", "field values as a temp").with_verify(verify_load),
+    );
+    registry.register(
+        OpSpec::new("stencil.store", "write a temp to a field range").with_verify(verify_store),
+    );
+    registry.register(
+        OpSpec::new("stencil.apply", "apply a stencil function over the grid")
+            .with_verify(verify_apply),
+    );
+    registry.register(
+        OpSpec::new("stencil.access", "read at a constant relative offset")
+            .pure()
+            .with_verify(verify_access),
+    );
+    registry.register(OpSpec::new("stencil.dyn_access", "read at a runtime position").pure());
+    registry.register(
+        OpSpec::new("stencil.index", "current grid position").pure().with_verify(verify_index),
+    );
+    registry.register(OpSpec::new("stencil.return", "apply terminator").terminator());
+    registry.register(
+        OpSpec::new("stencil.combine", "piecewise combination of temps")
+            .with_verify(verify_combine),
+    );
+    registry.register(OpSpec::new("stencil.buffer", "materialize a temp"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_dialects::arith;
+    use sten_ir::{parse_module, print_module, verify_module, MemRefType, Module};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        register(&mut reg);
+        sten_dialects::register_all(&mut reg);
+        reg
+    }
+
+    /// Builds the paper's Listing 1 (1D 3-point Jacobi) module.
+    pub(crate) fn jacobi_1d_module() -> Module {
+        let mut m = Module::new();
+        let (mut f, fargs) = sten_dialects::func::definition(
+            &mut m.values,
+            "jacobi",
+            vec![
+                Type::Field(FieldType::new(Bounds::new(vec![(0, 128)]), Type::F64)),
+                Type::Field(FieldType::new(Bounds::new(vec![(0, 128)]), Type::F64)),
+            ],
+            vec![],
+        );
+        let (src_field, dst_field) = (fargs[0], fargs[1]);
+        let ld = load(&mut m.values, src_field);
+        let src = ld.result(0);
+        let body = &mut f.region_block_mut(0).ops;
+        body.push(ld);
+        let ap = apply(
+            &mut m.values,
+            vec![src],
+            vec![Type::Temp(TempType::unknown(1, Type::F64))],
+            |vt, args| {
+                let l = access(vt, args[0], vec![-1]);
+                let c = access(vt, args[0], vec![0]);
+                let r = access(vt, args[0], vec![1]);
+                let two = arith::const_f64(vt, 2.0);
+                let lr = arith::addf(vt, l.result(0), r.result(0));
+                let two_c = arith::mulf(vt, two.result(0), c.result(0));
+                let v = arith::subf(vt, lr.result(0), two_c.result(0));
+                let out = v.result(0);
+                vec![l, c, r, two, lr, two_c, v, ret(vec![out])]
+            },
+        );
+        let out = ap.result(0);
+        let body = &mut f.region_block_mut(0).ops;
+        body.push(ap);
+        body.push(store(out, dst_field, vec![1], vec![127]));
+        body.push(sten_dialects::func::ret(vec![]));
+        m.body_mut().ops.push(f);
+        m
+    }
+
+    #[test]
+    fn listing1_verifies_and_round_trips() {
+        let m = jacobi_1d_module();
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("stencil.apply"));
+        assert!(text.contains("!stencil.field<[0,128]xf64>"));
+        let re = parse_module(&text).unwrap();
+        assert_eq!(print_module(&re), text);
+    }
+
+    #[test]
+    fn apply_view_reports_access_offsets() {
+        let m = jacobi_1d_module();
+        let func = m.lookup_symbol("jacobi").unwrap();
+        let apply_op = func
+            .region_block(0)
+            .ops
+            .iter()
+            .find(|o| o.name == "stencil.apply")
+            .unwrap();
+        let view = ApplyOp::matches(apply_op).unwrap();
+        let offsets = view.access_offsets();
+        assert_eq!(offsets.len(), 3);
+        let offs: Vec<i64> = offsets.iter().map(|(_, o)| o[0]).collect();
+        assert_eq!(offs, vec![-1, 0, 1]);
+        assert!(offsets.iter().all(|(arg, _)| *arg == 0));
+    }
+
+    #[test]
+    fn store_view_reports_range() {
+        let m = jacobi_1d_module();
+        let func = m.lookup_symbol("jacobi").unwrap();
+        let store_op = func
+            .region_block(0)
+            .ops
+            .iter()
+            .find(|o| o.name == "stencil.store")
+            .unwrap();
+        let view = StoreOp::matches(store_op).unwrap();
+        assert_eq!(view.range(), Bounds::new(vec![(1, 127)]));
+    }
+
+    #[test]
+    fn verifier_rejects_store_outside_field() {
+        let reg = registry();
+        let mut m = Module::new();
+        let (mut f, args) = sten_dialects::func::definition(
+            &mut m.values,
+            "bad",
+            vec![Type::Field(FieldType::new(Bounds::new(vec![(0, 8)]), Type::F64))],
+            vec![],
+        );
+        let field = args[0];
+        let ld = load(&mut m.values, field);
+        let t = ld.result(0);
+        let body = &mut f.region_block_mut(0).ops;
+        body.push(ld);
+        body.push(store(t, field, vec![0], vec![9])); // ub exceeds field
+        body.push(sten_dialects::func::ret(vec![]));
+        m.body_mut().ops.push(f);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("exceeds field bounds"), "{err}");
+    }
+
+    #[test]
+    fn verifier_rejects_rank_mismatched_access() {
+        let reg = registry();
+        let mut m = Module::new();
+        let (mut f, args) = sten_dialects::func::definition(
+            &mut m.values,
+            "bad",
+            vec![Type::Field(FieldType::new(Bounds::new(vec![(0, 8), (0, 8)]), Type::F64))],
+            vec![],
+        );
+        let ld = load(&mut m.values, args[0]);
+        let t = ld.result(0);
+        let ap = apply(
+            &mut m.values,
+            vec![t],
+            vec![Type::Temp(TempType::unknown(2, Type::F64))],
+            |vt, a| {
+                let bad = access(vt, a[0], vec![0]); // rank-1 offset on rank-2 temp
+                let v = bad.result(0);
+                vec![bad, ret(vec![v])]
+            },
+        );
+        let body = &mut f.region_block_mut(0).ops;
+        body.push(ld);
+        body.push(ap);
+        body.push(sten_dialects::func::ret(vec![]));
+        m.body_mut().ops.push(f);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("offset rank"), "{err}");
+    }
+
+    #[test]
+    fn external_load_checks_shape() {
+        let reg = registry();
+        let mut m = Module::new();
+        let buf = sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![10], Type::F64));
+        let bufv = buf.result(0);
+        m.body_mut().ops.push(buf);
+        // Field of 12 points over a 10-element buffer: invalid.
+        let mut bad = Op::new("stencil.external_load");
+        bad.operands.push(bufv);
+        bad.results.push(
+            m.values
+                .alloc(Type::Field(FieldType::new(Bounds::new(vec![(-1, 11)]), Type::F64))),
+        );
+        m.body_mut().ops.push(bad);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("does not match field extents"), "{err}");
+
+        // Matching: 12-element buffer.
+        let mut m2 = Module::new();
+        let buf = sten_dialects::memref::alloc(&mut m2.values, MemRefType::new(vec![12], Type::F64));
+        let bufv = buf.result(0);
+        m2.body_mut().ops.push(buf);
+        let el = external_load(&mut m2.values, bufv, Bounds::new(vec![(-1, 11)]));
+        m2.body_mut().ops.push(el);
+        verify_module(&m2, Some(&reg)).unwrap();
+    }
+
+    #[test]
+    fn combine_and_index_builders() {
+        let mut m = Module::new();
+        let t1 = m.values.alloc(Type::Temp(TempType::unknown(1, Type::F64)));
+        let t2 = m.values.alloc(Type::Temp(TempType::unknown(1, Type::F64)));
+        let c = combine(&mut m.values, 0, 64, t1, t2);
+        assert_eq!(c.attr("dim").unwrap().as_int(), Some(0));
+        assert_eq!(c.attr("index").unwrap().as_int(), Some(64));
+        let ix = index(&mut m.values, 2, -1);
+        assert_eq!(m.values.ty(ix.result(0)), &Type::Index);
+        let b = buffer(&mut m.values, t1);
+        assert_eq!(m.values.ty(b.result(0)), m.values.ty(t1));
+    }
+}

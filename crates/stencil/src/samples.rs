@@ -1,0 +1,163 @@
+//! Ready-made stencil-level modules used by tests, examples and benches.
+//!
+//! Each sample is a `func.func` over `!stencil.field` arguments in the shape
+//! frontends produce: `load` → `apply` → `store`.
+
+use crate::ops;
+use sten_dialects::{arith, func};
+use sten_ir::{Bounds, FieldType, Module, TempType, Type, Value, ValueTable};
+
+/// A classic 3-point 1D Jacobi: `out[i] = l + r - 2 c` over `[1, n-1)`
+/// (the paper's Listing 1 with `n = 128`).
+pub fn jacobi_1d(n: i64) -> Module {
+    let mut m = Module::new();
+    let field_ty = Type::Field(FieldType::new(Bounds::new(vec![(0, n)]), Type::F64));
+    let (mut f, args) =
+        func::definition(&mut m.values, "jacobi", vec![field_ty.clone(), field_ty], vec![]);
+    let (src_field, dst_field) = (args[0], args[1]);
+    let ld = ops::load(&mut m.values, src_field);
+    let src = ld.result(0);
+    f.region_block_mut(0).ops.push(ld);
+    let ap = ops::apply(
+        &mut m.values,
+        vec![src],
+        vec![Type::Temp(TempType::unknown(1, Type::F64))],
+        |vt, a| {
+            let l = ops::access(vt, a[0], vec![-1]);
+            let c = ops::access(vt, a[0], vec![0]);
+            let r = ops::access(vt, a[0], vec![1]);
+            let two = arith::const_f64(vt, 2.0);
+            let lr = arith::addf(vt, l.result(0), r.result(0));
+            let tc = arith::mulf(vt, two.result(0), c.result(0));
+            let v = arith::subf(vt, lr.result(0), tc.result(0));
+            let out = v.result(0);
+            vec![l, c, r, two, lr, tc, v, ops::ret(vec![out])]
+        },
+    );
+    let out = ap.result(0);
+    let body = &mut f.region_block_mut(0).ops;
+    body.push(ap);
+    body.push(ops::store(out, dst_field, vec![1], vec![n - 1]));
+    body.push(func::ret(vec![]));
+    m.body_mut().ops.push(f);
+    m
+}
+
+/// Builds the body ops of a 5-point 2D heat step
+/// `out = c + a*(l + r + u + d - 4 c)` and returns them with the result.
+fn heat5_body(vt: &mut ValueTable, arg: Value, alpha: f64) -> (Vec<sten_ir::Op>, Value) {
+    let c = ops::access(vt, arg, vec![0, 0]);
+    let l = ops::access(vt, arg, vec![-1, 0]);
+    let r = ops::access(vt, arg, vec![1, 0]);
+    let u = ops::access(vt, arg, vec![0, -1]);
+    let d = ops::access(vt, arg, vec![0, 1]);
+    let four = arith::const_f64(vt, 4.0);
+    let a = arith::const_f64(vt, alpha);
+    let s1 = arith::addf(vt, l.result(0), r.result(0));
+    let s2 = arith::addf(vt, u.result(0), d.result(0));
+    let s3 = arith::addf(vt, s1.result(0), s2.result(0));
+    let fc = arith::mulf(vt, four.result(0), c.result(0));
+    let lap = arith::subf(vt, s3.result(0), fc.result(0));
+    let scaled = arith::mulf(vt, a.result(0), lap.result(0));
+    let v = arith::addf(vt, c.result(0), scaled.result(0));
+    let out = v.result(0);
+    (
+        vec![c, l, r, u, d, four, a, s1, s2, s3, fc, lap, scaled, v, ops::ret(vec![out])],
+        out,
+    )
+}
+
+/// A 5-point 2D heat-diffusion step over an `n × n` interior with a 1-cell
+/// halo: fields span `[-1, n+1)²`, the store range is `[0, n)²`.
+pub fn heat_2d(n: i64, alpha: f64) -> Module {
+    let mut m = Module::new();
+    let field_ty =
+        Type::Field(FieldType::new(Bounds::new(vec![(-1, n + 1), (-1, n + 1)]), Type::F64));
+    let (mut f, args) =
+        func::definition(&mut m.values, "heat", vec![field_ty.clone(), field_ty], vec![]);
+    let (src_field, dst_field) = (args[0], args[1]);
+    let ld = ops::load(&mut m.values, src_field);
+    let src = ld.result(0);
+    f.region_block_mut(0).ops.push(ld);
+    let ap = ops::apply(
+        &mut m.values,
+        vec![src],
+        vec![Type::Temp(TempType::unknown(2, Type::F64))],
+        |vt, a| heat5_body(vt, a[0], alpha).0,
+    );
+    let out = ap.result(0);
+    let body = &mut f.region_block_mut(0).ops;
+    body.push(ap);
+    body.push(ops::store(out, dst_field, vec![0, 0], vec![n, n]));
+    body.push(func::ret(vec![]));
+    m.body_mut().ops.push(f);
+    m
+}
+
+/// A two-stage pipeline: `mid = shift-sum(src)` then `out = mid + src`
+/// (producer/consumer applies, exercising fusion and shape inference).
+pub fn two_stage_1d(n: i64) -> Module {
+    let mut m = Module::new();
+    let field_ty = Type::Field(FieldType::new(Bounds::new(vec![(-2, n + 2)]), Type::F64));
+    let (mut f, args) =
+        func::definition(&mut m.values, "two_stage", vec![field_ty.clone(), field_ty], vec![]);
+    let (src_field, dst_field) = (args[0], args[1]);
+    let ld = ops::load(&mut m.values, src_field);
+    let src = ld.result(0);
+    f.region_block_mut(0).ops.push(ld);
+    let producer = ops::apply(
+        &mut m.values,
+        vec![src],
+        vec![Type::Temp(TempType::unknown(1, Type::F64))],
+        |vt, a| {
+            let l = ops::access(vt, a[0], vec![-1]);
+            let r = ops::access(vt, a[0], vec![1]);
+            let v = arith::addf(vt, l.result(0), r.result(0));
+            let out = v.result(0);
+            vec![l, r, v, ops::ret(vec![out])]
+        },
+    );
+    let mid = producer.result(0);
+    let consumer = ops::apply(
+        &mut m.values,
+        vec![mid, src],
+        vec![Type::Temp(TempType::unknown(1, Type::F64))],
+        |vt, a| {
+            let pm = ops::access(vt, a[0], vec![-1]);
+            let pc = ops::access(vt, a[0], vec![1]);
+            let sc = ops::access(vt, a[1], vec![0]);
+            let s = arith::addf(vt, pm.result(0), pc.result(0));
+            let v = arith::addf(vt, s.result(0), sc.result(0));
+            let out = v.result(0);
+            vec![pm, pc, sc, s, v, ops::ret(vec![out])]
+        },
+    );
+    let out = consumer.result(0);
+    let body = &mut f.region_block_mut(0).ops;
+    body.push(producer);
+    body.push(consumer);
+    body.push(ops::store(out, dst_field, vec![0], vec![n]));
+    body.push(func::ret(vec![]));
+    m.body_mut().ops.push(f);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sten_ir::{verify_module, DialectRegistry};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        crate::ops::register(&mut reg);
+        sten_dialects::register_all(&mut reg);
+        reg
+    }
+
+    #[test]
+    fn samples_verify() {
+        for m in [jacobi_1d(128), heat_2d(64, 0.1), two_stage_1d(32)] {
+            verify_module(&m, Some(&registry())).unwrap();
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Shape inference for the stencil dialect.
+//!
+//! Propagates bounds *backwards* from `stencil.store` ranges through
+//! `stencil.apply` access patterns to `stencil.load`s, refining every
+//! `!stencil.temp<?>` into a bounded temp. Because bounds live in the types
+//! (§4.1's enhancement), downstream passes — in particular the
+//! distribute-stencil pass of `sten-dmp` — read them straight off the
+//! values without re-running any analysis.
+//!
+//! The rule per apply is the standard one: if an output is required on
+//! range `R` and the body accesses input `i` at offset `o`, then input `i`
+//! is required on `R + o`; the requirement for a value is the rectangular
+//! hull of all its uses' requirements.
+
+use crate::ops::{ApplyOp, StoreOp};
+use sten_ir::{
+    Attribute, Block, Bounds, Module, Pass, PassError, TempType, Type, Value, ValueTable,
+};
+use std::collections::HashMap;
+
+/// The shape inference pass. See the module docs.
+#[derive(Default)]
+pub struct ShapeInference;
+
+impl ShapeInference {
+    /// Creates the pass.
+    pub fn new() -> Self {
+        ShapeInference
+    }
+}
+
+fn hull(a: &Bounds, b: &Bounds) -> Bounds {
+    assert_eq!(a.rank(), b.rank(), "hull of mismatched ranks");
+    Bounds::new(
+        a.0.iter()
+            .zip(&b.0)
+            .map(|(&(alb, aub), &(blb, bub))| (alb.min(blb), aub.max(bub)))
+            .collect(),
+    )
+}
+
+fn require(map: &mut HashMap<Value, Bounds>, v: Value, b: Bounds) {
+    match map.get_mut(&v) {
+        Some(existing) => *existing = hull(existing, &b),
+        None => {
+            map.insert(v, b);
+        }
+    }
+}
+
+fn refine_temp(vt: &mut ValueTable, v: Value, bounds: &Bounds) -> Result<(), String> {
+    match vt.ty(v).clone() {
+        Type::Temp(t) => {
+            if t.rank != bounds.rank() {
+                return Err(format!(
+                    "inferred rank {} does not match temp rank {}",
+                    bounds.rank(),
+                    t.rank
+                ));
+            }
+            vt.set_ty(v, Type::Temp(TempType::known(bounds.clone(), (*t.elem).clone())));
+            Ok(())
+        }
+        other => Err(format!("expected a temp, got {other:?}")),
+    }
+}
+
+fn infer_block(block: &mut Block, vt: &mut ValueTable) -> Result<(), String> {
+    // First recurse into nested regions (e.g. stencil ops inside time
+    // loops); each nested block is an independent straight-line scope.
+    for op in &mut block.ops {
+        if op.name == "stencil.apply" {
+            continue; // apply bodies are handled by the apply rule below
+        }
+        for region in &mut op.regions {
+            for inner in &mut region.blocks {
+                infer_block(inner, vt)?;
+            }
+        }
+    }
+
+    let mut required: HashMap<Value, Bounds> = HashMap::new();
+    for op in block.ops.iter().rev() {
+        match op.name.as_str() {
+            "stencil.store" => {
+                let store = StoreOp(op);
+                require(&mut required, store.temp(), store.range());
+            }
+            "stencil.apply" => {
+                let apply = ApplyOp(op);
+                // Union of requirements over all results.
+                let mut out_bounds: Option<Bounds> = None;
+                for &r in &op.results {
+                    if let Some(b) = required.get(&r) {
+                        out_bounds =
+                            Some(out_bounds.map_or_else(|| b.clone(), |ob| hull(&ob, b)));
+                    }
+                }
+                let Some(out_bounds) = out_bounds else {
+                    continue; // dead apply; DCE will remove it
+                };
+                for (arg_idx, offset) in apply.access_offsets() {
+                    let operand = op.operand(arg_idx);
+                    if matches!(vt.ty(operand), Type::Temp(_)) {
+                        require(&mut required, operand, out_bounds.translated(&offset));
+                    }
+                }
+                // dyn_access reads an unpredictable position: require the
+                // producing load's full field (conservative). Modeled by
+                // requiring the output bounds grown to the operand's
+                // current knowledge; if unknown, leave for the load rule.
+                for body_op in &apply.body().ops {
+                    if body_op.name == "stencil.dyn_access" {
+                        if let Some(idx) =
+                            apply.args().iter().position(|&a| a == body_op.operand(0))
+                        {
+                            let operand = op.operand(idx);
+                            require(&mut required, operand, out_bounds.clone());
+                        }
+                    }
+                }
+            }
+            "stencil.combine" => {
+                if let Some(r) = required.get(&op.result(0)).cloned() {
+                    // Conservative: both sides may be needed on the full
+                    // range (the split index only narrows one dimension).
+                    require(&mut required, op.operand(0), r.clone());
+                    require(&mut required, op.operand(1), r);
+                }
+            }
+            "stencil.buffer" => {
+                if let Some(r) = required.get(&op.result(0)).cloned() {
+                    require(&mut required, op.operand(0), r);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Forward sweep: write the inferred bounds into the types.
+    let ops = std::mem::take(&mut block.ops);
+    for mut op in ops {
+        match op.name.as_str() {
+            "stencil.load" => {
+                let out = op.result(0);
+                if let Some(b) = required.get(&out) {
+                    refine_temp(vt, out, b)?;
+                    // Check against the field.
+                    if let Type::Field(f) = vt.ty(op.operand(0)) {
+                        if !f.bounds.contains(b) {
+                            return Err(format!(
+                                "required range {b} exceeds field bounds {} — the field's \
+                                 halo allocation is too small for this stencil",
+                                f.bounds
+                            ));
+                        }
+                    }
+                }
+            }
+            "stencil.apply" | "stencil.combine" | "stencil.buffer" => {
+                let results = op.results.clone();
+                for &r in &results {
+                    if let Some(b) = required.get(&r).cloned() {
+                        refine_temp(vt, r, &b)?;
+                    }
+                }
+                if op.name == "stencil.apply" {
+                    // Mirror the operand types onto the region arguments.
+                    let operand_tys: Vec<Type> =
+                        op.operands.iter().map(|&o| vt.ty(o).clone()).collect();
+                    let args = op.region_block(0).args.clone();
+                    for (&arg, ty) in args.iter().zip(operand_tys) {
+                        vt.set_ty(arg, ty);
+                    }
+                    // Record the output bounds on the op for quick access.
+                    if let Some(b) = required.get(&op.result(0)) {
+                        op.set_attr("lb", Attribute::DenseI64(b.lower()));
+                        op.set_attr("ub", Attribute::DenseI64(b.upper()));
+                    }
+                }
+            }
+            _ => {}
+        }
+        block.ops.push(op);
+    }
+    Ok(())
+}
+
+impl Pass for ShapeInference {
+    fn name(&self) -> &'static str {
+        "stencil-shape-inference"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let mut regions = std::mem::take(&mut module.op.regions);
+        let mut result = Ok(());
+        'outer: for region in &mut regions {
+            for block in &mut region.blocks {
+                // Function bodies live one level down; walk through
+                // func.func ops into their blocks.
+                for op in &mut block.ops {
+                    for func_region in &mut op.regions {
+                        for func_block in &mut func_region.blocks {
+                            if let Err(m) = infer_block(func_block, &mut module.values) {
+                                result = Err(PassError::new("stencil-shape-inference", m));
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        module.op.regions = regions;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+    use sten_ir::Op;
+
+    fn temp_bounds(m: &Module, pred: impl Fn(&Op) -> Option<Value>) -> Option<Bounds> {
+        let mut found = None;
+        m.walk(|op| {
+            if found.is_none() {
+                if let Some(v) = pred(op) {
+                    if let Type::Temp(t) = m.values.ty(v) {
+                        found = t.bounds.clone();
+                    }
+                }
+            }
+        });
+        found
+    }
+
+    #[test]
+    fn jacobi_load_covers_halo() {
+        let mut m = samples::jacobi_1d(128);
+        ShapeInference.run(&mut m).unwrap();
+        // The apply output is stored on [1,127); accesses at ±1 mean the
+        // load must cover [0,128).
+        let apply_bounds = temp_bounds(&m, |op| {
+            (op.name == "stencil.apply").then(|| op.result(0))
+        })
+        .expect("apply bounds inferred");
+        assert_eq!(apply_bounds, Bounds::new(vec![(1, 127)]));
+        let load_bounds =
+            temp_bounds(&m, |op| (op.name == "stencil.load").then(|| op.result(0)))
+                .expect("load bounds inferred");
+        assert_eq!(load_bounds, Bounds::new(vec![(0, 128)]));
+    }
+
+    #[test]
+    fn heat2d_requirements_grow_by_radius() {
+        let mut m = samples::heat_2d(64, 0.1);
+        ShapeInference.run(&mut m).unwrap();
+        let load_bounds =
+            temp_bounds(&m, |op| (op.name == "stencil.load").then(|| op.result(0)))
+                .expect("load bounds inferred");
+        assert_eq!(load_bounds, Bounds::new(vec![(-1, 65), (-1, 65)]));
+    }
+
+    #[test]
+    fn two_stage_requirements_compose() {
+        let mut m = samples::two_stage_1d(32);
+        ShapeInference.run(&mut m).unwrap();
+        // Consumer output on [0,32); it reads producer at ±1 → producer on
+        // [-1,33); producer reads src at ±1 → load on [-2,34); consumer
+        // also reads src at 0 → hull is still [-2,34).
+        let load_bounds =
+            temp_bounds(&m, |op| (op.name == "stencil.load").then(|| op.result(0)))
+                .expect("load bounds");
+        assert_eq!(load_bounds, Bounds::new(vec![(-2, 34)]));
+    }
+
+    #[test]
+    fn too_small_halo_is_reported() {
+        // jacobi on a field with no halo and a store range touching the
+        // edges: required [−1, 129) exceeds the field.
+        let mut m = samples::jacobi_1d(128);
+        // Widen the store range to the full field.
+        let func = m.lookup_symbol_mut("jacobi").unwrap();
+        for op in &mut func.region_block_mut(0).ops {
+            if op.name == "stencil.store" {
+                op.set_attr("lb", Attribute::DenseI64(vec![0]));
+                op.set_attr("ub", Attribute::DenseI64(vec![128]));
+            }
+        }
+        let err = ShapeInference.run(&mut m).unwrap_err();
+        assert!(err.message.contains("halo allocation is too small"), "{err}");
+    }
+
+    #[test]
+    fn apply_gets_bounds_attrs() {
+        let mut m = samples::jacobi_1d(128);
+        ShapeInference.run(&mut m).unwrap();
+        let mut seen = false;
+        m.walk(|op| {
+            if op.name == "stencil.apply" {
+                assert_eq!(op.attr("lb").unwrap().as_dense(), Some(&[1i64][..]));
+                assert_eq!(op.attr("ub").unwrap().as_dense(), Some(&[127i64][..]));
+                seen = true;
+            }
+        });
+        assert!(seen);
+    }
+}

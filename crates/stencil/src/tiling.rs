@@ -1,0 +1,207 @@
+//! Loop tiling for the CPU pipeline.
+//!
+//! §4.1: "The original dialect was specifically tailored to target GPUs
+//! and-so we have enhanced the stencil transformations by providing an
+//! additional lowering pipeline which is better suited for shared memory
+//! parallelism by leveraging loop tiling to improve data locality."
+//!
+//! Rewrites each `scf.parallel` produced by the stencil lowering into an
+//! outer `scf.parallel` over tile origins (step = tile size) containing a
+//! sequential `scf.for` nest over the tile interior, with `arith.minsi`
+//! clamping the boundary tiles.
+
+use sten_dialects::{arith, scf};
+use sten_ir::{Attribute, Block, Module, Op, Pass, PassError, Region, Type, Value, ValueTable};
+use std::collections::HashMap;
+
+/// Tiles `scf.parallel` loops. See the module docs.
+pub struct TileParallelLoops {
+    /// Tile extents per dimension; the last entry repeats for higher ranks.
+    pub tile_sizes: Vec<i64>,
+}
+
+impl TileParallelLoops {
+    /// Creates the pass with uniform or per-dimension tile sizes.
+    ///
+    /// # Panics
+    /// Panics if `tile_sizes` is empty or contains non-positive entries.
+    pub fn new(tile_sizes: Vec<i64>) -> Self {
+        assert!(!tile_sizes.is_empty(), "need at least one tile size");
+        assert!(tile_sizes.iter().all(|&t| t > 0), "tile sizes must be positive");
+        TileParallelLoops { tile_sizes }
+    }
+
+    fn tile(&self, d: usize) -> i64 {
+        *self.tile_sizes.get(d).unwrap_or(self.tile_sizes.last().expect("non-empty"))
+    }
+
+    fn tile_op(&self, op: Op, vt: &mut ValueTable, out: &mut Vec<Op>) -> Op {
+        let Some(par) = scf::ParallelOp::matches(&op) else {
+            return op;
+        };
+        if op.attr("tiled").is_some() {
+            return op;
+        }
+        let rank = par.rank();
+        let los = par.los().to_vec();
+        let his = par.his().to_vec();
+        let steps = par.steps().to_vec();
+
+        let mut old_op = op;
+        let mut body = old_op.regions.remove(0).blocks.remove(0);
+        let old_ivs = std::mem::take(&mut body.args);
+        let mut body_ops = std::mem::take(&mut body.ops);
+
+        // Tile-size constants (emitted before the loop).
+        let mut tile_consts = Vec::with_capacity(rank);
+        for d in 0..rank {
+            let c = arith::const_index(vt, self.tile(d));
+            tile_consts.push(c.result(0));
+            out.push(c);
+        }
+
+        // Outer parallel over tile origins.
+        let tile_ivs: Vec<Value> = (0..rank).map(|_| vt.alloc(Type::Index)).collect();
+        let mut outer_ops: Vec<Op> = Vec::new();
+
+        // Clamped per-dimension tile ends: min(hi_d, tiv_d + tile_d).
+        let mut tile_ends = Vec::with_capacity(rank);
+        for d in 0..rank {
+            let end = arith::addi(vt, tile_ivs[d], tile_consts[d]);
+            let endv = end.result(0);
+            outer_ops.push(end);
+            let clamped = arith::minsi(vt, endv, his[d]);
+            tile_ends.push(clamped.result(0));
+            outer_ops.push(clamped);
+        }
+
+        // Innermost body: the original ops with old ivs substituted by the
+        // sequential loop ivs, built inside-out.
+        let inner_ivs: Vec<Value> = (0..rank).map(|_| vt.alloc(Type::Index)).collect();
+        let subst: HashMap<Value, Value> =
+            old_ivs.iter().copied().zip(inner_ivs.iter().copied()).collect();
+        for o in &mut body_ops {
+            o.substitute_uses(&subst);
+        }
+
+        // Innermost block holds the original body; wrap outward.
+        let mut current_ops = body_ops;
+        for d in (0..rank).rev() {
+            let mut for_op = Op::new("scf.for");
+            for_op.operands.extend([tile_ivs[d], tile_ends[d], steps[d]]);
+            let mut blk = Block::with_args(vec![inner_ivs[d]]);
+            blk.ops = current_ops;
+            // The innermost level already ends with scf.yield from the
+            // original parallel body; outer levels need their own.
+            if blk.ops.last().map(|o| o.name != "scf.yield").unwrap_or(true) {
+                blk.ops.push(scf::yield_op(vec![]));
+            }
+            for_op.regions.push(Region::single(blk));
+            current_ops = vec![for_op];
+        }
+        outer_ops.extend(current_ops);
+        outer_ops.push(scf::yield_op(vec![]));
+
+        let mut new_par = Op::new("scf.parallel");
+        new_par.set_attr("rank", Attribute::int64(rank as i64));
+        new_par.set_attr("tiled", Attribute::Unit);
+        new_par.operands.extend(los);
+        new_par.operands.extend(his);
+        new_par.operands.extend(tile_consts);
+        let mut outer_block = Block::with_args(tile_ivs);
+        outer_block.ops = outer_ops;
+        new_par.regions.push(Region::single(outer_block));
+        new_par
+    }
+
+    fn process_block(&self, block: &mut Block, vt: &mut ValueTable) {
+        let ops = std::mem::take(&mut block.ops);
+        for mut op in ops {
+            for region in &mut op.regions {
+                for inner in &mut region.blocks {
+                    self.process_block(inner, vt);
+                }
+            }
+            let rewritten = self.tile_op(op, vt, &mut block.ops);
+            block.ops.push(rewritten);
+        }
+    }
+}
+
+impl Pass for TileParallelLoops {
+    fn name(&self) -> &'static str {
+        "tile-parallel-loops"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let mut regions = std::mem::take(&mut module.op.regions);
+        for region in &mut regions {
+            for block in &mut region.blocks {
+                self.process_block(block, &mut module.values);
+            }
+        }
+        module.op.regions = regions;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{samples, ShapeInference, StencilToLoops};
+    use sten_ir::{print_module, verify_module, DialectRegistry, Module};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        crate::ops::register(&mut reg);
+        sten_dialects::register_all(&mut reg);
+        reg
+    }
+
+    fn lowered_heat() -> Module {
+        let mut m = samples::heat_2d(64, 0.1);
+        ShapeInference.run(&mut m).unwrap();
+        StencilToLoops.run(&mut m).unwrap();
+        m
+    }
+
+    #[test]
+    fn tiling_produces_for_nest_inside_parallel() {
+        let mut m = lowered_heat();
+        TileParallelLoops::new(vec![16]).run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("scf.parallel"));
+        assert!(text.contains("scf.for"));
+        assert!(text.contains("arith.minsi"), "boundary clamping present");
+        // Round-trip.
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(print_module(&re), text);
+    }
+
+    #[test]
+    fn tiling_is_idempotent() {
+        let mut m = lowered_heat();
+        TileParallelLoops::new(vec![16]).run(&mut m).unwrap();
+        let once = print_module(&m);
+        TileParallelLoops::new(vec![16]).run(&mut m).unwrap();
+        assert_eq!(print_module(&m), once, "tiled loops are not re-tiled");
+    }
+
+    #[test]
+    fn per_dimension_tile_sizes() {
+        let mut m = lowered_heat();
+        let pass = TileParallelLoops::new(vec![32, 4]);
+        assert_eq!(pass.tile(0), 32);
+        assert_eq!(pass.tile(1), 4);
+        assert_eq!(pass.tile(5), 4, "last size repeats");
+        pass.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_tile_sizes() {
+        TileParallelLoops::new(vec![0]);
+    }
+}

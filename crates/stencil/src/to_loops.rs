@@ -1,0 +1,614 @@
+//! Lowering stencil programs to loops over buffers.
+//!
+//! This is the shared "convert-stencil-to-imperative" stage of the paper's
+//! Fig. 6: after shape inference, every `stencil.apply` becomes an
+//! `scf.parallel` loop nest over its inferred output range, with
+//! `memref.load`/`memref.store` for the accesses. Fields lower to memrefs;
+//! the mapping from *logical* stencil coordinates to *zero-based* memory
+//! indices subtracts the field's lower bound — made trivial by the
+//! bounds-in-types design (§4.1: known bounds "enable constant-folding of
+//! most of the memory access address computations").
+//!
+//! The pass performs store-forwarding: an apply result consumed by exactly
+//! one `stencil.store` whose range equals the inferred bounds writes
+//! directly into the target field's buffer, eliminating the intermediate
+//! temp allocation.
+
+use sten_dialects::{arith, memref, scf};
+use sten_ir::{
+    Attribute, Block, Bounds, FunctionType, MemRefType, Module, Op, Pass, PassError, Type, Value,
+    ValueTable,
+};
+use std::collections::HashMap;
+
+/// The stencil-to-loops lowering. See the module docs.
+#[derive(Default)]
+pub struct StencilToLoops;
+
+impl StencilToLoops {
+    /// Creates the pass.
+    pub fn new() -> Self {
+        StencilToLoops
+    }
+}
+
+/// Where a lowered field/temp value lives in memory.
+#[derive(Clone, Debug)]
+struct BufInfo {
+    /// The memref value holding the data.
+    mem: Value,
+    /// Logical coordinate of buffer element `[0, 0, ...]` — memory index =
+    /// logical index − `base_lb`.
+    base_lb: Vec<i64>,
+}
+
+struct Lowerer<'a> {
+    vt: &'a mut ValueTable,
+    /// Stencil-typed SSA value → its buffer.
+    bufs: HashMap<Value, BufInfo>,
+    /// Apply results that write directly into a store's target field.
+    forwarded: HashMap<Value, Value>, // temp -> field
+    /// Forwards actually consumed by an apply (the matching store is then
+    /// dropped; other producers — e.g. `stencil.combine` — still need
+    /// their store lowered to a copy).
+    forward_done: std::collections::HashSet<Value>,
+    /// Global use counts (for the forwarding decision).
+    counts: HashMap<Value, usize>,
+}
+
+fn field_memref_type(bounds: &Bounds, elem: &Type) -> MemRefType {
+    MemRefType::new(bounds.shape(), elem.clone())
+}
+
+fn temp_bounds(vt: &ValueTable, v: Value) -> Result<Bounds, String> {
+    match vt.ty(v) {
+        Type::Temp(t) => t
+            .bounds
+            .clone()
+            .ok_or_else(|| "temp bounds unknown — run shape inference first".to_string()),
+        other => Err(format!("expected temp, got {other:?}")),
+    }
+}
+
+impl<'a> Lowerer<'a> {
+    fn lookup(&self, v: Value) -> Result<&BufInfo, String> {
+        self.bufs.get(&v).ok_or_else(|| format!("no buffer recorded for {v:?}"))
+    }
+
+    /// Converts a field/temp-typed block argument in place to a memref and
+    /// records its buffer info.
+    fn convert_block_arg(&mut self, arg: Value) {
+        if let Type::Field(f) = self.vt.ty(arg).clone() {
+            let mt = field_memref_type(&f.bounds, &f.elem);
+            self.vt.set_ty(arg, Type::MemRef(mt));
+            self.bufs.insert(arg, BufInfo { mem: arg, base_lb: f.bounds.lower() });
+        }
+    }
+
+    /// Pre-scan: decide store forwarding for applies in this block.
+    fn plan_forwarding(&mut self, block: &Block) {
+        for op in &block.ops {
+            if op.name != "stencil.store" {
+                continue;
+            }
+            let temp = op.operand(0);
+            let field = op.operand(1);
+            if self.counts.get(&temp).copied().unwrap_or(0) != 1 {
+                continue;
+            }
+            let Ok(tb) = temp_bounds(self.vt, temp) else { continue };
+            let store = crate::ops::StoreOp(op);
+            if store.range() == tb {
+                self.forwarded.insert(temp, field);
+            }
+        }
+    }
+
+    fn lower_block(&mut self, block: &mut Block) -> Result<(), String> {
+        self.plan_forwarding(block);
+        let ops = std::mem::take(&mut block.ops);
+        for mut op in ops {
+            match op.name.as_str() {
+                "stencil.external_load" => {
+                    let bounds = match self.vt.ty(op.result(0)) {
+                        Type::Field(f) => f.bounds.clone(),
+                        _ => unreachable!("verified"),
+                    };
+                    self.bufs.insert(
+                        op.result(0),
+                        BufInfo { mem: op.operand(0), base_lb: bounds.lower() },
+                    );
+                }
+                "stencil.cast" => {
+                    let bounds = match self.vt.ty(op.result(0)) {
+                        Type::Field(f) => f.bounds.clone(),
+                        _ => unreachable!("verified"),
+                    };
+                    let parent = self.lookup(op.operand(0))?.clone();
+                    self.bufs.insert(
+                        op.result(0),
+                        BufInfo { mem: parent.mem, base_lb: bounds.lower() },
+                    );
+                }
+                "stencil.load" | "stencil.buffer" => {
+                    let parent = self.lookup(op.operand(0))?.clone();
+                    self.bufs.insert(op.result(0), parent);
+                }
+                "stencil.external_store" => {
+                    let info = self.lookup(op.operand(0))?.clone();
+                    let target = op.operand(1);
+                    if info.mem != target {
+                        block.ops.push(memref::copy(info.mem, target));
+                    }
+                }
+                "stencil.store" => {
+                    let temp = op.operand(0);
+                    if self.forward_done.contains(&temp) {
+                        continue; // the apply wrote directly into the field
+                    }
+                    let src = self.lookup(temp)?.clone();
+                    let dst_field = op.operand(1);
+                    let dst = self.lookup(dst_field)?.clone();
+                    let range = crate::ops::StoreOp(&op).range();
+                    self.emit_copy_loop(block, &src, &dst, &range)?;
+                }
+                "stencil.combine" => {
+                    let out_bounds = temp_bounds(self.vt, op.result(0))?;
+                    let elem = match self.vt.ty(op.result(0)) {
+                        Type::Temp(t) => (*t.elem).clone(),
+                        _ => unreachable!(),
+                    };
+                    let dim = op.attr("dim").and_then(Attribute::as_int).unwrap_or(0) as usize;
+                    let split = op.attr("index").and_then(Attribute::as_int).unwrap_or(0);
+                    let alloc =
+                        memref::alloc(self.vt, field_memref_type(&out_bounds, &elem));
+                    let out =
+                        BufInfo { mem: alloc.result(0), base_lb: out_bounds.lower() };
+                    block.ops.push(alloc);
+                    let lower_src = self.lookup(op.operand(0))?.clone();
+                    let upper_src = self.lookup(op.operand(1))?.clone();
+                    let mut lower_range = out_bounds.clone();
+                    lower_range.0[dim].1 = split.min(lower_range.0[dim].1);
+                    let mut upper_range = out_bounds.clone();
+                    upper_range.0[dim].0 = split.max(upper_range.0[dim].0);
+                    if lower_range.num_points() > 0 {
+                        self.emit_copy_loop(block, &lower_src, &out, &lower_range)?;
+                    }
+                    if upper_range.num_points() > 0 {
+                        self.emit_copy_loop(block, &upper_src, &out, &upper_range)?;
+                    }
+                    self.bufs.insert(op.result(0), out);
+                }
+                "stencil.apply" => {
+                    self.lower_apply(block, op)?;
+                }
+                _ => {
+                    // Retype any field-typed loop-carried args/results and
+                    // recurse into nested regions (time loops).
+                    let result_infos: Vec<(Value, Option<Bounds>)> = op
+                        .results
+                        .iter()
+                        .map(|&r| match self.vt.ty(r) {
+                            Type::Field(f) => (r, Some(f.bounds.clone())),
+                            _ => (r, None),
+                        })
+                        .collect();
+                    for (r, bounds) in result_infos {
+                        if let Some(b) = bounds {
+                            let elem = match self.vt.ty(r) {
+                                Type::Field(f) => (*f.elem).clone(),
+                                _ => unreachable!(),
+                            };
+                            self.vt.set_ty(r, Type::MemRef(field_memref_type(&b, &elem)));
+                            self.bufs.insert(r, BufInfo { mem: r, base_lb: b.lower() });
+                        }
+                    }
+                    // Substitute stencil-typed operands with their buffers.
+                    for operand in &mut op.operands {
+                        if let Some(info) = self.bufs.get(operand) {
+                            if info.mem != *operand {
+                                *operand = info.mem;
+                            }
+                        }
+                    }
+                    for region in &mut op.regions {
+                        for inner in &mut region.blocks {
+                            for &arg in inner.args.clone().iter() {
+                                self.convert_block_arg(arg);
+                            }
+                            self.lower_block(inner)?;
+                        }
+                    }
+                    // func.func signature: rewrite field types to memrefs.
+                    if op.name == "func.func" {
+                        if let Some(Attribute::Type(Type::Function(fty))) =
+                            op.attr("function_type").cloned()
+                        {
+                            let conv = |ty: &Type| match ty {
+                                Type::Field(f) => {
+                                    Type::MemRef(field_memref_type(&f.bounds, &f.elem))
+                                }
+                                other => other.clone(),
+                            };
+                            let new = FunctionType::new(
+                                fty.inputs.iter().map(conv).collect(),
+                                fty.results.iter().map(conv).collect(),
+                            );
+                            op.set_attr(
+                                "function_type",
+                                Attribute::Type(Type::Function(Box::new(new))),
+                            );
+                        }
+                    }
+                    block.ops.push(op);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits `dst[range] = src[range]` as an `scf.parallel` copy nest.
+    fn emit_copy_loop(
+        &mut self,
+        block: &mut Block,
+        src: &BufInfo,
+        dst: &BufInfo,
+        range: &Bounds,
+    ) -> Result<(), String> {
+        let rank = range.rank();
+        let mut los = Vec::new();
+        let mut his = Vec::new();
+        let mut steps = Vec::new();
+        let one = arith::const_index(self.vt, 1);
+        let onev = one.result(0);
+        block.ops.push(one);
+        for d in 0..rank {
+            let lo = arith::const_index(self.vt, range.0[d].0);
+            let hi = arith::const_index(self.vt, range.0[d].1);
+            los.push(lo.result(0));
+            his.push(hi.result(0));
+            steps.push(onev);
+            block.ops.push(lo);
+            block.ops.push(hi);
+        }
+        let src = src.clone();
+        let dst = dst.clone();
+        let par = scf::parallel(self.vt, los, his, steps, |vt, ivs| {
+            let mut ops = Vec::new();
+            let sidx = offset_indices(vt, &mut ops, ivs, &src.base_lb);
+            let load = memref::load(vt, src.mem, sidx);
+            let v = load.result(0);
+            ops.push(load);
+            let didx = offset_indices(vt, &mut ops, ivs, &dst.base_lb);
+            ops.push(memref::store(v, dst.mem, didx));
+            ops.push(scf::yield_op(vec![]));
+            ops
+        });
+        block.ops.push(par);
+        Ok(())
+    }
+
+    fn lower_apply(&mut self, block: &mut Block, mut op: Op) -> Result<(), String> {
+        // Output buffers (forwarded or freshly allocated).
+        let mut outs: Vec<BufInfo> = Vec::new();
+        for &r in &op.results {
+            let bounds = temp_bounds(self.vt, r)?;
+            let elem = match self.vt.ty(r) {
+                Type::Temp(t) => (*t.elem).clone(),
+                _ => unreachable!(),
+            };
+            let info = if let Some(&field) = self.forwarded.get(&r) {
+                self.forward_done.insert(r);
+                self.lookup(field)?.clone()
+            } else {
+                let alloc = memref::alloc(self.vt, field_memref_type(&bounds, &elem));
+                let info = BufInfo { mem: alloc.result(0), base_lb: bounds.lower() };
+                block.ops.push(alloc);
+                info
+            };
+            self.bufs.insert(r, info.clone());
+            outs.push(info);
+        }
+
+        // Loop range: the hull recorded by shape inference.
+        let lb = op.attr("lb").and_then(Attribute::as_dense).ok_or("apply missing lb")?.to_vec();
+        let ub = op.attr("ub").and_then(Attribute::as_dense).ok_or("apply missing ub")?.to_vec();
+        let rank = lb.len();
+
+        // Map region args: temps -> their operand's buffer; scalars -> the
+        // operand value itself.
+        let region_args = op.region_block(0).args.clone();
+        let mut scalar_subst: HashMap<Value, Value> = HashMap::new();
+        let mut arg_bufs: HashMap<Value, BufInfo> = HashMap::new();
+        for (&operand, &arg) in op.operands.iter().zip(&region_args) {
+            match self.vt.ty(operand) {
+                Type::Temp(_) => {
+                    arg_bufs.insert(arg, self.lookup(operand)?.clone());
+                }
+                _ => {
+                    scalar_subst.insert(arg, operand);
+                }
+            }
+        }
+
+        let mut los = Vec::new();
+        let mut his = Vec::new();
+        let mut steps = Vec::new();
+        let one = arith::const_index(self.vt, 1);
+        let onev = one.result(0);
+        block.ops.push(one);
+        for d in 0..rank {
+            let lo = arith::const_index(self.vt, lb[d]);
+            let hi = arith::const_index(self.vt, ub[d]);
+            los.push(lo.result(0));
+            his.push(hi.result(0));
+            steps.push(onev);
+            block.ops.push(lo);
+            block.ops.push(hi);
+        }
+
+        let body_ops = std::mem::take(&mut op.region_block_mut(0).ops);
+        let mut error = None;
+        let par = scf::parallel(self.vt, los, his, steps, |vt, ivs| {
+            let mut ops: Vec<Op> = Vec::new();
+            let mut subst = scalar_subst.clone();
+            for mut body_op in body_ops {
+                for operand in &mut body_op.operands {
+                    if let Some(&to) = subst.get(operand) {
+                        *operand = to;
+                    }
+                }
+                match body_op.name.as_str() {
+                    "stencil.access" => {
+                        let Some(info) = arg_bufs.get(&body_op.operand(0)) else {
+                            error = Some("access to a non-argument temp".to_string());
+                            return vec![scf::yield_op(vec![])];
+                        };
+                        let offset = body_op
+                            .attr("offset")
+                            .and_then(Attribute::as_dense)
+                            .unwrap_or(&[])
+                            .to_vec();
+                        let shift: Vec<i64> = offset
+                            .iter()
+                            .zip(&info.base_lb)
+                            .map(|(o, b)| o - b)
+                            .collect();
+                        let idx = shifted_indices(vt, &mut ops, ivs, &shift);
+                        let mut load = memref::load(vt, info.mem, idx);
+                        // Reuse the access's result id so later body ops
+                        // need no substitution.
+                        vt.set_ty(body_op.result(0), vt.ty(load.result(0)).clone());
+                        load.results[0] = body_op.result(0);
+                        ops.push(load);
+                    }
+                    "stencil.dyn_access" => {
+                        let Some(info) = arg_bufs.get(&body_op.operand(0)) else {
+                            error = Some("dyn_access to a non-argument temp".to_string());
+                            return vec![scf::yield_op(vec![])];
+                        };
+                        let info = info.clone();
+                        let mut idx = Vec::new();
+                        for (d, &iv) in body_op.operands[1..].iter().enumerate() {
+                            let c = arith::const_index(vt, -info.base_lb[d]);
+                            let cv = c.result(0);
+                            ops.push(c);
+                            let add = arith::addi(vt, iv, cv);
+                            idx.push(add.result(0));
+                            ops.push(add);
+                        }
+                        let mut load = memref::load(vt, info.mem, idx);
+                        load.results[0] = body_op.result(0);
+                        ops.push(load);
+                    }
+                    "stencil.index" => {
+                        let dim =
+                            body_op.attr("dim").and_then(Attribute::as_int).unwrap_or(0) as usize;
+                        let off = body_op.attr("offset").and_then(Attribute::as_int).unwrap_or(0);
+                        let c = arith::const_index(vt, off);
+                        let cv = c.result(0);
+                        ops.push(c);
+                        let mut add = arith::addi(vt, ivs[dim], cv);
+                        add.results[0] = body_op.result(0);
+                        ops.push(add);
+                    }
+                    "stencil.return" => {
+                        for (i, &v) in body_op.operands.iter().enumerate() {
+                            let out = &outs[i];
+                            let shift: Vec<i64> = out.base_lb.iter().map(|b| -b).collect();
+                            let idx = shifted_indices(vt, &mut ops, ivs, &shift);
+                            ops.push(memref::store(v, out.mem, idx));
+                        }
+                        ops.push(scf::yield_op(vec![]));
+                    }
+                    _ => {
+                        ops.push(body_op);
+                    }
+                }
+            }
+            let _ = &mut subst;
+            ops
+        });
+        if let Some(message) = error {
+            return Err(message);
+        }
+        block.ops.push(par);
+        Ok(())
+    }
+}
+
+/// Emits `ivs[d] + shift[d]` index computations, returning the index values.
+fn shifted_indices(
+    vt: &mut ValueTable,
+    ops: &mut Vec<Op>,
+    ivs: &[Value],
+    shift: &[i64],
+) -> Vec<Value> {
+    let mut out = Vec::with_capacity(ivs.len());
+    for (d, &iv) in ivs.iter().enumerate() {
+        if shift[d] == 0 {
+            out.push(iv);
+        } else {
+            let c = arith::const_index(vt, shift[d]);
+            let cv = c.result(0);
+            ops.push(c);
+            let add = arith::addi(vt, iv, cv);
+            out.push(add.result(0));
+            ops.push(add);
+        }
+    }
+    out
+}
+
+/// Emits `ivs[d] - base_lb[d]` index computations.
+fn offset_indices(
+    vt: &mut ValueTable,
+    ops: &mut Vec<Op>,
+    ivs: &[Value],
+    base_lb: &[i64],
+) -> Vec<Value> {
+    let shift: Vec<i64> = base_lb.iter().map(|b| -b).collect();
+    shifted_indices(vt, ops, ivs, &shift)
+}
+
+impl Pass for StencilToLoops {
+    fn name(&self) -> &'static str {
+        "convert-stencil-to-loops"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let counts = module.op.use_counts();
+        let mut regions = std::mem::take(&mut module.op.regions);
+        let mut result = Ok(());
+        'outer: for region in &mut regions {
+            for block in &mut region.blocks {
+                for op in &mut block.ops {
+                    if op.name != "func.func" {
+                        continue;
+                    }
+                    let mut lowerer = Lowerer {
+                        vt: &mut module.values,
+                        bufs: HashMap::new(),
+                        forwarded: HashMap::new(),
+                        forward_done: std::collections::HashSet::new(),
+                        counts: counts.clone(),
+                    };
+                    for func_region in &mut op.regions {
+                        for func_block in &mut func_region.blocks {
+                            for &arg in func_block.args.clone().iter() {
+                                lowerer.convert_block_arg(arg);
+                            }
+                            if let Err(m) = lowerer.lower_block(func_block) {
+                                result = Err(PassError::new("convert-stencil-to-loops", m));
+                                break 'outer;
+                            }
+                        }
+                    }
+                    // Rewrite the signature after the body (the lowerer
+                    // retyped the block args in place).
+                    if let Some(Attribute::Type(Type::Function(fty))) =
+                        op.attr("function_type").cloned()
+                    {
+                        let conv = |ty: &Type| match ty {
+                            Type::Field(f) => {
+                                Type::MemRef(field_memref_type(&f.bounds, &f.elem))
+                            }
+                            other => other.clone(),
+                        };
+                        let new = FunctionType::new(
+                            fty.inputs.iter().map(conv).collect(),
+                            fty.results.iter().map(conv).collect(),
+                        );
+                        op.set_attr("function_type", Attribute::Type(Type::Function(Box::new(new))));
+                    }
+                }
+            }
+        }
+        module.op.regions = regions;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{samples, ShapeInference};
+    use sten_ir::{print_module, verify_module, DialectRegistry};
+
+    fn registry() -> DialectRegistry {
+        let mut reg = DialectRegistry::new();
+        crate::ops::register(&mut reg);
+        sten_dialects::register_all(&mut reg);
+        reg
+    }
+
+    fn lower(mut m: Module) -> Module {
+        ShapeInference.run(&mut m).unwrap();
+        StencilToLoops.run(&mut m).unwrap();
+        m
+    }
+
+    #[test]
+    fn jacobi_lowers_to_parallel_loops() {
+        let m = lower(samples::jacobi_1d(128));
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = print_module(&m);
+        assert!(!text.contains("stencil."), "all stencil ops lowered:\n{text}");
+        assert!(text.contains("scf.parallel"));
+        assert!(text.contains("memref.load"));
+        assert!(text.contains("memref.store"));
+    }
+
+    #[test]
+    fn store_forwarding_avoids_temp_allocation() {
+        let m = lower(samples::jacobi_1d(128));
+        let mut allocs = 0;
+        m.walk(|op| {
+            if op.name == "memref.alloc" {
+                allocs += 1;
+            }
+        });
+        assert_eq!(allocs, 0, "single-store apply writes directly into the field");
+    }
+
+    #[test]
+    fn signature_becomes_memref() {
+        let m = lower(samples::jacobi_1d(128));
+        let func = m.lookup_symbol("jacobi").unwrap();
+        let fty = sten_dialects::func::FuncOp(func).function_type().clone();
+        assert!(matches!(fty.inputs[0], Type::MemRef(_)));
+        let Type::MemRef(ref mt) = fty.inputs[0] else { unreachable!() };
+        assert_eq!(mt.shape, vec![128]);
+    }
+
+    #[test]
+    fn heat2d_lowers_and_round_trips() {
+        let m = lower(samples::heat_2d(32, 0.1));
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = print_module(&m);
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(print_module(&re), text);
+    }
+
+    #[test]
+    fn two_stage_allocates_intermediate() {
+        // Without fusion the producer temp must be materialised.
+        let m = lower(samples::two_stage_1d(32));
+        let mut allocs = 0;
+        m.walk(|op| {
+            if op.name == "memref.alloc" {
+                allocs += 1;
+            }
+        });
+        assert_eq!(allocs, 1, "intermediate temp buffer allocated");
+        verify_module(&m, Some(&registry())).unwrap();
+    }
+
+    #[test]
+    fn unlowered_shapes_are_reported() {
+        let mut m = samples::jacobi_1d(64);
+        // Skip shape inference.
+        let err = StencilToLoops.run(&mut m).unwrap_err();
+        assert!(err.message.contains("shape inference"), "{err}");
+    }
+}

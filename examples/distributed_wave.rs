@@ -1,0 +1,110 @@
+//! The isotropic acoustic wave equation, distributed over four simulated
+//! MPI ranks (2×2 grid) — the paper's DMP pipeline end to end, with a
+//! serial run as the correctness reference.
+//!
+//! Run with: `cargo run --release --example distributed_wave`
+
+use std::sync::Arc;
+use stencil_stack::prelude::*;
+
+fn main() {
+    let n = 128i64;
+    let op = problems::acoustic_wave(&[n, n], 4, 1.0).expect("valid operator");
+    let shape = op.field_shape();
+    let steps = 40usize;
+    println!(
+        "wave on {n}x{n}, so4 ({} stencil points, {} time buffers), {} steps",
+        op.stencil_points(),
+        op.num_buffers(),
+        steps
+    );
+
+    // Initial condition: a Gaussian pulse, at rest.
+    let (h, w) = (shape[0], shape[1]);
+    let mut init = vec![0.0f64; (h * w) as usize];
+    for y in 0..h {
+        for x in 0..w {
+            let dy = (y - h / 2) as f64 / n as f64;
+            let dx = (x - w / 2) as f64 / n as f64;
+            init[(y * w + x) as usize] = (-(dx * dx + dy * dy) * 400.0).exp();
+        }
+    }
+
+    // Serial reference.
+    let mut serial = vec![init.clone(), init.clone(), init.clone()];
+    let last = op.run(&mut serial, steps, 2).expect("serial run");
+    let want = serial[last].clone();
+
+    // Distributed: compile the rank-local module once, run 4 rank threads.
+    let dist = op.compile_distributed(&[2, 2]).expect("distributes");
+    println!("--- rank-local module contains dmp.swap halo exchanges ---");
+    let swaps = {
+        let mut n = 0;
+        dist.walk(|o| {
+            if o.name == "dmp.swap" {
+                n += 1;
+            }
+        });
+        n
+    };
+    println!("dmp.swap ops per step: {swaps}");
+
+    let world = SimWorld::new(4);
+    let core = n / 2;
+    let local = core + op.halo_lo[0] + op.halo_hi[0];
+    let results: Vec<(usize, Vec<f64>)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4i64)
+            .map(|rank| {
+                let world = Arc::clone(&world);
+                let op = op.clone();
+                let dist = &dist;
+                let init = &init;
+                scope.spawn(move |_| {
+                    let (ry, rx) = (rank / 2, rank % 2);
+                    let mut data = Vec::with_capacity((local * local) as usize);
+                    for y in 0..local {
+                        for x in 0..local {
+                            let gy = ry * core + y;
+                            let gx = rx * core + x;
+                            data.push(init[(gy * w + gx) as usize]);
+                        }
+                    }
+                    let mut bufs = vec![data.clone(), data.clone(), data];
+                    let last = op
+                        .run_distributed(dist, &mut bufs, steps, 1, &world, rank)
+                        .expect("rank run");
+                    (last, bufs[last].clone())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    // Gather and compare the owned interiors.
+    let r = op.halo_lo[0];
+    let mut max_err = 0.0f64;
+    for (rank, (_, out)) in results.iter().enumerate() {
+        let (ry, rx) = ((rank as i64) / 2, (rank as i64) % 2);
+        for y in 0..core {
+            for x in 0..core {
+                let gy = ry * core + y + r;
+                let gx = rx * core + x + r;
+                let got = out[((y + r) * local + (x + r)) as usize];
+                let exp = want[(gy * w + gx) as usize];
+                max_err = max_err.max((got - exp).abs());
+            }
+        }
+    }
+    println!(
+        "4 ranks vs serial: max |error| = {max_err:.3e} over {} points",
+        (n * n)
+    );
+    println!(
+        "halo traffic: {} messages, {} elements",
+        world.total_sent_messages(),
+        world.total_sent_elements()
+    );
+    assert!(max_err < 1e-9, "distributed run must match serial");
+    println!("distributed wave propagation matches the serial solver ✓");
+}

@@ -1,0 +1,75 @@
+//! Heat diffusion through the Devito-like frontend (the paper's
+//! Listing 5), executed with the compiled-kernel engine on all cores.
+//!
+//! Run with: `cargo run --release --example heat_diffusion`
+
+use std::time::Instant;
+use stencil_stack::prelude::*;
+
+fn main() {
+    // u_t = α ∇²u on a 512×512 grid, 9-point stencil (space order 4).
+    let op = problems::heat(&[512, 512], 4, 0.5).expect("valid operator");
+    println!(
+        "operator: {} | stencil points: {} | flops/point: {} (factorized)",
+        op.func_name,
+        op.stencil_points(),
+        op.flops_per_point()
+    );
+
+    // Show the generated stencil IR.
+    let module = op.compile().expect("compiles");
+    println!("--- stencil IR (truncated) ---");
+    for line in print_module(&module).lines().take(18) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    // Initial condition: a hot square in the centre.
+    let shape = op.field_shape();
+    let (h, w) = (shape[0], shape[1]);
+    let mut init = vec![0.0f64; (h * w) as usize];
+    for y in 200..312 {
+        for x in 200..312 {
+            init[(y * w + x) as usize] = 1.0;
+        }
+    }
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let steps = 200;
+    let mut buffers = vec![init.clone(), init];
+    let start = Instant::now();
+    let last = op.run(&mut buffers, steps, threads).expect("runs");
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let final_field = &buffers[last];
+    let peak = final_field.iter().cloned().fold(0.0f64, f64::max);
+    let mass: f64 = final_field.iter().sum();
+    let points = 512.0 * 512.0 * steps as f64;
+    println!(
+        "{steps} steps on {threads} threads: {:.3}s  ({:.3} GPts/s measured)",
+        elapsed,
+        points / elapsed / 1e9
+    );
+    // Heat must have leaked past the edge of the (initially sharp) block,
+    // while the maximum never exceeds the initial temperature.
+    let just_outside = final_field[(196 * w + 256) as usize];
+    println!(
+        "peak temperature {peak:.4}, heat just outside the block {just_outside:.3e}, \
+         total heat {mass:.1}"
+    );
+    assert!(peak <= 1.0 + 1e-12);
+    assert!(just_outside > 0.0, "diffusion front has moved");
+
+    // The analytic ARCHER2 model for comparison (this machine is not an
+    // EPYC-7742 node; see EXPERIMENTS.md).
+    let pipeline = compile_pipeline(&module, "step").expect("pipeline");
+    let profile =
+        stencil_stack::perf::KernelProfile::from_pipeline("heat2d-9pt", 2, &pipeline);
+    let node = stencil_stack::perf::archer2_node();
+    let modeled = stencil_stack::perf::node_throughput(
+        &profile,
+        &node,
+        stencil_stack::perf::CpuPipeline::Xdsl,
+    );
+    println!("ARCHER2-node model for this kernel: {modeled:.2} GPts/s");
+}

@@ -1,0 +1,75 @@
+//! The PSyclone path (paper §5.2): Fortran in, shared stack out.
+//!
+//! Parses the PW-advection and tracer-advection Fortran kernels, shows
+//! stencil recognition and the fusion statistics of §6.2 (PW: 3 → 1
+//! region; tracer advection: 24 → 18 regions), and executes the fused PW
+//! kernel.
+//!
+//! Run with: `cargo run --release --example psyclone_advection`
+
+use stencil_stack::prelude::*;
+use stencil_stack::psyclone::kernels;
+
+fn main() {
+    println!("--- PW advection (MONC) ---");
+    println!("{}", kernels::PW_ADVECTION_SRC.trim());
+    let pw = kernels::pw_advection(64, 64, 32).expect("builds");
+    println!(
+        "\nstencils recognized: {} | regions before fusion: {} | after: {}",
+        pw.kernel.stencils.len(),
+        pw.regions_before,
+        pw.regions_after
+    );
+    assert_eq!((pw.regions_before, pw.regions_after), (3, 1));
+
+    println!("\n--- tracer advection (NEMO-style MUSCL, 6 tracers) ---");
+    let ta = kernels::tracer_advection(64, 32, 16).expect("builds");
+    println!(
+        "stencils recognized: {} | regions before fusion: {} | after: {}",
+        ta.kernel.stencils.len(),
+        ta.regions_before,
+        ta.regions_after
+    );
+    assert_eq!((ta.regions_before, ta.regions_after), (24, 18));
+    println!("(dependencies through the slope/flux work arrays block further fusion — §6.2)");
+
+    // Execute the fused PW kernel with the compiled engine.
+    let pipeline = compile_pipeline(&pw.module, "pw_advection").expect("compiles");
+    println!(
+        "\nfused PW pipeline: {} apply step(s), {:.1} flops/point",
+        pipeline.num_apply_steps(),
+        pipeline.flops_per_step() as f64 / pipeline.points_per_step().max(1) as f64
+    );
+    let mut runner = Runner::new(pipeline.clone(), 4);
+    let mut args: Vec<Vec<f64>> = pw
+        .module
+        .lookup_symbol("pw_advection")
+        .map(|f| {
+            let fty = stencil_stack::dialects::func::FuncOp(f).function_type().clone();
+            fty.inputs
+                .iter()
+                .enumerate()
+                .map(|(i, ty)| {
+                    let stencil_stack::ir::Type::Field(fld) = ty else { panic!() };
+                    let len: i64 = fld.bounds.shape().iter().product();
+                    (0..len).map(|x| ((x + i as i64) as f64 * 0.002).sin()).collect()
+                })
+                .collect()
+        })
+        .expect("function exists");
+    runner.step(&mut args).expect("runs");
+    let su_norm: f64 = args[3].iter().map(|v| v * v).sum::<f64>().sqrt();
+    println!("after one step: |su| = {su_norm:.4} (momentum source field written) ✓");
+
+    // The paper's Fig. 10a barrier observation, through the model.
+    let profile_pw =
+        stencil_stack::perf::KernelProfile::from_pipeline("pw", 3, &pipeline);
+    let ta_pipeline = compile_pipeline(&ta.module, "tra_adv").expect("compiles");
+    let profile_ta =
+        stencil_stack::perf::KernelProfile::from_pipeline("traadv", 3, &ta_pipeline);
+    println!(
+        "\nparallel regions per step: pw = {}, traadv = {} → the paper's kmp_wait_template \
+         overhead hits traadv at small problem sizes (see fig10 bench)",
+        profile_pw.regions, profile_ta.regions
+    );
+}

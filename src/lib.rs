@@ -1,0 +1,36 @@
+//! # stencil-stack
+//!
+//! A from-scratch Rust reproduction of *"A shared compilation stack for
+//! distributed-memory parallelism in stencil DSLs"* (ASPLOS 2024): the
+//! `stencil`/`dmp`/`mpi` dialect stack, two DSL frontends (Devito-like
+//! symbolic PDEs and PSyclone-like Fortran kernels), an SSA+Regions IR
+//! framework, execution substrates (interpreter, compiled kernels,
+//! simulated MPI), and performance models regenerating every figure and
+//! table of the paper's evaluation.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `examples/` for runnable entry points. Everything is re-exported from
+//! [`stencil_core`]:
+//!
+//! ```
+//! use stencil_stack::prelude::*;
+//!
+//! // Listing 5 of the paper: model 1D heat diffusion symbolically...
+//! let grid = Grid::new(vec![126]);
+//! let u = TimeFunction::new("u", &grid, 2);
+//! let eqn = Eq::new(u.dt(), u.laplace() * 0.5);
+//! let update = solve(&eqn, &u.forward()).unwrap();
+//! let op = Operator::new(vec![Eq::new(u.forward(), update)]).unwrap().on_grid(grid);
+//!
+//! // ...and compile it through the shared stack.
+//! let module = op.compile().unwrap();
+//! let lowered = compile(module, &CompileOptions::shared_cpu()).unwrap();
+//! assert!(lowered.text.contains("scf.parallel"));
+//! ```
+
+pub use stencil_core::*;
+
+/// Commonly used items (re-export of [`stencil_core::prelude`]).
+pub mod prelude {
+    pub use stencil_core::prelude::*;
+}

@@ -1,0 +1,226 @@
+//! Randomized whole-stack equivalence: arbitrary generated stencil
+//! programs (random offsets, coefficients, dimensionality) produce
+//! identical fields at every level — stencil-dialect reference
+//! interpretation, the optimized shared-CPU pipeline, the compiled
+//! bytecode executor, and (for 1D programs with divisible cores) a 2-rank
+//! distributed run over SimMPI.
+
+use proptest::prelude::*;
+use stencil_stack::dialects::{arith, func};
+use stencil_stack::ir::{FieldType, TempType, Type};
+use stencil_stack::prelude::*;
+use stencil_stack::stencil::ops;
+
+#[derive(Clone, Debug)]
+struct RandStencil {
+    /// (offset per dim, coefficient) terms.
+    terms: Vec<(Vec<i64>, f64)>,
+    dims: usize,
+}
+
+fn rand_stencil(dims: usize) -> impl Strategy<Value = RandStencil> {
+    let offset = prop::collection::vec(-2i64..=2, dims);
+    let term = (offset, -2.0f64..2.0);
+    prop::collection::vec(term, 1..6).prop_map(move |mut terms| {
+        // The dmp exchange is a symmetric pairwise swap (as in the paper),
+        // so keep the generated halo symmetric: mirror every term.
+        let mirrored: Vec<(Vec<i64>, f64)> = terms
+            .iter()
+            .map(|(o, c)| (o.iter().map(|x| -x).collect(), 0.5 * c))
+            .collect();
+        terms.extend(mirrored);
+        RandStencil { terms, dims }
+    })
+}
+
+/// Builds `out = Σ c_i · u[x + o_i]` over an interior store range.
+fn build(st: &RandStencil, n: i64) -> Module {
+    let dims = st.dims;
+    let radius = 2i64;
+    let mut m = Module::new();
+    let bounds = Bounds::from_shape(&vec![n; dims]).grown(radius);
+    let fld = Type::Field(FieldType::new(bounds, Type::F64));
+    let (mut f, args) = func::definition(&mut m.values, "rand", vec![fld.clone(), fld], vec![]);
+    let (src, dst) = (args[0], args[1]);
+    let ld = ops::load(&mut m.values, src);
+    let t = ld.result(0);
+    f.region_block_mut(0).ops.push(ld);
+    let terms = st.terms.clone();
+    let ap = ops::apply(
+        &mut m.values,
+        vec![t],
+        vec![Type::Temp(TempType::unknown(dims, Type::F64))],
+        move |vt, a| {
+            let mut body = Vec::new();
+            let mut acc: Option<stencil_stack::ir::Value> = None;
+            for (off, c) in &terms {
+                let access = ops::access(vt, a[0], off.clone());
+                let av = access.result(0);
+                body.push(access);
+                let cv_op = arith::const_f64(vt, *c);
+                let cv = cv_op.result(0);
+                body.push(cv_op);
+                let mul = arith::mulf(vt, cv, av);
+                let mv = mul.result(0);
+                body.push(mul);
+                acc = Some(match acc {
+                    None => mv,
+                    Some(prev) => {
+                        let add = arith::addf(vt, prev, mv);
+                        let v = add.result(0);
+                        body.push(add);
+                        v
+                    }
+                });
+            }
+            let out = acc.expect("at least one term");
+            body.push(ops::ret(vec![out]));
+            body
+        },
+    );
+    let out = ap.result(0);
+    let body = &mut f.region_block_mut(0).ops;
+    body.push(ap);
+    body.push(ops::store(out, dst, vec![0; dims], vec![n; dims]));
+    body.push(func::ret(vec![]));
+    m.body_mut().ops.push(f);
+    stencil_stack::stencil::ShapeInference.run(&mut m).unwrap();
+    m
+}
+
+fn reference(st: &RandStencil, n: i64, input: &[f64]) -> Vec<f64> {
+    // Direct evaluation, independent of the whole stack.
+    let radius = 2i64;
+    let ext = n + 2 * radius;
+    let dims = st.dims;
+    let mut out = input.to_vec();
+    let idx = |p: &[i64]| -> usize {
+        let mut flat = 0i64;
+        for d in 0..dims {
+            flat = flat * ext + (p[d] + radius);
+        }
+        flat as usize
+    };
+    let mut p = vec![0i64; dims];
+    loop {
+        let mut v = 0.0;
+        for (off, c) in &st.terms {
+            let q: Vec<i64> = (0..dims).map(|d| p[d] + off[d]).collect();
+            v += c * input[idx(&q)];
+        }
+        out[idx(&p)] = v;
+        let mut d = dims;
+        let mut done = false;
+        loop {
+            if d == 0 {
+                done = true;
+                break;
+            }
+            d -= 1;
+            p[d] += 1;
+            if p[d] < n {
+                break;
+            }
+            p[d] = 0;
+        }
+        if done {
+            return out;
+        }
+    }
+}
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-9 * (1.0 + x.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_1d_stencils_agree_at_all_levels(st in rand_stencil(1), seed in 0u64..1000) {
+        let n = 16i64;
+        let m = build(&st, n);
+        let ext = (n + 4) as usize;
+        let input: Vec<f64> =
+            (0..ext).map(|i| ((i as f64) * 0.37 + seed as f64 * 0.11).sin()).collect();
+        let want = reference(&st, n, &input);
+
+        // Level A: stencil-dialect interpretation.
+        let run = |m: &Module| {
+            let src = BufView::from_data(vec![n + 4], input.clone());
+            let dst = BufView::from_data(vec![n + 4], input.clone());
+            Interpreter::new(m)
+                .call_function("rand", vec![RtValue::Buffer(src), RtValue::Buffer(dst.clone())])
+                .unwrap();
+            dst.to_vec()
+        };
+        let a = run(&m);
+        prop_assert!(close(&a, &want), "stencil level vs direct reference");
+
+        // Level B: full optimized shared-CPU pipeline.
+        let compiled = compile(m.clone(), &CompileOptions::shared_cpu()).unwrap();
+        prop_assert!(close(&run(&compiled.module), &want), "optimized pipeline");
+
+        // Level C: compiled bytecode executor.
+        let pipeline = compile_pipeline(&m, "rand").unwrap();
+        let mut args = vec![input.clone(), input.clone()];
+        Runner::new(pipeline, 1).step(&mut args).unwrap();
+        prop_assert!(close(&args[1], &want), "bytecode executor");
+
+        // Level D: 2-rank distributed over SimMPI (n divisible by 2).
+        let dist = compile(m, &CompileOptions::distributed(vec![2])).unwrap();
+        let core = n / 2;
+        let f = dist.module.lookup_symbol("rand").unwrap();
+        let fty = stencil_stack::dialects::func::FuncOp(f).function_type().clone();
+        let stencil_stack::ir::Type::MemRef(mt) = &fty.inputs[0] else {
+            panic!("lowered arg is a memref")
+        };
+        let local = mt.shape[0];
+        let input_ref = input.clone();
+        let (results, _) = run_spmd(&dist.module, "rand", 2, &move |rank| {
+            let start = rank as i64 * core;
+            let data: Vec<f64> =
+                (0..local).map(|i| input_ref[(start + i) as usize]).collect();
+            vec![
+                ArgSpec::Buffer { shape: vec![local], data: data.clone() },
+                ArgSpec::Buffer { shape: vec![local], data },
+            ]
+        })
+        .unwrap();
+        let mut got = input.clone();
+        let r = 2i64;
+        for (rank, res) in results.iter().enumerate() {
+            let start = rank as i64 * core;
+            for l in 0..core {
+                got[(start + l + r) as usize] = res.buffers[1][(l + r) as usize];
+            }
+        }
+        prop_assert!(close(&got, &want), "2-rank distributed");
+    }
+
+    #[test]
+    fn random_2d_stencils_agree(st in rand_stencil(2), seed in 0u64..1000) {
+        let n = 10i64;
+        let m = build(&st, n);
+        let ext = ((n + 4) * (n + 4)) as usize;
+        let input: Vec<f64> =
+            (0..ext).map(|i| ((i as f64) * 0.23 + seed as f64 * 0.07).cos()).collect();
+        let want = reference(&st, n, &input);
+
+        let run = |m: &Module| {
+            let src = BufView::from_data(vec![n + 4, n + 4], input.clone());
+            let dst = BufView::from_data(vec![n + 4, n + 4], input.clone());
+            Interpreter::new(m)
+                .call_function("rand", vec![RtValue::Buffer(src), RtValue::Buffer(dst.clone())])
+                .unwrap();
+            dst.to_vec()
+        };
+        prop_assert!(close(&run(&m), &want), "stencil level");
+        let compiled = compile(m.clone(), &CompileOptions::shared_cpu()).unwrap();
+        prop_assert!(close(&run(&compiled.module), &want), "optimized pipeline");
+        let pipeline = compile_pipeline(&m, "rand").unwrap();
+        let mut args = vec![input.clone(), input.clone()];
+        Runner::new(pipeline, 4).step(&mut args).unwrap();
+        prop_assert!(close(&args[1], &want), "threaded executor");
+    }
+}

@@ -1,0 +1,208 @@
+//! Printer/parser round-trips at every lowering level, plus randomized
+//! round-trip property tests over generated IR.
+
+use proptest::prelude::*;
+use stencil_stack::prelude::*;
+
+fn assert_round_trip(m: &Module, label: &str) {
+    let text = print_module(m);
+    let reparsed = parse_module(&text).unwrap_or_else(|e| panic!("{label}: {e}\n{text}"));
+    assert_eq!(print_module(&reparsed), text, "{label} round-trip");
+    // The reparsed module must also verify.
+    verify_module(&reparsed, Some(&standard_registry()))
+        .unwrap_or_else(|e| panic!("{label}: reparsed module fails verification: {e}"));
+}
+
+#[test]
+fn every_lowering_level_round_trips() {
+    let mut m = stencil_stack::stencil::samples::heat_2d(24, 0.1);
+    assert_round_trip(&m, "stencil level");
+    stencil_stack::stencil::ShapeInference.run(&mut m).unwrap();
+    assert_round_trip(&m, "shape-inferred");
+    stencil_stack::dmp::DistributeStencil::new(vec![2, 2]).run(&mut m).unwrap();
+    stencil_stack::stencil::ShapeInference.run(&mut m).unwrap();
+    assert_round_trip(&m, "distributed (dmp)");
+    stencil_stack::stencil::StencilToLoops.run(&mut m).unwrap();
+    assert_round_trip(&m, "loops");
+    stencil_stack::mpi::DmpToMpi.run(&mut m).unwrap();
+    assert_round_trip(&m, "mpi dialect");
+    stencil_stack::mpi::MpiToFunc.run(&mut m).unwrap();
+    assert_round_trip(&m, "func/MPI calls");
+}
+
+#[test]
+fn devito_and_psyclone_outputs_round_trip() {
+    let op = problems::acoustic_wave(&[16, 16], 4, 1.0).unwrap();
+    assert_round_trip(&op.compile().unwrap(), "devito wave");
+    assert_round_trip(&op.compile_with_time_loop(4).unwrap(), "devito time loop");
+    let pw = stencil_stack::psyclone::kernels::pw_advection(8, 8, 4).unwrap();
+    assert_round_trip(&pw.module, "psyclone pw advection");
+    let ta = stencil_stack::psyclone::kernels::tracer_advection(8, 4, 2).unwrap();
+    assert_round_trip(&ta.module, "psyclone tracer advection");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized IR round-trips: build arbitrary (but valid) arith/scf modules
+// and check print → parse → print is the identity.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum GenOp {
+    ConstF(f64),
+    ConstI(i64),
+    AddF(usize, usize),
+    MulF(usize, usize),
+    AddI(usize, usize),
+    Cmp(usize, usize),
+    Select(usize, usize, usize),
+    Loop(Vec<GenOp>),
+}
+
+fn gen_op(depth: u32) -> impl Strategy<Value = GenOp> {
+    let leaf = prop_oneof![
+        (-1e3f64..1e3f64).prop_map(GenOp::ConstF),
+        (-1000i64..1000).prop_map(GenOp::ConstI),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| GenOp::AddF(a, b)),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| GenOp::MulF(a, b)),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| GenOp::AddI(a, b)),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| GenOp::Cmp(a, b)),
+        (0usize..8, 0usize..8, 0usize..8).prop_map(|(c, a, b)| GenOp::Select(c, a, b)),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            4 => leaf,
+            1 => prop::collection::vec(gen_op(depth - 1), 1..4).prop_map(GenOp::Loop),
+        ]
+        .boxed()
+    }
+    .prop_map(|x| x)
+}
+
+/// Materializes generated ops into a module, tracking value pools by type
+/// so operand picks are always type-correct.
+fn build(ops: &[GenOp]) -> Module {
+    use stencil_stack::dialects::arith;
+    let mut m = Module::new();
+    let seed_f = arith::const_f64(&mut m.values, 1.0);
+    let seed_i = arith::const_index(&mut m.values, 1);
+    let mut floats = vec![seed_f.result(0)];
+    let mut ints = vec![seed_i.result(0)];
+    let mut bools = Vec::new();
+    m.body_mut().ops.push(seed_f);
+    m.body_mut().ops.push(seed_i);
+
+    fn emit(
+        gen: &[GenOp],
+        vt: &mut stencil_stack::ir::ValueTable,
+        out: &mut Vec<stencil_stack::ir::Op>,
+        floats: &mut Vec<stencil_stack::ir::Value>,
+        ints: &mut Vec<stencil_stack::ir::Value>,
+        bools: &mut Vec<stencil_stack::ir::Value>,
+    ) {
+        use stencil_stack::dialects::{arith, scf};
+        for g in gen {
+            match g {
+                GenOp::ConstF(v) => {
+                    let op = arith::const_f64(vt, *v);
+                    floats.push(op.result(0));
+                    out.push(op);
+                }
+                GenOp::ConstI(v) => {
+                    let op = arith::const_index(vt, *v);
+                    ints.push(op.result(0));
+                    out.push(op);
+                }
+                GenOp::AddF(a, b) => {
+                    let op =
+                        arith::addf(vt, floats[a % floats.len()], floats[b % floats.len()]);
+                    floats.push(op.result(0));
+                    out.push(op);
+                }
+                GenOp::MulF(a, b) => {
+                    let op =
+                        arith::mulf(vt, floats[a % floats.len()], floats[b % floats.len()]);
+                    floats.push(op.result(0));
+                    out.push(op);
+                }
+                GenOp::AddI(a, b) => {
+                    let op = arith::addi(vt, ints[a % ints.len()], ints[b % ints.len()]);
+                    ints.push(op.result(0));
+                    out.push(op);
+                }
+                GenOp::Cmp(a, b) => {
+                    let op = arith::cmpi(
+                        vt,
+                        arith::CmpIPredicate::Slt,
+                        ints[a % ints.len()],
+                        ints[b % ints.len()],
+                    );
+                    bools.push(op.result(0));
+                    out.push(op);
+                }
+                GenOp::Select(c, a, b) => {
+                    if bools.is_empty() {
+                        continue;
+                    }
+                    let op = arith::select(
+                        vt,
+                        bools[c % bools.len()],
+                        floats[a % floats.len()],
+                        floats[b % floats.len()],
+                    );
+                    floats.push(op.result(0));
+                    out.push(op);
+                }
+                GenOp::Loop(body) => {
+                    let lo = ints[0];
+                    // Loops capture the *current* pools; values defined
+                    // inside must not escape, so emit into a fresh pool
+                    // copy.
+                    let mut f2 = floats.clone();
+                    let mut i2 = ints.clone();
+                    let mut b2 = bools.clone();
+                    let op = scf::for_loop(vt, lo, lo, lo, vec![], |vt2, iv, _| {
+                        i2.push(iv);
+                        let mut inner = Vec::new();
+                        emit(body, vt2, &mut inner, &mut f2, &mut i2, &mut b2);
+                        inner.push(scf::yield_op(vec![]));
+                        inner
+                    });
+                    out.push(op);
+                }
+            }
+        }
+    }
+
+    let mut body = std::mem::take(&mut m.body_mut().ops);
+    emit(ops, &mut m.values, &mut body, &mut floats, &mut ints, &mut bools);
+    m.body_mut().ops = body;
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_modules_round_trip(ops in prop::collection::vec(gen_op(2), 1..24)) {
+        let m = build(&ops);
+        verify_module(&m, Some(&standard_registry())).expect("generated IR is valid");
+        let text = print_module(&m);
+        let re = parse_module(&text).expect("parses");
+        prop_assert_eq!(print_module(&re), text);
+    }
+
+    #[test]
+    fn random_modules_survive_optimization(ops in prop::collection::vec(gen_op(1), 1..16)) {
+        use std::sync::Arc;
+        let mut m = build(&ops);
+        let reg = Arc::new(standard_registry());
+        stencil_stack::dialects::canonicalize::Canonicalize.run(&mut m).unwrap();
+        stencil_stack::ir::transforms::CommonSubexprElimination::new(Arc::clone(&reg))
+            .run(&mut m)
+            .unwrap();
+        stencil_stack::ir::transforms::DeadCodeElimination::new(reg).run(&mut m).unwrap();
+        verify_module(&m, Some(&standard_registry())).expect("optimized IR is valid");
+    }
+}

@@ -1,16 +1,49 @@
-//! Criterion micro-benchmarks: real measured execution of the stack's
-//! code paths on this machine (complementing the figure binaries, which
-//! model the paper's machines).
+//! Micro-benchmarks: real measured execution of the stack's code paths on
+//! this machine (complementing the figure binaries, which model the
+//! paper's machines).
+//!
+//! Runs under `cargo bench` with a minimal self-contained harness (the
+//! build environment has no crates.io access, so no criterion): each case
+//! is warmed up, then timed over enough iterations to fill ~200 ms, and
+//! the mean/min wall time per iteration is reported.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use stencil_core::prelude::*;
+
+/// Times `f`, returning (mean, min) per-iteration durations.
+fn measure(mut f: impl FnMut()) -> (Duration, Duration) {
+    f(); // warm-up
+    let budget = Duration::from_millis(200);
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().max(Duration::from_micros(1));
+    let iters = (budget.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1000.0) as u32;
+    let mut min = Duration::MAX;
+    let total_start = Instant::now();
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        min = min.min(start.elapsed());
+    }
+    (total_start.elapsed() / iters, min)
+}
+
+fn report(group: &str, case: &str, elements: Option<u64>, mut f: impl FnMut()) {
+    let (mean, min) = measure(&mut f);
+    let throughput = elements
+        .map(|e| format!("  {:>8.1} Melem/s", e as f64 / mean.as_secs_f64() / 1e6))
+        .unwrap_or_default();
+    println!(
+        "{group:<28} {case:<12} mean {:>10.3} ms  min {:>10.3} ms{throughput}",
+        mean.as_secs_f64() * 1e3,
+        min.as_secs_f64() * 1e3,
+    );
+}
 
 /// One compiled-executor timestep of heat diffusion per space order
 /// (the Fig. 7 kernels, measured locally at reduced size).
-fn bench_heat_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heat2d_step");
-    group.sample_size(10);
+fn bench_heat_kernels() {
     for so in [2usize, 4, 6] {
         let n = 256i64;
         let op = problems::heat(&[n, n], so, 0.5).unwrap();
@@ -19,20 +52,16 @@ fn bench_heat_kernels(c: &mut Criterion) {
         let shape = op.field_shape();
         let len: i64 = shape.iter().product();
         let init: Vec<f64> = (0..len).map(|i| (i as f64 * 0.01).sin()).collect();
-        group.throughput(Throughput::Elements((n * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("so{so}")), &so, |b, _| {
-            let mut runner = Runner::new(pipeline.clone(), 1);
-            let mut args = vec![init.clone(), init.clone()];
-            b.iter(|| runner.step(&mut args).unwrap());
+        let mut runner = Runner::new(pipeline, 1);
+        let mut args = vec![init.clone(), init];
+        report("heat2d_step", &format!("so{so}"), Some((n * n) as u64), || {
+            runner.step(&mut args).unwrap();
         });
     }
-    group.finish();
 }
 
 /// 3D wave kernel, serial vs threaded executor.
-fn bench_wave3d_threads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wave3d_step");
-    group.sample_size(10);
+fn bench_wave3d_threads() {
     let n = 64i64;
     let op = problems::acoustic_wave(&[n, n, n], 4, 1.0).unwrap();
     let module = op.compile().unwrap();
@@ -40,109 +69,80 @@ fn bench_wave3d_threads(c: &mut Criterion) {
     let shape = op.field_shape();
     let len: i64 = shape.iter().product();
     let init: Vec<f64> = (0..len).map(|i| (i as f64 * 0.01).cos()).collect();
-    group.throughput(Throughput::Elements((n * n * n) as u64));
     for threads in [1usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{threads}thr")),
-            &threads,
-            |b, &threads| {
-                let mut runner = Runner::new(pipeline.clone(), threads);
-                let mut args = vec![init.clone(), init.clone(), init.clone()];
-                b.iter(|| runner.step(&mut args).unwrap());
-            },
-        );
+        let mut runner = Runner::new(pipeline.clone(), threads);
+        let mut args = vec![init.clone(), init.clone(), init.clone()];
+        report("wave3d_step", &format!("{threads}thr"), Some((n * n * n) as u64), || {
+            runner.step(&mut args).unwrap();
+        });
     }
-    group.finish();
 }
 
 /// Interpreter versus compiled executor on the same lowered module.
-fn bench_interp_vs_exec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("jacobi1d_interp_vs_exec");
-    group.sample_size(10);
+fn bench_interp_vs_exec() {
     let n = 4096i64;
     let mut m = stencil_core::stencil::samples::jacobi_1d(n);
     stencil_core::stencil::ShapeInference.run(&mut m).unwrap();
     let init: Vec<f64> = (0..n).map(|i| (i as f64 * 0.001).sin()).collect();
 
-    group.bench_function("interpreter", |b| {
-        let mut lowered = m.clone();
-        stencil_core::stencil::StencilToLoops.run(&mut lowered).unwrap();
-        b.iter(|| {
-            let src = BufView::from_data(vec![n], init.clone());
-            let dst = BufView::from_data(vec![n], init.clone());
-            Interpreter::new(&lowered)
-                .call_function(
-                    "jacobi",
-                    vec![RtValue::Buffer(src), RtValue::Buffer(dst)],
-                )
-                .unwrap();
-        });
+    let mut lowered = m.clone();
+    stencil_core::stencil::StencilToLoops.run(&mut lowered).unwrap();
+    report("jacobi1d", "interpreter", Some(n as u64), || {
+        let src = BufView::from_data(vec![n], init.clone());
+        let dst = BufView::from_data(vec![n], init.clone());
+        Interpreter::new(&lowered)
+            .call_function("jacobi", vec![RtValue::Buffer(src), RtValue::Buffer(dst)])
+            .unwrap();
     });
-    group.bench_function("compiled", |b| {
-        let pipeline = compile_pipeline(&m, "jacobi").unwrap();
-        let mut runner = Runner::new(pipeline, 1);
-        let mut args = vec![init.clone(), init.clone()];
-        b.iter(|| runner.step(&mut args).unwrap());
+
+    let pipeline = compile_pipeline(&m, "jacobi").unwrap();
+    let mut runner = Runner::new(pipeline, 1);
+    let mut args = vec![init.clone(), init];
+    report("jacobi1d", "compiled", Some(n as u64), || {
+        runner.step(&mut args).unwrap();
     });
-    group.finish();
 }
 
 /// The full shared-stack compilation pipeline (shape inference through
-/// cleanup) — compile-time cost.
-fn bench_compile_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
-    group.sample_size(10);
-    group.bench_function("heat2d_shared_cpu", |b| {
-        b.iter(|| {
-            let m = stencil_core::stencil::samples::heat_2d(64, 0.1);
-            compile(m, &CompileOptions::shared_cpu()).unwrap()
-        });
+/// cleanup) — compile-time cost, cold versus warm cache.
+fn bench_compile_pipeline() {
+    report("compile", "heat2d_cold", None, || {
+        let m = stencil_core::stencil::samples::heat_2d(64, 0.1);
+        compile(m, &CompileOptions::shared_cpu().with_cache(false)).unwrap();
     });
-    group.bench_function("jacobi_distributed_to_mpi", |b| {
-        b.iter(|| {
-            let m = stencil_core::stencil::samples::jacobi_1d(128);
-            compile(m, &CompileOptions::distributed(vec![2])).unwrap()
-        });
+    report("compile", "heat2d_warm", None, || {
+        let m = stencil_core::stencil::samples::heat_2d(64, 0.1);
+        compile(m, &CompileOptions::shared_cpu()).unwrap();
     });
-    group.finish();
+    report("compile", "jacobi_dist", None, || {
+        let m = stencil_core::stencil::samples::jacobi_1d(128);
+        compile(m, &CompileOptions::distributed(vec![2]).with_cache(false)).unwrap();
+    });
 }
 
-/// SimMPI halo-exchange latency: one full dmp.swap round between two rank
-/// threads.
-fn bench_simmpi_halo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simmpi_halo_exchange");
-    group.sample_size(10);
+/// SimMPI halo-exchange latency: one full round between two rank threads.
+fn bench_simmpi_halo() {
     for elems in [64usize, 4096] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{elems}elem")),
-            &elems,
-            |b, &elems| {
-                b.iter(|| {
-                    let world = SimWorld::new(2);
-                    crossbeam::thread::scope(|scope| {
-                        for rank in 0..2i32 {
-                            let world = Arc::clone(&world);
-                            scope.spawn(move |_| {
-                                let peer = 1 - rank;
-                                let data = vec![rank as f64; elems];
-                                world.send(rank, peer, 7, data);
-                                let _ = world.recv(rank, peer, 7);
-                            });
-                        }
-                    })
-                    .unwrap();
-                });
-            },
-        );
+        report("simmpi_halo", &format!("{elems}elem"), None, || {
+            let world = SimWorld::new(2);
+            std::thread::scope(|scope| {
+                for rank in 0..2i32 {
+                    let world = Arc::clone(&world);
+                    scope.spawn(move || {
+                        let peer = 1 - rank;
+                        let data = vec![rank as f64; elems];
+                        world.send(rank, peer, 7, data);
+                        let _ = world.recv(rank, peer, 7);
+                    });
+                }
+            });
+        });
     }
-    group.finish();
 }
 
 /// PW advection: fused vs unfused execution (the §6.2 fusion effect,
 /// measured).
-fn bench_pw_fusion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pw_advection");
-    group.sample_size(10);
+fn bench_pw_fusion() {
     let fused = stencil_core::psyclone::kernels::pw_advection(48, 48, 24).unwrap();
     let sub =
         stencil_core::psyclone::parse_fortran(stencil_core::psyclone::kernels::PW_ADVECTION_SRC)
@@ -172,22 +172,20 @@ fn bench_pw_fusion(c: &mut Criterion) {
                 (0..len).map(|x| (x as f64 * 0.004).sin()).collect()
             })
             .collect();
-        group.bench_function(label, |b| {
-            let mut runner = Runner::new(pipeline.clone(), 1);
-            let mut args = init.clone();
-            b.iter(|| runner.step(&mut args).unwrap());
+        let mut runner = Runner::new(pipeline, 1);
+        let mut args = init;
+        report("pw_advection", label, None, || {
+            runner.step(&mut args).unwrap();
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_heat_kernels,
-    bench_wave3d_threads,
-    bench_interp_vs_exec,
-    bench_compile_pipeline,
-    bench_simmpi_halo,
-    bench_pw_fusion
-);
-criterion_main!(benches);
+fn main() {
+    println!("kernels microbenchmarks (self-contained harness)");
+    bench_heat_kernels();
+    bench_wave3d_threads();
+    bench_interp_vs_exec();
+    bench_compile_pipeline();
+    bench_simmpi_halo();
+    bench_pw_fusion();
+}

@@ -3,11 +3,24 @@
 //! Each ablation isolates one of the design decisions the paper calls out
 //! and measures its effect with the real stack (counters come from real
 //! runs over SimMPI or from the real IR; modelled quantities are marked).
+//! Pipeline variants are expressed as `sten-opt` pipeline *strings*
+//! resolved through the global pass registry — ablating a pass means
+//! editing a string, exactly as with `mlir-opt`/`xdsl-opt`.
 
 use std::collections::HashMap;
 use sten_bench::print_table;
 use stencil_core::perf::{archer2_node, node_throughput, CpuPipeline, KernelProfile};
 use stencil_core::prelude::*;
+
+/// Runs a textual pipeline over `module` (cache off: ablations measure
+/// real pass execution).
+fn run_pipeline(module: Module, pipeline: &str) -> Module {
+    Driver::new()
+        .with_cache(None)
+        .run_str(module, pipeline)
+        .unwrap_or_else(|e| panic!("pipeline '{pipeline}': {e}"))
+        .module
+}
 
 /// 1. Redundant swap elimination: communication volume with and without.
 fn ablate_swap_dedup() {
@@ -28,14 +41,14 @@ fn ablate_swap_dedup() {
         ("tcz".to_string(), 0.05f64),
     ]);
     let kernel = stencil_core::psyclone::recognize_stencils(&sub, &cfg).unwrap();
+    // The two variants differ by exactly one pass in the pipeline string.
     let build = |dedup: bool| {
-        let mut m = stencil_core::psyclone::lower_subroutine(&kernel, &scalars).unwrap();
-        stencil_core::dmp::DistributeStencil::new(vec![2]).run(&mut m).unwrap();
-        stencil_core::stencil::ShapeInference.run(&mut m).unwrap();
+        let m = stencil_core::psyclone::lower_subroutine(&kernel, &scalars).unwrap();
+        let mut pipeline = "distribute-stencil{topology=2},shape-inference".to_string();
         if dedup {
-            stencil_core::dmp::EliminateRedundantSwaps.run(&mut m).unwrap();
+            pipeline.push_str(",dmp-eliminate-redundant-swaps");
         }
-        m
+        run_pipeline(m, &pipeline)
     };
     let run = |m: &Module| {
         let mut swaps = 0;
@@ -78,18 +91,8 @@ fn ablate_swap_dedup() {
         "ablation 1: redundant swap elimination (unfused PW advection, 2 ranks, measured)",
         &["dedup", "dmp.swap ops", "halo messages", "elements"],
         &[
-            vec![
-                "off".into(),
-                swaps_off.to_string(),
-                msgs_off.to_string(),
-                elems_off.to_string(),
-            ],
-            vec![
-                "on".into(),
-                swaps_on.to_string(),
-                msgs_on.to_string(),
-                elems_on.to_string(),
-            ],
+            vec!["off".into(), swaps_off.to_string(), msgs_off.to_string(), elems_off.to_string()],
+            vec!["on".into(), swaps_on.to_string(), msgs_on.to_string(), elems_on.to_string()],
         ],
     );
     assert!(msgs_on < msgs_off);
@@ -118,8 +121,7 @@ fn ablate_fusion() {
     let mut rows = Vec::new();
     for (label, module) in [("unfused", &unfused), ("fused", &fused.module)] {
         let pipeline = compile_pipeline(module, "pw_advection").unwrap();
-        let profile = KernelProfile::from_pipeline("pw", 3, &pipeline)
-            .scaled_points(134e6);
+        let profile = KernelProfile::from_pipeline("pw", 3, &pipeline).scaled_points(134e6);
         let modeled = node_throughput(&profile, &node, CpuPipeline::Xdsl);
 
         // Measured: one step with the compiled executor.
@@ -155,7 +157,7 @@ fn ablate_fusion() {
 }
 
 /// 3. Decomposition strategy 1D/2D/3D: surface-to-volume and modeled
-/// scaling at 64 nodes.
+///    scaling at 64 nodes.
 fn ablate_decomposition() {
     use stencil_core::perf::{slingshot, strong_scaling, ScalingConfig};
     let node = archer2_node();
@@ -196,8 +198,8 @@ fn ablate_decomposition() {
 }
 
 /// 4. Bounds-in-types enabling constant folding: arith op counts in the
-/// lowered module with and without canonicalization (the paper's §4.1
-/// claim that static bounds let most address computations fold away).
+///    lowered module with and without canonicalization (the paper's §4.1
+///    claim that static bounds let most address computations fold away).
 fn ablate_constant_folding() {
     let count_arith = |m: &Module| {
         let mut n = 0;
@@ -208,17 +210,13 @@ fn ablate_constant_folding() {
         });
         n
     };
-    let mut m = stencil_core::stencil::samples::heat_2d(64, 0.1);
-    stencil_core::stencil::ShapeInference.run(&mut m).unwrap();
-    stencil_core::stencil::StencilToLoops.run(&mut m).unwrap();
-    let before = count_arith(&m);
-    let reg = std::sync::Arc::new(standard_registry());
-    stencil_core::dialects::canonicalize::Canonicalize.run(&mut m).unwrap();
-    stencil_core::ir::transforms::CommonSubexprElimination::new(std::sync::Arc::clone(&reg))
-        .run(&mut m)
-        .unwrap();
-    stencil_core::ir::transforms::DeadCodeElimination::new(reg).run(&mut m).unwrap();
-    let after = count_arith(&m);
+    let lowered = run_pipeline(
+        stencil_core::stencil::samples::heat_2d(64, 0.1),
+        "shape-inference,convert-stencil-to-loops",
+    );
+    let before = count_arith(&lowered);
+    let cleaned = run_pipeline(lowered, "canonicalize,cse,dce");
+    let after = count_arith(&cleaned);
     print_table(
         "ablation 4: address-computation folding enabled by static bounds (real IR)",
         &["stage", "arith ops in lowered heat2d"],
@@ -248,10 +246,48 @@ fn ablate_tiling() {
     assert!(tiled_bytes < untiled_bytes);
 }
 
+/// 6. Content-addressed compile cache: cold versus warm compile latency
+///    for every §5 target pipeline (a compile-once/run-many operator
+///    stack, as in Devito's architecture).
+fn ablate_compile_cache() {
+    let mut rows = Vec::new();
+    for (label, options) in [
+        ("shared-cpu", CompileOptions::shared_cpu()),
+        ("distributed", CompileOptions::distributed(vec![2])),
+        ("gpu", CompileOptions::gpu()),
+        ("fpga", CompileOptions::fpga(true)),
+    ] {
+        let time = |opts: &CompileOptions| {
+            let m = stencil_core::stencil::samples::heat_2d(48, 0.1);
+            let start = std::time::Instant::now();
+            let out = compile(m, opts).unwrap();
+            (start.elapsed(), out)
+        };
+        let (cold, first) = time(&options);
+        assert!(!first.cache_hit, "{label}: first compile must be cold");
+        let (warm, second) = time(&options);
+        assert!(second.cache_hit, "{label}: repeat compile must hit the cache");
+        assert_eq!(first.text, second.text);
+        rows.push(vec![
+            label.to_string(),
+            format!("{} passes", first.pipeline.len()),
+            format!("{:.3} ms", cold.as_secs_f64() * 1e3),
+            format!("{:.3} ms", warm.as_secs_f64() * 1e3),
+            format!("{:.0}x", cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    print_table(
+        "ablation 6: content-addressed compile cache (heat2d 48², measured)",
+        &["target", "pipeline", "cold compile", "warm compile", "speedup"],
+        &rows,
+    );
+}
+
 fn main() {
     ablate_swap_dedup();
     ablate_fusion();
     ablate_decomposition();
     ablate_constant_folding();
     ablate_tiling();
+    ablate_compile_cache();
 }

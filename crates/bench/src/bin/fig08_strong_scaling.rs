@@ -39,8 +39,7 @@ fn model() {
             global_shape: vec![1024, 1024, 1024],
         };
         let devito_cfg = ScalingConfig { comm_overlap: 0.55, ..xdsl_cfg.clone() };
-        let base =
-            strong_scaling(&xdsl_p, &node, &net, &xdsl_cfg, CpuPipeline::Xdsl, 1);
+        let base = strong_scaling(&xdsl_p, &node, &net, &xdsl_cfg, CpuPipeline::Xdsl, 1);
         let mut rows = Vec::new();
         for nodes in [1u64, 2, 4, 8, 16, 32, 64, 128] {
             let x = strong_scaling(&xdsl_p, &node, &net, &xdsl_cfg, CpuPipeline::Xdsl, nodes);
@@ -92,12 +91,12 @@ fn measured() {
         let (core0, core1) = (n / grid0, n / grid1);
         let r = op.halo_lo[0];
         let start = std::time::Instant::now();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for rank in 0..ranks {
                 let world = Arc::clone(&world);
                 let op = op.clone();
                 let dist = &dist;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let (c0, c1) = (rank / grid1, rank % grid1);
                     let (l0, l1) = (core0 + 2 * r, core1 + 2 * r);
                     let mut data = Vec::with_capacity((l0 * l1) as usize);
@@ -112,8 +111,7 @@ fn measured() {
                     op.run_distributed(dist, &mut bufs, steps, 1, &world, rank).unwrap();
                 });
             }
-        })
-        .unwrap();
+        });
         let secs = start.elapsed().as_secs_f64();
         let pts = (n * n) as f64 * steps as f64;
         rows.push(vec![

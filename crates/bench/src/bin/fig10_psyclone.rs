@@ -19,9 +19,7 @@ fn fig10a() {
     let node = archer2_node();
     let mut rows = Vec::new();
     // PW advection sizes (points): 134m, 1072m, 4288m.
-    for (label, points) in
-        [("pw-134m", 134e6), ("pw-1072m", 1072e6), ("pw-4288m", 4288e6)]
-    {
+    for (label, points) in [("pw-134m", 134e6), ("pw-1072m", 1072e6), ("pw-4288m", 4288e6)] {
         let p = pw_profile(points);
         rows.push(vec![
             label.to_string(),
@@ -55,11 +53,7 @@ fn fig10a() {
 
 fn fig10b() {
     let gpu = v100();
-    let paper = [
-        ("pw-8m", 8e6, 24.14),
-        ("pw-33m", 33e6, 14.60),
-        ("pw-134m", 134e6, 11.01),
-    ];
+    let paper = [("pw-8m", 8e6, 24.14), ("pw-33m", 33e6, 14.60), ("pw-134m", 134e6, 11.01)];
     let mut rows = Vec::new();
     for (label, points, paper_x) in paper {
         let p = pw_profile(points);
@@ -73,11 +67,8 @@ fn fig10b() {
             format!("x{paper_x:.2}"),
         ]);
     }
-    let paper_ta = [
-        ("traadv-4m", 4e6, 0.62),
-        ("traadv-32m", 32e6, 0.83),
-        ("traadv-128m", 128e6, 0.95),
-    ];
+    let paper_ta =
+        [("traadv-4m", 4e6, 0.62), ("traadv-32m", 32e6, 0.83), ("traadv-128m", 128e6, 0.95)];
     for (label, points, paper_x) in paper_ta {
         let p = traadv_profile(points);
         let xdsl = gpu_throughput(&p, &gpu, GpuPipeline::XdslCuda);

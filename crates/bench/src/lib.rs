@@ -28,7 +28,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         .iter()
         .enumerate()
         .map(|(i, h)| {
-            rows.iter().map(|r| r.get(i).map(String::len).unwrap_or(0)).chain([h.len()]).max().unwrap_or(0)
+            rows.iter()
+                .map(|r| r.get(i).map(String::len).unwrap_or(0))
+                .chain([h.len()])
+                .max()
+                .unwrap_or(0)
         })
         .collect();
     let line = |cells: Vec<String>| {
@@ -68,8 +72,8 @@ pub fn heat_profile(dims: usize, so: usize, factorized: bool, points: f64) -> Ke
 pub fn wave_profile(dims: usize, so: usize, factorized: bool, points: f64) -> KernelProfile {
     let small: Vec<i64> = if dims == 2 { vec![48, 48] } else { vec![24, 24, 24] };
     let opt = if factorized { OptLevel::Advanced } else { OptLevel::Noop };
-    let op = stencil_core::devito::problems::acoustic_wave_with_opt(&small, so, 1.0, opt)
-        .expect("wave");
+    let op =
+        stencil_core::devito::problems::acoustic_wave_with_opt(&small, so, 1.0, opt).expect("wave");
     let module = op.compile().expect("compiles");
     let pipeline = compile_pipeline(&module, "step").expect("pipeline");
     KernelProfile::from_pipeline("wave", dims, &pipeline).scaled_points(points)

@@ -30,12 +30,16 @@ pub use sten_exec as exec;
 pub use sten_interp as interp;
 pub use sten_ir as ir;
 pub use sten_mpi as mpi;
+pub use sten_opt as opt;
 pub use sten_perf as perf;
 pub use sten_psyclone as psyclone;
 pub use sten_stencil as stencil;
 
-use sten_ir::{Attribute, DialectRegistry, Module, Pass, PassError, PassManager};
-use std::sync::Arc;
+use sten_ir::{pass::PassTiming, DialectRegistry, Module};
+use sten_opt::{CompileCache, Driver, PipelineError};
+
+/// Errors of [`compile`]: pipeline resolution or pass failures.
+pub type CompileError = PipelineError;
 
 /// The full dialect registry of the shared ecosystem.
 pub fn standard_registry() -> DialectRegistry {
@@ -84,41 +88,72 @@ pub struct CompileOptions {
     pub optimize: bool,
     /// Verify the module after every pass.
     pub verify_each: bool,
+    /// Print a per-pass timing report to stderr after compiling.
+    pub timing: bool,
+    /// Consult the content-addressed compilation cache: a repeated
+    /// compile of the same module under the same pipeline returns the
+    /// cached result without executing a single pass.
+    pub cache: bool,
 }
 
 impl CompileOptions {
-    /// Shared-memory CPU with default tiling.
-    pub fn shared_cpu() -> CompileOptions {
+    fn with_target(target: Target) -> CompileOptions {
         CompileOptions {
-            target: Target::SharedCpu { tile: vec![32, 4] },
+            target,
             fuse: true,
             optimize: true,
             verify_each: true,
+            timing: false,
+            cache: true,
         }
+    }
+
+    /// Shared-memory CPU with default tiling.
+    pub fn shared_cpu() -> CompileOptions {
+        CompileOptions::with_target(Target::SharedCpu { tile: vec![32, 4] })
     }
 
     /// Distributed CPU over `topology`.
     pub fn distributed(topology: Vec<i64>) -> CompileOptions {
-        CompileOptions {
-            target: Target::DistributedCpu { topology },
-            fuse: true,
-            optimize: true,
-            verify_each: true,
-        }
+        CompileOptions::with_target(Target::DistributedCpu { topology })
     }
 
     /// GPU mapping.
     pub fn gpu() -> CompileOptions {
-        CompileOptions { target: Target::Gpu, fuse: true, optimize: true, verify_each: true }
+        CompileOptions::with_target(Target::Gpu)
     }
 
     /// FPGA dataflow mapping.
     pub fn fpga(optimized: bool) -> CompileOptions {
-        CompileOptions {
-            target: Target::Fpga { optimized },
-            fuse: true,
-            optimize: true,
-            verify_each: true,
+        CompileOptions::with_target(Target::Fpga { optimized })
+    }
+
+    /// Enables the per-pass timing report (builder style).
+    #[must_use]
+    pub fn with_timing(mut self, on: bool) -> CompileOptions {
+        self.timing = on;
+        self
+    }
+
+    /// Enables or disables the compile cache (builder style).
+    #[must_use]
+    pub fn with_cache(mut self, on: bool) -> CompileOptions {
+        self.cache = on;
+        self
+    }
+
+    /// The textual pass pipeline this target compiles through — the §5
+    /// pipeline strings, resolved against [`sten_opt::PassRegistry`].
+    pub fn pipeline_string(&self) -> String {
+        match &self.target {
+            Target::SharedCpu { tile } => {
+                sten_opt::pipelines::shared_cpu(tile, self.fuse, self.optimize)
+            }
+            Target::DistributedCpu { topology } => {
+                sten_opt::pipelines::distributed(topology, self.fuse, self.optimize)
+            }
+            Target::Gpu => sten_opt::pipelines::gpu(self.fuse, self.optimize),
+            Target::Fpga { optimized } => sten_opt::pipelines::fpga(*optimized, self.fuse),
         }
     }
 }
@@ -130,127 +165,58 @@ pub struct Compiled {
     pub module: Module,
     /// Its textual form.
     pub text: String,
-    /// The pass pipeline that ran, in order.
+    /// Canonical names of the passes that ran, in order.
     pub pipeline: Vec<&'static str>,
-}
-
-/// Marks `scf.parallel` loops with a GPU-mapping attribute (the stack's
-/// stand-in for the gpu-dialect kernel outlining step; the per-kernel
-/// launch accounting feeds the V100 model).
-struct GpuMapParallel;
-
-impl Pass for GpuMapParallel {
-    fn name(&self) -> &'static str {
-        "gpu-map-parallel-loops"
-    }
-
-    fn run(&self, module: &mut Module) -> Result<(), PassError> {
-        let mut kernels = 0i64;
-        let mut regions = std::mem::take(&mut module.op.regions);
-        for region in &mut regions {
-            for block in &mut region.blocks {
-                for op in &mut block.ops {
-                    op.walk_mut(&mut |o| {
-                        if o.name == "scf.parallel" && o.attr("gpu.kernel").is_none() {
-                            o.set_attr("gpu.kernel", Attribute::int64(kernels));
-                            o.set_attr("gpu.block", Attribute::DenseI64(vec![32, 4, 8]));
-                            kernels += 1;
-                        }
-                    });
-                }
-            }
-        }
-        module.op.regions = regions;
-        Ok(())
-    }
-}
-
-/// Marks stencil applies as HLS dataflow kernels (Fig. 6's `hls` path).
-struct HlsMarkDataflow {
-    optimized: bool,
-}
-
-impl Pass for HlsMarkDataflow {
-    fn name(&self) -> &'static str {
-        "hls-mark-dataflow"
-    }
-
-    fn run(&self, module: &mut Module) -> Result<(), PassError> {
-        let style = if self.optimized { "shift-buffer" } else { "von-neumann" };
-        let mut regions = std::mem::take(&mut module.op.regions);
-        for region in &mut regions {
-            for block in &mut region.blocks {
-                for op in &mut block.ops {
-                    op.walk_mut(&mut |o| {
-                        if o.name == "stencil.apply" {
-                            o.set_attr("hls.dataflow", Attribute::Str(style.to_string()));
-                        }
-                    });
-                }
-            }
-        }
-        module.op.regions = regions;
-        Ok(())
-    }
+    /// The textual pipeline the target resolved to.
+    pub pipeline_string: String,
+    /// Per-pass wall-clock timings (the cold run's timings on a cache
+    /// hit).
+    pub timings: Vec<PassTiming>,
+    /// Whether the result came from the compile cache without executing
+    /// any pass.
+    pub cache_hit: bool,
 }
 
 /// Runs the shared stack on a stencil-level module.
 ///
+/// The target's pipeline string ([`CompileOptions::pipeline_string`]) is
+/// resolved through [`sten_opt::PassRegistry::global`] and driven by
+/// [`sten_opt::Driver`], consulting the content-addressed compile cache
+/// unless `options.cache` is off.
+///
 /// # Errors
 /// Propagates the first failing pass (including per-pass verification
-/// failures when `verify_each` is set).
-pub fn compile(mut module: Module, options: &CompileOptions) -> Result<Compiled, PassError> {
-    let registry = Arc::new(standard_registry());
-    let mut pm = PassManager::new();
-    if options.verify_each {
-        pm = pm.with_verifier(Arc::clone(&registry));
+/// failures when `verify_each` is set) and pipeline-resolution errors.
+pub fn compile(module: Module, options: &CompileOptions) -> Result<Compiled, CompileError> {
+    let pipeline_string = options.pipeline_string();
+    // Driver::new() shares one process-wide dialect registry
+    // (sten_opt::driver::standard_dialects — the same content as
+    // [`standard_registry`]), so the warm path pays no construction.
+    let driver = Driver::new()
+        .with_verify_each(options.verify_each)
+        .with_cache(options.cache.then(CompileCache::global));
+    let out = driver.run_str(module, &pipeline_string)?;
+    if options.timing {
+        sten_opt::eprint_timing_summary(&out);
     }
-    pm.add(sten_stencil::ShapeInference);
-    if options.fuse {
-        pm.add(sten_stencil::StencilFusion);
-        pm.add(sten_stencil::HorizontalFusion);
-        pm.add(sten_stencil::ShapeInference);
-    }
-    match &options.target {
-        Target::SharedCpu { tile } => {
-            pm.add(sten_stencil::StencilToLoops);
-            pm.add(sten_stencil::TileParallelLoops::new(tile.clone()));
-        }
-        Target::DistributedCpu { topology } => {
-            pm.add(sten_dmp::DistributeStencil::new(topology.clone()));
-            pm.add(sten_stencil::ShapeInference);
-            pm.add(sten_dmp::EliminateRedundantSwaps);
-            pm.add(sten_stencil::StencilToLoops);
-            pm.add(sten_mpi::DmpToMpi);
-            pm.add(sten_mpi::MpiToFunc);
-        }
-        Target::Gpu => {
-            pm.add(sten_stencil::StencilToLoops);
-            pm.add(GpuMapParallel);
-        }
-        Target::Fpga { optimized } => {
-            pm.add(HlsMarkDataflow { optimized: *optimized });
-        }
-    }
-    if options.optimize && !matches!(options.target, Target::Fpga { .. }) {
-        pm.add(sten_dialects::canonicalize::Canonicalize);
-        pm.add(sten_dialects::licm::LoopInvariantCodeMotion::new(Arc::clone(&registry)));
-        pm.add(sten_ir::transforms::CommonSubexprElimination::new(Arc::clone(&registry)));
-        pm.add(sten_ir::transforms::DeadCodeElimination::new(Arc::clone(&registry)));
-    }
-    let pipeline = pm.pipeline();
-    pm.run(&mut module)?;
-    let text = sten_ir::print_module(&module);
-    Ok(Compiled { module, text, pipeline })
+    Ok(Compiled {
+        module: out.module,
+        text: out.text,
+        pipeline: out.pipeline,
+        pipeline_string,
+        timings: out.timings,
+        cache_hit: out.cache_hit,
+    })
 }
 
 /// Commonly used items for examples and downstream code.
 pub mod prelude {
-    pub use crate::{compile, standard_registry, CompileOptions, Compiled, Target};
+    pub use crate::{compile, standard_registry, CompileError, CompileOptions, Compiled, Target};
     pub use sten_devito::{problems, solve, Eq, Grid, Operator, OptLevel, TimeFunction};
     pub use sten_exec::{compile_module as compile_pipeline, Runner};
     pub use sten_interp::{run_spmd, ArgSpec, BufView, Interpreter, RtValue, SimWorld};
     pub use sten_ir::{parse_module, print_module, verify_module, Bounds, Module, Pass};
+    pub use sten_opt::{CompileCache, Driver, PassRegistry, PipelineSpec};
 }
 
 #[cfg(test)]
@@ -319,8 +285,7 @@ mod tests {
         };
         let want = run(&reference);
         let compiled =
-            compile(sten_stencil::samples::heat_2d(n, 0.1), &CompileOptions::shared_cpu())
-                .unwrap();
+            compile(sten_stencil::samples::heat_2d(n, 0.1), &CompileOptions::shared_cpu()).unwrap();
         let got = run(&compiled.module);
         assert_eq!(got, want, "optimized pipeline preserves semantics");
     }

@@ -78,12 +78,8 @@ impl Expr {
         let c = self.terms.entry(a).or_insert(0.0);
         *c += coeff;
         if *c == 0.0 {
-            let key: Vec<Access> = self
-                .terms
-                .iter()
-                .filter(|(_, v)| **v == 0.0)
-                .map(|(k, _)| k.clone())
-                .collect();
+            let key: Vec<Access> =
+                self.terms.iter().filter(|(_, v)| **v == 0.0).map(|(k, _)| k.clone()).collect();
             for k in key {
                 self.terms.remove(&k);
             }
@@ -102,11 +98,7 @@ impl Expr {
 
     /// The largest spatial radius over all accesses.
     pub fn radius(&self) -> i64 {
-        self.terms
-            .keys()
-            .flat_map(|a| a.offsets.iter().map(|o| o.abs()))
-            .max()
-            .unwrap_or(0)
+        self.terms.keys().flat_map(|a| a.offsets.iter().map(|o| o.abs())).max().unwrap_or(0)
     }
 
     /// Relative time indices read by this expression.

@@ -15,9 +15,9 @@
 
 use crate::expr::{Access, Eq, Expr};
 use crate::grid::Grid;
+use std::collections::BTreeMap;
 use sten_dialects::{arith, func, scf};
 use sten_ir::{Bounds, FieldType, Module, Op, Pass as _, TempType, Type, Value, ValueTable};
-use std::collections::BTreeMap;
 
 /// Devito-style optimization level.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -263,8 +263,7 @@ impl Operator {
         let bounds = self.field_bounds();
         let field_ty = Type::Field(FieldType::new(bounds, Type::F64));
         let n_args = self.num_buffers();
-        let (mut f, args) =
-            func::definition(&mut m.values, "step", vec![field_ty; n_args], vec![]);
+        let (mut f, args) = func::definition(&mut m.values, "step", vec![field_ty; n_args], vec![]);
         // args: [t-1,] t, t+1.
         let mut args_by_time: BTreeMap<i64, Value> = BTreeMap::new();
         let read_times: Vec<i64> = if self.time_order == 2 { vec![-1, 0] } else { vec![0] };
@@ -347,53 +346,44 @@ impl Operator {
         let rank = self.grid.rank();
         let time_order = self.time_order;
         let this = self.clone();
-        let loop_op = scf::for_loop(
-            &mut m.values,
-            lov,
-            hiv,
-            onev,
-            args.clone(),
-            |vt, _t, bufs| {
-                let _ = (&update, opt);
-                let mut ops: Vec<Op> = Vec::new();
-                // Roles: bufs = [t-1,] t, t+1 at this iteration.
-                let read_times: Vec<i64> = if time_order == 2 { vec![-1, 0] } else { vec![0] };
-                let mut loaded = Vec::new();
-                for (i, _) in read_times.iter().enumerate() {
-                    let ld = sten_stencil::ops::load(vt, bufs[i]);
-                    loaded.push(ld.result(0));
-                    ops.push(ld);
-                }
-                let mut args_by_time = BTreeMap::new();
-                let apply = sten_stencil::ops::apply(
-                    vt,
-                    loaded.clone(),
-                    vec![Type::Temp(TempType::unknown(rank, Type::F64))],
-                    |vt2, region_args| {
-                        for (i, &t) in read_times.iter().enumerate() {
-                            args_by_time.insert(t, region_args[i]);
-                        }
-                        let (body, _) = this.emit_update(vt2, &args_by_time);
-                        body
-                    },
-                );
-                let outv = apply.result(0);
-                ops.push(apply);
-                ops.push(sten_stencil::ops::store(
-                    outv,
-                    bufs[bufs.len() - 1],
-                    vec![0; rank],
-                    shape.clone(),
-                ));
-                // Rotate: new (t-1) = old t, new t = old t+1 (just
-                // written), new t+1 = oldest buffer (recycled).
-                let rotated: Vec<Value> = (0..bufs.len())
-                    .map(|i| bufs[(i + 1) % bufs.len()])
-                    .collect();
-                ops.push(scf::yield_op(rotated));
-                ops
-            },
-        );
+        let loop_op = scf::for_loop(&mut m.values, lov, hiv, onev, args.clone(), |vt, _t, bufs| {
+            let _ = (&update, opt);
+            let mut ops: Vec<Op> = Vec::new();
+            // Roles: bufs = [t-1,] t, t+1 at this iteration.
+            let read_times: Vec<i64> = if time_order == 2 { vec![-1, 0] } else { vec![0] };
+            let mut loaded = Vec::new();
+            for (i, _) in read_times.iter().enumerate() {
+                let ld = sten_stencil::ops::load(vt, bufs[i]);
+                loaded.push(ld.result(0));
+                ops.push(ld);
+            }
+            let mut args_by_time = BTreeMap::new();
+            let apply = sten_stencil::ops::apply(
+                vt,
+                loaded.clone(),
+                vec![Type::Temp(TempType::unknown(rank, Type::F64))],
+                |vt2, region_args| {
+                    for (i, &t) in read_times.iter().enumerate() {
+                        args_by_time.insert(t, region_args[i]);
+                    }
+                    let (body, _) = this.emit_update(vt2, &args_by_time);
+                    body
+                },
+            );
+            let outv = apply.result(0);
+            ops.push(apply);
+            ops.push(sten_stencil::ops::store(
+                outv,
+                bufs[bufs.len() - 1],
+                vec![0; rank],
+                shape.clone(),
+            ));
+            // Rotate: new (t-1) = old t, new t = old t+1 (just
+            // written), new t+1 = oldest buffer (recycled).
+            let rotated: Vec<Value> = (0..bufs.len()).map(|i| bufs[(i + 1) % bufs.len()]).collect();
+            ops.push(scf::yield_op(rotated));
+            ops
+        });
         f.region_block_mut(0).ops.push(loop_op);
         f.region_block_mut(0).ops.push(func::ret(vec![]));
         m.body_mut().ops.push(f);
@@ -410,7 +400,7 @@ impl Operator {
     /// Reports compilation or shape problems.
     pub fn run(
         &self,
-        buffers: &mut Vec<Vec<f64>>,
+        buffers: &mut [Vec<f64>],
         timesteps: usize,
         threads: usize,
     ) -> Result<usize, String> {
@@ -427,7 +417,7 @@ impl Operator {
     pub fn run_distributed(
         &self,
         module: &Module,
-        buffers: &mut Vec<Vec<f64>>,
+        buffers: &mut [Vec<f64>],
         timesteps: usize,
         threads: usize,
         world: &std::sync::Arc<sten_interp::SimWorld>,
@@ -439,7 +429,7 @@ impl Operator {
     fn run_module(
         &self,
         module: &Module,
-        buffers: &mut Vec<Vec<f64>>,
+        buffers: &mut [Vec<f64>],
         timesteps: usize,
         threads: usize,
         world: Option<&std::sync::Arc<sten_interp::SimWorld>>,
@@ -585,28 +575,26 @@ mod tests {
         let dist = op.compile_distributed(&[2]).unwrap();
         let world = sten_interp::SimWorld::new(2);
         let core = 32i64;
-        let results: Vec<(usize, Vec<f64>)> = crossbeam::thread::scope(|scope| {
+        let results: Vec<(usize, Vec<f64>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..2)
                 .map(|rank| {
                     let world = std::sync::Arc::clone(&world);
                     let op = op.clone();
                     let dist = &dist;
                     let init = init.clone();
-                    scope.spawn(move |_| {
-                        let start = rank as i64 * core;
+                    scope.spawn(move || {
+                        let start = rank * core;
                         let local: Vec<f64> =
                             (0..core + 2).map(|i| init[(start + i) as usize]).collect();
                         let mut bufs = vec![local.clone(), local];
-                        let last = op
-                            .run_distributed(dist, &mut bufs, steps, 1, &world, rank)
-                            .unwrap();
+                        let last =
+                            op.run_distributed(dist, &mut bufs, steps, 1, &world, rank).unwrap();
                         (last, bufs[last].clone())
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
 
         let mut got = init.clone();
         for (rank, (_, out)) in results.iter().enumerate() {

@@ -38,6 +38,7 @@ impl CmpIPredicate {
     }
 
     /// Parses the textual form.
+    #[allow(clippy::should_implement_trait)] // fallible, Option-returning parser
     pub fn from_str(s: &str) -> Option<Self> {
         Some(match s {
             "eq" => CmpIPredicate::Eq,
@@ -288,18 +289,33 @@ fn verify_select(op: &Op, vt: &ValueTable) -> Result<(), String> {
 
 /// Registers the arith dialect.
 pub fn register(registry: &mut DialectRegistry) {
-    registry
-        .register(OpSpec::new("arith.constant", "literal value").pure().with_verify(verify_constant));
-    for name in ["arith.addi", "arith.subi", "arith.muli", "arith.divsi", "arith.remsi", "arith.minsi", "arith.maxsi", "arith.andi"]
-    {
-        registry.register(OpSpec::new(name, "integer arithmetic").pure().with_verify(verify_int_binary));
+    registry.register(
+        OpSpec::new("arith.constant", "literal value").pure().with_verify(verify_constant),
+    );
+    for name in [
+        "arith.addi",
+        "arith.subi",
+        "arith.muli",
+        "arith.divsi",
+        "arith.remsi",
+        "arith.minsi",
+        "arith.maxsi",
+        "arith.andi",
+    ] {
+        registry.register(
+            OpSpec::new(name, "integer arithmetic").pure().with_verify(verify_int_binary),
+        );
     }
     for name in ["arith.addf", "arith.subf", "arith.mulf", "arith.divf"] {
-        registry.register(OpSpec::new(name, "float arithmetic").pure().with_verify(verify_float_binary));
+        registry.register(
+            OpSpec::new(name, "float arithmetic").pure().with_verify(verify_float_binary),
+        );
     }
     registry.register(OpSpec::new("arith.negf", "float negation").pure());
-    registry.register(OpSpec::new("arith.cmpi", "integer comparison").pure().with_verify(verify_cmpi));
-    registry.register(OpSpec::new("arith.select", "ternary select").pure().with_verify(verify_select));
+    registry
+        .register(OpSpec::new("arith.cmpi", "integer comparison").pure().with_verify(verify_cmpi));
+    registry
+        .register(OpSpec::new("arith.select", "ternary select").pure().with_verify(verify_select));
     registry.register(OpSpec::new("arith.index_cast", "index <-> integer cast").pure());
     registry.register(OpSpec::new("arith.sitofp", "signed int to float").pure());
 }

@@ -11,8 +11,8 @@
 //! redirect uses through a substitution map. Run [`super::licm`], `cse` and
 //! `dce` afterwards for full cleanup.
 
-use sten_ir::{Attribute, Block, FloatAttr, Module, Op, Pass, PassError, Type, Value};
 use std::collections::HashMap;
+use sten_ir::{Attribute, Block, FloatAttr, Module, Op, Pass, PassError, Type, Value};
 
 /// A known-constant value during folding.
 #[derive(Clone, Debug, PartialEq)]

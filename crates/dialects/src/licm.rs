@@ -7,9 +7,9 @@
 //! lowering marks its loop-invariant setup (datatype constants, rank
 //! arithmetic) as ordinary pure `arith` ops so they hoist here.
 
-use sten_ir::{Block, DialectRegistry, Module, Op, Pass, PassError, Value};
 use std::collections::HashSet;
 use std::sync::Arc;
+use sten_ir::{Block, DialectRegistry, Module, Op, Pass, PassError, Value};
 
 /// The LICM pass; see the module docs.
 pub struct LoopInvariantCodeMotion {

@@ -24,8 +24,7 @@ pub fn for_loop(
     body: impl FnOnce(&mut ValueTable, Value, &[Value]) -> Vec<Op>,
 ) -> Op {
     let iv = vt.alloc(Type::Index);
-    let iter_args: Vec<Value> =
-        iter_inits.iter().map(|&v| vt.alloc(vt.ty(v).clone())).collect();
+    let iter_args: Vec<Value> = iter_inits.iter().map(|&v| vt.alloc(vt.ty(v).clone())).collect();
     let ops = body(vt, iv, &iter_args);
 
     let mut op = Op::new("scf.for");
@@ -302,8 +301,7 @@ mod tests {
         let hi = arith::const_index(&mut m.values, 10);
         let step = arith::const_index(&mut m.values, 1);
         let init = arith::const_f64(&mut m.values, 0.0);
-        let (lov, hiv, stepv, initv) =
-            (lo.result(0), hi.result(0), step.result(0), init.result(0));
+        let (lov, hiv, stepv, initv) = (lo.result(0), hi.result(0), step.result(0), init.result(0));
         for op in [lo, hi, step, init] {
             m.body_mut().ops.push(op);
         }
@@ -333,16 +331,10 @@ mod tests {
         for op in [z, n, one] {
             m.body_mut().ops.push(op);
         }
-        let par = parallel(
-            &mut m.values,
-            vec![zv, zv],
-            vec![nv, nv],
-            vec![ov, ov],
-            |_vt, ivs| {
-                assert_eq!(ivs.len(), 2);
-                vec![yield_op(vec![])]
-            },
-        );
+        let par = parallel(&mut m.values, vec![zv, zv], vec![nv, nv], vec![ov, ov], |_vt, ivs| {
+            assert_eq!(ivs.len(), 2);
+            vec![yield_op(vec![])]
+        });
         let view = ParallelOp::matches(&par).unwrap();
         assert_eq!(view.rank(), 2);
         assert_eq!(view.los(), &[zv, zv]);

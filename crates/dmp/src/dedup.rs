@@ -10,8 +10,8 @@
 //! the buffer (stencil.store, memref.store/copy, calls) invalidates the
 //! "freshly swapped" state, and nested regions clear it entirely.
 
-use sten_ir::{Block, Module, Op, Pass, PassError, Value};
 use std::collections::HashSet;
+use sten_ir::{Block, Module, Op, Pass, PassError, Value};
 
 /// The redundant-swap elimination pass. See the module docs.
 #[derive(Default)]
@@ -72,9 +72,7 @@ fn process_block(block: &mut Block, removed: &mut usize) {
         }
         if op.name == "dmp.swap" {
             let data = op.operand(0);
-            let duplicate = fresh
-                .iter()
-                .any(|(v, prev)| *v == data && same_swap_config(prev, &op));
+            let duplicate = fresh.iter().any(|(v, prev)| *v == data && same_swap_config(prev, &op));
             if duplicate && !invalidated.contains(&data) {
                 *removed += 1;
                 continue; // drop the redundant swap
@@ -139,11 +137,7 @@ mod tests {
     }
 
     fn mk_swap(data: Value) -> Op {
-        swap(
-            data,
-            vec![2],
-            vec![ExchangeAttr::new(vec![0], vec![1], vec![1], vec![-1])],
-        )
+        swap(data, vec![2], vec![ExchangeAttr::new(vec![0], vec![1], vec![1], vec![-1])])
     }
 
     #[test]
@@ -189,11 +183,7 @@ mod tests {
         let mut m = Module::new();
         let f = field_value(&mut m);
         m.body_mut().ops.push(mk_swap(f));
-        let other = swap(
-            f,
-            vec![2],
-            vec![ExchangeAttr::new(vec![64], vec![1], vec![-1], vec![1])],
-        );
+        let other = swap(f, vec![2], vec![ExchangeAttr::new(vec![64], vec![1], vec![-1], vec![1])]);
         m.body_mut().ops.push(other);
         EliminateRedundantSwaps.run(&mut m).unwrap();
         assert_eq!(count_swaps(&m), 2, "configs differ: both kept");

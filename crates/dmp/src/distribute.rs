@@ -25,11 +25,11 @@
 
 use crate::decomposition::DecompositionStrategy;
 use crate::ops::swap;
-use sten_ir::{
-    Attribute, Block, Bounds, FieldType, FunctionType, Module, Op, Pass, PassError, TempType,
-    Type, Value, ValueTable,
-};
 use std::collections::HashMap;
+use sten_ir::{
+    Attribute, Block, Bounds, FieldType, FunctionType, Module, Op, Pass, PassError, TempType, Type,
+    Value, ValueTable,
+};
 
 /// The distribute-stencil pass. See the module docs.
 pub struct DistributeStencil {
@@ -133,11 +133,8 @@ impl<'a> Distributor<'a> {
                 "stencil.load" => {
                     // Insert the halo exchange before the load.
                     let field = op.operand(0);
-                    let (lo_halo, hi_halo) = self
-                        .load_halos
-                        .get(&op.result(0))
-                        .cloned()
-                        .unwrap_or_else(|| {
+                    let (lo_halo, hi_halo) =
+                        self.load_halos.get(&op.result(0)).cloned().unwrap_or_else(|| {
                             (vec![0; self.core.rank()], vec![0; self.core.rank()])
                         });
                     // The operand field was already localized (defined
@@ -292,7 +289,10 @@ impl Pass for DistributeStencil {
                         let inputs: Vec<Type> =
                             args.iter().map(|&a| module.values.ty(a).clone()).collect();
                         let new = FunctionType::new(inputs, fty.results.clone());
-                        op.set_attr("function_type", Attribute::Type(Type::Function(Box::new(new))));
+                        op.set_attr(
+                            "function_type",
+                            Attribute::Type(Type::Function(Box::new(new))),
+                        );
                     }
                     op.set_attr("dmp.grid", Attribute::Grid(self.grid.clone()));
                 }
@@ -357,16 +357,8 @@ mod tests {
     fn store_range_is_localized() {
         let m = distributed_jacobi(vec![2]);
         let func = m.lookup_symbol("jacobi").unwrap();
-        let store = func
-            .region_block(0)
-            .ops
-            .iter()
-            .find(|o| o.name == "stencil.store")
-            .unwrap();
-        assert_eq!(
-            sten_stencil::ops::StoreOp(store).range(),
-            Bounds::new(vec![(1, 64)])
-        );
+        let store = func.region_block(0).ops.iter().find(|o| o.name == "stencil.store").unwrap();
+        assert_eq!(sten_stencil::ops::StoreOp(store).range(), Bounds::new(vec![(1, 64)]));
     }
 
     #[test]

@@ -89,11 +89,7 @@ fn verify_swap(op: &Op, vt: &ValueTable) -> Result<(), String> {
         return Err("grid extents must be >= 1".into());
     }
     if grid.len() > shape.len() {
-        return Err(format!(
-            "grid rank {} exceeds buffer rank {}",
-            grid.len(),
-            shape.len()
-        ));
+        return Err(format!("grid rank {} exceeds buffer rank {}", grid.len(), shape.len()));
     }
     let Some(swaps) = op.attr("swaps").and_then(Attribute::as_array) else {
         return Err("dmp.swap requires a swaps array".into());
@@ -109,6 +105,7 @@ fn verify_swap(op: &Op, vt: &ValueTable) -> Result<(), String> {
                 shape.len()
             ));
         }
+        #[allow(clippy::needless_range_loop)] // parallel indexing into at/size/shape
         for d in 0..e.rank() {
             let recv_end = e.at[d] + e.size[d];
             if e.at[d] < 0 || recv_end > shape[d] {
@@ -137,9 +134,8 @@ fn verify_swap(op: &Op, vt: &ValueTable) -> Result<(), String> {
 
 /// Registers the dmp dialect.
 pub fn register(registry: &mut DialectRegistry) {
-    registry.register(
-        OpSpec::new("dmp.swap", "declarative halo exchange").with_verify(verify_swap),
-    );
+    registry
+        .register(OpSpec::new("dmp.swap", "declarative halo exchange").with_verify(verify_swap));
 }
 
 #[cfg(test)]
@@ -202,11 +198,7 @@ mod tests {
             sten_dialects::memref::alloc(&mut m.values, MemRefType::new(vec![10], Type::F32));
         let data = alloc.result(0);
         m.body_mut().ops.push(alloc);
-        let bad = swap(
-            data,
-            vec![2],
-            vec![ExchangeAttr::new(vec![8], vec![4], vec![-4], vec![1])],
-        );
+        let bad = swap(data, vec![2], vec![ExchangeAttr::new(vec![8], vec![4], vec![-4], vec![1])]);
         m.body_mut().ops.push(bad);
         let err = verify_module(&m, Some(&registry())).unwrap_err();
         assert!(err.message.contains("out of bounds"), "{err}");

@@ -7,10 +7,10 @@
 //! SPMD-distributed over SimMPI.
 
 use crate::program::{compile_apply, CompiledKernel, InputDesc};
-use sten_ir::{Attribute, Bounds, ExchangeAttr, Module, Type, Value};
-use sten_interp::SimWorld;
 use std::collections::HashMap;
 use std::sync::Arc;
+use sten_interp::SimWorld;
+use sten_ir::{Attribute, Bounds, ExchangeAttr, Module, Type, Value};
 
 /// Identifies a buffer in a pipeline.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -76,9 +76,7 @@ impl Pipeline {
         self.steps
             .iter()
             .map(|s| match s {
-                Step::Apply { kernel, .. } => {
-                    kernel.program.flops as u64 * kernel.points() as u64
-                }
+                Step::Apply { kernel, .. } => kernel.program.flops as u64 * kernel.points() as u64,
                 _ => 0,
             })
             .sum()
@@ -264,7 +262,6 @@ impl Runner {
         }
         Ok(())
     }
-
 }
 
 /// Performs one `dmp.swap` on plain data through a SimMPI world
@@ -318,8 +315,7 @@ fn swap_exchange(
         if let Some(n) = neighbor_rank(rank, grid, &e.to) {
             let neg: Vec<i64> = e.to.iter().map(|t| -t).collect();
             let msg = world.recv(rank as i32, n as i32, tag_for_direction(&neg) as i32);
-            let range =
-                Bounds::new(e.at.iter().zip(&e.size).map(|(&a, &s)| (a, a + s)).collect());
+            let range = Bounds::new(e.at.iter().zip(&e.size).map(|(&a, &s)| (a, a + s)).collect());
             let mut p = range.lower();
             let mut i = 0;
             if range.num_points() > 0 {
@@ -406,10 +402,7 @@ pub fn compile_module(module: &Module, func: &str) -> Result<Pipeline, String> {
                 }
             }
             "stencil.load" | "stencil.buffer" => {
-                let parent = bufs
-                    .get(&op.operand(0))
-                    .cloned()
-                    .ok_or("load from unknown buffer")?;
+                let parent = bufs.get(&op.operand(0)).cloned().ok_or("load from unknown buffer")?;
                 bufs.insert(op.result(0), parent);
             }
             "stencil.cast" => {
@@ -437,16 +430,10 @@ pub fn compile_module(module: &Module, func: &str) -> Result<Pipeline, String> {
                 steps.push(Step::Swap { buf: id, grid, exchanges });
             }
             "stencil.apply" => {
-                let input_descs: Vec<Option<InputDesc>> = op
-                    .operands
-                    .iter()
-                    .map(|o| bufs.get(o).map(|(_, d)| d.clone()))
-                    .collect();
-                let input_ids: Vec<BufId> = op
-                    .operands
-                    .iter()
-                    .filter_map(|o| bufs.get(o).map(|(id, _)| *id))
-                    .collect();
+                let input_descs: Vec<Option<InputDesc>> =
+                    op.operands.iter().map(|o| bufs.get(o).map(|(_, d)| d.clone())).collect();
+                let input_ids: Vec<BufId> =
+                    op.operands.iter().filter_map(|o| bufs.get(o).map(|(id, _)| *id)).collect();
                 let mut output_ids = Vec::new();
                 let mut output_descs = Vec::new();
                 for &r in &op.results {
@@ -522,10 +509,7 @@ mod tests {
         sten_interp::Interpreter::new(&m)
             .call_function(
                 "heat",
-                vec![
-                    sten_interp::RtValue::Buffer(src),
-                    sten_interp::RtValue::Buffer(dst.clone()),
-                ],
+                vec![sten_interp::RtValue::Buffer(src), sten_interp::RtValue::Buffer(dst.clone())],
             )
             .unwrap();
         assert_eq!(args[1], dst.to_vec(), "compiled == interpreted, bit for bit");
@@ -561,9 +545,7 @@ mod tests {
         // Serial.
         let serial = prepare(samples::jacobi_1d(n));
         let mut serial_args = vec![global.clone(), global.clone()];
-        Runner::new(compile_module(&serial, "jacobi").unwrap(), 1)
-            .step(&mut serial_args)
-            .unwrap();
+        Runner::new(compile_module(&serial, "jacobi").unwrap(), 1).step(&mut serial_args).unwrap();
 
         // Distributed on 2 ranks at the dmp level.
         let mut m = samples::jacobi_1d(n);
@@ -577,23 +559,21 @@ mod tests {
 
         let world = SimWorld::new(2);
         let mut outs: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (rank, out) in outs.iter_mut().enumerate() {
                 let world = Arc::clone(&world);
                 let pipeline = pipeline.clone();
                 let global = global.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let start = rank as i64 * core;
-                    let data: Vec<f64> =
-                        (0..local).map(|i| global[(start + i) as usize]).collect();
+                    let data: Vec<f64> = (0..local).map(|i| global[(start + i) as usize]).collect();
                     let mut args = vec![data.clone(), data];
                     let mut runner = Runner::new(pipeline, 1);
                     runner.step_distributed(&mut args, &world, rank as i64).unwrap();
                     *out = args[1].clone();
                 });
             }
-        })
-        .unwrap();
+        });
 
         let mut got = global.clone();
         for (rank, out) in outs.iter().enumerate() {

@@ -6,8 +6,8 @@
 //! observation that type-carried bounds "enable constant-folding of most
 //! of the memory access address computations".
 
-use sten_ir::{Attribute, Bounds, Op, Type, Value};
 use std::collections::HashMap;
+use sten_ir::{Attribute, Bounds, Op, Type, Value};
 
 /// One bytecode instruction; `dst`/`a`/`b` are register indices.
 #[derive(Clone, Debug, PartialEq)]
@@ -258,7 +258,7 @@ impl CompiledKernel {
         let out_ptrs: Vec<SendPtr> =
             outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr(), o.len())).collect();
         let chunk = (n0 + threads as i64 - 1) / threads as i64;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..threads {
                 let start = lb0 + t as i64 * chunk;
                 let end = (start + chunk).min(ub0);
@@ -266,7 +266,7 @@ impl CompiledKernel {
                     continue;
                 }
                 let out_ptrs = &out_ptrs;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut sub = self.range.clone();
                     sub.0[0] = (start, end);
                     // SAFETY: slabs [start, end) are disjoint across
@@ -276,13 +276,11 @@ impl CompiledKernel {
                         .iter()
                         .map(|p| unsafe { std::slice::from_raw_parts_mut(p.0, p.1) })
                         .collect();
-                    let mut refs: Vec<&mut [f64]> =
-                        outs.iter_mut().map(|o| &mut **o).collect();
+                    let mut refs: Vec<&mut [f64]> = outs.iter_mut().map(|o| &mut **o).collect();
                     self.execute_rows(inputs, &mut refs, sub);
                 });
             }
-        })
-        .expect("executor scope");
+        });
     }
 }
 
@@ -312,9 +310,7 @@ pub fn compile_apply(
     let mut temp_inputs: Vec<InputDesc> = Vec::new();
     let mut arg_input: HashMap<Value, u32> = HashMap::new();
     let mut arg_const: HashMap<Value, f64> = HashMap::new();
-    for ((&operand, &arg), desc) in
-        apply.operands.iter().zip(&block.args).zip(input_descs.into_iter())
-    {
+    for ((&operand, &arg), desc) in apply.operands.iter().zip(&block.args).zip(input_descs) {
         match vt.ty(operand) {
             Type::Temp(_) => {
                 let desc = desc.ok_or("missing input descriptor for temp operand")?;
@@ -370,9 +366,8 @@ pub fn compile_apply(
                 instrs.push(Instr::Const { v, dst });
             }
             "stencil.access" => {
-                let input = *arg_input
-                    .get(&op.operand(0))
-                    .ok_or("access to a non-argument temp")?;
+                let input =
+                    *arg_input.get(&op.operand(0)).ok_or("access to a non-argument temp")?;
                 let offset: Vec<i64> = op
                     .attr("offset")
                     .and_then(Attribute::as_dense)
@@ -398,15 +393,15 @@ pub fn compile_apply(
                     "arith.mulf" => BinOp::Mul,
                     _ => BinOp::Div,
                 };
-                let fetch = |v: Value, instrs: &mut Vec<Instr>, next: &mut u32| {
-                    match reg_of(v, &regs, &arg_const)? {
-                        Ok(r) => Ok::<u32, String>(r),
-                        Err(c) => {
-                            let dst = *next;
-                            *next += 1;
-                            instrs.push(Instr::Const { v: c, dst });
-                            Ok(dst)
-                        }
+                let fetch = |v: Value, instrs: &mut Vec<Instr>, next: &mut u32| match reg_of(
+                    v, &regs, &arg_const,
+                )? {
+                    Ok(r) => Ok::<u32, String>(r),
+                    Err(c) => {
+                        let dst = *next;
+                        *next += 1;
+                        instrs.push(Instr::Const { v: c, dst });
+                        Ok(dst)
                     }
                 };
                 let a = fetch(op.operand(0), &mut instrs, &mut next_reg)?;
@@ -511,12 +506,7 @@ mod tests {
         let mut m = sten_stencil::samples::jacobi_1d(64);
         sten_stencil::ShapeInference.run(&mut m).unwrap();
         let func = m.lookup_symbol("jacobi").unwrap();
-        let apply = func
-            .region_block(0)
-            .ops
-            .iter()
-            .find(|o| o.name == "stencil.apply")
-            .unwrap();
+        let apply = func.region_block(0).ops.iter().find(|o| o.name == "stencil.apply").unwrap();
         let kernel = compile_apply(
             apply,
             &m.values,
@@ -549,21 +539,11 @@ mod tests {
         let mut m = sten_stencil::samples::heat_2d(n, 0.1);
         sten_stencil::ShapeInference.run(&mut m).unwrap();
         let func = m.lookup_symbol("heat").unwrap();
-        let apply = func
-            .region_block(0)
-            .ops
-            .iter()
-            .find(|o| o.name == "stencil.apply")
-            .unwrap();
+        let apply = func.region_block(0).ops.iter().find(|o| o.name == "stencil.apply").unwrap();
         let d = desc(vec![n + 2, n + 2], vec![-1, -1]);
-        let kernel = compile_apply(
-            apply,
-            &m.values,
-            vec![Some(d.clone())],
-            vec![d],
-            &HashMap::new(),
-        )
-        .unwrap();
+        let kernel =
+            compile_apply(apply, &m.values, vec![Some(d.clone())], vec![d], &HashMap::new())
+                .unwrap();
         let size = ((n + 2) * (n + 2)) as usize;
         let input: Vec<f64> = (0..size).map(|i| (i as f64 * 0.01).sin()).collect();
         let mut serial = vec![0.0; size];
@@ -580,12 +560,8 @@ mod tests {
         sten_stencil::ShapeInference.run(&mut m).unwrap();
         // Inject a dyn_access into the body.
         let func = m.lookup_symbol_mut("jacobi").unwrap();
-        let apply = func
-            .region_block_mut(0)
-            .ops
-            .iter_mut()
-            .find(|o| o.name == "stencil.apply")
-            .unwrap();
+        let apply =
+            func.region_block_mut(0).ops.iter_mut().find(|o| o.name == "stencil.apply").unwrap();
         apply.region_block_mut(0).ops[0].name = "stencil.dyn_access".into();
         let apply = apply.clone();
         let err = compile_apply(

@@ -8,10 +8,10 @@
 use crate::interp::{InterpError, Interpreter};
 use crate::sim_mpi::{MpiEnv, SimWorld};
 use crate::value::{BufView, RtValue};
+use std::sync::Arc;
 use sten_ir::Module;
 #[cfg(test)]
 use sten_ir::Pass as _;
-use std::sync::Arc;
 
 /// A plain-data argument specification (constructed per rank, inside the
 /// rank's thread — runtime values are not `Send`).
@@ -59,11 +59,11 @@ pub fn run_spmd(
     let world = SimWorld::new(world_size);
     let mut results: Vec<Option<Result<RankResult, InterpError>>> =
         (0..world_size).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (rank, slot) in results.iter_mut().enumerate() {
             let world = Arc::clone(&world);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let specs = args_for_rank(rank);
                 let mut buffers: Vec<BufView> = Vec::new();
                 let args: Vec<RtValue> = specs
@@ -90,8 +90,7 @@ pub fn run_spmd(
         for h in handles {
             h.join().expect("rank thread panicked");
         }
-    })
-    .expect("scope");
+    });
     let mut out = Vec::with_capacity(world_size);
     for slot in results {
         out.push(slot.expect("rank completed")?);
@@ -230,11 +229,9 @@ mod tests {
         let full = (n + 2) as usize;
         let (results, _) = run_spmd(&m, "heat", 4, &move |rank| {
             let (ry, rx) = ((rank as i64) / 2, (rank as i64) % 2);
-            let data: Vec<f64> = Bounds::from_shape(&[local, local])
-                .shape()
-                .iter()
-                .copied()
-                .fold(Vec::new(), |mut acc, _| {
+            let data: Vec<f64> = Bounds::from_shape(&[local, local]).shape().iter().copied().fold(
+                Vec::new(),
+                |mut acc, _| {
                     acc.clear();
                     for y in 0..local {
                         for x in 0..local {
@@ -244,7 +241,8 @@ mod tests {
                         }
                     }
                     acc
-                });
+                },
+            );
             vec![
                 ArgSpec::Buffer { shape: vec![local, local], data: data.clone() },
                 ArgSpec::Buffer { shape: vec![local, local], data },

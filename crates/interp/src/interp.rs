@@ -8,13 +8,13 @@
 
 use crate::sim_mpi::{Externals, NoExternals};
 use crate::value::{BufView, RequestState, RtValue};
-use sten_dialects::arith::CmpIPredicate;
-use sten_ir::{Attribute, Block, Bounds, Module, Op, TempType, Type, Value};
-#[cfg(test)]
-use sten_ir::Pass as _;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use sten_dialects::arith::CmpIPredicate;
+#[cfg(test)]
+use sten_ir::Pass as _;
+use sten_ir::{Attribute, Block, Bounds, Module, Op, TempType, Type, Value};
 
 /// An execution failure.
 #[derive(Debug, Clone)]
@@ -140,9 +140,10 @@ impl<'m> Interpreter<'m> {
         name: &str,
         args: Vec<RtValue>,
     ) -> Result<Vec<RtValue>, InterpError> {
-        let func = self.module.lookup_symbol(name).ok_or_else(|| InterpError {
-            message: format!("no function named '{name}'"),
-        })?;
+        let func = self
+            .module
+            .lookup_symbol(name)
+            .ok_or_else(|| InterpError { message: format!("no function named '{name}'") })?;
         if func.regions.is_empty() || func.regions[0].blocks.is_empty() {
             return self
                 .externals
@@ -178,7 +179,11 @@ impl<'m> Interpreter<'m> {
         Ok(Flow::Normal)
     }
 
-    fn bin_int(&mut self, op: &Op, f: impl Fn(i64, i64) -> Result<i64, String>) -> Result<(), InterpError> {
+    fn bin_int(
+        &mut self,
+        op: &Op,
+        f: impl Fn(i64, i64) -> Result<i64, String>,
+    ) -> Result<(), InterpError> {
         let a = self.get_int(op, op.operand(0))?;
         let b = self.get_int(op, op.operand(1))?;
         let r = f(a, b).map_err(|m| InterpError::new(op, m))?;
@@ -276,7 +281,9 @@ impl<'m> Interpreter<'m> {
                 };
                 self.set(op.result(0), v);
             }
-            "arith.index_cast" | "llvm.inttoptr" | "llvm.ptrtoint"
+            "arith.index_cast"
+            | "llvm.inttoptr"
+            | "llvm.ptrtoint"
             | "builtin.unrealized_conversion_cast" => {
                 let v = self.get(op, op.operand(0))?;
                 self.set(op.result(0), v);
@@ -306,9 +313,7 @@ impl<'m> Interpreter<'m> {
                 let v = match self.get(op, op.operand(0))? {
                     RtValue::Float(f) => f,
                     RtValue::Int(i) => i as f64,
-                    other => {
-                        return Err(InterpError::new(op, format!("cannot store {other:?}")))
-                    }
+                    other => return Err(InterpError::new(op, format!("cannot store {other:?}"))),
                 };
                 let buf = self.get_buffer(op, op.operand(1))?;
                 let idx: Vec<i64> = op.operands[2..]
@@ -357,10 +362,8 @@ impl<'m> Interpreter<'m> {
                 if step <= 0 {
                     return Err(InterpError::new(op, "non-positive loop step"));
                 }
-                let mut iter: Vec<RtValue> = op.operands[3..]
-                    .iter()
-                    .map(|&v| self.get(op, v))
-                    .collect::<Result<_, _>>()?;
+                let mut iter: Vec<RtValue> =
+                    op.operands[3..].iter().map(|&v| self.get(op, v)).collect::<Result<_, _>>()?;
                 let block = op.region_block(0);
                 let mut i = lo;
                 while i < hi {
@@ -381,9 +384,8 @@ impl<'m> Interpreter<'m> {
             }
             "scf.parallel" => {
                 let rank = op.attr("rank").and_then(Attribute::as_int).unwrap_or(0) as usize;
-                let los: Vec<i64> = (0..rank)
-                    .map(|d| self.get_int(op, op.operand(d)))
-                    .collect::<Result<_, _>>()?;
+                let los: Vec<i64> =
+                    (0..rank).map(|d| self.get_int(op, op.operand(d))).collect::<Result<_, _>>()?;
                 let his: Vec<i64> = (0..rank)
                     .map(|d| self.get_int(op, op.operand(rank + d)))
                     .collect::<Result<_, _>>()?;
@@ -470,9 +472,7 @@ impl<'m> Interpreter<'m> {
                     self.env = saved;
                     out?
                 } else {
-                    self.externals
-                        .call(callee, &args)
-                        .map_err(|m| InterpError::new(op, m))?
+                    self.externals.call(callee, &args).map_err(|m| InterpError::new(op, m))?
                 };
                 if results.len() < op.results.len() {
                     return Err(InterpError::new(
@@ -589,8 +589,7 @@ impl<'m> Interpreter<'m> {
                 // Value semantics: copy the covered range.
                 let out = BufView::alloc(tb.shape());
                 iter_points(&tb, |p| {
-                    let src: Vec<i64> =
-                        p.iter().zip(&field_lb).map(|(a, b)| a - b).collect();
+                    let src: Vec<i64> = p.iter().zip(&field_lb).map(|(a, b)| a - b).collect();
                     let dst: Vec<i64> = p.iter().zip(&tb.lower()).map(|(a, b)| a - b).collect();
                     let v = field.load(&src).map_err(|m| InterpError::new(op, m))?;
                     out.store(&dst, v).map_err(|m| InterpError::new(op, m))?;
@@ -637,14 +636,9 @@ impl<'m> Interpreter<'m> {
                     match self.exec_block(block)? {
                         Flow::Yield(vals) => {
                             for (i, v) in vals.iter().enumerate() {
-                                let f = v
-                                    .as_float()
-                                    .map_err(|m| InterpError::new(op, m))?;
-                                let dst: Vec<i64> = p
-                                    .iter()
-                                    .zip(&out_lbs[i])
-                                    .map(|(a, b)| a - b)
-                                    .collect();
+                                let f = v.as_float().map_err(|m| InterpError::new(op, m))?;
+                                let dst: Vec<i64> =
+                                    p.iter().zip(&out_lbs[i]).map(|(a, b)| a - b).collect();
                                 outs[i].store(&dst, f).map_err(|m| InterpError::new(op, m))?;
                             }
                             Ok(())
@@ -676,9 +670,7 @@ impl<'m> Interpreter<'m> {
                     .apply_points
                     .last()
                     .ok_or_else(|| InterpError::new(op, "access outside apply"))?;
-                let idx: Vec<i64> = (0..lb.len())
-                    .map(|d| point[d] + offset[d] - lb[d])
-                    .collect();
+                let idx: Vec<i64> = (0..lb.len()).map(|d| point[d] + offset[d] - lb[d]).collect();
                 let v = temp.load(&idx).map_err(|m| InterpError::new(op, m))?;
                 self.set(op.result(0), RtValue::Float(v));
             }
@@ -713,11 +705,8 @@ impl<'m> Interpreter<'m> {
                 let out = BufView::alloc(ob.shape());
                 let out_lb = ob.lower();
                 iter_points(&ob, |p| {
-                    let (src, src_lb) = if p[dim] < split {
-                        (&lower, &lower_lb)
-                    } else {
-                        (&upper, &upper_lb)
-                    };
+                    let (src, src_lb) =
+                        if p[dim] < split { (&lower, &lower_lb) } else { (&upper, &upper_lb) };
                     let sidx: Vec<i64> = p.iter().zip(src_lb).map(|(a, b)| a - b).collect();
                     let didx: Vec<i64> = p.iter().zip(&out_lb).map(|(a, b)| a - b).collect();
                     let v = src.load(&sidx).map_err(|m| InterpError::new(op, m))?;
@@ -836,10 +825,7 @@ mod tests {
         let dst = BufView::from_data(vec![n as i64], input.clone());
         let mut interp = Interpreter::new(module);
         interp
-            .call_function(
-                "jacobi",
-                vec![RtValue::Buffer(src), RtValue::Buffer(dst.clone())],
-            )
+            .call_function("jacobi", vec![RtValue::Buffer(src), RtValue::Buffer(dst.clone())])
             .unwrap();
         dst.to_vec()
     }

@@ -18,6 +18,7 @@
 pub mod distributed;
 pub mod interp;
 pub mod sim_mpi;
+pub mod sync_shim;
 pub mod value;
 
 pub use distributed::{run_spmd, ArgSpec, RankResult};

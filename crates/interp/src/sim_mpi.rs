@@ -10,8 +10,8 @@
 //! its contribution and receives everyone's), which is sufficient for the
 //! SPMD programs the stack generates.
 
+use crate::sync_shim::{Condvar, Mutex};
 use crate::value::{RequestList, RequestState, RtValue, SharedData};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -235,10 +235,7 @@ impl MpiEnv {
     fn read_elems(ptr: &SharedData, offset: usize, count: usize) -> Result<Vec<f64>, String> {
         let data = ptr.borrow();
         if offset + count > data.len() {
-            return Err(format!(
-                "pointer read out of bounds: {offset}+{count} > {}",
-                data.len()
-            ));
+            return Err(format!("pointer read out of bounds: {offset}+{count} > {}", data.len()));
         }
         Ok(data[offset..offset + count].to_vec())
     }

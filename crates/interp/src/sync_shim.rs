@@ -1,0 +1,65 @@
+//! Minimal `parking_lot`-compatible synchronisation primitives over `std`.
+//!
+//! The build environment has no access to crates.io, so instead of a
+//! `parking_lot` dependency the SimMPI runtime uses these wrappers: a
+//! [`Mutex`] whose `lock()` returns the guard directly (poisoning is
+//! treated as a bug and panics) and a [`Condvar`] whose `wait` takes the
+//! guard by `&mut`, matching the `parking_lot` API shape.
+
+use std::ops::{Deref, DerefMut};
+
+/// A mutex whose `lock()` never returns a poison error.
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the mutex, blocking until it is available.
+    ///
+    /// # Panics
+    /// Panics if another thread panicked while holding the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().expect("mutex poisoned")))
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_deref().expect("guard taken during wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_deref_mut().expect("guard taken during wait")
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`] held by `&mut`.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    /// Blocks until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard already waiting");
+        guard.0 = Some(self.0.wait(inner).expect("mutex poisoned"));
+    }
+
+    /// Wakes all threads blocked in [`Condvar::wait`].
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}

@@ -77,6 +77,7 @@ impl BufView {
             ));
         }
         let mut flat: i64 = 0;
+        #[allow(clippy::needless_range_loop)] // parallel indexing into idx/shape/offsets
         for d in 0..idx.len() {
             if idx[d] < 0 || idx[d] >= self.shape[d] {
                 return Err(format!(

@@ -60,7 +60,9 @@ impl ExchangeAttr {
     /// Panics if the four vectors do not have equal length.
     pub fn new(at: Vec<i64>, size: Vec<i64>, source_offset: Vec<i64>, to: Vec<i64>) -> Self {
         assert!(
-            at.len() == size.len() && size.len() == source_offset.len() && source_offset.len() == to.len(),
+            at.len() == size.len()
+                && size.len() == source_offset.len()
+                && source_offset.len() == to.len(),
             "exchange components must have equal rank"
         );
         ExchangeAttr { at, size, source_offset, to }

@@ -264,16 +264,18 @@ impl Module {
     /// Finds a module-level op with symbol name `sym` (e.g. a `func.func`
     /// whose `sym_name` attribute matches).
     pub fn lookup_symbol(&self, sym: &str) -> Option<&Op> {
-        self.body().ops.iter().find(|op| {
-            op.attr("sym_name").and_then(Attribute::as_str) == Some(sym)
-        })
+        self.body()
+            .ops
+            .iter()
+            .find(|op| op.attr("sym_name").and_then(Attribute::as_str) == Some(sym))
     }
 
     /// Mutable variant of [`Module::lookup_symbol`].
     pub fn lookup_symbol_mut(&mut self, sym: &str) -> Option<&mut Op> {
-        self.body_mut().ops.iter_mut().find(|op| {
-            op.attr("sym_name").and_then(Attribute::as_str) == Some(sym)
-        })
+        self.body_mut()
+            .ops
+            .iter_mut()
+            .find(|op| op.attr("sym_name").and_then(Attribute::as_str) == Some(sym))
     }
 
     /// Pre-order walk over all ops in the module (excluding the root).

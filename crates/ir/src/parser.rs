@@ -44,7 +44,10 @@ enum Tok {
     /// `!name` with no angle-bracket body (e.g. `!llvm.ptr`).
     BangIdent(String),
     /// `head<body>` for `memref`, `dense`, `!stencil.*`, `#dmp.*`.
-    Lit { head: String, body: String },
+    Lit {
+        head: String,
+        body: String,
+    },
     LParen,
     RParen,
     LBrace,
@@ -513,7 +516,10 @@ fn parse_exchange_body(body: &str) -> Result<ExchangeAttr, String> {
     if !rest.trim().is_empty() {
         return Err(format!("exchange: trailing input '{rest}'"));
     }
-    if at.len() != size.len() || size.len() != source_offset.len() || source_offset.len() != to.len() {
+    if at.len() != size.len()
+        || size.len() != source_offset.len()
+        || source_offset.len() != to.len()
+    {
         return Err("exchange: component ranks differ".into());
     }
     Ok(ExchangeAttr::new(at, size, source_offset, to))
@@ -681,7 +687,9 @@ impl Parser {
                         Tok::Comma => continue,
                         Tok::RBracket => return Ok(Attribute::Array(items)),
                         other => {
-                            return Err(self.err_here(format!("expected ',' or ']', found {other:?}")))
+                            return Err(
+                                self.err_here(format!("expected ',' or ']', found {other:?}"))
+                            )
                         }
                     }
                 }
@@ -830,7 +838,9 @@ impl Parser {
                         Tok::Ident(k) => k,
                         Tok::Str(k) => k,
                         other => {
-                            return Err(self.err_here(format!("expected attribute key, found {other:?}")))
+                            return Err(
+                                self.err_here(format!("expected attribute key, found {other:?}"))
+                            )
                         }
                     };
                     self.expect(Tok::Equal)?;
@@ -840,7 +850,9 @@ impl Parser {
                         Tok::Comma => continue,
                         Tok::RBrace => break,
                         other => {
-                            return Err(self.err_here(format!("expected ',' or '}}', found {other:?}")))
+                            return Err(
+                                self.err_here(format!("expected ',' or '}}', found {other:?}"))
+                            )
                         }
                     }
                 }
@@ -1100,12 +1112,7 @@ mod tests {
         ] {
             let text = type_to_string(&ty);
             let toks = Lexer::new(&text).lex().unwrap();
-            let mut p = Parser {
-                toks,
-                pos: 0,
-                values: ValueTable::new(),
-                names: HashMap::new(),
-            };
+            let mut p = Parser { toks, pos: 0, values: ValueTable::new(), names: HashMap::new() };
             let parsed = p.parse_type().unwrap();
             assert_eq!(parsed, ty, "type {text} failed to round-trip");
         }

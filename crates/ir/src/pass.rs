@@ -58,6 +58,10 @@ pub struct PassTiming {
     pub duration: Duration,
 }
 
+/// Observer invoked after each pass completes (and passes verification);
+/// receives the pass name and the module state it produced.
+pub type AfterPassHook = Box<dyn Fn(&'static str, &Module)>;
+
 /// Runs a sequence of passes over a module.
 #[derive(Default)]
 pub struct PassManager {
@@ -66,6 +70,7 @@ pub struct PassManager {
     pub verify_each: bool,
     registry: Option<Arc<DialectRegistry>>,
     timings: std::cell::RefCell<Vec<PassTiming>>,
+    after_each: Option<AfterPassHook>,
 }
 
 impl PassManager {
@@ -93,6 +98,14 @@ impl PassManager {
         self
     }
 
+    /// Installs an observer called after every pass that completes (and,
+    /// with `verify_each`, passes verification). Drivers use this for
+    /// `--print-ir-after-all` and execution accounting.
+    pub fn set_after_each(&mut self, hook: AfterPassHook) -> &mut Self {
+        self.after_each = Some(hook);
+        self
+    }
+
     /// The names of the scheduled passes, in order.
     pub fn pipeline(&self) -> Vec<&'static str> {
         self.passes.iter().map(|p| p.name()).collect()
@@ -111,8 +124,12 @@ impl PassManager {
                 .borrow_mut()
                 .push(PassTiming { name: pass.name(), duration: start.elapsed() });
             if self.verify_each {
-                verify_module(module, self.registry.as_deref())
-                    .map_err(|e| PassError::new(pass.name(), format!("post-pass verification: {e}")))?;
+                verify_module(module, self.registry.as_deref()).map_err(|e| {
+                    PassError::new(pass.name(), format!("post-pass verification: {e}"))
+                })?;
+            }
+            if let Some(hook) = &self.after_each {
+                hook(pass.name(), module);
             }
         }
         Ok(())

@@ -195,16 +195,10 @@ impl<'a> Printer<'a> {
             }
             self.out.push(')');
         }
-        let in_tys: Vec<String> = op
-            .operands
-            .iter()
-            .map(|&o| type_to_string(self.values.ty(o)))
-            .collect();
-        let out_tys: Vec<String> = op
-            .results
-            .iter()
-            .map(|&r| type_to_string(self.values.ty(r)))
-            .collect();
+        let in_tys: Vec<String> =
+            op.operands.iter().map(|&o| type_to_string(self.values.ty(o))).collect();
+        let out_tys: Vec<String> =
+            op.results.iter().map(|&r| type_to_string(self.values.ty(r))).collect();
         write!(self.out, " : ({}) -> ({})", in_tys.join(", "), out_tys.join(", ")).unwrap();
         self.out.push('\n');
     }
@@ -263,10 +257,7 @@ mod tests {
     #[test]
     fn attrs_print() {
         assert_eq!(attr_to_string(&Attribute::Int(42, Type::I32)), "42 : i32");
-        assert_eq!(
-            attr_to_string(&Attribute::Float(FloatAttr::new(0.5, Type::F64))),
-            "0.5 : f64"
-        );
+        assert_eq!(attr_to_string(&Attribute::Float(FloatAttr::new(0.5, Type::F64))), "0.5 : f64");
         assert_eq!(attr_to_string(&Attribute::Str("a\"b".into())), "\"a\\\"b\"");
         assert_eq!(attr_to_string(&Attribute::DenseI64(vec![1, -2])), "dense<[1, -2]>");
         assert_eq!(attr_to_string(&Attribute::SymbolRef("main".into())), "@main");

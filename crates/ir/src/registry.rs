@@ -121,11 +121,8 @@ impl DialectRegistry {
 
     /// The distinct dialect prefixes present, sorted.
     pub fn dialects(&self) -> Vec<&'static str> {
-        let mut names: Vec<&'static str> = self
-            .specs
-            .keys()
-            .filter_map(|n| n.split('.').next())
-            .collect();
+        let mut names: Vec<&'static str> =
+            self.specs.keys().filter_map(|n| n.split('.').next()).collect();
         names.sort_unstable();
         names.dedup();
         names

@@ -108,9 +108,8 @@ impl CommonSubexprElimination {
                     self.process_block(inner, scopes, subst);
                 }
             }
-            let eligible = self.registry.is_pure(&op.name)
-                && op.regions.is_empty()
-                && !op.results.is_empty();
+            let eligible =
+                self.registry.is_pure(&op.name) && op.regions.is_empty() && !op.results.is_empty();
             if eligible {
                 let key = CseKey {
                     name: op.name.clone(),

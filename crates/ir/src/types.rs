@@ -85,12 +85,7 @@ impl Bounds {
 
     /// Whether the point `pt` lies within the bounds.
     pub fn contains_point(&self, pt: &[i64]) -> bool {
-        pt.len() == self.rank()
-            && self
-                .0
-                .iter()
-                .zip(pt)
-                .all(|(&(lb, ub), &p)| lb <= p && p < ub)
+        pt.len() == self.rank() && self.0.iter().zip(pt).all(|(&(lb, ub), &p)| lb <= p && p < ub)
     }
 
     /// Grows the bounds by `radius` in every direction of every dimension
@@ -101,13 +96,7 @@ impl Bounds {
 
     /// Grows each dimension `d` by `lo[d]` below and `hi[d]` above.
     pub fn grown_asymmetric(&self, lo: &[i64], hi: &[i64]) -> Bounds {
-        Bounds(
-            self.0
-                .iter()
-                .enumerate()
-                .map(|(d, &(lb, ub))| (lb - lo[d], ub + hi[d]))
-                .collect(),
-        )
+        Bounds(self.0.iter().enumerate().map(|(d, &(lb, ub))| (lb - lo[d], ub + hi[d])).collect())
     }
 
     /// The intersection of two equal-rank bounds, or `None` if empty in any
@@ -388,10 +377,7 @@ mod tests {
     fn bounds_grow_and_translate() {
         let b = Bounds::new(vec![(0, 64), (0, 32)]);
         assert_eq!(b.grown(4), Bounds::new(vec![(-4, 68), (-4, 36)]));
-        assert_eq!(
-            b.grown_asymmetric(&[1, 0], &[0, 2]),
-            Bounds::new(vec![(-1, 64), (0, 34)])
-        );
+        assert_eq!(b.grown_asymmetric(&[1, 0], &[0, 2]), Bounds::new(vec![(-1, 64), (0, 34)]));
         assert_eq!(b.translated(&[10, -10]), Bounds::new(vec![(10, 74), (-10, 22)]));
     }
 

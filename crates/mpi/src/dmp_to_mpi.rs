@@ -70,6 +70,7 @@ fn for_nest(
         out.push(hi);
     }
 
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)] // recursive loop-nest builder threads its full context
     fn rec(
         vt: &mut ValueTable,
         d: usize,
@@ -147,14 +148,13 @@ impl<'a> SwapLowerer<'a> {
     fn lower_swap(&mut self, swap: &Op, out: &mut Vec<Op>) -> Result<(), String> {
         let data = swap.operand(0);
         let Type::MemRef(data_ty) = self.vt.ty(data).clone() else {
-            return Err(
-                "dmp.swap operand is not a memref — run convert-stencil-to-loops before \
+            return Err("dmp.swap operand is not a memref — run convert-stencil-to-loops before \
                  dmp-to-mpi"
-                    .to_string(),
-            );
+                .to_string());
         };
         let elem = (*data_ty.elem).clone();
-        let grid = swap.attr("grid").and_then(Attribute::as_grid).ok_or("swap without grid")?.to_vec();
+        let grid =
+            swap.attr("grid").and_then(Attribute::as_grid).ok_or("swap without grid")?.to_vec();
         let exchanges: Vec<ExchangeAttr> = swap
             .attr("swaps")
             .and_then(Attribute::as_array)
@@ -300,12 +300,10 @@ impl<'a> SwapLowerer<'a> {
                 ops
             });
             let sunwrap = crate::ops::unwrap_memref(vt, sendv);
-            let (sptr, scount, sdtype) =
-                (sunwrap.result(0), sunwrap.result(1), sunwrap.result(2));
+            let (sptr, scount, sdtype) = (sunwrap.result(0), sunwrap.result(1), sunwrap.result(2));
             then_ops.push(sunwrap);
             let runwrap = crate::ops::unwrap_memref(vt, recvv);
-            let (rptr, rcount, rdtype) =
-                (runwrap.result(0), runwrap.result(1), runwrap.result(2));
+            let (rptr, rcount, rdtype) = (runwrap.result(0), runwrap.result(1), runwrap.result(2));
             then_ops.push(runwrap);
             then_ops.push(crate::ops::isend(sptr, scount, sdtype, nrank32v, stagv, sreqv));
             then_ops.push(crate::ops::irecv(rptr, rcount, rdtype, nrank32v, rtagv, rreqv));

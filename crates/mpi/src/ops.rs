@@ -165,7 +165,12 @@ pub fn gather(sendbuf: Value, sendcount: Value, dtype: Value, recvbuf: Value, ro
 
 fn expect_types(op: &Op, vt: &ValueTable, tys: &[Type]) -> Result<(), String> {
     if op.operands.len() != tys.len() {
-        return Err(format!("{} expects {} operands, got {}", op.name, tys.len(), op.operands.len()));
+        return Err(format!(
+            "{} expects {} operands, got {}",
+            op.name,
+            tys.len(),
+            op.operands.len()
+        ));
     }
     for (i, (&operand, ty)) in op.operands.iter().zip(tys).enumerate() {
         if vt.ty(operand) != ty {
@@ -180,11 +185,7 @@ fn expect_types(op: &Op, vt: &ValueTable, tys: &[Type]) -> Result<(), String> {
 }
 
 fn verify_p2p_blocking(op: &Op, vt: &ValueTable) -> Result<(), String> {
-    expect_types(
-        op,
-        vt,
-        &[Type::LlvmPtr, Type::I32, Type::MpiDatatype, Type::I32, Type::I32],
-    )
+    expect_types(op, vt, &[Type::LlvmPtr, Type::I32, Type::MpiDatatype, Type::I32, Type::I32])
 }
 
 fn verify_p2p_nonblocking(op: &Op, vt: &ValueTable) -> Result<(), String> {
@@ -247,8 +248,9 @@ pub fn register(registry: &mut DialectRegistry) {
     );
     registry.register(OpSpec::new("mpi.send", "blocking send").with_verify(verify_p2p_blocking));
     registry.register(OpSpec::new("mpi.recv", "blocking receive").with_verify(verify_p2p_blocking));
-    registry
-        .register(OpSpec::new("mpi.isend", "non-blocking send").with_verify(verify_p2p_nonblocking));
+    registry.register(
+        OpSpec::new("mpi.isend", "non-blocking send").with_verify(verify_p2p_nonblocking),
+    );
     registry.register(
         OpSpec::new("mpi.irecv", "non-blocking receive").with_verify(verify_p2p_nonblocking),
     );
@@ -267,7 +269,8 @@ pub fn register(registry: &mut DialectRegistry) {
     );
     registry.register(OpSpec::new("mpi.wait", "wait for one request"));
     registry.register(OpSpec::new("mpi.test", "poll one request"));
-    registry.register(OpSpec::new("mpi.waitall", "wait for all requests").with_verify(verify_waitall));
+    registry
+        .register(OpSpec::new("mpi.waitall", "wait for all requests").with_verify(verify_waitall));
     registry.register(OpSpec::new("mpi.reduce", "rooted reduction"));
     registry.register(OpSpec::new("mpi.allreduce", "all-ranks reduction"));
     registry.register(OpSpec::new("mpi.bcast", "broadcast from root"));

@@ -17,11 +17,11 @@
 //!   `MPI_Request`.
 
 use crate::abi;
+use std::collections::BTreeMap;
 use sten_dialects::{arith, func, llvm, memref};
 use sten_ir::{
     Attribute, Block, FunctionType, Module, Op, Pass, PassError, Type, Value, ValueTable,
 };
-use std::collections::BTreeMap;
 
 /// The mpi→func lowering. See the module docs.
 #[derive(Default)]
@@ -103,7 +103,13 @@ impl<'a> Rewriter<'a> {
     }
 
     /// Emits a call and reuses `result` as its (single) result value.
-    fn call_into(&mut self, out: &mut Vec<Op>, name: &'static str, args: Vec<Value>, result: Value) {
+    fn call_into(
+        &mut self,
+        out: &mut Vec<Op>,
+        name: &'static str,
+        args: Vec<Value>,
+        result: Value,
+    ) {
         self.use_symbol(name);
         let mut call = func::call(self.vt, name, args, vec![]);
         let tys = signature(name).results;
@@ -204,12 +210,8 @@ impl<'a> Rewriter<'a> {
             }
             "mpi.test" => {
                 let status = self.statuses_ignore(out);
-                let flag = func::call(
-                    self.vt,
-                    "MPI_Test",
-                    vec![op.operand(0), status],
-                    vec![Type::I32],
-                );
+                let flag =
+                    func::call(self.vt, "MPI_Test", vec![op.operand(0), status], vec![Type::I32]);
                 self.use_symbol("MPI_Test");
                 let flagv = flag.result(0);
                 out.push(flag);
@@ -311,11 +313,8 @@ impl Pass for MpiToFunc {
             }
         }
         // Append external declarations (Listing 4, line 11).
-        let decls: Vec<Op> = rewriter
-            .used
-            .iter()
-            .map(|(name, ty)| func::declaration(name, ty.clone()))
-            .collect();
+        let decls: Vec<Op> =
+            rewriter.used.iter().map(|(name, ty)| func::declaration(name, ty.clone())).collect();
         if let Some(region) = regions.first_mut() {
             if let Some(block) = region.blocks.first_mut() {
                 block.ops.extend(decls);

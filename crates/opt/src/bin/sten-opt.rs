@@ -1,0 +1,189 @@
+//! `sten-opt` — the stack's `mlir-opt`/`xdsl-opt`: textual IR in, a pass
+//! pipeline over it, textual IR out.
+//!
+//! ```text
+//! sten-opt [FILE] -p "shape-inference,convert-stencil-to-loops,canonicalize"
+//! sten-opt kernel.ir --target distributed --timing -o lowered.ir
+//! sten-opt --list-passes
+//! ```
+
+use std::io::{Read as _, Write as _};
+use std::process::ExitCode;
+
+use sten_opt::{pipelines, CompileCache, Driver, PassRegistry};
+
+const USAGE: &str = "\
+usage: sten-opt [FILE|-] [options]
+
+Reads a module in the stack's textual IR (stdin when FILE is absent or
+'-'), runs a pass pipeline over it, and prints the resulting IR.
+
+options:
+  -p, --pipeline <str>     comma-separated pass pipeline, e.g.
+                           \"shape-inference,tile-parallel-loops{tile=32:4}\"
+      --target <name>      use a registered target pipeline instead of -p:
+                           shared-cpu | distributed | gpu | fpga | fpga-optimized
+  -o, --output <file>      write the lowered IR to <file> instead of stdout
+      --verify-each        verify the module after every pass
+      --timing             print a per-pass timing report to stderr
+      --print-ir-after-all print the IR after every pass to stderr
+      --no-cache           bypass the content-addressed compilation cache
+      --cache-stats        print cache hit/miss counters to stderr
+      --show-pipeline      print the resolved pipeline string and exit
+      --list-passes        list registered passes and exit
+  -h, --help               show this help
+";
+
+struct Args {
+    input: Option<String>,
+    output: Option<String>,
+    pipeline: Option<String>,
+    target: Option<String>,
+    verify_each: bool,
+    timing: bool,
+    print_ir_after_all: bool,
+    no_cache: bool,
+    cache_stats: bool,
+    show_pipeline: bool,
+    list_passes: bool,
+    help: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        output: None,
+        pipeline: None,
+        target: None,
+        verify_each: false,
+        timing: false,
+        print_ir_after_all: false,
+        no_cache: false,
+        cache_stats: false,
+        show_pipeline: false,
+        list_passes: false,
+        help: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+        match arg.as_str() {
+            "-p" | "--pipeline" => args.pipeline = Some(value_of(arg)?),
+            "--target" => args.target = Some(value_of(arg)?),
+            "-o" | "--output" => args.output = Some(value_of(arg)?),
+            "--verify-each" => args.verify_each = true,
+            "--timing" => args.timing = true,
+            "--print-ir-after-all" => args.print_ir_after_all = true,
+            "--no-cache" => args.no_cache = true,
+            "--cache-stats" => args.cache_stats = true,
+            "--show-pipeline" => args.show_pipeline = true,
+            "--list-passes" => args.list_passes = true,
+            "-h" | "--help" => args.help = true,
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown option '{other}'"));
+            }
+            other => {
+                if args.input.is_some() {
+                    return Err(format!("unexpected extra input '{other}'"));
+                }
+                args.input = Some(other.to_string());
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn resolve_pipeline(args: &Args) -> Result<String, String> {
+    match (&args.pipeline, &args.target) {
+        (Some(_), Some(_)) => Err("-p/--pipeline and --target are mutually exclusive".into()),
+        (Some(p), None) => Ok(p.clone()),
+        (None, Some(t)) => pipelines::named(t).ok_or_else(|| {
+            format!(
+                "unknown target '{t}' (expected one of: {})",
+                pipelines::TARGET_NAMES.join(", ")
+            )
+        }),
+        (None, None) => Err("no pipeline: pass -p/--pipeline or --target".into()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv).map_err(|e| format!("{e}\n\n{USAGE}"))?;
+    if args.help {
+        print!("{USAGE}");
+        return Ok(());
+    }
+
+    if args.list_passes {
+        println!("registered passes:");
+        for (name, summary) in PassRegistry::global().passes() {
+            println!("  {name:<32} {summary}");
+        }
+        println!("\nregistered target pipelines:");
+        for target in pipelines::TARGET_NAMES {
+            println!("  {target:<16} {}", pipelines::named(target).expect("registered"));
+        }
+        return Ok(());
+    }
+
+    let pipeline = resolve_pipeline(&args)?;
+    if args.show_pipeline {
+        println!("{pipeline}");
+        return Ok(());
+    }
+
+    let source = match args.input.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("reading stdin: {e}"))?;
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+    };
+    let module = sten_ir::parse_module(&source).map_err(|e| format!("parse error: {e}"))?;
+
+    let driver = Driver::new()
+        .with_verify_each(args.verify_each)
+        .with_print_ir_after_all(args.print_ir_after_all)
+        .with_cache(if args.no_cache { None } else { Some(CompileCache::global()) });
+    let out = driver.run_str(module, &pipeline).map_err(|e| e.to_string())?;
+
+    for (pass, ir) in &out.ir_after {
+        eprintln!("// -----// IR Dump After {pass} //----- //");
+        eprintln!("{ir}");
+    }
+    if args.timing {
+        sten_opt::eprint_timing_summary(&out);
+    }
+    if args.cache_stats {
+        let stats = CompileCache::global().stats();
+        eprintln!(
+            "// cache: {} hits, {} misses, {} entries",
+            stats.hits, stats.misses, stats.entries
+        );
+    }
+
+    match args.output.as_deref() {
+        None => {
+            std::io::stdout()
+                .write_all(out.text.as_bytes())
+                .map_err(|e| format!("writing stdout: {e}"))?;
+        }
+        Some(path) => {
+            std::fs::write(path, &out.text).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The content-addressed compilation cache.
+//!
+//! Devito's architecture shows that a compile-once/run-many operator cache
+//! is what lets a DSL stack serve real workloads: the same operator is
+//! compiled over and over with identical inputs. The cache here is keyed
+//! by content, not identity: the 128-bit digest of (input module text,
+//! canonical pipeline string, driver flags). Two structurally identical
+//! modules reaching the driver through different frontends hit the same
+//! entry, and any change to the IR, the pipeline, or the options misses.
+//!
+//! Digests come from a pair of independently-seeded FNV-1a-64 streams
+//! (stable across processes, unlike `std`'s randomly-keyed SipHash), so
+//! keys are printable and could index an on-disk cache later.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use sten_ir::{pass::PassTiming, Module};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+/// Arbitrary second seed decorrelating the high digest half.
+const FNV_OFFSET_2: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable 128-bit content digest of `bytes`.
+pub fn content_hash(bytes: &[u8]) -> u128 {
+    (u128::from(fnv1a(FNV_OFFSET, bytes)) << 64) | u128::from(fnv1a(FNV_OFFSET_2, bytes))
+}
+
+/// Fingerprint of a dialect registry's cache-relevant content: op names,
+/// the purity/terminator metadata that generic transforms (CSE/DCE/LICM)
+/// consult, and the identity of each op's `verify` function (with
+/// `verify_each`, the Ok-vs-Err outcome of verification is part of the
+/// cached result, so a stricter verifier must not be served a lenient
+/// verifier's Ok). Two registries with the same fingerprint behave
+/// identically to the driver, so their compile results may share cache
+/// entries. Function identity is a pointer, so this component is stable
+/// within a process but not across processes — an on-disk cache would
+/// need a declarative replacement.
+pub fn registry_fingerprint(registry: &sten_ir::DialectRegistry) -> u128 {
+    let mut specs: Vec<_> = registry.iter().collect();
+    specs.sort_by_key(|s| s.name); // registry iteration is unordered
+    let mut bytes = Vec::new();
+    for spec in specs {
+        bytes.extend_from_slice(spec.name.as_bytes());
+        bytes.push(0);
+        bytes.push(u8::from(spec.pure));
+        bytes.push(u8::from(spec.terminator));
+        bytes.extend_from_slice(&(spec.verify as usize).to_le_bytes());
+        bytes.push(b';');
+    }
+    content_hash(&bytes)
+}
+
+/// A cache key: the content digest of one compilation request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey(u128);
+
+impl CacheKey {
+    /// Derives the key for compiling `module_text` under `pipeline` with
+    /// the given driver flags, in an ecosystem described by
+    /// `registry_fingerprint` (see [`registry_fingerprint`]).
+    pub fn derive(
+        module_text: &str,
+        pipeline: &str,
+        verify_each: bool,
+        registry_fingerprint: u128,
+    ) -> CacheKey {
+        let mut bytes = Vec::with_capacity(module_text.len() + pipeline.len() + 32);
+        bytes.extend_from_slice(module_text.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(pipeline.as_bytes());
+        bytes.push(0);
+        bytes.push(u8::from(verify_each));
+        bytes.extend_from_slice(&registry_fingerprint.to_le_bytes());
+        CacheKey(content_hash(&bytes))
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// A cached compilation result.
+#[derive(Clone, Debug)]
+pub struct CachedCompile {
+    /// The lowered module.
+    pub module: Module,
+    /// Its textual form.
+    pub text: String,
+    /// Canonical names of the passes that ran.
+    pub pipeline: Vec<&'static str>,
+    /// Per-pass timings of the original (cold) run.
+    pub timings: Vec<PassTiming>,
+}
+
+/// Hit/miss counters of a [`CompileCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// An in-memory content-addressed compile cache.
+#[derive(Default)]
+pub struct CompileCache {
+    entries: Mutex<HashMap<CacheKey, CachedCompile>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// The process-wide cache shared by every [`crate::Driver`] that does
+    /// not carry its own.
+    pub fn global() -> &'static CompileCache {
+        static GLOBAL: OnceLock<CompileCache> = OnceLock::new();
+        GLOBAL.get_or_init(CompileCache::new)
+    }
+
+    /// Looks up `key`, counting a hit or miss.
+    pub fn lookup(&self, key: CacheKey) -> Option<CachedCompile> {
+        let found = self.entries.lock().expect("cache lock").get(&key).cloned();
+        match found {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `result` under `key`.
+    pub fn insert(&self, key: CacheKey, result: CachedCompile) {
+        self.entries.lock().expect("cache lock").insert(key, result);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock").clear();
+    }
+}
+
+impl fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompileCache").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        let a = content_hash(b"func.func @f");
+        assert_eq!(a, content_hash(b"func.func @f"), "deterministic");
+        assert_ne!(a, content_hash(b"func.func @g"), "content-sensitive");
+        // Regression pin: the digest must not silently change across
+        // refactors, or persisted keys would be invalidated.
+        assert_eq!(content_hash(b""), (u128::from(FNV_OFFSET) << 64) | u128::from(FNV_OFFSET_2));
+    }
+
+    #[test]
+    fn key_separates_module_pipeline_flags_and_registry() {
+        let base = CacheKey::derive("m", "p", false, 7);
+        assert_eq!(base, CacheKey::derive("m", "p", false, 7));
+        assert_ne!(base, CacheKey::derive("m2", "p", false, 7));
+        assert_ne!(base, CacheKey::derive("m", "p2", false, 7));
+        assert_ne!(base, CacheKey::derive("m", "p", true, 7));
+        assert_ne!(base, CacheKey::derive("m", "p", false, 8), "registry is part of the key");
+        // Field boundaries matter: ("ab","c") != ("a","bc").
+        assert_ne!(CacheKey::derive("ab", "c", false, 7), CacheKey::derive("a", "bc", false, 7));
+    }
+
+    #[test]
+    fn registry_fingerprint_tracks_purity_metadata() {
+        use sten_ir::{DialectRegistry, OpSpec};
+        let mut a = DialectRegistry::new();
+        a.register(OpSpec::new("test.x", "x"));
+        a.register(OpSpec::new("test.y", "y"));
+        let mut b = DialectRegistry::new();
+        // Same ops, registered in the other order: same fingerprint.
+        b.register(OpSpec::new("test.y", "y"));
+        b.register(OpSpec::new("test.x", "x"));
+        assert_eq!(registry_fingerprint(&a), registry_fingerprint(&b));
+        // Purity differences change the fingerprint (they change what
+        // CSE/DCE/LICM may do).
+        let mut c = DialectRegistry::new();
+        c.register(OpSpec::new("test.x", "x").pure());
+        c.register(OpSpec::new("test.y", "y"));
+        assert_ne!(registry_fingerprint(&a), registry_fingerprint(&c));
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = CompileCache::new();
+        let key = CacheKey::derive("m", "p", true, 0);
+        assert!(cache.lookup(key).is_none());
+        cache.insert(
+            key,
+            CachedCompile {
+                module: Module::new(),
+                text: "t".into(),
+                pipeline: vec!["cse"],
+                timings: Vec::new(),
+            },
+        );
+        assert!(cache.lookup(key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

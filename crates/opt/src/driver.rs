@@ -1,0 +1,306 @@
+//! The pipeline driver: resolve a pipeline string, run it, cache it.
+//!
+//! [`Driver`] is the library form of the `sten-opt` binary and the engine
+//! behind `stencil-core::compile`: it parses a [`PipelineSpec`],
+//! instantiates every pass through the [`PassRegistry`], and executes the
+//! resulting [`sten_ir::PassManager`] — consulting the content-addressed
+//! [`CompileCache`] first, so a warm compile of the same module under the
+//! same pipeline never runs a single pass.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use sten_ir::{pass::PassTiming, print_module, DialectRegistry, Module, PassManager};
+
+use crate::cache::{CacheKey, CachedCompile, CompileCache};
+use crate::pipeline::PipelineSpec;
+use crate::registry::{PassContext, PassRegistry};
+use crate::PipelineError;
+
+/// The result of driving a module through a pipeline.
+#[derive(Debug)]
+pub struct OptOutput {
+    /// The lowered module.
+    pub module: Module,
+    /// Its textual form.
+    pub text: String,
+    /// Canonical names of the passes that ran, in order.
+    pub pipeline: Vec<&'static str>,
+    /// Per-pass wall-clock timings. On a cache hit these are the timings
+    /// of the original cold run.
+    pub timings: Vec<PassTiming>,
+    /// Whether the result came from the compile cache (no pass executed).
+    pub cache_hit: bool,
+    /// `(pass name, module text)` snapshots after every pass, populated
+    /// when `print_ir_after_all` is set.
+    pub ir_after: Vec<(&'static str, String)>,
+}
+
+/// Resolves and runs textual pass pipelines.
+pub struct Driver {
+    passes: &'static PassRegistry,
+    dialects: Arc<DialectRegistry>,
+    verify_each: bool,
+    print_ir_after_all: bool,
+    cache: Option<&'static CompileCache>,
+}
+
+/// The full dialect registry of the ecosystem, built once per process
+/// (drivers are created per compile in the warm path; rebuilding the
+/// registry each time would dominate cache-hit latency).
+pub fn standard_dialects() -> Arc<DialectRegistry> {
+    static STANDARD: std::sync::OnceLock<Arc<DialectRegistry>> = std::sync::OnceLock::new();
+    Arc::clone(STANDARD.get_or_init(|| {
+        let mut reg = DialectRegistry::new();
+        sten_dialects::register_all(&mut reg);
+        sten_stencil::register(&mut reg);
+        sten_dmp::register(&mut reg);
+        sten_mpi::register(&mut reg);
+        Arc::new(reg)
+    }))
+}
+
+impl Driver {
+    /// A driver over the global pass registry and the full dialect
+    /// registry of the ecosystem ([`standard_dialects`]), with the global
+    /// compile cache enabled and verification off.
+    pub fn new() -> Self {
+        Driver {
+            passes: PassRegistry::global(),
+            dialects: standard_dialects(),
+            verify_each: false,
+            print_ir_after_all: false,
+            cache: Some(CompileCache::global()),
+        }
+    }
+
+    /// Uses `dialects` for post-pass verification and pass construction.
+    #[must_use]
+    pub fn with_dialects(mut self, dialects: Arc<DialectRegistry>) -> Self {
+        self.dialects = dialects;
+        self
+    }
+
+    /// Enables or disables post-pass verification.
+    #[must_use]
+    pub fn with_verify_each(mut self, on: bool) -> Self {
+        self.verify_each = on;
+        self
+    }
+
+    /// Captures the IR after every pass into [`OptOutput::ir_after`].
+    /// Runs with IR capture bypass the cache (intermediate states are not
+    /// cached).
+    #[must_use]
+    pub fn with_print_ir_after_all(mut self, on: bool) -> Self {
+        self.print_ir_after_all = on;
+        self
+    }
+
+    /// Replaces the global compile cache with `cache`; `None` disables
+    /// caching.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Option<&'static CompileCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The dialect registry this driver verifies against.
+    pub fn dialects(&self) -> &Arc<DialectRegistry> {
+        &self.dialects
+    }
+
+    /// Parses `pipeline` and drives `module` through it.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError`] on parse failures, unknown passes,
+    /// invalid options, or a failing pass.
+    pub fn run_str(&self, module: Module, pipeline: &str) -> Result<OptOutput, PipelineError> {
+        self.run(module, &PipelineSpec::parse(pipeline)?)
+    }
+
+    /// Drives `module` through `pipeline`.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError`] on unknown passes, invalid options, or a
+    /// failing pass.
+    pub fn run(&self, module: Module, pipeline: &PipelineSpec) -> Result<OptOutput, PipelineError> {
+        // Cache lookup happens before pass instantiation: an entry can
+        // only exist for a pipeline that previously instantiated and ran
+        // successfully, so a hit skips construction work entirely.
+        let use_cache = self.cache.is_some() && !self.print_ir_after_all;
+        let key = if use_cache {
+            let canonical = pipeline.to_string();
+            // The dialect registry is part of the key: passes consult its
+            // purity metadata, so drivers over different registries must
+            // not share entries.
+            let key = CacheKey::derive(
+                &print_module(&module),
+                &canonical,
+                self.verify_each,
+                crate::cache::registry_fingerprint(&self.dialects),
+            );
+            if let Some(hit) = self.cache.expect("cache enabled").lookup(key) {
+                return Ok(OptOutput {
+                    module: hit.module,
+                    text: hit.text,
+                    pipeline: hit.pipeline,
+                    timings: hit.timings,
+                    cache_hit: true,
+                    ir_after: Vec::new(),
+                });
+            }
+            Some(key)
+        } else {
+            None
+        };
+
+        let ctx = PassContext { registry: Arc::clone(&self.dialects) };
+        // Instantiate every pass up front: a pipeline with a typo fails
+        // before any pass mutates the module.
+        let mut instantiated = Vec::with_capacity(pipeline.passes.len());
+        for invocation in &pipeline.passes {
+            instantiated.push(self.passes.instantiate(invocation, &ctx)?);
+        }
+
+        let mut pm = PassManager::new();
+        if self.verify_each {
+            pm = pm.with_verifier(Arc::clone(&self.dialects));
+        }
+        for pass in instantiated {
+            pm.add_boxed(pass);
+        }
+        let snapshots: Rc<RefCell<Vec<(&'static str, String)>>> = Rc::new(RefCell::new(Vec::new()));
+        let capture_ir = self.print_ir_after_all;
+        {
+            let snapshots = Rc::clone(&snapshots);
+            pm.set_after_each(Box::new(move |name, module| {
+                crate::stats::record_pass_run();
+                if capture_ir {
+                    snapshots.borrow_mut().push((name, print_module(module)));
+                }
+            }));
+        }
+
+        let mut module = module;
+        pm.run(&mut module)?;
+        let pipeline_names = pm.pipeline();
+        let timings = pm.timings();
+        drop(pm); // releases the hook's clone of `snapshots`
+        let ir_after = Rc::try_unwrap(snapshots).expect("pass manager dropped").into_inner();
+        let text = print_module(&module);
+        let output = OptOutput {
+            module,
+            text,
+            pipeline: pipeline_names,
+            timings,
+            cache_hit: false,
+            ir_after,
+        };
+
+        if let (Some(cache), Some(key)) = (self.cache, key) {
+            cache.insert(
+                key,
+                CachedCompile {
+                    module: output.module.clone(),
+                    text: output.text.clone(),
+                    pipeline: output.pipeline.clone(),
+                    timings: output.timings.clone(),
+                },
+            );
+        }
+        Ok(output)
+    }
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Driver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jacobi() -> Module {
+        sten_stencil::samples::jacobi_1d(64)
+    }
+
+    #[test]
+    fn runs_a_textual_pipeline() {
+        let driver = Driver::new().with_cache(None).with_verify_each(true);
+        let out = driver
+            .run_str(jacobi(), "shape-inference,convert-stencil-to-loops,canonicalize")
+            .unwrap();
+        assert!(out.text.contains("scf.parallel"), "{}", out.text);
+        assert_eq!(
+            out.pipeline,
+            vec!["stencil-shape-inference", "convert-stencil-to-loops", "canonicalize"]
+        );
+        assert_eq!(out.timings.len(), 3);
+        assert!(!out.cache_hit);
+    }
+
+    #[test]
+    fn typo_in_any_pass_fails_before_running() {
+        let driver = Driver::new().with_cache(None);
+        let before = crate::stats::passes_run();
+        let err = driver.run_str(jacobi(), "shape-inference,cononicalize").unwrap_err();
+        assert!(matches!(err, PipelineError::UnknownPass { .. }), "{err}");
+        assert_eq!(crate::stats::passes_run(), before, "no pass may run on a bad pipeline");
+    }
+
+    #[test]
+    fn print_ir_after_all_captures_each_stage() {
+        let driver = Driver::new().with_cache(None).with_print_ir_after_all(true);
+        let out = driver.run_str(jacobi(), "shape-inference,convert-stencil-to-loops").unwrap();
+        assert_eq!(out.ir_after.len(), 2);
+        assert_eq!(out.ir_after[0].0, "stencil-shape-inference");
+        assert!(out.ir_after[0].1.contains("stencil.apply"), "still stencil level");
+        assert!(out.ir_after[1].1.contains("scf.parallel"), "lowered");
+    }
+
+    #[test]
+    fn warm_cache_hit_skips_pass_execution() {
+        let cache: &'static CompileCache = Box::leak(Box::new(CompileCache::new()));
+        let driver = Driver::new().with_cache(Some(cache));
+        let pipeline = "shape-inference,convert-stencil-to-loops";
+        let cold = driver.run_str(jacobi(), pipeline).unwrap();
+        assert!(!cold.cache_hit);
+        let before = crate::stats::passes_run();
+        let warm = driver.run_str(jacobi(), pipeline).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(crate::stats::passes_run(), before, "cache hit must not execute passes");
+        assert_eq!(warm.text, cold.text);
+        assert_eq!(warm.pipeline, cold.pipeline);
+        // A different pipeline over the same module misses.
+        let other = driver.run_str(jacobi(), "shape-inference").unwrap();
+        assert!(!other.cache_hit);
+    }
+
+    #[test]
+    fn drivers_with_different_dialect_registries_do_not_share_entries() {
+        let cache: &'static CompileCache = Box::leak(Box::new(CompileCache::new()));
+        let pipeline = "shape-inference,convert-stencil-to-loops,cse";
+        let standard = Driver::new().with_cache(Some(cache));
+        let cold = standard.run_str(jacobi(), pipeline).unwrap();
+        assert!(!cold.cache_hit);
+
+        // A registry with different purity metadata changes what `cse`
+        // may do — it must not be served the standard driver's result.
+        let mut reduced = DialectRegistry::new();
+        sten_dialects::register_all(&mut reduced);
+        sten_stencil::register(&mut reduced);
+        sten_dmp::register(&mut reduced);
+        sten_mpi::register(&mut reduced);
+        reduced.register(sten_ir::OpSpec::new("test.opaque", "impure marker op"));
+        let custom = Driver::new().with_dialects(Arc::new(reduced)).with_cache(Some(cache));
+        let out = custom.run_str(jacobi(), pipeline).unwrap();
+        assert!(!out.cache_hit, "different registry must miss");
+
+        // The same custom driver hits its own entry on repeat.
+        assert!(custom.run_str(jacobi(), pipeline).unwrap().cache_hit);
+    }
+}

@@ -1,0 +1,137 @@
+//! # sten-opt — the pass-pipeline driver of the shared stack
+//!
+//! The paper's frontends share one compilation stack by composing *named*
+//! lowering passes the way `mlir-opt`/`xdsl-opt` do (§5: `shape-inference`,
+//! `convert-stencil-to-ll-mlir`, `distribute-stencil`, `dmp-to-mpi`, …).
+//! This crate is that driver layer for the reproduction:
+//!
+//! * [`PassRegistry`] — a global registry where every lowering crate's
+//!   passes are registered under stable names with option-validating
+//!   factories ([`PassRegistry::global`]);
+//! * [`PipelineSpec`] — the textual pipeline format
+//!   (`"shape-inference,tile-parallel-loops{tile=32:4}"`) with per-pass
+//!   options, canonical printing, and exact parse/print round-trips;
+//! * [`Driver`] — resolves a pipeline string against the registry and runs
+//!   it over a module with `--verify-each`, `--timing`, and
+//!   `--print-ir-after-all` support;
+//! * [`CompileCache`] — a content-addressed compilation cache keyed by
+//!   (module hash, canonical pipeline string, options), making repeated
+//!   compiles of the same operator near-free;
+//! * the `sten-opt` CLI binary (textual IR in → pipeline → textual IR out).
+//!
+//! `stencil-core`'s `CompileOptions` targets are defined as pipeline
+//! strings built by [`pipelines`] and resolved through this registry, so
+//! the CLI, the library API, and the benchmark ablations all speak the
+//! same language.
+//!
+//! ```
+//! use sten_opt::{Driver, PipelineSpec};
+//!
+//! let module = sten_stencil::samples::jacobi_1d(32);
+//! let driver = Driver::new().with_verify_each(true);
+//! let out = driver
+//!     .run_str(module, "shape-inference,convert-stencil-to-loops,canonicalize")
+//!     .unwrap();
+//! assert!(out.text.contains("scf.parallel"));
+//! assert!(!out.cache_hit);
+//! ```
+
+pub mod cache;
+pub mod driver;
+pub mod pipeline;
+pub mod pipelines;
+pub mod registry;
+pub mod report;
+pub mod target_passes;
+
+pub use cache::{content_hash, CacheKey, CacheStats, CompileCache};
+pub use driver::{Driver, OptOutput};
+pub use pipeline::{PassInvocation, PassOptions, PipelineSpec};
+pub use registry::{PassContext, PassRegistry};
+pub use report::{eprint_timing_summary, format_timing_report};
+pub use target_passes::{GpuMapParallel, HlsMarkDataflow};
+
+use std::fmt;
+
+/// Errors of the pipeline driver layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The pipeline string is syntactically malformed.
+    Parse(String),
+    /// A pass name is not registered; carries a suggestion when a close
+    /// match exists.
+    UnknownPass {
+        /// The unresolved name.
+        name: String,
+        /// A registered name with small edit distance, if any.
+        suggestion: Option<String>,
+    },
+    /// A pass rejected its options.
+    BadOption {
+        /// The pass whose options were invalid.
+        pass: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// A pass (or post-pass verification) failed while running.
+    Pass(sten_ir::PassError),
+}
+
+impl PipelineError {
+    pub(crate) fn parse(message: impl Into<String>) -> Self {
+        PipelineError::Parse(message.into())
+    }
+
+    pub(crate) fn bad_option(pass: impl Into<String>, message: impl Into<String>) -> Self {
+        PipelineError::BadOption { pass: pass.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(m) => write!(f, "pipeline parse error: {m}"),
+            PipelineError::UnknownPass { name, suggestion } => {
+                write!(f, "unknown pass '{name}'")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean '{s}'?)")?;
+                }
+                Ok(())
+            }
+            PipelineError::BadOption { pass, message } => {
+                write!(f, "invalid options for pass '{pass}': {message}")
+            }
+            PipelineError::Pass(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<sten_ir::PassError> for PipelineError {
+    fn from(e: sten_ir::PassError) -> Self {
+        PipelineError::Pass(e)
+    }
+}
+
+/// Execution counters observable by tests and the CLI.
+pub mod stats {
+    use std::cell::Cell;
+
+    thread_local! {
+        static PASSES_RUN: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Number of pass executions performed by [`crate::Driver`]s *on this
+    /// thread*. A warm cache hit does not advance this counter — the test
+    /// suite uses that to assert cache hits skip pass execution entirely.
+    /// (Thread-local so concurrently running tests cannot disturb each
+    /// other's observations; drivers run passes on the calling thread.)
+    pub fn passes_run() -> u64 {
+        PASSES_RUN.with(Cell::get)
+    }
+
+    pub(crate) fn record_pass_run() {
+        PASSES_RUN.with(|c| c.set(c.get() + 1));
+    }
+}

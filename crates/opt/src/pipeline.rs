@@ -1,0 +1,355 @@
+//! The textual pass-pipeline format.
+//!
+//! Mirrors `mlir-opt`/`xdsl-opt` pipeline strings (§5 of the paper): a
+//! comma-separated list of pass names, each optionally carrying a brace-
+//! delimited option dictionary:
+//!
+//! ```text
+//! shape-inference,convert-stencil-to-loops,tile-parallel-loops{tile=32:4}
+//! distribute-stencil{topology=2:2},dmp-to-mpi,mpi-to-func
+//! ```
+//!
+//! Grammar:
+//!
+//! ```text
+//! pipeline := pass ("," pass)*
+//! pass     := name [ "{" opt (" " opt)* "}" ]
+//! opt      := key "=" value
+//! ```
+//!
+//! Pass names and option keys are `[a-z0-9-]+`; values are any characters
+//! other than whitespace, `{`, `}`, and `,` — integer lists use `:` as the
+//! element separator (`tile=32:4`). [`PipelineSpec`] canonicalises on
+//! print (options sorted by key), and `parse` ∘ `to_string` is the
+//! identity on canonical strings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::PipelineError;
+
+/// One pass invocation: a registered name plus its option dictionary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassInvocation {
+    /// The registered pass name.
+    pub name: String,
+    /// Per-pass options (canonically ordered by key).
+    pub options: BTreeMap<String, String>,
+}
+
+impl PassInvocation {
+    /// An invocation with no options.
+    pub fn new(name: impl Into<String>) -> Self {
+        PassInvocation { name: name.into(), options: BTreeMap::new() }
+    }
+
+    /// Adds an option (builder style).
+    #[must_use]
+    pub fn with_option(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.options.insert(key.into(), value.into());
+        self
+    }
+}
+
+impl fmt::Display for PassInvocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.options.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.options.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed pipeline: an ordered list of pass invocations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineSpec {
+    /// The passes, in execution order.
+    pub passes: Vec<PassInvocation>,
+}
+
+impl PipelineSpec {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        PipelineSpec::default()
+    }
+
+    /// Parses a textual pipeline.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::Parse`] on malformed syntax. An empty (or
+    /// all-whitespace) string parses to the empty pipeline.
+    pub fn parse(text: &str) -> Result<PipelineSpec, PipelineError> {
+        let mut passes = Vec::new();
+        let mut rest = text.trim();
+        if rest.is_empty() {
+            return Ok(PipelineSpec { passes });
+        }
+        loop {
+            let (invocation, tail) = parse_invocation(rest)?;
+            passes.push(invocation);
+            rest = tail.trim_start();
+            if rest.is_empty() {
+                break;
+            }
+            rest = rest.strip_prefix(',').ok_or_else(|| {
+                PipelineError::parse(format!("expected ',' between passes, found '{rest}'"))
+            })?;
+            rest = rest.trim_start();
+            if rest.is_empty() {
+                return Err(PipelineError::parse("trailing ',' at end of pipeline"));
+            }
+        }
+        Ok(PipelineSpec { passes })
+    }
+
+    /// Appends a pass invocation (builder style).
+    #[must_use]
+    pub fn then(mut self, invocation: PassInvocation) -> Self {
+        self.passes.push(invocation);
+        self
+    }
+
+    /// The pass names in order (options stripped).
+    pub fn names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for PipelineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for PipelineSpec {
+    type Err = PipelineError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PipelineSpec::parse(s)
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'
+}
+
+fn parse_invocation(text: &str) -> Result<(PassInvocation, &str), PipelineError> {
+    let name_len = text.chars().take_while(|&c| is_name_char(c)).count();
+    if name_len == 0 {
+        return Err(PipelineError::parse(format!(
+            "expected a pass name (lowercase letters, digits, '-'), found '{}'",
+            text.chars().take(12).collect::<String>()
+        )));
+    }
+    let name = &text[..name_len];
+    let rest = &text[name_len..];
+    let Some(body) = rest.strip_prefix('{') else {
+        return Ok((PassInvocation::new(name), rest));
+    };
+    let close = body.find('}').ok_or_else(|| {
+        PipelineError::parse(format!("unclosed '{{' in options of pass '{name}'"))
+    })?;
+    let opts_text = &body[..close];
+    let tail = &body[close + 1..];
+    let mut options = BTreeMap::new();
+    for item in opts_text.split_whitespace() {
+        let (key, value) = item.split_once('=').ok_or_else(|| {
+            PipelineError::parse(format!(
+                "option '{item}' of pass '{name}' is not of the form key=value"
+            ))
+        })?;
+        if key.is_empty() || !key.chars().all(is_name_char) {
+            return Err(PipelineError::parse(format!(
+                "invalid option key '{key}' for pass '{name}'"
+            )));
+        }
+        if value.is_empty() || value.contains(['{', '}', ',']) {
+            return Err(PipelineError::parse(format!(
+                "invalid option value '{value}' for key '{key}' of pass '{name}'"
+            )));
+        }
+        if options.insert(key.to_string(), value.to_string()).is_some() {
+            return Err(PipelineError::parse(format!(
+                "duplicate option key '{key}' for pass '{name}'"
+            )));
+        }
+    }
+    Ok((PassInvocation { name: name.to_string(), options }, tail))
+}
+
+/// Typed accessors over a pass's option dictionary, tracking which keys
+/// were consumed so factories can reject unknown options.
+pub struct PassOptions<'a> {
+    pass: &'a str,
+    options: &'a BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<&'a str>>,
+}
+
+impl<'a> PassOptions<'a> {
+    /// Wraps the options of `invocation`.
+    pub fn new(invocation: &'a PassInvocation) -> Self {
+        PassOptions {
+            pass: &invocation.name,
+            options: &invocation.options,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    fn take(&self, key: &'a str) -> Option<&'a str> {
+        let value = self.options.get(key)?;
+        self.consumed.borrow_mut().push(key);
+        Some(value.as_str())
+    }
+
+    /// A string-valued option.
+    pub fn get_str(&self, key: &'a str) -> Option<&'a str> {
+        self.take(key)
+    }
+
+    /// An integer-valued option.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::BadOption`] if present but not an integer.
+    pub fn get_i64(&self, key: &'a str) -> Result<Option<i64>, PipelineError> {
+        self.take(key)
+            .map(|v| {
+                v.parse::<i64>().map_err(|_| {
+                    PipelineError::bad_option(
+                        self.pass,
+                        format!("option '{key}' expects an integer, got '{v}'"),
+                    )
+                })
+            })
+            .transpose()
+    }
+
+    /// A `:`-separated integer-list option (e.g. `tile=32:4`).
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::BadOption`] if any element is not an
+    /// integer.
+    pub fn get_i64_list(&self, key: &'a str) -> Result<Option<Vec<i64>>, PipelineError> {
+        self.take(key)
+            .map(|v| {
+                v.split(':')
+                    .map(|e| {
+                        e.parse::<i64>().map_err(|_| {
+                            PipelineError::bad_option(
+                                self.pass,
+                                format!(
+                                    "option '{key}' expects integers separated by ':', got '{v}'"
+                                ),
+                            )
+                        })
+                    })
+                    .collect()
+            })
+            .transpose()
+    }
+
+    /// A boolean option (`true`/`false`).
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::BadOption`] if present but not a boolean.
+    pub fn get_bool(&self, key: &'a str) -> Result<Option<bool>, PipelineError> {
+        self.take(key)
+            .map(|v| match v {
+                "true" => Ok(true),
+                "false" => Ok(false),
+                other => Err(PipelineError::bad_option(
+                    self.pass,
+                    format!("option '{key}' expects true/false, got '{other}'"),
+                )),
+            })
+            .transpose()
+    }
+
+    /// Fails if any option key was never consumed by an accessor.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::BadOption`] naming the first unknown key.
+    pub fn finish(&self) -> Result<(), PipelineError> {
+        let consumed = self.consumed.borrow();
+        for key in self.options.keys() {
+            if !consumed.iter().any(|c| c == key) {
+                return Err(PipelineError::bad_option(
+                    self.pass,
+                    format!("unknown option '{key}'"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_names_and_options() {
+        let p = PipelineSpec::parse("a,b{x=1 y=2:3},c{flag=true}").unwrap();
+        assert_eq!(p.names(), vec!["a", "b", "c"]);
+        assert_eq!(p.passes[1].options["x"], "1");
+        assert_eq!(p.passes[1].options["y"], "2:3");
+        assert_eq!(p.to_string(), "a,b{x=1 y=2:3},c{flag=true}");
+    }
+
+    #[test]
+    fn canonical_print_sorts_options() {
+        let p = PipelineSpec::parse("p{zz=1 aa=2}").unwrap();
+        assert_eq!(p.to_string(), "p{aa=2 zz=1}");
+        let again = PipelineSpec::parse(&p.to_string()).unwrap();
+        assert_eq!(again, p);
+    }
+
+    #[test]
+    fn whitespace_between_passes_is_tolerated() {
+        let p = PipelineSpec::parse(" a , b{k=v} ").unwrap();
+        assert_eq!(p.to_string(), "a,b{k=v}");
+    }
+
+    #[test]
+    fn rejects_malformed_pipelines() {
+        for bad in ["a,,b", "a,", ",a", "a{", "a{k}", "a{=v}", "a{k=v", "a{k=v,}", "A", "my_pass"] {
+            assert!(PipelineSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_option_keys() {
+        assert!(PipelineSpec::parse("a{k=1 k=2}").is_err());
+    }
+
+    #[test]
+    fn typed_option_accessors() {
+        let p = PipelineSpec::parse("t{tile=32:4 n=7 on=true}").unwrap();
+        let opts = PassOptions::new(&p.passes[0]);
+        assert_eq!(opts.get_i64_list("tile").unwrap(), Some(vec![32, 4]));
+        assert_eq!(opts.get_i64("n").unwrap(), Some(7));
+        assert_eq!(opts.get_bool("on").unwrap(), Some(true));
+        assert!(opts.finish().is_ok());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_by_finish() {
+        let p = PipelineSpec::parse("t{mystery=1}").unwrap();
+        let opts = PassOptions::new(&p.passes[0]);
+        let err = opts.finish().unwrap_err();
+        assert!(err.to_string().contains("mystery"), "{err}");
+    }
+}

@@ -1,0 +1,122 @@
+//! The §5 target pipelines as pipeline strings.
+//!
+//! Each of the paper's compilation targets (shared-memory CPU,
+//! distributed CPU, GPU, FPGA) is *defined* here as a textual pipeline
+//! resolved through the [`PassRegistry`](crate::PassRegistry) — exactly
+//! how the paper's frontends drive `mlir-opt`/`xdsl-opt`.
+//! `stencil-core::CompileOptions` delegates to these builders, the
+//! `sten-opt` CLI exposes them via `--target`, and the benchmark
+//! ablations permute them as data.
+
+use std::fmt::Write as _;
+
+/// The fusion prologue shared by every target: infer shapes, fuse
+/// vertically and horizontally, re-infer the fused shapes.
+fn prologue(out: &mut String, fuse: bool) {
+    out.push_str("shape-inference");
+    if fuse {
+        out.push_str(",stencil-fusion,stencil-horizontal-fusion,shape-inference");
+    }
+}
+
+/// The cleanup epilogue: canonicalize, hoist, CSE, DCE.
+fn epilogue(out: &mut String, optimize: bool) {
+    if optimize {
+        out.push_str(",canonicalize,licm,cse,dce");
+    }
+}
+
+fn join_i64(values: &[i64]) -> String {
+    values.iter().map(i64::to_string).collect::<Vec<_>>().join(":")
+}
+
+/// Shared-memory CPU: lower to loops and tile (§4.1).
+pub fn shared_cpu(tile: &[i64], fuse: bool, optimize: bool) -> String {
+    let mut p = String::new();
+    prologue(&mut p, fuse);
+    let _ = write!(p, ",convert-stencil-to-loops,tile-parallel-loops{{tile={}}}", join_i64(tile));
+    epilogue(&mut p, optimize);
+    p
+}
+
+/// Distributed CPU: decompose, dedup swaps, lower to loops, then to MPI
+/// calls (§4.2, §4.3).
+pub fn distributed(topology: &[i64], fuse: bool, optimize: bool) -> String {
+    let mut p = String::new();
+    prologue(&mut p, fuse);
+    let _ = write!(
+        p,
+        ",distribute-stencil{{topology={}}},shape-inference,dmp-eliminate-redundant-swaps,\
+         convert-stencil-to-loops,dmp-to-mpi,mpi-to-func",
+        join_i64(topology)
+    );
+    epilogue(&mut p, optimize);
+    p
+}
+
+/// GPU: lower to parallel loops and annotate kernel mappings (§6.1).
+pub fn gpu(fuse: bool, optimize: bool) -> String {
+    let mut p = String::new();
+    prologue(&mut p, fuse);
+    p.push_str(",convert-stencil-to-loops,gpu-map-parallel-loops");
+    epilogue(&mut p, optimize);
+    p
+}
+
+/// FPGA: keep the stencil level and mark dataflow kernels (§6.2). The
+/// cleanup epilogue is omitted — the HLS path consumes stencil-level IR.
+pub fn fpga(optimized: bool, fuse: bool) -> String {
+    let mut p = String::new();
+    prologue(&mut p, fuse);
+    let style = if optimized { "shift-buffer" } else { "von-neumann" };
+    let _ = write!(p, ",hls-mark-dataflow{{style={}}}", style);
+    p
+}
+
+/// Resolves a target name (as accepted by the CLI's `--target`) to its
+/// default pipeline string, or `None` for unknown names.
+pub fn named(target: &str) -> Option<String> {
+    match target {
+        "shared-cpu" => Some(shared_cpu(&[32, 4], true, true)),
+        "distributed" => Some(distributed(&[2], true, true)),
+        "gpu" => Some(gpu(true, true)),
+        "fpga" => Some(fpga(false, true)),
+        "fpga-optimized" => Some(fpga(true, true)),
+        _ => None,
+    }
+}
+
+/// The target names [`named`] accepts.
+pub const TARGET_NAMES: [&str; 5] = ["shared-cpu", "distributed", "gpu", "fpga", "fpga-optimized"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineSpec;
+    use crate::registry::{PassContext, PassRegistry};
+
+    #[test]
+    fn every_target_pipeline_parses_and_resolves() {
+        let reg = PassRegistry::global();
+        let driver = crate::Driver::new();
+        let ctx = PassContext { registry: std::sync::Arc::clone(driver.dialects()) };
+        for target in TARGET_NAMES {
+            let text = named(target).unwrap();
+            let spec = PipelineSpec::parse(&text).unwrap_or_else(|e| panic!("{target}: {e}"));
+            assert_eq!(spec.to_string(), text, "{target} pipeline string is canonical");
+            for invocation in &spec.passes {
+                reg.instantiate(invocation, &ctx).unwrap_or_else(|e| panic!("{target}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn options_thread_through_to_the_pipeline_text() {
+        assert!(shared_cpu(&[64, 8], true, true).contains("tile-parallel-loops{tile=64:8}"));
+        assert!(distributed(&[2, 2], true, true).contains("distribute-stencil{topology=2:2}"));
+        assert!(fpga(true, true).contains("style=shift-buffer"));
+        let unfused = shared_cpu(&[32], false, false);
+        assert!(!unfused.contains("stencil-fusion"));
+        assert!(!unfused.contains("cse"));
+    }
+}

@@ -1,0 +1,430 @@
+//! The global pass registry.
+//!
+//! Every lowering crate of the stack (`sten-stencil`, `sten-dmp`,
+//! `sten-mpi`, `sten-dialects`, `sten-ir`'s generic transforms, and the
+//! target-annotation passes) contributes its passes here under a stable
+//! name, together with a factory that validates per-pass options. This is
+//! the reproduction's equivalent of MLIR's `PassRegistration`: pipelines
+//! are *data* (strings), resolved against this registry by the
+//! [`Driver`](crate::Driver), the `sten-opt` CLI, and
+//! `stencil-core::compile`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+use sten_ir::{DialectRegistry, Pass};
+
+use crate::pipeline::{PassInvocation, PassOptions};
+use crate::PipelineError;
+
+/// Context handed to pass factories: some passes (CSE/DCE/LICM) need
+/// purity metadata from the dialect registry.
+pub struct PassContext {
+    /// The dialect registry of the ecosystem the pipeline runs in.
+    pub registry: Arc<DialectRegistry>,
+}
+
+type Factory = Box<
+    dyn Fn(&PassOptions<'_>, &PassContext) -> Result<Box<dyn Pass>, PipelineError> + Send + Sync,
+>;
+
+struct Entry {
+    factory: Factory,
+    summary: &'static str,
+    /// Canonical name when this entry is an alias, `None` otherwise.
+    alias_of: Option<&'static str>,
+}
+
+/// Maps stable pass names to option-validating pass factories.
+#[derive(Default)]
+pub struct PassRegistry {
+    entries: BTreeMap<&'static str, Entry>,
+}
+
+impl PassRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PassRegistry::default()
+    }
+
+    /// A registry pre-populated with every in-tree pass.
+    pub fn with_standard_passes() -> Self {
+        let mut reg = PassRegistry::new();
+        register_ir_passes(&mut reg);
+        register_dialect_passes(&mut reg);
+        register_stencil_passes(&mut reg);
+        register_dmp_passes(&mut reg);
+        register_mpi_passes(&mut reg);
+        register_target_passes(&mut reg);
+        reg
+    }
+
+    /// The process-wide registry of all in-tree passes.
+    pub fn global() -> &'static PassRegistry {
+        static GLOBAL: OnceLock<PassRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(PassRegistry::with_standard_passes)
+    }
+
+    /// Registers `factory` under `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered — stable names are an API.
+    pub fn register<F>(&mut self, name: &'static str, summary: &'static str, factory: F)
+    where
+        F: Fn(&PassOptions<'_>, &PassContext) -> Result<Box<dyn Pass>, PipelineError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        let prev = self
+            .entries
+            .insert(name, Entry { factory: Box::new(factory), summary, alias_of: None });
+        assert!(prev.is_none(), "pass '{name}' registered twice");
+    }
+
+    /// Registers `alias` as an alternative spelling of `canonical`.
+    ///
+    /// # Panics
+    /// Panics if `canonical` is unregistered or `alias` already taken.
+    pub fn register_alias(&mut self, alias: &'static str, canonical: &'static str) {
+        assert!(self.entries.contains_key(canonical), "alias target '{canonical}' unregistered");
+        let prev = self.entries.insert(
+            alias,
+            Entry {
+                factory: Box::new(|_, _| unreachable!("aliases resolve before instantiation")),
+                summary: "",
+                alias_of: Some(canonical),
+            },
+        );
+        assert!(prev.is_none(), "pass '{alias}' registered twice");
+    }
+
+    /// Resolves aliases to the canonical pass name (identity for
+    /// canonical and unknown names).
+    pub fn canonical_name<'a>(&self, name: &'a str) -> &'a str {
+        match self.entries.get(name).and_then(|e| e.alias_of) {
+            Some(canonical) => canonical,
+            None => name,
+        }
+    }
+
+    /// Whether `name` (canonical or alias) is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Canonical registered pass names with their one-line summaries,
+    /// sorted by name.
+    pub fn passes(&self) -> Vec<(&'static str, &'static str)> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.alias_of.is_none())
+            .map(|(n, e)| (*n, e.summary))
+            .collect()
+    }
+
+    /// Instantiates the pass named by `invocation`, validating options.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::UnknownPass`] (with a close-match
+    /// suggestion) or [`PipelineError::BadOption`].
+    pub fn instantiate(
+        &self,
+        invocation: &PassInvocation,
+        ctx: &PassContext,
+    ) -> Result<Box<dyn Pass>, PipelineError> {
+        let mut entry = self.entries.get(invocation.name.as_str()).ok_or_else(|| {
+            PipelineError::UnknownPass {
+                name: invocation.name.clone(),
+                suggestion: self.closest_match(&invocation.name),
+            }
+        })?;
+        if let Some(canonical) = entry.alias_of {
+            entry = self.entries.get(canonical).expect("alias target registered");
+        }
+        let options = PassOptions::new(invocation);
+        let pass = (entry.factory)(&options, ctx)?;
+        options.finish()?;
+        Ok(pass)
+    }
+
+    fn closest_match(&self, name: &str) -> Option<String> {
+        self.entries
+            .keys()
+            .map(|k| (edit_distance(name, k), *k))
+            .filter(|(d, k)| *d <= 3 && *d * 3 <= k.len().max(name.len()))
+            .min_by_key(|(d, _)| *d)
+            .map(|(_, k)| k.to_string())
+    }
+}
+
+impl std::fmt::Debug for PassRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassRegistry")
+            .field("passes", &self.entries.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cur = row[j + 1];
+            row[j + 1] = if ca == cb { prev } else { 1 + prev.min(cur).min(row[j]) };
+            prev = cur;
+        }
+    }
+    row[b.len()]
+}
+
+/// Registers `sten-ir`'s generic transforms (`cse`, `dce`).
+pub fn register_ir_passes(reg: &mut PassRegistry) {
+    reg.register("cse", "common-subexpression elimination over pure ops", |opts, ctx| {
+        opts.finish()?;
+        Ok(Box::new(sten_ir::transforms::CommonSubexprElimination::new(Arc::clone(&ctx.registry))))
+    });
+    reg.register("dce", "dead-code elimination of unused pure ops", |opts, ctx| {
+        opts.finish()?;
+        Ok(Box::new(sten_ir::transforms::DeadCodeElimination::new(Arc::clone(&ctx.registry))))
+    });
+}
+
+/// Registers `sten-dialects`' shared optimization passes.
+pub fn register_dialect_passes(reg: &mut PassRegistry) {
+    reg.register("canonicalize", "constant folding and algebraic simplification", |opts, _| {
+        opts.finish()?;
+        Ok(Box::new(sten_dialects::canonicalize::Canonicalize))
+    });
+    reg.register("licm", "loop-invariant code motion out of scf loops", |opts, ctx| {
+        opts.finish()?;
+        Ok(Box::new(sten_dialects::licm::LoopInvariantCodeMotion::new(Arc::clone(&ctx.registry))))
+    });
+}
+
+/// Registers the `stencil` dialect's passes.
+pub fn register_stencil_passes(reg: &mut PassRegistry) {
+    reg.register(
+        "stencil-shape-inference",
+        "infer !stencil.temp bounds from store ranges and access offsets",
+        |opts, _| {
+            opts.finish()?;
+            Ok(Box::new(sten_stencil::ShapeInference))
+        },
+    );
+    reg.register_alias("shape-inference", "stencil-shape-inference");
+    reg.register(
+        "stencil-fusion",
+        "inline producer stencil.apply ops into their consumers",
+        |opts, _| {
+            opts.finish()?;
+            Ok(Box::new(sten_stencil::StencilFusion))
+        },
+    );
+    reg.register(
+        "stencil-horizontal-fusion",
+        "merge independent stencil.apply ops over the same iteration space",
+        |opts, _| {
+            opts.finish()?;
+            Ok(Box::new(sten_stencil::HorizontalFusion))
+        },
+    );
+    reg.register(
+        "convert-stencil-to-loops",
+        "lower stencil ops to scf.parallel + memref + arith",
+        |opts, _| {
+            opts.finish()?;
+            Ok(Box::new(sten_stencil::StencilToLoops))
+        },
+    );
+    reg.register_alias("convert-stencil-to-scf", "convert-stencil-to-loops");
+    reg.register(
+        "tile-parallel-loops",
+        "tile scf.parallel loops for cache locality (option tile=T0:T1:…)",
+        |opts, _| {
+            let tile = opts.get_i64_list("tile")?.unwrap_or_else(|| vec![32, 4]);
+            if tile.is_empty() || tile.iter().any(|&t| t <= 0) {
+                return Err(PipelineError::bad_option(
+                    "tile-parallel-loops",
+                    format!("tile sizes must be positive, got {tile:?}"),
+                ));
+            }
+            Ok(Box::new(sten_stencil::TileParallelLoops::new(tile)))
+        },
+    );
+}
+
+/// Registers the `dmp` dialect's passes.
+pub fn register_dmp_passes(reg: &mut PassRegistry) {
+    reg.register(
+        "distribute-stencil",
+        "decompose the global domain over a rank topology (option topology=N0:N1:…)",
+        |opts, _| {
+            let topology = opts.get_i64_list("topology")?.ok_or_else(|| {
+                PipelineError::bad_option(
+                    "distribute-stencil",
+                    "missing required option 'topology' (e.g. topology=2:2)",
+                )
+            })?;
+            if topology.is_empty() || topology.iter().any(|&n| n <= 0) {
+                return Err(PipelineError::bad_option(
+                    "distribute-stencil",
+                    format!("topology entries must be positive, got {topology:?}"),
+                ));
+            }
+            Ok(Box::new(sten_dmp::DistributeStencil::new(topology)))
+        },
+    );
+    reg.register(
+        "dmp-eliminate-redundant-swaps",
+        "remove dmp.swap ops whose halo data is already in sync",
+        |opts, _| {
+            opts.finish()?;
+            Ok(Box::new(sten_dmp::EliminateRedundantSwaps))
+        },
+    );
+}
+
+/// Registers the `mpi` dialect's passes.
+pub fn register_mpi_passes(reg: &mut PassRegistry) {
+    reg.register("dmp-to-mpi", "lower dmp.swap to mpi.isend/irecv/waitall", |opts, _| {
+        opts.finish()?;
+        Ok(Box::new(sten_mpi::DmpToMpi))
+    });
+    reg.register("mpi-to-func", "lower mpi.* to func.call @MPI_* (mpich ABI)", |opts, _| {
+        opts.finish()?;
+        Ok(Box::new(sten_mpi::MpiToFunc))
+    });
+}
+
+/// Registers the target-annotation passes (GPU kernel mapping, HLS
+/// dataflow marking).
+pub fn register_target_passes(reg: &mut PassRegistry) {
+    reg.register(
+        "gpu-map-parallel-loops",
+        "annotate scf.parallel loops with GPU kernel-mapping metadata",
+        |opts, _| {
+            opts.finish()?;
+            Ok(Box::new(crate::target_passes::GpuMapParallel))
+        },
+    );
+    reg.register(
+        "hls-mark-dataflow",
+        "mark stencil.apply regions as HLS dataflow kernels (option style=shift-buffer|von-neumann)",
+        |opts, _| {
+            let style = opts.get_str("style").unwrap_or("von-neumann");
+            let optimized = match style {
+                "shift-buffer" => true,
+                "von-neumann" => false,
+                other => {
+                    return Err(PipelineError::bad_option(
+                        "hls-mark-dataflow",
+                        format!("style must be shift-buffer or von-neumann, got '{other}'"),
+                    ))
+                }
+            };
+            Ok(Box::new(crate::target_passes::HlsMarkDataflow { optimized }))
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineSpec;
+
+    fn ctx() -> PassContext {
+        let mut reg = DialectRegistry::new();
+        sten_dialects::register_all(&mut reg);
+        sten_stencil::register(&mut reg);
+        sten_dmp::register(&mut reg);
+        sten_mpi::register(&mut reg);
+        PassContext { registry: Arc::new(reg) }
+    }
+
+    #[test]
+    fn global_registry_knows_the_papers_passes() {
+        let reg = PassRegistry::global();
+        for name in [
+            "stencil-shape-inference",
+            "shape-inference",
+            "stencil-fusion",
+            "convert-stencil-to-loops",
+            "tile-parallel-loops",
+            "distribute-stencil",
+            "dmp-eliminate-redundant-swaps",
+            "dmp-to-mpi",
+            "mpi-to-func",
+            "canonicalize",
+            "licm",
+            "cse",
+            "dce",
+            "gpu-map-parallel-loops",
+            "hls-mark-dataflow",
+        ] {
+            assert!(reg.contains(name), "missing pass '{name}'");
+        }
+    }
+
+    #[test]
+    fn instantiates_passes_with_options() {
+        let reg = PassRegistry::global();
+        let p = PipelineSpec::parse("tile-parallel-loops{tile=16:8}").unwrap();
+        let pass = reg.instantiate(&p.passes[0], &ctx()).unwrap();
+        assert_eq!(pass.name(), "tile-parallel-loops");
+    }
+
+    #[test]
+    fn aliases_resolve_to_canonical_passes() {
+        let reg = PassRegistry::global();
+        let p = PipelineSpec::parse("shape-inference,convert-stencil-to-scf").unwrap();
+        assert_eq!(reg.canonical_name("shape-inference"), "stencil-shape-inference");
+        let pass = reg.instantiate(&p.passes[0], &ctx()).unwrap();
+        assert_eq!(pass.name(), "stencil-shape-inference");
+        let pass = reg.instantiate(&p.passes[1], &ctx()).unwrap();
+        assert_eq!(pass.name(), "convert-stencil-to-loops");
+    }
+
+    fn expect_err(result: Result<Box<dyn sten_ir::Pass>, PipelineError>) -> PipelineError {
+        match result {
+            Err(e) => e,
+            Ok(pass) => panic!("expected an error, instantiated '{}'", pass.name()),
+        }
+    }
+
+    #[test]
+    fn unknown_pass_suggests_a_close_name() {
+        let reg = PassRegistry::global();
+        let p = PipelineSpec::parse("canonicalise").unwrap();
+        let err = expect_err(reg.instantiate(&p.passes[0], &ctx()));
+        match err {
+            PipelineError::UnknownPass { suggestion, .. } => {
+                assert_eq!(suggestion.as_deref(), Some("canonicalize"));
+            }
+            other => panic!("expected UnknownPass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid_options() {
+        let reg = PassRegistry::global();
+        let c = ctx();
+        let p = PipelineSpec::parse("canonicalize{mystery=1}").unwrap();
+        assert!(reg.instantiate(&p.passes[0], &c).is_err());
+        let p = PipelineSpec::parse("tile-parallel-loops{tile=0}").unwrap();
+        assert!(reg.instantiate(&p.passes[0], &c).is_err());
+        let p = PipelineSpec::parse("distribute-stencil").unwrap();
+        let err = expect_err(reg.instantiate(&p.passes[0], &c));
+        assert!(err.to_string().contains("topology"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric_and_small_for_typos() {
+        assert_eq!(edit_distance("cse", "cse"), 0);
+        assert_eq!(edit_distance("cse", "dce"), 2);
+        assert_eq!(edit_distance("licm", "lcim"), 2);
+    }
+}

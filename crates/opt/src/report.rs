@@ -1,0 +1,68 @@
+//! The `--timing` report.
+//!
+//! Formats the [`PassTiming`] records a pipeline run produced into the
+//! familiar `mlir-opt -mlir-timing`-style table: one row per executed
+//! pass with wall time and share of the total.
+
+use crate::driver::OptOutput;
+use std::fmt::Write as _;
+use std::time::Duration;
+use sten_ir::pass::PassTiming;
+
+/// Prints the `--timing` summary for a finished run to stderr: a
+/// cache-hit note when no pass executed, then the per-pass table.
+/// Shared by `sten-opt` and `stencil-core::compile`.
+pub fn eprint_timing_summary(out: &OptOutput) {
+    if out.cache_hit {
+        eprintln!("// timing: warm cache hit — no pass executed; cold-run timings follow");
+    }
+    eprint!("{}", format_timing_report(&out.timings));
+}
+
+/// Renders `timings` as a fixed-width execution report.
+pub fn format_timing_report(timings: &[PassTiming]) -> String {
+    let total: Duration = timings.iter().map(|t| t.duration).sum();
+    let total_secs = total.as_secs_f64();
+    let name_width = timings.iter().map(|t| t.name.len()).chain(["total".len()]).max().unwrap_or(5);
+    let mut out = String::new();
+    let _ = writeln!(out, "===-------------------------------------------===");
+    let _ = writeln!(out, "  Pass execution timing report ({} passes)", timings.len());
+    let _ = writeln!(out, "===-------------------------------------------===");
+    for t in timings {
+        let share =
+            if total_secs > 0.0 { 100.0 * t.duration.as_secs_f64() / total_secs } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  {:<name_width$}  {:>10.4} ms  {:>5.1}%",
+            t.name,
+            t.duration.as_secs_f64() * 1e3,
+            share,
+        );
+    }
+    let _ = writeln!(out, "  {:<name_width$}  {:>10.4} ms  100.0%", "total", total_secs * 1e3,);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_lists_every_pass_and_a_total() {
+        let timings = vec![
+            PassTiming { name: "cse", duration: Duration::from_millis(3) },
+            PassTiming { name: "canonicalize", duration: Duration::from_millis(1) },
+        ];
+        let report = format_timing_report(&timings);
+        assert!(report.contains("cse"), "{report}");
+        assert!(report.contains("canonicalize"), "{report}");
+        assert!(report.contains("total"), "{report}");
+        assert!(report.contains("2 passes"), "{report}");
+    }
+
+    #[test]
+    fn empty_run_formats_without_panicking() {
+        let report = format_timing_report(&[]);
+        assert!(report.contains("0 passes"), "{report}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Target-annotation passes.
+//!
+//! The GPU and FPGA pipelines of §6 end in annotation passes rather than
+//! full backend code generation: the annotations carry exactly the
+//! information the `sten-perf` machine models consume (kernel launch
+//! counts for the V100 model, dataflow style for the U280 model). They
+//! live in the driver crate because they belong to the *pipeline* layer —
+//! every target's pipeline string is composed from the same registry.
+
+use sten_ir::{Attribute, Module, Pass, PassError};
+
+/// Marks `scf.parallel` loops with a GPU-mapping attribute (the stack's
+/// stand-in for the gpu-dialect kernel outlining step; the per-kernel
+/// launch accounting feeds the V100 model).
+pub struct GpuMapParallel;
+
+impl Pass for GpuMapParallel {
+    fn name(&self) -> &'static str {
+        "gpu-map-parallel-loops"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let mut kernels = 0i64;
+        let mut regions = std::mem::take(&mut module.op.regions);
+        for region in &mut regions {
+            for block in &mut region.blocks {
+                for op in &mut block.ops {
+                    op.walk_mut(&mut |o| {
+                        if o.name == "scf.parallel" && o.attr("gpu.kernel").is_none() {
+                            o.set_attr("gpu.kernel", Attribute::int64(kernels));
+                            o.set_attr("gpu.block", Attribute::DenseI64(vec![32, 4, 8]));
+                            kernels += 1;
+                        }
+                    });
+                }
+            }
+        }
+        module.op.regions = regions;
+        Ok(())
+    }
+}
+
+/// Marks stencil applies as HLS dataflow kernels (Fig. 6's `hls` path).
+pub struct HlsMarkDataflow {
+    /// Whether the shift-buffer dataflow optimization is applied.
+    pub optimized: bool,
+}
+
+impl Pass for HlsMarkDataflow {
+    fn name(&self) -> &'static str {
+        "hls-mark-dataflow"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        let style = if self.optimized { "shift-buffer" } else { "von-neumann" };
+        let mut regions = std::mem::take(&mut module.op.regions);
+        for region in &mut regions {
+            for block in &mut region.blocks {
+                for op in &mut block.ops {
+                    op.walk_mut(&mut |o| {
+                        if o.name == "stencil.apply" {
+                            o.set_attr("hls.dataflow", Attribute::Str(style.to_string()));
+                        }
+                    });
+                }
+            }
+        }
+        module.op.regions = regions;
+        Ok(())
+    }
+}

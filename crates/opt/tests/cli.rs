@@ -1,0 +1,135 @@
+//! End-to-end tests of the `sten-opt` binary: textual IR in, pipeline,
+//! textual IR out — plus the introspection and error paths.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn sten_opt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sten-opt"))
+}
+
+fn sample_ir() -> String {
+    sten_ir::print_module(&sten_stencil::samples::jacobi_1d(64))
+}
+
+#[test]
+fn lowers_ir_from_stdin_to_stdout() {
+    let mut child = sten_opt()
+        .args(["-p", "shape-inference,convert-stencil-to-loops,canonicalize", "--verify-each"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(sample_ir().as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("scf.parallel"), "{text}");
+    assert!(!text.contains("stencil.apply"), "lowered:\n{text}");
+    // The output is itself valid input: it reparses.
+    sten_ir::parse_module(&text).unwrap();
+}
+
+#[test]
+fn file_input_output_with_timing_report() {
+    let dir = std::env::temp_dir().join(format!("sten-opt-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.ir");
+    let output = dir.join("out.ir");
+    std::fs::write(&input, sample_ir()).unwrap();
+    let out = sten_opt()
+        .arg(&input)
+        .args(["--target", "shared-cpu", "--timing", "--no-cache"])
+        .args(["-o".as_ref(), output.as_os_str()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("Pass execution timing report"), "{stderr}");
+    assert!(stderr.contains("tile-parallel-loops"), "{stderr}");
+    let written = std::fs::read_to_string(&output).unwrap();
+    assert!(written.contains("scf.for"), "tiled output written to -o");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn print_ir_after_all_dumps_every_stage() {
+    let mut child = sten_opt()
+        .args(["-p", "shape-inference,convert-stencil-to-loops", "--print-ir-after-all"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(sample_ir().as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("IR Dump After stencil-shape-inference"), "{stderr}");
+    assert!(stderr.contains("IR Dump After convert-stencil-to-loops"), "{stderr}");
+}
+
+#[test]
+fn unknown_pass_fails_with_a_suggestion() {
+    let mut child = sten_opt()
+        .args(["-p", "shape-inference,canonicalise"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(sample_ir().as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success(), "bad pass name must fail");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown pass 'canonicalise'"), "{stderr}");
+    assert!(stderr.contains("did you mean 'canonicalize'"), "{stderr}");
+}
+
+#[test]
+fn list_passes_and_show_pipeline() {
+    let out = sten_opt().arg("--list-passes").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for pass in ["stencil-shape-inference", "dmp-to-mpi", "tile-parallel-loops", "cse"] {
+        assert!(text.contains(pass), "--list-passes missing {pass}:\n{text}");
+    }
+    assert!(text.contains("shared-cpu"), "{text}");
+
+    let out = sten_opt().args(["--target", "distributed", "--show-pipeline"]).output().unwrap();
+    assert!(out.status.success());
+    let line = String::from_utf8(out.stdout).unwrap();
+    assert!(line.contains("distribute-stencil{topology=2}"), "{line}");
+    // The printed pipeline is valid input for -p: round-trip it.
+    let mut child = sten_opt()
+        .args(["-p", line.trim()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(sample_ir().as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("MPI_Isend"));
+}
+
+#[test]
+fn malformed_ir_and_missing_pipeline_fail_cleanly() {
+    let mut child = sten_opt()
+        .args(["-p", "cse"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(b"not ir at all").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+
+    let out = sten_opt().output().unwrap();
+    assert!(!out.status.success(), "no pipeline given must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no pipeline"));
+}

@@ -162,6 +162,7 @@ pub fn strong_scaling(
     let r = profile.radius.max(1) as f64;
     let mut volume_bytes = 0.0;
     let mut messages = 0.0;
+    #[allow(clippy::needless_range_loop)] // parallel indexing into grid/local
     for d in 0..config.decomp_dims.min(local.len()) {
         if grid[d] < 2 {
             continue;
@@ -171,8 +172,7 @@ pub fn strong_scaling(
         volume_bytes += 2.0 * face * r * profile.dtype_bytes * profile.input_buffers;
         messages += 2.0 * profile.regions as f64;
     }
-    let t_comm_raw =
-        messages * net.latency_us * 1e-6 + volume_bytes / (net.bandwidth_gbs * 1e9);
+    let t_comm_raw = messages * net.latency_us * 1e-6 + volume_bytes / (net.bandwidth_gbs * 1e9);
     let t_comm = t_comm_raw * (1.0 - config.comm_overlap);
     profile.points / (t_comp + t_comm) / 1e9
 }
@@ -245,10 +245,7 @@ mod tests {
     fn barrier_overhead_hurts_many_region_kernels_at_small_sizes() {
         // Fig. 10a tracer advection: 18 regions × 25 µs dominates small
         // problems for xDSL, amortizes at larger ones.
-        let mk = |points: f64| KernelProfile {
-            regions: 18,
-            ..heat_profile(3, 20.0, 1, points)
-        };
+        let mk = |points: f64| KernelProfile { regions: 18, ..heat_profile(3, 20.0, 1, points) };
         let node = archer2_node();
         let small_ratio = node_throughput(&mk(4e6), &node, CpuPipeline::Xdsl)
             / node_throughput(&mk(4e6), &node, CpuPipeline::PsycloneCray);
@@ -281,14 +278,7 @@ mod tests {
         let mut prev_x = 0.0;
         for nodes in [1u64, 2, 4, 8, 16, 32, 64, 128] {
             let x = strong_scaling(&p, &node, &net, &xdsl_cfg, CpuPipeline::Xdsl, nodes);
-            let d = strong_scaling(
-                &p,
-                &node,
-                &net,
-                &devito_cfg,
-                CpuPipeline::DevitoNative,
-                nodes,
-            );
+            let d = strong_scaling(&p, &node, &net, &devito_cfg, CpuPipeline::DevitoNative, nodes);
             assert!(x > prev_x, "xDSL keeps scaling at {nodes} nodes");
             // Fig. 8: Devito sits above xDSL across the whole sweep (its
             // per-node 3D code is faster and its communication overlaps).

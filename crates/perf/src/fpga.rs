@@ -38,8 +38,7 @@ pub fn fpga_throughput(profile: &KernelProfile, fpga: &Fpga, design: FpgaDesign)
         FpgaDesign::Initial => {
             // Each read pays the DDR latency, with limited pipelining of
             // outstanding requests.
-            let ns_per_cell =
-                reads_per_cell * fpga.ddr_latency_ns / fpga.memory_parallelism;
+            let ns_per_cell = reads_per_cell * fpga.ddr_latency_ns / fpga.memory_parallelism;
             1.0 / ns_per_cell
         }
         FpgaDesign::Optimized => {
@@ -47,8 +46,7 @@ pub fn fpga_throughput(profile: &KernelProfile, fpga: &Fpga, design: FpgaDesign)
             // dataflow graphs (tracer advection: 18 regions) pay extra
             // handshake stalls; bounded by streaming DDR traffic.
             let region_stall = (profile.regions.max(1) as f64).powf(1.0 / 3.0);
-            let cycle_rate =
-                fpga.freq_mhz * 1e6 * fpga.pipeline_efficiency / region_stall / 1e9;
+            let cycle_rate = fpga.freq_mhz * 1e6 * fpga.pipeline_efficiency / region_stall / 1e9;
             let stream_rate = fpga.ddr_bw_gbs / (2.0 * profile.dtype_bytes); // GPts/s
             cycle_rate.min(stream_rate)
         }

@@ -156,7 +156,7 @@ mod tests {
     #[test]
     fn multi_region_kernels_count_regions() {
         let k = sten_psyclone::kernels::tracer_advection(16, 8, 4).unwrap();
-        let mut m = k.module.clone();
+        let m = k.module.clone();
         let _ = m; // pipeline compiles from the fused module directly
         let pipeline = sten_exec::compile_module(&k.module, "tra_adv").unwrap();
         let p = KernelProfile::from_pipeline("traadv", 3, &pipeline);

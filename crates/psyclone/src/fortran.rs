@@ -242,7 +242,9 @@ impl<'a> Lexer<'a> {
                         .replace(['d', 'D'], "e");
                     if is_real {
                         toks.push((
-                            Tok::Real(text.parse().map_err(|e| self.err(format!("bad real: {e}")))?),
+                            Tok::Real(
+                                text.parse().map_err(|e| self.err(format!("bad real: {e}")))?,
+                            ),
                             self.line,
                         ));
                     } else {
@@ -361,7 +363,9 @@ impl Parser {
                 Tok::Ident(s) if s == "do" => {
                     stmts.push(self.parse_do()?);
                 }
-                Tok::Ident(s) if s == "real" || s == "integer" || s == "implicit" || s == "intent" => {
+                Tok::Ident(s)
+                    if s == "real" || s == "integer" || s == "implicit" || s == "intent" =>
+                {
                     // Skip declarations to end of line.
                     while !matches!(self.peek(), Tok::Newline | Tok::Eof) {
                         self.bump();
@@ -656,8 +660,8 @@ end subroutine
 
     #[test]
     fn errors_carry_line_numbers() {
-        let err = parse_fortran("subroutine s(u)\n  do i = , 4\n  end do\nend subroutine\n")
-            .unwrap_err();
+        let err =
+            parse_fortran("subroutine s(u)\n  do i = , 4\n  end do\nend subroutine\n").unwrap_err();
         assert_eq!(err.line, 2);
     }
 

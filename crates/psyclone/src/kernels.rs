@@ -16,8 +16,8 @@
 use crate::fortran::parse_fortran;
 use crate::lower::lower_subroutine;
 use crate::psy_ir::{recognize_stencils, PsyKernel};
-use sten_ir::{Module, Pass as _};
 use std::collections::HashMap;
+use sten_ir::{Module, Pass as _};
 
 /// A lowered benchmark kernel with its region statistics.
 #[derive(Debug)]
@@ -117,13 +117,8 @@ fn build(
 /// # Errors
 /// Reports parse/recognition/lowering failures.
 pub fn pw_advection(nx: i64, ny: i64, nz: i64) -> Result<BenchKernel, String> {
-    let config =
-        HashMap::from([("nx".into(), nx), ("ny".into(), ny), ("nz".into(), nz)]);
-    let scalars = HashMap::from([
-        ("tcx".into(), 0.1),
-        ("tcy".into(), 0.1),
-        ("tcz".into(), 0.05),
-    ]);
+    let config = HashMap::from([("nx".into(), nx), ("ny".into(), ny), ("nz".into(), nz)]);
+    let scalars = HashMap::from([("tcx".into(), 0.1), ("tcy".into(), 0.1), ("tcz".into(), 0.05)]);
     build(PW_ADVECTION_SRC, &config, &scalars)
 }
 
@@ -132,8 +127,7 @@ pub fn pw_advection(nx: i64, ny: i64, nz: i64) -> Result<BenchKernel, String> {
 /// # Errors
 /// Reports parse/recognition/lowering failures.
 pub fn tracer_advection(nx: i64, ny: i64, nz: i64) -> Result<BenchKernel, String> {
-    let config =
-        HashMap::from([("nx".into(), nx), ("ny".into(), ny), ("nz".into(), nz)]);
+    let config = HashMap::from([("nx".into(), nx), ("ny".into(), ny), ("nz".into(), nz)]);
     let scalars = HashMap::from([("cfl".into(), 0.2), ("dlim".into(), 0.05)]);
     build(&tracer_advection_src(), &config, &scalars)
 }
@@ -182,15 +176,12 @@ mod tests {
             let sten_ir::Type::Field(fld) = ty else { panic!() };
             let shape = fld.bounds.shape();
             let len: i64 = shape.iter().product();
-            let data: Vec<f64> =
-                (0..len).map(|x| ((x + i as i64) as f64 * 0.01).sin()).collect();
+            let data: Vec<f64> = (0..len).map(|x| ((x + i as i64) as f64 * 0.01).sin()).collect();
             let b = sten_interp::BufView::from_data(shape, data);
             bufs.push(b.clone());
             args.push(sten_interp::RtValue::Buffer(b));
         }
-        sten_interp::Interpreter::new(&m)
-            .call_function("pw_advection", args)
-            .unwrap();
+        sten_interp::Interpreter::new(&m).call_function("pw_advection", args).unwrap();
         // The su output must have been written (non-initial values in the
         // store range).
         let su = bufs[3].to_vec();

@@ -9,11 +9,9 @@
 
 use crate::fortran::{FExpr, Index};
 use crate::psy_ir::PsyKernel;
-use sten_dialects::{arith, func};
-use sten_ir::{
-    Bounds, FieldType, Module, Op, Pass as _, TempType, Type, Value, ValueTable,
-};
 use std::collections::HashMap;
+use sten_dialects::{arith, func};
+use sten_ir::{Bounds, FieldType, Module, Op, Pass as _, TempType, Type, Value, ValueTable};
 
 fn hull(a: &mut Option<Bounds>, b: Bounds) {
     *a = Some(match a.take() {
@@ -50,12 +48,7 @@ struct BodyBuilder<'a> {
 }
 
 impl<'a> BodyBuilder<'a> {
-    fn emit(
-        &self,
-        vt: &mut ValueTable,
-        ops: &mut Vec<Op>,
-        e: &FExpr,
-    ) -> Result<Value, String> {
+    fn emit(&self, vt: &mut ValueTable, ops: &mut Vec<Op>, e: &FExpr) -> Result<Value, String> {
         match e {
             FExpr::Num(v) => {
                 let c = arith::const_f64(vt, *v);
@@ -156,11 +149,7 @@ pub fn lower_subroutine(
             |vt, region_args| {
                 let builder = BodyBuilder {
                     scalars,
-                    args: input_names
-                        .iter()
-                        .cloned()
-                        .zip(region_args.iter().copied())
-                        .collect(),
+                    args: input_names.iter().cloned().zip(region_args.iter().copied()).collect(),
                 };
                 let mut ops = Vec::new();
                 match builder.emit(vt, &mut ops, &s.rhs) {
@@ -230,10 +219,7 @@ mod tests {
         sten_interp::Interpreter::new(&m)
             .call_function(
                 "smooth",
-                vec![
-                    sten_interp::RtValue::Buffer(u),
-                    sten_interp::RtValue::Buffer(out.clone()),
-                ],
+                vec![sten_interp::RtValue::Buffer(u), sten_interp::RtValue::Buffer(out.clone())],
             )
             .unwrap();
         // out covers logical [1, 15); its buffer index b = logical - 1.

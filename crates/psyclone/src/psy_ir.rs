@@ -55,10 +55,7 @@ fn resolve_bound(b: &Bound, config: &HashMap<String, i64>) -> Result<i64, String
 /// Maps loop variables (outermost first) to array dimensions via the
 /// *first* array reference encountered: index position `d` of an array
 /// must always hold loop variable `dim_vars[d]`.
-fn check_indices(
-    indices: &[Index],
-    dim_vars: &[String],
-) -> Result<Vec<i64>, String> {
+fn check_indices(indices: &[Index], dim_vars: &[String]) -> Result<Vec<i64>, String> {
     if indices.len() != dim_vars.len() {
         return Err(format!(
             "array access rank {} does not match loop nest rank {}",
@@ -143,9 +140,7 @@ fn walk_stmts(
                 // Every dimension's variable must be an enclosing loop.
                 let mut range = Vec::with_capacity(dim_vars.len());
                 for v in &dim_vars {
-                    let Some(&(_, lo, hi)) =
-                        loop_stack.iter().find(|(lv, _, _)| lv == v)
-                    else {
+                    let Some(&(_, lo, hi)) = loop_stack.iter().find(|(lv, _, _)| lv == v) else {
                         return Err(format!("index variable '{v}' is not a loop variable"));
                     };
                     // Fortran inclusive 1-based -> 0-based half-open.
@@ -153,12 +148,7 @@ fn walk_stmts(
                 }
                 let mut reads = BTreeMap::new();
                 collect_reads(rhs, &dim_vars, &mut reads)?;
-                out.push(StencilSpec {
-                    output: array.clone(),
-                    range,
-                    rhs: rhs.clone(),
-                    reads,
-                });
+                out.push(StencilSpec { output: array.clone(), range, rhs: rhs.clone(), reads });
             }
         }
     }

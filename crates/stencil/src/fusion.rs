@@ -13,8 +13,8 @@
 //! regions — exactly the trade-off behind the paper's `kmp_wait_template`
 //! observation (fewer regions ⇒ fewer thread barriers).
 
-use sten_ir::{Attribute, Block, Module, Op, Pass, PassError, Value, ValueTable};
 use std::collections::HashMap;
+use sten_ir::{Attribute, Block, Module, Op, Pass, PassError, Value, ValueTable};
 
 /// The fusion pass. See the module docs.
 #[derive(Default)]
@@ -68,8 +68,7 @@ fn inline_producer(
         match cl.name.as_str() {
             "stencil.access" => {
                 let off = cl.attr("offset").and_then(Attribute::as_dense).unwrap_or(&[]).to_vec();
-                let shifted: Vec<i64> =
-                    off.iter().zip(shift).map(|(o, s)| o + s).collect();
+                let shifted: Vec<i64> = off.iter().zip(shift).map(|(o, s)| o + s).collect();
                 cl.set_attr("offset", Attribute::DenseI64(shifted));
             }
             "stencil.index" => {
@@ -153,8 +152,7 @@ fn fuse_once(block: &mut Block, vt: &mut ValueTable, counts: &HashMap<Value, usi
             }
         }
         if op.name == "stencil.access" && op.operand(0) == cp_arg {
-            let shift =
-                op.attr("offset").and_then(Attribute::as_dense).unwrap_or(&[]).to_vec();
+            let shift = op.attr("offset").and_then(Attribute::as_dense).unwrap_or(&[]).to_vec();
             let result = inline_producer(&producer, &shift, &arg_map, vt, &mut new_ops);
             subst.insert(op.result(0), result);
             continue;

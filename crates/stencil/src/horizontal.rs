@@ -19,8 +19,8 @@
 //! * the ops between `A` and `B` that produce `B`'s operands are loads of
 //!   fields defined before `A` (they are hoisted above `A`).
 
-use sten_ir::{Attribute, Block, Module, Op, Pass, PassError, Value};
 use std::collections::HashSet;
+use sten_ir::{Attribute, Block, Module, Op, Pass, PassError, Value};
 
 /// The horizontal fusion pass. See the module docs.
 #[derive(Default)]
@@ -241,9 +241,7 @@ mod tests {
         let mut m = pw_like();
         ShapeInference.run(&mut m).unwrap();
         let run = |m: &Module| {
-            let mk = |seed: f64| -> Vec<f64> {
-                (0..34).map(|i| (i as f64 * seed).sin()).collect()
-            };
+            let mk = |seed: f64| -> Vec<f64> { (0..34).map(|i| (i as f64 * seed).sin()).collect() };
             let bufs: Vec<sten_interp::BufView> = (0..6)
                 .map(|i| sten_interp::BufView::from_data(vec![34], mk(0.1 + i as f64 * 0.07)))
                 .collect();

@@ -291,10 +291,7 @@ fn verify_load(op: &Op, vt: &ValueTable) -> Result<(), String> {
     }
     if let Some(b) = &t.bounds {
         if !f.bounds.contains(b) {
-            return Err(format!(
-                "loaded range {b} exceeds field bounds {}",
-                f.bounds
-            ));
+            return Err(format!("loaded range {b} exceeds field bounds {}", f.bounds));
         }
     }
     Ok(())
@@ -408,12 +405,10 @@ pub fn register(registry: &mut DialectRegistry) {
             .with_verify(verify_external_load),
     );
     registry.register(OpSpec::new("stencil.external_store", "write a field back to a memref"));
-    registry.register(
-        OpSpec::new("stencil.cast", "re-bound a field").pure().with_verify(verify_cast),
-    );
-    registry.register(
-        OpSpec::new("stencil.load", "field values as a temp").with_verify(verify_load),
-    );
+    registry
+        .register(OpSpec::new("stencil.cast", "re-bound a field").pure().with_verify(verify_cast));
+    registry
+        .register(OpSpec::new("stencil.load", "field values as a temp").with_verify(verify_load));
     registry.register(
         OpSpec::new("stencil.store", "write a temp to a field range").with_verify(verify_store),
     );
@@ -508,12 +503,7 @@ mod tests {
     fn apply_view_reports_access_offsets() {
         let m = jacobi_1d_module();
         let func = m.lookup_symbol("jacobi").unwrap();
-        let apply_op = func
-            .region_block(0)
-            .ops
-            .iter()
-            .find(|o| o.name == "stencil.apply")
-            .unwrap();
+        let apply_op = func.region_block(0).ops.iter().find(|o| o.name == "stencil.apply").unwrap();
         let view = ApplyOp::matches(apply_op).unwrap();
         let offsets = view.access_offsets();
         assert_eq!(offsets.len(), 3);
@@ -526,12 +516,7 @@ mod tests {
     fn store_view_reports_range() {
         let m = jacobi_1d_module();
         let func = m.lookup_symbol("jacobi").unwrap();
-        let store_op = func
-            .region_block(0)
-            .ops
-            .iter()
-            .find(|o| o.name == "stencil.store")
-            .unwrap();
+        let store_op = func.region_block(0).ops.iter().find(|o| o.name == "stencil.store").unwrap();
         let view = StoreOp::matches(store_op).unwrap();
         assert_eq!(view.range(), Bounds::new(vec![(1, 127)]));
     }
@@ -600,8 +585,7 @@ mod tests {
         let mut bad = Op::new("stencil.external_load");
         bad.operands.push(bufv);
         bad.results.push(
-            m.values
-                .alloc(Type::Field(FieldType::new(Bounds::new(vec![(-1, 11)]), Type::F64))),
+            m.values.alloc(Type::Field(FieldType::new(Bounds::new(vec![(-1, 11)]), Type::F64))),
         );
         m.body_mut().ops.push(bad);
         let err = verify_module(&m, Some(&reg)).unwrap_err();
@@ -609,7 +593,8 @@ mod tests {
 
         // Matching: 12-element buffer.
         let mut m2 = Module::new();
-        let buf = sten_dialects::memref::alloc(&mut m2.values, MemRefType::new(vec![12], Type::F64));
+        let buf =
+            sten_dialects::memref::alloc(&mut m2.values, MemRefType::new(vec![12], Type::F64));
         let bufv = buf.result(0);
         m2.body_mut().ops.push(buf);
         let el = external_load(&mut m2.values, bufv, Bounds::new(vec![(-1, 11)]));

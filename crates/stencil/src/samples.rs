@@ -61,10 +61,7 @@ fn heat5_body(vt: &mut ValueTable, arg: Value, alpha: f64) -> (Vec<sten_ir::Op>,
     let scaled = arith::mulf(vt, a.result(0), lap.result(0));
     let v = arith::addf(vt, c.result(0), scaled.result(0));
     let out = v.result(0);
-    (
-        vec![c, l, r, u, d, four, a, s1, s2, s3, fc, lap, scaled, v, ops::ret(vec![out])],
-        out,
-    )
+    (vec![c, l, r, u, d, four, a, s1, s2, s3, fc, lap, scaled, v, ops::ret(vec![out])], out)
 }
 
 /// A 5-point 2D heat-diffusion step over an `n × n` interior with a 1-cell

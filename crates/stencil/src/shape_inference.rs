@@ -13,10 +13,10 @@
 //! hull of all its uses' requirements.
 
 use crate::ops::{ApplyOp, StoreOp};
+use std::collections::HashMap;
 use sten_ir::{
     Attribute, Block, Bounds, Module, Pass, PassError, TempType, Type, Value, ValueTable,
 };
-use std::collections::HashMap;
 
 /// The shape inference pass. See the module docs.
 #[derive(Default)]
@@ -92,8 +92,7 @@ fn infer_block(block: &mut Block, vt: &mut ValueTable) -> Result<(), String> {
                 let mut out_bounds: Option<Bounds> = None;
                 for &r in &op.results {
                     if let Some(b) = required.get(&r) {
-                        out_bounds =
-                            Some(out_bounds.map_or_else(|| b.clone(), |ob| hull(&ob, b)));
+                        out_bounds = Some(out_bounds.map_or_else(|| b.clone(), |ob| hull(&ob, b)));
                     }
                 }
                 let Some(out_bounds) = out_bounds else {
@@ -241,14 +240,11 @@ mod tests {
         ShapeInference.run(&mut m).unwrap();
         // The apply output is stored on [1,127); accesses at ±1 mean the
         // load must cover [0,128).
-        let apply_bounds = temp_bounds(&m, |op| {
-            (op.name == "stencil.apply").then(|| op.result(0))
-        })
-        .expect("apply bounds inferred");
+        let apply_bounds = temp_bounds(&m, |op| (op.name == "stencil.apply").then(|| op.result(0)))
+            .expect("apply bounds inferred");
         assert_eq!(apply_bounds, Bounds::new(vec![(1, 127)]));
-        let load_bounds =
-            temp_bounds(&m, |op| (op.name == "stencil.load").then(|| op.result(0)))
-                .expect("load bounds inferred");
+        let load_bounds = temp_bounds(&m, |op| (op.name == "stencil.load").then(|| op.result(0)))
+            .expect("load bounds inferred");
         assert_eq!(load_bounds, Bounds::new(vec![(0, 128)]));
     }
 
@@ -256,9 +252,8 @@ mod tests {
     fn heat2d_requirements_grow_by_radius() {
         let mut m = samples::heat_2d(64, 0.1);
         ShapeInference.run(&mut m).unwrap();
-        let load_bounds =
-            temp_bounds(&m, |op| (op.name == "stencil.load").then(|| op.result(0)))
-                .expect("load bounds inferred");
+        let load_bounds = temp_bounds(&m, |op| (op.name == "stencil.load").then(|| op.result(0)))
+            .expect("load bounds inferred");
         assert_eq!(load_bounds, Bounds::new(vec![(-1, 65), (-1, 65)]));
     }
 
@@ -269,9 +264,8 @@ mod tests {
         // Consumer output on [0,32); it reads producer at ±1 → producer on
         // [-1,33); producer reads src at ±1 → load on [-2,34); consumer
         // also reads src at 0 → hull is still [-2,34).
-        let load_bounds =
-            temp_bounds(&m, |op| (op.name == "stencil.load").then(|| op.result(0)))
-                .expect("load bounds");
+        let load_bounds = temp_bounds(&m, |op| (op.name == "stencil.load").then(|| op.result(0)))
+            .expect("load bounds");
         assert_eq!(load_bounds, Bounds::new(vec![(-2, 34)]));
     }
 

@@ -10,9 +10,9 @@
 //! sequential `scf.for` nest over the tile interior, with `arith.minsi`
 //! clamping the boundary tiles.
 
+use std::collections::HashMap;
 use sten_dialects::{arith, scf};
 use sten_ir::{Attribute, Block, Module, Op, Pass, PassError, Region, Type, Value, ValueTable};
-use std::collections::HashMap;
 
 /// Tiles `scf.parallel` loops. See the module docs.
 pub struct TileParallelLoops {

@@ -14,12 +14,12 @@
 //! directly into the target field's buffer, eliminating the intermediate
 //! temp allocation.
 
+use std::collections::HashMap;
 use sten_dialects::{arith, memref, scf};
 use sten_ir::{
     Attribute, Block, Bounds, FunctionType, MemRefType, Module, Op, Pass, PassError, Type, Value,
     ValueTable,
 };
-use std::collections::HashMap;
 
 /// The stencil-to-loops lowering. See the module docs.
 #[derive(Default)]
@@ -125,10 +125,8 @@ impl<'a> Lowerer<'a> {
                         _ => unreachable!("verified"),
                     };
                     let parent = self.lookup(op.operand(0))?.clone();
-                    self.bufs.insert(
-                        op.result(0),
-                        BufInfo { mem: parent.mem, base_lb: bounds.lower() },
-                    );
+                    self.bufs
+                        .insert(op.result(0), BufInfo { mem: parent.mem, base_lb: bounds.lower() });
                 }
                 "stencil.load" | "stencil.buffer" => {
                     let parent = self.lookup(op.operand(0))?.clone();
@@ -160,10 +158,8 @@ impl<'a> Lowerer<'a> {
                     };
                     let dim = op.attr("dim").and_then(Attribute::as_int).unwrap_or(0) as usize;
                     let split = op.attr("index").and_then(Attribute::as_int).unwrap_or(0);
-                    let alloc =
-                        memref::alloc(self.vt, field_memref_type(&out_bounds, &elem));
-                    let out =
-                        BufInfo { mem: alloc.result(0), base_lb: out_bounds.lower() };
+                    let alloc = memref::alloc(self.vt, field_memref_type(&out_bounds, &elem));
+                    let out = BufInfo { mem: alloc.result(0), base_lb: out_bounds.lower() };
                     block.ops.push(alloc);
                     let lower_src = self.lookup(op.operand(0))?.clone();
                     let upper_src = self.lookup(op.operand(1))?.clone();
@@ -369,11 +365,8 @@ impl<'a> Lowerer<'a> {
                             .and_then(Attribute::as_dense)
                             .unwrap_or(&[])
                             .to_vec();
-                        let shift: Vec<i64> = offset
-                            .iter()
-                            .zip(&info.base_lb)
-                            .map(|(o, b)| o - b)
-                            .collect();
+                        let shift: Vec<i64> =
+                            offset.iter().zip(&info.base_lb).map(|(o, b)| o - b).collect();
                         let idx = shifted_indices(vt, &mut ops, ivs, &shift);
                         let mut load = memref::load(vt, info.mem, idx);
                         // Reuse the access's result id so later body ops
@@ -510,16 +503,17 @@ impl Pass for StencilToLoops {
                         op.attr("function_type").cloned()
                     {
                         let conv = |ty: &Type| match ty {
-                            Type::Field(f) => {
-                                Type::MemRef(field_memref_type(&f.bounds, &f.elem))
-                            }
+                            Type::Field(f) => Type::MemRef(field_memref_type(&f.bounds, &f.elem)),
                             other => other.clone(),
                         };
                         let new = FunctionType::new(
                             fty.inputs.iter().map(conv).collect(),
                             fty.results.iter().map(conv).collect(),
                         );
-                        op.set_attr("function_type", Attribute::Type(Type::Function(Box::new(new))));
+                        op.set_attr(
+                            "function_type",
+                            Attribute::Type(Type::Function(Box::new(new))),
+                        );
                     }
                 }
             }

@@ -63,8 +63,7 @@ fn main() {
     // The analytic ARCHER2 model for comparison (this machine is not an
     // EPYC-7742 node; see EXPERIMENTS.md).
     let pipeline = compile_pipeline(&module, "step").expect("pipeline");
-    let profile =
-        stencil_stack::perf::KernelProfile::from_pipeline("heat2d-9pt", 2, &pipeline);
+    let profile = stencil_stack::perf::KernelProfile::from_pipeline("heat2d-9pt", 2, &pipeline);
     let node = stencil_stack::perf::archer2_node();
     let modeled = stencil_stack::perf::node_throughput(
         &profile,

@@ -62,11 +62,9 @@ fn main() {
     println!("after one step: |su| = {su_norm:.4} (momentum source field written) ✓");
 
     // The paper's Fig. 10a barrier observation, through the model.
-    let profile_pw =
-        stencil_stack::perf::KernelProfile::from_pipeline("pw", 3, &pipeline);
+    let profile_pw = stencil_stack::perf::KernelProfile::from_pipeline("pw", 3, &pipeline);
     let ta_pipeline = compile_pipeline(&ta.module, "tra_adv").expect("compiles");
-    let profile_ta =
-        stencil_stack::perf::KernelProfile::from_pipeline("traadv", 3, &ta_pipeline);
+    let profile_ta = stencil_stack::perf::KernelProfile::from_pipeline("traadv", 3, &ta_pipeline);
     println!(
         "\nparallel regions per step: pw = {}, traadv = {} → the paper's kmp_wait_template \
          overhead hits traadv at small problem sizes (see fig10 bench)",

@@ -3,9 +3,9 @@
 //! at the *mpi-dialect* level (before the func lowering).
 
 use stencil_stack::dialects::{arith, func};
+use stencil_stack::ir::{FieldType, TempType, Type};
 use stencil_stack::prelude::*;
 use stencil_stack::stencil::ops;
-use stencil_stack::ir::{FieldType, TempType, Type};
 
 fn registry() -> stencil_stack::ir::DialectRegistry {
     standard_registry()
@@ -164,8 +164,7 @@ fn mpi_dialect_level_execution_matches_func_level() {
         let input = input.clone();
         let (results, _) = run_spmd(m, "jacobi", 2, &move |rank| {
             let start = rank as i64 * core;
-            let data: Vec<f64> =
-                (0..core + 2).map(|i| input[(start + i) as usize]).collect();
+            let data: Vec<f64> = (0..core + 2).map(|i| input[(start + i) as usize]).collect();
             vec![
                 ArgSpec::Buffer { shape: vec![core + 2], data: data.clone() },
                 ArgSpec::Buffer { shape: vec![core + 2], data },
@@ -187,10 +186,8 @@ fn mpi_collectives_execute() {
     use stencil_stack::ir::MemRefType;
     let mut m = Module::new();
     let (mut f, _args) = func::definition(&mut m.values, "coll", vec![], vec![]);
-    let buf = stencil_stack::dialects::memref::alloc(
-        &mut m.values,
-        MemRefType::new(vec![2], Type::F64),
-    );
+    let buf =
+        stencil_stack::dialects::memref::alloc(&mut m.values, MemRefType::new(vec![2], Type::F64));
     let bufv = buf.result(0);
     // buf = [rank, 1.0]
     let rank_op = stencil_stack::mpi::ops::comm_rank(&mut m.values);
@@ -227,12 +224,12 @@ fn mpi_collectives_execute() {
     verify_module(&m, Some(&registry())).unwrap();
 
     let world = SimWorld::new(4);
-    let results: Vec<(f64, f64)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(f64, f64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..4)
             .map(|rank| {
                 let world = std::sync::Arc::clone(&world);
                 let m = &m;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let env = stencil_stack::interp::MpiEnv::new(world, rank);
                     let mut interp = Interpreter::with_externals(m, Box::new(env));
                     let out = interp.call_function("coll", vec![]).unwrap();
@@ -241,8 +238,7 @@ fn mpi_collectives_execute() {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
     for (sum_ranks, sum_ones) in results {
         assert_eq!(sum_ranks, 0.0 + 1.0 + 2.0 + 3.0);
         assert_eq!(sum_ones, 4.0);

@@ -1,0 +1,178 @@
+//! The `sten-opt` driver subsystem, exercised through `stencil-core`:
+//!
+//! * golden equivalence — every §5 target's registered pipeline string
+//!   lowers `stencil::samples::heat_2d` to exactly the text the
+//!   pre-refactor hand-built `PassManager` pipeline produced;
+//! * the content-addressed compile cache — a warm repeat of the same
+//!   compile returns the identical result without executing a single
+//!   pass (observed through the driver's pass-run counter);
+//! * pipeline strings as data — targets expose canonical, re-parseable
+//!   pipeline strings.
+
+use std::sync::Arc;
+use stencil_stack::opt::{pipelines, target_passes, PipelineSpec};
+use stencil_stack::prelude::*;
+use stencil_stack::{dmp, ir, stencil as sten, CompileOptions, Target};
+
+/// The §5 lowering flows exactly as `stencil-core::compile` hard-coded
+/// them before the pass registry existed: a hand-built `PassManager` per
+/// target. The golden tests compare the registry-resolved pipeline
+/// strings against this reference.
+fn legacy_compile(mut module: Module, options: &CompileOptions) -> String {
+    let registry = Arc::new(standard_registry());
+    let mut pm = ir::PassManager::new().with_verifier(Arc::clone(&registry));
+    pm.add(sten::ShapeInference);
+    if options.fuse {
+        pm.add(sten::StencilFusion);
+        pm.add(sten::HorizontalFusion);
+        pm.add(sten::ShapeInference);
+    }
+    match &options.target {
+        Target::SharedCpu { tile } => {
+            pm.add(sten::StencilToLoops);
+            pm.add(sten::TileParallelLoops::new(tile.clone()));
+        }
+        Target::DistributedCpu { topology } => {
+            pm.add(dmp::DistributeStencil::new(topology.clone()));
+            pm.add(sten::ShapeInference);
+            pm.add(dmp::EliminateRedundantSwaps);
+            pm.add(sten::StencilToLoops);
+            pm.add(stencil_stack::mpi::DmpToMpi);
+            pm.add(stencil_stack::mpi::MpiToFunc);
+        }
+        Target::Gpu => {
+            pm.add(sten::StencilToLoops);
+            pm.add(target_passes::GpuMapParallel);
+        }
+        Target::Fpga { optimized } => {
+            pm.add(target_passes::HlsMarkDataflow { optimized: *optimized });
+        }
+    }
+    if options.optimize && !matches!(options.target, Target::Fpga { .. }) {
+        pm.add(stencil_stack::dialects::canonicalize::Canonicalize);
+        pm.add(stencil_stack::dialects::licm::LoopInvariantCodeMotion::new(Arc::clone(&registry)));
+        pm.add(ir::transforms::CommonSubexprElimination::new(Arc::clone(&registry)));
+        pm.add(ir::transforms::DeadCodeElimination::new(registry));
+    }
+    pm.run(&mut module).unwrap();
+    print_module(&module)
+}
+
+fn all_targets() -> Vec<(&'static str, CompileOptions)> {
+    vec![
+        ("shared-cpu", CompileOptions::shared_cpu()),
+        ("distributed", CompileOptions::distributed(vec![2, 2])),
+        ("gpu", CompileOptions::gpu()),
+        ("fpga", CompileOptions::fpga(false)),
+        ("fpga-optimized", CompileOptions::fpga(true)),
+    ]
+}
+
+#[test]
+fn golden_every_target_pipeline_matches_the_prerefactor_compiler() {
+    for (label, options) in all_targets() {
+        let module = sten::samples::heat_2d(32, 0.1);
+        let want = legacy_compile(module.clone(), &options);
+        // Cache off so the registry-resolved pipeline demonstrably runs.
+        let got = compile(module, &options.clone().with_cache(false))
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(!got.cache_hit);
+        assert_eq!(got.text, want, "{label}: pipeline-string lowering differs from pre-refactor");
+    }
+}
+
+#[test]
+fn golden_unfused_unoptimized_variants_also_match() {
+    for fuse in [false, true] {
+        for optimize in [false, true] {
+            let mut options = CompileOptions::shared_cpu();
+            options.fuse = fuse;
+            options.optimize = optimize;
+            let module = sten::samples::heat_2d(24, 0.1);
+            let want = legacy_compile(module.clone(), &options);
+            let got = compile(module, &options.with_cache(false)).unwrap();
+            assert_eq!(got.text, want, "fuse={fuse} optimize={optimize}");
+        }
+    }
+}
+
+#[test]
+fn target_pipeline_strings_are_canonical_data() {
+    for (label, options) in all_targets() {
+        let text = options.pipeline_string();
+        let spec = PipelineSpec::parse(&text).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(spec.to_string(), text, "{label}: string is canonical");
+        assert!(!spec.passes.is_empty(), "{label}");
+    }
+    // The option values thread through.
+    let opts = CompileOptions {
+        target: Target::SharedCpu { tile: vec![64, 8] },
+        ..CompileOptions::shared_cpu()
+    };
+    assert!(opts.pipeline_string().contains("tile-parallel-loops{tile=64:8}"));
+    assert_eq!(
+        CompileOptions::distributed(vec![3, 2]).pipeline_string(),
+        pipelines::distributed(&[3, 2], true, true),
+    );
+}
+
+#[test]
+fn warm_cache_hit_skips_pass_execution_entirely() {
+    // A module size no other test uses, so this test owns its cache entry.
+    let make = || sten::samples::heat_2d(29, 0.1);
+    let options = CompileOptions::shared_cpu();
+
+    let cold = compile(make(), &options).unwrap();
+    let runs_after_cold = stencil_stack::opt::stats::passes_run();
+    assert_eq!(cold.timings.len(), cold.pipeline.len(), "every pass timed");
+
+    let warm = compile(make(), &options).unwrap();
+    assert!(warm.cache_hit, "repeat compile must hit the cache");
+    assert_eq!(
+        stencil_stack::opt::stats::passes_run(),
+        runs_after_cold,
+        "a warm cache hit must not execute any pass"
+    );
+    assert_eq!(warm.text, cold.text);
+    assert_eq!(print_module(&warm.module), print_module(&cold.module));
+    assert_eq!(warm.pipeline, cold.pipeline);
+
+    // Changing the module, the pipeline, or the options misses.
+    let other_module = compile(sten::samples::heat_2d(31, 0.1), &options).unwrap();
+    assert!(!other_module.cache_hit, "different module must miss");
+    let mut untiled = options.clone();
+    untiled.target = Target::SharedCpu { tile: vec![16] };
+    let other_pipeline = compile(make(), &untiled).unwrap();
+    assert!(!other_pipeline.cache_hit, "different pipeline must miss");
+    let uncached = compile(make(), &options.with_cache(false)).unwrap();
+    assert!(!uncached.cache_hit, "cache off never reports a hit");
+}
+
+#[test]
+fn compile_reports_pipeline_and_timings() {
+    let out = compile(
+        sten::samples::jacobi_1d(96),
+        &CompileOptions::distributed(vec![2]).with_cache(false),
+    )
+    .unwrap();
+    assert_eq!(out.pipeline.first().copied(), Some("stencil-shape-inference"));
+    assert!(out.pipeline.contains(&"distribute-stencil"));
+    assert!(out.pipeline.contains(&"dmp-to-mpi"));
+    assert_eq!(out.timings.len(), out.pipeline.len());
+    for (t, name) in out.timings.iter().zip(&out.pipeline) {
+        assert_eq!(&t.name, name, "timings follow pipeline order");
+    }
+    let report = stencil_stack::opt::format_timing_report(&out.timings);
+    assert!(report.contains("dmp-to-mpi"), "{report}");
+}
+
+#[test]
+fn driver_is_usable_directly_from_the_prelude() {
+    let out = Driver::new()
+        .with_verify_each(true)
+        .with_cache(None)
+        .run_str(sten::samples::jacobi_1d(48), "shape-inference,convert-stencil-to-loops,cse,dce")
+        .unwrap();
+    assert!(out.text.contains("scf.parallel"));
+    assert!(!out.text.contains("stencil."), "fully lowered");
+}

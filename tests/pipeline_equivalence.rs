@@ -10,11 +10,8 @@ use std::sync::Arc;
 use stencil_stack::prelude::*;
 
 fn run_interp(m: &Module, func: &str, shapes: &[Vec<i64>], init: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let bufs: Vec<BufView> = shapes
-        .iter()
-        .zip(init)
-        .map(|(s, d)| BufView::from_data(s.clone(), d.clone()))
-        .collect();
+    let bufs: Vec<BufView> =
+        shapes.iter().zip(init).map(|(s, d)| BufView::from_data(s.clone(), d.clone())).collect();
     let args: Vec<RtValue> = bufs.iter().map(|b| RtValue::Buffer(b.clone())).collect();
     Interpreter::new(m).call_function(func, args).expect("interpretation succeeds");
     bufs.iter().map(BufView::to_vec).collect()
@@ -41,11 +38,9 @@ fn heat2d_all_levels_agree() {
 
     // Level 3: the full optimized shared-CPU pipeline (tiling, folding,
     // LICM, CSE, DCE).
-    let compiled = compile(
-        stencil_stack::stencil::samples::heat_2d(n, 0.1),
-        &CompileOptions::shared_cpu(),
-    )
-    .unwrap();
+    let compiled =
+        compile(stencil_stack::stencil::samples::heat_2d(n, 0.1), &CompileOptions::shared_cpu())
+            .unwrap();
     assert_eq!(run_interp(&compiled.module, "heat", &shapes, &inits)[1], want);
 
     // Level 4: compiled bytecode execution, serial and multithreaded.
@@ -64,13 +59,9 @@ fn jacobi_distributed_func_level_matches_reference_on_many_rank_counts() {
 
     let mut reference = stencil_stack::stencil::samples::jacobi_1d(n);
     stencil_stack::stencil::ShapeInference.run(&mut reference).unwrap();
-    let want = run_interp(
-        &reference,
-        "jacobi",
-        &[vec![n], vec![n]],
-        &[input.clone(), input.clone()],
-    )[1]
-    .clone();
+    let want =
+        run_interp(&reference, "jacobi", &[vec![n], vec![n]], &[input.clone(), input.clone()])[1]
+            .clone();
 
     for ranks in [2i64, 3, 6, 9] {
         // global core 126 divides by 2, 3, 6, 9.
@@ -88,17 +79,15 @@ fn jacobi_distributed_func_level_matches_reference_on_many_rank_counts() {
         };
         let local = mt.shape[0];
         let input_ref = &input;
-        let (results, _) =
-            run_spmd(&compiled.module, "jacobi", ranks as usize, &move |rank| {
-                let start = rank as i64 * core;
-                let data: Vec<f64> =
-                    (0..local).map(|i| input_ref[(start + i) as usize]).collect();
-                vec![
-                    ArgSpec::Buffer { shape: vec![local], data: data.clone() },
-                    ArgSpec::Buffer { shape: vec![local], data },
-                ]
-            })
-            .unwrap();
+        let (results, _) = run_spmd(&compiled.module, "jacobi", ranks as usize, &move |rank| {
+            let start = rank as i64 * core;
+            let data: Vec<f64> = (0..local).map(|i| input_ref[(start + i) as usize]).collect();
+            vec![
+                ArgSpec::Buffer { shape: vec![local], data: data.clone() },
+                ArgSpec::Buffer { shape: vec![local], data },
+            ]
+        })
+        .unwrap();
         let mut got = input.clone();
         for (rank, res) in results.iter().enumerate() {
             let start = rank as i64 * core;
@@ -163,14 +152,14 @@ fn distributed_multi_step_heat_2x2_matches_serial() {
     let core = 16i64;
     let r = op.halo_lo[0];
     let local = core + 2 * r;
-    let results: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Vec<f64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..4i64)
             .map(|rank| {
                 let world = Arc::clone(&world);
                 let op = op.clone();
                 let dist = &dist;
                 let init = &init;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let (ry, rx) = (rank / 2, rank % 2);
                     let mut data = Vec::new();
                     for y in 0..local {
@@ -181,15 +170,13 @@ fn distributed_multi_step_heat_2x2_matches_serial() {
                         }
                     }
                     let mut bufs = vec![data.clone(), data];
-                    let last =
-                        op.run_distributed(dist, &mut bufs, steps, 1, &world, rank).unwrap();
+                    let last = op.run_distributed(dist, &mut bufs, steps, 1, &world, rank).unwrap();
                     bufs[last].clone()
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
 
     for (rank, out) in results.iter().enumerate() {
         let (ry, rx) = ((rank as i64) / 2, (rank as i64) % 2);
@@ -199,10 +186,7 @@ fn distributed_multi_step_heat_2x2_matches_serial() {
                 let gx = rx * core + x + r;
                 let got = out[((y + r) * local + (x + r)) as usize];
                 let exp = want[(gy * w + gx) as usize];
-                assert!(
-                    (got - exp).abs() < 1e-12,
-                    "rank {rank} ({y},{x}): {got} vs {exp}"
-                );
+                assert!((got - exp).abs() < 1e-12, "rank {rank} ({y},{x}): {got} vs {exp}");
             }
         }
     }
@@ -214,10 +198,9 @@ fn psyclone_kernel_fused_vs_unfused_execution() {
     // PW advection with and without fusion produces identical fields.
     let fused = stencil_stack::psyclone::kernels::pw_advection(16, 16, 8).unwrap();
     // Rebuild without fusion by re-lowering.
-    let sub = stencil_stack::psyclone::parse_fortran(
-        stencil_stack::psyclone::kernels::PW_ADVECTION_SRC,
-    )
-    .unwrap();
+    let sub =
+        stencil_stack::psyclone::parse_fortran(stencil_stack::psyclone::kernels::PW_ADVECTION_SRC)
+            .unwrap();
     let cfg = std::collections::HashMap::from([
         ("nx".to_string(), 16i64),
         ("ny".to_string(), 16i64),

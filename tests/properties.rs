@@ -1,22 +1,25 @@
-//! Property-based tests of the stack's core invariants.
+//! Property-based tests of the stack's core invariants, driven by the
+//! seeded deterministic generator in `common::Rng`.
 
-use proptest::prelude::*;
+mod common;
+
+use common::Rng;
 use stencil_stack::dmp::decomposition::{
     coords_to_rank, neighbor_rank, rank_to_coords, DecompositionStrategy, StandardSlicing,
 };
 use stencil_stack::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// The local cores of all ranks tile the global core exactly: equal
+/// sizes, no gaps (they are congruent translates along each axis).
+#[test]
+fn decomposition_partitions_the_domain() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed);
+        let size_factors: Vec<i64> =
+            (0..rng.range_usize(1, 3)).map(|_| rng.range_i64(1, 6)).collect();
+        let grid: Vec<i64> = (0..rng.range_usize(1, 3)).map(|_| rng.range_i64(1, 5)).collect();
+        let lb = rng.range_i64(-10, 10);
 
-    /// The local cores of all ranks tile the global core exactly: equal
-    /// sizes, no gaps (they are congruent translates along each axis).
-    #[test]
-    fn decomposition_partitions_the_domain(
-        size_factors in prop::collection::vec(1i64..6, 1..3),
-        grid in prop::collection::vec(1i64..5, 1..3),
-        lb in -10i64..10,
-    ) {
         let rank = size_factors.len().max(grid.len());
         let mut dims = Vec::new();
         for d in 0..rank {
@@ -27,58 +30,68 @@ proptest! {
         let global = Bounds::new(dims);
         let grid_v: Vec<i64> = (0..rank).map(|d| grid.get(d).copied().unwrap_or(1)).collect();
         let local = StandardSlicing::new().local_core(&global, &grid_v).unwrap();
-        //
 
         // Size: product over dims of local size × ranks == global points.
         let ranks: i64 = grid_v.iter().product();
-        prop_assert_eq!(local.num_points() * ranks, global.num_points());
+        assert_eq!(local.num_points() * ranks, global.num_points(), "seed {seed}");
         // Per-dimension: local size × grid = global size.
         for d in 0..rank {
-            prop_assert_eq!(local.size(d) * grid_v.get(d).copied().unwrap_or(1), global.size(d));
+            assert_eq!(
+                local.size(d) * grid_v.get(d).copied().unwrap_or(1),
+                global.size(d),
+                "seed {seed} dim {d}"
+            );
         }
     }
+}
 
-    /// Exchange declarations mirror between neighbours: what rank r sends
-    /// toward direction +d is exactly what rank r+1 expects to receive in
-    /// its low halo (same size; send region of one maps onto the receive
-    /// region of the other under the core-size translation).
-    #[test]
-    fn exchanges_mirror_between_neighbors(
-        core_size in 2i64..12,
-        halo in 1i64..3,
-        grid0 in 2i64..5,
-    ) {
+/// Exchange declarations mirror between neighbours: what rank r sends
+/// toward direction +d is exactly what rank r+1 expects to receive in
+/// its low halo (same size; send region of one maps onto the receive
+/// region of the other under the core-size translation).
+#[test]
+fn exchanges_mirror_between_neighbors() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed);
+        let core_size = rng.range_i64(2, 12);
+        let halo = rng.range_i64(1, 3);
+        let grid0 = rng.range_i64(2, 5);
+
         let core = Bounds::new(vec![(0, core_size)]);
         let field = core.grown(halo);
         let s = StandardSlicing::new();
         let ex = s.exchanges(&field, &core, &[grid0], &[halo], &[halo]);
-        prop_assert_eq!(ex.len(), 2);
+        assert_eq!(ex.len(), 2, "seed {seed}");
         let low = ex.iter().find(|e| e.to == vec![-1]).unwrap();
         let high = ex.iter().find(|e| e.to == vec![1]).unwrap();
-        prop_assert_eq!(&low.size, &high.size);
+        assert_eq!(&low.size, &high.size, "seed {seed}");
         // The upper neighbour's low-halo receive region, shifted by the
         // core size, equals this rank's high-side send region.
         let send_at_high = high.send_at()[0];
         let recv_at_low = low.at[0];
-        prop_assert_eq!(send_at_high, recv_at_low + core_size);
+        assert_eq!(send_at_high, recv_at_low + core_size, "seed {seed}");
         // Tags match: the tag used to send toward +1 equals the tag the
         // neighbour uses to receive from -1.
         let send_tag = stencil_stack::mpi::dmp_to_mpi::tag_for_direction(&high.to);
         let neg: Vec<i64> = low.to.iter().map(|t| -t).collect();
         let recv_tag = stencil_stack::mpi::dmp_to_mpi::tag_for_direction(&neg);
-        prop_assert_eq!(send_tag, recv_tag);
+        assert_eq!(send_tag, recv_tag, "seed {seed}");
     }
+}
 
-    /// Rank ↔ coordinate mappings are inverse bijections, and neighbour
-    /// lookups respect grid boundaries.
-    #[test]
-    fn rank_coordinate_bijection(grid in prop::collection::vec(1i64..5, 1..4)) {
+/// Rank ↔ coordinate mappings are inverse bijections, and neighbour
+/// lookups respect grid boundaries.
+#[test]
+fn rank_coordinate_bijection() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed);
+        let grid: Vec<i64> = (0..rng.range_usize(1, 4)).map(|_| rng.range_i64(1, 5)).collect();
         let total: i64 = grid.iter().product();
         let mut seen = std::collections::HashSet::new();
         for r in 0..total {
             let c = rank_to_coords(r, &grid);
-            prop_assert_eq!(coords_to_rank(&c, &grid), Some(r));
-            prop_assert!(seen.insert(c.clone()));
+            assert_eq!(coords_to_rank(&c, &grid), Some(r), "seed {seed}");
+            assert!(seen.insert(c.clone()), "seed {seed}");
             for d in 0..grid.len() {
                 let mut dir = vec![0i64; grid.len()];
                 dir[d] = 1;
@@ -86,68 +99,72 @@ proptest! {
                     Some(n) => {
                         let mut back = vec![0i64; grid.len()];
                         back[d] = -1;
-                        prop_assert_eq!(neighbor_rank(n, &grid, &back), Some(r));
+                        assert_eq!(neighbor_rank(n, &grid, &back), Some(r), "seed {seed}");
                     }
-                    None => prop_assert_eq!(c[d], grid[d] - 1),
+                    None => assert_eq!(c[d], grid[d] - 1, "seed {seed}"),
                 }
             }
         }
     }
+}
 
-    /// Fornberg weights reproduce the derivative of polynomials exactly
-    /// (degree < number of points).
-    #[test]
-    fn fornberg_weights_are_exact_on_polynomials(
-        radius in 1usize..4,
-        m in 1usize..3,
-        scale in 0.1f64..2.0,
-    ) {
-        let xs: Vec<f64> = (-(radius as i64)..=radius as i64)
-            .map(|i| i as f64 * scale)
-            .collect();
-        if m >= xs.len() { return Ok(()); }
+/// Fornberg weights reproduce the derivative of polynomials exactly
+/// (degree < number of points).
+#[test]
+fn fornberg_weights_are_exact_on_polynomials() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed);
+        let radius = rng.range_usize(1, 4);
+        let m = rng.range_usize(1, 3);
+        let scale = rng.range_f64(0.1, 2.0);
+
+        let xs: Vec<f64> = (-(radius as i64)..=radius as i64).map(|i| i as f64 * scale).collect();
+        if m >= xs.len() {
+            continue;
+        }
         let w = stencil_stack::devito::fd_weights(0.0, &xs, m);
         // Differentiate x^k for k = 0..xs.len(): d^m/dx^m x^k at 0 is
         // k!/(k-m)! · 0^(k-m) — nonzero only at k = m, where it is m!.
         for k in 0..xs.len() {
             let got: f64 = xs.iter().zip(&w).map(|(x, wi)| wi * x.powi(k as i32)).sum();
-            let want = if k == m {
-                (1..=m).product::<usize>() as f64
-            } else {
-                0.0
-            };
+            let want = if k == m { (1..=m).product::<usize>() as f64 } else { 0.0 };
             let tol = 1e-7 * (1.0 + w.iter().map(|x| x.abs()).sum::<f64>());
-            prop_assert!((got - want).abs() < tol, "k={k}: {got} vs {want}");
+            assert!((got - want).abs() < tol, "seed {seed} k={k}: {got} vs {want}");
         }
     }
+}
 
-    /// Bounds algebra: grow/translate/intersect behave like interval
-    /// arithmetic.
-    #[test]
-    fn bounds_algebra(
-        lb in -50i64..50,
-        size in 1i64..40,
-        shift in -20i64..20,
-        grow in 0i64..6,
-    ) {
+/// Bounds algebra: grow/translate/intersect behave like interval
+/// arithmetic.
+#[test]
+fn bounds_algebra() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed);
+        let lb = rng.range_i64(-50, 50);
+        let size = rng.range_i64(1, 40);
+        let shift = rng.range_i64(-20, 20);
+        let grow = rng.range_i64(0, 6);
+
         let b = Bounds::new(vec![(lb, lb + size)]);
-        prop_assert_eq!(b.grown(grow).num_points(), size + 2 * grow);
+        assert_eq!(b.grown(grow).num_points(), size + 2 * grow, "seed {seed}");
         let t = b.translated(&[shift]);
-        prop_assert_eq!(t.num_points(), b.num_points());
+        assert_eq!(t.num_points(), b.num_points(), "seed {seed}");
         let self_inter = b.intersect(&b);
-        prop_assert_eq!(self_inter.as_ref(), Some(&b));
+        assert_eq!(self_inter.as_ref(), Some(&b), "seed {seed}");
         let disjoint = b.translated(&[size + 1]);
-        prop_assert!(b.intersect(&disjoint).is_none());
+        assert!(b.intersect(&disjoint).is_none(), "seed {seed}");
         // Intersection with a translate has the expected size.
         if shift.abs() < size {
             let inter = b.intersect(&t).unwrap();
-            prop_assert_eq!(inter.num_points(), size - shift.abs());
+            assert_eq!(inter.num_points(), size - shift.abs(), "seed {seed}");
         }
     }
+}
 
-    /// Redundant-swap elimination never changes distributed results.
-    #[test]
-    fn swap_dedup_preserves_semantics(seed in 0u64..50) {
+/// Redundant-swap elimination never changes distributed results.
+#[test]
+fn swap_dedup_preserves_semantics() {
+    for seed in 0..12u64 {
         let n = 64i64;
         let input: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.1 + seed as f64).sin()).collect();
 
@@ -175,8 +192,7 @@ proptest! {
             let input = input.to_vec();
             let (results, world) = run_spmd(m, "jacobi", 2, &move |rank| {
                 let start = rank as i64 * core;
-                let data: Vec<f64> =
-                    (0..core + 2).map(|i| input[(start + i) as usize]).collect();
+                let data: Vec<f64> = (0..core + 2).map(|i| input[(start + i) as usize]).collect();
                 vec![
                     ArgSpec::Buffer { shape: vec![core + 2], data: data.clone() },
                     ArgSpec::Buffer { shape: vec![core + 2], data },
@@ -189,8 +205,11 @@ proptest! {
         let (with_dup, msgs_dup) = run(&m, &input);
         stencil_stack::dmp::EliminateRedundantSwaps.run(&mut m).unwrap();
         let (deduped, msgs_dedup) = run(&m, &input);
-        prop_assert_eq!(with_dup, deduped);
-        prop_assert!(msgs_dedup < msgs_dup, "dedup reduced traffic: {} -> {}", msgs_dup, msgs_dedup);
+        assert_eq!(with_dup, deduped, "seed {seed}");
+        assert!(
+            msgs_dedup < msgs_dup,
+            "seed {seed}: dedup reduced traffic: {msgs_dup} -> {msgs_dedup}"
+        );
     }
 }
 
@@ -212,11 +231,7 @@ fn solve_round_trips_through_equations() {
             assert!(a != 0.0);
             diff.terms.remove(fwd_access);
             let residual = update * a + diff;
-            let scale: f64 = residual
-                .terms
-                .values()
-                .map(|c| c.abs())
-                .fold(a.abs(), f64::max);
+            let scale: f64 = residual.terms.values().map(|c| c.abs()).fold(a.abs(), f64::max);
             for (acc, c) in residual.terms {
                 assert!(c.abs() < 1e-9 * scale, "{acc}: {c}");
             }

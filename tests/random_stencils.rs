@@ -3,9 +3,12 @@
 //! identical fields at every level — stencil-dialect reference
 //! interpretation, the optimized shared-CPU pipeline, the compiled
 //! bytecode executor, and (for 1D programs with divisible cores) a 2-rank
-//! distributed run over SimMPI.
+//! distributed run over SimMPI. Cases are seeded and deterministic (see
+//! `common::Rng`).
 
-use proptest::prelude::*;
+mod common;
+
+use common::Rng;
 use stencil_stack::dialects::{arith, func};
 use stencil_stack::ir::{FieldType, TempType, Type};
 use stencil_stack::prelude::*;
@@ -18,19 +21,20 @@ struct RandStencil {
     dims: usize,
 }
 
-fn rand_stencil(dims: usize) -> impl Strategy<Value = RandStencil> {
-    let offset = prop::collection::vec(-2i64..=2, dims);
-    let term = (offset, -2.0f64..2.0);
-    prop::collection::vec(term, 1..6).prop_map(move |mut terms| {
-        // The dmp exchange is a symmetric pairwise swap (as in the paper),
-        // so keep the generated halo symmetric: mirror every term.
-        let mirrored: Vec<(Vec<i64>, f64)> = terms
-            .iter()
-            .map(|(o, c)| (o.iter().map(|x| -x).collect(), 0.5 * c))
-            .collect();
-        terms.extend(mirrored);
-        RandStencil { terms, dims }
-    })
+fn rand_stencil(dims: usize, rng: &mut Rng) -> RandStencil {
+    let num_terms = rng.range_usize(1, 6);
+    let mut terms: Vec<(Vec<i64>, f64)> = (0..num_terms)
+        .map(|_| {
+            let offset: Vec<i64> = (0..dims).map(|_| rng.range_i64(-2, 3)).collect();
+            (offset, rng.range_f64(-2.0, 2.0))
+        })
+        .collect();
+    // The dmp exchange is a symmetric pairwise swap (as in the paper),
+    // so keep the generated halo symmetric: mirror every term.
+    let mirrored: Vec<(Vec<i64>, f64)> =
+        terms.iter().map(|(o, c)| (o.iter().map(|x| -x).collect(), 0.5 * c)).collect();
+    terms.extend(mirrored);
+    RandStencil { terms, dims }
 }
 
 /// Builds `out = Σ c_i · u[x + o_i]` over an interior store range.
@@ -96,8 +100,8 @@ fn reference(st: &RandStencil, n: i64, input: &[f64]) -> Vec<f64> {
     let mut out = input.to_vec();
     let idx = |p: &[i64]| -> usize {
         let mut flat = 0i64;
-        for d in 0..dims {
-            flat = flat * ext + (p[d] + radius);
+        for &pv in p {
+            flat = flat * ext + (pv + radius);
         }
         flat as usize
     };
@@ -133,11 +137,11 @@ fn close(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-9 * (1.0 + x.abs()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_1d_stencils_agree_at_all_levels(st in rand_stencil(1), seed in 0u64..1000) {
+#[test]
+fn random_1d_stencils_agree_at_all_levels() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed);
+        let st = rand_stencil(1, &mut rng);
         let n = 16i64;
         let m = build(&st, n);
         let ext = (n + 4) as usize;
@@ -155,17 +159,17 @@ proptest! {
             dst.to_vec()
         };
         let a = run(&m);
-        prop_assert!(close(&a, &want), "stencil level vs direct reference");
+        assert!(close(&a, &want), "seed {seed}: stencil level vs direct reference");
 
         // Level B: full optimized shared-CPU pipeline.
         let compiled = compile(m.clone(), &CompileOptions::shared_cpu()).unwrap();
-        prop_assert!(close(&run(&compiled.module), &want), "optimized pipeline");
+        assert!(close(&run(&compiled.module), &want), "seed {seed}: optimized pipeline");
 
         // Level C: compiled bytecode executor.
         let pipeline = compile_pipeline(&m, "rand").unwrap();
         let mut args = vec![input.clone(), input.clone()];
         Runner::new(pipeline, 1).step(&mut args).unwrap();
-        prop_assert!(close(&args[1], &want), "bytecode executor");
+        assert!(close(&args[1], &want), "seed {seed}: bytecode executor");
 
         // Level D: 2-rank distributed over SimMPI (n divisible by 2).
         let dist = compile(m, &CompileOptions::distributed(vec![2])).unwrap();
@@ -179,8 +183,7 @@ proptest! {
         let input_ref = input.clone();
         let (results, _) = run_spmd(&dist.module, "rand", 2, &move |rank| {
             let start = rank as i64 * core;
-            let data: Vec<f64> =
-                (0..local).map(|i| input_ref[(start + i) as usize]).collect();
+            let data: Vec<f64> = (0..local).map(|i| input_ref[(start + i) as usize]).collect();
             vec![
                 ArgSpec::Buffer { shape: vec![local], data: data.clone() },
                 ArgSpec::Buffer { shape: vec![local], data },
@@ -195,11 +198,15 @@ proptest! {
                 got[(start + l + r) as usize] = res.buffers[1][(l + r) as usize];
             }
         }
-        prop_assert!(close(&got, &want), "2-rank distributed");
+        assert!(close(&got, &want), "seed {seed}: 2-rank distributed");
     }
+}
 
-    #[test]
-    fn random_2d_stencils_agree(st in rand_stencil(2), seed in 0u64..1000) {
+#[test]
+fn random_2d_stencils_agree() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(5000 + seed);
+        let st = rand_stencil(2, &mut rng);
         let n = 10i64;
         let m = build(&st, n);
         let ext = ((n + 4) * (n + 4)) as usize;
@@ -215,12 +222,12 @@ proptest! {
                 .unwrap();
             dst.to_vec()
         };
-        prop_assert!(close(&run(&m), &want), "stencil level");
+        assert!(close(&run(&m), &want), "seed {seed}: stencil level");
         let compiled = compile(m.clone(), &CompileOptions::shared_cpu()).unwrap();
-        prop_assert!(close(&run(&compiled.module), &want), "optimized pipeline");
+        assert!(close(&run(&compiled.module), &want), "seed {seed}: optimized pipeline");
         let pipeline = compile_pipeline(&m, "rand").unwrap();
         let mut args = vec![input.clone(), input.clone()];
         Runner::new(pipeline, 4).step(&mut args).unwrap();
-        prop_assert!(close(&args[1], &want), "threaded executor");
+        assert!(close(&args[1], &want), "seed {seed}: threaded executor");
     }
 }

@@ -1,7 +1,10 @@
 //! Printer/parser round-trips at every lowering level, plus randomized
-//! round-trip property tests over generated IR.
+//! round-trip tests over generated IR (seeded, deterministic — see
+//! `common::Rng`).
 
-use proptest::prelude::*;
+mod common;
+
+use common::Rng;
 use stencil_stack::prelude::*;
 
 fn assert_round_trip(m: &Module, label: &str) {
@@ -58,26 +61,26 @@ enum GenOp {
     Loop(Vec<GenOp>),
 }
 
-fn gen_op(depth: u32) -> impl Strategy<Value = GenOp> {
-    let leaf = prop_oneof![
-        (-1e3f64..1e3f64).prop_map(GenOp::ConstF),
-        (-1000i64..1000).prop_map(GenOp::ConstI),
-        (0usize..8, 0usize..8).prop_map(|(a, b)| GenOp::AddF(a, b)),
-        (0usize..8, 0usize..8).prop_map(|(a, b)| GenOp::MulF(a, b)),
-        (0usize..8, 0usize..8).prop_map(|(a, b)| GenOp::AddI(a, b)),
-        (0usize..8, 0usize..8).prop_map(|(a, b)| GenOp::Cmp(a, b)),
-        (0usize..8, 0usize..8, 0usize..8).prop_map(|(c, a, b)| GenOp::Select(c, a, b)),
-    ];
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        prop_oneof![
-            4 => leaf,
-            1 => prop::collection::vec(gen_op(depth - 1), 1..4).prop_map(GenOp::Loop),
-        ]
-        .boxed()
+fn gen_op(depth: u32, rng: &mut Rng) -> GenOp {
+    // 1-in-5 chance of a nested loop while depth remains.
+    if depth > 0 && rng.chance(1, 5) {
+        let len = rng.range_usize(1, 4);
+        return GenOp::Loop((0..len).map(|_| gen_op(depth - 1, rng)).collect());
     }
-    .prop_map(|x| x)
+    match rng.range_usize(0, 7) {
+        0 => GenOp::ConstF(rng.range_f64(-1e3, 1e3)),
+        1 => GenOp::ConstI(rng.range_i64(-1000, 1000)),
+        2 => GenOp::AddF(rng.range_usize(0, 8), rng.range_usize(0, 8)),
+        3 => GenOp::MulF(rng.range_usize(0, 8), rng.range_usize(0, 8)),
+        4 => GenOp::AddI(rng.range_usize(0, 8), rng.range_usize(0, 8)),
+        5 => GenOp::Cmp(rng.range_usize(0, 8), rng.range_usize(0, 8)),
+        _ => GenOp::Select(rng.range_usize(0, 8), rng.range_usize(0, 8), rng.range_usize(0, 8)),
+    }
+}
+
+fn gen_ops(depth: u32, max_len: usize, rng: &mut Rng) -> Vec<GenOp> {
+    let len = rng.range_usize(1, max_len);
+    (0..len).map(|_| gen_op(depth, rng)).collect()
 }
 
 /// Materializes generated ops into a module, tracking value pools by type
@@ -115,14 +118,12 @@ fn build(ops: &[GenOp]) -> Module {
                     out.push(op);
                 }
                 GenOp::AddF(a, b) => {
-                    let op =
-                        arith::addf(vt, floats[a % floats.len()], floats[b % floats.len()]);
+                    let op = arith::addf(vt, floats[a % floats.len()], floats[b % floats.len()]);
                     floats.push(op.result(0));
                     out.push(op);
                 }
                 GenOp::MulF(a, b) => {
-                    let op =
-                        arith::mulf(vt, floats[a % floats.len()], floats[b % floats.len()]);
+                    let op = arith::mulf(vt, floats[a % floats.len()], floats[b % floats.len()]);
                     floats.push(op.result(0));
                     out.push(op);
                 }
@@ -181,21 +182,26 @@ fn build(ops: &[GenOp]) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_modules_round_trip(ops in prop::collection::vec(gen_op(2), 1..24)) {
+#[test]
+fn random_modules_round_trip() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let ops = gen_ops(2, 24, &mut rng);
         let m = build(&ops);
-        verify_module(&m, Some(&standard_registry())).expect("generated IR is valid");
+        verify_module(&m, Some(&standard_registry()))
+            .unwrap_or_else(|e| panic!("seed {seed}: generated IR is invalid: {e}"));
         let text = print_module(&m);
-        let re = parse_module(&text).expect("parses");
-        prop_assert_eq!(print_module(&re), text);
+        let re = parse_module(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+        assert_eq!(print_module(&re), text, "seed {seed}");
     }
+}
 
-    #[test]
-    fn random_modules_survive_optimization(ops in prop::collection::vec(gen_op(1), 1..16)) {
-        use std::sync::Arc;
+#[test]
+fn random_modules_survive_optimization() {
+    use std::sync::Arc;
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(1000 + seed);
+        let ops = gen_ops(1, 16, &mut rng);
         let mut m = build(&ops);
         let reg = Arc::new(standard_registry());
         stencil_stack::dialects::canonicalize::Canonicalize.run(&mut m).unwrap();
@@ -203,6 +209,7 @@ proptest! {
             .run(&mut m)
             .unwrap();
         stencil_stack::ir::transforms::DeadCodeElimination::new(reg).run(&mut m).unwrap();
-        verify_module(&m, Some(&standard_registry())).expect("optimized IR is valid");
+        verify_module(&m, Some(&standard_registry()))
+            .unwrap_or_else(|e| panic!("seed {seed}: optimized IR is invalid: {e}"));
     }
 }

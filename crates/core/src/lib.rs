@@ -35,7 +35,7 @@ pub use sten_perf as perf;
 pub use sten_psyclone as psyclone;
 pub use sten_stencil as stencil;
 
-use sten_ir::{pass::PassTiming, DialectRegistry, Module};
+use sten_ir::{DialectRegistry, FuncTiming, Module, PassTiming};
 use sten_opt::{CompileCache, Driver, PipelineError};
 
 /// Errors of [`compile`]: pipeline resolution or pass failures.
@@ -94,6 +94,10 @@ pub struct CompileOptions {
     /// compile of the same module under the same pipeline returns the
     /// cached result without executing a single pass.
     pub cache: bool,
+    /// Worker threads for `func.func`-anchored pass groups: `0` = one per
+    /// core (default), `1` = serial — the `--no-parallel` escape hatch
+    /// for deterministic timing. Results are byte-identical either way.
+    pub threads: usize,
 }
 
 impl CompileOptions {
@@ -105,6 +109,7 @@ impl CompileOptions {
             verify_each: true,
             timing: false,
             cache: true,
+            threads: 0,
         }
     }
 
@@ -142,6 +147,14 @@ impl CompileOptions {
         self
     }
 
+    /// Caps the worker threads of function-anchored pass groups (builder
+    /// style): `0` = one per core, `1` = serial (`--no-parallel`).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> CompileOptions {
+        self.threads = threads;
+        self
+    }
+
     /// The textual pass pipeline this target compiles through — the §5
     /// pipeline strings, resolved against [`sten_opt::PassRegistry`].
     pub fn pipeline_string(&self) -> String {
@@ -172,6 +185,9 @@ pub struct Compiled {
     /// Per-pass wall-clock timings (the cold run's timings on a cache
     /// hit).
     pub timings: Vec<PassTiming>,
+    /// Per-(pass, function) timings of the function-anchored groups run
+    /// by the parallel scheduler.
+    pub func_timings: Vec<FuncTiming>,
     /// Whether the result came from the compile cache without executing
     /// any pass.
     pub cache_hit: bool,
@@ -194,10 +210,14 @@ pub fn compile(module: Module, options: &CompileOptions) -> Result<Compiled, Com
     // [`standard_registry`]), so the warm path pays no construction.
     let driver = Driver::new()
         .with_verify_each(options.verify_each)
+        .with_parallelism(options.threads)
         .with_cache(options.cache.then(CompileCache::global));
     let out = driver.run_str(module, &pipeline_string)?;
     if options.timing {
         sten_opt::eprint_timing_summary(&out);
+        if options.cache {
+            sten_opt::eprint_cache_stats(&CompileCache::global().stats());
+        }
     }
     Ok(Compiled {
         module: out.module,
@@ -205,6 +225,7 @@ pub fn compile(module: Module, options: &CompileOptions) -> Result<Compiled, Com
         pipeline: out.pipeline,
         pipeline_string,
         timings: out.timings,
+        func_timings: out.func_timings,
         cache_hit: out.cache_hit,
     })
 }

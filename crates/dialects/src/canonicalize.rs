@@ -12,7 +12,7 @@
 //! `dce` afterwards for full cleanup.
 
 use std::collections::HashMap;
-use sten_ir::{Attribute, Block, FloatAttr, Module, Op, Pass, PassError, Type, Value};
+use sten_ir::{Attribute, Block, FloatAttr, Op, Pass, PassError, PassKind, Type, Value};
 
 /// A known-constant value during folding.
 #[derive(Clone, Debug, PartialEq)]
@@ -259,20 +259,25 @@ impl Pass for Canonicalize {
         "canonicalize"
     }
 
-    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+    fn kind(&self) -> PassKind {
+        PassKind::Function
+    }
+
+    fn run_on_op(&self, op: &mut Op) -> Result<(), PassError> {
         // Iterate to a fixpoint; each sweep folds one more layer of the
         // expression DAG at worst, and in-order processing usually
-        // converges in one sweep.
+        // converges in one sweep. Folding rewrites ops in place and never
+        // allocates values, so the anchored subtree is all it touches.
         loop {
             let mut folder =
                 Folder { consts: HashMap::new(), subst: HashMap::new(), changed: false };
-            let mut regions = std::mem::take(&mut module.op.regions);
+            let mut regions = std::mem::take(&mut op.regions);
             for region in &mut regions {
                 for block in &mut region.blocks {
                     folder.fold_block(block);
                 }
             }
-            module.op.regions = regions;
+            op.regions = regions;
             if !folder.changed {
                 return Ok(());
             }

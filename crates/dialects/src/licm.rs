@@ -9,7 +9,7 @@
 
 use std::collections::HashSet;
 use std::sync::Arc;
-use sten_ir::{Block, DialectRegistry, Module, Op, Pass, PassError, Value};
+use sten_ir::{Block, DialectRegistry, Op, Pass, PassError, PassKind, Value};
 
 /// The LICM pass; see the module docs.
 pub struct LoopInvariantCodeMotion {
@@ -71,14 +71,20 @@ impl Pass for LoopInvariantCodeMotion {
         "licm"
     }
 
-    fn run(&self, module: &mut Module) -> Result<(), PassError> {
-        let mut regions = std::mem::take(&mut module.op.regions);
+    fn kind(&self) -> PassKind {
+        PassKind::Function
+    }
+
+    fn run_on_op(&self, op: &mut Op) -> Result<(), PassError> {
+        // Hoisting moves ops between blocks of the anchored subtree only
+        // (a loop body into its enclosing block), never past the anchor.
+        let mut regions = std::mem::take(&mut op.regions);
         for region in &mut regions {
             for block in &mut region.blocks {
                 self.process_block(block);
             }
         }
-        module.op.regions = regions;
+        op.regions = regions;
         Ok(())
     }
 }

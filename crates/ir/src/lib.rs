@@ -66,9 +66,9 @@ pub use attributes::{Attribute, ExchangeAttr, FloatAttr};
 pub use builder::OpBuilder;
 pub use op::{Block, Module, Op, Region};
 pub use parser::{parse_module, ParseError};
-pub use pass::{Pass, PassError, PassManager};
+pub use pass::{FuncTiming, Pass, PassError, PassKind, PassManager, PassTiming};
 pub use printer::{print_module, print_op};
 pub use registry::{DialectRegistry, OpSpec};
 pub use types::{Bounds, FieldType, FunctionType, MemRefType, TempType, Type};
 pub use value::{Value, ValueTable};
-pub use verifier::{verify_module, VerifyError};
+pub use verifier::{verify_module, verify_op_in_scope, VerifyError};

@@ -1,14 +1,26 @@
-//! The pass manager: named IR-to-IR transformations run in sequence.
+//! The pass manager: named IR-to-IR transformations anchored to an
+//! operation granularity.
 //!
-//! Mirrors `mlir-opt`-style pipelines: §5 of the paper describes lowering
-//! flows as a series of passes across SSA-based IRs (e.g. *shape-inference*,
-//! *convert-stencil-to-ll-mlir*, *dmp-to-mpi*). [`PassManager::run`]
-//! optionally re-verifies the module after every pass, which catches
-//! lowering bugs close to their source.
+//! Mirrors MLIR's `OpPassManager` design (§5 of the paper describes the
+//! lowering flows as `mlir-opt` pipelines): every [`Pass`] declares a
+//! [`PassKind`] anchor — `builtin.module`-scoped passes transform the whole
+//! module, `func.func`-scoped passes transform one function at a time and
+//! never look outside it. The [`PassManager`] groups consecutive
+//! function-scoped passes and runs each of them over the module's
+//! functions *in parallel* (scoped threads, no shared mutable state:
+//! functions are disjoint subtrees and none of the function passes touch
+//! the value table), which is MLIR's key pass-scheduling scalability
+//! trick. [`PassManager::run`] optionally re-verifies after every pass —
+//! whole-module for module-anchored passes, per-function (inside the
+//! worker, against the module-level scope) for function-anchored ones —
+//! which catches lowering bugs close to their source.
 
-use crate::op::Module;
+use crate::attributes::Attribute;
+use crate::op::{Module, Op};
 use crate::registry::DialectRegistry;
-use crate::verifier::verify_module;
+use crate::value::{Value, ValueTable};
+use crate::verifier::{verify_module, verify_op_in_scope};
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,19 +49,79 @@ impl fmt::Display for PassError {
 
 impl std::error::Error for PassError {}
 
+/// The operation granularity a pass is anchored to (MLIR: the op an
+/// `OpPassManager` is "nested on").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Anchored to `builtin.module`: sees (and may rewrite) the whole
+    /// compilation unit. Module passes run sequentially.
+    #[default]
+    Module,
+    /// Anchored to `func.func`: rewrites one function body at a time and
+    /// must not inspect sibling functions or allocate values. The
+    /// scheduler runs function passes over independent functions in
+    /// parallel.
+    Function,
+}
+
+impl PassKind {
+    /// The textual anchor used by the nested pipeline syntax
+    /// (`func.func(cse,dce)`).
+    pub fn anchor(self) -> &'static str {
+        match self {
+            PassKind::Module => "builtin.module",
+            PassKind::Function => "func.func",
+        }
+    }
+}
+
 /// An IR-to-IR transformation.
-pub trait Pass {
+///
+/// Module-anchored passes (the default [`Pass::kind`]) implement
+/// [`Pass::run`]; function-anchored passes implement [`Pass::run_on_op`]
+/// and inherit a whole-module `run` that applies the rewrite to the root
+/// op (so invoking a function pass directly on a module keeps the
+/// pre-anchor flat semantics).
+pub trait Pass: Send + Sync {
     /// Stable pass name (used in diagnostics and timing reports).
     fn name(&self) -> &'static str;
+
+    /// The operation granularity this pass is anchored to.
+    fn kind(&self) -> PassKind {
+        PassKind::Module
+    }
+
     /// Transforms the module in place.
     ///
     /// # Errors
     /// Returns a [`PassError`] if the input IR violates the pass's
     /// preconditions.
-    fn run(&self, module: &mut Module) -> Result<(), PassError>;
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        match self.kind() {
+            PassKind::Function => self.run_on_op(&mut module.op),
+            PassKind::Module => {
+                Err(PassError::new(self.name(), "module-anchored pass does not implement run()"))
+            }
+        }
+    }
+
+    /// Transforms the subtree rooted at `op` in place (the entry point the
+    /// scheduler uses for `func.func`-anchored passes; `op` is one
+    /// `func.func` — or the module root when invoked through the default
+    /// [`Pass::run`]).
+    ///
+    /// # Errors
+    /// Returns a [`PassError`] if the pass is not function-anchored or the
+    /// input IR violates its preconditions.
+    fn run_on_op(&self, op: &mut Op) -> Result<(), PassError> {
+        let _ = op;
+        Err(PassError::new(self.name(), "pass is not anchored to func.func"))
+    }
 }
 
-/// Timing record for one executed pass.
+/// Timing record for one executed pass. For a function-anchored pass
+/// this is the wall-clock of the whole parallel section (scheduling
+/// included); per-function transform times are in [`FuncTiming`].
 #[derive(Debug, Clone)]
 pub struct PassTiming {
     /// Pass name.
@@ -58,18 +130,46 @@ pub struct PassTiming {
     pub duration: Duration,
 }
 
-/// Observer invoked after each pass completes (and passes verification);
-/// receives the pass name and the module state it produced.
-pub type AfterPassHook = Box<dyn Fn(&'static str, &Module)>;
+/// Per-function timing record of one function-anchored pass execution.
+#[derive(Debug, Clone)]
+pub struct FuncTiming {
+    /// Pass name.
+    pub pass: &'static str,
+    /// `sym_name` of the function the pass ran on.
+    pub function: String,
+    /// Wall-clock duration of this (pass, function) unit of work.
+    pub duration: Duration,
+}
 
-/// Runs a sequence of passes over a module.
+/// Observer invoked after each pass completes (and passes verification);
+/// receives the pass name and the module state it produced. For
+/// function-anchored passes the hook fires once per pass, after every
+/// function has been processed.
+pub type AfterPassHook = Box<dyn Fn(&'static str, &Module) + Send + Sync>;
+
+/// One scheduling unit: a module-anchored pass, or a maximal run of
+/// consecutive function-anchored passes executed per-function.
+enum Scheduled {
+    Module(Box<dyn Pass>),
+    FuncGroup(Vec<Box<dyn Pass>>),
+}
+
+/// Runs a tree of passes over a module: module-anchored passes in
+/// sequence, function-anchored groups per-function in parallel.
 #[derive(Default)]
 pub struct PassManager {
-    passes: Vec<Box<dyn Pass>>,
-    /// Verify the module after each pass (strongly recommended in tests).
+    items: Vec<Scheduled>,
+    /// Verify after each pass (strongly recommended in tests): the whole
+    /// module after a module-anchored pass, each function (in its worker,
+    /// against the module-level scope) after a function-anchored pass.
     pub verify_each: bool,
     registry: Option<Arc<DialectRegistry>>,
-    timings: std::cell::RefCell<Vec<PassTiming>>,
+    /// Worker-thread cap for function groups: `0` = one thread per
+    /// available core, `1` = serial (the deterministic-timing escape
+    /// hatch; results are identical either way).
+    parallelism: usize,
+    timings: Vec<PassTiming>,
+    func_timings: Vec<FuncTiming>,
     after_each: Option<AfterPassHook>,
 }
 
@@ -86,15 +186,34 @@ impl PassManager {
         self
     }
 
-    /// Appends a pass to the pipeline.
-    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
-        self.passes.push(Box::new(pass));
+    /// Caps function-group worker threads: `0` = one per core (default),
+    /// `1` = serial.
+    #[must_use]
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
         self
     }
 
-    /// Appends a boxed pass to the pipeline.
+    /// Sets the worker-thread cap (see [`PassManager::with_parallelism`]).
+    pub fn set_parallelism(&mut self, threads: usize) -> &mut Self {
+        self.parallelism = threads;
+        self
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.add_boxed(Box::new(pass))
+    }
+
+    /// Appends a boxed pass, growing the anchor tree: a function-anchored
+    /// pass joins the trailing function group (or opens one), a
+    /// module-anchored pass ends any open group.
     pub fn add_boxed(&mut self, pass: Box<dyn Pass>) -> &mut Self {
-        self.passes.push(pass);
+        match (pass.kind(), self.items.last_mut()) {
+            (PassKind::Function, Some(Scheduled::FuncGroup(group))) => group.push(pass),
+            (PassKind::Function, _) => self.items.push(Scheduled::FuncGroup(vec![pass])),
+            (PassKind::Module, _) => self.items.push(Scheduled::Module(pass)),
+        }
         self
     }
 
@@ -106,46 +225,216 @@ impl PassManager {
         self
     }
 
-    /// The names of the scheduled passes, in order.
+    /// The names of the scheduled passes, in execution order (function
+    /// groups flattened).
     pub fn pipeline(&self) -> Vec<&'static str> {
-        self.passes.iter().map(|p| p.name()).collect()
+        let mut names = Vec::new();
+        for item in &self.items {
+            match item {
+                Scheduled::Module(p) => names.push(p.name()),
+                Scheduled::FuncGroup(g) => names.extend(g.iter().map(|p| p.name())),
+            }
+        }
+        names
+    }
+
+    /// The anchor tree in nested pipeline syntax, e.g.
+    /// `shape-inference,func.func(cse,dce),convert-stencil-to-loops`.
+    pub fn nested_pipeline(&self) -> String {
+        let mut out = String::new();
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match item {
+                Scheduled::Module(p) => out.push_str(p.name()),
+                Scheduled::FuncGroup(g) => {
+                    out.push_str("func.func(");
+                    for (j, p) in g.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(p.name());
+                    }
+                    out.push(')');
+                }
+            }
+        }
+        out
     }
 
     /// Runs every pass in order.
     ///
     /// # Errors
     /// Stops at the first failing pass or failed post-pass verification.
-    pub fn run(&self, module: &mut Module) -> Result<(), PassError> {
-        self.timings.borrow_mut().clear();
-        for pass in &self.passes {
-            let start = Instant::now();
-            pass.run(module)?;
-            self.timings
-                .borrow_mut()
-                .push(PassTiming { name: pass.name(), duration: start.elapsed() });
-            if self.verify_each {
-                verify_module(module, self.registry.as_deref()).map_err(|e| {
-                    PassError::new(pass.name(), format!("post-pass verification: {e}"))
-                })?;
-            }
-            if let Some(hook) = &self.after_each {
-                hook(pass.name(), module);
+    /// For a function group, the reported failure is the first failing
+    /// function in module order (deterministic under parallelism).
+    pub fn run(&mut self, module: &mut Module) -> Result<(), PassError> {
+        self.timings.clear();
+        self.func_timings.clear();
+        let registry = self.registry.clone();
+        // `Some(None)` = verify with structural checks only (verify_each
+        // set but no registry), matching verify_module's contract.
+        let verify: Option<Option<&DialectRegistry>> =
+            self.verify_each.then_some(registry.as_deref());
+        for item in &self.items {
+            match item {
+                Scheduled::Module(pass) => {
+                    let start = Instant::now();
+                    pass.run(module)?;
+                    self.timings.push(PassTiming { name: pass.name(), duration: start.elapsed() });
+                    if self.verify_each {
+                        verify_module(module, registry.as_deref()).map_err(|e| {
+                            PassError::new(pass.name(), format!("post-pass verification: {e}"))
+                        })?;
+                    }
+                    if let Some(hook) = &self.after_each {
+                        hook(pass.name(), module);
+                    }
+                }
+                Scheduled::FuncGroup(group) => {
+                    for pass in group {
+                        let start = Instant::now();
+                        let per_func =
+                            run_on_functions(pass.as_ref(), module, self.parallelism, verify)?;
+                        self.timings
+                            .push(PassTiming { name: pass.name(), duration: start.elapsed() });
+                        self.func_timings.extend(per_func);
+                        if let Some(hook) = &self.after_each {
+                            hook(pass.name(), module);
+                        }
+                    }
+                }
             }
         }
         Ok(())
     }
 
-    /// Timings of the most recent [`PassManager::run`].
+    /// Per-pass timings of the most recent [`PassManager::run`], one
+    /// entry per pass in pipeline order.
     pub fn timings(&self) -> Vec<PassTiming> {
-        self.timings.borrow().clone()
+        self.timings.clone()
     }
+
+    /// Per-(pass, function) timings of the most recent run's function
+    /// groups, in (pass, module order) — the `--timing` breakdown.
+    pub fn func_timings(&self) -> Vec<FuncTiming> {
+        self.func_timings.clone()
+    }
+}
+
+/// The `sym_name` of a function op, for diagnostics and timings.
+fn func_label(func: &Op) -> String {
+    func.attr("sym_name")
+        .and_then(Attribute::as_str)
+        .map_or_else(|| "<anonymous>".to_string(), str::to_string)
+}
+
+/// One function's processing outcome: its label, wall time, and result.
+type FuncOutcome = (String, Duration, Result<(), PassError>);
+
+/// Runs one function-anchored pass over every `func.func` of `module`,
+/// in parallel when `parallelism` permits. With `verify` set, each worker
+/// re-verifies its own function (per-anchor verification) against the
+/// module-level scope — structural checks only when the inner registry is
+/// `None`, as with [`verify_module`]. Functions are disjoint subtrees, so
+/// results are deterministic regardless of thread count.
+fn run_on_functions(
+    pass: &dyn Pass,
+    module: &mut Module,
+    parallelism: usize,
+    verify: Option<Option<&DialectRegistry>>,
+) -> Result<Vec<FuncTiming>, PassError> {
+    // Values visible at module level (results of module-level ops): the
+    // enclosing scope for per-function verification.
+    let outer: HashSet<Value> = if verify.is_some() {
+        module.body().ops.iter().flat_map(|o| o.results.iter().copied()).collect()
+    } else {
+        HashSet::new()
+    };
+    let Module { ref values, ref mut op, .. } = *module;
+    let body = op.region_block_mut(0);
+    let mut funcs: Vec<&mut Op> = body.ops.iter_mut().filter(|o| o.name == "func.func").collect();
+
+    let workers = effective_workers(parallelism, funcs.len());
+    let mut results: Vec<FuncOutcome> = if workers <= 1 {
+        funcs.iter_mut().map(|func| run_one_function(pass, func, values, verify, &outer)).collect()
+    } else {
+        // Contiguous chunks, one scoped worker each (the same
+        // std::thread::scope approach as the interp crate's SimMPI
+        // runtime); results are reassembled in module order.
+        let chunk = funcs.len().div_ceil(workers);
+        let mut out: Vec<Option<FuncOutcome>> = (0..funcs.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (start, batch) in funcs.chunks_mut(chunk).enumerate().map(|(i, b)| (i * chunk, b)) {
+                let outer = &outer;
+                handles.push((
+                    start,
+                    scope.spawn(move || {
+                        batch
+                            .iter_mut()
+                            .map(|func| run_one_function(pass, func, values, verify, outer))
+                            .collect::<Vec<_>>()
+                    }),
+                ));
+            }
+            for (start, handle) in handles {
+                for (i, r) in handle.join().expect("pass worker panicked").into_iter().enumerate() {
+                    out[start + i] = Some(r);
+                }
+            }
+        });
+        out.into_iter().map(|r| r.expect("every function processed")).collect()
+    };
+
+    let mut timings = Vec::with_capacity(results.len());
+    for (function, duration, result) in results.drain(..) {
+        result?;
+        timings.push(FuncTiming { pass: pass.name(), function, duration });
+    }
+    Ok(timings)
+}
+
+/// Applies `pass` to one function and (optionally) re-verifies it. The
+/// reported duration covers the transform only — verification time is
+/// excluded, matching module-anchored passes, whose timing also stops
+/// before `verify_module`.
+fn run_one_function(
+    pass: &dyn Pass,
+    func: &mut Op,
+    values: &ValueTable,
+    verify: Option<Option<&DialectRegistry>>,
+    outer: &HashSet<Value>,
+) -> FuncOutcome {
+    let label = func_label(func);
+    let start = Instant::now();
+    let mut result = pass.run_on_op(func);
+    let duration = start.elapsed();
+    if result.is_ok() {
+        if let Some(registry) = verify {
+            result = verify_op_in_scope(func, values, registry, outer).map_err(|e| {
+                PassError::new(pass.name(), format!("post-pass verification of @{label}: {e}"))
+            });
+        }
+    }
+    (label, duration, result)
+}
+
+/// Resolves the worker count: `0` = available parallelism, capped by the
+/// number of functions.
+fn effective_workers(parallelism: usize, funcs: usize) -> usize {
+    let hw = || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let requested = if parallelism == 0 { hw() } else { parallelism };
+    requested.min(funcs).max(1)
 }
 
 impl fmt::Debug for PassManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PassManager")
-            .field("pipeline", &self.pipeline())
+            .field("pipeline", &self.nested_pipeline())
             .field("verify_each", &self.verify_each)
+            .field("parallelism", &self.parallelism)
             .finish()
     }
 }
@@ -174,6 +463,32 @@ mod tests {
         fn run(&self, _: &mut Module) -> Result<(), PassError> {
             Err(PassError::new("failing", "intentional"))
         }
+    }
+
+    /// Function-anchored: tags every op in the subtree with an attribute.
+    struct TagFunc;
+    impl Pass for TagFunc {
+        fn name(&self) -> &'static str {
+            "tag-func"
+        }
+        fn kind(&self) -> PassKind {
+            PassKind::Function
+        }
+        fn run_on_op(&self, op: &mut Op) -> Result<(), PassError> {
+            op.walk_mut(&mut |o| o.set_attr("tagged", Attribute::int64(1)));
+            Ok(())
+        }
+    }
+
+    fn module_with_funcs(n: usize) -> Module {
+        let mut m = Module::new();
+        for i in 0..n {
+            let mut f = Op::new("func.func");
+            f.set_attr("sym_name", Attribute::Str(format!("f{i}")));
+            f.regions.push(crate::op::Region::single(crate::op::Block::new()));
+            m.body_mut().ops.push(f);
+        }
+        m
     }
 
     #[test]
@@ -220,5 +535,123 @@ mod tests {
         let mut m = Module::new();
         let err = pm.run(&mut m).unwrap_err();
         assert!(err.message.contains("verification"), "{err}");
+    }
+
+    #[test]
+    fn consecutive_function_passes_group_into_one_anchor() {
+        let mut pm = PassManager::new();
+        pm.add(AppendOp("test.a")).add(TagFunc).add(TagFunc).add(AppendOp("test.b")).add(TagFunc);
+        assert_eq!(
+            pm.nested_pipeline(),
+            "append-op,func.func(tag-func,tag-func),append-op,func.func(tag-func)"
+        );
+        assert_eq!(
+            pm.pipeline(),
+            vec!["append-op", "tag-func", "tag-func", "append-op", "tag-func"]
+        );
+    }
+
+    #[test]
+    fn function_pass_runs_on_every_function_any_thread_count() {
+        for threads in [1usize, 0, 3] {
+            let mut pm = PassManager::new().with_parallelism(threads);
+            pm.add(TagFunc);
+            let mut m = module_with_funcs(8);
+            pm.run(&mut m).unwrap();
+            for f in &m.body().ops {
+                assert!(f.attr("tagged").is_some(), "threads={threads}");
+            }
+            assert_eq!(pm.timings().len(), 1);
+            let fts = pm.func_timings();
+            assert_eq!(fts.len(), 8, "threads={threads}");
+            // Per-function breakdown stays in module order.
+            let order: Vec<&str> = fts.iter().map(|t| t.function.as_str()).collect();
+            assert_eq!(order, (0..8).map(|i| format!("f{i}")).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn function_group_failure_reports_first_function_in_module_order() {
+        struct FailOn(&'static str);
+        impl Pass for FailOn {
+            fn name(&self) -> &'static str {
+                "fail-on"
+            }
+            fn kind(&self) -> PassKind {
+                PassKind::Function
+            }
+            fn run_on_op(&self, op: &mut Op) -> Result<(), PassError> {
+                let label = func_label(op);
+                if label == self.0 || label == "f1" {
+                    return Err(PassError::new("fail-on", format!("boom in {label}")));
+                }
+                Ok(())
+            }
+        }
+        for threads in [1usize, 0] {
+            let mut pm = PassManager::new().with_parallelism(threads);
+            pm.add(FailOn("f5"));
+            let mut m = module_with_funcs(8);
+            let err = pm.run(&mut m).unwrap_err();
+            assert_eq!(err.message, "boom in f1", "earliest function wins (threads={threads})");
+        }
+    }
+
+    #[test]
+    fn per_function_verification_catches_broken_function_passes() {
+        struct BreaksFunc;
+        impl Pass for BreaksFunc {
+            fn name(&self) -> &'static str {
+                "breaks-func"
+            }
+            fn kind(&self) -> PassKind {
+                PassKind::Function
+            }
+            fn run_on_op(&self, op: &mut Op) -> Result<(), PassError> {
+                let ghost = crate::value::Value::from_index(9999);
+                let mut bad = Op::new("test.bad");
+                bad.operands.push(ghost);
+                op.region_block_mut(0).ops.push(bad);
+                Ok(())
+            }
+        }
+        let registry = Arc::new(DialectRegistry::new());
+        let mut pm = PassManager::new().with_verifier(registry);
+        pm.add(BreaksFunc);
+        let mut m = module_with_funcs(2);
+        let err = pm.run(&mut m).unwrap_err();
+        assert!(err.message.contains("verification of @f0"), "{err}");
+    }
+
+    #[test]
+    fn verify_each_without_registry_still_runs_structural_checks_per_function() {
+        struct BreaksFunc;
+        impl Pass for BreaksFunc {
+            fn name(&self) -> &'static str {
+                "breaks-func"
+            }
+            fn kind(&self) -> PassKind {
+                PassKind::Function
+            }
+            fn run_on_op(&self, op: &mut Op) -> Result<(), PassError> {
+                let ghost = crate::value::Value::from_index(9999);
+                let mut bad = Op::new("test.bad");
+                bad.operands.push(ghost);
+                op.region_block_mut(0).ops.push(bad);
+                Ok(())
+            }
+        }
+        let mut pm = PassManager::new();
+        pm.verify_each = true; // no registry: structural SSA checks only
+        pm.add(BreaksFunc);
+        let mut m = module_with_funcs(2);
+        let err = pm.run(&mut m).unwrap_err();
+        assert!(err.message.contains("verification"), "{err}");
+    }
+
+    #[test]
+    fn pass_manager_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PassManager>();
     }
 }

@@ -8,8 +8,8 @@
 //! (LICM, folding) live in `sten-dialects`, which knows the loop ops.
 
 use crate::attributes::Attribute;
-use crate::op::{Block, Module, Op};
-use crate::pass::{Pass, PassError};
+use crate::op::{Block, Op};
+use crate::pass::{Pass, PassError, PassKind};
 use crate::registry::DialectRegistry;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -56,10 +56,16 @@ impl Pass for DeadCodeElimination {
         "dce"
     }
 
-    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+    fn kind(&self) -> PassKind {
+        PassKind::Function
+    }
+
+    fn run_on_op(&self, op: &mut Op) -> Result<(), PassError> {
+        // Values never cross function boundaries (SSA region scoping), so
+        // use counts local to the anchored subtree are exact.
         loop {
-            let counts = module.op.use_counts();
-            if !Self::sweep(&mut module.op, &counts, &self.registry) {
+            let counts = op.use_counts();
+            if !Self::sweep(op, &counts, &self.registry) {
                 return Ok(());
             }
         }
@@ -135,8 +141,12 @@ impl Pass for CommonSubexprElimination {
         "cse"
     }
 
-    fn run(&self, module: &mut Module) -> Result<(), PassError> {
-        let mut root_regions = std::mem::take(&mut module.op.regions);
+    fn kind(&self) -> PassKind {
+        PassKind::Function
+    }
+
+    fn run_on_op(&self, op: &mut Op) -> Result<(), PassError> {
+        let mut root_regions = std::mem::take(&mut op.regions);
         let mut scopes = Vec::new();
         let mut subst = HashMap::new();
         for region in &mut root_regions {
@@ -144,7 +154,7 @@ impl Pass for CommonSubexprElimination {
                 self.process_block(block, &mut scopes, &mut subst);
             }
         }
-        module.op.regions = root_regions;
+        op.regions = root_regions;
         Ok(())
     }
 }
@@ -152,7 +162,7 @@ impl Pass for CommonSubexprElimination {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::Region;
+    use crate::op::{Module, Region};
     use crate::registry::OpSpec;
     use crate::types::Type;
 

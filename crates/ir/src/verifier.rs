@@ -122,6 +122,30 @@ pub fn verify_module(
     v.verify_op(&module.op)
 }
 
+/// Verifies the subtree rooted at `op` as if it sat inside a region where
+/// the values in `visible` are in scope — the per-anchor verification the
+/// pass scheduler runs on each `func.func` after a function-anchored pass
+/// (with `visible` holding the module-level definitions). Checks the same
+/// invariants as [`verify_module`] restricted to the subtree; definitions
+/// outside it are trusted, not re-checked.
+///
+/// # Errors
+/// Returns the first [`VerifyError`] encountered in a pre-order walk.
+pub fn verify_op_in_scope(
+    op: &Op,
+    values: &ValueTable,
+    registry: Option<&DialectRegistry>,
+    visible: &HashSet<Value>,
+) -> Result<(), VerifyError> {
+    let mut v = Verifier {
+        values,
+        registry,
+        defined: HashSet::new(),
+        scopes: vec![visible.clone(), HashSet::new()],
+    };
+    v.verify_op(op)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,8 +24,15 @@ options:
       --target <name>      use a registered target pipeline instead of -p:
                            shared-cpu | distributed | gpu | fpga | fpga-optimized
   -o, --output <file>      write the lowered IR to <file> instead of stdout
-      --verify-each        verify the module after every pass
-      --timing             print a per-pass timing report to stderr
+      --verify-each        verify the module after every pass (whole-module
+                           after module-anchored passes, per-function after
+                           func.func-anchored ones)
+      --timing             print a per-pass timing report (with per-function
+                           breakdown and cache counters) to stderr
+      --threads <n>        worker threads for func.func-anchored pass groups:
+                           0 = one per core (default; or $STEN_OPT_THREADS)
+      --no-parallel        shorthand for --threads 1 (deterministic timing;
+                           results are identical either way)
       --print-ir-after-all print the IR after every pass to stderr
       --no-cache           bypass the content-addressed compilation cache
       --cache-stats        print cache hit/miss counters to stderr
@@ -39,6 +46,7 @@ struct Args {
     output: Option<String>,
     pipeline: Option<String>,
     target: Option<String>,
+    threads: Option<usize>,
     verify_each: bool,
     timing: bool,
     print_ir_after_all: bool,
@@ -55,6 +63,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         output: None,
         pipeline: None,
         target: None,
+        threads: None,
         verify_each: false,
         timing: false,
         print_ir_after_all: false,
@@ -72,6 +81,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "-p" | "--pipeline" => args.pipeline = Some(value_of(arg)?),
             "--target" => args.target = Some(value_of(arg)?),
             "-o" | "--output" => args.output = Some(value_of(arg)?),
+            "--threads" => {
+                let v = value_of(arg)?;
+                args.threads = Some(
+                    v.parse().map_err(|_| format!("--threads expects an integer, got '{v}'"))?,
+                );
+            }
+            "--no-parallel" => args.threads = Some(1),
             "--verify-each" => args.verify_each = true,
             "--timing" => args.timing = true,
             "--print-ir-after-all" => args.print_ir_after_all = true,
@@ -117,9 +133,10 @@ fn run() -> Result<(), String> {
     }
 
     if args.list_passes {
-        println!("registered passes:");
+        println!("registered passes (with their operation anchor):");
         for (name, summary) in PassRegistry::global().passes() {
-            println!("  {name:<32} {summary}");
+            let anchor = PassRegistry::global().anchor(name).map_or("", sten_ir::PassKind::anchor);
+            println!("  {name:<32} [{anchor:<14}] {summary}");
         }
         println!("\nregistered target pipelines:");
         for target in pipelines::TARGET_NAMES {
@@ -144,9 +161,21 @@ fn run() -> Result<(), String> {
     };
     let module = sten_ir::parse_module(&source).map_err(|e| format!("parse error: {e}"))?;
 
+    // Flag > env > default, so CI can pin the scheduler without
+    // rewriting every invocation.
+    let threads = match args.threads {
+        Some(n) => n,
+        None => match std::env::var("STEN_OPT_THREADS") {
+            Ok(v) => {
+                v.parse().map_err(|_| format!("STEN_OPT_THREADS expects an integer, got '{v}'"))?
+            }
+            Err(_) => 0,
+        },
+    };
     let driver = Driver::new()
         .with_verify_each(args.verify_each)
         .with_print_ir_after_all(args.print_ir_after_all)
+        .with_parallelism(threads)
         .with_cache(if args.no_cache { None } else { Some(CompileCache::global()) });
     let out = driver.run_str(module, &pipeline).map_err(|e| e.to_string())?;
 
@@ -157,12 +186,8 @@ fn run() -> Result<(), String> {
     if args.timing {
         sten_opt::eprint_timing_summary(&out);
     }
-    if args.cache_stats {
-        let stats = CompileCache::global().stats();
-        eprintln!(
-            "// cache: {} hits, {} misses, {} entries",
-            stats.hits, stats.misses, stats.entries
-        );
+    if args.cache_stats || (args.timing && !args.no_cache) {
+        sten_opt::eprint_cache_stats(&CompileCache::global().stats());
     }
 
     match args.output.as_deref() {

@@ -11,13 +11,20 @@
 //! Digests come from a pair of independently-seeded FNV-1a-64 streams
 //! (stable across processes, unlike `std`'s randomly-keyed SipHash), so
 //! keys are printable and could index an on-disk cache later.
+//!
+//! The cache is bounded by an LRU byte budget (default 64 MiB): every
+//! entry's footprint is estimated on insert, and the least-recently-used
+//! entries are evicted once the total passes the budget, so a long-lived
+//! frontend process compiling many distinct operators cannot grow the
+//! cache without bound. Hit/miss/eviction counters surface in
+//! `--timing`/`--cache-stats`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use sten_ir::{pass::PassTiming, Module};
+use sten_ir::{FuncTiming, Module, PassTiming};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
@@ -105,31 +112,120 @@ pub struct CachedCompile {
     pub pipeline: Vec<&'static str>,
     /// Per-pass timings of the original (cold) run.
     pub timings: Vec<PassTiming>,
+    /// Per-(pass, function) timings of the original (cold) run.
+    pub func_timings: Vec<FuncTiming>,
 }
 
-/// Hit/miss counters of a [`CompileCache`].
+/// Estimated resident footprint of one cache entry, in bytes. The module
+/// estimate walks the op tree (names, operands, results, attributes);
+/// exactness does not matter — the LRU budget only needs a consistent,
+/// roughly proportional measure.
+fn approx_entry_bytes(entry: &CachedCompile) -> usize {
+    let mut module_bytes = std::mem::size_of::<Module>() + entry.module.values.len() * 16;
+    entry.module.walk(|op| {
+        module_bytes += std::mem::size_of::<sten_ir::Op>()
+            + op.name.len()
+            + (op.operands.len() + op.results.len()) * 4
+            + op.attrs.keys().map(|k| k.len() + 48).sum::<usize>();
+    });
+    module_bytes
+        + entry.text.len()
+        + entry.pipeline.len() * 16
+        + entry.timings.len() * std::mem::size_of::<PassTiming>()
+        + entry.func_timings.iter().map(|t| t.function.len() + 48).sum::<usize>()
+}
+
+/// Hit/miss/eviction counters of a [`CompileCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found an entry.
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
+    /// Entries dropped to keep the cache under its byte budget.
+    pub evictions: u64,
     /// Entries currently stored.
     pub entries: usize,
+    /// Estimated bytes currently stored.
+    pub bytes: usize,
+    /// The LRU byte budget.
+    pub budget: usize,
 }
 
-/// An in-memory content-addressed compile cache.
+/// The default LRU byte budget: 64 MiB.
+pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
+
+struct Stored {
+    value: CachedCompile,
+    bytes: usize,
+    /// The tick of the last lookup/insert, indexing [`Inner::lru`].
+    last_used: u64,
+}
+
 #[derive(Default)]
+struct Inner {
+    map: HashMap<CacheKey, Stored>,
+    /// Recency index: tick → key, oldest first. Ticks are unique, so this
+    /// is a total LRU order.
+    lru: BTreeMap<u64, CacheKey>,
+    tick: u64,
+    bytes: usize,
+}
+
+impl Inner {
+    fn touch(&mut self, key: CacheKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        let stored = self.map.get_mut(&key).expect("touched entry exists");
+        self.lru.remove(&stored.last_used);
+        stored.last_used = tick;
+        self.lru.insert(tick, key);
+    }
+
+    fn remove(&mut self, key: CacheKey) -> Option<Stored> {
+        let stored = self.map.remove(&key)?;
+        self.lru.remove(&stored.last_used);
+        self.bytes -= stored.bytes;
+        Some(stored)
+    }
+
+    fn pop_lru(&mut self) -> Option<CacheKey> {
+        self.lru.keys().next().copied().map(|tick| self.lru[&tick])
+    }
+}
+
+/// An in-memory content-addressed compile cache with an LRU byte budget.
 pub struct CompileCache {
-    entries: Mutex<HashMap<CacheKey, CachedCompile>>,
+    inner: Mutex<Inner>,
+    budget: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache::new()
+    }
 }
 
 impl CompileCache {
-    /// An empty cache.
+    /// An empty cache with the default 64 MiB byte budget.
     pub fn new() -> Self {
-        CompileCache::default()
+        CompileCache::with_byte_budget(DEFAULT_CACHE_BUDGET)
+    }
+
+    /// An empty cache evicting least-recently-used entries past `budget`
+    /// estimated bytes. An entry larger than the whole budget is never
+    /// stored (and counts as an eviction).
+    pub fn with_byte_budget(budget: usize) -> Self {
+        CompileCache {
+            inner: Mutex::new(Inner::default()),
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// The process-wide cache shared by every [`crate::Driver`] that does
@@ -139,38 +235,61 @@ impl CompileCache {
         GLOBAL.get_or_init(CompileCache::new)
     }
 
-    /// Looks up `key`, counting a hit or miss.
+    /// Looks up `key`, counting a hit or miss and refreshing the entry's
+    /// LRU position.
     pub fn lookup(&self, key: CacheKey) -> Option<CachedCompile> {
-        let found = self.entries.lock().expect("cache lock").get(&key).cloned();
-        match found {
-            Some(entry) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.contains_key(&key) {
+            inner.touch(key);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(inner.map[&key].value.clone())
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
         }
     }
 
-    /// Stores `result` under `key`.
+    /// Stores `result` under `key`, evicting least-recently-used entries
+    /// until the estimated total fits the byte budget.
     pub fn insert(&self, key: CacheKey, result: CachedCompile) {
-        self.entries.lock().expect("cache lock").insert(key, result);
+        let bytes = approx_entry_bytes(&result);
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.remove(key);
+        if bytes > self.budget {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        while inner.bytes + bytes > self.budget {
+            let oldest = inner.pop_lru().expect("bytes > 0 implies an entry");
+            inner.remove(oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.bytes += bytes;
+        inner.lru.insert(tick, key);
+        inner.map.insert(key, Stored { value: result, bytes, last_used: tick });
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache lock").len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            budget: self.budget,
         }
     }
 
     /// Drops all entries (counters are kept).
     pub fn clear(&self) {
-        self.entries.lock().expect("cache lock").clear();
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.map.clear();
+        inner.lru.clear();
+        inner.bytes = 0;
     }
 }
 
@@ -237,12 +356,71 @@ mod tests {
                 text: "t".into(),
                 pipeline: vec!["cse"],
                 timings: Vec::new(),
+                func_timings: Vec::new(),
             },
         );
         assert!(cache.lookup(key).is_some());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.bytes > 0);
         cache.clear();
-        assert_eq!(cache.stats().entries, 0);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.bytes), (0, 0));
+    }
+
+    fn entry_of_size(text_len: usize) -> CachedCompile {
+        CachedCompile {
+            module: Module::new(),
+            text: "x".repeat(text_len),
+            pipeline: Vec::new(),
+            timings: Vec::new(),
+            func_timings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_past_the_byte_budget() {
+        // Each entry is ~4 KiB of text plus a small fixed module cost;
+        // a 3-entry budget forces the 4th insert to evict.
+        let base = approx_entry_bytes(&entry_of_size(0));
+        let cache = CompileCache::with_byte_budget((base + 4096) * 3 + 128);
+        let keys: Vec<CacheKey> =
+            (0..4).map(|i| CacheKey::derive("m", &format!("p{i}"), false, 0)).collect();
+        for &k in &keys[..3] {
+            cache.insert(k, entry_of_size(4096));
+        }
+        assert_eq!(cache.stats().entries, 3);
+        // Refresh key 0 so key 1 is now the least recently used.
+        assert!(cache.lookup(keys[0]).is_some());
+        cache.insert(keys[3], entry_of_size(4096));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.lookup(keys[1]).is_none(), "LRU entry evicted");
+        for &k in [keys[0], keys[2], keys[3]].iter() {
+            assert!(cache.lookup(k).is_some(), "recently used entries kept");
+        }
+    }
+
+    #[test]
+    fn oversized_entries_are_never_stored() {
+        let cache = CompileCache::with_byte_budget(1024);
+        let key = CacheKey::derive("m", "p", false, 0);
+        cache.insert(key, entry_of_size(1 << 20));
+        assert!(cache.lookup(key).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (0, 1));
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_the_entry_and_its_size() {
+        let cache = CompileCache::with_byte_budget(1 << 20);
+        let key = CacheKey::derive("m", "p", false, 0);
+        cache.insert(key, entry_of_size(1000));
+        let bytes_small = cache.stats().bytes;
+        cache.insert(key, entry_of_size(5000));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, bytes_small + 4000);
     }
 }

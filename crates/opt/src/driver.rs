@@ -7,11 +7,9 @@
 //! [`CompileCache`] first, so a warm compile of the same module under the
 //! same pipeline never runs a single pass.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use sten_ir::{pass::PassTiming, print_module, DialectRegistry, Module, PassManager};
+use sten_ir::{print_module, DialectRegistry, FuncTiming, Module, PassManager, PassTiming};
 
 use crate::cache::{CacheKey, CachedCompile, CompileCache};
 use crate::pipeline::PipelineSpec;
@@ -30,6 +28,14 @@ pub struct OptOutput {
     /// Per-pass wall-clock timings. On a cache hit these are the timings
     /// of the original cold run.
     pub timings: Vec<PassTiming>,
+    /// Per-(pass, function) timings of the function-anchored groups (the
+    /// `--timing` breakdown; cold-run values on a cache hit).
+    pub func_timings: Vec<FuncTiming>,
+    /// The canonical nested form of the pipeline that ran, e.g.
+    /// `shape-inference,func.func(cse,dce)` — also the cache-key
+    /// component, so a flat pipeline and its nested spelling share
+    /// entries.
+    pub canonical_pipeline: String,
     /// Whether the result came from the compile cache (no pass executed).
     pub cache_hit: bool,
     /// `(pass name, module text)` snapshots after every pass, populated
@@ -44,6 +50,7 @@ pub struct Driver {
     verify_each: bool,
     print_ir_after_all: bool,
     cache: Option<&'static CompileCache>,
+    parallelism: usize,
 }
 
 /// The full dialect registry of the ecosystem, built once per process
@@ -72,6 +79,7 @@ impl Driver {
             verify_each: false,
             print_ir_after_all: false,
             cache: Some(CompileCache::global()),
+            parallelism: 0,
         }
     }
 
@@ -106,6 +114,16 @@ impl Driver {
         self
     }
 
+    /// Caps the worker threads function-anchored pass groups may use:
+    /// `0` = one per core (default), `1` = serial — the `--no-parallel`
+    /// escape hatch for deterministic timing. Results are byte-identical
+    /// at every setting.
+    #[must_use]
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
+    }
+
     /// The dialect registry this driver verifies against.
     pub fn dialects(&self) -> &Arc<DialectRegistry> {
         &self.dialects
@@ -126,12 +144,17 @@ impl Driver {
     /// Returns [`PipelineError`] on unknown passes, invalid options, or a
     /// failing pass.
     pub fn run(&self, module: Module, pipeline: &PipelineSpec) -> Result<OptOutput, PipelineError> {
+        // Resolving the canonical nested form validates every pass name
+        // and anchor placement before anything runs, and is what the
+        // cache is keyed on: a flat pipeline and its nested spelling are
+        // the same compilation.
+        let nested = self.passes.nest(pipeline)?;
+        let canonical = nested.to_string();
         // Cache lookup happens before pass instantiation: an entry can
         // only exist for a pipeline that previously instantiated and ran
         // successfully, so a hit skips construction work entirely.
         let use_cache = self.cache.is_some() && !self.print_ir_after_all;
         let key = if use_cache {
-            let canonical = pipeline.to_string();
             // The dialect registry is part of the key: passes consult its
             // purity metadata, so drivers over different registries must
             // not share entries.
@@ -147,8 +170,10 @@ impl Driver {
                     text: hit.text,
                     pipeline: hit.pipeline,
                     timings: hit.timings,
+                    func_timings: hit.func_timings,
                     cache_hit: true,
                     ir_after: Vec::new(),
+                    canonical_pipeline: canonical,
                 });
             }
             Some(key)
@@ -158,9 +183,12 @@ impl Driver {
 
         let ctx = PassContext { registry: Arc::clone(&self.dialects) };
         // Instantiate every pass up front: a pipeline with a typo fails
-        // before any pass mutates the module.
-        let mut instantiated = Vec::with_capacity(pipeline.passes.len());
-        for invocation in &pipeline.passes {
+        // before any pass mutates the module. The PassManager re-derives
+        // the anchor grouping from each pass's kind(); instantiate()
+        // debug-asserts kind() matches the registry anchor nest() used,
+        // so the schedule built here is the one `canonical` describes.
+        let mut instantiated = Vec::new();
+        for invocation in nested.invocations() {
             instantiated.push(self.passes.instantiate(invocation, &ctx)?);
         }
 
@@ -168,17 +196,18 @@ impl Driver {
         if self.verify_each {
             pm = pm.with_verifier(Arc::clone(&self.dialects));
         }
+        pm.set_parallelism(self.parallelism);
         for pass in instantiated {
             pm.add_boxed(pass);
         }
-        let snapshots: Rc<RefCell<Vec<(&'static str, String)>>> = Rc::new(RefCell::new(Vec::new()));
+        let snapshots: Arc<Mutex<Vec<(&'static str, String)>>> = Arc::new(Mutex::new(Vec::new()));
         let capture_ir = self.print_ir_after_all;
         {
-            let snapshots = Rc::clone(&snapshots);
+            let snapshots = Arc::clone(&snapshots);
             pm.set_after_each(Box::new(move |name, module| {
                 crate::stats::record_pass_run();
                 if capture_ir {
-                    snapshots.borrow_mut().push((name, print_module(module)));
+                    snapshots.lock().expect("snapshot lock").push((name, print_module(module)));
                 }
             }));
         }
@@ -187,16 +216,20 @@ impl Driver {
         pm.run(&mut module)?;
         let pipeline_names = pm.pipeline();
         let timings = pm.timings();
+        let func_timings = pm.func_timings();
         drop(pm); // releases the hook's clone of `snapshots`
-        let ir_after = Rc::try_unwrap(snapshots).expect("pass manager dropped").into_inner();
+        let ir_after =
+            Arc::try_unwrap(snapshots).expect("pass manager dropped").into_inner().expect("lock");
         let text = print_module(&module);
         let output = OptOutput {
             module,
             text,
             pipeline: pipeline_names,
             timings,
+            func_timings,
             cache_hit: false,
             ir_after,
+            canonical_pipeline: canonical,
         };
 
         if let (Some(cache), Some(key)) = (self.cache, key) {
@@ -207,6 +240,7 @@ impl Driver {
                     text: output.text.clone(),
                     pipeline: output.pipeline.clone(),
                     timings: output.timings.clone(),
+                    func_timings: output.func_timings.clone(),
                 },
             );
         }
@@ -278,6 +312,63 @@ mod tests {
         // A different pipeline over the same module misses.
         let other = driver.run_str(jacobi(), "shape-inference").unwrap();
         assert!(!other.cache_hit);
+    }
+
+    #[test]
+    fn parallel_scheduling_is_deterministic_and_equal_to_serial() {
+        let make = || sten_stencil::samples::heat_2d_many(9, 24, 0.1);
+        let nested =
+            "shape-inference,convert-stencil-to-loops,func.func(canonicalize,licm,cse,dce)";
+        let serial = Driver::new()
+            .with_cache(None)
+            .with_verify_each(true)
+            .with_parallelism(1)
+            .run_str(make(), nested)
+            .unwrap();
+        for round in 0..3 {
+            let parallel = Driver::new()
+                .with_cache(None)
+                .with_verify_each(true)
+                .with_parallelism(4)
+                .run_str(make(), nested)
+                .unwrap();
+            assert_eq!(parallel.text, serial.text, "round {round}");
+        }
+        // The flat spelling is the same compilation: same canonical
+        // nested pipeline, same bytes.
+        let flat = Driver::new()
+            .with_cache(None)
+            .run_str(make(), "shape-inference,convert-stencil-to-loops,canonicalize,licm,cse,dce")
+            .unwrap();
+        assert_eq!(flat.text, serial.text);
+        assert_eq!(flat.canonical_pipeline, serial.canonical_pipeline);
+        assert!(serial.canonical_pipeline.contains("func.func(canonicalize,licm,cse,dce)"));
+        // Every (pass, function) pair is timed, in module order per pass.
+        assert_eq!(serial.func_timings.len(), 4 * 9);
+        assert_eq!(serial.func_timings[0].function, "heat_0");
+    }
+
+    #[test]
+    fn flat_and_nested_spellings_share_cache_entries() {
+        let cache: &'static CompileCache = Box::leak(Box::new(CompileCache::new()));
+        let driver = Driver::new().with_cache(Some(cache));
+        let cold =
+            driver.run_str(jacobi(), "shape-inference,convert-stencil-to-loops,cse,dce").unwrap();
+        assert!(!cold.cache_hit);
+        let warm = driver
+            .run_str(jacobi(), "shape-inference,convert-stencil-to-loops,func.func(cse,dce)")
+            .unwrap();
+        assert!(warm.cache_hit, "nested spelling must hit the flat spelling's entry");
+        assert_eq!(warm.text, cold.text);
+    }
+
+    #[test]
+    fn misanchored_pipeline_fails_before_running() {
+        let driver = Driver::new().with_cache(None);
+        let before = crate::stats::passes_run();
+        let err = driver.run_str(jacobi(), "func.func(cse,shape-inference)").unwrap_err();
+        assert!(matches!(err, PipelineError::Misanchored { .. }), "{err}");
+        assert_eq!(crate::stats::passes_run(), before);
     }
 
     #[test]

@@ -44,11 +44,13 @@ pub mod registry;
 pub mod report;
 pub mod target_passes;
 
-pub use cache::{content_hash, CacheKey, CacheStats, CompileCache};
+pub use cache::{content_hash, CacheKey, CacheStats, CompileCache, DEFAULT_CACHE_BUDGET};
 pub use driver::{Driver, OptOutput};
-pub use pipeline::{PassInvocation, PassOptions, PipelineSpec};
+pub use pipeline::{PassInvocation, PassOptions, PipelineElement, PipelineSpec, KNOWN_ANCHORS};
 pub use registry::{PassContext, PassRegistry};
-pub use report::{eprint_timing_summary, format_timing_report};
+pub use report::{
+    eprint_cache_stats, eprint_timing_summary, format_func_timing_report, format_timing_report,
+};
 pub use target_passes::{GpuMapParallel, HlsMarkDataflow};
 
 use std::fmt;
@@ -65,6 +67,24 @@ pub enum PipelineError {
         name: String,
         /// A registered name with small edit distance, if any.
         suggestion: Option<String>,
+    },
+    /// A nesting anchor is not recognised; carries a suggestion when a
+    /// close match exists.
+    UnknownAnchor {
+        /// The unresolved anchor name.
+        name: String,
+        /// A known anchor with small edit distance, if any.
+        suggestion: Option<String>,
+    },
+    /// A pass appears under an anchor it is not registered for (e.g. a
+    /// module-anchored pass inside `func.func(...)`).
+    Misanchored {
+        /// The mis-anchored pass.
+        pass: String,
+        /// The anchor the pipeline placed it under.
+        anchor: String,
+        /// The anchor the pass is registered for.
+        expected: String,
     },
     /// A pass rejected its options.
     BadOption {
@@ -98,6 +118,17 @@ impl fmt::Display for PipelineError {
                 }
                 Ok(())
             }
+            PipelineError::UnknownAnchor { name, suggestion } => {
+                write!(f, "unknown anchor '{name}'")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean '{s}'?)")?;
+                }
+                Ok(())
+            }
+            PipelineError::Misanchored { pass, anchor, expected } => write!(
+                f,
+                "pass '{pass}' is anchored to {expected} and cannot run under '{anchor}(...)'"
+            ),
             PipelineError::BadOption { pass, message } => {
                 write!(f, "invalid options for pass '{pass}': {message}")
             }

@@ -2,32 +2,40 @@
 //!
 //! Mirrors `mlir-opt`/`xdsl-opt` pipeline strings (§5 of the paper): a
 //! comma-separated list of pass names, each optionally carrying a brace-
-//! delimited option dictionary:
+//! delimited option dictionary, with *nested anchors* grouping passes that
+//! run on a finer operation granularity:
 //!
 //! ```text
 //! shape-inference,convert-stencil-to-loops,tile-parallel-loops{tile=32:4}
 //! distribute-stencil{topology=2:2},dmp-to-mpi,mpi-to-func
+//! shape-inference,func.func(canonicalize,cse,dce),gpu-map-parallel-loops
 //! ```
 //!
 //! Grammar:
 //!
 //! ```text
-//! pipeline := pass ("," pass)*
+//! pipeline := element ("," element)*
+//! element  := pass | anchor "(" pass ("," pass)* ")"
 //! pass     := name [ "{" opt (" " opt)* "}" ]
 //! opt      := key "=" value
 //! ```
 //!
-//! Pass names and option keys are `[a-z0-9-]+`; values are any characters
-//! other than whitespace, `{`, `}`, and `,` — integer lists use `:` as the
-//! element separator (`tile=32:4`). [`PipelineSpec`] canonicalises on
-//! print (options sorted by key), and `parse` ∘ `to_string` is the
-//! identity on canonical strings.
+//! Pass names and option keys are `[a-z0-9-]+`; anchors are op names
+//! (`func.func` is the only nesting anchor — module-anchored passes sit at
+//! the top level, which *is* the `builtin.module` anchor); values are any
+//! characters other than whitespace, `{`, `}`, `(`, `)`, and `,` — integer
+//! lists use `:` as the element separator (`tile=32:4`). [`PipelineSpec`]
+//! canonicalises on print (options sorted by key), and `parse` ∘
+//! `to_string` is the identity on canonical strings. Anchors do not nest.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
 use crate::PipelineError;
+
+/// The nesting anchors the pipeline syntax accepts.
+pub const KNOWN_ANCHORS: [&str; 1] = ["func.func"];
 
 /// One pass invocation: a registered name plus its option dictionary.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,11 +77,44 @@ impl fmt::Display for PassInvocation {
     }
 }
 
-/// A parsed pipeline: an ordered list of pass invocations.
+/// One pipeline element: a top-level (module-anchored) pass, or an anchor
+/// group of passes run on a finer granularity (`func.func(cse,dce)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineElement {
+    /// A pass at the top level.
+    Pass(PassInvocation),
+    /// An anchored group: `anchor(pass,…)`.
+    Nested {
+        /// The anchor op name (one of [`KNOWN_ANCHORS`]).
+        anchor: String,
+        /// The passes run under the anchor, in order.
+        passes: Vec<PassInvocation>,
+    },
+}
+
+impl fmt::Display for PipelineElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineElement::Pass(p) => write!(f, "{p}"),
+            PipelineElement::Nested { anchor, passes } => {
+                write!(f, "{anchor}(")?;
+                for (i, p) in passes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A parsed pipeline: an ordered list of elements.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PipelineSpec {
-    /// The passes, in execution order.
-    pub passes: Vec<PassInvocation>,
+    /// The elements, in execution order.
+    pub elements: Vec<PipelineElement>,
 }
 
 impl PipelineSpec {
@@ -85,17 +126,19 @@ impl PipelineSpec {
     /// Parses a textual pipeline.
     ///
     /// # Errors
-    /// Returns [`PipelineError::Parse`] on malformed syntax. An empty (or
-    /// all-whitespace) string parses to the empty pipeline.
+    /// Returns [`PipelineError::Parse`] on malformed syntax and
+    /// [`PipelineError::UnknownAnchor`] (with a did-you-mean suggestion)
+    /// for unrecognised anchors. An empty (or all-whitespace) string
+    /// parses to the empty pipeline.
     pub fn parse(text: &str) -> Result<PipelineSpec, PipelineError> {
-        let mut passes = Vec::new();
+        let mut elements = Vec::new();
         let mut rest = text.trim();
         if rest.is_empty() {
-            return Ok(PipelineSpec { passes });
+            return Ok(PipelineSpec { elements });
         }
         loop {
-            let (invocation, tail) = parse_invocation(rest)?;
-            passes.push(invocation);
+            let (element, tail) = parse_element(rest)?;
+            elements.push(element);
             rest = tail.trim_start();
             if rest.is_empty() {
                 break;
@@ -108,29 +151,54 @@ impl PipelineSpec {
                 return Err(PipelineError::parse("trailing ',' at end of pipeline"));
             }
         }
-        Ok(PipelineSpec { passes })
+        Ok(PipelineSpec { elements })
     }
 
-    /// Appends a pass invocation (builder style).
+    /// Appends a top-level pass invocation (builder style).
     #[must_use]
     pub fn then(mut self, invocation: PassInvocation) -> Self {
-        self.passes.push(invocation);
+        self.elements.push(PipelineElement::Pass(invocation));
         self
     }
 
-    /// The pass names in order (options stripped).
+    /// Appends an anchored group (builder style).
+    #[must_use]
+    pub fn then_nested(mut self, anchor: impl Into<String>, passes: Vec<PassInvocation>) -> Self {
+        self.elements.push(PipelineElement::Nested { anchor: anchor.into(), passes });
+        self
+    }
+
+    /// Every pass invocation in execution order, anchor groups flattened.
+    pub fn invocations(&self) -> Vec<&PassInvocation> {
+        let mut out = Vec::new();
+        for element in &self.elements {
+            match element {
+                PipelineElement::Pass(p) => out.push(p),
+                PipelineElement::Nested { passes, .. } => out.extend(passes.iter()),
+            }
+        }
+        out
+    }
+
+    /// The pass names in execution order (options stripped, anchor groups
+    /// flattened).
     pub fn names(&self) -> Vec<&str> {
-        self.passes.iter().map(|p| p.name.as_str()).collect()
+        self.invocations().into_iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Whether the pipeline schedules no pass at all.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
     }
 }
 
 impl fmt::Display for PipelineSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, p) in self.passes.iter().enumerate() {
+        for (i, e) in self.elements.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
-            write!(f, "{p}")?;
+            write!(f, "{e}")?;
         }
         Ok(())
     }
@@ -145,6 +213,95 @@ impl FromStr for PipelineSpec {
 
 fn is_name_char(c: char) -> bool {
     c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'
+}
+
+/// Edit distance between two names, shared by the pass- and anchor-level
+/// did-you-mean diagnostics.
+pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cur = row[j + 1];
+            row[j + 1] = if ca == cb { prev } else { 1 + prev.min(cur).min(row[j]) };
+            prev = cur;
+        }
+    }
+    row[b.len()]
+}
+
+fn closest_anchor(name: &str) -> Option<String> {
+    KNOWN_ANCHORS
+        .iter()
+        .map(|k| (edit_distance(name, k), *k))
+        .filter(|(d, k)| *d <= 3 && *d * 3 <= k.len().max(name.len()))
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, k)| k.to_string())
+}
+
+fn parse_element(text: &str) -> Result<(PipelineElement, &str), PipelineError> {
+    // An anchor is a dotted op name directly followed by '('.
+    let token_len = text.chars().take_while(|&c| is_name_char(c) || c == '.').count();
+    let token = &text[..token_len];
+    let after = &text[token_len..];
+    if let Some(body) = after.strip_prefix('(') {
+        let (group, tail) = parse_anchor_group(token, body)?;
+        return Ok((group, tail));
+    }
+    if token.contains('.') {
+        if KNOWN_ANCHORS.contains(&token) {
+            return Err(PipelineError::parse(format!(
+                "anchor '{token}' must be followed by '(...)'"
+            )));
+        }
+        return Err(PipelineError::UnknownAnchor {
+            name: token.to_string(),
+            suggestion: closest_anchor(token),
+        });
+    }
+    let (invocation, tail) = parse_invocation(text)?;
+    Ok((PipelineElement::Pass(invocation), tail))
+}
+
+/// Parses the body of `anchor(...)`; `text` starts after the '('.
+fn parse_anchor_group<'a>(
+    anchor: &str,
+    mut text: &'a str,
+) -> Result<(PipelineElement, &'a str), PipelineError> {
+    if !KNOWN_ANCHORS.contains(&anchor) {
+        return Err(PipelineError::UnknownAnchor {
+            name: anchor.to_string(),
+            suggestion: closest_anchor(anchor),
+        });
+    }
+    let mut passes = Vec::new();
+    loop {
+        text = text.trim_start();
+        if text.starts_with(')') && passes.is_empty() {
+            return Err(PipelineError::parse(format!("empty anchor group '{anchor}()'")));
+        }
+        let (invocation, tail) = parse_invocation(text)?;
+        // Nested anchors are rejected up front for a clearer message than
+        // the generic name-character error.
+        if tail.trim_start().starts_with('(') {
+            return Err(PipelineError::parse(format!(
+                "anchors cannot nest: '{}' inside '{anchor}(...)'",
+                invocation.name
+            )));
+        }
+        passes.push(invocation);
+        text = tail.trim_start();
+        if let Some(rest) = text.strip_prefix(')') {
+            return Ok((PipelineElement::Nested { anchor: anchor.to_string(), passes }, rest));
+        }
+        text = text.strip_prefix(',').ok_or_else(|| {
+            PipelineError::parse(format!(
+                "expected ',' or ')' in anchor group '{anchor}(...)', found '{text}'"
+            ))
+        })?;
+    }
 }
 
 fn parse_invocation(text: &str) -> Result<(PassInvocation, &str), PipelineError> {
@@ -177,7 +334,7 @@ fn parse_invocation(text: &str) -> Result<(PassInvocation, &str), PipelineError>
                 "invalid option key '{key}' for pass '{name}'"
             )));
         }
-        if value.is_empty() || value.contains(['{', '}', ',']) {
+        if value.is_empty() || value.contains(['{', '}', '(', ')', ',']) {
             return Err(PipelineError::parse(format!(
                 "invalid option value '{value}' for key '{key}' of pass '{name}'"
             )));
@@ -304,8 +461,8 @@ mod tests {
     fn parses_names_and_options() {
         let p = PipelineSpec::parse("a,b{x=1 y=2:3},c{flag=true}").unwrap();
         assert_eq!(p.names(), vec!["a", "b", "c"]);
-        assert_eq!(p.passes[1].options["x"], "1");
-        assert_eq!(p.passes[1].options["y"], "2:3");
+        assert_eq!(p.invocations()[1].options["x"], "1");
+        assert_eq!(p.invocations()[1].options["y"], "2:3");
         assert_eq!(p.to_string(), "a,b{x=1 y=2:3},c{flag=true}");
     }
 
@@ -336,9 +493,67 @@ mod tests {
     }
 
     #[test]
+    fn parses_nested_anchor_groups() {
+        let p = PipelineSpec::parse("a,func.func(cse,dce{x=1}),b").unwrap();
+        assert_eq!(p.elements.len(), 3);
+        assert_eq!(p.names(), vec!["a", "cse", "dce", "b"]);
+        let PipelineElement::Nested { anchor, passes } = &p.elements[1] else {
+            panic!("expected a nested group")
+        };
+        assert_eq!(anchor, "func.func");
+        assert_eq!(passes[1].options["x"], "1");
+        assert_eq!(p.to_string(), "a,func.func(cse,dce{x=1}),b");
+    }
+
+    #[test]
+    fn nested_groups_round_trip_with_whitespace_and_options() {
+        for text in [
+            "func.func(cse)",
+            "a,func.func(canonicalize,licm,cse,dce),b{k=v}",
+            "func.func(t{z=1 a=2:3})",
+        ] {
+            let p = PipelineSpec::parse(text).unwrap();
+            let printed = p.to_string();
+            assert_eq!(PipelineSpec::parse(&printed).unwrap(), p, "{text}");
+        }
+        let spaced = PipelineSpec::parse(" func.func( cse , dce ) ").unwrap();
+        assert_eq!(spaced.to_string(), "func.func(cse,dce)");
+    }
+
+    #[test]
+    fn unknown_anchor_gets_a_did_you_mean() {
+        let err = PipelineSpec::parse("func.fnc(cse)").unwrap_err();
+        match err {
+            crate::PipelineError::UnknownAnchor { name, suggestion } => {
+                assert_eq!(name, "func.fnc");
+                assert_eq!(suggestion.as_deref(), Some("func.func"));
+            }
+            other => panic!("expected UnknownAnchor, got {other:?}"),
+        }
+        let err = PipelineSpec::parse("builtin.module(cse)").unwrap_err();
+        assert!(matches!(err, crate::PipelineError::UnknownAnchor { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_malformed_anchor_groups() {
+        for bad in [
+            "func.func(",
+            "func.func()",
+            "func.func(cse",
+            "func.func(cse,)",
+            "func.func(func.func(cse))",
+            "func.func",
+            "func.func{x=1}",
+            "cse,func.",
+        ] {
+            assert!(PipelineSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
     fn typed_option_accessors() {
         let p = PipelineSpec::parse("t{tile=32:4 n=7 on=true}").unwrap();
-        let opts = PassOptions::new(&p.passes[0]);
+        let opts = PassOptions::new(p.invocations()[0]);
         assert_eq!(opts.get_i64_list("tile").unwrap(), Some(vec![32, 4]));
         assert_eq!(opts.get_i64("n").unwrap(), Some(7));
         assert_eq!(opts.get_bool("on").unwrap(), Some(true));
@@ -348,7 +563,7 @@ mod tests {
     #[test]
     fn unknown_keys_are_rejected_by_finish() {
         let p = PipelineSpec::parse("t{mystery=1}").unwrap();
-        let opts = PassOptions::new(&p.passes[0]);
+        let opts = PassOptions::new(p.invocations()[0]);
         let err = opts.finish().unwrap_err();
         assert!(err.to_string().contains("mystery"), "{err}");
     }

@@ -19,10 +19,12 @@ fn prologue(out: &mut String, fuse: bool) {
     }
 }
 
-/// The cleanup epilogue: canonicalize, hoist, CSE, DCE.
+/// The cleanup epilogue: canonicalize, hoist, CSE, DCE — all
+/// `func.func`-anchored, written in nested form so the scheduler runs
+/// the group per-function in parallel.
 fn epilogue(out: &mut String, optimize: bool) {
     if optimize {
-        out.push_str(",canonicalize,licm,cse,dce");
+        out.push_str(",func.func(canonicalize,licm,cse,dce)");
     }
 }
 
@@ -104,7 +106,7 @@ mod tests {
             let text = named(target).unwrap();
             let spec = PipelineSpec::parse(&text).unwrap_or_else(|e| panic!("{target}: {e}"));
             assert_eq!(spec.to_string(), text, "{target} pipeline string is canonical");
-            for invocation in &spec.passes {
+            for invocation in spec.invocations() {
                 reg.instantiate(invocation, &ctx).unwrap_or_else(|e| panic!("{target}: {e}"));
             }
         }
@@ -118,5 +120,13 @@ mod tests {
         let unfused = shared_cpu(&[32], false, false);
         assert!(!unfused.contains("stencil-fusion"));
         assert!(!unfused.contains("cse"));
+    }
+
+    #[test]
+    fn optimizing_targets_nest_the_cleanup_under_func_func() {
+        assert!(shared_cpu(&[32, 4], true, true).ends_with("func.func(canonicalize,licm,cse,dce)"));
+        assert!(distributed(&[2], true, true).contains("func.func("));
+        // The FPGA pipeline has no cleanup epilogue and stays flat.
+        assert!(!fpga(true, true).contains("func.func("));
     }
 }

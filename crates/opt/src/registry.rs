@@ -12,9 +12,9 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
-use sten_ir::{DialectRegistry, Pass};
+use sten_ir::{DialectRegistry, Pass, PassKind};
 
-use crate::pipeline::{PassInvocation, PassOptions};
+use crate::pipeline::{edit_distance, PassInvocation, PassOptions, PipelineElement, PipelineSpec};
 use crate::PipelineError;
 
 /// Context handed to pass factories: some passes (CSE/DCE/LICM) need
@@ -31,6 +31,8 @@ type Factory = Box<
 struct Entry {
     factory: Factory,
     summary: &'static str,
+    /// The operation granularity the pass is anchored to.
+    kind: PassKind,
     /// Canonical name when this entry is an alias, `None` otherwise.
     alias_of: Option<&'static str>,
 }
@@ -65,7 +67,7 @@ impl PassRegistry {
         GLOBAL.get_or_init(PassRegistry::with_standard_passes)
     }
 
-    /// Registers `factory` under `name`.
+    /// Registers a module-anchored pass `factory` under `name`.
     ///
     /// # Panics
     /// Panics if `name` is already registered — stable names are an API.
@@ -76,9 +78,40 @@ impl PassRegistry {
             + Sync
             + 'static,
     {
+        self.register_anchored(name, PassKind::Module, summary, factory);
+    }
+
+    /// Registers a `func.func`-anchored pass `factory` under `name`; the
+    /// scheduler may run it over independent functions in parallel, and
+    /// pipelines may nest it under `func.func(...)`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered — stable names are an API.
+    pub fn register_function<F>(&mut self, name: &'static str, summary: &'static str, factory: F)
+    where
+        F: Fn(&PassOptions<'_>, &PassContext) -> Result<Box<dyn Pass>, PipelineError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.register_anchored(name, PassKind::Function, summary, factory);
+    }
+
+    fn register_anchored<F>(
+        &mut self,
+        name: &'static str,
+        kind: PassKind,
+        summary: &'static str,
+        factory: F,
+    ) where
+        F: Fn(&PassOptions<'_>, &PassContext) -> Result<Box<dyn Pass>, PipelineError>
+            + Send
+            + Sync
+            + 'static,
+    {
         let prev = self
             .entries
-            .insert(name, Entry { factory: Box::new(factory), summary, alias_of: None });
+            .insert(name, Entry { factory: Box::new(factory), summary, kind, alias_of: None });
         assert!(prev.is_none(), "pass '{name}' registered twice");
     }
 
@@ -87,12 +120,14 @@ impl PassRegistry {
     /// # Panics
     /// Panics if `canonical` is unregistered or `alias` already taken.
     pub fn register_alias(&mut self, alias: &'static str, canonical: &'static str) {
-        assert!(self.entries.contains_key(canonical), "alias target '{canonical}' unregistered");
+        let target = self.entries.get(canonical).expect("alias target must be registered");
+        let kind = target.kind;
         let prev = self.entries.insert(
             alias,
             Entry {
                 factory: Box::new(|_, _| unreachable!("aliases resolve before instantiation")),
                 summary: "",
+                kind,
                 alias_of: Some(canonical),
             },
         );
@@ -111,6 +146,72 @@ impl PassRegistry {
     /// Whether `name` (canonical or alias) is registered.
     pub fn contains(&self, name: &str) -> bool {
         self.entries.contains_key(name)
+    }
+
+    /// The anchor granularity of `name` (canonical or alias), `None` when
+    /// unregistered.
+    pub fn anchor(&self, name: &str) -> Option<PassKind> {
+        self.entries.get(name).map(|e| e.kind)
+    }
+
+    /// Resolves `spec` to its canonical nested form: every pass checked
+    /// against the registry, function-anchored passes wrapped into
+    /// `func.func(...)` groups (adjacent groups merged), module-anchored
+    /// passes kept at the top level. The canonical form is what the
+    /// driver keys its compile cache on, so a flat pipeline and its
+    /// hand-nested spelling share cache entries — they run identically.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::UnknownPass`] (with a close-match
+    /// suggestion) for unregistered names and [`PipelineError::Misanchored`]
+    /// when a module-anchored pass appears inside `func.func(...)`.
+    pub fn nest(&self, spec: &PipelineSpec) -> Result<PipelineSpec, PipelineError> {
+        let mut nested = PipelineSpec::new();
+        let push = |nested: &mut PipelineSpec, kind: PassKind, invocation: &PassInvocation| match (
+            kind,
+            nested.elements.last_mut(),
+        ) {
+            (PassKind::Function, Some(PipelineElement::Nested { passes, .. })) => {
+                passes.push(invocation.clone());
+            }
+            (PassKind::Function, _) => {
+                nested.elements.push(PipelineElement::Nested {
+                    anchor: PassKind::Function.anchor().to_string(),
+                    passes: vec![invocation.clone()],
+                });
+            }
+            (PassKind::Module, _) => {
+                nested.elements.push(PipelineElement::Pass(invocation.clone()));
+            }
+        };
+        for element in &spec.elements {
+            match element {
+                PipelineElement::Pass(invocation) => {
+                    push(&mut nested, self.kind_of(invocation)?, invocation);
+                }
+                PipelineElement::Nested { anchor, passes } => {
+                    for invocation in passes {
+                        let kind = self.kind_of(invocation)?;
+                        if kind.anchor() != anchor {
+                            return Err(PipelineError::Misanchored {
+                                pass: invocation.name.clone(),
+                                anchor: anchor.clone(),
+                                expected: kind.anchor().to_string(),
+                            });
+                        }
+                        push(&mut nested, kind, invocation);
+                    }
+                }
+            }
+        }
+        Ok(nested)
+    }
+
+    fn kind_of(&self, invocation: &PassInvocation) -> Result<PassKind, PipelineError> {
+        self.anchor(&invocation.name).ok_or_else(|| PipelineError::UnknownPass {
+            name: invocation.name.clone(),
+            suggestion: self.closest_match(&invocation.name),
+        })
     }
 
     /// Canonical registered pass names with their one-line summaries,
@@ -145,6 +246,12 @@ impl PassRegistry {
         let options = PassOptions::new(invocation);
         let pass = (entry.factory)(&options, ctx)?;
         options.finish()?;
+        debug_assert_eq!(
+            pass.kind(),
+            entry.kind,
+            "pass '{}' registered under the wrong anchor",
+            invocation.name
+        );
         Ok(pass)
     }
 
@@ -166,28 +273,13 @@ impl std::fmt::Debug for PassRegistry {
     }
 }
 
-fn edit_distance(a: &str, b: &str) -> usize {
-    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
-    let mut row: Vec<usize> = (0..=b.len()).collect();
-    for (i, ca) in a.iter().enumerate() {
-        let mut prev = row[0];
-        row[0] = i + 1;
-        for (j, cb) in b.iter().enumerate() {
-            let cur = row[j + 1];
-            row[j + 1] = if ca == cb { prev } else { 1 + prev.min(cur).min(row[j]) };
-            prev = cur;
-        }
-    }
-    row[b.len()]
-}
-
 /// Registers `sten-ir`'s generic transforms (`cse`, `dce`).
 pub fn register_ir_passes(reg: &mut PassRegistry) {
-    reg.register("cse", "common-subexpression elimination over pure ops", |opts, ctx| {
+    reg.register_function("cse", "common-subexpression elimination over pure ops", |opts, ctx| {
         opts.finish()?;
         Ok(Box::new(sten_ir::transforms::CommonSubexprElimination::new(Arc::clone(&ctx.registry))))
     });
-    reg.register("dce", "dead-code elimination of unused pure ops", |opts, ctx| {
+    reg.register_function("dce", "dead-code elimination of unused pure ops", |opts, ctx| {
         opts.finish()?;
         Ok(Box::new(sten_ir::transforms::DeadCodeElimination::new(Arc::clone(&ctx.registry))))
     });
@@ -195,11 +287,15 @@ pub fn register_ir_passes(reg: &mut PassRegistry) {
 
 /// Registers `sten-dialects`' shared optimization passes.
 pub fn register_dialect_passes(reg: &mut PassRegistry) {
-    reg.register("canonicalize", "constant folding and algebraic simplification", |opts, _| {
-        opts.finish()?;
-        Ok(Box::new(sten_dialects::canonicalize::Canonicalize))
-    });
-    reg.register("licm", "loop-invariant code motion out of scf loops", |opts, ctx| {
+    reg.register_function(
+        "canonicalize",
+        "constant folding and algebraic simplification",
+        |opts, _| {
+            opts.finish()?;
+            Ok(Box::new(sten_dialects::canonicalize::Canonicalize))
+        },
+    );
+    reg.register_function("licm", "loop-invariant code motion out of scf loops", |opts, ctx| {
         opts.finish()?;
         Ok(Box::new(sten_dialects::licm::LoopInvariantCodeMotion::new(Arc::clone(&ctx.registry))))
     });
@@ -373,7 +469,7 @@ mod tests {
     fn instantiates_passes_with_options() {
         let reg = PassRegistry::global();
         let p = PipelineSpec::parse("tile-parallel-loops{tile=16:8}").unwrap();
-        let pass = reg.instantiate(&p.passes[0], &ctx()).unwrap();
+        let pass = reg.instantiate(p.invocations()[0], &ctx()).unwrap();
         assert_eq!(pass.name(), "tile-parallel-loops");
     }
 
@@ -382,9 +478,9 @@ mod tests {
         let reg = PassRegistry::global();
         let p = PipelineSpec::parse("shape-inference,convert-stencil-to-scf").unwrap();
         assert_eq!(reg.canonical_name("shape-inference"), "stencil-shape-inference");
-        let pass = reg.instantiate(&p.passes[0], &ctx()).unwrap();
+        let pass = reg.instantiate(p.invocations()[0], &ctx()).unwrap();
         assert_eq!(pass.name(), "stencil-shape-inference");
-        let pass = reg.instantiate(&p.passes[1], &ctx()).unwrap();
+        let pass = reg.instantiate(p.invocations()[1], &ctx()).unwrap();
         assert_eq!(pass.name(), "convert-stencil-to-loops");
     }
 
@@ -399,7 +495,7 @@ mod tests {
     fn unknown_pass_suggests_a_close_name() {
         let reg = PassRegistry::global();
         let p = PipelineSpec::parse("canonicalise").unwrap();
-        let err = expect_err(reg.instantiate(&p.passes[0], &ctx()));
+        let err = expect_err(reg.instantiate(p.invocations()[0], &ctx()));
         match err {
             PipelineError::UnknownPass { suggestion, .. } => {
                 assert_eq!(suggestion.as_deref(), Some("canonicalize"));
@@ -413,12 +509,69 @@ mod tests {
         let reg = PassRegistry::global();
         let c = ctx();
         let p = PipelineSpec::parse("canonicalize{mystery=1}").unwrap();
-        assert!(reg.instantiate(&p.passes[0], &c).is_err());
+        assert!(reg.instantiate(p.invocations()[0], &c).is_err());
         let p = PipelineSpec::parse("tile-parallel-loops{tile=0}").unwrap();
-        assert!(reg.instantiate(&p.passes[0], &c).is_err());
+        assert!(reg.instantiate(p.invocations()[0], &c).is_err());
         let p = PipelineSpec::parse("distribute-stencil").unwrap();
-        let err = expect_err(reg.instantiate(&p.passes[0], &c));
+        let err = expect_err(reg.instantiate(p.invocations()[0], &c));
         assert!(err.to_string().contains("topology"), "{err}");
+    }
+
+    #[test]
+    fn registry_records_pass_anchors() {
+        let reg = PassRegistry::global();
+        for name in ["cse", "dce", "canonicalize", "licm"] {
+            assert_eq!(reg.anchor(name), Some(PassKind::Function), "{name}");
+        }
+        for name in ["stencil-shape-inference", "distribute-stencil", "dmp-to-mpi"] {
+            assert_eq!(reg.anchor(name), Some(PassKind::Module), "{name}");
+        }
+        // Aliases inherit the anchor of their canonical pass.
+        assert_eq!(reg.anchor("shape-inference"), Some(PassKind::Module));
+        assert_eq!(reg.anchor("does-not-exist"), None);
+    }
+
+    #[test]
+    fn nest_auto_groups_consecutive_function_passes() {
+        let reg = PassRegistry::global();
+        let flat =
+            PipelineSpec::parse("shape-inference,canonicalize,cse,dce,dmp-to-mpi,licm").unwrap();
+        let nested = reg.nest(&flat).unwrap();
+        assert_eq!(
+            nested.to_string(),
+            "shape-inference,func.func(canonicalize,cse,dce),dmp-to-mpi,func.func(licm)"
+        );
+        // Nesting is idempotent, and hand-nested spellings (including
+        // adjacent groups) normalise to the same canonical form.
+        assert_eq!(reg.nest(&nested).unwrap(), nested);
+        let split = PipelineSpec::parse(
+            "shape-inference,func.func(canonicalize),func.func(cse),dce,dmp-to-mpi,licm",
+        )
+        .unwrap();
+        assert_eq!(reg.nest(&split).unwrap(), nested);
+    }
+
+    #[test]
+    fn nest_rejects_misanchored_and_unknown_passes() {
+        let reg = PassRegistry::global();
+        let bad = PipelineSpec::parse("func.func(cse,shape-inference)").unwrap();
+        let err = reg.nest(&bad).unwrap_err();
+        match err {
+            PipelineError::Misanchored { pass, anchor, expected } => {
+                assert_eq!(pass, "shape-inference");
+                assert_eq!(anchor, "func.func");
+                assert_eq!(expected, "builtin.module");
+            }
+            other => panic!("expected Misanchored, got {other:?}"),
+        }
+        let typo = PipelineSpec::parse("func.func(canonicalise)").unwrap();
+        let err = reg.nest(&typo).unwrap_err();
+        match err {
+            PipelineError::UnknownPass { suggestion, .. } => {
+                assert_eq!(suggestion.as_deref(), Some("canonicalize"));
+            }
+            other => panic!("expected UnknownPass, got {other:?}"),
+        }
     }
 
     #[test]

@@ -2,21 +2,62 @@
 //!
 //! Formats the [`PassTiming`] records a pipeline run produced into the
 //! familiar `mlir-opt -mlir-timing`-style table: one row per executed
-//! pass with wall time and share of the total.
+//! pass with wall time and share of the total, followed by the
+//! per-function breakdown of the `func.func`-anchored groups (which the
+//! scheduler runs in parallel) and the compile-cache counters.
 
+use crate::cache::CacheStats;
 use crate::driver::OptOutput;
 use std::fmt::Write as _;
 use std::time::Duration;
-use sten_ir::pass::PassTiming;
+use sten_ir::{FuncTiming, PassTiming};
 
 /// Prints the `--timing` summary for a finished run to stderr: a
-/// cache-hit note when no pass executed, then the per-pass table.
-/// Shared by `sten-opt` and `stencil-core::compile`.
+/// cache-hit note when no pass executed, then the per-pass table and the
+/// per-function breakdown. Shared by `sten-opt` and
+/// `stencil-core::compile`.
 pub fn eprint_timing_summary(out: &OptOutput) {
     if out.cache_hit {
         eprintln!("// timing: warm cache hit — no pass executed; cold-run timings follow");
     }
     eprint!("{}", format_timing_report(&out.timings));
+    eprint!("{}", format_func_timing_report(&out.func_timings));
+}
+
+/// Prints the cache hit/miss/eviction counters to stderr (the `--timing`
+/// and `--cache-stats` footer).
+pub fn eprint_cache_stats(stats: &CacheStats) {
+    eprintln!(
+        "// cache: {} hits, {} misses, {} evictions, {} entries, {} KiB of {} KiB budget",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.entries,
+        stats.bytes >> 10,
+        stats.budget >> 10,
+    );
+}
+
+/// Renders the per-(pass, function) breakdown of the function-anchored
+/// pass groups; empty input renders nothing (no such group ran).
+pub fn format_func_timing_report(timings: &[FuncTiming]) -> String {
+    if timings.is_empty() {
+        return String::new();
+    }
+    let name_width = timings.iter().map(|t| t.pass.len() + t.function.len() + 1).max().unwrap_or(8);
+    let mut out = String::new();
+    let _ = writeln!(out, "  --- per-function breakdown (func.func anchors) ---");
+    for t in timings {
+        let label = format!("{} @{}", t.pass, t.function);
+        let _ = writeln!(
+            out,
+            "  {:<name_width$}  {:>10.4} ms",
+            label,
+            t.duration.as_secs_f64() * 1e3,
+            name_width = name_width + 2,
+        );
+    }
+    out
 }
 
 /// Renders `timings` as a fixed-width execution report.

@@ -116,6 +116,74 @@ fn list_passes_and_show_pipeline() {
 }
 
 #[test]
+fn nested_pipelines_run_identically_with_and_without_parallelism() {
+    let ir = sten_ir::print_module(&sten_stencil::samples::heat_2d_many(8, 24, 0.1));
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "-p",
+            "shape-inference,convert-stencil-to-loops,func.func(canonicalize,licm,cse,dce)",
+            "--verify-each",
+            "--no-cache",
+        ];
+        args.extend(extra);
+        let mut child = sten_opt()
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.take().unwrap().write_all(ir.as_bytes()).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        (String::from_utf8(out.stdout).unwrap(), String::from_utf8(out.stderr).unwrap())
+    };
+    let (parallel, _) = run(&[]);
+    let (serial, _) = run(&["--no-parallel"]);
+    let (two, _) = run(&["--threads", "2"]);
+    assert_eq!(serial, parallel, "--no-parallel must not change the IR");
+    assert_eq!(two, parallel, "--threads 2 must not change the IR");
+    assert!(parallel.contains("scf.parallel"));
+    // --timing reports the per-function breakdown of the anchored group.
+    let (_, stderr) = run(&["--timing"]);
+    assert!(stderr.contains("per-function breakdown"), "{stderr}");
+    assert!(stderr.contains("cse @heat_3"), "{stderr}");
+}
+
+#[test]
+fn unknown_anchor_fails_with_a_suggestion() {
+    let mut child = sten_opt()
+        .args(["-p", "func.fnc(cse,dce)"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(sample_ir().as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success(), "bad anchor must fail");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown anchor 'func.fnc'"), "{stderr}");
+    assert!(stderr.contains("did you mean 'func.func'"), "{stderr}");
+}
+
+#[test]
+fn misanchored_pass_fails_cleanly() {
+    let mut child = sten_opt()
+        .args(["-p", "func.func(shape-inference)"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(sample_ir().as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("anchored to builtin.module"), "{stderr}");
+}
+
+#[test]
 fn malformed_ir_and_missing_pipeline_fail_cleanly() {
     let mut child = sten_opt()
         .args(["-p", "cse"])

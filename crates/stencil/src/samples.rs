@@ -91,6 +91,42 @@ pub fn heat_2d(n: i64, alpha: f64) -> Module {
     m
 }
 
+/// A module with `kernels` independent heat-step functions
+/// (`@heat_0 … @heat_{kernels-1}`), each like [`heat_2d`]. Multi-kernel
+/// modules are the common case for Devito operators and PSyclone
+/// invokes, and what the per-function parallel pass scheduler speeds up.
+pub fn heat_2d_many(kernels: usize, n: i64, alpha: f64) -> Module {
+    let mut m = Module::new();
+    let field_ty =
+        Type::Field(FieldType::new(Bounds::new(vec![(-1, n + 1), (-1, n + 1)]), Type::F64));
+    for k in 0..kernels {
+        let name = format!("heat_{k}");
+        let (mut f, args) = func::definition(
+            &mut m.values,
+            &name,
+            vec![field_ty.clone(), field_ty.clone()],
+            vec![],
+        );
+        let (src_field, dst_field) = (args[0], args[1]);
+        let ld = ops::load(&mut m.values, src_field);
+        let src = ld.result(0);
+        f.region_block_mut(0).ops.push(ld);
+        let ap = ops::apply(
+            &mut m.values,
+            vec![src],
+            vec![Type::Temp(TempType::unknown(2, Type::F64))],
+            |vt, a| heat5_body(vt, a[0], alpha).0,
+        );
+        let out = ap.result(0);
+        let body = &mut f.region_block_mut(0).ops;
+        body.push(ap);
+        body.push(ops::store(out, dst_field, vec![0, 0], vec![n, n]));
+        body.push(func::ret(vec![]));
+        m.body_mut().ops.push(f);
+    }
+    m
+}
+
 /// A two-stage pipeline: `mid = shift-sum(src)` then `out = mid + src`
 /// (producer/consumer applies, exercising fusion and shape inference).
 pub fn two_stage_1d(n: i64) -> Module {

@@ -30,6 +30,16 @@ fn main() {
             "shape-inference,stencil-fusion,stencil-horizontal-fusion,shape-inference,\
              convert-stencil-to-loops,tile-parallel-loops{tile=32:4},canonicalize,licm,cse,dce",
         ),
+        // The same cleanup written in nested form: `func.func(...)`
+        // anchors the group so the scheduler runs it per-function in
+        // parallel. Flat and nested spellings normalise to the same
+        // canonical pipeline — identical bytes, shared cache entry.
+        (
+            "fused + tiled + nested cleanup",
+            "shape-inference,stencil-fusion,stencil-horizontal-fusion,shape-inference,\
+             convert-stencil-to-loops,tile-parallel-loops{tile=32:4},\
+             func.func(canonicalize,licm,cse,dce)",
+        ),
     ];
 
     let driver = Driver::new().with_verify_each(true);
@@ -39,6 +49,7 @@ fn main() {
         let start = std::time::Instant::now();
         let out = driver.run_str(module.clone(), pipeline).expect("pipeline runs");
         let elapsed = start.elapsed();
+        println!("canonical: {}", out.canonical_pipeline);
         let mut ops = 0usize;
         out.module.walk(|_| ops += 1);
         println!(
@@ -48,6 +59,7 @@ fn main() {
             out.pipeline.len(),
         );
         print!("{}", format_timing_report(&out.timings));
+        print!("{}", stencil_stack::opt::format_func_timing_report(&out.func_timings));
 
         // Compile the exact same operator again: the content-addressed
         // cache returns the result without running a single pass.

@@ -1,0 +1,55 @@
+//! Golden pins for the §5 target pipelines.
+//!
+//! The files under `tests/golden/` hold the exact textual IR each target
+//! pipeline produced *before* the pass manager grew operation anchors and
+//! parallel per-function scheduling. Every refactor of the scheduler, the
+//! nested pipeline syntax, or the function-scoped pass entry points must
+//! keep these bytes identical: nested pipelines are a scheduling notion,
+//! not a semantic one.
+//!
+//! Regenerate (only when an intentional semantic change is reviewed) with:
+//! `STEN_GOLDEN_BLESS=1 cargo test --test golden_pipelines`
+
+use stencil_stack::prelude::*;
+use stencil_stack::{stencil as sten, CompileOptions};
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn cases() -> Vec<(&'static str, CompileOptions)> {
+    vec![
+        ("shared-cpu", CompileOptions::shared_cpu()),
+        ("distributed-2x2", CompileOptions::distributed(vec![2, 2])),
+        ("gpu", CompileOptions::gpu()),
+        ("fpga", CompileOptions::fpga(false)),
+        ("fpga-optimized", CompileOptions::fpga(true)),
+    ]
+}
+
+#[test]
+fn golden_targets_produce_byte_identical_ir() {
+    let bless = std::env::var_os("STEN_GOLDEN_BLESS").is_some();
+    if bless {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+    }
+    for (label, options) in cases() {
+        let module = sten::samples::heat_2d(32, 0.1);
+        let got = compile(module, &options.with_cache(false))
+            .unwrap_or_else(|e| panic!("{label}: {e}"))
+            .text;
+        let path = golden_dir().join(format!("{label}.ir"));
+        if bless {
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{label}: missing golden file {}: {e}", path.display()));
+        assert_eq!(
+            got,
+            want,
+            "{label}: lowered IR differs from the pre-refactor golden file {}",
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the nested pipeline refactor (seeded in-repo Rng,
+//! same generator family as `random_stencils.rs`): for *any* random flat
+//! pipeline over *any* random multi-function stencil module,
+//!
+//! * the auto-nested canonical form (`func.func(...)` groups) produces
+//!   byte-identical module text to the flat spelling,
+//! * the canonical form round-trips through parse ∘ print,
+//! * and the parallel scheduler (threads=auto) produces byte-identical
+//!   text to threads=1.
+
+mod common;
+
+use common::Rng;
+use stencil_stack::dialects::{arith, func};
+use stencil_stack::ir::{FieldType, TempType, Type};
+use stencil_stack::prelude::*;
+use stencil_stack::stencil::ops;
+
+/// Builds a module with `funcs` functions, each computing a random
+/// weighted sum of random-offset accesses (the `random_stencils.rs`
+/// generator, multi-function).
+fn rand_module(funcs: usize, dims: usize, rng: &mut Rng) -> Module {
+    let n = 12i64;
+    let radius = 2i64;
+    let mut m = Module::new();
+    for fi in 0..funcs {
+        let bounds = Bounds::from_shape(&vec![n; dims]).grown(radius);
+        let fld = Type::Field(FieldType::new(bounds, Type::F64));
+        let name = format!("rand_{fi}");
+        let (mut f, args) = func::definition(&mut m.values, &name, vec![fld.clone(), fld], vec![]);
+        let (src, dst) = (args[0], args[1]);
+        let ld = ops::load(&mut m.values, src);
+        let t = ld.result(0);
+        f.region_block_mut(0).ops.push(ld);
+        let terms: Vec<(Vec<i64>, f64)> = (0..rng.range_usize(1, 6))
+            .map(|_| {
+                let offset: Vec<i64> = (0..dims).map(|_| rng.range_i64(-2, 3)).collect();
+                (offset, rng.range_f64(-2.0, 2.0))
+            })
+            .collect();
+        let ap = ops::apply(
+            &mut m.values,
+            vec![t],
+            vec![Type::Temp(TempType::unknown(dims, Type::F64))],
+            move |vt, a| {
+                let mut body = Vec::new();
+                let mut acc: Option<stencil_stack::ir::Value> = None;
+                for (off, c) in &terms {
+                    let access = ops::access(vt, a[0], off.clone());
+                    let av = access.result(0);
+                    body.push(access);
+                    let cv_op = arith::const_f64(vt, *c);
+                    let cv = cv_op.result(0);
+                    body.push(cv_op);
+                    let mul = arith::mulf(vt, cv, av);
+                    let mv = mul.result(0);
+                    body.push(mul);
+                    acc = Some(match acc {
+                        None => mv,
+                        Some(prev) => {
+                            let add = arith::addf(vt, prev, mv);
+                            let v = add.result(0);
+                            body.push(add);
+                            v
+                        }
+                    });
+                }
+                body.push(ops::ret(vec![acc.expect("at least one term")]));
+                body
+            },
+        );
+        let out = ap.result(0);
+        let body = &mut f.region_block_mut(0).ops;
+        body.push(ap);
+        body.push(ops::store(out, dst, vec![0; dims], vec![n; dims]));
+        body.push(func::ret(vec![]));
+        m.body_mut().ops.push(f);
+    }
+    m
+}
+
+/// Draws a random flat pipeline: the lowering backbone with random
+/// optional passes, then a random-order mix of the function-anchored
+/// cleanups interleaved (sometimes) with module-anchored annotation
+/// passes — so nesting must split and regroup correctly.
+fn rand_flat_pipeline(rng: &mut Rng) -> String {
+    let mut p = String::from("shape-inference");
+    if rng.chance(1, 2) {
+        p.push_str(",stencil-fusion,shape-inference");
+    }
+    p.push_str(",convert-stencil-to-loops");
+    if rng.chance(1, 2) {
+        p.push_str(",tile-parallel-loops{tile=8:4}");
+    }
+    let cleanups = ["canonicalize", "licm", "cse", "dce"];
+    let rounds = rng.range_usize(1, 4);
+    for _ in 0..rounds {
+        for &pass in &cleanups {
+            if rng.chance(2, 3) {
+                p.push(',');
+                p.push_str(pass);
+            }
+        }
+        if rng.chance(1, 3) {
+            p.push_str(",gpu-map-parallel-loops");
+        }
+    }
+    p
+}
+
+#[test]
+fn random_flat_pipelines_equal_their_auto_nested_form() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(9000 + seed);
+        let funcs = rng.range_usize(1, 5);
+        let dims = rng.range_usize(1, 3);
+        let module = rand_module(funcs, dims, &mut rng);
+        let flat = rand_flat_pipeline(&mut rng);
+
+        let driver = Driver::new().with_cache(None).with_verify_each(true);
+        let flat_out = driver
+            .run_str(module.clone(), &flat)
+            .unwrap_or_else(|e| panic!("seed {seed}, pipeline '{flat}': {e}"));
+
+        // The canonical nested form round-trips and runs to the same
+        // bytes as the flat spelling.
+        let nested = flat_out.canonical_pipeline.clone();
+        let reparsed = PipelineSpec::parse(&nested)
+            .unwrap_or_else(|e| panic!("seed {seed}: canonical form '{nested}' reparses: {e}"));
+        assert_eq!(reparsed.to_string(), nested, "seed {seed}: canonical print round-trips");
+        let nested_out = driver
+            .run_str(module.clone(), &nested)
+            .unwrap_or_else(|e| panic!("seed {seed}, nested '{nested}': {e}"));
+        assert_eq!(
+            nested_out.text, flat_out.text,
+            "seed {seed}: flat '{flat}' vs nested '{nested}'"
+        );
+        assert_eq!(nested_out.canonical_pipeline, nested, "seed {seed}: nesting is idempotent");
+
+        // Parallel scheduling is pure scheduling: threads=1 and
+        // threads=auto agree byte-for-byte.
+        let serial_out = Driver::new()
+            .with_cache(None)
+            .with_parallelism(1)
+            .run_str(module.clone(), &flat)
+            .unwrap();
+        assert_eq!(serial_out.text, flat_out.text, "seed {seed}: serial vs auto threads");
+    }
+}

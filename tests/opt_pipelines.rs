@@ -102,7 +102,7 @@ fn target_pipeline_strings_are_canonical_data() {
         let text = options.pipeline_string();
         let spec = PipelineSpec::parse(&text).unwrap_or_else(|e| panic!("{label}: {e}"));
         assert_eq!(spec.to_string(), text, "{label}: string is canonical");
-        assert!(!spec.passes.is_empty(), "{label}");
+        assert!(!spec.is_empty(), "{label}");
     }
     // The option values thread through.
     let opts = CompileOptions {

@@ -197,6 +197,80 @@ fn ablate_decomposition() {
     );
 }
 
+/// 3b. Decomposition strategies on an uneven domain: the same 127²
+///     heat-2d problem (127 is prime — nothing divides it) distributed
+///     over 4 ranks under each strategy, with the halo traffic measured
+///     over SimMPI using one rank-specialised module per rank.
+fn ablate_decomposition_strategies() {
+    let n = 127i64;
+    let ranks = 4i64;
+    let driver = Driver::new().with_cache(None);
+    let mut rows = Vec::new();
+    let mut measured: HashMap<&str, u64> = HashMap::new();
+    for strategy in ["standard-slicing", "recursive-bisection"] {
+        let modules: Vec<Module> = (0..ranks)
+            .map(|rank| {
+                let pipeline = format!(
+                    "shape-inference,distribute-stencil{{grid=4 rank={rank} \
+                     strategy={strategy}}},shape-inference,dmp-eliminate-redundant-swaps,\
+                     convert-stencil-to-loops,dmp-to-mpi,mpi-to-func"
+                );
+                driver
+                    .run_str(stencil_core::stencil::samples::heat_2d(n, 0.1), &pipeline)
+                    .unwrap_or_else(|e| panic!("{strategy} rank {rank}: {e}"))
+                    .module
+            })
+            .collect();
+        let layout =
+            stencil_core::dialects::func::FuncOp(modules[0].lookup_symbol("heat").unwrap())
+                .0
+                .attr("dmp.grid")
+                .and_then(stencil_core::ir::Attribute::as_grid)
+                .unwrap()
+                .to_vec();
+        let full = (n + 2) as usize;
+        let global: Vec<f64> = (0..full * full).map(|i| (i as f64 * 0.01).sin()).collect();
+        let g = &global;
+        let layout_ref = &layout;
+        let (_, world) = run_spmd_modules(&modules, "heat", &move |rank| {
+            let coords = stencil_core::dmp::decomposition::rank_to_coords(rank as i64, layout_ref);
+            let (oy, sy) = stencil_core::dmp::balanced_chunk(n, layout_ref[0], coords[0]);
+            let (ox, sx) = stencil_core::dmp::balanced_chunk(
+                n,
+                layout_ref.get(1).copied().unwrap_or(1),
+                coords.get(1).copied().unwrap_or(0),
+            );
+            let mut data = Vec::with_capacity(((sy + 2) * (sx + 2)) as usize);
+            for y in 0..sy + 2 {
+                for x in 0..sx + 2 {
+                    data.push(g[(oy + y) as usize * full + (ox + x) as usize]);
+                }
+            }
+            vec![
+                ArgSpec::Buffer { shape: vec![sy + 2, sx + 2], data: data.clone() },
+                ArgSpec::Buffer { shape: vec![sy + 2, sx + 2], data },
+            ]
+        })
+        .unwrap();
+        measured.insert(strategy, world.total_sent_elements());
+        rows.push(vec![
+            strategy.to_string(),
+            format!("{layout:?}"),
+            world.total_sent_messages().to_string(),
+            world.total_sent_elements().to_string(),
+        ]);
+    }
+    print_table(
+        "ablation 3b: decomposition strategies, uneven 127² heat on 4 ranks (measured over SimMPI)",
+        &["strategy", "rank layout", "halo messages", "elements"],
+        &rows,
+    );
+    assert!(
+        measured["recursive-bisection"] < measured["standard-slicing"],
+        "bisection must cut less surface than 1D slabs on a square domain"
+    );
+}
+
 /// 4. Bounds-in-types enabling constant folding: arith op counts in the
 ///    lowered module with and without canonicalization (the paper's §4.1
 ///    claim that static bounds let most address computations fold away).
@@ -343,6 +417,7 @@ fn main() {
     ablate_swap_dedup();
     ablate_fusion();
     ablate_decomposition();
+    ablate_decomposition_strategies();
     ablate_constant_folding();
     ablate_tiling();
     ablate_compile_cache();

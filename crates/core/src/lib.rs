@@ -51,6 +51,43 @@ pub fn standard_registry() -> DialectRegistry {
     reg
 }
 
+/// How the distributed target splits the global domain across ranks
+/// (§4.2's pluggable decomposition strategies; resolved to a
+/// `distribute-stencil{strategy=…}` pass option).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum DecompStrategy {
+    /// Balanced slabs along the leading topology dimensions (the default;
+    /// non-divisible extents spread their remainder over leading ranks).
+    #[default]
+    StandardSlicing,
+    /// Split the longest remaining dimension at each level, minimizing
+    /// the surface-to-volume ratio; only the rank *count* of the topology
+    /// is kept.
+    RecursiveBisection,
+    /// An explicit per-dimension factorization (its product must equal
+    /// the topology's rank count).
+    CustomGrid(Vec<i64>),
+}
+
+impl DecompStrategy {
+    /// The registered strategy name (`distribute-stencil{strategy=…}`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecompStrategy::StandardSlicing => "standard-slicing",
+            DecompStrategy::RecursiveBisection => "recursive-bisection",
+            DecompStrategy::CustomGrid(_) => "custom-grid",
+        }
+    }
+
+    /// The explicit factorization, when this is a custom grid.
+    pub fn factors(&self) -> Option<&[i64]> {
+        match self {
+            DecompStrategy::CustomGrid(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
 /// Compilation targets (the paper's §6 configurations).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Target {
@@ -65,6 +102,8 @@ pub enum Target {
     DistributedCpu {
         /// Cartesian rank topology.
         topology: Vec<i64>,
+        /// How the domain is decomposed over the topology.
+        strategy: DecompStrategy,
     },
     /// GPU: parallel loops annotated for kernel mapping (executed through
     /// the V100 model; §6.1's CUDA lowering).
@@ -118,9 +157,20 @@ impl CompileOptions {
         CompileOptions::with_target(Target::SharedCpu { tile: vec![32, 4] })
     }
 
-    /// Distributed CPU over `topology`.
+    /// Distributed CPU over `topology` with the default standard-slicing
+    /// decomposition.
     pub fn distributed(topology: Vec<i64>) -> CompileOptions {
-        CompileOptions::with_target(Target::DistributedCpu { topology })
+        CompileOptions::distributed_with_strategy(topology, DecompStrategy::StandardSlicing)
+    }
+
+    /// Distributed CPU over `topology` with an explicit decomposition
+    /// strategy. Distinct strategies resolve to distinct pipeline strings
+    /// and therefore distinct compile-cache keys.
+    pub fn distributed_with_strategy(
+        topology: Vec<i64>,
+        strategy: DecompStrategy,
+    ) -> CompileOptions {
+        CompileOptions::with_target(Target::DistributedCpu { topology, strategy })
     }
 
     /// GPU mapping.
@@ -162,9 +212,13 @@ impl CompileOptions {
             Target::SharedCpu { tile } => {
                 sten_opt::pipelines::shared_cpu(tile, self.fuse, self.optimize)
             }
-            Target::DistributedCpu { topology } => {
-                sten_opt::pipelines::distributed(topology, self.fuse, self.optimize)
-            }
+            Target::DistributedCpu { topology, strategy } => sten_opt::pipelines::distributed_ext(
+                topology,
+                strategy.name(),
+                strategy.factors(),
+                self.fuse,
+                self.optimize,
+            ),
             Target::Gpu => sten_opt::pipelines::gpu(self.fuse, self.optimize),
             Target::Fpga { optimized } => sten_opt::pipelines::fpga(*optimized, self.fuse),
         }
@@ -232,10 +286,14 @@ pub fn compile(module: Module, options: &CompileOptions) -> Result<Compiled, Com
 
 /// Commonly used items for examples and downstream code.
 pub mod prelude {
-    pub use crate::{compile, standard_registry, CompileError, CompileOptions, Compiled, Target};
+    pub use crate::{
+        compile, standard_registry, CompileError, CompileOptions, Compiled, DecompStrategy, Target,
+    };
     pub use sten_devito::{problems, solve, Eq, Grid, Operator, OptLevel, TimeFunction};
     pub use sten_exec::{compile_module as compile_pipeline, Runner};
-    pub use sten_interp::{run_spmd, ArgSpec, BufView, Interpreter, RtValue, SimWorld};
+    pub use sten_interp::{
+        run_spmd, run_spmd_modules, ArgSpec, BufView, Interpreter, RtValue, SimWorld,
+    };
     pub use sten_ir::{parse_module, print_module, verify_module, Bounds, Module, Pass};
     pub use sten_opt::{CompileCache, Driver, PassRegistry, PipelineSpec};
 }

@@ -19,11 +19,18 @@
 //!   boundaries;
 //! * temp types are reset to unknown — rerun shape inference afterwards.
 //!
-//! All ranks execute the same IR (SPMD); runtime rank-dependent behaviour
-//! (boundary ranks skipping exchanges) is introduced by the `dmp → mpi`
-//! lowering.
+//! **Rank-dependence.** The pass is parameterized by the rank whose local
+//! program it emits ([`DistributeStencil::for_rank`], default rank 0).
+//! When the decomposition is *even* (every decomposed extent divisible by
+//! its grid extent) all ranks' programs are congruent and rank 0's module
+//! runs SPMD everywhere, exactly as in the paper. When extents do not
+//! divide, the balanced slabs are rank-dependent: compile one module per
+//! rank (the driver's `rank=N` pass option) — such modules carry their
+//! cartesian coordinates in a `dmp.coords` attribute. Runtime
+//! rank-dependent behaviour (boundary ranks skipping exchanges) is still
+//! introduced by the `dmp → mpi` lowering.
 
-use crate::decomposition::DecompositionStrategy;
+use crate::decomposition::{rank_to_coords, DecompositionStrategy};
 use crate::ops::swap;
 use std::collections::HashMap;
 use sten_ir::{
@@ -33,8 +40,13 @@ use sten_ir::{
 
 /// The distribute-stencil pass. See the module docs.
 pub struct DistributeStencil {
-    /// Cartesian rank topology (e.g. `[2, 2]`).
+    /// Cartesian rank topology (e.g. `[2, 2]`). The strategy may refactor
+    /// its shape (keeping the rank count) — see
+    /// [`DecompositionStrategy::layout`].
     pub grid: Vec<i64>,
+    /// The rank whose local program is emitted (default 0; only material
+    /// when the decomposition is uneven).
+    pub rank: i64,
     /// How the domain is split across ranks.
     pub strategy: Box<dyn DecompositionStrategy + Send + Sync>,
 }
@@ -42,7 +54,7 @@ pub struct DistributeStencil {
 impl DistributeStencil {
     /// Creates the pass with the standard slicing strategy.
     pub fn new(grid: Vec<i64>) -> Self {
-        DistributeStencil { grid, strategy: Box::new(crate::StandardSlicing::new()) }
+        DistributeStencil { grid, rank: 0, strategy: Box::new(crate::StandardSlicing::new()) }
     }
 
     /// Creates the pass with a custom strategy.
@@ -50,7 +62,14 @@ impl DistributeStencil {
         grid: Vec<i64>,
         strategy: Box<dyn DecompositionStrategy + Send + Sync>,
     ) -> Self {
-        DistributeStencil { grid, strategy }
+        DistributeStencil { grid, rank: 0, strategy }
+    }
+
+    /// Selects the rank whose local program is emitted (builder style).
+    #[must_use]
+    pub fn for_rank(mut self, rank: i64) -> Self {
+        self.rank = rank;
+        self
     }
 
     /// Total number of ranks in the topology.
@@ -69,10 +88,25 @@ fn hull(a: &Bounds, b: &Bounds) -> Bounds {
 }
 
 /// Collects the hull of all `stencil.store` ranges in a function.
-fn global_core(func: &Op) -> Option<Bounds> {
+///
+/// # Errors
+/// Reports malformed stores (missing bounds attributes) instead of
+/// panicking, so `sten-opt` can attribute the failure to the function.
+fn global_core(func: &Op) -> Result<Option<Bounds>, String> {
     let mut core: Option<Bounds> = None;
+    let mut malformed = None;
     func.walk(&mut |op| {
-        if op.name == "stencil.store" {
+        if op.name == "stencil.store" && malformed.is_none() {
+            if op.attr("lb").and_then(Attribute::as_dense).is_none()
+                || op.attr("ub").and_then(Attribute::as_dense).is_none()
+            {
+                malformed = Some(
+                    "stencil.store without dense lb/ub bounds attributes — run the verifier to \
+                     locate it"
+                        .to_string(),
+                );
+                return;
+            }
             let range = sten_stencil::ops::StoreOp(op).range();
             core = Some(match &core {
                 Some(c) => hull(c, &range),
@@ -80,7 +114,10 @@ fn global_core(func: &Op) -> Option<Bounds> {
             });
         }
     });
-    core
+    match malformed {
+        Some(m) => Err(m),
+        None => Ok(core),
+    }
 }
 
 /// Maps a global range to the rank-local one: offsets relative to the
@@ -93,7 +130,7 @@ fn localize(b: &Bounds, core: &Bounds, local_core: &Bounds) -> Bounds {
 
 struct Distributor<'a> {
     vt: &'a mut ValueTable,
-    grid: Vec<i64>,
+    layout: Vec<i64>,
     strategy: &'a (dyn DecompositionStrategy + Send + Sync),
     core: Bounds,
     local_core: Bounds,
@@ -131,6 +168,11 @@ impl<'a> Distributor<'a> {
         for mut op in ops {
             match op.name.as_str() {
                 "stencil.load" => {
+                    if op.operands.is_empty() || op.results.is_empty() {
+                        return Err("malformed stencil.load: expected one field operand and \
+                                    one temp result"
+                            .to_string());
+                    }
                     // Insert the halo exchange before the load.
                     let field = op.operand(0);
                     let (lo_halo, hi_halo) =
@@ -141,17 +183,22 @@ impl<'a> Distributor<'a> {
                     // earlier in the program).
                     let local_field = match self.vt.ty(field) {
                         Type::Field(f) => f.bounds.clone(),
-                        other => return Err(format!("load of non-field {other:?}")),
+                        other => {
+                            return Err(format!(
+                                "stencil.load reads a non-field operand of type {other:?} — \
+                                 distribute-stencil requires !stencil.field arguments"
+                            ))
+                        }
                     };
                     let exchanges = self.strategy.exchanges(
                         &local_field,
                         &self.local_core,
-                        &self.grid,
+                        &self.layout,
                         &lo_halo,
                         &hi_halo,
                     );
                     if !exchanges.is_empty() {
-                        block.ops.push(swap(field, self.grid.clone(), exchanges));
+                        block.ops.push(swap(field, self.layout.clone(), exchanges));
                     }
                     self.localize_value(op.result(0))?;
                     block.ops.push(op);
@@ -200,21 +247,50 @@ impl Pass for DistributeStencil {
                     if op.name != "func.func" {
                         continue;
                     }
-                    let Some(core) = global_core(op) else {
-                        continue; // no stencil stores: nothing to distribute
+                    // Attribute every failure to the function it arose in
+                    // — `sten-opt` reports a location instead of aborting.
+                    let fname = op
+                        .attr("sym_name")
+                        .and_then(Attribute::as_str)
+                        .unwrap_or("<unnamed>")
+                        .to_string();
+                    let in_func = |m: String| format!("in @{fname}: {m}");
+                    let core = match global_core(op) {
+                        Ok(Some(c)) => c,
+                        Ok(None) => continue, // no stencil stores: nothing to distribute
+                        Err(m) => {
+                            failure = Some(in_func(m));
+                            break 'outer;
+                        }
                     };
                     if self.grid.len() > core.rank() {
-                        failure = Some(format!(
+                        failure = Some(in_func(format!(
                             "grid rank {} exceeds domain rank {}",
                             self.grid.len(),
                             core.rank()
-                        ));
+                        )));
                         break 'outer;
                     }
-                    let local_core = match self.strategy.local_core(&core, &self.grid) {
+                    let layout = match self.strategy.layout(&core, &self.grid) {
+                        Ok(l) => l,
+                        Err(m) => {
+                            failure = Some(in_func(m));
+                            break 'outer;
+                        }
+                    };
+                    let ranks: i64 = layout.iter().product();
+                    if self.rank < 0 || self.rank >= ranks {
+                        failure = Some(in_func(format!(
+                            "rank {} outside the {ranks}-rank topology {layout:?}",
+                            self.rank
+                        )));
+                        break 'outer;
+                    }
+                    let coords = rank_to_coords(self.rank, &layout);
+                    let local_core = match self.strategy.local_core(&core, &layout, &coords) {
                         Ok(c) => c,
                         Err(m) => {
-                            failure = Some(m);
+                            failure = Some(in_func(m));
                             break 'outer;
                         }
                     };
@@ -223,6 +299,11 @@ impl Pass for DistributeStencil {
                     let mut halo_err = None;
                     op.walk(&mut |o| {
                         if o.name == "stencil.load" {
+                            if o.results.is_empty() {
+                                halo_err =
+                                    Some("malformed stencil.load without a result".to_string());
+                                return;
+                            }
                             match module.values.ty(o.result(0)) {
                                 Type::Temp(TempType { bounds: Some(b), .. }) => {
                                     let lo: Vec<i64> = core
@@ -237,8 +318,8 @@ impl Pass for DistributeStencil {
                                         .zip(&b.0)
                                         .map(|(&(_, cub), &(_, bub))| (bub - cub).max(0))
                                         .collect();
-                                    for d in 0..self.grid.len().min(lo.len()) {
-                                        if self.grid[d] > 1 && lo[d] != hi[d] {
+                                    for d in 0..layout.len().min(lo.len()) {
+                                        if layout[d] > 1 && lo[d] != hi[d] {
                                             halo_err = Some(format!(
                                                 "asymmetric halo ({} below / {} above) in \
                                                  decomposed dimension {d}: the swap-based \
@@ -262,12 +343,17 @@ impl Pass for DistributeStencil {
                         }
                     });
                     if let Some(m) = halo_err {
-                        failure = Some(m);
+                        failure = Some(in_func(m));
                         break 'outer;
                     }
+                    // Rank-dependent modules record their coordinates; the
+                    // even SPMD case stays coordinate-free (and
+                    // byte-identical to the congruent-slab output).
+                    let uneven = (0..core.rank())
+                        .any(|d| layout.get(d).is_some_and(|&p| p > 1 && core.size(d) % p != 0));
                     let mut distributor = Distributor {
                         vt: &mut module.values,
-                        grid: self.grid.clone(),
+                        layout: layout.clone(),
                         strategy: self.strategy.as_ref(),
                         core: core.clone(),
                         local_core,
@@ -276,7 +362,7 @@ impl Pass for DistributeStencil {
                     for func_region in &mut op.regions {
                         for func_block in &mut func_region.blocks {
                             if let Err(m) = distributor.process_block(func_block) {
-                                failure = Some(m);
+                                failure = Some(in_func(m));
                                 break 'outer;
                             }
                         }
@@ -294,7 +380,10 @@ impl Pass for DistributeStencil {
                             Attribute::Type(Type::Function(Box::new(new))),
                         );
                     }
-                    op.set_attr("dmp.grid", Attribute::Grid(self.grid.clone()));
+                    op.set_attr("dmp.grid", Attribute::Grid(layout));
+                    if uneven || self.rank != 0 {
+                        op.set_attr("dmp.coords", Attribute::DenseI64(coords));
+                    }
                 }
             }
         }
@@ -328,17 +417,24 @@ mod tests {
         m
     }
 
+    fn field_bounds(m: &Module, func: &str) -> Bounds {
+        let f = m.lookup_symbol(func).unwrap();
+        let fty = sten_dialects::func::FuncOp(f).function_type().clone();
+        match &fty.inputs[0] {
+            Type::Field(f) => f.bounds.clone(),
+            other => panic!("expected a !stencil.field argument, got {other:?}"),
+        }
+    }
+
     #[test]
     fn jacobi_on_two_ranks_matches_figure4() {
         let m = distributed_jacobi(vec![2]);
         verify_module(&m, Some(&registry())).unwrap();
         // Global core [1,127) of 126 points → local core [1,64); field
         // keeps its 1-cell halo → [0,65).
-        let func = m.lookup_symbol("jacobi").unwrap();
-        let fty = sten_dialects::func::FuncOp(func).function_type().clone();
-        let Type::Field(f) = &fty.inputs[0] else { panic!("field arg") };
-        assert_eq!(f.bounds, Bounds::new(vec![(0, 65)]));
+        assert_eq!(field_bounds(&m, "jacobi"), Bounds::new(vec![(0, 65)]));
         // A swap precedes the load, with the Fig. 4 exchange pair.
+        let func = m.lookup_symbol("jacobi").unwrap();
         let body_names: Vec<&str> =
             func.region_block(0).ops.iter().map(|o| o.name.as_str()).collect();
         assert_eq!(body_names[0], "dmp.swap");
@@ -368,13 +464,13 @@ mod tests {
         DistributeStencil::new(vec![2, 2]).run(&mut m).unwrap();
         ShapeInference.run(&mut m).unwrap();
         verify_module(&m, Some(&registry())).unwrap();
-        let func = m.lookup_symbol("heat").unwrap();
-        let fty = sten_dialects::func::FuncOp(func).function_type().clone();
-        let Type::Field(f) = &fty.inputs[0] else { panic!("field arg") };
         // Global core [0,64)², halo 1 → local [−1,33)².
-        assert_eq!(f.bounds, Bounds::new(vec![(-1, 33), (-1, 33)]));
+        assert_eq!(field_bounds(&m, "heat"), Bounds::new(vec![(-1, 33), (-1, 33)]));
+        let func = m.lookup_symbol("heat").unwrap();
         let swap = func.region_block(0).ops.iter().find(|o| o.name == "dmp.swap").unwrap();
         assert_eq!(crate::ops::SwapOp(swap).exchanges().len(), 4, "two dims × two dirs");
+        // Even SPMD decomposition: no rank coordinates recorded.
+        assert!(func.attr("dmp.coords").is_none());
     }
 
     #[test]
@@ -390,11 +486,65 @@ mod tests {
     }
 
     #[test]
-    fn indivisible_grid_is_rejected() {
-        let mut m = samples::jacobi_1d(128); // core 126 not divisible by 4
+    fn uneven_domains_get_balanced_rank_dependent_slabs() {
+        // Core 126 over 4 ranks: 32, 32, 31, 31 — rank-dependent modules.
+        let mut sizes = Vec::new();
+        for rank in 0..4 {
+            let mut m = samples::jacobi_1d(128);
+            ShapeInference.run(&mut m).unwrap();
+            DistributeStencil::new(vec![4]).for_rank(rank).run(&mut m).unwrap();
+            ShapeInference.run(&mut m).unwrap();
+            verify_module(&m, Some(&registry())).unwrap();
+            let func = m.lookup_symbol("jacobi").unwrap();
+            assert_eq!(
+                func.attr("dmp.coords").and_then(Attribute::as_dense),
+                Some(&[rank][..]),
+                "uneven decomposition records the rank coordinates"
+            );
+            let store =
+                func.region_block(0).ops.iter().find(|o| o.name == "stencil.store").unwrap();
+            let range = sten_stencil::ops::StoreOp(store).range();
+            sizes.push(range.size(0));
+            // The field keeps its 1-cell halo around the local core.
+            assert_eq!(field_bounds(&m, "jacobi"), range.grown(1));
+        }
+        assert_eq!(sizes, vec![32, 32, 31, 31]);
+    }
+
+    #[test]
+    fn recursive_bisection_refactors_the_grid_attr() {
+        let mut m = samples::heat_2d(64, 0.1);
+        ShapeInference.run(&mut m).unwrap();
+        DistributeStencil::with_strategy(vec![4], Box::new(crate::RecursiveBisection::new()))
+            .run(&mut m)
+            .unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        let func = m.lookup_symbol("heat").unwrap();
+        assert_eq!(
+            func.attr("dmp.grid").and_then(Attribute::as_grid),
+            Some(&[2i64, 2][..]),
+            "4 ranks on a square domain bisect into 2x2"
+        );
+        assert_eq!(field_bounds(&m, "heat"), Bounds::new(vec![(-1, 33), (-1, 33)]));
+    }
+
+    #[test]
+    fn out_of_range_rank_is_rejected() {
+        let mut m = samples::jacobi_1d(128);
+        ShapeInference.run(&mut m).unwrap();
+        let err = DistributeStencil::new(vec![2]).for_rank(2).run(&mut m).unwrap_err();
+        assert!(err.message.contains("outside the 2-rank topology"), "{err}");
+        assert!(err.message.contains("in @jacobi"), "failures name the function: {err}");
+    }
+
+    #[test]
+    fn oversubscribed_grid_is_rejected_with_location() {
+        let mut m = samples::jacobi_1d(4); // core of 2 points
         ShapeInference.run(&mut m).unwrap();
         let err = DistributeStencil::new(vec![4]).run(&mut m).unwrap_err();
-        assert!(err.message.contains("not divisible"), "{err}");
+        assert!(err.message.contains("exceeds domain extent"), "{err}");
+        assert!(err.message.contains("in @jacobi"), "{err}");
     }
 
     #[test]
@@ -414,5 +564,17 @@ mod tests {
         let text = sten_ir::print_module(&m);
         assert!(text.contains("dmp.swap"));
         assert!(text.contains("memref<65xf64>"), "{text}");
+    }
+
+    #[test]
+    fn uneven_distributed_module_round_trips() {
+        let mut m = samples::heat_2d(15, 0.1);
+        ShapeInference.run(&mut m).unwrap();
+        DistributeStencil::new(vec![2, 2]).for_rank(3).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        let text = sten_ir::print_module(&m);
+        assert!(text.contains("dmp.coords"), "{text}");
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
     }
 }

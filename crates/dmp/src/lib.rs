@@ -7,11 +7,13 @@
 //!
 //! * [`ops`] — the declarative [`dmp.swap`](ops::swap) operation carrying
 //!   `#dmp.grid` and `#dmp.exchange` attributes (Listing 2);
-//! * [`decomposition`] — the [`DecompositionStrategy`] interface and the
-//!   standard 1D/2D/3D slicing strategy: "a class that exposes an interface
-//!   that allows a rewrite pass to calculate the local domain from the
-//!   global domain [...] this extensible design allows adopters to
-//!   supplement our default slicing strategy with their own";
+//! * [`decomposition`] — the [`DecompositionStrategy`] interface: "a class
+//!   that exposes an interface that allows a rewrite pass to calculate the
+//!   local domain from the global domain [...] this extensible design
+//!   allows adopters to supplement our default slicing strategy with their
+//!   own" — with three implementations: balanced standard slicing
+//!   ([`StandardSlicing`]), surface-minimizing [`RecursiveBisection`], and
+//!   explicit per-dimension [`CustomGrid`] factorizations;
 //! * [`distribute`] — the shared pass that "automatically prepares stencil
 //!   programs for distributed execution": global domain → rank-local domain
 //!   with `dmp.swap` inserted before each `stencil.load`;
@@ -27,7 +29,10 @@ pub mod dedup;
 pub mod distribute;
 pub mod ops;
 
-pub use decomposition::{DecompositionStrategy, StandardSlicing};
+pub use decomposition::{
+    balanced_chunk, make_strategy, CustomGrid, DecompositionStrategy, RecursiveBisection,
+    StandardSlicing, STRATEGY_NAMES,
+};
 pub use dedup::EliminateRedundantSwaps;
 pub use distribute::DistributeStencil;
 pub use ops::register;

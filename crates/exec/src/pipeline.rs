@@ -306,13 +306,13 @@ fn swap_exchange(
         out
     };
     for e in exchanges {
-        if let Some(n) = neighbor_rank(rank, grid, &e.to) {
+        if let Some(n) = neighbor_rank(rank, grid, &e.to)? {
             let msg = gather(data, &e.send_at(), &e.size);
             world.send(rank as i32, n as i32, tag_for_direction(&e.to) as i32, msg);
         }
     }
     for e in exchanges {
-        if let Some(n) = neighbor_rank(rank, grid, &e.to) {
+        if let Some(n) = neighbor_rank(rank, grid, &e.to)? {
             let neg: Vec<i64> = e.to.iter().map(|t| -t).collect();
             let msg = world.recv(rank as i32, n as i32, tag_for_direction(&neg) as i32);
             let range = Bounds::new(e.at.iter().zip(&e.size).map(|(&a, &s)| (a, a + s)).collect());

@@ -56,6 +56,94 @@ pub fn run_spmd(
     world_size: usize,
     args_for_rank: &(dyn Fn(usize) -> Vec<ArgSpec> + Sync),
 ) -> Result<(Vec<RankResult>, Arc<SimWorld>), InterpError> {
+    // A module carrying `dmp.coords` was specialised to one rank of an
+    // uneven decomposition; running it SPMD would silently compute with
+    // another rank's slab geometry.
+    if world_size > 1 {
+        if let Some((fname, coords)) = rank_specialization(module) {
+            return Err(InterpError {
+                message: format!(
+                    "@{fname} is specialised to rank coordinates {coords:?} (uneven \
+                     decomposition): compile one module per rank \
+                     (distribute-stencil{{rank=N}}) and use run_spmd_modules"
+                ),
+            });
+        }
+    }
+    run_spmd_impl(&|_| module, func, world_size, args_for_rank)
+}
+
+/// The `(function, dmp.coords)` marker of a rank-specialised module, if
+/// any function carries one.
+fn rank_specialization(module: &Module) -> Option<(String, Vec<i64>)> {
+    let mut found = None;
+    module.walk(|op| {
+        if found.is_none() && op.name == "func.func" {
+            if let Some(coords) = op.attr("dmp.coords").and_then(sten_ir::Attribute::as_dense) {
+                let name = op
+                    .attr("sym_name")
+                    .and_then(sten_ir::Attribute::as_str)
+                    .unwrap_or("<unnamed>")
+                    .to_string();
+                found = Some((name, coords.to_vec()));
+            }
+        }
+    });
+    found
+}
+
+/// Runs `func` with one module per rank — the uneven-decomposition case,
+/// where balanced slabs make each rank's local program rank-specific
+/// (`distribute-stencil{rank=N}` emits module N). Even decompositions are
+/// congruent and can keep sharing one module via [`run_spmd`].
+///
+/// # Errors
+/// Returns the first rank's error if any rank fails (all threads are
+/// joined regardless).
+///
+/// # Panics
+/// Panics if a rank thread panics.
+pub fn run_spmd_modules(
+    modules: &[Module],
+    func: &str,
+    args_for_rank: &(dyn Fn(usize) -> Vec<ArgSpec> + Sync),
+) -> Result<(Vec<RankResult>, Arc<SimWorld>), InterpError> {
+    // Rank-specialised modules carry their coordinates: catch a module
+    // list handed over in the wrong order before it computes nonsense.
+    for (rank, module) in modules.iter().enumerate() {
+        let Some((fname, coords)) = rank_specialization(module) else { continue };
+        let grid = {
+            let mut grid = None;
+            module.walk(|op| {
+                if grid.is_none() && op.name == "func.func" {
+                    grid = op
+                        .attr("dmp.grid")
+                        .and_then(sten_ir::Attribute::as_grid)
+                        .map(<[i64]>::to_vec);
+                }
+            });
+            grid
+        };
+        let linear =
+            grid.as_deref().and_then(|g| sten_dmp::decomposition::coords_to_rank(&coords, g));
+        if linear != Some(rank as i64) {
+            return Err(InterpError {
+                message: format!(
+                    "modules[{rank}]: @{fname} is specialised to coordinates {coords:?} \
+                     (rank {linear:?} of grid {grid:?}) — pass modules in rank order"
+                ),
+            });
+        }
+    }
+    run_spmd_impl(&|rank| &modules[rank], func, modules.len(), args_for_rank)
+}
+
+fn run_spmd_impl<'m>(
+    module_for_rank: &(dyn Fn(usize) -> &'m Module + Sync),
+    func: &str,
+    world_size: usize,
+    args_for_rank: &(dyn Fn(usize) -> Vec<ArgSpec> + Sync),
+) -> Result<(Vec<RankResult>, Arc<SimWorld>), InterpError> {
     let world = SimWorld::new(world_size);
     let mut results: Vec<Option<Result<RankResult, InterpError>>> =
         (0..world_size).map(|_| None).collect();
@@ -79,7 +167,7 @@ pub fn run_spmd(
                     })
                     .collect();
                 let env = MpiEnv::new(world, rank as i32);
-                let mut interp = Interpreter::with_externals(module, Box::new(env));
+                let mut interp = Interpreter::with_externals(module_for_rank(rank), Box::new(env));
                 let out = interp.call_function(func, args).map(|_| RankResult {
                     buffers: buffers.iter().map(BufView::to_vec).collect(),
                     steps: interp.steps(),
@@ -195,6 +283,149 @@ mod tests {
     fn seven_ranks_at_func_level() {
         // 126 divides by 7.
         distributed_jacobi_matches_serial(7, true);
+    }
+
+    /// Distributes a module once per rank (balanced slabs are
+    /// rank-dependent on uneven domains) and fully lowers each module to
+    /// the func/MPI level.
+    fn per_rank_modules(
+        make: &dyn Fn() -> sten_ir::Module,
+        grid: &[i64],
+        ranks: usize,
+    ) -> Vec<sten_ir::Module> {
+        (0..ranks)
+            .map(|rank| {
+                let mut m = make();
+                ShapeInference.run(&mut m).unwrap();
+                sten_dmp::DistributeStencil::new(grid.to_vec())
+                    .for_rank(rank as i64)
+                    .run(&mut m)
+                    .unwrap();
+                ShapeInference.run(&mut m).unwrap();
+                StencilToLoops.run(&mut m).unwrap();
+                sten_mpi::DmpToMpi.run(&mut m).unwrap();
+                sten_mpi::MpiToFunc.run(&mut m).unwrap();
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uneven_jacobi_per_rank_modules_match_serial() {
+        // n = 129 → global core 127, which no rank count > 1 divides:
+        // 2 ranks get balanced slabs of 64 and 63.
+        let n = 129i64;
+        let ranks = 2usize;
+        let global_input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+
+        let mut serial = samples::jacobi_1d(n);
+        ShapeInference.run(&mut serial).unwrap();
+        let src = BufView::from_data(vec![n], global_input.clone());
+        let dst = BufView::from_data(vec![n], global_input.clone());
+        Interpreter::new(&serial)
+            .call_function("jacobi", vec![RtValue::Buffer(src), RtValue::Buffer(dst.clone())])
+            .unwrap();
+        let want = dst.to_vec();
+
+        let modules = per_rank_modules(&|| samples::jacobi_1d(n), &[ranks as i64], ranks);
+        let core_extent = n - 2;
+        let input = &global_input;
+        let (results, world) = run_spmd_modules(&modules, "jacobi", &move |rank| {
+            let (offset, size) = sten_dmp::balanced_chunk(core_extent, ranks as i64, rank as i64);
+            // Rank r's buffer covers global [offset, offset + size + 2)
+            // (local core plus the 1-cell halos).
+            let data: Vec<f64> = (0..size + 2).map(|i| input[(offset + i) as usize]).collect();
+            vec![
+                ArgSpec::Buffer { shape: vec![size + 2], data: data.clone() },
+                ArgSpec::Buffer { shape: vec![size + 2], data },
+            ]
+        })
+        .unwrap();
+        assert!(world.total_sent_messages() > 0, "halo exchange happened");
+
+        let mut got = global_input.clone();
+        for (rank, res) in results.iter().enumerate() {
+            let (offset, size) = sten_dmp::balanced_chunk(core_extent, ranks as i64, rank as i64);
+            for l in 1..=size {
+                got[(offset + l) as usize] = res.buffers[1][l as usize];
+            }
+        }
+        assert_eq!(got, want, "uneven distributed jacobi must match serial bit-for-bit");
+    }
+
+    #[test]
+    fn spmd_guards_against_rank_specialised_modules() {
+        let distribute = |rank: i64| {
+            let mut m = samples::jacobi_1d(129); // core 127: uneven on 2 ranks
+            ShapeInference.run(&mut m).unwrap();
+            sten_dmp::DistributeStencil::new(vec![2]).for_rank(rank).run(&mut m).unwrap();
+            ShapeInference.run(&mut m).unwrap();
+            m
+        };
+        // One rank-specialised module must not run SPMD on many ranks.
+        let err =
+            run_spmd(&distribute(0), "jacobi", 2, &|_| Vec::new()).err().expect("must reject");
+        assert!(err.message.contains("run_spmd_modules"), "{}", err.message);
+        // Per-rank modules handed over out of order are caught, too.
+        let swapped = vec![distribute(1), distribute(0)];
+        let err = run_spmd_modules(&swapped, "jacobi", &|_| Vec::new()).err().expect("must reject");
+        assert!(err.message.contains("rank order"), "{}", err.message);
+    }
+
+    #[test]
+    fn uneven_heat2d_bitwise_matches_serial() {
+        // A 15×15 core on a 2×2 grid: balanced slabs of 8 and 7 per dim.
+        let n = 15i64;
+        let shape = vec![n + 2, n + 2];
+        let size = ((n + 2) * (n + 2)) as usize;
+        let global: Vec<f64> = (0..size).map(|i| (i as f64 * 0.05).cos()).collect();
+
+        let mut serial = samples::heat_2d(n, 0.1);
+        ShapeInference.run(&mut serial).unwrap();
+        let src = BufView::from_data(shape.clone(), global.clone());
+        let dst = BufView::from_data(shape.clone(), global.clone());
+        Interpreter::new(&serial)
+            .call_function("heat", vec![RtValue::Buffer(src), RtValue::Buffer(dst.clone())])
+            .unwrap();
+        let want = dst.to_vec();
+
+        let modules = per_rank_modules(&|| samples::heat_2d(n, 0.1), &[2, 2], 4);
+        let g = &global;
+        let full = (n + 2) as usize;
+        let (results, _) = run_spmd_modules(&modules, "heat", &move |rank| {
+            let (ry, rx) = ((rank as i64) / 2, (rank as i64) % 2);
+            let (oy, sy) = sten_dmp::balanced_chunk(n, 2, ry);
+            let (ox, sx) = sten_dmp::balanced_chunk(n, 2, rx);
+            // Local buffer index (y, x) maps to the global buffer cell
+            // (oy + y, ox + x): the core starts at global buffer index
+            // offset + 1 and the buffer keeps a 1-cell halo around it.
+            let mut data = Vec::with_capacity(((sy + 2) * (sx + 2)) as usize);
+            for y in 0..sy + 2 {
+                for x in 0..sx + 2 {
+                    data.push(g[(oy + y) as usize * full + (ox + x) as usize]);
+                }
+            }
+            vec![
+                ArgSpec::Buffer { shape: vec![sy + 2, sx + 2], data: data.clone() },
+                ArgSpec::Buffer { shape: vec![sy + 2, sx + 2], data },
+            ]
+        })
+        .unwrap();
+
+        let mut got = global.clone();
+        for (rank, res) in results.iter().enumerate() {
+            let (ry, rx) = ((rank as i64) / 2, (rank as i64) % 2);
+            let (oy, sy) = sten_dmp::balanced_chunk(n, 2, ry);
+            let (ox, sx) = sten_dmp::balanced_chunk(n, 2, rx);
+            let out = &res.buffers[1];
+            for y in 1..=sy {
+                for x in 1..=sx {
+                    got[(oy + y) as usize * full + (ox + x) as usize] =
+                        out[(y * (sx + 2) + x) as usize];
+                }
+            }
+        }
+        assert_eq!(got, want, "uneven distributed heat2d must match serial bit-for-bit");
     }
 
     #[test]

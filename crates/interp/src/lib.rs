@@ -21,7 +21,7 @@ pub mod sim_mpi;
 pub mod sync_shim;
 pub mod value;
 
-pub use distributed::{run_spmd, ArgSpec, RankResult};
+pub use distributed::{run_spmd, run_spmd_modules, ArgSpec, RankResult};
 pub use interp::{InterpError, Interpreter};
 pub use sim_mpi::{MpiEnv, SimWorld};
 pub use value::{BufView, RtValue};

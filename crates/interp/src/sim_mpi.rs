@@ -467,14 +467,14 @@ impl Externals for MpiEnv {
         use sten_dmp::decomposition::neighbor_rank;
         // Buffered sends first (deadlock-free), then blocking receives.
         for e in exchanges {
-            if let Some(n) = neighbor_rank(self.rank as i64, grid, &e.to) {
+            if let Some(n) = neighbor_rank(self.rank as i64, grid, &e.to)? {
                 let send_view = data.subview(&e.send_at(), &e.size).map_err(|m| m.to_string())?;
                 let tag = sten_mpi::dmp_to_mpi::tag_for_direction(&e.to) as i32;
                 self.world.send(self.rank, n as i32, tag, send_view.to_vec());
             }
         }
         for e in exchanges {
-            if let Some(n) = neighbor_rank(self.rank as i64, grid, &e.to) {
+            if let Some(n) = neighbor_rank(self.rank as i64, grid, &e.to)? {
                 let neg: Vec<i64> = e.to.iter().map(|t| -t).collect();
                 let tag = sten_mpi::dmp_to_mpi::tag_for_direction(&neg) as i32;
                 let msg = self.world.recv(self.rank, n as i32, tag);

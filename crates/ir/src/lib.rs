@@ -69,6 +69,6 @@ pub use parser::{parse_module, ParseError};
 pub use pass::{FuncTiming, Pass, PassError, PassKind, PassManager, PassTiming};
 pub use printer::{print_module, print_op};
 pub use registry::{DialectRegistry, OpSpec};
-pub use types::{Bounds, FieldType, FunctionType, MemRefType, TempType, Type};
+pub use types::{Bounds, BoundsPoints, FieldType, FunctionType, MemRefType, TempType, Type};
 pub use value::{Value, ValueTable};
 pub use verifier::{verify_module, verify_op_in_scope, VerifyError};

@@ -127,6 +127,38 @@ impl Bounds {
                 .collect(),
         )
     }
+
+    /// Iterates every point of the bounds in row-major order (the last
+    /// dimension varies fastest).
+    pub fn points(&self) -> BoundsPoints<'_> {
+        BoundsPoints { bounds: self, next: (self.num_points() > 0).then(|| self.lower()) }
+    }
+}
+
+/// Row-major point iterator over a [`Bounds`] (see [`Bounds::points`]).
+pub struct BoundsPoints<'a> {
+    bounds: &'a Bounds,
+    next: Option<Vec<i64>>,
+}
+
+impl Iterator for BoundsPoints<'_> {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Vec<i64>> {
+        let current = self.next.take()?;
+        let mut succ = current.clone();
+        let mut d = self.bounds.rank();
+        while d > 0 {
+            d -= 1;
+            succ[d] += 1;
+            if succ[d] < self.bounds.0[d].1 {
+                self.next = Some(succ);
+                return Some(current);
+            }
+            succ[d] = self.bounds.0[d].0;
+        }
+        Some(current) // exhausted: every dimension wrapped
+    }
 }
 
 impl fmt::Display for Bounds {
@@ -337,6 +369,16 @@ impl Type {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bounds_points_iterates_row_major() {
+        let b = Bounds::new(vec![(1, 3), (-1, 1)]);
+        let pts: Vec<Vec<i64>> = b.points().collect();
+        assert_eq!(pts, vec![vec![1, -1], vec![1, 0], vec![2, -1], vec![2, 0]]);
+        assert_eq!(b.points().count() as i64, b.num_points());
+        // Degenerate bounds yield nothing.
+        assert_eq!(Bounds::new(vec![(0, 0)]).points().count(), 0);
+    }
 
     #[test]
     fn bounds_basic_queries() {

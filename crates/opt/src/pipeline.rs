@@ -16,7 +16,7 @@
 //! ```text
 //! pipeline := element ("," element)*
 //! element  := pass | anchor "(" pass ("," pass)* ")"
-//! pass     := name [ "{" opt (" " opt)* "}" ]
+//! pass     := name [ "{" opt ((" " | ",") opt)* "}" ]
 //! opt      := key "=" value
 //! ```
 //!
@@ -24,9 +24,13 @@
 //! (`func.func` is the only nesting anchor — module-anchored passes sit at
 //! the top level, which *is* the `builtin.module` anchor); values are any
 //! characters other than whitespace, `{`, `}`, `(`, `)`, and `,` — integer
-//! lists use `:` as the element separator (`tile=32:4`). [`PipelineSpec`]
-//! canonicalises on print (options sorted by key), and `parse` ∘
-//! `to_string` is the identity on canonical strings. Anchors do not nest.
+//! lists use `:` as the element separator (`tile=32:4`), grid shapes use
+//! `x` (`grid=2x2`). Options inside braces may be separated by spaces or
+//! commas (`{grid=2x2,strategy=recursive-bisection}` ≡
+//! `{grid=2x2 strategy=recursive-bisection}`). [`PipelineSpec`]
+//! canonicalises on print (options sorted by key, space-separated), and
+//! `parse` ∘ `to_string` is the identity on canonical strings. Anchors do
+//! not nest.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -232,13 +236,23 @@ pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
     row[b.len()]
 }
 
-fn closest_anchor(name: &str) -> Option<String> {
-    KNOWN_ANCHORS
-        .iter()
-        .map(|k| (edit_distance(name, k), *k))
+/// The closest candidate by edit distance, when close enough to be a
+/// plausible typo — the one did-you-mean policy shared by the pass-,
+/// anchor-, and strategy-name diagnostics.
+pub(crate) fn closest<'a>(
+    name: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+) -> Option<&'a str> {
+    candidates
+        .into_iter()
+        .map(|k| (edit_distance(name, k), k))
         .filter(|(d, k)| *d <= 3 && *d * 3 <= k.len().max(name.len()))
         .min_by_key(|(d, _)| *d)
-        .map(|(_, k)| k.to_string())
+        .map(|(_, k)| k)
+}
+
+fn closest_anchor(name: &str) -> Option<String> {
+    closest(name, KNOWN_ANCHORS).map(str::to_string)
 }
 
 fn parse_element(text: &str) -> Result<(PipelineElement, &str), PipelineError> {
@@ -322,8 +336,23 @@ fn parse_invocation(text: &str) -> Result<(PassInvocation, &str), PipelineError>
     })?;
     let opts_text = &body[..close];
     let tail = &body[close + 1..];
+    // Options are separated by spaces or commas; empty comma segments
+    // ("{k=v,}") are malformed rather than silently dropped.
+    let mut items: Vec<&str> = Vec::new();
+    for segment in opts_text.split(',') {
+        let trimmed = segment.trim();
+        if trimmed.is_empty() {
+            if opts_text.trim().is_empty() {
+                continue; // "{}" — no options at all
+            }
+            return Err(PipelineError::parse(format!(
+                "empty option (stray ',') in options of pass '{name}'"
+            )));
+        }
+        items.extend(trimmed.split_whitespace());
+    }
     let mut options = BTreeMap::new();
-    for item in opts_text.split_whitespace() {
+    for item in items {
         let (key, value) = item.split_once('=').ok_or_else(|| {
             PipelineError::parse(format!(
                 "option '{item}' of pass '{name}' is not of the form key=value"
@@ -418,6 +447,32 @@ impl<'a> PassOptions<'a> {
             .transpose()
     }
 
+    /// An `x`-separated grid-shape option (e.g. `grid=2x2`), mirroring
+    /// the `#dmp.grid<2x2>` attribute spelling.
+    ///
+    /// # Errors
+    /// Returns [`PipelineError::BadOption`] if any element is not an
+    /// integer.
+    pub fn get_grid(&self, key: &'a str) -> Result<Option<Vec<i64>>, PipelineError> {
+        self.take(key)
+            .map(|v| {
+                v.split('x')
+                    .map(|e| {
+                        e.parse::<i64>().map_err(|_| {
+                            PipelineError::bad_option(
+                                self.pass,
+                                format!(
+                                    "option '{key}' expects integers separated by 'x' \
+                                     (e.g. {key}=2x2), got '{v}'"
+                                ),
+                            )
+                        })
+                    })
+                    .collect()
+            })
+            .transpose()
+    }
+
     /// A boolean option (`true`/`false`).
     ///
     /// # Errors
@@ -490,6 +545,31 @@ mod tests {
     #[test]
     fn rejects_duplicate_option_keys() {
         assert!(PipelineSpec::parse("a{k=1 k=2}").is_err());
+        assert!(PipelineSpec::parse("a{k=1,k=2}").is_err());
+    }
+
+    #[test]
+    fn commas_separate_options_and_print_canonically_as_spaces() {
+        let p = PipelineSpec::parse("a{grid=2x2,strategy=recursive-bisection},b").unwrap();
+        assert_eq!(p.invocations()[0].options["grid"], "2x2");
+        assert_eq!(p.invocations()[0].options["strategy"], "recursive-bisection");
+        assert_eq!(p.to_string(), "a{grid=2x2 strategy=recursive-bisection},b");
+        // Canonical strings round-trip exactly.
+        assert_eq!(PipelineSpec::parse(&p.to_string()).unwrap(), p);
+        // Mixed separators are fine; stray commas are not.
+        assert!(PipelineSpec::parse("a{x=1, y=2 z=3}").is_ok());
+        for bad in ["a{k=v,}", "a{,k=v}", "a{k=v,,x=1}"] {
+            assert!(PipelineSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn grid_option_accessor_parses_x_separated_shapes() {
+        let p = PipelineSpec::parse("t{grid=2x3 bad=2y2}").unwrap();
+        let opts = PassOptions::new(p.invocations()[0]);
+        assert_eq!(opts.get_grid("grid").unwrap(), Some(vec![2, 3]));
+        assert!(opts.get_grid("bad").is_err());
+        assert_eq!(opts.get_grid("absent").unwrap(), None);
     }
 
     #[test]

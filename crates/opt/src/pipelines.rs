@@ -41,16 +41,43 @@ pub fn shared_cpu(tile: &[i64], fuse: bool, optimize: bool) -> String {
     p
 }
 
+fn join_x(values: &[i64]) -> String {
+    values.iter().map(i64::to_string).collect::<Vec<_>>().join("x")
+}
+
 /// Distributed CPU: decompose, dedup swaps, lower to loops, then to MPI
-/// calls (§4.2, §4.3).
+/// calls (§4.2, §4.3). Uses the default standard-slicing strategy.
 pub fn distributed(topology: &[i64], fuse: bool, optimize: bool) -> String {
+    distributed_ext(topology, "standard-slicing", None, fuse, optimize)
+}
+
+/// [`distributed`] with an explicit decomposition strategy (and, for
+/// `custom-grid`, its per-dimension factorization). The default
+/// `standard-slicing` is omitted from the pipeline text so the legacy
+/// spelling — and its compile-cache key — is unchanged; any other
+/// strategy becomes a `strategy=` option and therefore a distinct key.
+pub fn distributed_ext(
+    topology: &[i64],
+    strategy: &str,
+    factors: Option<&[i64]>,
+    fuse: bool,
+    optimize: bool,
+) -> String {
     let mut p = String::new();
     prologue(&mut p, fuse);
+    // Options in canonical (sorted-key) order: factors, strategy, topology.
+    let mut opts = String::new();
+    if let Some(f) = factors {
+        let _ = write!(opts, "factors={} ", join_x(f));
+    }
+    if strategy != "standard-slicing" {
+        let _ = write!(opts, "strategy={strategy} ");
+    }
+    let _ = write!(opts, "topology={}", join_i64(topology));
     let _ = write!(
         p,
-        ",distribute-stencil{{topology={}}},shape-inference,dmp-eliminate-redundant-swaps,\
-         convert-stencil-to-loops,dmp-to-mpi,mpi-to-func",
-        join_i64(topology)
+        ",distribute-stencil{{{opts}}},shape-inference,dmp-eliminate-redundant-swaps,\
+         convert-stencil-to-loops,dmp-to-mpi,mpi-to-func"
     );
     epilogue(&mut p, optimize);
     p
@@ -120,6 +147,21 @@ mod tests {
         let unfused = shared_cpu(&[32], false, false);
         assert!(!unfused.contains("stencil-fusion"));
         assert!(!unfused.contains("cse"));
+    }
+
+    #[test]
+    fn strategy_options_thread_through_and_stay_canonical() {
+        let rb = distributed_ext(&[4], "recursive-bisection", None, true, true);
+        assert!(rb.contains("distribute-stencil{strategy=recursive-bisection topology=4}"), "{rb}");
+        let spec = PipelineSpec::parse(&rb).unwrap();
+        assert_eq!(spec.to_string(), rb, "strategy pipelines print canonically");
+        let cg = distributed_ext(&[4], "custom-grid", Some(&[1, 4]), true, true);
+        assert!(cg.contains("{factors=1x4 strategy=custom-grid topology=4}"), "{cg}");
+        // The default strategy keeps the legacy spelling (and cache key).
+        assert_eq!(distributed_ext(&[4], "standard-slicing", None, true, true), {
+            distributed(&[4], true, true)
+        });
+        assert_ne!(rb, distributed(&[4], true, true));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::sync::{Arc, OnceLock};
 
 use sten_ir::{DialectRegistry, Pass, PassKind};
 
-use crate::pipeline::{edit_distance, PassInvocation, PassOptions, PipelineElement, PipelineSpec};
+use crate::pipeline::{PassInvocation, PassOptions, PipelineElement, PipelineSpec};
 use crate::PipelineError;
 
 /// Context handed to pass factories: some passes (CSE/DCE/LICM) need
@@ -256,12 +256,7 @@ impl PassRegistry {
     }
 
     fn closest_match(&self, name: &str) -> Option<String> {
-        self.entries
-            .keys()
-            .map(|k| (edit_distance(name, k), *k))
-            .filter(|(d, k)| *d <= 3 && *d * 3 <= k.len().max(name.len()))
-            .min_by_key(|(d, _)| *d)
-            .map(|(_, k)| k.to_string())
+        crate::pipeline::closest(name, self.entries.keys().copied()).map(str::to_string)
     }
 }
 
@@ -353,25 +348,61 @@ pub fn register_stencil_passes(reg: &mut PassRegistry) {
     );
 }
 
+/// Did-you-mean over the registered decomposition strategy names.
+fn closest_strategy(name: &str) -> Option<&'static str> {
+    crate::pipeline::closest(name, sten_dmp::STRATEGY_NAMES)
+}
+
 /// Registers the `dmp` dialect's passes.
 pub fn register_dmp_passes(reg: &mut PassRegistry) {
     reg.register(
         "distribute-stencil",
-        "decompose the global domain over a rank topology (option topology=N0:N1:…)",
+        "decompose the global domain over a rank topology (options grid=2x2 | topology=2:2, \
+         strategy=standard-slicing|recursive-bisection|custom-grid, factors=1x4, rank=N)",
         |opts, _| {
-            let topology = opts.get_i64_list("topology")?.ok_or_else(|| {
-                PipelineError::bad_option(
-                    "distribute-stencil",
-                    "missing required option 'topology' (e.g. topology=2:2)",
-                )
-            })?;
-            if topology.is_empty() || topology.iter().any(|&n| n <= 0) {
-                return Err(PipelineError::bad_option(
-                    "distribute-stencil",
-                    format!("topology entries must be positive, got {topology:?}"),
-                ));
+            let bad = |m: String| PipelineError::bad_option("distribute-stencil", m);
+            let topology = opts.get_i64_list("topology")?;
+            let grid = opts.get_grid("grid")?;
+            let grid = match (grid, topology) {
+                (Some(_), Some(_)) => {
+                    return Err(bad("options 'grid' and 'topology' are mutually exclusive".into()))
+                }
+                (Some(g), None) | (None, Some(g)) => g,
+                (None, None) => {
+                    return Err(bad(
+                        "missing required option 'grid' (e.g. grid=2x2; the ':'-separated \
+                         spelling topology=2:2 is also accepted)"
+                            .into(),
+                    ))
+                }
+            };
+            if grid.is_empty() || grid.iter().any(|&n| n <= 0) {
+                return Err(bad(format!("grid entries must be positive, got {grid:?}")));
             }
-            Ok(Box::new(sten_dmp::DistributeStencil::new(topology)))
+            let strategy_name = opts.get_str("strategy").unwrap_or("standard-slicing");
+            let factors = opts.get_grid("factors")?;
+            if !sten_dmp::STRATEGY_NAMES.contains(&strategy_name) {
+                let mut m = format!(
+                    "unknown strategy '{strategy_name}' (expected one of: {})",
+                    sten_dmp::STRATEGY_NAMES.join(", ")
+                );
+                if let Some(s) = closest_strategy(strategy_name) {
+                    m.push_str(&format!(" — did you mean '{s}'?"));
+                }
+                return Err(bad(m));
+            }
+            if let Some(f) = &factors {
+                if f.is_empty() || f.iter().any(|&n| n <= 0) {
+                    return Err(bad(format!("factors entries must be positive, got {f:?}")));
+                }
+            }
+            let strategy = sten_dmp::make_strategy(strategy_name, factors).map_err(bad)?;
+            let rank = opts.get_i64("rank")?.unwrap_or(0);
+            let ranks: i64 = grid.iter().product();
+            if rank < 0 || rank >= ranks {
+                return Err(bad(format!("rank {rank} outside the {ranks}-rank topology {grid:?}")));
+            }
+            Ok(Box::new(sten_dmp::DistributeStencil::with_strategy(grid, strategy).for_rank(rank)))
         },
     );
     reg.register(
@@ -430,7 +461,7 @@ pub fn register_target_passes(reg: &mut PassRegistry) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::PipelineSpec;
+    use crate::pipeline::{edit_distance, PipelineSpec};
 
     fn ctx() -> PassContext {
         let mut reg = DialectRegistry::new();
@@ -515,6 +546,74 @@ mod tests {
         let p = PipelineSpec::parse("distribute-stencil").unwrap();
         let err = expect_err(reg.instantiate(p.invocations()[0], &c));
         assert!(err.to_string().contains("topology"), "{err}");
+    }
+
+    #[test]
+    fn distribute_stencil_grid_and_strategy_options() {
+        let reg = PassRegistry::global();
+        let c = ctx();
+        // grid= is the 'x'-separated spelling of topology=.
+        let p = PipelineSpec::parse("distribute-stencil{grid=2x2,strategy=recursive-bisection}")
+            .unwrap();
+        assert_eq!(p.to_string(), "distribute-stencil{grid=2x2 strategy=recursive-bisection}");
+        let pass = reg.instantiate(p.invocations()[0], &c).unwrap();
+        assert_eq!(pass.name(), "distribute-stencil");
+        // The strategy actually selects: 4 ranks bisect a square domain
+        // into a 2x2 layout, which standard slicing would keep as 4x1.
+        let run = |pipeline: &str| {
+            let mut m = sten_stencil::samples::heat_2d(64, 0.1);
+            sten_ir::Pass::run(&sten_stencil::ShapeInference, &mut m).unwrap();
+            let spec = PipelineSpec::parse(pipeline).unwrap();
+            reg.instantiate(spec.invocations()[0], &c).unwrap().run(&mut m).unwrap();
+            let f = m.lookup_symbol("heat").unwrap();
+            f.attr("dmp.grid").and_then(sten_ir::Attribute::as_grid).unwrap().to_vec()
+        };
+        assert_eq!(run("distribute-stencil{grid=4 strategy=recursive-bisection}"), vec![2, 2]);
+        assert_eq!(run("distribute-stencil{grid=4}"), vec![4]);
+        assert_eq!(run("distribute-stencil{factors=1x4 grid=4 strategy=custom-grid}"), vec![1, 4]);
+        // grid and topology are alternative spellings, not companions.
+        let p = PipelineSpec::parse("distribute-stencil{grid=2x2 topology=2:2}").unwrap();
+        let err = expect_err(reg.instantiate(p.invocations()[0], &c));
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        // rank= must address a rank inside the topology.
+        let p = PipelineSpec::parse("distribute-stencil{grid=2x2 rank=4}").unwrap();
+        let err = expect_err(reg.instantiate(p.invocations()[0], &c));
+        assert!(err.to_string().contains("outside the 4-rank topology"), "{err}");
+    }
+
+    #[test]
+    fn unknown_strategy_gets_a_did_you_mean() {
+        let reg = PassRegistry::global();
+        let p =
+            PipelineSpec::parse("distribute-stencil{grid=2x2 strategy=recursive-bisect}").unwrap();
+        let err = expect_err(reg.instantiate(p.invocations()[0], &ctx()));
+        let text = err.to_string();
+        assert!(text.contains("unknown strategy"), "{text}");
+        assert!(text.contains("did you mean 'recursive-bisection'"), "{text}");
+        // factors= without custom-grid is rejected.
+        let p = PipelineSpec::parse("distribute-stencil{factors=1x4 grid=4}").unwrap();
+        let err = expect_err(reg.instantiate(p.invocations()[0], &ctx()));
+        assert!(err.to_string().contains("custom-grid"), "{err}");
+    }
+
+    #[test]
+    fn distinct_strategies_produce_distinct_cache_keys() {
+        let fp = crate::cache::registry_fingerprint(&ctx().registry);
+        let module = "builtin.module {}";
+        let key_of = |pipeline: &str| {
+            let spec = PipelineSpec::parse(pipeline).unwrap();
+            crate::cache::CacheKey::derive(module, &spec.to_string(), true, fp)
+        };
+        let standard = key_of("distribute-stencil{grid=2x2}");
+        let explicit = key_of("distribute-stencil{grid=2x2 strategy=standard-slicing}");
+        let bisect = key_of("distribute-stencil{grid=2x2 strategy=recursive-bisection}");
+        let comma_spelled = key_of("distribute-stencil{grid=2x2,strategy=recursive-bisection}");
+        assert_ne!(standard, bisect);
+        assert_ne!(explicit, bisect);
+        assert_eq!(
+            bisect, comma_spelled,
+            "comma and space option spellings canonicalise to one key"
+        );
     }
 
     #[test]

@@ -151,6 +151,48 @@ fn nested_pipelines_run_identically_with_and_without_parallelism() {
 }
 
 #[test]
+fn decomposition_strategy_options_end_to_end() {
+    // A 127×127 core does not divide by 2 in either dimension: balanced
+    // slabs distribute it anyway, and recursive-bisection keeps the 2x2
+    // layout on the square domain.
+    let ir = sten_ir::print_module(&sten_stencil::samples::heat_2d(127, 0.1));
+    let run = |pipeline: &str| {
+        let mut child = sten_opt()
+            .args(["-p", pipeline, "--verify-each"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.take().unwrap().write_all(ir.as_bytes()).unwrap();
+        child.wait_with_output().unwrap()
+    };
+    let out = run("shape-inference,distribute-stencil{grid=2x2,strategy=recursive-bisection},\
+                   shape-inference");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("#dmp.grid<2x2>"), "{text}");
+    // Rank 0 of the uneven decomposition owns a 64x64 slab (127 = 64+63)
+    // and records its coordinates.
+    assert!(text.contains("dmp.coords"), "{text}");
+    sten_ir::parse_module(&text).unwrap();
+
+    // Rank 3 gets the 63x63 remainder slab.
+    let out =
+        run("shape-inference,distribute-stencil{grid=2x2,rank=3,strategy=recursive-bisection},\
+         shape-inference");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let rank3 = String::from_utf8(out.stdout).unwrap();
+    assert_ne!(text, rank3, "uneven slabs are rank-dependent");
+
+    // A typo in the strategy fails before anything runs, with a hint.
+    let out = run("shape-inference,distribute-stencil{grid=2x2,strategy=recursive-bisect}");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("did you mean 'recursive-bisection'"), "{stderr}");
+}
+
+#[test]
 fn unknown_anchor_fails_with_a_suggestion() {
     let mut child = sten_opt()
         .args(["-p", "func.fnc(cse,dce)"])

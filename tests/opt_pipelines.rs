@@ -32,8 +32,11 @@ fn legacy_compile(mut module: Module, options: &CompileOptions) -> String {
             pm.add(sten::StencilToLoops);
             pm.add(sten::TileParallelLoops::new(tile.clone()));
         }
-        Target::DistributedCpu { topology } => {
-            pm.add(dmp::DistributeStencil::new(topology.clone()));
+        Target::DistributedCpu { topology, strategy } => {
+            let strategy =
+                dmp::make_strategy(strategy.name(), strategy.factors().map(<[i64]>::to_vec))
+                    .unwrap();
+            pm.add(dmp::DistributeStencil::with_strategy(topology.clone(), strategy));
             pm.add(sten::ShapeInference);
             pm.add(dmp::EliminateRedundantSwaps);
             pm.add(sten::StencilToLoops);

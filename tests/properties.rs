@@ -5,42 +5,73 @@ mod common;
 
 use common::Rng;
 use stencil_stack::dmp::decomposition::{
-    coords_to_rank, neighbor_rank, rank_to_coords, DecompositionStrategy, StandardSlicing,
+    coords_to_rank, neighbor_rank, rank_to_coords, CustomGrid, DecompositionStrategy,
+    RecursiveBisection, StandardSlicing,
 };
 use stencil_stack::prelude::*;
 
-/// The local cores of all ranks tile the global core exactly: equal
-/// sizes, no gaps (they are congruent translates along each axis).
+/// For random (possibly uneven) domains and grids, every strategy's
+/// per-rank cores tile the global core exactly: disjoint and covering,
+/// with per-dimension sizes differing by at most one cell.
 #[test]
 fn decomposition_partitions_the_domain() {
     for seed in 0..128u64 {
         let mut rng = Rng::new(seed);
-        let size_factors: Vec<i64> =
-            (0..rng.range_usize(1, 3)).map(|_| rng.range_i64(1, 6)).collect();
-        let grid: Vec<i64> = (0..rng.range_usize(1, 3)).map(|_| rng.range_i64(1, 5)).collect();
+        let dims_n = rng.range_usize(1, 4);
+        let grid: Vec<i64> =
+            (0..rng.range_usize(1, dims_n + 1)).map(|_| rng.range_i64(1, 5)).collect();
         let lb = rng.range_i64(-10, 10);
-
-        let rank = size_factors.len().max(grid.len());
+        // Uneven on purpose: extents need not divide by the grid, only
+        // fit at least one cell per rank along each decomposed dim.
         let mut dims = Vec::new();
-        for d in 0..rank {
+        for d in 0..dims_n {
             let g = grid.get(d).copied().unwrap_or(1);
-            let f = size_factors.get(d).copied().unwrap_or(1);
-            dims.push((lb, lb + g * f * 4)); // divisible by construction
+            dims.push((lb, lb + g + rng.range_i64(0, 20)));
         }
         let global = Bounds::new(dims);
-        let grid_v: Vec<i64> = (0..rank).map(|d| grid.get(d).copied().unwrap_or(1)).collect();
-        let local = StandardSlicing::new().local_core(&global, &grid_v).unwrap();
+        let ranks: i64 = grid.iter().product();
 
-        // Size: product over dims of local size × ranks == global points.
-        let ranks: i64 = grid_v.iter().product();
-        assert_eq!(local.num_points() * ranks, global.num_points(), "seed {seed}");
-        // Per-dimension: local size × grid = global size.
-        for d in 0..rank {
-            assert_eq!(
-                local.size(d) * grid_v.get(d).copied().unwrap_or(1),
-                global.size(d),
-                "seed {seed} dim {d}"
-            );
+        let strategies: Vec<Box<dyn DecompositionStrategy>> = vec![
+            Box::new(StandardSlicing::new()),
+            Box::new(RecursiveBisection::new()),
+            Box::new(CustomGrid::new(grid.clone())),
+        ];
+        for s in &strategies {
+            let Ok(layout) = s.layout(&global, &grid) else {
+                // recursive-bisection may refuse grids it cannot place
+                // (more ranks than cells in every splittable dim).
+                continue;
+            };
+            assert_eq!(layout.iter().product::<i64>(), ranks, "seed {seed} {}", s.name());
+            let mut covered = std::collections::HashSet::new();
+            let mut per_dim_sizes: Vec<std::collections::HashSet<i64>> =
+                vec![std::collections::HashSet::new(); global.rank()];
+            for r in 0..ranks {
+                let coords = rank_to_coords(r, &layout);
+                let local = s
+                    .local_core(&global, &layout, &coords)
+                    .unwrap_or_else(|e| panic!("seed {seed} {}: rank {r}: {e}", s.name()));
+                assert!(global.contains(&local), "seed {seed} {}", s.name());
+                assert!(local.num_points() > 0, "seed {seed} {}: empty rank", s.name());
+                for (d, sizes) in per_dim_sizes.iter_mut().enumerate() {
+                    sizes.insert(local.size(d));
+                }
+                // Mark every owned cell: disjointness is exact.
+                for pt in local.points() {
+                    assert!(
+                        covered.insert(pt.clone()),
+                        "seed {seed} {}: cell {pt:?} owned twice",
+                        s.name()
+                    );
+                }
+            }
+            // Disjoint (asserted above) + full count ⟹ covering.
+            assert_eq!(covered.len() as i64, global.num_points(), "seed {seed} {}", s.name());
+            // Balanced: sizes along each dim differ by at most one.
+            for (d, sizes) in per_dim_sizes.iter().enumerate() {
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "seed {seed} {} dim {d}: {sizes:?}", s.name());
+            }
         }
     }
 }
@@ -95,11 +126,11 @@ fn rank_coordinate_bijection() {
             for d in 0..grid.len() {
                 let mut dir = vec![0i64; grid.len()];
                 dir[d] = 1;
-                match neighbor_rank(r, &grid, &dir) {
+                match neighbor_rank(r, &grid, &dir).unwrap() {
                     Some(n) => {
                         let mut back = vec![0i64; grid.len()];
                         back[d] = -1;
-                        assert_eq!(neighbor_rank(n, &grid, &back), Some(r), "seed {seed}");
+                        assert_eq!(neighbor_rank(n, &grid, &back).unwrap(), Some(r), "seed {seed}");
                     }
                     None => assert_eq!(c[d], grid[d] - 1, "seed {seed}"),
                 }

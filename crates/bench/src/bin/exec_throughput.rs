@@ -1,0 +1,223 @@
+//! `exec_throughput` — wall-clock Gpts/s of the sten-exec executor tiers.
+//!
+//! Measures jacobi-1d / heat-2d / heat-3d through every executor tier
+//! (`eval` → `opt-bytecode` → `weighted-sum`) plus one multi-threaded
+//! run through the persistent worker pool, prints a table, and emits
+//! `BENCH_exec.json` so the perf trajectory is recorded in-repo.
+//!
+//! ```text
+//! cargo run --release -p sten-bench --bin exec_throughput            # full
+//! cargo run --release -p sten-bench --bin exec_throughput -- --smoke # CI
+//! ```
+//!
+//! `--smoke` shrinks the grids and pins 1 rep so tier selection and the
+//! JSON emitter stay exercised in CI without burning minutes; numbers
+//! from smoke mode are *not* meaningful throughput.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use stencil_core::exec::{Pipeline, Step, TierKind};
+use stencil_core::ir::Pass as _;
+use stencil_core::prelude::*;
+
+struct Args {
+    smoke: bool,
+    out: String,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { smoke: false, out: "BENCH_exec.json".into(), threads: 0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--threads" => {
+                args.threads = it.next().and_then(|v| v.parse().ok()).expect("--threads <n>")
+            }
+            other => panic!("unknown argument '{other}' (expected --smoke | --out | --threads)"),
+        }
+    }
+    if args.threads == 0 {
+        args.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    }
+    args
+}
+
+struct Case {
+    name: &'static str,
+    func: &'static str,
+    module: Module,
+}
+
+fn cases(smoke: bool) -> Vec<Case> {
+    let mut jacobi = stencil_core::stencil::samples::jacobi_1d(if smoke { 4096 } else { 1 << 21 });
+    let mut heat2d = stencil_core::stencil::samples::heat_2d(if smoke { 48 } else { 1024 }, 0.1);
+    stencil_core::stencil::ShapeInference.run(&mut jacobi).unwrap();
+    stencil_core::stencil::ShapeInference.run(&mut heat2d).unwrap();
+    // 3D heat comes through the Devito frontend (no 3D hand-built
+    // sample): `step` updates u(t+1) from u(t) with a 7-point star.
+    let n3 = if smoke { 12 } else { 64 };
+    let heat3d = stencil_core::devito::problems::heat(&[n3, n3, n3], 2, 0.5)
+        .expect("heat-3d operator")
+        .compile()
+        .expect("heat-3d compiles");
+    vec![
+        Case { name: "jacobi-1d", func: "jacobi", module: jacobi },
+        Case { name: "heat-2d", func: "heat", module: heat2d },
+        Case { name: "heat-3d", func: "step", module: heat3d },
+    ]
+}
+
+fn selected_tier(p: &Pipeline) -> &'static str {
+    p.steps
+        .iter()
+        .find_map(|s| match s {
+            Step::Apply { kernel, .. } => Some(kernel.tier_kind().name()),
+            _ => None,
+        })
+        .unwrap_or("none")
+}
+
+struct Measurement {
+    requested: &'static str,
+    selected: &'static str,
+    threads: usize,
+    reps: usize,
+    seconds: f64,
+    gpts_per_s: f64,
+}
+
+/// Runs `reps` timesteps (after one warm-up step) and returns the
+/// measurement. Buffers are re-seeded per tier so every tier sees the
+/// same data.
+fn measure(
+    pipeline: &Pipeline,
+    requested: &'static str,
+    tier: Option<TierKind>,
+    threads: usize,
+    smoke: bool,
+) -> Measurement {
+    let mut p = pipeline.clone();
+    p.respecialize(tier);
+    let selected = selected_tier(&p);
+    let points = p.points_per_step();
+    let mut args: Vec<Vec<f64>> = p
+        .arg_shapes
+        .iter()
+        .map(|s| {
+            let len = s.iter().product::<i64>().max(0) as usize;
+            (0..len).map(|i| (i as f64 * 0.001).sin()).collect()
+        })
+        .collect();
+    let mut runner = Runner::new(p, threads);
+    runner.step(&mut args).expect("warm-up step");
+    let reps = if smoke {
+        1
+    } else {
+        // Calibrate to ~0.5 s per tier.
+        let t0 = Instant::now();
+        runner.step(&mut args).expect("calibration step");
+        let per = t0.elapsed().as_secs_f64().max(1e-6);
+        ((0.5 / per).ceil() as usize).clamp(1, 10_000)
+    };
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        runner.step(&mut args).expect("timed step");
+    }
+    let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+    Measurement {
+        requested,
+        selected,
+        threads,
+        reps,
+        seconds,
+        gpts_per_s: points as f64 * reps as f64 / seconds / 1e9,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let tiers: [(&'static str, Option<TierKind>); 3] = [
+        ("eval", Some(TierKind::Eval)),
+        ("opt-bytecode", Some(TierKind::OptBytecode)),
+        ("weighted-sum", Some(TierKind::WeightedSum)),
+    ];
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"sten-exec-throughput/v1\",");
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"parallel_threads\": {},", args.threads);
+    let _ = writeln!(json, "  \"kernels\": [");
+    let mut rows = Vec::new();
+    let mut heat2d_speedup = None;
+    let cases = cases(args.smoke);
+    for (ci, case) in cases.iter().enumerate() {
+        let pipeline = compile_pipeline(&case.module, case.func).expect("pipeline compiles");
+        let grid = pipeline.arg_shapes[0].clone();
+        let points = pipeline.points_per_step();
+        let mut ms: Vec<Measurement> = tiers
+            .iter()
+            .map(|&(name, tier)| measure(&pipeline, name, tier, 1, args.smoke))
+            .collect();
+        let eval_gpts = ms[0].gpts_per_s;
+        ms.push(measure(&pipeline, "auto-parallel", None, args.threads, args.smoke));
+        if case.name == "heat-2d" {
+            let ws = ms.iter().find(|m| m.requested == "weighted-sum").unwrap();
+            heat2d_speedup = Some(ws.gpts_per_s / eval_gpts);
+        }
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", case.name);
+        let _ = writeln!(json, "      \"func\": \"{}\",", case.func);
+        let _ = writeln!(
+            json,
+            "      \"grid\": [{}],",
+            grid.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        let _ = writeln!(json, "      \"points_per_step\": {points},");
+        let _ = writeln!(json, "      \"measurements\": [");
+        for (mi, m) in ms.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"requested\": \"{}\", \"selected\": \"{}\", \"threads\": {}, \
+                 \"reps\": {}, \"seconds\": {:.6}, \"gpts_per_s\": {:.6}, \
+                 \"speedup_vs_eval\": {:.3}}}{}",
+                m.requested,
+                m.selected,
+                m.threads,
+                m.reps,
+                m.seconds,
+                m.gpts_per_s,
+                m.gpts_per_s / eval_gpts,
+                if mi + 1 == ms.len() { "" } else { "," }
+            );
+            rows.push(vec![
+                case.name.to_string(),
+                m.requested.to_string(),
+                m.selected.to_string(),
+                m.threads.to_string(),
+                m.reps.to_string(),
+                format!("{:.4}", m.gpts_per_s),
+                format!("{:.2}x", m.gpts_per_s / eval_gpts),
+            ]);
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(json, "    }}{}", if ci + 1 == cases.len() { "" } else { "," });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    sten_bench::print_table(
+        &format!(
+            "sten-exec executor-tier throughput ({})",
+            if args.smoke { "SMOKE — numbers not meaningful" } else { "full" }
+        ),
+        &["kernel", "requested", "selected", "thr", "reps", "Gpts/s", "vs eval"],
+        &rows,
+    );
+    if let Some(s) = heat2d_speedup {
+        println!("\nheat-2d weighted-sum vs eval (serial): {s:.2}x");
+    }
+    std::fs::write(&args.out, json).expect("write BENCH_exec.json");
+    println!("wrote {}", args.out);
+}

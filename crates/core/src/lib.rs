@@ -290,7 +290,10 @@ pub mod prelude {
         compile, standard_registry, CompileError, CompileOptions, Compiled, DecompStrategy, Target,
     };
     pub use sten_devito::{problems, solve, Eq, Grid, Operator, OptLevel, TimeFunction};
-    pub use sten_exec::{compile_module as compile_pipeline, Runner};
+    pub use sten_exec::{
+        compile_module as compile_pipeline, compile_module_tiered as compile_pipeline_tiered,
+        Runner, TierKind,
+    };
     pub use sten_interp::{
         run_spmd, run_spmd_modules, ArgSpec, BufView, Interpreter, RtValue, SimWorld,
     };

@@ -8,19 +8,28 @@
 //!   bytecode ([`program::KernelProgram`]), with exact flop/load counts
 //!   per grid point (consumed by `sten-perf` to compute arithmetic
 //!   intensities from *real* IR rather than hand-waved estimates);
+//! * [`specialize`] — the kernel specialization engine: compiles each
+//!   [`program::KernelProgram`] into the fastest applicable executor
+//!   tier (`eval` → `opt-bytecode` → `weighted-sum`) at pipeline-build
+//!   time, bit-for-bit identical to the reference interpreter;
 //! * [`pipeline`] — compiles a whole stencil-level function
 //!   (`load`/`apply`/`store`/`dmp.swap` sequences) into an executable
 //!   [`pipeline::Pipeline`]; [`pipeline::Runner`] executes timesteps
-//!   serially, with shared-memory parallelism (the OpenMP substitute:
-//!   scoped threads over outer-dimension chunks), or SPMD-distributed over
-//!   a [`sten_interp::SimWorld`] (ranks-as-threads, the mpirun
+//!   serially, on a persistent [`pool::WorkerPool`] (the OpenMP
+//!   substitute: longest-dimension chunks onto long-lived workers with
+//!   reusable scratch), or SPMD-distributed over a
+//!   [`sten_interp::SimWorld`] (ranks-as-threads, the mpirun
 //!   substitute).
 //!
 //! Numerical results are bit-identical to the `sten-interp` tree-walker on
 //! the same module — the workspace tests enforce this.
 
 pub mod pipeline;
+pub mod pool;
 pub mod program;
+pub mod specialize;
 
-pub use pipeline::{compile_module, BufId, Pipeline, Runner, Step};
-pub use program::{CompiledKernel, Instr, KernelProgram};
+pub use pipeline::{compile_module, compile_module_tiered, BufId, Pipeline, Runner, Step};
+pub use pool::WorkerPool;
+pub use program::{split_longest_dim, BinOp, CompiledKernel, ExecScratch, Instr, KernelProgram};
+pub use specialize::{SpecializedKernel, Tier, TierKind};

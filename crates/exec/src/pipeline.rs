@@ -6,7 +6,11 @@
 //! timesteps through a [`Runner`] — serially, with thread parallelism, or
 //! SPMD-distributed over SimMPI.
 
-use crate::program::{compile_apply, CompiledKernel, InputDesc};
+use crate::pool::{Job, WorkerPool};
+use crate::program::{
+    compile_apply, rematerialize_outs, split_longest_dim, ExecScratch, InputDesc, SendPtr,
+};
+use crate::specialize::{SpecializedKernel, TierKind};
 use std::collections::HashMap;
 use std::sync::Arc;
 use sten_interp::SimWorld;
@@ -24,10 +28,10 @@ pub enum BufId {
 /// One executable step.
 #[derive(Clone, Debug)]
 pub enum Step {
-    /// Run a compiled kernel.
+    /// Run a compiled kernel through its specialized executor tier.
     Apply {
-        /// The kernel.
-        kernel: CompiledKernel,
+        /// The kernel, specialized at pipeline-build time.
+        kernel: SpecializedKernel,
         /// Input buffers (parallel to the kernel's inputs).
         inputs: Vec<BufId>,
         /// Output buffers (parallel to the kernel's outputs).
@@ -113,26 +117,67 @@ impl Pipeline {
             })
             .sum()
     }
+
+    /// Re-specializes every apply kernel (`None` = automatic selection).
+    /// Lets benchmarks and tests pin an executor tier per pipeline
+    /// without touching the process-wide `STEN_EXEC_TIER` override.
+    pub fn respecialize(&mut self, tier: Option<TierKind>) {
+        for step in &mut self.steps {
+            if let Step::Apply { kernel, .. } = step {
+                *kernel = SpecializedKernel::specialize(kernel.kernel.clone(), tier);
+            }
+        }
+    }
+
+    /// One line per apply step describing the selected executor tier,
+    /// e.g. `apply#0: weighted-sum (5 taps, tree; rank 2) [3844 pts]`.
+    pub fn tier_summary(&self) -> Vec<String> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Apply { kernel, .. } => {
+                    Some(format!("{} [{} pts]", kernel.tier_label(), kernel.points()))
+                }
+                _ => None,
+            })
+            .enumerate()
+            .map(|(i, l)| format!("apply#{i}: {l}"))
+            .collect()
+    }
 }
 
 /// Executes a [`Pipeline`].
+///
+/// A runner owns a persistent [`WorkerPool`] (when `threads > 1`):
+/// workers are spawned once and reused across every apply of every
+/// timestep, each holding a long-lived [`ExecScratch`], instead of the
+/// seed's `thread::scope` spawn-per-apply.
 pub struct Runner {
     /// The compiled pipeline.
     pub pipeline: Pipeline,
     /// Worker threads for apply steps (1 = serial).
     pub threads: usize,
     tmps: Vec<Vec<f64>>,
+    pool: Option<WorkerPool>,
+    scratch: ExecScratch,
 }
 
 impl Runner {
-    /// Creates a runner, allocating the intermediates.
+    /// Creates a runner, allocating the intermediates and (for
+    /// `threads > 1`) spawning the worker pool.
     pub fn new(pipeline: Pipeline, threads: usize) -> Runner {
         let tmps = pipeline
             .tmp_shapes
             .iter()
             .map(|s| vec![0.0; s.iter().product::<i64>().max(0) as usize])
             .collect();
-        Runner { pipeline, threads, tmps }
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+        Runner { pipeline, threads, tmps, pool, scratch: ExecScratch::new() }
+    }
+
+    /// The executor-tier lines of the underlying pipeline.
+    pub fn tier_summary(&self) -> Vec<String> {
+        self.pipeline.tier_summary()
     }
 
     /// Runs one timestep on single-process data.
@@ -168,7 +213,8 @@ impl Runner {
         assert_eq!(args.len(), self.pipeline.num_args, "argument count mismatch");
         let pipeline = &self.pipeline;
         let tmps = &mut self.tmps;
-        let threads = self.threads;
+        let pool = &mut self.pool;
+        let scratch = &mut self.scratch;
         // Steps are executed in order; buffers are disjoint Vec<f64>s.
         for step in &pipeline.steps {
             match step {
@@ -205,7 +251,7 @@ impl Runner {
                             },
                         })
                         .collect();
-                    kernel.execute_parallel(&input_slices, &mut out_slices, threads);
+                    run_apply(kernel, &input_slices, &mut out_slices, pool.as_mut(), scratch);
                 }
                 Step::Swap { buf, grid, exchanges } => {
                     let Some(world) = world else {
@@ -264,6 +310,44 @@ impl Runner {
     }
 }
 
+/// Executes one apply step: serially (reusing the runner's scratch) when
+/// there is no pool, else chunked over the longest dimension onto the
+/// persistent workers.
+fn run_apply(
+    kernel: &SpecializedKernel,
+    inputs: &[&[f64]],
+    outs: &mut [&mut [f64]],
+    pool: Option<&mut WorkerPool>,
+    scratch: &mut ExecScratch,
+) {
+    let range = kernel.range.clone();
+    let Some(pool) = pool else {
+        kernel.execute_rows(inputs, outs, &range, scratch);
+        return;
+    };
+    let subs = split_longest_dim(&range, pool.threads());
+    if subs.len() <= 1 {
+        kernel.execute_rows(inputs, outs, &range, scratch);
+        return;
+    }
+    let out_ptrs: Vec<SendPtr> =
+        outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr(), o.len())).collect();
+    let out_ptrs = &out_ptrs;
+    let jobs: Vec<Job> = subs
+        .into_iter()
+        .map(|sub| {
+            Box::new(move |scratch: &mut ExecScratch| {
+                // SAFETY: the chunks are disjoint slabs of one dimension
+                // and each point writes only its own output cells;
+                // `WorkerPool::run` joins every job before returning.
+                let mut outs = unsafe { rematerialize_outs(out_ptrs) };
+                kernel.execute_rows(inputs, &mut outs, &sub, scratch);
+            }) as Job
+        })
+        .collect();
+    pool.run(jobs);
+}
+
 /// Performs one `dmp.swap` on plain data through a SimMPI world
 /// (buffered sends first, then blocking receives — deadlock-free).
 fn swap_exchange(
@@ -276,7 +360,7 @@ fn swap_exchange(
 ) -> Result<(), String> {
     use sten_dmp::decomposition::neighbor_rank;
     use sten_mpi::dmp_to_mpi::tag_for_direction;
-    let desc = InputDesc { shape: shape.to_vec(), lb: vec![0; shape.len()] };
+    let desc = InputDesc::new(shape.to_vec(), vec![0; shape.len()]);
     let gather = |data: &[f64], at: &[i64], size: &[i64]| -> Vec<f64> {
         let range = Bounds::new(at.iter().zip(size).map(|(&a, &s)| (a, a + s)).collect());
         let mut out = Vec::with_capacity(range.num_points() as usize);
@@ -347,13 +431,23 @@ fn swap_exchange(
 }
 
 /// Compiles the function `func` of a shape-inferred stencil-level module
-/// into a [`Pipeline`].
+/// into a [`Pipeline`], specializing every apply kernel into its
+/// executor tier (honouring the `STEN_EXEC_TIER` override).
 ///
 /// # Errors
 /// Reports unsupported structure (time loops must be driven by the
 /// caller; apply bodies must be compilable — see
 /// [`crate::program::compile_apply`]).
 pub fn compile_module(module: &Module, func: &str) -> Result<Pipeline, String> {
+    compile_module_tiered(module, func, TierKind::from_env())
+}
+
+/// Like [`compile_module`] with an explicit tier pin (`None` = auto).
+pub fn compile_module_tiered(
+    module: &Module,
+    func: &str,
+    tier: Option<TierKind>,
+) -> Result<Pipeline, String> {
     let f = module.lookup_symbol(func).ok_or_else(|| format!("no function '{func}'"))?;
     let block = f.region_block(0);
 
@@ -363,7 +457,7 @@ pub fn compile_module(module: &Module, func: &str) -> Result<Pipeline, String> {
     for (i, &arg) in block.args.iter().enumerate() {
         match module.values.ty(arg) {
             Type::Field(fld) => {
-                let desc = InputDesc { shape: fld.bounds.shape(), lb: fld.bounds.lower() };
+                let desc = InputDesc::new(fld.bounds.shape(), fld.bounds.lower());
                 arg_shapes.push(desc.shape.clone());
                 bufs.insert(arg, (BufId::Arg(i), desc));
             }
@@ -412,7 +506,7 @@ pub fn compile_module(module: &Module, func: &str) -> Result<Pipeline, String> {
                 };
                 bufs.insert(
                     op.result(0),
-                    (id, InputDesc { shape: fld.bounds.shape(), lb: fld.bounds.lower() }),
+                    (id, InputDesc::new(fld.bounds.shape(), fld.bounds.lower())),
                 );
             }
             "dmp.swap" => {
@@ -448,7 +542,7 @@ pub fn compile_module(module: &Module, func: &str) -> Result<Pipeline, String> {
                         output_descs.push(desc.clone());
                         bufs.insert(r, (id, desc));
                     } else {
-                        let desc = InputDesc { shape: b.shape(), lb: b.lower() };
+                        let desc = InputDesc::new(b.shape(), b.lower());
                         let id = BufId::Tmp(tmp_shapes.len());
                         tmp_shapes.push(desc.shape.clone());
                         output_ids.push(id);
@@ -458,6 +552,7 @@ pub fn compile_module(module: &Module, func: &str) -> Result<Pipeline, String> {
                 }
                 let kernel =
                     compile_apply(op, &module.values, input_descs, output_descs, &scalar_consts)?;
+                let kernel = SpecializedKernel::specialize(kernel, tier);
                 steps.push(Step::Apply { kernel, inputs: input_ids, outputs: output_ids });
             }
             "stencil.store" => {

@@ -71,8 +71,9 @@ pub enum BinOp {
 }
 
 impl BinOp {
-    #[inline]
-    fn eval(self, a: f64, b: f64) -> f64 {
+    /// Applies the operator.
+    #[inline(always)]
+    pub fn eval(self, a: f64, b: f64) -> f64 {
         match self {
             BinOp::Add => a + b,
             BinOp::Sub => a - b,
@@ -83,30 +84,116 @@ impl BinOp {
 }
 
 /// Memory layout of one apply input: the buffer it aliases.
+///
+/// Construct through [`InputDesc::new`] so the row-major strides are
+/// computed once instead of on every [`InputDesc::flat`] call.
 #[derive(Clone, Debug, PartialEq)]
 pub struct InputDesc {
     /// Allocation shape (row-major).
     pub shape: Vec<i64>,
     /// Logical coordinate of element `[0, ...]`.
     pub lb: Vec<i64>,
+    /// Cached row-major strides (derived from `shape`).
+    strides: Vec<i64>,
 }
 
 impl InputDesc {
-    /// Row-major strides.
-    pub fn strides(&self) -> Vec<i64> {
-        let rank = self.shape.len();
-        let mut s = vec![1i64; rank];
+    /// Builds a descriptor, caching the row-major strides.
+    pub fn new(shape: Vec<i64>, lb: Vec<i64>) -> InputDesc {
+        let rank = shape.len();
+        let mut strides = vec![1i64; rank];
         for d in (0..rank.saturating_sub(1)).rev() {
-            s[d] = s[d + 1] * self.shape[d + 1];
+            strides[d] = strides[d + 1] * shape[d + 1];
         }
-        s
+        InputDesc { shape, lb, strides }
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> &[i64] {
+        &self.strides
     }
 
     /// Flat index of logical point `p`.
+    #[inline]
     pub fn flat(&self, p: &[i64]) -> i64 {
-        let strides = self.strides();
-        (0..p.len()).map(|d| (p[d] - self.lb[d]) * strides[d]).sum()
+        (0..p.len()).map(|d| (p[d] - self.lb[d]) * self.strides[d]).sum()
     }
+}
+
+/// Reusable per-thread execution scratch: the register file, flat-index
+/// cursors, and (for specialized tiers) the slot array. Hoisted out of
+/// the per-chunk execution calls so worker threads stop reallocating
+/// them on every apply of every timestep.
+#[derive(Clone, Debug, Default)]
+pub struct ExecScratch {
+    /// Bytecode register file.
+    pub regs: Vec<f64>,
+    /// Weighted-sum slot array (taps, consts, combine nodes).
+    pub slots: Vec<f64>,
+    /// Per-input centre flat index of the current row start.
+    pub flats: Vec<i64>,
+    /// Per-output flat index of the current row start.
+    pub out_flats: Vec<i64>,
+    /// Current logical coordinate (for `Index` instructions).
+    pub point: Vec<i64>,
+}
+
+impl ExecScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> ExecScratch {
+        ExecScratch::default()
+    }
+
+    /// Resizes the buffers for a kernel's geometry. Cheap when the sizes
+    /// already match (the steady state inside a timestep loop).
+    pub fn ensure(
+        &mut self,
+        regs: usize,
+        slots: usize,
+        inputs: usize,
+        outputs: usize,
+        rank: usize,
+    ) {
+        self.regs.resize(regs, 0.0);
+        self.slots.resize(slots, 0.0);
+        self.flats.resize(inputs, 0);
+        self.out_flats.resize(outputs, 0);
+        self.point.resize(rank, 0);
+    }
+}
+
+/// Splits `range` into at most `parts` contiguous sub-ranges along its
+/// longest dimension. Any iteration dimension is safe to split: each grid
+/// point writes only its own output cells, so chunks of any dimension
+/// write disjoint cells. Returns fewer than `parts` chunks when the
+/// longest extent is too small to give every chunk at least two rows.
+/// Extent ties break toward the *outermost* dimension, so square domains
+/// keep the cache-friendly outer-slab chunking and stride-1 rows stay
+/// whole.
+pub fn split_longest_dim(range: &Bounds, parts: usize) -> Vec<Bounds> {
+    let rank = range.rank();
+    if rank == 0 || parts <= 1 {
+        return vec![range.clone()];
+    }
+    let dim =
+        (0..rank).max_by_key(|&d| (range.0[d].1 - range.0[d].0, std::cmp::Reverse(d))).unwrap_or(0);
+    let (lb, ub) = range.0[dim];
+    let n = ub - lb;
+    let parts = (parts as i64).min(n / 2).max(1);
+    if parts <= 1 {
+        return vec![range.clone()];
+    }
+    let chunk = (n + parts - 1) / parts;
+    let mut subs = Vec::new();
+    let mut start = lb;
+    while start < ub {
+        let end = (start + chunk).min(ub);
+        let mut sub = range.clone();
+        sub.0[dim] = (start, end);
+        subs.push(sub);
+        start = end;
+    }
+    subs
 }
 
 /// A compiled apply body with its cost model.
@@ -179,43 +266,60 @@ impl CompiledKernel {
     /// # Panics
     /// Panics if buffer lengths don't match the descriptors.
     pub fn execute(&self, inputs: &[&[f64]], outs: &mut [&mut [f64]]) {
-        self.execute_rows(inputs, outs, self.range.clone());
+        let mut scratch = ExecScratch::new();
+        self.execute_rows(inputs, outs, &self.range.clone(), &mut scratch);
     }
 
     /// Executes rows of `range` (which must be a sub-range of
-    /// `self.range`).
-    fn execute_rows(&self, inputs: &[&[f64]], outs: &mut [&mut [f64]], range: Bounds) {
+    /// `self.range`) reusing `scratch` across calls.
+    pub fn execute_rows(
+        &self,
+        inputs: &[&[f64]],
+        outs: &mut [&mut [f64]],
+        range: &Bounds,
+        scratch: &mut ExecScratch,
+    ) {
         let rank = range.rank();
         debug_assert!(rank >= 1);
-        let mut regs = vec![0.0f64; self.program.num_regs as usize];
+        scratch.ensure(
+            self.program.num_regs as usize,
+            0,
+            self.inputs.len(),
+            self.outputs.len(),
+            rank,
+        );
         let last = rank - 1;
         let (last_lb, last_ub) = range.0[last];
         if last_ub <= last_lb {
             return;
         }
+        let regs = &mut scratch.regs;
+        let flats = &mut scratch.flats;
+        let out_flats = &mut scratch.out_flats;
+        let p = &mut scratch.point;
         // Odometer over the outer dims; inner loop over the last dim.
-        let mut p: Vec<i64> = range.lower();
-        let mut flats = vec![0i64; self.inputs.len()];
-        let mut out_flats = vec![0i64; self.outputs.len()];
+        for (d, &(lb, _)) in range.0.iter().enumerate() {
+            p[d] = lb;
+        }
         loop {
             p[last] = last_lb;
             for (i, d) in self.inputs.iter().enumerate() {
-                flats[i] = d.flat(&p);
+                flats[i] = d.flat(p);
             }
             for (i, d) in self.outputs.iter().enumerate() {
-                out_flats[i] = d.flat(&p);
+                out_flats[i] = d.flat(p);
             }
             for x in 0..(last_ub - last_lb) {
                 p[last] = last_lb + x;
-                self.program.eval(inputs, &flats, &p, &mut regs);
+                self.program.eval(inputs, flats, p, regs);
                 for (o, &reg) in self.program.outputs.iter().enumerate() {
                     outs[o][out_flats[o] as usize] = regs[reg as usize];
                 }
                 // Advance one element along the (stride-1) last dimension.
-                for f in &mut flats {
+                for f in flats.iter_mut() {
                     *f += 1;
                 }
-                for f in &mut out_flats {
+                for f in out_flats.iter_mut() {
                     *f += 1;
                 }
             }
@@ -239,49 +343,63 @@ impl CompiledKernel {
         }
     }
 
-    /// Executes with `threads` workers, chunking the outermost dimension.
-    ///
-    /// # Safety invariants
-    /// Each worker writes a disjoint set of output cells (distinct
-    /// outermost-index slabs), so the shared mutable output pointers never
-    /// alias at the cell level.
+    /// Executes with `threads` workers, chunking the *longest* dimension
+    /// (not necessarily dim 0 — a `[4, 4096]` range parallelizes over the
+    /// 4096-row inner dimension).
     pub fn execute_parallel(&self, inputs: &[&[f64]], outs: &mut [&mut [f64]], threads: usize) {
-        let (lb0, ub0) = self.range.0[0];
-        let n0 = ub0 - lb0;
-        if threads <= 1 || n0 < threads as i64 * 2 {
+        let subs = split_longest_dim(&self.range, threads);
+        if threads <= 1 || subs.len() <= 1 {
             self.execute(inputs, outs);
             return;
         }
-        struct SendPtr(*mut f64, usize);
-        unsafe impl Send for SendPtr {}
-        unsafe impl Sync for SendPtr {}
-        let out_ptrs: Vec<SendPtr> =
-            outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr(), o.len())).collect();
-        let chunk = (n0 + threads as i64 - 1) / threads as i64;
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let start = lb0 + t as i64 * chunk;
-                let end = (start + chunk).min(ub0);
-                if start >= end {
-                    continue;
-                }
-                let out_ptrs = &out_ptrs;
-                scope.spawn(move || {
-                    let mut sub = self.range.clone();
-                    sub.0[0] = (start, end);
-                    // SAFETY: slabs [start, end) are disjoint across
-                    // threads and the kernel writes only cells whose
-                    // outermost coordinate lies in its slab.
-                    let mut outs: Vec<&mut [f64]> = out_ptrs
-                        .iter()
-                        .map(|p| unsafe { std::slice::from_raw_parts_mut(p.0, p.1) })
-                        .collect();
-                    let mut refs: Vec<&mut [f64]> = outs.iter_mut().map(|o| &mut **o).collect();
-                    self.execute_rows(inputs, &mut refs, sub);
-                });
-            }
+        scoped_parallel(subs, outs, |sub, outs| {
+            self.execute_rows(inputs, outs, sub, &mut ExecScratch::new());
         });
     }
+}
+
+/// Raw output pointers that may cross thread boundaries. Shared by every
+/// parallel execution path (scoped and pooled); safety rests on the
+/// chunks being disjoint slabs of one dimension, with each grid point
+/// writing only its own output cells.
+pub(crate) struct SendPtr(pub *mut f64, pub usize);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Re-materializes the output slices behind `ptrs` for one worker.
+///
+/// # Safety
+/// Callers must guarantee the workers' write sets are disjoint at the
+/// cell level (disjoint range chunks) and that the pointers outlive the
+/// worker (the parallel driver joins before returning).
+// The `&mut` slices intentionally alias across workers at the buffer
+// level (never at the cell level) — that aliasing contract, not the
+// input borrow, is what the safety comment governs.
+#[allow(clippy::mut_from_ref)]
+pub(crate) unsafe fn rematerialize_outs(ptrs: &[SendPtr]) -> Vec<&mut [f64]> {
+    ptrs.iter().map(|p| std::slice::from_raw_parts_mut(p.0, p.1)).collect()
+}
+
+/// Runs `body(chunk, outs)` for every chunk on scoped threads, handing
+/// each worker its own re-materialized view of the output buffers.
+pub(crate) fn scoped_parallel<F>(subs: Vec<Bounds>, outs: &mut [&mut [f64]], body: F)
+where
+    F: Fn(&Bounds, &mut [&mut [f64]]) + Sync,
+{
+    let out_ptrs: Vec<SendPtr> =
+        outs.iter_mut().map(|o| SendPtr(o.as_mut_ptr(), o.len())).collect();
+    let out_ptrs = &out_ptrs;
+    let body = &body;
+    std::thread::scope(|scope| {
+        for sub in subs {
+            scope.spawn(move || {
+                // SAFETY: chunks are disjoint slabs of one dimension and
+                // the scope joins before `outs` is reused.
+                let mut outs = unsafe { rematerialize_outs(out_ptrs) };
+                body(&sub, &mut outs);
+            });
+        }
+    });
 }
 
 /// Compiles a `stencil.apply` op into a [`CompiledKernel`].
@@ -374,7 +492,7 @@ pub fn compile_apply(
                     .ok_or("access without offset")?
                     .to_vec();
                 let strides = temp_inputs[input as usize].strides();
-                let rel: i64 = offset.iter().zip(&strides).map(|(o, s)| o * s).sum();
+                let rel: i64 = offset.iter().zip(strides).map(|(o, s)| o * s).sum();
                 let dst = alloc(op.result(0), &mut regs, &mut next_reg);
                 instrs.push(Instr::LoadInput { input, rel, dst });
                 loads += 1;
@@ -462,13 +580,13 @@ mod tests {
     use super::*;
 
     fn desc(shape: Vec<i64>, lb: Vec<i64>) -> InputDesc {
-        InputDesc { shape, lb }
+        InputDesc::new(shape, lb)
     }
 
     #[test]
     fn strides_and_flat_are_row_major() {
         let d = desc(vec![4, 5, 6], vec![0, 0, 0]);
-        assert_eq!(d.strides(), vec![30, 6, 1]);
+        assert_eq!(d.strides(), &[30, 6, 1]);
         assert_eq!(d.flat(&[1, 2, 3]), 45);
         let with_halo = desc(vec![6], vec![-1]);
         assert_eq!(with_halo.flat(&[0]), 1);

@@ -1,0 +1,1060 @@
+//! Kernel specialization: executor tiers over [`KernelProgram`].
+//!
+//! `KernelProgram::eval` pays a full `match` dispatch, bounds-checked
+//! register-file traffic, and re-executed loop-invariant `Const`
+//! instructions at every grid point — exactly the address-computation and
+//! interpretation overheads whose elimination the source paper credits
+//! for its performance. This module compiles each kernel **once, at
+//! pipeline-build time**, into the fastest applicable executor tier:
+//!
+//! 1. **[`TierKind::WeightedSum`]** — the ubiquitous
+//!    weighted-sum-of-taps stencil shape (jacobi/heat/wave all qualify):
+//!    every multiplication has a constant operand, so the kernel is an
+//!    affine function of its loads. It runs as a flat tap table
+//!    (`(input, rel, coeff)`) plus a combine schedule that preserves the
+//!    bytecode's exact association — **no register file, no
+//!    full-dispatch interpretation, no reassociation**. Rows are
+//!    strip-mined into [`WS_TILE`]-point tiles evaluated
+//!    stage-at-a-time, so every tap load and combine node becomes a
+//!    straight-line elementwise loop the compiler auto-vectorizes.
+//! 2. **[`TierKind::OptBytecode`]** — everything else: bytecode-level
+//!    CSE (identical `LoadInput`/`Const`/`Index` deduped), constant
+//!    folding of `Const ⊕ Const`, hoisting of loop-invariant `Const`
+//!    writes into a pre-initialized register file, dead-code
+//!    elimination, and an unchecked (bounds-validated once per chunk)
+//!    evaluation loop.
+//! 3. **[`TierKind::Eval`]** — the seed interpreter path, kept as the
+//!    reference semantics and selectable for A/B measurement.
+//!
+//! All tiers are bit-for-bit identical to [`KernelProgram::eval`]: the
+//! transformations only deduplicate or pre-compute identical operations
+//! and reorder *independent* ones — no floating-point expression is
+//! reassociated. The workspace property suite enforces this on random
+//! stencils, serial and parallel.
+//!
+//! Inner loops are rank-specialized: 1D/2D/3D row walkers are
+//! monomorphized per tier (the generic odometer only drives rank ≥ 4).
+//!
+//! Tier selection is automatic (`WeightedSum` when the shape matches,
+//! else `OptBytecode`) and can be overridden with the `STEN_EXEC_TIER`
+//! environment variable (`eval` | `opt-bytecode` | `weighted-sum` |
+//! `auto`) or per pipeline via [`crate::Pipeline::respecialize`].
+
+use crate::program::{BinOp, CompiledKernel, ExecScratch, Instr};
+use std::collections::HashMap;
+use sten_ir::Bounds;
+
+/// Names an executor tier (the ladder: `eval` → `opt-bytecode` →
+/// `weighted-sum`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TierKind {
+    /// The seed `KernelProgram::eval` interpreter (reference semantics).
+    Eval,
+    /// Pre-optimized bytecode: CSE + constant folding + const hoisting.
+    OptBytecode,
+    /// Flat weighted-sum tap table with an exact combine schedule.
+    WeightedSum,
+}
+
+impl TierKind {
+    /// The stable name used by `STEN_EXEC_TIER`, `--timing` reports and
+    /// `BENCH_exec.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TierKind::Eval => "eval",
+            TierKind::OptBytecode => "opt-bytecode",
+            TierKind::WeightedSum => "weighted-sum",
+        }
+    }
+
+    /// Parses a tier name (`auto`/empty → `None`).
+    pub fn parse(s: &str) -> Result<Option<TierKind>, String> {
+        match s.trim() {
+            "" | "auto" => Ok(None),
+            "eval" => Ok(Some(TierKind::Eval)),
+            "opt" | "opt-bytecode" => Ok(Some(TierKind::OptBytecode)),
+            "ws" | "weighted-sum" => Ok(Some(TierKind::WeightedSum)),
+            other => Err(format!(
+                "unknown STEN_EXEC_TIER '{other}' (expected auto|eval|opt-bytecode|weighted-sum)"
+            )),
+        }
+    }
+
+    /// Reads the `STEN_EXEC_TIER` override (unset/`auto` → `None`;
+    /// invalid values are reported once to stderr and ignored).
+    pub fn from_env() -> Option<TierKind> {
+        match std::env::var("STEN_EXEC_TIER") {
+            Ok(v) => match TierKind::parse(&v) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("// sten-exec: {e}; using auto");
+                    None
+                }
+            },
+            Err(_) => None,
+        }
+    }
+}
+
+/// Pre-optimized bytecode (tier 2): per-point instructions with all
+/// loop-invariant `Const`s hoisted into a pre-initialized register file.
+#[derive(Clone, Debug)]
+pub struct OptProgram {
+    /// Per-point instructions (never `Const`).
+    pub instrs: Vec<Instr>,
+    /// `(register, value)` pairs written once before the point loop.
+    pub preinit: Vec<(u32, f64)>,
+    /// Registers needed.
+    pub num_regs: u32,
+    /// Registers holding the per-point results.
+    pub outputs: Vec<u32>,
+    /// Whether any `Index` instruction survives (needs the coordinate).
+    pub has_index: bool,
+    /// Per-input `(min, max)` relative displacement actually loaded
+    /// (`None` when the input is never loaded).
+    pub rel_bounds: Vec<Option<(i64, i64)>>,
+}
+
+impl OptProgram {
+    /// Evaluates one point. `x` is the offset along the last (stride-1)
+    /// dimension from the row-start `flats`/`point`.
+    ///
+    /// # Safety
+    /// Register indices were validated at build time; the caller must
+    /// have validated (per [`OptProgram::rel_bounds`]) that every
+    /// `flats[i] + rel + x` this row produces is in bounds for
+    /// `inputs[i]`.
+    #[inline(always)]
+    unsafe fn eval(
+        &self,
+        inputs: &[&[f64]],
+        flats: &[i64],
+        point: &[i64],
+        x: i64,
+        regs: &mut [f64],
+    ) {
+        for instr in &self.instrs {
+            match *instr {
+                Instr::LoadInput { input, rel, dst } => {
+                    *regs.get_unchecked_mut(dst as usize) = *inputs
+                        .get_unchecked(input as usize)
+                        .get_unchecked((*flats.get_unchecked(input as usize) + rel + x) as usize);
+                }
+                Instr::Bin { op, a, b, dst } => {
+                    *regs.get_unchecked_mut(dst as usize) =
+                        op.eval(*regs.get_unchecked(a as usize), *regs.get_unchecked(b as usize));
+                }
+                Instr::Neg { a, dst } => {
+                    *regs.get_unchecked_mut(dst as usize) = -*regs.get_unchecked(a as usize);
+                }
+                Instr::Index { dim, offset, dst } => {
+                    let coord = *point.get_unchecked(dim as usize)
+                        + offset
+                        + if dim as usize == point.len() - 1 { x } else { 0 };
+                    *regs.get_unchecked_mut(dst as usize) = coord as f64;
+                }
+                // Hoisted into `preinit` by construction.
+                Instr::Const { v, dst } => *regs.get_unchecked_mut(dst as usize) = v,
+            }
+        }
+    }
+}
+
+/// One tap of a weighted sum: a load, optionally fused with its constant
+/// coefficient. `coeff_left` records which multiplication operand the
+/// constant was, so even NaN payload propagation matches the bytecode.
+#[derive(Clone, Debug)]
+pub struct WsTap {
+    /// Which apply input the tap reads.
+    pub input: u32,
+    /// Constant flat displacement from the centre point.
+    pub rel: i64,
+    /// Fused coefficient (ignored unless `scaled`).
+    pub coeff: f64,
+    /// Whether the constant was the left multiplication operand.
+    pub coeff_left: bool,
+    /// Whether the tap is multiplied by `coeff`.
+    pub scaled: bool,
+}
+
+/// One combine step over the slot array (taps, then consts, then node
+/// results). Entry `i` writes slot `taps + consts + i`.
+#[derive(Clone, Debug)]
+pub enum WsNode {
+    /// `slot[dst] = slot[a] ⊕ slot[b]`.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand slot.
+        a: u16,
+        /// Right operand slot.
+        b: u16,
+    },
+    /// `slot[dst] = -slot[a]`.
+    Neg {
+        /// Operand slot.
+        a: u16,
+    },
+}
+
+/// A kernel in weighted-sum form (tier 1).
+#[derive(Clone, Debug)]
+pub struct WsProgram {
+    /// The taps, loaded (and coefficient-scaled) each point.
+    pub taps: Vec<WsTap>,
+    /// Loop-invariant constant slot values (slots `taps.len()..`).
+    pub consts: Vec<f64>,
+    /// Combine schedule preserving the bytecode's exact association.
+    pub nodes: Vec<WsNode>,
+    /// Slot holding the per-point result.
+    pub out: u16,
+    /// Fold schedule when the combine tree is a linear chain
+    /// (`acc = tap[chain_first]; acc = op(acc, tap)` per entry,
+    /// `acc_left == false` swapping the operands). Shape metadata: the
+    /// strip-mined executor handles chains and trees uniformly, but the
+    /// distinction is reported in tier labels and pinned by tests.
+    pub chain: Option<Vec<(BinOp, u16, bool)>>,
+    /// First tap of the chain fold.
+    pub chain_first: u16,
+    /// Per-input `(min, max)` relative displacement loaded.
+    pub rel_bounds: Vec<Option<(i64, i64)>>,
+}
+
+/// Points per strip-mined tile: small enough that the whole slot matrix
+/// (`slot_count × WS_TILE` f64s) stays L1-resident for realistic
+/// kernels, large enough that the vectorized stage loops amortize their
+/// setup.
+pub const WS_TILE: usize = 128;
+
+/// One elementwise binary stage over a tile. The operator `match` is
+/// hoisted out of the lane loop, so each arm is a straight-line
+/// auto-vectorizable loop. `dst` never aliases `a`/`b` (a node's slot
+/// index is strictly greater than its operands').
+#[inline]
+fn vbin(op: BinOp, dst: &mut [f64], a: &[f64], b: &[f64]) {
+    match op {
+        BinOp::Add => dst.iter_mut().zip(a.iter().zip(b)).for_each(|(d, (&x, &y))| *d = x + y),
+        BinOp::Sub => dst.iter_mut().zip(a.iter().zip(b)).for_each(|(d, (&x, &y))| *d = x - y),
+        BinOp::Mul => dst.iter_mut().zip(a.iter().zip(b)).for_each(|(d, (&x, &y))| *d = x * y),
+        BinOp::Div => dst.iter_mut().zip(a.iter().zip(b)).for_each(|(d, (&x, &y))| *d = x / y),
+    }
+}
+
+impl WsProgram {
+    /// Evaluates one stride-1 row of `len` points, strip-mined into
+    /// [`WS_TILE`]-point tiles: every tap and combine node is evaluated
+    /// stage-at-a-time over the tile in a simple elementwise loop, which
+    /// the compiler vectorizes. Reordering across *points* is the only
+    /// reordering — each point still sees exactly the bytecode's
+    /// operations in its association order, so results stay bit-for-bit
+    /// identical to `KernelProgram::eval`.
+    ///
+    /// # Safety
+    /// The caller validated (per [`WsProgram::rel_bounds`]) that every
+    /// `flats[i] + rel + x` for `x < len` is in bounds for `inputs[i]`,
+    /// that `of + len` is in bounds for `out`, and that `slots` holds
+    /// `slot_count() * WS_TILE` elements with the const rows pre-filled.
+    unsafe fn eval_row(
+        &self,
+        inputs: &[&[f64]],
+        flats: &[i64],
+        out: &mut [f64],
+        of: i64,
+        len: i64,
+        slots: &mut [f64],
+    ) {
+        let node_base = self.taps.len() + self.consts.len();
+        // Rows of the slot matrix never alias: taps/consts/nodes each own
+        // one WS_TILE-sized row, and a node's operands have strictly
+        // smaller slot ids than its destination.
+        let base = slots.as_mut_ptr();
+        let mut start = 0i64;
+        while start < len {
+            let tl = (len - start).min(WS_TILE as i64) as usize;
+            for (k, t) in self.taps.iter().enumerate() {
+                let src_base = (*flats.get_unchecked(t.input as usize) + t.rel + start) as usize;
+                let src: &[f64] = inputs.get_unchecked(t.input as usize);
+                let src = src.get_unchecked(src_base..src_base + tl);
+                let dst = std::slice::from_raw_parts_mut(base.add(k * WS_TILE), tl);
+                if !t.scaled {
+                    dst.copy_from_slice(src);
+                } else if t.coeff_left {
+                    let c = t.coeff;
+                    dst.iter_mut().zip(src).for_each(|(d, &x)| *d = c * x);
+                } else {
+                    let c = t.coeff;
+                    dst.iter_mut().zip(src).for_each(|(d, &x)| *d = x * c);
+                }
+            }
+            for (j, n) in self.nodes.iter().enumerate() {
+                let dst = std::slice::from_raw_parts_mut(base.add((node_base + j) * WS_TILE), tl);
+                match *n {
+                    WsNode::Bin { op, a, b } => {
+                        let ra = std::slice::from_raw_parts(base.add(a as usize * WS_TILE), tl);
+                        let rb = std::slice::from_raw_parts(base.add(b as usize * WS_TILE), tl);
+                        vbin(op, dst, ra, rb);
+                    }
+                    WsNode::Neg { a } => {
+                        let ra = std::slice::from_raw_parts(base.add(a as usize * WS_TILE), tl);
+                        dst.iter_mut().zip(ra).for_each(|(d, &x)| *d = -x);
+                    }
+                }
+            }
+            let out_row = std::slice::from_raw_parts(base.add(self.out as usize * WS_TILE), tl);
+            let dst_base = (of + start) as usize;
+            out.get_unchecked_mut(dst_base..dst_base + tl).copy_from_slice(out_row);
+            start += WS_TILE as i64;
+        }
+    }
+
+    fn slot_count(&self) -> usize {
+        self.taps.len() + self.consts.len() + self.nodes.len()
+    }
+}
+
+/// The executable form a kernel was specialized into.
+#[derive(Clone, Debug)]
+pub enum Tier {
+    /// Reference interpreter over the original bytecode.
+    Eval,
+    /// Pre-optimized bytecode.
+    OptBytecode(OptProgram),
+    /// Weighted-sum tap table.
+    WeightedSum(WsProgram),
+}
+
+/// A [`CompiledKernel`] plus its chosen executor tier.
+///
+/// Dereferences to the underlying kernel, so geometry and cost-model
+/// consumers (`.program`, `.range`, `.points()`) are unchanged.
+#[derive(Clone, Debug)]
+pub struct SpecializedKernel {
+    /// The original kernel (geometry + reference bytecode).
+    pub kernel: CompiledKernel,
+    /// The selected tier.
+    pub tier: Tier,
+}
+
+impl std::ops::Deref for SpecializedKernel {
+    type Target = CompiledKernel;
+    fn deref(&self) -> &CompiledKernel {
+        &self.kernel
+    }
+}
+
+impl SpecializedKernel {
+    /// Specializes `kernel` into the fastest applicable tier (`force`
+    /// pins one; forcing `WeightedSum` on a non-matching kernel falls
+    /// back to `OptBytecode`).
+    pub fn specialize(kernel: CompiledKernel, force: Option<TierKind>) -> SpecializedKernel {
+        let tier = match force {
+            Some(TierKind::Eval) => Tier::Eval,
+            Some(TierKind::OptBytecode) => Tier::OptBytecode(optimize(&kernel)),
+            Some(TierKind::WeightedSum) | None => {
+                let opt = optimize(&kernel);
+                match match_weighted_sum(&opt) {
+                    Some(ws) => Tier::WeightedSum(ws),
+                    None => Tier::OptBytecode(opt),
+                }
+            }
+        };
+        SpecializedKernel { kernel, tier }
+    }
+
+    /// The selected tier.
+    pub fn tier_kind(&self) -> TierKind {
+        match &self.tier {
+            Tier::Eval => TierKind::Eval,
+            Tier::OptBytecode(_) => TierKind::OptBytecode,
+            Tier::WeightedSum(_) => TierKind::WeightedSum,
+        }
+    }
+
+    /// A one-line human description, e.g.
+    /// `weighted-sum (5 taps, tree; rank 2)`.
+    pub fn tier_label(&self) -> String {
+        match &self.tier {
+            Tier::Eval => {
+                format!("eval ({} instrs; rank {})", self.program.instrs.len(), self.program.rank)
+            }
+            Tier::OptBytecode(o) => format!(
+                "opt-bytecode ({} instrs, {} hoisted consts; rank {})",
+                o.instrs.len(),
+                o.preinit.len(),
+                self.program.rank
+            ),
+            Tier::WeightedSum(w) => format!(
+                "weighted-sum ({} taps, {}; rank {})",
+                w.taps.len(),
+                if w.chain.is_some() { "chain" } else { "tree" },
+                self.program.rank
+            ),
+        }
+    }
+
+    /// Executes over `inputs` into `outs`, serially, with fresh scratch.
+    pub fn execute(&self, inputs: &[&[f64]], outs: &mut [&mut [f64]]) {
+        let range = self.range.clone();
+        self.execute_rows(inputs, outs, &range, &mut ExecScratch::new());
+    }
+
+    /// Executes with `threads` scoped workers, chunking the longest
+    /// dimension (see [`crate::program::split_longest_dim`]).
+    pub fn execute_parallel(&self, inputs: &[&[f64]], outs: &mut [&mut [f64]], threads: usize) {
+        let subs = crate::program::split_longest_dim(&self.range, threads);
+        if threads <= 1 || subs.len() <= 1 {
+            self.execute(inputs, outs);
+            return;
+        }
+        crate::program::scoped_parallel(subs, outs, |sub, outs| {
+            self.execute_rows(inputs, outs, sub, &mut ExecScratch::new());
+        });
+    }
+
+    /// Executes rows of `range` (a sub-range of `self.range`) through the
+    /// selected tier, reusing `scratch`.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths don't cover the displacements the kernel
+    /// loads/stores over `range`.
+    pub fn execute_rows(
+        &self,
+        inputs: &[&[f64]],
+        outs: &mut [&mut [f64]],
+        range: &Bounds,
+        scratch: &mut ExecScratch,
+    ) {
+        if range.0.iter().any(|&(lb, ub)| ub <= lb) {
+            return;
+        }
+        match &self.tier {
+            Tier::Eval => self.kernel.execute_rows(inputs, outs, range, scratch),
+            Tier::OptBytecode(opt) => {
+                self.validate(inputs, outs, range, &opt.rel_bounds);
+                scratch.ensure(
+                    opt.num_regs as usize,
+                    0,
+                    self.inputs.len(),
+                    self.outputs.len(),
+                    range.rank(),
+                );
+                for &(r, v) in &opt.preinit {
+                    scratch.regs[r as usize] = v;
+                }
+                walk_rows(&self.kernel, range, scratch, |sc, len| unsafe {
+                    for x in 0..len {
+                        opt.eval(inputs, &sc.flats, &sc.point, x, &mut sc.regs);
+                        for (o, &reg) in opt.outputs.iter().enumerate() {
+                            *outs[o].get_unchecked_mut((sc.out_flats[o] + x) as usize) =
+                                *sc.regs.get_unchecked(reg as usize);
+                        }
+                    }
+                });
+            }
+            Tier::WeightedSum(ws) => {
+                self.validate(inputs, outs, range, &ws.rel_bounds);
+                scratch.ensure(
+                    0,
+                    ws.slot_count() * WS_TILE,
+                    self.inputs.len(),
+                    self.outputs.len(),
+                    range.rank(),
+                );
+                // Broadcast the loop-invariant consts into their tile
+                // rows once per chunk.
+                for (k, &v) in ws.consts.iter().enumerate() {
+                    let at = (ws.taps.len() + k) * WS_TILE;
+                    scratch.slots[at..at + WS_TILE].fill(v);
+                }
+                let out0: &mut [f64] = outs[0];
+                walk_rows(&self.kernel, range, scratch, |sc, len| unsafe {
+                    ws.eval_row(inputs, &sc.flats, out0, sc.out_flats[0], len, &mut sc.slots);
+                });
+            }
+        }
+    }
+
+    /// Validates, once per chunk, that every flat index the unchecked
+    /// tiers will form over `range` is in bounds — the strides are
+    /// positive, so corners bound the whole range.
+    fn validate(
+        &self,
+        inputs: &[&[f64]],
+        outs: &[&mut [f64]],
+        range: &Bounds,
+        rel_bounds: &[Option<(i64, i64)>],
+    ) {
+        let lower = range.lower();
+        let upper: Vec<i64> = range.0.iter().map(|&(_, ub)| ub - 1).collect();
+        for (i, desc) in self.inputs.iter().enumerate() {
+            let Some((rel_min, rel_max)) = rel_bounds.get(i).copied().flatten() else {
+                continue;
+            };
+            let lo = desc.flat(&lower) + rel_min;
+            let hi = desc.flat(&upper) + rel_max;
+            assert!(
+                lo >= 0 && hi < inputs[i].len() as i64,
+                "input {i}: flat range [{lo}, {hi}] outside buffer of {} elements",
+                inputs[i].len()
+            );
+        }
+        for (o, desc) in self.outputs.iter().enumerate() {
+            let lo = desc.flat(&lower);
+            let hi = desc.flat(&upper);
+            assert!(
+                lo >= 0 && hi < outs[o].len() as i64,
+                "output {o}: flat range [{lo}, {hi}] outside buffer of {} elements",
+                outs[o].len()
+            );
+        }
+    }
+}
+
+/// Drives `row(scratch, row_len)` over every stride-1 row of `range`,
+/// with the row-start coordinate in `scratch.point` and the row-start
+/// flat cursors in `scratch.flats`/`scratch.out_flats`. Monomorphized
+/// loops for ranks 1–3; generic odometer above.
+#[inline]
+fn walk_rows<F>(kernel: &CompiledKernel, range: &Bounds, scratch: &mut ExecScratch, mut row: F)
+where
+    F: FnMut(&mut ExecScratch, i64),
+{
+    let rank = range.rank();
+    debug_assert!(rank >= 1);
+    let last = rank - 1;
+    let (last_lb, last_ub) = range.0[last];
+    let len = last_ub - last_lb;
+    if len <= 0 {
+        return;
+    }
+    let fill = |sc: &mut ExecScratch, kernel: &CompiledKernel| {
+        for (i, d) in kernel.inputs.iter().enumerate() {
+            sc.flats[i] = d.flat(&sc.point);
+        }
+        for (i, d) in kernel.outputs.iter().enumerate() {
+            sc.out_flats[i] = d.flat(&sc.point);
+        }
+    };
+    match rank {
+        1 => {
+            scratch.point[0] = last_lb;
+            fill(scratch, kernel);
+            row(scratch, len);
+        }
+        2 => {
+            let (lb0, ub0) = range.0[0];
+            for i in lb0..ub0 {
+                scratch.point[0] = i;
+                scratch.point[1] = last_lb;
+                fill(scratch, kernel);
+                row(scratch, len);
+            }
+        }
+        3 => {
+            let (lb0, ub0) = range.0[0];
+            let (lb1, ub1) = range.0[1];
+            for i in lb0..ub0 {
+                for j in lb1..ub1 {
+                    scratch.point[0] = i;
+                    scratch.point[1] = j;
+                    scratch.point[2] = last_lb;
+                    fill(scratch, kernel);
+                    row(scratch, len);
+                }
+            }
+        }
+        _ => {
+            for d in 0..rank {
+                scratch.point[d] = range.0[d].0;
+            }
+            loop {
+                scratch.point[last] = last_lb;
+                fill(scratch, kernel);
+                row(scratch, len);
+                let mut d = last;
+                let mut done = false;
+                loop {
+                    if d == 0 {
+                        done = true;
+                        break;
+                    }
+                    d -= 1;
+                    scratch.point[d] += 1;
+                    if scratch.point[d] < range.0[d].1 {
+                        break;
+                    }
+                    scratch.point[d] = range.0[d].0;
+                }
+                if done {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Builds the [`OptProgram`] for a kernel: value-numbering CSE over
+/// `LoadInput`/`Const`/`Index`, constant folding of `Const ⊕ Const` and
+/// `-Const` (computed with the identical f64 operation at build time),
+/// dead-code elimination, and hoisting of the surviving constants into
+/// the pre-initialized register file. No expression is reassociated.
+fn optimize(kernel: &CompiledKernel) -> OptProgram {
+    let p = &kernel.program;
+    // Pass 1: value-number into a new instruction list.
+    let mut map: HashMap<u32, u32> = HashMap::new(); // old reg -> new reg
+    let mut const_vn: HashMap<u64, u32> = HashMap::new(); // f64 bits -> new reg
+    let mut load_vn: HashMap<(u32, i64), u32> = HashMap::new();
+    let mut index_vn: HashMap<(u8, i64), u32> = HashMap::new();
+    let mut const_val: HashMap<u32, f64> = HashMap::new(); // new reg -> value
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut next: u32 = 0;
+    let intern_const = |v: f64,
+                        const_vn: &mut HashMap<u64, u32>,
+                        const_val: &mut HashMap<u32, f64>,
+                        instrs: &mut Vec<Instr>,
+                        next: &mut u32|
+     -> u32 {
+        *const_vn.entry(v.to_bits()).or_insert_with(|| {
+            let dst = *next;
+            *next += 1;
+            instrs.push(Instr::Const { v, dst });
+            const_val.insert(dst, v);
+            dst
+        })
+    };
+    for instr in &p.instrs {
+        match *instr {
+            Instr::Const { v, dst } => {
+                let r = intern_const(v, &mut const_vn, &mut const_val, &mut instrs, &mut next);
+                map.insert(dst, r);
+            }
+            Instr::LoadInput { input, rel, dst } => {
+                let r = *load_vn.entry((input, rel)).or_insert_with(|| {
+                    let d = next;
+                    next += 1;
+                    instrs.push(Instr::LoadInput { input, rel, dst: d });
+                    d
+                });
+                map.insert(dst, r);
+            }
+            Instr::Index { dim, offset, dst } => {
+                let r = *index_vn.entry((dim, offset)).or_insert_with(|| {
+                    let d = next;
+                    next += 1;
+                    instrs.push(Instr::Index { dim, offset, dst: d });
+                    d
+                });
+                map.insert(dst, r);
+            }
+            Instr::Bin { op, a, b, dst } => {
+                let (a, b) = (map[&a], map[&b]);
+                if let (Some(&ca), Some(&cb)) = (const_val.get(&a), const_val.get(&b)) {
+                    let r = intern_const(
+                        op.eval(ca, cb),
+                        &mut const_vn,
+                        &mut const_val,
+                        &mut instrs,
+                        &mut next,
+                    );
+                    map.insert(dst, r);
+                } else {
+                    let d = next;
+                    next += 1;
+                    instrs.push(Instr::Bin { op, a, b, dst: d });
+                    map.insert(dst, d);
+                }
+            }
+            Instr::Neg { a, dst } => {
+                let a = map[&a];
+                if let Some(&ca) = const_val.get(&a) {
+                    let r =
+                        intern_const(-ca, &mut const_vn, &mut const_val, &mut instrs, &mut next);
+                    map.insert(dst, r);
+                } else {
+                    let d = next;
+                    next += 1;
+                    instrs.push(Instr::Neg { a, dst: d });
+                    map.insert(dst, d);
+                }
+            }
+        }
+    }
+    let outputs: Vec<u32> = p.outputs.iter().map(|r| map[r]).collect();
+
+    // Pass 2: dead-code elimination (backwards liveness).
+    let mut live = vec![false; next as usize];
+    for &o in &outputs {
+        live[o as usize] = true;
+    }
+    for instr in instrs.iter().rev() {
+        let (dst, ops) = instr_uses(instr);
+        if live[dst as usize] {
+            for o in ops {
+                live[o as usize] = true;
+            }
+        }
+    }
+    // Pass 3: compact renumbering, splitting consts into preinit.
+    let mut renum = vec![u32::MAX; next as usize];
+    let mut num_regs: u32 = 0;
+    let mut out_instrs = Vec::new();
+    let mut preinit = Vec::new();
+    let mut has_index = false;
+    let mut rel_bounds: Vec<Option<(i64, i64)>> = vec![None; kernel.inputs.len()];
+    for instr in &instrs {
+        let (dst, _) = instr_uses(instr);
+        if !live[dst as usize] {
+            continue;
+        }
+        let d = num_regs;
+        num_regs += 1;
+        renum[dst as usize] = d;
+        match *instr {
+            Instr::Const { v, .. } => preinit.push((d, v)),
+            Instr::LoadInput { input, rel, .. } => {
+                let e = rel_bounds[input as usize].get_or_insert((rel, rel));
+                e.0 = e.0.min(rel);
+                e.1 = e.1.max(rel);
+                out_instrs.push(Instr::LoadInput { input, rel, dst: d });
+            }
+            Instr::Index { dim, offset, .. } => {
+                has_index = true;
+                out_instrs.push(Instr::Index { dim, offset, dst: d });
+            }
+            Instr::Bin { op, a, b, .. } => out_instrs.push(Instr::Bin {
+                op,
+                a: renum[a as usize],
+                b: renum[b as usize],
+                dst: d,
+            }),
+            Instr::Neg { a, .. } => out_instrs.push(Instr::Neg { a: renum[a as usize], dst: d }),
+        }
+    }
+    let outputs = outputs.iter().map(|&o| renum[o as usize]).collect();
+    OptProgram { instrs: out_instrs, preinit, num_regs, outputs, has_index, rel_bounds }
+}
+
+fn instr_uses(instr: &Instr) -> (u32, Vec<u32>) {
+    match *instr {
+        Instr::Const { dst, .. } | Instr::LoadInput { dst, .. } | Instr::Index { dst, .. } => {
+            (dst, vec![])
+        }
+        Instr::Bin { a, b, dst, .. } => (dst, vec![a, b]),
+        Instr::Neg { a, dst } => (dst, vec![a]),
+    }
+}
+
+/// What a register holds during weighted-sum matching.
+#[derive(Copy, Clone, Debug)]
+enum WsVal {
+    Tap(u16),
+    Const(f64),
+    Node(u16),
+}
+
+/// Tries to match the optimized program as a weighted sum of taps: a
+/// single output that is an affine function of its loads (every
+/// multiplication has a constant operand, every division a constant
+/// divisor, no `Index`). The combine schedule preserves the bytecode's
+/// exact association; a pure left-fold additionally gets the chain fast
+/// path.
+fn match_weighted_sum(opt: &OptProgram) -> Option<WsProgram> {
+    if opt.has_index || opt.outputs.len() != 1 {
+        return None;
+    }
+    // Use counts decide whether a `const * load` can fuse into the tap.
+    let mut uses = vec![0usize; opt.num_regs as usize];
+    for instr in &opt.instrs {
+        for o in instr_uses(instr).1 {
+            uses[o as usize] += 1;
+        }
+    }
+    for &o in &opt.outputs {
+        uses[o as usize] += 1;
+    }
+    let consts: HashMap<u32, f64> = opt.preinit.iter().map(|&(r, v)| (r, v)).collect();
+    let mut vals: HashMap<u32, WsVal> = HashMap::new();
+    for (&r, &v) in &consts {
+        vals.insert(r, WsVal::Const(v));
+    }
+    let mut taps: Vec<WsTap> = Vec::new();
+    let mut tap_of_reg: HashMap<u32, u16> = HashMap::new(); // load reg -> tap
+    let mut const_slots: Vec<f64> = Vec::new();
+    let mut const_slot_vn: HashMap<u64, u16> = HashMap::new();
+    let mut nodes: Vec<WsNode> = Vec::new();
+    // Slot ids are only final once the tap/const counts are known, so
+    // collect symbolic slots first.
+    #[derive(Copy, Clone, PartialEq)]
+    enum Slot {
+        Tap(u16),
+        Const(u16),
+        Node(u16),
+    }
+    let mut node_ops: Vec<(WsNode, [Slot; 2])> = Vec::new(); // ops resolved later
+    let slot_of =
+        |v: WsVal, const_slots: &mut Vec<f64>, const_slot_vn: &mut HashMap<u64, u16>| -> Slot {
+            match v {
+                WsVal::Tap(t) => Slot::Tap(t),
+                WsVal::Node(n) => Slot::Node(n),
+                WsVal::Const(c) => {
+                    let id = *const_slot_vn.entry(c.to_bits()).or_insert_with(|| {
+                        const_slots.push(c);
+                        (const_slots.len() - 1) as u16
+                    });
+                    Slot::Const(id)
+                }
+            }
+        };
+    for instr in &opt.instrs {
+        match *instr {
+            Instr::LoadInput { input, rel, dst } => {
+                let t = taps.len() as u16;
+                taps.push(WsTap { input, rel, coeff: 1.0, coeff_left: false, scaled: false });
+                tap_of_reg.insert(dst, t);
+                vals.insert(dst, WsVal::Tap(t));
+            }
+            Instr::Bin { op, a, b, dst } => {
+                let va = *vals.get(&a)?;
+                let vb = *vals.get(&b)?;
+                match op {
+                    BinOp::Mul => match (va, vb) {
+                        (WsVal::Const(c), WsVal::Tap(t))
+                            if uses[b as usize] == 1
+                                && !taps[t as usize].scaled
+                                && tap_of_reg.get(&b) == Some(&t) =>
+                        {
+                            taps[t as usize].coeff = c;
+                            taps[t as usize].coeff_left = true;
+                            taps[t as usize].scaled = true;
+                            vals.insert(dst, WsVal::Tap(t));
+                        }
+                        (WsVal::Tap(t), WsVal::Const(c))
+                            if uses[a as usize] == 1
+                                && !taps[t as usize].scaled
+                                && tap_of_reg.get(&a) == Some(&t) =>
+                        {
+                            taps[t as usize].coeff = c;
+                            taps[t as usize].coeff_left = false;
+                            taps[t as usize].scaled = true;
+                            vals.insert(dst, WsVal::Tap(t));
+                        }
+                        (WsVal::Const(_), _) | (_, WsVal::Const(_)) => {
+                            let sa = slot_of(va, &mut const_slots, &mut const_slot_vn);
+                            let sb = slot_of(vb, &mut const_slots, &mut const_slot_vn);
+                            let n = node_ops.len() as u16;
+                            node_ops.push((WsNode::Bin { op, a: 0, b: 0 }, [sa, sb]));
+                            vals.insert(dst, WsVal::Node(n));
+                        }
+                        // load * load etc. is not a weighted sum.
+                        _ => return None,
+                    },
+                    BinOp::Div => {
+                        // Only a constant divisor keeps the kernel affine.
+                        let WsVal::Const(_) = vb else { return None };
+                        if matches!(va, WsVal::Const(_)) {
+                            return None; // folded already; be conservative
+                        }
+                        let sa = slot_of(va, &mut const_slots, &mut const_slot_vn);
+                        let sb = slot_of(vb, &mut const_slots, &mut const_slot_vn);
+                        let n = node_ops.len() as u16;
+                        node_ops.push((WsNode::Bin { op, a: 0, b: 0 }, [sa, sb]));
+                        vals.insert(dst, WsVal::Node(n));
+                    }
+                    BinOp::Add | BinOp::Sub => {
+                        let sa = slot_of(va, &mut const_slots, &mut const_slot_vn);
+                        let sb = slot_of(vb, &mut const_slots, &mut const_slot_vn);
+                        let n = node_ops.len() as u16;
+                        node_ops.push((WsNode::Bin { op, a: 0, b: 0 }, [sa, sb]));
+                        vals.insert(dst, WsVal::Node(n));
+                    }
+                }
+            }
+            Instr::Neg { a, dst } => {
+                let va = *vals.get(&a)?;
+                let sa = slot_of(va, &mut const_slots, &mut const_slot_vn);
+                let n = node_ops.len() as u16;
+                node_ops.push((WsNode::Neg { a: 0 }, [sa, sa]));
+                vals.insert(dst, WsVal::Node(n));
+            }
+            Instr::Const { .. } | Instr::Index { .. } => return None,
+        }
+    }
+    if taps.len() > 2000 || node_ops.len() > 2000 || const_slots.len() > 2000 {
+        return None; // keep slot ids comfortably within u16
+    }
+    // Resolve symbolic slots: taps, then consts, then nodes.
+    let tap_n = taps.len() as u16;
+    let const_n = const_slots.len() as u16;
+    let resolve = |s: Slot| -> u16 {
+        match s {
+            Slot::Tap(t) => t,
+            Slot::Const(c) => tap_n + c,
+            Slot::Node(n) => tap_n + const_n + n,
+        }
+    };
+    for (node, ops) in &node_ops {
+        let n = match *node {
+            WsNode::Bin { op, .. } => WsNode::Bin { op, a: resolve(ops[0]), b: resolve(ops[1]) },
+            WsNode::Neg { .. } => WsNode::Neg { a: resolve(ops[0]) },
+        };
+        nodes.push(n);
+    }
+    let out = match *vals.get(&opt.outputs[0])? {
+        WsVal::Tap(t) => t,
+        WsVal::Node(n) => tap_n + const_n + n,
+        WsVal::Const(c) => {
+            let id = *const_slot_vn.entry(c.to_bits()).or_insert_with(|| {
+                const_slots.push(c);
+                (const_slots.len() - 1) as u16
+            });
+            // Rare pure-constant kernel: re-resolve against the grown
+            // const table.
+            return Some(WsProgram {
+                rel_bounds: opt.rel_bounds.clone(),
+                taps,
+                consts: const_slots,
+                nodes,
+                out: tap_n + id,
+                chain: None,
+                chain_first: 0,
+            });
+        }
+    };
+
+    // Chain detection: consts-free fold `((tap ⊕ tap) ⊕ tap) ⊕ …` whose
+    // last node is the output.
+    let mut chain = None;
+    let mut chain_first = 0u16;
+    if const_slots.is_empty()
+        && !nodes.is_empty()
+        && out == tap_n + (nodes.len() as u16 - 1)
+        && taps.len() >= 2
+    {
+        let is_tap = |s: u16| s < tap_n;
+        let mut fold: Vec<(BinOp, u16, bool)> = Vec::new();
+        let mut ok = true;
+        for (k, n) in nodes.iter().enumerate() {
+            let WsNode::Bin { op, a, b } = *n else {
+                ok = false;
+                break;
+            };
+            if !matches!(op, BinOp::Add | BinOp::Sub) {
+                ok = false;
+                break;
+            }
+            if k == 0 {
+                if is_tap(a) && is_tap(b) {
+                    chain_first = a;
+                    fold.push((op, b, true));
+                } else {
+                    ok = false;
+                    break;
+                }
+            } else {
+                let prev = tap_n + (k as u16 - 1);
+                if a == prev && is_tap(b) {
+                    fold.push((op, b, true));
+                } else if b == prev && is_tap(a) {
+                    fold.push((op, a, false));
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            chain = Some(fold);
+        }
+    } else if nodes.is_empty() && const_slots.is_empty() && out < tap_n {
+        // Single-tap kernel: a zero-entry fold.
+        chain = Some(Vec::new());
+        chain_first = out;
+    }
+    Some(WsProgram {
+        rel_bounds: opt.rel_bounds.clone(),
+        taps,
+        consts: const_slots,
+        nodes,
+        out,
+        chain,
+        chain_first,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{compile_apply, InputDesc};
+    use std::collections::HashMap as Map;
+    use sten_ir::Pass as _;
+
+    fn kernel_of(module: &mut sten_ir::Module, func: &str, desc: InputDesc) -> CompiledKernel {
+        sten_stencil::ShapeInference.run(module).unwrap();
+        let f = module.lookup_symbol(func).unwrap();
+        let apply = f.region_block(0).ops.iter().find(|o| o.name == "stencil.apply").unwrap();
+        compile_apply(apply, &module.values, vec![Some(desc.clone())], vec![desc], &Map::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn jacobi_specializes_to_weighted_sum_chain() {
+        let mut m = sten_stencil::samples::jacobi_1d(64);
+        let k = kernel_of(&mut m, "jacobi", InputDesc::new(vec![64], vec![0]));
+        let spec = SpecializedKernel::specialize(k, None);
+        assert_eq!(spec.tier_kind(), TierKind::WeightedSum);
+        let Tier::WeightedSum(ws) = &spec.tier else { panic!() };
+        assert_eq!(ws.taps.len(), 3);
+        assert!(ws.chain.is_some(), "jacobi folds left-to-right: {ws:?}");
+    }
+
+    #[test]
+    fn heat_specializes_to_weighted_sum_tree() {
+        let mut m = sten_stencil::samples::heat_2d(16, 0.1);
+        let k = kernel_of(&mut m, "heat", InputDesc::new(vec![18, 18], vec![-1, -1]));
+        let spec = SpecializedKernel::specialize(k, None);
+        assert_eq!(spec.tier_kind(), TierKind::WeightedSum);
+        let Tier::WeightedSum(ws) = &spec.tier else { panic!() };
+        assert_eq!(ws.taps.len(), 5, "5-point star");
+        assert!(ws.chain.is_none(), "heat's (l+r)+(u+d) association is a tree");
+    }
+
+    #[test]
+    fn all_tiers_bit_identical_on_heat() {
+        let n = 20i64;
+        let mut m = sten_stencil::samples::heat_2d(n, 0.1);
+        let d = InputDesc::new(vec![n + 2, n + 2], vec![-1, -1]);
+        let k = kernel_of(&mut m, "heat", d);
+        let size = ((n + 2) * (n + 2)) as usize;
+        let input: Vec<f64> = (0..size).map(|i| (i as f64 * 0.013).sin()).collect();
+        let mut want = vec![0.0; size];
+        k.execute(&[&input], &mut [&mut want]);
+        for tier in [TierKind::Eval, TierKind::OptBytecode, TierKind::WeightedSum] {
+            let spec = SpecializedKernel::specialize(k.clone(), Some(tier));
+            assert_eq!(spec.tier_kind(), tier);
+            let mut got = vec![0.0; size];
+            spec.execute(&[&input], &mut [&mut got]);
+            assert_eq!(got, want, "tier {}", tier.name());
+            let mut par = vec![0.0; size];
+            spec.execute_parallel(&[&input], &mut [&mut par], 3);
+            assert_eq!(par, want, "tier {} parallel", tier.name());
+        }
+    }
+
+    #[test]
+    fn opt_bytecode_hoists_and_dedupes() {
+        let mut m = sten_stencil::samples::heat_2d(16, 0.1);
+        let k = kernel_of(&mut m, "heat", InputDesc::new(vec![18, 18], vec![-1, -1]));
+        let opt = optimize(&k);
+        assert!(opt.preinit.len() >= 2, "4.0 and alpha hoisted");
+        assert!(opt.instrs.iter().all(|i| !matches!(i, Instr::Const { .. })));
+        assert!(opt.instrs.len() < k.program.instrs.len());
+    }
+
+    #[test]
+    fn tier_env_parse() {
+        assert_eq!(TierKind::parse("auto").unwrap(), None);
+        assert_eq!(TierKind::parse("eval").unwrap(), Some(TierKind::Eval));
+        assert_eq!(TierKind::parse("weighted-sum").unwrap(), Some(TierKind::WeightedSum));
+        assert!(TierKind::parse("nope").is_err());
+    }
+}

@@ -28,7 +28,9 @@ options:
                            after module-anchored passes, per-function after
                            func.func-anchored ones)
       --timing             print a per-pass timing report (with per-function
-                           breakdown and cache counters) to stderr
+                           breakdown, executor-tier selection for every
+                           compilable stencil function, and cache counters)
+                           to stderr
       --threads <n>        worker threads for func.func-anchored pass groups:
                            0 = one per core (default; or $STEN_OPT_THREADS)
       --no-parallel        shorthand for --threads 1 (deterministic timing;
@@ -160,6 +162,9 @@ fn run() -> Result<(), String> {
         Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
     };
     let module = sten_ir::parse_module(&source).map_err(|e| format!("parse error: {e}"))?;
+    // Tier selection happens at the (pre-lowering) stencil level, so the
+    // `--timing` report derives it from the input module.
+    let tier_module = if args.timing { Some(module.clone()) } else { None };
 
     // Flag > env > default, so CI can pin the scheduler without
     // rewriting every invocation.
@@ -185,6 +190,7 @@ fn run() -> Result<(), String> {
     }
     if args.timing {
         sten_opt::eprint_timing_summary(&out);
+        eprint_tier_report(tier_module);
     }
     if args.cache_stats || (args.timing && !args.no_cache) {
         sten_opt::eprint_cache_stats(&CompileCache::global().stats());
@@ -201,6 +207,39 @@ fn run() -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Prints the executor tier each compilable stencil function would run
+/// under (`sten-exec` kernel specialization). Functions that don't
+/// compile to a pipeline (already lowered, or unsupported bodies) are
+/// silently skipped — the report covers whatever the input still exposes
+/// at the stencil level.
+fn eprint_tier_report(module: Option<sten_ir::Module>) {
+    use sten_ir::Pass as _;
+    let Some(mut m) = module else { return };
+    if sten_stencil::ShapeInference.run(&mut m).is_err() {
+        return;
+    }
+    let mut lines = Vec::new();
+    for op in &m.body().ops {
+        if op.name != "func.func" {
+            continue;
+        }
+        let Some(name) = op.attr("sym_name").and_then(sten_ir::Attribute::as_str) else {
+            continue;
+        };
+        if let Ok(p) = sten_exec::compile_module(&m, name) {
+            for l in p.tier_summary() {
+                lines.push(format!("  @{name} {l}"));
+            }
+        }
+    }
+    if !lines.is_empty() {
+        eprintln!("  --- executor tiers (sten-exec kernel specialization) ---");
+        for l in lines {
+            eprintln!("{l}");
+        }
+    }
 }
 
 fn main() -> ExitCode {

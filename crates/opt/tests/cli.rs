@@ -48,9 +48,30 @@ fn file_input_output_with_timing_report() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("Pass execution timing report"), "{stderr}");
     assert!(stderr.contains("tile-parallel-loops"), "{stderr}");
+    // The executor-tier report derives from the stencil-level input:
+    // jacobi is a weighted-sum chain.
+    assert!(stderr.contains("executor tiers"), "{stderr}");
+    assert!(stderr.contains("@jacobi apply#0: weighted-sum (3 taps, chain"), "{stderr}");
     let written = std::fs::read_to_string(&output).unwrap();
     assert!(written.contains("scf.for"), "tiled output written to -o");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tier_env_override_reaches_timing_report() {
+    let mut child = sten_opt()
+        .args(["-p", "shape-inference", "--timing", "--no-cache"])
+        .env("STEN_EXEC_TIER", "eval")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(sample_ir().as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("@jacobi apply#0: eval ("), "pinned to the seed tier:\n{stderr}");
 }
 
 #[test]

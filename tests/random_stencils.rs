@@ -202,6 +202,54 @@ fn random_1d_stencils_agree_at_all_levels() {
     }
 }
 
+/// Every specialized executor tier must be **bit-for-bit** identical to
+/// the seed `KernelProgram::eval` path — serial and through the worker
+/// pool at 2 and 4 threads — on random stencils of every rank the
+/// monomorphized row walkers cover (1D/2D/3D).
+#[test]
+fn specialized_tiers_bit_identical_to_eval() {
+    for (dims, n, seeds) in [(1usize, 24i64, 10u64), (2, 12, 10), (3, 6, 6)] {
+        for seed in 0..seeds {
+            let mut rng = Rng::new(9000 + seed * 37 + dims as u64);
+            let st = rand_stencil(dims, &mut rng);
+            let m = build(&st, n);
+            let ext: usize = ((n + 4) as usize).pow(dims as u32);
+            let input: Vec<f64> =
+                (0..ext).map(|i| ((i as f64) * 0.19 + seed as f64 * 0.05).sin()).collect();
+            let pipeline = compile_pipeline(&m, "rand").unwrap();
+
+            // Reference: the seed eval interpreter, serial.
+            let mut evalp = pipeline.clone();
+            evalp.respecialize(Some(TierKind::Eval));
+            let mut want = vec![input.clone(), input.clone()];
+            Runner::new(evalp, 1).step(&mut want).unwrap();
+
+            for tier in [TierKind::Eval, TierKind::OptBytecode, TierKind::WeightedSum] {
+                for threads in [1usize, 2, 4] {
+                    let mut p = pipeline.clone();
+                    p.respecialize(Some(tier));
+                    let mut args = vec![input.clone(), input.clone()];
+                    Runner::new(p, threads).step(&mut args).unwrap();
+                    assert_eq!(
+                        args[1], want[1],
+                        "dims {dims} seed {seed} tier {tier:?} threads {threads}"
+                    );
+                }
+            }
+            // Random mul-add chains are weighted sums, so automatic
+            // selection must reach the top tier (unless the run pins one
+            // through the environment).
+            if std::env::var("STEN_EXEC_TIER").is_err() {
+                let lines = pipeline.tier_summary();
+                assert!(
+                    lines.iter().all(|l| l.contains("weighted-sum")),
+                    "dims {dims} seed {seed}: {lines:?}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn random_2d_stencils_agree() {
     for seed in 0..24u64 {

@@ -1,0 +1,274 @@
+//! `halo_overlap` — the sync-vs-overlap halo exchange gap over SimMPI.
+//!
+//! Runs the same distributed stencils twice — once with the synchronous
+//! exchange (`SwapBegin` immediately followed by `SwapWait`) and once
+//! overlapped (`distribute-stencil{overlap=true}`: begin / interior /
+//! wait / boundary shells) — over a [`SimWorld`] with a simulated
+//! per-message delivery latency standing in for network transit time.
+//! Outputs are asserted **bit-identical** between the two variants; the
+//! wall-clock gap and the receive counters (how many receives found
+//! their message already delivered) land in `BENCH_halo.json`.
+//!
+//! ```text
+//! cargo run --release -p sten-bench --bin halo_overlap            # full
+//! cargo run --release -p sten-bench --bin halo_overlap -- --smoke # CI
+//! ```
+//!
+//! `--smoke` shrinks grids, steps, and the latency so the emitter and the
+//! bit-identity assertion stay exercised in CI; smoke numbers are *not*
+//! meaningful.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use stencil_core::dmp::{make_strategy, DistributeStencil};
+use stencil_core::exec::Pipeline;
+use stencil_core::ir::Pass as _;
+use stencil_core::prelude::*;
+use stencil_core::stencil::ShapeInference;
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { smoke: false, out: "BENCH_halo.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => panic!("unknown argument '{other}' (expected --smoke | --out)"),
+        }
+    }
+    args
+}
+
+struct Case {
+    name: &'static str,
+    func: &'static str,
+    /// Stencil-level module factory (pre-distribution).
+    module: Module,
+    grid: Vec<i64>,
+    strategy: &'static str,
+}
+
+fn cases(smoke: bool) -> Vec<Case> {
+    let mk = |m: Module| {
+        let mut m = m;
+        ShapeInference.run(&mut m).unwrap();
+        m
+    };
+    vec![
+        Case {
+            name: "jacobi-1d-2ranks",
+            func: "jacobi",
+            module: mk(stencil_core::stencil::samples::jacobi_1d(if smoke {
+                258
+            } else {
+                1 << 17
+            })),
+            grid: vec![2],
+            strategy: "standard-slicing",
+        },
+        // The heat cases sit at the strong-scaling limit (per-rank
+        // compute comparable to the message latency) — the regime where
+        // hiding halo latency is the difference between scaling and
+        // stalling. Much larger per-rank domains hide the latency behind
+        // rank skew even synchronously.
+        Case {
+            name: "heat-2d-2x2",
+            func: "heat",
+            module: mk(stencil_core::stencil::samples::heat_2d(if smoke { 32 } else { 240 }, 0.1)),
+            grid: vec![2, 2],
+            strategy: "standard-slicing",
+        },
+        Case {
+            name: "heat-2d-uneven-bisection",
+            func: "heat",
+            module: mk(stencil_core::stencil::samples::heat_2d(if smoke { 31 } else { 255 }, 0.1)),
+            grid: vec![4],
+            strategy: "recursive-bisection",
+        },
+    ]
+}
+
+/// One module per rank at the stencil level, ready for the executor.
+fn per_rank_pipelines(case: &Case, overlap: bool) -> (Vec<Pipeline>, Vec<i64>) {
+    let ranks: i64 = case.grid.iter().product();
+    let mut pipelines = Vec::new();
+    let mut layout = Vec::new();
+    for rank in 0..ranks {
+        let mut m = case.module.clone();
+        DistributeStencil::with_strategy(
+            case.grid.clone(),
+            make_strategy(case.strategy, None).unwrap(),
+        )
+        .for_rank(rank)
+        .with_overlap(overlap)
+        .run(&mut m)
+        .unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        if layout.is_empty() {
+            let f = m.lookup_symbol(case.func).unwrap();
+            layout = f
+                .attr("dmp.grid")
+                .and_then(stencil_core::ir::Attribute::as_grid)
+                .expect("layout recorded")
+                .to_vec();
+        }
+        pipelines.push(compile_pipeline(&m, case.func).unwrap());
+    }
+    (pipelines, layout)
+}
+
+struct RunOutcome {
+    seconds: f64,
+    buffers: Vec<Vec<f64>>,
+    recv_immediate: u64,
+    recv_blocked: u64,
+}
+
+/// Runs `timesteps` ping-pong steps on every rank (one OS thread per
+/// rank, serial runner inside) and returns the wall-clock of the whole
+/// SPMD execution plus every rank's final buffer.
+fn run_spmd_pipelines(pipelines: &[Pipeline], latency: Duration, timesteps: usize) -> RunOutcome {
+    let ranks = pipelines.len();
+    let world = SimWorld::new_with_latency(ranks, latency);
+    let mut buffers: Vec<Vec<f64>> = vec![Vec::new(); ranks];
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (rank, out) in buffers.iter_mut().enumerate() {
+            let world = Arc::clone(&world);
+            let pipeline = pipelines[rank].clone();
+            scope.spawn(move || {
+                let mut args: Vec<Vec<f64>> = pipeline
+                    .arg_shapes
+                    .iter()
+                    .map(|s| {
+                        let len = s.iter().product::<i64>().max(0) as usize;
+                        (0..len).map(|i| ((i + rank) as f64 * 0.001).sin()).collect()
+                    })
+                    .collect();
+                let mut runner = Runner::new(pipeline, 1);
+                for _ in 0..timesteps {
+                    runner.step_distributed(&mut args, &world, rank as i64).unwrap();
+                    args.swap(0, 1);
+                }
+                *out = args[0].clone();
+            });
+        }
+    });
+    RunOutcome {
+        seconds: t0.elapsed().as_secs_f64(),
+        buffers,
+        recv_immediate: world.total_recv_immediate(),
+        recv_blocked: world.total_recv_blocked(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let latency = if args.smoke { Duration::from_micros(20) } else { Duration::from_micros(150) };
+    let timesteps = if args.smoke { 3 } else { 200 };
+    let reps = if args.smoke { 1 } else { 3 };
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"sten-halo-overlap/v1\",");
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"latency_us\": {},", latency.as_micros());
+    let _ = writeln!(json, "  \"timesteps\": {timesteps},");
+    let _ = writeln!(json, "  \"cases\": [");
+    let mut rows = Vec::new();
+    let mut any_faster = false;
+    let all = cases(args.smoke);
+    for (ci, case) in all.iter().enumerate() {
+        let (sync_p, layout) = per_rank_pipelines(case, false);
+        let (over_p, _) = per_rank_pipelines(case, true);
+        assert!(!sync_p[0].is_overlapped());
+        assert!(over_p[0].is_overlapped(), "{}: overlap pipeline did not split", case.name);
+
+        // Best-of-reps (after one warm-up each) keeps scheduler noise out
+        // of the committed numbers.
+        let mut sync_best: Option<RunOutcome> = None;
+        let mut over_best: Option<RunOutcome> = None;
+        let _ = run_spmd_pipelines(&sync_p, latency, timesteps.min(3));
+        let _ = run_spmd_pipelines(&over_p, latency, timesteps.min(3));
+        for _ in 0..reps {
+            let s = run_spmd_pipelines(&sync_p, latency, timesteps);
+            if sync_best.as_ref().map_or(true, |b| s.seconds < b.seconds) {
+                sync_best = Some(s);
+            }
+            let o = run_spmd_pipelines(&over_p, latency, timesteps);
+            if over_best.as_ref().map_or(true, |b| o.seconds < b.seconds) {
+                over_best = Some(o);
+            }
+        }
+        let sync = sync_best.expect("at least one rep");
+        let over = over_best.expect("at least one rep");
+        assert_eq!(
+            sync.buffers, over.buffers,
+            "{}: overlapped execution must be bit-identical to synchronous",
+            case.name
+        );
+        let speedup = sync.seconds / over.seconds;
+        any_faster |= speedup > 1.02;
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", case.name);
+        let _ = writeln!(
+            json,
+            "      \"layout\": [{}],",
+            layout.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        let _ = writeln!(json, "      \"strategy\": \"{}\",", case.strategy);
+        let _ = writeln!(json, "      \"points_per_step\": {},", sync_p[0].points_per_step());
+        let _ = writeln!(
+            json,
+            "      \"exchanged_elements_per_step\": {},",
+            sync_p[0].exchanged_elements_per_step()
+        );
+        let _ = writeln!(json, "      \"sync_seconds\": {:.6},", sync.seconds);
+        let _ = writeln!(json, "      \"overlap_seconds\": {:.6},", over.seconds);
+        let _ = writeln!(json, "      \"speedup\": {speedup:.3},");
+        let _ = writeln!(
+            json,
+            "      \"sync_recv\": {{\"immediate\": {}, \"blocked\": {}}},",
+            sync.recv_immediate, sync.recv_blocked
+        );
+        let _ = writeln!(
+            json,
+            "      \"overlap_recv\": {{\"immediate\": {}, \"blocked\": {}}},",
+            over.recv_immediate, over.recv_blocked
+        );
+        let _ = writeln!(json, "      \"bit_identical\": true");
+        let _ = writeln!(json, "    }}{}", if ci + 1 == all.len() { "" } else { "," });
+        rows.push(vec![
+            case.name.to_string(),
+            format!("{layout:?}"),
+            format!("{:.4}", sync.seconds),
+            format!("{:.4}", over.seconds),
+            format!("{speedup:.2}x"),
+            format!("{}/{}", sync.recv_immediate, sync.recv_immediate + sync.recv_blocked),
+            format!("{}/{}", over.recv_immediate, over.recv_immediate + over.recv_blocked),
+        ]);
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    sten_bench::print_table(
+        &format!(
+            "halo exchange: sync vs overlap over SimMPI, {}us message latency ({})",
+            latency.as_micros(),
+            if args.smoke { "SMOKE — numbers not meaningful" } else { "full" }
+        ),
+        &["case", "layout", "sync s", "overlap s", "speedup", "sync imm", "ovl imm"],
+        &rows,
+    );
+    if !args.smoke {
+        assert!(any_faster, "overlap should beat sync on at least one benchmark");
+    }
+    std::fs::write(&args.out, json).expect("write BENCH_halo.json");
+    println!("wrote {}", args.out);
+}

@@ -104,6 +104,14 @@ pub enum Target {
         topology: Vec<i64>,
         /// How the domain is decomposed over the topology.
         strategy: DecompStrategy,
+        /// Overlap halo exchanges with interior computation
+        /// (`distribute-stencil{overlap=true}`): the lowering and the
+        /// compiled executor split every exchange into begin /
+        /// interior-compute / wait / boundary-compute phases.
+        overlap: bool,
+        /// Exchange diagonal/corner halo blocks as well (paper §8), for
+        /// kernels with corner-touching access offsets.
+        diagonals: bool,
     },
     /// GPU: parallel loops annotated for kernel mapping (executed through
     /// the V100 model; §6.1's CUDA lowering).
@@ -170,7 +178,35 @@ impl CompileOptions {
         topology: Vec<i64>,
         strategy: DecompStrategy,
     ) -> CompileOptions {
-        CompileOptions::with_target(Target::DistributedCpu { topology, strategy })
+        CompileOptions::with_target(Target::DistributedCpu {
+            topology,
+            strategy,
+            overlap: false,
+            diagonals: false,
+        })
+    }
+
+    /// Enables overlapped halo exchange on a distributed target (builder
+    /// style): the compiled pipeline splits every exchange into
+    /// begin / interior / wait / boundary phases. No effect on other
+    /// targets. The flag becomes a `distribute-stencil{overlap=true}`
+    /// pass option and therefore a distinct compile-cache key.
+    #[must_use]
+    pub fn with_overlap(mut self, on: bool) -> CompileOptions {
+        if let Target::DistributedCpu { overlap, .. } = &mut self.target {
+            *overlap = on;
+        }
+        self
+    }
+
+    /// Enables diagonal/corner halo exchanges on a distributed target
+    /// (builder style). No effect on other targets.
+    #[must_use]
+    pub fn with_diagonals(mut self, on: bool) -> CompileOptions {
+        if let Target::DistributedCpu { diagonals, .. } = &mut self.target {
+            *diagonals = on;
+        }
+        self
     }
 
     /// GPU mapping.
@@ -212,13 +248,17 @@ impl CompileOptions {
             Target::SharedCpu { tile } => {
                 sten_opt::pipelines::shared_cpu(tile, self.fuse, self.optimize)
             }
-            Target::DistributedCpu { topology, strategy } => sten_opt::pipelines::distributed_ext(
-                topology,
-                strategy.name(),
-                strategy.factors(),
-                self.fuse,
-                self.optimize,
-            ),
+            Target::DistributedCpu { topology, strategy, overlap, diagonals } => {
+                sten_opt::pipelines::distributed_ext(
+                    topology,
+                    strategy.name(),
+                    strategy.factors(),
+                    *overlap,
+                    *diagonals,
+                    self.fuse,
+                    self.optimize,
+                )
+            }
             Target::Gpu => sten_opt::pipelines::gpu(self.fuse, self.optimize),
             Target::Fpga { optimized } => sten_opt::pipelines::fpga(*optimized, self.fuse),
         }
@@ -323,6 +363,24 @@ mod tests {
         assert!(out.text.contains("@MPI_Isend") || out.text.contains("MPI_Isend"));
         assert!(out.text.contains("1140850688"), "mpich MPI_COMM_WORLD constant");
         assert!(!out.text.contains("dmp.swap"));
+    }
+
+    #[test]
+    fn overlap_option_threads_through_to_the_pipeline_and_cache_key() {
+        let plain = CompileOptions::distributed(vec![2, 2]);
+        let overlapped = CompileOptions::distributed(vec![2, 2]).with_overlap(true);
+        assert!(overlapped.pipeline_string().contains("overlap=true"));
+        assert_ne!(plain.pipeline_string(), overlapped.pipeline_string());
+        let diag = CompileOptions::distributed(vec![2, 2]).with_diagonals(true);
+        assert!(diag.pipeline_string().contains("diagonals=true"));
+        // The overlapped pipeline compiles end-to-end and splits the
+        // barrier into per-receive waits.
+        let m = sten_stencil::samples::heat_2d(32, 0.1);
+        let out = compile(m, &overlapped).unwrap();
+        assert!(out.text.contains("MPI_Wait"), "per-receive waits survive to func level");
+        // On non-distributed targets the builders are no-ops.
+        let cpu = CompileOptions::shared_cpu().with_overlap(true);
+        assert_eq!(cpu.pipeline_string(), CompileOptions::shared_cpu().pipeline_string());
     }
 
     #[test]

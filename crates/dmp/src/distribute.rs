@@ -47,6 +47,15 @@ pub struct DistributeStencil {
     /// The rank whose local program is emitted (default 0; only material
     /// when the decomposition is uneven).
     pub rank: i64,
+    /// Mark the emitted `dmp.swap` ops for communication/computation
+    /// overlap: downstream lowerings split the exchange into
+    /// begin / interior-compute / wait / boundary-compute phases
+    /// (`distribute-stencil{overlap=true}`).
+    pub overlap: bool,
+    /// Also exchange diagonal/corner halo blocks (paper §8), so kernels
+    /// with corner-touching offsets read valid corners
+    /// (`distribute-stencil{diagonals=true}`).
+    pub diagonals: bool,
     /// How the domain is split across ranks.
     pub strategy: Box<dyn DecompositionStrategy + Send + Sync>,
 }
@@ -54,7 +63,13 @@ pub struct DistributeStencil {
 impl DistributeStencil {
     /// Creates the pass with the standard slicing strategy.
     pub fn new(grid: Vec<i64>) -> Self {
-        DistributeStencil { grid, rank: 0, strategy: Box::new(crate::StandardSlicing::new()) }
+        DistributeStencil {
+            grid,
+            rank: 0,
+            overlap: false,
+            diagonals: false,
+            strategy: Box::new(crate::StandardSlicing::new()),
+        }
     }
 
     /// Creates the pass with a custom strategy.
@@ -62,13 +77,27 @@ impl DistributeStencil {
         grid: Vec<i64>,
         strategy: Box<dyn DecompositionStrategy + Send + Sync>,
     ) -> Self {
-        DistributeStencil { grid, rank: 0, strategy }
+        DistributeStencil { grid, rank: 0, overlap: false, diagonals: false, strategy }
     }
 
     /// Selects the rank whose local program is emitted (builder style).
     #[must_use]
     pub fn for_rank(mut self, rank: i64) -> Self {
         self.rank = rank;
+        self
+    }
+
+    /// Marks the emitted swaps for overlapped execution (builder style).
+    #[must_use]
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
+    }
+
+    /// Enables diagonal/corner exchanges (builder style).
+    #[must_use]
+    pub fn with_diagonals(mut self, on: bool) -> Self {
+        self.diagonals = on;
         self
     }
 
@@ -134,6 +163,8 @@ struct Distributor<'a> {
     strategy: &'a (dyn DecompositionStrategy + Send + Sync),
     core: Bounds,
     local_core: Bounds,
+    overlap: bool,
+    diagonals: bool,
     /// Per-load halo widths, captured from the global shape inference
     /// before temps are reset (keyed by the load's result value).
     load_halos: HashMap<Value, (Vec<i64>, Vec<i64>)>,
@@ -190,15 +221,28 @@ impl<'a> Distributor<'a> {
                             ))
                         }
                     };
-                    let exchanges = self.strategy.exchanges(
+                    let mut exchanges = self.strategy.exchanges(
                         &local_field,
                         &self.local_core,
                         &self.layout,
                         &lo_halo,
                         &hi_halo,
                     );
+                    if self.diagonals {
+                        exchanges.extend(crate::overlap::corner_exchanges(
+                            &local_field,
+                            &self.local_core,
+                            &self.layout,
+                            &lo_halo,
+                            &hi_halo,
+                        ));
+                    }
                     if !exchanges.is_empty() {
-                        block.ops.push(swap(field, self.layout.clone(), exchanges));
+                        let mut s = swap(field, self.layout.clone(), exchanges);
+                        if self.overlap {
+                            s.set_attr("overlap", Attribute::Unit);
+                        }
+                        block.ops.push(s);
                     }
                     self.localize_value(op.result(0))?;
                     block.ops.push(op);
@@ -357,6 +401,8 @@ impl Pass for DistributeStencil {
                         strategy: self.strategy.as_ref(),
                         core: core.clone(),
                         local_core,
+                        overlap: self.overlap,
+                        diagonals: self.diagonals,
                         load_halos,
                     };
                     for func_region in &mut op.regions {
@@ -471,6 +517,41 @@ mod tests {
         assert_eq!(crate::ops::SwapOp(swap).exchanges().len(), 4, "two dims × two dirs");
         // Even SPMD decomposition: no rank coordinates recorded.
         assert!(func.attr("dmp.coords").is_none());
+    }
+
+    #[test]
+    fn overlap_marks_swaps_and_diagonals_add_corners() {
+        let mut m = samples::heat_2d(64, 0.1);
+        ShapeInference.run(&mut m).unwrap();
+        DistributeStencil::new(vec![2, 2])
+            .with_overlap(true)
+            .with_diagonals(true)
+            .run(&mut m)
+            .unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        let func = m.lookup_symbol("heat").unwrap();
+        let swap = func.region_block(0).ops.iter().find(|o| o.name == "dmp.swap").unwrap();
+        assert!(swap.attr("overlap").is_some(), "swap carries the overlap marker");
+        // 4 faces + 4 corners on a 2x2 grid with unit halos.
+        let view = crate::ops::SwapOp(swap);
+        let ex = view.exchanges();
+        assert_eq!(ex.len(), 8);
+        assert_eq!(ex.iter().filter(|e| e.to.iter().filter(|&&t| t != 0).count() == 2).count(), 4);
+        // The marked module round-trips through the printer.
+        let text = sten_ir::print_module(&m);
+        assert!(text.contains("overlap"), "{text}");
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
+    }
+
+    #[test]
+    fn default_swaps_are_unmarked_and_face_only() {
+        let m = distributed_jacobi(vec![2]);
+        let func = m.lookup_symbol("jacobi").unwrap();
+        let swap = func.region_block(0).ops.iter().find(|o| o.name == "dmp.swap").unwrap();
+        assert!(swap.attr("overlap").is_none());
+        assert_eq!(crate::ops::SwapOp(swap).exchanges().len(), 2);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   programs for distributed execution": global domain → rank-local domain
 //!   with `dmp.swap` inserted before each `stencil.load`;
 //! * [`dedup`] — the pass that removes redundant exchanges "via a further
-//!   pass analyzing the SSA data flow".
+//!   pass analyzing the SSA data flow";
+//! * [`overlap`] — the interior/boundary split behind overlapped halo
+//!   exchanges ([`HaloRegionSplit`]) and the diagonal/corner exchange
+//!   generation (paper §8), shared by the `dmp → mpi` lowering and the
+//!   compiled executor.
 //!
 //! Nothing here is MPI-specific; the `sten-mpi` crate lowers `dmp.swap`
 //! into message-passing calls, and other communication substrates could be
@@ -28,6 +32,7 @@ pub mod decomposition;
 pub mod dedup;
 pub mod distribute;
 pub mod ops;
+pub mod overlap;
 
 pub use decomposition::{
     balanced_chunk, make_strategy, CustomGrid, DecompositionStrategy, RecursiveBisection,
@@ -36,3 +41,4 @@ pub use decomposition::{
 pub use dedup::EliminateRedundantSwaps;
 pub use distribute::DistributeStencil;
 pub use ops::register;
+pub use overlap::{corner_exchanges, halo_widths, HaloRegionSplit, Shell};

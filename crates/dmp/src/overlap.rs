@@ -1,0 +1,343 @@
+//! Interior/boundary iteration-space splitting for overlapped exchanges.
+//!
+//! Hiding halo latency behind interior computation (Devito's
+//! computation/communication overlap, OPS's data-movement-first
+//! scheduling) needs one geometric fact: which part of a rank's apply
+//! iteration space is independent of halo cells. [`HaloRegionSplit`]
+//! computes it — an **interior core** whose stencil footprint stays
+//! inside owned data, plus per-direction **boundary shells** that cover
+//! the rest. The shells are produced by onion-peeling the decomposed
+//! dimensions in order, so they are pairwise disjoint and together with
+//! the interior tile the original range exactly (enforced by a property
+//! test below).
+//!
+//! Both consumers of the split — the `dmp → mpi` lowering
+//! (`sten-mpi::DmpToMpi`) and the compiled executor
+//! (`sten-exec::compile_module`) — share this module, so the phase
+//! structure they emit is identical:
+//!
+//! ```text
+//! begin exchange  (pack + isend/irecv)
+//! compute interior            ← messages in flight
+//! wait + unpack
+//! compute boundary shells
+//! ```
+
+use crate::decomposition::neighbor_rank;
+use sten_ir::{Bounds, ExchangeAttr};
+
+/// One boundary shell: the sub-range of the iteration space whose
+/// stencil footprint reaches into the halo received from direction
+/// `dir` (one-hot, e.g. `[0, -1]` for the low shell of dim 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Shell {
+    /// The halo side the shell depends on (one nonzero ±1 component).
+    pub dir: Vec<i64>,
+    /// The shell's iteration sub-range (same coordinate system as the
+    /// range handed to [`HaloRegionSplit::compute`]).
+    pub bounds: Bounds,
+}
+
+/// The interior/boundary partition of one apply iteration space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HaloRegionSplit {
+    /// Points whose stencil footprint stays inside owned (core) data —
+    /// safe to compute while halo messages are still in flight.
+    pub interior: Bounds,
+    /// Boundary shells, in onion order (dim 0 low, dim 0 high, dim 1
+    /// low, …). Disjoint, and together with `interior` they cover the
+    /// full range.
+    pub shells: Vec<Shell>,
+}
+
+impl HaloRegionSplit {
+    /// Splits `range` by the per-dimension halo read widths `lo`/`hi`
+    /// (the number of cells the kernel reads past the range boundary on
+    /// each side; `0` along undecomposed dimensions).
+    ///
+    /// Shells are carved per dimension in order: the dim-`d` shells span
+    /// the *remaining* (already shrunk) extents of dims `< d` and the
+    /// full extents of dims `> d`, so each point lands in exactly one
+    /// region.
+    ///
+    /// # Panics
+    /// Panics if `lo`/`hi` lengths differ from the range rank.
+    pub fn compute(range: &Bounds, lo: &[i64], hi: &[i64]) -> HaloRegionSplit {
+        let rank = range.rank();
+        assert!(lo.len() == rank && hi.len() == rank, "halo widths must match range rank");
+        let mut remaining = range.clone();
+        let mut shells = Vec::new();
+        for d in 0..rank {
+            let (lb, ub) = remaining.0[d];
+            let lo_w = lo[d].max(0).min((ub - lb).max(0));
+            if lo_w > 0 {
+                let mut b = remaining.clone();
+                b.0[d] = (lb, lb + lo_w);
+                let mut dir = vec![0; rank];
+                dir[d] = -1;
+                shells.push(Shell { dir, bounds: b });
+            }
+            // The high shell must not re-cover low-shell cells when the
+            // widths overlap on a narrow range.
+            let hi_w = hi[d].max(0).min((ub - (lb + lo_w)).max(0));
+            if hi_w > 0 {
+                let mut b = remaining.clone();
+                b.0[d] = (ub - hi_w, ub);
+                let mut dir = vec![0; rank];
+                dir[d] = 1;
+                shells.push(Shell { dir, bounds: b });
+            }
+            remaining.0[d] = (lb + lo_w, ub - hi_w);
+        }
+        HaloRegionSplit { interior: remaining, shells }
+    }
+
+    /// Whether overlapping is worthwhile: a nonempty interior and at
+    /// least one shell (all-empty shells mean there is nothing to hide).
+    pub fn is_splittable(&self) -> bool {
+        self.interior.num_points() > 0 && !self.shells.is_empty()
+    }
+}
+
+/// The per-dimension halo widths implied by a swap's exchange set: for
+/// every *face* exchange (single nonzero direction component) the
+/// received slab width is the halo width on that side. Diagonal/corner
+/// exchanges never widen the face widths (their extents are the
+/// per-dimension face widths by construction), so they are skipped.
+pub fn halo_widths(exchanges: &[ExchangeAttr], rank: usize) -> (Vec<i64>, Vec<i64>) {
+    let mut lo = vec![0i64; rank];
+    let mut hi = vec![0i64; rank];
+    for e in exchanges {
+        let nonzero: Vec<usize> = (0..e.to.len()).filter(|&d| e.to[d] != 0).collect();
+        let [d] = nonzero[..] else { continue };
+        if d >= rank {
+            continue;
+        }
+        if e.to[d] < 0 {
+            lo[d] = lo[d].max(e.size[d]);
+        } else {
+            hi[d] = hi[d].max(e.size[d]);
+        }
+    }
+    (lo, hi)
+}
+
+/// Generates the diagonal/corner exchanges (paper §8) complementing a
+/// face exchange set: one exchange per direction vector with **two or
+/// more** nonzero components over the decomposed dimensions, so kernels
+/// with corner-touching offsets (e.g. a 9-point 2D stencil) receive
+/// valid halo corners instead of silently reading stale cells.
+///
+/// Coordinates follow the face-exchange convention (0-based buffer
+/// coordinates); a `-1` component receives the low-corner halo block and
+/// sends the first owned rows, mirrored for `+1`. Pairwise tags stay
+/// consistent: the mirror exchange on the neighbour has direction `-to`.
+pub fn corner_exchanges(
+    local_field: &Bounds,
+    local_core: &Bounds,
+    layout: &[i64],
+    lo_halo: &[i64],
+    hi_halo: &[i64],
+) -> Vec<ExchangeAttr> {
+    let rank = local_field.rank();
+    let to_buf = |logical: i64, d: usize| logical - local_field.0[d].0;
+    // Candidate components per dimension: 0 always; ±1 only along
+    // decomposed dimensions with a halo on that side.
+    let decomposed = layout.len().min(rank);
+    let mut out = Vec::new();
+    let mut dir = vec![0i64; rank];
+    enumerate_dirs(&mut dir, 0, decomposed, layout, lo_halo, hi_halo, &mut |dir| {
+        if dir.iter().filter(|&&t| t != 0).count() < 2 {
+            return; // faces are the strategy's own exchanges
+        }
+        let mut at = Vec::with_capacity(rank);
+        let mut size = Vec::with_capacity(rank);
+        let mut source_offset = Vec::with_capacity(rank);
+        for d in 0..rank {
+            match dir.get(d).copied().unwrap_or(0) {
+                -1 => {
+                    at.push(to_buf(local_core.0[d].0 - lo_halo[d], d));
+                    size.push(lo_halo[d]);
+                    source_offset.push(lo_halo[d]);
+                }
+                1 => {
+                    at.push(to_buf(local_core.0[d].1, d));
+                    size.push(hi_halo[d]);
+                    source_offset.push(-hi_halo[d]);
+                }
+                _ => {
+                    at.push(to_buf(local_core.0[d].0, d));
+                    size.push(local_core.size(d));
+                    source_offset.push(0);
+                }
+            }
+        }
+        out.push(ExchangeAttr::new(at, size, source_offset, dir.to_vec()));
+    });
+    out
+}
+
+/// Recursively enumerates direction vectors over the decomposed
+/// dimensions (`0` everywhere else), calling `f` for each complete one.
+fn enumerate_dirs(
+    dir: &mut [i64],
+    d: usize,
+    decomposed: usize,
+    layout: &[i64],
+    lo_halo: &[i64],
+    hi_halo: &[i64],
+    f: &mut impl FnMut(&[i64]),
+) {
+    if d == decomposed {
+        f(dir);
+        return;
+    }
+    dir[d] = 0;
+    enumerate_dirs(dir, d + 1, decomposed, layout, lo_halo, hi_halo, f);
+    if layout[d] >= 2 {
+        if lo_halo[d] > 0 {
+            dir[d] = -1;
+            enumerate_dirs(dir, d + 1, decomposed, layout, lo_halo, hi_halo, f);
+        }
+        if hi_halo[d] > 0 {
+            dir[d] = 1;
+            enumerate_dirs(dir, d + 1, decomposed, layout, lo_halo, hi_halo, f);
+        }
+    }
+    dir[d] = 0;
+}
+
+/// Sanity-checks that every corner exchange resolves to a *distinct*
+/// neighbour (debug aid for strategies with refactored layouts).
+///
+/// # Errors
+/// Propagates [`neighbor_rank`] failures (malformed directions).
+pub fn corners_have_distinct_neighbors(
+    rank: i64,
+    grid: &[i64],
+    exchanges: &[ExchangeAttr],
+) -> Result<bool, String> {
+    let mut seen = std::collections::HashSet::new();
+    for e in exchanges {
+        if let Some(n) = neighbor_rank(rank, grid, &e.to)? {
+            if !seen.insert((n, e.to.clone())) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_tiles_the_range_exactly() {
+        let range = Bounds::new(vec![(1, 64), (0, 64)]);
+        let split = HaloRegionSplit::compute(&range, &[1, 1], &[1, 1]);
+        assert_eq!(split.interior, Bounds::new(vec![(2, 63), (1, 63)]));
+        assert_eq!(split.shells.len(), 4);
+        assert!(split.is_splittable());
+        // Disjoint + covering.
+        let mut covered = std::collections::HashSet::new();
+        for pt in split.interior.points() {
+            assert!(covered.insert(pt.clone()));
+        }
+        for shell in &split.shells {
+            for pt in shell.bounds.points() {
+                assert!(covered.insert(pt.clone()), "{pt:?} covered twice");
+            }
+        }
+        assert_eq!(covered.len() as i64, range.num_points());
+    }
+
+    #[test]
+    fn split_random_geometries_are_disjoint_and_covering() {
+        // Deterministic pseudo-random sweep over widths and shapes,
+        // including degenerate (width ≥ extent) cases.
+        let mut state = 0x9e37_79b9u64;
+        let mut next = move |m: i64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64).rem_euclid(m)
+        };
+        for _ in 0..200 {
+            let rank = (next(3) + 1) as usize;
+            let range = Bounds::new(
+                (0..rank).map(|_| (next(5) - 2, next(5) + 4)).map(|(a, s)| (a, a + s)).collect(),
+            );
+            let lo: Vec<i64> = (0..rank).map(|_| next(4)).collect();
+            let hi: Vec<i64> = (0..rank).map(|_| next(4)).collect();
+            let split = HaloRegionSplit::compute(&range, &lo, &hi);
+            let mut covered = std::collections::HashSet::new();
+            for pt in split.interior.points() {
+                assert!(covered.insert(pt.clone()));
+            }
+            for shell in &split.shells {
+                assert_eq!(shell.dir.iter().filter(|&&t| t != 0).count(), 1);
+                for pt in shell.bounds.points() {
+                    assert!(covered.insert(pt.clone()), "{pt:?} covered twice");
+                }
+            }
+            assert_eq!(covered.len() as i64, range.num_points().max(0));
+        }
+    }
+
+    #[test]
+    fn zero_widths_produce_no_shells() {
+        let range = Bounds::new(vec![(0, 8), (0, 8)]);
+        let split = HaloRegionSplit::compute(&range, &[0, 0], &[0, 0]);
+        assert_eq!(split.interior, range);
+        assert!(split.shells.is_empty());
+        assert!(!split.is_splittable(), "nothing to overlap");
+    }
+
+    #[test]
+    fn halo_widths_read_face_exchanges_only() {
+        let ex = vec![
+            ExchangeAttr::new(vec![0, 1], vec![1, 62], vec![1, 0], vec![-1, 0]),
+            ExchangeAttr::new(vec![65, 1], vec![2, 62], vec![-2, 0], vec![1, 0]),
+            // Corner exchange: must not change the widths.
+            ExchangeAttr::new(vec![0, 0], vec![1, 1], vec![1, 1], vec![-1, -1]),
+        ];
+        let (lo, hi) = halo_widths(&ex, 2);
+        assert_eq!(lo, vec![1, 0]);
+        assert_eq!(hi, vec![2, 0]);
+    }
+
+    #[test]
+    fn corner_exchanges_cover_the_2d_corners() {
+        // Core [0,100)² with 4-cell halos, buffer [-4,104)² (Fig. 3).
+        let field = Bounds::new(vec![(-4, 104), (-4, 104)]);
+        let core = Bounds::new(vec![(0, 100), (0, 100)]);
+        let corners = corner_exchanges(&field, &core, &[2, 2], &[4, 4], &[4, 4]);
+        assert_eq!(corners.len(), 4, "four corners on a 2x2 grid");
+        let low = corners.iter().find(|e| e.to == vec![-1, -1]).unwrap();
+        assert_eq!(low.at, vec![0, 0]);
+        assert_eq!(low.size, vec![4, 4]);
+        assert_eq!(low.source_offset, vec![4, 4]);
+        let mixed = corners.iter().find(|e| e.to == vec![1, -1]).unwrap();
+        assert_eq!(mixed.at, vec![104, 0]);
+        assert_eq!(mixed.source_offset, vec![-4, 4]);
+        // A 1D layout has no corners.
+        assert!(corner_exchanges(&field, &core, &[2], &[4, 4], &[4, 4]).is_empty());
+        // 3D: 2x2x2 grid with unit halos → 12 edges + 8 corners.
+        let field3 = Bounds::new(vec![(-1, 9); 3]);
+        let core3 = Bounds::new(vec![(0, 8); 3]);
+        let c3 = corner_exchanges(&field3, &core3, &[2, 2, 2], &[1, 1, 1], &[1, 1, 1]);
+        assert_eq!(c3.len(), 20);
+    }
+
+    #[test]
+    fn corner_exchange_neighbors_are_distinct() {
+        use crate::DecompositionStrategy as _;
+        let field = Bounds::new(vec![(-1, 33), (-1, 33)]);
+        let core = Bounds::new(vec![(0, 32), (0, 32)]);
+        let mut ex =
+            crate::StandardSlicing::new().exchanges(&field, &core, &[2, 2], &[1, 1], &[1, 1]);
+        ex.extend(corner_exchanges(&field, &core, &[2, 2], &[1, 1], &[1, 1]));
+        for rank in 0..4 {
+            assert!(corners_have_distinct_neighbors(rank, &[2, 2], &ex).unwrap());
+        }
+    }
+}

@@ -29,7 +29,9 @@ pub mod pool;
 pub mod program;
 pub mod specialize;
 
-pub use pipeline::{compile_module, compile_module_tiered, BufId, Pipeline, Runner, Step};
+pub use pipeline::{
+    compile_module, compile_module_tiered, ApplyRegion, BufId, Pipeline, Runner, Step,
+};
 pub use pool::WorkerPool;
 pub use program::{split_longest_dim, BinOp, CompiledKernel, ExecScratch, Instr, KernelProgram};
 pub use specialize::{SpecializedKernel, Tier, TierKind};

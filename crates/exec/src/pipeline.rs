@@ -5,6 +5,25 @@
 //! module compiles it into a [`Pipeline`] of [`Step`]s and executes
 //! timesteps through a [`Runner`] — serially, with thread parallelism, or
 //! SPMD-distributed over SimMPI.
+//!
+//! **Overlapped halo exchange.** Every `dmp.swap` compiles into a
+//! [`Step::SwapBegin`]/[`Step::SwapWait`] pair with persistent pack
+//! buffers. On the synchronous path the pair is adjacent (pack + send,
+//! then receive + unpack — exactly the old `Step::Swap`). When the swap
+//! is marked `overlap` (`distribute-stencil{overlap=true}`) and the apply
+//! reading the exchanged buffer can be split, the pipeline instead runs
+//!
+//! ```text
+//! SwapBegin            pack + buffered sends
+//! Apply(Interior)      on the worker pool, messages in flight
+//! SwapWait             receive + unpack the halos
+//! Apply(Boundary(dir)) one step per halo shell
+//! ```
+//!
+//! with the interior/shell geometry from [`sten_dmp::HaloRegionSplit`] —
+//! the same analysis the `dmp → mpi` lowering uses — so results stay
+//! bit-for-bit identical to the synchronous path on every strategy and
+//! executor tier (enforced by `tests/halo_overlap.rs`).
 
 use crate::pool::{Job, WorkerPool};
 use crate::program::{
@@ -25,6 +44,43 @@ pub enum BufId {
     Tmp(usize),
 }
 
+/// Which part of its iteration space an apply step executes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApplyRegion {
+    /// The kernel's whole range (the synchronous path).
+    Full,
+    /// The interior core — independent of halo cells, safe to run while
+    /// halo messages are in flight.
+    Interior(Bounds),
+    /// One boundary shell, labelled with the halo side it depends on
+    /// (one-hot direction, e.g. `[0, -1]`).
+    Boundary(Vec<i64>, Bounds),
+}
+
+impl ApplyRegion {
+    /// The executed sub-range (`kernel_range` for [`ApplyRegion::Full`]).
+    pub fn bounds<'a>(&'a self, kernel_range: &'a Bounds) -> &'a Bounds {
+        match self {
+            ApplyRegion::Full => kernel_range,
+            ApplyRegion::Interior(b) | ApplyRegion::Boundary(_, b) => b,
+        }
+    }
+
+    /// Grid points this region executes.
+    pub fn points(&self, kernel_range: &Bounds) -> i64 {
+        self.bounds(kernel_range).num_points()
+    }
+
+    /// Human-readable label for `--timing`/step summaries.
+    pub fn label(&self) -> String {
+        match self {
+            ApplyRegion::Full => String::new(),
+            ApplyRegion::Interior(_) => "interior ".to_string(),
+            ApplyRegion::Boundary(dir, _) => format!("boundary{dir:?} "),
+        }
+    }
+}
+
 /// One executable step.
 #[derive(Clone, Debug)]
 pub enum Step {
@@ -36,9 +92,27 @@ pub enum Step {
         inputs: Vec<BufId>,
         /// Output buffers (parallel to the kernel's outputs).
         outputs: Vec<BufId>,
+        /// Which part of the iteration space this step covers.
+        region: ApplyRegion,
     },
-    /// Halo exchange (distributed runs only).
-    Swap {
+    /// Launch a halo exchange: pack the outgoing slabs into persistent
+    /// per-exchange buffers and post the (buffered, non-blocking) sends.
+    SwapBegin {
+        /// Index into the runner's persistent swap scratch.
+        id: usize,
+        /// The buffer to exchange.
+        buf: BufId,
+        /// Rank topology.
+        grid: Vec<i64>,
+        /// Exchange declarations (buffer coordinates).
+        exchanges: Vec<ExchangeAttr>,
+    },
+    /// Complete the exchange launched by the matching
+    /// [`Step::SwapBegin`]: receive every neighbour's message (blocking
+    /// only on messages still in flight) and unpack the halo slabs.
+    SwapWait {
+        /// Index into the runner's persistent swap scratch.
+        id: usize,
         /// The buffer to exchange.
         buf: BufId,
         /// Rank topology.
@@ -72,6 +146,8 @@ pub struct Pipeline {
     pub tmp_shapes: Vec<Vec<i64>>,
     /// Steps in program order.
     pub steps: Vec<Step>,
+    /// Number of distinct swaps (begin/wait pairs) in the pipeline.
+    pub num_swaps: usize,
 }
 
 impl Pipeline {
@@ -80,7 +156,9 @@ impl Pipeline {
         self.steps
             .iter()
             .map(|s| match s {
-                Step::Apply { kernel, .. } => kernel.program.flops as u64 * kernel.points() as u64,
+                Step::Apply { kernel, region, .. } => {
+                    kernel.program.flops as u64 * region.points(&kernel.range) as u64
+                }
                 _ => 0,
             })
             .sum()
@@ -92,17 +170,31 @@ impl Pipeline {
         self.steps
             .iter()
             .map(|s| match s {
-                Step::Apply { kernel, outputs, .. } => {
-                    kernel.points() as u64 * outputs.len().max(1) as u64
+                Step::Apply { kernel, outputs, region, .. } => {
+                    region.points(&kernel.range) as u64 * outputs.len().max(1) as u64
                 }
                 _ => 0,
             })
             .sum()
     }
 
-    /// Number of apply steps (the "stencil regions" count of §6.2).
+    /// Number of apply steps (the "stencil regions" count of §6.2; an
+    /// overlapped apply contributes one interior plus one step per
+    /// boundary shell).
     pub fn num_apply_steps(&self) -> usize {
         self.steps.iter().filter(|s| matches!(s, Step::Apply { .. })).count()
+    }
+
+    /// Whether any exchange is overlapped with interior computation
+    /// (some step separates a begin from its wait).
+    pub fn is_overlapped(&self) -> bool {
+        self.steps.iter().enumerate().any(|(i, s)| match s {
+            Step::SwapBegin { id, .. } => !matches!(
+                self.steps.get(i + 1),
+                Some(Step::SwapWait { id: wid, .. }) if wid == id
+            ),
+            _ => false,
+        })
     }
 
     /// Elements exchanged per timestep when every neighbour is present.
@@ -110,7 +202,7 @@ impl Pipeline {
         self.steps
             .iter()
             .map(|s| match s {
-                Step::Swap { exchanges, .. } => {
+                Step::SwapBegin { exchanges, .. } => {
                     exchanges.iter().map(|e| e.num_elements() as u64).sum()
                 }
                 _ => 0,
@@ -130,19 +222,72 @@ impl Pipeline {
     }
 
     /// One line per apply step describing the selected executor tier,
-    /// e.g. `apply#0: weighted-sum (5 taps, tree; rank 2) [3844 pts]`.
+    /// e.g. `apply#0: weighted-sum (5 taps, tree; rank 2) [3844 pts]`;
+    /// region-split steps carry their region, e.g. `[interior 3600 pts]`.
     pub fn tier_summary(&self) -> Vec<String> {
         self.steps
             .iter()
             .filter_map(|s| match s {
-                Step::Apply { kernel, .. } => {
-                    Some(format!("{} [{} pts]", kernel.tier_label(), kernel.points()))
-                }
+                Step::Apply { kernel, region, .. } => Some(format!(
+                    "{} [{}{} pts]",
+                    kernel.tier_label(),
+                    region.label(),
+                    region.points(&kernel.range)
+                )),
                 _ => None,
             })
             .enumerate()
             .map(|(i, l)| format!("apply#{i}: {l}"))
             .collect()
+    }
+
+    /// One line per step — the full interior/boundary structure of the
+    /// pipeline, as reported by `sten-opt --timing`.
+    pub fn step_summary(&self) -> Vec<String> {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Apply { kernel, region, .. } => format!(
+                    "apply {} [{}{} pts]",
+                    kernel.tier_label(),
+                    region.label(),
+                    region.points(&kernel.range)
+                ),
+                Step::SwapBegin { id, exchanges, .. } => format!(
+                    "swap#{id} begin [{} elems, {} exchanges]",
+                    exchanges.iter().map(ExchangeAttr::num_elements).sum::<i64>(),
+                    exchanges.len()
+                ),
+                Step::SwapWait { id, .. } => format!("swap#{id} wait"),
+                Step::Copy { range, .. } => format!("copy [{} pts]", range.num_points()),
+            })
+            .collect()
+    }
+}
+
+/// Persistent per-swap exchange scratch: message buffers are recycled
+/// between the pack (gather) side and the unpack (scatter) side, so the
+/// steady state of a timestep loop allocates nothing — received buffers
+/// become the next step's send buffers.
+#[derive(Clone, Debug, Default)]
+struct SwapScratch {
+    free: Vec<Vec<f64>>,
+}
+
+impl SwapScratch {
+    fn take(&mut self, capacity: usize) -> Vec<f64> {
+        match self.free.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.reserve(capacity);
+                v
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    fn recycle(&mut self, v: Vec<f64>) {
+        self.free.push(v);
     }
 }
 
@@ -151,7 +296,8 @@ impl Pipeline {
 /// A runner owns a persistent [`WorkerPool`] (when `threads > 1`):
 /// workers are spawned once and reused across every apply of every
 /// timestep, each holding a long-lived [`ExecScratch`], instead of the
-/// seed's `thread::scope` spawn-per-apply.
+/// seed's `thread::scope` spawn-per-apply. Swap steps likewise reuse
+/// persistent per-exchange message buffers ([`SwapScratch`]).
 pub struct Runner {
     /// The compiled pipeline.
     pub pipeline: Pipeline,
@@ -160,6 +306,8 @@ pub struct Runner {
     tmps: Vec<Vec<f64>>,
     pool: Option<WorkerPool>,
     scratch: ExecScratch,
+    swap_scratch: Vec<SwapScratch>,
+    copy_scratch: Vec<f64>,
 }
 
 impl Runner {
@@ -172,7 +320,16 @@ impl Runner {
             .map(|s| vec![0.0; s.iter().product::<i64>().max(0) as usize])
             .collect();
         let pool = (threads > 1).then(|| WorkerPool::new(threads));
-        Runner { pipeline, threads, tmps, pool, scratch: ExecScratch::new() }
+        let swap_scratch = vec![SwapScratch::default(); pipeline.num_swaps];
+        Runner {
+            pipeline,
+            threads,
+            tmps,
+            pool,
+            scratch: ExecScratch::new(),
+            swap_scratch,
+            copy_scratch: Vec::new(),
+        }
     }
 
     /// The executor-tier lines of the underlying pipeline.
@@ -215,10 +372,12 @@ impl Runner {
         let tmps = &mut self.tmps;
         let pool = &mut self.pool;
         let scratch = &mut self.scratch;
+        let swap_scratch = &mut self.swap_scratch;
+        let copy_scratch = &mut self.copy_scratch;
         // Steps are executed in order; buffers are disjoint Vec<f64>s.
         for step in &pipeline.steps {
             match step {
-                Step::Apply { kernel, inputs, outputs } => {
+                Step::Apply { kernel, inputs, outputs, region } => {
                     // Collect raw pointers to sidestep simultaneous
                     // &/&mut borrows of the args/tmps arrays; inputs and
                     // outputs never alias (value semantics: applies read
@@ -251,57 +410,91 @@ impl Runner {
                             },
                         })
                         .collect();
-                    run_apply(kernel, &input_slices, &mut out_slices, pool.as_mut(), scratch);
+                    let range = region.bounds(&kernel.range);
+                    run_apply(
+                        kernel,
+                        range,
+                        &input_slices,
+                        &mut out_slices,
+                        pool.as_mut(),
+                        scratch,
+                    );
                 }
-                Step::Swap { buf, grid, exchanges } => {
+                Step::SwapBegin { id, buf, grid, exchanges } => {
                     let Some(world) = world else {
                         return Err(
                             "pipeline contains dmp.swap steps — use step_distributed".into()
                         );
                     };
                     let shape = match *buf {
-                        BufId::Arg(i) => pipeline.arg_shapes[i].clone(),
-                        BufId::Tmp(i) => pipeline.tmp_shapes[i].clone(),
+                        BufId::Arg(i) => &pipeline.arg_shapes[i],
+                        BufId::Tmp(i) => &pipeline.tmp_shapes[i],
+                    };
+                    let data: &[f64] = match *buf {
+                        BufId::Arg(i) => &args[i],
+                        BufId::Tmp(i) => &tmps[i],
+                    };
+                    swap_begin(world, rank, grid, exchanges, shape, data, &mut swap_scratch[*id])?;
+                }
+                Step::SwapWait { id, buf, grid, exchanges } => {
+                    let Some(world) = world else {
+                        return Err(
+                            "pipeline contains dmp.swap steps — use step_distributed".into()
+                        );
+                    };
+                    let shape = match *buf {
+                        BufId::Arg(i) => &pipeline.arg_shapes[i],
+                        BufId::Tmp(i) => &pipeline.tmp_shapes[i],
                     };
                     let data: &mut [f64] = match *buf {
                         BufId::Arg(i) => &mut args[i],
                         BufId::Tmp(i) => &mut tmps[i],
                     };
-                    swap_exchange(world, rank, grid, exchanges, &shape, data)?;
+                    swap_wait(world, rank, grid, exchanges, shape, data, &mut swap_scratch[*id])?;
                 }
                 Step::Copy { src, src_desc, dst, dst_desc, range } => {
-                    let src_data: Vec<f64> = match *src {
-                        BufId::Arg(i) => args[i].clone(),
-                        BufId::Tmp(i) => tmps[i].clone(),
-                    };
-                    let dst_data: &mut [f64] = match *dst {
-                        BufId::Arg(i) => &mut args[i],
-                        BufId::Tmp(i) => &mut tmps[i],
-                    };
-                    let mut p = range.lower();
-                    if range.num_points() > 0 {
-                        loop {
-                            let s = src_desc.flat(&p) as usize;
-                            let d = dst_desc.flat(&p) as usize;
-                            dst_data[d] = src_data[s];
-                            let mut dim = range.rank();
-                            let mut done = false;
-                            loop {
-                                if dim == 0 {
-                                    done = true;
-                                    break;
-                                }
-                                dim -= 1;
-                                p[dim] += 1;
-                                if p[dim] < range.0[dim].1 {
-                                    break;
-                                }
-                                p[dim] = range.0[dim].0;
-                            }
-                            if done {
-                                break;
-                            }
-                        }
+                    if range.num_points() <= 0 {
+                        continue;
+                    }
+                    if src == dst {
+                        // Self-copy with potentially overlapping layouts:
+                        // stage only the ranged elements (not the whole
+                        // buffer) through the persistent scratch.
+                        let data: &mut [f64] = match *src {
+                            BufId::Arg(i) => &mut args[i],
+                            BufId::Tmp(i) => &mut tmps[i],
+                        };
+                        copy_scratch.clear();
+                        for_each_row(range, |p, len| {
+                            let s = src_desc.flat(p) as usize;
+                            copy_scratch.extend_from_slice(&data[s..s + len]);
+                        });
+                        let mut at = 0usize;
+                        for_each_row(range, |p, len| {
+                            let d = dst_desc.flat(p) as usize;
+                            data[d..d + len].copy_from_slice(&copy_scratch[at..at + len]);
+                            at += len;
+                        });
+                    } else {
+                        // Distinct buffers never alias: copy row-by-row
+                        // without cloning anything.
+                        let src_data: &[f64] = match *src {
+                            BufId::Arg(i) => unsafe {
+                                std::slice::from_raw_parts(args[i].as_ptr(), args[i].len())
+                            },
+                            BufId::Tmp(i) => unsafe {
+                                std::slice::from_raw_parts(tmps[i].as_ptr(), tmps[i].len())
+                            },
+                        };
+                        let dst_data: &mut [f64] = match *dst {
+                            BufId::Arg(i) => &mut args[i],
+                            BufId::Tmp(i) => &mut tmps[i],
+                        };
+                        for_each_row(range, |p, len| {
+                            let s = src_desc.flat(p) as usize;
+                            let d = dst_desc.flat(p) as usize;
+                            dst_data[d..d + len].copy_from_slice(&src_data[s..s + len]);
+                        });
                     }
                 }
             }
@@ -310,17 +503,48 @@ impl Runner {
     }
 }
 
-/// Executes one apply step: serially (reusing the runner's scratch) when
-/// there is no pool, else chunked over the longest dimension onto the
-/// persistent workers.
+/// Drives `row(point, len)` over every stride-1 row of `range` (the
+/// row-start coordinate and the contiguous row length). Both buffers of a
+/// [`Step::Copy`] are row-major with unit stride in the last dimension,
+/// so ranged copies move whole rows at a time.
+fn for_each_row(range: &Bounds, mut row: impl FnMut(&[i64], usize)) {
+    let rank = range.rank();
+    if rank == 0 || range.num_points() <= 0 {
+        return;
+    }
+    let last = rank - 1;
+    let len = (range.0[last].1 - range.0[last].0) as usize;
+    let mut p = range.lower();
+    loop {
+        row(&p, len);
+        let mut d = last;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            p[d] += 1;
+            if p[d] < range.0[d].1 {
+                break;
+            }
+            p[d] = range.0[d].0;
+        }
+    }
+}
+
+/// Executes one apply step over `range` (the step's region — the full
+/// kernel range, the interior core, or one boundary shell): serially
+/// (reusing the runner's scratch) when there is no pool, else chunked
+/// over the longest dimension onto the persistent workers.
 fn run_apply(
     kernel: &SpecializedKernel,
+    range: &Bounds,
     inputs: &[&[f64]],
     outs: &mut [&mut [f64]],
     pool: Option<&mut WorkerPool>,
     scratch: &mut ExecScratch,
 ) {
-    let range = kernel.range.clone();
+    let range = range.clone();
     let Some(pool) = pool else {
         kernel.execute_rows(inputs, outs, &range, scratch);
         return;
@@ -348,83 +572,74 @@ fn run_apply(
     pool.run(jobs);
 }
 
-/// Performs one `dmp.swap` on plain data through a SimMPI world
-/// (buffered sends first, then blocking receives — deadlock-free).
-fn swap_exchange(
+/// Launches one `dmp.swap`: gathers every outgoing slab into a recycled
+/// message buffer and posts the buffered (non-blocking) sends. The
+/// matching [`swap_wait`] completes the exchange; the pair executed
+/// back-to-back is exactly the old synchronous `swap_exchange`
+/// (sends first, then receives — deadlock-free).
+fn swap_begin(
+    world: &Arc<SimWorld>,
+    rank: i64,
+    grid: &[i64],
+    exchanges: &[ExchangeAttr],
+    shape: &[i64],
+    data: &[f64],
+    scratch: &mut SwapScratch,
+) -> Result<(), String> {
+    use sten_dmp::decomposition::neighbor_rank;
+    use sten_mpi::dmp_to_mpi::tag_for_direction;
+    let desc = InputDesc::new(shape.to_vec(), vec![0; shape.len()]);
+    for e in exchanges {
+        if let Some(n) = neighbor_rank(rank, grid, &e.to)? {
+            let send_at = e.send_at();
+            let range =
+                Bounds::new(send_at.iter().zip(&e.size).map(|(&a, &s)| (a, a + s)).collect());
+            let mut msg = scratch.take(range.num_points().max(0) as usize);
+            for_each_row(&range, |p, len| {
+                let s = desc.flat(p) as usize;
+                msg.extend_from_slice(&data[s..s + len]);
+            });
+            world.send(rank as i32, n as i32, tag_for_direction(&e.to) as i32, msg);
+        }
+    }
+    Ok(())
+}
+
+/// Completes one `dmp.swap`: receives each neighbour's message (blocking
+/// only on messages still in flight) and scatters it into the halo
+/// slabs. Drained message buffers are recycled into the scratch for the
+/// next timestep's [`swap_begin`].
+fn swap_wait(
     world: &Arc<SimWorld>,
     rank: i64,
     grid: &[i64],
     exchanges: &[ExchangeAttr],
     shape: &[i64],
     data: &mut [f64],
+    scratch: &mut SwapScratch,
 ) -> Result<(), String> {
     use sten_dmp::decomposition::neighbor_rank;
     use sten_mpi::dmp_to_mpi::tag_for_direction;
     let desc = InputDesc::new(shape.to_vec(), vec![0; shape.len()]);
-    let gather = |data: &[f64], at: &[i64], size: &[i64]| -> Vec<f64> {
-        let range = Bounds::new(at.iter().zip(size).map(|(&a, &s)| (a, a + s)).collect());
-        let mut out = Vec::with_capacity(range.num_points() as usize);
-        let mut p = range.lower();
-        if range.num_points() > 0 {
-            loop {
-                out.push(data[desc.flat(&p) as usize]);
-                let mut d = range.rank();
-                let mut done = false;
-                loop {
-                    if d == 0 {
-                        done = true;
-                        break;
-                    }
-                    d -= 1;
-                    p[d] += 1;
-                    if p[d] < range.0[d].1 {
-                        break;
-                    }
-                    p[d] = range.0[d].0;
-                }
-                if done {
-                    break;
-                }
-            }
-        }
-        out
-    };
-    for e in exchanges {
-        if let Some(n) = neighbor_rank(rank, grid, &e.to)? {
-            let msg = gather(data, &e.send_at(), &e.size);
-            world.send(rank as i32, n as i32, tag_for_direction(&e.to) as i32, msg);
-        }
-    }
     for e in exchanges {
         if let Some(n) = neighbor_rank(rank, grid, &e.to)? {
             let neg: Vec<i64> = e.to.iter().map(|t| -t).collect();
             let msg = world.recv(rank as i32, n as i32, tag_for_direction(&neg) as i32);
             let range = Bounds::new(e.at.iter().zip(&e.size).map(|(&a, &s)| (a, a + s)).collect());
-            let mut p = range.lower();
-            let mut i = 0;
-            if range.num_points() > 0 {
-                loop {
-                    data[desc.flat(&p) as usize] = msg[i];
-                    i += 1;
-                    let mut d = range.rank();
-                    let mut done = false;
-                    loop {
-                        if d == 0 {
-                            done = true;
-                            break;
-                        }
-                        d -= 1;
-                        p[d] += 1;
-                        if p[d] < range.0[d].1 {
-                            break;
-                        }
-                        p[d] = range.0[d].0;
-                    }
-                    if done {
-                        break;
-                    }
-                }
+            if msg.len() != range.num_points().max(0) as usize {
+                return Err(format!(
+                    "halo message of {} elements does not match the {}-element receive region",
+                    msg.len(),
+                    range.num_points().max(0)
+                ));
             }
+            let mut at = 0usize;
+            for_each_row(&range, |p, len| {
+                let d = desc.flat(p) as usize;
+                data[d..d + len].copy_from_slice(&msg[at..at + len]);
+                at += len;
+            });
+            scratch.recycle(msg);
         }
     }
     Ok(())
@@ -487,6 +702,7 @@ pub fn compile_module_tiered(
     let mut tmp_shapes: Vec<Vec<i64>> = Vec::new();
     let mut steps = Vec::new();
     let mut scalar_consts: HashMap<Value, f64> = HashMap::new();
+    let mut swap_overlap: Vec<bool> = Vec::new();
 
     for op in &block.ops {
         match op.name.as_str() {
@@ -521,7 +737,15 @@ pub fn compile_module_tiered(
                     .and_then(Attribute::as_array)
                     .map(|a| a.iter().filter_map(Attribute::as_exchange).cloned().collect())
                     .unwrap_or_default();
-                steps.push(Step::Swap { buf: id, grid, exchanges });
+                let swap_id = swap_overlap.len();
+                swap_overlap.push(op.attr("overlap").is_some());
+                steps.push(Step::SwapBegin {
+                    id: swap_id,
+                    buf: id,
+                    grid: grid.clone(),
+                    exchanges: exchanges.clone(),
+                });
+                steps.push(Step::SwapWait { id: swap_id, buf: id, grid, exchanges });
             }
             "stencil.apply" => {
                 let input_descs: Vec<Option<InputDesc>> =
@@ -553,7 +777,12 @@ pub fn compile_module_tiered(
                 let kernel =
                     compile_apply(op, &module.values, input_descs, output_descs, &scalar_consts)?;
                 let kernel = SpecializedKernel::specialize(kernel, tier);
-                steps.push(Step::Apply { kernel, inputs: input_ids, outputs: output_ids });
+                steps.push(Step::Apply {
+                    kernel,
+                    inputs: input_ids,
+                    outputs: output_ids,
+                    region: ApplyRegion::Full,
+                });
             }
             "stencil.store" => {
                 if forwarded.contains_key(&op.operand(0)) {
@@ -570,7 +799,92 @@ pub fn compile_module_tiered(
             other => return Err(format!("unsupported op at function level: {other}")),
         }
     }
-    Ok(Pipeline { num_args, arg_shapes, tmp_shapes, steps })
+    let num_swaps = swap_overlap.len();
+    let steps = overlap_steps(steps, &swap_overlap);
+    Ok(Pipeline { num_args, arg_shapes, tmp_shapes, steps, num_swaps })
+}
+
+/// Rewrites overlap-marked exchanges into the four-phase step order:
+/// a run of adjacent begin/wait pairs immediately followed by an apply
+/// that reads every swapped buffer becomes
+/// `begins…, Apply(Interior), waits…, Apply(Boundary(dir))…`, splitting
+/// the apply by [`sten_dmp::HaloRegionSplit`]. Unmarked or unsplittable
+/// swaps keep the synchronous pair — bit-for-bit the old `Step::Swap`.
+fn overlap_steps(steps: Vec<Step>, overlap_flags: &[bool]) -> Vec<Step> {
+    let mut out = Vec::with_capacity(steps.len());
+    let mut i = 0;
+    while i < steps.len() {
+        // A maximal run of adjacent overlap-marked begin/wait pairs.
+        let mut j = i;
+        let mut pairs: Vec<usize> = Vec::new();
+        while j + 1 < steps.len() {
+            let Step::SwapBegin { id: b, .. } = &steps[j] else { break };
+            let Step::SwapWait { id: w, .. } = &steps[j + 1] else { break };
+            if b != w || !overlap_flags[*b] {
+                break;
+            }
+            pairs.push(j);
+            j += 2;
+        }
+        if pairs.is_empty() {
+            out.push(steps[i].clone());
+            i += 1;
+            continue;
+        }
+        let split = match &steps.get(j) {
+            Some(Step::Apply { kernel, inputs, region: ApplyRegion::Full, .. }) => {
+                let rank = kernel.range.rank();
+                let mut lo = vec![0i64; rank];
+                let mut hi = vec![0i64; rank];
+                let mut feeds_apply = true;
+                for &p in &pairs {
+                    let Step::SwapBegin { buf, exchanges, .. } = &steps[p] else { unreachable!() };
+                    feeds_apply &= inputs.contains(buf);
+                    let (l, h) = sten_dmp::halo_widths(exchanges, rank);
+                    for d in 0..rank {
+                        lo[d] = lo[d].max(l[d]);
+                        hi[d] = hi[d].max(h[d]);
+                    }
+                }
+                let split = sten_dmp::HaloRegionSplit::compute(&kernel.range, &lo, &hi);
+                (feeds_apply && split.is_splittable()).then_some(split)
+            }
+            _ => None,
+        };
+        let Some(split) = split else {
+            // Unsplittable: keep the first pair synchronous and rescan.
+            out.push(steps[pairs[0]].clone());
+            out.push(steps[pairs[0] + 1].clone());
+            i += 2;
+            continue;
+        };
+        let Step::Apply { kernel, inputs, outputs, .. } = &steps[j] else { unreachable!() };
+        for &p in &pairs {
+            out.push(steps[p].clone()); // begins
+        }
+        out.push(Step::Apply {
+            kernel: kernel.clone(),
+            inputs: inputs.clone(),
+            outputs: outputs.clone(),
+            region: ApplyRegion::Interior(split.interior.clone()),
+        });
+        for &p in &pairs {
+            out.push(steps[p + 1].clone()); // waits
+        }
+        for shell in &split.shells {
+            if shell.bounds.num_points() <= 0 {
+                continue;
+            }
+            out.push(Step::Apply {
+                kernel: kernel.clone(),
+                inputs: inputs.clone(),
+                outputs: outputs.clone(),
+                region: ApplyRegion::Boundary(shell.dir.clone(), shell.bounds.clone()),
+            });
+        }
+        i = j + 1;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -678,6 +992,93 @@ mod tests {
             }
         }
         assert_eq!(got, serial_args[1]);
+    }
+
+    /// Runs `timesteps` of a 2-rank distributed jacobi and returns every
+    /// rank's final buffer.
+    fn run_jacobi_2ranks(pipeline: &Pipeline, global: &[f64], timesteps: usize) -> Vec<Vec<f64>> {
+        let n = global.len() as i64;
+        let local = pipeline.arg_shapes[0][0];
+        let core = (n - 2) / 2;
+        let world = SimWorld::new(2);
+        let mut outs: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+        std::thread::scope(|scope| {
+            for (rank, out) in outs.iter_mut().enumerate() {
+                let world = Arc::clone(&world);
+                let pipeline = pipeline.clone();
+                scope.spawn(move || {
+                    let start = rank as i64 * core;
+                    let data: Vec<f64> = (0..local).map(|i| global[(start + i) as usize]).collect();
+                    let mut args = vec![data.clone(), data];
+                    let mut runner = Runner::new(pipeline, 1);
+                    for _ in 0..timesteps {
+                        runner.step_distributed(&mut args, &world, rank as i64).unwrap();
+                        // Ping-pong so the exchange matters every step.
+                        args.swap(0, 1);
+                    }
+                    *out = args[0].clone();
+                });
+            }
+        });
+        outs
+    }
+
+    #[test]
+    fn overlapped_pipeline_matches_sync_bit_for_bit() {
+        let n = 128i64;
+        let global: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+        let compile_dist = |overlap: bool| {
+            let mut m = samples::jacobi_1d(n);
+            ShapeInference.run(&mut m).unwrap();
+            sten_dmp::DistributeStencil::new(vec![2]).with_overlap(overlap).run(&mut m).unwrap();
+            ShapeInference.run(&mut m).unwrap();
+            compile_module(&m, "jacobi").unwrap()
+        };
+        let sync = compile_dist(false);
+        let over = compile_dist(true);
+        assert!(!sync.is_overlapped());
+        assert!(over.is_overlapped());
+        // Overlapped step order: begin, interior, wait, two shells.
+        let kinds: Vec<String> = over
+            .steps
+            .iter()
+            .map(|s| match s {
+                Step::Apply { region, .. } => format!("apply:{}", region.label().trim()),
+                Step::SwapBegin { .. } => "begin".into(),
+                Step::SwapWait { .. } => "wait".into(),
+                Step::Copy { .. } => "copy".into(),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["begin", "apply:interior", "wait", "apply:boundary[-1]", "apply:boundary[1]"]
+        );
+        // Both pipelines compute the same points overall.
+        assert_eq!(sync.points_per_step(), over.points_per_step());
+        assert_eq!(sync.flops_per_step(), over.flops_per_step());
+        assert_eq!(sync.exchanged_elements_per_step(), over.exchanged_elements_per_step());
+        // Multi-step runs agree bit-for-bit (the persistent pack buffers
+        // recycle across steps).
+        let a = run_jacobi_2ranks(&sync, &global, 5);
+        let b = run_jacobi_2ranks(&over, &global, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlap_reports_interior_in_summaries() {
+        let mut m = samples::heat_2d(64, 0.1);
+        ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![2, 2]).with_overlap(true).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        let p = compile_module(&m, "heat").unwrap();
+        // Interior + 4 shells on a 2x2 grid.
+        assert_eq!(p.num_apply_steps(), 5);
+        let tiers = p.tier_summary();
+        assert!(tiers[0].contains("interior"), "{tiers:?}");
+        assert!(tiers.iter().skip(1).all(|l| l.contains("boundary")), "{tiers:?}");
+        let steps = p.step_summary();
+        assert!(steps[0].starts_with("swap#0 begin"), "{steps:?}");
+        assert!(steps.iter().any(|l| l == "swap#0 wait"), "{steps:?}");
     }
 
     #[test]

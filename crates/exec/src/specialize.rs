@@ -307,10 +307,68 @@ impl WsProgram {
         }
     }
 
+    /// Scalar evaluation of one short row: one point at a time through a
+    /// flat slot array, skipping the tile machinery entirely. Each point
+    /// still executes exactly the tile path's operations in the same
+    /// order (taps, then nodes, same association), so results are
+    /// bit-identical — this is a constant-factor fast path for the
+    /// narrow boundary shells of overlapped halo exchanges, whose
+    /// stride-1 rows are only a halo-width long.
+    ///
+    /// # Safety
+    /// Same contract as [`WsProgram::eval_row`], with `slots` holding
+    /// `slot_count()` elements whose const entries
+    /// (`taps.len()..taps.len()+consts.len()`) are pre-filled.
+    unsafe fn eval_row_scalar(
+        &self,
+        inputs: &[&[f64]],
+        flats: &[i64],
+        out: &mut [f64],
+        of: i64,
+        len: i64,
+        slots: &mut [f64],
+    ) {
+        let node_base = self.taps.len() + self.consts.len();
+        for x in 0..len {
+            for (k, t) in self.taps.iter().enumerate() {
+                let src: &[f64] = inputs.get_unchecked(t.input as usize);
+                let v = *src
+                    .get_unchecked((*flats.get_unchecked(t.input as usize) + t.rel + x) as usize);
+                // The multiplication operand order is semantic (NaN
+                // payload propagation matches the bytecode), even though
+                // the branches look interchangeable.
+                #[allow(clippy::if_same_then_else)]
+                let scaled = if !t.scaled {
+                    v
+                } else if t.coeff_left {
+                    t.coeff * v
+                } else {
+                    v * t.coeff
+                };
+                *slots.get_unchecked_mut(k) = scaled;
+            }
+            for (j, n) in self.nodes.iter().enumerate() {
+                let v = match *n {
+                    WsNode::Bin { op, a, b } => {
+                        op.eval(*slots.get_unchecked(a as usize), *slots.get_unchecked(b as usize))
+                    }
+                    WsNode::Neg { a } => -*slots.get_unchecked(a as usize),
+                };
+                *slots.get_unchecked_mut(node_base + j) = v;
+            }
+            *out.get_unchecked_mut((of + x) as usize) = *slots.get_unchecked(self.out as usize);
+        }
+    }
+
     fn slot_count(&self) -> usize {
         self.taps.len() + self.consts.len() + self.nodes.len()
     }
 }
+
+/// Rows at most this long take the scalar path instead of the
+/// strip-mined tile path: below this length the tile setup (slice
+/// bookkeeping per tap and node) costs more than the points themselves.
+const WS_SCALAR_MAX_ROW: i64 = 8;
 
 /// The executable form a kernel was specialized into.
 #[derive(Clone, Debug)]
@@ -453,6 +511,35 @@ impl SpecializedKernel {
             }
             Tier::WeightedSum(ws) => {
                 self.validate(inputs, outs, range, &ws.rel_bounds);
+                let last = range.rank() - 1;
+                let row_len = range.0[last].1 - range.0[last].0;
+                if row_len <= WS_SCALAR_MAX_ROW {
+                    // Narrow rows (boundary shells of overlapped
+                    // exchanges): scalar per-point evaluation over a
+                    // flat slot array.
+                    scratch.ensure(
+                        0,
+                        ws.slot_count(),
+                        self.inputs.len(),
+                        self.outputs.len(),
+                        range.rank(),
+                    );
+                    for (k, &v) in ws.consts.iter().enumerate() {
+                        scratch.slots[ws.taps.len() + k] = v;
+                    }
+                    let out0: &mut [f64] = outs[0];
+                    walk_rows(&self.kernel, range, scratch, |sc, len| unsafe {
+                        ws.eval_row_scalar(
+                            inputs,
+                            &sc.flats,
+                            out0,
+                            sc.out_flats[0],
+                            len,
+                            &mut sc.slots,
+                        );
+                    });
+                    return;
+                }
                 scratch.ensure(
                     0,
                     ws.slot_count() * WS_TILE,

@@ -32,10 +32,26 @@ mod abi {
     }
 }
 
+/// One in-flight message: payload plus its simulated arrival time
+/// (`None` = already delivered, the zero-latency fast path).
+struct Msg {
+    arrival: Option<std::time::Instant>,
+    data: Vec<f64>,
+}
+
+impl Msg {
+    fn arrived(&self) -> bool {
+        match self.arrival {
+            None => true,
+            Some(at) => std::time::Instant::now() >= at,
+        }
+    }
+}
+
 #[derive(Default)]
 struct Mailboxes {
     /// (src, dst, tag) → FIFO queue of messages.
-    queues: HashMap<(i32, i32, i32), Vec<Vec<f64>>>,
+    queues: HashMap<(i32, i32, i32), Vec<Msg>>,
 }
 
 struct CollectiveState {
@@ -48,6 +64,10 @@ struct CollectiveState {
 /// The shared state of one simulated MPI world.
 pub struct SimWorld {
     size: usize,
+    /// Simulated per-message delivery latency: a sent message becomes
+    /// visible to receives only after this much wall-clock time. Zero
+    /// (the default) means instant delivery, as before.
+    latency: std::time::Duration,
     mail: Mutex<Mailboxes>,
     mail_cv: Condvar,
     coll: Mutex<CollectiveState>,
@@ -57,13 +77,28 @@ pub struct SimWorld {
     sent_elements: Mutex<u64>,
     /// Total messages sent.
     sent_messages: Mutex<u64>,
+    /// Receives whose message had already arrived at the first attempt —
+    /// the observable signature of communication/computation overlap.
+    recv_immediate: Mutex<u64>,
+    /// Receives that had to block for their message.
+    recv_blocked: Mutex<u64>,
 }
 
 impl SimWorld {
-    /// Creates a world of `size` ranks.
+    /// Creates a world of `size` ranks with instant message delivery.
     pub fn new(size: usize) -> Arc<SimWorld> {
+        SimWorld::new_with_latency(size, std::time::Duration::ZERO)
+    }
+
+    /// Creates a world whose messages arrive only after `latency` — a
+    /// stand-in for network transit time, so the sync-vs-overlap gap is
+    /// measurable instead of hidden by the shared-memory mailboxes.
+    /// Payloads are unaffected; results stay bit-identical to the
+    /// zero-latency world.
+    pub fn new_with_latency(size: usize, latency: std::time::Duration) -> Arc<SimWorld> {
         Arc::new(SimWorld {
             size,
+            latency,
             mail: Mutex::new(Mailboxes::default()),
             mail_cv: Condvar::new(),
             coll: Mutex::new(CollectiveState {
@@ -74,6 +109,8 @@ impl SimWorld {
             coll_cv: Condvar::new(),
             sent_elements: Mutex::new(0),
             sent_messages: Mutex::new(0),
+            recv_immediate: Mutex::new(0),
+            recv_blocked: Mutex::new(0),
         })
     }
 
@@ -92,25 +129,76 @@ impl SimWorld {
         *self.sent_messages.lock()
     }
 
-    /// Buffered send: deposits the message and returns immediately.
+    /// Receives that found their message already delivered on the first
+    /// attempt (overlap hid the transit time).
+    pub fn total_recv_immediate(&self) -> u64 {
+        *self.recv_immediate.lock()
+    }
+
+    /// Receives that blocked waiting for delivery.
+    pub fn total_recv_blocked(&self) -> u64 {
+        *self.recv_blocked.lock()
+    }
+
+    /// Buffered send: deposits the message and returns immediately; the
+    /// message completes delivery in the background (after the world's
+    /// simulated latency, if any).
     pub fn send(&self, src: i32, dst: i32, tag: i32, data: Vec<f64>) {
         *self.sent_elements.lock() += data.len() as u64;
         *self.sent_messages.lock() += 1;
+        let arrival = (!self.latency.is_zero()).then(|| std::time::Instant::now() + self.latency);
         let mut mail = self.mail.lock();
-        mail.queues.entry((src, dst, tag)).or_default().push(data);
+        mail.queues.entry((src, dst, tag)).or_default().push(Msg { arrival, data });
         self.mail_cv.notify_all();
+    }
+
+    /// Pops the oldest matching message if it has been delivered
+    /// (nonblocking). MPI's non-overtaking order is preserved: an
+    /// undelivered message at the queue head blocks younger ones.
+    fn pop_arrived(mail: &mut Mailboxes, dst: i32, src: i32, tag: i32) -> Option<Vec<f64>> {
+        let q = mail.queues.get_mut(&(src, dst, tag))?;
+        if q.first()?.arrived() {
+            Some(q.remove(0).data)
+        } else {
+            None
+        }
+    }
+
+    /// Nonblocking receive: the oldest matching *delivered* message.
+    pub fn try_recv(&self, dst: i32, src: i32, tag: i32) -> Option<Vec<f64>> {
+        let mut mail = self.mail.lock();
+        Self::pop_arrived(&mut mail, dst, src, tag)
     }
 
     /// Blocking receive of the oldest matching message.
     pub fn recv(&self, dst: i32, src: i32, tag: i32) -> Vec<f64> {
         let mut mail = self.mail.lock();
+        if let Some(data) = Self::pop_arrived(&mut mail, dst, src, tag) {
+            *self.recv_immediate.lock() += 1;
+            return data;
+        }
+        *self.recv_blocked.lock() += 1;
         loop {
-            if let Some(q) = mail.queues.get_mut(&(src, dst, tag)) {
-                if !q.is_empty() {
-                    return q.remove(0);
-                }
+            if let Some(data) = Self::pop_arrived(&mut mail, dst, src, tag) {
+                return data;
             }
-            self.mail_cv.wait(&mut mail);
+            // An in-flight message needs a timed wait (no notification
+            // fires when its latency elapses).
+            let in_flight = mail
+                .queues
+                .get(&(src, dst, tag))
+                .and_then(|q| q.first())
+                .and_then(|m| m.arrival)
+                .map(|at| at.saturating_duration_since(std::time::Instant::now()));
+            match in_flight {
+                Some(remaining) => {
+                    let _ = self.mail_cv.wait_timeout(
+                        &mut mail,
+                        remaining.max(std::time::Duration::from_micros(1)),
+                    );
+                }
+                None => self.mail_cv.wait(&mut mail),
+            }
         }
     }
 
@@ -282,6 +370,30 @@ impl MpiEnv {
             }
         }
     }
+
+    /// Attempts to complete a request without blocking: posted receives
+    /// whose message has already been delivered are drained into their
+    /// destination (background completion); returns whether the request
+    /// is now complete.
+    fn try_complete(&self, state: &mut RequestState) -> Result<bool, String> {
+        match state {
+            RequestState::Null | RequestState::SendDone => Ok(true),
+            RequestState::PendingRecv { src, tag, dst, offset, count } => {
+                let Some(msg) = self.world.try_recv(self.rank, *src, *tag) else {
+                    return Ok(false);
+                };
+                if msg.len() != *count {
+                    return Err(format!(
+                        "message length {} does not match posted receive {count}",
+                        msg.len()
+                    ));
+                }
+                Self::write_elems(dst, *offset, &msg)?;
+                *state = RequestState::Null;
+                Ok(true)
+            }
+        }
+    }
 }
 
 impl Externals for MpiEnv {
@@ -343,8 +455,12 @@ impl Externals for MpiEnv {
                 let (src, tag) = (int(3)? as i32, int(4)? as i32);
                 Self::check_comm(int(5)?)?;
                 let (list, idx) = Self::request_slot(&args[6])?;
-                list.borrow_mut()[idx] =
-                    RequestState::PendingRecv { src, tag, dst: ptr, offset: off, count };
+                let mut slot = RequestState::PendingRecv { src, tag, dst: ptr, offset: off, count };
+                // Asynchronous semantics: an already-delivered message
+                // completes the request at post time, in the background
+                // of whatever the rank does next.
+                self.try_complete(&mut slot)?;
+                list.borrow_mut()[idx] = slot;
                 Ok(vec![RtValue::Int(0)])
             }
             "MPI_Wait" => {
@@ -356,12 +472,10 @@ impl Externals for MpiEnv {
             }
             "MPI_Test" => {
                 let (list, idx) = Self::request_slot(&args[0])?;
-                let done = !matches!(list.borrow()[idx], RequestState::PendingRecv { .. });
-                if done {
-                    Ok(vec![RtValue::Int(1)])
-                } else {
-                    Ok(vec![RtValue::Int(0)])
-                }
+                let mut slot = list.borrow()[idx].clone();
+                let done = self.try_complete(&mut slot)?;
+                list.borrow_mut()[idx] = slot;
+                Ok(vec![RtValue::Int(i64::from(done))])
             }
             "MPI_Waitall" => {
                 let count = int(0)? as usize;
@@ -573,6 +687,95 @@ mod tests {
         assert!(err.contains("invalid communicator"), "{err}");
         let ok = env.call("MPI_Comm_rank", &[RtValue::Int(abi::MPI_COMM_WORLD)]).unwrap();
         assert!(matches!(ok[0], RtValue::Int(0)));
+    }
+
+    #[test]
+    fn latency_delays_delivery_without_changing_data() {
+        let world = SimWorld::new_with_latency(2, std::time::Duration::from_millis(20));
+        world.send(0, 1, 3, vec![4.0, 5.0]);
+        // In flight: not yet visible to a nonblocking receive.
+        assert!(world.try_recv(1, 0, 3).is_none(), "message still in transit");
+        // The blocking receive waits out the latency and gets the exact
+        // payload.
+        let t0 = std::time::Instant::now();
+        assert_eq!(world.recv(1, 0, 3), vec![4.0, 5.0]);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5), "recv waited for delivery");
+        assert_eq!(world.total_recv_blocked(), 1);
+        assert_eq!(world.total_recv_immediate(), 0);
+    }
+
+    #[test]
+    fn delivered_messages_complete_receives_immediately() {
+        let world = SimWorld::new(2);
+        world.send(0, 1, 7, vec![1.0]);
+        assert_eq!(world.try_recv(1, 0, 7), Some(vec![1.0]));
+        world.send(0, 1, 7, vec![2.0]);
+        assert_eq!(world.recv(1, 0, 7), vec![2.0]);
+        assert_eq!(world.total_recv_immediate(), 1);
+        assert_eq!(world.total_recv_blocked(), 0);
+    }
+
+    #[test]
+    fn irecv_completes_in_the_background() {
+        use crate::value::BufView;
+        let world = SimWorld::new(2);
+        // The message is already in the mailbox when the receive is
+        // posted: the request completes at post time, and MPI_Wait on it
+        // never touches the world.
+        world.send(1, 0, 5, vec![9.0, 8.0]);
+        let mut env = MpiEnv::new(world, 0);
+        let buf = BufView::alloc(vec![2]);
+        let list = env.call("MPI_Request_alloc", &[RtValue::Int(1)]).unwrap();
+        let req = env.call("MPI_Request_get", &[list[0].clone(), RtValue::Int(0)]).unwrap();
+        env.call(
+            "MPI_Irecv",
+            &[
+                RtValue::Ptr { data: std::rc::Rc::clone(&buf.data), offset: 0 },
+                RtValue::Int(2),
+                RtValue::Int(abi::MPI_DOUBLE),
+                RtValue::Int(1),
+                RtValue::Int(5),
+                RtValue::Int(abi::MPI_COMM_WORLD),
+                req[0].clone(),
+            ],
+        )
+        .unwrap();
+        // Completed in the background: data is in place before any wait.
+        assert_eq!(buf.to_vec(), vec![9.0, 8.0]);
+        let done = env.call("MPI_Test", &[req[0].clone()]).unwrap();
+        assert!(matches!(done[0], RtValue::Int(1)));
+        env.call("MPI_Wait", &[req[0].clone()]).unwrap();
+        assert_eq!(buf.to_vec(), vec![9.0, 8.0]);
+    }
+
+    #[test]
+    fn test_polls_pending_receives() {
+        use crate::value::BufView;
+        let world = SimWorld::new(2);
+        let w = Arc::clone(&world);
+        let mut env = MpiEnv::new(world, 0);
+        let buf = BufView::alloc(vec![1]);
+        let list = env.call("MPI_Request_alloc", &[RtValue::Int(1)]).unwrap();
+        let req = env.call("MPI_Request_get", &[list[0].clone(), RtValue::Int(0)]).unwrap();
+        env.call(
+            "MPI_Irecv",
+            &[
+                RtValue::Ptr { data: std::rc::Rc::clone(&buf.data), offset: 0 },
+                RtValue::Int(1),
+                RtValue::Int(abi::MPI_DOUBLE),
+                RtValue::Int(1),
+                RtValue::Int(9),
+                RtValue::Int(abi::MPI_COMM_WORLD),
+                req[0].clone(),
+            ],
+        )
+        .unwrap();
+        let not_done = env.call("MPI_Test", &[req[0].clone()]).unwrap();
+        assert!(matches!(not_done[0], RtValue::Int(0)), "nothing sent yet");
+        w.send(1, 0, 9, vec![3.5]);
+        let done = env.call("MPI_Test", &[req[0].clone()]).unwrap();
+        assert!(matches!(done[0], RtValue::Int(1)));
+        assert_eq!(buf.to_vec(), vec![3.5]);
     }
 
     #[test]

@@ -58,6 +58,16 @@ impl Condvar {
         guard.0 = Some(self.0.wait(inner).expect("mutex poisoned"));
     }
 
+    /// Blocks until notified or `dur` elapses; returns `true` on timeout.
+    /// Used by the SimMPI runtime to re-check in-flight messages whose
+    /// simulated delivery latency has not elapsed yet.
+    pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, dur: std::time::Duration) -> bool {
+        let inner = guard.0.take().expect("guard already waiting");
+        let (inner, result) = self.0.wait_timeout(inner, dur).expect("mutex poisoned");
+        guard.0 = Some(inner);
+        result.timed_out()
+    }
+
     /// Wakes all threads blocked in [`Condvar::wait`].
     pub fn notify_all(&self) {
         self.0.notify_all();

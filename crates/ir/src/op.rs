@@ -150,6 +150,48 @@ impl Op {
         });
     }
 
+    /// Deep-clones this op with **fresh definitions**: every result and
+    /// block argument in the subtree is re-allocated from `vt` (with its
+    /// original type) and internal uses are remapped, so the clone can be
+    /// inserted next to the original without violating SSA single
+    /// assignment. Operands defined *outside* the subtree keep their
+    /// original values (they still dominate the insertion point).
+    pub fn clone_with_fresh_defs(&self, vt: &mut ValueTable) -> Op {
+        let mut map: HashMap<Value, Value> = HashMap::new();
+        self.clone_fresh_rec(vt, &mut map)
+    }
+
+    fn clone_fresh_rec(&self, vt: &mut ValueTable, map: &mut HashMap<Value, Value>) -> Op {
+        let mut new = Op::new(self.name.clone());
+        new.attrs = self.attrs.clone();
+        // Defs dominate uses, so the map already holds every internal def
+        // an operand can reference.
+        new.operands = self.operands.iter().map(|o| *map.get(o).unwrap_or(o)).collect();
+        for &r in &self.results {
+            let fresh = vt.alloc(vt.ty(r).clone());
+            map.insert(r, fresh);
+            new.results.push(fresh);
+        }
+        for region in &self.regions {
+            let mut new_region = Region::new();
+            for block in &region.blocks {
+                let mut new_block = Block::new();
+                for &arg in &block.args {
+                    let fresh = vt.alloc(vt.ty(arg).clone());
+                    map.insert(arg, fresh);
+                    new_block.args.push(fresh);
+                }
+                for op in &block.ops {
+                    let cloned = op.clone_fresh_rec(vt, map);
+                    new_block.ops.push(cloned);
+                }
+                new_region.blocks.push(new_block);
+            }
+            new.regions.push(new_region);
+        }
+        new
+    }
+
     /// Counts how many times each value is used as an operand in the
     /// subtree rooted at this op.
     pub fn use_counts(&self) -> HashMap<Value, usize> {
@@ -380,6 +422,35 @@ mod tests {
         assert!(m.lookup_symbol("main").is_some());
         assert!(m.lookup_symbol("other").is_none());
         assert!(m.lookup_symbol_mut("main").is_some());
+    }
+
+    #[test]
+    fn clone_with_fresh_defs_remaps_internal_values_only() {
+        let mut m = Module::new();
+        let outer_def = m.values.alloc(Type::Index);
+        let iv = m.values.alloc(Type::Index);
+        let sum = m.values.alloc(Type::Index);
+        let mut body = Block::with_args(vec![iv]);
+        let mut add = Op::new("arith.addi");
+        add.operands.extend([iv, outer_def]);
+        add.results.push(sum);
+        body.ops.push(add);
+        let mut loop_op = Op::new("scf.parallel");
+        loop_op.operands.push(outer_def);
+        loop_op.regions.push(Region::single(body));
+
+        let clone = loop_op.clone_with_fresh_defs(&mut m.values);
+        // Outside defs are untouched.
+        assert_eq!(clone.operand(0), outer_def);
+        // Block args and results are fresh, and internal uses follow.
+        let new_iv = clone.region_block(0).args[0];
+        assert_ne!(new_iv, iv);
+        let new_add = &clone.region_block(0).ops[0];
+        assert_eq!(new_add.operands, vec![new_iv, outer_def]);
+        assert_ne!(new_add.result(0), sum);
+        assert_eq!(m.values.ty(new_add.result(0)), &Type::Index);
+        // The original is untouched.
+        assert_eq!(loop_op.region_block(0).args[0], iv);
     }
 
     #[test]

@@ -15,6 +15,26 @@
 //!    `mpi.isend`/`mpi.irecv` into a shared request list;
 //! 4. one `mpi.waitall` barrier, then guarded unpack loops and deallocs.
 //!
+//! **Overlapped lowering.** A `dmp.swap` marked with the `overlap` unit
+//! attribute (`distribute-stencil{overlap=true}`) and followed by its
+//! compute loop lowers into the four-phase structure instead, hiding halo
+//! latency behind interior computation:
+//!
+//! ```text
+//! begin exchange        (packs, mpi.isend / mpi.irecv — phase 1–3 above)
+//! interior scf.parallel (iteration space shrunk by the halo widths)
+//! per-receive mpi.wait + guarded unpack      ← the waitall barrier split
+//! mpi.waitall           (drains the send requests, then deallocs)
+//! boundary scf.parallel shells (one per halo side)
+//! ```
+//!
+//! The interior/boundary geometry comes from
+//! [`sten_dmp::HaloRegionSplit`], shared with the compiled executor, so
+//! both layers agree on the split. When the following compute loop cannot
+//! be split (non-constant bounds, empty interior, intervening ops other
+//! than constants/allocs) the lowering falls back to the synchronous
+//! form, which stays byte-identical to the pre-overlap output.
+//!
 //! Message tags encode the direction of travel so that the sender's tag
 //! matches the mirror exchange's receive tag on the neighbour.
 //!
@@ -23,8 +43,9 @@
 //! "any loop invariant calls are hoisted as part of this transformation".
 
 use sten_dialects::{arith, memref, scf};
+use sten_dmp::HaloRegionSplit;
 use sten_ir::{
-    Attribute, Block, ExchangeAttr, MemRefType, Module, Op, Pass, PassError, Type, Value,
+    Attribute, Block, Bounds, ExchangeAttr, MemRefType, Module, Op, Pass, PassError, Type, Value,
     ValueTable,
 };
 
@@ -139,13 +160,90 @@ fn based_indices(
     out
 }
 
+/// The state of a begun (posted but not yet completed) exchange: what
+/// the wait/unpack phase needs, wherever it is placed.
+struct BegunExchange {
+    data: Value,
+    exchanges: Vec<ExchangeAttr>,
+    /// Per-exchange boundary guard (`%is_in_bounds`).
+    guards: Vec<Value>,
+    /// Per-exchange (send, recv) staging buffers.
+    staging: Vec<(Value, Value)>,
+    /// Per-exchange receive request handles.
+    recv_reqs: Vec<Value>,
+    /// The shared request list and its slot count.
+    reqs: Value,
+    nreq: i64,
+}
+
 struct SwapLowerer<'a> {
     vt: &'a mut ValueTable,
 }
 
 impl<'a> SwapLowerer<'a> {
-    /// Lowers one `dmp.swap` into `out`.
+    /// Lowers one `dmp.swap` into `out` (the synchronous form:
+    /// pack → isend/irecv → waitall → unpack).
     fn lower_swap(&mut self, swap: &Op, out: &mut Vec<Op>) -> Result<(), String> {
+        let Some(begun) = self.begin_exchange(swap, out)? else {
+            return Ok(()); // nothing to do
+        };
+        let vt = &mut *self.vt;
+
+        // Synchronization barrier (Fig. 4: `mpi.waitall %requests, %four`).
+        let cnt = arith::const_i32(vt, begun.nreq);
+        let cntv = cnt.result(0);
+        out.push(cnt);
+        out.push(crate::ops::waitall(begun.reqs, cntv));
+
+        // Guarded unpack ("copy back") loops + deallocation.
+        for (i, e) in begun.exchanges.iter().enumerate() {
+            let (sendv, recvv) = begun.staging[i];
+            let mut then_ops: Vec<Op> = Vec::new();
+            Self::emit_unpack(vt, &mut then_ops, begun.data, recvv, e);
+            then_ops.push(scf::yield_op(vec![]));
+            out.push(scf::if_op(
+                vt,
+                begun.guards[i],
+                vec![],
+                then_ops,
+                vec![scf::yield_op(vec![])],
+            ));
+            out.push(memref::dealloc(sendv));
+            out.push(memref::dealloc(recvv));
+        }
+        Ok(())
+    }
+
+    /// Emits one exchange's unpack loop nest into `ops`.
+    fn emit_unpack(
+        vt: &mut ValueTable,
+        ops: &mut Vec<Op>,
+        data: Value,
+        recvv: Value,
+        e: &ExchangeAttr,
+    ) {
+        let at = e.at.clone();
+        let sizes = e.size.clone();
+        for_nest(vt, ops, &sizes, |vt, ivs| {
+            let mut body = Vec::new();
+            let flat = flat_index(vt, &mut body, ivs, &sizes);
+            let load = memref::load(vt, recvv, vec![flat]);
+            let lv = load.result(0);
+            body.push(load);
+            let dst_idx = based_indices(vt, &mut body, ivs, &at);
+            body.push(memref::store(lv, data, dst_idx));
+            body
+        });
+    }
+
+    /// Emits the begin-exchange phase (coordinates, guards, staging,
+    /// pack loops, `mpi.isend`/`mpi.irecv`) and returns the state the
+    /// completion phase needs, or `None` when the swap has no exchanges.
+    fn begin_exchange(
+        &mut self,
+        swap: &Op,
+        out: &mut Vec<Op>,
+    ) -> Result<Option<BegunExchange>, String> {
         let data = swap.operand(0);
         let Type::MemRef(data_ty) = self.vt.ty(data).clone() else {
             return Err("dmp.swap operand is not a memref — run convert-stencil-to-loops before \
@@ -161,7 +259,7 @@ impl<'a> SwapLowerer<'a> {
             .map(|a| a.iter().filter_map(Attribute::as_exchange).cloned().collect())
             .unwrap_or_default();
         if exchanges.is_empty() {
-            return Ok(()); // nothing to do
+            return Ok(None); // nothing to do
         }
 
         let vt = &mut *self.vt;
@@ -195,6 +293,7 @@ impl<'a> SwapLowerer<'a> {
         // Per-exchange staging buffers and guards.
         let mut guards: Vec<Value> = Vec::new();
         let mut staging: Vec<(Value, Value)> = Vec::new();
+        let mut recv_reqs: Vec<Value> = Vec::new();
         for (i, e) in exchanges.iter().enumerate() {
             // Neighbour coordinates and validity.
             let mut valid: Option<Value> = None;
@@ -284,6 +383,7 @@ impl<'a> SwapLowerer<'a> {
             let rreq = crate::ops::request_get(vt, reqsv, 2 * i as i64 + 1);
             let rreqv = rreq.result(0);
             out.push(rreq);
+            recv_reqs.push(rreqv);
 
             // then: pack + isend + irecv; else: null the request slots.
             let mut then_ops: Vec<Op> = Vec::new();
@@ -315,52 +415,184 @@ impl<'a> SwapLowerer<'a> {
             ];
             out.push(scf::if_op(vt, valid, vec![], then_ops, else_ops));
         }
+        Ok(Some(BegunExchange { data, exchanges, guards, staging, recv_reqs, reqs: reqsv, nreq }))
+    }
 
-        // Synchronization barrier (Fig. 4: `mpi.waitall %requests, %four`).
-        let cnt = arith::const_i32(vt, nreq);
+    /// Lowers a swap marked for overlap together with its compute loop:
+    /// begin-exchange, interior compute, per-receive wait + unpack (the
+    /// split barrier), send drain, boundary shells.
+    ///
+    /// `prelude` holds the (pure) ops between the swap and the loop;
+    /// `par` is the `scf.parallel` to split; `split` its interior/shell
+    /// partition.
+    fn lower_swap_overlapped(
+        &mut self,
+        swap: &Op,
+        prelude: Vec<Op>,
+        mut par: Op,
+        split: &HaloRegionSplit,
+        out: &mut Vec<Op>,
+    ) -> Result<(), String> {
+        let Some(begun) = self.begin_exchange(swap, out)? else {
+            // No exchanges: nothing to overlap with.
+            out.extend(prelude);
+            out.push(par);
+            return Ok(());
+        };
+
+        // The compute prelude (output allocs, bound constants) is pure —
+        // emitting it after the begin phase keeps the messages in flight
+        // during every cycle the interior loop runs.
+        out.extend(prelude);
+
+        // Interior: the original loop, re-bounded.
+        let rank = split.interior.rank();
+        let vt = &mut *self.vt;
+        let set_bounds = |vt: &mut ValueTable, par: &mut Op, bounds: &Bounds, out: &mut Vec<Op>| {
+            for d in 0..rank {
+                let (lb, ub) = bounds.0[d];
+                let lo = arith::const_index(vt, lb);
+                let hi = arith::const_index(vt, ub);
+                par.operands[d] = lo.result(0);
+                par.operands[rank + d] = hi.result(0);
+                out.push(lo);
+                out.push(hi);
+            }
+        };
+        set_bounds(vt, &mut par, &split.interior, out);
+        let shell_template = par.clone();
+        out.push(par);
+
+        // Split barrier: each receive is waited for individually, and
+        // its halo slab unpacked, while the send slots drain in the
+        // final waitall.
+        for (i, e) in begun.exchanges.iter().enumerate() {
+            out.push(crate::ops::wait(begun.recv_reqs[i]));
+            let (_, recvv) = begun.staging[i];
+            let mut then_ops: Vec<Op> = Vec::new();
+            Self::emit_unpack(vt, &mut then_ops, begun.data, recvv, e);
+            then_ops.push(scf::yield_op(vec![]));
+            out.push(scf::if_op(
+                vt,
+                begun.guards[i],
+                vec![],
+                then_ops,
+                vec![scf::yield_op(vec![])],
+            ));
+        }
+        let cnt = arith::const_i32(vt, begun.nreq);
         let cntv = cnt.result(0);
         out.push(cnt);
-        out.push(crate::ops::waitall(reqsv, cntv));
-
-        // Guarded unpack ("copy back") loops + deallocation.
-        for (i, e) in exchanges.iter().enumerate() {
-            let (sendv, recvv) = staging[i];
-            let mut then_ops: Vec<Op> = Vec::new();
-            let at = e.at.clone();
-            let sizes = e.size.clone();
-            for_nest(vt, &mut then_ops, &sizes, |vt, ivs| {
-                let mut ops = Vec::new();
-                let flat = flat_index(vt, &mut ops, ivs, &sizes);
-                let load = memref::load(vt, recvv, vec![flat]);
-                let lv = load.result(0);
-                ops.push(load);
-                let dst_idx = based_indices(vt, &mut ops, ivs, &at);
-                ops.push(memref::store(lv, data, dst_idx));
-                ops
-            });
-            then_ops.push(scf::yield_op(vec![]));
-            out.push(scf::if_op(vt, guards[i], vec![], then_ops, vec![scf::yield_op(vec![])]));
+        out.push(crate::ops::waitall(begun.reqs, cntv));
+        for &(sendv, recvv) in &begun.staging {
             out.push(memref::dealloc(sendv));
             out.push(memref::dealloc(recvv));
+        }
+
+        // Boundary shells: fresh clones of the compute loop over the
+        // halo-dependent sub-ranges.
+        for shell in &split.shells {
+            if shell.bounds.num_points() <= 0 {
+                continue;
+            }
+            let mut loop_op = shell_template.clone_with_fresh_defs(vt);
+            set_bounds(vt, &mut loop_op, &shell.bounds, out);
+            out.push(loop_op);
         }
         Ok(())
     }
 
     fn process_block(&mut self, block: &mut Block) -> Result<(), String> {
-        let ops = std::mem::take(&mut block.ops);
-        for mut op in ops {
-            if op.name == "dmp.swap" {
-                self.lower_swap(&op, &mut block.ops)?;
+        let mut ops = std::mem::take(&mut block.ops);
+        let mut i = 0;
+        while i < ops.len() {
+            if ops[i].name == "dmp.swap" {
+                let swap = std::mem::replace(&mut ops[i], Op::new("dmp.__lowered"));
+                if swap.attr("overlap").is_some() {
+                    if let Some((end, split)) = self.overlap_target(&block.ops, &ops, i + 1, &swap)
+                    {
+                        let prelude: Vec<Op> = ops[i + 1..end]
+                            .iter_mut()
+                            .map(|op| std::mem::replace(op, Op::new("dmp.__lowered")))
+                            .collect();
+                        let par = std::mem::replace(&mut ops[end], Op::new("dmp.__lowered"));
+                        self.lower_swap_overlapped(&swap, prelude, par, &split, &mut block.ops)?;
+                        i = end + 1;
+                        continue;
+                    }
+                }
+                self.lower_swap(&swap, &mut block.ops)?;
+                i += 1;
                 continue;
             }
+            let mut op = std::mem::replace(&mut ops[i], Op::new("dmp.__lowered"));
             for region in &mut op.regions {
                 for inner in &mut region.blocks {
                     self.process_block(inner)?;
                 }
             }
             block.ops.push(op);
+            i += 1;
         }
         Ok(())
+    }
+
+    /// Finds the compute loop an overlap-marked swap can split: scans
+    /// past pure prelude ops (constants, allocs) for an `scf.parallel`
+    /// with constant unit-step bounds whose interior/shell partition is
+    /// worthwhile. Returns the loop's index and the partition, or `None`
+    /// to fall back to the synchronous lowering.
+    fn overlap_target(
+        &self,
+        emitted: &[Op],
+        ops: &[Op],
+        start: usize,
+        swap: &Op,
+    ) -> Option<(usize, HaloRegionSplit)> {
+        let exchanges: Vec<ExchangeAttr> = swap
+            .attr("swaps")
+            .and_then(Attribute::as_array)
+            .map(|a| a.iter().filter_map(Attribute::as_exchange).cloned().collect())
+            .unwrap_or_default();
+        if exchanges.is_empty() {
+            return None;
+        }
+        let mut j = start;
+        while j < ops.len() && matches!(ops[j].name.as_str(), "arith.constant" | "memref.alloc") {
+            j += 1;
+        }
+        if j >= ops.len() || ops[j].name != "scf.parallel" {
+            return None;
+        }
+        let par = &ops[j];
+        let rank = par.attr("rank").and_then(Attribute::as_int)? as usize;
+        if par.operands.len() != 3 * rank || rank == 0 {
+            return None;
+        }
+        // Resolve the loop bounds against every constant in scope: the
+        // already-lowered block prefix plus the pending prelude.
+        let mut consts: std::collections::HashMap<Value, i64> = std::collections::HashMap::new();
+        for op in emitted.iter().chain(&ops[start..j]) {
+            if op.name == "arith.constant" && op.results.len() == 1 {
+                if let Some(v) = op.attr("value").and_then(Attribute::as_int) {
+                    consts.insert(op.result(0), v);
+                }
+            }
+        }
+        let resolve = |v: Value| consts.get(&v).copied();
+        let mut dims = Vec::with_capacity(rank);
+        for d in 0..rank {
+            let lb = resolve(par.operands[d])?;
+            let ub = resolve(par.operands[rank + d])?;
+            if resolve(par.operands[2 * rank + d])? != 1 {
+                return None;
+            }
+            dims.push((lb, ub));
+        }
+        let range = Bounds::new(dims);
+        let (lo_w, hi_w) = sten_dmp::halo_widths(&exchanges, rank);
+        let split = HaloRegionSplit::compute(&range, &lo_w, &hi_w);
+        split.is_splittable().then_some((j, split))
     }
 }
 
@@ -470,6 +702,86 @@ mod tests {
         verify_module(&m, Some(&registry())).unwrap();
         assert_eq!(count(&m, "mpi.isend"), 4, "four neighbours in a 2x2 grid");
         assert_eq!(count(&m, "mpi.waitall"), 1);
+    }
+
+    fn lowered_overlapped(n: i64, grid: Vec<i64>) -> Module {
+        let mut m = sten_stencil::samples::heat_2d(n, 0.1);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(grid).with_overlap(true).run(&mut m).unwrap();
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_stencil::StencilToLoops.run(&mut m).unwrap();
+        DmpToMpi.run(&mut m).unwrap();
+        m
+    }
+
+    #[test]
+    fn overlap_splits_the_waitall_barrier() {
+        let m = lowered_overlapped(64, vec![2, 2]);
+        verify_module(&m, Some(&registry())).unwrap();
+        assert_eq!(count(&m, "dmp.swap"), 0);
+        assert_eq!(count(&m, "mpi.isend"), 4);
+        assert_eq!(count(&m, "mpi.irecv"), 4);
+        // The single barrier became one mpi.wait per receive plus a
+        // final send drain.
+        assert_eq!(count(&m, "mpi.wait"), 4);
+        assert_eq!(count(&m, "mpi.waitall"), 1);
+        // Interior + 4 boundary shells.
+        assert_eq!(count(&m, "scf.parallel"), 5);
+    }
+
+    #[test]
+    fn overlap_phases_are_ordered_begin_interior_wait_shells() {
+        let m = lowered_overlapped(64, vec![2]);
+        let func = m.lookup_symbol("heat").unwrap();
+        let names: Vec<&str> = func.region_block(0).ops.iter().map(|o| o.name.as_str()).collect();
+        let first = |n: &str| names.iter().position(|&x| x == n).unwrap_or_else(|| panic!("{n}"));
+        let last = |n: &str| names.iter().rposition(|&x| x == n).unwrap();
+        let isend = first("scf.if"); // pack+isend guards come first
+        let interior = first("scf.parallel");
+        let wait = first("mpi.wait");
+        let waitall = first("mpi.waitall");
+        let shell = last("scf.parallel");
+        assert!(isend < interior, "begin-exchange precedes the interior compute");
+        assert!(interior < wait, "interior computes while messages are in flight");
+        assert!(wait < waitall, "per-receive waits precede the send drain");
+        assert!(waitall < shell, "boundary shells run last");
+        // 1D split on a 2D domain: interior + 2 shells.
+        assert_eq!(names.iter().filter(|&&n| n == "scf.parallel").count(), 3);
+    }
+
+    #[test]
+    fn overlapped_module_round_trips_and_interior_is_shrunk() {
+        let m = lowered_overlapped(64, vec![2, 2]);
+        let text = sten_ir::print_module(&m);
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
+    }
+
+    #[test]
+    fn unmarked_swaps_keep_the_synchronous_lowering() {
+        // The overlap path must not perturb the default output: lower the
+        // same module with and without running through the new
+        // process_block and compare op counts.
+        let m = lowered_jacobi(vec![2]);
+        assert_eq!(count(&m, "mpi.wait"), 0, "sync lowering has no per-receive waits");
+        assert_eq!(count(&m, "mpi.waitall"), 1);
+        assert_eq!(count(&m, "scf.parallel"), 1, "compute loop left untouched");
+    }
+
+    #[test]
+    fn tiny_interior_falls_back_to_sync() {
+        // A 2-point-per-rank domain has no interior once shrunk by the
+        // halos: the lowering must fall back to the synchronous form.
+        let mut m = sten_stencil::samples::jacobi_1d(6);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![2]).with_overlap(true).run(&mut m).unwrap();
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_stencil::StencilToLoops.run(&mut m).unwrap();
+        DmpToMpi.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        assert_eq!(count(&m, "mpi.wait"), 0, "fallback: no split");
+        assert_eq!(count(&m, "mpi.waitall"), 1);
+        assert_eq!(count(&m, "scf.parallel"), 1);
     }
 
     #[test]

@@ -152,6 +152,7 @@ fn run() -> Result<(), String> {
         println!("{pipeline}");
         return Ok(());
     }
+    let pipeline_for_report = pipeline.clone();
 
     let source = match args.input.as_deref() {
         None | Some("-") => {
@@ -190,7 +191,7 @@ fn run() -> Result<(), String> {
     }
     if args.timing {
         sten_opt::eprint_timing_summary(&out);
-        eprint_tier_report(tier_module);
+        eprint_tier_report(tier_module, &pipeline_for_report);
     }
     if args.cache_stats || (args.timing && !args.no_cache) {
         sten_opt::eprint_cache_stats(&CompileCache::global().stats());
@@ -214,11 +215,33 @@ fn run() -> Result<(), String> {
 /// compile to a pipeline (already lowered, or unsupported bodies) are
 /// silently skipped — the report covers whatever the input still exposes
 /// at the stencil level.
-fn eprint_tier_report(module: Option<sten_ir::Module>) {
+///
+/// For distributed pipelines the report first replays the pipeline's own
+/// `distribute-stencil` invocation (plus shape inference) on the input
+/// copy, so the executable steps — including the interior/boundary split
+/// of `overlap=true` swaps — are reported exactly as a `Runner` would
+/// execute them.
+fn eprint_tier_report(module: Option<sten_ir::Module>, pipeline: &str) {
     use sten_ir::Pass as _;
     let Some(mut m) = module else { return };
     if sten_stencil::ShapeInference.run(&mut m).is_err() {
         return;
+    }
+    let mut distributed = false;
+    if let Ok(spec) = sten_opt::PipelineSpec::parse(pipeline) {
+        if let Some(invocation) = spec
+            .invocations()
+            .into_iter()
+            .find(|i| PassRegistry::global().canonical_name(&i.name) == "distribute-stencil")
+        {
+            let ctx =
+                sten_opt::PassContext { registry: std::sync::Arc::clone(Driver::new().dialects()) };
+            if let Ok(pass) = PassRegistry::global().instantiate(invocation, &ctx) {
+                if pass.run(&mut m).is_ok() && sten_stencil::ShapeInference.run(&mut m).is_ok() {
+                    distributed = true;
+                }
+            }
+        }
     }
     let mut lines = Vec::new();
     for op in &m.body().ops {
@@ -229,8 +252,17 @@ fn eprint_tier_report(module: Option<sten_ir::Module>) {
             continue;
         };
         if let Ok(p) = sten_exec::compile_module(&m, name) {
-            for l in p.tier_summary() {
-                lines.push(format!("  @{name} {l}"));
+            // Distributed modules report the full step structure (swap
+            // begin/wait phases, interior/boundary splits); plain ones
+            // keep the compact tier lines.
+            if distributed {
+                for l in p.step_summary() {
+                    lines.push(format!("  @{name} {l}"));
+                }
+            } else {
+                for l in p.tier_summary() {
+                    lines.push(format!("  @{name} {l}"));
+                }
             }
         }
     }

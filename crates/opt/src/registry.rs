@@ -358,7 +358,8 @@ pub fn register_dmp_passes(reg: &mut PassRegistry) {
     reg.register(
         "distribute-stencil",
         "decompose the global domain over a rank topology (options grid=2x2 | topology=2:2, \
-         strategy=standard-slicing|recursive-bisection|custom-grid, factors=1x4, rank=N)",
+         strategy=standard-slicing|recursive-bisection|custom-grid, factors=1x4, rank=N, \
+         overlap=true for overlapped halo exchange, diagonals=true for corner exchanges)",
         |opts, _| {
             let bad = |m: String| PipelineError::bad_option("distribute-stencil", m);
             let topology = opts.get_i64_list("topology")?;
@@ -402,7 +403,14 @@ pub fn register_dmp_passes(reg: &mut PassRegistry) {
             if rank < 0 || rank >= ranks {
                 return Err(bad(format!("rank {rank} outside the {ranks}-rank topology {grid:?}")));
             }
-            Ok(Box::new(sten_dmp::DistributeStencil::with_strategy(grid, strategy).for_rank(rank)))
+            let overlap = opts.get_bool("overlap")?.unwrap_or(false);
+            let diagonals = opts.get_bool("diagonals")?.unwrap_or(false);
+            Ok(Box::new(
+                sten_dmp::DistributeStencil::with_strategy(grid, strategy)
+                    .for_rank(rank)
+                    .with_overlap(overlap)
+                    .with_diagonals(diagonals),
+            ))
         },
     );
     reg.register(

@@ -75,6 +75,40 @@ fn tier_env_override_reaches_timing_report() {
 }
 
 #[test]
+fn overlap_pipeline_reports_the_interior_boundary_step_split() {
+    let heat = sten_ir::print_module(&sten_stencil::samples::heat_2d(64, 0.1));
+    let mut child = sten_opt()
+        .args([
+            "-p",
+            "shape-inference,distribute-stencil{grid=2x2 overlap=true},shape-inference,\
+             convert-stencil-to-loops,dmp-to-mpi,mpi-to-func",
+            "--timing",
+            "--no-cache",
+            "--verify-each",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(heat.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The overlapped lowering split the waitall barrier into per-receive
+    // waits and boundary shell loops.
+    assert!(stdout.contains("mpi.wait") || stdout.contains("MPI_Wait"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("executor tiers"), "{stderr}");
+    // The step report shows the full overlap structure: swap begin,
+    // interior apply, swap wait, boundary shells.
+    assert!(stderr.contains("@heat swap#0 begin"), "{stderr}");
+    assert!(stderr.contains("interior"), "{stderr}");
+    assert!(stderr.contains("@heat swap#0 wait"), "{stderr}");
+    assert!(stderr.contains("boundary"), "{stderr}");
+}
+
+#[test]
 fn print_ir_after_all_dumps_every_stage() {
     let mut child = sten_opt()
         .args(["-p", "shape-inference,convert-stencil-to-loops", "--print-ir-after-all"])

@@ -43,9 +43,9 @@ impl KernelProfile {
         let mut radius = 0i64;
         let mut regions = 0usize;
         for step in &pipeline.steps {
-            if let Step::Apply { kernel, inputs, outputs } = step {
+            if let Step::Apply { kernel, inputs, outputs, region } = step {
                 regions += 1;
-                total_loads += kernel.program.loads as f64 * kernel.points() as f64;
+                total_loads += kernel.program.loads as f64 * region.points(&kernel.range) as f64;
                 input_buffers += inputs.len() as f64;
                 output_buffers += outputs.len() as f64;
                 for instr in &kernel.program.instrs {

@@ -1,0 +1,449 @@
+//! Overlapped halo exchange ≡ synchronous execution, bit for bit.
+//!
+//! The acceptance bar for communication/computation overlap: on random
+//! 1D/2D/3D stencils over *uneven* domains, across every decomposition
+//! strategy and every executor tier, the overlapped pipeline
+//! (`distribute-stencil{overlap=true}` → `SwapBegin` / interior /
+//! `SwapWait` / boundary shells) produces exactly the bytes of the
+//! synchronous pipeline — and diagonal exchanges
+//! (`diagonals=true`) make corner-touching stencils match the serial
+//! reference, where face-only exchanges silently read stale corners.
+
+mod common;
+
+use common::Rng;
+use std::sync::Arc;
+use stencil_stack::dialects::{arith, func};
+use stencil_stack::dmp::{make_strategy, DistributeStencil};
+use stencil_stack::ir::{FieldType, TempType, Type};
+use stencil_stack::prelude::*;
+use stencil_stack::stencil::ops;
+use stencil_stack::stencil::ShapeInference;
+
+#[derive(Clone, Debug)]
+struct RandStencil {
+    /// (offset per dim, coefficient) terms.
+    terms: Vec<(Vec<i64>, f64)>,
+    dims: usize,
+    radius: i64,
+}
+
+/// Random symmetric stencil (the dmp exchange is a symmetric pairwise
+/// swap, so every term is mirrored). `corners=false` keeps offsets on the
+/// axes (face exchanges suffice); `corners=true` allows full-box offsets.
+fn rand_stencil(dims: usize, radius: i64, corners: bool, rng: &mut Rng) -> RandStencil {
+    let num_terms = rng.range_usize(1, 5);
+    let mut terms: Vec<(Vec<i64>, f64)> = (0..num_terms)
+        .map(|_| {
+            let offset: Vec<i64> = if corners {
+                (0..dims).map(|_| rng.range_i64(-radius, radius + 1)).collect()
+            } else {
+                // One random axis gets the displacement; the rest are 0.
+                let axis = rng.range_usize(0, dims);
+                (0..dims)
+                    .map(|d| if d == axis { rng.range_i64(-radius, radius + 1) } else { 0 })
+                    .collect()
+            };
+            (offset, rng.range_f64(-2.0, 2.0))
+        })
+        .collect();
+    let mirrored: Vec<(Vec<i64>, f64)> =
+        terms.iter().map(|(o, c)| (o.iter().map(|x| -x).collect(), 0.5 * c)).collect();
+    terms.extend(mirrored);
+    RandStencil { terms, dims, radius }
+}
+
+/// Builds `dst[core] = Σ c_i · src[x + o_i]` over an `n^dims` core with a
+/// `radius`-cell halo.
+fn build(st: &RandStencil, n: i64) -> Module {
+    let dims = st.dims;
+    let mut m = Module::new();
+    let bounds = Bounds::from_shape(&vec![n; dims]).grown(st.radius);
+    let fld = Type::Field(FieldType::new(bounds, Type::F64));
+    let (mut f, args) = func::definition(&mut m.values, "rand", vec![fld.clone(), fld], vec![]);
+    let (src, dst) = (args[0], args[1]);
+    let ld = ops::load(&mut m.values, src);
+    let t = ld.result(0);
+    f.region_block_mut(0).ops.push(ld);
+    let terms = st.terms.clone();
+    let ap = ops::apply(
+        &mut m.values,
+        vec![t],
+        vec![Type::Temp(TempType::unknown(dims, Type::F64))],
+        move |vt, a| {
+            let mut body = Vec::new();
+            let mut acc: Option<stencil_stack::ir::Value> = None;
+            for (off, c) in &terms {
+                let access = ops::access(vt, a[0], off.clone());
+                let av = access.result(0);
+                body.push(access);
+                let cv_op = arith::const_f64(vt, *c);
+                let cv = cv_op.result(0);
+                body.push(cv_op);
+                let mul = arith::mulf(vt, cv, av);
+                let mv = mul.result(0);
+                body.push(mul);
+                acc = Some(match acc {
+                    None => mv,
+                    Some(prev) => {
+                        let add = arith::addf(vt, prev, mv);
+                        let v = add.result(0);
+                        body.push(add);
+                        v
+                    }
+                });
+            }
+            body.push(ops::ret(vec![acc.expect("at least one term")]));
+            body
+        },
+    );
+    let out = ap.result(0);
+    let body = &mut f.region_block_mut(0).ops;
+    body.push(ap);
+    body.push(ops::store(out, dst, vec![0; dims], vec![n; dims]));
+    body.push(func::ret(vec![]));
+    m.body_mut().ops.push(f);
+    ShapeInference.run(&mut m).unwrap();
+    m
+}
+
+/// The balanced chunk of every decomposed dimension for `coords` in
+/// `layout`, as `(offset, size)` per dimension (trailing dims whole).
+fn rank_chunks(n: i64, dims: usize, layout: &[i64], coords: &[i64]) -> Vec<(i64, i64)> {
+    (0..dims)
+        .map(|d| {
+            let parts = layout.get(d).copied().unwrap_or(1);
+            let coord = coords.get(d).copied().unwrap_or(0);
+            stencil_stack::dmp::balanced_chunk(n, parts, coord)
+        })
+        .collect()
+}
+
+/// Scatters the rank's local buffer (core chunk plus `radius` halo) out
+/// of the global buffer of extent `n + 2*radius` per dimension.
+fn scatter(global: &[f64], n: i64, radius: i64, chunks: &[(i64, i64)]) -> (Vec<i64>, Vec<f64>) {
+    let dims = chunks.len();
+    let gext = n + 2 * radius;
+    let shape: Vec<i64> = chunks.iter().map(|&(_, s)| s + 2 * radius).collect();
+    let mut data = Vec::with_capacity(shape.iter().product::<i64>() as usize);
+    let mut p = vec![0i64; dims];
+    loop {
+        let mut flat = 0i64;
+        for d in 0..dims {
+            flat = flat * gext + chunks[d].0 + p[d];
+        }
+        data.push(global[flat as usize]);
+        let mut d = dims;
+        let mut done = false;
+        loop {
+            if d == 0 {
+                done = true;
+                break;
+            }
+            d -= 1;
+            p[d] += 1;
+            if p[d] < shape[d] {
+                break;
+            }
+            p[d] = 0;
+        }
+        if done {
+            return (shape, data);
+        }
+    }
+}
+
+/// Writes the rank's owned core cells back into the global buffer.
+fn gather(global: &mut [f64], local: &[f64], n: i64, radius: i64, chunks: &[(i64, i64)]) {
+    let dims = chunks.len();
+    let gext = n + 2 * radius;
+    let shape: Vec<i64> = chunks.iter().map(|&(_, s)| s + 2 * radius).collect();
+    let core = Bounds::new(chunks.iter().map(|&(_, s)| (radius, radius + s)).collect());
+    for p in core.points() {
+        let mut lflat = 0i64;
+        let mut gflat = 0i64;
+        for d in 0..dims {
+            lflat = lflat * shape[d] + p[d];
+            gflat = gflat * gext + chunks[d].0 + p[d];
+        }
+        global[gflat as usize] = local[lflat as usize];
+    }
+}
+
+/// Compiles one module per rank and runs `timesteps` ping-pong steps of
+/// the SPMD pipeline over SimMPI; returns every rank's final `src`
+/// buffer (post-swap, so halos are compared too).
+#[allow(clippy::too_many_arguments)] // test driver threads its full configuration
+fn run_distributed(
+    modules: &[Module],
+    layouts: &[Vec<i64>],
+    n: i64,
+    radius: i64,
+    global: &[f64],
+    tier: Option<TierKind>,
+    threads: usize,
+    timesteps: usize,
+) -> Vec<Vec<f64>> {
+    let ranks = modules.len();
+    let world = SimWorld::new(ranks);
+    let mut outs: Vec<Vec<f64>> = vec![Vec::new(); ranks];
+    std::thread::scope(|scope| {
+        for (rank, out) in outs.iter_mut().enumerate() {
+            let world = Arc::clone(&world);
+            let module = &modules[rank];
+            let layout = &layouts[rank];
+            scope.spawn(move || {
+                let mut pipeline = compile_pipeline(module, "rand").unwrap();
+                pipeline.respecialize(tier);
+                let dims = pipeline.arg_shapes[0].len();
+                let coords = stencil_stack::dmp::decomposition::rank_to_coords(rank as i64, layout);
+                let chunks = rank_chunks(n, dims, layout, &coords);
+                let (_, data) = scatter(global, n, radius, &chunks);
+                let mut args = vec![data.clone(), data];
+                let mut runner = Runner::new(pipeline, threads);
+                for _ in 0..timesteps {
+                    runner.step_distributed(&mut args, &world, rank as i64).unwrap();
+                    args.swap(0, 1);
+                }
+                *out = args[0].clone();
+            });
+        }
+    });
+    outs
+}
+
+/// Distributes `make()` once per rank under `strategy` (with optional
+/// overlap/diagonals), returning the modules and each one's layout.
+#[allow(clippy::type_complexity)]
+fn per_rank_modules(
+    make: &dyn Fn() -> Module,
+    grid: &[i64],
+    strategy: &str,
+    factors: Option<Vec<i64>>,
+    overlap: bool,
+    diagonals: bool,
+) -> (Vec<Module>, Vec<Vec<i64>>) {
+    let ranks: i64 = grid.iter().product();
+    let mut modules = Vec::new();
+    let mut layouts = Vec::new();
+    for rank in 0..ranks {
+        let mut m = make();
+        DistributeStencil::with_strategy(
+            grid.to_vec(),
+            make_strategy(strategy, factors.clone()).unwrap(),
+        )
+        .for_rank(rank)
+        .with_overlap(overlap)
+        .with_diagonals(diagonals)
+        .run(&mut m)
+        .unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        let f = m.lookup_symbol("rand").unwrap();
+        let layout = f
+            .attr("dmp.grid")
+            .and_then(stencil_stack::ir::Attribute::as_grid)
+            .expect("distributed module records its layout")
+            .to_vec();
+        layouts.push(layout);
+        modules.push(m);
+    }
+    (modules, layouts)
+}
+
+#[test]
+fn overlap_equals_sync_bitwise_across_strategies_and_tiers() {
+    // Uneven domains: no strategy divides these extents evenly.
+    #[allow(clippy::type_complexity)] // (dims, n, grid, custom-grid factors) rows
+    let cases: [(usize, i64, Vec<i64>, Option<Vec<i64>>); 3] = [
+        (1, 13, vec![2], Some(vec![2])),
+        (2, 10, vec![2, 2], Some(vec![1, 4])),
+        (3, 7, vec![2, 2], Some(vec![2, 2, 1])),
+    ];
+    for (dims, n, grid, factors) in cases {
+        for seed in 0..2u64 {
+            let mut rng = Rng::new(4200 + seed * 31 + dims as u64);
+            let radius = 1 + (seed as i64 % 2); // halo width 1 or 2
+            let st = rand_stencil(dims, radius, dims > 1, &mut rng);
+            let gsize = ((n + 2 * radius) as usize).pow(dims as u32);
+            let global: Vec<f64> =
+                (0..gsize).map(|i| ((i as f64) * 0.21 + seed as f64 * 0.13).sin()).collect();
+            for (strategy, factors) in [
+                ("standard-slicing", None),
+                ("recursive-bisection", None),
+                ("custom-grid", factors.clone()),
+            ] {
+                let make = || build(&st, n);
+                let (sync_m, layouts) =
+                    per_rank_modules(&make, &grid, strategy, factors.clone(), false, false);
+                let (over_m, layouts2) =
+                    per_rank_modules(&make, &grid, strategy, factors.clone(), true, false);
+                assert_eq!(layouts, layouts2);
+                for tier in [TierKind::Eval, TierKind::OptBytecode, TierKind::WeightedSum] {
+                    for threads in [1usize, 2] {
+                        let a = run_distributed(
+                            &sync_m,
+                            &layouts,
+                            n,
+                            radius,
+                            &global,
+                            Some(tier),
+                            threads,
+                            3,
+                        );
+                        let b = run_distributed(
+                            &over_m,
+                            &layouts,
+                            n,
+                            radius,
+                            &global,
+                            Some(tier),
+                            threads,
+                            3,
+                        );
+                        assert_eq!(
+                            a, b,
+                            "dims {dims} seed {seed} {strategy} tier {tier:?} threads {threads}: \
+                             overlap must be bit-identical to sync"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serial reference: `timesteps` ping-pong steps of the same function on
+/// the undistributed module.
+fn run_serial(module: &Module, n: i64, radius: i64, global: &[f64], timesteps: usize) -> Vec<f64> {
+    let dims = {
+        let f = module.lookup_symbol("rand").unwrap();
+        match &stencil_stack::dialects::func::FuncOp(f).function_type().inputs[0] {
+            Type::Field(fl) => fl.bounds.rank(),
+            other => panic!("unexpected arg {other:?}"),
+        }
+    };
+    let shape = vec![n + 2 * radius; dims];
+    let mut bufs = [
+        BufView::from_data(shape.clone(), global.to_vec()),
+        BufView::from_data(shape, global.to_vec()),
+    ];
+    for _ in 0..timesteps {
+        Interpreter::new(module)
+            .call_function(
+                "rand",
+                vec![RtValue::Buffer(bufs[0].clone()), RtValue::Buffer(bufs[1].clone())],
+            )
+            .unwrap();
+        bufs.swap(0, 1);
+    }
+    bufs[0].to_vec()
+}
+
+#[test]
+fn diagonal_exchanges_fix_corner_reading_stencils() {
+    // A stencil that reads the (-1,-1)/(1,1) corners: face-only
+    // exchanges leave rank-corner halo cells stale.
+    let st = RandStencil {
+        terms: vec![
+            (vec![1, 1], 0.4),
+            (vec![-1, -1], 0.2),
+            (vec![1, 0], -0.3),
+            (vec![-1, 0], -0.15),
+        ],
+        dims: 2,
+        radius: 1,
+    };
+    let n = 9i64; // uneven on a 2x2 grid: 5+4 per dimension
+    let gsize = ((n + 2) * (n + 2)) as usize;
+    let global: Vec<f64> = (0..gsize).map(|i| (i as f64 * 0.17).cos()).collect();
+    let serial = build(&st, n);
+    let want = run_serial(&serial, n, 1, &global, 2);
+
+    let make = || build(&st, n);
+    let run = |diagonals: bool, overlap: bool| {
+        let (modules, layouts) =
+            per_rank_modules(&make, &[2, 2], "standard-slicing", None, overlap, diagonals);
+        let outs = run_distributed(&modules, &layouts, n, 1, &global, None, 1, 2);
+        let mut got = global.clone();
+        for (rank, out) in outs.iter().enumerate() {
+            let coords =
+                stencil_stack::dmp::decomposition::rank_to_coords(rank as i64, &layouts[rank]);
+            let chunks = rank_chunks(n, 2, &layouts[rank], &coords);
+            gather(&mut got, out, n, 1, &chunks);
+        }
+        got
+    };
+
+    // With corner exchanges the distributed run matches serial exactly —
+    // overlapped or not.
+    assert_eq!(run(true, false), want, "diagonals=true matches serial bit-for-bit");
+    assert_eq!(run(true, true), want, "diagonals+overlap matches serial bit-for-bit");
+    // Without them the second step reads stale corners: the silent wrong
+    // answer this option exists to fix.
+    assert_ne!(run(false, false), want, "face-only exchanges leave corners stale");
+}
+
+#[test]
+fn overlapped_mpi_lowering_matches_serial_interpreted() {
+    // The dmp→mpi overlap path (begin / interior loop / per-receive wait
+    // / shells) interpreted over SimMPI, against the serial reference.
+    let n = 16i64;
+    let shape = vec![n + 2, n + 2];
+    let size = ((n + 2) * (n + 2)) as usize;
+    let global: Vec<f64> = (0..size).map(|i| (i as f64 * 0.05).cos()).collect();
+
+    let mut serial = stencil_stack::stencil::samples::heat_2d(n, 0.1);
+    ShapeInference.run(&mut serial).unwrap();
+    let src = BufView::from_data(shape.clone(), global.clone());
+    let dst = BufView::from_data(shape.clone(), global.clone());
+    Interpreter::new(&serial)
+        .call_function("heat", vec![RtValue::Buffer(src), RtValue::Buffer(dst.clone())])
+        .unwrap();
+    let want = dst.to_vec();
+
+    let mut m = stencil_stack::stencil::samples::heat_2d(n, 0.1);
+    ShapeInference.run(&mut m).unwrap();
+    DistributeStencil::new(vec![2, 2]).with_overlap(true).run(&mut m).unwrap();
+    ShapeInference.run(&mut m).unwrap();
+    stencil_stack::stencil::StencilToLoops.run(&mut m).unwrap();
+    stencil_stack::mpi::DmpToMpi.run(&mut m).unwrap();
+    stencil_stack::mpi::MpiToFunc.run(&mut m).unwrap();
+    let text = sten_ir_text(&m);
+    assert!(text.contains("MPI_Wait"), "split barrier survives to func level: {text}");
+
+    let core = n / 2;
+    let local = core + 2;
+    let g = &global;
+    let full = (n + 2) as usize;
+    let (results, _) = run_spmd(&m, "heat", 4, &move |rank| {
+        let (ry, rx) = ((rank as i64) / 2, (rank as i64) % 2);
+        let mut data = Vec::new();
+        for y in 0..local {
+            for x in 0..local {
+                data.push(g[(ry * core + y) as usize * full + (rx * core + x) as usize]);
+            }
+        }
+        vec![
+            ArgSpec::Buffer { shape: vec![local, local], data: data.clone() },
+            ArgSpec::Buffer { shape: vec![local, local], data },
+        ]
+    })
+    .unwrap();
+
+    let mut got = global.clone();
+    for (rank, res) in results.iter().enumerate() {
+        let (ry, rx) = ((rank as i64) / 2, (rank as i64) % 2);
+        let out = &res.buffers[1];
+        for y in 1..=core {
+            for x in 1..=core {
+                got[(ry * core + y) as usize * full + (rx * core + x) as usize] =
+                    out[(y * local + x) as usize];
+            }
+        }
+    }
+    assert_eq!(got, want, "overlapped MPI lowering must match serial bit-for-bit");
+}
+
+fn sten_ir_text(m: &Module) -> String {
+    stencil_stack::ir::print_module(m)
+}

@@ -32,11 +32,15 @@ fn legacy_compile(mut module: Module, options: &CompileOptions) -> String {
             pm.add(sten::StencilToLoops);
             pm.add(sten::TileParallelLoops::new(tile.clone()));
         }
-        Target::DistributedCpu { topology, strategy } => {
+        Target::DistributedCpu { topology, strategy, overlap, diagonals } => {
             let strategy =
                 dmp::make_strategy(strategy.name(), strategy.factors().map(<[i64]>::to_vec))
                     .unwrap();
-            pm.add(dmp::DistributeStencil::with_strategy(topology.clone(), strategy));
+            pm.add(
+                dmp::DistributeStencil::with_strategy(topology.clone(), strategy)
+                    .with_overlap(*overlap)
+                    .with_diagonals(*diagonals),
+            );
             pm.add(sten::ShapeInference);
             pm.add(dmp::EliminateRedundantSwaps);
             pm.add(sten::StencilToLoops);

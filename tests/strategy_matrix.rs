@@ -7,10 +7,21 @@
 //! bit-for-bit.
 //!
 //! CI runs this suite once per strategy by setting
-//! `STEN_DECOMP_STRATEGY=standard-slicing|recursive-bisection|custom-grid`;
-//! without the variable every strategy is exercised in one process.
+//! `STEN_DECOMP_STRATEGY=standard-slicing|recursive-bisection|custom-grid`,
+//! each with overlapped halo exchange on and off (`STEN_OVERLAP=1|0`);
+//! without the variables every strategy × overlap combination is
+//! exercised in one process.
 
 use stencil_stack::prelude::*;
+
+fn overlap_modes() -> Vec<bool> {
+    match std::env::var("STEN_OVERLAP") {
+        Ok(v) if matches!(v.as_str(), "1" | "on" | "true") => vec![true],
+        Ok(v) if matches!(v.as_str(), "0" | "off" | "false") => vec![false],
+        Ok(other) => panic!("unknown STEN_OVERLAP '{other}' (expected 0|1)"),
+        Err(_) => vec![false, true],
+    }
+}
 
 fn strategy_names() -> Vec<&'static str> {
     const ALL: [&str; 3] = ["standard-slicing", "recursive-bisection", "custom-grid"];
@@ -29,16 +40,17 @@ fn strategy_names() -> Vec<&'static str> {
 /// Compiles heat-2d once per rank through the textual pipeline (the same
 /// strings `sten-opt -p` takes), returning the per-rank modules and the
 /// layout the strategy chose.
-fn compile_per_rank(n: i64, strategy: &str, ranks: i64) -> (Vec<Module>, Vec<i64>) {
+fn compile_per_rank(n: i64, strategy: &str, ranks: i64, overlap: bool) -> (Vec<Module>, Vec<i64>) {
     let driver = Driver::new().with_verify_each(true);
     // custom-grid takes an explicit factorization: 1x4 refactors the 2x2
     // request into column slabs, exercising a layout neither of the other
     // strategies produces here.
     let factors = if strategy == "custom-grid" { "factors=1x4 " } else { "" };
+    let overlap_opt = if overlap { "overlap=true " } else { "" };
     let modules: Vec<Module> = (0..ranks)
         .map(|rank| {
             let pipeline = format!(
-                "shape-inference,distribute-stencil{{{factors}grid=2x2 rank={rank} \
+                "shape-inference,distribute-stencil{{{factors}grid=2x2 {overlap_opt}rank={rank} \
                  strategy={strategy}}},shape-inference,dmp-eliminate-redundant-swaps,\
                  convert-stencil-to-loops,dmp-to-mpi,mpi-to-func"
             );
@@ -75,46 +87,52 @@ fn uneven_heat127_matches_single_rank_for_every_strategy() {
     let want = dst.to_vec();
 
     for strategy in strategy_names() {
-        let (modules, layout) = compile_per_rank(n, strategy, 4);
-        assert_eq!(layout.iter().product::<i64>(), 4, "{strategy}");
-        let chunk = |d: usize, coord: i64| stencil_stack::dmp::balanced_chunk(n, layout[d], coord);
-        let coords_of =
-            |rank: i64| stencil_stack::dmp::decomposition::rank_to_coords(rank, &layout);
+        for overlap in overlap_modes() {
+            let (modules, layout) = compile_per_rank(n, strategy, 4, overlap);
+            assert_eq!(layout.iter().product::<i64>(), 4, "{strategy}");
+            let chunk =
+                |d: usize, coord: i64| stencil_stack::dmp::balanced_chunk(n, layout[d], coord);
+            let coords_of =
+                |rank: i64| stencil_stack::dmp::decomposition::rank_to_coords(rank, &layout);
 
-        let g = &global;
-        let full = (n + 2) as usize;
-        let (results, world) = run_spmd_modules(&modules, "heat", &move |rank| {
-            let c = coords_of(rank as i64);
-            let (oy, sy) = chunk(0, c[0]);
-            let (ox, sx) = chunk(1, *c.get(1).unwrap_or(&0));
-            let mut data = Vec::with_capacity(((sy + 2) * (sx + 2)) as usize);
-            for y in 0..sy + 2 {
-                for x in 0..sx + 2 {
-                    data.push(g[(oy + y) as usize * full + (ox + x) as usize]);
+            let g = &global;
+            let full = (n + 2) as usize;
+            let (results, world) = run_spmd_modules(&modules, "heat", &move |rank| {
+                let c = coords_of(rank as i64);
+                let (oy, sy) = chunk(0, c[0]);
+                let (ox, sx) = chunk(1, *c.get(1).unwrap_or(&0));
+                let mut data = Vec::with_capacity(((sy + 2) * (sx + 2)) as usize);
+                for y in 0..sy + 2 {
+                    for x in 0..sx + 2 {
+                        data.push(g[(oy + y) as usize * full + (ox + x) as usize]);
+                    }
+                }
+                vec![
+                    ArgSpec::Buffer { shape: vec![sy + 2, sx + 2], data: data.clone() },
+                    ArgSpec::Buffer { shape: vec![sy + 2, sx + 2], data },
+                ]
+            })
+            .unwrap();
+            assert!(world.total_sent_messages() > 0, "{strategy}: halo exchange happened");
+
+            let mut got = global.clone();
+            for (rank, res) in results.iter().enumerate() {
+                let c = coords_of(rank as i64);
+                let (oy, sy) = chunk(0, c[0]);
+                let (ox, sx) = chunk(1, *c.get(1).unwrap_or(&0));
+                let out = &res.buffers[1];
+                for y in 1..=sy {
+                    for x in 1..=sx {
+                        got[(oy + y) as usize * full + (ox + x) as usize] =
+                            out[(y * (sx + 2) + x) as usize];
+                    }
                 }
             }
-            vec![
-                ArgSpec::Buffer { shape: vec![sy + 2, sx + 2], data: data.clone() },
-                ArgSpec::Buffer { shape: vec![sy + 2, sx + 2], data },
-            ]
-        })
-        .unwrap();
-        assert!(world.total_sent_messages() > 0, "{strategy}: halo exchange happened");
-
-        let mut got = global.clone();
-        for (rank, res) in results.iter().enumerate() {
-            let c = coords_of(rank as i64);
-            let (oy, sy) = chunk(0, c[0]);
-            let (ox, sx) = chunk(1, *c.get(1).unwrap_or(&0));
-            let out = &res.buffers[1];
-            for y in 1..=sy {
-                for x in 1..=sx {
-                    got[(oy + y) as usize * full + (ox + x) as usize] =
-                        out[(y * (sx + 2) + x) as usize];
-                }
-            }
+            assert_eq!(
+                got, want,
+                "{strategy} overlap={overlap}: distributed run must match single-rank bit-for-bit"
+            );
         }
-        assert_eq!(got, want, "{strategy}: distributed run must match single-rank bit-for-bit");
     }
 }
 

@@ -19,6 +19,7 @@ use std::time::Instant;
 use stencil_core::exec::{Pipeline, Step, TierKind};
 use stencil_core::ir::Pass as _;
 use stencil_core::prelude::*;
+use stencil_core::trace::chrome;
 
 struct Args {
     smoke: bool,
@@ -98,6 +99,7 @@ fn measure(
     tier: Option<TierKind>,
     threads: usize,
     smoke: bool,
+    tracer: Option<(&Tracer, u32)>,
 ) -> Measurement {
     let mut p = pipeline.clone();
     p.respecialize(tier);
@@ -112,6 +114,9 @@ fn measure(
         })
         .collect();
     let mut runner = Runner::new(p, threads);
+    if let Some((t, pid)) = tracer {
+        runner = runner.with_trace(t, pid);
+    }
     runner.step(&mut args).expect("warm-up step");
     let reps = if smoke {
         1
@@ -152,6 +157,9 @@ fn main() {
     let _ = writeln!(json, "  \"kernels\": [");
     let mut rows = Vec::new();
     let mut heat2d_speedup = None;
+    let mut trace_overhead = None;
+    let artifact_tracer = Tracer::new();
+    let mut trace_names: Vec<(u32, String)> = Vec::new();
     let cases = cases(args.smoke);
     for (ci, case) in cases.iter().enumerate() {
         let pipeline = compile_pipeline(&case.module, case.func).expect("pipeline compiles");
@@ -159,13 +167,44 @@ fn main() {
         let points = pipeline.points_per_step();
         let mut ms: Vec<Measurement> = tiers
             .iter()
-            .map(|&(name, tier)| measure(&pipeline, name, tier, 1, args.smoke))
+            .map(|&(name, tier)| measure(&pipeline, name, tier, 1, args.smoke, None))
             .collect();
         let eval_gpts = ms[0].gpts_per_s;
-        ms.push(measure(&pipeline, "auto-parallel", None, args.threads, args.smoke));
+        ms.push(measure(&pipeline, "auto-parallel", None, args.threads, args.smoke, None));
+
+        // A short traced re-run per kernel feeds the committed trace
+        // artifact (one pid per kernel, worker lanes as sub-tracks).
+        let _ = measure(
+            &pipeline,
+            "auto-parallel",
+            None,
+            args.threads.min(4),
+            true,
+            Some((&artifact_tracer, ci as u32)),
+        );
+        trace_names.push((ci as u32, case.name.to_string()));
         if case.name == "heat-2d" {
             let ws = ms.iter().find(|m| m.requested == "weighted-sum").unwrap();
             heat2d_speedup = Some(ws.gpts_per_s / eval_gpts);
+
+            // Disabled-sink overhead: attaching a disabled tracer to the
+            // runner must not cost throughput. Reps are interleaved
+            // (baseline, attached, baseline, ...) so slow machine drift
+            // lands on both sides; best-of-N drops scheduler noise.
+            let overhead_reps = if args.smoke { 1 } else { 5 };
+            let disabled = Tracer::disabled();
+            let run = |tr: Option<(&Tracer, u32)>| {
+                measure(&pipeline, "weighted-sum", Some(TierKind::WeightedSum), 1, args.smoke, tr)
+                    .gpts_per_s
+            };
+            let mut baseline = 0.0f64;
+            let mut attached = 0.0f64;
+            for _ in 0..overhead_reps {
+                baseline = baseline.max(run(None));
+                attached = attached.max(run(Some((&disabled, 0))));
+            }
+            let delta_pct = ((baseline - attached) / baseline * 100.0).max(0.0);
+            trace_overhead = Some((baseline, attached, delta_pct));
         }
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"name\": \"{}\",", case.name);
@@ -205,7 +244,13 @@ fn main() {
         let _ = writeln!(json, "      ]");
         let _ = writeln!(json, "    }}{}", if ci + 1 == cases.len() { "" } else { "," });
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let (ov_base, ov_attached, ov_delta) = trace_overhead.expect("heat-2d case measured");
+    let _ = writeln!(
+        json,
+        "  \"trace_overhead\": {{\"baseline_gpts_per_s\": {ov_base:.6}, \
+         \"disabled_sink_gpts_per_s\": {ov_attached:.6}, \"delta_pct\": {ov_delta:.3}}}"
+    );
     let _ = writeln!(json, "}}");
     sten_bench::print_table(
         &format!(
@@ -218,6 +263,26 @@ fn main() {
     if let Some(s) = heat2d_speedup {
         println!("\nheat-2d weighted-sum vs eval (serial): {s:.2}x");
     }
+    println!(
+        "disabled-sink trace overhead on heat-2d weighted-sum: {ov_delta:.2}% \
+         ({ov_base:.4} vs {ov_attached:.4} Gpts/s)"
+    );
+    if !args.smoke {
+        assert!(
+            ov_delta <= 2.0,
+            "a disabled trace sink must cost <= 2% throughput, measured {ov_delta:.2}%"
+        );
+    }
     std::fs::write(&args.out, json).expect("write BENCH_exec.json");
     println!("wrote {}", args.out);
+
+    let trace_path = format!("{}.trace.json", args.out.strip_suffix(".json").unwrap_or(&args.out));
+    let trace_json = chrome::to_json(&artifact_tracer.events(), &trace_names);
+    let stats = chrome::validate(&trace_json).expect("emitted trace validates");
+    std::fs::write(&trace_path, trace_json).expect("write trace file");
+    println!(
+        "wrote {trace_path} ({} spans, {} tracks — load in Perfetto)",
+        stats.spans,
+        stats.tracks.len()
+    );
 }

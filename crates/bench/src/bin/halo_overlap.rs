@@ -17,6 +17,12 @@
 //! `--smoke` shrinks grids, steps, and the latency so the emitter and the
 //! bit-identity assertion stay exercised in CI; smoke numbers are *not*
 //! meaningful.
+//!
+//! Alongside the numbers, a short traced re-run of every case lands in
+//! `BENCH_halo.trace.json` (Chrome trace-event format — load it in
+//! Perfetto). The trace is asserted to show the overlap contract: comm
+//! time hidden behind `Apply{Interior}` on the overlapped variant, zero
+//! hidden time on the synchronous one.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -26,6 +32,7 @@ use stencil_core::exec::Pipeline;
 use stencil_core::ir::Pass as _;
 use stencil_core::prelude::*;
 use stencil_core::stencil::ShapeInference;
+use stencil_core::trace::chrome;
 
 struct Args {
     smoke: bool,
@@ -133,9 +140,17 @@ struct RunOutcome {
 /// Runs `timesteps` ping-pong steps on every rank (one OS thread per
 /// rank, serial runner inside) and returns the wall-clock of the whole
 /// SPMD execution plus every rank's final buffer.
-fn run_spmd_pipelines(pipelines: &[Pipeline], latency: Duration, timesteps: usize) -> RunOutcome {
+fn run_spmd_pipelines(
+    pipelines: &[Pipeline],
+    latency: Duration,
+    timesteps: usize,
+    tracer: Option<&Tracer>,
+) -> RunOutcome {
     let ranks = pipelines.len();
-    let world = SimWorld::new_with_latency(ranks, latency);
+    let world = match tracer {
+        Some(t) => SimWorld::new_traced(ranks, latency, t.clone()),
+        None => SimWorld::new_with_latency(ranks, latency),
+    };
     let mut buffers: Vec<Vec<f64>> = vec![Vec::new(); ranks];
     let t0 = Instant::now();
     std::thread::scope(|scope| {
@@ -152,6 +167,9 @@ fn run_spmd_pipelines(pipelines: &[Pipeline], latency: Duration, timesteps: usiz
                     })
                     .collect();
                 let mut runner = Runner::new(pipeline, 1);
+                if let Some(t) = tracer {
+                    runner = runner.with_trace(t, rank as u32);
+                }
                 for _ in 0..timesteps {
                     runner.step_distributed(&mut args, &world, rank as i64).unwrap();
                     args.swap(0, 1);
@@ -183,6 +201,8 @@ fn main() {
     let _ = writeln!(json, "  \"cases\": [");
     let mut rows = Vec::new();
     let mut any_faster = false;
+    let mut trace_events: Vec<stencil_core::trace::Event> = Vec::new();
+    let mut trace_names: Vec<(u32, String)> = Vec::new();
     let all = cases(args.smoke);
     for (ci, case) in all.iter().enumerate() {
         let (sync_p, layout) = per_rank_pipelines(case, false);
@@ -194,17 +214,49 @@ fn main() {
         // of the committed numbers.
         let mut sync_best: Option<RunOutcome> = None;
         let mut over_best: Option<RunOutcome> = None;
-        let _ = run_spmd_pipelines(&sync_p, latency, timesteps.min(3));
-        let _ = run_spmd_pipelines(&over_p, latency, timesteps.min(3));
+        let _ = run_spmd_pipelines(&sync_p, latency, timesteps.min(3), None);
+        let _ = run_spmd_pipelines(&over_p, latency, timesteps.min(3), None);
         for _ in 0..reps {
-            let s = run_spmd_pipelines(&sync_p, latency, timesteps);
+            let s = run_spmd_pipelines(&sync_p, latency, timesteps, None);
             if sync_best.as_ref().map_or(true, |b| s.seconds < b.seconds) {
                 sync_best = Some(s);
             }
-            let o = run_spmd_pipelines(&over_p, latency, timesteps);
+            let o = run_spmd_pipelines(&over_p, latency, timesteps, None);
             if over_best.as_ref().map_or(true, |b| o.seconds < b.seconds) {
                 over_best = Some(o);
             }
+        }
+
+        // Traced re-run (short, untimed): one tracer per variant, merged
+        // into the shared trace file under remapped pid blocks.
+        let mut reports = Vec::new();
+        for (variant, pipelines) in [("sync", &sync_p), ("overlap", &over_p)] {
+            let tracer = Tracer::new();
+            let _ = run_spmd_pipelines(pipelines, latency, timesteps.min(5), Some(&tracer));
+            let events = tracer.events();
+            let report = TraceReport::from_events(&events);
+            if variant == "overlap" {
+                assert!(
+                    report.comm_hidden_ns > 0,
+                    "{}: overlapped trace must show comm hidden behind interior compute\n{report}",
+                    case.name
+                );
+            } else {
+                assert_eq!(
+                    report.comm_hidden_ns, 0,
+                    "{}: synchronous trace waits before any apply\n{report}",
+                    case.name
+                );
+            }
+            let base = ((ci * 2 + usize::from(variant == "overlap")) * 16) as u32;
+            for rank in 0..pipelines.len() as u32 {
+                trace_names.push((base + rank, format!("{} {variant} rank {rank}", case.name)));
+            }
+            for mut e in events {
+                e.pid += base;
+                trace_events.push(e);
+            }
+            reports.push((variant, report));
         }
         let sync = sync_best.expect("at least one rep");
         let over = over_best.expect("at least one rep");
@@ -243,6 +295,16 @@ fn main() {
             "      \"overlap_recv\": {{\"immediate\": {}, \"blocked\": {}}},",
             over.recv_immediate, over.recv_blocked
         );
+        for (variant, report) in &reports {
+            let _ = writeln!(
+                json,
+                "      \"{variant}_trace\": {{\"comm_hidden_us\": {}, \"comm_exposed_us\": {}, \
+                 \"overlap_efficiency\": {:.3}}},",
+                report.comm_hidden_ns / 1_000,
+                report.comm_exposed_ns / 1_000,
+                report.overlap_efficiency()
+            );
+        }
         let _ = writeln!(json, "      \"bit_identical\": true");
         let _ = writeln!(json, "    }}{}", if ci + 1 == all.len() { "" } else { "," });
         rows.push(vec![
@@ -271,4 +333,15 @@ fn main() {
     }
     std::fs::write(&args.out, json).expect("write BENCH_halo.json");
     println!("wrote {}", args.out);
+
+    let trace_path = format!("{}.trace.json", args.out.strip_suffix(".json").unwrap_or(&args.out));
+    let trace_json = chrome::to_json(&trace_events, &trace_names);
+    let stats = chrome::validate(&trace_json).expect("emitted trace validates");
+    std::fs::write(&trace_path, trace_json).expect("write trace file");
+    println!(
+        "wrote {trace_path} ({} spans, {} instants, {} tracks — load in Perfetto)",
+        stats.spans,
+        stats.instants,
+        stats.tracks.len()
+    );
 }

@@ -34,6 +34,7 @@ pub use sten_opt as opt;
 pub use sten_perf as perf;
 pub use sten_psyclone as psyclone;
 pub use sten_stencil as stencil;
+pub use sten_trace as trace;
 
 use sten_ir::{DialectRegistry, FuncTiming, Module, PassTiming};
 use sten_opt::{CompileCache, Driver, PipelineError};
@@ -339,6 +340,7 @@ pub mod prelude {
     };
     pub use sten_ir::{parse_module, print_module, verify_module, Bounds, Module, Pass};
     pub use sten_opt::{CompileCache, Driver, PassRegistry, PipelineSpec};
+    pub use sten_trace::{SpanKind, TraceReport, Tracer};
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use sten_interp::SimWorld;
 use sten_ir::{Attribute, Bounds, ExchangeAttr, Module, Type, Value};
+use sten_trace::{SpanKind, TraceLane, Tracer};
 
 /// Identifies a buffer in a pipeline.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -82,6 +83,9 @@ impl ApplyRegion {
 }
 
 /// One executable step.
+// Steps are built once per pipeline and held in a short Vec; the size
+// skew from the inline kernel never touches a per-point path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum Step {
     /// Run a compiled kernel through its specialized executor tier.
@@ -308,6 +312,12 @@ pub struct Runner {
     scratch: ExecScratch,
     swap_scratch: Vec<SwapScratch>,
     copy_scratch: Vec<f64>,
+    /// Main-thread recording lane (disabled unless
+    /// [`Runner::with_trace`] attached a sink).
+    lane: TraceLane,
+    tracer: Tracer,
+    /// Timesteps executed so far (the trace's timestep index).
+    timestep: u64,
 }
 
 impl Runner {
@@ -329,7 +339,26 @@ impl Runner {
             scratch: ExecScratch::new(),
             swap_scratch,
             copy_scratch: Vec::new(),
+            lane: TraceLane::disabled(),
+            tracer: Tracer::disabled(),
+            timestep: 0,
         }
+    }
+
+    /// Attaches a trace sink: every subsequent step records one span per
+    /// executed [`Step`] (tagged with tier, region, and payload bytes)
+    /// plus one enclosing timestep span, on process track `pid` (the
+    /// rank). Worker-pool jobs record task spans on per-worker lanes.
+    /// Tracing never changes what executes — outputs stay bit-identical
+    /// (enforced by `tests/trace_identity.rs`).
+    #[must_use]
+    pub fn with_trace(mut self, tracer: &Tracer, pid: u32) -> Runner {
+        self.lane = tracer.lane(pid, 0);
+        self.tracer = tracer.clone();
+        if self.threads > 1 {
+            self.pool = Some(WorkerPool::new_traced(self.threads, tracer, pid));
+        }
+        self
     }
 
     /// The executor-tier lines of the underlying pipeline.
@@ -368,14 +397,19 @@ impl Runner {
         rank: i64,
     ) -> Result<(), String> {
         assert_eq!(args.len(), self.pipeline.num_args, "argument count mismatch");
+        let index = self.timestep;
+        self.timestep += 1;
         let pipeline = &self.pipeline;
         let tmps = &mut self.tmps;
         let pool = &mut self.pool;
         let scratch = &mut self.scratch;
         let swap_scratch = &mut self.swap_scratch;
         let copy_scratch = &mut self.copy_scratch;
+        let lane = &mut self.lane;
+        let t_step = lane.start();
         // Steps are executed in order; buffers are disjoint Vec<f64>s.
         for step in &pipeline.steps {
+            let t0 = lane.start();
             match step {
                 Step::Apply { kernel, inputs, outputs, region } => {
                     // Collect raw pointers to sidestep simultaneous
@@ -434,7 +468,16 @@ impl Runner {
                         BufId::Arg(i) => &args[i],
                         BufId::Tmp(i) => &tmps[i],
                     };
-                    swap_begin(world, rank, grid, exchanges, shape, data, &mut swap_scratch[*id])?;
+                    swap_begin(
+                        world,
+                        rank,
+                        grid,
+                        exchanges,
+                        shape,
+                        data,
+                        &mut swap_scratch[*id],
+                        lane,
+                    )?;
                 }
                 Step::SwapWait { id, buf, grid, exchanges } => {
                     let Some(world) = world else {
@@ -450,12 +493,18 @@ impl Runner {
                         BufId::Arg(i) => &mut args[i],
                         BufId::Tmp(i) => &mut tmps[i],
                     };
-                    swap_wait(world, rank, grid, exchanges, shape, data, &mut swap_scratch[*id])?;
+                    swap_wait(
+                        world,
+                        rank,
+                        grid,
+                        exchanges,
+                        shape,
+                        data,
+                        &mut swap_scratch[*id],
+                        lane,
+                    )?;
                 }
-                Step::Copy { src, src_desc, dst, dst_desc, range } => {
-                    if range.num_points() <= 0 {
-                        continue;
-                    }
+                Step::Copy { src, src_desc, dst, dst_desc, range } if range.num_points() > 0 => {
                     if src == dst {
                         // Self-copy with potentially overlapping layouts:
                         // stage only the ranged elements (not the whole
@@ -497,8 +546,29 @@ impl Runner {
                         });
                     }
                 }
+                // Empty copies execute nothing (but still trace below,
+                // keeping one span per step).
+                Step::Copy { .. } => {}
             }
+            lane.span(t0, || match step {
+                Step::Apply { kernel, region, .. } => SpanKind::Apply {
+                    tier: kernel.tier_kind().name(),
+                    region: region.label().trim_end().to_string(),
+                    points: region.points(&kernel.range),
+                },
+                Step::SwapBegin { id, exchanges, .. } => SpanKind::SwapBegin {
+                    swap: *id,
+                    bytes: 8 * exchanges
+                        .iter()
+                        .map(|e| e.num_elements().max(0) as u64)
+                        .sum::<u64>(),
+                },
+                Step::SwapWait { id, .. } => SpanKind::SwapWait { swap: *id },
+                Step::Copy { range, .. } => SpanKind::Copy { points: range.num_points() },
+            });
         }
+        lane.span(t_step, || SpanKind::Timestep { index });
+        lane.flush();
         Ok(())
     }
 }
@@ -577,6 +647,7 @@ fn run_apply(
 /// matching [`swap_wait`] completes the exchange; the pair executed
 /// back-to-back is exactly the old synchronous `swap_exchange`
 /// (sends first, then receives — deadlock-free).
+#[allow(clippy::too_many_arguments)]
 fn swap_begin(
     world: &Arc<SimWorld>,
     rank: i64,
@@ -585,6 +656,7 @@ fn swap_begin(
     shape: &[i64],
     data: &[f64],
     scratch: &mut SwapScratch,
+    lane: &mut TraceLane,
 ) -> Result<(), String> {
     use sten_dmp::decomposition::neighbor_rank;
     use sten_mpi::dmp_to_mpi::tag_for_direction;
@@ -594,11 +666,14 @@ fn swap_begin(
             let send_at = e.send_at();
             let range =
                 Bounds::new(send_at.iter().zip(&e.size).map(|(&a, &s)| (a, a + s)).collect());
+            let t0 = lane.start();
             let mut msg = scratch.take(range.num_points().max(0) as usize);
             for_each_row(&range, |p, len| {
                 let s = desc.flat(p) as usize;
                 msg.extend_from_slice(&data[s..s + len]);
             });
+            let bytes = 8 * msg.len() as u64;
+            lane.span(t0, || SpanKind::Pack { dir: e.to.clone(), bytes });
             world.send(rank as i32, n as i32, tag_for_direction(&e.to) as i32, msg);
         }
     }
@@ -609,6 +684,7 @@ fn swap_begin(
 /// only on messages still in flight) and scatters it into the halo
 /// slabs. Drained message buffers are recycled into the scratch for the
 /// next timestep's [`swap_begin`].
+#[allow(clippy::too_many_arguments)]
 fn swap_wait(
     world: &Arc<SimWorld>,
     rank: i64,
@@ -617,6 +693,7 @@ fn swap_wait(
     shape: &[i64],
     data: &mut [f64],
     scratch: &mut SwapScratch,
+    lane: &mut TraceLane,
 ) -> Result<(), String> {
     use sten_dmp::decomposition::neighbor_rank;
     use sten_mpi::dmp_to_mpi::tag_for_direction;
@@ -633,12 +710,15 @@ fn swap_wait(
                     range.num_points().max(0)
                 ));
             }
+            let t0 = lane.start();
             let mut at = 0usize;
             for_each_row(&range, |p, len| {
                 let d = desc.flat(p) as usize;
                 data[d..d + len].copy_from_slice(&msg[at..at + len]);
                 at += len;
             });
+            let bytes = 8 * msg.len() as u64;
+            lane.span(t0, || SpanKind::Unpack { dir: e.to.clone(), bytes });
             scratch.recycle(msg);
         }
     }

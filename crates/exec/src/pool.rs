@@ -10,6 +10,7 @@
 use crate::program::ExecScratch;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use sten_trace::{SpanKind, Tracer};
 
 type StaticJob = Box<dyn FnOnce(&mut ExecScratch) + Send + 'static>;
 
@@ -46,6 +47,16 @@ impl std::fmt::Debug for WorkerPool {
 impl WorkerPool {
     /// Spawns `threads` workers (at least 1).
     pub fn new(threads: usize) -> WorkerPool {
+        WorkerPool::new_traced(threads, &Tracer::disabled(), 0)
+    }
+
+    /// Spawns workers that record one task span per executed job on
+    /// per-worker lanes (`tid` = worker index + 1) of process track
+    /// `pid`. Lanes buffer locally and flush after each job — before the
+    /// job is counted done — so every span is merged by the time
+    /// [`WorkerPool::run`] returns. With a disabled tracer this is
+    /// exactly [`WorkerPool::new`].
+    pub fn new_traced(threads: usize, tracer: &Tracer, pid: u32) -> WorkerPool {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -58,18 +69,22 @@ impl WorkerPool {
             done_cv: Condvar::new(),
         });
         let handles = (0..threads)
-            .map(|_| {
+            .map(|w| {
                 let shared = Arc::clone(&shared);
+                let mut lane = tracer.lane(pid, w as u32 + 1);
                 std::thread::spawn(move || {
                     let mut scratch = ExecScratch::new();
                     let mut state = shared.state.lock().unwrap();
                     loop {
                         if let Some(job) = state.jobs.pop_front() {
                             drop(state);
+                            let t0 = lane.start();
                             let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 job(&mut scratch)
                             }))
                             .is_ok();
+                            lane.span(t0, || SpanKind::Task);
+                            lane.flush();
                             state = shared.state.lock().unwrap();
                             state.pending -= 1;
                             if !ok {

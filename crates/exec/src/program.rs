@@ -214,6 +214,23 @@ pub struct KernelProgram {
     /// Number of *distinct* (input, offset) pairs — the stencil's point
     /// count (e.g. 5 for a 2D 5-point star).
     pub stencil_points: usize,
+    /// The distinct (input, per-dimension offset) pairs themselves,
+    /// sorted. Unlike the flattened `Instr::LoadInput` displacements,
+    /// these preserve dimensionality, so consumers (e.g. the performance
+    /// model) can recover the true per-axis radius.
+    pub offsets: Vec<(u32, Vec<i64>)>,
+}
+
+impl KernelProgram {
+    /// The stencil radius: the largest per-dimension offset magnitude
+    /// over every access (e.g. 1 for a space-order-2 star).
+    pub fn radius(&self) -> i64 {
+        self.offsets
+            .iter()
+            .flat_map(|(_, offset)| offset.iter().map(|c| c.abs()))
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 impl KernelProgram {
@@ -559,6 +576,8 @@ pub fn compile_apply(
         }
     }
     let rank = range.rank();
+    let mut offsets: Vec<(u32, Vec<i64>)> = seen_offsets.into_iter().collect();
+    offsets.sort();
     Ok(CompiledKernel {
         program: KernelProgram {
             instrs,
@@ -567,7 +586,8 @@ pub fn compile_apply(
             rank,
             flops,
             loads,
-            stencil_points: seen_offsets.len(),
+            stencil_points: offsets.len(),
+            offsets,
         },
         range,
         inputs: temp_inputs,
@@ -611,7 +631,9 @@ mod tests {
             flops: 3,
             loads: 3,
             stencil_points: 3,
+            offsets: vec![(0, vec![-1]), (0, vec![0]), (0, vec![1])],
         };
+        assert_eq!(prog.radius(), 1);
         let input = [1.0, 2.0, 4.0, 8.0];
         let mut regs = vec![0.0; 7];
         prog.eval(&[&input], &[1], &[1], &mut regs);

@@ -14,7 +14,10 @@ use crate::sync_shim::{Condvar, Mutex};
 use crate::value::{RequestList, RequestState, RtValue, SharedData};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use sten_trace::{Counter, SpanKind, Tracer};
 
 /// Validated mpich magic constants (mirrors `sten_mpi::abi`).
 mod abi {
@@ -73,15 +76,18 @@ pub struct SimWorld {
     coll: Mutex<CollectiveState>,
     coll_cv: Condvar,
     /// Total elements sent (communication-volume accounting for the
-    /// benchmarks).
-    sent_elements: Mutex<u64>,
+    /// benchmarks). Lock-free: counters sit on the send/recv hot path.
+    sent_elements: AtomicU64,
     /// Total messages sent.
-    sent_messages: Mutex<u64>,
+    sent_messages: AtomicU64,
     /// Receives whose message had already arrived at the first attempt —
     /// the observable signature of communication/computation overlap.
-    recv_immediate: Mutex<u64>,
+    recv_immediate: AtomicU64,
     /// Receives that had to block for their message.
-    recv_blocked: Mutex<u64>,
+    recv_blocked: AtomicU64,
+    /// Structured trace sink for message-level events (disabled by
+    /// default: [`SimWorld::new_traced`] turns it on).
+    tracer: Tracer,
 }
 
 impl SimWorld {
@@ -96,6 +102,14 @@ impl SimWorld {
     /// Payloads are unaffected; results stay bit-identical to the
     /// zero-latency world.
     pub fn new_with_latency(size: usize, latency: std::time::Duration) -> Arc<SimWorld> {
+        SimWorld::new_traced(size, latency, Tracer::disabled())
+    }
+
+    /// Creates a world that records message-level events (sends as
+    /// instants, receives as spans covering any delivery wait) and
+    /// counters into `tracer`. Tracing never perturbs payloads or
+    /// matching: results stay bit-identical to an untraced world.
+    pub fn new_traced(size: usize, latency: std::time::Duration, tracer: Tracer) -> Arc<SimWorld> {
         Arc::new(SimWorld {
             size,
             latency,
@@ -107,10 +121,11 @@ impl SimWorld {
                 results: HashMap::new(),
             }),
             coll_cv: Condvar::new(),
-            sent_elements: Mutex::new(0),
-            sent_messages: Mutex::new(0),
-            recv_immediate: Mutex::new(0),
-            recv_blocked: Mutex::new(0),
+            sent_elements: AtomicU64::new(0),
+            sent_messages: AtomicU64::new(0),
+            recv_immediate: AtomicU64::new(0),
+            recv_blocked: AtomicU64::new(0),
+            tracer,
         })
     }
 
@@ -121,31 +136,42 @@ impl SimWorld {
 
     /// Total elements sent so far (all ranks).
     pub fn total_sent_elements(&self) -> u64 {
-        *self.sent_elements.lock()
+        self.sent_elements.load(Ordering::Relaxed)
     }
 
     /// Total messages sent so far (all ranks).
     pub fn total_sent_messages(&self) -> u64 {
-        *self.sent_messages.lock()
+        self.sent_messages.load(Ordering::Relaxed)
     }
 
     /// Receives that found their message already delivered on the first
     /// attempt (overlap hid the transit time).
     pub fn total_recv_immediate(&self) -> u64 {
-        *self.recv_immediate.lock()
+        self.recv_immediate.load(Ordering::Relaxed)
     }
 
     /// Receives that blocked waiting for delivery.
     pub fn total_recv_blocked(&self) -> u64 {
-        *self.recv_blocked.lock()
+        self.recv_blocked.load(Ordering::Relaxed)
     }
 
     /// Buffered send: deposits the message and returns immediately; the
     /// message completes delivery in the background (after the world's
     /// simulated latency, if any).
     pub fn send(&self, src: i32, dst: i32, tag: i32, data: Vec<f64>) {
-        *self.sent_elements.lock() += data.len() as u64;
-        *self.sent_messages.lock() += 1;
+        self.sent_elements.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.sent_messages.fetch_add(1, Ordering::Relaxed);
+        self.tracer.count(Counter::MsgsSent, 1);
+        self.tracer.count(Counter::ElementsSent, data.len() as u64);
+        let bytes = 8 * data.len() as u64;
+        let latency_us = self.latency.as_micros() as u64;
+        self.tracer.record_instant(src.max(0) as u32, 0, || SpanKind::MsgSend {
+            src,
+            dst,
+            tag,
+            bytes,
+            latency_us,
+        });
         let arrival = (!self.latency.is_zero()).then(|| std::time::Instant::now() + self.latency);
         let mut mail = self.mail.lock();
         mail.queues.entry((src, dst, tag)).or_default().push(Msg { arrival, data });
@@ -172,15 +198,32 @@ impl SimWorld {
 
     /// Blocking receive of the oldest matching message.
     pub fn recv(&self, dst: i32, src: i32, tag: i32) -> Vec<f64> {
+        let t0 = self.tracer.now();
+        let (data, blocked) = self.recv_inner(dst, src, tag);
+        let bytes = 8 * data.len() as u64;
+        self.tracer.record_span(dst.max(0) as u32, 0, t0, || SpanKind::MsgRecv {
+            src,
+            dst,
+            tag,
+            bytes,
+            blocked,
+        });
+        data
+    }
+
+    /// The receive itself; reports whether it had to block for delivery.
+    fn recv_inner(&self, dst: i32, src: i32, tag: i32) -> (Vec<f64>, bool) {
         let mut mail = self.mail.lock();
         if let Some(data) = Self::pop_arrived(&mut mail, dst, src, tag) {
-            *self.recv_immediate.lock() += 1;
-            return data;
+            self.recv_immediate.fetch_add(1, Ordering::Relaxed);
+            self.tracer.count(Counter::RecvImmediate, 1);
+            return (data, false);
         }
-        *self.recv_blocked.lock() += 1;
+        self.recv_blocked.fetch_add(1, Ordering::Relaxed);
+        self.tracer.count(Counter::RecvBlocked, 1);
         loop {
             if let Some(data) = Self::pop_arrived(&mut mail, dst, src, tag) {
-                return data;
+                return (data, true);
             }
             // An in-flight message needs a timed wait (no notification
             // fires when its latency elapses).

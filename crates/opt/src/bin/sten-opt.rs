@@ -30,7 +30,15 @@ options:
       --timing             print a per-pass timing report (with per-function
                            breakdown, executor-tier selection for every
                            compilable stencil function, and cache counters)
-                           to stderr
+                           to stderr; on distributed pipelines the step
+                           structure gains measured per-step durations and
+                           an aggregated comm/compute overlap report from a
+                           short traced SPMD execution
+      --trace-out <file>   write a Chrome trace (Perfetto-loadable JSON) of
+                           the compile — one span per executed pass, plus
+                           the traced SPMD execution when --timing runs a
+                           distributed pipeline — to <file>; implies
+                           --no-cache for the traced compile
       --threads <n>        worker threads for func.func-anchored pass groups:
                            0 = one per core (default; or $STEN_OPT_THREADS)
       --no-parallel        shorthand for --threads 1 (deterministic timing;
@@ -49,6 +57,7 @@ struct Args {
     pipeline: Option<String>,
     target: Option<String>,
     threads: Option<usize>,
+    trace_out: Option<String>,
     verify_each: bool,
     timing: bool,
     print_ir_after_all: bool,
@@ -66,6 +75,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         pipeline: None,
         target: None,
         threads: None,
+        trace_out: None,
         verify_each: false,
         timing: false,
         print_ir_after_all: false,
@@ -90,6 +100,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--no-parallel" => args.threads = Some(1),
+            "--trace-out" => args.trace_out = Some(value_of(arg)?),
             "--verify-each" => args.verify_each = true,
             "--timing" => args.timing = true,
             "--print-ir-after-all" => args.print_ir_after_all = true,
@@ -178,10 +189,16 @@ fn run() -> Result<(), String> {
             Err(_) => 0,
         },
     };
+    let tracer = if args.trace_out.is_some() {
+        sten_trace::Tracer::new()
+    } else {
+        sten_trace::Tracer::disabled()
+    };
     let driver = Driver::new()
         .with_verify_each(args.verify_each)
         .with_print_ir_after_all(args.print_ir_after_all)
         .with_parallelism(threads)
+        .with_trace(&tracer)
         .with_cache(if args.no_cache { None } else { Some(CompileCache::global()) });
     let out = driver.run_str(module, &pipeline).map_err(|e| e.to_string())?;
 
@@ -191,10 +208,14 @@ fn run() -> Result<(), String> {
     }
     if args.timing {
         sten_opt::eprint_timing_summary(&out);
-        eprint_tier_report(tier_module, &pipeline_for_report);
+        eprint_tier_report(tier_module, &pipeline_for_report, &tracer);
     }
     if args.cache_stats || (args.timing && !args.no_cache) {
         sten_opt::eprint_cache_stats(&CompileCache::global().stats());
+    }
+    if let Some(path) = args.trace_out.as_deref() {
+        let json = sten_trace::chrome::to_json(&tracer.events(), &[]);
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
     }
 
     match args.output.as_deref() {
@@ -220,13 +241,23 @@ fn run() -> Result<(), String> {
 /// `distribute-stencil` invocation (plus shape inference) on the input
 /// copy, so the executable steps — including the interior/boundary split
 /// of `overlap=true` swaps — are reported exactly as a `Runner` would
-/// execute them.
-fn eprint_tier_report(module: Option<sten_ir::Module>, pipeline: &str) {
+/// execute them. It then actually executes a few traced SPMD timesteps
+/// over a SimMPI world on synthetic data, folding measured per-step
+/// durations into the step lines plus the aggregated comm/compute
+/// overlap report ([`sten_trace::report::TraceReport`]). The traced
+/// events land in `tracer` (the `--trace-out` sink) when it is enabled.
+fn eprint_tier_report(
+    module: Option<sten_ir::Module>,
+    pipeline: &str,
+    tracer: &sten_trace::Tracer,
+) {
     use sten_ir::Pass as _;
     let Some(mut m) = module else { return };
     if sten_stencil::ShapeInference.run(&mut m).is_err() {
         return;
     }
+    let undistributed = m.clone();
+    let mut distribute_invocation = None;
     let mut distributed = false;
     if let Ok(spec) = sten_opt::PipelineSpec::parse(pipeline) {
         if let Some(invocation) = spec
@@ -239,6 +270,7 @@ fn eprint_tier_report(module: Option<sten_ir::Module>, pipeline: &str) {
             if let Ok(pass) = PassRegistry::global().instantiate(invocation, &ctx) {
                 if pass.run(&mut m).is_ok() && sten_stencil::ShapeInference.run(&mut m).is_ok() {
                     distributed = true;
+                    distribute_invocation = Some(invocation.clone());
                 }
             }
         }
@@ -256,8 +288,29 @@ fn eprint_tier_report(module: Option<sten_ir::Module>, pipeline: &str) {
             // begin/wait phases, interior/boundary splits); plain ones
             // keep the compact tier lines.
             if distributed {
-                for l in p.step_summary() {
-                    lines.push(format!("  @{name} {l}"));
+                let timed = distribute_invocation
+                    .as_ref()
+                    .and_then(|inv| traced_smoke_run(&undistributed, inv, name, tracer));
+                match timed {
+                    Some((avgs, report)) => {
+                        for (i, l) in p.step_summary().into_iter().enumerate() {
+                            match avgs.get(i) {
+                                Some(ns) => lines.push(format!(
+                                    "  @{name} {l}  — avg {:.1} µs/step",
+                                    *ns as f64 / 1000.0
+                                )),
+                                None => lines.push(format!("  @{name} {l}")),
+                            }
+                        }
+                        for rl in format!("{report}").lines() {
+                            lines.push(format!("  @{name} {rl}"));
+                        }
+                    }
+                    None => {
+                        for l in p.step_summary() {
+                            lines.push(format!("  @{name} {l}"));
+                        }
+                    }
                 }
             } else {
                 for l in p.tier_summary() {
@@ -272,6 +325,121 @@ fn eprint_tier_report(module: Option<sten_ir::Module>, pipeline: &str) {
             eprintln!("{l}");
         }
     }
+}
+
+/// Runs a few timesteps of `func` as a full traced SPMD execution over a
+/// SimMPI world on synthetic data: every rank's module comes from the
+/// pipeline's own `distribute-stencil` invocation re-instantiated with
+/// `rank=r`. Returns the mean per-step durations (nanoseconds, in step
+/// order, averaged over timesteps and ranks) and the aggregated overlap
+/// report. `None` when the function has no swaps, the world would be
+/// unreasonably large, or anything fails — callers fall back to the
+/// unannotated step listing.
+fn traced_smoke_run(
+    undistributed: &sten_ir::Module,
+    invocation: &sten_opt::PassInvocation,
+    func: &str,
+    tracer: &sten_trace::Tracer,
+) -> Option<(Vec<u64>, sten_trace::report::TraceReport)> {
+    use sten_ir::Pass as _;
+    const TIMESTEPS: usize = 3;
+    // Record into the --trace-out sink when present so the execution
+    // rides along in the exported trace; otherwise into a private one.
+    let tracer = if tracer.is_enabled() { tracer.clone() } else { sten_trace::Tracer::new() };
+    let ctx = sten_opt::PassContext { registry: std::sync::Arc::clone(Driver::new().dialects()) };
+
+    // One compile per rank (rank 0 also tells us the world size).
+    let probe = {
+        let mut m = undistributed.clone();
+        let inv = invocation.clone().with_option("rank", "0");
+        PassRegistry::global().instantiate(&inv, &ctx).ok()?.run(&mut m).ok()?;
+        sten_stencil::ShapeInference.run(&mut m).ok()?;
+        sten_exec::compile_module(&m, func).ok()?
+    };
+    let grid = probe.steps.iter().find_map(|s| match s {
+        sten_exec::Step::SwapBegin { grid, .. } => Some(grid.clone()),
+        _ => None,
+    })?;
+    let ranks = grid.iter().product::<i64>();
+    if !(2..=8).contains(&ranks) {
+        return None;
+    }
+    let mut pipelines = vec![probe];
+    for r in 1..ranks {
+        let mut m = undistributed.clone();
+        let inv = invocation.clone().with_option("rank", r.to_string());
+        PassRegistry::global().instantiate(&inv, &ctx).ok()?.run(&mut m).ok()?;
+        sten_stencil::ShapeInference.run(&mut m).ok()?;
+        pipelines.push(sten_exec::compile_module(&m, func).ok()?);
+    }
+
+    let steps_per_rank: Vec<usize> = pipelines.iter().map(|p| p.steps.len()).collect();
+    let world = sten_interp::SimWorld::new_traced(
+        ranks as usize,
+        std::time::Duration::from_micros(20),
+        tracer.clone(),
+    );
+    let ok = std::thread::scope(|scope| {
+        let handles: Vec<_> = pipelines
+            .into_iter()
+            .enumerate()
+            .map(|(r, p)| {
+                let world = &world;
+                let tracer = &tracer;
+                scope.spawn(move || {
+                    let mut args: Vec<Vec<f64>> = p
+                        .arg_shapes
+                        .iter()
+                        .map(|s| {
+                            let len = s.iter().product::<i64>().max(0) as usize;
+                            (0..len).map(|i| (i as f64 * 0.01).sin()).collect()
+                        })
+                        .collect();
+                    let mut runner = sten_exec::Runner::new(p, 1).with_trace(tracer, r as u32);
+                    for _ in 0..TIMESTEPS {
+                        runner.step_distributed(&mut args, world, r as i64).ok()?;
+                    }
+                    Some(())
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().ok().flatten().is_some())
+    });
+    if !ok {
+        return None;
+    }
+
+    let events = tracer.events();
+    let report = sten_trace::report::TraceReport::from_events(&events);
+    // Mean duration per step position: rank r's main-lane step spans
+    // arrive in execution order, TIMESTEPS repetitions of its step list.
+    let mut sums: Vec<(u64, u64)> = vec![(0, 0); steps_per_rank[0]];
+    for (r, &nsteps) in steps_per_rank.iter().enumerate() {
+        let mut spans = events
+            .iter()
+            .filter(|e| {
+                e.pid == r as u32
+                    && e.tid == 0
+                    && matches!(
+                        e.kind,
+                        sten_trace::SpanKind::Apply { .. }
+                            | sten_trace::SpanKind::SwapBegin { .. }
+                            | sten_trace::SpanKind::SwapWait { .. }
+                            | sten_trace::SpanKind::Copy { .. }
+                    )
+            })
+            .collect::<Vec<_>>();
+        spans.sort_by_key(|e| e.start_ns);
+        for (i, e) in spans.iter().enumerate() {
+            let pos = i % nsteps;
+            if pos < sums.len() {
+                sums[pos].0 += e.dur_ns;
+                sums[pos].1 += 1;
+            }
+        }
+    }
+    let avgs = sums.into_iter().map(|(total, n)| total.checked_div(n).unwrap_or(0)).collect();
+    Some((avgs, report))
 }
 
 fn main() -> ExitCode {

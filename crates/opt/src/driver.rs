@@ -15,6 +15,7 @@ use crate::cache::{CacheKey, CachedCompile, CompileCache};
 use crate::pipeline::PipelineSpec;
 use crate::registry::{PassContext, PassRegistry};
 use crate::PipelineError;
+use sten_trace::{SpanKind, Tracer, COMPILER_PID};
 
 /// The result of driving a module through a pipeline.
 #[derive(Debug)]
@@ -51,6 +52,7 @@ pub struct Driver {
     print_ir_after_all: bool,
     cache: Option<&'static CompileCache>,
     parallelism: usize,
+    tracer: Tracer,
 }
 
 /// The full dialect registry of the ecosystem, built once per process
@@ -80,7 +82,18 @@ impl Driver {
             print_ir_after_all: false,
             cache: Some(CompileCache::global()),
             parallelism: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Records one span per executed pass (on the compiler's process
+    /// track) into `tracer`. Traced runs bypass the compile cache, like
+    /// IR capture: a cache hit executes no passes and would record an
+    /// empty compile.
+    #[must_use]
+    pub fn with_trace(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
     }
 
     /// Uses `dialects` for post-pass verification and pass construction.
@@ -153,7 +166,8 @@ impl Driver {
         // Cache lookup happens before pass instantiation: an entry can
         // only exist for a pipeline that previously instantiated and ran
         // successfully, so a hit skips construction work entirely.
-        let use_cache = self.cache.is_some() && !self.print_ir_after_all;
+        let use_cache =
+            self.cache.is_some() && !self.print_ir_after_all && !self.tracer.is_enabled();
         let key = if use_cache {
             // The dialect registry is part of the key: passes consult its
             // purity metadata, so drivers over different registries must
@@ -204,8 +218,18 @@ impl Driver {
         let capture_ir = self.print_ir_after_all;
         {
             let snapshots = Arc::clone(&snapshots);
+            let tracer = self.tracer.clone();
+            // The hook fires serially, once per completed pass, so the
+            // previous hook time is the start of the pass that just ran
+            // — consecutive non-overlapping spans on the compiler track.
+            let last = Mutex::new(tracer.now());
             pm.set_after_each(Box::new(move |name, module| {
                 crate::stats::record_pass_run();
+                if tracer.is_enabled() {
+                    let mut t0 = last.lock().expect("trace hook lock");
+                    tracer.record_span(COMPILER_PID, 0, *t0, || SpanKind::Pass { name });
+                    *t0 = tracer.now();
+                }
                 if capture_ir {
                     snapshots.lock().expect("snapshot lock").push((name, print_module(module)));
                 }

@@ -106,6 +106,46 @@ fn overlap_pipeline_reports_the_interior_boundary_step_split() {
     assert!(stderr.contains("interior"), "{stderr}");
     assert!(stderr.contains("@heat swap#0 wait"), "{stderr}");
     assert!(stderr.contains("boundary"), "{stderr}");
+    // The distributed --timing report folds measured durations and the
+    // aggregated comm/compute overlap report into the step structure.
+    assert!(stderr.contains("µs/step"), "measured step durations:\n{stderr}");
+    assert!(stderr.contains("overlap efficiency"), "{stderr}");
+    assert!(stderr.contains("comm hidden"), "{stderr}");
+}
+
+#[test]
+fn trace_out_writes_a_validating_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("sten-opt-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let heat = sten_ir::print_module(&sten_stencil::samples::heat_2d(48, 0.1));
+    let mut child = sten_opt()
+        .args([
+            "-p",
+            "shape-inference,distribute-stencil{grid=2x1 overlap=true},shape-inference,\
+             convert-stencil-to-loops",
+            "--timing",
+            "--trace-out",
+        ])
+        .arg(&trace)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(heat.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let stats = sten_trace::chrome::validate(&json).expect("trace validates");
+    assert!(stats.spans > 0, "trace records spans");
+    // Compiler pass spans live on their own process track; the traced
+    // SPMD smoke execution contributes one track per rank.
+    assert!(stats.pids.contains(&sten_trace::COMPILER_PID), "{:?}", stats.pids);
+    assert!(stats.pids.contains(&0) && stats.pids.contains(&1), "{:?}", stats.pids);
+    assert!(json.contains("pass distribute-stencil"), "pass spans are named:\n{json}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

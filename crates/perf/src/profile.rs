@@ -48,13 +48,11 @@ impl KernelProfile {
                 total_loads += kernel.program.loads as f64 * region.points(&kernel.range) as f64;
                 input_buffers += inputs.len() as f64;
                 output_buffers += outputs.len() as f64;
-                for instr in &kernel.program.instrs {
-                    if let sten_exec::Instr::LoadInput { rel, .. } = instr {
-                        // A conservative per-dimension radius proxy from
-                        // the flattened displacement.
-                        radius = radius.max(rel.abs().min(8));
-                    }
-                }
+                // The true per-axis radius from the kernel's recorded
+                // per-dimension access offsets (the flattened
+                // `Instr::LoadInput` displacement mixes in row strides,
+                // which used to inflate this to the clamp value).
+                radius = radius.max(kernel.program.radius());
             }
         }
         let regions_f = regions.max(1) as f64;
@@ -130,6 +128,16 @@ mod tests {
         assert!(p.flops_per_point >= 5.0, "5-pt stencil: {}", p.flops_per_point);
         assert_eq!(p.input_buffers, 1.0);
         assert_eq!(p.output_buffers, 1.0);
+    }
+
+    #[test]
+    fn radius_is_per_dimension_not_flattened() {
+        // Space order 2 → radius 1 in every dimension, even in 3D where
+        // the flattened displacement of a z-neighbour is a whole plane.
+        assert_eq!(profile_of(2, &[16, 16, 16]).radius, 1);
+        assert_eq!(profile_of(2, &[32, 32]).radius, 1);
+        // Space order 6 → radius 3.
+        assert_eq!(profile_of(6, &[16, 16, 16]).radius, 3);
     }
 
     #[test]

@@ -102,7 +102,7 @@ fn cases(smoke: bool) -> Vec<Case> {
 }
 
 /// One module per rank at the stencil level, ready for the executor.
-fn per_rank_pipelines(case: &Case, overlap: bool) -> (Vec<Pipeline>, Vec<i64>) {
+fn per_rank_pipelines(case: &Case, overlap: bool, depth: i64) -> (Vec<Pipeline>, Vec<i64>) {
     let ranks: i64 = case.grid.iter().product();
     let mut pipelines = Vec::new();
     let mut layout = Vec::new();
@@ -114,6 +114,7 @@ fn per_rank_pipelines(case: &Case, overlap: bool) -> (Vec<Pipeline>, Vec<i64>) {
         )
         .for_rank(rank)
         .with_overlap(overlap)
+        .with_depth(HaloDepth::Fixed(depth))
         .run(&mut m)
         .unwrap();
         ShapeInference.run(&mut m).unwrap();
@@ -186,6 +187,91 @@ fn run_spmd_pipelines(
     }
 }
 
+struct DepthOutcome {
+    seconds: f64,
+    /// Global buffer with every rank's owned core gathered back in.
+    gathered: Vec<f64>,
+    sent_messages: u64,
+    sent_elements: u64,
+}
+
+/// Runs the jacobi-1d depth-sweep pipelines with scatter-from-global
+/// initialization: at depth `k` each rank's local buffer carries a
+/// `k`-cell halo, so local shapes differ across depths and only a
+/// shared global initial condition makes the final owned cores
+/// comparable bit-for-bit. `core_n` is the decomposed core extent
+/// (jacobi stores `[1, n-1)` of its `[0, n)` field, so `core_n = n-2`
+/// and `global.len() == n`).
+fn run_depth_spmd(
+    pipelines: &[Pipeline],
+    latency: Duration,
+    timesteps: usize,
+    global: &[f64],
+    core_n: i64,
+    halo: i64,
+    tracer: Option<&Tracer>,
+) -> DepthOutcome {
+    let ranks = pipelines.len();
+    let world = match tracer {
+        Some(t) => SimWorld::new_traced(ranks, latency, t.clone()),
+        None => SimWorld::new_with_latency(ranks, latency),
+    };
+    let mut outs: Vec<Vec<f64>> = vec![Vec::new(); ranks];
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (rank, out) in outs.iter_mut().enumerate() {
+            let world = Arc::clone(&world);
+            let pipeline = pipelines[rank].clone();
+            scope.spawn(move || {
+                let (off, c) = stencil_core::dmp::balanced_chunk(core_n, ranks as i64, rank as i64);
+                let local = c + 2 * halo;
+                assert_eq!(
+                    pipeline.arg_shapes[0],
+                    vec![local],
+                    "rank {rank}: local shape must be core + 2*{halo}"
+                );
+                // Local index p maps to global flat `off + 1 + p - halo`
+                // (jacobi radius 1); cells past the global pad are dead
+                // and zero-filled.
+                let init: Vec<f64> = (0..local)
+                    .map(|p| {
+                        let flat = off + 1 + p - halo;
+                        if flat < 0 || flat >= global.len() as i64 {
+                            0.0
+                        } else {
+                            global[flat as usize]
+                        }
+                    })
+                    .collect();
+                let mut args = vec![init.clone(), init];
+                let mut runner = Runner::new(pipeline, 1);
+                if let Some(t) = tracer {
+                    runner = runner.with_trace(t, rank as u32);
+                }
+                for _ in 0..timesteps {
+                    runner.step_distributed(&mut args, &world, rank as i64).unwrap();
+                    args.swap(0, 1);
+                }
+                *out = args[0].clone();
+            });
+        }
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    let mut gathered = global.to_vec();
+    for (rank, local) in outs.iter().enumerate() {
+        let (off, c) = stencil_core::dmp::balanced_chunk(core_n, ranks as i64, rank as i64);
+        for p in 0..c {
+            gathered[(off + 1 + p) as usize] = local[(halo + p) as usize];
+        }
+    }
+    DepthOutcome {
+        seconds,
+        gathered,
+        sent_messages: world.total_sent_messages(),
+        sent_elements: world.total_sent_elements(),
+    }
+}
+
 fn main() {
     let args = parse_args();
     let latency = if args.smoke { Duration::from_micros(20) } else { Duration::from_micros(150) };
@@ -205,8 +291,8 @@ fn main() {
     let mut trace_names: Vec<(u32, String)> = Vec::new();
     let all = cases(args.smoke);
     for (ci, case) in all.iter().enumerate() {
-        let (sync_p, layout) = per_rank_pipelines(case, false);
-        let (over_p, _) = per_rank_pipelines(case, true);
+        let (sync_p, layout) = per_rank_pipelines(case, false, 1);
+        let (over_p, _) = per_rank_pipelines(case, true, 1);
         assert!(!sync_p[0].is_overlapped());
         assert!(over_p[0].is_overlapped(), "{}: overlap pipeline did not split", case.name);
 
@@ -317,8 +403,128 @@ fn main() {
             format!("{}/{}", over.recv_immediate, over.recv_immediate + over.recv_blocked),
         ]);
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+
+    // --- deep-halo temporal blocking: k ∈ {1,2,4,8} on jacobi-1d ---
+    // depth=1 is the PR-5 overlapped exchange; deeper blocks exchange a
+    // width-k halo once per k steps (same bytes, k× fewer messages).
+    let n_sweep: i64 = if args.smoke { 258 } else { 1 << 17 };
+    let sweep_steps = if args.smoke { 8 } else { 200 }; // divisible by every k
+    let depths = [1i64, 2, 4, 8];
+    let sweep_case = &all[0];
+    assert_eq!(sweep_case.name, "jacobi-1d-2ranks");
+    let core_n = n_sweep - 2; // jacobi stores [1, n-1) of its [0, n) field
+    let global: Vec<f64> = (0..n_sweep).map(|i| (i as f64 * 0.001).sin()).collect();
+    let mut sweep_rows = Vec::new();
+    let mut depth1: Option<(DepthOutcome, usize, u64)> = None;
+    let mut best_speedup = 0.0f64;
+    let _ = writeln!(json, "  \"depth_sweep\": {{");
+    let _ = writeln!(json, "    \"case\": \"{}\",", sweep_case.name);
+    let _ = writeln!(json, "    \"timesteps\": {sweep_steps},");
+    let _ = writeln!(json, "    \"points\": [");
+    for (di, &k) in depths.iter().enumerate() {
+        let (pipelines, _) = per_rank_pipelines(sweep_case, true, k);
+        assert!(pipelines[0].is_overlapped(), "depth={k} sweep pipeline must overlap");
+        if k > 1 {
+            assert!(
+                !pipelines[0].temporal_summary().is_empty(),
+                "depth={k} pipeline must carry a temporal block"
+            );
+        }
+        let _ = run_depth_spmd(&pipelines, latency, sweep_steps.min(3), &global, core_n, k, None);
+        let mut best: Option<DepthOutcome> = None;
+        for _ in 0..reps {
+            let o = run_depth_spmd(&pipelines, latency, sweep_steps, &global, core_n, k, None);
+            if best.as_ref().map_or(true, |b| o.seconds < b.seconds) {
+                best = Some(o);
+            }
+        }
+        let o = best.expect("at least one rep");
+
+        // Traced short run: the trace itself must show k× fewer MsgSend
+        // instants carrying the same total bytes.
+        let tracer = Tracer::new();
+        let traced_steps = 8;
+        let _ =
+            run_depth_spmd(&pipelines, latency, traced_steps, &global, core_n, k, Some(&tracer));
+        let events = tracer.events();
+        let (msg_sends, msg_bytes) = events.iter().fold((0usize, 0u64), |(c, b), e| match e.kind {
+            stencil_core::trace::SpanKind::MsgSend { bytes, .. } => (c + 1, b + bytes),
+            _ => (c, b),
+        });
+        let base = ((all.len() * 2 + di) * 16) as u32;
+        for rank in 0..pipelines.len() as u32 {
+            trace_names.push((base + rank, format!("jacobi-1d depth {k} rank {rank}")));
+        }
+        for mut e in events {
+            e.pid += base;
+            trace_events.push(e);
+        }
+
+        let speedup = match &depth1 {
+            None => 1.0,
+            Some((d1, _, _)) => d1.seconds / o.seconds,
+        };
+        if let Some((d1, d1_sends, d1_bytes)) = &depth1 {
+            assert_eq!(
+                d1.gathered, o.gathered,
+                "depth={k} owned cores must be bit-identical to depth=1"
+            );
+            assert_eq!(
+                o.sent_messages * k as u64,
+                d1.sent_messages,
+                "depth={k} must send {k}x fewer messages"
+            );
+            assert_eq!(o.sent_elements, d1.sent_elements, "depth={k} sends the same volume");
+            assert_eq!(
+                msg_sends * k as usize,
+                *d1_sends,
+                "depth={k} trace must show {k}x fewer MsgSend events"
+            );
+            assert_eq!(msg_bytes, *d1_bytes, "depth={k} trace carries the same bytes");
+        }
+        best_speedup = best_speedup.max(speedup);
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"depth\": {k},");
+        let _ = writeln!(json, "        \"seconds\": {:.6},", o.seconds);
+        let _ = writeln!(json, "        \"speedup_vs_depth1\": {speedup:.3},");
+        let _ = writeln!(json, "        \"sent_messages\": {},", o.sent_messages);
+        let _ = writeln!(json, "        \"sent_elements\": {},", o.sent_elements);
+        let _ = writeln!(json, "        \"trace_msg_sends\": {msg_sends},");
+        let _ = writeln!(json, "        \"trace_msg_bytes\": {msg_bytes}");
+        let _ = writeln!(json, "      }}{}", if di + 1 == depths.len() { "" } else { "," });
+        sweep_rows.push(vec![
+            format!("depth={k}"),
+            format!("{:.4}", o.seconds),
+            format!("{speedup:.2}x"),
+            o.sent_messages.to_string(),
+            o.sent_elements.to_string(),
+            msg_sends.to_string(),
+        ]);
+        if k == 1 {
+            depth1 = Some((o, msg_sends, msg_bytes));
+        }
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"best_speedup\": {best_speedup:.3}");
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
+    sten_bench::print_table(
+        &format!(
+            "temporal blocking on {}: width-k halo every k steps, {}us latency ({})",
+            sweep_case.name,
+            latency.as_micros(),
+            if args.smoke { "SMOKE — numbers not meaningful" } else { "full" }
+        ),
+        &["depth", "seconds", "speedup", "msgs", "elems", "trace sends"],
+        &sweep_rows,
+    );
+    if !args.smoke {
+        assert!(
+            best_speedup >= 1.2,
+            "temporal blocking should beat depth-1 overlap by >=1.2x (got {best_speedup:.2}x)"
+        );
+    }
     sten_bench::print_table(
         &format!(
             "halo exchange: sync vs overlap over SimMPI, {}us message latency ({})",

@@ -36,6 +36,8 @@ pub use sten_psyclone as psyclone;
 pub use sten_stencil as stencil;
 pub use sten_trace as trace;
 
+pub use sten_dmp::HaloDepth;
+
 use sten_ir::{DialectRegistry, FuncTiming, Module, PassTiming};
 use sten_opt::{CompileCache, Driver, PipelineError};
 
@@ -113,6 +115,9 @@ pub enum Target {
         /// Exchange diagonal/corner halo blocks as well (paper §8), for
         /// kernels with corner-touching access offsets.
         diagonals: bool,
+        /// Temporal-blocking depth (`distribute-stencil{depth=k}`):
+        /// exchange a width-`k·r` halo once per `k`-step block.
+        depth: HaloDepth,
     },
     /// GPU: parallel loops annotated for kernel mapping (executed through
     /// the V100 model; §6.1's CUDA lowering).
@@ -184,6 +189,7 @@ impl CompileOptions {
             strategy,
             overlap: false,
             diagonals: false,
+            depth: HaloDepth::default(),
         })
     }
 
@@ -206,6 +212,20 @@ impl CompileOptions {
     pub fn with_diagonals(mut self, on: bool) -> CompileOptions {
         if let Target::DistributedCpu { diagonals, .. } = &mut self.target {
             *diagonals = on;
+        }
+        self
+    }
+
+    /// Sets the temporal-blocking depth on a distributed target (builder
+    /// style): `HaloDepth::Fixed(k)` exchanges one width-`k·r` halo
+    /// every `k` timesteps; `HaloDepth::Auto` picks `k` from the kernel
+    /// radius and a message-budget heuristic. No effect on other
+    /// targets. Non-default depths become a `distribute-stencil{depth=…}`
+    /// pass option and therefore a distinct compile-cache key.
+    #[must_use]
+    pub fn with_halo_depth(mut self, d: HaloDepth) -> CompileOptions {
+        if let Target::DistributedCpu { depth, .. } = &mut self.target {
+            *depth = d;
         }
         self
     }
@@ -249,13 +269,19 @@ impl CompileOptions {
             Target::SharedCpu { tile } => {
                 sten_opt::pipelines::shared_cpu(tile, self.fuse, self.optimize)
             }
-            Target::DistributedCpu { topology, strategy, overlap, diagonals } => {
+            Target::DistributedCpu { topology, strategy, overlap, diagonals, depth } => {
+                let depth_opt = match depth {
+                    HaloDepth::Fixed(1) => None,
+                    HaloDepth::Fixed(k) => Some(k.to_string()),
+                    HaloDepth::Auto => Some("auto".to_string()),
+                };
                 sten_opt::pipelines::distributed_ext(
                     topology,
                     strategy.name(),
                     strategy.factors(),
                     *overlap,
                     *diagonals,
+                    depth_opt.as_deref(),
                     self.fuse,
                     self.optimize,
                 )
@@ -328,7 +354,8 @@ pub fn compile(module: Module, options: &CompileOptions) -> Result<Compiled, Com
 /// Commonly used items for examples and downstream code.
 pub mod prelude {
     pub use crate::{
-        compile, standard_registry, CompileError, CompileOptions, Compiled, DecompStrategy, Target,
+        compile, standard_registry, CompileError, CompileOptions, Compiled, DecompStrategy,
+        HaloDepth, Target,
     };
     pub use sten_devito::{problems, solve, Eq, Grid, Operator, OptLevel, TimeFunction};
     pub use sten_exec::{
@@ -382,6 +409,26 @@ mod tests {
         assert!(out.text.contains("MPI_Wait"), "per-receive waits survive to func level");
         // On non-distributed targets the builders are no-ops.
         let cpu = CompileOptions::shared_cpu().with_overlap(true);
+        assert_eq!(cpu.pipeline_string(), CompileOptions::shared_cpu().pipeline_string());
+    }
+
+    #[test]
+    fn halo_depth_option_threads_through_to_the_pipeline_and_cache_key() {
+        let plain = CompileOptions::distributed(vec![2]);
+        let deep = CompileOptions::distributed(vec![2]).with_halo_depth(HaloDepth::Fixed(2));
+        assert!(deep.pipeline_string().contains("depth=2"));
+        assert_ne!(plain.pipeline_string(), deep.pipeline_string());
+        let auto = CompileOptions::distributed(vec![2]).with_halo_depth(HaloDepth::Auto);
+        assert!(auto.pipeline_string().contains("depth=auto"));
+        // The default depth keeps the legacy spelling (and cache key).
+        let explicit = CompileOptions::distributed(vec![2]).with_halo_depth(HaloDepth::Fixed(1));
+        assert_eq!(plain.pipeline_string(), explicit.pipeline_string());
+        // A deep pipeline compiles end-to-end to MPI calls.
+        let m = sten_stencil::samples::jacobi_1d(128);
+        let out = compile(m, &deep).unwrap();
+        assert!(out.text.contains("MPI_Isend"));
+        // On non-distributed targets the builder is a no-op.
+        let cpu = CompileOptions::shared_cpu().with_halo_depth(HaloDepth::Fixed(4));
         assert_eq!(cpu.pipeline_string(), CompileOptions::shared_cpu().pipeline_string());
     }
 

@@ -42,7 +42,9 @@ fn written_buffers(op: &Op) -> Vec<Value> {
 }
 
 fn same_swap_config(a: &Op, b: &Op) -> bool {
-    a.attr("grid") == b.attr("grid") && a.attr("swaps") == b.attr("swaps")
+    a.attr("grid") == b.attr("grid")
+        && a.attr("swaps") == b.attr("swaps")
+        && a.attr("depth") == b.attr("depth")
 }
 
 fn process_block(block: &mut Block, removed: &mut usize) {

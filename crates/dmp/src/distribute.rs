@@ -38,6 +38,30 @@ use sten_ir::{
     Value, ValueTable,
 };
 
+/// Temporal-blocking depth request for [`DistributeStencil`]
+/// (`distribute-stencil{depth=k|auto}`): exchange one width-`k·r` halo
+/// every `k` timesteps instead of a width-`r` halo every step — same
+/// bytes on the wire, `k×` fewer messages (the OPS run-time loop-tiling
+/// result; Devito's "haloupdate hoisting").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HaloDepth {
+    /// Exchange every `k` steps; `Fixed(1)` (the default) is the classic
+    /// one-exchange-per-step schedule.
+    Fixed(i64),
+    /// Pick `k` from the kernel radius and a message-budget heuristic
+    /// (wider stencils recompute more per skipped exchange, so they get
+    /// shallower blocks), clamped so `k·r` fits every rank's chunk.
+    /// Falls back to `1` when the program shape does not support
+    /// temporal blocking.
+    Auto,
+}
+
+impl Default for HaloDepth {
+    fn default() -> Self {
+        HaloDepth::Fixed(1)
+    }
+}
+
 /// The distribute-stencil pass. See the module docs.
 pub struct DistributeStencil {
     /// Cartesian rank topology (e.g. `[2, 2]`). The strategy may refactor
@@ -56,6 +80,8 @@ pub struct DistributeStencil {
     /// with corner-touching offsets read valid corners
     /// (`distribute-stencil{diagonals=true}`).
     pub diagonals: bool,
+    /// Temporal-blocking depth (`distribute-stencil{depth=k}`).
+    pub depth: HaloDepth,
     /// How the domain is split across ranks.
     pub strategy: Box<dyn DecompositionStrategy + Send + Sync>,
 }
@@ -68,6 +94,7 @@ impl DistributeStencil {
             rank: 0,
             overlap: false,
             diagonals: false,
+            depth: HaloDepth::default(),
             strategy: Box::new(crate::StandardSlicing::new()),
         }
     }
@@ -77,7 +104,14 @@ impl DistributeStencil {
         grid: Vec<i64>,
         strategy: Box<dyn DecompositionStrategy + Send + Sync>,
     ) -> Self {
-        DistributeStencil { grid, rank: 0, overlap: false, diagonals: false, strategy }
+        DistributeStencil {
+            grid,
+            rank: 0,
+            overlap: false,
+            diagonals: false,
+            depth: HaloDepth::default(),
+            strategy,
+        }
     }
 
     /// Selects the rank whose local program is emitted (builder style).
@@ -98,6 +132,13 @@ impl DistributeStencil {
     #[must_use]
     pub fn with_diagonals(mut self, on: bool) -> Self {
         self.diagonals = on;
+        self
+    }
+
+    /// Sets the temporal-blocking depth (builder style).
+    #[must_use]
+    pub fn with_depth(mut self, depth: HaloDepth) -> Self {
+        self.depth = depth;
         self
     }
 
@@ -157,6 +198,124 @@ fn localize(b: &Bounds, core: &Bounds, local_core: &Bounds) -> Bounds {
     local_core.grown_asymmetric(&lo, &hi)
 }
 
+/// Legality analysis + depth resolution for temporal blocking.
+///
+/// The rewrite is legal for the ping-pong time-step shape: exactly one
+/// `stencil.load`, one single-result `stencil.apply` reading it, and one
+/// `stencil.store` of that result into a *different* field, stored over
+/// the full core. The caller's time loop swaps the two fields between
+/// steps, so the dependence distance of `k` chained steps is exactly
+/// `k·r` cells per decomposed side — a width-`k·r` halo exchanged once
+/// per `k`-step block feeds the whole block. Constraints:
+///
+/// * every decomposed chunk must span at least `k·r` cells (the deep
+///   slab a rank sends must be entirely its own freshly-computed data);
+/// * when two or more decomposed dimensions exchange halos, the grown
+///   per-phase trapezoids read *corner* halo cells even for star
+///   stencils, so `diagonals=true` is required.
+///
+/// Returns the resolved depth; an explicit illegal `depth=k` is an error
+/// (the diagnostic names the violated constraint) while `depth=auto`
+/// silently falls back to `1`.
+fn resolve_depth(
+    requested: &HaloDepth,
+    func: &Op,
+    core: &Bounds,
+    layout: &[i64],
+    load_halos: &HashMap<Value, (Vec<i64>, Vec<i64>)>,
+    diagonals: bool,
+) -> Result<i64, String> {
+    if let HaloDepth::Fixed(k) = requested {
+        if *k < 1 {
+            return Err(format!("depth must be at least 1, got {k}"));
+        }
+        if *k == 1 {
+            return Ok(1);
+        }
+    }
+    // Pattern-match the ping-pong shape; any deviation is a legality
+    // failure (the block rewrite assumes one kernel advancing one step).
+    let mut loads = Vec::new();
+    let mut applies = Vec::new();
+    let mut stores = Vec::new();
+    func.walk(&mut |o| match o.name.as_str() {
+        "stencil.load" => loads.push((o.operands.first().copied(), o.results.first().copied())),
+        "stencil.apply" => applies.push((o.operands.clone(), o.results.clone())),
+        "stencil.store" => stores.push(o.operands.clone()),
+        _ => {}
+    });
+    let legality = (|| {
+        let [(load_field, load_temp)] = loads[..] else {
+            return Err(format!("needs exactly one stencil.load, found {}", loads.len()));
+        };
+        let [(apply_ins, apply_outs)] = &applies[..] else {
+            return Err(format!("needs exactly one stencil.apply, found {}", applies.len()));
+        };
+        let [store_ops] = &stores[..] else {
+            return Err(format!("needs exactly one stencil.store, found {}", stores.len()));
+        };
+        let [apply_out] = apply_outs[..] else {
+            return Err("needs a single-result stencil.apply".to_string());
+        };
+        if load_temp.is_none() || !apply_ins.contains(&load_temp.unwrap()) {
+            return Err("the apply must read the loaded temp".to_string());
+        }
+        if store_ops.first() != Some(&apply_out) {
+            return Err("the store must write the apply result".to_string());
+        }
+        if store_ops.get(1) == load_field.as_ref() {
+            return Err(
+                "the store must target a different field than the load (ping-pong)".to_string()
+            );
+        }
+        let (lo, hi) = load_halos
+            .get(&load_temp.unwrap())
+            .ok_or_else(|| "load halos unavailable".to_string())?;
+        // Per-step halo widths along the decomposed dimensions (symmetric
+        // by the earlier asymmetry check).
+        let radii: Vec<(usize, i64)> = (0..core.rank().min(layout.len()))
+            .filter(|&d| layout[d] > 1 && lo[d].max(hi[d]) > 0)
+            .map(|d| (d, lo[d].max(hi[d])))
+            .collect();
+        if radii.len() >= 2 && !diagonals {
+            return Err("more than one decomposed dimension exchanges halos — the grown \
+                        per-phase regions read corner halo cells, so depth>1 requires \
+                        diagonals=true"
+                .to_string());
+        }
+        // Max depth the chunk geometry allows: the deep slab a rank
+        // sends must be its own freshly-computed data, so k·r may not
+        // exceed the smallest chunk extent (floor of the balanced split,
+        // making the cap rank-independent).
+        let cap =
+            radii.iter().map(|&(d, r)| (core.size(d) / layout[d]) / r).min().unwrap_or(i64::MAX);
+        let r_max = radii.iter().map(|&(_, r)| r).max().unwrap_or(0);
+        Ok((cap, r_max))
+    })();
+    match (requested, legality) {
+        (HaloDepth::Fixed(_), Err(m)) => Err(format!("temporal blocking (depth>1) illegal: {m}")),
+        (HaloDepth::Auto, Err(_)) => Ok(1),
+        (HaloDepth::Fixed(k), Ok((cap, _))) => {
+            if *k > cap {
+                return Err(format!(
+                    "depth {k} exceeds the chunk capacity: k·r must fit the smallest \
+                     decomposed chunk (max legal depth {cap})"
+                ));
+            }
+            Ok(*k)
+        }
+        (HaloDepth::Auto, Ok((cap, r_max))) => {
+            if r_max == 0 {
+                return Ok(1); // no decomposed halos: nothing to amortize
+            }
+            // Message-budget heuristic: spend at most ~4 cells of
+            // redundant recompute per side and block, so radius-1
+            // kernels get k=4, radius-2 get k=2, radius-4+ stay at 1.
+            Ok((4 / r_max).clamp(1, 4).min(cap).max(1))
+        }
+    }
+}
+
 struct Distributor<'a> {
     vt: &'a mut ValueTable,
     layout: Vec<i64>,
@@ -165,6 +324,12 @@ struct Distributor<'a> {
     local_core: Bounds,
     overlap: bool,
     diagonals: bool,
+    /// Resolved temporal-blocking depth (1 = exchange every step).
+    depth: i64,
+    /// Extra per-side field growth for depth>1: `(depth-1)·r` along
+    /// decomposed dimensions, so the buffer holds the full `k·r` halo.
+    extra_lo: Vec<i64>,
+    extra_hi: Vec<i64>,
     /// Per-load halo widths, captured from the global shape inference
     /// before temps are reset (keyed by the load's result value).
     load_halos: HashMap<Value, (Vec<i64>, Vec<i64>)>,
@@ -180,7 +345,8 @@ impl<'a> Distributor<'a> {
                         f.bounds, self.core
                     ));
                 }
-                let local = localize(&f.bounds, &self.core, &self.local_core);
+                let local = localize(&f.bounds, &self.core, &self.local_core)
+                    .grown_asymmetric(&self.extra_lo, &self.extra_hi);
                 self.vt.set_ty(v, Type::Field(FieldType::new(local, (*f.elem).clone())));
             }
             Type::Temp(t) => {
@@ -221,26 +387,44 @@ impl<'a> Distributor<'a> {
                             ))
                         }
                     };
+                    // Exchange widths: the per-step halo scaled to the
+                    // full `k·r` block depth along decomposed dimensions.
+                    let scale = |w: &[i64]| -> Vec<i64> {
+                        w.iter()
+                            .enumerate()
+                            .map(|(d, &x)| {
+                                if self.layout.get(d).is_some_and(|&p| p > 1) {
+                                    x * self.depth
+                                } else {
+                                    x
+                                }
+                            })
+                            .collect()
+                    };
+                    let (ex_lo, ex_hi) = (scale(&lo_halo), scale(&hi_halo));
                     let mut exchanges = self.strategy.exchanges(
                         &local_field,
                         &self.local_core,
                         &self.layout,
-                        &lo_halo,
-                        &hi_halo,
+                        &ex_lo,
+                        &ex_hi,
                     );
                     if self.diagonals {
                         exchanges.extend(crate::overlap::corner_exchanges(
                             &local_field,
                             &self.local_core,
                             &self.layout,
-                            &lo_halo,
-                            &hi_halo,
-                        ));
+                            &ex_lo,
+                            &ex_hi,
+                        )?);
                     }
                     if !exchanges.is_empty() {
                         let mut s = swap(field, self.layout.clone(), exchanges);
                         if self.overlap {
                             s.set_attr("overlap", Attribute::Unit);
+                        }
+                        if self.depth > 1 {
+                            s.set_attr("depth", Attribute::DenseI64(vec![self.depth]));
                         }
                         block.ops.push(s);
                     }
@@ -390,6 +574,39 @@ impl Pass for DistributeStencil {
                         failure = Some(in_func(m));
                         break 'outer;
                     }
+                    let depth = match resolve_depth(
+                        &self.depth,
+                        op,
+                        &core,
+                        &layout,
+                        &load_halos,
+                        self.diagonals,
+                    ) {
+                        Ok(k) => k,
+                        Err(m) => {
+                            failure = Some(in_func(m));
+                            break 'outer;
+                        }
+                    };
+                    // Deep blocks keep `(k-1)·r` extra field halo beyond
+                    // the per-step width along decomposed dimensions.
+                    let (extra_lo, extra_hi) = if depth > 1 {
+                        let (lo, hi) = load_halos.values().next().cloned().unwrap_or_default();
+                        let grow = |w: &[i64]| -> Vec<i64> {
+                            (0..core.rank())
+                                .map(|d| {
+                                    if layout.get(d).is_some_and(|&p| p > 1) {
+                                        (depth - 1) * w.get(d).copied().unwrap_or(0)
+                                    } else {
+                                        0
+                                    }
+                                })
+                                .collect()
+                        };
+                        (grow(&lo), grow(&hi))
+                    } else {
+                        (vec![0; core.rank()], vec![0; core.rank()])
+                    };
                     // Rank-dependent modules record their coordinates; the
                     // even SPMD case stays coordinate-free (and
                     // byte-identical to the congruent-slab output).
@@ -403,6 +620,9 @@ impl Pass for DistributeStencil {
                         local_core,
                         overlap: self.overlap,
                         diagonals: self.diagonals,
+                        depth,
+                        extra_lo,
+                        extra_hi,
                         load_halos,
                     };
                     for func_region in &mut op.regions {
@@ -645,6 +865,84 @@ mod tests {
         let text = sten_ir::print_module(&m);
         assert!(text.contains("dmp.swap"));
         assert!(text.contains("memref<65xf64>"), "{text}");
+    }
+
+    #[test]
+    fn depth_widens_exchanges_and_field_halos() {
+        let mut m = samples::jacobi_1d(128);
+        ShapeInference.run(&mut m).unwrap();
+        DistributeStencil::new(vec![2]).with_depth(HaloDepth::Fixed(2)).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        // Local core [1,64) keeps a 2-cell halo: [-1,66).
+        assert_eq!(field_bounds(&m, "jacobi"), Bounds::new(vec![(-1, 66)]));
+        let func = m.lookup_symbol("jacobi").unwrap();
+        let swap = func.region_block(0).ops.iter().find(|o| o.name == "dmp.swap").unwrap();
+        let view = crate::ops::SwapOp(swap);
+        assert_eq!(view.depth(), 2);
+        let ex = view.exchanges();
+        let low = ex.iter().find(|e| e.to == vec![-1]).unwrap();
+        assert_eq!((low.at[0], low.size[0], low.source_offset[0]), (0, 2, 2));
+        let high = ex.iter().find(|e| e.to == vec![1]).unwrap();
+        assert_eq!((high.at[0], high.size[0], high.source_offset[0]), (65, 2, -2));
+        // The deep swap round-trips through the printer.
+        let text = sten_ir::print_module(&m);
+        assert!(text.contains("depth"), "{text}");
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
+    }
+
+    #[test]
+    fn depth_auto_picks_from_radius_and_chunk() {
+        // Radius-1 jacobi: the message-budget heuristic picks k=4.
+        let mut m = samples::jacobi_1d(128);
+        ShapeInference.run(&mut m).unwrap();
+        DistributeStencil::new(vec![2]).with_depth(HaloDepth::Auto).run(&mut m).unwrap();
+        let func = m.lookup_symbol("jacobi").unwrap();
+        let swap = func.region_block(0).ops.iter().find(|o| o.name == "dmp.swap").unwrap();
+        assert_eq!(crate::ops::SwapOp(swap).depth(), 4);
+        // On a single-rank grid auto quietly stays at 1 (no exchanges).
+        let mut m1 = samples::jacobi_1d(128);
+        ShapeInference.run(&mut m1).unwrap();
+        DistributeStencil::new(vec![1]).with_depth(HaloDepth::Auto).run(&mut m1).unwrap();
+        assert!(!sten_ir::print_module(&m1).contains("dmp.swap"));
+    }
+
+    #[test]
+    fn illegal_depth_is_a_diagnostic_not_a_wrong_answer() {
+        // k·r exceeding the chunk: 126/16 = 7-cell chunks cap depth at 7.
+        let mut m = samples::jacobi_1d(128);
+        ShapeInference.run(&mut m).unwrap();
+        let err = DistributeStencil::new(vec![16])
+            .with_depth(HaloDepth::Fixed(8))
+            .run(&mut m)
+            .unwrap_err();
+        assert!(err.message.contains("max legal depth 7"), "{err}");
+        // Two decomposed dimensions without diagonals: the trapezoid
+        // phases would read unexchanged corner halo cells.
+        let mut m2 = samples::heat_2d(64, 0.1);
+        ShapeInference.run(&mut m2).unwrap();
+        let err = DistributeStencil::new(vec![2, 2])
+            .with_depth(HaloDepth::Fixed(2))
+            .run(&mut m2)
+            .unwrap_err();
+        assert!(err.message.contains("diagonals=true"), "{err}");
+        // With diagonals the same request is legal; corners carry the
+        // full k·r blocks.
+        let mut m3 = samples::heat_2d(64, 0.1);
+        ShapeInference.run(&mut m3).unwrap();
+        DistributeStencil::new(vec![2, 2])
+            .with_depth(HaloDepth::Fixed(2))
+            .with_diagonals(true)
+            .run(&mut m3)
+            .unwrap();
+        let func = m3.lookup_symbol("heat").unwrap();
+        let swap = func.region_block(0).ops.iter().find(|o| o.name == "dmp.swap").unwrap();
+        let view = crate::ops::SwapOp(swap);
+        assert_eq!(view.depth(), 2);
+        let ex = view.exchanges();
+        let corner = ex.iter().find(|e| e.to == vec![-1, -1]).unwrap();
+        assert_eq!(corner.size, vec![2, 2]);
     }
 
     #[test]

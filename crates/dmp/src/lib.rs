@@ -39,6 +39,6 @@ pub use decomposition::{
     StandardSlicing, STRATEGY_NAMES,
 };
 pub use dedup::EliminateRedundantSwaps;
-pub use distribute::DistributeStencil;
+pub use distribute::{DistributeStencil, HaloDepth};
 pub use ops::register;
-pub use overlap::{corner_exchanges, halo_widths, HaloRegionSplit, Shell};
+pub use overlap::{corner_exchanges, deep_phase_regions, halo_widths, HaloRegionSplit, Shell};

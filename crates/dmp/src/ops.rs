@@ -64,6 +64,18 @@ impl<'a> SwapOp<'a> {
     pub fn total_exchange_elements(&self) -> i64 {
         self.exchanges().iter().map(|e| e.num_elements()).sum()
     }
+
+    /// The temporal-blocking depth: this swap carries a width-`k·r` halo
+    /// feeding a block of `k` timesteps (`distribute-stencil{depth=k}`).
+    /// Absent attribute means the classic every-step exchange (`1`).
+    pub fn depth(&self) -> i64 {
+        self.0
+            .attr("depth")
+            .and_then(Attribute::as_dense)
+            .and_then(|d| d.first().copied())
+            .unwrap_or(1)
+            .max(1)
+    }
 }
 
 /// The shape of the buffer a swap operates on, in elements per dimension.
@@ -105,6 +117,13 @@ fn verify_swap(op: &Op, vt: &ValueTable) -> Result<(), String> {
                 shape.len()
             ));
         }
+        if e.to.len() != e.rank() || e.size.len() != e.rank() || e.source_offset.len() != e.rank() {
+            return Err(format!(
+                "swaps[{i}] direction/size/offset vectors must all have rank {} — a malformed \
+                 exchange would resolve to the wrong neighbour",
+                e.rank()
+            ));
+        }
         #[allow(clippy::needless_range_loop)] // parallel indexing into at/size/shape
         for d in 0..e.rank() {
             let recv_end = e.at[d] + e.size[d];
@@ -127,6 +146,11 @@ fn verify_swap(op: &Op, vt: &ValueTable) -> Result<(), String> {
         }
         if e.to.iter().all(|&t| t == 0) {
             return Err(format!("swaps[{i}] exchanges with itself (to = 0)"));
+        }
+    }
+    if let Some(d) = op.attr("depth").and_then(Attribute::as_dense) {
+        if d.len() != 1 || d[0] < 1 {
+            return Err(format!("depth must be a single integer >= 1, got {d:?}"));
         }
     }
     Ok(())

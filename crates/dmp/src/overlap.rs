@@ -104,22 +104,63 @@ impl HaloRegionSplit {
 /// received slab width is the halo width on that side. Diagonal/corner
 /// exchanges never widen the face widths (their extents are the
 /// per-dimension face widths by construction), so they are skipped.
-pub fn halo_widths(exchanges: &[ExchangeAttr], rank: usize) -> (Vec<i64>, Vec<i64>) {
+///
+/// # Errors
+/// Rejects exchanges whose direction/size vectors do not match the
+/// buffer rank. With `depth>1` swaps carrying width-`k·r` slabs, a
+/// malformed direction vector would silently resolve to the wrong
+/// neighbour — surface it as a diagnostic instead.
+pub fn halo_widths(
+    exchanges: &[ExchangeAttr],
+    rank: usize,
+) -> Result<(Vec<i64>, Vec<i64>), String> {
     let mut lo = vec![0i64; rank];
     let mut hi = vec![0i64; rank];
-    for e in exchanges {
+    for (i, e) in exchanges.iter().enumerate() {
+        if e.to.len() != rank || e.size.len() != rank {
+            return Err(format!(
+                "exchange {i}: direction vector of length {} and size vector of length {} on a \
+                 rank-{rank} buffer — a malformed swap would resolve to the wrong neighbour",
+                e.to.len(),
+                e.size.len()
+            ));
+        }
         let nonzero: Vec<usize> = (0..e.to.len()).filter(|&d| e.to[d] != 0).collect();
         let [d] = nonzero[..] else { continue };
-        if d >= rank {
-            continue;
-        }
         if e.to[d] < 0 {
             lo[d] = lo[d].max(e.size[d]);
         } else {
             hi[d] = hi[d].max(e.size[d]);
         }
     }
-    (lo, hi)
+    Ok((lo, hi))
+}
+
+/// The depth-`k` temporal-blocking onion (`distribute-stencil{depth=k}`):
+/// phase `j ∈ [0, k)` of a `k`-step block computes `core` grown by
+/// `(k-1-j)` per-step halo widths toward every exchanged side — the
+/// outermost region right after the single width-`k·r` exchange, the
+/// bare core on the block's last phase. Each phase's region nests
+/// strictly inside the previous one, so the per-phase shells
+/// (`region_j \ region_{j+1}`) are pairwise disjoint and, together with
+/// the core, tile `region_0` exactly (property-tested in
+/// `tests/halo_overlap.rs`).
+///
+/// # Panics
+/// Panics if `lo`/`hi` lengths differ from the core rank or `depth < 1`.
+pub fn deep_phase_regions(core: &Bounds, lo: &[i64], hi: &[i64], depth: i64) -> Vec<Bounds> {
+    let rank = core.rank();
+    assert!(lo.len() == rank && hi.len() == rank, "halo widths must match core rank");
+    assert!(depth >= 1, "temporal-blocking depth must be at least 1");
+    (0..depth)
+        .map(|j| {
+            let s = depth - 1 - j;
+            core.grown_asymmetric(
+                &lo.iter().map(|&w| w.max(0) * s).collect::<Vec<_>>(),
+                &hi.iter().map(|&w| w.max(0) * s).collect::<Vec<_>>(),
+            )
+        })
+        .collect()
 }
 
 /// Generates the diagonal/corner exchanges (paper §8) complementing a
@@ -132,14 +173,30 @@ pub fn halo_widths(exchanges: &[ExchangeAttr], rank: usize) -> (Vec<i64>, Vec<i6
 /// coordinates); a `-1` component receives the low-corner halo block and
 /// sends the first owned rows, mirrored for `+1`. Pairwise tags stay
 /// consistent: the mirror exchange on the neighbour has direction `-to`.
+///
+/// # Errors
+/// Rejects halo-width vectors whose length differs from the field rank
+/// or with negative entries: with depth>1 widths a short vector would
+/// index the wrong dimension and emit a corner aimed at the wrong
+/// neighbour.
 pub fn corner_exchanges(
     local_field: &Bounds,
     local_core: &Bounds,
     layout: &[i64],
     lo_halo: &[i64],
     hi_halo: &[i64],
-) -> Vec<ExchangeAttr> {
+) -> Result<Vec<ExchangeAttr>, String> {
     let rank = local_field.rank();
+    if lo_halo.len() != rank || hi_halo.len() != rank {
+        return Err(format!(
+            "corner exchanges on a rank-{rank} field need rank-{rank} halo widths, got lo={:?} \
+             hi={:?}",
+            lo_halo, hi_halo
+        ));
+    }
+    if lo_halo.iter().chain(hi_halo).any(|&w| w < 0) {
+        return Err(format!("negative halo widths lo={lo_halo:?} hi={hi_halo:?}"));
+    }
     let to_buf = |logical: i64, d: usize| logical - local_field.0[d].0;
     // Candidate components per dimension: 0 always; ±1 only along
     // decomposed dimensions with a halo on that side.
@@ -174,7 +231,7 @@ pub fn corner_exchanges(
         }
         out.push(ExchangeAttr::new(at, size, source_offset, dir.to_vec()));
     });
-    out
+    Ok(out)
 }
 
 /// Recursively enumerates direction vectors over the decomposed
@@ -300,9 +357,40 @@ mod tests {
             // Corner exchange: must not change the widths.
             ExchangeAttr::new(vec![0, 0], vec![1, 1], vec![1, 1], vec![-1, -1]),
         ];
-        let (lo, hi) = halo_widths(&ex, 2);
+        let (lo, hi) = halo_widths(&ex, 2).unwrap();
         assert_eq!(lo, vec![1, 0]);
         assert_eq!(hi, vec![2, 0]);
+    }
+
+    #[test]
+    fn halo_widths_reject_malformed_direction_vectors() {
+        // A rank-1 direction on a rank-2 buffer used to be skipped
+        // silently; with deep halos it must be a diagnostic.
+        let ex = vec![ExchangeAttr::new(vec![0], vec![2], vec![2], vec![-1])];
+        let err = halo_widths(&ex, 2).unwrap_err();
+        assert!(err.contains("wrong neighbour"), "{err}");
+    }
+
+    #[test]
+    fn corner_exchanges_reject_mismatched_halo_widths() {
+        let field = Bounds::new(vec![(-2, 10), (-2, 10)]);
+        let core = Bounds::new(vec![(0, 8), (0, 8)]);
+        let err = corner_exchanges(&field, &core, &[2, 2], &[2], &[2, 2]).unwrap_err();
+        assert!(err.contains("halo widths"), "{err}");
+        let err = corner_exchanges(&field, &core, &[2, 2], &[2, -1], &[2, 2]).unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+    }
+
+    #[test]
+    fn deep_phase_regions_nest_down_to_the_core() {
+        let core = Bounds::new(vec![(0, 16), (0, 16)]);
+        let regions = deep_phase_regions(&core, &[1, 0], &[2, 0], 3);
+        assert_eq!(regions.len(), 3);
+        assert_eq!(regions[0], Bounds::new(vec![(-2, 20), (0, 16)]));
+        assert_eq!(regions[1], Bounds::new(vec![(-1, 18), (0, 16)]));
+        assert_eq!(regions[2], core);
+        // Depth 1 is the degenerate single-phase block.
+        assert_eq!(deep_phase_regions(&core, &[1, 1], &[1, 1], 1), vec![core]);
     }
 
     #[test]
@@ -310,7 +398,7 @@ mod tests {
         // Core [0,100)² with 4-cell halos, buffer [-4,104)² (Fig. 3).
         let field = Bounds::new(vec![(-4, 104), (-4, 104)]);
         let core = Bounds::new(vec![(0, 100), (0, 100)]);
-        let corners = corner_exchanges(&field, &core, &[2, 2], &[4, 4], &[4, 4]);
+        let corners = corner_exchanges(&field, &core, &[2, 2], &[4, 4], &[4, 4]).unwrap();
         assert_eq!(corners.len(), 4, "four corners on a 2x2 grid");
         let low = corners.iter().find(|e| e.to == vec![-1, -1]).unwrap();
         assert_eq!(low.at, vec![0, 0]);
@@ -320,11 +408,11 @@ mod tests {
         assert_eq!(mixed.at, vec![104, 0]);
         assert_eq!(mixed.source_offset, vec![-4, 4]);
         // A 1D layout has no corners.
-        assert!(corner_exchanges(&field, &core, &[2], &[4, 4], &[4, 4]).is_empty());
+        assert!(corner_exchanges(&field, &core, &[2], &[4, 4], &[4, 4]).unwrap().is_empty());
         // 3D: 2x2x2 grid with unit halos → 12 edges + 8 corners.
         let field3 = Bounds::new(vec![(-1, 9); 3]);
         let core3 = Bounds::new(vec![(0, 8); 3]);
-        let c3 = corner_exchanges(&field3, &core3, &[2, 2, 2], &[1, 1, 1], &[1, 1, 1]);
+        let c3 = corner_exchanges(&field3, &core3, &[2, 2, 2], &[1, 1, 1], &[1, 1, 1]).unwrap();
         assert_eq!(c3.len(), 20);
     }
 
@@ -335,7 +423,7 @@ mod tests {
         let core = Bounds::new(vec![(0, 32), (0, 32)]);
         let mut ex =
             crate::StandardSlicing::new().exchanges(&field, &core, &[2, 2], &[1, 1], &[1, 1]);
-        ex.extend(corner_exchanges(&field, &core, &[2, 2], &[1, 1], &[1, 1]));
+        ex.extend(corner_exchanges(&field, &core, &[2, 2], &[1, 1], &[1, 1]).unwrap());
         for rank in 0..4 {
             assert!(corners_have_distinct_neighbors(rank, &[2, 2], &ex).unwrap());
         }

@@ -24,6 +24,18 @@
 //! the same analysis the `dmp → mpi` lowering uses — so results stay
 //! bit-for-bit identical to the synchronous path on every strategy and
 //! executor tier (enforced by `tests/halo_overlap.rs`).
+//!
+//! **Temporal blocking.** A swap carrying `depth=k`
+//! (`distribute-stencil{depth=k}`) exchanges a width-`k·r` halo once per
+//! `k`-step block. The pipeline records the block shape in
+//! [`TemporalBlock`]; the [`Runner`] expands it into a per-phase step
+//! schedule on first distributed step (the growth is clamped per side to
+//! directions with a live neighbour, which depends on the rank): phase 0
+//! performs the deep exchange and computes the core grown by `(k-1)·r`
+//! toward every exchanging side, and phases `1..k` run exchange-free on
+//! progressively shrinking regions ([`sten_dmp::deep_phase_regions`]) —
+//! redundant computation on the outer shells buys `k×` fewer messages at
+//! the same total volume.
 
 use crate::pool::{Job, WorkerPool};
 use crate::program::{
@@ -56,6 +68,10 @@ pub enum ApplyRegion {
     /// One boundary shell, labelled with the halo side it depends on
     /// (one-hot direction, e.g. `[0, -1]`).
     Boundary(Vec<i64>, Bounds),
+    /// One temporal-blocking phase: phase `j` of a `k`-step block runs
+    /// the kernel over the core grown `(k-1-j)·r` toward every
+    /// exchanging side (redundant compute on the outer shells).
+    Phase(usize, Bounds),
 }
 
 impl ApplyRegion {
@@ -63,7 +79,7 @@ impl ApplyRegion {
     pub fn bounds<'a>(&'a self, kernel_range: &'a Bounds) -> &'a Bounds {
         match self {
             ApplyRegion::Full => kernel_range,
-            ApplyRegion::Interior(b) | ApplyRegion::Boundary(_, b) => b,
+            ApplyRegion::Interior(b) | ApplyRegion::Boundary(_, b) | ApplyRegion::Phase(_, b) => b,
         }
     }
 
@@ -78,6 +94,7 @@ impl ApplyRegion {
             ApplyRegion::Full => String::new(),
             ApplyRegion::Interior(_) => "interior ".to_string(),
             ApplyRegion::Boundary(dir, _) => format!("boundary{dir:?} "),
+            ApplyRegion::Phase(j, _) => format!("phase{j} "),
         }
     }
 }
@@ -139,6 +156,24 @@ pub enum Step {
     },
 }
 
+/// Temporal-blocking metadata attached to a [`Pipeline`] whose single
+/// swap carries `depth=k`: one deep exchange feeds a block of `k`
+/// timesteps. The base `steps` keep the synchronous wide-exchange
+/// schedule (correct at every step, used when no schedule can be built);
+/// the [`Runner`] expands this into the per-phase schedule.
+#[derive(Clone, Debug)]
+pub struct TemporalBlock {
+    /// Steps per exchange block (`k >= 2`).
+    pub depth: i64,
+    /// Per-dimension *per-step* halo read widths on the low/high sides
+    /// (the swap's exchange widths divided by `depth`).
+    pub lo: Vec<i64>,
+    pub hi: Vec<i64>,
+    /// Whether phase 0 overlaps the deep exchange with interior compute
+    /// (the swap's `overlap` marker).
+    pub overlap: bool,
+}
+
 /// A compiled stencil function.
 #[derive(Clone, Debug)]
 pub struct Pipeline {
@@ -152,6 +187,9 @@ pub struct Pipeline {
     pub steps: Vec<Step>,
     /// Number of distinct swaps (begin/wait pairs) in the pipeline.
     pub num_swaps: usize,
+    /// Temporal-blocking block shape, when the function matches the
+    /// deep-halo pattern (`None` = exchange every step).
+    pub temporal: Option<TemporalBlock>,
 }
 
 impl Pipeline {
@@ -190,8 +228,12 @@ impl Pipeline {
     }
 
     /// Whether any exchange is overlapped with interior computation
-    /// (some step separates a begin from its wait).
+    /// (some step separates a begin from its wait, or a temporal block
+    /// overlaps its phase-0 deep exchange).
     pub fn is_overlapped(&self) -> bool {
+        if self.temporal.as_ref().is_some_and(|t| t.overlap) {
+            return true;
+        }
         self.steps.iter().enumerate().any(|(i, s)| match s {
             Step::SwapBegin { id, .. } => !matches!(
                 self.steps.get(i + 1),
@@ -267,6 +309,41 @@ impl Pipeline {
             })
             .collect()
     }
+
+    /// Temporal-blocking report for `sten-opt --timing`: the chosen
+    /// depth, message count per block (vs. the every-step schedule), and
+    /// the redundant-compute points the deep block pays for them. Counts
+    /// assume every neighbour is present (interior ranks); boundary
+    /// ranks skip the clamped sides. Empty when the pipeline exchanges
+    /// every step.
+    pub fn temporal_summary(&self) -> Vec<String> {
+        let Some(tb) = &self.temporal else { return Vec::new() };
+        let exchanges = self.steps.iter().find_map(|s| match s {
+            Step::SwapBegin { exchanges, .. } => Some(exchanges),
+            _ => None,
+        });
+        let core = self.steps.iter().find_map(|s| match s {
+            Step::Apply { kernel, .. } => Some(&kernel.range),
+            _ => None,
+        });
+        let (Some(exchanges), Some(core)) = (exchanges, core) else { return Vec::new() };
+        let regions = sten_dmp::deep_phase_regions(core, &tb.lo, &tb.hi, tb.depth);
+        let redundant: i64 =
+            regions.iter().map(|r| (r.num_points() - core.num_points()).max(0)).sum();
+        let msgs = exchanges.len();
+        let elems: i64 = exchanges.iter().map(ExchangeAttr::num_elements).sum();
+        vec![format!(
+            "temporal blocking: depth={}, {} msgs/block ({} at depth=1, same {} elems), \
+             redundant compute {} pts/block ({:.2}% of {} core pts)",
+            tb.depth,
+            msgs,
+            msgs * tb.depth as usize,
+            elems,
+            redundant,
+            100.0 * redundant as f64 / (core.num_points().max(1) * tb.depth) as f64,
+            core.num_points()
+        )]
+    }
 }
 
 /// Persistent per-swap exchange scratch: message buffers are recycled
@@ -312,6 +389,11 @@ pub struct Runner {
     scratch: ExecScratch,
     swap_scratch: Vec<SwapScratch>,
     copy_scratch: Vec<f64>,
+    /// Per-phase step schedules for temporal blocking, built lazily on
+    /// the first distributed step: the phase-region growth is clamped
+    /// per side to directions with a live neighbour, which depends on
+    /// the rank this runner executes as.
+    phase_schedule: Option<Vec<Vec<Step>>>,
     /// Main-thread recording lane (disabled unless
     /// [`Runner::with_trace`] attached a sink).
     lane: TraceLane,
@@ -339,6 +421,7 @@ impl Runner {
             scratch: ExecScratch::new(),
             swap_scratch,
             copy_scratch: Vec::new(),
+            phase_schedule: None,
             lane: TraceLane::disabled(),
             tracer: Tracer::disabled(),
             timestep: 0,
@@ -399,6 +482,9 @@ impl Runner {
         assert_eq!(args.len(), self.pipeline.num_args, "argument count mismatch");
         let index = self.timestep;
         self.timestep += 1;
+        if self.pipeline.temporal.is_some() && self.phase_schedule.is_none() && world.is_some() {
+            self.phase_schedule = Some(build_phase_schedule(&self.pipeline, rank)?);
+        }
         let pipeline = &self.pipeline;
         let tmps = &mut self.tmps;
         let pool = &mut self.pool;
@@ -406,9 +492,13 @@ impl Runner {
         let swap_scratch = &mut self.swap_scratch;
         let copy_scratch = &mut self.copy_scratch;
         let lane = &mut self.lane;
+        let steps: &[Step] = match &self.phase_schedule {
+            Some(sched) => &sched[(index % sched.len() as u64) as usize],
+            None => &pipeline.steps,
+        };
         let t_step = lane.start();
         // Steps are executed in order; buffers are disjoint Vec<f64>s.
-        for step in &pipeline.steps {
+        for step in steps {
             let t0 = lane.start();
             match step {
                 Step::Apply { kernel, inputs, outputs, region } => {
@@ -783,6 +873,7 @@ pub fn compile_module_tiered(
     let mut steps = Vec::new();
     let mut scalar_consts: HashMap<Value, f64> = HashMap::new();
     let mut swap_overlap: Vec<bool> = Vec::new();
+    let mut swap_depths: Vec<i64> = Vec::new();
 
     for op in &block.ops {
         match op.name.as_str() {
@@ -819,6 +910,7 @@ pub fn compile_module_tiered(
                     .unwrap_or_default();
                 let swap_id = swap_overlap.len();
                 swap_overlap.push(op.attr("overlap").is_some());
+                swap_depths.push(sten_dmp::ops::SwapOp(op).depth());
                 steps.push(Step::SwapBegin {
                     id: swap_id,
                     buf: id,
@@ -880,8 +972,122 @@ pub fn compile_module_tiered(
         }
     }
     let num_swaps = swap_overlap.len();
-    let steps = overlap_steps(steps, &swap_overlap);
-    Ok(Pipeline { num_args, arg_shapes, tmp_shapes, steps, num_swaps })
+    // Temporal blocking: when the step sequence matches the deep-halo
+    // pattern, keep the synchronous base steps (correct fallback: a wide
+    // exchange every step) and record the block shape for the Runner.
+    // Otherwise apply the within-step overlap rewrite as usual.
+    let temporal = detect_temporal(&steps, &swap_depths, &swap_overlap);
+    let steps = if temporal.is_some() { steps } else { overlap_steps(steps, &swap_overlap) };
+    Ok(Pipeline { num_args, arg_shapes, tmp_shapes, steps, num_swaps, temporal })
+}
+
+/// Pattern-matches a compiled step sequence against the temporal-blocking
+/// shape: exactly one `depth>1` swap followed by one full apply that
+/// reads the exchanged buffer and writes only *argument* buffers (the
+/// store-forwarded ping-pong — deep phases write outside the core, which
+/// only the widened field buffers can hold). Returns the block metadata
+/// or `None` (the synchronous wide-exchange schedule stays correct).
+fn detect_temporal(steps: &[Step], depths: &[i64], overlap: &[bool]) -> Option<TemporalBlock> {
+    let [depth] = depths[..] else { return None };
+    if depth <= 1 {
+        return None;
+    }
+    let [Step::SwapBegin { buf, exchanges, .. }, Step::SwapWait { .. }, Step::Apply { kernel, inputs, outputs, region: ApplyRegion::Full }] =
+        steps
+    else {
+        return None;
+    };
+    if !inputs.contains(buf) || outputs.iter().any(|o| matches!(o, BufId::Tmp(_))) {
+        return None;
+    }
+    let rank = kernel.range.rank();
+    let (lo, hi) = sten_dmp::halo_widths(exchanges, rank).ok()?;
+    // The exchange carries the full k·r block width; the per-phase step
+    // width is the depth-th part.
+    if lo.iter().chain(&hi).any(|w| w % depth != 0) {
+        return None;
+    }
+    let lo: Vec<i64> = lo.iter().map(|w| w / depth).collect();
+    let hi: Vec<i64> = hi.iter().map(|w| w / depth).collect();
+    if lo.iter().chain(&hi).all(|&w| w == 0) {
+        return None;
+    }
+    Some(TemporalBlock { depth, lo, hi, overlap: overlap.first().copied().unwrap_or(false) })
+}
+
+/// Expands a temporal-blocking pipeline into its per-phase schedules for
+/// one rank. Phase 0 runs the deep exchange (optionally overlapped via
+/// the usual interior/shell split, now with `k·r` widths); phases `1..k`
+/// run a single exchange-free apply over the shrinking onion regions.
+/// Growth is clamped per dimension side to directions that both exchange
+/// and have a live neighbour — growing toward a physical boundary would
+/// read unexchanged cells and clobber fixed boundary data.
+fn build_phase_schedule(p: &Pipeline, rank: i64) -> Result<Vec<Vec<Step>>, String> {
+    use sten_dmp::decomposition::neighbor_rank;
+    let tb = p.temporal.as_ref().expect("temporal metadata");
+    let [begin @ Step::SwapBegin { grid, exchanges, .. }, wait @ Step::SwapWait { .. }, Step::Apply { kernel, inputs, outputs, .. }] =
+        &p.steps[..]
+    else {
+        return Err("temporal pipeline must be swap-begin, swap-wait, apply".into());
+    };
+    let core = &kernel.range;
+    let dims = core.rank();
+    let mut step_lo = vec![0i64; dims];
+    let mut step_hi = vec![0i64; dims];
+    for e in exchanges {
+        let nonzero: Vec<usize> = (0..e.to.len()).filter(|&d| e.to[d] != 0).collect();
+        let [d] = nonzero[..] else { continue }; // corners follow their faces
+        if d >= dims || neighbor_rank(rank, grid, &e.to)?.is_none() {
+            continue;
+        }
+        if e.to[d] < 0 {
+            step_lo[d] = tb.lo[d];
+        } else {
+            step_hi[d] = tb.hi[d];
+        }
+    }
+    let apply = |region: ApplyRegion| Step::Apply {
+        kernel: kernel.clone(),
+        inputs: inputs.clone(),
+        outputs: outputs.clone(),
+        region,
+    };
+    let regions = sten_dmp::deep_phase_regions(core, &step_lo, &step_hi, tb.depth);
+    let mut schedule = Vec::with_capacity(regions.len());
+    for (j, region) in regions.iter().enumerate() {
+        if j > 0 {
+            schedule.push(vec![apply(ApplyRegion::Phase(j, region.clone()))]);
+            continue;
+        }
+        // Phase 0 owns the deep exchange. With the overlap marker the
+        // usual four-phase split applies, with the full k·r widths: the
+        // interior is exactly the points whose footprint stays in owned
+        // data while the deep messages are in flight.
+        let deep_lo: Vec<i64> = step_lo.iter().map(|w| w * tb.depth).collect();
+        let deep_hi: Vec<i64> = step_hi.iter().map(|w| w * tb.depth).collect();
+        let split = sten_dmp::HaloRegionSplit::compute(region, &deep_lo, &deep_hi);
+        if tb.overlap && split.is_splittable() {
+            let mut phase =
+                vec![begin.clone(), apply(ApplyRegion::Interior(split.interior.clone()))];
+            phase.push(wait.clone());
+            for shell in &split.shells {
+                if shell.bounds.num_points() > 0 {
+                    phase.push(apply(ApplyRegion::Boundary(
+                        shell.dir.clone(),
+                        shell.bounds.clone(),
+                    )));
+                }
+            }
+            schedule.push(phase);
+        } else {
+            schedule.push(vec![
+                begin.clone(),
+                wait.clone(),
+                apply(ApplyRegion::Phase(0, region.clone())),
+            ]);
+        }
+    }
+    Ok(schedule)
 }
 
 /// Rewrites overlap-marked exchanges into the four-phase step order:
@@ -920,7 +1126,12 @@ fn overlap_steps(steps: Vec<Step>, overlap_flags: &[bool]) -> Vec<Step> {
                 for &p in &pairs {
                     let Step::SwapBegin { buf, exchanges, .. } = &steps[p] else { unreachable!() };
                     feeds_apply &= inputs.contains(buf);
-                    let (l, h) = sten_dmp::halo_widths(exchanges, rank);
+                    // Malformed exchanges (verifier territory) simply
+                    // keep the pair synchronous.
+                    let Ok((l, h)) = sten_dmp::halo_widths(exchanges, rank) else {
+                        feeds_apply = false;
+                        continue;
+                    };
                     for d in 0..rank {
                         lo[d] = lo[d].max(l[d]);
                         hi[d] = hi[d].max(h[d]);

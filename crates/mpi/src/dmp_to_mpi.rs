@@ -590,7 +590,9 @@ impl<'a> SwapLowerer<'a> {
             dims.push((lb, ub));
         }
         let range = Bounds::new(dims);
-        let (lo_w, hi_w) = sten_dmp::halo_widths(&exchanges, rank);
+        // Malformed exchanges are caught by the verifier; here just fall
+        // back to the synchronous lowering.
+        let (lo_w, hi_w) = sten_dmp::halo_widths(&exchanges, rank).ok()?;
         let split = HaloRegionSplit::compute(&range, &lo_w, &hi_w);
         split.is_splittable().then_some((j, split))
     }

@@ -37,8 +37,9 @@ options:
       --trace-out <file>   write a Chrome trace (Perfetto-loadable JSON) of
                            the compile — one span per executed pass, plus
                            the traced SPMD execution when --timing runs a
-                           distributed pipeline — to <file>; implies
-                           --no-cache for the traced compile
+                           distributed pipeline — to <file>; a warm compile
+                           records one compile-cache-hit span (pass
+                           --no-cache to force per-pass spans)
       --threads <n>        worker threads for func.func-anchored pass groups:
                            0 = one per core (default; or $STEN_OPT_THREADS)
       --no-parallel        shorthand for --threads 1 (deterministic timing;
@@ -311,6 +312,9 @@ fn eprint_tier_report(
                             lines.push(format!("  @{name} {l}"));
                         }
                     }
+                }
+                for l in p.temporal_summary() {
+                    lines.push(format!("  @{name} {l}"));
                 }
             } else {
                 for l in p.tier_summary() {

@@ -87,9 +87,10 @@ impl Driver {
     }
 
     /// Records one span per executed pass (on the compiler's process
-    /// track) into `tracer`. Traced runs bypass the compile cache, like
-    /// IR capture: a cache hit executes no passes and would record an
-    /// empty compile.
+    /// track) into `tracer`. Traced runs use the compile cache like any
+    /// other: a warm compile records a single `compile-cache-hit` span
+    /// instead of per-pass spans, and a cold traced compile populates
+    /// the cache for later runs.
     #[must_use]
     pub fn with_trace(mut self, tracer: &Tracer) -> Self {
         self.tracer = tracer.clone();
@@ -166,12 +167,12 @@ impl Driver {
         // Cache lookup happens before pass instantiation: an entry can
         // only exist for a pipeline that previously instantiated and ran
         // successfully, so a hit skips construction work entirely.
-        let use_cache =
-            self.cache.is_some() && !self.print_ir_after_all && !self.tracer.is_enabled();
+        let use_cache = self.cache.is_some() && !self.print_ir_after_all;
         let key = if use_cache {
             // The dialect registry is part of the key: passes consult its
             // purity metadata, so drivers over different registries must
             // not share entries.
+            let lookup_start = self.tracer.now();
             let key = CacheKey::derive(
                 &print_module(&module),
                 &canonical,
@@ -179,6 +180,11 @@ impl Driver {
                 crate::cache::registry_fingerprint(&self.dialects),
             );
             if let Some(hit) = self.cache.expect("cache enabled").lookup(key) {
+                if self.tracer.is_enabled() {
+                    self.tracer.record_span(COMPILER_PID, 0, lookup_start, || SpanKind::Pass {
+                        name: "compile-cache-hit",
+                    });
+                }
                 return Ok(OptOutput {
                     module: hit.module,
                     text: hit.text,
@@ -336,6 +342,42 @@ mod tests {
         // A different pipeline over the same module misses.
         let other = driver.run_str(jacobi(), "shape-inference").unwrap();
         assert!(!other.cache_hit);
+    }
+
+    #[test]
+    fn traced_compiles_use_the_cache_and_record_the_hit() {
+        let cache: &'static CompileCache = Box::leak(Box::new(CompileCache::new()));
+        let pipeline = "shape-inference,convert-stencil-to-loops";
+        // A traced cold run populates the cache like an untraced one.
+        let cold_tracer = Tracer::new();
+        let cold = Driver::new()
+            .with_cache(Some(cache))
+            .with_trace(&cold_tracer)
+            .run_str(jacobi(), pipeline);
+        let cold = cold.unwrap();
+        assert!(!cold.cache_hit);
+        let pass_spans =
+            cold_tracer.events().iter().filter(|e| matches!(e.kind, SpanKind::Pass { .. })).count();
+        assert_eq!(pass_spans, 2, "one span per executed pass");
+        // A traced warm run hits that entry and records a single
+        // cache-hit span instead of per-pass spans.
+        let warm_tracer = Tracer::new();
+        let warm = Driver::new()
+            .with_cache(Some(cache))
+            .with_trace(&warm_tracer)
+            .run_str(jacobi(), pipeline)
+            .unwrap();
+        assert!(warm.cache_hit, "traced runs must consult the cache");
+        assert_eq!(warm.text, cold.text);
+        let names: Vec<&str> = warm_tracer
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                SpanKind::Pass { name } => Some(name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["compile-cache-hit"]);
     }
 
     #[test]

@@ -48,30 +48,36 @@ fn join_x(values: &[i64]) -> String {
 /// Distributed CPU: decompose, dedup swaps, lower to loops, then to MPI
 /// calls (§4.2, §4.3). Uses the default standard-slicing strategy.
 pub fn distributed(topology: &[i64], fuse: bool, optimize: bool) -> String {
-    distributed_ext(topology, "standard-slicing", None, false, false, fuse, optimize)
+    distributed_ext(topology, "standard-slicing", None, false, false, None, fuse, optimize)
 }
 
 /// [`distributed`] with an explicit decomposition strategy (and, for
 /// `custom-grid`, its per-dimension factorization), overlapped halo
-/// exchange (`overlap`), and diagonal/corner exchanges (`diagonals`).
-/// Defaults (`standard-slicing`, overlap and diagonals off) are omitted
-/// from the pipeline text so the legacy spelling — and its compile-cache
-/// key — is unchanged; any non-default becomes a pass option and
-/// therefore a distinct key.
+/// exchange (`overlap`), diagonal/corner exchanges (`diagonals`), and a
+/// temporal-blocking depth (`depth` — an integer `k` or `"auto"`).
+/// Defaults (`standard-slicing`, overlap/diagonals off, depth absent)
+/// are omitted from the pipeline text so the legacy spelling — and its
+/// compile-cache key — is unchanged; any non-default becomes a pass
+/// option and therefore a distinct key.
+#[allow(clippy::too_many_arguments)]
 pub fn distributed_ext(
     topology: &[i64],
     strategy: &str,
     factors: Option<&[i64]>,
     overlap: bool,
     diagonals: bool,
+    depth: Option<&str>,
     fuse: bool,
     optimize: bool,
 ) -> String {
     let mut p = String::new();
     prologue(&mut p, fuse);
     // Options in canonical (sorted-key) order:
-    // diagonals, factors, overlap, strategy, topology.
+    // depth, diagonals, factors, overlap, strategy, topology.
     let mut opts = String::new();
+    if let Some(d) = depth {
+        let _ = write!(opts, "depth={d} ");
+    }
     if diagonals {
         opts.push_str("diagonals=true ");
     }
@@ -162,26 +168,29 @@ mod tests {
 
     #[test]
     fn strategy_options_thread_through_and_stay_canonical() {
-        let rb = distributed_ext(&[4], "recursive-bisection", None, false, false, true, true);
+        let rb = distributed_ext(&[4], "recursive-bisection", None, false, false, None, true, true);
         assert!(rb.contains("distribute-stencil{strategy=recursive-bisection topology=4}"), "{rb}");
         let spec = PipelineSpec::parse(&rb).unwrap();
         assert_eq!(spec.to_string(), rb, "strategy pipelines print canonically");
-        let cg = distributed_ext(&[4], "custom-grid", Some(&[1, 4]), false, false, true, true);
+        let cg =
+            distributed_ext(&[4], "custom-grid", Some(&[1, 4]), false, false, None, true, true);
         assert!(cg.contains("{factors=1x4 strategy=custom-grid topology=4}"), "{cg}");
         // The default strategy keeps the legacy spelling (and cache key).
-        assert_eq!(distributed_ext(&[4], "standard-slicing", None, false, false, true, true), {
-            distributed(&[4], true, true)
-        });
+        assert_eq!(
+            distributed_ext(&[4], "standard-slicing", None, false, false, None, true, true),
+            { distributed(&[4], true, true) }
+        );
         assert_ne!(rb, distributed(&[4], true, true));
     }
 
     #[test]
     fn overlap_and_diagonals_thread_through_and_stay_canonical() {
-        let ov = distributed_ext(&[2, 2], "standard-slicing", None, true, false, true, true);
+        let ov = distributed_ext(&[2, 2], "standard-slicing", None, true, false, None, true, true);
         assert!(ov.contains("distribute-stencil{overlap=true topology=2:2}"), "{ov}");
         let spec = PipelineSpec::parse(&ov).unwrap();
         assert_eq!(spec.to_string(), ov, "overlap pipelines print canonically");
-        let both = distributed_ext(&[2, 2], "recursive-bisection", None, true, true, true, true);
+        let both =
+            distributed_ext(&[2, 2], "recursive-bisection", None, true, true, None, true, true);
         assert!(
             both.contains(
                 "{diagonals=true overlap=true strategy=recursive-bisection topology=2:2}"
@@ -190,10 +199,28 @@ mod tests {
         );
         // Off flags keep the legacy spelling (and cache key).
         assert_eq!(
-            distributed_ext(&[2, 2], "standard-slicing", None, false, false, true, true),
+            distributed_ext(&[2, 2], "standard-slicing", None, false, false, None, true, true),
             distributed(&[2, 2], true, true)
         );
         assert_ne!(ov, distributed(&[2, 2], true, true));
+    }
+
+    #[test]
+    fn depth_threads_through_and_stays_canonical() {
+        let dp =
+            distributed_ext(&[2], "standard-slicing", None, true, false, Some("4"), true, true);
+        assert!(dp.contains("distribute-stencil{depth=4 overlap=true topology=2}"), "{dp}");
+        let spec = PipelineSpec::parse(&dp).unwrap();
+        assert_eq!(spec.to_string(), dp, "depth pipelines print canonically");
+        let auto =
+            distributed_ext(&[2], "standard-slicing", None, false, false, Some("auto"), true, true);
+        assert!(auto.contains("distribute-stencil{depth=auto topology=2}"), "{auto}");
+        // Absent depth keeps the legacy spelling (and cache key).
+        assert_eq!(
+            distributed_ext(&[2], "standard-slicing", None, false, false, None, true, true),
+            distributed(&[2], true, true)
+        );
+        assert_ne!(dp, distributed(&[2], true, true));
     }
 
     #[test]

@@ -359,7 +359,8 @@ pub fn register_dmp_passes(reg: &mut PassRegistry) {
         "distribute-stencil",
         "decompose the global domain over a rank topology (options grid=2x2 | topology=2:2, \
          strategy=standard-slicing|recursive-bisection|custom-grid, factors=1x4, rank=N, \
-         overlap=true for overlapped halo exchange, diagonals=true for corner exchanges)",
+         overlap=true for overlapped halo exchange, diagonals=true for corner exchanges, \
+         depth=k|auto for temporal blocking: exchange a width-k·r halo every k steps)",
         |opts, _| {
             let bad = |m: String| PipelineError::bad_option("distribute-stencil", m);
             let topology = opts.get_i64_list("topology")?;
@@ -405,11 +406,24 @@ pub fn register_dmp_passes(reg: &mut PassRegistry) {
             }
             let overlap = opts.get_bool("overlap")?.unwrap_or(false);
             let diagonals = opts.get_bool("diagonals")?.unwrap_or(false);
+            let depth = match opts.get_str("depth") {
+                None => sten_dmp::HaloDepth::Fixed(1),
+                Some("auto") => sten_dmp::HaloDepth::Auto,
+                Some(v) => match v.parse::<i64>() {
+                    Ok(k) if k >= 1 => sten_dmp::HaloDepth::Fixed(k),
+                    _ => {
+                        return Err(bad(format!(
+                            "option 'depth' expects a positive integer or 'auto', got '{v}'"
+                        )))
+                    }
+                },
+            };
             Ok(Box::new(
                 sten_dmp::DistributeStencil::with_strategy(grid, strategy)
                     .for_rank(rank)
                     .with_overlap(overlap)
-                    .with_diagonals(diagonals),
+                    .with_diagonals(diagonals)
+                    .with_depth(depth),
             ))
         },
     );

@@ -119,20 +119,36 @@ fn rank_chunks(n: i64, dims: usize, layout: &[i64], coords: &[i64]) -> Vec<(i64,
         .collect()
 }
 
-/// Scatters the rank's local buffer (core chunk plus `radius` halo) out
-/// of the global buffer of extent `n + 2*radius` per dimension.
-fn scatter(global: &[f64], n: i64, radius: i64, chunks: &[(i64, i64)]) -> (Vec<i64>, Vec<f64>) {
+/// Scatters the rank's local buffer (core chunk plus a per-dimension
+/// `halos[d]`-cell halo — `radius` at depth 1, `depth·radius` along
+/// decomposed dimensions under temporal blocking) out of the global
+/// buffer of extent `n + 2*radius` per dimension. Local halo cells past
+/// the global pad are dead (never read into owned results) and filled
+/// with `0.0`.
+fn scatter(
+    global: &[f64],
+    n: i64,
+    radius: i64,
+    chunks: &[(i64, i64)],
+    halos: &[i64],
+) -> (Vec<i64>, Vec<f64>) {
     let dims = chunks.len();
     let gext = n + 2 * radius;
-    let shape: Vec<i64> = chunks.iter().map(|&(_, s)| s + 2 * radius).collect();
+    let shape: Vec<i64> = chunks.iter().zip(halos).map(|(&(_, s), &h)| s + 2 * h).collect();
     let mut data = Vec::with_capacity(shape.iter().product::<i64>() as usize);
     let mut p = vec![0i64; dims];
     loop {
         let mut flat = 0i64;
+        let mut in_range = true;
         for d in 0..dims {
-            flat = flat * gext + chunks[d].0 + p[d];
+            let g = chunks[d].0 + p[d] - (halos[d] - radius);
+            if g < 0 || g >= gext {
+                in_range = false;
+                break;
+            }
+            flat = flat * gext + g;
         }
-        data.push(global[flat as usize]);
+        data.push(if in_range { global[flat as usize] } else { 0.0 });
         let mut d = dims;
         let mut done = false;
         loop {
@@ -154,20 +170,35 @@ fn scatter(global: &[f64], n: i64, radius: i64, chunks: &[(i64, i64)]) -> (Vec<i
 }
 
 /// Writes the rank's owned core cells back into the global buffer.
-fn gather(global: &mut [f64], local: &[f64], n: i64, radius: i64, chunks: &[(i64, i64)]) {
+fn gather(
+    global: &mut [f64],
+    local: &[f64],
+    n: i64,
+    radius: i64,
+    chunks: &[(i64, i64)],
+    halos: &[i64],
+) {
     let dims = chunks.len();
     let gext = n + 2 * radius;
-    let shape: Vec<i64> = chunks.iter().map(|&(_, s)| s + 2 * radius).collect();
-    let core = Bounds::new(chunks.iter().map(|&(_, s)| (radius, radius + s)).collect());
+    let shape: Vec<i64> = chunks.iter().zip(halos).map(|(&(_, s), &h)| s + 2 * h).collect();
+    let core = Bounds::new(chunks.iter().zip(halos).map(|(&(_, s), &h)| (h, h + s)).collect());
     for p in core.points() {
         let mut lflat = 0i64;
         let mut gflat = 0i64;
         for d in 0..dims {
             lflat = lflat * shape[d] + p[d];
-            gflat = gflat * gext + chunks[d].0 + p[d];
+            gflat = gflat * gext + chunks[d].0 + radius + (p[d] - halos[d]);
         }
         global[gflat as usize] = local[lflat as usize];
     }
+}
+
+/// Per-dimension local halo widths for a rank: `depth·radius` along
+/// decomposed dimensions, plain `radius` elsewhere.
+fn local_halos(radius: i64, depth: i64, dims: usize, layout: &[i64]) -> Vec<i64> {
+    (0..dims)
+        .map(|d| if layout.get(d).is_some_and(|&p| p > 1) { depth * radius } else { radius })
+        .collect()
 }
 
 /// Compiles one module per rank and runs `timesteps` ping-pong steps of
@@ -179,6 +210,7 @@ fn run_distributed(
     layouts: &[Vec<i64>],
     n: i64,
     radius: i64,
+    depth: i64,
     global: &[f64],
     tier: Option<TierKind>,
     threads: usize,
@@ -198,7 +230,12 @@ fn run_distributed(
                 let dims = pipeline.arg_shapes[0].len();
                 let coords = stencil_stack::dmp::decomposition::rank_to_coords(rank as i64, layout);
                 let chunks = rank_chunks(n, dims, layout, &coords);
-                let (_, data) = scatter(global, n, radius, &chunks);
+                let halos = local_halos(radius, depth, dims, layout);
+                let (shape, data) = scatter(global, n, radius, &chunks, &halos);
+                assert_eq!(
+                    shape, pipeline.arg_shapes[0],
+                    "rank {rank}: scatter shape must match the distributed field"
+                );
                 let mut args = vec![data.clone(), data];
                 let mut runner = Runner::new(pipeline, threads);
                 for _ in 0..timesteps {
@@ -215,6 +252,7 @@ fn run_distributed(
 /// Distributes `make()` once per rank under `strategy` (with optional
 /// overlap/diagonals), returning the modules and each one's layout.
 #[allow(clippy::type_complexity)]
+#[allow(clippy::too_many_arguments)] // test driver threads its full configuration
 fn per_rank_modules(
     make: &dyn Fn() -> Module,
     grid: &[i64],
@@ -222,6 +260,7 @@ fn per_rank_modules(
     factors: Option<Vec<i64>>,
     overlap: bool,
     diagonals: bool,
+    depth: i64,
 ) -> (Vec<Module>, Vec<Vec<i64>>) {
     let ranks: i64 = grid.iter().product();
     let mut modules = Vec::new();
@@ -235,6 +274,7 @@ fn per_rank_modules(
         .for_rank(rank)
         .with_overlap(overlap)
         .with_diagonals(diagonals)
+        .with_depth(stencil_stack::dmp::HaloDepth::Fixed(depth))
         .run(&mut m)
         .unwrap();
         ShapeInference.run(&mut m).unwrap();
@@ -274,9 +314,9 @@ fn overlap_equals_sync_bitwise_across_strategies_and_tiers() {
             ] {
                 let make = || build(&st, n);
                 let (sync_m, layouts) =
-                    per_rank_modules(&make, &grid, strategy, factors.clone(), false, false);
+                    per_rank_modules(&make, &grid, strategy, factors.clone(), false, false, 1);
                 let (over_m, layouts2) =
-                    per_rank_modules(&make, &grid, strategy, factors.clone(), true, false);
+                    per_rank_modules(&make, &grid, strategy, factors.clone(), true, false, 1);
                 assert_eq!(layouts, layouts2);
                 for tier in [TierKind::Eval, TierKind::OptBytecode, TierKind::WeightedSum] {
                     for threads in [1usize, 2] {
@@ -285,6 +325,7 @@ fn overlap_equals_sync_bitwise_across_strategies_and_tiers() {
                             &layouts,
                             n,
                             radius,
+                            1,
                             &global,
                             Some(tier),
                             threads,
@@ -295,6 +336,7 @@ fn overlap_equals_sync_bitwise_across_strategies_and_tiers() {
                             &layouts,
                             n,
                             radius,
+                            1,
                             &global,
                             Some(tier),
                             threads,
@@ -306,6 +348,128 @@ fn overlap_equals_sync_bitwise_across_strategies_and_tiers() {
                              overlap must be bit-identical to sync"
                         );
                     }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_halo_onions_are_disjoint_and_covering() {
+    use stencil_stack::dmp::{deep_phase_regions, HaloRegionSplit};
+    let inside = |b: &Bounds, p: &[i64]| b.0.iter().zip(p).all(|(&(l, u), &x)| l <= x && x < u);
+    let mut rng = Rng::new(2026);
+    for round in 0..30usize {
+        let dims = 1 + round % 3;
+        let core = Bounds::new(
+            (0..dims)
+                .map(|_| {
+                    let lo = rng.range_i64(-3, 3);
+                    (lo, lo + rng.range_i64(2, 9))
+                })
+                .collect(),
+        );
+        let lo_w: Vec<i64> = (0..dims).map(|_| rng.range_i64(0, 3)).collect();
+        let mut hi_w: Vec<i64> = (0..dims).map(|_| rng.range_i64(0, 3)).collect();
+        if lo_w.iter().chain(&hi_w).all(|&w| w == 0) {
+            hi_w[0] = 1;
+        }
+        for k in 1..=4i64 {
+            let regions = deep_phase_regions(&core, &lo_w, &hi_w, k);
+            assert_eq!(regions.len(), k as usize);
+            assert_eq!(*regions.last().unwrap(), core, "round {round} k {k}: last phase is core");
+            // Phases nest: each later region sits inside the previous
+            // one (the onion shrinks by one halo width per step).
+            for j in 1..regions.len() {
+                assert!(
+                    regions[j - 1].contains(&regions[j]),
+                    "round {round} k {k}: phase {j} must nest in phase {}",
+                    j - 1
+                );
+            }
+            // The phase-0 split against the full k-wide exchange is a
+            // partition: every point lands in exactly one of interior +
+            // shells, and nothing leaks outside phase 0.
+            let deep_lo: Vec<i64> = lo_w.iter().map(|w| w * k).collect();
+            let deep_hi: Vec<i64> = hi_w.iter().map(|w| w * k).collect();
+            let split = HaloRegionSplit::compute(&regions[0], &deep_lo, &deep_hi);
+            for p in regions[0].points() {
+                let hits = usize::from(inside(&split.interior, &p))
+                    + split.shells.iter().filter(|s| inside(&s.bounds, &p)).count();
+                assert_eq!(hits, 1, "round {round} k {k}: point {p:?} covered exactly once");
+            }
+            assert!(regions[0].contains(&split.interior));
+            for s in &split.shells {
+                assert!(regions[0].contains(&s.bounds), "round {round} k {k}: shell inside");
+            }
+        }
+    }
+}
+
+#[test]
+fn temporal_blocking_depths_are_bit_identical_across_strategies_and_tiers() {
+    // Owned cores after any number of steps must not depend on the
+    // exchange cadence: depth=k (one width-k·r exchange per k steps, with
+    // redundant shell compute) ≡ depth=1 overlap ≡ synchronous, across
+    // every strategy and executor tier. Multi-dimensional decompositions
+    // need diagonals=true at depth>1 (trapezoid phases read corner halo
+    // cells), so the 2D baseline runs with diagonals too.
+    #[allow(clippy::type_complexity)] // (dims, n, grid, custom-grid factors) rows
+    let cases: [(usize, i64, Vec<i64>, Option<Vec<i64>>); 2] =
+        [(1, 24, vec![2], Some(vec![2])), (2, 12, vec![2, 2], Some(vec![2, 2]))];
+    for (dims, n, grid, factors) in cases {
+        let mut rng = Rng::new(777 + dims as u64);
+        let radius = 1i64;
+        let st = rand_stencil(dims, radius, dims > 1, &mut rng);
+        let diagonals = dims > 1;
+        let gsize = ((n + 2 * radius) as usize).pow(dims as u32);
+        let global: Vec<f64> = (0..gsize).map(|i| ((i as f64) * 0.19).sin()).collect();
+        let gather_cores = |outs: &[Vec<f64>], layouts: &[Vec<i64>], depth: i64| -> Vec<f64> {
+            let mut got = vec![0.0; gsize];
+            for (rank, out) in outs.iter().enumerate() {
+                let layout = &layouts[rank];
+                let coords = stencil_stack::dmp::decomposition::rank_to_coords(rank as i64, layout);
+                let chunks = rank_chunks(n, dims, layout, &coords);
+                let halos = local_halos(radius, depth, dims, layout);
+                gather(&mut got, out, n, radius, &chunks, &halos);
+            }
+            got
+        };
+        for (strategy, factors) in [
+            ("standard-slicing", None),
+            ("recursive-bisection", None),
+            ("custom-grid", factors.clone()),
+        ] {
+            let make = || build(&st, n);
+            let (sync_m, layouts) =
+                per_rank_modules(&make, &grid, strategy, factors.clone(), false, diagonals, 1);
+            for tier in [TierKind::Eval, TierKind::OptBytecode, TierKind::WeightedSum] {
+                let base = gather_cores(
+                    &run_distributed(&sync_m, &layouts, n, radius, 1, &global, Some(tier), 1, 4),
+                    &layouts,
+                    1,
+                );
+                for (depth, overlap) in [(1, true), (2, true), (4, true), (4, false)] {
+                    let (deep_m, dl) = per_rank_modules(
+                        &make,
+                        &grid,
+                        strategy,
+                        factors.clone(),
+                        overlap,
+                        diagonals,
+                        depth,
+                    );
+                    assert_eq!(layouts, dl);
+                    let got = gather_cores(
+                        &run_distributed(&deep_m, &dl, n, radius, depth, &global, Some(tier), 1, 4),
+                        &dl,
+                        depth,
+                    );
+                    assert_eq!(
+                        got, base,
+                        "dims {dims} {strategy} tier {tier:?} depth {depth} overlap {overlap}: \
+                         owned cores must be bit-identical to the synchronous baseline"
+                    );
                 }
             }
         }
@@ -362,14 +526,14 @@ fn diagonal_exchanges_fix_corner_reading_stencils() {
     let make = || build(&st, n);
     let run = |diagonals: bool, overlap: bool| {
         let (modules, layouts) =
-            per_rank_modules(&make, &[2, 2], "standard-slicing", None, overlap, diagonals);
-        let outs = run_distributed(&modules, &layouts, n, 1, &global, None, 1, 2);
+            per_rank_modules(&make, &[2, 2], "standard-slicing", None, overlap, diagonals, 1);
+        let outs = run_distributed(&modules, &layouts, n, 1, 1, &global, None, 1, 2);
         let mut got = global.clone();
         for (rank, out) in outs.iter().enumerate() {
             let coords =
                 stencil_stack::dmp::decomposition::rank_to_coords(rank as i64, &layouts[rank]);
             let chunks = rank_chunks(n, 2, &layouts[rank], &coords);
-            gather(&mut got, out, n, 1, &chunks);
+            gather(&mut got, out, n, 1, &chunks, &[1; 2]);
         }
         got
     };

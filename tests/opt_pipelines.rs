@@ -32,14 +32,15 @@ fn legacy_compile(mut module: Module, options: &CompileOptions) -> String {
             pm.add(sten::StencilToLoops);
             pm.add(sten::TileParallelLoops::new(tile.clone()));
         }
-        Target::DistributedCpu { topology, strategy, overlap, diagonals } => {
+        Target::DistributedCpu { topology, strategy, overlap, diagonals, depth } => {
             let strategy =
                 dmp::make_strategy(strategy.name(), strategy.factors().map(<[i64]>::to_vec))
                     .unwrap();
             pm.add(
                 dmp::DistributeStencil::with_strategy(topology.clone(), strategy)
                     .with_overlap(*overlap)
-                    .with_diagonals(*diagonals),
+                    .with_diagonals(*diagonals)
+                    .with_depth(*depth),
             );
             pm.add(sten::ShapeInference);
             pm.add(dmp::EliminateRedundantSwaps);

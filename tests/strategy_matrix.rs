@@ -8,9 +8,12 @@
 //!
 //! CI runs this suite once per strategy by setting
 //! `STEN_DECOMP_STRATEGY=standard-slicing|recursive-bisection|custom-grid`,
-//! each with overlapped halo exchange on and off (`STEN_OVERLAP=1|0`);
-//! without the variables every strategy × overlap combination is
-//! exercised in one process.
+//! each with overlapped halo exchange on and off (`STEN_OVERLAP=1|0`)
+//! and a temporal-blocking halo depth (`STEN_HALO_DEPTH=1|2|4`); without
+//! the variables every strategy × overlap combination runs at depths 1
+//! and 2 in one process. On this func/MPI path a deep halo is exchanged
+//! every step (same messages, more volume) — the depth axis checks the
+//! widened buffers and exchanges stay bit-correct end to end.
 
 use stencil_stack::prelude::*;
 
@@ -20,6 +23,16 @@ fn overlap_modes() -> Vec<bool> {
         Ok(v) if matches!(v.as_str(), "0" | "off" | "false") => vec![false],
         Ok(other) => panic!("unknown STEN_OVERLAP '{other}' (expected 0|1)"),
         Err(_) => vec![false, true],
+    }
+}
+
+fn halo_depths() -> Vec<i64> {
+    match std::env::var("STEN_HALO_DEPTH") {
+        Ok(v) => {
+            let k = v.parse::<i64>().ok().filter(|&k| k >= 1);
+            vec![k.unwrap_or_else(|| panic!("bad STEN_HALO_DEPTH '{v}' (expected 1|2|4)"))]
+        }
+        Err(_) => vec![1, 2],
     }
 }
 
@@ -40,19 +53,29 @@ fn strategy_names() -> Vec<&'static str> {
 /// Compiles heat-2d once per rank through the textual pipeline (the same
 /// strings `sten-opt -p` takes), returning the per-rank modules and the
 /// layout the strategy chose.
-fn compile_per_rank(n: i64, strategy: &str, ranks: i64, overlap: bool) -> (Vec<Module>, Vec<i64>) {
+fn compile_per_rank(
+    n: i64,
+    strategy: &str,
+    ranks: i64,
+    overlap: bool,
+    depth: i64,
+) -> (Vec<Module>, Vec<i64>) {
     let driver = Driver::new().with_verify_each(true);
     // custom-grid takes an explicit factorization: 1x4 refactors the 2x2
     // request into column slabs, exercising a layout neither of the other
     // strategies produces here.
     let factors = if strategy == "custom-grid" { "factors=1x4 " } else { "" };
     let overlap_opt = if overlap { "overlap=true " } else { "" };
+    // depth>1 on a multi-dimensionally decomposed grid requires corner
+    // exchanges; diagonals=true is a no-op on single-dim layouts.
+    let depth_opt =
+        if depth > 1 { format!("depth={depth} diagonals=true ") } else { String::new() };
     let modules: Vec<Module> = (0..ranks)
         .map(|rank| {
             let pipeline = format!(
-                "shape-inference,distribute-stencil{{{factors}grid=2x2 {overlap_opt}rank={rank} \
-                 strategy={strategy}}},shape-inference,dmp-eliminate-redundant-swaps,\
-                 convert-stencil-to-loops,dmp-to-mpi,mpi-to-func"
+                "shape-inference,distribute-stencil{{{depth_opt}{factors}grid=2x2 \
+                 {overlap_opt}rank={rank} strategy={strategy}}},shape-inference,\
+                 dmp-eliminate-redundant-swaps,convert-stencil-to-loops,dmp-to-mpi,mpi-to-func"
             );
             driver
                 .run_str(stencil_stack::stencil::samples::heat_2d(n, 0.1), &pipeline)
@@ -88,50 +111,64 @@ fn uneven_heat127_matches_single_rank_for_every_strategy() {
 
     for strategy in strategy_names() {
         for overlap in overlap_modes() {
-            let (modules, layout) = compile_per_rank(n, strategy, 4, overlap);
-            assert_eq!(layout.iter().product::<i64>(), 4, "{strategy}");
-            let chunk =
-                |d: usize, coord: i64| stencil_stack::dmp::balanced_chunk(n, layout[d], coord);
-            let coords_of =
-                |rank: i64| stencil_stack::dmp::decomposition::rank_to_coords(rank, &layout);
+            for depth in halo_depths() {
+                let (modules, layout) = compile_per_rank(n, strategy, 4, overlap, depth);
+                assert_eq!(layout.iter().product::<i64>(), 4, "{strategy}");
+                let chunk =
+                    |d: usize, coord: i64| stencil_stack::dmp::balanced_chunk(n, layout[d], coord);
+                let coords_of =
+                    |rank: i64| stencil_stack::dmp::decomposition::rank_to_coords(rank, &layout);
+                // Local halo width per dimension: depth cells along
+                // decomposed dims, 1 elsewhere (cells past the global pad
+                // are dead and zero-filled).
+                let halo = |d: usize| if layout[d] > 1 { depth } else { 1 };
+                let (hy, hx) = (halo(0), halo(1));
 
-            let g = &global;
-            let full = (n + 2) as usize;
-            let (results, world) = run_spmd_modules(&modules, "heat", &move |rank| {
-                let c = coords_of(rank as i64);
-                let (oy, sy) = chunk(0, c[0]);
-                let (ox, sx) = chunk(1, *c.get(1).unwrap_or(&0));
-                let mut data = Vec::with_capacity(((sy + 2) * (sx + 2)) as usize);
-                for y in 0..sy + 2 {
-                    for x in 0..sx + 2 {
-                        data.push(g[(oy + y) as usize * full + (ox + x) as usize]);
+                let g = &global;
+                let full = n + 2;
+                let (results, world) = run_spmd_modules(&modules, "heat", &move |rank| {
+                    let c = coords_of(rank as i64);
+                    let (oy, sy) = chunk(0, c[0]);
+                    let (ox, sx) = chunk(1, *c.get(1).unwrap_or(&0));
+                    let mut data = Vec::with_capacity(((sy + 2 * hy) * (sx + 2 * hx)) as usize);
+                    for y in 0..sy + 2 * hy {
+                        for x in 0..sx + 2 * hx {
+                            let gy = oy + y - (hy - 1);
+                            let gx = ox + x - (hx - 1);
+                            let ok = gy >= 0 && gy < full && gx >= 0 && gx < full;
+                            data.push(if ok { g[(gy * full + gx) as usize] } else { 0.0 });
+                        }
+                    }
+                    vec![
+                        ArgSpec::Buffer {
+                            shape: vec![sy + 2 * hy, sx + 2 * hx],
+                            data: data.clone(),
+                        },
+                        ArgSpec::Buffer { shape: vec![sy + 2 * hy, sx + 2 * hx], data },
+                    ]
+                })
+                .unwrap();
+                assert!(world.total_sent_messages() > 0, "{strategy}: halo exchange happened");
+
+                let mut got = global.clone();
+                for (rank, res) in results.iter().enumerate() {
+                    let c = coords_of(rank as i64);
+                    let (oy, sy) = chunk(0, c[0]);
+                    let (ox, sx) = chunk(1, *c.get(1).unwrap_or(&0));
+                    let out = &res.buffers[1];
+                    for y in hy..hy + sy {
+                        for x in hx..hx + sx {
+                            got[((oy + 1 + y - hy) * full + ox + 1 + x - hx) as usize] =
+                                out[(y * (sx + 2 * hx) + x) as usize];
+                        }
                     }
                 }
-                vec![
-                    ArgSpec::Buffer { shape: vec![sy + 2, sx + 2], data: data.clone() },
-                    ArgSpec::Buffer { shape: vec![sy + 2, sx + 2], data },
-                ]
-            })
-            .unwrap();
-            assert!(world.total_sent_messages() > 0, "{strategy}: halo exchange happened");
-
-            let mut got = global.clone();
-            for (rank, res) in results.iter().enumerate() {
-                let c = coords_of(rank as i64);
-                let (oy, sy) = chunk(0, c[0]);
-                let (ox, sx) = chunk(1, *c.get(1).unwrap_or(&0));
-                let out = &res.buffers[1];
-                for y in 1..=sy {
-                    for x in 1..=sx {
-                        got[(oy + y) as usize * full + (ox + x) as usize] =
-                            out[(y * (sx + 2) + x) as usize];
-                    }
-                }
+                assert_eq!(
+                    got, want,
+                    "{strategy} overlap={overlap} depth={depth}: distributed run must match \
+                     single-rank bit-for-bit"
+                );
             }
-            assert_eq!(
-                got, want,
-                "{strategy} overlap={overlap}: distributed run must match single-rank bit-for-bit"
-            );
         }
     }
 }

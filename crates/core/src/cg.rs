@@ -1,0 +1,459 @@
+//! Matrix-free conjugate gradients on the shared stack — the first
+//! *implicit* workload (ROADMAP "implicit solvers").
+//!
+//! Solves `A x = b` for the 2D implicit-Euler heat operator
+//! `A = I − λ∇²` (SPD for `λ > 0`) without ever materialising a matrix:
+//! the inner loop is exactly the program shape the distributed reduction
+//! refactor exists for — a stencil apply (`ap = A·p`, with halo
+//! exchanges when distributed) interleaved with global reductions
+//! (`p·Ap`, `‖r‖²`) whose scalar results steer the next iteration
+//! (α, β, and the convergence predicate).
+//!
+//! Determinism guarantee: dot products are folded through the exact
+//! superaccumulator ([`sten_interp::ReduceAcc`]), so every reduction is
+//! bit-identical across worker-thread counts, rank counts, and
+//! decomposition strategies. α and β are therefore identical on every
+//! rank with no broadcast, and the whole residual trajectory of a
+//! distributed solve matches the serial reference bit for bit — the
+//! property [`solve_distributed`] asserts on every run.
+
+use std::sync::Arc;
+
+use sten_dialects::func;
+use sten_dmp::decomposition::rank_to_coords;
+use sten_dmp::{make_strategy, DistributeStencil};
+use sten_exec::pipeline::{compile_module_tiered, Runner};
+use sten_exec::specialize::TierKind;
+use sten_interp::SimWorld;
+use sten_ir::{Bounds, FieldType, Module, Pass as _, Type};
+use sten_stencil::{ops, samples, ShapeInference};
+
+/// Problem and solver parameters for [`solve`] / [`solve_distributed`].
+#[derive(Clone, Debug)]
+pub struct CgConfig {
+    /// Interior points per dimension (fields span `[-1, n+1)²`).
+    pub n: i64,
+    /// Diffusion coefficient λ of `A = I − λ∇²`.
+    pub lam: f64,
+    /// Convergence threshold on `‖r‖` (the 2-norm of the residual).
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Worker threads per rank (1 = serial in-thread execution).
+    pub threads: usize,
+    /// Executor tier pin (`None` = auto specialization).
+    pub tier: Option<TierKind>,
+}
+
+impl CgConfig {
+    /// Defaults tuned for tests and smoke runs: λ = 0.25, tol = 1e-10.
+    pub fn new(n: i64) -> CgConfig {
+        CgConfig { n, lam: 0.25, tol: 1e-10, max_iters: 200, threads: 1, tier: None }
+    }
+}
+
+/// Outcome of a CG solve.
+#[derive(Clone, Debug)]
+pub struct CgReport {
+    /// `‖r_k‖` for k = 0 (initial) through the last iteration.
+    pub residuals: Vec<f64>,
+    /// Whether `‖r‖ < tol` was reached within `max_iters`.
+    pub converged: bool,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// The solution on the global field `[-1, n+1)²`, row-major
+    /// (boundary ring included, held at zero).
+    pub x: Vec<f64>,
+}
+
+impl CgReport {
+    /// Stencil points swept by the operator applies (`n² ·
+    /// iterations`) — the numerator of the conventional Gpts/s metric.
+    pub fn apply_points(&self, n: i64) -> u64 {
+        (n * n) as u64 * self.iterations as u64
+    }
+}
+
+/// The deterministic right-hand side used by both entry points: a
+/// smooth product of sinusoids over the interior, zero on the boundary
+/// ring (homogeneous Dirichlet).
+pub fn rhs(n: i64) -> Vec<f64> {
+    let ext = (n + 2) as usize;
+    let mut b = vec![0.0; ext * ext];
+    for i in 0..n {
+        for j in 0..n {
+            let v = ((i as f64 + 1.0) * 0.17).sin() * ((j as f64 + 1.0) * 0.23).cos();
+            b[(i + 1) as usize * ext + (j + 1) as usize] = v;
+        }
+    }
+    b
+}
+
+/// Builds the `dot` / `‖·‖²` module: load the field argument(s), fold an
+/// exact dot product over `range`, optionally merge partials across
+/// ranks with `dmp.allreduce`, and return the scalar.
+fn reduce_module(
+    name: &str,
+    arity: usize,
+    field_bounds: &Bounds,
+    range: &Bounds,
+    allreduce: bool,
+) -> Module {
+    let mut m = Module::new();
+    let fty = Type::Field(FieldType::new(field_bounds.clone(), Type::F64));
+    let (mut f, args) = func::definition(&mut m.values, name, vec![fty; arity], vec![Type::F64]);
+    let mut loaded = Vec::new();
+    for &a in &args {
+        let ld = ops::load(&mut m.values, a);
+        loaded.push(ld.result(0));
+        f.region_block_mut(0).ops.push(ld);
+    }
+    // A norm is a dot of the single loaded field with itself.
+    let operands = if arity == 1 { vec![loaded[0], loaded[0]] } else { loaded };
+    let rd = ops::reduce(&mut m.values, "dot", operands, range.lower(), range.upper());
+    let mut out = rd.result(0);
+    f.region_block_mut(0).ops.push(rd);
+    if allreduce {
+        let ar = sten_dmp::ops::allreduce(&mut m.values, out, "sum");
+        out = ar.result(0);
+        f.region_block_mut(0).ops.push(ar);
+    }
+    f.region_block_mut(0).ops.push(func::ret(vec![out]));
+    m.body_mut().ops.push(f);
+    m
+}
+
+fn prep(mut m: Module) -> Result<Module, String> {
+    ShapeInference.run(&mut m).map_err(|e| e.to_string())?;
+    Ok(m)
+}
+
+/// Everything one rank needs: the four pipelines plus its place in the
+/// (optional) world.
+struct RankSolver {
+    op: Runner,
+    dot: Runner,
+    norm: Runner,
+    axpy: Runner,
+    world: Option<(Arc<SimWorld>, i64)>,
+}
+
+impl RankSolver {
+    fn step(&mut self, which: Which, args: &mut [Vec<f64>]) -> Result<(), String> {
+        let runner = match which {
+            Which::Op => &mut self.op,
+            Which::Dot => &mut self.dot,
+            Which::Norm => &mut self.norm,
+            Which::Axpy => &mut self.axpy,
+        };
+        match &self.world {
+            Some((w, r)) => runner.step_distributed(args, w, *r),
+            None => runner.step(args),
+        }
+    }
+
+    /// `ap = A·p` (exchanges p's halo first when distributed).
+    fn apply_op(&mut self, p: &mut Vec<f64>, ap: &mut Vec<f64>) -> Result<(), String> {
+        let mut args = [std::mem::take(p), std::mem::take(ap)];
+        self.step(Which::Op, &mut args)?;
+        let [p2, ap2] = args;
+        *p = p2;
+        *ap = ap2;
+        Ok(())
+    }
+
+    /// Global `a · b` over the owned core (allreduced when distributed).
+    fn dot(&mut self, a: &mut Vec<f64>, b: &mut Vec<f64>) -> Result<f64, String> {
+        let mut args = [std::mem::take(a), std::mem::take(b)];
+        self.step(Which::Dot, &mut args)?;
+        let [a2, b2] = args;
+        *a = a2;
+        *b = b2;
+        Ok(self.dot.scalar_outputs()[0])
+    }
+
+    /// Global `‖v‖²` over the owned core (allreduced when distributed).
+    fn norm2(&mut self, v: &mut Vec<f64>) -> Result<f64, String> {
+        let mut args = [std::mem::take(v)];
+        self.step(Which::Norm, &mut args)?;
+        let [v2] = args;
+        *v = v2;
+        Ok(self.norm.scalar_outputs()[0])
+    }
+
+    /// `out = a + alpha·b` over the owned core.
+    fn axpy(
+        &mut self,
+        alpha: f64,
+        a: &mut Vec<f64>,
+        b: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), String> {
+        self.axpy.set_scalar(0, alpha);
+        let mut args = [std::mem::take(a), std::mem::take(b), std::mem::take(out)];
+        self.step(Which::Axpy, &mut args)?;
+        let [a2, b2, o2] = args;
+        *a = a2;
+        *b = b2;
+        *out = o2;
+        Ok(())
+    }
+}
+
+enum Which {
+    Op,
+    Dot,
+    Norm,
+    Axpy,
+}
+
+/// One rank's CG iteration: textbook CG with the runtime scalars α and β
+/// recomputed locally on every rank — safe because the reductions they
+/// derive from are bit-identical everywhere.
+fn cg_iterate(
+    solver: &mut RankSolver,
+    b: Vec<f64>,
+    cfg: &CgConfig,
+) -> Result<(Vec<f64>, Vec<f64>, bool, usize), String> {
+    let len = b.len();
+    let mut x = vec![0.0; len];
+    let mut r = b.clone();
+    let mut p = b;
+    let mut ap = vec![0.0; len];
+    let mut scratch = vec![0.0; len];
+
+    let mut rsold = solver.norm2(&mut r)?;
+    let mut residuals = vec![rsold.sqrt()];
+    let mut converged = rsold.sqrt() < cfg.tol;
+    let mut iters = 0;
+    while !converged && iters < cfg.max_iters {
+        solver.apply_op(&mut p, &mut ap)?;
+        let pap = solver.dot(&mut p, &mut ap)?;
+        if pap == 0.0 {
+            break; // b = 0 or numerically exhausted: x is the answer.
+        }
+        let alpha = rsold / pap;
+        solver.axpy(alpha, &mut x, &mut p, &mut scratch)?;
+        std::mem::swap(&mut x, &mut scratch);
+        solver.axpy(-alpha, &mut r, &mut ap, &mut scratch)?;
+        std::mem::swap(&mut r, &mut scratch);
+        let rsnew = solver.norm2(&mut r)?;
+        iters += 1;
+        residuals.push(rsnew.sqrt());
+        if rsnew.sqrt() < cfg.tol {
+            converged = true;
+            break;
+        }
+        let beta = rsnew / rsold;
+        solver.axpy(beta, &mut r, &mut p, &mut scratch)?;
+        std::mem::swap(&mut p, &mut scratch);
+        rsold = rsnew;
+    }
+    Ok((x, residuals, converged, iters))
+}
+
+/// Serial reference solve: one rank owning the whole domain, no world.
+pub fn solve(cfg: &CgConfig) -> Result<CgReport, String> {
+    let field = Bounds::new(vec![(-1, cfg.n + 1), (-1, cfg.n + 1)]);
+    let core = Bounds::new(vec![(0, cfg.n), (0, cfg.n)]);
+    let op_m = prep(samples::heat_2d(cfg.n, -cfg.lam))?;
+    let axpy_m = prep(samples::axpy(field.clone(), core.clone()))?;
+    let dot_m = prep(reduce_module("dot", 2, &field, &core, false))?;
+    let norm_m = prep(reduce_module("norm2", 1, &field, &core, false))?;
+    let mut solver = RankSolver {
+        op: Runner::new(compile_module_tiered(&op_m, "heat", cfg.tier)?, cfg.threads),
+        dot: Runner::new(compile_module_tiered(&dot_m, "dot", cfg.tier)?, cfg.threads),
+        norm: Runner::new(compile_module_tiered(&norm_m, "norm2", cfg.tier)?, cfg.threads),
+        axpy: Runner::new(compile_module_tiered(&axpy_m, "axpy", cfg.tier)?, cfg.threads),
+        world: None,
+    };
+    let (x, residuals, converged, iterations) = cg_iterate(&mut solver, rhs(cfg.n), cfg)?;
+    Ok(CgReport { residuals, converged, iterations, x })
+}
+
+/// A distributed solve over `grid.iter().product()` simulated ranks.
+///
+/// Each rank gets its own locally-shaped pipelines
+/// (`DistributeStencil::for_rank`, so uneven decompositions work), the
+/// operator apply exchanges halos through [`SimWorld`], and every dot
+/// product merges exact partial accumulators across ranks. The returned
+/// report's residual trajectory is asserted bit-identical across ranks;
+/// callers compare it against [`solve`] for the full determinism check.
+pub fn solve_distributed(
+    cfg: &CgConfig,
+    strategy: &str,
+    factors: Option<Vec<i64>>,
+    grid: Vec<i64>,
+    overlap: bool,
+) -> Result<CgReport, String> {
+    let ranks = grid.iter().product::<i64>();
+    if ranks < 1 {
+        return Err("rank grid must be non-empty".into());
+    }
+    let global_core = Bounds::new(vec![(0, cfg.n), (0, cfg.n)]);
+    let strat = make_strategy(strategy, factors.clone())?;
+    let layout = strat.layout(&global_core, &grid)?;
+    let b_global = rhs(cfg.n);
+    let ext = (cfg.n + 2) as usize;
+
+    // Per-rank setup (done up front so compile errors surface before
+    // any thread spawns).
+    let mut setups = Vec::with_capacity(ranks as usize);
+    let world = SimWorld::new(ranks as usize);
+    for rank in 0..ranks {
+        let mut op_m = samples::heat_2d(cfg.n, -cfg.lam);
+        ShapeInference.run(&mut op_m).map_err(|e| e.to_string())?;
+        DistributeStencil::with_strategy(grid.clone(), make_strategy(strategy, factors.clone())?)
+            .for_rank(rank)
+            .with_overlap(overlap)
+            .run(&mut op_m)
+            .map_err(|e| e.to_string())?;
+        let op_m = prep(op_m)?;
+        let op = compile_module_tiered(&op_m, "heat", cfg.tier)?;
+
+        // The rank's core in global coordinates, and its stored box
+        // (core + the 1-cell halo/boundary ring the operator reads).
+        let coords = rank_to_coords(rank, &layout);
+        let core = strat.local_core(&global_core, &layout, &coords)?;
+        let local_field = Bounds::new(core.0.iter().map(|&(lo, hi)| (lo - 1, hi + 1)).collect());
+        let shape: Vec<i64> = local_field.0.iter().map(|&(lo, hi)| hi - lo).collect();
+        if op.arg_shapes[0] != shape {
+            return Err(format!(
+                "rank {rank}: decomposition box {shape:?} disagrees with the \
+                 distributed pipeline's local field {:?}",
+                op.arg_shapes[0]
+            ));
+        }
+
+        // Pointwise and reduction pipelines are built directly on the
+        // local box — they need no halo, only the owned core and the
+        // same buffer layout as the operator.
+        let axpy_m = prep(samples::axpy(local_field.clone(), core.clone()))?;
+        let dot_m = prep(reduce_module("dot", 2, &local_field, &core, ranks > 1))?;
+        let norm_m = prep(reduce_module("norm2", 1, &local_field, &core, ranks > 1))?;
+        let solver = RankSolver {
+            op: Runner::new(op, cfg.threads),
+            dot: Runner::new(compile_module_tiered(&dot_m, "dot", cfg.tier)?, cfg.threads),
+            norm: Runner::new(compile_module_tiered(&norm_m, "norm2", cfg.tier)?, cfg.threads),
+            axpy: Runner::new(compile_module_tiered(&axpy_m, "axpy", cfg.tier)?, cfg.threads),
+            world: Some((Arc::clone(&world), rank)),
+        };
+
+        // Scatter: the rank's local view of b (halo included — the
+        // neighbouring values are what an exchange would deliver).
+        let row = (local_field.0[1].1 - local_field.0[1].0) as usize;
+        let mut b_local = Vec::with_capacity(shape.iter().product::<i64>() as usize);
+        for gi in local_field.0[0].0..local_field.0[0].1 {
+            let base = (gi + 1) as usize * ext + (local_field.0[1].0 + 1) as usize;
+            b_local.extend_from_slice(&b_global[base..base + row]);
+        }
+        setups.push((solver, b_local, core, local_field));
+    }
+
+    // One OS thread per rank, exchanging through the shared world.
+    let results: Result<Vec<_>, String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = setups
+            .into_iter()
+            .map(|(mut solver, b_local, core, local_field)| {
+                scope.spawn(move || {
+                    let out = cg_iterate(&mut solver, b_local, cfg)?;
+                    Ok::<_, String>((out, core, local_field))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| "rank thread panicked".to_string())?)
+            .collect()
+    });
+    let results = results?;
+
+    // Every rank must have walked the same trajectory, bit for bit.
+    let ((_, ref residuals0, converged, iterations), ..) = results[0];
+    for (rank, ((_, res, ..), ..)) in results.iter().enumerate().skip(1) {
+        let same = res.len() == residuals0.len()
+            && res.iter().zip(residuals0).all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same {
+            return Err(format!(
+                "rank {rank} residual trajectory diverged from rank 0 — determinism bug"
+            ));
+        }
+    }
+
+    // Gather each rank's owned core into the global field.
+    let mut x = vec![0.0; ext * ext];
+    for ((x_local, ..), core, local_field) in &results {
+        let lrow = (local_field.0[1].1 - local_field.0[1].0) as usize;
+        for gi in core.0[0].0..core.0[0].1 {
+            let li = (gi - local_field.0[0].0) as usize;
+            let lj = (core.0[1].0 - local_field.0[1].0) as usize;
+            let src = li * lrow + lj;
+            let dst = (gi + 1) as usize * ext + (core.0[1].0 + 1) as usize;
+            let cols = (core.0[1].1 - core.0[1].0) as usize;
+            x[dst..dst + cols].copy_from_slice(&x_local[src..src + cols]);
+        }
+    }
+    Ok(CgReport { residuals: residuals0.clone(), converged, iterations, x })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_cg_converges_on_heat_operator() {
+        let cfg = CgConfig::new(24);
+        let report = solve(&cfg).unwrap();
+        assert!(report.converged, "residuals: {:?}", report.residuals);
+        assert!(report.iterations > 2, "A = I − λ∇² should not converge instantly");
+        assert!(report.residuals.last().unwrap() < &cfg.tol);
+        // The solution actually solves the system: ‖b − A x‖ small.
+        let n = cfg.n;
+        let ext = (n + 2) as usize;
+        let b = rhs(n);
+        let mut worst: f64 = 0.0;
+        for i in 1..=n as usize {
+            for j in 1..=n as usize {
+                let c = report.x[i * ext + j];
+                let nb = report.x[(i - 1) * ext + j]
+                    + report.x[(i + 1) * ext + j]
+                    + report.x[i * ext + j - 1]
+                    + report.x[i * ext + j + 1];
+                let ax = c - cfg.lam * (nb - 4.0 * c);
+                worst = worst.max((b[i * ext + j] - ax).abs());
+            }
+        }
+        assert!(worst < 1e-9, "‖b − Ax‖∞ = {worst}");
+    }
+
+    #[test]
+    fn distributed_cg_matches_serial_bit_for_bit() {
+        let cfg = CgConfig::new(24);
+        let serial = solve(&cfg).unwrap();
+        for (strategy, factors, grid) in [
+            ("standard-slicing", None, vec![2]),
+            ("recursive-bisection", None, vec![4]),
+            ("custom-grid", Some(vec![1, 2]), vec![2]),
+        ] {
+            let dist = solve_distributed(&cfg, strategy, factors, grid, true).unwrap();
+            assert_eq!(dist.residuals.len(), serial.residuals.len(), "{strategy}");
+            for (a, b) in dist.residuals.iter().zip(&serial.residuals) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{strategy}: {a} != {b}");
+            }
+            assert_eq!(dist.x, serial.x, "{strategy}: gathered solution differs");
+        }
+    }
+
+    #[test]
+    fn uneven_decomposition_still_bit_identical() {
+        // 25 does not divide by 3: balanced slabs differ in size, so
+        // for_rank-compiled pipelines are genuinely heterogeneous.
+        let cfg = CgConfig { max_iters: 40, ..CgConfig::new(25) };
+        let serial = solve(&cfg).unwrap();
+        let dist = solve_distributed(&cfg, "standard-slicing", None, vec![3], false).unwrap();
+        assert_eq!(dist.residuals.len(), serial.residuals.len());
+        for (a, b) in dist.residuals.iter().zip(&serial.residuals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

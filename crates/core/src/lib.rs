@@ -38,6 +38,8 @@ pub use sten_trace as trace;
 
 pub use sten_dmp::HaloDepth;
 
+pub mod cg;
+
 use sten_ir::{DialectRegistry, FuncTiming, Module, PassTiming};
 use sten_opt::{CompileCache, Driver, PipelineError};
 

@@ -170,6 +170,16 @@ pub fn divf(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
     binary(vt, "arith.divf", lhs, rhs)
 }
 
+/// Float minimum (`f64::min` semantics: NaN loses against a number).
+pub fn minimumf(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.minimumf", lhs, rhs)
+}
+
+/// Float maximum (`f64::max` semantics: NaN loses against a number).
+pub fn maximumf(vt: &mut ValueTable, lhs: Value, rhs: Value) -> Op {
+    binary(vt, "arith.maximumf", lhs, rhs)
+}
+
 /// Float negation.
 pub fn negf(vt: &mut ValueTable, operand: Value) -> Op {
     let ty = vt.ty(operand).clone();
@@ -306,7 +316,9 @@ pub fn register(registry: &mut DialectRegistry) {
             OpSpec::new(name, "integer arithmetic").pure().with_verify(verify_int_binary),
         );
     }
-    for name in ["arith.addf", "arith.subf", "arith.mulf", "arith.divf"] {
+    for name in
+        ["arith.addf", "arith.subf", "arith.mulf", "arith.divf", "arith.minimumf", "arith.maximumf"]
+    {
         registry.register(
             OpSpec::new(name, "float arithmetic").pure().with_verify(verify_float_binary),
         );

@@ -40,8 +40,12 @@ pub fn for_loop(
 /// Builds an `scf.parallel` loop nest over `rank` dimensions.
 ///
 /// Operands are `[lo..., hi..., step...]`; the body block receives one
-/// induction variable per dimension. No reductions are supported: the body
-/// must end with a bare [`yield_op`].
+/// induction variable per dimension. `scf.parallel` itself carries no
+/// reduction semantics — its body must end with a bare [`yield_op`].
+/// Reductions (`stencil.reduce`) instead lower to a *sequential*
+/// [`for_loop`] nest whose f64 iter-arg accumulates the range
+/// left-to-right in row-major order; the parallel loops stay
+/// reduction-free.
 pub fn parallel(
     vt: &mut ValueTable,
     los: Vec<Value>,

@@ -17,6 +17,12 @@
 //! * a `dmp.swap` with the grid topology and the minimal exchange set is
 //!   inserted before each `stencil.load` that reads across rank
 //!   boundaries;
+//! * every `stencil.reduce` range is mapped into the local domain (the
+//!   rank's partial covers exactly its owned points) and a
+//!   `dmp.allreduce` combining the partials is inserted after it, with
+//!   downstream uses rewired to the global value — apply→reduce→apply
+//!   programs distribute as a sequence of segments, each reduce a
+//!   program-wide sequence point;
 //! * temp types are reset to unknown — rerun shape inference afterwards.
 //!
 //! **Rank-dependence.** The pass is parameterized by the rank whose local
@@ -157,27 +163,33 @@ fn hull(a: &Bounds, b: &Bounds) -> Bounds {
     )
 }
 
-/// Collects the hull of all `stencil.store` ranges in a function.
+/// Collects the hull of all `stencil.store` and `stencil.reduce` ranges
+/// in a function — the set of points the function's ranks collectively
+/// own. Reduce-only programs (a dot product, a norm) decompose over
+/// their reduction range exactly as store programs do over theirs.
 ///
 /// # Errors
-/// Reports malformed stores (missing bounds attributes) instead of
+/// Reports malformed ops (missing bounds attributes) instead of
 /// panicking, so `sten-opt` can attribute the failure to the function.
 fn global_core(func: &Op) -> Result<Option<Bounds>, String> {
     let mut core: Option<Bounds> = None;
     let mut malformed = None;
     func.walk(&mut |op| {
-        if op.name == "stencil.store" && malformed.is_none() {
+        if matches!(op.name.as_str(), "stencil.store" | "stencil.reduce") && malformed.is_none() {
             if op.attr("lb").and_then(Attribute::as_dense).is_none()
                 || op.attr("ub").and_then(Attribute::as_dense).is_none()
             {
-                malformed = Some(
-                    "stencil.store without dense lb/ub bounds attributes — run the verifier to \
-                     locate it"
-                        .to_string(),
-                );
+                malformed = Some(format!(
+                    "{} without dense lb/ub bounds attributes — run the verifier to locate it",
+                    op.name
+                ));
                 return;
             }
-            let range = sten_stencil::ops::StoreOp(op).range();
+            let range = if op.name == "stencil.store" {
+                sten_stencil::ops::StoreOp(op).range()
+            } else {
+                sten_stencil::ops::ReduceOp(op).range()
+            };
             core = Some(match &core {
                 Some(c) => hull(c, &range),
                 None => range,
@@ -238,13 +250,23 @@ fn resolve_depth(
     let mut loads = Vec::new();
     let mut applies = Vec::new();
     let mut stores = Vec::new();
+    let mut reduces = 0usize;
     func.walk(&mut |o| match o.name.as_str() {
         "stencil.load" => loads.push((o.operands.first().copied(), o.results.first().copied())),
         "stencil.apply" => applies.push((o.operands.clone(), o.results.clone())),
         "stencil.store" => stores.push(o.operands.clone()),
+        "stencil.reduce" => reduces += 1,
         _ => {}
     });
     let legality = (|| {
+        if reduces > 0 {
+            // A global reduction is a sequence point every rank must pass
+            // together; no k-step block can straddle it.
+            return Err(format!(
+                "the program contains {reduces} global reduction(s) — a stencil.reduce is a \
+                 rank-wide sequence point, so multi-step blocks cannot cross it"
+            ));
+        }
         let [(load_field, load_temp)] = loads[..] else {
             return Err(format!("needs exactly one stencil.load, found {}", loads.len()));
         };
@@ -333,6 +355,10 @@ struct Distributor<'a> {
     /// Per-load halo widths, captured from the global shape inference
     /// before temps are reset (keyed by the load's result value).
     load_halos: HashMap<Value, (Vec<i64>, Vec<i64>)>,
+    /// Value substitutions accumulated by the rewrite: each
+    /// `stencil.reduce` result (a rank-local partial) is replaced in all
+    /// downstream uses by the `dmp.allreduce` result (the global value).
+    rename: HashMap<Value, Value>,
 }
 
 impl<'a> Distributor<'a> {
@@ -363,6 +389,11 @@ impl<'a> Distributor<'a> {
         }
         let ops = std::mem::take(&mut block.ops);
         for mut op in ops {
+            for operand in &mut op.operands {
+                if let Some(&global) = self.rename.get(operand) {
+                    *operand = global;
+                }
+            }
             match op.name.as_str() {
                 "stencil.load" => {
                     if op.operands.is_empty() || op.results.is_empty() {
@@ -437,6 +468,24 @@ impl<'a> Distributor<'a> {
                     op.set_attr("lb", Attribute::DenseI64(local.lower()));
                     op.set_attr("ub", Attribute::DenseI64(local.upper()));
                     block.ops.push(op);
+                }
+                "stencil.reduce" => {
+                    // The rank folds exactly its owned points (the
+                    // localized range), then an allreduce combines the
+                    // per-rank partials into the global value every rank
+                    // reads. Dot partials combine as sums.
+                    let view = sten_stencil::ops::ReduceOp(&op);
+                    let range = view.range();
+                    let combine =
+                        if view.kind() == "dot" { "sum" } else { view.kind() }.to_string();
+                    let local = localize(&range, &self.core, &self.local_core);
+                    op.set_attr("lb", Attribute::DenseI64(local.lower()));
+                    op.set_attr("ub", Attribute::DenseI64(local.upper()));
+                    let partial = op.result(0);
+                    block.ops.push(op);
+                    let ar = crate::ops::allreduce(self.vt, partial, &combine);
+                    self.rename.insert(partial, ar.result(0));
+                    block.ops.push(ar);
                 }
                 _ => {
                     // Stale bounds hints from global shape inference.
@@ -624,6 +673,7 @@ impl Pass for DistributeStencil {
                         extra_lo,
                         extra_hi,
                         load_halos,
+                        rename: HashMap::new(),
                     };
                     for func_region in &mut op.regions {
                         for func_block in &mut func_region.blocks {
@@ -943,6 +993,90 @@ mod tests {
         let ex = view.exchanges();
         let corner = ex.iter().find(|e| e.to == vec![-1, -1]).unwrap();
         assert_eq!(corner.size, vec![2, 2]);
+    }
+
+    #[test]
+    fn dot_program_distributes_with_allreduce_and_no_swaps() {
+        // @reduce(a, b) -> f64 over core [1,15): no halos are read, so the
+        // distribution is swap-free — each rank folds its owned half and
+        // the partials meet in a dmp.allreduce.
+        let mut m =
+            samples::reduce_nd("dot", Bounds::new(vec![(0, 16)]), Bounds::new(vec![(1, 15)]));
+        ShapeInference.run(&mut m).unwrap();
+        DistributeStencil::new(vec![2]).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        let func = m.lookup_symbol("reduce").unwrap();
+        let names: Vec<&str> = func.region_block(0).ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["stencil.load", "stencil.load", "stencil.reduce", "dmp.allreduce", "func.return"]
+        );
+        let body = &func.region_block(0).ops;
+        let rd = sten_stencil::ops::ReduceOp(&body[2]);
+        assert_eq!(rd.range(), Bounds::new(vec![(1, 8)]), "rank 0 owns the low half");
+        let ar = crate::ops::AllreduceOp(&body[3]);
+        assert_eq!(ar.op_name(), "sum", "dot partials combine as sums");
+        assert_eq!(ar.value(), body[2].result(0));
+        assert_eq!(
+            body[4].operands,
+            vec![body[3].result(0)],
+            "the return reads the global value, not the rank-local partial"
+        );
+        let text = sten_ir::print_module(&m);
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
+    }
+
+    #[test]
+    fn apply_then_reduce_distributes_as_segments() {
+        // jacobi_with_norm: apply → store → reduce in one program. The
+        // apply segment still swaps its halo; the reduce segment localizes
+        // and allreduces.
+        let mut m = samples::jacobi_with_norm(128);
+        ShapeInference.run(&mut m).unwrap();
+        DistributeStencil::new(vec![2]).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        let func = m.lookup_symbol("jacobi_norm").unwrap();
+        let names: Vec<&str> = func.region_block(0).ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "dmp.swap",
+                "stencil.load",
+                "stencil.apply",
+                "stencil.store",
+                "stencil.reduce",
+                "dmp.allreduce",
+                "func.return"
+            ]
+        );
+        let body = &func.region_block(0).ops;
+        assert_eq!(
+            sten_stencil::ops::ReduceOp(&body[4]).range(),
+            Bounds::new(vec![(1, 64)]),
+            "reduce folds exactly the owned core"
+        );
+        assert_eq!(body[6].operands, vec![body[5].result(0)]);
+    }
+
+    #[test]
+    fn reductions_are_sequence_points_for_temporal_blocking() {
+        let mut m = samples::jacobi_with_norm(128);
+        ShapeInference.run(&mut m).unwrap();
+        let err = DistributeStencil::new(vec![2])
+            .with_depth(HaloDepth::Fixed(2))
+            .run(&mut m)
+            .unwrap_err();
+        assert!(err.message.contains("sequence point"), "{err}");
+        // Auto quietly falls back to the every-step schedule.
+        let mut m2 = samples::jacobi_with_norm(128);
+        ShapeInference.run(&mut m2).unwrap();
+        DistributeStencil::new(vec![2]).with_depth(HaloDepth::Auto).run(&mut m2).unwrap();
+        let func = m2.lookup_symbol("jacobi_norm").unwrap();
+        let swap = func.region_block(0).ops.iter().find(|o| o.name == "dmp.swap").unwrap();
+        assert_eq!(crate::ops::SwapOp(swap).depth(), 1);
     }
 
     #[test]

@@ -78,6 +78,54 @@ impl<'a> SwapOp<'a> {
     }
 }
 
+/// Builds a `dmp.allreduce`: combines one scalar contribution per rank
+/// into the global value, delivered to every rank. `op` is the combining
+/// operation (`sum`/`min`/`max` — a `dot` reduction's partials combine as
+/// `sum`). The executor and interpreter exchange the *accumulator* behind
+/// the scalar where one is available, so the global value is bit-identical
+/// for any rank count.
+pub fn allreduce(vt: &mut ValueTable, value: Value, op_name: &str) -> Op {
+    let mut op = Op::new("dmp.allreduce");
+    op.operands.push(value);
+    op.set_attr("op", Attribute::Str(op_name.to_string()));
+    op.results.push(vt.alloc(Type::F64));
+    op
+}
+
+/// Typed view over `dmp.allreduce`.
+pub struct AllreduceOp<'a>(pub &'a Op);
+
+impl<'a> AllreduceOp<'a> {
+    /// Matches a `dmp.allreduce`.
+    pub fn matches(op: &'a Op) -> Option<Self> {
+        (op.name == "dmp.allreduce").then_some(AllreduceOp(op))
+    }
+
+    /// The local contribution.
+    pub fn value(&self) -> Value {
+        self.0.operand(0)
+    }
+
+    /// The combining operation (`sum`/`min`/`max`).
+    pub fn op_name(&self) -> &str {
+        self.0.attr("op").and_then(Attribute::as_str).expect("dmp.allreduce op")
+    }
+}
+
+fn verify_allreduce(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.operands.len() != 1 || op.results.len() != 1 {
+        return Err("dmp.allreduce is one scalar in, one scalar out".into());
+    }
+    if !matches!(vt.ty(op.operand(0)), Type::F64) || !matches!(vt.ty(op.result(0)), Type::F64) {
+        return Err("dmp.allreduce operates on f64 scalars".into());
+    }
+    match op.attr("op").and_then(Attribute::as_str) {
+        Some("sum" | "min" | "max") => Ok(()),
+        Some(other) => Err(format!("unknown allreduce op '{other}' (sum/min/max)")),
+        None => Err("dmp.allreduce requires an 'op' attribute".into()),
+    }
+}
+
 /// The shape of the buffer a swap operates on, in elements per dimension.
 fn buffer_shape(vt: &ValueTable, v: Value) -> Option<Vec<i64>> {
     match vt.ty(v) {
@@ -160,6 +208,10 @@ fn verify_swap(op: &Op, vt: &ValueTable) -> Result<(), String> {
 pub fn register(registry: &mut DialectRegistry) {
     registry
         .register(OpSpec::new("dmp.swap", "declarative halo exchange").with_verify(verify_swap));
+    registry.register(
+        OpSpec::new("dmp.allreduce", "global scalar reduction across ranks")
+            .with_verify(verify_allreduce),
+    );
 }
 
 #[cfg(test)]
@@ -239,6 +291,34 @@ mod tests {
         m.body_mut().ops.push(bad);
         let err = verify_module(&m, Some(&registry())).unwrap_err();
         assert!(err.message.contains("itself"), "{err}");
+    }
+
+    #[test]
+    fn allreduce_verifies_and_round_trips() {
+        let mut m = Module::new();
+        let c = sten_dialects::arith::const_f64(&mut m.values, 1.5);
+        let ar = allreduce(&mut m.values, c.result(0), "sum");
+        let view = AllreduceOp::matches(&ar).unwrap();
+        assert_eq!(view.op_name(), "sum");
+        assert_eq!(view.value(), c.result(0));
+        m.body_mut().ops.push(c);
+        m.body_mut().ops.push(ar);
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = sten_ir::print_module(&m);
+        assert!(text.contains("dmp.allreduce"), "{text}");
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
+    }
+
+    #[test]
+    fn allreduce_verifier_rejects_unknown_op() {
+        let mut m = Module::new();
+        let c = sten_dialects::arith::const_f64(&mut m.values, 0.0);
+        let ar = allreduce(&mut m.values, c.result(0), "prod");
+        m.body_mut().ops.push(c);
+        m.body_mut().ops.push(ar);
+        let err = verify_module(&m, Some(&registry())).unwrap_err();
+        assert!(err.message.contains("unknown allreduce op"), "{err}");
     }
 
     #[test]

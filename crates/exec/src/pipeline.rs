@@ -43,8 +43,8 @@ use crate::program::{
 };
 use crate::specialize::{SpecializedKernel, TierKind};
 use std::collections::HashMap;
-use std::sync::Arc;
-use sten_interp::SimWorld;
+use std::sync::{Arc, Mutex};
+use sten_interp::{ReduceAcc, ReduceKind, SimWorld};
 use sten_ir::{Attribute, Bounds, ExchangeAttr, Module, Type, Value};
 use sten_trace::{SpanKind, TraceLane, Tracer};
 
@@ -141,6 +141,26 @@ pub enum Step {
         /// Exchange declarations (buffer coordinates).
         exchanges: Vec<ExchangeAttr>,
     },
+    /// Global reduction: fold the ranged points of the input buffer(s)
+    /// into one scalar slot. The local fold is thread-chunked and merged
+    /// through an order-invariant accumulator ([`ReduceAcc`]: an exact
+    /// superaccumulator for `sum`/`dot`, a `total_cmp` lattice for
+    /// `min`/`max`), so any chunking — and any rank decomposition, when
+    /// `allreduce` exchanges the accumulators — produces bit-identical
+    /// results.
+    Reduce {
+        /// The reduction kind.
+        kind: ReduceKind,
+        /// Input buffer(s) with their layouts (two for `dot`).
+        inputs: Vec<(BufId, InputDesc)>,
+        /// Logical range to fold (rank-local after distribution).
+        range: Bounds,
+        /// Scalar slot receiving the rounded result.
+        dst_slot: usize,
+        /// Whether to merge accumulators across all ranks (a folded
+        /// `dmp.allreduce`; the identity when running single-process).
+        allreduce: bool,
+    },
     /// Range copy between buffers (non-forwarded stores).
     Copy {
         /// Source buffer.
@@ -187,6 +207,15 @@ pub struct Pipeline {
     pub steps: Vec<Step>,
     /// Number of distinct swaps (begin/wait pairs) in the pipeline.
     pub num_swaps: usize,
+    /// Number of scalar slots (runtime `f64` arguments plus reduction
+    /// results) the runner must hold.
+    pub num_slots: usize,
+    /// Slot index of each scalar (`f64`) function argument, in argument
+    /// order. Set them per step via [`Runner::set_scalar`].
+    pub scalar_inputs: Vec<usize>,
+    /// Slots returned by `func.return`, in operand order. Read them
+    /// after a step via [`Runner::scalar_outputs`].
+    pub scalar_outputs: Vec<usize>,
     /// Temporal-blocking block shape, when the function matches the
     /// deep-halo pattern (`None` = exchange every step).
     pub temporal: Option<TemporalBlock>,
@@ -200,6 +229,11 @@ impl Pipeline {
             .map(|s| match s {
                 Step::Apply { kernel, region, .. } => {
                     kernel.program.flops as u64 * region.points(&kernel.range) as u64
+                }
+                // One rounded product per point; the exact accumulation
+                // itself is integer limb work.
+                Step::Reduce { kind: ReduceKind::Dot, range, .. } => {
+                    range.num_points().max(0) as u64
                 }
                 _ => 0,
             })
@@ -225,6 +259,15 @@ impl Pipeline {
     /// boundary shell).
     pub fn num_apply_steps(&self) -> usize {
         self.steps.iter().filter(|s| matches!(s, Step::Apply { .. })).count()
+    }
+
+    /// Number of reduction steps, and how many of them rendezvous across
+    /// ranks — the `--timing` reduction report.
+    pub fn num_reduce_steps(&self) -> (usize, usize) {
+        let total = self.steps.iter().filter(|s| matches!(s, Step::Reduce { .. })).count();
+        let global =
+            self.steps.iter().filter(|s| matches!(s, Step::Reduce { allreduce: true, .. })).count();
+        (total, global)
     }
 
     /// Whether any exchange is overlapped with interior computation
@@ -305,6 +348,12 @@ impl Pipeline {
                     exchanges.len()
                 ),
                 Step::SwapWait { id, .. } => format!("swap#{id} wait"),
+                Step::Reduce { kind, range, allreduce, .. } => format!(
+                    "reduce {} [{} pts{}]",
+                    kind.name(),
+                    range.num_points(),
+                    if *allreduce { ", allreduce" } else { "" }
+                ),
                 Step::Copy { range, .. } => format!("copy [{} pts]", range.num_points()),
             })
             .collect()
@@ -387,6 +436,10 @@ pub struct Runner {
     tmps: Vec<Vec<f64>>,
     pool: Option<WorkerPool>,
     scratch: ExecScratch,
+    /// Scalar slots: runtime `f64` arguments (set via
+    /// [`Runner::set_scalar`]) and reduction results, persisted across
+    /// steps so later steps (and the caller) can read them.
+    scalar_slots: Vec<f64>,
     swap_scratch: Vec<SwapScratch>,
     copy_scratch: Vec<f64>,
     /// Per-phase step schedules for temporal blocking, built lazily on
@@ -413,12 +466,14 @@ impl Runner {
             .collect();
         let pool = (threads > 1).then(|| WorkerPool::new(threads));
         let swap_scratch = vec![SwapScratch::default(); pipeline.num_swaps];
+        let scalar_slots = vec![0.0; pipeline.num_slots];
         Runner {
             pipeline,
             threads,
             tmps,
             pool,
             scratch: ExecScratch::new(),
+            scalar_slots,
             swap_scratch,
             copy_scratch: Vec::new(),
             phase_schedule: None,
@@ -447,6 +502,22 @@ impl Runner {
     /// The executor-tier lines of the underlying pipeline.
     pub fn tier_summary(&self) -> Vec<String> {
         self.pipeline.tier_summary()
+    }
+
+    /// Sets the `i`-th scalar (`f64`) function argument for subsequent
+    /// steps (CG's α/β change every iteration).
+    ///
+    /// # Panics
+    /// Panics if the pipeline has fewer scalar arguments.
+    pub fn set_scalar(&mut self, i: usize, v: f64) {
+        let slot = self.pipeline.scalar_inputs[i];
+        self.scalar_slots[slot] = v;
+    }
+
+    /// The scalars `func.return` produced on the most recent step, in
+    /// operand order (reduction results such as a residual norm).
+    pub fn scalar_outputs(&self) -> Vec<f64> {
+        self.pipeline.scalar_outputs.iter().map(|&s| self.scalar_slots[s]).collect()
     }
 
     /// Runs one timestep on single-process data.
@@ -489,6 +560,7 @@ impl Runner {
         let tmps = &mut self.tmps;
         let pool = &mut self.pool;
         let scratch = &mut self.scratch;
+        let scalar_slots = &mut self.scalar_slots;
         let swap_scratch = &mut self.swap_scratch;
         let copy_scratch = &mut self.copy_scratch;
         let lane = &mut self.lane;
@@ -535,14 +607,63 @@ impl Runner {
                         })
                         .collect();
                     let range = region.bounds(&kernel.range);
+                    let kernel_scalars: Vec<f64> =
+                        kernel.scalar_args.iter().map(|&s| scalar_slots[s]).collect();
                     run_apply(
                         kernel,
                         range,
+                        &kernel_scalars,
                         &input_slices,
                         &mut out_slices,
                         pool.as_mut(),
                         scratch,
                     );
+                }
+                Step::Reduce { kind, inputs, range, dst_slot, allreduce } => {
+                    let input_slices: Vec<(&[f64], &InputDesc)> = inputs
+                        .iter()
+                        .map(|(b, desc)| {
+                            let data: &[f64] = match *b {
+                                BufId::Arg(i) => &args[i],
+                                BufId::Tmp(i) => &tmps[i],
+                            };
+                            (data, desc)
+                        })
+                        .collect();
+                    let t_partial = lane.start();
+                    let (mut acc, chunks) = run_reduce(*kind, &input_slices, range, pool.as_mut());
+                    lane.span(t_partial, || SpanKind::Reduce {
+                        phase: "partial",
+                        bytes: 8 * range.num_points().max(0) as u64,
+                        parts: chunks as u32,
+                    });
+                    if *allreduce {
+                        if let Some(world) = world {
+                            // Exchange accumulator wire payloads with every
+                            // rank and merge in ascending rank order. The
+                            // merge is order-invariant (exact sum, lattice
+                            // min/max), so the result is identical on every
+                            // rank and to any other decomposition.
+                            let t_wait = lane.start();
+                            let wire = acc.to_wire();
+                            let bytes = 8 * wire.len() as u64;
+                            let parts = world.exchange_all(rank as usize, wire);
+                            let nparts = parts.len();
+                            let mut merged = ReduceAcc::new(*kind);
+                            for part in &parts {
+                                merged.merge(ReduceAcc::from_wire(*kind, part)?);
+                            }
+                            acc = merged;
+                            lane.span(t_wait, || SpanKind::Reduce {
+                                phase: "allreduce",
+                                bytes,
+                                parts: nparts as u32,
+                            });
+                        }
+                        // Single-process execution: the allreduce is the
+                        // identity (one rank owns the whole domain).
+                    }
+                    scalar_slots[*dst_slot] = acc.finish();
                 }
                 Step::SwapBegin { id, buf, grid, exchanges } => {
                     let Some(world) = world else {
@@ -640,22 +761,28 @@ impl Runner {
                 // keeping one span per step).
                 Step::Copy { .. } => {}
             }
-            lane.span(t0, || match step {
-                Step::Apply { kernel, region, .. } => SpanKind::Apply {
-                    tier: kernel.tier_kind().name(),
-                    region: region.label().trim_end().to_string(),
-                    points: region.points(&kernel.range),
-                },
-                Step::SwapBegin { id, exchanges, .. } => SpanKind::SwapBegin {
-                    swap: *id,
-                    bytes: 8 * exchanges
-                        .iter()
-                        .map(|e| e.num_elements().max(0) as u64)
-                        .sum::<u64>(),
-                },
-                Step::SwapWait { id, .. } => SpanKind::SwapWait { swap: *id },
-                Step::Copy { range, .. } => SpanKind::Copy { points: range.num_points() },
-            });
+            match step {
+                // Reduce steps record their own per-phase spans above
+                // (partial fold, allreduce rendezvous).
+                Step::Reduce { .. } => {}
+                _ => lane.span(t0, || match step {
+                    Step::Apply { kernel, region, .. } => SpanKind::Apply {
+                        tier: kernel.tier_kind().name(),
+                        region: region.label().trim_end().to_string(),
+                        points: region.points(&kernel.range),
+                    },
+                    Step::SwapBegin { id, exchanges, .. } => SpanKind::SwapBegin {
+                        swap: *id,
+                        bytes: 8 * exchanges
+                            .iter()
+                            .map(|e| e.num_elements().max(0) as u64)
+                            .sum::<u64>(),
+                    },
+                    Step::SwapWait { id, .. } => SpanKind::SwapWait { swap: *id },
+                    Step::Copy { range, .. } => SpanKind::Copy { points: range.num_points() },
+                    Step::Reduce { .. } => unreachable!(),
+                }),
+            }
         }
         lane.span(t_step, || SpanKind::Timestep { index });
         lane.flush();
@@ -699,18 +826,25 @@ fn for_each_row(range: &Bounds, mut row: impl FnMut(&[i64], usize)) {
 fn run_apply(
     kernel: &SpecializedKernel,
     range: &Bounds,
+    scalars: &[f64],
     inputs: &[&[f64]],
     outs: &mut [&mut [f64]],
     pool: Option<&mut WorkerPool>,
     scratch: &mut ExecScratch,
 ) {
     let range = range.clone();
+    let set_scalars = |sc: &mut ExecScratch| {
+        sc.scalars.clear();
+        sc.scalars.extend_from_slice(scalars);
+    };
     let Some(pool) = pool else {
+        set_scalars(scratch);
         kernel.execute_rows(inputs, outs, &range, scratch);
         return;
     };
     let subs = split_longest_dim(&range, pool.threads());
     if subs.len() <= 1 {
+        set_scalars(scratch);
         kernel.execute_rows(inputs, outs, &range, scratch);
         return;
     }
@@ -725,11 +859,81 @@ fn run_apply(
                 // and each point writes only its own output cells;
                 // `WorkerPool::run` joins every job before returning.
                 let mut outs = unsafe { rematerialize_outs(out_ptrs) };
+                set_scalars(scratch);
                 kernel.execute_rows(inputs, &mut outs, &sub, scratch);
             }) as Job
         })
         .collect();
     pool.run(jobs);
+}
+
+/// Folds the ranged points of `inputs` into one [`ReduceAcc`]: serially,
+/// or chunked over the longest dimension onto the worker pool, with the
+/// per-chunk partials merged in chunk order. Every accumulator operation
+/// is order-invariant, so the chunking never changes the result bits.
+/// Returns the accumulator and the number of chunks folded.
+fn run_reduce(
+    kind: ReduceKind,
+    inputs: &[(&[f64], &InputDesc)],
+    range: &Bounds,
+    pool: Option<&mut WorkerPool>,
+) -> (ReduceAcc, usize) {
+    let Some(pool) = pool else {
+        return (reduce_partial(kind, inputs, range), 1);
+    };
+    let subs = split_longest_dim(range, pool.threads());
+    if subs.len() <= 1 {
+        return (reduce_partial(kind, inputs, range), 1);
+    }
+    let n = subs.len();
+    let partials: Mutex<Vec<Option<ReduceAcc>>> = Mutex::new(vec![None; n]);
+    let partials_ref = &partials;
+    let jobs: Vec<Job> = subs
+        .into_iter()
+        .enumerate()
+        .map(|(i, sub)| {
+            Box::new(move |_: &mut ExecScratch| {
+                let acc = reduce_partial(kind, inputs, &sub);
+                partials_ref.lock().unwrap()[i] = Some(acc);
+            }) as Job
+        })
+        .collect();
+    pool.run(jobs);
+    let mut acc = ReduceAcc::new(kind);
+    for partial in partials.into_inner().unwrap() {
+        acc.merge(partial.expect("worker pool joined every chunk"));
+    }
+    (acc, n)
+}
+
+/// The serial fold of one chunk: row-major over stride-1 rows, one
+/// [`ReduceAcc::add`] per point (for `dot`, the per-point product is
+/// rounded once before accumulation — the deterministic part — and the
+/// accumulation itself is exact).
+fn reduce_partial(kind: ReduceKind, inputs: &[(&[f64], &InputDesc)], range: &Bounds) -> ReduceAcc {
+    let mut acc = ReduceAcc::new(kind);
+    if range.num_points() <= 0 {
+        return acc;
+    }
+    let (a, da) = inputs[0];
+    if kind == ReduceKind::Dot {
+        let (b, db) = inputs[1];
+        for_each_row(range, |p, len| {
+            let fa = da.flat(p) as usize;
+            let fb = db.flat(p) as usize;
+            for x in 0..len {
+                acc.add(a[fa + x] * b[fb + x]);
+            }
+        });
+    } else {
+        for_each_row(range, |p, len| {
+            let fa = da.flat(p) as usize;
+            for x in 0..len {
+                acc.add(a[fa + x]);
+            }
+        });
+    }
+    acc
 }
 
 /// Launches one `dmp.swap`: gathers every outgoing slab into a recycled
@@ -836,15 +1040,24 @@ pub fn compile_module_tiered(
     let f = module.lookup_symbol(func).ok_or_else(|| format!("no function '{func}'"))?;
     let block = f.region_block(0);
 
-    // Buffer table: value -> (BufId, layout).
+    // Buffer table: value -> (BufId, layout). Scalar (f64) arguments and
+    // reduction results live in scalar slots instead.
     let mut bufs: HashMap<Value, (BufId, InputDesc)> = HashMap::new();
     let mut arg_shapes = Vec::new();
-    for (i, &arg) in block.args.iter().enumerate() {
+    let mut scalar_slots: HashMap<Value, usize> = HashMap::new();
+    let mut scalar_inputs: Vec<usize> = Vec::new();
+    let mut num_slots = 0usize;
+    for &arg in block.args.iter() {
         match module.values.ty(arg) {
             Type::Field(fld) => {
                 let desc = InputDesc::new(fld.bounds.shape(), fld.bounds.lower());
                 arg_shapes.push(desc.shape.clone());
-                bufs.insert(arg, (BufId::Arg(i), desc));
+                bufs.insert(arg, (BufId::Arg(arg_shapes.len() - 1), desc));
+            }
+            Type::F64 => {
+                scalar_slots.insert(arg, num_slots);
+                scalar_inputs.push(num_slots);
+                num_slots += 1;
             }
             other => return Err(format!("unsupported argument type {other:?}")),
         }
@@ -872,6 +1085,7 @@ pub fn compile_module_tiered(
     let mut tmp_shapes: Vec<Vec<i64>> = Vec::new();
     let mut steps = Vec::new();
     let mut scalar_consts: HashMap<Value, f64> = HashMap::new();
+    let mut scalar_outputs: Vec<usize> = Vec::new();
     let mut swap_overlap: Vec<bool> = Vec::new();
     let mut swap_depths: Vec<i64> = Vec::new();
 
@@ -946,8 +1160,14 @@ pub fn compile_module_tiered(
                         bufs.insert(r, (id, desc));
                     }
                 }
-                let kernel =
-                    compile_apply(op, &module.values, input_descs, output_descs, &scalar_consts)?;
+                let kernel = compile_apply(
+                    op,
+                    &module.values,
+                    input_descs,
+                    output_descs,
+                    &scalar_consts,
+                    &scalar_slots,
+                )?;
                 let kernel = SpecializedKernel::specialize(kernel, tier);
                 steps.push(Step::Apply {
                     kernel,
@@ -967,7 +1187,55 @@ pub fn compile_module_tiered(
                 let range = sten_stencil::ops::StoreOp(op).range();
                 steps.push(Step::Copy { src, src_desc, dst, dst_desc, range });
             }
-            "func.return" => break,
+            "stencil.reduce" => {
+                let view = sten_stencil::ops::ReduceOp(op);
+                let kind = ReduceKind::parse(view.kind())
+                    .ok_or_else(|| format!("unknown reduce kind '{}'", view.kind()))?;
+                let inputs: Vec<(BufId, InputDesc)> = op
+                    .operands
+                    .iter()
+                    .map(|o| bufs.get(o).cloned().ok_or("reduce of unknown buffer"))
+                    .collect::<Result<_, _>>()?;
+                let slot = num_slots;
+                num_slots += 1;
+                scalar_slots.insert(op.result(0), slot);
+                steps.push(Step::Reduce {
+                    kind,
+                    inputs,
+                    range: view.range(),
+                    dst_slot: slot,
+                    allreduce: false,
+                });
+            }
+            "dmp.allreduce" => {
+                // Fold into the producing reduce step: the local partial
+                // and the cross-rank merge execute as one step, and the
+                // allreduce result shares the reduction's slot.
+                let &slot = scalar_slots
+                    .get(&op.operand(0))
+                    .ok_or("dmp.allreduce of a value that is not a pipeline reduction")?;
+                let produced = steps.iter_mut().rev().find_map(|s| match s {
+                    Step::Reduce { dst_slot, allreduce, .. } if *dst_slot == slot => {
+                        Some(allreduce)
+                    }
+                    _ => None,
+                });
+                match produced {
+                    Some(allreduce) => *allreduce = true,
+                    None => {
+                        return Err("dmp.allreduce source is not produced by a reduce step".into())
+                    }
+                }
+                scalar_slots.insert(op.result(0), slot);
+            }
+            "func.return" => {
+                for o in &op.operands {
+                    if let Some(&s) = scalar_slots.get(o) {
+                        scalar_outputs.push(s);
+                    }
+                }
+                break;
+            }
             other => return Err(format!("unsupported op at function level: {other}")),
         }
     }
@@ -978,7 +1246,17 @@ pub fn compile_module_tiered(
     // Otherwise apply the within-step overlap rewrite as usual.
     let temporal = detect_temporal(&steps, &swap_depths, &swap_overlap);
     let steps = if temporal.is_some() { steps } else { overlap_steps(steps, &swap_overlap) };
-    Ok(Pipeline { num_args, arg_shapes, tmp_shapes, steps, num_swaps, temporal })
+    Ok(Pipeline {
+        num_args,
+        arg_shapes,
+        tmp_shapes,
+        steps,
+        num_swaps,
+        num_slots,
+        scalar_inputs,
+        scalar_outputs,
+        temporal,
+    })
 }
 
 /// Pattern-matches a compiled step sequence against the temporal-blocking
@@ -1338,6 +1616,7 @@ mod tests {
                 Step::SwapBegin { .. } => "begin".into(),
                 Step::SwapWait { .. } => "wait".into(),
                 Step::Copy { .. } => "copy".into(),
+                Step::Reduce { .. } => "reduce".into(),
             })
             .collect();
         assert_eq!(
@@ -1370,6 +1649,130 @@ mod tests {
         let steps = p.step_summary();
         assert!(steps[0].starts_with("swap#0 begin"), "{steps:?}");
         assert!(steps.iter().any(|l| l == "swap#0 wait"), "{steps:?}");
+    }
+
+    #[test]
+    fn reduce_pipeline_matches_interpreter() {
+        let bounds = Bounds::new(vec![(0, 9), (0, 7)]);
+        let range = Bounds::new(vec![(1, 8), (1, 6)]);
+        let size = (9 * 7) as usize;
+        let a: Vec<f64> = (0..size).map(|i| (i as f64 * 0.13).sin() * 3.0).collect();
+        let b: Vec<f64> = (0..size).map(|i| (i as f64 * 0.07).cos() - 0.4).collect();
+        for kind in ["sum", "dot", "min", "max"] {
+            let m = prepare(samples::reduce_nd(kind, bounds.clone(), range.clone()));
+            let pipeline = compile_module(&m, "reduce").unwrap();
+            assert_eq!(pipeline.num_reduce_steps(), (1, 0));
+            let mut args = if kind == "dot" { vec![a.clone(), b.clone()] } else { vec![a.clone()] };
+            let mut runner = Runner::new(pipeline, 1);
+            runner.step(&mut args).unwrap();
+            let got = runner.scalar_outputs();
+
+            let rt_args = args
+                .iter()
+                .map(|d| {
+                    sten_interp::RtValue::Buffer(sten_interp::BufView::from_data(
+                        vec![9, 7],
+                        d.clone(),
+                    ))
+                })
+                .collect();
+            let want = match sten_interp::Interpreter::new(&m)
+                .call_function("reduce", rt_args)
+                .unwrap()
+                .as_slice()
+            {
+                [sten_interp::RtValue::Float(v)] => *v,
+                other => panic!("expected one float, got {other:?}"),
+            };
+            assert_eq!(got, vec![want], "compiled {kind} == interpreted, bit for bit");
+        }
+    }
+
+    #[test]
+    fn reduce_is_bit_identical_across_thread_counts() {
+        let n = 127i64;
+        let bounds = Bounds::new(vec![(0, n)]);
+        let m = prepare(samples::reduce_nd("dot", bounds.clone(), bounds));
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin() * 1e8).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos() * 1e-8).collect();
+        let mut results = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            let mut runner = Runner::new(compile_module(&m, "reduce").unwrap(), threads);
+            runner.step(&mut [a.clone(), b.clone()]).unwrap();
+            results.push(runner.scalar_outputs()[0]);
+        }
+        assert!(
+            results.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()),
+            "thread count changed the dot product: {results:?}"
+        );
+    }
+
+    #[test]
+    fn distributed_norm_matches_serial_bit_for_bit() {
+        let n = 128i64;
+        let global: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin() * 100.0).collect();
+
+        // Serial reference.
+        let serial = prepare(samples::jacobi_with_norm(n));
+        let mut serial_args = vec![global.clone(), global.clone()];
+        let mut serial_runner = Runner::new(compile_module(&serial, "jacobi_norm").unwrap(), 1);
+        serial_runner.step(&mut serial_args).unwrap();
+        let want = serial_runner.scalar_outputs()[0];
+        assert!(want > 0.0);
+
+        // Distributed on 2 ranks: each rank folds its partial, then the
+        // allreduce merges exact accumulators — identical on every rank
+        // and to the serial run, bit for bit.
+        let mut m = samples::jacobi_with_norm(n);
+        ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![2]).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        let pipeline = compile_module(&m, "jacobi_norm").unwrap();
+        assert_eq!(pipeline.num_reduce_steps(), (1, 1));
+        let local = pipeline.arg_shapes[0][0];
+        let core = (n - 2) / 2;
+
+        let world = SimWorld::new(2);
+        let mut norms = vec![0.0f64; 2];
+        std::thread::scope(|scope| {
+            for (rank, norm) in norms.iter_mut().enumerate() {
+                let world = Arc::clone(&world);
+                let pipeline = pipeline.clone();
+                let global = global.clone();
+                scope.spawn(move || {
+                    let start = rank as i64 * core;
+                    let data: Vec<f64> = (0..local).map(|i| global[(start + i) as usize]).collect();
+                    let mut args = vec![data.clone(), data];
+                    let mut runner = Runner::new(pipeline, 1);
+                    runner.step_distributed(&mut args, &world, rank as i64).unwrap();
+                    *norm = runner.scalar_outputs()[0];
+                });
+            }
+        });
+        assert_eq!(norms[0].to_bits(), norms[1].to_bits(), "ranks disagree: {norms:?}");
+        assert_eq!(norms[0].to_bits(), want.to_bits(), "distributed {} != serial {want}", norms[0]);
+    }
+
+    #[test]
+    fn runtime_scalar_flows_through_pipeline() {
+        let n = 32i64;
+        let full = Bounds::new(vec![(0, n)]);
+        let m = prepare(samples::axpy(full.clone(), full));
+        let pipeline = compile_module(&m, "axpy").unwrap();
+        // Three field buffers; alpha arrives via a scalar slot instead.
+        assert_eq!(pipeline.num_args, 3);
+        assert_eq!(pipeline.scalar_inputs.len(), 1);
+
+        let a: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
+        let mut runner = Runner::new(pipeline, 1);
+        for alpha in [0.0, -1.75, 3.5] {
+            let mut args = vec![a.clone(), b.clone(), vec![0.0; n as usize]];
+            runner.set_scalar(0, alpha);
+            runner.step(&mut args).unwrap();
+            let want: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x + alpha * y).collect();
+            assert_eq!(args[2], want, "alpha = {alpha}");
+        }
     }
 
     #[test]

@@ -128,6 +128,10 @@ impl InputDesc {
 pub struct ExecScratch {
     /// Bytecode register file.
     pub regs: Vec<f64>,
+    /// Runtime scalar arguments for the current apply (one per entry of
+    /// [`CompiledKernel::scalar_args`]), set by the caller before
+    /// execution and preloaded into the scalar registers once per chunk.
+    pub scalars: Vec<f64>,
     /// Weighted-sum slot array (taps, consts, combine nodes).
     pub slots: Vec<f64>,
     /// Per-input centre flat index of the current row start.
@@ -205,6 +209,10 @@ pub struct KernelProgram {
     pub num_regs: u32,
     /// Registers holding the per-point results.
     pub outputs: Vec<u32>,
+    /// Registers holding runtime scalar arguments (entry `k` is loaded
+    /// from `ExecScratch::scalars[k]` before the point loop — no
+    /// instruction writes them, so the values persist across points).
+    pub scalar_regs: Vec<u32>,
     /// Dimensionality.
     pub rank: usize,
     /// Floating-point operations per grid point.
@@ -270,6 +278,11 @@ pub struct CompiledKernel {
     pub inputs: Vec<InputDesc>,
     /// Output buffer layout (one per result).
     pub outputs: Vec<InputDesc>,
+    /// Pipeline scalar-slot index feeding each entry of
+    /// [`KernelProgram::scalar_regs`] (empty for fully constant kernels).
+    /// The runner copies slot values into [`ExecScratch::scalars`] before
+    /// each execution.
+    pub scalar_args: Vec<usize>,
 }
 
 impl CompiledKernel {
@@ -305,6 +318,7 @@ impl CompiledKernel {
             self.outputs.len(),
             rank,
         );
+        preload_scalars(&self.program.scalar_regs, scratch);
         let last = rank - 1;
         let (last_lb, last_ub) = range.0[last];
         if last_ub <= last_lb {
@@ -375,6 +389,24 @@ impl CompiledKernel {
     }
 }
 
+/// Copies the runtime scalar arguments from `scratch.scalars` into their
+/// registers (no instruction writes them, so one preload per chunk
+/// suffices).
+///
+/// # Panics
+/// Panics if the caller did not provide every scalar argument.
+pub(crate) fn preload_scalars(scalar_regs: &[u32], scratch: &mut ExecScratch) {
+    assert!(
+        scratch.scalars.len() >= scalar_regs.len(),
+        "kernel takes {} runtime scalar argument(s) but only {} were provided",
+        scalar_regs.len(),
+        scratch.scalars.len()
+    );
+    for (k, &r) in scalar_regs.iter().enumerate() {
+        scratch.regs[r as usize] = scratch.scalars[k];
+    }
+}
+
 /// Raw output pointers that may cross thread boundaries. Shared by every
 /// parallel execution path (scoped and pooled); safety rests on the
 /// chunks being disjoint slabs of one dimension, with each grid point
@@ -421,9 +453,13 @@ where
 
 /// Compiles a `stencil.apply` op into a [`CompiledKernel`].
 ///
-/// `input_descs` gives the buffer layout for each temp operand (scalars
-/// must be `arith.constant`-defined and are looked up in `scalar_consts`);
-/// `output_descs` gives the layout each result is written to.
+/// `input_descs` gives the buffer layout for each temp operand. Scalar
+/// operands are either `arith.constant`-defined (looked up in
+/// `scalar_consts` and baked into the bytecode) or *runtime* scalars
+/// (looked up in `scalar_slots` — pipeline scalar slots holding function
+/// arguments or earlier reduction results — and loaded from
+/// [`ExecScratch::scalars`] at execution time); `output_descs` gives the
+/// layout each result is written to.
 ///
 /// # Errors
 /// Reports unsupported body ops (e.g. `dyn_access`, `select`) and unknown
@@ -434,6 +470,7 @@ pub fn compile_apply(
     input_descs: Vec<Option<InputDesc>>,
     output_descs: Vec<InputDesc>,
     scalar_consts: &HashMap<Value, f64>,
+    scalar_slots: &HashMap<Value, usize>,
 ) -> Result<CompiledKernel, String> {
     let range = {
         let lb = apply.attr("lb").and_then(Attribute::as_dense).ok_or("apply missing lb")?;
@@ -445,6 +482,9 @@ pub fn compile_apply(
     let mut temp_inputs: Vec<InputDesc> = Vec::new();
     let mut arg_input: HashMap<Value, u32> = HashMap::new();
     let mut arg_const: HashMap<Value, f64> = HashMap::new();
+    // Runtime scalar operands: (block arg, pipeline slot), registers
+    // allocated below.
+    let mut arg_scalars: Vec<(Value, usize)> = Vec::new();
     for ((&operand, &arg), desc) in apply.operands.iter().zip(&block.args).zip(input_descs) {
         match vt.ty(operand) {
             Type::Temp(_) => {
@@ -453,11 +493,13 @@ pub fn compile_apply(
                 temp_inputs.push(desc);
             }
             _ => {
-                let v = scalar_consts
-                    .get(&operand)
-                    .copied()
-                    .ok_or("scalar apply operand is not a known constant")?;
-                arg_const.insert(arg, v);
+                if let Some(&v) = scalar_consts.get(&operand) {
+                    arg_const.insert(arg, v);
+                } else if let Some(&slot) = scalar_slots.get(&operand) {
+                    arg_scalars.push((arg, slot));
+                } else {
+                    return Err("scalar apply operand is not a known constant".into());
+                }
             }
         }
     }
@@ -470,6 +512,14 @@ pub fn compile_apply(
         *next += 1;
         r
     };
+    // Runtime scalars live in registers preloaded once per chunk (no
+    // instruction writes them).
+    let mut scalar_regs: Vec<u32> = Vec::new();
+    let mut scalar_args: Vec<usize> = Vec::new();
+    for &(arg, slot) in &arg_scalars {
+        scalar_regs.push(alloc(arg, &mut regs, &mut next_reg));
+        scalar_args.push(slot);
+    }
     let mut instrs = Vec::new();
     let mut flops = 0usize;
     let mut loads = 0usize;
@@ -583,6 +633,7 @@ pub fn compile_apply(
             instrs,
             num_regs: next_reg,
             outputs,
+            scalar_regs,
             rank,
             flops,
             loads,
@@ -592,6 +643,7 @@ pub fn compile_apply(
         range,
         inputs: temp_inputs,
         outputs: output_descs,
+        scalar_args,
     })
 }
 
@@ -627,6 +679,7 @@ mod tests {
             ],
             num_regs: 7,
             outputs: vec![6],
+            scalar_regs: vec![],
             rank: 1,
             flops: 3,
             loads: 3,
@@ -652,6 +705,7 @@ mod tests {
             &m.values,
             vec![Some(desc(vec![64], vec![0]))],
             vec![desc(vec![64], vec![0])],
+            &HashMap::new(),
             &HashMap::new(),
         )
         .unwrap();
@@ -681,9 +735,15 @@ mod tests {
         let func = m.lookup_symbol("heat").unwrap();
         let apply = func.region_block(0).ops.iter().find(|o| o.name == "stencil.apply").unwrap();
         let d = desc(vec![n + 2, n + 2], vec![-1, -1]);
-        let kernel =
-            compile_apply(apply, &m.values, vec![Some(d.clone())], vec![d], &HashMap::new())
-                .unwrap();
+        let kernel = compile_apply(
+            apply,
+            &m.values,
+            vec![Some(d.clone())],
+            vec![d],
+            &HashMap::new(),
+            &HashMap::new(),
+        )
+        .unwrap();
         let size = ((n + 2) * (n + 2)) as usize;
         let input: Vec<f64> = (0..size).map(|i| (i as f64 * 0.01).sin()).collect();
         let mut serial = vec![0.0; size];
@@ -710,8 +770,69 @@ mod tests {
             vec![Some(desc(vec![64], vec![0]))],
             vec![desc(vec![64], vec![0])],
             &HashMap::new(),
+            &HashMap::new(),
         )
         .unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn runtime_scalar_arg_compiles_and_evaluates() {
+        use sten_ir::Pass as _;
+        let n = 16i64;
+        let full = Bounds::new(vec![(0, n)]);
+        let mut m = sten_stencil::samples::axpy(full.clone(), full);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        let func = m.lookup_symbol("axpy").unwrap();
+        let apply = func.region_block(0).ops.iter().find(|o| o.name == "stencil.apply").unwrap();
+        // The alpha operand is the function's F64 argument — a runtime
+        // scalar assigned pipeline slot 0.
+        let alpha_value =
+            *func.region_block(0).args.iter().find(|&&a| *m.values.ty(a) == Type::F64).unwrap();
+        let slots: HashMap<Value, usize> = HashMap::from([(alpha_value, 0)]);
+        let d = desc(vec![n], vec![0]);
+        let kernel = compile_apply(
+            apply,
+            &m.values,
+            vec![Some(d.clone()), Some(d.clone()), None],
+            vec![d],
+            &HashMap::new(),
+            &slots,
+        )
+        .unwrap();
+        assert_eq!(kernel.scalar_args, vec![0]);
+        assert_eq!(kernel.program.scalar_regs.len(), 1);
+
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let alpha = 1.5;
+        let mut out = vec![0.0; n as usize];
+        let mut scratch = ExecScratch::new();
+        scratch.scalars = vec![alpha];
+        let range = kernel.range.clone();
+        kernel.execute_rows(&[&a, &b], &mut [&mut out], &range, &mut scratch);
+        let want: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x + alpha * y).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn missing_runtime_scalar_is_reported() {
+        use sten_ir::Pass as _;
+        let full = Bounds::new(vec![(0, 16)]);
+        let mut m = sten_stencil::samples::axpy(full.clone(), full);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        let func = m.lookup_symbol("axpy").unwrap();
+        let apply = func.region_block(0).ops.iter().find(|o| o.name == "stencil.apply").unwrap();
+        let d = desc(vec![16], vec![0]);
+        let err = compile_apply(
+            apply,
+            &m.values,
+            vec![Some(d.clone()), Some(d.clone()), None],
+            vec![d],
+            &HashMap::new(),
+            &HashMap::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("not a known constant"), "{err}");
     }
 }

@@ -104,6 +104,10 @@ pub struct OptProgram {
     pub instrs: Vec<Instr>,
     /// `(register, value)` pairs written once before the point loop.
     pub preinit: Vec<(u32, f64)>,
+    /// Registers holding runtime scalar arguments, preloaded from
+    /// [`ExecScratch::scalars`] once per chunk (like `preinit`, but the
+    /// values are only known at execution time).
+    pub scalar_regs: Vec<u32>,
     /// Registers needed.
     pub num_regs: u32,
     /// Registers holding the per-point results.
@@ -499,6 +503,7 @@ impl SpecializedKernel {
                 for &(r, v) in &opt.preinit {
                     scratch.regs[r as usize] = v;
                 }
+                crate::program::preload_scalars(&opt.scalar_regs, scratch);
                 walk_rows(&self.kernel, range, scratch, |sc, len| unsafe {
                     for x in 0..len {
                         opt.eval(inputs, &sc.flats, &sc.point, x, &mut sc.regs);
@@ -695,6 +700,15 @@ fn optimize(kernel: &CompiledKernel) -> OptProgram {
     let mut const_val: HashMap<u32, f64> = HashMap::new(); // new reg -> value
     let mut instrs: Vec<Instr> = Vec::new();
     let mut next: u32 = 0;
+    // Runtime scalar registers have no defining instruction: give them
+    // stable value numbers up front so operand lookups resolve.
+    let mut scalar_vn: Vec<u32> = Vec::new();
+    for &sr in &p.scalar_regs {
+        let d = next;
+        next += 1;
+        map.insert(sr, d);
+        scalar_vn.push(d);
+    }
     let intern_const = |v: f64,
                         const_vn: &mut HashMap<u64, u32>,
                         const_val: &mut HashMap<u32, f64>,
@@ -788,6 +802,15 @@ fn optimize(kernel: &CompiledKernel) -> OptProgram {
     let mut preinit = Vec::new();
     let mut has_index = false;
     let mut rel_bounds: Vec<Option<(i64, i64)>> = vec![None; kernel.inputs.len()];
+    // Scalar registers survive unconditionally (index-aligned with the
+    // kernel's `scalar_args`) and are preloaded like hoisted consts.
+    let mut scalar_regs = Vec::with_capacity(scalar_vn.len());
+    for &sr in &scalar_vn {
+        let d = num_regs;
+        num_regs += 1;
+        renum[sr as usize] = d;
+        scalar_regs.push(d);
+    }
     for instr in &instrs {
         let (dst, _) = instr_uses(instr);
         if !live[dst as usize] {
@@ -818,7 +841,15 @@ fn optimize(kernel: &CompiledKernel) -> OptProgram {
         }
     }
     let outputs = outputs.iter().map(|&o| renum[o as usize]).collect();
-    OptProgram { instrs: out_instrs, preinit, num_regs, outputs, has_index, rel_bounds }
+    OptProgram {
+        instrs: out_instrs,
+        preinit,
+        scalar_regs,
+        num_regs,
+        outputs,
+        has_index,
+        rel_bounds,
+    }
 }
 
 fn instr_uses(instr: &Instr) -> (u32, Vec<u32>) {
@@ -846,7 +877,10 @@ enum WsVal {
 /// exact association; a pure left-fold additionally gets the chain fast
 /// path.
 fn match_weighted_sum(opt: &OptProgram) -> Option<WsProgram> {
-    if opt.has_index || opt.outputs.len() != 1 {
+    // Runtime scalars are loop-invariant but not known at specialization
+    // time, so they can't fuse into a constant tap table — such kernels
+    // gracefully fall back to the opt-bytecode tier.
+    if opt.has_index || opt.outputs.len() != 1 || !opt.scalar_regs.is_empty() {
         return None;
     }
     // Use counts decide whether a `const * load` can fuse into the tap.
@@ -1079,8 +1113,15 @@ mod tests {
         sten_stencil::ShapeInference.run(module).unwrap();
         let f = module.lookup_symbol(func).unwrap();
         let apply = f.region_block(0).ops.iter().find(|o| o.name == "stencil.apply").unwrap();
-        compile_apply(apply, &module.values, vec![Some(desc.clone())], vec![desc], &Map::new())
-            .unwrap()
+        compile_apply(
+            apply,
+            &module.values,
+            vec![Some(desc.clone())],
+            vec![desc],
+            &Map::new(),
+            &Map::new(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -1135,6 +1176,52 @@ mod tests {
         assert!(opt.preinit.len() >= 2, "4.0 and alpha hoisted");
         assert!(opt.instrs.iter().all(|i| !matches!(i, Instr::Const { .. })));
         assert!(opt.instrs.len() < k.program.instrs.len());
+    }
+
+    #[test]
+    fn runtime_scalar_kernel_falls_back_from_weighted_sum() {
+        use sten_ir::{Bounds, Type, Value};
+        let n = 32i64;
+        let full = Bounds::new(vec![(0, n)]);
+        let mut m = sten_stencil::samples::axpy(full.clone(), full);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        let f = m.lookup_symbol("axpy").unwrap();
+        let apply = f.region_block(0).ops.iter().find(|o| o.name == "stencil.apply").unwrap();
+        let alpha: Value =
+            *f.region_block(0).args.iter().find(|&&a| *m.values.ty(a) == Type::F64).unwrap();
+        let slots: Map<Value, usize> = Map::from([(alpha, 0)]);
+        let d = InputDesc::new(vec![n], vec![0]);
+        let kernel = compile_apply(
+            apply,
+            &m.values,
+            vec![Some(d.clone()), Some(d.clone()), None],
+            vec![d],
+            &Map::new(),
+            &slots,
+        )
+        .unwrap();
+
+        // Forcing weighted-sum must fall back: the coefficient isn't a
+        // compile-time constant.
+        let spec = SpecializedKernel::specialize(kernel.clone(), Some(TierKind::WeightedSum));
+        assert_eq!(spec.tier_kind(), TierKind::OptBytecode);
+
+        // All applicable tiers agree bit-for-bit with the reference.
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.47).cos()).collect();
+        let mut scratch = ExecScratch::new();
+        scratch.scalars = vec![0.37];
+        let range = kernel.range.clone();
+        let mut want = vec![0.0; n as usize];
+        kernel.execute_rows(&[&a, &b], &mut [&mut want], &range, &mut scratch);
+        for tier in [TierKind::Eval, TierKind::OptBytecode] {
+            let spec = SpecializedKernel::specialize(kernel.clone(), Some(tier));
+            let mut got = vec![0.0; n as usize];
+            let mut scratch = ExecScratch::new();
+            scratch.scalars = vec![0.37];
+            spec.execute_rows(&[&a, &b], &mut [&mut got], &range, &mut scratch);
+            assert_eq!(got, want, "tier {}", tier.name());
+        }
     }
 
     #[test]

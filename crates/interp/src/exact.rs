@@ -1,0 +1,539 @@
+//! Exact, order-invariant f64 accumulation for global reductions.
+//!
+//! Floating-point addition is not associative, so a distributed sum
+//! whose per-rank partials depend on the decomposition cannot be made
+//! bit-identical across rank counts by *any* fixed combine tree — the
+//! tree's leaves move when the strategy changes. [`ExactSum`] sidesteps
+//! the problem: every input is accumulated **exactly** into a
+//! fixed-point superaccumulator wide enough for the entire f64 range,
+//! and the single rounding to f64 happens once, at the end. Exact
+//! addition is associative and commutative, so *any* partitioning of
+//! the inputs — per thread, per rank, per strategy — merges to the
+//! same accumulator state and rounds to the same bits as a serial
+//! left-to-right pass. This is the determinism guarantee behind
+//! `stencil.reduce`: the result is the **correctly rounded exact sum**
+//! of the inputs, an order-free mathematical function of the multiset.
+//!
+//! # Representation
+//!
+//! A finite f64 is an integer multiple of 2⁻¹⁰⁷⁴ with at most 2098
+//! significant bits (max exponent 2¹⁰²³ × 53-bit mantissa). The
+//! accumulator stores that integer in [`NLIMBS`] signed 64-bit limbs
+//! of radix 2³², value = Σ `limbs[i]`·2^(32·i − 1074): 66 limbs cover
+//! the f64 range, one more absorbs carries. Each `add` deposits the
+//! (up to three) 32-bit windows of the shifted mantissa with plain
+//! wrapping-free i64 adds; a counter renormalizes every 2³⁰ deposits,
+//! long before any limb can overflow.
+//!
+//! Non-finite inputs are siphoned into a separate IEEE sum: over a
+//! *set* of specials the result class (NaN, or the common infinity) is
+//! order-independent, so determinism survives; the exact path then
+//! never sees them.
+//!
+//! Min/max reductions need no such machinery — [`ReduceAcc`] folds
+//! them with [`f64::total_cmp`], a total order on bit patterns, which
+//! is equally order-invariant.
+
+/// Limbs in the superaccumulator: 66 cover every finite f64 in units
+/// of 2⁻¹⁰⁷⁴, plus one carry-headroom limb.
+const NLIMBS: usize = 67;
+
+/// Deposits between forced renormalizations. Each deposit perturbs a
+/// limb by < 2³², so 2³⁰ of them keep every limb below 2⁶³.
+const RENORM_EVERY: u32 = 1 << 30;
+
+/// Exact f64 accumulator: order-invariant sum with one final rounding.
+#[derive(Clone, Debug)]
+pub struct ExactSum {
+    limbs: [i64; NLIMBS],
+    pending: u32,
+    special: f64,
+    has_special: bool,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        ExactSum::new()
+    }
+}
+
+impl ExactSum {
+    /// Number of f64 words in the wire encoding ([`ExactSum::to_wire`]).
+    pub const WIRE_LEN: usize = NLIMBS + 2;
+
+    /// An empty accumulator (rounds to `+0.0`).
+    pub fn new() -> ExactSum {
+        ExactSum { limbs: [0; NLIMBS], pending: 0, special: 0.0, has_special: false }
+    }
+
+    /// Accumulates `x` exactly. `±0.0` deposits nothing (the empty sum
+    /// rounds to `+0.0`, so a sum of zeros is `+0.0` regardless of the
+    /// signs — consistently on every path). Non-finite values divert to
+    /// the IEEE special sum.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.special += x;
+            self.has_special = true;
+            return;
+        }
+        let bits = x.to_bits();
+        let frac = bits & ((1u64 << 52) - 1);
+        let e = ((bits >> 52) & 0x7ff) as u32;
+        // value = mant · 2^(s − 1074): subnormals sit at the bottom,
+        // normals carry the implicit bit and shift by e − 1.
+        let (mant, s) = if e == 0 { (frac, 0) } else { (frac | (1u64 << 52), e - 1) };
+        if mant == 0 {
+            return;
+        }
+        let q = (s / 32) as usize;
+        let wide = (mant as u128) << (s % 32); // ≤ 84 bits: three 32-bit windows
+        let w =
+            [(wide & 0xffff_ffff) as i64, ((wide >> 32) & 0xffff_ffff) as i64, (wide >> 64) as i64];
+        if bits >> 63 == 0 {
+            self.limbs[q] += w[0];
+            self.limbs[q + 1] += w[1];
+            self.limbs[q + 2] += w[2];
+        } else {
+            self.limbs[q] -= w[0];
+            self.limbs[q + 1] -= w[1];
+            self.limbs[q + 2] -= w[2];
+        }
+        self.pending += 1;
+        if self.pending >= RENORM_EVERY {
+            self.renormalize();
+        }
+    }
+
+    /// Restores the canonical form: `limbs[..N-1]` in `[0, 2³²)`, the
+    /// top limb carrying the (signed) remainder. The canonical limbs
+    /// are a pure function of the accumulated value, which is what
+    /// makes the wire encoding deterministic.
+    fn renormalize(&mut self) {
+        for i in 0..NLIMBS - 1 {
+            let carry = self.limbs[i] >> 32; // arithmetic: floor division
+            self.limbs[i] -= carry << 32;
+            self.limbs[i + 1] += carry;
+        }
+        self.pending = 0;
+    }
+
+    /// Merges another accumulator in: exactly equivalent to having
+    /// added all of `other`'s inputs to `self`, in any order.
+    pub fn merge(&mut self, mut other: ExactSum) {
+        self.renormalize();
+        other.renormalize();
+        for (a, b) in self.limbs.iter_mut().zip(other.limbs) {
+            *a += b;
+        }
+        self.pending = 1;
+        if other.has_special {
+            self.special += other.special;
+            self.has_special = true;
+        }
+    }
+
+    /// Rounds the exact value to the nearest f64 (ties to even) — the
+    /// one place the sum meets floating point.
+    pub fn round(&self) -> f64 {
+        if self.has_special {
+            return self.special;
+        }
+        let mut t = self.clone();
+        t.renormalize();
+        let mut sign = 1.0f64;
+        if t.limbs[NLIMBS - 1] < 0 {
+            sign = -1.0;
+            for l in &mut t.limbs {
+                *l = -*l;
+            }
+            t.renormalize();
+        }
+        let Some(h) = t.limbs.iter().rposition(|&l| l != 0) else {
+            return 0.0;
+        };
+        let bits_h = 64 - (t.limbs[h] as u64).leading_zeros() as u64;
+        let lbits = 32 * h as u64 + bits_h;
+        if lbits <= 53 {
+            // The value fits a mantissa: both conversions below are
+            // exact, so no rounding happens at all.
+            let m = (t.limbs[0] as u64) | ((t.limbs[1] as u64) << 32);
+            return sign * (m as f64) * f64::from_bits(1); // × 2⁻¹⁰⁷⁴
+        }
+        // Extract the top 53 bits plus guard/sticky from a 3-limb
+        // window ending at the highest set bit.
+        let mut sh = lbits - 53; // final exponent, in units of 2⁻¹⁰⁷⁴
+        let base = h.saturating_sub(2);
+        let mut window: u128 = 0;
+        for i in (base..=h).rev() {
+            window = (window << 32) | (t.limbs[i] as u64 as u128);
+        }
+        let off = (sh - 32 * base as u64) as u32; // ≥ 1 by construction
+        let mut mant = (window >> off) as u64;
+        let guard = (window >> (off - 1)) & 1 == 1;
+        let sticky =
+            window & ((1u128 << (off - 1)) - 1) != 0 || t.limbs[..base].iter().any(|&l| l != 0);
+        if guard && (sticky || mant & 1 == 1) {
+            mant += 1;
+            if mant == 1u64 << 53 {
+                mant >>= 1;
+                sh += 1;
+            }
+        }
+        // lbits > 53 ⇒ the value is ≥ 2⁻¹⁰²¹: always normal, so the
+        // exponent assembles directly (no double rounding possible).
+        let e2 = sh as i64 - 1022;
+        if e2 > 1023 {
+            return sign * f64::INFINITY;
+        }
+        let out = (((e2 + 1023) as u64) << 52) | (mant & ((1u64 << 52) - 1));
+        sign * f64::from_bits(out)
+    }
+
+    /// Serializes to [`ExactSum::WIRE_LEN`] f64 words for an exact
+    /// cross-rank exchange: the canonical limbs (each below 2⁵³, hence
+    /// exactly representable), then the special flag and special sum.
+    pub fn to_wire(&self) -> Vec<f64> {
+        let mut t = self.clone();
+        t.renormalize();
+        let mut w: Vec<f64> = t.limbs.iter().map(|&l| l as f64).collect();
+        w.push(f64::from(u8::from(self.has_special)));
+        w.push(self.special);
+        w
+    }
+
+    /// Deserializes a [`ExactSum::to_wire`] payload.
+    ///
+    /// # Errors
+    /// Rejects payloads of the wrong length.
+    pub fn from_wire(w: &[f64]) -> Result<ExactSum, String> {
+        if w.len() != Self::WIRE_LEN {
+            return Err(format!(
+                "exact-sum wire has {} words, expected {}",
+                w.len(),
+                Self::WIRE_LEN
+            ));
+        }
+        let mut s = ExactSum::new();
+        for (l, &v) in s.limbs.iter_mut().zip(w) {
+            *l = v as i64;
+        }
+        s.has_special = w[NLIMBS] != 0.0;
+        s.special = w[NLIMBS + 1];
+        Ok(s)
+    }
+}
+
+/// The reduction kinds `stencil.reduce` supports.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReduceKind {
+    /// Correctly rounded exact sum of the field's points.
+    Sum,
+    /// Correctly rounded exact sum of pointwise products of two fields.
+    Dot,
+    /// Minimum under [`f64::total_cmp`] (empty range → `+∞`).
+    Min,
+    /// Maximum under [`f64::total_cmp`] (empty range → `−∞`).
+    Max,
+}
+
+impl ReduceKind {
+    /// All kinds, for matrix-style tests.
+    pub const ALL: [ReduceKind; 4] =
+        [ReduceKind::Sum, ReduceKind::Dot, ReduceKind::Min, ReduceKind::Max];
+
+    /// The attribute spelling (`sum`/`dot`/`min`/`max`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceKind::Sum => "sum",
+            ReduceKind::Dot => "dot",
+            ReduceKind::Min => "min",
+            ReduceKind::Max => "max",
+        }
+    }
+
+    /// Parses the attribute spelling.
+    pub fn parse(s: &str) -> Option<ReduceKind> {
+        match s {
+            "sum" => Some(ReduceKind::Sum),
+            "dot" => Some(ReduceKind::Dot),
+            "min" => Some(ReduceKind::Min),
+            "max" => Some(ReduceKind::Max),
+            _ => None,
+        }
+    }
+
+    /// Number of field operands (`dot` combines two).
+    pub fn arity(self) -> usize {
+        if self == ReduceKind::Dot {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+/// A running reduction of one [`ReduceKind`]: exact accumulation for
+/// sum/dot, a `total_cmp` lattice fold for min/max. Every operation is
+/// order-invariant, so partials may be split per thread, per rank, or
+/// per strategy and merged in any order with bit-identical results.
+#[derive(Clone, Debug)]
+// One accumulator exists per thread-chunk / rank, not per element, so
+// the Exact variant's superaccumulator being large is irrelevant;
+// boxing it would put an indirection on the per-point add path instead.
+#[allow(clippy::large_enum_variant)]
+pub enum ReduceAcc {
+    /// Exact sum state (sum and dot).
+    Exact(ExactSum),
+    /// Current lattice extremum (min and max), with the kind.
+    Lattice(ReduceKind, f64),
+}
+
+impl ReduceAcc {
+    /// The identity accumulator for `kind`.
+    pub fn new(kind: ReduceKind) -> ReduceAcc {
+        match kind {
+            ReduceKind::Sum | ReduceKind::Dot => ReduceAcc::Exact(ExactSum::new()),
+            ReduceKind::Min => ReduceAcc::Lattice(kind, f64::INFINITY),
+            ReduceKind::Max => ReduceAcc::Lattice(kind, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Accumulates one point's contribution (for `dot`, pass the
+    /// already-formed product — per-point products are deterministic).
+    pub fn add(&mut self, x: f64) {
+        match self {
+            ReduceAcc::Exact(s) => s.add(x),
+            ReduceAcc::Lattice(kind, cur) => {
+                let take = match kind {
+                    ReduceKind::Min => x.total_cmp(cur) == std::cmp::Ordering::Less,
+                    _ => x.total_cmp(cur) == std::cmp::Ordering::Greater,
+                };
+                if take {
+                    *cur = x;
+                }
+            }
+        }
+    }
+
+    /// Merges another partial of the same kind.
+    ///
+    /// # Panics
+    /// Panics if the kinds disagree (a compiler bug, not a data error).
+    pub fn merge(&mut self, other: ReduceAcc) {
+        match (self, other) {
+            (ReduceAcc::Exact(a), ReduceAcc::Exact(b)) => a.merge(b),
+            (acc @ ReduceAcc::Lattice(..), ReduceAcc::Lattice(_, v)) => acc.add(v),
+            _ => panic!("merging reduce partials of different kinds"),
+        }
+    }
+
+    /// The wire length for `kind` ([`ReduceAcc::to_wire`]).
+    pub fn wire_len(kind: ReduceKind) -> usize {
+        match kind {
+            ReduceKind::Sum | ReduceKind::Dot => ExactSum::WIRE_LEN,
+            ReduceKind::Min | ReduceKind::Max => 1,
+        }
+    }
+
+    /// Serializes the partial for a cross-rank exchange.
+    pub fn to_wire(&self) -> Vec<f64> {
+        match self {
+            ReduceAcc::Exact(s) => s.to_wire(),
+            ReduceAcc::Lattice(_, v) => vec![*v],
+        }
+    }
+
+    /// Deserializes a peer's [`ReduceAcc::to_wire`] payload.
+    ///
+    /// # Errors
+    /// Rejects payloads of the wrong length for `kind`.
+    pub fn from_wire(kind: ReduceKind, w: &[f64]) -> Result<ReduceAcc, String> {
+        match kind {
+            ReduceKind::Sum | ReduceKind::Dot => Ok(ReduceAcc::Exact(ExactSum::from_wire(w)?)),
+            ReduceKind::Min | ReduceKind::Max => {
+                if w.len() != 1 {
+                    return Err(format!("min/max wire has {} words, expected 1", w.len()));
+                }
+                let mut acc = ReduceAcc::new(kind);
+                acc.add(w[0]);
+                Ok(acc)
+            }
+        }
+    }
+
+    /// The reduction result (one rounding for sum/dot; the extremum's
+    /// exact bits for min/max).
+    pub fn finish(&self) -> f64 {
+        match self {
+            ReduceAcc::Exact(s) => s.round(),
+            ReduceAcc::Lattice(_, v) => *v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_of(xs: &[f64]) -> f64 {
+        let mut s = ExactSum::new();
+        for &x in xs {
+            s.add(x);
+        }
+        s.round()
+    }
+
+    #[test]
+    fn empty_and_zero_sums() {
+        assert_eq!(sum_of(&[]).to_bits(), 0.0f64.to_bits());
+        assert_eq!(sum_of(&[0.0, -0.0, 0.0]).to_bits(), 0.0f64.to_bits());
+        assert_eq!(sum_of(&[42.5]), 42.5);
+        assert_eq!(sum_of(&[-42.5]), -42.5);
+    }
+
+    #[test]
+    fn cancellation_is_exact() {
+        // Naive summation loses the 1.0 entirely; the exact sum keeps it.
+        assert_eq!(sum_of(&[1e300, 1.0, -1e300]), 1.0);
+        assert_eq!(sum_of(&[1e-300, 1e300, -1e300, -1e-300]), 0.0);
+        assert_eq!(sum_of(&[f64::MAX, f64::MIN_POSITIVE, -f64::MAX]), f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn subnormals_accumulate_exactly() {
+        let tiny = f64::from_bits(1); // 2⁻¹⁰⁷⁴
+        let mut s = ExactSum::new();
+        for _ in 0..1000 {
+            s.add(tiny);
+        }
+        assert_eq!(s.round(), f64::from_bits(1000));
+    }
+
+    #[test]
+    fn permutation_and_chunking_invariance() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Scatter magnitudes across ~120 binades to force carries.
+            let m = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            m * (2.0f64).powi((state % 120) as i32 - 60)
+        };
+        let xs: Vec<f64> = (0..4096).map(|_| rnd()).collect();
+        let want = sum_of(&xs);
+        let mut rev = xs.clone();
+        rev.reverse();
+        assert_eq!(sum_of(&rev).to_bits(), want.to_bits(), "reversal changed the sum");
+        for chunks in [2usize, 3, 7, 64] {
+            let mut total = ExactSum::new();
+            for c in xs.chunks(xs.len() / chunks) {
+                let mut part = ExactSum::new();
+                for &x in c {
+                    part.add(x);
+                }
+                total.merge(part);
+            }
+            assert_eq!(total.round().to_bits(), want.to_bits(), "{chunks} chunks");
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        let ulp = f64::from_bits(1.0f64.to_bits() + 1) - 1.0;
+        // Exactly halfway with even mantissa: stays at 1.0.
+        assert_eq!(sum_of(&[1.0, ulp / 2.0]), 1.0);
+        // Halfway plus a sliver: rounds up.
+        assert_eq!(sum_of(&[1.0, ulp / 2.0, f64::from_bits(1)]), 1.0 + ulp);
+        // Halfway from an odd mantissa: rounds up to even.
+        assert_eq!(sum_of(&[1.0 + ulp, ulp / 2.0]), 1.0 + 2.0 * ulp);
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        assert_eq!(sum_of(&[f64::MAX, f64::MAX]), f64::INFINITY);
+        assert_eq!(sum_of(&[-f64::MAX, -f64::MAX]), f64::NEG_INFINITY);
+        // ...but cancellation brings it back in range.
+        assert_eq!(sum_of(&[f64::MAX, f64::MAX, -f64::MAX]), f64::MAX);
+    }
+
+    #[test]
+    fn specials_divert_to_ieee_semantics() {
+        assert_eq!(sum_of(&[1.0, f64::INFINITY, 2.0]), f64::INFINITY);
+        assert!(sum_of(&[f64::INFINITY, f64::NEG_INFINITY]).is_nan());
+        assert!(sum_of(&[f64::NAN, 1.0]).is_nan());
+    }
+
+    #[test]
+    fn wire_round_trips_canonically() {
+        let mut s = ExactSum::new();
+        for i in 0..500 {
+            s.add((f64::from(i) * 0.37).sin() * 1e10);
+            s.add(-(f64::from(i) * 0.11).cos() * 1e-10);
+        }
+        let w = s.to_wire();
+        assert_eq!(w.len(), ExactSum::WIRE_LEN);
+        let back = ExactSum::from_wire(&w).unwrap();
+        assert_eq!(back.round().to_bits(), s.round().to_bits());
+        assert_eq!(back.to_wire(), w, "wire form is canonical");
+        assert!(ExactSum::from_wire(&w[1..]).is_err());
+    }
+
+    #[test]
+    fn renormalization_under_pressure() {
+        // Alternate signs at one magnitude so limbs swing negative.
+        let mut s = ExactSum::new();
+        for i in 0..10_000 {
+            s.add(if i % 2 == 0 { 3.25e8 } else { -1.25e8 });
+        }
+        assert_eq!(s.round(), 5000.0 * 3.25e8 - 5000.0 * 1.25e8);
+    }
+
+    #[test]
+    fn lattice_min_max_total_order() {
+        for kind in [ReduceKind::Min, ReduceKind::Max] {
+            let mut a = ReduceAcc::new(kind);
+            for x in [3.0, -0.0, 0.0, -7.5, 2.0] {
+                a.add(x);
+            }
+            let fwd = a.finish();
+            let mut b = ReduceAcc::new(kind);
+            for x in [2.0, -7.5, 0.0, -0.0, 3.0] {
+                b.add(x);
+            }
+            assert_eq!(fwd.to_bits(), b.finish().to_bits());
+        }
+        // total_cmp distinguishes signed zero deterministically.
+        let mut m = ReduceAcc::new(ReduceKind::Min);
+        m.add(0.0);
+        m.add(-0.0);
+        assert_eq!(m.finish().to_bits(), (-0.0f64).to_bits());
+        // Identities of the empty range.
+        assert_eq!(ReduceAcc::new(ReduceKind::Min).finish(), f64::INFINITY);
+        assert_eq!(ReduceAcc::new(ReduceKind::Max).finish(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn reduce_acc_wire_round_trip() {
+        for kind in ReduceKind::ALL {
+            let mut a = ReduceAcc::new(kind);
+            for x in [1.5, -2.25, 1e-9] {
+                a.add(x);
+            }
+            let w = a.to_wire();
+            assert_eq!(w.len(), ReduceAcc::wire_len(kind));
+            let b = ReduceAcc::from_wire(kind, &w).unwrap();
+            assert_eq!(b.finish().to_bits(), a.finish().to_bits(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in ReduceKind::ALL {
+            assert_eq!(ReduceKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ReduceKind::parse("prod"), None);
+        assert_eq!(ReduceKind::Dot.arity(), 2);
+        assert_eq!(ReduceKind::Sum.arity(), 1);
+    }
+}

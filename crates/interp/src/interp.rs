@@ -6,6 +6,7 @@
 //! [`crate::sim_mpi::Externals`]). The workspace test-suite compares the
 //! results of the same program executed at each level.
 
+use crate::exact::{ReduceAcc, ReduceKind};
 use crate::sim_mpi::{Externals, NoExternals};
 use crate::value::{BufView, RequestState, RtValue};
 use std::collections::HashMap;
@@ -74,6 +75,10 @@ pub struct Interpreter<'m> {
     module: &'m Module,
     externals: Box<dyn Externals + 'm>,
     env: HashMap<Value, RtValue>,
+    /// Local reduction partials keyed by the `stencil.reduce` result, so
+    /// a downstream `dmp.allreduce` can exchange the full accumulator
+    /// (wire form) instead of the already-rounded scalar.
+    reduce_partials: HashMap<Value, ReduceAcc>,
     /// Current grid point of the innermost `stencil.apply`.
     apply_points: Vec<Vec<i64>>,
     steps: u64,
@@ -94,6 +99,7 @@ impl<'m> Interpreter<'m> {
             module,
             externals,
             env: HashMap::new(),
+            reduce_partials: HashMap::new(),
             apply_points: Vec::new(),
             steps: 0,
             max_steps: 2_000_000_000,
@@ -258,6 +264,8 @@ impl<'m> Interpreter<'m> {
             "arith.subf" => self.bin_float(op, |a, b| a - b)?,
             "arith.mulf" => self.bin_float(op, |a, b| a * b)?,
             "arith.divf" => self.bin_float(op, |a, b| a / b)?,
+            "arith.minimumf" => self.bin_float(op, f64::min)?,
+            "arith.maximumf" => self.bin_float(op, f64::max)?,
             "arith.negf" => {
                 let a = self.get_float(op, op.operand(0))?;
                 self.set(op.result(0), RtValue::Float(-a));
@@ -563,7 +571,81 @@ impl<'m> Interpreter<'m> {
                     .dmp_swap(&buf, grid, &exchanges)
                     .map_err(|m| InterpError::new(op, m))?;
             }
+            "dmp.allreduce" => {
+                let x = self.get_float(op, op.operand(0))?;
+                let rt = if self.externals.rank().is_none() {
+                    // Serial interpretation: a world of one rank — the
+                    // global value *is* the local value.
+                    RtValue::Float(x)
+                } else if let Some(acc) = self.reduce_partials.get(&op.operand(0)).cloned() {
+                    // The operand is a tracked reduction partial: exchange
+                    // the full accumulator so the combine is exact (sum /
+                    // dot) or total-order (min/max) — bit-identical for
+                    // any rank count.
+                    let kind = match &acc {
+                        ReduceAcc::Exact(_) => ReduceKind::Sum,
+                        ReduceAcc::Lattice(k, _) => *k,
+                    };
+                    let all = self
+                        .externals
+                        .allreduce_exchange(acc.to_wire())
+                        .map_err(|m| InterpError::new(op, m))?;
+                    let mut merged = ReduceAcc::new(kind);
+                    for w in &all {
+                        let c =
+                            ReduceAcc::from_wire(kind, w).map_err(|m| InterpError::new(op, m))?;
+                        merged.merge(c);
+                    }
+                    RtValue::Float(merged.finish())
+                } else {
+                    // Plain scalar operand (no tracked partial): combine
+                    // the rank contributions with the same accumulator
+                    // semantics, leaves in ascending rank order.
+                    let kind = op
+                        .attr("op")
+                        .and_then(Attribute::as_str)
+                        .and_then(ReduceKind::parse)
+                        .unwrap_or(ReduceKind::Sum);
+                    let all = self
+                        .externals
+                        .allreduce_exchange(vec![x])
+                        .map_err(|m| InterpError::new(op, m))?;
+                    let mut acc = ReduceAcc::new(kind);
+                    for w in &all {
+                        acc.add(w[0]);
+                    }
+                    RtValue::Float(acc.finish())
+                };
+                self.set(op.result(0), rt);
+            }
             // ------------------------------------------------ stencil ----
+            "stencil.reduce" => {
+                let view = sten_stencil::ops::ReduceOp(op);
+                let kind = ReduceKind::parse(view.kind()).ok_or_else(|| {
+                    InterpError::new(op, format!("unknown reduce kind '{}'", view.kind()))
+                })?;
+                let range = view.range();
+                let mut bufs = Vec::new();
+                let mut lbs = Vec::new();
+                for &v in view.inputs() {
+                    bufs.push(self.get_buffer(op, v)?);
+                    lbs.push(self.logical_lb(op, v)?);
+                }
+                let mut acc = ReduceAcc::new(kind);
+                iter_points(&range, |p| {
+                    let mut vals = [0.0f64; 2];
+                    for (i, (buf, lb)) in bufs.iter().zip(&lbs).enumerate() {
+                        let idx: Vec<i64> = p.iter().zip(lb).map(|(a, b)| a - b).collect();
+                        vals[i] = buf.load(&idx).map_err(|m| InterpError::new(op, m))?;
+                    }
+                    // Dot forms one rounded product per point; the *sum*
+                    // of those products is exact.
+                    acc.add(if kind == ReduceKind::Dot { vals[0] * vals[1] } else { vals[0] });
+                    Ok(())
+                })?;
+                self.set(op.result(0), RtValue::Float(acc.finish()));
+                self.reduce_partials.insert(op.result(0), acc);
+            }
             "stencil.external_load" | "stencil.cast" | "stencil.buffer" => {
                 let v = self.get(op, op.operand(0))?;
                 self.set(op.result(0), v);

@@ -16,12 +16,14 @@
 //! workspace root).
 
 pub mod distributed;
+pub mod exact;
 pub mod interp;
 pub mod sim_mpi;
 pub mod sync_shim;
 pub mod value;
 
 pub use distributed::{run_spmd, run_spmd_modules, ArgSpec, RankResult};
+pub use exact::{ExactSum, ReduceAcc, ReduceKind};
 pub use interp::{InterpError, Interpreter};
 pub use sim_mpi::{MpiEnv, SimWorld};
 pub use value::{BufView, RtValue};

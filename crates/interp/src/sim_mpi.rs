@@ -274,20 +274,33 @@ impl SimWorld {
     }
 }
 
+/// Combines rank contributions element-wise with a **fixed association
+/// tree**: `combine(lo..hi) = combine(lo..mid) ⊕ combine(mid..hi)` with
+/// `mid = lo + (hi-lo)/2`, leaves in ascending rank order.
+///
+/// `exchange_all` already indexes contributions by rank (the rendezvous
+/// deposits into `deposits[rank]`), so the tree is a pure function of the
+/// rank count — message *arrival* order cannot perturb the result. The
+/// result is reproducible run-to-run for a fixed decomposition, but this
+/// is IEEE arithmetic: it is *not* invariant under changing the rank
+/// count (the executor's exact superaccumulator path is).
 fn reduce(op: i64, contributions: &[Vec<f64>]) -> Vec<f64> {
-    let n = contributions[0].len();
-    let mut out = contributions[0].clone();
-    for c in &contributions[1..] {
-        for i in 0..n {
-            out[i] = match op {
-                abi::MPI_OP_SUM => out[i] + c[i],
-                abi::MPI_OP_MIN => out[i].min(c[i]),
-                abi::MPI_OP_MAX => out[i].max(c[i]),
-                _ => out[i],
-            };
+    fn combine(op: i64, contributions: &[Vec<f64>], i: usize, lo: usize, hi: usize) -> f64 {
+        if hi - lo == 1 {
+            return contributions[lo][i];
+        }
+        let mid = lo + (hi - lo) / 2;
+        let a = combine(op, contributions, i, lo, mid);
+        let b = combine(op, contributions, i, mid, hi);
+        match op {
+            abi::MPI_OP_SUM => a + b,
+            abi::MPI_OP_MIN => a.min(b),
+            abi::MPI_OP_MAX => a.max(b),
+            _ => a,
         }
     }
-    out
+    let n = contributions[0].len();
+    (0..n).map(|i| combine(op, contributions, i, 0, contributions.len())).collect()
 }
 
 /// Implementations of external functions callable from interpreted code.
@@ -310,6 +323,17 @@ pub trait Externals {
         _exchanges: &[sten_ir::ExchangeAttr],
     ) -> Result<(), String> {
         Err("dmp.swap requires an MPI environment (rank context)".into())
+    }
+
+    /// All-to-all exchange of an opaque payload (the wire form of a
+    /// reduction accumulator), returning every rank's contribution indexed
+    /// by rank. The *caller* performs the combine — keeping exact-sum limb
+    /// merging out of the communication substrate. Default: unsupported.
+    ///
+    /// # Errors
+    /// Reports lack of a communication substrate.
+    fn allreduce_exchange(&mut self, _payload: Vec<f64>) -> Result<Vec<Vec<f64>>, String> {
+        Err("dmp.allreduce requires an MPI environment (rank context)".into())
     }
 
     /// The rank of this interpreter instance, if it runs inside a world.
@@ -615,6 +639,18 @@ impl Externals for MpiEnv {
         }
     }
 
+    fn allreduce_exchange(&mut self, payload: Vec<f64>) -> Result<Vec<Vec<f64>>, String> {
+        let t0 = self.world.tracer.now();
+        let bytes = 8 * payload.len() as u64;
+        let all = self.world.exchange_all(self.rank as usize, payload);
+        self.world.tracer.record_span(self.rank as u32, 0, t0, || SpanKind::Reduce {
+            phase: "allreduce",
+            bytes,
+            parts: all.len() as u32,
+        });
+        Ok(all)
+    }
+
     fn dmp_swap(
         &mut self,
         data: &crate::value::BufView,
@@ -699,6 +735,63 @@ mod tests {
         for h in handles {
             let all = h.join().unwrap();
             assert_eq!(all, vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        }
+    }
+
+    #[test]
+    fn reduce_uses_the_documented_balanced_tree() {
+        // Values where the association matters: with three ranks the
+        // tree is a ⊕ (b ⊕ c), a linear fold is (a ⊕ b) ⊕ c.
+        let contributions: Vec<Vec<f64>> = vec![vec![1.0], vec![1e16], vec![-1e16]];
+        let got = reduce(abi::MPI_OP_SUM, &contributions)[0];
+        let want: f64 = 1.0 + (1e16 + -1e16); // = 1.0
+        assert_eq!(got.to_bits(), want.to_bits());
+        let linear: f64 = (1.0 + 1e16) + -1e16; // = 0.0 (the 1.0 is absorbed)
+        assert_ne!(got.to_bits(), linear.to_bits(), "tree shape is observable");
+    }
+
+    #[test]
+    fn reduce_is_arrival_order_independent() {
+        // Property: because `exchange_all` deposits by rank, the combine
+        // sees contributions in rank order no matter when each rank
+        // arrives — every interleaving of 4 ranks produces bit-identical
+        // allreduce results on every rank.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let vals: Vec<f64> = (0..4)
+            .map(|_| {
+                let exp = (next() % 120) as i32 - 60;
+                let mant = (next() % 1_000_000) as f64 - 500_000.0;
+                mant * 2f64.powi(exp)
+            })
+            .collect();
+        let mut reference: Option<Vec<u64>> = None;
+        for trial in 0..8 {
+            let world = SimWorld::new(4);
+            let handles: Vec<_> = (0..4usize)
+                .map(|r| {
+                    let w = Arc::clone(&world);
+                    let mine = vals[r];
+                    // Stagger arrivals differently every trial.
+                    let delay = ((r + trial) % 4) as u64;
+                    thread::spawn(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                        let all = w.exchange_all(r, vec![mine]);
+                        reduce(abi::MPI_OP_SUM, &all)[0].to_bits()
+                    })
+                })
+                .collect();
+            let bits: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(bits.windows(2).all(|w| w[0] == w[1]), "ranks agree");
+            match &reference {
+                None => reference = Some(bits),
+                Some(want) => assert_eq!(&bits, want, "trial {trial} deviates"),
+            }
         }
     }
 

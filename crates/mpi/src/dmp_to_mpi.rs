@@ -236,6 +236,42 @@ impl<'a> SwapLowerer<'a> {
         });
     }
 
+    /// Lowers one `dmp.allreduce` into `out`: the scalar is staged
+    /// through a 1-element buffer, combined across ranks by
+    /// `mpi.allreduce`, and loaded back. The load reuses the original
+    /// result id so downstream consumers need no renaming.
+    fn lower_allreduce(&mut self, ar: &Op, out: &mut Vec<Op>) -> Result<(), String> {
+        let vt = &mut *self.vt;
+        let op_name = ar
+            .attr("op")
+            .and_then(Attribute::as_str)
+            .ok_or("dmp.allreduce without an 'op' attribute")?
+            .to_string();
+        let send_alloc = memref::alloc(vt, MemRefType::new(vec![1], Type::F64));
+        let sendv = send_alloc.result(0);
+        out.push(send_alloc);
+        let recv_alloc = memref::alloc(vt, MemRefType::new(vec![1], Type::F64));
+        let recvv = recv_alloc.result(0);
+        out.push(recv_alloc);
+        let zero = arith::const_index(vt, 0);
+        let zv = zero.result(0);
+        out.push(zero);
+        out.push(memref::store(ar.operand(0), sendv, vec![zv]));
+        let sunwrap = crate::ops::unwrap_memref(vt, sendv);
+        let (sptr, scount, sdtype) = (sunwrap.result(0), sunwrap.result(1), sunwrap.result(2));
+        out.push(sunwrap);
+        let runwrap = crate::ops::unwrap_memref(vt, recvv);
+        let rptr = runwrap.result(0);
+        out.push(runwrap);
+        out.push(crate::ops::allreduce(sptr, rptr, scount, sdtype, &op_name));
+        let mut load = memref::load(vt, recvv, vec![zv]);
+        load.results[0] = ar.result(0);
+        out.push(load);
+        out.push(memref::dealloc(sendv));
+        out.push(memref::dealloc(recvv));
+        Ok(())
+    }
+
     /// Emits the begin-exchange phase (coordinates, guards, staging,
     /// pack loops, `mpi.isend`/`mpi.irecv`) and returns the state the
     /// completion phase needs, or `None` when the swap has no exchanges.
@@ -525,6 +561,12 @@ impl<'a> SwapLowerer<'a> {
                 i += 1;
                 continue;
             }
+            if ops[i].name == "dmp.allreduce" {
+                let ar = std::mem::replace(&mut ops[i], Op::new("dmp.__lowered"));
+                self.lower_allreduce(&ar, &mut block.ops)?;
+                i += 1;
+                continue;
+            }
             let mut op = std::mem::replace(&mut ops[i], Op::new("dmp.__lowered"));
             for region in &mut op.regions {
                 for inner in &mut region.blocks {
@@ -784,6 +826,29 @@ mod tests {
         assert_eq!(count(&m, "mpi.wait"), 0, "fallback: no split");
         assert_eq!(count(&m, "mpi.waitall"), 1);
         assert_eq!(count(&m, "scf.parallel"), 1);
+    }
+
+    #[test]
+    fn allreduce_lowers_to_staged_mpi_allreduce() {
+        let mut m = sten_stencil::samples::jacobi_with_norm(128);
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![2]).run(&mut m).unwrap();
+        sten_stencil::ShapeInference.run(&mut m).unwrap();
+        sten_stencil::StencilToLoops.run(&mut m).unwrap();
+        DmpToMpi.run(&mut m).unwrap();
+        verify_module(&m, Some(&registry())).unwrap();
+        assert_eq!(count(&m, "dmp.allreduce"), 0);
+        assert_eq!(count(&m, "mpi.allreduce"), 1);
+        // The returned scalar is the loaded global value: the func.return
+        // operand is defined by a memref.load of the recv staging buffer.
+        let func = m.lookup_symbol("jacobi_norm").unwrap();
+        let body = &func.region_block(0).ops;
+        let ret = body.iter().find(|o| o.name == "func.return").unwrap();
+        let def = body.iter().find(|o| o.results.contains(&ret.operand(0))).unwrap();
+        assert_eq!(def.name, "memref.load");
+        let text = sten_ir::print_module(&m);
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(sten_ir::print_module(&re), text);
     }
 
     #[test]

@@ -321,6 +321,14 @@ fn eprint_tier_report(
                     lines.push(format!("  @{name} {l}"));
                 }
             }
+            // Reduction census: how many steps fold to a scalar, and how
+            // many of those rendezvous across ranks.
+            let (reduces, allreduces) = p.num_reduce_steps();
+            if reduces > 0 {
+                lines.push(format!(
+                    "  @{name} reductions: {reduces} per timestep ({allreduces} allreduced)"
+                ));
+            }
         }
     }
     if !lines.is_empty() {

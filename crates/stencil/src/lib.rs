@@ -15,7 +15,10 @@
 //!
 //! The dialect has the ops listed in the paper (`access`, `apply`,
 //! `buffer`, `cast`, `combine`, `dyn_access`, `external_load`,
-//! `external_store`, `index`, `load`, `return`, `store`) — see [`ops`].
+//! `external_store`, `index`, `load`, `return`, `store`) — see [`ops`] —
+//! plus `stencil.reduce`, the global-reduction primitive (sum/min/max
+//! over a range, or the fused dot product of two temps) that implicit
+//! solvers build on.
 //!
 //! Passes:
 //!

@@ -77,6 +77,33 @@ pub fn store(temp: Value, field: Value, lb: Vec<i64>, ub: Vec<i64>) -> Op {
     op
 }
 
+/// Builds a `stencil.reduce`: reduces a temp's values over the range
+/// `[lb, ub)` to one f64 scalar. `kind` is `sum`, `min` or `max` over a
+/// single temp, or `dot` — the fused dot product of two temps'
+/// pointwise products.
+///
+/// The semantics contract (what makes distributed execution legal):
+/// `sum` and `dot` produce the **correctly rounded exact sum** of their
+/// per-point contributions, and `min`/`max` fold under
+/// [`f64::total_cmp`] — all three are order-invariant functions of the
+/// point multiset, so any decomposition of the range reduces to
+/// bit-identical results.
+pub fn reduce(
+    vt: &mut ValueTable,
+    kind: &str,
+    operands: Vec<Value>,
+    lb: Vec<i64>,
+    ub: Vec<i64>,
+) -> Op {
+    let mut op = Op::new("stencil.reduce");
+    op.operands = operands;
+    op.set_attr("kind", Attribute::Str(kind.to_string()));
+    op.set_attr("lb", Attribute::DenseI64(lb));
+    op.set_attr("ub", Attribute::DenseI64(ub));
+    op.results.push(vt.alloc(Type::F64));
+    op
+}
+
 /// Builds a `stencil.apply`: applies the stencil function in `body` to
 /// `operands`, producing temps of `result_tys`. The body receives one
 /// region argument per operand (same types) and must terminate with
@@ -238,6 +265,36 @@ impl<'a> StoreOp<'a> {
     }
 }
 
+/// Typed view over `stencil.reduce`.
+pub struct ReduceOp<'a>(pub &'a Op);
+
+impl<'a> ReduceOp<'a> {
+    /// The reduction kinds and their field-operand arities.
+    pub const KINDS: [(&'static str, usize); 4] = [("sum", 1), ("min", 1), ("max", 1), ("dot", 2)];
+
+    /// Matches a `stencil.reduce`.
+    pub fn matches(op: &'a Op) -> Option<Self> {
+        (op.name == "stencil.reduce").then_some(ReduceOp(op))
+    }
+
+    /// The reduction kind (`sum`/`min`/`max`/`dot`).
+    pub fn kind(&self) -> &str {
+        self.0.attr("kind").and_then(Attribute::as_str).expect("reduce kind")
+    }
+
+    /// The reduced temps (one, or two for `dot`).
+    pub fn inputs(&self) -> &[Value] {
+        &self.0.operands
+    }
+
+    /// The reduced range as [`Bounds`].
+    pub fn range(&self) -> Bounds {
+        let lb = self.0.attr("lb").and_then(Attribute::as_dense).expect("reduce lb");
+        let ub = self.0.attr("ub").and_then(Attribute::as_dense).expect("reduce ub");
+        Bounds::new(lb.iter().copied().zip(ub.iter().copied()).collect())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Verifiers
 // ---------------------------------------------------------------------------
@@ -370,6 +427,46 @@ fn verify_access(op: &Op, vt: &ValueTable) -> Result<(), String> {
     Ok(())
 }
 
+fn verify_reduce(op: &Op, vt: &ValueTable) -> Result<(), String> {
+    if op.results.len() != 1 || vt.ty(op.result(0)) != &Type::F64 {
+        return Err("stencil.reduce produces exactly one f64 scalar".into());
+    }
+    let Some(kind) = op.attr("kind").and_then(Attribute::as_str) else {
+        return Err("stencil.reduce requires a kind attribute (sum/min/max/dot)".into());
+    };
+    let Some(&(_, arity)) = ReduceOp::KINDS.iter().find(|(k, _)| *k == kind) else {
+        return Err(format!("unknown reduce kind '{kind}' (expected sum/min/max/dot)"));
+    };
+    if op.operands.len() != arity {
+        return Err(format!(
+            "reduce kind '{kind}' takes {arity} temp operand(s), got {}",
+            op.operands.len()
+        ));
+    }
+    let lb = op.attr("lb").and_then(Attribute::as_dense).ok_or("reduce requires lb")?;
+    let ub = op.attr("ub").and_then(Attribute::as_dense).ok_or("reduce requires ub")?;
+    if lb.len() != ub.len() {
+        return Err("reduce lb/ub rank mismatch".into());
+    }
+    let range = Bounds::new(lb.iter().copied().zip(ub.iter().copied()).collect());
+    for (i, &operand) in op.operands.iter().enumerate() {
+        let t = temp_of(vt, operand)?;
+        if t.rank != range.rank() {
+            return Err(format!(
+                "reduce operand {i} rank {} != range rank {}",
+                t.rank,
+                range.rank()
+            ));
+        }
+        if let Some(b) = &t.bounds {
+            if !b.contains(&range) {
+                return Err(format!("reduce range {range} exceeds operand {i} bounds {b}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn verify_index(op: &Op, _: &ValueTable) -> Result<(), String> {
     let Some(dim) = op.attr("dim").and_then(Attribute::as_int) else {
         return Err("stencil.index requires a dim attribute".into());
@@ -431,6 +528,10 @@ pub fn register(registry: &mut DialectRegistry) {
             .with_verify(verify_combine),
     );
     registry.register(OpSpec::new("stencil.buffer", "materialize a temp"));
+    registry.register(
+        OpSpec::new("stencil.reduce", "global reduction of a temp range to a scalar")
+            .with_verify(verify_reduce),
+    );
 }
 
 #[cfg(test)]
@@ -519,6 +620,76 @@ mod tests {
         let store_op = func.region_block(0).ops.iter().find(|o| o.name == "stencil.store").unwrap();
         let view = StoreOp::matches(store_op).unwrap();
         assert_eq!(view.range(), Bounds::new(vec![(1, 127)]));
+    }
+
+    /// A two-field dot product over the core `[1, 127)`.
+    pub(crate) fn dot_module() -> Module {
+        let mut m = Module::new();
+        let fty = Type::Field(FieldType::new(Bounds::new(vec![(0, 128)]), Type::F64));
+        let (mut f, fargs) = sten_dialects::func::definition(
+            &mut m.values,
+            "dot",
+            vec![fty.clone(), fty],
+            vec![Type::F64],
+        );
+        let la = load(&mut m.values, fargs[0]);
+        let lb = load(&mut m.values, fargs[1]);
+        let rd = reduce(&mut m.values, "dot", vec![la.result(0), lb.result(0)], vec![1], vec![127]);
+        let out = rd.result(0);
+        let body = &mut f.region_block_mut(0).ops;
+        body.extend([la, lb, rd]);
+        body.push(sten_dialects::func::ret(vec![out]));
+        m.body_mut().ops.push(f);
+        m
+    }
+
+    #[test]
+    fn reduce_verifies_and_round_trips() {
+        let m = dot_module();
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("stencil.reduce"), "{text}");
+        assert!(text.contains("\"dot\""), "{text}");
+        let re = parse_module(&text).unwrap();
+        assert_eq!(print_module(&re), text);
+        let func = m.lookup_symbol("dot").unwrap();
+        let op = func.region_block(0).ops.iter().find(|o| o.name == "stencil.reduce").unwrap();
+        let view = ReduceOp::matches(op).unwrap();
+        assert_eq!(view.kind(), "dot");
+        assert_eq!(view.inputs().len(), 2);
+        assert_eq!(view.range(), Bounds::new(vec![(1, 127)]));
+    }
+
+    #[test]
+    fn reduce_verifier_rejects_bad_kind_and_arity() {
+        let reg = registry();
+        // Unknown kind.
+        let mut m = dot_module();
+        let func = m.body_mut().ops.first_mut().unwrap();
+        let op =
+            func.region_block_mut(0).ops.iter_mut().find(|o| o.name == "stencil.reduce").unwrap();
+        op.set_attr("kind", Attribute::Str("prod".into()));
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("unknown reduce kind"), "{err}");
+
+        // dot with one operand.
+        let mut m = dot_module();
+        let func = m.body_mut().ops.first_mut().unwrap();
+        let op =
+            func.region_block_mut(0).ops.iter_mut().find(|o| o.name == "stencil.reduce").unwrap();
+        op.operands.truncate(1);
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("takes 2 temp operand"), "{err}");
+
+        // Range rank mismatch.
+        let mut m = dot_module();
+        let func = m.body_mut().ops.first_mut().unwrap();
+        let op =
+            func.region_block_mut(0).ops.iter_mut().find(|o| o.name == "stencil.reduce").unwrap();
+        op.set_attr("lb", Attribute::DenseI64(vec![1, 1]));
+        op.set_attr("ub", Attribute::DenseI64(vec![127, 127]));
+        let err = verify_module(&m, Some(&reg)).unwrap_err();
+        assert!(err.message.contains("rank"), "{err}");
     }
 
     #[test]

@@ -175,6 +175,113 @@ pub fn two_stage_1d(n: i64) -> Module {
     m
 }
 
+/// A single global reduction `@reduce(fields...) -> f64` over `range`:
+/// two field operands for `dot`, one for `sum`/`min`/`max`. Fields span
+/// `field_bounds` (any rank).
+pub fn reduce_nd(kind: &str, field_bounds: Bounds, range: Bounds) -> Module {
+    let mut m = Module::new();
+    let fty = Type::Field(FieldType::new(field_bounds, Type::F64));
+    let arity = if kind == "dot" { 2 } else { 1 };
+    let (mut f, args) =
+        func::definition(&mut m.values, "reduce", vec![fty; arity], vec![Type::F64]);
+    let mut operands = Vec::new();
+    let body = &mut f.region_block_mut(0).ops;
+    for &a in &args {
+        let ld = ops::load(&mut m.values, a);
+        operands.push(ld.result(0));
+        body.push(ld);
+    }
+    let rd = ops::reduce(&mut m.values, kind, operands, range.lower(), range.upper());
+    let out = rd.result(0);
+    let body = &mut f.region_block_mut(0).ops;
+    body.push(rd);
+    body.push(func::ret(vec![out]));
+    m.body_mut().ops.push(f);
+    m
+}
+
+/// A Jacobi step followed by a global residual: stores the smoothed field
+/// *and* returns `‖out‖²` (a `dot` of the apply result with itself) — the
+/// apply→reduce program shape implicit solvers produce every iteration.
+pub fn jacobi_with_norm(n: i64) -> Module {
+    let mut m = Module::new();
+    let field_ty = Type::Field(FieldType::new(Bounds::new(vec![(0, n)]), Type::F64));
+    let (mut f, args) = func::definition(
+        &mut m.values,
+        "jacobi_norm",
+        vec![field_ty.clone(), field_ty],
+        vec![Type::F64],
+    );
+    let (src_field, dst_field) = (args[0], args[1]);
+    let ld = ops::load(&mut m.values, src_field);
+    let src = ld.result(0);
+    f.region_block_mut(0).ops.push(ld);
+    let ap = ops::apply(
+        &mut m.values,
+        vec![src],
+        vec![Type::Temp(TempType::unknown(1, Type::F64))],
+        |vt, a| {
+            let l = ops::access(vt, a[0], vec![-1]);
+            let c = ops::access(vt, a[0], vec![0]);
+            let r = ops::access(vt, a[0], vec![1]);
+            let two = arith::const_f64(vt, 2.0);
+            let lr = arith::addf(vt, l.result(0), r.result(0));
+            let tc = arith::mulf(vt, two.result(0), c.result(0));
+            let v = arith::subf(vt, lr.result(0), tc.result(0));
+            let out = v.result(0);
+            vec![l, c, r, two, lr, tc, v, ops::ret(vec![out])]
+        },
+    );
+    let out = ap.result(0);
+    let rd = ops::reduce(&mut m.values, "dot", vec![out, out], vec![1], vec![n - 1]);
+    let norm = rd.result(0);
+    let body = &mut f.region_block_mut(0).ops;
+    body.push(ap);
+    body.push(ops::store(out, dst_field, vec![1], vec![n - 1]));
+    body.push(rd);
+    body.push(func::ret(vec![norm]));
+    m.body_mut().ops.push(f);
+    m
+}
+
+/// The update step of iterative solvers (CG's `x += α p`):
+/// `@axpy(a, b, alpha, out)` stores `a + alpha·b` on `core`, with `alpha`
+/// a *runtime* `f64` argument rather than a compile-time constant.
+pub fn axpy(field_bounds: Bounds, core: Bounds) -> Module {
+    let mut m = Module::new();
+    let rank = core.rank();
+    let fty = Type::Field(FieldType::new(field_bounds, Type::F64));
+    let (mut f, args) = func::definition(
+        &mut m.values,
+        "axpy",
+        vec![fty.clone(), fty.clone(), Type::F64, fty],
+        vec![],
+    );
+    let (fa, fb, alpha, fout) = (args[0], args[1], args[2], args[3]);
+    let la = ops::load(&mut m.values, fa);
+    let lb = ops::load(&mut m.values, fb);
+    let ap = ops::apply(
+        &mut m.values,
+        vec![la.result(0), lb.result(0), alpha],
+        vec![Type::Temp(TempType::unknown(rank, Type::F64))],
+        |vt, a| {
+            let va = ops::access(vt, a[0], vec![0; rank]);
+            let vb = ops::access(vt, a[1], vec![0; rank]);
+            let scaled = arith::mulf(vt, a[2], vb.result(0));
+            let v = arith::addf(vt, va.result(0), scaled.result(0));
+            let out = v.result(0);
+            vec![va, vb, scaled, v, ops::ret(vec![out])]
+        },
+    );
+    let out = ap.result(0);
+    let body = &mut f.region_block_mut(0).ops;
+    body.extend([la, lb, ap]);
+    body.push(ops::store(out, fout, core.lower(), core.upper()));
+    body.push(func::ret(vec![]));
+    m.body_mut().ops.push(f);
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,7 +296,17 @@ mod tests {
 
     #[test]
     fn samples_verify() {
-        for m in [jacobi_1d(128), heat_2d(64, 0.1), two_stage_1d(32)] {
+        let b1 = Bounds::new(vec![(0, 64)]);
+        let c1 = Bounds::new(vec![(1, 63)]);
+        for m in [
+            jacobi_1d(128),
+            heat_2d(64, 0.1),
+            two_stage_1d(32),
+            reduce_nd("dot", b1.clone(), c1.clone()),
+            reduce_nd("min", b1.clone(), c1.clone()),
+            jacobi_with_norm(128),
+            axpy(b1, c1),
+        ] {
             verify_module(&m, Some(&registry())).unwrap();
         }
     }

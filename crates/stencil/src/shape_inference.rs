@@ -12,7 +12,7 @@
 //! is required on `R + o`; the requirement for a value is the rectangular
 //! hull of all its uses' requirements.
 
-use crate::ops::{ApplyOp, StoreOp};
+use crate::ops::{ApplyOp, ReduceOp, StoreOp};
 use std::collections::HashMap;
 use sten_ir::{
     Attribute, Block, Bounds, Module, Pass, PassError, TempType, Type, Value, ValueTable,
@@ -85,6 +85,14 @@ fn infer_block(block: &mut Block, vt: &mut ValueTable) -> Result<(), String> {
             "stencil.store" => {
                 let store = StoreOp(op);
                 require(&mut required, store.temp(), store.range());
+            }
+            "stencil.reduce" => {
+                // A reduction consumes every operand point in its range.
+                let reduce = ReduceOp(op);
+                let range = reduce.range();
+                for &operand in reduce.inputs() {
+                    require(&mut required, operand, range.clone());
+                }
             }
             "stencil.apply" => {
                 let apply = ApplyOp(op);

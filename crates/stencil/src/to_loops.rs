@@ -175,6 +175,9 @@ impl<'a> Lowerer<'a> {
                     }
                     self.bufs.insert(op.result(0), out);
                 }
+                "stencil.reduce" => {
+                    self.lower_reduce(block, &op)?;
+                }
                 "stencil.apply" => {
                     self.lower_apply(block, op)?;
                 }
@@ -240,6 +243,65 @@ impl<'a> Lowerer<'a> {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Lowers a `stencil.reduce` to a **sequential** `scf.for` nest whose
+    /// f64 iter-arg folds the range left-to-right in row-major order.
+    ///
+    /// This is the loop-level contract: a plain IEEE fold in a fixed
+    /// (row-major) order. It is deterministic for a given decomposition,
+    /// but — unlike the stencil-level semantics, which define sum/dot as
+    /// the correctly rounded *exact* sum — it is not invariant under
+    /// re-partitioning: the executor's exact path is the acceptance
+    /// reference for cross-rank bit-identity.
+    fn lower_reduce(&mut self, block: &mut Block, op: &Op) -> Result<(), String> {
+        let view = crate::ops::ReduceOp(op);
+        let kind = view.kind().to_string();
+        let range = view.range();
+        if range.num_points() == 0 || range.rank() == 0 {
+            return Err(format!("cannot lower reduce over empty range {range}"));
+        }
+        let mut inputs: Vec<BufInfo> = Vec::new();
+        for &v in view.inputs() {
+            inputs.push(self.lookup(v)?.clone());
+        }
+        let init = match kind.as_str() {
+            "min" => f64::INFINITY,
+            "max" => f64::NEG_INFINITY,
+            _ => 0.0,
+        };
+        let init_op = arith::const_f64(self.vt, init);
+        let init_v = init_op.result(0);
+        let one = arith::const_index(self.vt, 1);
+        let onev = one.result(0);
+        block.ops.push(init_op);
+        block.ops.push(one);
+        let (mut los, mut his) = (Vec::new(), Vec::new());
+        for d in 0..range.rank() {
+            let lo = arith::const_index(self.vt, range.0[d].0);
+            let hi = arith::const_index(self.vt, range.0[d].1);
+            los.push(lo.result(0));
+            his.push(hi.result(0));
+            block.ops.push(lo);
+            block.ops.push(hi);
+        }
+        let mut nest = reduce_nest(
+            self.vt,
+            &kind,
+            &inputs,
+            range.rank(),
+            &los,
+            &his,
+            onev,
+            0,
+            &mut Vec::new(),
+            init_v,
+        );
+        // The nest's final iter-arg *is* the reduce result: reuse the
+        // original SSA id so downstream consumers need no renaming.
+        nest.results = vec![op.result(0)];
+        block.ops.push(nest);
         Ok(())
     }
 
@@ -453,6 +515,64 @@ fn shifted_indices(
     out
 }
 
+/// Builds one level of the sequential reduce nest: an `scf.for` over
+/// dimension `d` carrying the f64 accumulator as its sole iter-arg. The
+/// innermost level loads every input at the current point (multiplying the
+/// two loads together for `dot`) and combines with `addf`/`minimumf`/
+/// `maximumf`; outer levels recurse and carry the inner loop's result.
+#[allow(clippy::too_many_arguments)]
+fn reduce_nest(
+    vt: &mut ValueTable,
+    kind: &str,
+    inputs: &[BufInfo],
+    rank: usize,
+    los: &[Value],
+    his: &[Value],
+    one: Value,
+    d: usize,
+    ivs: &mut Vec<Value>,
+    acc_in: Value,
+) -> Op {
+    scf::for_loop(vt, los[d], his[d], one, vec![acc_in], |vt, iv, iter_args| {
+        ivs.push(iv);
+        let acc = iter_args[0];
+        let mut ops: Vec<Op> = Vec::new();
+        let next = if d + 1 == rank {
+            let mut loaded = Vec::with_capacity(inputs.len());
+            for info in inputs {
+                let idx = offset_indices(vt, &mut ops, ivs, &info.base_lb);
+                let load = memref::load(vt, info.mem, idx);
+                loaded.push(load.result(0));
+                ops.push(load);
+            }
+            let point = if loaded.len() == 2 {
+                let prod = arith::mulf(vt, loaded[0], loaded[1]);
+                let p = prod.result(0);
+                ops.push(prod);
+                p
+            } else {
+                loaded[0]
+            };
+            let combine = match kind {
+                "min" => arith::minimumf(vt, acc, point),
+                "max" => arith::maximumf(vt, acc, point),
+                _ => arith::addf(vt, acc, point),
+            };
+            let next = combine.result(0);
+            ops.push(combine);
+            next
+        } else {
+            let inner = reduce_nest(vt, kind, inputs, rank, los, his, one, d + 1, ivs, acc);
+            let next = inner.result(0);
+            ops.push(inner);
+            next
+        };
+        ivs.pop();
+        ops.push(scf::yield_op(vec![next]));
+        ops
+    })
+}
+
 /// Emits `ivs[d] - base_lb[d]` index computations.
 fn offset_indices(
     vt: &mut ValueTable,
@@ -596,6 +716,25 @@ mod tests {
         });
         assert_eq!(allocs, 1, "intermediate temp buffer allocated");
         verify_module(&m, Some(&registry())).unwrap();
+    }
+
+    #[test]
+    fn reduce_lowers_to_sequential_for_nest() {
+        let m = lower(samples::reduce_nd(
+            "dot",
+            Bounds::new(vec![(0, 16), (0, 16)]),
+            Bounds::new(vec![(1, 15), (1, 15)]),
+        ));
+        verify_module(&m, Some(&registry())).unwrap();
+        let text = print_module(&m);
+        assert!(!text.contains("stencil."), "all stencil ops lowered:\n{text}");
+        // A 2D reduce is two nested sequential scf.for loops, never an
+        // scf.parallel (the fold order is part of the loop-level contract).
+        assert_eq!(text.matches("scf.for").count(), 2, "{text}");
+        assert!(!text.contains("scf.parallel"), "{text}");
+        assert!(text.contains("arith.mulf"), "dot multiplies the two loads:\n{text}");
+        let re = sten_ir::parse_module(&text).unwrap();
+        assert_eq!(print_module(&re), text);
     }
 
     #[test]

@@ -46,6 +46,7 @@ fn category(kind: &SpanKind) -> &'static str {
         | SpanKind::SwapWait { .. }
         | SpanKind::Pack { .. }
         | SpanKind::Unpack { .. }
+        | SpanKind::Reduce { .. }
         | SpanKind::MsgSend { .. }
         | SpanKind::MsgRecv { .. } => "comm",
     }
@@ -73,6 +74,10 @@ fn args_json(kind: &SpanKind) -> String {
         SpanKind::Unpack { dir: d, bytes } => {
             format!("{{\"dir\":{},\"bytes\":{bytes}}}", dir(d))
         }
+        SpanKind::Reduce { phase, bytes, parts } => format!(
+            "{{\"phase\":\"{}\",\"bytes\":{bytes},\"parts\":{parts}}}",
+            escape(phase)
+        ),
         SpanKind::MsgSend { src, dst, tag, bytes, latency_us } => format!(
             "{{\"src\":{src},\"dst\":{dst},\"tag\":{tag},\"bytes\":{bytes},\"latency_us\":{latency_us}}}"
         ),

@@ -153,6 +153,19 @@ pub enum SpanKind {
         /// Simulated delivery latency in microseconds.
         latency_us: u64,
     },
+    /// One phase of a global reduction.
+    Reduce {
+        /// `partial` (local fold over the owned core) or `allreduce`
+        /// (rendezvous exchanging accumulator wire payloads — the span
+        /// covers any wait for the slowest rank).
+        phase: &'static str,
+        /// Payload: points folded (`partial`) or wire bytes exchanged
+        /// (`allreduce`).
+        bytes: u64,
+        /// Participants: worker chunks merged (`partial`) or ranks
+        /// combined (`allreduce`).
+        parts: u32,
+    },
     /// A blocking SimMPI receive (span covers any wait for delivery).
     MsgRecv {
         /// Sending rank.
@@ -187,6 +200,7 @@ impl SpanKind {
             SpanKind::SwapWait { swap } => format!("swap#{swap} wait"),
             SpanKind::Copy { .. } => "copy".to_string(),
             SpanKind::Task => "task".to_string(),
+            SpanKind::Reduce { phase, .. } => format!("reduce {phase}"),
             SpanKind::Pack { dir, .. } => format!("pack {dir:?}"),
             SpanKind::Unpack { dir, .. } => format!("unpack {dir:?}"),
             SpanKind::MsgSend { dst, tag, .. } => format!("send→{dst} tag {tag}"),

@@ -40,6 +40,13 @@ pub struct TraceReport {
     pub recv_immediate: u64,
     /// Receives that had to block for delivery.
     pub recv_blocked: u64,
+    /// Total time folding local reduction partials (`Reduce{partial}`).
+    pub reduce_partial_ns: u64,
+    /// Total time in allreduce rendezvous (`Reduce{allreduce}`): exchange
+    /// plus the wait for the slowest rank's contribution.
+    pub reduce_wait_ns: u64,
+    /// Allreduce rendezvous completed (counted across all ranks).
+    pub allreduces: u64,
     /// Packed halo payload per exchange direction, sorted by direction.
     pub halo_bytes_by_direction: Vec<(Vec<i64>, u64)>,
 }
@@ -139,6 +146,14 @@ impl TraceReport {
                         report.recv_immediate += 1;
                     }
                 }
+                SpanKind::Reduce { phase, .. } => {
+                    if *phase == "allreduce" {
+                        report.reduce_wait_ns += e.dur_ns;
+                        report.allreduces += 1;
+                    } else {
+                        report.reduce_partial_ns += e.dur_ns;
+                    }
+                }
                 SpanKind::Pass { .. } | SpanKind::Copy { .. } | SpanKind::Task => {}
             }
         }
@@ -210,6 +225,15 @@ impl fmt::Display for TraceReport {
             "  recvs              immediate {}, blocked {}",
             self.recv_immediate, self.recv_blocked
         )?;
+        if self.allreduces > 0 || self.reduce_partial_ns > 0 {
+            writeln!(
+                f,
+                "  reductions         partial {:.3} ms, allreduce wait {:.3} ms ({} allreduces)",
+                ms(self.reduce_partial_ns),
+                ms(self.reduce_wait_ns),
+                self.allreduces
+            )?;
+        }
         if !self.halo_bytes_by_direction.is_empty() {
             writeln!(f, "  halo bytes by direction:")?;
             for (dir, bytes) in &self.halo_bytes_by_direction {
@@ -293,6 +317,20 @@ mod tests {
         ];
         let r = TraceReport::from_events(&events);
         assert_eq!(r.comm_hidden_ns, 450);
+    }
+
+    #[test]
+    fn reduce_spans_aggregate_by_phase() {
+        let events = vec![
+            span(0, 0, 100, SpanKind::Reduce { phase: "partial", bytes: 1024, parts: 2 }),
+            span(0, 100, 250, SpanKind::Reduce { phase: "allreduce", bytes: 552, parts: 4 }),
+            span(1, 0, 80, SpanKind::Reduce { phase: "partial", bytes: 1024, parts: 2 }),
+        ];
+        let r = TraceReport::from_events(&events);
+        assert_eq!(r.reduce_partial_ns, 180);
+        assert_eq!(r.reduce_wait_ns, 150);
+        assert_eq!(r.allreduces, 1);
+        assert!(format!("{r}").contains("allreduce wait"));
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Distributed global reductions: the determinism acceptance suite.
+//!
+//! `stencil.reduce` folds through exact accumulators (superaccumulated
+//! sums, total-order min/max lattices), so a distributed reduction —
+//! local partial over each rank's owned core, then `dmp.allreduce` —
+//! must be *bit-identical* to the serial interpreter, for every
+//! decomposition strategy, executor tier, and worker-thread count, over
+//! random fields of every supported rank. The CG end-to-end test closes
+//! the loop: a full implicit solve's residual trajectory (dozens of
+//! dependent reductions, α/β scalar feedback, a convergence predicate)
+//! matches the serial reference bit for bit.
+//!
+//! CI reruns the suite across the strategy matrix via
+//! `STEN_DECOMP_STRATEGY`; `STEN_EXEC_TIER` pins the executor tier the
+//! same way (unset = all three in one process).
+
+mod common;
+
+use std::sync::Arc;
+
+use common::Rng;
+use stencil_stack::cg;
+use stencil_stack::dmp::{make_strategy, DistributeStencil};
+use stencil_stack::exec::{compile_module_tiered, Runner, TierKind};
+use stencil_stack::interp::{BufView, Interpreter, RtValue, SimWorld};
+use stencil_stack::ir::{Bounds, Module, Pass as _, Type};
+use stencil_stack::stencil::{samples, ShapeInference};
+
+fn strategy_names() -> Vec<&'static str> {
+    const ALL: [&str; 3] = ["standard-slicing", "recursive-bisection", "custom-grid"];
+    match std::env::var("STEN_DECOMP_STRATEGY") {
+        Ok(name) => {
+            let name = ALL
+                .iter()
+                .find(|s| **s == name)
+                .unwrap_or_else(|| panic!("unknown STEN_DECOMP_STRATEGY '{name}'"));
+            vec![name]
+        }
+        Err(_) => ALL.to_vec(),
+    }
+}
+
+fn tiers() -> Vec<TierKind> {
+    match TierKind::from_env() {
+        Some(t) => vec![t],
+        None => vec![TierKind::Eval, TierKind::OptBytecode, TierKind::WeightedSum],
+    }
+}
+
+fn factors_for(strategy: &str) -> Option<Vec<i64>> {
+    (strategy == "custom-grid").then(|| vec![2])
+}
+
+/// Extracts the row-major values of box `lb` out of the row-major global
+/// buffer over box `gb` (both in the same global coordinates).
+fn extract(global: &[f64], gb: &Bounds, lb: &Bounds) -> Vec<f64> {
+    let gext: Vec<i64> = gb.0.iter().map(|&(l, h)| h - l).collect();
+    let dims = gb.rank();
+    let mut out = Vec::new();
+    let mut idx: Vec<i64> = lb.0.iter().map(|&(l, _)| l).collect();
+    loop {
+        let mut flat = 0i64;
+        for d in 0..dims {
+            flat = flat * gext[d] + (idx[d] - gb.0[d].0);
+        }
+        out.push(global[flat as usize]);
+        let mut d = dims;
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < lb.0[d].1 {
+                break;
+            }
+            idx[d] = lb.0[d].0;
+        }
+    }
+}
+
+/// The local field bounds the distribute pass assigned to `func`'s first
+/// argument (global coordinates).
+fn local_field_bounds(m: &Module, func: &str) -> Bounds {
+    let f = m.lookup_symbol(func).unwrap();
+    let arg = f.region_block(0).args[0];
+    match m.values.ty(arg) {
+        Type::Field(ft) => ft.bounds.clone(),
+        other => panic!("field argument expected, got {other:?}"),
+    }
+}
+
+#[test]
+fn distributed_reduce_matches_serial_interpreter_bit_for_bit() {
+    for dims in 1..=3usize {
+        for kind in ["sum", "dot", "min", "max"] {
+            let mut rng = Rng::new(0xD07 + dims as u64 * 31 + kind.len() as u64);
+            // Random field box (nonzero lower bounds included) and a
+            // reduce range inset from it — big enough along dim 0 for
+            // two ranks.
+            let field = Bounds::new(
+                (0..dims)
+                    .map(|_| {
+                        let lo = rng.range_i64(-2, 3);
+                        (lo, lo + rng.range_i64(7, 11))
+                    })
+                    .collect(),
+            );
+            let range = Bounds::new(field.0.iter().map(|&(lo, hi)| (lo + 1, hi - 1)).collect());
+            let gsize = field.0.iter().map(|&(l, h)| (h - l) as usize).product::<usize>();
+            let arity = if kind == "dot" { 2 } else { 1 };
+            let data: Vec<Vec<f64>> = (0..arity)
+                .map(|_| (0..gsize).map(|_| rng.range_f64(-1e6, 1e6)).collect())
+                .collect();
+
+            // Serial interpreter reference.
+            let mut serial_m = samples::reduce_nd(kind, field.clone(), range.clone());
+            ShapeInference.run(&mut serial_m).unwrap();
+            let gshape: Vec<i64> = field.0.iter().map(|&(l, h)| h - l).collect();
+            let rt_args: Vec<RtValue> = data
+                .iter()
+                .map(|d| RtValue::Buffer(BufView::from_data(gshape.clone(), d.clone())))
+                .collect();
+            let want = match Interpreter::new(&serial_m)
+                .call_function("reduce", rt_args)
+                .unwrap()
+                .as_slice()
+            {
+                [RtValue::Float(v)] => *v,
+                other => panic!("expected one float, got {other:?}"),
+            };
+
+            for strategy in strategy_names() {
+                // Per-rank modules (uneven extents make them heterogeneous).
+                let per_rank: Vec<Module> = (0..2)
+                    .map(|rank| {
+                        let mut m = samples::reduce_nd(kind, field.clone(), range.clone());
+                        ShapeInference.run(&mut m).unwrap();
+                        DistributeStencil::with_strategy(
+                            vec![2],
+                            make_strategy(strategy, factors_for(strategy)).unwrap(),
+                        )
+                        .for_rank(rank)
+                        .run(&mut m)
+                        .unwrap();
+                        ShapeInference.run(&mut m).unwrap();
+                        m
+                    })
+                    .collect();
+                for tier in tiers() {
+                    for threads in [1usize, 2] {
+                        let world = SimWorld::new(2);
+                        let mut got = [0.0f64; 2];
+                        let field = &field;
+                        std::thread::scope(|scope| {
+                            for (rank, out) in got.iter_mut().enumerate() {
+                                let world = Arc::clone(&world);
+                                let m = &per_rank[rank];
+                                let data = &data;
+                                scope.spawn(move || {
+                                    let lb = local_field_bounds(m, "reduce");
+                                    let p = compile_module_tiered(m, "reduce", Some(tier)).unwrap();
+                                    let mut args: Vec<Vec<f64>> =
+                                        data.iter().map(|d| extract(d, field, &lb)).collect();
+                                    let mut runner = Runner::new(p, threads);
+                                    runner
+                                        .step_distributed(&mut args, &world, rank as i64)
+                                        .unwrap();
+                                    *out = runner.scalar_outputs()[0];
+                                });
+                            }
+                        });
+                        for (rank, v) in got.iter().enumerate() {
+                            assert_eq!(
+                                v.to_bits(),
+                                want.to_bits(),
+                                "{dims}D {kind} × {strategy} × {} × {threads} threads, \
+                                 rank {rank}: {v} != serial {want}",
+                                tier.name(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cg_residual_trajectory_matches_serial_bit_for_bit() {
+    for tier in tiers() {
+        let cfg = cg::CgConfig { tier: Some(tier), ..cg::CgConfig::new(20) };
+        let serial = cg::solve(&cfg).unwrap();
+        assert!(serial.converged, "{}: {:?}", tier.name(), serial.residuals);
+        for strategy in strategy_names() {
+            for threads in [1usize, 2] {
+                let cfg = cg::CgConfig { threads, ..cfg.clone() };
+                let dist =
+                    cg::solve_distributed(&cfg, strategy, factors_for(strategy), vec![2], true)
+                        .unwrap();
+                assert_eq!(
+                    dist.residuals.len(),
+                    serial.residuals.len(),
+                    "{strategy} × {} × {threads} threads",
+                    tier.name()
+                );
+                for (k, (a, b)) in dist.residuals.iter().zip(&serial.residuals).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{strategy} × {} × {threads} threads, iteration {k}: {a} != {b}",
+                        tier.name()
+                    );
+                }
+                assert_eq!(dist.x, serial.x, "{strategy}: gathered solution differs");
+            }
+        }
+    }
+}

@@ -28,6 +28,90 @@ use sten_interp::SimWorld;
 use sten_ir::{Bounds, FieldType, Module, Pass as _, Type};
 use sten_stencil::{ops, samples, ShapeInference};
 
+/// A CG solve that failed *gracefully*: every variant carries the
+/// residual trajectory walked so far, so a caller can inspect how the
+/// solve degraded (diverged, flat-lined, lost positive-definiteness)
+/// instead of facing a panic or an iteration loop that never ends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CgError {
+    /// A residual or curvature term became NaN/∞ — the iteration can
+    /// only produce garbage from here.
+    NonFiniteResidual {
+        /// Iteration at which the non-finite value appeared.
+        iteration: usize,
+        /// `‖r_k‖` for k = 0 through the failure.
+        residuals: Vec<f64>,
+    },
+    /// The residual stopped improving long before `tol`: no progress in
+    /// `window` consecutive iterations.
+    Stagnation {
+        /// Iterations completed when stagnation was diagnosed.
+        iteration: usize,
+        /// The best residual reached.
+        best: f64,
+        /// The no-progress window that triggered the diagnosis.
+        window: usize,
+        /// `‖r_k‖` for k = 0 through the failure.
+        residuals: Vec<f64>,
+    },
+    /// `p·Ap ≤ 0` with a residual still above `tol`: the operator is not
+    /// positive-definite on this subspace (or precision is exhausted).
+    Breakdown {
+        /// Iteration at which the curvature failed.
+        iteration: usize,
+        /// The offending `p·Ap` value.
+        pap: f64,
+        /// `‖r_k‖` for k = 0 through the failure.
+        residuals: Vec<f64>,
+    },
+    /// The execution substrate failed (compilation, communication,
+    /// shape errors) before the iteration could degrade numerically.
+    Exec(String),
+}
+
+impl std::fmt::Display for CgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CgError::NonFiniteResidual { iteration, residuals } => write!(
+                f,
+                "CG produced a non-finite residual at iteration {iteration} (last finite \
+                 ‖r‖ = {:?})",
+                residuals.last()
+            ),
+            CgError::Stagnation { iteration, best, window, .. } => write!(
+                f,
+                "CG stagnated at iteration {iteration}: no progress below ‖r‖ = {best:e} \
+                 for {window} consecutive iterations"
+            ),
+            CgError::Breakdown { iteration, pap, .. } => {
+                write!(f, "CG broke down at iteration {iteration}: p·Ap = {pap:e} is not positive")
+            }
+            CgError::Exec(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CgError {}
+
+impl From<String> for CgError {
+    fn from(msg: String) -> CgError {
+        CgError::Exec(msg)
+    }
+}
+
+impl CgError {
+    /// The residual trajectory walked before the failure (empty for
+    /// substrate errors).
+    pub fn residuals(&self) -> &[f64] {
+        match self {
+            CgError::NonFiniteResidual { residuals, .. }
+            | CgError::Stagnation { residuals, .. }
+            | CgError::Breakdown { residuals, .. } => residuals,
+            CgError::Exec(_) => &[],
+        }
+    }
+}
+
 /// Problem and solver parameters for [`solve`] / [`solve_distributed`].
 #[derive(Clone, Debug)]
 pub struct CgConfig {
@@ -207,14 +291,53 @@ enum Which {
     Axpy,
 }
 
+/// Iterations without any residual improvement before the solve is
+/// diagnosed as stagnated (well above CG's usual oscillation span, well
+/// below a runaway loop).
+const STAGNATION_WINDOW: usize = 50;
+
+/// Watches the residual trajectory for a flat-line: `observe` returns
+/// `true` when `window` consecutive residuals failed to improve on the
+/// best seen — the no-progress signal [`CgError::Stagnation`] reports.
+/// (On this stack's exact-reduction CG the recurrence residual descends
+/// monotonically to literal zero, so the detector guards against
+/// *future* operators and preconditioners, and is exercised directly by
+/// unit tests.)
+struct StagnationTracker {
+    best: f64,
+    since_best: usize,
+    window: usize,
+}
+
+impl StagnationTracker {
+    fn new(initial: f64, window: usize) -> StagnationTracker {
+        StagnationTracker { best: initial, since_best: 0, window }
+    }
+
+    fn observe(&mut self, residual: f64) -> bool {
+        if residual < self.best {
+            self.best = residual;
+            self.since_best = 0;
+        } else {
+            self.since_best += 1;
+        }
+        self.since_best >= self.window
+    }
+}
+
 /// One rank's CG iteration: textbook CG with the runtime scalars α and β
 /// recomputed locally on every rank — safe because the reductions they
 /// derive from are bit-identical everywhere.
+///
+/// Degrades gracefully instead of looping or panicking: a NaN/∞
+/// residual, a non-positive curvature `p·Ap`, or a residual that stops
+/// improving for [`STAGNATION_WINDOW`] iterations each surface as the
+/// matching [`CgError`], carrying the trajectory walked so far.
 fn cg_iterate(
     solver: &mut RankSolver,
     b: Vec<f64>,
     cfg: &CgConfig,
-) -> Result<(Vec<f64>, Vec<f64>, bool, usize), String> {
+) -> Result<(Vec<f64>, Vec<f64>, bool, usize), CgError> {
     let len = b.len();
     let mut x = vec![0.0; len];
     let mut r = b.clone();
@@ -223,14 +346,24 @@ fn cg_iterate(
     let mut scratch = vec![0.0; len];
 
     let mut rsold = solver.norm2(&mut r)?;
+    if !rsold.is_finite() {
+        return Err(CgError::NonFiniteResidual { iteration: 0, residuals: vec![] });
+    }
     let mut residuals = vec![rsold.sqrt()];
     let mut converged = rsold.sqrt() < cfg.tol;
     let mut iters = 0;
+    let mut tracker = StagnationTracker::new(rsold.sqrt(), STAGNATION_WINDOW);
     while !converged && iters < cfg.max_iters {
         solver.apply_op(&mut p, &mut ap)?;
         let pap = solver.dot(&mut p, &mut ap)?;
-        if pap == 0.0 {
-            break; // b = 0 or numerically exhausted: x is the answer.
+        if !pap.is_finite() {
+            return Err(CgError::NonFiniteResidual { iteration: iters, residuals });
+        }
+        if pap <= 0.0 {
+            // The residual is still above tol (the loop guard), yet the
+            // search direction has no positive curvature: A is not SPD
+            // on this subspace, or precision is exhausted.
+            return Err(CgError::Breakdown { iteration: iters, pap, residuals });
         }
         let alpha = rsold / pap;
         solver.axpy(alpha, &mut x, &mut p, &mut scratch)?;
@@ -239,10 +372,21 @@ fn cg_iterate(
         std::mem::swap(&mut r, &mut scratch);
         let rsnew = solver.norm2(&mut r)?;
         iters += 1;
+        if !rsnew.is_finite() {
+            return Err(CgError::NonFiniteResidual { iteration: iters, residuals });
+        }
         residuals.push(rsnew.sqrt());
         if rsnew.sqrt() < cfg.tol {
             converged = true;
             break;
+        }
+        if tracker.observe(rsnew.sqrt()) {
+            return Err(CgError::Stagnation {
+                iteration: iters,
+                best: tracker.best,
+                window: tracker.window,
+                residuals,
+            });
         }
         let beta = rsnew / rsold;
         solver.axpy(beta, &mut r, &mut p, &mut scratch)?;
@@ -253,7 +397,12 @@ fn cg_iterate(
 }
 
 /// Serial reference solve: one rank owning the whole domain, no world.
-pub fn solve(cfg: &CgConfig) -> Result<CgReport, String> {
+///
+/// # Errors
+/// Compilation/shape failures surface as [`CgError::Exec`]; numerical
+/// degradation as the matching typed variant with its residual
+/// trajectory.
+pub fn solve(cfg: &CgConfig) -> Result<CgReport, CgError> {
     let field = Bounds::new(vec![(-1, cfg.n + 1), (-1, cfg.n + 1)]);
     let core = Bounds::new(vec![(0, cfg.n), (0, cfg.n)]);
     let op_m = prep(samples::heat_2d(cfg.n, -cfg.lam))?;
@@ -285,10 +434,10 @@ pub fn solve_distributed(
     factors: Option<Vec<i64>>,
     grid: Vec<i64>,
     overlap: bool,
-) -> Result<CgReport, String> {
+) -> Result<CgReport, CgError> {
     let ranks = grid.iter().product::<i64>();
     if ranks < 1 {
-        return Err("rank grid must be non-empty".into());
+        return Err(CgError::Exec("rank grid must be non-empty".into()));
     }
     let global_core = Bounds::new(vec![(0, cfg.n), (0, cfg.n)]);
     let strat = make_strategy(strategy, factors.clone())?;
@@ -318,11 +467,11 @@ pub fn solve_distributed(
         let local_field = Bounds::new(core.0.iter().map(|&(lo, hi)| (lo - 1, hi + 1)).collect());
         let shape: Vec<i64> = local_field.0.iter().map(|&(lo, hi)| hi - lo).collect();
         if op.arg_shapes[0] != shape {
-            return Err(format!(
+            return Err(CgError::Exec(format!(
                 "rank {rank}: decomposition box {shape:?} disagrees with the \
                  distributed pipeline's local field {:?}",
                 op.arg_shapes[0]
-            ));
+            )));
         }
 
         // Pointwise and reduction pipelines are built directly on the
@@ -351,19 +500,19 @@ pub fn solve_distributed(
     }
 
     // One OS thread per rank, exchanging through the shared world.
-    let results: Result<Vec<_>, String> = std::thread::scope(|scope| {
+    let results: Result<Vec<_>, CgError> = std::thread::scope(|scope| {
         let handles: Vec<_> = setups
             .into_iter()
             .map(|(mut solver, b_local, core, local_field)| {
                 scope.spawn(move || {
                     let out = cg_iterate(&mut solver, b_local, cfg)?;
-                    Ok::<_, String>((out, core, local_field))
+                    Ok::<_, CgError>((out, core, local_field))
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().map_err(|_| "rank thread panicked".to_string())?)
+            .map(|h| h.join().map_err(|_| CgError::Exec("rank thread panicked".to_string()))?)
             .collect()
     });
     let results = results?;
@@ -374,9 +523,9 @@ pub fn solve_distributed(
         let same = res.len() == residuals0.len()
             && res.iter().zip(residuals0).all(|(a, b)| a.to_bits() == b.to_bits());
         if !same {
-            return Err(format!(
+            return Err(CgError::Exec(format!(
                 "rank {rank} residual trajectory diverged from rank 0 — determinism bug"
-            ));
+            )));
         }
     }
 
@@ -442,6 +591,56 @@ mod tests {
             }
             assert_eq!(dist.x, serial.x, "{strategy}: gathered solution differs");
         }
+    }
+
+    #[test]
+    fn indefinite_operator_degrades_to_a_typed_breakdown() {
+        // λ < 0 with |λ| large makes A = I − λ∇² indefinite: CG's
+        // curvature term goes non-positive. The solve must return a
+        // typed breakdown carrying the trajectory — not loop or panic.
+        let cfg = CgConfig { lam: -2.0, ..CgConfig::new(16) };
+        match solve(&cfg) {
+            Err(CgError::Breakdown { pap, residuals, .. }) => {
+                assert!(pap <= 0.0, "breakdown must carry the offending curvature");
+                assert!(!residuals.is_empty(), "trajectory travels with the error");
+            }
+            other => panic!("expected a typed breakdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_operator_degrades_to_a_typed_error() {
+        // A NaN diffusion coefficient contaminates the first operator
+        // apply; the solve must report it with the trajectory so far.
+        let cfg = CgConfig { lam: f64::NAN, ..CgConfig::new(12) };
+        match solve(&cfg) {
+            Err(CgError::NonFiniteResidual { residuals, .. }) => {
+                assert_eq!(residuals.len(), 1, "only the (finite) initial ‖r‖ was walked");
+            }
+            other => panic!("expected a non-finite diagnosis, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stagnation_detector_fires_on_a_flat_line_only() {
+        // Steady improvement never triggers, a plateau triggers after
+        // exactly `window` non-improving observations, and any
+        // improvement resets the count.
+        let mut t = StagnationTracker::new(1.0, 3);
+        for r in [0.5, 0.25, 0.125] {
+            assert!(!t.observe(r), "improving residuals are progress");
+        }
+        assert!(!t.observe(0.2), "1 flat observation: below the window");
+        assert!(!t.observe(0.2), "2 flat observations: below the window");
+        assert!(t.observe(0.2), "3 flat observations: stagnated");
+        let mut t = StagnationTracker::new(1.0, 3);
+        assert!(!t.observe(0.9));
+        assert!(!t.observe(0.95));
+        assert!(!t.observe(0.95));
+        assert!(!t.observe(0.5), "an improvement resets the window");
+        assert!(!t.observe(0.6));
+        assert!(!t.observe(0.6));
+        assert!(t.observe(0.6));
     }
 
     #[test]

@@ -19,7 +19,14 @@
 //!   substitute: longest-dimension chunks onto long-lived workers with
 //!   reusable scratch), or SPMD-distributed over a
 //!   [`sten_interp::SimWorld`] (ranks-as-threads, the mpirun
-//!   substitute).
+//!   substitute);
+//! * [`resilient`] — checkpoint/restart on top of the distributed
+//!   runner: a content-addressed [`resilient::CheckpointStore`] plus
+//!   [`resilient::run_resilient`], the cohort driver that rolls every
+//!   rank back to the latest consistent checkpoint when a rank crashes.
+//!   Fault-injected exchanges run a sequence-numbered reliable protocol
+//!   (timeout, bounded-backoff re-request/re-send, duplicate
+//!   suppression) surfacing [`pipeline::ExecError`] instead of hanging.
 //!
 //! Numerical results are bit-identical to the `sten-interp` tree-walker on
 //! the same module — the workspace tests enforce this.
@@ -27,11 +34,14 @@
 pub mod pipeline;
 pub mod pool;
 pub mod program;
+pub mod resilient;
 pub mod specialize;
 
 pub use pipeline::{
-    compile_module, compile_module_tiered, ApplyRegion, BufId, Pipeline, Runner, Step,
+    compile_module, compile_module_tiered, ApplyRegion, BufId, ExecError, Pipeline, RankSnapshot,
+    Runner, Step,
 };
 pub use pool::WorkerPool;
 pub use program::{split_longest_dim, BinOp, CompiledKernel, ExecScratch, Instr, KernelProgram};
+pub use resilient::{run_resilient, CheckpointStore, ResilientConfig, ResilientReport};
 pub use specialize::{SpecializedKernel, Tier, TierKind};

@@ -44,9 +44,151 @@ use crate::program::{
 use crate::specialize::{SpecializedKernel, TierKind};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use sten_interp::{ReduceAcc, ReduceKind, SimWorld};
+use sten_interp::{FaultAction, MpiError, ReduceAcc, ReduceKind, SimWorld};
 use sten_ir::{Attribute, Bounds, ExchangeAttr, Module, Type, Value};
-use sten_trace::{SpanKind, TraceLane, Tracer};
+use sten_trace::{Counter, SpanKind, TraceLane, Tracer};
+
+/// A structured executor failure. Distributed steps surface one instead
+/// of panicking or hanging: communication failures carry the SimMPI
+/// diagnosis, retry-budget exhaustion names the swap and neighbour, and
+/// an injected crash identifies the rank and step (the resilient driver
+/// keys recovery on these).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The communication substrate failed (poison, timeout, protocol
+    /// violation).
+    Mpi(MpiError),
+    /// A reliable halo exchange exhausted its retry budget.
+    SwapTimeout {
+        /// The waiting rank.
+        rank: i64,
+        /// Swap id within the pipeline.
+        swap: usize,
+        /// The neighbour whose halo never arrived.
+        neighbor: i64,
+        /// The expected message tag.
+        tag: i32,
+        /// Retries attempted (each with doubled timeout).
+        attempts: u32,
+        /// Total time waited across attempts, milliseconds.
+        waited_ms: u64,
+    },
+    /// A scheduled rank crash fired on this rank at this step.
+    InjectedCrash {
+        /// The crashed rank.
+        rank: i64,
+        /// The timestep it crashed at.
+        step: u64,
+    },
+    /// Any other executor failure (shape mismatches, unsupported
+    /// structure) — the legacy string diagnostics.
+    Exec(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Mpi(e) => write!(f, "{e}"),
+            ExecError::SwapTimeout { rank, swap, neighbor, tag, attempts, waited_ms } => write!(
+                f,
+                "rank {rank}: swap#{swap} halo from rank {neighbor} (tag {tag}) still missing \
+                 after {attempts} retries ({waited_ms} ms)"
+            ),
+            ExecError::InjectedCrash { rank, step } => {
+                write!(f, "rank {rank}: injected crash at step {step}")
+            }
+            ExecError::Exec(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<MpiError> for ExecError {
+    fn from(e: MpiError) -> ExecError {
+        ExecError::Mpi(e)
+    }
+}
+
+impl From<String> for ExecError {
+    fn from(msg: String) -> ExecError {
+        ExecError::Exec(msg)
+    }
+}
+
+/// One rank's restartable execution state: the timestep counter, every
+/// field argument, and the scalar slots (temporaries are recomputed from
+/// scratch each step, so they need no capture). The digest is the
+/// FNV-1a-128 hash of the serialized state — the content address the
+/// checkpoint store files the snapshot under, and the value the
+/// checkpoint barrier exchanges to certify a consistent cut.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankSnapshot {
+    /// Timesteps completed when the snapshot was taken.
+    pub step: u64,
+    /// The field arguments, in pipeline argument order.
+    pub args: Vec<Vec<f64>>,
+    /// The runner's scalar slots (runtime scalars, reduction results).
+    pub scalar_slots: Vec<f64>,
+    /// Content hash of the serialized snapshot.
+    pub digest: u128,
+}
+
+impl RankSnapshot {
+    /// Serializes the snapshot (little-endian words: step, arg count,
+    /// per-arg length + raw f64 bits, slot count + raw f64 bits). Bit
+    /// patterns are preserved exactly — a restore is bit-identical.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let doubles: usize =
+            self.args.iter().map(|a| a.len()).sum::<usize>() + self.scalar_slots.len();
+        let mut out = Vec::with_capacity(8 * (3 + self.args.len() + doubles));
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.extend_from_slice(&(self.args.len() as u64).to_le_bytes());
+        for a in &self.args {
+            out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+            for v in a {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.scalar_slots.len() as u64).to_le_bytes());
+        for v in &self.scalar_slots {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a snapshot written by [`RankSnapshot::to_bytes`].
+    ///
+    /// # Errors
+    /// Reports truncated or malformed bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<RankSnapshot, String> {
+        let mut at = 0usize;
+        let word = |n: &mut usize| -> Result<u64, String> {
+            let end = *n + 8;
+            let chunk = bytes.get(*n..end).ok_or("truncated checkpoint blob")?;
+            *n = end;
+            Ok(u64::from_le_bytes(chunk.try_into().unwrap()))
+        };
+        let step = word(&mut at)?;
+        let num_args = word(&mut at)? as usize;
+        let mut args = Vec::with_capacity(num_args);
+        for _ in 0..num_args {
+            let len = word(&mut at)? as usize;
+            let mut a = Vec::with_capacity(len);
+            for _ in 0..len {
+                a.push(f64::from_bits(word(&mut at)?));
+            }
+            args.push(a);
+        }
+        let num_slots = word(&mut at)? as usize;
+        let mut scalar_slots = Vec::with_capacity(num_slots);
+        for _ in 0..num_slots {
+            scalar_slots.push(f64::from_bits(word(&mut at)?));
+        }
+        let digest = sten_ir::content_hash(bytes);
+        Ok(RankSnapshot { step, args, scalar_slots, digest })
+    }
+}
 
 /// Identifies a buffer in a pipeline.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -399,9 +541,22 @@ impl Pipeline {
 /// between the pack (gather) side and the unpack (scatter) side, so the
 /// steady state of a timestep loop allocates nothing — received buffers
 /// become the next step's send buffers.
+///
+/// On a world with [`Reliability`] attached, the scratch additionally
+/// carries the reliable-exchange state: a per-swap sequence number
+/// (stamped into every outgoing frame, incremented once per
+/// [`swap_begin`]) and the retained copies of the current round's
+/// outgoing frames, re-sent verbatim on a receive timeout — the peer
+/// suppresses the duplicates by sequence number, so the re-send is
+/// idempotent.
 #[derive(Clone, Debug, Default)]
 struct SwapScratch {
     free: Vec<Vec<f64>>,
+    /// Sequence number of the in-flight round (0 = nothing sent yet).
+    seq: u64,
+    /// Retained `(dst, tag, framed payload)` of the current round, for
+    /// timeout-triggered re-sends from the recycled pack buffers.
+    sent: Vec<(i32, i32, Vec<f64>)>,
 }
 
 impl SwapScratch {
@@ -420,6 +575,24 @@ impl SwapScratch {
         self.free.push(v);
     }
 }
+
+/// A frame received out of order on a reliable exchange: either a later
+/// sequence number overtook the expected one (a reordering fault) or a
+/// frame for a different swap id sharing the direction tag arrived
+/// first. Parked until the wait that expects it comes around.
+#[derive(Clone, Debug)]
+struct StashedFrame {
+    src: i32,
+    tag: i32,
+    swap: u64,
+    seq: u64,
+    frame: Vec<f64>,
+}
+
+/// Words of frame header a reliable exchange prepends to each halo
+/// payload: the swap id and the sequence number, each stored exactly as
+/// a small-integer `f64`.
+const FRAME_HEADER: usize = 2;
 
 /// Executes a [`Pipeline`].
 ///
@@ -441,6 +614,10 @@ pub struct Runner {
     /// steps so later steps (and the caller) can read them.
     scalar_slots: Vec<f64>,
     swap_scratch: Vec<SwapScratch>,
+    /// Out-of-order frames parked by reliable exchanges, shared across
+    /// swap ids (distinct swaps reuse a direction's tag, so an early
+    /// frame can belong to a different swap than the one waiting).
+    swap_stash: Vec<StashedFrame>,
     copy_scratch: Vec<f64>,
     /// Per-phase step schedules for temporal blocking, built lazily on
     /// the first distributed step: the phase-region growth is clamped
@@ -475,6 +652,7 @@ impl Runner {
             scratch: ExecScratch::new(),
             scalar_slots,
             swap_scratch,
+            swap_stash: Vec::new(),
             copy_scratch: Vec::new(),
             phase_schedule: None,
             lane: TraceLane::disabled(),
@@ -528,7 +706,7 @@ impl Runner {
     /// # Panics
     /// Panics if `args` count differs from the pipeline's `num_args`.
     pub fn step(&mut self, args: &mut [Vec<f64>]) -> Result<(), String> {
-        self.step_inner(args, None, 0)
+        self.step_inner(args, None, 0).map_err(|e| e.to_string())
     }
 
     /// Runs one timestep as `rank` of a SimMPI world.
@@ -541,7 +719,71 @@ impl Runner {
         world: &Arc<SimWorld>,
         rank: i64,
     ) -> Result<(), String> {
-        self.step_inner(args, Some(world), rank)
+        self.step_inner(args, Some(world), rank).map_err(|e| e.to_string())
+    }
+
+    /// [`Runner::step_distributed`] with the structured error, plus
+    /// failure propagation: any error other than an incoming poison
+    /// poisons the world, so peers blocked in receives or collective
+    /// rendezvous wake with [`MpiError::Poisoned`] instead of hanging on
+    /// the failed rank.
+    ///
+    /// # Errors
+    /// Reports shape mismatches, communication failures, exhausted retry
+    /// budgets, and injected crashes as a typed [`ExecError`].
+    pub fn step_distributed_checked(
+        &mut self,
+        args: &mut [Vec<f64>],
+        world: &Arc<SimWorld>,
+        rank: i64,
+    ) -> Result<(), ExecError> {
+        let result = self.step_inner(args, Some(world), rank);
+        if let Err(e) = &result {
+            if !matches!(e, ExecError::Mpi(MpiError::Poisoned { .. })) {
+                world.poison(rank as i32, e.to_string());
+            }
+        }
+        result
+    }
+
+    /// Captures this rank's restartable state (timestep, field args,
+    /// scalar slots) as a [`RankSnapshot`], digesting the serialized
+    /// form so identical states share one content address.
+    pub fn snapshot(&self, args: &[Vec<f64>]) -> RankSnapshot {
+        let mut snap = RankSnapshot {
+            step: self.timestep,
+            args: args.to_vec(),
+            scalar_slots: self.scalar_slots.clone(),
+            digest: 0,
+        };
+        snap.digest = sten_ir::content_hash(&snap.to_bytes());
+        snap
+    }
+
+    /// Rolls this rank back to `snap`: overwrites `args` and the scalar
+    /// slots, and rewinds the timestep counter (so temporal-blocking
+    /// phase alignment and trace indices resume consistently).
+    ///
+    /// # Panics
+    /// Panics if the snapshot's shape disagrees with the pipeline's.
+    pub fn restore(&mut self, args: &mut [Vec<f64>], snap: &RankSnapshot) {
+        assert_eq!(args.len(), snap.args.len(), "snapshot argument count mismatch");
+        for (a, s) in args.iter_mut().zip(&snap.args) {
+            assert_eq!(a.len(), s.len(), "snapshot argument shape mismatch");
+            a.clone_from(s);
+        }
+        self.scalar_slots.clone_from(&snap.scalar_slots);
+        self.timestep = snap.step;
+        // A restore accompanies a fresh world (rollback discards all
+        // in-flight messages); reliable-exchange state restarts with it.
+        for s in &mut self.swap_scratch {
+            s.seq = 0;
+            let retained = std::mem::take(&mut s.sent);
+            for (_, _, frame) in retained {
+                s.recycle(frame);
+            }
+        }
+        self.swap_stash.clear();
     }
 
     fn step_inner(
@@ -549,10 +791,30 @@ impl Runner {
         args: &mut [Vec<f64>],
         world: Option<&Arc<SimWorld>>,
         rank: i64,
-    ) -> Result<(), String> {
+    ) -> Result<(), ExecError> {
         assert_eq!(args.len(), self.pipeline.num_args, "argument count mismatch");
         let index = self.timestep;
         self.timestep += 1;
+        if let Some(world) = world {
+            if let Some(action) = world.fault_plan().and_then(|p| p.on_step(rank as i32, index)) {
+                let tracer = world.tracer();
+                tracer.count(Counter::FaultsInjected, 1);
+                tracer.record_instant(rank.max(0) as u32, 0, || SpanKind::Fault {
+                    fault: action.name(),
+                    rank: rank as i32,
+                    detail: format!("step {index}"),
+                });
+                match action {
+                    FaultAction::RankStall { for_ms } => {
+                        std::thread::sleep(std::time::Duration::from_millis(for_ms));
+                    }
+                    FaultAction::RankCrash => {
+                        return Err(ExecError::InjectedCrash { rank, step: index });
+                    }
+                    _ => {}
+                }
+            }
+        }
         if self.pipeline.temporal.is_some() && self.phase_schedule.is_none() && world.is_some() {
             self.phase_schedule = Some(build_phase_schedule(&self.pipeline, rank)?);
         }
@@ -562,6 +824,7 @@ impl Runner {
         let scratch = &mut self.scratch;
         let scalar_slots = &mut self.scalar_slots;
         let swap_scratch = &mut self.swap_scratch;
+        let swap_stash = &mut self.swap_stash;
         let copy_scratch = &mut self.copy_scratch;
         let lane = &mut self.lane;
         let steps: &[Step] = match &self.phase_schedule {
@@ -647,7 +910,7 @@ impl Runner {
                             let t_wait = lane.start();
                             let wire = acc.to_wire();
                             let bytes = 8 * wire.len() as u64;
-                            let parts = world.exchange_all(rank as usize, wire);
+                            let parts = world.exchange_all(rank as usize, wire)?;
                             let nparts = parts.len();
                             let mut merged = ReduceAcc::new(*kind);
                             for part in &parts {
@@ -667,9 +930,9 @@ impl Runner {
                 }
                 Step::SwapBegin { id, buf, grid, exchanges } => {
                     let Some(world) = world else {
-                        return Err(
-                            "pipeline contains dmp.swap steps — use step_distributed".into()
-                        );
+                        return Err(ExecError::Exec(
+                            "pipeline contains dmp.swap steps — use step_distributed".into(),
+                        ));
                     };
                     let shape = match *buf {
                         BufId::Arg(i) => &pipeline.arg_shapes[i],
@@ -679,22 +942,36 @@ impl Runner {
                         BufId::Arg(i) => &args[i],
                         BufId::Tmp(i) => &tmps[i],
                     };
-                    swap_begin(
-                        world,
-                        rank,
-                        grid,
-                        exchanges,
-                        shape,
-                        data,
-                        &mut swap_scratch[*id],
-                        lane,
-                    )?;
+                    if world.reliability().is_some() {
+                        reliable_swap_begin(
+                            world,
+                            rank,
+                            *id,
+                            grid,
+                            exchanges,
+                            shape,
+                            data,
+                            &mut swap_scratch[*id],
+                            lane,
+                        )?;
+                    } else {
+                        swap_begin(
+                            world,
+                            rank,
+                            grid,
+                            exchanges,
+                            shape,
+                            data,
+                            &mut swap_scratch[*id],
+                            lane,
+                        )?;
+                    }
                 }
                 Step::SwapWait { id, buf, grid, exchanges } => {
                     let Some(world) = world else {
-                        return Err(
-                            "pipeline contains dmp.swap steps — use step_distributed".into()
-                        );
+                        return Err(ExecError::Exec(
+                            "pipeline contains dmp.swap steps — use step_distributed".into(),
+                        ));
                     };
                     let shape = match *buf {
                         BufId::Arg(i) => &pipeline.arg_shapes[i],
@@ -704,16 +981,33 @@ impl Runner {
                         BufId::Arg(i) => &mut args[i],
                         BufId::Tmp(i) => &mut tmps[i],
                     };
-                    swap_wait(
-                        world,
-                        rank,
-                        grid,
-                        exchanges,
-                        shape,
-                        data,
-                        &mut swap_scratch[*id],
-                        lane,
-                    )?;
+                    if let Some(rel) = world.reliability() {
+                        let rel = rel.clone();
+                        reliable_swap_wait(
+                            world,
+                            rank,
+                            *id,
+                            grid,
+                            exchanges,
+                            shape,
+                            data,
+                            &mut swap_scratch[*id],
+                            swap_stash,
+                            lane,
+                            &rel,
+                        )?;
+                    } else {
+                        swap_wait(
+                            world,
+                            rank,
+                            grid,
+                            exchanges,
+                            shape,
+                            data,
+                            &mut swap_scratch[*id],
+                            lane,
+                        )?;
+                    }
                 }
                 Step::Copy { src, src_desc, dst, dst_desc, range } if range.num_points() > 0 => {
                     if src == dst {
@@ -995,7 +1289,9 @@ fn swap_wait(
     for e in exchanges {
         if let Some(n) = neighbor_rank(rank, grid, &e.to)? {
             let neg: Vec<i64> = e.to.iter().map(|t| -t).collect();
-            let msg = world.recv(rank as i32, n as i32, tag_for_direction(&neg) as i32);
+            let msg = world
+                .recv(rank as i32, n as i32, tag_for_direction(&neg) as i32)
+                .map_err(|e| e.to_string())?;
             let range = Bounds::new(e.at.iter().zip(&e.size).map(|(&a, &s)| (a, a + s)).collect());
             if msg.len() != range.num_points().max(0) as usize {
                 return Err(format!(
@@ -1015,6 +1311,176 @@ fn swap_wait(
             lane.span(t0, || SpanKind::Unpack { dir: e.to.clone(), bytes });
             scratch.recycle(msg);
         }
+    }
+    Ok(())
+}
+
+/// [`swap_begin`] under the reliable protocol: each outgoing payload is
+/// framed with `[swap id, sequence]` (the sequence increments once per
+/// round, shared by every direction of the swap), and a copy of every
+/// frame is retained in the scratch so a timed-out peer receive can
+/// trigger an idempotent re-send. Retained frames from the previous
+/// round are recycled here — the matching wait completed before this
+/// begin runs.
+#[allow(clippy::too_many_arguments)]
+fn reliable_swap_begin(
+    world: &Arc<SimWorld>,
+    rank: i64,
+    id: usize,
+    grid: &[i64],
+    exchanges: &[ExchangeAttr],
+    shape: &[i64],
+    data: &[f64],
+    scratch: &mut SwapScratch,
+    lane: &mut TraceLane,
+) -> Result<(), ExecError> {
+    use sten_dmp::decomposition::neighbor_rank;
+    use sten_mpi::dmp_to_mpi::tag_for_direction;
+    scratch.seq += 1;
+    let seq = scratch.seq;
+    let retained = std::mem::take(&mut scratch.sent);
+    for (_, _, frame) in retained {
+        scratch.recycle(frame);
+    }
+    let desc = InputDesc::new(shape.to_vec(), vec![0; shape.len()]);
+    for e in exchanges {
+        if let Some(n) = neighbor_rank(rank, grid, &e.to)? {
+            let send_at = e.send_at();
+            let range =
+                Bounds::new(send_at.iter().zip(&e.size).map(|(&a, &s)| (a, a + s)).collect());
+            let t0 = lane.start();
+            let mut msg = scratch.take(FRAME_HEADER + range.num_points().max(0) as usize);
+            msg.push(id as f64);
+            msg.push(seq as f64);
+            for_each_row(&range, |p, len| {
+                let s = desc.flat(p) as usize;
+                msg.extend_from_slice(&data[s..s + len]);
+            });
+            let bytes = 8 * msg.len() as u64;
+            lane.span(t0, || SpanKind::Pack { dir: e.to.clone(), bytes });
+            let tag = tag_for_direction(&e.to) as i32;
+            world.send(rank as i32, n as i32, tag, msg.clone());
+            scratch.sent.push((n as i32, tag, msg));
+        }
+    }
+    Ok(())
+}
+
+/// [`swap_wait`] under the reliable protocol. Each expected frame is
+/// taken from the stash if an earlier wait already received it;
+/// otherwise receives run with a bounded timeout. A frame with a stale
+/// sequence (a duplicate of an already-consumed round) is suppressed; a
+/// frame for a later round or another swap sharing the tag is stashed.
+/// On timeout the receiver re-requests a possibly-dropped inbound frame
+/// from the world's lost store and re-sends its own retained outgoing
+/// frames (deduplicated at the peer by sequence), doubling the timeout
+/// each retry; exhausting the budget is [`ExecError::SwapTimeout`] —
+/// never a hang.
+#[allow(clippy::too_many_arguments)]
+fn reliable_swap_wait(
+    world: &Arc<SimWorld>,
+    rank: i64,
+    id: usize,
+    grid: &[i64],
+    exchanges: &[ExchangeAttr],
+    shape: &[i64],
+    data: &mut [f64],
+    scratch: &mut SwapScratch,
+    stash: &mut Vec<StashedFrame>,
+    lane: &mut TraceLane,
+    rel: &sten_interp::Reliability,
+) -> Result<(), ExecError> {
+    use sten_dmp::decomposition::neighbor_rank;
+    use sten_mpi::dmp_to_mpi::tag_for_direction;
+    let desc = InputDesc::new(shape.to_vec(), vec![0; shape.len()]);
+    let seq = scratch.seq;
+    for e in exchanges {
+        let Some(n) = neighbor_rank(rank, grid, &e.to)? else { continue };
+        let neg: Vec<i64> = e.to.iter().map(|t| -t).collect();
+        let tag = tag_for_direction(&neg) as i32;
+        let src = n as i32;
+        let mut timeout_ms = rel.swap_timeout_ms.max(1);
+        let mut attempts = 0u32;
+        let mut waited_ms = 0u64;
+        let frame = loop {
+            if let Some(pos) = stash
+                .iter()
+                .position(|s| s.src == src && s.tag == tag && s.swap == id as u64 && s.seq == seq)
+            {
+                break stash.swap_remove(pos).frame;
+            }
+            match world.recv_timeout(
+                rank as i32,
+                src,
+                tag,
+                std::time::Duration::from_millis(timeout_ms),
+            )? {
+                Some(msg) => {
+                    if msg.len() < FRAME_HEADER {
+                        return Err(ExecError::Exec(format!(
+                            "rank {rank}: reliable frame from rank {n} tag {tag} has only {} \
+                             words — missing its [swap, seq] header",
+                            msg.len()
+                        )));
+                    }
+                    let mid = msg[0] as u64;
+                    let mseq = msg[1] as u64;
+                    if mid == id as u64 && mseq == seq {
+                        break msg;
+                    } else if mid == id as u64 && mseq < seq {
+                        // Stale duplicate of a completed round (a
+                        // duplication fault or a redundant re-send).
+                        scratch.recycle(msg);
+                    } else {
+                        stash.push(StashedFrame { src, tag, swap: mid, seq: mseq, frame: msg });
+                    }
+                }
+                None => {
+                    attempts += 1;
+                    waited_ms += timeout_ms;
+                    if attempts > rel.max_retries {
+                        return Err(ExecError::SwapTimeout {
+                            rank,
+                            swap: id,
+                            neighbor: n,
+                            tag,
+                            attempts: attempts - 1,
+                            waited_ms,
+                        });
+                    }
+                    world.tracer().record_instant(rank.max(0) as u32, 0, || SpanKind::Retry {
+                        target: format!("swap#{id} ← rank {n} tag {tag}"),
+                        attempt: attempts,
+                    });
+                    world.rerequest(rank as i32, src, tag);
+                    for (dst, t, payload) in &scratch.sent {
+                        world.send(rank as i32, *dst, *t, payload.clone());
+                    }
+                    timeout_ms = timeout_ms.saturating_mul(2);
+                }
+            }
+        };
+        // A consumed round makes every stashed frame at or below its
+        // sequence stale — drop them so duplicates cannot accumulate.
+        stash.retain(|s| !(s.src == src && s.tag == tag && s.swap == id as u64 && s.seq <= seq));
+        let range = Bounds::new(e.at.iter().zip(&e.size).map(|(&a, &s)| (a, a + s)).collect());
+        if frame.len() - FRAME_HEADER != range.num_points().max(0) as usize {
+            return Err(ExecError::Exec(format!(
+                "halo message of {} elements does not match the {}-element receive region",
+                frame.len() - FRAME_HEADER,
+                range.num_points().max(0)
+            )));
+        }
+        let t0 = lane.start();
+        let mut at = FRAME_HEADER;
+        for_each_row(&range, |p, len| {
+            let d = desc.flat(p) as usize;
+            data[d..d + len].copy_from_slice(&frame[at..at + len]);
+            at += len;
+        });
+        let bytes = 8 * (frame.len() - FRAME_HEADER) as u64;
+        lane.span(t0, || SpanKind::Unpack { dir: e.to.clone(), bytes });
+        scratch.recycle(frame);
     }
     Ok(())
 }

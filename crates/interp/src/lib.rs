@@ -17,6 +17,7 @@
 
 pub mod distributed;
 pub mod exact;
+pub mod fault;
 pub mod interp;
 pub mod sim_mpi;
 pub mod sync_shim;
@@ -24,6 +25,7 @@ pub mod value;
 
 pub use distributed::{run_spmd, run_spmd_modules, ArgSpec, RankResult};
 pub use exact::{ExactSum, ReduceAcc, ReduceKind};
+pub use fault::{FaultAction, FaultPlan, Reliability};
 pub use interp::{InterpError, Interpreter};
-pub use sim_mpi::{MpiEnv, SimWorld};
+pub use sim_mpi::{MpiEnv, MpiError, SimWorld};
 pub use value::{BufView, RtValue};

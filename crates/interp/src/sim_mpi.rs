@@ -10,6 +10,7 @@
 //! its contribution and receives everyone's), which is sufficient for the
 //! SPMD programs the stack generates.
 
+use crate::fault::{FaultAction, FaultPlan, Reliability};
 use crate::sync_shim::{Condvar, Mutex};
 use crate::value::{RequestList, RequestState, RtValue, SharedData};
 use std::collections::HashMap;
@@ -18,6 +19,100 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sten_trace::{Counter, SpanKind, Tracer};
+
+/// A structured communication failure: every blocking SimMPI entry point
+/// returns one instead of hanging or panicking, so ranks running under
+/// injected faults always terminate with a diagnosis naming the rank (and
+/// the collective generation, where one applies).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpiError {
+    /// The world was poisoned (another rank failed); names the failing
+    /// rank and why, so the survivor's error points at the root cause.
+    Poisoned {
+        /// Rank that poisoned the world.
+        by_rank: i32,
+        /// The poisoner's reason.
+        reason: String,
+    },
+    /// A bounded receive expired without a matching delivery.
+    RecvTimeout {
+        /// Receiving rank.
+        rank: i32,
+        /// Expected sender.
+        src: i32,
+        /// Message tag.
+        tag: i32,
+        /// How long the receive waited, milliseconds.
+        waited_ms: u64,
+    },
+    /// A collective rendezvous expired before every rank deposited.
+    CollectiveTimeout {
+        /// The waiting rank.
+        rank: usize,
+        /// Rendezvous generation the rank was waiting on.
+        generation: u64,
+        /// Ranks that had not deposited when the budget ran out.
+        missing: Vec<usize>,
+        /// How long the rank waited, milliseconds.
+        waited_ms: u64,
+    },
+    /// A rank deposited twice into the same rendezvous generation (a
+    /// protocol violation — previously an `assert!`).
+    DoubleDeposit {
+        /// The offending rank.
+        rank: usize,
+        /// The generation it deposited into.
+        generation: u64,
+    },
+    /// Rendezvous bookkeeping lost a contribution or result (previously
+    /// `expect("deposited")` / `expect("result present")` panics).
+    CollectiveCorrupted {
+        /// The observing rank.
+        rank: usize,
+        /// The generation whose state is inconsistent.
+        generation: u64,
+        /// What was missing.
+        what: &'static str,
+    },
+    /// A scheduled [`FaultAction::RankCrash`] fired on this rank.
+    InjectedCrash {
+        /// The crashed rank.
+        rank: i32,
+        /// The timestep it crashed at.
+        step: u64,
+    },
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::Poisoned { by_rank, reason } => {
+                write!(f, "world poisoned by rank {by_rank}: {reason}")
+            }
+            MpiError::RecvTimeout { rank, src, tag, waited_ms } => write!(
+                f,
+                "rank {rank}: receive from rank {src} tag {tag} timed out after {waited_ms} ms"
+            ),
+            MpiError::CollectiveTimeout { rank, generation, missing, waited_ms } => write!(
+                f,
+                "rank {rank}: collective generation {generation} timed out after {waited_ms} ms \
+                 (missing deposits from ranks {missing:?})"
+            ),
+            MpiError::DoubleDeposit { rank, generation } => {
+                write!(f, "rank {rank} double-deposited into collective generation {generation}")
+            }
+            MpiError::CollectiveCorrupted { rank, generation, what } => write!(
+                f,
+                "rank {rank}: collective generation {generation} corrupted ({what} missing)"
+            ),
+            MpiError::InjectedCrash { rank, step } => {
+                write!(f, "rank {rank}: injected crash at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
 
 /// Validated mpich magic constants (mirrors `sten_mpi::abi`).
 mod abi {
@@ -55,6 +150,13 @@ impl Msg {
 struct Mailboxes {
     /// (src, dst, tag) → FIFO queue of messages.
     queues: HashMap<(i32, i32, i32), Vec<Msg>>,
+    /// (src, dst) → messages sent so far on the channel (the fault
+    /// plan's deterministic message index).
+    sent_count: HashMap<(i32, i32), u64>,
+    /// (src, dst, tag) → payloads of dropped messages, oldest first.
+    /// [`SimWorld::rerequest`] re-delivers from here — the model of a
+    /// link-layer retransmission triggered by a receiver-side NACK.
+    lost: HashMap<(i32, i32, i32), Vec<Vec<f64>>>,
 }
 
 struct CollectiveState {
@@ -88,6 +190,14 @@ pub struct SimWorld {
     /// Structured trace sink for message-level events (disabled by
     /// default: [`SimWorld::new_traced`] turns it on).
     tracer: Tracer,
+    /// The fault schedule, if this world injects faults.
+    faults: Option<Arc<FaultPlan>>,
+    /// Timeout/retry knobs; `Some` switches the executor's exchanges to
+    /// the sequence-numbered reliable protocol.
+    reliability: Option<Reliability>,
+    /// Set once by the first failing rank; blocking waits re-check it
+    /// and return [`MpiError::Poisoned`] so no peer hangs forever.
+    poison: Mutex<Option<(i32, String)>>,
 }
 
 impl SimWorld {
@@ -110,6 +220,33 @@ impl SimWorld {
     /// counters into `tracer`. Tracing never perturbs payloads or
     /// matching: results stay bit-identical to an untraced world.
     pub fn new_traced(size: usize, latency: std::time::Duration, tracer: Tracer) -> Arc<SimWorld> {
+        SimWorld::new_resilient(size, latency, tracer, None, None)
+    }
+
+    /// Creates a world that injects the faults scheduled in `plan`, with
+    /// default [`Reliability`] knobs so the executor runs its reliable
+    /// exchange protocol. The plan is an `Arc` so a resilient driver can
+    /// reuse it (with its fired flags) across world re-creations.
+    pub fn new_with_faults(size: usize, plan: Arc<FaultPlan>) -> Arc<SimWorld> {
+        SimWorld::new_resilient(
+            size,
+            std::time::Duration::ZERO,
+            Tracer::disabled(),
+            Some(plan),
+            Some(Reliability::default()),
+        )
+    }
+
+    /// The fully-general constructor: latency, tracing, an optional
+    /// fault schedule, and optional reliability knobs (reliable exchange
+    /// can run without faults, e.g. to measure its fault-free overhead).
+    pub fn new_resilient(
+        size: usize,
+        latency: std::time::Duration,
+        tracer: Tracer,
+        faults: Option<Arc<FaultPlan>>,
+        reliability: Option<Reliability>,
+    ) -> Arc<SimWorld> {
         Arc::new(SimWorld {
             size,
             latency,
@@ -126,12 +263,62 @@ impl SimWorld {
             recv_immediate: AtomicU64::new(0),
             recv_blocked: AtomicU64::new(0),
             tracer,
+            faults,
+            reliability,
+            poison: Mutex::new(None),
         })
     }
 
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// The reliability knobs, if the reliable protocol is on.
+    pub fn reliability(&self) -> Option<&Reliability> {
+        self.reliability.as_ref()
+    }
+
+    /// The world's trace sink (disabled unless constructed traced).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Marks the world failed on behalf of `rank`: every blocked or
+    /// future wait returns [`MpiError::Poisoned`] instead of hanging, so
+    /// a rank that errors mid-block never strands its peers.
+    pub fn poison(&self, rank: i32, reason: impl Into<String>) {
+        {
+            let mut p = self.poison.lock();
+            if p.is_none() {
+                *p = Some((rank, reason.into()));
+            }
+        }
+        // Lock each wait's mutex before notifying so a peer between its
+        // poison check and its wait cannot miss the wakeup.
+        drop(self.mail.lock());
+        self.mail_cv.notify_all();
+        drop(self.coll.lock());
+        self.coll_cv.notify_all();
+    }
+
+    /// The poison marker, if the world has failed.
+    pub fn poison_info(&self) -> Option<(i32, String)> {
+        self.poison.lock().clone()
+    }
+
+    fn check_poison(&self) -> Result<(), MpiError> {
+        match &*self.poison.lock() {
+            Some((by_rank, reason)) => {
+                Err(MpiError::Poisoned { by_rank: *by_rank, reason: reason.clone() })
+            }
+            None => Ok(()),
+        }
     }
 
     /// Total elements sent so far (all ranks).
@@ -174,8 +361,78 @@ impl SimWorld {
         });
         let arrival = (!self.latency.is_zero()).then(|| std::time::Instant::now() + self.latency);
         let mut mail = self.mail.lock();
-        mail.queues.entry((src, dst, tag)).or_default().push(Msg { arrival, data });
+        // The fault plan keys on the channel's deterministic message
+        // index (this rank is the only sender on `src → dst`, so the
+        // count is interleaving-independent).
+        let fault = self.faults.as_ref().and_then(|plan| {
+            let count = mail.sent_count.entry((src, dst)).or_insert(0);
+            let index = *count;
+            *count += 1;
+            let action = plan.on_send(src, dst, index)?;
+            Some((action, index))
+        });
+        match fault {
+            None => {
+                mail.queues.entry((src, dst, tag)).or_default().push(Msg { arrival, data });
+            }
+            Some((action, index)) => {
+                self.tracer.count(Counter::FaultsInjected, 1);
+                self.tracer.record_instant(src.max(0) as u32, 0, || SpanKind::Fault {
+                    fault: action.name(),
+                    rank: dst,
+                    detail: format!("src {src} dst {dst} tag {tag} msg#{index}"),
+                });
+                match action {
+                    FaultAction::Drop => {
+                        // Never enqueued: the payload moves to the lost
+                        // store, recoverable through `rerequest`.
+                        mail.lost.entry((src, dst, tag)).or_default().push(data);
+                    }
+                    FaultAction::Duplicate => {
+                        let q = mail.queues.entry((src, dst, tag)).or_default();
+                        q.push(Msg { arrival, data: data.clone() });
+                        q.push(Msg { arrival, data });
+                    }
+                    FaultAction::Reorder => {
+                        // Jumps the queue: overtakes older undelivered
+                        // messages on the channel.
+                        mail.queues
+                            .entry((src, dst, tag))
+                            .or_default()
+                            .insert(0, Msg { arrival, data });
+                    }
+                    FaultAction::DelaySpike { extra_ms } => {
+                        let spiked = std::time::Instant::now()
+                            + self.latency
+                            + std::time::Duration::from_millis(extra_ms);
+                        mail.queues
+                            .entry((src, dst, tag))
+                            .or_default()
+                            .push(Msg { arrival: Some(spiked), data });
+                    }
+                    // Rank faults never match `on_send`.
+                    FaultAction::RankStall { .. } | FaultAction::RankCrash => unreachable!(),
+                }
+            }
+        }
         self.mail_cv.notify_all();
+    }
+
+    /// Re-delivers the oldest *lost* (dropped) message on `(src → dst,
+    /// tag)`, if one exists — the receiver-driven retransmission a timed
+    /// out reliable exchange requests. Returns whether a message was
+    /// recovered.
+    pub fn rerequest(&self, dst: i32, src: i32, tag: i32) -> bool {
+        let mut mail = self.mail.lock();
+        let Some(stash) = mail.lost.get_mut(&(src, dst, tag)) else { return false };
+        if stash.is_empty() {
+            return false;
+        }
+        let data = stash.remove(0);
+        self.tracer.count(Counter::Retries, 1);
+        mail.queues.entry((src, dst, tag)).or_default().push(Msg { arrival: None, data });
+        self.mail_cv.notify_all();
+        true
     }
 
     /// Pops the oldest matching message if it has been delivered
@@ -197,9 +454,14 @@ impl SimWorld {
     }
 
     /// Blocking receive of the oldest matching message.
-    pub fn recv(&self, dst: i32, src: i32, tag: i32) -> Vec<f64> {
+    ///
+    /// # Errors
+    /// Returns [`MpiError::Poisoned`] if the world fails while waiting —
+    /// a receive never hangs on a crashed peer.
+    pub fn recv(&self, dst: i32, src: i32, tag: i32) -> Result<Vec<f64>, MpiError> {
         let t0 = self.tracer.now();
-        let (data, blocked) = self.recv_inner(dst, src, tag);
+        let (data, blocked) = self.recv_inner(dst, src, tag, None)?;
+        let data = data.expect("unbounded receive returned without a message");
         let bytes = 8 * data.len() as u64;
         self.tracer.record_span(dst.max(0) as u32, 0, t0, || SpanKind::MsgRecv {
             src,
@@ -208,23 +470,60 @@ impl SimWorld {
             bytes,
             blocked,
         });
-        data
+        Ok(data)
+    }
+
+    /// Bounded blocking receive: `Ok(None)` when `timeout` elapses with
+    /// no matching delivery (the reliable exchange's retry trigger).
+    ///
+    /// # Errors
+    /// Returns [`MpiError::Poisoned`] if the world fails while waiting.
+    pub fn recv_timeout(
+        &self,
+        dst: i32,
+        src: i32,
+        tag: i32,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Vec<f64>>, MpiError> {
+        let t0 = self.tracer.now();
+        let (data, blocked) = self.recv_inner(dst, src, tag, Some(timeout))?;
+        if let Some(data) = &data {
+            let bytes = 8 * data.len() as u64;
+            self.tracer.record_span(dst.max(0) as u32, 0, t0, || SpanKind::MsgRecv {
+                src,
+                dst,
+                tag,
+                bytes,
+                blocked,
+            });
+        }
+        Ok(data)
     }
 
     /// The receive itself; reports whether it had to block for delivery.
-    fn recv_inner(&self, dst: i32, src: i32, tag: i32) -> (Vec<f64>, bool) {
+    /// `Ok(None)` only when `deadline` is bounded and expired.
+    fn recv_inner(
+        &self,
+        dst: i32,
+        src: i32,
+        tag: i32,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<(Option<Vec<f64>>, bool), MpiError> {
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
         let mut mail = self.mail.lock();
+        self.check_poison()?;
         if let Some(data) = Self::pop_arrived(&mut mail, dst, src, tag) {
             self.recv_immediate.fetch_add(1, Ordering::Relaxed);
             self.tracer.count(Counter::RecvImmediate, 1);
-            return (data, false);
+            return Ok((Some(data), false));
         }
         self.recv_blocked.fetch_add(1, Ordering::Relaxed);
         self.tracer.count(Counter::RecvBlocked, 1);
         loop {
             if let Some(data) = Self::pop_arrived(&mut mail, dst, src, tag) {
-                return (data, true);
+                return Ok((Some(data), true));
             }
+            self.check_poison()?;
             // An in-flight message needs a timed wait (no notification
             // fires when its latency elapses).
             let in_flight = mail
@@ -233,7 +532,24 @@ impl SimWorld {
                 .and_then(|q| q.first())
                 .and_then(|m| m.arrival)
                 .map(|at| at.saturating_duration_since(std::time::Instant::now()));
-            match in_flight {
+            let until_deadline = deadline.map(|at| {
+                let now = std::time::Instant::now();
+                if at <= now {
+                    std::time::Duration::ZERO
+                } else {
+                    at - now
+                }
+            });
+            if until_deadline == Some(std::time::Duration::ZERO) {
+                return Ok((None, true));
+            }
+            let bounded = match (in_flight, until_deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+            match bounded {
                 Some(remaining) => {
                     let _ = self.mail_cv.wait_timeout(
                         &mut mail,
@@ -246,31 +562,86 @@ impl SimWorld {
     }
 
     /// All-to-all rendezvous: every rank deposits `data` and receives the
-    /// contributions of all ranks, indexed by rank.
-    pub fn exchange_all(&self, rank: usize, data: Vec<f64>) -> Vec<Vec<f64>> {
+    /// contributions of all ranks, indexed by rank. On a world with
+    /// [`Reliability`] knobs the wait is bounded by
+    /// `collective_timeout_ms`; otherwise it is unbounded (but still
+    /// poison-interruptible).
+    ///
+    /// # Errors
+    /// [`MpiError::Poisoned`] if the world fails while waiting,
+    /// [`MpiError::CollectiveTimeout`] naming the missing ranks when the
+    /// budget runs out, and [`MpiError::DoubleDeposit`] /
+    /// [`MpiError::CollectiveCorrupted`] on protocol violations.
+    pub fn exchange_all(&self, rank: usize, data: Vec<f64>) -> Result<Vec<Vec<f64>>, MpiError> {
+        let budget = self
+            .reliability
+            .as_ref()
+            .map(|r| std::time::Duration::from_millis(r.collective_timeout_ms));
+        let start = std::time::Instant::now();
         let mut st = self.coll.lock();
+        self.check_poison()?;
         let my_gen = st.generation;
-        assert!(st.deposits[rank].is_none(), "rank {rank} double-deposited");
+        if st.deposits[rank].is_some() {
+            return Err(MpiError::DoubleDeposit { rank, generation: my_gen });
+        }
         st.deposits[rank] = Some(data);
         let arrived = st.deposits.iter().filter(|d| d.is_some()).count();
         if arrived == self.size {
-            let all: Vec<Vec<f64>> =
-                st.deposits.iter_mut().map(|d| d.take().expect("deposited")).collect();
+            let mut all = Vec::with_capacity(self.size);
+            for d in st.deposits.iter_mut() {
+                match d.take() {
+                    Some(v) => all.push(v),
+                    None => {
+                        return Err(MpiError::CollectiveCorrupted {
+                            rank,
+                            generation: my_gen,
+                            what: "deposit",
+                        })
+                    }
+                }
+            }
             st.results.insert(my_gen, (all, self.size));
             st.generation += 1;
             self.coll_cv.notify_all();
         } else {
             while !st.results.contains_key(&my_gen) {
-                self.coll_cv.wait(&mut st);
+                self.check_poison()?;
+                match budget {
+                    None => self.coll_cv.wait(&mut st),
+                    Some(budget) => {
+                        let waited = start.elapsed();
+                        if waited >= budget {
+                            // Identify the stragglers: their slot for
+                            // this generation is still empty.
+                            let missing: Vec<usize> = if st.generation == my_gen {
+                                (0..self.size).filter(|&r| st.deposits[r].is_none()).collect()
+                            } else {
+                                Vec::new()
+                            };
+                            return Err(MpiError::CollectiveTimeout {
+                                rank,
+                                generation: my_gen,
+                                missing,
+                                waited_ms: waited.as_millis() as u64,
+                            });
+                        }
+                        let _ = self.coll_cv.wait_timeout(
+                            &mut st,
+                            (budget - waited).max(std::time::Duration::from_micros(1)),
+                        );
+                    }
+                }
             }
         }
-        let (all, readers) = st.results.get_mut(&my_gen).expect("result present");
+        let Some((all, readers)) = st.results.get_mut(&my_gen) else {
+            return Err(MpiError::CollectiveCorrupted { rank, generation: my_gen, what: "result" });
+        };
         let copy = all.clone();
         *readers -= 1;
         if *readers == 0 {
             st.results.remove(&my_gen);
         }
-        copy
+        Ok(copy)
     }
 }
 
@@ -426,7 +797,7 @@ impl MpiEnv {
         match std::mem::replace(state, RequestState::Null) {
             RequestState::Null | RequestState::SendDone => Ok(()),
             RequestState::PendingRecv { src, tag, dst, offset, count } => {
-                let msg = self.world.recv(self.rank, src, tag);
+                let msg = self.world.recv(self.rank, src, tag).map_err(|e| e.to_string())?;
                 if msg.len() != count {
                     return Err(format!(
                         "message length {} does not match posted receive {count}",
@@ -496,7 +867,7 @@ impl Externals for MpiEnv {
                 Self::check_dtype(int(2)?)?;
                 let (src, tag) = (int(3)? as i32, int(4)? as i32);
                 Self::check_comm(int(5)?)?;
-                let msg = self.world.recv(self.rank, src, tag);
+                let msg = self.world.recv(self.rank, src, tag).map_err(|e| e.to_string())?;
                 if msg.len() != count {
                     return Err(format!("received {} elements, expected {count}", msg.len()));
                 }
@@ -586,7 +957,8 @@ impl Externals for MpiEnv {
                 let op = int(4)?;
                 Self::check_comm(int(5)?)?;
                 let mine = Self::read_elems(&sptr, soff, count)?;
-                let all = self.world.exchange_all(self.rank as usize, mine);
+                let all =
+                    self.world.exchange_all(self.rank as usize, mine).map_err(|e| e.to_string())?;
                 Self::write_elems(&rptr, roff, &reduce(op, &all))?;
                 Ok(vec![RtValue::Int(0)])
             }
@@ -599,7 +971,8 @@ impl Externals for MpiEnv {
                 let root = int(5)? as i32;
                 Self::check_comm(int(6)?)?;
                 let mine = Self::read_elems(&sptr, soff, count)?;
-                let all = self.world.exchange_all(self.rank as usize, mine);
+                let all =
+                    self.world.exchange_all(self.rank as usize, mine).map_err(|e| e.to_string())?;
                 if self.rank == root {
                     Self::write_elems(&rptr, roff, &reduce(op, &all))?;
                 }
@@ -616,7 +989,8 @@ impl Externals for MpiEnv {
                 } else {
                     Vec::new()
                 };
-                let all = self.world.exchange_all(self.rank as usize, mine);
+                let all =
+                    self.world.exchange_all(self.rank as usize, mine).map_err(|e| e.to_string())?;
                 Self::write_elems(&ptr, off, &all[root as usize])?;
                 Ok(vec![RtValue::Int(0)])
             }
@@ -628,7 +1002,8 @@ impl Externals for MpiEnv {
                 let root = int(6)? as i32;
                 Self::check_comm(int(7)?)?;
                 let mine = Self::read_elems(&sptr, soff, count)?;
-                let all = self.world.exchange_all(self.rank as usize, mine);
+                let all =
+                    self.world.exchange_all(self.rank as usize, mine).map_err(|e| e.to_string())?;
                 if self.rank == root {
                     let flat: Vec<f64> = all.into_iter().flatten().collect();
                     Self::write_elems(&rptr, roff, &flat)?;
@@ -642,7 +1017,8 @@ impl Externals for MpiEnv {
     fn allreduce_exchange(&mut self, payload: Vec<f64>) -> Result<Vec<Vec<f64>>, String> {
         let t0 = self.world.tracer.now();
         let bytes = 8 * payload.len() as u64;
-        let all = self.world.exchange_all(self.rank as usize, payload);
+        let all =
+            self.world.exchange_all(self.rank as usize, payload).map_err(|e| e.to_string())?;
         self.world.tracer.record_span(self.rank as u32, 0, t0, || SpanKind::Reduce {
             phase: "allreduce",
             bytes,
@@ -670,8 +1046,18 @@ impl Externals for MpiEnv {
             if let Some(n) = neighbor_rank(self.rank as i64, grid, &e.to)? {
                 let neg: Vec<i64> = e.to.iter().map(|t| -t).collect();
                 let tag = sten_mpi::dmp_to_mpi::tag_for_direction(&neg) as i32;
-                let msg = self.world.recv(self.rank, n as i32, tag);
+                let msg = self.world.recv(self.rank, n as i32, tag).map_err(|e| e.to_string())?;
                 let recv_view = data.subview(&e.at, &e.size).map_err(|m| m.to_string())?;
+                let expected: i64 = e.size.iter().product();
+                if msg.len() as i64 != expected {
+                    return Err(format!(
+                        "rank {}: halo from rank {n} tag {tag} has {} elements, \
+                         expected {expected} (region {:?})",
+                        self.rank,
+                        msg.len(),
+                        e.size
+                    ));
+                }
                 let mut idx = vec![0i64; e.size.len()];
                 for v in msg {
                     recv_view.store(&idx, v)?;
@@ -707,8 +1093,8 @@ mod tests {
             w.send(0, 1, 7, vec![1.0]);
             w.send(0, 1, 7, vec![2.0]);
         });
-        let first = world.recv(1, 0, 7);
-        let second = world.recv(1, 0, 7);
+        let first = world.recv(1, 0, 7).unwrap();
+        let second = world.recv(1, 0, 7).unwrap();
         sender.join().unwrap();
         assert_eq!(first, vec![1.0]);
         assert_eq!(second, vec![2.0], "non-overtaking order preserved");
@@ -719,8 +1105,8 @@ mod tests {
         let world = SimWorld::new(2);
         world.send(0, 1, 1, vec![1.0]);
         world.send(0, 1, 2, vec![2.0]);
-        assert_eq!(world.recv(1, 0, 2), vec![2.0]);
-        assert_eq!(world.recv(1, 0, 1), vec![1.0]);
+        assert_eq!(world.recv(1, 0, 2).unwrap(), vec![2.0]);
+        assert_eq!(world.recv(1, 0, 1).unwrap(), vec![1.0]);
     }
 
     #[test]
@@ -729,7 +1115,7 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|r| {
                 let w = Arc::clone(&world);
-                thread::spawn(move || w.exchange_all(r, vec![r as f64]))
+                thread::spawn(move || w.exchange_all(r, vec![r as f64]).unwrap())
             })
             .collect();
         for h in handles {
@@ -781,7 +1167,7 @@ mod tests {
                     let delay = ((r + trial) % 4) as u64;
                     thread::spawn(move || {
                         std::thread::sleep(std::time::Duration::from_millis(delay));
-                        let all = w.exchange_all(r, vec![mine]);
+                        let all = w.exchange_all(r, vec![mine]).unwrap();
                         reduce(abi::MPI_OP_SUM, &all)[0].to_bits()
                     })
                 })
@@ -802,8 +1188,8 @@ mod tests {
             .map(|r| {
                 let w = Arc::clone(&world);
                 thread::spawn(move || {
-                    let first = w.exchange_all(r, vec![r as f64]);
-                    let second = w.exchange_all(r, vec![10.0 + r as f64]);
+                    let first = w.exchange_all(r, vec![r as f64]).unwrap();
+                    let second = w.exchange_all(r, vec![10.0 + r as f64]).unwrap();
                     (first, second)
                 })
             })
@@ -834,7 +1220,7 @@ mod tests {
         // The blocking receive waits out the latency and gets the exact
         // payload.
         let t0 = std::time::Instant::now();
-        assert_eq!(world.recv(1, 0, 3), vec![4.0, 5.0]);
+        assert_eq!(world.recv(1, 0, 3).unwrap(), vec![4.0, 5.0]);
         assert!(t0.elapsed() >= std::time::Duration::from_millis(5), "recv waited for delivery");
         assert_eq!(world.total_recv_blocked(), 1);
         assert_eq!(world.total_recv_immediate(), 0);
@@ -846,7 +1232,7 @@ mod tests {
         world.send(0, 1, 7, vec![1.0]);
         assert_eq!(world.try_recv(1, 0, 7), Some(vec![1.0]));
         world.send(0, 1, 7, vec![2.0]);
-        assert_eq!(world.recv(1, 0, 7), vec![2.0]);
+        assert_eq!(world.recv(1, 0, 7).unwrap(), vec![2.0]);
         assert_eq!(world.total_recv_immediate(), 1);
         assert_eq!(world.total_recv_blocked(), 0);
     }
@@ -921,5 +1307,123 @@ mod tests {
         world.send(1, 0, 0, vec![0.0; 50]);
         assert_eq!(world.total_sent_elements(), 150);
         assert_eq!(world.total_sent_messages(), 2);
+    }
+
+    #[test]
+    fn dropped_message_is_recoverable_by_rerequest() {
+        let plan = Arc::new(FaultPlan::new().with_msg_fault(0, 1, 0, FaultAction::Drop));
+        let world = SimWorld::new_with_faults(2, plan);
+        world.send(0, 1, 7, vec![1.5, 2.5]);
+        assert!(world.try_recv(1, 0, 7).is_none(), "dropped message never arrives");
+        let got = world.recv_timeout(1, 0, 7, std::time::Duration::from_millis(10)).unwrap();
+        assert_eq!(got, None, "bounded receive times out cleanly");
+        assert!(world.rerequest(1, 0, 7), "lost payload is retransmittable");
+        assert_eq!(world.recv(1, 0, 7).unwrap(), vec![1.5, 2.5]);
+        assert!(!world.rerequest(1, 0, 7), "one loss, one retransmission");
+    }
+
+    #[test]
+    fn duplicate_and_reorder_faults_perturb_the_channel() {
+        let plan = Arc::new(
+            FaultPlan::new().with_msg_fault(0, 1, 0, FaultAction::Duplicate).with_msg_fault(
+                0,
+                1,
+                2,
+                FaultAction::Reorder,
+            ),
+        );
+        let world = SimWorld::new_with_faults(2, plan);
+        world.send(0, 1, 3, vec![1.0]); // duplicated
+        world.send(0, 1, 3, vec![2.0]);
+        world.send(0, 1, 3, vec![3.0]); // reordered to the head
+        assert_eq!(world.recv(1, 0, 3).unwrap(), vec![3.0], "reorder overtakes");
+        assert_eq!(world.recv(1, 0, 3).unwrap(), vec![1.0]);
+        assert_eq!(world.recv(1, 0, 3).unwrap(), vec![1.0], "duplicate delivered twice");
+        assert_eq!(world.recv(1, 0, 3).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn delay_spike_holds_delivery_without_losing_data() {
+        let plan = Arc::new(FaultPlan::new().with_msg_fault(
+            0,
+            1,
+            0,
+            FaultAction::DelaySpike { extra_ms: 20 },
+        ));
+        let world = SimWorld::new_with_faults(2, plan);
+        world.send(0, 1, 5, vec![9.0]);
+        assert!(world.try_recv(1, 0, 5).is_none(), "spiked message is in flight");
+        assert_eq!(world.recv(1, 0, 5).unwrap(), vec![9.0], "arrives after the spike");
+    }
+
+    #[test]
+    fn poison_unblocks_receives_and_collectives() {
+        let world = SimWorld::new(2);
+        let w = Arc::clone(&world);
+        let recv_side = thread::spawn(move || w.recv(1, 0, 7));
+        let w = Arc::clone(&world);
+        let coll_side = thread::spawn(move || w.exchange_all(0, vec![1.0]));
+        thread::sleep(std::time::Duration::from_millis(20));
+        world.poison(1, "injected crash at step 3");
+        let recv_err = recv_side.join().unwrap().unwrap_err();
+        assert_eq!(
+            recv_err,
+            MpiError::Poisoned { by_rank: 1, reason: "injected crash at step 3".into() }
+        );
+        let coll_err = coll_side.join().unwrap().unwrap_err();
+        assert!(matches!(coll_err, MpiError::Poisoned { by_rank: 1, .. }), "{coll_err}");
+    }
+
+    #[test]
+    fn double_deposit_is_a_diagnosis_not_a_panic() {
+        let world = SimWorld::new(2);
+        let w = Arc::clone(&world);
+        let peer = thread::spawn(move || w.exchange_all(1, vec![2.0]));
+        let first = world.exchange_all(0, vec![1.0]).unwrap();
+        assert_eq!(first, vec![vec![1.0], vec![2.0]]);
+        peer.join().unwrap().unwrap();
+        // Generation 1: rank 0 deposits, then deposits again before the
+        // rendezvous completes.
+        let mut st = world.coll.lock();
+        st.deposits[0] = Some(vec![7.0]);
+        drop(st);
+        let err = world.exchange_all(0, vec![8.0]).unwrap_err();
+        assert_eq!(err, MpiError::DoubleDeposit { rank: 0, generation: 1 });
+        assert!(err.to_string().contains("rank 0"), "diagnosis names the rank");
+        assert!(err.to_string().contains("generation 1"), "and the generation");
+    }
+
+    #[test]
+    fn bounded_collective_names_the_missing_ranks() {
+        let plan = Arc::new(FaultPlan::new());
+        let world = SimWorld::new_resilient(
+            3,
+            std::time::Duration::ZERO,
+            Tracer::disabled(),
+            Some(plan),
+            Some(Reliability { collective_timeout_ms: 30, ..Reliability::default() }),
+        );
+        let w = Arc::clone(&world);
+        let peer = thread::spawn(move || w.exchange_all(1, vec![1.0]));
+        // Rank 2 never deposits: both waiters time out naming it.
+        let err = world.exchange_all(0, vec![0.0]).unwrap_err();
+        match err {
+            MpiError::CollectiveTimeout { rank: 0, generation: 0, ref missing, .. } => {
+                assert_eq!(missing, &vec![2]);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        let peer_err = peer.join().unwrap().unwrap_err();
+        assert!(matches!(peer_err, MpiError::CollectiveTimeout { rank: 1, .. }), "{peer_err}");
+    }
+
+    #[test]
+    fn fault_free_worlds_have_no_resilience_state() {
+        let world = SimWorld::new(2);
+        assert!(world.fault_plan().is_none());
+        assert!(world.reliability().is_none());
+        assert!(world.poison_info().is_none());
+        world.send(0, 1, 1, vec![1.0]);
+        assert_eq!(world.recv(1, 0, 1).unwrap(), vec![1.0]);
     }
 }

@@ -52,6 +52,7 @@
 
 pub mod attributes;
 pub mod builder;
+pub mod digest;
 pub mod op;
 pub mod parser;
 pub mod pass;
@@ -64,6 +65,7 @@ pub mod verifier;
 
 pub use attributes::{Attribute, ExchangeAttr, FloatAttr};
 pub use builder::OpBuilder;
+pub use digest::{content_hash, Hasher128};
 pub use op::{Block, Module, Op, Region};
 pub use parser::{parse_module, ParseError};
 pub use pass::{FuncTiming, Pass, PassError, PassKind, PassManager, PassTiming};

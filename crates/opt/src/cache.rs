@@ -26,24 +26,10 @@ use std::sync::{Mutex, OnceLock};
 
 use sten_ir::{FuncTiming, Module, PassTiming};
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x100_0000_01b3;
-/// Arbitrary second seed decorrelating the high digest half.
-const FNV_OFFSET_2: u64 = 0x9e37_79b9_7f4a_7c15;
-
-fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
-    let mut h = seed;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-/// Stable 128-bit content digest of `bytes`.
-pub fn content_hash(bytes: &[u8]) -> u128 {
-    (u128::from(fnv1a(FNV_OFFSET, bytes)) << 64) | u128::from(fnv1a(FNV_OFFSET_2, bytes))
-}
+// The digest lives in `sten_ir::digest` so lower layers (the resilient
+// executor's checkpoint store) share the same machinery; re-exported
+// here because cache users have always imported it from this module.
+pub use sten_ir::content_hash;
 
 /// Fingerprint of a dialect registry's cache-relevant content: op names,
 /// the purity/terminator metadata that generic transforms (CSE/DCE/LICM)
@@ -309,8 +295,9 @@ mod tests {
         assert_eq!(a, content_hash(b"func.func @f"), "deterministic");
         assert_ne!(a, content_hash(b"func.func @g"), "content-sensitive");
         // Regression pin: the digest must not silently change across
-        // refactors, or persisted keys would be invalidated.
-        assert_eq!(content_hash(b""), (u128::from(FNV_OFFSET) << 64) | u128::from(FNV_OFFSET_2));
+        // refactors (it moved to sten_ir::digest without changing), or
+        // persisted keys would be invalidated.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325_9e37_79b9_7f4a_7c15u128);
     }
 
     #[test]

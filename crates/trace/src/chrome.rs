@@ -49,6 +49,10 @@ fn category(kind: &SpanKind) -> &'static str {
         | SpanKind::Reduce { .. }
         | SpanKind::MsgSend { .. }
         | SpanKind::MsgRecv { .. } => "comm",
+        SpanKind::Fault { .. }
+        | SpanKind::Retry { .. }
+        | SpanKind::Checkpoint { .. }
+        | SpanKind::Recovery { .. } => "resilience",
     }
 }
 
@@ -84,6 +88,18 @@ fn args_json(kind: &SpanKind) -> String {
         SpanKind::MsgRecv { src, dst, tag, bytes, blocked } => format!(
             "{{\"src\":{src},\"dst\":{dst},\"tag\":{tag},\"bytes\":{bytes},\"blocked\":{blocked}}}"
         ),
+        SpanKind::Fault { fault, rank, detail } => format!(
+            "{{\"fault\":\"{}\",\"rank\":{rank},\"detail\":\"{}\"}}",
+            escape(fault),
+            escape(detail)
+        ),
+        SpanKind::Retry { target, attempt } => {
+            format!("{{\"target\":\"{}\",\"attempt\":{attempt}}}", escape(target))
+        }
+        SpanKind::Checkpoint { step, bytes } => format!("{{\"step\":{step},\"bytes\":{bytes}}}"),
+        SpanKind::Recovery { attempt, step } => {
+            format!("{{\"attempt\":{attempt},\"step\":{step}}}")
+        }
     }
 }
 

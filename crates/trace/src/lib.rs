@@ -63,12 +63,28 @@ pub enum Counter {
     RecvImmediate = 2,
     /// Blocking receives that had to wait for delivery.
     RecvBlocked = 3,
+    /// Faults injected by a fault plan.
+    FaultsInjected = 4,
+    /// Timed-out exchanges re-requested (swap or allreduce retries).
+    Retries = 5,
+    /// Checkpoints taken by the resilient runner.
+    Checkpoints = 6,
+    /// Cohort rollbacks to a checkpoint after a fault.
+    Recoveries = 7,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; COUNTER_SLOTS] =
-        [Counter::MsgsSent, Counter::ElementsSent, Counter::RecvImmediate, Counter::RecvBlocked];
+    pub const ALL: [Counter; COUNTER_SLOTS] = [
+        Counter::MsgsSent,
+        Counter::ElementsSent,
+        Counter::RecvImmediate,
+        Counter::RecvBlocked,
+        Counter::FaultsInjected,
+        Counter::Retries,
+        Counter::Checkpoints,
+        Counter::Recoveries,
+    ];
 
     /// Stable name (report keys).
     pub fn name(self) -> &'static str {
@@ -77,12 +93,16 @@ impl Counter {
             Counter::ElementsSent => "elements-sent",
             Counter::RecvImmediate => "recv-immediate",
             Counter::RecvBlocked => "recv-blocked",
+            Counter::FaultsInjected => "faults-injected",
+            Counter::Retries => "retries",
+            Counter::Checkpoints => "checkpoints",
+            Counter::Recoveries => "recoveries",
         }
     }
 }
 
 /// Number of [`Counter`] slots.
-pub const COUNTER_SLOTS: usize = 4;
+pub const COUNTER_SLOTS: usize = 8;
 
 /// What a recorded event describes. Variants carry the attributes the
 /// Chrome exporter emits as `args` and the report aggregates over.
@@ -180,13 +200,47 @@ pub enum SpanKind {
         /// communication time) or found the message already there.
         blocked: bool,
     },
+    /// A fault injected by a [fault plan] (instant event): the trace
+    /// shows exactly what was injured and when.
+    ///
+    /// [fault plan]: self
+    Fault {
+        /// Fault kind (`drop` | `duplicate` | `reorder` | `delay-spike`
+        /// | `rank-stall` | `rank-crash`).
+        fault: &'static str,
+        /// The rank the fault acts on (receiver for message faults).
+        rank: i32,
+        /// Human-readable specifics (peer, tag, delay, step, ...).
+        detail: String,
+    },
+    /// A timed-out exchange being re-requested (instant event).
+    Retry {
+        /// What timed out (`swap#3`, `allreduce`, ...).
+        target: String,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// One checkpoint snapshot (owned cores + scalar slots).
+    Checkpoint {
+        /// Timestep the snapshot captures (state *before* this step).
+        step: u64,
+        /// Serialized payload bytes.
+        bytes: u64,
+    },
+    /// One cohort rollback: respawn + restore from a checkpoint.
+    Recovery {
+        /// 1-based recovery attempt number.
+        attempt: u32,
+        /// Timestep the cohort rolled back to.
+        step: u64,
+    },
 }
 
 impl SpanKind {
     /// Whether this kind renders as a Chrome instant (`ph:"i"`) instead
     /// of a complete span (`ph:"X"`).
     pub fn is_instant(&self) -> bool {
-        matches!(self, SpanKind::MsgSend { .. })
+        matches!(self, SpanKind::MsgSend { .. } | SpanKind::Fault { .. } | SpanKind::Retry { .. })
     }
 
     /// Display name (the Chrome `name` field).
@@ -206,6 +260,12 @@ impl SpanKind {
             SpanKind::MsgSend { dst, tag, .. } => format!("send→{dst} tag {tag}"),
             SpanKind::MsgRecv { src, tag, blocked, .. } => {
                 format!("recv←{src} tag {tag}{}", if *blocked { " (blocked)" } else { "" })
+            }
+            SpanKind::Fault { fault, rank, .. } => format!("fault {fault} @rank {rank}"),
+            SpanKind::Retry { target, attempt } => format!("retry {target} #{attempt}"),
+            SpanKind::Checkpoint { step, .. } => format!("checkpoint @step {step}"),
+            SpanKind::Recovery { attempt, step } => {
+                format!("recovery #{attempt} → step {step}")
             }
         }
     }
@@ -263,7 +323,7 @@ impl Tracer {
         Tracer(Some(Arc::new(Shared {
             epoch: Instant::now(),
             events: Mutex::new(Vec::new()),
-            counters: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
         })))
     }
 

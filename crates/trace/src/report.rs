@@ -49,6 +49,18 @@ pub struct TraceReport {
     pub allreduces: u64,
     /// Packed halo payload per exchange direction, sorted by direction.
     pub halo_bytes_by_direction: Vec<(Vec<i64>, u64)>,
+    /// Faults injected by the fault plan, by kind (sorted by name).
+    pub faults_by_kind: Vec<(&'static str, u64)>,
+    /// Timed-out exchanges that were re-requested.
+    pub retries: u64,
+    /// Checkpoint snapshots taken (across all ranks).
+    pub checkpoints: u64,
+    /// Total time inside checkpoint spans.
+    pub checkpoint_ns: u64,
+    /// Cohort rollbacks to a checkpoint.
+    pub recoveries: u64,
+    /// Total time inside recovery spans (respawn + restore).
+    pub recovery_ns: u64,
 }
 
 /// Sums the intersection of `spans` with the merged `windows` (both as
@@ -154,6 +166,21 @@ impl TraceReport {
                         report.reduce_partial_ns += e.dur_ns;
                     }
                 }
+                SpanKind::Fault { fault, .. } => {
+                    match report.faults_by_kind.iter_mut().find(|(k, _)| k == fault) {
+                        Some((_, n)) => *n += 1,
+                        None => report.faults_by_kind.push((fault, 1)),
+                    }
+                }
+                SpanKind::Retry { .. } => report.retries += 1,
+                SpanKind::Checkpoint { .. } => {
+                    report.checkpoints += 1;
+                    report.checkpoint_ns += e.dur_ns;
+                }
+                SpanKind::Recovery { .. } => {
+                    report.recoveries += 1;
+                    report.recovery_ns += e.dur_ns;
+                }
                 SpanKind::Pass { .. } | SpanKind::Copy { .. } | SpanKind::Task => {}
             }
         }
@@ -183,6 +210,7 @@ impl TraceReport {
 
         report.halo_bytes_by_direction = halo.into_iter().collect();
         report.halo_bytes_by_direction.sort();
+        report.faults_by_kind.sort();
         report
     }
 
@@ -239,6 +267,31 @@ impl fmt::Display for TraceReport {
             for (dir, bytes) in &self.halo_bytes_by_direction {
                 writeln!(f, "    {dir:?}  {bytes}")?;
             }
+        }
+        if !self.faults_by_kind.is_empty() {
+            let total: u64 = self.faults_by_kind.iter().map(|(_, n)| n).sum();
+            let kinds: Vec<String> =
+                self.faults_by_kind.iter().map(|(k, n)| format!("{k} {n}")).collect();
+            writeln!(f, "  faults injected    {:>10}  ({})", total, kinds.join(", "))?;
+        }
+        if self.retries > 0 {
+            writeln!(f, "  retries            {:>10}", self.retries)?;
+        }
+        if self.checkpoints > 0 {
+            writeln!(
+                f,
+                "  checkpoints        {:>10}  ({:.3} ms)",
+                self.checkpoints,
+                ms(self.checkpoint_ns)
+            )?;
+        }
+        if self.recoveries > 0 {
+            writeln!(
+                f,
+                "  recoveries         {:>10}  ({:.3} ms)",
+                self.recoveries,
+                ms(self.recovery_ns)
+            )?;
         }
         Ok(())
     }

@@ -1,9 +1,10 @@
 //! `exec_throughput` — wall-clock Gpts/s of the sten-exec executor tiers.
 //!
 //! Measures jacobi-1d / heat-2d / heat-3d through every executor tier
-//! (`eval` → `opt-bytecode` → `weighted-sum`) plus one multi-threaded
-//! run through the persistent worker pool, prints a table, and emits
-//! `BENCH_exec.json` so the perf trajectory is recorded in-repo.
+//! (`eval` → `opt-bytecode` → `weighted-sum` → `template-jit`) plus one
+//! multi-threaded run through the persistent worker pool, prints a
+//! table, and emits `BENCH_exec.json` so the perf trajectory is
+//! recorded in-repo.
 //!
 //! ```text
 //! cargo run --release -p sten-bench --bin exec_throughput            # full
@@ -12,11 +13,21 @@
 //!
 //! `--smoke` shrinks the grids and pins 1 rep so tier selection and the
 //! JSON emitter stay exercised in CI without burning minutes; numbers
-//! from smoke mode are *not* meaningful throughput.
+//! from smoke mode are *not* meaningful throughput. Two checks run in
+//! both modes:
+//!
+//! * every tier's output is compared bit-for-bit against the `eval`
+//!   reference before timing (recorded as `"bit_identical"` per
+//!   kernel);
+//! * a template-JIT vs weighted-sum gate: in full mode the JIT tier
+//!   must beat 0.9x on every kernel and 1.25x on at least two of the
+//!   three; in smoke mode only a loose 0.6x floor is asserted
+//!   (re-measured best-of-3 before failing) since tiny grids are
+//!   dominated by per-row dispatch noise.
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use stencil_core::exec::{Pipeline, Step, TierKind};
+use stencil_core::exec::{Pipeline, Runner, Step, TierKind};
 use stencil_core::ir::Pass as _;
 use stencil_core::prelude::*;
 use stencil_core::trace::chrome;
@@ -41,7 +52,9 @@ fn parse_args() -> Args {
         }
     }
     if args.threads == 0 {
-        args.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // Floor at 2 so the worker-pool path is exercised even on
+        // single-CPU CI boxes (oversubscribed, but correctness-relevant).
+        args.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
     }
     args
 }
@@ -81,6 +94,60 @@ fn selected_tier(p: &Pipeline) -> &'static str {
         .unwrap_or("none")
 }
 
+fn seed_args(p: &Pipeline) -> Vec<Vec<f64>> {
+    p.arg_shapes
+        .iter()
+        .map(|s| {
+            let len = s.iter().product::<i64>().max(0) as usize;
+            (0..len).map(|i| (i as f64 * 0.001).sin()).collect()
+        })
+        .collect()
+}
+
+/// Runs `steps` timesteps of the pipeline under `tier` and returns the
+/// final argument buffers (fresh-seeded; used for bit-identity checks).
+fn run_for_bits(
+    pipeline: &Pipeline,
+    tier: Option<TierKind>,
+    threads: usize,
+    steps: usize,
+) -> Vec<Vec<f64>> {
+    let mut p = pipeline.clone();
+    p.respecialize(tier);
+    let mut args = seed_args(&p);
+    let mut runner = Runner::new(p, threads);
+    for _ in 0..steps {
+        runner.step(&mut args).expect("bit-identity step");
+    }
+    args
+}
+
+/// Asserts every non-eval tier produces bit-for-bit the buffers the
+/// `eval` reference produces, serially and through the worker pool.
+fn check_bit_identity(
+    pipeline: &Pipeline,
+    tiers: &[(&'static str, Option<TierKind>)],
+    threads: usize,
+    kernel: &str,
+) {
+    let reference = run_for_bits(pipeline, Some(TierKind::Eval), 1, 3);
+    for &(name, tier) in tiers {
+        for thr in [1, threads] {
+            let got = run_for_bits(pipeline, tier, thr, 3);
+            assert_eq!(reference.len(), got.len());
+            for (b, (r, g)) in reference.iter().zip(&got).enumerate() {
+                for (i, (x, y)) in r.iter().zip(g).enumerate() {
+                    assert!(
+                        x.to_bits() == y.to_bits(),
+                        "{kernel}: tier {name} (threads={thr}) diverged from eval \
+                         at buffer {b} index {i}: {x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 struct Measurement {
     requested: &'static str,
     selected: &'static str,
@@ -92,7 +159,9 @@ struct Measurement {
 
 /// Runs `reps` timesteps (after one warm-up step) and returns the
 /// measurement. Buffers are re-seeded per tier so every tier sees the
-/// same data.
+/// same data. The reported thread count is [`Runner::effective_threads`]
+/// — the actual pool size, not the request (a `threads <= 1` request
+/// never spawns a pool).
 fn measure(
     pipeline: &Pipeline,
     requested: &'static str,
@@ -105,18 +174,12 @@ fn measure(
     p.respecialize(tier);
     let selected = selected_tier(&p);
     let points = p.points_per_step();
-    let mut args: Vec<Vec<f64>> = p
-        .arg_shapes
-        .iter()
-        .map(|s| {
-            let len = s.iter().product::<i64>().max(0) as usize;
-            (0..len).map(|i| (i as f64 * 0.001).sin()).collect()
-        })
-        .collect();
+    let mut args = seed_args(&p);
     let mut runner = Runner::new(p, threads);
     if let Some((t, pid)) = tracer {
         runner = runner.with_trace(t, pid);
     }
+    let threads = runner.effective_threads();
     runner.step(&mut args).expect("warm-up step");
     let reps = if smoke {
         1
@@ -144,20 +207,25 @@ fn measure(
 
 fn main() {
     let args = parse_args();
-    let tiers: [(&'static str, Option<TierKind>); 3] = [
+    let tiers: [(&'static str, Option<TierKind>); 4] = [
         ("eval", Some(TierKind::Eval)),
         ("opt-bytecode", Some(TierKind::OptBytecode)),
         ("weighted-sum", Some(TierKind::WeightedSum)),
+        ("template-jit", Some(TierKind::TemplateJit)),
     ];
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sten-exec-throughput/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"sten-exec-throughput/v2\",");
     let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
-    let _ = writeln!(json, "  \"parallel_threads\": {},", args.threads);
+    // Actual pool size for the auto-parallel rows: requests <= 1 run
+    // serially (no pool), larger requests spawn exactly that many.
+    let parallel_threads = if args.threads > 1 { args.threads } else { 1 };
+    let _ = writeln!(json, "  \"parallel_threads\": {parallel_threads},");
     let _ = writeln!(json, "  \"kernels\": [");
     let mut rows = Vec::new();
     let mut heat2d_speedup = None;
     let mut trace_overhead = None;
+    let mut jit_vs_ws: Vec<(&'static str, f64)> = Vec::new();
     let artifact_tracer = Tracer::new();
     let mut trace_names: Vec<(u32, String)> = Vec::new();
     let cases = cases(args.smoke);
@@ -165,12 +233,45 @@ fn main() {
         let pipeline = compile_pipeline(&case.module, case.func).expect("pipeline compiles");
         let grid = pipeline.arg_shapes[0].clone();
         let points = pipeline.points_per_step();
+        check_bit_identity(&pipeline, &tiers[1..], args.threads, case.name);
         let mut ms: Vec<Measurement> = tiers
             .iter()
             .map(|&(name, tier)| measure(&pipeline, name, tier, 1, args.smoke, None))
             .collect();
         let eval_gpts = ms[0].gpts_per_s;
         ms.push(measure(&pipeline, "auto-parallel", None, args.threads, args.smoke, None));
+
+        // Template-JIT perf gate vs the tier it replaces at the top of
+        // the ladder. Smoke grids are dispatch-noise dominated, so the
+        // smoke floor is loose and re-measured best-of-3 before failing.
+        let ws_g = ms.iter().find(|m| m.requested == "weighted-sum").unwrap().gpts_per_s;
+        let jit_g = ms.iter().find(|m| m.requested == "template-jit").unwrap().gpts_per_s;
+        let mut ratio = jit_g / ws_g;
+        if args.smoke {
+            for _ in 0..3 {
+                if ratio >= 0.6 {
+                    break;
+                }
+                let ws =
+                    measure(&pipeline, "weighted-sum", Some(TierKind::WeightedSum), 1, true, None);
+                let jit =
+                    measure(&pipeline, "template-jit", Some(TierKind::TemplateJit), 1, true, None);
+                ratio = ratio.max(jit.gpts_per_s / ws.gpts_per_s);
+            }
+            assert!(
+                ratio >= 0.6,
+                "{}: template-jit fell below the smoke noise floor vs weighted-sum \
+                 ({ratio:.2}x, best of 3)",
+                case.name
+            );
+        } else {
+            assert!(
+                ratio >= 0.9,
+                "{}: template-jit must not regress vs weighted-sum ({ratio:.2}x)",
+                case.name
+            );
+        }
+        jit_vs_ws.push((case.name, ratio));
 
         // A short traced re-run per kernel feeds the committed trace
         // artifact (one pid per kernel, worker lanes as sub-tracks).
@@ -215,6 +316,8 @@ fn main() {
             grid.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", ")
         );
         let _ = writeln!(json, "      \"points_per_step\": {points},");
+        let _ = writeln!(json, "      \"bit_identical\": true,");
+        let _ = writeln!(json, "      \"jit_vs_weighted_sum\": {ratio:.3},");
         let _ = writeln!(json, "      \"measurements\": [");
         for (mi, m) in ms.iter().enumerate() {
             let _ = writeln!(
@@ -262,6 +365,18 @@ fn main() {
     );
     if let Some(s) = heat2d_speedup {
         println!("\nheat-2d weighted-sum vs eval (serial): {s:.2}x");
+    }
+    for (name, r) in &jit_vs_ws {
+        println!("{name} template-jit vs weighted-sum (serial): {r:.2}x");
+    }
+    if !args.smoke {
+        let fast = jit_vs_ws.iter().filter(|&&(_, r)| r >= 1.25).count();
+        assert!(
+            fast >= 2,
+            "template-jit must reach >= 1.25x over weighted-sum on at least 2 of \
+             {} kernels; got {fast} ({jit_vs_ws:?})",
+            jit_vs_ws.len()
+        );
     }
     println!(
         "disabled-sink trace overhead on heat-2d weighted-sum: {ov_delta:.2}% \

@@ -1,0 +1,864 @@
+//! Template-JIT executor tier: monomorphized fused micro-kernels.
+//!
+//! The weighted-sum tier (see [`crate::specialize`]) strip-mines rows
+//! into 128-point tiles and evaluates the kernel *stage at a time* over a
+//! heap slot matrix — every tap and combine node makes one full pass over
+//! the tile, so even an L1-resident kernel pays a load/store round trip
+//! per stage per point. Real stencil compilers (Devito's generated C,
+//! the paper's LLVM path) instead emit **one fused loop per kernel**: all
+//! taps are loaded into registers, combined in registers, and stored
+//! once.
+//!
+//! True runtime codegen needs a backend (cranelift) this repo cannot
+//! depend on, so this module does the next-best thing — a **template
+//! JIT**: a catalog of pre-compiled, monomorphized `#[inline(never)]`
+//! micro-kernels covering the stencil shapes the specializer actually
+//! sees, selected at pipeline-build time by matching the weighted-sum
+//! program's combine DAG. The catalog is parameterized by runtime data
+//! (taps, coefficients, strides) but its *shape* — tap counts (const
+//! generics), fold structure, lane width — is fixed at compile time, so
+//! the inner loops carry no interpretation dispatch at all.
+//!
+//! The matched shape is a two-level fold mirroring how frontends emit
+//! stencils (`out = Σ groups, group = [c ·] Σ elements`):
+//!
+//! ```text
+//! out  := term₁ ⊕ term₂ ⊕ … ⊕ term_G          (left fold, ⊕ ∈ {+,−})
+//! term := elem                                 (plain element)
+//!       | [c ·] (elem₁ ⊕ … ⊕ elem_T)          (const-scaled group fold)
+//! elem := tap | c · tap | tap ⊕ tap | const   (tap = one grid load)
+//! ```
+//!
+//! jacobi-1d matches as a pure 3-tap chain, heat-2d as
+//! `c + s·(((u+d)+(l+r)) − k·c)` (one plain term + one scaled group),
+//! the Devito heat-3d operator as `s₁·(a+b+c) + s₂·(d+e+f) + g·center`.
+//! Kernels outside the catalog (division nodes, nesting deeper than two
+//! levels, > [`MAX_TERMS`] terms, `Index` taps, runtime scalars) simply
+//! stay on the weighted-sum or opt-bytecode tier — tier selection is a
+//! pure win-or-fall-back.
+//!
+//! **Bit-exactness.** Evaluation replays exactly the operation sequence
+//! of the matched DAG per point: every tap is scaled with the recorded
+//! operand order, every fold applies the recorded operator with the
+//! accumulator on the recorded side, no expression is reassociated and
+//! no FMA contraction is introduced (products and sums stay separate
+//! instructions). Vectorization only batches *across* points — each lane
+//! executes the same scalar op sequence — so results are bit-for-bit
+//! identical to `KernelProgram::eval`, which the random-stencil property
+//! suite enforces across strategies, overlap, halo depth and threads.
+//!
+//! **Lanes.** Rows are evaluated eight points at a time through the
+//! [`Lanes`] abstraction: a portable `[f64; 8]` implementation whose
+//! fixed-width loops the compiler auto-vectorizes on any target, and —
+//! behind the `simd` cargo feature on x86_64, gated at runtime by
+//! `is_x86_feature_detected!("avx2")` — an explicit AVX2 implementation
+//! (two `__m256d` halves per block). Row remainders run the scalar path,
+//! which is bit-identical by construction.
+
+use crate::program::BinOp;
+use crate::specialize::{WsNode, WsProgram, WsTap};
+
+/// Maximum top-level fold terms (a pure chain of taps may use all of
+/// them; `chain<T>` micro-kernels are monomorphized for every `T` up to
+/// this bound).
+pub const MAX_TERMS: usize = 16;
+/// Maximum elements inside one scaled group.
+pub const MAX_GROUP_ELEMS: usize = 8;
+/// Maximum total evaluated operations per output (guards the
+/// recomputation that tree-shaped sharing can introduce).
+const MAX_OPS: usize = 64;
+/// Maximum outputs of a (horizontally fused) apply the templates accept.
+const MAX_OUTS: usize = 4;
+
+/// One grid load, optionally fused with a constant coefficient.
+#[derive(Clone, Debug)]
+pub struct JitTap {
+    /// Which apply input the tap reads.
+    pub input: u32,
+    /// Constant flat displacement from the centre point.
+    pub rel: i64,
+    /// Coefficient (ignored unless `scaled`).
+    pub coeff: f64,
+    /// Whether the constant was the left multiplication operand.
+    pub coeff_left: bool,
+    /// Whether the tap is multiplied by `coeff`.
+    pub scaled: bool,
+}
+
+/// A leaf value of the fold grammar.
+#[derive(Clone, Debug)]
+pub enum JitValue {
+    /// A (possibly scaled) tap.
+    Tap(JitTap),
+    /// `a ⊕ b` over two (possibly scaled) taps.
+    Pair {
+        /// `Add` or `Sub`.
+        op: BinOp,
+        /// Left tap.
+        a: JitTap,
+        /// Right tap.
+        b: JitTap,
+    },
+    /// A loop-invariant constant.
+    Const(f64),
+}
+
+/// One element of a group fold: `acc = acc ⊕ value`.
+#[derive(Clone, Debug)]
+pub struct JitElem {
+    /// `Add` or `Sub` (the first element ignores it and seeds the fold).
+    pub op: BinOp,
+    /// The element value.
+    pub value: JitValue,
+}
+
+/// What one top-level term evaluates.
+#[derive(Clone, Debug)]
+pub enum JitTermValue {
+    /// A plain element.
+    Elem(JitValue),
+    /// `[c ·] (elem₁ ⊕ … ⊕ elem_T)`.
+    Group {
+        /// Constant scale applied to the folded group (value, const on
+        /// the left).
+        scale: Option<(f64, bool)>,
+        /// The group fold.
+        elems: Vec<JitElem>,
+    },
+}
+
+/// One top-level fold term: `acc = acc ⊕ value`.
+#[derive(Clone, Debug)]
+pub struct JitTerm {
+    /// `Add` or `Sub` (the first term ignores it and seeds the fold).
+    pub op: BinOp,
+    /// The term value.
+    pub value: JitTermValue,
+}
+
+/// The fold plan for one output.
+#[derive(Clone, Debug)]
+pub struct JitOut {
+    /// Top-level terms, applied left to right.
+    pub terms: Vec<JitTerm>,
+}
+
+/// A kernel matched against the template catalog.
+#[derive(Clone, Debug)]
+pub struct JitProgram {
+    /// One fold plan per apply output.
+    pub outs: Vec<JitOut>,
+    /// Distinct taps of the source weighted-sum program (label only).
+    pub tap_count: usize,
+    /// `Some(T)` when the kernel is a single-output pure tap chain
+    /// (drives the const-generic `chain<T>` micro-kernels).
+    pub chain_len: Option<usize>,
+    /// The flattened `(op, tap)` pairs when `chain_len` is set, hoisted
+    /// out of the row loop at match time.
+    chain: Option<Vec<(BinOp, JitTap)>>,
+    /// Per-input `(min, max)` relative displacement loaded.
+    pub rel_bounds: Vec<Option<(i64, i64)>>,
+    /// Whether the explicit AVX2 lane path is compiled in *and* the CPU
+    /// supports it (detected once at build time).
+    pub use_avx2: bool,
+}
+
+impl JitProgram {
+    /// Human label fragment, e.g. `chain<3>` or `2 terms`.
+    pub fn shape_label(&self) -> String {
+        match self.chain_len {
+            Some(t) => format!("chain<{t}>"),
+            None => format!("{} terms", self.outs.iter().map(|o| o.terms.len()).max().unwrap_or(0)),
+        }
+    }
+}
+
+/// Whether the AVX2 lane path is available on this build and CPU.
+fn avx2_available() -> bool {
+    #[cfg(all(target_arch = "x86_64", feature = "simd"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(target_arch = "x86_64", feature = "simd")))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Template matching
+// ---------------------------------------------------------------------
+
+/// What a weighted-sum slot holds during matching.
+#[derive(Copy, Clone)]
+enum SlotKind<'a> {
+    Tap(&'a WsTap),
+    Const(f64),
+    Node(&'a WsNode),
+}
+
+struct Matcher<'a> {
+    ws: &'a WsProgram,
+    ops: usize,
+}
+
+impl<'a> Matcher<'a> {
+    fn slot(&self, s: u16) -> SlotKind<'a> {
+        let s = s as usize;
+        let taps = self.ws.taps.len();
+        let consts = taps + self.ws.index_taps.len() + self.ws.consts.len();
+        if s < taps {
+            SlotKind::Tap(&self.ws.taps[s])
+        } else if s < consts {
+            // Index slots are rejected up front, so anything between the
+            // taps and the nodes is a constant here.
+            SlotKind::Const(self.ws.consts[s - taps - self.ws.index_taps.len()])
+        } else {
+            SlotKind::Node(&self.ws.nodes[s - consts])
+        }
+    }
+
+    fn charge(&mut self, n: usize) -> Option<()> {
+        self.ops += n;
+        (self.ops <= MAX_OPS).then_some(())
+    }
+
+    fn tap(&mut self, t: &WsTap) -> Option<JitTap> {
+        self.charge(if t.scaled { 2 } else { 1 })?;
+        Some(JitTap {
+            input: t.input,
+            rel: t.rel,
+            coeff: t.coeff,
+            coeff_left: t.coeff_left,
+            scaled: t.scaled,
+        })
+    }
+
+    /// Matches a leaf: tap, `c·tap`, `tap ⊕ tap`, or a constant.
+    fn value(&mut self, s: u16) -> Option<JitValue> {
+        match self.slot(s) {
+            SlotKind::Tap(t) => Some(JitValue::Tap(self.tap(t)?)),
+            SlotKind::Const(c) => {
+                self.charge(1)?;
+                Some(JitValue::Const(c))
+            }
+            SlotKind::Node(WsNode::Bin { op: op @ (BinOp::Add | BinOp::Sub), a, b }) => {
+                let (SlotKind::Tap(ta), SlotKind::Tap(tb)) = (self.slot(*a), self.slot(*b)) else {
+                    return None;
+                };
+                let (a, b) = (self.tap(ta)?, self.tap(tb)?);
+                self.charge(1)?;
+                Some(JitValue::Pair { op: *op, a, b })
+            }
+            SlotKind::Node(WsNode::Bin { op: BinOp::Mul, a, b }) => {
+                // An unfused `const · tap` (the weighted-sum matcher only
+                // fuses coefficients into single-use taps).
+                let (c, t, left) = match (self.slot(*a), self.slot(*b)) {
+                    (SlotKind::Const(c), SlotKind::Tap(t)) => (c, t, true),
+                    (SlotKind::Tap(t), SlotKind::Const(c)) => (c, t, false),
+                    _ => return None,
+                };
+                if t.scaled {
+                    return None; // nested scaling: stay on weighted-sum
+                }
+                let mut tap = self.tap(t)?;
+                self.charge(1)?;
+                tap.coeff = c;
+                tap.coeff_left = left;
+                tap.scaled = true;
+                Some(JitValue::Tap(tap))
+            }
+            _ => None,
+        }
+    }
+
+    /// Linearizes the left spine of `Add`/`Sub` nodes rooted at `s` into
+    /// `(seed, [(op, term), …])`, mirroring the DAG's exact association.
+    fn linearize(&self, s: u16) -> (u16, Vec<(BinOp, u16)>) {
+        let mut rev: Vec<(BinOp, u16)> = Vec::new();
+        let mut cur = s;
+        while rev.len() < MAX_TERMS.max(MAX_GROUP_ELEMS) {
+            match self.slot(cur) {
+                SlotKind::Node(WsNode::Bin { op: op @ (BinOp::Add | BinOp::Sub), a, b }) => {
+                    rev.push((*op, *b));
+                    cur = *a;
+                }
+                _ => break,
+            }
+        }
+        rev.reverse();
+        (cur, rev)
+    }
+
+    /// Matches a group fold (second fold level): every term must be a
+    /// leaf value.
+    fn group_elems(&mut self, s: u16) -> Option<Vec<JitElem>> {
+        let (seed, folds) = self.linearize(s);
+        if folds.len() + 1 > MAX_GROUP_ELEMS {
+            return None;
+        }
+        let mut elems = vec![JitElem { op: BinOp::Add, value: self.value(seed)? }];
+        for (op, slot) in folds {
+            self.charge(1)?;
+            elems.push(JitElem { op, value: self.value(slot)? });
+        }
+        Some(elems)
+    }
+
+    /// Matches one top-level term: a leaf, or a (possibly const-scaled)
+    /// group fold.
+    fn term_value(&mut self, s: u16) -> Option<JitTermValue> {
+        if let Some(v) = self.value(s) {
+            return Some(JitTermValue::Elem(v));
+        }
+        match self.slot(s) {
+            SlotKind::Node(WsNode::Bin { op: BinOp::Mul, a, b }) => {
+                let (c, inner, left) = match (self.slot(*a), self.slot(*b)) {
+                    (SlotKind::Const(c), _) => (c, *b, true),
+                    (_, SlotKind::Const(c)) => (c, *a, false),
+                    _ => return None,
+                };
+                self.charge(1)?;
+                Some(JitTermValue::Group {
+                    scale: Some((c, left)),
+                    elems: self.group_elems(inner)?,
+                })
+            }
+            SlotKind::Node(WsNode::Bin { op: BinOp::Add | BinOp::Sub, .. }) => {
+                Some(JitTermValue::Group { scale: None, elems: self.group_elems(s)? })
+            }
+            _ => None,
+        }
+    }
+
+    fn out(&mut self, s: u16) -> Option<JitOut> {
+        let (seed, folds) = self.linearize(s);
+        if folds.len() + 1 > MAX_TERMS {
+            return None;
+        }
+        let mut terms = vec![JitTerm { op: BinOp::Add, value: self.term_value(seed)? }];
+        for (op, slot) in folds {
+            self.charge(1)?;
+            terms.push(JitTerm { op, value: self.term_value(slot)? });
+        }
+        Some(JitOut { terms })
+    }
+}
+
+/// Tries to match a weighted-sum program against the template catalog.
+/// Returns `None` when the kernel needs a shape the catalog doesn't
+/// pre-compile — the caller then stays on the weighted-sum tier.
+pub fn match_template(ws: &WsProgram) -> Option<JitProgram> {
+    if !ws.index_taps.is_empty() || ws.outs.is_empty() || ws.outs.len() > MAX_OUTS {
+        return None;
+    }
+    let mut m = Matcher { ws, ops: 0 };
+    let outs: Vec<JitOut> = ws.outs.iter().map(|&o| m.out(o)).collect::<Option<_>>()?;
+    let chain = match &outs[..] {
+        [o] if o.terms.iter().all(|t| matches!(t.value, JitTermValue::Elem(JitValue::Tap(_)))) => {
+            Some(
+                o.terms
+                    .iter()
+                    .map(|t| match &t.value {
+                        JitTermValue::Elem(JitValue::Tap(tap)) => (t.op, tap.clone()),
+                        _ => unreachable!("just matched pure tap terms"),
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }
+        _ => None,
+    };
+    Some(JitProgram {
+        chain_len: chain.as_ref().map(Vec::len),
+        chain,
+        outs,
+        tap_count: ws.taps.len(),
+        rel_bounds: ws.rel_bounds.clone(),
+        use_avx2: avx2_available(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------
+
+/// A block of `W` consecutive grid points processed together. Every
+/// operation applies the identical scalar IEEE op per lane — lane width
+/// only batches points, it never changes any point's op sequence.
+trait Lanes: Copy {
+    /// Points per block.
+    const W: usize;
+    /// # Safety
+    /// `p .. p + W` must be readable.
+    unsafe fn load(p: *const f64) -> Self;
+    fn splat(c: f64) -> Self;
+    fn add(self, o: Self) -> Self;
+    fn sub(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    /// # Safety
+    /// `p .. p + W` must be writable.
+    unsafe fn store(self, p: *mut f64);
+}
+
+/// Portable lanes: fixed-width loops the compiler auto-vectorizes.
+#[derive(Copy, Clone)]
+struct Portable([f64; 8]);
+
+impl Lanes for Portable {
+    const W: usize = 8;
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        let mut v = [0.0; 8];
+        std::ptr::copy_nonoverlapping(p, v.as_mut_ptr(), 8);
+        Portable(v)
+    }
+    #[inline(always)]
+    fn splat(c: f64) -> Self {
+        Portable([c; 8])
+    }
+    #[inline(always)]
+    fn add(mut self, o: Self) -> Self {
+        for i in 0..8 {
+            self.0[i] += o.0[i];
+        }
+        self
+    }
+    #[inline(always)]
+    fn sub(mut self, o: Self) -> Self {
+        for i in 0..8 {
+            self.0[i] -= o.0[i];
+        }
+        self
+    }
+    #[inline(always)]
+    fn mul(mut self, o: Self) -> Self {
+        for i in 0..8 {
+            self.0[i] *= o.0[i];
+        }
+        self
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        std::ptr::copy_nonoverlapping(self.0.as_ptr(), p, 8);
+    }
+}
+
+/// Explicit AVX2 lanes (two `__m256d` halves). `vaddpd`/`vsubpd`/
+/// `vmulpd` are lane-wise IEEE ops — no FMA contraction, so results
+/// match the scalar path bit for bit.
+#[cfg(all(target_arch = "x86_64", feature = "simd"))]
+mod avx2 {
+    use super::Lanes;
+    use std::arch::x86_64::*;
+
+    #[derive(Copy, Clone)]
+    pub struct Avx2(__m256d, __m256d);
+
+    impl Lanes for Avx2 {
+        const W: usize = 8;
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            Avx2(_mm256_loadu_pd(p), _mm256_loadu_pd(p.add(4)))
+        }
+        #[inline(always)]
+        fn splat(c: f64) -> Self {
+            unsafe { Avx2(_mm256_set1_pd(c), _mm256_set1_pd(c)) }
+        }
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            unsafe { Avx2(_mm256_add_pd(self.0, o.0), _mm256_add_pd(self.1, o.1)) }
+        }
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            unsafe { Avx2(_mm256_sub_pd(self.0, o.0), _mm256_sub_pd(self.1, o.1)) }
+        }
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            unsafe { Avx2(_mm256_mul_pd(self.0, o.0), _mm256_mul_pd(self.1, o.1)) }
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f64) {
+            _mm256_storeu_pd(p, self.0);
+            _mm256_storeu_pd(p.add(4), self.1);
+        }
+    }
+}
+
+/// Row-start base pointer of a tap.
+///
+/// # Safety
+/// Caller validated `flats[input] + rel` (and the row extent) per
+/// [`JitProgram::rel_bounds`].
+#[inline(always)]
+unsafe fn tap_base(t: &JitTap, inputs: &[&[f64]], flats: &[i64]) -> *const f64 {
+    let f = *flats.get_unchecked(t.input as usize);
+    inputs.get_unchecked(t.input as usize).as_ptr().offset((f + t.rel) as isize)
+}
+
+#[inline(always)]
+fn fold_op<L: Lanes>(op: BinOp, acc: L, v: L) -> L {
+    match op {
+        BinOp::Sub => acc.sub(v),
+        // Only Add/Sub folds are matched.
+        _ => acc.add(v),
+    }
+}
+
+/// Loads and scales one tap for the block at `x`.
+///
+/// # Safety
+/// See [`tap_base`]; `x .. x + W` must be within the validated row.
+#[inline(always)]
+unsafe fn tap_block<L: Lanes>(t: &JitTap, inputs: &[&[f64]], flats: &[i64], x: i64) -> L {
+    let v = L::load(tap_base(t, inputs, flats).offset(x as isize));
+    if !t.scaled {
+        v
+    } else if t.coeff_left {
+        L::splat(t.coeff).mul(v)
+    } else {
+        v.mul(L::splat(t.coeff))
+    }
+}
+
+/// # Safety
+/// See [`tap_block`].
+#[inline(always)]
+unsafe fn value_block<L: Lanes>(v: &JitValue, inputs: &[&[f64]], flats: &[i64], x: i64) -> L {
+    match v {
+        JitValue::Tap(t) => tap_block(t, inputs, flats, x),
+        JitValue::Pair { op, a, b } => {
+            fold_op(*op, tap_block::<L>(a, inputs, flats, x), tap_block::<L>(b, inputs, flats, x))
+        }
+        JitValue::Const(c) => L::splat(*c),
+    }
+}
+
+/// # Safety
+/// See [`tap_block`].
+#[inline(always)]
+unsafe fn term_block<L: Lanes>(t: &JitTermValue, inputs: &[&[f64]], flats: &[i64], x: i64) -> L {
+    match t {
+        JitTermValue::Elem(v) => value_block(v, inputs, flats, x),
+        JitTermValue::Group { scale, elems } => {
+            let mut acc = value_block::<L>(&elems[0].value, inputs, flats, x);
+            for e in &elems[1..] {
+                acc = fold_op(e.op, acc, value_block(&e.value, inputs, flats, x));
+            }
+            match *scale {
+                Some((c, true)) => L::splat(c).mul(acc),
+                Some((c, false)) => acc.mul(L::splat(c)),
+                None => acc,
+            }
+        }
+    }
+}
+
+/// General fused row kernel over `L`-blocks; the scalar remainder runs
+/// [`eval_point`] (bit-identical by construction).
+///
+/// Generic core only — the callable micro-kernels are the
+/// monomorphizing wrappers below ([`fold_row_portable`],
+/// [`avx2::fold_row_avx2`]). It must inline into them: a `std::arch`
+/// intrinsic only compiles to its instruction inside a function carrying
+/// the matching `#[target_feature]`; an out-of-line generic body would
+/// turn every lane op of the AVX2 instantiation into a real function
+/// call with `__m256d` operands spilled through memory (measured ~9×
+/// *slower* than weighted-sum on jacobi-1d).
+///
+/// # Safety
+/// Caller validated the row per [`JitProgram::rel_bounds`]; `out` must
+/// cover `of .. of + len`.
+#[inline(always)]
+unsafe fn fold_row<L: Lanes>(
+    plan: &JitOut,
+    inputs: &[&[f64]],
+    flats: &[i64],
+    out: &mut [f64],
+    of: i64,
+    len: i64,
+) {
+    let w = L::W as i64;
+    let mut x = 0i64;
+    while x + w <= len {
+        let mut acc = term_block::<L>(&plan.terms[0].value, inputs, flats, x);
+        for t in &plan.terms[1..] {
+            acc = fold_op(t.op, acc, term_block(&t.value, inputs, flats, x));
+        }
+        acc.store(out.as_mut_ptr().offset((of + x) as isize));
+        x += w;
+    }
+    for x in x..len {
+        *out.get_unchecked_mut((of + x) as usize) = eval_point(plan, inputs, flats, x);
+    }
+}
+
+/// Const-generic pure-chain row kernel: `T` taps folded left to right,
+/// fully unrolled. Generic core — see [`fold_row`] on why it must
+/// inline into the per-ISA wrappers.
+///
+/// # Safety
+/// Same contract as [`fold_row`]; the plan must be a pure tap chain of
+/// exactly `T` terms.
+#[inline(always)]
+unsafe fn chain_row<L: Lanes, const T: usize>(
+    taps: &[(BinOp, JitTap)],
+    inputs: &[&[f64]],
+    flats: &[i64],
+    out: &mut [f64],
+    of: i64,
+    len: i64,
+) {
+    debug_assert_eq!(taps.len(), T);
+    let w = L::W as i64;
+    let mut x = 0i64;
+    while x + w <= len {
+        let mut acc = tap_block::<L>(&taps.get_unchecked(0).1, inputs, flats, x);
+        for i in 1..T {
+            let (op, t) = taps.get_unchecked(i);
+            acc = fold_op(*op, acc, tap_block(t, inputs, flats, x));
+        }
+        acc.store(out.as_mut_ptr().offset((of + x) as isize));
+        x += w;
+    }
+    for x in x..len {
+        let mut acc = tap_point(&taps.get_unchecked(0).1, inputs, flats, x);
+        for i in 1..T {
+            let (op, t) = taps.get_unchecked(i);
+            acc = op.eval(acc, tap_point(t, inputs, flats, x));
+        }
+        *out.get_unchecked_mut((of + x) as usize) = acc;
+    }
+}
+
+/// # Safety
+/// See [`tap_block`] (single-point form).
+#[inline(always)]
+unsafe fn tap_point(t: &JitTap, inputs: &[&[f64]], flats: &[i64], x: i64) -> f64 {
+    let v = *tap_base(t, inputs, flats).offset(x as isize);
+    // The multiplication operand order is semantic (NaN payload
+    // propagation matches the bytecode).
+    #[allow(clippy::if_same_then_else)]
+    if !t.scaled {
+        v
+    } else if t.coeff_left {
+        t.coeff * v
+    } else {
+        v * t.coeff
+    }
+}
+
+/// # Safety
+/// See [`tap_point`].
+#[inline(always)]
+unsafe fn value_point(v: &JitValue, inputs: &[&[f64]], flats: &[i64], x: i64) -> f64 {
+    match v {
+        JitValue::Tap(t) => tap_point(t, inputs, flats, x),
+        JitValue::Pair { op, a, b } => {
+            op.eval(tap_point(a, inputs, flats, x), tap_point(b, inputs, flats, x))
+        }
+        JitValue::Const(c) => *c,
+    }
+}
+
+/// Scalar single-point evaluation — the reference op sequence every lane
+/// path reproduces.
+///
+/// # Safety
+/// See [`tap_point`].
+#[inline(always)]
+unsafe fn eval_point(plan: &JitOut, inputs: &[&[f64]], flats: &[i64], x: i64) -> f64 {
+    let term = |t: &JitTermValue| -> f64 {
+        match t {
+            JitTermValue::Elem(v) => value_point(v, inputs, flats, x),
+            JitTermValue::Group { scale, elems } => {
+                let mut acc = value_point(&elems[0].value, inputs, flats, x);
+                for e in &elems[1..] {
+                    acc = e.op.eval(acc, value_point(&e.value, inputs, flats, x));
+                }
+                match *scale {
+                    Some((c, true)) => c * acc,
+                    Some((c, false)) => acc * c,
+                    None => acc,
+                }
+            }
+        }
+    };
+    let mut acc = term(&plan.terms[0].value);
+    for t in &plan.terms[1..] {
+        acc = t.op.eval(acc, term(&t.value));
+    }
+    acc
+}
+
+/// Expands to the `taps.len()` match dispatching a chain to the
+/// const-generic monomorphizations of the named wrapper.
+macro_rules! chain_match {
+    ($row:ident, $taps:expr, $inputs:expr, $flats:expr, $out:expr, $of:expr, $len:expr) => {
+        match $taps.len() {
+            1 => $row::<1>($taps, $inputs, $flats, $out, $of, $len),
+            2 => $row::<2>($taps, $inputs, $flats, $out, $of, $len),
+            3 => $row::<3>($taps, $inputs, $flats, $out, $of, $len),
+            4 => $row::<4>($taps, $inputs, $flats, $out, $of, $len),
+            5 => $row::<5>($taps, $inputs, $flats, $out, $of, $len),
+            6 => $row::<6>($taps, $inputs, $flats, $out, $of, $len),
+            7 => $row::<7>($taps, $inputs, $flats, $out, $of, $len),
+            8 => $row::<8>($taps, $inputs, $flats, $out, $of, $len),
+            9 => $row::<9>($taps, $inputs, $flats, $out, $of, $len),
+            10 => $row::<10>($taps, $inputs, $flats, $out, $of, $len),
+            11 => $row::<11>($taps, $inputs, $flats, $out, $of, $len),
+            12 => $row::<12>($taps, $inputs, $flats, $out, $of, $len),
+            13 => $row::<13>($taps, $inputs, $flats, $out, $of, $len),
+            14 => $row::<14>($taps, $inputs, $flats, $out, $of, $len),
+            15 => $row::<15>($taps, $inputs, $flats, $out, $of, $len),
+            16 => $row::<16>($taps, $inputs, $flats, $out, $of, $len),
+            _ => unreachable!("chain length bounded by MAX_TERMS"),
+        }
+    };
+}
+
+/// Portable monomorphized micro-kernels: distinct `#[inline(never)]`
+/// symbols per shape, auto-vectorized for the build's baseline ISA.
+#[inline(never)]
+unsafe fn fold_row_portable(
+    plan: &JitOut,
+    inputs: &[&[f64]],
+    flats: &[i64],
+    out: &mut [f64],
+    of: i64,
+    len: i64,
+) {
+    fold_row::<Portable>(plan, inputs, flats, out, of, len)
+}
+
+/// # Safety
+/// Same contract as [`fold_row`]; `taps.len() == T`.
+#[inline(never)]
+unsafe fn chain_row_portable<const T: usize>(
+    taps: &[(BinOp, JitTap)],
+    inputs: &[&[f64]],
+    flats: &[i64],
+    out: &mut [f64],
+    of: i64,
+    len: i64,
+) {
+    chain_row::<Portable, T>(taps, inputs, flats, out, of, len)
+}
+
+/// AVX2 monomorphized micro-kernels. `#[target_feature]` compiles the
+/// inlined generic cores (and the `_mm256_*` intrinsics inside them)
+/// with AVX2 codegen, and is itself a hard inline boundary from the
+/// non-AVX2 caller — these are the out-of-line kernel symbols of the
+/// SIMD path.
+#[cfg(all(target_arch = "x86_64", feature = "simd"))]
+mod avx2_rows {
+    use super::*;
+
+    /// # Safety
+    /// Caller checked `is_x86_feature_detected!("avx2")` (recorded in
+    /// [`JitProgram::use_avx2`]) and validated the row per `rel_bounds`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fold_row_avx2(
+        plan: &JitOut,
+        inputs: &[&[f64]],
+        flats: &[i64],
+        out: &mut [f64],
+        of: i64,
+        len: i64,
+    ) {
+        fold_row::<avx2::Avx2>(plan, inputs, flats, out, of, len)
+    }
+
+    /// # Safety
+    /// As [`fold_row_avx2`]; `taps.len() == T`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn chain_row_avx2<const T: usize>(
+        taps: &[(BinOp, JitTap)],
+        inputs: &[&[f64]],
+        flats: &[i64],
+        out: &mut [f64],
+        of: i64,
+        len: i64,
+    ) {
+        chain_row::<avx2::Avx2, T>(taps, inputs, flats, out, of, len)
+    }
+}
+
+impl JitProgram {
+    /// Evaluates one stride-1 row of `len` points for every output.
+    ///
+    /// # Safety
+    /// The caller validated (per [`JitProgram::rel_bounds`]) that every
+    /// `flats[i] + rel + x` for `x < len` is in bounds for `inputs[i]`
+    /// and that `out_flats[o] .. out_flats[o] + len` is in bounds for
+    /// `outs[o]`.
+    pub unsafe fn eval_row(
+        &self,
+        inputs: &[&[f64]],
+        flats: &[i64],
+        outs: &mut [&mut [f64]],
+        out_flats: &[i64],
+        len: i64,
+    ) {
+        for (oi, plan) in self.outs.iter().enumerate() {
+            let of = out_flats[oi];
+            let out: &mut [f64] = outs[oi];
+            let chain = self.chain.as_deref();
+            #[cfg(all(target_arch = "x86_64", feature = "simd"))]
+            if self.use_avx2 {
+                use avx2_rows::{chain_row_avx2, fold_row_avx2};
+                match chain {
+                    Some(taps) => chain_match!(chain_row_avx2, taps, inputs, flats, out, of, len),
+                    None => fold_row_avx2(plan, inputs, flats, out, of, len),
+                }
+                continue;
+            }
+            match chain {
+                Some(taps) => chain_match!(chain_row_portable, taps, inputs, flats, out, of, len),
+                None => fold_row_portable(plan, inputs, flats, out, of, len),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specialize::{SpecializedKernel, Tier, TierKind};
+
+    fn heat_jit() -> SpecializedKernel {
+        let mut m = sten_stencil::samples::heat_2d(16, 0.1);
+        let k = crate::specialize::tests::kernel_of(
+            &mut m,
+            "heat",
+            crate::program::InputDesc::new(vec![18, 18], vec![-1, -1]),
+        );
+        SpecializedKernel::specialize(k, Some(TierKind::TemplateJit))
+    }
+
+    #[test]
+    fn heat_matches_term_template() {
+        let spec = heat_jit();
+        assert_eq!(spec.tier_kind(), TierKind::TemplateJit);
+        let Tier::TemplateJit(jit) = &spec.tier else { panic!() };
+        // heat-2d: `c + s·(((u+d)+(l+r)) − k·c)` — one plain term plus
+        // one scaled group. The group's left spine linearizes through
+        // the leading tap pair: [tap, tap, pair, scaled tap], preserving
+        // the exact left-nested association.
+        assert_eq!(jit.outs.len(), 1);
+        assert_eq!(jit.outs[0].terms.len(), 2);
+        assert!(jit.chain_len.is_none());
+        let JitTermValue::Group { scale: Some(_), elems } = &jit.outs[0].terms[1].value else {
+            panic!("second term is a scaled group: {jit:?}");
+        };
+        assert_eq!(elems.len(), 4);
+        assert!(matches!(elems[2].value, JitValue::Pair { .. }));
+        assert!(matches!(elems[3].value, JitValue::Tap(JitTap { scaled: true, .. })));
+    }
+
+    #[test]
+    fn shape_label_reports_chain_and_terms() {
+        let spec = heat_jit();
+        let Tier::TemplateJit(jit) = &spec.tier else { panic!() };
+        assert_eq!(jit.shape_label(), "2 terms");
+    }
+}

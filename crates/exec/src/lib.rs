@@ -10,8 +10,13 @@
 //!   intensities from *real* IR rather than hand-waved estimates);
 //! * [`specialize`] — the kernel specialization engine: compiles each
 //!   [`program::KernelProgram`] into the fastest applicable executor
-//!   tier (`eval` → `opt-bytecode` → `weighted-sum`) at pipeline-build
-//!   time, bit-for-bit identical to the reference interpreter;
+//!   tier (`eval` → `opt-bytecode` → `weighted-sum` → `template-jit`)
+//!   at pipeline-build time, bit-for-bit identical to the reference
+//!   interpreter;
+//! * [`jit`] — the template-JIT tier's catalog of monomorphized fused
+//!   micro-kernels (const-generic tap chains, two-level fold templates,
+//!   optional explicit AVX2 lanes behind the `simd` cargo feature +
+//!   runtime CPU detection);
 //! * [`pipeline`] — compiles a whole stencil-level function
 //!   (`load`/`apply`/`store`/`dmp.swap` sequences) into an executable
 //!   [`pipeline::Pipeline`]; [`pipeline::Runner`] executes timesteps
@@ -31,6 +36,7 @@
 //! Numerical results are bit-identical to the `sten-interp` tree-walker on
 //! the same module — the workspace tests enforce this.
 
+pub mod jit;
 pub mod pipeline;
 pub mod pool;
 pub mod program;

@@ -444,10 +444,23 @@ impl Pipeline {
     /// Re-specializes every apply kernel (`None` = automatic selection).
     /// Lets benchmarks and tests pin an executor tier per pipeline
     /// without touching the process-wide `STEN_EXEC_TIER` override.
+    ///
+    /// Region-split steps (one interior + several boundary shells from
+    /// an overlapped or deep-halo schedule) all derive from one compiled
+    /// apply; they are specialized once and share the resulting tier's
+    /// `Arc`'d tap tables, so the short-row boundary path never rebuilds
+    /// per-shell state. Keyed by the kernel's debug rendering, which
+    /// distinguishes every semantic detail including `-0.0` vs `0.0`
+    /// constants (plain f64 equality would conflate them).
     pub fn respecialize(&mut self, tier: Option<TierKind>) {
+        let mut cache: HashMap<String, SpecializedKernel> = HashMap::new();
         for step in &mut self.steps {
             if let Step::Apply { kernel, .. } = step {
-                *kernel = SpecializedKernel::specialize(kernel.kernel.clone(), tier);
+                let key = format!("{:?}", kernel.kernel);
+                let spec = cache
+                    .entry(key)
+                    .or_insert_with(|| SpecializedKernel::specialize(kernel.kernel.clone(), tier));
+                *kernel = spec.clone();
             }
         }
     }
@@ -680,6 +693,15 @@ impl Runner {
     /// The executor-tier lines of the underlying pipeline.
     pub fn tier_summary(&self) -> Vec<String> {
         self.pipeline.tier_summary()
+    }
+
+    /// The number of OS threads that actually execute apply steps: the
+    /// worker-pool size when one was spawned, otherwise 1 (the runner
+    /// itself, serially). `threads <= 1` requests never spawn a pool, so
+    /// this can differ from the `threads` constructor argument — report
+    /// this, not the request, in benchmarks.
+    pub fn effective_threads(&self) -> usize {
+        self.pool.as_ref().map(|p| p.threads()).unwrap_or(1)
     }
 
     /// Sets the `i`-th scalar (`f64`) function argument for subsequent
@@ -2115,6 +2137,39 @@ mod tests {
         let steps = p.step_summary();
         assert!(steps[0].starts_with("swap#0 begin"), "{steps:?}");
         assert!(steps.iter().any(|l| l == "swap#0 wait"), "{steps:?}");
+    }
+
+    #[test]
+    fn region_split_steps_share_specialized_tables() {
+        use crate::specialize::Tier;
+        let mut m = samples::heat_2d(64, 0.1);
+        ShapeInference.run(&mut m).unwrap();
+        sten_dmp::DistributeStencil::new(vec![2, 2]).with_overlap(true).run(&mut m).unwrap();
+        ShapeInference.run(&mut m).unwrap();
+        let mut p = compile_module(&m, "heat").unwrap();
+        assert_eq!(p.num_apply_steps(), 5, "interior + 4 shells");
+        // Both at compile time (the split clones one specialized kernel)
+        // and after respecialize (the dedup cache), the interior and the
+        // boundary shells must share one tap table, not per-shell copies.
+        for tier in [None, Some(TierKind::WeightedSum), Some(TierKind::TemplateJit)] {
+            p.respecialize(tier);
+            let applies: Vec<_> = p
+                .steps
+                .iter()
+                .filter_map(|s| match s {
+                    Step::Apply { kernel, .. } => Some(kernel),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(applies.len(), 5);
+            let shared = applies.windows(2).all(|w| match (&w[0].tier, &w[1].tier) {
+                (Tier::WeightedSum(a), Tier::WeightedSum(b)) => Arc::ptr_eq(a, b),
+                (Tier::TemplateJit(a), Tier::TemplateJit(b)) => Arc::ptr_eq(a, b),
+                (Tier::OptBytecode(a), Tier::OptBytecode(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            });
+            assert!(shared, "tier {tier:?}: shells rebuilt per-shell state");
+        }
     }
 
     #[test]

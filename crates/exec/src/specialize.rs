@@ -7,7 +7,13 @@
 //! for its performance. This module compiles each kernel **once, at
 //! pipeline-build time**, into the fastest applicable executor tier:
 //!
-//! 1. **[`TierKind::WeightedSum`]** — the ubiquitous
+//! 1. **[`TierKind::TemplateJit`]** — a template-JIT (see [`crate::jit`])
+//!    for kernels whose weighted-sum combine DAG matches a catalog of
+//!    pre-compiled, monomorphized fused micro-kernels: all taps loaded
+//!    and combined in registers in one pass per row, const-generic tap
+//!    counts for pure chains, optional explicit AVX2 lanes behind the
+//!    `simd` cargo feature + runtime CPU detection.
+//! 2. **[`TierKind::WeightedSum`]** — the ubiquitous
 //!    weighted-sum-of-taps stencil shape (jacobi/heat/wave all qualify):
 //!    every multiplication has a constant operand, so the kernel is an
 //!    affine function of its loads. It runs as a flat tap table
@@ -17,13 +23,15 @@
 //!    strip-mined into [`WS_TILE`]-point tiles evaluated
 //!    stage-at-a-time, so every tap load and combine node becomes a
 //!    straight-line elementwise loop the compiler auto-vectorizes.
-//! 2. **[`TierKind::OptBytecode`]** — everything else: bytecode-level
+//!    Fused multi-output applies and `Index`-using kernels qualify too
+//!    (index slots broadcast or iota-fill per tile).
+//! 3. **[`TierKind::OptBytecode`]** — everything else: bytecode-level
 //!    CSE (identical `LoadInput`/`Const`/`Index` deduped), constant
 //!    folding of `Const ⊕ Const`, hoisting of loop-invariant `Const`
 //!    writes into a pre-initialized register file, dead-code
 //!    elimination, and an unchecked (bounds-validated once per chunk)
 //!    evaluation loop.
-//! 3. **[`TierKind::Eval`]** — the seed interpreter path, kept as the
+//! 4. **[`TierKind::Eval`]** — the seed interpreter path, kept as the
 //!    reference semantics and selectable for A/B measurement.
 //!
 //! All tiers are bit-for-bit identical to [`KernelProgram::eval`]: the
@@ -35,17 +43,22 @@
 //! Inner loops are rank-specialized: 1D/2D/3D row walkers are
 //! monomorphized per tier (the generic odometer only drives rank ≥ 4).
 //!
-//! Tier selection is automatic (`WeightedSum` when the shape matches,
-//! else `OptBytecode`) and can be overridden with the `STEN_EXEC_TIER`
-//! environment variable (`eval` | `opt-bytecode` | `weighted-sum` |
-//! `auto`) or per pipeline via [`crate::Pipeline::respecialize`].
+//! Tier selection is automatic (`TemplateJit` when a pre-compiled
+//! template matches the weighted-sum form, `WeightedSum` when only the
+//! shape matches, else `OptBytecode`) and can be overridden with the
+//! `STEN_EXEC_TIER` environment variable (`eval` | `opt-bytecode` |
+//! `weighted-sum` | `template-jit` | `auto`) or per pipeline via
+//! [`crate::Pipeline::respecialize`]. Forcing a tier a kernel doesn't
+//! qualify for falls back down the ladder.
 
+use crate::jit::JitProgram;
 use crate::program::{BinOp, CompiledKernel, ExecScratch, Instr};
 use std::collections::HashMap;
+use std::sync::Arc;
 use sten_ir::Bounds;
 
 /// Names an executor tier (the ladder: `eval` → `opt-bytecode` →
-/// `weighted-sum`).
+/// `weighted-sum` → `template-jit`).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum TierKind {
     /// The seed `KernelProgram::eval` interpreter (reference semantics).
@@ -54,6 +67,8 @@ pub enum TierKind {
     OptBytecode,
     /// Flat weighted-sum tap table with an exact combine schedule.
     WeightedSum,
+    /// Monomorphized fused micro-kernels from the template catalog.
+    TemplateJit,
 }
 
 impl TierKind {
@@ -64,6 +79,7 @@ impl TierKind {
             TierKind::Eval => "eval",
             TierKind::OptBytecode => "opt-bytecode",
             TierKind::WeightedSum => "weighted-sum",
+            TierKind::TemplateJit => "template-jit",
         }
     }
 
@@ -74,8 +90,10 @@ impl TierKind {
             "eval" => Ok(Some(TierKind::Eval)),
             "opt" | "opt-bytecode" => Ok(Some(TierKind::OptBytecode)),
             "ws" | "weighted-sum" => Ok(Some(TierKind::WeightedSum)),
+            "jit" | "template-jit" => Ok(Some(TierKind::TemplateJit)),
             other => Err(format!(
-                "unknown STEN_EXEC_TIER '{other}' (expected auto|eval|opt-bytecode|weighted-sum)"
+                "unknown STEN_EXEC_TIER '{other}' \
+                 (expected auto|eval|opt-bytecode|weighted-sum|template-jit)"
             )),
         }
     }
@@ -201,22 +219,30 @@ pub enum WsNode {
     },
 }
 
-/// A kernel in weighted-sum form (tier 1).
+/// A kernel in weighted-sum form (tier 2). Slot layout: taps, then
+/// index taps, then consts, then combine nodes.
 #[derive(Clone, Debug)]
 pub struct WsProgram {
     /// The taps, loaded (and coefficient-scaled) each point.
     pub taps: Vec<WsTap>,
-    /// Loop-invariant constant slot values (slots `taps.len()..`).
+    /// `Index` slots `(dim, offset)`: the coordinate along `dim` plus
+    /// `offset`, as f64 (slots `taps.len()..`). A last-dimension index
+    /// varies along the row (iota fill); any other dimension is
+    /// row-invariant (broadcast).
+    pub index_taps: Vec<(u8, i64)>,
+    /// Loop-invariant constant slot values.
     pub consts: Vec<f64>,
     /// Combine schedule preserving the bytecode's exact association.
     pub nodes: Vec<WsNode>,
-    /// Slot holding the per-point result.
-    pub out: u16,
+    /// Slots holding the per-point results, one per apply output
+    /// (horizontally fused applies have several).
+    pub outs: Vec<u16>,
     /// Fold schedule when the combine tree is a linear chain
     /// (`acc = tap[chain_first]; acc = op(acc, tap)` per entry,
-    /// `acc_left == false` swapping the operands). Shape metadata: the
-    /// strip-mined executor handles chains and trees uniformly, but the
-    /// distinction is reported in tier labels and pinned by tests.
+    /// `acc_left == false` swapping the operands). Only single-output,
+    /// index-free kernels qualify. Shape metadata: the strip-mined
+    /// executor handles chains and trees uniformly, but the distinction
+    /// is reported in tier labels and pinned by tests.
     pub chain: Option<Vec<(BinOp, u16, bool)>>,
     /// First tap of the chain fold.
     pub chain_first: u16,
@@ -256,21 +282,26 @@ impl WsProgram {
     /// # Safety
     /// The caller validated (per [`WsProgram::rel_bounds`]) that every
     /// `flats[i] + rel + x` for `x < len` is in bounds for `inputs[i]`,
-    /// that `of + len` is in bounds for `out`, and that `slots` holds
-    /// `slot_count() * WS_TILE` elements with the const rows pre-filled.
+    /// that `out_flats[o] + len` is in bounds for `outs[o]`, and that
+    /// `slots` holds `slot_count() * WS_TILE` elements with the const
+    /// rows pre-filled. `point` is the row-start coordinate (its last
+    /// entry drives `Index` slots along the row).
+    #[allow(clippy::too_many_arguments)]
     unsafe fn eval_row(
         &self,
         inputs: &[&[f64]],
         flats: &[i64],
-        out: &mut [f64],
-        of: i64,
+        outs: &mut [&mut [f64]],
+        out_flats: &[i64],
+        point: &[i64],
         len: i64,
         slots: &mut [f64],
     ) {
-        let node_base = self.taps.len() + self.consts.len();
-        // Rows of the slot matrix never alias: taps/consts/nodes each own
-        // one WS_TILE-sized row, and a node's operands have strictly
-        // smaller slot ids than its destination.
+        let node_base = self.taps.len() + self.index_taps.len() + self.consts.len();
+        let last = point.len() - 1;
+        // Rows of the slot matrix never alias: taps/index/consts/nodes
+        // each own one WS_TILE-sized row, and a node's operands have
+        // strictly smaller slot ids than its destination.
         let base = slots.as_mut_ptr();
         let mut start = 0i64;
         while start < len {
@@ -290,6 +321,18 @@ impl WsProgram {
                     dst.iter_mut().zip(src).for_each(|(d, &x)| *d = x * c);
                 }
             }
+            for (k, &(dim, offset)) in self.index_taps.iter().enumerate() {
+                let dst =
+                    std::slice::from_raw_parts_mut(base.add((self.taps.len() + k) * WS_TILE), tl);
+                let coord = *point.get_unchecked(dim as usize) + offset;
+                if dim as usize == last {
+                    // Varies along the row: iota from the tile start.
+                    let c0 = coord + start;
+                    dst.iter_mut().enumerate().for_each(|(j, d)| *d = (c0 + j as i64) as f64);
+                } else {
+                    dst.fill(coord as f64);
+                }
+            }
             for (j, n) in self.nodes.iter().enumerate() {
                 let dst = std::slice::from_raw_parts_mut(base.add((node_base + j) * WS_TILE), tl);
                 match *n {
@@ -304,9 +347,13 @@ impl WsProgram {
                     }
                 }
             }
-            let out_row = std::slice::from_raw_parts(base.add(self.out as usize * WS_TILE), tl);
-            let dst_base = (of + start) as usize;
-            out.get_unchecked_mut(dst_base..dst_base + tl).copy_from_slice(out_row);
+            for (o, &slot) in self.outs.iter().enumerate() {
+                let out_row = std::slice::from_raw_parts(base.add(slot as usize * WS_TILE), tl);
+                let dst_base = (*out_flats.get_unchecked(o) + start) as usize;
+                outs.get_unchecked_mut(o)
+                    .get_unchecked_mut(dst_base..dst_base + tl)
+                    .copy_from_slice(out_row);
+            }
             start += WS_TILE as i64;
         }
     }
@@ -321,18 +368,20 @@ impl WsProgram {
     ///
     /// # Safety
     /// Same contract as [`WsProgram::eval_row`], with `slots` holding
-    /// `slot_count()` elements whose const entries
-    /// (`taps.len()..taps.len()+consts.len()`) are pre-filled.
+    /// `slot_count()` elements whose const entries are pre-filled.
+    #[allow(clippy::too_many_arguments)]
     unsafe fn eval_row_scalar(
         &self,
         inputs: &[&[f64]],
         flats: &[i64],
-        out: &mut [f64],
-        of: i64,
+        outs: &mut [&mut [f64]],
+        out_flats: &[i64],
+        point: &[i64],
         len: i64,
         slots: &mut [f64],
     ) {
-        let node_base = self.taps.len() + self.consts.len();
+        let node_base = self.taps.len() + self.index_taps.len() + self.consts.len();
+        let last = point.len() - 1;
         for x in 0..len {
             for (k, t) in self.taps.iter().enumerate() {
                 let src: &[f64] = inputs.get_unchecked(t.input as usize);
@@ -351,6 +400,12 @@ impl WsProgram {
                 };
                 *slots.get_unchecked_mut(k) = scaled;
             }
+            for (k, &(dim, offset)) in self.index_taps.iter().enumerate() {
+                let coord = *point.get_unchecked(dim as usize)
+                    + offset
+                    + if dim as usize == last { x } else { 0 };
+                *slots.get_unchecked_mut(self.taps.len() + k) = coord as f64;
+            }
             for (j, n) in self.nodes.iter().enumerate() {
                 let v = match *n {
                     WsNode::Bin { op, a, b } => {
@@ -360,12 +415,17 @@ impl WsProgram {
                 };
                 *slots.get_unchecked_mut(node_base + j) = v;
             }
-            *out.get_unchecked_mut((of + x) as usize) = *slots.get_unchecked(self.out as usize);
+            for (o, &slot) in self.outs.iter().enumerate() {
+                *outs
+                    .get_unchecked_mut(o)
+                    .get_unchecked_mut((*out_flats.get_unchecked(o) + x) as usize) =
+                    *slots.get_unchecked(slot as usize);
+            }
         }
     }
 
     fn slot_count(&self) -> usize {
-        self.taps.len() + self.consts.len() + self.nodes.len()
+        self.taps.len() + self.index_taps.len() + self.consts.len() + self.nodes.len()
     }
 }
 
@@ -375,14 +435,21 @@ impl WsProgram {
 const WS_SCALAR_MAX_ROW: i64 = 8;
 
 /// The executable form a kernel was specialized into.
+///
+/// Tier payloads are `Arc`-shared: cloning a [`SpecializedKernel`] —
+/// which the pipeline does when it splits an apply into
+/// interior/boundary-shell region steps — shares the same tap tables
+/// and combine schedules instead of rebuilding per-shell state.
 #[derive(Clone, Debug)]
 pub enum Tier {
     /// Reference interpreter over the original bytecode.
     Eval,
     /// Pre-optimized bytecode.
-    OptBytecode(OptProgram),
+    OptBytecode(Arc<OptProgram>),
     /// Weighted-sum tap table.
-    WeightedSum(WsProgram),
+    WeightedSum(Arc<WsProgram>),
+    /// Template-JIT fused micro-kernels (see [`crate::jit`]).
+    TemplateJit(Arc<JitProgram>),
 }
 
 /// A [`CompiledKernel`] plus its chosen executor tier.
@@ -406,17 +473,29 @@ impl std::ops::Deref for SpecializedKernel {
 
 impl SpecializedKernel {
     /// Specializes `kernel` into the fastest applicable tier (`force`
-    /// pins one; forcing `WeightedSum` on a non-matching kernel falls
-    /// back to `OptBytecode`).
+    /// pins one; forcing a tier the kernel doesn't qualify for falls
+    /// back down the ladder — `TemplateJit` without a matching template
+    /// becomes `WeightedSum`, `WeightedSum` on a non-matching kernel
+    /// becomes `OptBytecode`).
     pub fn specialize(kernel: CompiledKernel, force: Option<TierKind>) -> SpecializedKernel {
         let tier = match force {
             Some(TierKind::Eval) => Tier::Eval,
-            Some(TierKind::OptBytecode) => Tier::OptBytecode(optimize(&kernel)),
-            Some(TierKind::WeightedSum) | None => {
+            Some(TierKind::OptBytecode) => Tier::OptBytecode(Arc::new(optimize(&kernel))),
+            Some(TierKind::WeightedSum) => {
                 let opt = optimize(&kernel);
                 match match_weighted_sum(&opt) {
-                    Some(ws) => Tier::WeightedSum(ws),
-                    None => Tier::OptBytecode(opt),
+                    Some(ws) => Tier::WeightedSum(Arc::new(ws)),
+                    None => Tier::OptBytecode(Arc::new(opt)),
+                }
+            }
+            Some(TierKind::TemplateJit) | None => {
+                let opt = optimize(&kernel);
+                match match_weighted_sum(&opt) {
+                    Some(ws) => match crate::jit::match_template(&ws) {
+                        Some(jit) => Tier::TemplateJit(Arc::new(jit)),
+                        None => Tier::WeightedSum(Arc::new(ws)),
+                    },
+                    None => Tier::OptBytecode(Arc::new(opt)),
                 }
             }
         };
@@ -429,11 +508,13 @@ impl SpecializedKernel {
             Tier::Eval => TierKind::Eval,
             Tier::OptBytecode(_) => TierKind::OptBytecode,
             Tier::WeightedSum(_) => TierKind::WeightedSum,
+            Tier::TemplateJit(_) => TierKind::TemplateJit,
         }
     }
 
     /// A one-line human description, e.g.
-    /// `weighted-sum (5 taps, tree; rank 2)`.
+    /// `weighted-sum (5 taps, tree; rank 2)` or
+    /// `template-jit (3 taps, chain<3>; rank 1)`.
     pub fn tier_label(&self) -> String {
         match &self.tier {
             Tier::Eval => {
@@ -449,6 +530,12 @@ impl SpecializedKernel {
                 "weighted-sum ({} taps, {}; rank {})",
                 w.taps.len(),
                 if w.chain.is_some() { "chain" } else { "tree" },
+                self.program.rank
+            ),
+            Tier::TemplateJit(j) => format!(
+                "template-jit ({} taps, {}; rank {})",
+                j.tap_count,
+                j.shape_label(),
                 self.program.rank
             ),
         }
@@ -518,6 +605,7 @@ impl SpecializedKernel {
                 self.validate(inputs, outs, range, &ws.rel_bounds);
                 let last = range.rank() - 1;
                 let row_len = range.0[last].1 - range.0[last].0;
+                let const_base = ws.taps.len() + ws.index_taps.len();
                 if row_len <= WS_SCALAR_MAX_ROW {
                     // Narrow rows (boundary shells of overlapped
                     // exchanges): scalar per-point evaluation over a
@@ -530,15 +618,15 @@ impl SpecializedKernel {
                         range.rank(),
                     );
                     for (k, &v) in ws.consts.iter().enumerate() {
-                        scratch.slots[ws.taps.len() + k] = v;
+                        scratch.slots[const_base + k] = v;
                     }
-                    let out0: &mut [f64] = outs[0];
                     walk_rows(&self.kernel, range, scratch, |sc, len| unsafe {
                         ws.eval_row_scalar(
                             inputs,
                             &sc.flats,
-                            out0,
-                            sc.out_flats[0],
+                            outs,
+                            &sc.out_flats,
+                            &sc.point,
                             len,
                             &mut sc.slots,
                         );
@@ -555,12 +643,28 @@ impl SpecializedKernel {
                 // Broadcast the loop-invariant consts into their tile
                 // rows once per chunk.
                 for (k, &v) in ws.consts.iter().enumerate() {
-                    let at = (ws.taps.len() + k) * WS_TILE;
+                    let at = (const_base + k) * WS_TILE;
                     scratch.slots[at..at + WS_TILE].fill(v);
                 }
-                let out0: &mut [f64] = outs[0];
                 walk_rows(&self.kernel, range, scratch, |sc, len| unsafe {
-                    ws.eval_row(inputs, &sc.flats, out0, sc.out_flats[0], len, &mut sc.slots);
+                    ws.eval_row(
+                        inputs,
+                        &sc.flats,
+                        outs,
+                        &sc.out_flats,
+                        &sc.point,
+                        len,
+                        &mut sc.slots,
+                    );
+                });
+            }
+            Tier::TemplateJit(jit) => {
+                self.validate(inputs, outs, range, &jit.rel_bounds);
+                // No slot scratch: the fused micro-kernels keep all
+                // intermediates in registers.
+                scratch.ensure(0, 0, self.inputs.len(), self.outputs.len(), range.rank());
+                walk_rows(&self.kernel, range, scratch, |sc, len| unsafe {
+                    jit.eval_row(inputs, &sc.flats, outs, &sc.out_flats, len);
                 });
             }
         }
@@ -866,21 +970,24 @@ fn instr_uses(instr: &Instr) -> (u32, Vec<u32>) {
 #[derive(Copy, Clone, Debug)]
 enum WsVal {
     Tap(u16),
+    Ix(u16),
     Const(f64),
     Node(u16),
 }
 
-/// Tries to match the optimized program as a weighted sum of taps: a
-/// single output that is an affine function of its loads (every
+/// Tries to match the optimized program as a weighted sum of taps:
+/// every output an affine function of its loads and index values (every
 /// multiplication has a constant operand, every division a constant
-/// divisor, no `Index`). The combine schedule preserves the bytecode's
-/// exact association; a pure left-fold additionally gets the chain fast
-/// path.
+/// divisor). Horizontally fused multi-output applies and `Index`-using
+/// kernels qualify — `Index` values become dedicated slots filled per
+/// tile. The combine schedule preserves the bytecode's exact
+/// association; a single-output pure left-fold additionally gets the
+/// chain fast path.
 fn match_weighted_sum(opt: &OptProgram) -> Option<WsProgram> {
     // Runtime scalars are loop-invariant but not known at specialization
     // time, so they can't fuse into a constant tap table — such kernels
     // gracefully fall back to the opt-bytecode tier.
-    if opt.has_index || opt.outputs.len() != 1 || !opt.scalar_regs.is_empty() {
+    if opt.outputs.is_empty() || !opt.scalar_regs.is_empty() {
         return None;
     }
     // Use counts decide whether a `const * load` can fuse into the tap.
@@ -900,14 +1007,16 @@ fn match_weighted_sum(opt: &OptProgram) -> Option<WsProgram> {
     }
     let mut taps: Vec<WsTap> = Vec::new();
     let mut tap_of_reg: HashMap<u32, u16> = HashMap::new(); // load reg -> tap
+    let mut index_taps: Vec<(u8, i64)> = Vec::new();
     let mut const_slots: Vec<f64> = Vec::new();
     let mut const_slot_vn: HashMap<u64, u16> = HashMap::new();
     let mut nodes: Vec<WsNode> = Vec::new();
-    // Slot ids are only final once the tap/const counts are known, so
-    // collect symbolic slots first.
+    // Slot ids are only final once the tap/index/const counts are known,
+    // so collect symbolic slots first.
     #[derive(Copy, Clone, PartialEq)]
     enum Slot {
         Tap(u16),
+        Ix(u16),
         Const(u16),
         Node(u16),
     }
@@ -916,6 +1025,7 @@ fn match_weighted_sum(opt: &OptProgram) -> Option<WsProgram> {
         |v: WsVal, const_slots: &mut Vec<f64>, const_slot_vn: &mut HashMap<u64, u16>| -> Slot {
             match v {
                 WsVal::Tap(t) => Slot::Tap(t),
+                WsVal::Ix(i) => Slot::Ix(i),
                 WsVal::Node(n) => Slot::Node(n),
                 WsVal::Const(c) => {
                     let id = *const_slot_vn.entry(c.to_bits()).or_insert_with(|| {
@@ -933,6 +1043,13 @@ fn match_weighted_sum(opt: &OptProgram) -> Option<WsProgram> {
                 taps.push(WsTap { input, rel, coeff: 1.0, coeff_left: false, scaled: false });
                 tap_of_reg.insert(dst, t);
                 vals.insert(dst, WsVal::Tap(t));
+            }
+            Instr::Index { dim, offset, dst } => {
+                // The opt pass already deduped identical `Index`
+                // instructions, so each one gets a fresh slot.
+                let i = index_taps.len() as u16;
+                index_taps.push((dim, offset));
+                vals.insert(dst, WsVal::Ix(i));
             }
             Instr::Bin { op, a, b, dst } => {
                 let va = *vals.get(&a)?;
@@ -997,20 +1114,33 @@ fn match_weighted_sum(opt: &OptProgram) -> Option<WsProgram> {
                 node_ops.push((WsNode::Neg { a: 0 }, [sa, sa]));
                 vals.insert(dst, WsVal::Node(n));
             }
-            Instr::Const { .. } | Instr::Index { .. } => return None,
+            Instr::Const { .. } => return None,
         }
     }
-    if taps.len() > 2000 || node_ops.len() > 2000 || const_slots.len() > 2000 {
+    if taps.len() > 2000
+        || index_taps.len() > 2000
+        || node_ops.len() > 2000
+        || const_slots.len() > 2000
+    {
         return None; // keep slot ids comfortably within u16
     }
-    // Resolve symbolic slots: taps, then consts, then nodes.
+    // Intern every output into a symbolic slot first (a pure-constant
+    // output may still grow the const table), then resolve: taps, then
+    // index slots, then consts, then nodes.
+    let out_slots: Vec<Slot> = opt
+        .outputs
+        .iter()
+        .map(|r| vals.get(r).map(|&v| slot_of(v, &mut const_slots, &mut const_slot_vn)))
+        .collect::<Option<_>>()?;
     let tap_n = taps.len() as u16;
+    let index_n = index_taps.len() as u16;
     let const_n = const_slots.len() as u16;
     let resolve = |s: Slot| -> u16 {
         match s {
             Slot::Tap(t) => t,
-            Slot::Const(c) => tap_n + c,
-            Slot::Node(n) => tap_n + const_n + n,
+            Slot::Ix(i) => tap_n + i,
+            Slot::Const(c) => tap_n + index_n + c,
+            Slot::Node(n) => tap_n + index_n + const_n + n,
         }
     };
     for (node, ops) in &node_ops {
@@ -1020,35 +1150,19 @@ fn match_weighted_sum(opt: &OptProgram) -> Option<WsProgram> {
         };
         nodes.push(n);
     }
-    let out = match *vals.get(&opt.outputs[0])? {
-        WsVal::Tap(t) => t,
-        WsVal::Node(n) => tap_n + const_n + n,
-        WsVal::Const(c) => {
-            let id = *const_slot_vn.entry(c.to_bits()).or_insert_with(|| {
-                const_slots.push(c);
-                (const_slots.len() - 1) as u16
-            });
-            // Rare pure-constant kernel: re-resolve against the grown
-            // const table.
-            return Some(WsProgram {
-                rel_bounds: opt.rel_bounds.clone(),
-                taps,
-                consts: const_slots,
-                nodes,
-                out: tap_n + id,
-                chain: None,
-                chain_first: 0,
-            });
-        }
-    };
+    let outs: Vec<u16> = out_slots.into_iter().map(resolve).collect();
 
-    // Chain detection: consts-free fold `((tap ⊕ tap) ⊕ tap) ⊕ …` whose
-    // last node is the output.
+    // Chain detection (single-output, index-free kernels only): a
+    // consts-free fold `((tap ⊕ tap) ⊕ tap) ⊕ …` whose last node is the
+    // output.
     let mut chain = None;
     let mut chain_first = 0u16;
-    if const_slots.is_empty()
+    let single_out = outs.len() == 1 && index_taps.is_empty();
+    let out0 = outs.first().copied().unwrap_or(u16::MAX);
+    if single_out
+        && const_slots.is_empty()
         && !nodes.is_empty()
-        && out == tap_n + (nodes.len() as u16 - 1)
+        && out0 == tap_n + (nodes.len() as u16 - 1)
         && taps.len() >= 2
     {
         let is_tap = |s: u16| s < tap_n;
@@ -1086,30 +1200,35 @@ fn match_weighted_sum(opt: &OptProgram) -> Option<WsProgram> {
         if ok {
             chain = Some(fold);
         }
-    } else if nodes.is_empty() && const_slots.is_empty() && out < tap_n {
+    } else if single_out && nodes.is_empty() && const_slots.is_empty() && out0 < tap_n {
         // Single-tap kernel: a zero-entry fold.
         chain = Some(Vec::new());
-        chain_first = out;
+        chain_first = out0;
     }
     Some(WsProgram {
         rel_bounds: opt.rel_bounds.clone(),
         taps,
+        index_taps,
         consts: const_slots,
         nodes,
-        out,
+        outs,
         chain,
         chain_first,
     })
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::program::{compile_apply, InputDesc};
     use std::collections::HashMap as Map;
     use sten_ir::Pass as _;
 
-    fn kernel_of(module: &mut sten_ir::Module, func: &str, desc: InputDesc) -> CompiledKernel {
+    pub(crate) fn kernel_of(
+        module: &mut sten_ir::Module,
+        func: &str,
+        desc: InputDesc,
+    ) -> CompiledKernel {
         sten_stencil::ShapeInference.run(module).unwrap();
         let f = module.lookup_symbol(func).unwrap();
         let apply = f.region_block(0).ops.iter().find(|o| o.name == "stencil.apply").unwrap();
@@ -1124,11 +1243,24 @@ mod tests {
         .unwrap()
     }
 
+    /// `arith.*f` body op without pulling in the dialect crate.
+    fn binf(
+        vt: &mut sten_ir::ValueTable,
+        name: &str,
+        a: sten_ir::Value,
+        b: sten_ir::Value,
+    ) -> sten_ir::Op {
+        let mut op = sten_ir::Op::new(name);
+        op.operands = vec![a, b];
+        op.results.push(vt.alloc(sten_ir::Type::F64));
+        op
+    }
+
     #[test]
     fn jacobi_specializes_to_weighted_sum_chain() {
         let mut m = sten_stencil::samples::jacobi_1d(64);
         let k = kernel_of(&mut m, "jacobi", InputDesc::new(vec![64], vec![0]));
-        let spec = SpecializedKernel::specialize(k, None);
+        let spec = SpecializedKernel::specialize(k, Some(TierKind::WeightedSum));
         assert_eq!(spec.tier_kind(), TierKind::WeightedSum);
         let Tier::WeightedSum(ws) = &spec.tier else { panic!() };
         assert_eq!(ws.taps.len(), 3);
@@ -1139,11 +1271,29 @@ mod tests {
     fn heat_specializes_to_weighted_sum_tree() {
         let mut m = sten_stencil::samples::heat_2d(16, 0.1);
         let k = kernel_of(&mut m, "heat", InputDesc::new(vec![18, 18], vec![-1, -1]));
-        let spec = SpecializedKernel::specialize(k, None);
+        let spec = SpecializedKernel::specialize(k, Some(TierKind::WeightedSum));
         assert_eq!(spec.tier_kind(), TierKind::WeightedSum);
         let Tier::WeightedSum(ws) = &spec.tier else { panic!() };
         assert_eq!(ws.taps.len(), 5, "5-point star");
         assert!(ws.chain.is_none(), "heat's (l+r)+(u+d) association is a tree");
+    }
+
+    #[test]
+    fn auto_selection_prefers_template_jit() {
+        let mut m = sten_stencil::samples::jacobi_1d(64);
+        let k = kernel_of(&mut m, "jacobi", InputDesc::new(vec![64], vec![0]));
+        let spec = SpecializedKernel::specialize(k, None);
+        assert_eq!(spec.tier_kind(), TierKind::TemplateJit);
+        assert!(
+            spec.tier_label().starts_with("template-jit (3 taps, chain<3>"),
+            "{}",
+            spec.tier_label()
+        );
+
+        let mut m = sten_stencil::samples::heat_2d(16, 0.1);
+        let k = kernel_of(&mut m, "heat", InputDesc::new(vec![18, 18], vec![-1, -1]));
+        let spec = SpecializedKernel::specialize(k, None);
+        assert_eq!(spec.tier_kind(), TierKind::TemplateJit);
     }
 
     #[test]
@@ -1156,7 +1306,9 @@ mod tests {
         let input: Vec<f64> = (0..size).map(|i| (i as f64 * 0.013).sin()).collect();
         let mut want = vec![0.0; size];
         k.execute(&[&input], &mut [&mut want]);
-        for tier in [TierKind::Eval, TierKind::OptBytecode, TierKind::WeightedSum] {
+        for tier in
+            [TierKind::Eval, TierKind::OptBytecode, TierKind::WeightedSum, TierKind::TemplateJit]
+        {
             let spec = SpecializedKernel::specialize(k.clone(), Some(tier));
             assert_eq!(spec.tier_kind(), tier);
             let mut got = vec![0.0; size];
@@ -1166,6 +1318,129 @@ mod tests {
             spec.execute_parallel(&[&input], &mut [&mut par], 3);
             assert_eq!(par, want, "tier {} parallel", tier.name());
         }
+    }
+
+    #[test]
+    fn fused_two_output_apply_selects_weighted_sum() {
+        use sten_ir::{Attribute, TempType, Type};
+        // A horizontally fused apply (two results over one input), as
+        // stencil-horizontal-fusion produces: out0 = l + r, out1 = l - r.
+        let mut m = sten_ir::Module::new();
+        let temp = m.values.alloc(Type::Temp(TempType::unknown(1, Type::F64)));
+        let mut apply = sten_stencil::ops::apply(
+            &mut m.values,
+            vec![temp],
+            vec![
+                Type::Temp(TempType::unknown(1, Type::F64)),
+                Type::Temp(TempType::unknown(1, Type::F64)),
+            ],
+            |vt, a| {
+                let l = sten_stencil::ops::access(vt, a[0], vec![-1]);
+                let r = sten_stencil::ops::access(vt, a[0], vec![1]);
+                let s = binf(vt, "arith.addf", l.result(0), r.result(0));
+                let d = binf(vt, "arith.subf", l.result(0), r.result(0));
+                let (sum_v, diff_v) = (s.result(0), d.result(0));
+                vec![l, r, s, d, sten_stencil::ops::ret(vec![sum_v, diff_v])]
+            },
+        );
+        apply.set_attr("lb", Attribute::DenseI64(vec![1]));
+        apply.set_attr("ub", Attribute::DenseI64(vec![31]));
+        let desc = InputDesc::new(vec![32], vec![0]);
+        let kernel = compile_apply(
+            &apply,
+            &m.values,
+            vec![Some(desc.clone())],
+            vec![desc.clone(), desc],
+            &Map::new(),
+            &Map::new(),
+        )
+        .unwrap();
+
+        // The multi-output matcher accepts it (it used to fall back to
+        // opt-bytecode).
+        let spec = SpecializedKernel::specialize(kernel.clone(), Some(TierKind::WeightedSum));
+        assert_eq!(spec.tier_kind(), TierKind::WeightedSum);
+        let Tier::WeightedSum(ws) = &spec.tier else { panic!() };
+        assert_eq!(ws.outs.len(), 2);
+        assert_eq!(ws.taps.len(), 2, "both outputs share the two taps");
+
+        // Bit-identical to eval on both outputs, on every tier.
+        let input: Vec<f64> = (0..32).map(|i| (i as f64 * 0.17).sin()).collect();
+        let mut want = (vec![0.0; 32], vec![0.0; 32]);
+        kernel.execute(&[&input], &mut [&mut want.0, &mut want.1]);
+        for tier in [TierKind::OptBytecode, TierKind::WeightedSum, TierKind::TemplateJit] {
+            let spec = SpecializedKernel::specialize(kernel.clone(), Some(tier));
+            let mut got = (vec![0.0; 32], vec![0.0; 32]);
+            spec.execute(&[&input], &mut [&mut got.0, &mut got.1]);
+            assert_eq!(got, want, "tier {}", tier.name());
+        }
+    }
+
+    #[test]
+    fn index_kernel_selects_weighted_sum() {
+        use sten_ir::{Attribute, TempType, Type};
+        // out = u[i,j] + (i+1) + j: one broadcast index slot (dim 0) and
+        // one row-varying iota slot (dim 1).
+        let mut m = sten_ir::Module::new();
+        let temp = m.values.alloc(Type::Temp(TempType::unknown(2, Type::F64)));
+        let mut apply = sten_stencil::ops::apply(
+            &mut m.values,
+            vec![temp],
+            vec![Type::Temp(TempType::unknown(2, Type::F64))],
+            |vt, a| {
+                let c = sten_stencil::ops::access(vt, a[0], vec![0, 0]);
+                let i0 = sten_stencil::ops::index(vt, 0, 1);
+                let i1 = sten_stencil::ops::index(vt, 1, 0);
+                let s0 = binf(vt, "arith.addf", c.result(0), i0.result(0));
+                let s1 = binf(vt, "arith.addf", s0.result(0), i1.result(0));
+                let out = s1.result(0);
+                vec![c, i0, i1, s0, s1, sten_stencil::ops::ret(vec![out])]
+            },
+        );
+        apply.set_attr("lb", Attribute::DenseI64(vec![0, 0]));
+        apply.set_attr("ub", Attribute::DenseI64(vec![5, 40]));
+        let desc = InputDesc::new(vec![5, 40], vec![0, 0]);
+        let kernel = compile_apply(
+            &apply,
+            &m.values,
+            vec![Some(desc.clone())],
+            vec![desc],
+            &Map::new(),
+            &Map::new(),
+        )
+        .unwrap();
+
+        // Index kernels used to fall back to opt-bytecode; the tile path
+        // now fills index slots per tile.
+        let spec = SpecializedKernel::specialize(kernel.clone(), Some(TierKind::WeightedSum));
+        assert_eq!(spec.tier_kind(), TierKind::WeightedSum);
+        let Tier::WeightedSum(ws) = &spec.tier else { panic!() };
+        assert_eq!(ws.index_taps, vec![(0, 1), (1, 0)]);
+        assert!(ws.chain.is_none(), "index kernels never take the chain path");
+
+        // The template-JIT has no index micro-kernels: forcing it falls
+        // back to weighted-sum.
+        let spec = SpecializedKernel::specialize(kernel.clone(), Some(TierKind::TemplateJit));
+        assert_eq!(spec.tier_kind(), TierKind::WeightedSum);
+
+        let size = 5 * 40;
+        let input: Vec<f64> = (0..size).map(|i| (i as f64 * 0.013).sin()).collect();
+        let mut want = vec![0.0; size];
+        kernel.execute(&[&input], &mut [&mut want]);
+        for tier in [TierKind::OptBytecode, TierKind::WeightedSum] {
+            let spec = SpecializedKernel::specialize(kernel.clone(), Some(tier));
+            let mut got = vec![0.0; size];
+            spec.execute(&[&input], &mut [&mut got]);
+            assert_eq!(got, want, "tier {}", tier.name());
+        }
+        // Short rows take the scalar slot path — exercise it too.
+        let sub = Bounds::new(vec![(0, 5), (12, 17)]);
+        let mut got = vec![0.0; size];
+        let spec = SpecializedKernel::specialize(kernel.clone(), Some(TierKind::WeightedSum));
+        spec.execute_rows(&[&input], &mut [&mut got], &sub, &mut ExecScratch::new());
+        let mut short_want = vec![0.0; size];
+        kernel.execute_rows(&[&input], &mut [&mut short_want], &sub, &mut ExecScratch::new());
+        assert_eq!(got, short_want);
     }
 
     #[test]
@@ -1201,9 +1476,11 @@ mod tests {
         )
         .unwrap();
 
-        // Forcing weighted-sum must fall back: the coefficient isn't a
-        // compile-time constant.
+        // Forcing weighted-sum (or the template-JIT above it) must fall
+        // back: the coefficient isn't a compile-time constant.
         let spec = SpecializedKernel::specialize(kernel.clone(), Some(TierKind::WeightedSum));
+        assert_eq!(spec.tier_kind(), TierKind::OptBytecode);
+        let spec = SpecializedKernel::specialize(kernel.clone(), Some(TierKind::TemplateJit));
         assert_eq!(spec.tier_kind(), TierKind::OptBytecode);
 
         // All applicable tiers agree bit-for-bit with the reference.
@@ -1229,6 +1506,8 @@ mod tests {
         assert_eq!(TierKind::parse("auto").unwrap(), None);
         assert_eq!(TierKind::parse("eval").unwrap(), Some(TierKind::Eval));
         assert_eq!(TierKind::parse("weighted-sum").unwrap(), Some(TierKind::WeightedSum));
+        assert_eq!(TierKind::parse("template-jit").unwrap(), Some(TierKind::TemplateJit));
+        assert_eq!(TierKind::parse("jit").unwrap(), Some(TierKind::TemplateJit));
         assert!(TierKind::parse("nope").is_err());
     }
 }

@@ -49,9 +49,9 @@ fn file_input_output_with_timing_report() {
     assert!(stderr.contains("Pass execution timing report"), "{stderr}");
     assert!(stderr.contains("tile-parallel-loops"), "{stderr}");
     // The executor-tier report derives from the stencil-level input:
-    // jacobi is a weighted-sum chain.
+    // jacobi is a 3-tap chain, which the template-JIT tier monomorphizes.
     assert!(stderr.contains("executor tiers"), "{stderr}");
-    assert!(stderr.contains("@jacobi apply#0: weighted-sum (3 taps, chain"), "{stderr}");
+    assert!(stderr.contains("@jacobi apply#0: template-jit (3 taps, chain"), "{stderr}");
     let written = std::fs::read_to_string(&output).unwrap();
     assert!(written.contains("scf.for"), "tiled output written to -o");
     std::fs::remove_dir_all(&dir).ok();

@@ -224,7 +224,12 @@ fn specialized_tiers_bit_identical_to_eval() {
             let mut want = vec![input.clone(), input.clone()];
             Runner::new(evalp, 1).step(&mut want).unwrap();
 
-            for tier in [TierKind::Eval, TierKind::OptBytecode, TierKind::WeightedSum] {
+            for tier in [
+                TierKind::Eval,
+                TierKind::OptBytecode,
+                TierKind::WeightedSum,
+                TierKind::TemplateJit,
+            ] {
                 for threads in [1usize, 2, 4] {
                     let mut p = pipeline.clone();
                     p.respecialize(Some(tier));
@@ -236,13 +241,14 @@ fn specialized_tiers_bit_identical_to_eval() {
                     );
                 }
             }
-            // Random mul-add chains are weighted sums, so automatic
+            // Random mul-add chains are flat scaled-tap folds, well
+            // inside the template-JIT grammar (<= 12 terms), so automatic
             // selection must reach the top tier (unless the run pins one
             // through the environment).
             if std::env::var("STEN_EXEC_TIER").is_err() {
                 let lines = pipeline.tier_summary();
                 assert!(
-                    lines.iter().all(|l| l.contains("weighted-sum")),
+                    lines.iter().all(|l| l.contains("template-jit")),
                     "dims {dims} seed {seed}: {lines:?}"
                 );
             }

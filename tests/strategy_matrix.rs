@@ -14,7 +14,12 @@
 //! and 2 in one process. On this func/MPI path a deep halo is exchanged
 //! every step (same messages, more volume) — the depth axis checks the
 //! widened buffers and exchanges stay bit-correct end to end.
+//!
+//! A second matrix leg runs the same uneven domain through the compiled
+//! executor (`Runner::step_distributed`) per top tier — template-JIT
+//! and weighted-sum, or the tier `STEN_EXEC_TIER` pins.
 
+use std::sync::Arc;
 use stencil_stack::prelude::*;
 
 fn overlap_modes() -> Vec<bool> {
@@ -47,6 +52,20 @@ fn strategy_names() -> Vec<&'static str> {
             vec![name]
         }
         Err(_) => ALL.to_vec(),
+    }
+}
+
+/// Executor tiers for the compiled-executor matrix run: the top two
+/// rungs of the ladder by default (template-JIT plus the weighted-sum
+/// tier it falls back to), or just the pinned one when CI sets
+/// `STEN_EXEC_TIER`.
+fn exec_tiers() -> Vec<TierKind> {
+    match std::env::var("STEN_EXEC_TIER") {
+        Ok(v) => match TierKind::parse(&v).expect("valid STEN_EXEC_TIER") {
+            Some(t) => vec![t],
+            None => vec![TierKind::TemplateJit, TierKind::WeightedSum],
+        },
+        Err(_) => vec![TierKind::TemplateJit, TierKind::WeightedSum],
     }
 }
 
@@ -169,6 +188,112 @@ fn uneven_heat127_matches_single_rank_for_every_strategy() {
                      single-rank bit-for-bit"
                 );
             }
+        }
+    }
+}
+
+/// The same uneven domain through the *compiled* executor: per-rank
+/// stencil-level modules (halo exchanges still `dmp.swap`) run on
+/// [`Runner::step_distributed`] over SimMPI, once per top executor
+/// tier, and must match the single-rank interpreter bit-for-bit. This
+/// is the strategy-matrix leg of the tier coverage — the template-JIT
+/// tier has to survive every decomposition layout, not just the square
+/// grids the bench kernels use.
+#[test]
+fn uneven_heat127_exec_tiers_match_single_rank_for_every_strategy() {
+    let n = 127i64;
+    let full = n + 2;
+    let size = (full * full) as usize;
+    let global: Vec<f64> = (0..size).map(|i| (i as f64 * 0.013).sin()).collect();
+
+    // Single-rank stencil-level reference.
+    let mut serial = stencil_stack::stencil::samples::heat_2d(n, 0.1);
+    stencil_stack::stencil::ShapeInference.run(&mut serial).unwrap();
+    let src = BufView::from_data(vec![full, full], global.clone());
+    let dst = BufView::from_data(vec![full, full], global.clone());
+    Interpreter::new(&serial)
+        .call_function("heat", vec![RtValue::Buffer(src), RtValue::Buffer(dst.clone())])
+        .unwrap();
+    let want = dst.to_vec();
+
+    let driver = Driver::new().with_verify_each(true);
+    for strategy in strategy_names() {
+        let factors = if strategy == "custom-grid" { "factors=1x4 " } else { "" };
+        let modules: Vec<Module> = (0..4)
+            .map(|rank| {
+                let pipeline = format!(
+                    "shape-inference,distribute-stencil{{{factors}grid=2x2 rank={rank} \
+                     strategy={strategy}}},shape-inference,dmp-eliminate-redundant-swaps"
+                );
+                driver
+                    .run_str(stencil_stack::stencil::samples::heat_2d(n, 0.1), &pipeline)
+                    .unwrap_or_else(|e| panic!("{strategy} rank {rank}: {e}"))
+                    .module
+            })
+            .collect();
+        let layout = modules[0]
+            .lookup_symbol("heat")
+            .unwrap()
+            .attr("dmp.grid")
+            .and_then(stencil_stack::ir::Attribute::as_grid)
+            .expect("distributed module records its rank layout")
+            .to_vec();
+        let chunk = |d: usize, coord: i64| stencil_stack::dmp::balanced_chunk(n, layout[d], coord);
+        let coords_of =
+            |rank: i64| stencil_stack::dmp::decomposition::rank_to_coords(rank, &layout);
+
+        for tier in exec_tiers() {
+            let world = SimWorld::new(4);
+            let mut outs: Vec<Vec<f64>> = vec![Vec::new(); 4];
+            std::thread::scope(|scope| {
+                for (rank, out) in outs.iter_mut().enumerate() {
+                    let world = Arc::clone(&world);
+                    let module = &modules[rank];
+                    let (chunk, coords_of, global) = (&chunk, &coords_of, &global);
+                    scope.spawn(move || {
+                        let mut pipeline = compile_pipeline(module, "heat").unwrap();
+                        pipeline.respecialize(Some(tier));
+                        let c = coords_of(rank as i64);
+                        let (oy, sy) = chunk(0, c[0]);
+                        let (ox, sx) = chunk(1, *c.get(1).unwrap_or(&0));
+                        // Local field = core + the 1-cell pad; local
+                        // (y, x) sits at global (oy + y, ox + x).
+                        assert_eq!(
+                            pipeline.arg_shapes[0],
+                            vec![sy + 2, sx + 2],
+                            "{strategy} rank {rank}: local field shape"
+                        );
+                        let mut data = Vec::with_capacity(((sy + 2) * (sx + 2)) as usize);
+                        for y in 0..sy + 2 {
+                            for x in 0..sx + 2 {
+                                data.push(global[((oy + y) * full + ox + x) as usize]);
+                            }
+                        }
+                        let mut args = vec![data.clone(), data];
+                        let mut runner = Runner::new(pipeline, 1);
+                        runner.step_distributed(&mut args, &world, rank as i64).unwrap();
+                        *out = args[1].clone();
+                    });
+                }
+            });
+            assert!(world.total_sent_messages() > 0, "{strategy}: halo exchange happened");
+
+            let mut got = global.clone();
+            for (rank, res) in outs.iter().enumerate() {
+                let c = coords_of(rank as i64);
+                let (oy, sy) = chunk(0, c[0]);
+                let (ox, sx) = chunk(1, *c.get(1).unwrap_or(&0));
+                for y in 1..=sy {
+                    for x in 1..=sx {
+                        got[((oy + y) * full + ox + x) as usize] = res[(y * (sx + 2) + x) as usize];
+                    }
+                }
+            }
+            assert_eq!(
+                got, want,
+                "{strategy} tier {tier:?}: compiled distributed run must match \
+                 single-rank bit-for-bit"
+            );
         }
     }
 }
